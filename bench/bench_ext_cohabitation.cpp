@@ -1,0 +1,60 @@
+// Extension (paper §8 "DNN co-habitation"): with more and more apps
+// shipping DNNs, several models will run concurrently. This bench
+// quantifies the anticipated problem on the simulated devices: per-model
+// latency and aggregate efficiency as 1-4 models co-reside.
+#include <algorithm>
+
+#include "bench/common.hpp"
+#include "device/latency.hpp"
+#include "device/soc.hpp"
+
+int main() {
+  using namespace gauge;
+  bench::print_header(
+      "Extension (Sec. 8): DNN co-habitation",
+      "the paper anticipates co-existing DNNs needing OS/hardware support; "
+      "this ablation shows the super-fair-share slowdown models inflict on "
+      "each other");
+
+  const auto& data = bench::snapshot21();
+  const auto models = core::distinct_models(data);
+  // Four representative co-residents: the most common vision tasks.
+  std::vector<const core::ModelRecord*> residents;
+  for (const char* task : {"object detection", "face detection",
+                           "semantic segmentation", "sound recognition"}) {
+    for (const auto* m : models) {
+      if (m->task == task) {
+        residents.push_back(m);
+        break;
+      }
+    }
+  }
+
+  for (const auto& dev : {device::make_device("A20"),
+                          device::make_device("S21")}) {
+    util::Table table{{"co-resident models", "model-0 latency ms",
+                       "slowdown vs solo", "slowdown vs fair share",
+                       "model-0 MFLOP/sW"}};
+    const auto solo = device::simulate_inference(
+        dev, residents[0]->trace, {}, residents[0]->checksum);
+    for (std::size_t n = 1; n <= residents.size(); ++n) {
+      std::vector<const nn::ModelTrace*> traces;
+      std::vector<std::string> keys;
+      for (std::size_t i = 0; i < n; ++i) {
+        traces.push_back(&residents[i]->trace);
+        keys.push_back(residents[i]->checksum);
+      }
+      const auto co = device::simulate_cohabitation(dev, traces, {}, keys);
+      const double slowdown = co[0].latency_s / solo.latency_s;
+      table.add_row({std::to_string(n),
+                     util::Table::num(co[0].latency_s * 1e3, 3),
+                     util::Table::num(slowdown) + "x",
+                     util::Table::num(slowdown / static_cast<double>(n)) + "x",
+                     util::Table::num(co[0].efficiency_mflops_sw, 0)});
+    }
+    util::print_section("Co-habitation on " + dev.name, table.render());
+  }
+  std::printf("\nslowdown vs fair share > 1x is pure contention — the cost "
+              "the paper expects OS/hardware co-scheduling to address.\n");
+  return 0;
+}

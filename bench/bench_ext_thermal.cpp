@@ -1,0 +1,65 @@
+// Ablation (paper §5.1 confounders): thermal throttling under sustained
+// inference. The paper attributes part of the phone-vs-open-deck gap to
+// heat dissipation; this bench traces the latency degradation curve on a
+// sealed phone vs an open-deck board running the same model continuously.
+#include <algorithm>
+
+#include "bench/common.hpp"
+#include "device/latency.hpp"
+#include "device/soc.hpp"
+
+int main() {
+  using namespace gauge;
+  bench::print_header(
+      "Ablation: thermal throttling under sustained inference",
+      "phones throttle towards their floor within minutes; open-deck boards "
+      "barely move — one of the paper's explanations for Q888 > S21 despite "
+      "the identical SoC");
+
+  const auto& data = bench::snapshot21();
+  const auto models = core::distinct_models(data);
+  // The heaviest segmentation model, the Table 4 video-call workload.
+  const core::ModelRecord* heavy = nullptr;
+  for (const auto* m : models) {
+    if (m->task != "semantic segmentation") continue;
+    if (heavy == nullptr || m->trace.total_flops > heavy->trace.total_flops) {
+      heavy = m;
+    }
+  }
+  if (heavy == nullptr) heavy = models.front();
+
+  util::Table table{{"sustained min", "S21 ms", "S21 throttle", "Q888 ms",
+                     "Q888 throttle"}};
+  const auto s21 = device::make_device("S21");
+  const auto q888 = device::make_device("Q888");
+  for (double minutes : {0.0, 1.0, 5.0, 15.0, 30.0, 60.0}) {
+    device::RunConfig config;
+    config.sustained_seconds = minutes * 60.0;
+    const auto rs = device::simulate_inference(s21, heavy->trace, config,
+                                               heavy->checksum);
+    const auto rq = device::simulate_inference(q888, heavy->trace, config,
+                                               heavy->checksum);
+    table.add_row({util::Table::num(minutes, 0),
+                   util::Table::num(rs.latency_s * 1e3, 3),
+                   util::Table::num(device::thermal_factor(s21, config.sustained_seconds)),
+                   util::Table::num(rq.latency_s * 1e3, 3),
+                   util::Table::num(device::thermal_factor(q888, config.sustained_seconds))});
+  }
+  util::print_section(
+      "Sustained '" + heavy->task + "' inference (same SoC, sealed vs open)",
+      table.render());
+
+  // The S21/Q888 gap widens with sustained load — quantify it.
+  device::RunConfig cold, hot;
+  hot.sustained_seconds = 3600.0;
+  const double gap_cold =
+      device::simulate_inference(s21, heavy->trace, cold, heavy->checksum).latency_s /
+      device::simulate_inference(q888, heavy->trace, cold, heavy->checksum).latency_s;
+  const double gap_hot =
+      device::simulate_inference(s21, heavy->trace, hot, heavy->checksum).latency_s /
+      device::simulate_inference(q888, heavy->trace, hot, heavy->checksum).latency_s;
+  std::printf("\nS21/Q888 latency gap: %.2fx cold -> %.2fx after an hour "
+              "(heat dissipation of the open deck)\n",
+              gap_cold, gap_hot);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Fig. 11 — inference throughput vs batch size (2/5/10/25 samples, 4
+// threads) across the three phones, over the models that run everywhere.
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "device/soc.hpp"
+
+int main() {
+  using namespace gauge;
+  bench::print_header(
+      "Fig. 11: throughput vs batch size",
+      "throughput scales almost linearly with batch; at batch 25 the S21 is "
+      "2.14x / 5.42x faster than A70 / A20");
+
+  const auto& data = bench::snapshot21();
+  const auto phones = device::phones();
+  const std::vector<int> batches{1, 2, 5, 10, 25};
+
+  std::map<std::string, std::map<int, double>> geomean_tput;
+  for (const auto& dev : phones) {
+    std::vector<device::RunConfig> configs;
+    for (int b : batches) {
+      device::RunConfig config;
+      config.batch = b;
+      configs.push_back(config);
+    }
+    const auto rows = core::sweep_configs(data, dev, configs);
+    std::map<int, std::vector<double>> per_batch;
+    for (const auto& row : rows) per_batch[row.batch].push_back(row.throughput_ips);
+    for (int b : batches) {
+      geomean_tput[dev.name][b] = util::geomean(per_batch[b]);
+    }
+  }
+
+  util::Table table{{"device", "b=1", "b=2", "b=5", "b=10", "b=25",
+                     "scaling b25/b1"}};
+  for (const auto& dev : phones) {
+    std::vector<std::string> cells{dev.name};
+    for (int b : batches) {
+      cells.push_back(util::Table::num(geomean_tput[dev.name][b], 1));
+    }
+    cells.push_back(util::Table::num(
+        geomean_tput[dev.name][25] / geomean_tput[dev.name][1]));
+    table.add_row(std::move(cells));
+  }
+  util::print_section("Geomean throughput (inferences/s, 4 threads)",
+                      table.render());
+
+  util::Table ratios{{"comparison @ batch 25", "ratio", "paper"}};
+  ratios.add_row({"S21 / A70",
+                  util::Table::num(geomean_tput["S21"][25] /
+                                   geomean_tput["A70"][25]),
+                  "2.14x"});
+  ratios.add_row({"S21 / A20",
+                  util::Table::num(geomean_tput["S21"][25] /
+                                   geomean_tput["A20"][25]),
+                  "5.42x"});
+  util::print_section("Cross-device ratios", ratios.render());
+  return 0;
+}

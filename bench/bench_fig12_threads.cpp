@@ -1,0 +1,65 @@
+// Fig. 12 — throughput vs thread count (2/4/8) and core affinity (2a2, 4a4,
+// 4a2, 8a4) per phone, with the time-sharing ablation DESIGN.md calls out.
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "device/sched.hpp"
+#include "device/soc.hpp"
+
+int main() {
+  using namespace gauge;
+  bench::print_header(
+      "Fig. 12: throughput vs threads and affinity",
+      "optimal threads differ per device (A20: 4, A70: 2, S21: 4); 8 "
+      "threads collapse; oversubscribed pinning (4a2, 8a4) degrades badly; "
+      "matching pinning (4a4, 2a2) is no win; tuned settings gain up to 2x");
+
+  const auto& data = bench::snapshot21();
+  const std::vector<device::ThreadConfig> setups = {
+      {2, 0}, {4, 0}, {8, 0}, {2, 2}, {4, 4}, {4, 2}, {8, 4}};
+
+  util::Table table{{"device", "2", "4", "8", "2a2", "4a4", "4a2", "8a4",
+                     "best/default gain"}};
+  for (const auto& dev : device::phones()) {
+    std::vector<device::RunConfig> configs;
+    for (const auto& setup : setups) {
+      device::RunConfig config;
+      config.threads = setup;
+      configs.push_back(config);
+    }
+    const auto rows = core::sweep_configs(data, dev, configs);
+    std::map<std::string, std::vector<double>> tput;
+    for (const auto& row : rows) {
+      tput[row.thread_label].push_back(row.throughput_ips);
+    }
+    std::vector<std::string> cells{dev.name};
+    double best = 0.0;
+    for (const auto& setup : setups) {
+      const double g = util::geomean(tput[setup.label()]);
+      best = std::max(best, g);
+      cells.push_back(util::Table::num(g, 1));
+    }
+    const double default4 = util::geomean(tput["4"]);
+    cells.push_back(util::Table::num(best / default4) + "x");
+    table.add_row(std::move(cells));
+  }
+  util::print_section("Geomean throughput (inferences/s) per setup",
+                      table.render());
+
+  // Ablation: the 4a2/8a4 degradation exists because of time-sharing; show
+  // the raw scheduler throughput with and without oversubscription.
+  util::Table ablation{{"device", "sched GFLOPS 4", "sched GFLOPS 4a2",
+                        "penalty"}};
+  for (const auto& dev : device::phones()) {
+    const double g4 = device::schedule(dev, {4, 0}).effective_gflops;
+    const double g4a2 = device::schedule(dev, {4, 2}).effective_gflops;
+    ablation.add_row({dev.name, util::Table::num(g4, 1),
+                      util::Table::num(g4a2, 1),
+                      util::Table::pct(1.0 - g4a2 / g4)});
+  }
+  util::print_section("Ablation: time-sharing cost of oversubscription",
+                      ablation.render());
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fig. 13 — ECDF of TFLite model latency and energy per CPU runtime
+// (baseline CPU vs XNNPACK vs NNAPI) on the Q845 board.
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "device/soc.hpp"
+
+int main() {
+  using namespace gauge;
+  bench::print_header(
+      "Fig. 13: TFLite CPU runtimes on Q845 (CPU vs XNNPACK vs NNAPI)",
+      "XNNPACK: 1.03x faster, 1.13x more efficient than CPU on average; "
+      "NNAPI: 0.49x the speed, 1.66x less efficient (immature NN drivers)");
+
+  const auto& data = bench::snapshot21();
+  const auto q845 = device::make_device("Q845");
+
+  std::vector<device::RunConfig> configs(3);
+  configs[0].backend = device::Backend::CpuFp32;
+  configs[1].backend = device::Backend::CpuXnnpack;
+  configs[2].backend = device::Backend::Nnapi;
+  const auto rows = core::sweep_configs(data, q845, configs);
+
+  // TFLite models only, matching the paper's experiment.
+  std::map<std::string, std::vector<double>> lat, energy;
+  for (const auto& row : rows) {
+    if (row.framework != "TFLite") continue;
+    lat[row.backend].push_back(row.latency_ms);
+    energy[row.backend].push_back(row.energy_mj);
+  }
+
+  util::Table table{{"runtime", "models", "lat p10", "p25", "p50", "p75",
+                     "p90 (ms)", "median mJ"}};
+  for (const char* backend : {"CPU", "XNNPACK", "NNAPI"}) {
+    std::vector<std::string> cells{backend,
+                                   std::to_string(lat[backend].size())};
+    for (const auto& q : bench::ecdf_quantiles(lat[backend])) cells.push_back(q);
+    cells.push_back(util::Table::num(util::median(energy[backend])));
+    table.add_row(std::move(cells));
+  }
+  util::print_section("Latency / energy ECDF summary", table.render());
+
+  // Per-model paired speedups & efficiency, the paper's averages.
+  std::map<std::string, std::map<std::string, const core::RunRow*>> by_model;
+  for (const auto& row : rows) {
+    if (row.framework != "TFLite") continue;
+    by_model[row.checksum][row.backend] = &row;
+  }
+  std::vector<double> xnn_speed, xnn_eff, nnapi_speed, nnapi_eff;
+  for (const auto& [_, backends] : by_model) {
+    const auto* cpu = backends.at("CPU");
+    const auto* xnn = backends.at("XNNPACK");
+    const auto* nnapi = backends.at("NNAPI");
+    xnn_speed.push_back(cpu->latency_ms / xnn->latency_ms);
+    xnn_eff.push_back(xnn->efficiency_mflops_sw / cpu->efficiency_mflops_sw);
+    nnapi_speed.push_back(cpu->latency_ms / nnapi->latency_ms);
+    nnapi_eff.push_back(nnapi->efficiency_mflops_sw / cpu->efficiency_mflops_sw);
+  }
+  util::Table avg{{"runtime", "speed vs CPU", "efficiency vs CPU", "paper"}};
+  avg.add_row({"XNNPACK", util::Table::num(util::geomean(xnn_speed)) + "x",
+               util::Table::num(util::geomean(xnn_eff)) + "x",
+               "1.03x faster, 1.13x more efficient"});
+  avg.add_row({"NNAPI", util::Table::num(util::geomean(nnapi_speed)) + "x",
+               util::Table::num(util::geomean(nnapi_eff)) + "x",
+               "0.49x speed, 1.66x less efficient"});
+  util::print_section("Average factors (paired per model)", avg.render());
+  return 0;
+}

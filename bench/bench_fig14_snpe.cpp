@@ -1,0 +1,101 @@
+// Fig. 14 — ECDF of model latency and energy per hardware target with SNPE
+// (CPU/GPU/DSP) vs the vanilla CPU and GPU baselines, on the Q845 board.
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "device/soc.hpp"
+
+int main() {
+  using namespace gauge;
+  bench::print_header(
+      "Fig. 14: SNPE hardware targets on Q845",
+      "SNPE DSP 5.72x faster / 20.3x more efficient and SNPE GPU 2.28x "
+      "faster / 8.39x more efficient than CPU; vs the GPU baseline the DSP "
+      "is 2.97x faster / 2.69x more efficient; SNPE CPU lags the baseline; "
+      "DSP runs int8");
+
+  const auto& data = bench::snapshot21();
+  const auto q845 = device::make_device("Q845");
+
+  std::vector<device::RunConfig> configs(5);
+  configs[0].backend = device::Backend::CpuFp32;
+  configs[1].backend = device::Backend::GpuFp32;
+  configs[2].backend = device::Backend::SnpeCpu;
+  configs[3].backend = device::Backend::SnpeGpu;
+  configs[4].backend = device::Backend::SnpeDsp;
+  const auto rows = core::sweep_configs(data, q845, configs);
+
+  // TFLite + caffe models, as in the paper's SNPE conversion set.
+  auto eligible = [](const core::RunRow& row) {
+    return row.framework == "TFLite" || row.framework == "caffe";
+  };
+
+  std::map<std::string, std::vector<double>> lat;
+  for (const auto& row : rows) {
+    if (eligible(row)) lat[row.backend].push_back(row.latency_ms);
+  }
+  util::Table table{{"target", "models", "lat p10", "p25", "p50", "p75",
+                     "p90 (ms)"}};
+  for (const char* backend :
+       {"CPU", "GPU", "SNPE-CPU", "SNPE-GPU", "SNPE-DSP"}) {
+    std::vector<std::string> cells{backend,
+                                   std::to_string(lat[backend].size())};
+    for (const auto& q : bench::ecdf_quantiles(lat[backend])) cells.push_back(q);
+    table.add_row(std::move(cells));
+  }
+  util::print_section("Latency ECDF summary", table.render());
+
+  // Paired factors over fully-mapped models (no CPU fallback), the set the
+  // paper's averages describe.
+  std::map<std::string, std::map<std::string, const core::RunRow*>> by_model;
+  for (const auto& row : rows) {
+    if (eligible(row)) by_model[row.checksum][row.backend] = &row;
+  }
+  auto factors = [&](const char* target) {
+    std::vector<double> speed_cpu, eff_cpu, speed_gpu, eff_gpu;
+    for (const auto& [_, backends] : by_model) {
+      const auto* cpu = backends.at("CPU");
+      const auto* gpu = backends.at("GPU");
+      const auto* t = backends.at(target);
+      if (t->cpu_fallback) continue;
+      speed_cpu.push_back(cpu->latency_ms / t->latency_ms);
+      eff_cpu.push_back(t->efficiency_mflops_sw / cpu->efficiency_mflops_sw);
+      speed_gpu.push_back(gpu->latency_ms / t->latency_ms);
+      eff_gpu.push_back(t->efficiency_mflops_sw / gpu->efficiency_mflops_sw);
+    }
+    return std::array<double, 4>{
+        util::geomean(speed_cpu), util::geomean(eff_cpu),
+        util::geomean(speed_gpu), util::geomean(eff_gpu)};
+  };
+
+  util::Table avg{{"target", "speed vs CPU", "eff vs CPU", "speed vs GPU",
+                   "eff vs GPU", "paper (vs CPU)"}};
+  const auto dsp = factors("SNPE-DSP");
+  const auto gpu = factors("SNPE-GPU");
+  const auto scpu = factors("SNPE-CPU");
+  avg.add_row({"SNPE-DSP", util::Table::num(dsp[0]) + "x",
+               util::Table::num(dsp[1]) + "x", util::Table::num(dsp[2]) + "x",
+               util::Table::num(dsp[3]) + "x", "5.72x / 20.3x"});
+  avg.add_row({"SNPE-GPU", util::Table::num(gpu[0]) + "x",
+               util::Table::num(gpu[1]) + "x", util::Table::num(gpu[2]) + "x",
+               util::Table::num(gpu[3]) + "x", "2.28x / 8.39x"});
+  avg.add_row({"SNPE-CPU", util::Table::num(scpu[0]) + "x",
+               util::Table::num(scpu[1]) + "x", util::Table::num(scpu[2]) + "x",
+               util::Table::num(scpu[3]) + "x", "<1x (unoptimised drivers)"});
+  util::print_section("Average factors over fully-mapped models",
+                      avg.render());
+
+  // Operator-coverage note (the generality-vs-performance tension).
+  std::size_t fallback = 0, total = 0;
+  for (const auto& row : rows) {
+    if (row.backend != "SNPE-DSP" || !eligible(row)) continue;
+    ++total;
+    if (row.cpu_fallback) ++fallback;
+  }
+  std::printf("\nDSP op coverage: %zu of %zu models needed CPU fallback "
+              "(rudimentary operator support, as in the paper)\n",
+              fallback, total);
+  return 0;
+}

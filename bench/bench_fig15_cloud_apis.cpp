@@ -1,0 +1,28 @@
+// Fig. 15 — number of apps invoking cloud-based ML APIs, per category and
+// provider, plus the year-over-year growth.
+#include "bench/common.hpp"
+
+int main() {
+  using namespace gauge;
+  bench::print_header(
+      "Fig. 15: apps invoking cloud ML APIs",
+      "524 apps in Apr'21 (2.33x over Feb'20's 225): 452 Google, 72 Amazon; "
+      "business/communication/finance/shopping lead");
+
+  util::print_section("Apr'21 (categories with >= 10 apps)",
+                      core::fig15_cloud(bench::snapshot21(), 10).render());
+  util::print_section("Feb'20", core::fig15_cloud(bench::snapshot20(), 5).render());
+
+  auto count_cloud = [](const core::SnapshotDataset& data) {
+    std::size_t n = 0;
+    for (const auto& app : data.apps) {
+      if (!app.cloud_providers.empty()) ++n;
+    }
+    return n;
+  };
+  const auto c21 = count_cloud(bench::snapshot21());
+  const auto c20 = count_cloud(bench::snapshot20());
+  std::printf("\nCloud-ML apps: %zu -> %zu (%.2fx; paper: 2.33x)\n", c20, c21,
+              static_cast<double>(c21) / static_cast<double>(c20));
+  return 0;
+}

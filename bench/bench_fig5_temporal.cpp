@@ -1,0 +1,31 @@
+// Fig. 5 — individual models removed/added per category between the two
+// snapshots, sorted by the difference.
+#include "bench/common.hpp"
+
+int main() {
+  using namespace gauge;
+  bench::print_header(
+      "Fig. 5: models added/removed between snapshots (Feb'20 -> Apr'21)",
+      "communication gains most (overtaking photography), then finance & "
+      "health/medical; lifestyle, food & drink and Android Wear decline");
+
+  util::print_section(
+      "Per-category diff",
+      core::fig5_temporal(bench::snapshot20(), bench::snapshot21()).render());
+
+  const auto rows =
+      core::temporal_diff(bench::snapshot20(), bench::snapshot21());
+  std::int64_t added = 0, removed = 0;
+  for (const auto& row : rows) {
+    added += row.added;
+    removed += row.removed;
+  }
+  std::printf("\nTotal added: %lld, removed: %lld, net: %+lld "
+              "(paper: net roughly +845, models doubling in 12 months)\n",
+              static_cast<long long>(added), static_cast<long long>(removed),
+              static_cast<long long>(added - removed));
+  std::printf("Top gainer: %s (+%d), top decliner: %s (%+d)\n",
+              rows.front().category.c_str(), rows.front().delta(),
+              rows.back().category.c_str(), rows.back().delta());
+  return 0;
+}

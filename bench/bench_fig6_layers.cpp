@@ -1,0 +1,41 @@
+// Fig. 6 — model layer composition per input modality.
+#include "bench/common.hpp"
+
+int main() {
+  using namespace gauge;
+  bench::print_header(
+      "Fig. 6: layer composition per input modality",
+      "convolutions dominate (34%/10%/20% of image/text/audio layers); "
+      "dense layers concentrate in audio (19%) and text (9%); depthwise "
+      "convolutions appear mostly in image models");
+
+  util::print_section(
+      "Op-family share of layers per modality",
+      core::fig6_layer_composition(bench::snapshot21()).render());
+
+  // Focused view of the paper's headline rows.
+  const auto& data = bench::snapshot21();
+  std::map<std::string, std::map<std::string, std::int64_t>> counts;
+  std::map<std::string, std::int64_t> totals;
+  for (const auto& model : data.models) {
+    const std::string modality = nn::modality_name(model.modality);
+    for (const auto& [family, count] : model.op_family_counts) {
+      counts[modality][family] += count;
+      totals[modality] += count;
+    }
+  }
+  util::Table headline{{"modality", "conv share", "depth_conv share",
+                        "dense share", "activation share"}};
+  for (const char* modality : {"image", "text", "audio"}) {
+    if (!totals.count(modality)) continue;
+    auto share = [&](const char* family) {
+      return util::Table::pct(
+          static_cast<double>(counts[modality][family]) /
+          static_cast<double>(totals[modality]));
+    };
+    headline.add_row({modality, share("conv"), share("depth_conv"),
+                      share("dense"), share("activation")});
+  }
+  util::print_section("Headline families", headline.render());
+  return 0;
+}

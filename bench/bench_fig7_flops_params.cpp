@@ -1,0 +1,28 @@
+// Fig. 7 — FLOPs and parameters per DNN task (trace-based, random input).
+#include <cmath>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace gauge;
+  bench::print_header(
+      "Fig. 7: FLOPs and parameters per task",
+      "four orders of magnitude of spread across the corpus; segmentation/"
+      "classification among the heaviest vision tasks; auto-completion "
+      "heaviest in NLP, sound recognition in audio");
+
+  const auto& data = bench::snapshot21();
+  util::print_section("Per-task distribution",
+                      core::fig7_flops_params(data).render());
+
+  double min_flops = 1e300, max_flops = 0.0;
+  for (const auto& model : data.models) {
+    const auto flops = static_cast<double>(model.trace.total_flops);
+    min_flops = std::min(min_flops, flops);
+    max_flops = std::max(max_flops, flops);
+  }
+  std::printf("\nFLOPs spread: %.0f .. %.0f (%.1f orders of magnitude; "
+              "paper: ~4 orders)\n",
+              min_flops, max_flops, std::log10(max_flops / min_flops));
+  return 0;
+}

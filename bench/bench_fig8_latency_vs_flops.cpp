@@ -1,0 +1,69 @@
+// Fig. 8 — observed relationship between latency and FLOPs across the six
+// devices, with the line-fit ablation (roofline vs pure-FLOPs model).
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "device/soc.hpp"
+
+int main() {
+  using namespace gauge;
+  bench::print_header(
+      "Fig. 8: latency vs FLOPs across devices",
+      "non-linear relationship that differs per device — FLOPs is a poor "
+      "latency proxy (memory-bound ops, overheads, scheduling)");
+
+  const auto& data = bench::snapshot21();
+  const auto devices = device::all_devices();
+  const auto rows = core::sweep_devices(data, devices);
+
+  util::Table table{{"device", "models", "corr(FLOPs,lat)", "line-fit R^2",
+                     "lat @p10 flops (ms)", "lat @p90 flops (ms)"}};
+  for (const auto& dev : devices) {
+    std::vector<double> flops, lat;
+    for (const auto& row : rows) {
+      if (row.device != dev.name) continue;
+      flops.push_back(row.flops);
+      lat.push_back(row.latency_ms);
+    }
+    const double corr = util::correlation(flops, lat);
+    const auto fit = util::fit_line(flops, lat);
+    // Latency of models near the FLOPs deciles, showing the spread.
+    std::vector<std::pair<double, double>> pairs;
+    for (std::size_t i = 0; i < flops.size(); ++i) {
+      pairs.emplace_back(flops[i], lat[i]);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    const auto p10 = pairs[pairs.size() / 10];
+    const auto p90 = pairs[pairs.size() * 9 / 10];
+    table.add_row({dev.name, std::to_string(flops.size()),
+                   util::Table::num(corr), util::Table::num(fit.r2),
+                   util::Table::num(p10.second), util::Table::num(p90.second)});
+  }
+  util::print_section("Latency vs FLOPs (distinct models, CPU, 4 threads)",
+                      table.render());
+
+  // Ablation: a pure-FLOPs predictor calibrated per device (latency =
+  // flops/gflops_fit) vs the roofline simulation. Reported as the median
+  // relative error of the straight-line predictor.
+  util::Table ablation{{"device", "median |rel err| of pure-FLOPs model"}};
+  for (const auto& dev : devices) {
+    std::vector<double> flops, lat;
+    for (const auto& row : rows) {
+      if (row.device != dev.name) continue;
+      flops.push_back(row.flops);
+      lat.push_back(row.latency_ms);
+    }
+    const auto fit = util::fit_line(flops, lat);
+    std::vector<double> errs;
+    for (std::size_t i = 0; i < flops.size(); ++i) {
+      const double pred = fit.intercept + fit.slope * flops[i];
+      errs.push_back(std::abs(pred - lat[i]) / lat[i]);
+    }
+    ablation.add_row({dev.name, util::Table::pct(util::median(errs))});
+  }
+  util::print_section("Ablation: FLOPs-only latency predictor error",
+                      ablation.render());
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig. 9 — latency ECDF per device.
+#include "bench/common.hpp"
+#include "device/soc.hpp"
+
+int main() {
+  using namespace gauge;
+  bench::print_header(
+      "Fig. 9: latency ECDF per device",
+      "A20 3.4x and A70 1.51x slower than S21; board generations improve "
+      "76 -> 58 -> 35 ms mean (Q845/Q855/Q888); Q888 edges out the S21 "
+      "despite the same SoC (open deck, vanilla OS)");
+
+  const auto& data = bench::snapshot21();
+  const auto devices = device::all_devices();
+  const auto rows = core::sweep_devices(data, devices);
+
+  util::Table table{
+      {"device", "mean ms", "p10", "p25", "p50", "p75", "p90"}};
+  std::map<std::string, double> means;
+  for (const auto& dev : devices) {
+    std::vector<double> lat;
+    for (const auto& row : rows) {
+      if (row.device == dev.name) lat.push_back(row.latency_ms);
+    }
+    means[dev.name] = util::mean(lat);
+    std::vector<std::string> cells{dev.name, util::Table::num(means[dev.name])};
+    for (const auto& q : bench::ecdf_quantiles(lat)) cells.push_back(q);
+    table.add_row(std::move(cells));
+  }
+  util::print_section("Latency distribution (CPU, 4 threads)", table.render());
+
+  util::Table ratios{{"comparison", "ratio", "paper"}};
+  ratios.add_row({"A20 / S21", util::Table::num(means["A20"] / means["S21"]),
+                  "3.4x"});
+  ratios.add_row({"A70 / S21", util::Table::num(means["A70"] / means["S21"]),
+                  "1.51x"});
+  ratios.add_row({"Q845 / Q888",
+                  util::Table::num(means["Q845"] / means["Q888"]),
+                  "2.17x (76/35 ms)"});
+  ratios.add_row({"Q855 / Q888",
+                  util::Table::num(means["Q855"] / means["Q888"]),
+                  "1.66x (58/35 ms)"});
+  ratios.add_row({"S21 / Q888", util::Table::num(means["S21"] / means["Q888"]),
+                  ">1 (same SoC, open deck wins)"});
+  ratios.add_row({"A70 / Q845", util::Table::num(means["A70"] / means["Q845"]),
+                  "<1 (next-gen mid-tier beats old flagship)"});
+  util::print_section("Tier & generation ratios", ratios.render());
+  return 0;
+}

@@ -1,0 +1,104 @@
+// google-benchmark microbenchmarks of the inference interpreter kernels —
+// the substrate every example actually executes. Not a paper figure; kept
+// for regression tracking of the executing path.
+#include <benchmark/benchmark.h>
+
+#include "nn/interp.hpp"
+#include "nn/trace.hpp"
+#include "nn/zoo.hpp"
+
+namespace {
+
+using namespace gauge;
+
+nn::Graph model_for(const std::string& arch, int res, bool quantized = false) {
+  nn::ZooSpec spec;
+  spec.archetype = arch;
+  spec.resolution = res;
+  spec.seed = 7;
+  nn::Graph g = nn::build_model(spec);
+  if (quantized) nn::quantize_weights(g);
+  return g;
+}
+
+void run_model(benchmark::State& state, const nn::Graph& graph,
+               unsigned threads) {
+  nn::Interpreter interp{graph, threads};
+  auto inputs = nn::random_inputs(graph, 42);
+  if (!inputs.ok()) {
+    state.SkipWithError("input build failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto out = interp.run(inputs.value());
+    benchmark::DoNotOptimize(out);
+  }
+  const auto trace = nn::trace_model(graph);
+  if (trace.ok()) {
+    state.counters["MFLOP"] = static_cast<double>(trace.value().total_flops) / 1e6;
+  }
+}
+
+void BM_MobileNetF32(benchmark::State& state) {
+  const auto g = model_for("mobilenet", 64);
+  run_model(state, g, static_cast<unsigned>(state.range(0)));
+}
+BENCHMARK(BM_MobileNetF32)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_MobileNetHybridInt8(benchmark::State& state) {
+  const auto g = model_for("mobilenet", 64, /*quantized=*/true);
+  run_model(state, g, 1);
+}
+BENCHMARK(BM_MobileNetHybridInt8)->Unit(benchmark::kMillisecond);
+
+void BM_UnetSegmentation(benchmark::State& state) {
+  const auto g = model_for("unet", 64);
+  run_model(state, g, static_cast<unsigned>(state.range(0)));
+}
+BENCHMARK(BM_UnetSegmentation)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_FssdDetector(benchmark::State& state) {
+  const auto g = model_for("fssd", 64);
+  run_model(state, g, 1);
+}
+BENCHMARK(BM_FssdDetector)->Unit(benchmark::kMillisecond);
+
+void BM_WordRnn(benchmark::State& state) {
+  const auto g = model_for("wordrnn", 16);
+  run_model(state, g, 1);
+}
+BENCHMARK(BM_WordRnn)->Unit(benchmark::kMillisecond);
+
+void BM_AudioCnn(benchmark::State& state) {
+  const auto g = model_for("audiocnn", 32);
+  run_model(state, g, 1);
+}
+BENCHMARK(BM_AudioCnn)->Unit(benchmark::kMillisecond);
+
+void BM_SensorMlp(benchmark::State& state) {
+  const auto g = model_for("sensormlp", 16);
+  run_model(state, g, 1);
+}
+BENCHMARK(BM_SensorMlp)->Unit(benchmark::kMicrosecond);
+
+void BM_BatchedMobileNet(benchmark::State& state) {
+  const auto g = model_for("mobilenet", 48);
+  nn::Interpreter interp{g, 4};
+  auto inputs = nn::random_inputs(g, 42, state.range(0));
+  if (!inputs.ok()) {
+    state.SkipWithError("input build failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto out = interp.run(inputs.value());
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["ips"] = benchmark::Counter(
+      static_cast<double>(state.range(0)) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchedMobileNet)->Arg(1)->Arg(5)->Arg(25)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

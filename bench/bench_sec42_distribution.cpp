@@ -1,0 +1,40 @@
+// §4.2 — model distribution to devices: sweep of OBB expansion files and
+// asset packs, plus the old-device-profile crawl comparison.
+#include <set>
+
+#include "bench/common.hpp"
+#include "nn/checksum.hpp"
+
+int main() {
+  using namespace gauge;
+  bench::print_header(
+      "Sec. 4.2: model distribution to devices",
+      "no models distributed outside the base APK; an extra crawl with a "
+      "3-generation-older device profile (S7 edge) finds no device-specific "
+      "model customisation");
+
+  util::print_section("Post-install deliverables sweep",
+                      core::sec42_distribution(bench::snapshot21()).render());
+
+  // Old-profile crawl over the ML-heavy categories.
+  core::PipelineOptions old_profile;
+  old_profile.device_profile = "SM-G935F";  // Galaxy S7 edge
+  old_profile.categories = {"communication", "finance", "photography",
+                            "beauty"};
+  core::PipelineOptions new_profile = old_profile;
+  new_profile.device_profile = "SM-G977B";  // Galaxy S10 5G
+  const auto old_data = core::run_pipeline(bench::play_store(), old_profile);
+  const auto new_data = core::run_pipeline(bench::play_store(), new_profile);
+
+  std::multiset<std::string> old_sums, new_sums;
+  for (const auto& model : old_data.models) old_sums.insert(model.checksum);
+  for (const auto& model : new_data.models) new_sums.insert(model.checksum);
+
+  util::Table table{{"profile", "models", "identical model sets"}};
+  table.add_row({"SM-G977B (S10 5G)", std::to_string(new_data.models.size()),
+                 old_sums == new_sums ? "yes" : "NO"});
+  table.add_row({"SM-G935F (S7 edge)", std::to_string(old_data.models.size()),
+                 old_sums == new_sums ? "yes" : "NO"});
+  util::print_section("Device-profile comparison", table.render());
+  return 0;
+}

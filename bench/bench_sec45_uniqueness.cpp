@@ -1,0 +1,29 @@
+// §4.5 — model uniqueness and fine-tuning characterisation.
+#include "bench/common.hpp"
+
+int main() {
+  using namespace gauge;
+  bench::print_header(
+      "Sec. 4.5: model uniqueness & fine-tuning",
+      "only 318 (19.1%) of models unique; ~80.9% shared across >=2 apps; "
+      "9.02% of unique models share >=20% of weights with another; 4.2% "
+      "differ in <=3 layers (transfer-learned)");
+
+  const auto report = core::analyze_uniqueness(bench::snapshot21());
+  util::print_section("Uniqueness report",
+                      core::sec45_uniqueness(report).render());
+
+  std::printf("Instance-level multi-copy share: %.1f%%\n",
+              report.multi_copy_fraction * 100.0);
+
+  // Most-duplicated models (the FSSD/BlazeFace effect).
+  const auto& data = bench::snapshot21();
+  const auto rows = data.model_docs.query().group_by({"checksum", "task"});
+  util::Table top{{"rank", "task", "copies"}};
+  for (std::size_t i = 0; i < std::min<std::size_t>(rows.size(), 5); ++i) {
+    top.add_row({std::to_string(i + 1), rows[i].keys[1].str(),
+                 std::to_string(rows[i].count)});
+  }
+  util::print_section("Most-shipped models (top 5)", top.render());
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Table 2 — dataset snapshot details.
+#include "bench/common.hpp"
+
+int main() {
+  using namespace gauge;
+  bench::print_header(
+      "Table 2: dataset snapshots",
+      "Apr'21: 16,653 apps, 377 (2.3%) ML apps, 342 (2.1%) apps w/ models, "
+      "1,666 models, 318 (19.1%) unique");
+
+  util::print_section("Snapshot Apr 2021",
+                      core::table2_dataset(bench::snapshot21()).render());
+  util::print_section("Snapshot Feb 2020",
+                      core::table2_dataset(bench::snapshot20()).render());
+
+  const double growth =
+      static_cast<double>(bench::snapshot21().total_models()) /
+      static_cast<double>(bench::snapshot20().total_models());
+  std::printf("\nModel growth Feb'20 -> Apr'21: %.2fx (paper: ~2x, 821 -> 1,666)\n",
+              growth);
+  return 0;
+}

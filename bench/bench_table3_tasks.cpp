@@ -1,0 +1,33 @@
+// Table 3 — DNN task classification (three-classifier majority vote over
+// model names, I/O dimensions and layer structure).
+#include "core/taskclassify.hpp"
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace gauge;
+  bench::print_header(
+      "Table 3: DNN task classification",
+      "vision 1495 (obj-det 52.7%, face-det 13.2%, contour 12.8%, OCR 12.4%), "
+      "NLP 17 (auto-complete 52.9%), audio 15 (sound rec 80%), sensor 4; "
+      "91.9% of models identified");
+
+  const auto& data = bench::snapshot21();
+  util::print_section("Task classification",
+                      core::table3_tasks(data).render());
+
+  std::size_t identified = 0;
+  std::map<std::string, std::size_t> modality_counts;
+  for (const auto& model : data.models) {
+    if (model.task != core::kUnidentified) ++identified;
+    modality_counts[nn::modality_name(model.modality)]++;
+  }
+  std::printf("\nIdentified: %zu / %zu (%.1f%%; paper: 91.9%%)\n", identified,
+              data.models.size(),
+              100.0 * static_cast<double>(identified) /
+                  static_cast<double>(data.models.size()));
+  std::printf("Vision share: %.1f%% (paper: >89%%)\n",
+              100.0 * static_cast<double>(modality_counts["image"]) /
+                  static_cast<double>(data.models.size()));
+  return 0;
+}

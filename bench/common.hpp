@@ -1,0 +1,55 @@
+// Shared plumbing for the bench binaries: one crawled snapshot per process
+// (memoised), plus small formatting helpers. Every bench prints the rows or
+// series of one paper table/figure; see DESIGN.md's per-experiment index.
+#pragma once
+
+#include <cstdio>
+
+#include "core/analysis.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "core/runtime.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace gauge::bench {
+
+inline const android::PlayStore& play_store() {
+  static const android::PlayStore kStore{android::StoreConfig{}};
+  return kStore;
+}
+
+inline const core::SnapshotDataset& snapshot21() {
+  static const core::SnapshotDataset kDataset =
+      core::run_pipeline(play_store(), {});
+  return kDataset;
+}
+
+inline const core::SnapshotDataset& snapshot20() {
+  static const core::SnapshotDataset kDataset = [] {
+    core::PipelineOptions options;
+    options.snapshot = android::Snapshot::Feb2020;
+    return core::run_pipeline(play_store(), options);
+  }();
+  return kDataset;
+}
+
+// Quantile row of an ECDF for the textual figures (p10/25/50/75/90).
+inline std::vector<std::string> ecdf_quantiles(std::vector<double> sample,
+                                               int precision = 2) {
+  util::Ecdf ecdf{std::move(sample)};
+  std::vector<std::string> out;
+  for (double q : {0.10, 0.25, 0.50, 0.75, 0.90}) {
+    out.push_back(util::Table::num(ecdf.quantile(q), precision));
+  }
+  return out;
+}
+
+inline void print_header(const char* experiment, const char* paper_claim) {
+  std::printf("=============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("=============================================================\n");
+}
+
+}  // namespace gauge::bench

@@ -1,0 +1,70 @@
+// Device profiler: run one model through the full master-slave benchmark
+// harness (Fig. 2/3 of the paper) on every Table 1 device — adb push, USB
+// power cut, on-device daemon with warm-ups, Monsoon energy capture and the
+// TCP completion message (a real loopback socket).
+//
+// Usage:  ./build/examples/device_profiler [archetype] [resolution]
+//         e.g. ./build/examples/device_profiler unet 96
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/workflow.hpp"
+#include "nn/checksum.hpp"
+#include "nn/trace.hpp"
+#include "nn/zoo.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gauge;
+
+  nn::ZooSpec spec;
+  spec.archetype = argc > 1 ? argv[1] : "mobilenet";
+  spec.resolution = argc > 2 ? std::atoi(argv[2]) : 64;
+  spec.seed = 99;
+  const nn::Graph model = nn::build_model(spec);
+  auto trace = nn::trace_model(model);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "bad model: %s\n", trace.error().c_str());
+    return 1;
+  }
+  std::printf("profiling '%s' (%.2f MFLOPs, %lld params) across devices\n\n",
+              spec.archetype.c_str(),
+              static_cast<double>(trace.value().total_flops) / 1e6,
+              static_cast<long long>(trace.value().total_params));
+
+  util::Table table{{"device", "mean ms", "p95 ms", "energy/inf (Monsoon)",
+                     "mean W", "done msg"}};
+  for (const auto& dev : device::all_devices()) {
+    harness::UsbHub hub{1};
+    harness::DeviceAgent agent{dev, /*seed=*/1234};
+    harness::BenchmarkMaster master{hub, 0, agent};
+
+    harness::BenchmarkJob job;
+    job.job_id = "profile-" + dev.name;
+    job.model_key = nn::model_checksum(model);
+    job.trace = trace.value();
+    job.warmup_iterations = 5;
+    job.iterations = 30;
+    job.sleep_between_s = 0.02;
+
+    auto result = master.run_job(job);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", dev.name.c_str(),
+                   result.error().c_str());
+      continue;
+    }
+    std::vector<double> ms;
+    for (double s : result.value().job.latencies_s) ms.push_back(s * 1e3);
+    table.add_row(
+        {dev.name, util::Table::num(util::mean(ms), 3),
+         util::Table::num(util::percentile(ms, 95.0), 3),
+         util::Table::num(result.value().measured_energy_per_inference_j * 1e3,
+                          3) +
+             " mJ",
+         util::Table::num(result.value().monsoon_mean_power_w),
+         result.value().done_message});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

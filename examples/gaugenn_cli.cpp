@@ -1,0 +1,201 @@
+// gaugenn_cli: a driver mirroring how the paper's tool is operated —
+// subcommands for each pipeline stage.
+//
+//   gaugenn_cli crawl [category ...]      crawl + offline analysis summary
+//   gaugenn_cli inspect <package>         one app: stacks, cloud APIs, models
+//   gaugenn_cli bench <package>           benchmark an app's models on all devices
+//   gaugenn_cli report <dir> [category ...]  write a CSV report bundle
+//   gaugenn_cli diff                      temporal diff between the snapshots
+//
+// Everything runs against the calibrated synthetic store.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "android/detect.hpp"
+#include "core/analysis.hpp"
+#include "core/bundle.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "core/runtime.hpp"
+#include "device/soc.hpp"
+#include "formats/validate.hpp"
+#include "nn/checksum.hpp"
+#include "nn/describe.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace gauge;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gaugenn_cli <crawl [category ...] | inspect <pkg> | "
+               "describe <pkg> | bench <pkg> | report <dir> [category ...] | "
+               "diff>\n");
+  return 2;
+}
+
+const android::PlayStore& play() {
+  static const android::PlayStore kPlay{android::StoreConfig{}};
+  return kPlay;
+}
+
+int cmd_crawl(const std::vector<std::string>& categories) {
+  core::PipelineOptions options;
+  options.categories = categories;
+  const auto data = core::run_pipeline(play(), options);
+  util::print_section("Dataset", core::table2_dataset(data).render());
+  util::print_section("Frameworks", core::fig4_framework_totals(data).render());
+  util::print_section(
+      "Uniqueness",
+      core::sec45_uniqueness(core::analyze_uniqueness(data)).render());
+  return 0;
+}
+
+int cmd_inspect(const std::string& package) {
+  const auto* entry = play().find(package);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "unknown package: %s\n", package.c_str());
+    return 1;
+  }
+  auto pkg = play().download(package, android::Snapshot::Apr2021, "SM-G977B");
+  if (!pkg.ok()) {
+    std::fprintf(stderr, "download failed: %s\n", pkg.error().c_str());
+    return 1;
+  }
+  auto apk = android::Apk::open(pkg.value().apk);
+  if (!apk.ok()) {
+    std::fprintf(stderr, "bad apk: %s\n", apk.error().c_str());
+    return 1;
+  }
+  std::printf("%s (%s) — %lld installs, rating %.1f\n", entry->title.c_str(),
+              entry->category.c_str(), static_cast<long long>(entry->installs),
+              entry->rating);
+  for (const auto& hit : android::detect_ml_stacks(apk.value())) {
+    std::printf("  ML stack: %-8s (%s)\n", android::ml_stack_name(hit.stack),
+                hit.evidence.c_str());
+  }
+  for (const auto& hit : android::detect_cloud_apis(apk.value())) {
+    std::printf("  cloud API: %s\n", android::cloud_provider_name(hit.provider));
+  }
+  for (const auto& name : apk.value().entry_names()) {
+    if (!formats::is_candidate_model_file(name)) continue;
+    auto data = apk.value().read(name);
+    const auto framework =
+        data.ok() ? formats::validate_signature(name, data.value())
+                  : std::nullopt;
+    std::printf("  model file: %-50s %s\n", name.c_str(),
+                framework ? formats::framework_name(*framework)
+                          : "FAILED VALIDATION");
+  }
+  return 0;
+}
+
+int cmd_bench(const std::string& package) {
+  core::PipelineOptions options;
+  const auto* entry = play().find(package);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "unknown package: %s\n", package.c_str());
+    return 1;
+  }
+  options.categories = {entry->category};
+  const auto data = core::run_pipeline(play(), options);
+
+  util::Table table{{"model", "task", "device", "latency ms", "energy mJ"}};
+  for (const auto& model : data.models) {
+    if (model.app_package != package) continue;
+    for (const auto& dev : device::all_devices()) {
+      const auto r =
+          device::simulate_inference(dev, model.trace, {}, model.checksum);
+      table.add_row({std::string{util::basename(model.file_path)},
+                     model.task, dev.name,
+                     util::Table::num(r.latency_s * 1e3, 3),
+                     util::Table::num(r.soc_energy_j * 1e3, 3)});
+    }
+  }
+  if (table.rows() == 0) {
+    std::printf("no extractable models in %s\n", package.c_str());
+    return 0;
+  }
+  util::print_section("On-device benchmark: " + package, table.render());
+  return 0;
+}
+
+int cmd_describe(const std::string& package) {
+  // Netron-style layer dump of every model inside an app (§4.4 manual
+  // inspection).
+  const auto* entry = play().find(package);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "unknown package: %s\n", package.c_str());
+    return 1;
+  }
+  core::PipelineOptions options;
+  options.categories = {entry->category};
+  const auto data = core::run_pipeline(play(), options);
+  bool any = false;
+  for (const auto& model : data.models) {
+    if (model.app_package != package) continue;
+    any = true;
+    // Re-materialise the graph from the store by matching the checksum in
+    // the unique pool (cheap: the APK bytes are deterministic).
+    for (const auto& unique : play().unique_models()) {
+      const auto graph = play().build_unique_model(unique.id);
+      if (nn::model_checksum(graph) == model.checksum) {
+        util::print_section(model.file_path, nn::describe(graph));
+        break;
+      }
+    }
+  }
+  if (!any) std::printf("no extractable models in %s\n", package.c_str());
+  return 0;
+}
+
+int cmd_report(const std::string& directory,
+               const std::vector<std::string>& categories) {
+  core::PipelineOptions options;
+  options.categories = categories;
+  const auto data = core::run_pipeline(play(), options);
+  const auto written = core::write_report_bundle(data, directory);
+  if (!written.ok()) {
+    std::fprintf(stderr, "report failed: %s\n", written.error().c_str());
+    return 1;
+  }
+  std::printf("wrote %d artifacts to %s/\n", written.value(), directory.c_str());
+  return 0;
+}
+
+int cmd_diff() {
+  core::PipelineOptions o20, o21;
+  o20.snapshot = android::Snapshot::Feb2020;
+  const auto d20 = core::run_pipeline(play(), o20);
+  const auto d21 = core::run_pipeline(play(), o21);
+  util::print_section("Temporal diff (Feb'20 -> Apr'21)",
+                      core::fig5_temporal(d20, d21).render());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "crawl") {
+    std::vector<std::string> categories;
+    for (int i = 2; i < argc; ++i) categories.emplace_back(argv[i]);
+    return cmd_crawl(categories);
+  }
+  if (cmd == "inspect" && argc == 3) return cmd_inspect(argv[2]);
+  if (cmd == "describe" && argc == 3) return cmd_describe(argv[2]);
+  if (cmd == "bench" && argc == 3) return cmd_bench(argv[2]);
+  if (cmd == "report" && argc >= 3) {
+    std::vector<std::string> categories;
+    for (int i = 3; i < argc; ++i) categories.emplace_back(argv[i]);
+    return cmd_report(argv[2], categories);
+  }
+  if (cmd == "diff") return cmd_diff();
+  return usage();
+}

@@ -1,0 +1,117 @@
+// Optimisation advisor: given a model, explore the deployment knobs the
+// paper studies (Sec. 6) — thread count/affinity, batch size and backend —
+// on a chosen device, and print the best setting per objective.
+//
+// Usage:  ./build/examples/optimization_advisor [device] [archetype]
+//         e.g. ./build/examples/optimization_advisor Q845 fssd
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "device/latency.hpp"
+#include "nn/checksum.hpp"
+#include "nn/trace.hpp"
+#include "nn/zoo.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gauge;
+
+  const std::string device_name = argc > 1 ? argv[1] : "Q845";
+  nn::ZooSpec spec;
+  spec.archetype = argc > 2 ? argv[2] : "mobilenet";
+  spec.resolution = 64;
+  spec.seed = 4;
+  const device::Device dev = device::make_device(device_name);
+  const nn::Graph model = nn::build_model(spec);
+  const auto trace = nn::trace_model(model);
+  const std::string key = nn::model_checksum(model);
+
+  std::printf("advising for '%s' on %s (%s)\n\n", spec.archetype.c_str(),
+              dev.name.c_str(), dev.soc.name.c_str());
+
+  // --- thread sweep ---
+  util::Table threads{{"setup", "latency ms", "throughput/s"}};
+  struct Best {
+    std::string label;
+    double value = 0.0;
+  };
+  Best best_latency{"", 1e300};
+  for (const device::ThreadConfig& tc :
+       std::vector<device::ThreadConfig>{{1, 0}, {2, 0}, {4, 0}, {8, 0},
+                                         {4, 2}, {4, 4}}) {
+    device::RunConfig config;
+    config.threads = tc;
+    const auto r = device::simulate_inference(dev, trace.value(), config, key);
+    threads.add_row({tc.label(), util::Table::num(r.latency_s * 1e3, 3),
+                     util::Table::num(r.throughput_ips, 1)});
+    if (r.latency_s < best_latency.value) {
+      best_latency = {tc.label(), r.latency_s};
+    }
+  }
+  util::print_section("Thread count & affinity", threads.render());
+
+  // --- batch sweep (throughput-oriented deployments) ---
+  util::Table batches{{"batch", "latency ms", "throughput/s"}};
+  Best best_tput{"", 0.0};
+  for (int b : {1, 2, 5, 10, 25}) {
+    device::RunConfig config;
+    config.batch = b;
+    const auto r = device::simulate_inference(dev, trace.value(), config, key);
+    batches.add_row({std::to_string(b), util::Table::num(r.latency_s * 1e3, 3),
+                     util::Table::num(r.throughput_ips, 1)});
+    if (r.throughput_ips > best_tput.value) {
+      best_tput = {std::to_string(b), r.throughput_ips};
+    }
+  }
+  util::print_section("Batch size", batches.render());
+
+  // --- backend sweep ---
+  util::Table backends{{"backend", "available", "latency ms", "energy mJ",
+                        "MFLOP/sW", "fallback"}};
+  Best best_eff{"", 0.0};
+  for (int b = 0; b < static_cast<int>(device::Backend::kCount); ++b) {
+    const auto backend = static_cast<device::Backend>(b);
+    if (!device::backend_available(backend, dev)) {
+      backends.add_row({device::backend_name(backend), "no", "-", "-", "-", "-"});
+      continue;
+    }
+    device::RunConfig config;
+    config.backend = backend;
+    const auto r = device::simulate_inference(dev, trace.value(), config, key);
+    backends.add_row({device::backend_name(backend), "yes",
+                      util::Table::num(r.latency_s * 1e3, 3),
+                      util::Table::num(r.soc_energy_j * 1e3, 3),
+                      util::Table::num(r.efficiency_mflops_sw, 0),
+                      r.cpu_fallback ? "yes" : "no"});
+    if (r.efficiency_mflops_sw > best_eff.value) {
+      best_eff = {device::backend_name(backend), r.efficiency_mflops_sw};
+    }
+  }
+  util::print_section("Backend", backends.render());
+
+  // --- bottleneck breakdown (top cost layers on the CPU baseline) ---
+  auto breakdown = device::layer_breakdown(dev, trace.value());
+  std::sort(breakdown.begin(), breakdown.end(),
+            [](const device::LayerTiming& a, const device::LayerTiming& b) {
+              return a.seconds > b.seconds;
+            });
+  double total = 0.0;
+  for (const auto& timing : breakdown) total += timing.seconds;
+  util::Table hot{{"layer", "type", "share of time", "bound by"}};
+  for (std::size_t i = 0; i < std::min<std::size_t>(breakdown.size(), 5); ++i) {
+    const auto& t = breakdown[i];
+    hot.add_row({t.name, nn::layer_type_name(t.type),
+                 util::Table::pct(t.seconds / total),
+                 t.memory_bound ? "memory" : "compute"});
+  }
+  util::print_section("Hottest layers (CPU baseline)", hot.render());
+
+  std::printf(
+      "\nrecommendation: threads=%s for latency, batch=%s for throughput, "
+      "backend=%s for energy efficiency\n",
+      best_latency.label.c_str(), best_tput.label.c_str(),
+      best_eff.label.c_str());
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Quickstart: the gaugeNN public API end to end on a single app.
+//
+//   1. build a DNN (model zoo) and run a real inference on it,
+//   2. serialise it into a TFLite-style file and package it into an APK,
+//   3. point the extraction + validation + analysis pipeline at the bytes,
+//   4. benchmark the model on a simulated device, with energy.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "android/apk.hpp"
+#include "core/taskclassify.hpp"
+#include "device/latency.hpp"
+#include "device/soc.hpp"
+#include "formats/tfl.hpp"
+#include "formats/validate.hpp"
+#include "nn/checksum.hpp"
+#include "nn/describe.hpp"
+#include "nn/interp.hpp"
+#include "nn/trace.hpp"
+#include "nn/zoo.hpp"
+
+int main() {
+  using namespace gauge;
+
+  // 1. Build a face detector and run an inference.
+  nn::ZooSpec spec;
+  spec.archetype = "blazeface";
+  spec.resolution = 64;
+  spec.seed = 2021;
+  spec.name = "face_detection_blazeface_demo.tflite";
+  const nn::Graph model = nn::build_model(spec);
+  std::printf("%s\n", nn::describe(model).c_str());
+
+  nn::Interpreter interpreter{model, /*threads=*/4};
+  auto inputs = nn::random_inputs(model, /*seed=*/7);
+  auto outputs = interpreter.run(inputs.value());
+  if (!outputs.ok()) {
+    std::fprintf(stderr, "inference failed: %s\n", outputs.error().c_str());
+    return 1;
+  }
+  std::printf("inference ok: output %s, peak activations %lld bytes\n",
+              outputs.value()[0].shape().str().c_str(),
+              static_cast<long long>(interpreter.stats().peak_activation_bytes));
+
+  // 2. Serialise and package into an APK.
+  const util::Bytes tfl = formats::write_tfl(model);
+  android::ApkSpec apk_spec;
+  apk_spec.manifest.package = "com.example.quickstart";
+  apk_spec.dex.classes = {"Lcom/example/quickstart/MainActivity;",
+                          "Lorg/tensorflow/lite/Interpreter;"};
+  apk_spec.native_libs = {"libtensorflowlite_jni.so"};
+  apk_spec.files.emplace_back("assets/models/" + spec.name, tfl);
+  const util::Bytes apk_bytes = android::build_apk(apk_spec);
+  std::printf("packaged %s: %zu bytes\n", apk_spec.manifest.package.c_str(),
+              apk_bytes.size());
+
+  // 3. Extract, validate and analyse like the pipeline does.
+  auto apk = android::Apk::open(apk_bytes);
+  for (const auto& name : apk.value().entry_names()) {
+    if (!formats::is_candidate_model_file(name)) continue;
+    auto data = apk.value().read(name);
+    const auto framework = formats::validate_signature(name, data.value());
+    if (!framework) continue;
+    auto graph = formats::read_tfl(data.value());
+    auto trace = nn::trace_model(graph.value());
+    const std::string task = core::classify_task(name, trace.value());
+    std::printf("extracted %s: framework=%s task='%s' %.2f MFLOPs, %lld params, "
+                "md5=%s\n",
+                name.c_str(), formats::framework_name(*framework), task.c_str(),
+                static_cast<double>(trace.value().total_flops) / 1e6,
+                static_cast<long long>(trace.value().total_params),
+                nn::model_checksum(graph.value()).substr(0, 12).c_str());
+
+    // 4. Benchmark across device tiers.
+    for (const auto& dev : device::all_devices()) {
+      const auto result = device::simulate_inference(
+          dev, trace.value(), {}, nn::model_checksum(graph.value()));
+      std::printf("  %-5s latency %.3f ms, energy %.3f mJ, %.0f MFLOP/sW\n",
+                  dev.name.c_str(), result.latency_s * 1e3,
+                  result.soc_energy_j * 1e3, result.efficiency_mflops_sw);
+    }
+  }
+  return 0;
+}

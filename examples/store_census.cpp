@@ -1,0 +1,43 @@
+// Store census: crawl a slice of the synthetic Play Store, run the full
+// gaugeNN pipeline and print the offline analyses — a miniature of the
+// paper's Sec. 4.
+//
+// Usage:  ./build/examples/store_census [category ...]
+//         (defaults to communication, photography and finance)
+#include <cstdio>
+
+#include "core/analysis.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "util/log.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gauge;
+  util::set_log_level(util::LogLevel::Info);
+
+  core::PipelineOptions options;
+  for (int i = 1; i < argc; ++i) options.categories.emplace_back(argv[i]);
+  if (options.categories.empty()) {
+    options.categories = {"communication", "photography", "finance"};
+  }
+
+  const android::PlayStore play{android::StoreConfig{}};
+  const auto dataset = core::run_pipeline(play, options);
+
+  util::print_section("Dataset", core::table2_dataset(dataset).render());
+  util::print_section("Frameworks",
+                      core::fig4_framework_totals(dataset).render());
+  util::print_section("Models per category",
+                      core::fig4_frameworks(dataset, 1).render());
+  util::print_section("Tasks", core::table3_tasks(dataset).render());
+  util::print_section("Layer composition",
+                      core::fig6_layer_composition(dataset).render());
+  util::print_section(
+      "Uniqueness",
+      core::sec45_uniqueness(core::analyze_uniqueness(dataset)).render());
+  util::print_section(
+      "Optimisations",
+      core::sec61_optimisations(core::analyze_optimisations(dataset)).render());
+  util::print_section("Cloud APIs", core::fig15_cloud(dataset, 1).render());
+  return 0;
+}

@@ -1,0 +1,116 @@
+#include "android/apk.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace gauge::android {
+
+std::string Manifest::serialize() const {
+  std::string out;
+  out += "package: " + package + "\n";
+  out += "versionCode: " + std::to_string(version_code) + "\n";
+  out += "minSdkVersion: " + std::to_string(min_sdk) + "\n";
+  for (const auto& perm : permissions) {
+    out += "uses-permission: " + perm + "\n";
+  }
+  return out;
+}
+
+util::Result<Manifest> Manifest::parse(std::string_view text) {
+  using R = util::Result<Manifest>;
+  Manifest m;
+  for (const auto& line : util::split(text, '\n')) {
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+    const auto colon = trimmed.find(':');
+    if (colon == std::string_view::npos) return R::failure("bad manifest line");
+    const auto key = util::trim(trimmed.substr(0, colon));
+    const auto value = std::string{util::trim(trimmed.substr(colon + 1))};
+    if (key == "package") {
+      m.package = value;
+    } else if (key == "versionCode") {
+      m.version_code = static_cast<int>(util::parse_int(value).value_or(1));
+    } else if (key == "minSdkVersion") {
+      m.min_sdk = static_cast<int>(util::parse_int(value).value_or(21));
+    } else if (key == "uses-permission") {
+      m.permissions.push_back(value);
+    } else {
+      return R::failure("unknown manifest key: " + std::string{key});
+    }
+  }
+  if (m.package.empty()) return R::failure("manifest without package");
+  return m;
+}
+
+util::Bytes build_apk(const ApkSpec& spec) {
+  zipfile::ZipWriter zip;
+  zip.add("AndroidManifest.xml", spec.manifest.serialize());
+  zip.add("classes.dex", write_dex(spec.dex));
+  zip.add("resources.arsc", std::string_view{"ARSC\x01\x00"});
+  for (const auto& [path, data] : spec.files) {
+    // Model payloads (random weights) are effectively incompressible; real
+    // packagers store such assets uncompressed, and so do we — it also
+    // keeps bulk packaging fast.
+    if (path.starts_with("assets/models/")) {
+      zip.add(path, data, zipfile::Method::Store);
+    } else {
+      zip.add(path, data);
+    }
+  }
+  for (const auto& lib : spec.native_libs) {
+    // ELF-stub payload: enough for name-based native-lib detection.
+    zip.add("lib/arm64-v8a/" + lib,
+            std::string_view{"\x7f"
+                             "ELF-stub"});
+  }
+  return zip.finish();
+}
+
+util::Result<Apk> Apk::open(util::Bytes bytes) {
+  using R = util::Result<Apk>;
+  const std::size_t size = bytes.size();
+  auto zip = zipfile::ZipReader::open(std::move(bytes));
+  if (!zip.ok()) return R::failure("not a zip: " + zip.error());
+
+  Apk apk;
+  apk.zip_ = std::move(zip).take();
+  apk.archive_size_ = size;
+
+  auto manifest_bytes = apk.zip_.read("AndroidManifest.xml");
+  if (!manifest_bytes.ok()) return R::failure("missing AndroidManifest.xml");
+  auto manifest = Manifest::parse(util::as_view(manifest_bytes.value()));
+  if (!manifest.ok()) return R::failure(manifest.error());
+  apk.manifest_ = std::move(manifest).take();
+
+  auto dex_bytes = apk.zip_.read("classes.dex");
+  if (!dex_bytes.ok()) return R::failure("missing classes.dex");
+  auto dex = read_dex(dex_bytes.value());
+  if (!dex.ok()) return R::failure(dex.error());
+  apk.dex_ = std::move(dex).take();
+
+  return apk;
+}
+
+std::vector<std::string> Apk::entry_names() const {
+  std::vector<std::string> out;
+  out.reserve(zip_.entries().size());
+  for (const auto& entry : zip_.entries()) out.push_back(entry.name);
+  return out;
+}
+
+util::Result<util::Bytes> Apk::read(std::string_view name) const {
+  return zip_.read(name);
+}
+
+std::vector<std::string> Apk::native_libs() const {
+  std::vector<std::string> out;
+  for (const auto& entry : zip_.entries()) {
+    if (entry.name.starts_with("lib/")) {
+      out.emplace_back(util::basename(entry.name));
+    }
+  }
+  return out;
+}
+
+}  // namespace gauge::android

@@ -1,0 +1,67 @@
+// APK assembly and introspection. An APK is a real ZIP archive (built by our
+// zipfile library) holding AndroidManifest, classes.dex, assets/, res/ and
+// lib/<abi>/*.so entries — the exact surfaces gaugeNN's extraction walks.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "android/dex.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+#include "zipfile/zip.hpp"
+
+namespace gauge::android {
+
+struct Manifest {
+  std::string package;
+  int version_code = 1;
+  int min_sdk = 21;
+  std::vector<std::string> permissions;
+
+  std::string serialize() const;
+  static util::Result<Manifest> parse(std::string_view text);
+};
+
+struct ApkSpec {
+  Manifest manifest;
+  DexFile dex;
+  // Asset path (relative, e.g. "assets/models/face.tflite") -> content.
+  std::vector<std::pair<std::string, util::Bytes>> files;
+  // Native libraries; stored as lib/arm64-v8a/<name> stub payloads.
+  std::vector<std::string> native_libs;
+};
+
+// Builds the APK zip bytes.
+util::Bytes build_apk(const ApkSpec& spec);
+
+class Apk {
+ public:
+  static util::Result<Apk> open(util::Bytes bytes);
+
+  const Manifest& manifest() const { return manifest_; }
+  const DexFile& dex() const { return dex_; }
+  // All entry names in the archive.
+  std::vector<std::string> entry_names() const;
+  // Entry payload.
+  util::Result<util::Bytes> read(std::string_view name) const;
+  // Names of bundled native libraries (basenames of lib/<abi>/ entries).
+  std::vector<std::string> native_libs() const;
+  // Total archive size in bytes (the 100MB Play limit applies to this).
+  std::size_t archive_size() const { return archive_size_; }
+
+ private:
+  Apk() = default;
+  zipfile::ZipReader zip_;
+  Manifest manifest_;
+  DexFile dex_;
+  std::size_t archive_size_ = 0;
+};
+
+// Google Play's base-apk size cap (bytes); larger payloads must ship via
+// expansion files or asset packs.
+inline constexpr std::size_t kApkSizeLimit = 100ull * 1024 * 1024;
+
+}  // namespace gauge::android

@@ -1,0 +1,22 @@
+#include "android/bundle.hpp"
+
+namespace gauge::android {
+
+util::Bytes build_side_container(
+    const std::vector<std::pair<std::string, util::Bytes>>& files) {
+  zipfile::ZipWriter zip;
+  for (const auto& [path, data] : files) zip.add(path, data);
+  return zip.finish();
+}
+
+util::Result<std::vector<std::string>> side_container_entries(
+    const SideContainer& container) {
+  using R = util::Result<std::vector<std::string>>;
+  auto zip = zipfile::ZipReader::open(container.bytes);
+  if (!zip.ok()) return R::failure(zip.error());
+  std::vector<std::string> names;
+  for (const auto& entry : zip.value().entries()) names.push_back(entry.name);
+  return names;
+}
+
+}  // namespace gauge::android

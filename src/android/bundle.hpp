@@ -1,0 +1,38 @@
+// Post-install distribution channels (paper §4.2): OBB expansion files and
+// Play Asset Delivery asset packs. Both are ZIP side-containers next to the
+// base APK. gaugeNN downloads and sweeps them for models; the paper found
+// none being used for model delivery — our store generator reproduces that
+// (OBBs/packs carry textures and media, not DNNs), and the §4.2 bench
+// asserts it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+#include "zipfile/zip.hpp"
+
+namespace gauge::android {
+
+struct SideContainer {
+  // "main.<version>.<package>.obb" or "<pack>.asset-pack"
+  std::string name;
+  util::Bytes bytes;  // a ZIP archive
+};
+
+// An app's complete deliverables, as served by the store.
+struct AppPackage {
+  util::Bytes apk;
+  std::vector<SideContainer> expansions;   // OBB files
+  std::vector<SideContainer> asset_packs;  // Play Asset Delivery
+};
+
+util::Bytes build_side_container(
+    const std::vector<std::pair<std::string, util::Bytes>>& files);
+
+// Lists entry names across all side containers of a package.
+util::Result<std::vector<std::string>> side_container_entries(
+    const SideContainer& container);
+
+}  // namespace gauge::android

@@ -1,0 +1,133 @@
+#include "android/detect.hpp"
+
+#include <array>
+
+namespace gauge::android {
+
+const char* cloud_provider_name(CloudProvider provider) {
+  switch (provider) {
+    case CloudProvider::GoogleFirebase: return "Google Firebase ML";
+    case CloudProvider::GoogleCloud: return "Google Cloud";
+    case CloudProvider::AmazonAws: return "Amazon AWS";
+  }
+  return "?";
+}
+
+const char* ml_stack_name(MlStack stack) {
+  switch (stack) {
+    case MlStack::TfLite: return "TFLite";
+    case MlStack::TensorFlow: return "TF";
+    case MlStack::Caffe: return "caffe";
+    case MlStack::Ncnn: return "ncnn";
+    case MlStack::Snpe: return "SNPE";
+    case MlStack::NnApi: return "NNAPI";
+    case MlStack::Xnnpack: return "XNNPACK";
+    case MlStack::PyTorchMobile: return "PyTorch Mobile";
+  }
+  return "?";
+}
+
+namespace {
+
+struct CloudSignature {
+  CloudProvider provider;
+  const char* fragment;
+};
+
+constexpr std::array kCloudSignatures = {
+    CloudSignature{CloudProvider::GoogleFirebase, "Lcom/google/firebase/ml/"},
+    CloudSignature{CloudProvider::GoogleFirebase,
+                   "Lcom/google/mlkit/vision/"},
+    CloudSignature{CloudProvider::GoogleCloud, "Lcom/google/cloud/vision/"},
+    CloudSignature{CloudProvider::GoogleCloud, "Lcom/google/cloud/speech/"},
+    CloudSignature{CloudProvider::GoogleCloud, "vision.googleapis.com"},
+    CloudSignature{CloudProvider::GoogleCloud, "speech.googleapis.com"},
+    CloudSignature{CloudProvider::AmazonAws,
+                   "Lcom/amazonaws/services/rekognition/"},
+    CloudSignature{CloudProvider::AmazonAws,
+                   "Lcom/amazonaws/services/machinelearning/"},
+    CloudSignature{CloudProvider::AmazonAws, "Lcom/amazonaws/services/comprehend/"},
+};
+
+struct StackSignature {
+  MlStack stack;
+  const char* fragment;
+  bool native_lib;  // matched against lib names instead of smali
+};
+
+constexpr std::array kStackSignatures = {
+    StackSignature{MlStack::TfLite, "Lorg/tensorflow/lite/", false},
+    StackSignature{MlStack::TfLite, "libtensorflowlite_jni.so", true},
+    StackSignature{MlStack::TfLite, "libtensorflowlite.so", true},
+    StackSignature{MlStack::TensorFlow, "Lorg/tensorflow/contrib/android/", false},
+    StackSignature{MlStack::TensorFlow, "libtensorflow_inference.so", true},
+    StackSignature{MlStack::Caffe, "libcaffe.so", true},
+    StackSignature{MlStack::Caffe, "libcaffe_jni.so", true},
+    StackSignature{MlStack::Ncnn, "libncnn.so", true},
+    StackSignature{MlStack::Snpe, "libSNPE.so", true},
+    StackSignature{MlStack::Snpe, "Lcom/qualcomm/qti/snpe/", false},
+    StackSignature{MlStack::NnApi, "Lorg/tensorflow/lite/nnapi/NnApiDelegate", false},
+    StackSignature{MlStack::NnApi, "libnnapi_delegate.so", true},
+    StackSignature{MlStack::Xnnpack, "libxnnpack.so", true},
+    StackSignature{MlStack::Xnnpack,
+                   "Lorg/tensorflow/lite/XnnpackDelegate", false},
+    StackSignature{MlStack::PyTorchMobile, "Lorg/pytorch/Module", false},
+    StackSignature{MlStack::PyTorchMobile, "libpytorch_jni.so", true},
+};
+
+}  // namespace
+
+std::vector<CloudApiHit> detect_cloud_apis(const Apk& apk) {
+  const std::string smali = to_smali(apk.dex());
+  std::vector<CloudApiHit> hits;
+  for (const auto& sig : kCloudSignatures) {
+    if (smali.find(sig.fragment) != std::string::npos) {
+      hits.push_back({sig.provider, sig.fragment});
+    }
+  }
+  return hits;
+}
+
+std::vector<MlStackHit> detect_ml_stacks(const Apk& apk) {
+  const std::string smali = to_smali(apk.dex());
+  const auto libs = apk.native_libs();
+  std::vector<MlStackHit> hits;
+  for (const auto& sig : kStackSignatures) {
+    bool matched = false;
+    if (sig.native_lib) {
+      for (const auto& lib : libs) {
+        if (lib == sig.fragment) {
+          matched = true;
+          break;
+        }
+      }
+    } else {
+      matched = smali.find(sig.fragment) != std::string::npos;
+    }
+    if (matched) {
+      // Deduplicate per stack, keep first evidence.
+      bool seen = false;
+      for (const auto& hit : hits) {
+        if (hit.stack == sig.stack) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) hits.push_back({sig.stack, sig.fragment});
+    }
+  }
+  return hits;
+}
+
+bool uses_ml(const Apk& apk) {
+  for (const auto& hit : detect_ml_stacks(apk)) {
+    // NNAPI/XNNPACK are delegates, not stacks by themselves; any other hit
+    // marks the app as ML-powered.
+    if (hit.stack != MlStack::NnApi && hit.stack != MlStack::Xnnpack) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gauge::android

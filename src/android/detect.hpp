@@ -1,0 +1,52 @@
+// Static detectors over decompiled app code and native libraries:
+//  - Cloud ML API usage: smali string matching against known Google
+//    (Firebase ML, Cloud APIs) and Amazon (AWS ML) call signatures (§3.2).
+//  - On-device ML framework / accelerator usage: dex class prefixes plus
+//    bundled native library names, following Xu et al.'s methodology (§3.1
+//    "native code detection").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "android/apk.hpp"
+
+namespace gauge::android {
+
+enum class CloudProvider { GoogleFirebase, GoogleCloud, AmazonAws };
+const char* cloud_provider_name(CloudProvider provider);
+
+struct CloudApiHit {
+  CloudProvider provider;
+  std::string matched;  // the smali fragment that matched
+};
+
+// Scans the APK's smali for known cloud DNN API calls.
+std::vector<CloudApiHit> detect_cloud_apis(const Apk& apk);
+
+// On-device inference stacks detectable from code/libs.
+enum class MlStack {
+  TfLite,
+  TensorFlow,
+  Caffe,
+  Ncnn,
+  Snpe,
+  NnApi,
+  Xnnpack,
+  PyTorchMobile,
+};
+const char* ml_stack_name(MlStack stack);
+
+struct MlStackHit {
+  MlStack stack;
+  std::string evidence;  // lib name or class prefix that matched
+};
+
+std::vector<MlStackHit> detect_ml_stacks(const Apk& apk);
+
+// True when any on-device inference stack is present — the paper's
+// "apps including ML libraries in their codebase" criterion, which also
+// catches apps whose models are obfuscated or downloaded lazily.
+bool uses_ml(const Apk& apk);
+
+}  // namespace gauge::android

@@ -1,0 +1,65 @@
+#include "android/dex.hpp"
+
+#include <cstring>
+
+namespace gauge::android {
+
+namespace {
+void write_table(util::ByteWriter& w, const std::vector<std::string>& items) {
+  w.u32(static_cast<std::uint32_t>(items.size()));
+  for (const auto& s : items) w.str(s);
+}
+
+bool read_table(util::ByteReader& r, std::vector<std::string>& out) {
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > 1'000'000) return false;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.push_back(r.str());
+    if (!r.ok()) return false;
+  }
+  return true;
+}
+}  // namespace
+
+util::Bytes write_dex(const DexFile& dex) {
+  util::ByteWriter w;
+  w.raw(std::string_view{kDexMagic, 8});
+  write_table(w, dex.classes);
+  write_table(w, dex.method_refs);
+  write_table(w, dex.strings);
+  return std::move(w).take();
+}
+
+bool looks_like_dex(std::span<const std::uint8_t> data) {
+  return data.size() >= 8 && std::memcmp(data.data(), kDexMagic, 8) == 0;
+}
+
+util::Result<DexFile> read_dex(std::span<const std::uint8_t> data) {
+  using R = util::Result<DexFile>;
+  if (!looks_like_dex(data)) return R::failure("missing dex magic");
+  util::ByteReader r{data};
+  r.raw(8);
+  DexFile dex;
+  if (!read_table(r, dex.classes) || !read_table(r, dex.method_refs) ||
+      !read_table(r, dex.strings)) {
+    return R::failure("corrupt dex tables");
+  }
+  return dex;
+}
+
+std::string to_smali(const DexFile& dex) {
+  std::string out;
+  for (const auto& cls : dex.classes) {
+    out += ".class public " + cls + "\n";
+  }
+  for (const auto& method : dex.method_refs) {
+    out += "    invoke-virtual {v0}, " + method + "\n";
+  }
+  for (const auto& str : dex.strings) {
+    out += "    const-string v1, \"" + str + "\"\n";
+  }
+  return out;
+}
+
+}  // namespace gauge::android

@@ -1,0 +1,35 @@
+// Simplified dex-like container: the pieces of a real classesN.dex that the
+// pipeline actually consumes — the magic header and the string/method-ref
+// tables. gaugeNN "decompiles" it into smali-style text and string-matches
+// for cloud ML API calls and on-device framework usage (paper §3.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace gauge::android {
+
+inline constexpr char kDexMagic[8] = {'d', 'e', 'x', '\n', '0', '3', '5', '\0'};
+
+struct DexFile {
+  // Class descriptors ("Lcom/example/Foo;").
+  std::vector<std::string> classes;
+  // Method references ("Lcom/google/firebase/ml/vision/FirebaseVision;->getInstance").
+  std::vector<std::string> method_refs;
+  // String constants used by the code.
+  std::vector<std::string> strings;
+};
+
+util::Bytes write_dex(const DexFile& dex);
+util::Result<DexFile> read_dex(std::span<const std::uint8_t> data);
+bool looks_like_dex(std::span<const std::uint8_t> data);
+
+// Renders smali-style disassembly: one ".class" directive per class, one
+// "invoke-virtual" per method ref, one "const-string" per string constant.
+// This is what the detectors grep, mirroring apktool+smali in the paper.
+std::string to_smali(const DexFile& dex);
+
+}  // namespace gauge::android

@@ -1,0 +1,931 @@
+#include "android/playstore.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <set>
+
+#include "formats/caffe.hpp"
+#include "formats/ncnn.hpp"
+#include "formats/tfl.hpp"
+#include "nn/zoo.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace gauge::android {
+
+const char* snapshot_name(Snapshot snap) {
+  return snap == Snapshot::Feb2020 ? "Feb 2020" : "Apr 2021";
+}
+
+namespace {
+
+// -------------------------------------------------------- calibration data
+//
+// Raw per-category weights; exact totals are hit via largest-remainder
+// apportionment so the Table 2 numbers come out exactly.
+
+struct CategoryCal {
+  const char* name;
+  int apps21;       // apps in the Apr'21 top chart (<=500)
+  int apps20;       // apps in the Feb'20 top chart
+  double models21;  // model-instance weight, Apr'21 (Fig. 4 shape)
+  double models20;  // model-instance weight, Feb'20 (Fig. 5 shape)
+  double cloud21;   // cloud-API app weight, Apr'21 (Fig. 15 shape)
+};
+
+// 34 categories; apps21 sums to 16,653 and apps20 to 16,418 by construction.
+constexpr CategoryCal kCategories[] = {
+    // name               a21  a20   m21   m20  cloud
+    {"communication",     500, 500, 255.0, 130.0, 60.0},
+    {"finance",           500, 500, 200.0, 105.0, 55.0},
+    {"photography",       500, 500, 185.0, 150.0, 30.0},
+    {"beauty",            500, 500, 140.0,  90.0, 12.0},
+    {"social",            500, 500, 120.0,  65.0, 38.0},
+    {"tools",             500, 500, 100.0,  55.0, 30.0},
+    {"video players",     500, 500,  88.0,  45.0, 18.0},
+    {"productivity",      500, 500,  80.0,  40.0, 42.0},
+    {"entertainment",     500, 500,  70.0,  35.0, 20.0},
+    {"shopping",          500, 500,  60.0,  28.0, 45.0},
+    {"health & fitness",  500, 500,  58.0,  18.0, 18.0},
+    {"medical",           500, 500,  52.0,  14.0, 14.0},
+    {"business",          500, 500,  48.0,  22.0, 65.0},
+    {"education",         500, 500,  40.0,  18.0, 30.0},
+    {"maps & navigation", 500, 500,  35.0,  16.0, 12.0},
+    {"music & audio",     500, 500,  30.0,  14.0, 10.0},
+    {"news & magazines",  500, 500,  25.0,  10.0,  8.0},
+    {"sports",            500, 500,  24.0,  10.0,  8.0},
+    {"dating",            500, 500,  24.0,  14.0,  6.0},
+    {"food & drink",      500, 500,  20.0,  26.0, 14.0},
+    {"lifestyle",         500, 500,  18.0,  30.0, 12.0},
+    {"parenting",         500, 500,  12.0,   6.0,  3.0},
+    {"travel & local",    500, 500,  10.0,  14.0, 16.0},
+    {"auto & vehicles",   500, 500,   8.0,   4.0,  5.0},
+    {"art & design",      500, 500,   8.0,   4.0,  3.0},
+    {"personalization",   500, 500,   8.0,   4.0,  2.0},
+    {"casual",            500, 500,  10.0,   5.0,  3.0},
+    {"books & reference", 500, 500,   6.0,   3.0,  4.0},
+    {"house & home",      500, 500,   5.0,   2.0,  3.0},
+    {"weather",           500, 500,   4.0,   2.0,  1.0},
+    {"events",            500, 418,   4.0,   2.0,  2.0},
+    {"comics",            500, 500,   3.0,   1.0,  1.0},
+    {"libraries & demo",  500, 500,   0.0,   0.0,  0.0},
+    {"android wear",      153, 100,   6.0,  14.0,  1.0},
+};
+constexpr std::size_t kCategoryCount = std::size(kCategories);
+
+// Table 2 targets.
+constexpr int kModels21 = 1666;
+constexpr int kModels20 = 821;
+constexpr int kMlApps21 = 377;
+constexpr int kMlApps20 = 236;
+constexpr int kExtractableApps21 = 342;
+constexpr int kUniqueModels = 318;
+// §6.3 / Fig. 15 targets.
+constexpr int kCloudApps21 = 524;
+constexpr int kCloudApps20 = 225;
+constexpr int kAmazonApps21 = 72;
+constexpr int kNnapiApps = 71;
+constexpr int kXnnpackApps = 1;
+constexpr int kSnpeApps = 3;
+
+// Largest-remainder apportionment of `total` across `weights`.
+std::vector<int> apportion(const std::vector<double>& weights, int total) {
+  double sum = 0.0;
+  for (double w : weights) sum += w;
+  std::vector<int> out(weights.size(), 0);
+  if (sum <= 0.0 || total <= 0) return out;
+  std::vector<std::pair<double, std::size_t>> remainders;
+  int assigned = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double exact = weights[i] / sum * total;
+    out[i] = static_cast<int>(exact);
+    assigned += out[i];
+    remainders.emplace_back(exact - out[i], i);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (int k = 0; k < total - assigned; ++k) {
+    out[remainders[static_cast<std::size_t>(k)].second]++;
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ task tables
+
+struct TaskCal {
+  const char* task;
+  nn::Modality modality;
+  double weight;            // Table 3 instance proportions
+  const char* archetype;    // preferred zoo archetype
+};
+
+constexpr TaskCal kTasks[] = {
+    // Vision (1495 instances in the paper).
+    {"object detection", nn::Modality::Image, 788, "fssd"},
+    {"face detection", nn::Modality::Image, 197, "blazeface"},
+    {"contour detection", nn::Modality::Image, 192, "contournet"},
+    {"text recognition", nn::Modality::Image, 185, "ocrnet"},
+    {"augmented reality", nn::Modality::Image, 51, "posenet"},
+    {"semantic segmentation", nn::Modality::Image, 14, "unet"},
+    {"object recognition", nn::Modality::Image, 14, "mobilenet"},
+    {"pose estimation", nn::Modality::Image, 8, "posenet"},
+    {"photo beauty", nn::Modality::Image, 8, "stylenet"},
+    {"image classification", nn::Modality::Image, 7, "mobilenet"},
+    {"nudity detection", nn::Modality::Image, 5, "vggnet"},
+    {"other vision", nn::Modality::Image, 26, "vggnet"},
+    // NLP (17).
+    {"auto-complete", nn::Modality::Text, 9, "wordrnn"},
+    {"sentiment prediction", nn::Modality::Text, 4, "textcnn"},
+    {"content filter", nn::Modality::Text, 2, "textcnn"},
+    {"text classification", nn::Modality::Text, 1, "textcnn"},
+    {"translation", nn::Modality::Text, 1, "wordrnn"},
+    // Audio (15).
+    {"sound recognition", nn::Modality::Audio, 12, "audiocnn"},
+    {"speech recognition", nn::Modality::Audio, 2, "speechrnn"},
+    {"keyword detection", nn::Modality::Audio, 1, "audiocnn"},
+    // Sensor (4).
+    {"movement tracking", nn::Modality::Sensor, 3, "sensormlp"},
+    {"crash detection", nn::Modality::Sensor, 1, "sensormlp"},
+};
+constexpr std::size_t kTaskCount = std::size(kTasks);
+
+// Framework shares at the instance level (Fig. 4): TFLite 1436, caffe 176,
+// ncnn 46, TF 5, SNPE 3 of 1666.
+struct FrameworkCal {
+  formats::Framework framework;
+  int instances21;
+  int uniques;
+};
+constexpr FrameworkCal kFrameworks[] = {
+    {formats::Framework::TfLite, 1436, 272},
+    {formats::Framework::Caffe, 176, 36},
+    {formats::Framework::Ncnn, 46, 7},
+    {formats::Framework::TensorFlow, 5, 2},
+    {formats::Framework::Snpe, 3, 1},
+};
+
+bool framework_allows(formats::Framework fw, const std::string& archetype) {
+  if (fw == formats::Framework::Caffe) {
+    return archetype == "vggnet" || archetype == "contournet" ||
+           archetype == "audiocnn";
+  }
+  if (fw == formats::Framework::Ncnn) {
+    return archetype != "wordrnn" && archetype != "textcnn" &&
+           archetype != "speechrnn" && archetype != "ocrnet" &&
+           archetype != "sensormlp";
+  }
+  return true;  // TFLite / TF / SNPE containers carry any archetype
+}
+
+std::string fallback_archetype(formats::Framework fw, nn::Modality modality) {
+  if (fw == formats::Framework::Caffe) {
+    return modality == nn::Modality::Audio ? "audiocnn" : "vggnet";
+  }
+  switch (modality) {
+    case nn::Modality::Text: return "textcnn";
+    case nn::Modality::Audio: return "audiocnn";
+    case nn::Modality::Sensor: return "sensormlp";
+    default: return "mobilenet";
+  }
+}
+
+std::string task_slug(const std::string& task) {
+  std::string out;
+  for (char c : task) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!out.empty() && out.back() != '_') {
+      out.push_back('_');
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+std::string model_extension(formats::Framework fw) {
+  switch (fw) {
+    case formats::Framework::TfLite: return ".tflite";
+    case formats::Framework::Caffe: return ".prototxt";
+    case formats::Framework::Ncnn: return ".param";
+    case formats::Framework::TensorFlow: return ".pb";
+    case formats::Framework::Snpe: return ".dlc";
+    default: return ".bin";
+  }
+}
+
+const char* kTitleWords[] = {"Super", "Magic", "Smart", "Pro",   "Go",
+                             "Lite",  "Max",   "Easy", "Quick", "My"};
+const char* kTitleNouns[] = {"Camera", "Chat",   "Pay",    "Editor", "Scanner",
+                             "Keyboard", "Player", "Fit",  "Maps",  "Story"};
+
+}  // namespace
+
+const std::vector<std::string>& PlayStore::categories() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> out;
+    for (const auto& cat : kCategories) out.emplace_back(cat.name);
+    return out;
+  }();
+  return kNames;
+}
+
+PlayStore::PlayStore(const StoreConfig& config) : config_{config} { generate(); }
+
+void PlayStore::generate() {
+  util::Rng rng{config_.seed};
+
+  // ---- 1. Apportion exact totals across categories -------------------
+  std::vector<double> w21, w20, wcloud;
+  for (const auto& cat : kCategories) {
+    w21.push_back(cat.models21);
+    w20.push_back(cat.models20);
+    wcloud.push_back(cat.cloud21);
+  }
+  const std::vector<int> models21 = apportion(w21, kModels21);
+  const std::vector<int> models20 = apportion(w20, kModels20);
+  const std::vector<int> ml_apps21 = apportion(w21, kMlApps21);
+  const std::vector<int> cloud21 = apportion(wcloud, kCloudApps21);
+
+  // Non-extractable ML apps (obfuscated / lazy models): 377 - 342 = 35,
+  // spread across the ML-heavy categories.
+  const std::vector<int> hidden_apps =
+      apportion(w21, kMlApps21 - kExtractableApps21);
+  // Feb'20 ML apps, spread by the '20 model weights.
+  const std::vector<int> ml_apps20 = apportion(w20, kMlApps20);
+
+  // ---- 2. Unique model pool ------------------------------------------
+  // Tasks apportioned inside each framework bucket so every framework gets
+  // a plausible mix.
+  {
+    int next_id = 0;
+    for (const auto& fw : kFrameworks) {
+      std::vector<double> task_weights;
+      for (const auto& task : kTasks) task_weights.push_back(task.weight);
+      const std::vector<int> per_task = apportion(task_weights, fw.uniques);
+      for (std::size_t t = 0; t < kTaskCount; ++t) {
+        for (int k = 0; k < per_task[t]; ++k) {
+          UniqueModel m;
+          m.id = next_id++;
+          m.task = kTasks[t].task;
+          m.modality = kTasks[t].modality;
+          m.archetype = kTasks[t].archetype;
+          if (!framework_allows(fw.framework, m.archetype)) {
+            m.archetype = fallback_archetype(fw.framework, m.modality);
+          }
+          m.framework = fw.framework;
+          m.seed = rng.fork(util::format("model-%d", m.id)).next_u64();
+          // FLOPs spread: resolution & width vary per model.
+          util::Rng mr{m.seed};
+          if (m.modality == nn::Modality::Image) {
+            const int resolutions[] = {32, 48, 64, 96, 128};
+            m.resolution = resolutions[mr.uniform_u64(5)];
+            if (m.archetype == "unet" && m.resolution > 96) m.resolution = 96;
+            m.width = mr.uniform(0.5, 2.0);
+          } else if (m.modality == nn::Modality::Sensor) {
+            m.resolution = static_cast<int>(8 + mr.uniform_u64(24));
+            m.width = mr.uniform(0.5, 1.5);
+          } else {
+            m.resolution = static_cast<int>(8 + mr.uniform_u64(24));
+            m.width = mr.uniform(0.5, 2.0);
+          }
+          unique_.push_back(std::move(m));
+        }
+      }
+    }
+    assert(static_cast<int>(unique_.size()) == kUniqueModels);
+  }
+
+  // Fine-tuning lineage (§4.5): ~4.5% of uniques derive from another pool
+  // member, so ~9% of models participate in a sharing pair ("share at least
+  // 20% of the weights with at least one other model"); about half of the
+  // links retrain <=3 layers (the paper's 4.2%).
+  {
+    util::Rng frng = rng.fork("finetune");
+    const auto n_tuned = static_cast<std::size_t>(unique_.size() * 0.045 + 0.5);
+    std::size_t assigned = 0;
+    std::set<int> used_as_base;  // distinct bases: each link adds 2
+                                 // layer-sharing models to the census
+    for (std::size_t i = 0; i < unique_.size() && assigned < n_tuned; ++i) {
+      // Find an earlier sibling with the same archetype+framework to be the
+      // base model.
+      for (std::size_t j = 0; j < i; ++j) {
+        if (unique_[j].archetype == unique_[i].archetype &&
+            unique_[j].framework == unique_[i].framework &&
+            unique_[j].finetuned_from < 0 && unique_[i].finetuned_from < 0 &&
+            !used_as_base.count(unique_[j].id)) {
+          unique_[i].finetuned_from = unique_[j].id;
+          // Same architecture: inherit the base's structural parameters.
+          // (Quantisation flags are assigned per lineage group later, so
+          // base and fine-tuned variants always match.)
+          unique_[i].resolution = unique_[j].resolution;
+          unique_[i].width = unique_[j].width;
+          unique_[i].finetuned_layers =
+              assigned % 2 == 0 ? static_cast<int>(1 + frng.uniform_u64(3))
+                                : static_cast<int>(4 + frng.uniform_u64(4));
+          used_as_base.insert(unique_[j].id);
+          ++assigned;
+          break;
+        }
+      }
+    }
+  }
+
+  // Filenames: ~67% hint the task and/or architecture.
+  {
+    util::Rng nrng = rng.fork("names");
+    for (auto& m : unique_) {
+      const std::string ext = model_extension(m.framework);
+      if (nrng.bernoulli(0.67)) {
+        m.filename = task_slug(m.task) + "_" + m.archetype + "_" +
+                     std::to_string(m.id) + ext;
+      } else {
+        m.filename = util::format("model_%d%s", m.id, ext.c_str());
+      }
+    }
+  }
+
+  // ---- 3. Apps ---------------------------------------------------------
+  // Per category: generate the union of both snapshots' charts, attach ML
+  // roles to the top slice (popular apps are likelier to ship ML).
+  std::vector<std::size_t> ml_app_indices;          // extractable, '21
+  std::vector<std::size_t> ml_app_indices_2020;     // ML in '20 too
+  for (std::size_t c = 0; c < kCategoryCount; ++c) {
+    const CategoryCal& cat = kCategories[c];
+    util::Rng crng = rng.fork(std::string{"cat-"} + cat.name);
+
+    const int churn = std::min(cat.apps20, cat.apps21) / 20;  // ~5% turnover
+    const int both = std::min(cat.apps20, cat.apps21) - churn;
+    const int only20 = cat.apps20 - both;
+    const int only21 = cat.apps21 - both;
+    const int universe = both + only20 + only21;
+
+    std::vector<std::size_t> cat_apps;
+    for (int i = 0; i < universe; ++i) {
+      AppEntry app;
+      app.category = cat.name;
+      app.package = util::format("com.%s.app%03d",
+                                 task_slug(cat.name).c_str(), i);
+      app.title = util::format(
+          "%s %s %s", kTitleWords[crng.uniform_u64(std::size(kTitleWords))],
+          kTitleNouns[crng.uniform_u64(std::size(kTitleNouns))],
+          task_slug(cat.name).c_str());
+      // Power-law installs by rank.
+      app.installs = static_cast<std::int64_t>(
+          5e8 / std::pow(static_cast<double>(i + 1), 0.9) *
+          crng.uniform(0.8, 1.2));
+      app.rating = std::clamp(crng.normal(4.1, 0.5), 1.0, 5.0);
+      app.reviews = static_cast<std::int64_t>(
+          static_cast<double>(app.installs) * crng.uniform(0.001, 0.02));
+      if (i < both) {
+        app.present_2020 = app.present_2021 = true;
+      } else if (i < both + only20) {
+        app.present_2020 = true;
+        app.present_2021 = false;
+      } else {
+        app.present_2020 = false;
+        app.present_2021 = true;
+      }
+      app.seed = crng.next_u64();
+      cat_apps.push_back(apps_.size());
+      package_index_[app.package] = apps_.size();
+      by_category_[cat.name].push_back(apps_.size());
+      apps_.push_back(std::move(app));
+    }
+
+    // ML roles: extractable apps first (top of chart), then hidden-model
+    // apps. All must be present in 2021.
+    int extractable = ml_apps21[c] - hidden_apps[c];
+    int hidden = hidden_apps[c];
+    int ml20_left = ml_apps20[c];
+    for (std::size_t rank = 0; rank < cat_apps.size(); ++rank) {
+      AppEntry& app = apps_[cat_apps[rank]];
+      if (!app.present_2021) continue;
+      if (extractable > 0) {
+        app.is_ml_2021 = true;
+        ml_app_indices.push_back(cat_apps[rank]);
+        if (ml20_left > 0 && app.present_2020) {
+          app.is_ml_2020 = true;
+          ml_app_indices_2020.push_back(cat_apps[rank]);
+          --ml20_left;
+        }
+        --extractable;
+      } else if (hidden > 0) {
+        app.is_ml_2021 = true;
+        app.lazy_models = true;  // models obfuscated or fetched at runtime
+        --hidden;
+      }
+    }
+  }
+  assert(ml_app_indices.size() == static_cast<std::size_t>(kExtractableApps21));
+
+  // ---- 4. Model instances ---------------------------------------------
+  // Global unique-id deck with the exact Fig. 4 framework counts. Coverage
+  // first (every unique model ships at least once — Table 2's 318 distinct
+  // checksums), then zipf popularity for the remaining copies (FSSD-style
+  // hit models recur often). Shuffled, then dealt into categories.
+  std::map<formats::Framework, std::vector<int>> uniques_by_fw;
+  for (const auto& m : unique_) uniques_by_fw[m.framework].push_back(m.id);
+
+  util::Rng irng = rng.fork("instances");
+  std::vector<int> unique_deck;
+  unique_deck.reserve(static_cast<std::size_t>(kModels21));
+  for (const auto& fw : kFrameworks) {
+    const auto& pool = uniques_by_fw[fw.framework];
+    for (int id : pool) unique_deck.push_back(id);
+    // Extra copies are drawn task-first (Table 3 proportions), then
+    // zipf-within-task (hit models like FSSD recur), so duplication does
+    // not skew the task mix.
+    std::map<std::string, std::vector<int>> pool_by_task;
+    for (int id : pool) {
+      pool_by_task[unique_[static_cast<std::size_t>(id)].task].push_back(id);
+    }
+    std::vector<std::string> task_names;
+    std::vector<double> task_weights;
+    for (const auto& task : kTasks) {
+      const auto it = pool_by_task.find(task.task);
+      if (it == pool_by_task.end()) continue;
+      task_names.push_back(task.task);
+      task_weights.push_back(task.weight);
+    }
+    for (int k = static_cast<int>(pool.size()); k < fw.instances21; ++k) {
+      const auto& task_pool =
+          pool_by_task[task_names[irng.weighted_choice(task_weights)]];
+      unique_deck.push_back(task_pool[irng.zipf(task_pool.size(), 1.1) - 1]);
+    }
+  }
+  irng.shuffle(unique_deck);
+  assert(unique_deck.size() == static_cast<std::size_t>(kModels21));
+
+  // Deal 2021 instances into categories/apps.
+  std::size_t deck_pos = 0;
+  for (std::size_t c = 0; c < kCategoryCount; ++c) {
+    // Extractable apps of this category.
+    std::vector<std::size_t> apps_in_cat;
+    for (std::size_t idx : by_category_[kCategories[c].name]) {
+      const AppEntry& app = apps_[idx];
+      if (app.is_ml_2021 && !app.lazy_models) apps_in_cat.push_back(idx);
+    }
+    if (apps_in_cat.empty()) continue;
+    std::vector<std::size_t> apps20_in_cat;
+    for (std::size_t idx : apps_in_cat) {
+      if (apps_[idx].is_ml_2020) apps20_in_cat.push_back(idx);
+    }
+    const int m21 = models21[c];
+    const int m20 = models20[c];
+    int carried = std::max(0, std::min(m20, m21) - std::min(m20, m21) / 5);
+    if (apps20_in_cat.empty()) carried = 0;
+
+    // App coverage: every extractable app must ship at least one model
+    // ("apps w/ models" in Table 2 counts them all).
+    auto pick_app = [&](const std::vector<std::size_t>& candidates)
+        -> AppEntry& {
+      for (std::size_t idx : candidates) {
+        if (apps_[idx].model_instances.empty()) return apps_[idx];
+      }
+      return apps_[candidates[irng.zipf(candidates.size(), 0.7) - 1]];
+    };
+
+    for (int k = 0; k < m21; ++k) {
+      ModelInstance inst;
+      inst.instance_id = static_cast<int>(instances_.size());
+      inst.unique_id = unique_deck[std::min(deck_pos++, unique_deck.size() - 1)];
+      inst.present_2021 = true;
+      inst.present_2020 = k < carried;  // the carried prefix existed in '20
+      // Instances that already existed in '20 must live in an app that was
+      // ML then; popular apps accumulate more models.
+      AppEntry& app = pick_app(inst.present_2020 ? apps20_in_cat : apps_in_cat);
+      app.model_instances.push_back(inst.instance_id);
+      instances_.push_back(inst);
+    }
+
+    // 2020-only (later removed) instances.
+    const int removed = apps20_in_cat.empty() ? 0 : m20 - carried;
+    for (int k = 0; k < removed; ++k) {
+      ModelInstance inst;
+      inst.instance_id = static_cast<int>(instances_.size());
+      inst.unique_id = unique_deck[irng.uniform_u64(unique_deck.size())];
+      inst.present_2020 = true;
+      inst.present_2021 = false;
+      AppEntry& app =
+          apps_[apps20_in_cat[irng.zipf(apps20_in_cat.size(), 0.7) - 1]];
+      app.model_instances.push_back(inst.instance_id);
+      instances_.push_back(inst);
+    }
+  }
+
+  // ---- 4b. Quantisation census (§6.1), popularity-aware ----------------
+  // Targets are *instance-level*: 20.27% int8 weights, 10.31% int8
+  // activations (the latter carry the Quantize/Dequantize sandwich, the
+  // paper's "10.3% use the dequantize layer"). Whole fine-tuning lineage
+  // groups are marked together so base and variant stay layer-comparable.
+  {
+    // Instance popularity per unique id ('21 instances).
+    std::vector<int> copies(unique_.size(), 0);
+    for (const auto& inst : instances_) {
+      if (inst.present_2021) copies[static_cast<std::size_t>(inst.unique_id)]++;
+    }
+    // Lineage groups: root id -> members.
+    std::map<int, std::vector<int>> groups;
+    for (const auto& m : unique_) {
+      int root = m.id;
+      while (unique_[static_cast<std::size_t>(root)].finetuned_from >= 0) {
+        root = unique_[static_cast<std::size_t>(root)].finetuned_from;
+      }
+      groups[root].push_back(m.id);
+    }
+    auto quantizable = [this](int id) {
+      const formats::Framework fw = unique_[static_cast<std::size_t>(id)].framework;
+      return fw == formats::Framework::TfLite ||
+             fw == formats::Framework::TensorFlow ||
+             fw == formats::Framework::Snpe;
+    };
+    std::vector<int> roots;
+    for (const auto& [root, _] : groups) roots.push_back(root);
+    util::Rng qrng = rng.fork("quant");
+    qrng.shuffle(roots);
+
+    const int w8_target = static_cast<int>(kModels21 * 0.2027 + 0.5);
+    const int a8_target = static_cast<int>(kModels21 * 0.1031 + 0.5);
+    int w8 = 0, a8 = 0;
+    for (int root : roots) {
+      if (w8 >= w8_target) break;
+      if (!quantizable(root)) continue;
+      int group_copies = 0;
+      for (int id : groups[root]) group_copies += copies[static_cast<std::size_t>(id)];
+      if (group_copies == 0) continue;
+      // Skip groups that would badly overshoot the instance target; smaller
+      // groups later in the shuffle will fill the remainder.
+      if (w8 + group_copies > w8_target + 8) continue;
+      const bool vision =
+          unique_[static_cast<std::size_t>(root)].modality == nn::Modality::Image;
+      const bool want_a8 = vision && a8 + group_copies <= a8_target + 8;
+      for (int id : groups[root]) {
+        unique_[static_cast<std::size_t>(id)].int8_weights = true;
+        if (want_a8) unique_[static_cast<std::size_t>(id)].int8_activations = true;
+      }
+      w8 += group_copies;
+      if (want_a8) a8 += group_copies;
+    }
+  }
+
+  // ---- 5. Cloud APIs, accelerators ------------------------------------
+  {
+    util::Rng crng = rng.fork("cloud");
+    std::vector<std::size_t> cloud_apps;
+    for (std::size_t c = 0; c < kCategoryCount; ++c) {
+      int budget = cloud21[c];
+      for (std::size_t idx : by_category_[kCategories[c].name]) {
+        if (budget == 0) break;
+        AppEntry& app = apps_[idx];
+        if (!app.present_2021) continue;
+        app.cloud_apis.push_back(CloudProvider::GoogleFirebase);
+        cloud_apps.push_back(idx);
+        --budget;
+      }
+    }
+    // Providers: 72 Amazon, rest Google (some Google Cloud, most Firebase).
+    crng.shuffle(cloud_apps);
+    for (std::size_t k = 0; k < cloud_apps.size(); ++k) {
+      AppEntry& app = apps_[cloud_apps[k]];
+      app.cloud_apis.clear();
+      if (k < static_cast<std::size_t>(kAmazonApps21)) {
+        app.cloud_apis.push_back(CloudProvider::AmazonAws);
+      } else if (k % 5 == 0) {
+        app.cloud_apis.push_back(CloudProvider::GoogleCloud);
+      } else {
+        app.cloud_apis.push_back(CloudProvider::GoogleFirebase);
+      }
+    }
+    // '20 subset: cloud adoption grew 2.33x — only kCloudApps20 of these
+    // apps already called cloud ML APIs in the Feb'20 snapshot.
+    int cloud20_left = kCloudApps20;
+    for (std::size_t idx : cloud_apps) {
+      if (cloud20_left == 0) break;
+      if (apps_[idx].present_2020) {
+        apps_[idx].cloud_2020 = true;
+        --cloud20_left;
+      }
+    }
+  }
+  {
+    // Accelerator usage among extractable ML apps.
+    util::Rng arng = rng.fork("accel");
+    std::vector<std::size_t> shuffled = ml_app_indices;
+    arng.shuffle(shuffled);
+    for (int k = 0; k < kNnapiApps && k < static_cast<int>(shuffled.size()); ++k) {
+      apps_[shuffled[static_cast<std::size_t>(k)]].uses_nnapi = true;
+    }
+    for (int k = 0; k < kXnnpackApps; ++k) {
+      apps_[shuffled[static_cast<std::size_t>(kNnapiApps + k)]].uses_xnnpack = true;
+    }
+    // SNPE apps: the ones holding SNPE-framework instances.
+    int snpe_marked = 0;
+    for (auto& app : apps_) {
+      for (int inst : app.model_instances) {
+        const UniqueModel& m = unique_[static_cast<std::size_t>(
+            instances_[static_cast<std::size_t>(inst)].unique_id)];
+        if (m.framework == formats::Framework::Snpe &&
+            instances_[static_cast<std::size_t>(inst)].present_2021) {
+          app.uses_snpe = true;
+        }
+      }
+      if (app.uses_snpe) ++snpe_marked;
+    }
+    // Ensure at least kSnpeApps carry SNPE if the zipf deal concentrated
+    // them; spread extra dlc-bearing apps if needed.
+    for (std::size_t k = 0; snpe_marked < kSnpeApps && k < shuffled.size(); ++k) {
+      AppEntry& app = apps_[shuffled[k]];
+      if (!app.uses_snpe && !app.model_instances.empty()) {
+        app.uses_snpe = true;
+        ++snpe_marked;
+      }
+    }
+  }
+}
+
+std::size_t PlayStore::app_count(Snapshot snap) const {
+  std::size_t count = 0;
+  for (const auto& app : apps_) {
+    if (app.present(snap)) ++count;
+  }
+  return count;
+}
+
+std::size_t PlayStore::ml_app_count(Snapshot snap) const {
+  std::size_t count = 0;
+  for (const auto& app : apps_) {
+    if (app.present(snap) && app.is_ml(snap)) ++count;
+  }
+  return count;
+}
+
+std::size_t PlayStore::model_instance_count(Snapshot snap) const {
+  std::size_t count = 0;
+  for (const auto& inst : instances_) {
+    if (snap == Snapshot::Feb2020 ? inst.present_2020 : inst.present_2021) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<const AppEntry*> PlayStore::top_chart(
+    const ChartRequest& request) const {
+  std::vector<const AppEntry*> chart;
+  const auto it = by_category_.find(request.category);
+  if (it == by_category_.end()) return chart;
+  std::vector<const AppEntry*> present;
+  for (std::size_t idx : it->second) {
+    const AppEntry& app = apps_[idx];
+    if (app.present(request.snapshot)) present.push_back(&app);
+  }
+  std::sort(present.begin(), present.end(),
+            [](const AppEntry* a, const AppEntry* b) {
+              if (a->installs != b->installs) return a->installs > b->installs;
+              return a->package < b->package;
+            });
+  constexpr std::size_t kChartCap = 500;
+  const std::size_t end = std::min(present.size(), kChartCap);
+  for (std::size_t i = request.offset; i < end && chart.size() < request.limit;
+       ++i) {
+    chart.push_back(present[i]);
+  }
+  return chart;
+}
+
+const AppEntry* PlayStore::find(const std::string& package) const {
+  const auto it = package_index_.find(package);
+  return it == package_index_.end() ? nullptr : &apps_[it->second];
+}
+
+nn::Graph PlayStore::build_unique_model(int unique_id) const {
+  const UniqueModel& m = unique_[static_cast<std::size_t>(unique_id)];
+  nn::ZooSpec spec;
+  spec.archetype = m.archetype;
+  spec.width = m.width;
+  spec.resolution = m.resolution;
+  spec.name = m.filename;
+  // Fine-tuned models share the base's weights except the last k layers.
+  if (m.finetuned_from >= 0) {
+    const UniqueModel& base =
+        unique_[static_cast<std::size_t>(m.finetuned_from)];
+    spec.seed = base.seed;
+    nn::Graph g = nn::build_model(spec);
+    g = nn::make_finetuned(g, m.finetuned_layers, m.seed);
+    if (m.int8_activations) g = nn::with_quantized_stem(g);
+    else if (m.int8_weights) nn::quantize_weights(g);
+    g.name = m.filename;
+    return g;
+  }
+  spec.seed = m.seed;
+  nn::Graph g = nn::build_model(spec);
+  if (m.int8_activations) g = nn::with_quantized_stem(g);
+  else if (m.int8_weights) nn::quantize_weights(g);
+  g.name = m.filename;
+  return g;
+}
+
+std::vector<std::pair<std::string, util::Bytes>> PlayStore::serialize_model(
+    int unique_id) const {
+  const auto cached = model_file_cache_.find(unique_id);
+  if (cached != model_file_cache_.end()) return cached->second;
+  const UniqueModel& m = unique_[static_cast<std::size_t>(unique_id)];
+  const nn::Graph graph = build_unique_model(unique_id);
+  const std::string base = "assets/models/" + m.filename;
+  std::vector<std::pair<std::string, util::Bytes>> files;
+  switch (m.framework) {
+    case formats::Framework::TfLite:
+      files.emplace_back(base, formats::write_tfl(graph));
+      break;
+    case formats::Framework::TensorFlow:
+      files.emplace_back(base, formats::write_tf_pb(graph));
+      break;
+    case formats::Framework::Snpe:
+      files.emplace_back(base, formats::write_dlc(graph));
+      break;
+    case formats::Framework::Caffe: {
+      auto model = formats::write_caffe(graph);
+      if (!model.ok()) return files;  // generator guarantees dialect fit
+      files.emplace_back(base, util::to_bytes(model.value().prototxt));
+      std::string weights = base;
+      const auto dot = weights.rfind(".prototxt");
+      weights.replace(dot, std::string::npos, ".caffemodel");
+      files.emplace_back(std::move(weights), model.value().caffemodel);
+      break;
+    }
+    case formats::Framework::Ncnn: {
+      auto model = formats::write_ncnn(graph);
+      if (!model.ok()) return files;  // generator guarantees dialect fit
+      files.emplace_back(base, util::to_bytes(model.value().param));
+      std::string weights = base;
+      const auto dot = weights.rfind(".param");
+      weights.replace(dot, std::string::npos, ".bin");
+      files.emplace_back(std::move(weights), model.value().bin);
+      break;
+    }
+    default:
+      break;
+  }
+  model_file_cache_[unique_id] = files;
+  return files;
+}
+
+util::Result<AppPackage> PlayStore::download(
+    const std::string& package, Snapshot snapshot,
+    const std::string& device_profile) const {
+  using R = util::Result<AppPackage>;
+  (void)device_profile;  // no device-specific customisation exists (§4.2)
+  const AppEntry* app = find(package);
+  if (app == nullptr) return R::failure("unknown package: " + package);
+  if (!app->present(snapshot)) {
+    return R::failure("app not in this snapshot: " + package);
+  }
+
+  util::Rng arng{app->seed};
+  ApkSpec spec;
+  spec.manifest.package = app->package;
+  spec.manifest.version_code =
+      snapshot == Snapshot::Feb2020 ? 100 : 120 + static_cast<int>(arng.uniform_u64(40));
+  spec.manifest.permissions = {"android.permission.INTERNET"};
+  if (app->is_ml(snapshot)) {
+    spec.manifest.permissions.push_back("android.permission.CAMERA");
+  }
+
+  spec.dex.classes = {
+      "L" + util::join(util::split(app->package, '.'), "/") + "/MainActivity;"};
+  // Decoy assets every app carries.
+  spec.files.emplace_back("assets/config.json",
+                          util::to_bytes("{\"flags\":{\"new_ui\":true}}"));
+  spec.files.emplace_back("res/drawable/icon.png",
+                          util::to_bytes("\x89PNG-stub"));
+
+  // ML stacks: dex markers + native libs per shipped framework.
+  if (app->is_ml(snapshot)) {
+    bool has_tflite = false, has_caffe = false, has_ncnn = false,
+         has_tf = false;
+    for (int inst_id : app->model_instances) {
+      const ModelInstance& inst = instances_[static_cast<std::size_t>(inst_id)];
+      const bool present = snapshot == Snapshot::Feb2020 ? inst.present_2020
+                                                         : inst.present_2021;
+      if (!present) continue;
+      switch (unique_[static_cast<std::size_t>(inst.unique_id)].framework) {
+        case formats::Framework::TfLite: has_tflite = true; break;
+        case formats::Framework::Caffe: has_caffe = true; break;
+        case formats::Framework::Ncnn: has_ncnn = true; break;
+        case formats::Framework::TensorFlow: has_tf = true; break;
+        default: break;
+      }
+    }
+    if (app->lazy_models) has_tflite = true;  // library without local model
+    if (has_tflite) {
+      spec.dex.classes.push_back("Lorg/tensorflow/lite/Interpreter;");
+      spec.native_libs.push_back("libtensorflowlite_jni.so");
+    }
+    if (has_caffe) spec.native_libs.push_back("libcaffe.so");
+    if (has_ncnn) spec.native_libs.push_back("libncnn.so");
+    if (has_tf) {
+      spec.dex.classes.push_back("Lorg/tensorflow/contrib/android/TensorFlowInferenceInterface;");
+    }
+    if (app->uses_snpe) spec.native_libs.push_back("libSNPE.so");
+    if (app->uses_nnapi) {
+      spec.dex.classes.push_back("Lorg/tensorflow/lite/nnapi/NnApiDelegate;");
+    }
+    if (app->uses_xnnpack) spec.native_libs.push_back("libxnnpack.so");
+    if (app->lazy_models) {
+      if (arng.bernoulli(0.5)) {
+        // Encrypted/obfuscated on-disk model: candidate extension, but the
+        // payload fails signature validation (§3.1 "Model validation").
+        auto files = serialize_model(
+            static_cast<int>(arng.uniform_u64(unique_.size())));
+        if (!files.empty()) {
+          auto bytes = files[0].second;
+          for (auto& b : bytes) b ^= 0x5A;
+          spec.files.emplace_back("assets/models/enc_model.tflite",
+                                  std::move(bytes));
+        }
+      } else {
+        // Model fetched outside Google Play at runtime.
+        spec.dex.strings.push_back(
+            "https://cdn." + app->package + ".example/models/latest.tflite");
+      }
+    }
+  }
+
+  // Cloud API call sites (only in snapshots where the integration existed).
+  const bool cloud_active = snapshot == Snapshot::Apr2021
+                                ? !app->cloud_apis.empty()
+                                : app->cloud_2020;
+  for (CloudProvider provider :
+       cloud_active ? app->cloud_apis : std::vector<CloudProvider>{}) {
+    switch (provider) {
+      case CloudProvider::GoogleFirebase:
+        spec.dex.method_refs.push_back(
+            "Lcom/google/firebase/ml/vision/FirebaseVision;->getInstance()");
+        break;
+      case CloudProvider::GoogleCloud:
+        spec.dex.method_refs.push_back(
+            "Lcom/google/cloud/vision/v1/ImageAnnotatorClient;->create()");
+        spec.dex.strings.push_back("https://vision.googleapis.com/v1/images:annotate");
+        break;
+      case CloudProvider::AmazonAws:
+        spec.dex.method_refs.push_back(
+            "Lcom/amazonaws/services/rekognition/AmazonRekognitionClient;->detectLabels()");
+        break;
+    }
+  }
+
+  // Model payloads.
+  for (int inst_id : app->model_instances) {
+    const ModelInstance& inst = instances_[static_cast<std::size_t>(inst_id)];
+    const bool present = snapshot == Snapshot::Feb2020 ? inst.present_2020
+                                                       : inst.present_2021;
+    if (!present) continue;
+    auto files = serialize_model(inst.unique_id);
+    for (auto& [path, bytes] : files) {
+      // Duplicate filenames across instances get an instance-id prefix, as
+      // apps often namespace bundled models.
+      std::string final_path = path;
+      for (const auto& existing : spec.files) {
+        if (existing.first == final_path) {
+          final_path = "assets/models/i" + std::to_string(inst_id) + "_" +
+                       std::string{util::basename(path)};
+          break;
+        }
+      }
+      if (inst.obfuscated) {
+        for (auto& b : bytes) b ^= 0x5A;
+      }
+      spec.files.emplace_back(std::move(final_path), std::move(bytes));
+    }
+  }
+
+  AppPackage pkg;
+  pkg.apk = build_apk(spec);
+
+  // A slice of media-heavy apps ship OBB expansions / asset packs — with
+  // textures, never models (§4.2 ground truth).
+  if (arng.bernoulli(0.05)) {
+    SideContainer obb;
+    obb.name = util::format("main.%d.%s.obb", spec.manifest.version_code,
+                            app->package.c_str());
+    util::Bytes texture(2048);
+    for (auto& b : texture) b = static_cast<std::uint8_t>(arng.uniform_u64(256));
+    obb.bytes = build_side_container({{"textures/atlas0.ktx", texture}});
+    pkg.expansions.push_back(std::move(obb));
+  }
+  if (arng.bernoulli(0.03)) {
+    SideContainer pack;
+    pack.name = "install_time.asset-pack";
+    pack.bytes = build_side_container(
+        {{"media/intro.webm", util::to_bytes("WEBM-stub-payload")}});
+    pkg.asset_packs.push_back(std::move(pack));
+  }
+  return pkg;
+}
+
+}  // namespace gauge::android

@@ -1,0 +1,146 @@
+// Synthetic Google Play Store: a deterministic app universe calibrated to
+// the paper's dataset (Table 2, Figs. 4/5/15) plus a crawlable top-chart API
+// and a lazy app-package materialiser.
+//
+// The generator builds one *world* containing both snapshots (Feb'20 and
+// Apr'21); each snapshot view exposes the apps present at that time. Model
+// *instances* carry stable ids across snapshots so the temporal analysis can
+// count individual models added/removed per category (Fig. 5).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "android/bundle.hpp"
+#include "android/detect.hpp"
+#include "formats/registry.hpp"
+#include "nn/graph.hpp"
+
+namespace gauge::android {
+
+enum class Snapshot { Feb2020 = 0, Apr2021 = 1 };
+const char* snapshot_name(Snapshot snap);
+
+// One *unique* model design in the ecosystem (md5-distinct graph+weights).
+struct UniqueModel {
+  int id = 0;
+  std::string task;        // Table 3 label ("object detection", ...)
+  nn::Modality modality = nn::Modality::Image;
+  std::string archetype;   // zoo archetype
+  double width = 1.0;
+  int resolution = 64;
+  std::uint64_t seed = 0;
+  formats::Framework framework = formats::Framework::TfLite;
+  std::string filename;    // name as shipped inside the APK
+  bool int8_weights = false;
+  bool int8_activations = false;  // carries a Quantize/Dequantize sandwich
+  // Transfer-learning lineage: id of the pool model this was fine-tuned
+  // from (-1 = trained independently) and how many layers were retrained.
+  int finetuned_from = -1;
+  int finetuned_layers = 0;
+};
+
+// One model *instance*: a unique model shipped inside a specific app.
+struct ModelInstance {
+  int instance_id = 0;
+  int unique_id = 0;
+  bool obfuscated = false;   // XOR-packed; fails signature validation
+  bool present_2020 = false;
+  bool present_2021 = false;
+};
+
+struct AppEntry {
+  std::string package;
+  std::string title;
+  std::string category;
+  std::int64_t installs = 0;
+  double rating = 0.0;
+  std::int64_t reviews = 0;
+  bool present_2020 = true;
+  bool present_2021 = true;
+  bool is_ml_2020 = false;       // ships an ML library in the '20 snapshot
+  bool is_ml_2021 = false;
+  std::vector<int> model_instances;  // indices into PlayStore::instances()
+  bool lazy_models = false;      // models fetched outside Play at runtime
+  std::vector<CloudProvider> cloud_apis;  // as of Apr'21
+  bool cloud_2020 = false;       // already used cloud ML APIs in Feb'20
+  bool uses_nnapi = false;
+  bool uses_xnnpack = false;
+  bool uses_snpe = false;
+  std::uint64_t seed = 0;
+
+  bool is_ml(Snapshot snap) const {
+    return snap == Snapshot::Feb2020 ? is_ml_2020 : is_ml_2021;
+  }
+  bool present(Snapshot snap) const {
+    return snap == Snapshot::Feb2020 ? present_2020 : present_2021;
+  }
+};
+
+struct StoreConfig {
+  std::uint64_t seed = 20210404;
+};
+
+class PlayStore {
+ public:
+  explicit PlayStore(const StoreConfig& config = {});
+
+  static const std::vector<std::string>& categories();
+
+  // ---- crawl API (what gaugeNN's crawler speaks) ----
+  struct ChartRequest {
+    std::string category;
+    Snapshot snapshot = Snapshot::Apr2021;
+    std::string locale = "en_GB";
+    std::string device_profile = "SM-G977B";  // S10 5G, as in the paper
+    std::size_t offset = 0;
+    std::size_t limit = 100;  // page size; the store caps charts at 500
+  };
+  // Returns one page of the category's top chart, sorted by installs.
+  std::vector<const AppEntry*> top_chart(const ChartRequest& request) const;
+
+  // Downloads an app's full package (APK + OBBs + asset packs) as Google
+  // Play would serve it for the given snapshot/device profile. Model file
+  // contents are identical across device profiles (the paper found no
+  // device-specific model distribution, §4.2).
+  util::Result<AppPackage> download(const std::string& package,
+                                    Snapshot snapshot,
+                                    const std::string& device_profile) const;
+
+  const AppEntry* find(const std::string& package) const;
+
+  // ---- world introspection (ground truth for tests/benches) ----
+  const std::vector<AppEntry>& apps() const { return apps_; }
+  const std::vector<UniqueModel>& unique_models() const { return unique_; }
+  const std::vector<ModelInstance>& instances() const { return instances_; }
+
+  // Materialises the graph of a unique model (deterministic per id).
+  nn::Graph build_unique_model(int unique_id) const;
+  // Serialises a unique model into its on-disk file set (filename -> bytes);
+  // caffe/ncnn produce two files, the rest one. Results are memoised per
+  // unique id (PlayStore is not thread-safe).
+  std::vector<std::pair<std::string, util::Bytes>> serialize_model(
+      int unique_id) const;
+
+  // Ground-truth counts, handy for calibration tests.
+  std::size_t app_count(Snapshot snap) const;
+  std::size_t ml_app_count(Snapshot snap) const;
+  std::size_t model_instance_count(Snapshot snap) const;
+
+ private:
+  void generate();
+  StoreConfig config_;
+  std::vector<AppEntry> apps_;
+  std::vector<UniqueModel> unique_;
+  std::vector<ModelInstance> instances_;
+  std::map<std::string, std::size_t> package_index_;
+  // Per-category app lists sorted by installs (both snapshots share order).
+  std::map<std::string, std::vector<std::size_t>> by_category_;
+  mutable std::map<int, std::vector<std::pair<std::string, util::Bytes>>>
+      model_file_cache_;
+};
+
+}  // namespace gauge::android

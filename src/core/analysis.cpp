@@ -1,0 +1,138 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "nn/checksum.hpp"
+
+namespace gauge::core {
+
+UniquenessReport analyze_uniqueness(const SnapshotDataset& dataset) {
+  UniquenessReport report;
+  report.total_models = dataset.models.size();
+  if (dataset.models.empty()) return report;
+
+  // checksum -> apps shipping it, plus one representative record.
+  std::map<std::string, std::set<std::string>> apps_by_checksum;
+  std::map<std::string, const ModelRecord*> representative;
+  for (const auto& model : dataset.models) {
+    apps_by_checksum[model.checksum].insert(model.app_package);
+    representative.emplace(model.checksum, &model);
+  }
+  report.unique_models = apps_by_checksum.size();
+  report.unique_fraction = static_cast<double>(report.unique_models) /
+                           static_cast<double>(report.total_models);
+
+  report.shared_across_apps_fraction = 1.0 - report.unique_fraction;
+
+  std::map<std::string, std::size_t> copy_counts;
+  for (const auto& model : dataset.models) copy_counts[model.checksum]++;
+  std::size_t shared_instances = 0;
+  for (const auto& model : dataset.models) {
+    if (copy_counts[model.checksum] >= 2 ||
+        apps_by_checksum[model.checksum].size() >= 2) {
+      ++shared_instances;
+    }
+  }
+  report.multi_copy_fraction = static_cast<double>(shared_instances) /
+                               static_cast<double>(report.total_models);
+
+  // Fine-tuning: pairwise layer-digest overlap among unique models.
+  std::vector<const ModelRecord*> uniques;
+  uniques.reserve(representative.size());
+  for (const auto& [_, record] : representative) uniques.push_back(record);
+
+  for (std::size_t i = 0; i < uniques.size(); ++i) {
+    bool shares = false;
+    bool small_delta = false;
+    for (std::size_t j = 0; j < uniques.size() && !(shares && small_delta);
+         ++j) {
+      if (i == j) continue;
+      const double frac = nn::shared_layer_fraction(uniques[i]->layer_digests,
+                                                    uniques[j]->layer_digests);
+      if (frac >= 0.2 && frac < 1.0) shares = true;
+      if (uniques[i]->architecture_checksum ==
+          uniques[j]->architecture_checksum) {
+        const int diff = nn::differing_layer_count(uniques[i]->layer_digests,
+                                                   uniques[j]->layer_digests);
+        if (diff > 0 && diff <= 3) small_delta = true;
+      }
+    }
+    if (shares) ++report.finetuned_models;
+    if (small_delta) ++report.small_delta_models;
+  }
+  report.finetuned_fraction = static_cast<double>(report.finetuned_models) /
+                              static_cast<double>(report.unique_models);
+  report.small_delta_fraction =
+      static_cast<double>(report.small_delta_models) /
+      static_cast<double>(report.unique_models);
+  return report;
+}
+
+OptimisationReport analyze_optimisations(const SnapshotDataset& dataset) {
+  OptimisationReport report;
+  report.total_models = dataset.models.size();
+  if (dataset.models.empty()) return report;
+
+  std::size_t dequant = 0, w8 = 0, a8 = 0;
+  double zero_weighted = 0.0;
+  double param_total = 0.0;
+  for (const auto& model : dataset.models) {
+    if (model.has_cluster_prefix) ++report.clustering_models;
+    if (model.has_prune_prefix) ++report.pruning_models;
+    if (model.has_dequantize_layer) ++dequant;
+    if (model.int8_weights) ++w8;
+    if (model.int8_activations) ++a8;
+    const auto params = static_cast<double>(model.trace.total_params);
+    zero_weighted += model.near_zero_weight_fraction * params;
+    param_total += params;
+  }
+  const auto n = static_cast<double>(report.total_models);
+  report.dequantize_fraction = static_cast<double>(dequant) / n;
+  report.int8_weight_fraction = static_cast<double>(w8) / n;
+  report.int8_act_fraction = static_cast<double>(a8) / n;
+  report.near_zero_weight_share =
+      param_total > 0.0 ? zero_weighted / param_total : 0.0;
+  return report;
+}
+
+std::vector<TemporalRow> temporal_diff(const SnapshotDataset& earlier,
+                                       const SnapshotDataset& later) {
+  using Key = std::tuple<std::string, std::string, std::string>;
+  std::map<std::string, std::set<Key>> earlier_by_cat, later_by_cat;
+  std::set<std::string> categories;
+  for (const auto& model : earlier.models) {
+    earlier_by_cat[model.category].insert(
+        {model.app_package, model.file_path, model.checksum});
+    categories.insert(model.category);
+  }
+  for (const auto& model : later.models) {
+    later_by_cat[model.category].insert(
+        {model.app_package, model.file_path, model.checksum});
+    categories.insert(model.category);
+  }
+
+  std::vector<TemporalRow> rows;
+  for (const auto& category : categories) {
+    const auto& before = earlier_by_cat[category];
+    const auto& after = later_by_cat[category];
+    TemporalRow row;
+    row.category = category;
+    for (const auto& key : after) {
+      if (!before.count(key)) ++row.added;
+    }
+    for (const auto& key : before) {
+      if (!after.count(key)) ++row.removed;
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const TemporalRow& a,
+                                         const TemporalRow& b) {
+    if (a.delta() != b.delta()) return a.delta() > b.delta();
+    return a.category < b.category;
+  });
+  return rows;
+}
+
+}  // namespace gauge::core

@@ -1,0 +1,59 @@
+// Offline analyses over a crawled snapshot: model uniqueness and
+// fine-tuning lineage (§4.5), the model-level optimisation census (§6.1)
+// and the cross-snapshot temporal diff (§4.6 / Fig. 5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace gauge::core {
+
+struct UniquenessReport {
+  std::size_t total_models = 0;
+  std::size_t unique_models = 0;
+  double unique_fraction = 0.0;  // paper: 19.1%
+  // The paper's "close to 80.9% of the models are shared across two or
+  // more applications" is the complement of the unique fraction; reported
+  // with the same arithmetic here.
+  double shared_across_apps_fraction = 0.0;
+  // Stricter instance-level metric: share of instances whose checksum
+  // appears in >= 2 copies or >= 2 apps.
+  double multi_copy_fraction = 0.0;
+  // Among unique models (duplicates excluded): how many share >= 20% of
+  // their weight layers with another unique model (paper: 9.02%) and how
+  // many differ from a same-architecture sibling in <= 3 layers (4.2%).
+  std::size_t finetuned_models = 0;
+  double finetuned_fraction = 0.0;
+  std::size_t small_delta_models = 0;
+  double small_delta_fraction = 0.0;
+};
+
+UniquenessReport analyze_uniqueness(const SnapshotDataset& dataset);
+
+struct OptimisationReport {
+  std::size_t total_models = 0;
+  std::size_t clustering_models = 0;  // "cluster_" prefix (paper: 0)
+  std::size_t pruning_models = 0;     // "prune_" prefix (paper: 0)
+  double dequantize_fraction = 0.0;   // paper: 10.3%
+  double int8_weight_fraction = 0.0;  // paper: 20.27%
+  double int8_act_fraction = 0.0;     // paper: 10.31%
+  double near_zero_weight_share = 0.0;  // weight-mass weighted; paper: 3.15%
+};
+
+OptimisationReport analyze_optimisations(const SnapshotDataset& dataset);
+
+struct TemporalRow {
+  std::string category;
+  int added = 0;    // model instances new in the later snapshot
+  int removed = 0;  // model instances gone from the earlier snapshot
+  int delta() const { return added - removed; }
+};
+
+// Instance identity = (app package, path, checksum). Rows sorted by delta,
+// descending — the Fig. 5 ordering.
+std::vector<TemporalRow> temporal_diff(const SnapshotDataset& earlier,
+                                       const SnapshotDataset& later);
+
+}  // namespace gauge::core

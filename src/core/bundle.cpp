@@ -1,0 +1,92 @@
+#include "core/bundle.hpp"
+
+#include "core/analysis.hpp"
+#include "core/report.hpp"
+#include "util/fileio.hpp"
+#include "util/strings.hpp"
+
+namespace gauge::core {
+
+util::Result<int> write_report_bundle(const SnapshotDataset& dataset,
+                                      const std::string& directory) {
+  using R = util::Result<int>;
+  if (auto status = util::make_directories(directory); !status.ok()) {
+    return R::failure(status.error());
+  }
+  int files = 0;
+  auto emit = [&](const std::string& name,
+                  const std::string& contents) -> util::Status {
+    auto status = util::write_file(directory + "/" + name, contents);
+    if (status.ok()) ++files;
+    return status;
+  };
+
+  // Raw per-app / per-model rows.
+  {
+    util::Table apps{{"package", "category", "installs", "uses_ml", "cloud",
+                      "candidate_files", "validated_models"}};
+    for (const auto& app : dataset.apps) {
+      apps.add_row({app.package, app.category, std::to_string(app.installs),
+                    app.uses_ml ? "1" : "0",
+                    app.cloud_providers.empty() ? "" : app.cloud_providers[0],
+                    std::to_string(app.candidate_files),
+                    std::to_string(app.validated_models)});
+    }
+    if (auto s = emit("apps.csv", apps.to_csv()); !s.ok()) return R::failure(s.error());
+  }
+  {
+    util::Table models{{"record_id", "package", "category", "framework",
+                        "path", "task", "modality", "flops", "params",
+                        "checksum"}};
+    for (const auto& model : dataset.models) {
+      models.add_row({std::to_string(model.record_id), model.app_package,
+                      model.category, formats::framework_name(model.framework),
+                      model.file_path, model.task,
+                      nn::modality_name(model.modality),
+                      std::to_string(model.trace.total_flops),
+                      std::to_string(model.trace.total_params),
+                      model.checksum});
+    }
+    if (auto s = emit("models.csv", models.to_csv()); !s.ok()) return R::failure(s.error());
+  }
+
+  // Raw documents as JSON Lines for bulk-loading into a real search stack.
+  if (auto s = emit("apps.jsonl", dataset.app_docs.query().to_jsonl()); !s.ok()) {
+    return R::failure(s.error());
+  }
+  if (auto s = emit("models.jsonl", dataset.model_docs.query().to_jsonl());
+      !s.ok()) {
+    return R::failure(s.error());
+  }
+
+  // Analysis tables.
+  const auto uniqueness = analyze_uniqueness(dataset);
+  const auto optimisations = analyze_optimisations(dataset);
+  const std::pair<const char*, std::string> tables[] = {
+      {"frameworks.csv", fig4_framework_totals(dataset).to_csv()},
+      {"tasks.csv", table3_tasks(dataset).to_csv()},
+      {"layer_families.csv", fig6_layer_composition(dataset).to_csv()},
+      {"uniqueness.csv", sec45_uniqueness(uniqueness).to_csv()},
+      {"optimisations.csv", sec61_optimisations(optimisations).to_csv()},
+      {"cloud.csv", fig15_cloud(dataset, 1).to_csv()},
+  };
+  for (const auto& [name, csv] : tables) {
+    if (auto s = emit(name, csv); !s.ok()) return R::failure(s.error());
+  }
+
+  std::string index = "# gaugeNN snapshot report\n\n";
+  index += util::format("- snapshot: %s\n",
+                        android::snapshot_name(dataset.snapshot));
+  index += util::format("- apps crawled: %zu\n", dataset.apps_crawled());
+  index += util::format("- ML apps: %zu\n", dataset.ml_apps());
+  index += util::format("- models: %zu (%zu unique)\n", dataset.total_models(),
+                        dataset.unique_model_count());
+  index +=
+      "\nfiles: apps.csv, models.csv, apps.jsonl, models.jsonl, "
+      "frameworks.csv, tasks.csv, layer_families.csv, uniqueness.csv, "
+      "optimisations.csv, cloud.csv\n";
+  if (auto s = emit("index.md", index); !s.ok()) return R::failure(s.error());
+  return files;
+}
+
+}  // namespace gauge::core

@@ -1,0 +1,29 @@
+// Report bundle: materialises a crawled snapshot's analyses as a directory
+// of CSV artifacts plus an index — what gaugeNN's operators would archive
+// per snapshot for downstream ETL.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "util/result.hpp"
+
+namespace gauge::core {
+
+// Writes into `directory` (created if needed):
+//   index.md            what's inside, with the snapshot's headline counts
+//   apps.csv            one row per crawled app
+//   models.csv          one row per validated model instance
+//   apps.jsonl          the same documents as JSON Lines (bulk-load format)
+//   models.jsonl
+//   frameworks.csv      Fig. 4 totals
+//   tasks.csv           Table 3
+//   layer_families.csv  Fig. 6
+//   uniqueness.csv      §4.5 summary
+//   optimisations.csv   §6.1 census
+//   cloud.csv           Fig. 15
+// Returns the number of files written.
+util::Result<int> write_report_bundle(const SnapshotDataset& dataset,
+                                      const std::string& directory);
+
+}  // namespace gauge::core

@@ -1,0 +1,292 @@
+#include "core/pipeline.hpp"
+
+#include <set>
+
+#include "android/detect.hpp"
+#include "core/taskclassify.hpp"
+#include "formats/caffe.hpp"
+#include "formats/ncnn.hpp"
+#include "formats/tfl.hpp"
+#include "formats/validate.hpp"
+#include "nn/checksum.hpp"
+#include "nn/zoo.hpp"
+#include "util/hash.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace gauge::core {
+
+namespace {
+
+// Replaces the (recognised) extension of `path` with `replacement`.
+std::string sibling_path(const std::string& path, const std::string& from,
+                         const std::string& replacement) {
+  const auto pos = util::to_lower(path).rfind(from);
+  if (pos == std::string::npos) return {};
+  std::string out = path;
+  out.replace(pos, from.size(), replacement);
+  return out;
+}
+
+// Parses one anchored model file (plus its weights sibling for the two-file
+// formats). Returns nullopt when parsing fails.
+struct ParsedModel {
+  nn::Graph graph;
+  formats::Framework framework;
+  std::size_t file_bytes = 0;
+};
+
+std::optional<ParsedModel> parse_model(const android::Apk& apk,
+                                       const std::string& path,
+                                       const util::Bytes& data,
+                                       formats::Framework framework) {
+  ParsedModel out;
+  out.framework = framework;
+  out.file_bytes = data.size();
+  switch (framework) {
+    case formats::Framework::TfLite: {
+      auto graph = formats::read_tfl(data);
+      if (!graph.ok()) return std::nullopt;
+      out.graph = std::move(graph).take();
+      return out;
+    }
+    case formats::Framework::TensorFlow: {
+      auto graph = formats::read_tf_pb(data);
+      if (!graph.ok()) return std::nullopt;
+      out.graph = std::move(graph).take();
+      return out;
+    }
+    case formats::Framework::Snpe: {
+      auto graph = formats::read_dlc(data);
+      if (!graph.ok()) return std::nullopt;
+      out.graph = std::move(graph).take();
+      return out;
+    }
+    case formats::Framework::Caffe: {
+      const std::string weights_path =
+          sibling_path(path, ".prototxt", ".caffemodel");
+      auto weights = apk.read(weights_path);
+      if (!weights.ok()) return std::nullopt;
+      auto graph = formats::read_caffe(std::string{util::as_view(data)},
+                                       weights.value());
+      if (!graph.ok()) return std::nullopt;
+      out.graph = std::move(graph).take();
+      out.file_bytes += weights.value().size();
+      return out;
+    }
+    case formats::Framework::Ncnn: {
+      const std::string weights_path = sibling_path(path, ".param", ".bin");
+      auto weights = apk.read(weights_path);
+      if (!weights.ok()) return std::nullopt;
+      auto graph = formats::read_ncnn(std::string{util::as_view(data)},
+                                      weights.value());
+      if (!graph.ok()) return std::nullopt;
+      out.graph = std::move(graph).take();
+      out.file_bytes += weights.value().size();
+      return out;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+// Weights-only companions of two-file formats: counted as candidates but
+// never anchor a model record.
+bool is_weights_companion(const std::string& path, const android::Apk& apk) {
+  const std::string ext = util::extension(path);
+  if (ext == ".caffemodel") {
+    return apk.read(sibling_path(path, ".caffemodel", ".prototxt")).ok();
+  }
+  if (ext == ".bin") {
+    return apk.read(sibling_path(path, ".bin", ".param")).ok();
+  }
+  return false;
+}
+
+ModelRecord analyse_model(ParsedModel parsed, const std::string& path,
+                          int record_id) {
+  ModelRecord record;
+  record.record_id = record_id;
+  record.framework = parsed.framework;
+  record.file_path = path;
+  record.file_bytes = parsed.file_bytes;
+
+  const nn::Graph& graph = parsed.graph;
+  record.checksum = nn::model_checksum(graph);
+  record.architecture_checksum = nn::architecture_checksum(graph);
+  record.layer_digests = nn::layer_weight_checksums(graph);
+
+  auto trace = nn::trace_model(graph);
+  if (trace.ok()) {
+    record.trace = std::move(trace).take();
+    record.op_family_counts = record.trace.op_family_counts();
+    record.modality = infer_modality(record.trace);
+    record.task = classify_task(
+        std::string{util::basename(graph.name.empty() ? path : graph.name)},
+        record.trace);
+  } else {
+    record.task = kUnidentified;
+  }
+
+  for (const auto& layer : graph.layers()) {
+    if (layer.name.starts_with("cluster_")) record.has_cluster_prefix = true;
+    if (layer.name.starts_with("prune_")) record.has_prune_prefix = true;
+    if (layer.type == nn::LayerType::Dequantize) {
+      record.has_dequantize_layer = true;
+    }
+    if (layer.has_weights() && layer.weight_bits == 8) {
+      record.int8_weights = true;
+    }
+    if (layer.act_bits == 8) record.int8_activations = true;
+  }
+  record.near_zero_weight_fraction = nn::near_zero_weight_fraction(graph);
+  return record;
+}
+
+}  // namespace
+
+std::size_t SnapshotDataset::ml_apps() const {
+  std::size_t count = 0;
+  for (const auto& app : apps) {
+    if (app.uses_ml) ++count;
+  }
+  return count;
+}
+
+std::size_t SnapshotDataset::apps_with_models() const {
+  std::size_t count = 0;
+  for (const auto& app : apps) {
+    if (!app.model_record_ids.empty()) ++count;
+  }
+  return count;
+}
+
+std::size_t SnapshotDataset::unique_model_count() const {
+  std::set<std::string> checksums;
+  for (const auto& model : models) checksums.insert(model.checksum);
+  return checksums.size();
+}
+
+SnapshotDataset run_pipeline(const android::PlayStore& play,
+                             const PipelineOptions& options) {
+  SnapshotDataset dataset;
+  dataset.snapshot = options.snapshot;
+
+  const auto& categories = options.categories.empty()
+                               ? android::PlayStore::categories()
+                               : options.categories;
+
+  std::set<std::string> crawled;  // apps can chart in several categories
+  // Duplicate model files (the common case: off-the-shelf models shipped by
+  // many apps) are analysed once and the record cloned per instance.
+  std::map<std::uint64_t, ModelRecord> analysis_cache;
+  for (const auto& category : categories) {
+    android::PlayStore::ChartRequest request;
+    request.category = category;
+    request.snapshot = options.snapshot;
+    request.device_profile = options.device_profile;
+    request.limit = options.max_apps_per_category;
+    const auto chart = play.top_chart(request);
+    util::log_info(util::format("crawling '%s': %zu apps", category.c_str(),
+                                chart.size()));
+
+    for (const android::AppEntry* entry : chart) {
+      if (!crawled.insert(entry->package).second) continue;
+
+      auto pkg = play.download(entry->package, options.snapshot,
+                               options.device_profile);
+      if (!pkg.ok()) {
+        util::log_warn("download failed: " + pkg.error());
+        continue;
+      }
+      auto apk = android::Apk::open(std::move(pkg.value().apk));
+      if (!apk.ok()) {
+        util::log_warn("bad apk for " + entry->package + ": " + apk.error());
+        continue;
+      }
+
+      AppRecord app;
+      app.package = entry->package;
+      app.title = entry->title;
+      app.category = entry->category;
+      app.installs = entry->installs;
+
+      // Static detection: ML stacks, delegates, cloud APIs.
+      for (const auto& hit : android::detect_ml_stacks(apk.value())) {
+        app.ml_stacks.push_back(android::ml_stack_name(hit.stack));
+        if (hit.stack == android::MlStack::NnApi) app.uses_nnapi = true;
+        if (hit.stack == android::MlStack::Xnnpack) app.uses_xnnpack = true;
+        if (hit.stack == android::MlStack::Snpe) app.uses_snpe = true;
+      }
+      app.uses_ml = android::uses_ml(apk.value());
+      for (const auto& hit : android::detect_cloud_apis(apk.value())) {
+        app.cloud_providers.push_back(
+            android::cloud_provider_name(hit.provider));
+      }
+
+      // Model extraction from the base APK.
+      for (const auto& name : apk.value().entry_names()) {
+        if (!formats::is_candidate_model_file(name)) continue;
+        app.candidate_files++;
+        auto data = apk.value().read(name);
+        if (!data.ok()) continue;
+        const auto framework = formats::validate_signature(name, data.value());
+        if (!framework) continue;  // obfuscated/encrypted or not a model
+        if (is_weights_companion(name, apk.value())) continue;
+        // Content key covers the graph file; two-file formats append the
+        // weights blob so fine-tuned caffe/ncnn variants don't collide.
+        std::uint64_t content_key = util::fnv1a64(data.value());
+        if (*framework == formats::Framework::Caffe ||
+            *framework == formats::Framework::Ncnn) {
+          const std::string weights_path =
+              *framework == formats::Framework::Caffe
+                  ? sibling_path(name, ".prototxt", ".caffemodel")
+                  : sibling_path(name, ".param", ".bin");
+          if (auto weights = apk.value().read(weights_path); weights.ok()) {
+            content_key =
+                content_key * 1099511628211ULL + util::fnv1a64(weights.value());
+          }
+        }
+        ModelRecord record;
+        const auto cached = analysis_cache.find(content_key);
+        if (cached != analysis_cache.end()) {
+          record = cached->second;
+          record.record_id = static_cast<int>(dataset.models.size());
+        } else {
+          auto parsed =
+              parse_model(apk.value(), name, data.value(), *framework);
+          if (!parsed) continue;
+          record = analyse_model(std::move(*parsed), name,
+                                 static_cast<int>(dataset.models.size()));
+          analysis_cache[content_key] = record;
+        }
+        record.app_package = app.package;
+        record.category = app.category;
+        app.validated_models++;
+        app.model_record_ids.push_back(record.record_id);
+        dataset.model_docs.insert(to_document(record));
+        dataset.models.push_back(std::move(record));
+      }
+
+      // §4.2: sweep post-install deliverables for models.
+      auto sweep = [&](const android::SideContainer& side) {
+        auto entries = android::side_container_entries(side);
+        if (!entries.ok()) return;
+        for (const auto& name : entries.value()) {
+          app.side_container_files++;
+          if (formats::is_candidate_model_file(name)) {
+            app.side_container_models++;
+          }
+        }
+      };
+      for (const auto& side : pkg.value().expansions) sweep(side);
+      for (const auto& side : pkg.value().asset_packs) sweep(side);
+
+      dataset.app_docs.insert(to_document(app));
+      dataset.apps.push_back(std::move(app));
+    }
+  }
+  return dataset;
+}
+
+}  // namespace gauge::core

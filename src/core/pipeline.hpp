@@ -1,0 +1,39 @@
+// The gaugeNN pipeline (paper Fig. 1): crawl the store's top charts, download
+// every app package, extract candidate model files from APK + OBBs + asset
+// packs, validate signatures, parse the survivors into graphs and build the
+// offline-analysis records (architecture, FLOPs/params, task, checksums,
+// optimisation census, cloud-API and ML-stack detection).
+#pragma once
+
+#include "android/playstore.hpp"
+#include "core/records.hpp"
+
+namespace gauge::core {
+
+struct PipelineOptions {
+  android::Snapshot snapshot = android::Snapshot::Apr2021;
+  std::string device_profile = "SM-G977B";  // the S10 5G used by the paper
+  // Restrict to specific categories (empty = all); mostly for tests.
+  std::vector<std::string> categories;
+  // Per-category crawl cap (the store itself caps charts at 500).
+  std::size_t max_apps_per_category = 500;
+};
+
+struct SnapshotDataset {
+  android::Snapshot snapshot = android::Snapshot::Apr2021;
+  std::vector<AppRecord> apps;
+  std::vector<ModelRecord> models;
+  store::DocStore app_docs;
+  store::DocStore model_docs;
+
+  std::size_t apps_crawled() const { return apps.size(); }
+  std::size_t ml_apps() const;
+  std::size_t apps_with_models() const;
+  std::size_t total_models() const { return models.size(); }
+  std::size_t unique_model_count() const;  // distinct md5 checksums
+};
+
+SnapshotDataset run_pipeline(const android::PlayStore& play,
+                             const PipelineOptions& options = {});
+
+}  // namespace gauge::core

@@ -1,0 +1,46 @@
+#include "core/records.hpp"
+
+namespace gauge::core {
+
+store::Document to_document(const AppRecord& app) {
+  store::Document doc;
+  doc["package"] = app.package;
+  doc["category"] = app.category;
+  doc["installs"] = app.installs;
+  doc["uses_ml"] = app.uses_ml;
+  doc["cloud"] = !app.cloud_providers.empty();
+  if (!app.cloud_providers.empty()) {
+    doc["cloud_provider"] = app.cloud_providers.front();
+  }
+  doc["uses_nnapi"] = app.uses_nnapi;
+  doc["uses_xnnpack"] = app.uses_xnnpack;
+  doc["uses_snpe"] = app.uses_snpe;
+  doc["candidate_files"] = app.candidate_files;
+  doc["validated_models"] = app.validated_models;
+  doc["model_count"] = static_cast<std::int64_t>(app.model_record_ids.size());
+  return doc;
+}
+
+store::Document to_document(const ModelRecord& model) {
+  store::Document doc;
+  doc["record_id"] = model.record_id;
+  doc["package"] = model.app_package;
+  doc["category"] = model.category;
+  doc["framework"] = formats::framework_name(model.framework);
+  doc["path"] = model.file_path;
+  doc["bytes"] = static_cast<std::int64_t>(model.file_bytes);
+  doc["checksum"] = model.checksum;
+  doc["arch_checksum"] = model.architecture_checksum;
+  doc["modality"] = nn::modality_name(model.modality);
+  doc["task"] = model.task;
+  doc["flops"] = static_cast<double>(model.trace.total_flops);
+  doc["params"] = static_cast<double>(model.trace.total_params);
+  doc["layers"] = static_cast<std::int64_t>(model.trace.layers.size());
+  doc["has_dequantize"] = model.has_dequantize_layer;
+  doc["int8_weights"] = model.int8_weights;
+  doc["int8_activations"] = model.int8_activations;
+  doc["near_zero_fraction"] = model.near_zero_weight_fraction;
+  return doc;
+}
+
+}  // namespace gauge::core

@@ -1,0 +1,68 @@
+// Analysis records produced by the gaugeNN pipeline. ModelRecord keeps a
+// model's *analysis* surface (checksums, trace, layer census, quantisation
+// facts) rather than the full graph, so a whole snapshot stays small in
+// memory; graphs can always be re-materialised from the store by id.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "formats/registry.hpp"
+#include "nn/graph.hpp"
+#include "nn/trace.hpp"
+#include "store/docstore.hpp"
+
+namespace gauge::core {
+
+struct ModelRecord {
+  int record_id = 0;
+  std::string app_package;
+  std::string category;
+  formats::Framework framework = formats::Framework::TfLite;
+  std::string file_path;   // path inside the APK
+  std::size_t file_bytes = 0;
+
+  // Identity.
+  std::string checksum;               // md5 over graph + weights
+  std::string architecture_checksum;  // md5 over graph only
+  std::vector<std::string> layer_digests;
+
+  // Offline analysis.
+  nn::Modality modality = nn::Modality::Unknown;
+  std::string task;  // classifier output; "unidentified" when voting fails
+  nn::ModelTrace trace;
+  std::map<std::string, std::int64_t> op_family_counts;
+
+  // Optimisation census (§6.1).
+  bool has_cluster_prefix = false;
+  bool has_prune_prefix = false;
+  bool has_dequantize_layer = false;
+  bool int8_weights = false;
+  bool int8_activations = false;
+  double near_zero_weight_fraction = 0.0;
+};
+
+struct AppRecord {
+  std::string package;
+  std::string title;
+  std::string category;
+  std::int64_t installs = 0;
+  bool uses_ml = false;  // ML library present (§3.1 criterion)
+  std::vector<std::string> ml_stacks;
+  std::vector<std::string> cloud_providers;
+  bool uses_nnapi = false;
+  bool uses_xnnpack = false;
+  bool uses_snpe = false;
+  int candidate_files = 0;   // extension-matched files
+  int validated_models = 0;  // passed signature validation + parse
+  std::vector<int> model_record_ids;
+  int side_container_files = 0;  // OBB/asset-pack entries swept (§4.2)
+  int side_container_models = 0;  // model candidates found there (expect 0)
+};
+
+// ElasticSearch-style projections for ETL queries.
+store::Document to_document(const AppRecord& app);
+store::Document to_document(const ModelRecord& model);
+
+}  // namespace gauge::core

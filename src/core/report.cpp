@@ -1,0 +1,294 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/taskclassify.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace gauge::core {
+
+namespace {
+
+const std::vector<std::string>& framework_order() {
+  static const std::vector<std::string> kOrder = {"TFLite", "caffe", "ncnn",
+                                                  "TF", "SNPE"};
+  return kOrder;
+}
+
+}  // namespace
+
+util::Table table2_dataset(const SnapshotDataset& dataset) {
+  util::Table table{{"metric", "value"}};
+  const auto ml = dataset.ml_apps();
+  const auto with_models = dataset.apps_with_models();
+  const auto total = dataset.total_models();
+  const auto unique = dataset.unique_model_count();
+  table.add_row({"Apps crawled", std::to_string(dataset.apps_crawled())});
+  table.add_row(
+      {"Apps w/ ML libraries",
+       util::format("%zu (%s)", ml,
+                    util::Table::pct(static_cast<double>(ml) /
+                                     static_cast<double>(dataset.apps_crawled()))
+                        .c_str())});
+  table.add_row(
+      {"Apps w/ extracted models",
+       util::format("%zu (%s)", with_models,
+                    util::Table::pct(static_cast<double>(with_models) /
+                                     static_cast<double>(dataset.apps_crawled()))
+                        .c_str())});
+  table.add_row({"Models extracted & validated", std::to_string(total)});
+  table.add_row(
+      {"Unique models",
+       util::format("%zu (%s)", unique,
+                    util::Table::pct(static_cast<double>(unique) /
+                                     std::max<double>(1.0, static_cast<double>(total)))
+                        .c_str())});
+  return table;
+}
+
+util::Table fig4_frameworks(const SnapshotDataset& dataset, int min_models) {
+  // category -> framework -> count
+  std::map<std::string, std::map<std::string, int>> grid;
+  std::map<std::string, int> per_category;
+  for (const auto& model : dataset.models) {
+    const std::string fw = formats::framework_name(model.framework);
+    grid[model.category][fw]++;
+    per_category[model.category]++;
+  }
+
+  std::vector<std::pair<int, std::string>> ordered;
+  for (const auto& [category, count] : per_category) {
+    if (count >= min_models) ordered.emplace_back(count, category);
+  }
+  std::sort(ordered.begin(), ordered.end(), std::greater<>());
+
+  std::vector<std::string> header{"category", "total"};
+  for (const auto& fw : framework_order()) header.push_back(fw);
+  util::Table table{header};
+  for (const auto& [count, category] : ordered) {
+    std::vector<std::string> row{category, std::to_string(count)};
+    for (const auto& fw : framework_order()) {
+      const auto it = grid[category].find(fw);
+      row.push_back(std::to_string(it == grid[category].end() ? 0 : it->second));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+util::Table fig4_framework_totals(const SnapshotDataset& dataset) {
+  std::map<std::string, int> totals;
+  for (const auto& model : dataset.models) {
+    totals[formats::framework_name(model.framework)]++;
+  }
+  util::Table table{{"framework", "models", "share"}};
+  for (const auto& fw : framework_order()) {
+    const int count = totals.count(fw) ? totals[fw] : 0;
+    table.add_row({fw, std::to_string(count),
+                   util::Table::pct(static_cast<double>(count) /
+                                    std::max<double>(
+                                        1.0, static_cast<double>(
+                                                 dataset.models.size())))});
+  }
+  return table;
+}
+
+util::Table table3_tasks(const SnapshotDataset& dataset) {
+  // modality -> task -> count; identified models only, as in the paper.
+  std::map<std::string, std::map<std::string, int>> groups;
+  std::map<std::string, int> modality_totals;
+  std::size_t identified = 0;
+  for (const auto& model : dataset.models) {
+    if (model.task == kUnidentified) continue;
+    ++identified;
+    const std::string modality = nn::modality_name(model.modality);
+    groups[modality][model.task]++;
+    modality_totals[modality]++;
+  }
+
+  util::Table table{{"modality", "task", "models", "share of modality"}};
+  for (const char* modality : {"image", "text", "audio", "sensor"}) {
+    auto it = groups.find(modality);
+    if (it == groups.end()) continue;
+    std::vector<std::pair<int, std::string>> ordered;
+    for (const auto& [task, count] : it->second) ordered.emplace_back(count, task);
+    std::sort(ordered.begin(), ordered.end(), std::greater<>());
+    for (const auto& [count, task] : ordered) {
+      table.add_row({modality, task, std::to_string(count),
+                     util::Table::pct(static_cast<double>(count) /
+                                      modality_totals[modality])});
+    }
+  }
+  table.add_row({"(identified)", "",
+                 std::to_string(identified),
+                 util::Table::pct(static_cast<double>(identified) /
+                                  std::max<double>(1.0, static_cast<double>(
+                                                            dataset.models.size())))});
+  return table;
+}
+
+util::Table fig5_temporal(const SnapshotDataset& earlier,
+                          const SnapshotDataset& later) {
+  const auto rows = temporal_diff(earlier, later);
+  util::Table table{{"category", "added", "removed", "delta"}};
+  for (const auto& row : rows) {
+    table.add_row({row.category, std::to_string(row.added),
+                   std::to_string(row.removed), std::to_string(row.delta())});
+  }
+  return table;
+}
+
+util::Table fig6_layer_composition(const SnapshotDataset& dataset) {
+  // modality -> op family -> layer count
+  std::map<std::string, std::map<std::string, std::int64_t>> counts;
+  std::map<std::string, std::int64_t> totals;
+  for (const auto& model : dataset.models) {
+    const std::string modality = nn::modality_name(model.modality);
+    for (const auto& [family, count] : model.op_family_counts) {
+      counts[modality][family] += count;
+      totals[modality] += count;
+    }
+  }
+  // Collect all families for a stable column set.
+  std::set<std::string> families;
+  for (const auto& [_, family_counts] : counts) {
+    for (const auto& [family, __] : family_counts) families.insert(family);
+  }
+  std::vector<std::string> header{"modality"};
+  for (const auto& family : families) header.push_back(family);
+  util::Table table{header};
+  for (const char* modality : {"image", "text", "audio", "sensor"}) {
+    if (!totals.count(modality)) continue;
+    std::vector<std::string> row{modality};
+    for (const auto& family : families) {
+      const auto it = counts[modality].find(family);
+      const double share =
+          it == counts[modality].end()
+              ? 0.0
+              : static_cast<double>(it->second) /
+                    static_cast<double>(totals[modality]);
+      row.push_back(util::Table::pct(share));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+util::Table fig7_flops_params(const SnapshotDataset& dataset) {
+  struct Acc {
+    std::vector<double> flops;
+    std::vector<double> params;
+  };
+  std::map<std::string, Acc> by_task;
+  for (const auto& model : dataset.models) {
+    if (model.task == kUnidentified) continue;
+    by_task[model.task].flops.push_back(
+        static_cast<double>(model.trace.total_flops));
+    by_task[model.task].params.push_back(
+        static_cast<double>(model.trace.total_params));
+  }
+  util::Table table{{"task", "models", "median MFLOPs", "min", "max",
+                     "median Kparams", "min", "max"}};
+  std::vector<std::pair<double, std::string>> ordered;
+  for (auto& [task, acc] : by_task) {
+    ordered.emplace_back(util::median(acc.flops), task);
+  }
+  std::sort(ordered.begin(), ordered.end(), std::greater<>());
+  for (const auto& [_, task] : ordered) {
+    auto& acc = by_task[task];
+    const auto fl = util::summarize(acc.flops);
+    const auto pr = util::summarize(acc.params);
+    table.add_row({task, std::to_string(acc.flops.size()),
+                   util::Table::num(fl.median / 1e6), util::Table::num(fl.min / 1e6),
+                   util::Table::num(fl.max / 1e6), util::Table::num(pr.median / 1e3),
+                   util::Table::num(pr.min / 1e3), util::Table::num(pr.max / 1e3)});
+  }
+  return table;
+}
+
+util::Table fig15_cloud(const SnapshotDataset& dataset, int min_apps) {
+  std::map<std::string, std::map<std::string, int>> grid;  // cat -> provider
+  std::map<std::string, int> per_category;
+  std::map<std::string, int> per_provider;
+  int total = 0;
+  for (const auto& app : dataset.apps) {
+    if (app.cloud_providers.empty()) continue;
+    ++total;
+    per_category[app.category]++;
+    grid[app.category][app.cloud_providers.front()]++;
+    per_provider[app.cloud_providers.front()]++;
+  }
+  std::vector<std::pair<int, std::string>> ordered;
+  for (const auto& [category, count] : per_category) {
+    if (count >= min_apps) ordered.emplace_back(count, category);
+  }
+  std::sort(ordered.begin(), ordered.end(), std::greater<>());
+
+  util::Table table{{"category", "apps", "Google", "Amazon"}};
+  for (const auto& [count, category] : ordered) {
+    const int google = grid[category]["Google Firebase ML"] +
+                       grid[category]["Google Cloud"];
+    const int amazon = grid[category]["Amazon AWS"];
+    table.add_row({category, std::to_string(count), std::to_string(google),
+                   std::to_string(amazon)});
+  }
+  const int google_total = per_provider["Google Firebase ML"] +
+                           per_provider["Google Cloud"];
+  table.add_row({"(total)", std::to_string(total),
+                 std::to_string(google_total),
+                 std::to_string(per_provider["Amazon AWS"])});
+  return table;
+}
+
+util::Table sec42_distribution(const SnapshotDataset& dataset) {
+  std::int64_t side_files = 0, side_models = 0, apps_with_side = 0;
+  for (const auto& app : dataset.apps) {
+    side_files += app.side_container_files;
+    side_models += app.side_container_models;
+    if (app.side_container_files > 0) ++apps_with_side;
+  }
+  util::Table table{{"metric", "value"}};
+  table.add_row({"Apps with OBBs / asset packs", std::to_string(apps_with_side)});
+  table.add_row({"Files swept in side containers", std::to_string(side_files)});
+  table.add_row({"Model candidates found there", std::to_string(side_models)});
+  return table;
+}
+
+util::Table sec45_uniqueness(const UniquenessReport& report) {
+  util::Table table{{"metric", "value"}};
+  table.add_row({"Model instances", std::to_string(report.total_models)});
+  table.add_row({"Unique models",
+                 util::format("%zu (%s)", report.unique_models,
+                              util::Table::pct(report.unique_fraction).c_str())});
+  table.add_row({"Instances shared across >=2 apps",
+                 util::Table::pct(report.shared_across_apps_fraction)});
+  table.add_row({"Unique models sharing >=20% of layers",
+                 util::format("%zu (%s)", report.finetuned_models,
+                              util::Table::pct(report.finetuned_fraction).c_str())});
+  table.add_row({"Unique models differing in <=3 layers",
+                 util::format("%zu (%s)", report.small_delta_models,
+                              util::Table::pct(report.small_delta_fraction).c_str())});
+  return table;
+}
+
+util::Table sec61_optimisations(const OptimisationReport& report) {
+  util::Table table{{"optimisation", "value"}};
+  table.add_row({"Models with cluster_ layers",
+                 std::to_string(report.clustering_models)});
+  table.add_row({"Models with prune_ layers",
+                 std::to_string(report.pruning_models)});
+  table.add_row({"Models using dequantize layer",
+                 util::Table::pct(report.dequantize_fraction)});
+  table.add_row({"Models with int8 weights",
+                 util::Table::pct(report.int8_weight_fraction)});
+  table.add_row({"Models with int8 activations",
+                 util::Table::pct(report.int8_act_fraction)});
+  table.add_row({"Near-zero weight share",
+                 util::Table::pct(report.near_zero_weight_share)});
+  return table;
+}
+
+}  // namespace gauge::core

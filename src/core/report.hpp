@@ -1,0 +1,46 @@
+// Report builders: turn a crawled snapshot (and its analyses) into the
+// paper's offline tables/figures as printable util::Table objects. Runtime
+// figures (8-14) are assembled in bench/ from core/runtime.hpp rows.
+#pragma once
+
+#include "core/analysis.hpp"
+#include "core/pipeline.hpp"
+#include "util/table.hpp"
+
+namespace gauge::core {
+
+// Table 2: dataset snapshot details.
+util::Table table2_dataset(const SnapshotDataset& dataset);
+
+// Fig. 4: #models per framework x Play category (categories with fewer than
+// `min_models` models are excluded, as in the paper's plot).
+util::Table fig4_frameworks(const SnapshotDataset& dataset,
+                            int min_models = 20);
+// Framework totals helper for the same figure.
+util::Table fig4_framework_totals(const SnapshotDataset& dataset);
+
+// Table 3: DNN task classification grouped by modality.
+util::Table table3_tasks(const SnapshotDataset& dataset);
+
+// Fig. 5: individual models removed/added between two snapshots.
+util::Table fig5_temporal(const SnapshotDataset& earlier,
+                          const SnapshotDataset& later);
+
+// Fig. 6: layer composition per input modality (percent per op family).
+util::Table fig6_layer_composition(const SnapshotDataset& dataset);
+
+// Fig. 7: FLOPs and parameters per task (count/median/min/max).
+util::Table fig7_flops_params(const SnapshotDataset& dataset);
+
+// Fig. 15: #apps invoking cloud ML APIs per category (categories with fewer
+// than `min_apps` are excluded, as in the paper's plot).
+util::Table fig15_cloud(const SnapshotDataset& dataset, int min_apps = 10);
+
+// §4.2: model distribution sweep over post-install deliverables.
+util::Table sec42_distribution(const SnapshotDataset& dataset);
+
+// §4.5 uniqueness + §6.1 optimisation summaries.
+util::Table sec45_uniqueness(const UniquenessReport& report);
+util::Table sec61_optimisations(const OptimisationReport& report);
+
+}  // namespace gauge::core

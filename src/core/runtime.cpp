@@ -1,0 +1,71 @@
+#include "core/runtime.hpp"
+
+#include <set>
+
+namespace gauge::core {
+
+namespace {
+
+RunRow make_row(const ModelRecord& model, const device::Device& dev,
+                const device::RunConfig& config) {
+  const auto result =
+      device::simulate_inference(dev, model.trace, config, model.checksum);
+  RunRow row;
+  row.checksum = model.checksum;
+  row.task = model.task;
+  row.framework = formats::framework_name(model.framework);
+  row.device = dev.name;
+  row.backend = device::backend_name(config.backend);
+  row.thread_label = config.threads.label();
+  row.batch = config.batch;
+  row.flops = result.flops;
+  row.latency_ms = result.latency_s * 1e3;
+  row.energy_mj = result.soc_energy_j * 1e3;
+  row.power_w = result.avg_power_w;
+  row.throughput_ips = result.throughput_ips;
+  row.efficiency_mflops_sw = result.efficiency_mflops_sw;
+  row.cpu_fallback = result.cpu_fallback;
+  return row;
+}
+
+}  // namespace
+
+std::vector<const ModelRecord*> distinct_models(
+    const SnapshotDataset& dataset) {
+  std::set<std::string> seen;
+  std::vector<const ModelRecord*> out;
+  for (const auto& model : dataset.models) {
+    if (seen.insert(model.checksum).second) out.push_back(&model);
+  }
+  return out;
+}
+
+std::vector<RunRow> sweep_devices(const SnapshotDataset& dataset,
+                                  const std::vector<device::Device>& devices,
+                                  const device::RunConfig& config) {
+  std::vector<RunRow> rows;
+  const auto models = distinct_models(dataset);
+  rows.reserve(models.size() * devices.size());
+  for (const auto& dev : devices) {
+    for (const ModelRecord* model : models) {
+      rows.push_back(make_row(*model, dev, config));
+    }
+  }
+  return rows;
+}
+
+std::vector<RunRow> sweep_configs(
+    const SnapshotDataset& dataset, const device::Device& device,
+    const std::vector<device::RunConfig>& configs) {
+  std::vector<RunRow> rows;
+  const auto models = distinct_models(dataset);
+  rows.reserve(models.size() * configs.size());
+  for (const auto& config : configs) {
+    for (const ModelRecord* model : models) {
+      rows.push_back(make_row(*model, device, config));
+    }
+  }
+  return rows;
+}
+
+}  // namespace gauge::core

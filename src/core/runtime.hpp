@@ -1,0 +1,48 @@
+// On-device runtime analysis (paper §5): sweeps the crawled model population
+// across the Table 1 devices via the analytic device model, producing the
+// rows behind Figs. 8-14. Deduplicates by checksum first — the paper
+// benchmarks the distinct models, not every shipped copy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "device/latency.hpp"
+#include "device/soc.hpp"
+
+namespace gauge::core {
+
+struct RunRow {
+  std::string checksum;
+  std::string task;
+  std::string framework;
+  std::string device;
+  std::string backend;
+  std::string thread_label;
+  int batch = 1;
+  double flops = 0.0;
+  double latency_ms = 0.0;
+  double energy_mj = 0.0;       // SoC energy (screen share excluded)
+  double power_w = 0.0;
+  double throughput_ips = 0.0;
+  double efficiency_mflops_sw = 0.0;
+  bool cpu_fallback = false;
+};
+
+// Distinct models of a dataset (one record per checksum).
+std::vector<const ModelRecord*> distinct_models(const SnapshotDataset& dataset);
+
+// Runs every distinct model on every device with the given config.
+std::vector<RunRow> sweep_devices(const SnapshotDataset& dataset,
+                                  const std::vector<device::Device>& devices,
+                                  const device::RunConfig& config = {});
+
+// Runs every distinct model on one device across several configs (used by
+// the batch/thread/backend studies). Configs are labelled by backend,
+// thread label and batch inside the rows.
+std::vector<RunRow> sweep_configs(const SnapshotDataset& dataset,
+                                  const device::Device& device,
+                                  const std::vector<device::RunConfig>& configs);
+
+}  // namespace gauge::core

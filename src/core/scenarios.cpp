@@ -1,0 +1,90 @@
+#include "core/scenarios.hpp"
+
+#include <cmath>
+
+#include "core/runtime.hpp"
+#include "device/latency.hpp"
+#include "util/stats.hpp"
+
+namespace gauge::core {
+
+namespace {
+
+ScenarioStats stats_from(const std::vector<double>& mah) {
+  ScenarioStats stats;
+  stats.models = mah.size();
+  if (mah.empty()) return stats;
+  const auto summary = util::summarize(mah);
+  stats.avg_mah = summary.mean;
+  stats.stdev_mah = summary.stdev;
+  stats.median_mah = summary.median;
+  stats.min_mah = summary.min;
+  stats.max_mah = summary.max;
+  return stats;
+}
+
+// Inference count for a sound-recognition model: the model consumes an
+// audio window of `frames x hop` seconds per forward pass.
+double sound_inferences(const nn::ModelTrace& trace,
+                        const ScenarioAssumptions& assumptions) {
+  // Input is [1, frames, mel, 1] (CNN) or [1, frames, features] (RNN).
+  double frames = 16.0;
+  for (const auto& layer : trace.layers) {
+    if (layer.type == nn::LayerType::Input && layer.output_shape.rank() >= 2) {
+      frames = static_cast<double>(layer.output_shape[1]);
+      break;
+    }
+  }
+  const double window_s = std::max(frames * assumptions.frame_hop_s, 1e-3);
+  return assumptions.audio_hours * 3600.0 / window_s;
+}
+
+double scenario_mah(const device::Device& dev, const ModelRecord& model,
+                    double inferences, double total_span_s) {
+  // Steady-state thermal: long scenarios run at the sustained factor.
+  device::RunConfig config;
+  config.sustained_seconds = total_span_s > 60.0 ? 300.0 : 0.0;
+  const auto r =
+      device::simulate_inference(dev, model.trace, config, model.checksum);
+  const double energy_j = r.soc_energy_j * inferences;
+  return device::battery_drain_mah(dev, energy_j);
+}
+
+}  // namespace
+
+double battery_share(double mah, double battery_mah) {
+  return battery_mah > 0.0 ? mah / battery_mah : 0.0;
+}
+
+std::vector<ScenarioReport> run_scenarios(
+    const SnapshotDataset& dataset, const std::vector<device::Device>& devices,
+    const ScenarioAssumptions& assumptions) {
+  const auto models = distinct_models(dataset);
+
+  std::vector<ScenarioReport> reports;
+  for (const auto& dev : devices) {
+    ScenarioReport report;
+    report.device = dev.name;
+    std::vector<double> sound, typing, segmentation;
+    for (const ModelRecord* model : models) {
+      if (model->task == "sound recognition") {
+        sound.push_back(scenario_mah(
+            dev, *model, sound_inferences(model->trace, assumptions), 3600.0));
+      } else if (model->task == "auto-complete") {
+        typing.push_back(scenario_mah(
+            dev, *model, static_cast<double>(assumptions.words_typed), 60.0));
+      } else if (model->task == "semantic segmentation") {
+        segmentation.push_back(scenario_mah(
+            dev, *model,
+            assumptions.video_hours * 3600.0 * assumptions.video_fps, 3600.0));
+      }
+    }
+    report.sound_recognition = stats_from(sound);
+    report.typing = stats_from(typing);
+    report.segmentation = stats_from(segmentation);
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+}  // namespace gauge::core

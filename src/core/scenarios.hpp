@@ -1,0 +1,51 @@
+// Use-case driven energy analysis (paper §5.2.2 / Table 4): three realistic
+// workloads, one per modality, costed over all matching models on the three
+// development boards.
+//   sound recognition : classify 1 hour of audio; audio-per-inference comes
+//                       from the model's input window (10 ms frame hop)
+//   typing            : one inference per word, 275 words/day (WhatsApp avg)
+//   segmentation      : 1-hour video call at 15 FPS, one frame per inference
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "device/soc.hpp"
+
+namespace gauge::core {
+
+struct ScenarioStats {
+  std::size_t models = 0;
+  double avg_mah = 0.0;
+  double stdev_mah = 0.0;
+  double median_mah = 0.0;
+  double min_mah = 0.0;
+  double max_mah = 0.0;
+};
+
+struct ScenarioReport {
+  std::string device;
+  ScenarioStats sound_recognition;
+  ScenarioStats typing;
+  ScenarioStats segmentation;
+};
+
+struct ScenarioAssumptions {
+  double audio_hours = 1.0;
+  double frame_hop_s = 0.010;   // audio frames per inference = input window
+  int words_typed = 275;
+  double video_hours = 1.0;
+  double video_fps = 15.0;
+};
+
+std::vector<ScenarioReport> run_scenarios(
+    const SnapshotDataset& dataset,
+    const std::vector<device::Device>& devices,
+    const ScenarioAssumptions& assumptions = {});
+
+// Battery-life framing (§5.2.2): fraction of a reference battery one hour
+// of the given scenario consumes.
+double battery_share(double mah, double battery_mah);
+
+}  // namespace gauge::core

@@ -1,0 +1,194 @@
+#include "core/taskclassify.hpp"
+
+#include <array>
+#include <map>
+
+#include "util/strings.hpp"
+
+namespace gauge::core {
+
+namespace {
+
+struct Keyword {
+  const char* fragment;
+  const char* task;
+};
+
+// Name hints, checked in order (more specific first).
+constexpr std::array kKeywords = {
+    Keyword{"object_detection", "object detection"},
+    Keyword{"face_detection", "face detection"},
+    Keyword{"blazeface", "face detection"},
+    Keyword{"contour_detection", "contour detection"},
+    Keyword{"contour", "contour detection"},
+    Keyword{"text_recognition", "text recognition"},
+    Keyword{"ocr", "text recognition"},
+    Keyword{"augmented_reality", "augmented reality"},
+    Keyword{"semantic_segmentation", "semantic segmentation"},
+    Keyword{"segmentation", "semantic segmentation"},
+    Keyword{"object_recognition", "object recognition"},
+    Keyword{"pose_estimation", "pose estimation"},
+    Keyword{"photo_beauty", "photo beauty"},
+    Keyword{"beauty", "photo beauty"},
+    Keyword{"image_classification", "image classification"},
+    Keyword{"nudity_detection", "nudity detection"},
+    Keyword{"other_vision", "other vision"},
+    Keyword{"auto_complete", "auto-complete"},
+    Keyword{"autocomplete", "auto-complete"},
+    Keyword{"sentiment_prediction", "sentiment prediction"},
+    Keyword{"sentiment", "sentiment prediction"},
+    Keyword{"content_filter", "content filter"},
+    Keyword{"text_classification", "text classification"},
+    Keyword{"translation", "translation"},
+    Keyword{"sound_recognition", "sound recognition"},
+    Keyword{"speech_recognition", "speech recognition"},
+    Keyword{"keyword_detection", "keyword detection"},
+    Keyword{"movement_tracking", "movement tracking"},
+    Keyword{"crash_detection", "crash detection"},
+    Keyword{"fssd", "object detection"},
+    Keyword{"ssd", "object detection"},
+};
+
+bool has_layer(const nn::ModelTrace& trace, nn::LayerType type) {
+  for (const auto& layer : trace.layers) {
+    if (layer.type == type) return true;
+  }
+  return false;
+}
+
+const nn::Shape* input_shape(const nn::ModelTrace& trace) {
+  for (const auto& layer : trace.layers) {
+    if (layer.type == nn::LayerType::Input) return &layer.output_shape;
+  }
+  return nullptr;
+}
+
+// The last layer's output shape (single-output models; good enough for the
+// heuristics, exactly as a human eyeballing Netron would use).
+const nn::Shape* output_shape(const nn::ModelTrace& trace) {
+  if (trace.layers.empty()) return nullptr;
+  return &trace.layers.back().output_shape;
+}
+
+}  // namespace
+
+nn::Modality infer_modality(const nn::ModelTrace& trace) {
+  const nn::Shape* in = input_shape(trace);
+  if (in == nullptr) return nn::Modality::Unknown;
+  if (in->rank() == 4) {
+    // Square spatial input = camera frame. Rectangular inputs are ambiguous
+    // between spectrograms and OCR text lines; a recurrent decoder marks
+    // the CRNN-style OCR models as vision (what a human label-er does).
+    if ((*in)[1] == (*in)[2]) return nn::Modality::Image;
+    for (const auto& layer : trace.layers) {
+      if (layer.type == nn::LayerType::Lstm) return nn::Modality::Image;
+    }
+    return nn::Modality::Audio;
+  }
+  if (in->rank() == 3) return nn::Modality::Audio;  // [N, frames, features]
+  if (in->rank() == 2) {
+    // Token ids (fed to an embedding) vs flattened sensor windows.
+    if (has_layer(trace, nn::LayerType::Embedding)) return nn::Modality::Text;
+    return nn::Modality::Sensor;
+  }
+  return nn::Modality::Unknown;
+}
+
+std::string classify_by_name(const std::string& name) {
+  const std::string lower = util::to_lower(name);
+  for (const auto& kw : kKeywords) {
+    if (lower.find(kw.fragment) != std::string::npos) return kw.task;
+  }
+  return kUnidentified;
+}
+
+std::string classify_by_io(const nn::ModelTrace& trace) {
+  const nn::Shape* in = input_shape(trace);
+  const nn::Shape* out = output_shape(trace);
+  if (in == nullptr || out == nullptr) return kUnidentified;
+
+  const nn::Modality modality = infer_modality(trace);
+  if (modality == nn::Modality::Image) {
+    if (out->rank() == 4) {
+      // Dense spatial outputs: channel count tells the head apart.
+      const std::int64_t channels = out->dims.back();
+      if (channels == 2) return "semantic segmentation";
+      if (channels == 17) return "pose estimation";
+      if (channels == 4) return "contour detection";
+      if (channels == 3) return "photo beauty";
+      return kUnidentified;
+    }
+    if (out->rank() == 2) {
+      // Flattened heads: large = detection boxes+scores, small = classes.
+      if (out->dims.back() > 500) return "object detection";
+      if (out->dims.back() <= 50) return "image classification";
+      return kUnidentified;
+    }
+    if (out->rank() == 3) return "text recognition";  // per-step char probs
+    return kUnidentified;
+  }
+  if (modality == nn::Modality::Text) {
+    if (out->dims.back() >= 100) return "auto-complete";  // vocabulary logits
+    if (out->dims.back() <= 3) return "sentiment prediction";
+    return kUnidentified;
+  }
+  if (modality == nn::Modality::Audio) {
+    if (out->dims.back() == 29) return "speech recognition";  // characters
+    if (out->rank() == 2) return "sound recognition";
+    return kUnidentified;
+  }
+  if (modality == nn::Modality::Sensor) {
+    return "movement tracking";
+  }
+  return kUnidentified;
+}
+
+std::string classify_by_layers(const nn::ModelTrace& trace) {
+  const nn::Modality modality = infer_modality(trace);
+  const bool lstm = has_layer(trace, nn::LayerType::Lstm);
+  const bool embedding = has_layer(trace, nn::LayerType::Embedding);
+  const bool conv = has_layer(trace, nn::LayerType::Conv2D);
+  const bool dwconv = has_layer(trace, nn::LayerType::DepthwiseConv2D);
+  const bool resize = has_layer(trace, nn::LayerType::ResizeNearest);
+  const bool concat = has_layer(trace, nn::LayerType::Concat);
+  const bool add = has_layer(trace, nn::LayerType::Add);
+  const bool sigmoid = has_layer(trace, nn::LayerType::Sigmoid);
+
+  if (embedding && lstm) return "auto-complete";
+  if (embedding && conv) return "sentiment prediction";
+  if (lstm && conv) return "text recognition";        // CRNN OCR
+  if (lstm && modality == nn::Modality::Audio) return "speech recognition";
+  if (modality == nn::Modality::Sensor) return "movement tracking";
+  if (modality == nn::Modality::Audio) return "sound recognition";
+  if (modality == nn::Modality::Image) {
+    if (resize && concat) return "semantic segmentation";
+    if (resize && add) return "photo beauty";          // upsampling stylers
+    if (concat && dwconv) return "object detection";   // multi-head SSD
+    if (add && !concat) return "face detection";       // shallow residual
+    if (sigmoid && !resize && !concat) return "contour detection";
+    return kUnidentified;  // plain CNN: could be anything
+  }
+  return kUnidentified;
+}
+
+std::string classify_task(const std::string& name,
+                          const nn::ModelTrace& trace) {
+  const std::array<std::string, 3> votes = {
+      classify_by_name(name), classify_by_io(trace), classify_by_layers(trace)};
+
+  std::map<std::string, int> tally;
+  for (const auto& vote : votes) {
+    if (vote != kUnidentified) tally[vote]++;
+  }
+  // Majority (>= 2 researchers agreeing).
+  for (const auto& [task, count] : tally) {
+    if (count >= 2) return task;
+  }
+  // A confident name hint wins over abstaining colleagues.
+  if (votes[0] != kUnidentified) return votes[0];
+  // Otherwise a single structural opinion, if exactly one exists.
+  if (tally.size() == 1) return tally.begin()->first;
+  return kUnidentified;
+}
+
+}  // namespace gauge::core

@@ -1,0 +1,31 @@
+// Task classification of extracted models (paper §4.4): the paper had three
+// ML researchers label every model from its name, I/O dimensions and layer
+// types, taking a majority vote. We reproduce that as three independent
+// heuristic classifiers and a majority vote; ties and three-way disagreement
+// yield "unidentified" (the paper identified 91.9%).
+#pragma once
+
+#include <string>
+
+#include "nn/graph.hpp"
+#include "nn/trace.hpp"
+
+namespace gauge::core {
+
+inline constexpr const char* kUnidentified = "unidentified";
+
+// Classifier #1: filename / model-name keyword hints.
+std::string classify_by_name(const std::string& name);
+// Classifier #2: input/output tensor dimensions.
+std::string classify_by_io(const nn::ModelTrace& trace);
+// Classifier #3: layer-structure fingerprint.
+std::string classify_by_layers(const nn::ModelTrace& trace);
+
+// Majority vote of the three (>= 2 agreeing). When no majority exists, a
+// single non-abstaining classifier wins; otherwise kUnidentified.
+std::string classify_task(const std::string& name, const nn::ModelTrace& trace);
+
+// Coarse modality from the model's input rank/shape.
+nn::Modality infer_modality(const nn::ModelTrace& trace);
+
+}  // namespace gauge::core

@@ -1,0 +1,141 @@
+#include "device/backends.hpp"
+
+namespace gauge::device {
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::CpuFp32: return "CPU";
+    case Backend::CpuXnnpack: return "XNNPACK";
+    case Backend::Nnapi: return "NNAPI";
+    case Backend::GpuFp32: return "GPU";
+    case Backend::SnpeCpu: return "SNPE-CPU";
+    case Backend::SnpeGpu: return "SNPE-GPU";
+    case Backend::SnpeDsp: return "SNPE-DSP";
+    case Backend::NpuA16W8: return "NPU-A16W8";
+    case Backend::kCount: break;
+  }
+  return "?";
+}
+
+const BackendProfile& backend_profile(Backend backend) {
+  static const BackendProfile kCpu{1.0, 1.0, 0.0, 0.0, false, false};
+  // Supported-layer factor is above the paper's 1.03x average because the
+  // corpus-wide mean also absorbs CPU-fallback models (quantised graphs,
+  // RNNs); the blended average lands at ~1.03x.
+  static const BackendProfile kXnnpack{1.12, 0.84, 0.10, 120e-6, false, false};
+  static const BackendProfile kNnapi{0.49, 0.82, 0.35, 400e-6, false, false};
+  static const BackendProfile kGpu{1.93, 0.26, 0.30, 250e-6, false, false};
+  static const BackendProfile kSnpeCpu{0.88, 1.05, 0.15, 100e-6, false, false};
+  static const BackendProfile kSnpeGpu{2.28, 0.27, 0.30, 250e-6, false, false};
+  static const BackendProfile kSnpeDsp{5.72, 0.28, 0.35, 350e-6, true, true};
+  // A16W8: 8-bit weight bandwidth with 16-bit accumulat-able activations —
+  // between the fp32 GPU and the int8 DSP in speed, close to the DSP in
+  // power, without int8's accuracy risk.
+  static const BackendProfile kNpuA16W8{4.4, 0.30, 0.30, 300e-6, false, true};
+  switch (backend) {
+    case Backend::CpuFp32: return kCpu;
+    case Backend::CpuXnnpack: return kXnnpack;
+    case Backend::Nnapi: return kNnapi;
+    case Backend::GpuFp32: return kGpu;
+    case Backend::SnpeCpu: return kSnpeCpu;
+    case Backend::SnpeGpu: return kSnpeGpu;
+    case Backend::SnpeDsp: return kSnpeDsp;
+    case Backend::NpuA16W8: return kNpuA16W8;
+    case Backend::kCount: break;
+  }
+  return kCpu;
+}
+
+bool backend_supports(Backend backend, nn::LayerType type) {
+  using LT = nn::LayerType;
+  switch (backend) {
+    case Backend::CpuFp32:
+    case Backend::SnpeCpu:
+      return true;  // CPU paths implement everything
+    case Backend::CpuXnnpack:
+      // XNNPACK: highly optimised conv/dense/eltwise kernels; no recurrent
+      // cells, no embedding lookups, no quantize graph ops.
+      switch (type) {
+        case LT::Lstm:
+        case LT::Embedding:
+        case LT::Quantize:
+        case LT::Dequantize:
+        case LT::Transpose2D:
+          return false;
+        default:
+          return true;
+      }
+    case Backend::Nnapi:
+      // NNAPI op coverage is rudimentary (the paper's "succinct
+      // characteristic of such optimisations").
+      switch (type) {
+        case LT::Lstm:
+        case LT::Embedding:
+        case LT::Transpose2D:
+        case LT::Slice:
+        case LT::Pad:
+        case LT::BatchNorm:
+          return false;
+        default:
+          return true;
+      }
+    case Backend::GpuFp32:
+    case Backend::SnpeGpu:
+      switch (type) {
+        case LT::Lstm:
+        case LT::Embedding:
+        case LT::Quantize:
+        case LT::Dequantize:
+          return false;
+        default:
+          return true;
+      }
+    case Backend::SnpeDsp:
+      // Hexagon: vision-oriented fixed-point ops only.
+      switch (type) {
+        case LT::Lstm:
+        case LT::Embedding:
+        case LT::Transpose2D:
+        case LT::Sigmoid:
+        case LT::Tanh:
+          return false;
+        default:
+          return true;
+      }
+    case Backend::NpuA16W8:
+      // The 16-bit activation path keeps enough headroom for the smooth
+      // nonlinearities the int8 DSP has to reject; recurrent cells remain
+      // out of scope on this accelerator class.
+      switch (type) {
+        case LT::Lstm:
+        case LT::Embedding:
+        case LT::Transpose2D:
+          return false;
+        default:
+          return true;
+      }
+    case Backend::kCount:
+      break;
+  }
+  return false;
+}
+
+bool backend_available(Backend backend, const Device& device) {
+  switch (backend) {
+    case Backend::SnpeCpu:
+    case Backend::SnpeGpu:
+      // SNPE only targets Qualcomm SoCs.
+      return device.soc.name.find("Snapdragon") != std::string::npos;
+    case Backend::SnpeDsp:
+      return device.soc.name.find("Snapdragon") != std::string::npos &&
+             device.soc.dsp.has_value();
+    case Backend::NpuA16W8:
+      // Only the newest generation carries a multi-precision NPU
+      // (Hexagon-780 class).
+      return device.soc.name == "Snapdragon 888" && device.soc.dsp.has_value();
+    default:
+      return true;
+  }
+}
+
+}  // namespace gauge::device

@@ -1,0 +1,64 @@
+// Inference backends (paper §6.3): the TFLite CPU baseline, the XNNPACK and
+// NNAPI delegates, the TFLite GPU delegate, and the three SNPE runtimes.
+// Each backend carries an operator-support matrix (unsupported layers fall
+// back to CPU with a partition-transition cost) and speed/power factors
+// calibrated to the paper's measured averages:
+//   XNNPACK  1.03x faster, 1.13x more efficient than CPU
+//   NNAPI    0.49x the speed, 1.66x less efficient (immature NN drivers)
+//   SNPE DSP 5.72x faster / 20.3x more efficient than CPU (int8)
+//   SNPE GPU 2.28x faster / 8.39x more efficient than CPU
+//   SNPE CPU slightly slower than the TFLite CPU baseline
+#pragma once
+
+#include <string>
+
+#include "device/soc.hpp"
+#include "nn/layer.hpp"
+
+namespace gauge::device {
+
+enum class Backend {
+  CpuFp32 = 0,   // TFLite CPU (reference kernels), the baseline
+  CpuXnnpack,    // TFLite + XNNPACK delegate
+  Nnapi,         // TFLite + NNAPI delegate
+  GpuFp32,       // TFLite GPU delegate
+  SnpeCpu,
+  SnpeGpu,
+  SnpeDsp,       // int8
+  // Hypothetical A16W8 NPU path (paper §6.1: Hexagon 698 / Arm Ethos class
+  // hardware supports 16-bit activations with 8-bit weights, but "existing
+  // deployment methodologies fail to exploit them"). Implemented here as
+  // the ablation showing what the ecosystem leaves on the table: near-DSP
+  // speed with fp16-class representational headroom.
+  NpuA16W8,
+  kCount,
+};
+
+const char* backend_name(Backend backend);
+
+struct BackendProfile {
+  // Mean speed multiplier over the CPU baseline for supported layers.
+  double speed_factor = 1.0;
+  // Mean power multiplier relative to the CPU baseline's active power.
+  double power_factor = 1.0;
+  // Lognormal sigma of per-model variation around the mean factors.
+  double variation_sigma = 0.2;
+  // Seconds lost per CPU<->backend partition transition on fallback.
+  double transition_cost_s = 150e-6;
+  // Runs int8 internally (precision note of §6.3).
+  bool int8_precision = false;
+  // Requires a Qualcomm DSP to exist on the SoC.
+  bool needs_dsp = false;
+};
+
+const BackendProfile& backend_profile(Backend backend);
+
+// Whether the backend's kernel library implements this layer type; anything
+// unsupported is partitioned back onto the CPU baseline.
+bool backend_supports(Backend backend, nn::LayerType type);
+
+// A backend is available on a device when its hardware exists (e.g. SNPE
+// DSP needs a Hexagon; SNPE itself needs a Qualcomm SoC).
+bool backend_available(Backend backend, const Device& device);
+
+}  // namespace gauge::device

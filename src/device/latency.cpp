@@ -1,0 +1,245 @@
+#include "device/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace gauge::device {
+
+namespace {
+
+// Compute-utilisation per op family: how much of peak fp32 throughput the
+// kernel achieves. Depthwise convs and recurrent cells are notoriously
+// memory/latency-bound — the main source of the FLOPs<->latency
+// non-linearity.
+double compute_utilisation(nn::LayerType type) {
+  switch (nn::op_family(type)) {
+    case nn::OpFamily::Conv: return 0.55;
+    case nn::OpFamily::DepthConv: return 0.18;
+    case nn::OpFamily::Dense: return 0.38;
+    case nn::OpFamily::Recurrent: return 0.12;
+    case nn::OpFamily::Pool: return 0.22;
+    case nn::OpFamily::Activation: return 0.20;
+    case nn::OpFamily::Math: return 0.22;
+    case nn::OpFamily::Quant: return 0.25;
+    case nn::OpFamily::Embedding: return 0.10;
+    case nn::OpFamily::Resize:
+    case nn::OpFamily::Slice:
+    case nn::OpFamily::Shape: return 0.15;
+    case nn::OpFamily::Input: return 1.0;
+  }
+  return 0.3;
+}
+
+constexpr double kStreamEfficiency = 0.6;  // achievable share of peak DRAM bw
+
+}  // namespace
+
+double thermal_factor(const Device& device, double sustained_seconds) {
+  const double decayed = 1.0 - device.throttle_rate * sustained_seconds;
+  return std::clamp(decayed, device.throttle_floor, 1.0);
+}
+
+double battery_drain_fraction(const Device& device, double energy_j) {
+  if (device.battery_mah <= 0.0) return 0.0;
+  const double capacity_j =
+      device.battery_mah / 1000.0 * 3600.0 * device.battery_volts;
+  return energy_j / capacity_j;
+}
+
+double battery_drain_mah(const Device& device, double energy_j) {
+  return energy_j / device.battery_volts / 3.6;
+}
+
+RunResult simulate_inference(const Device& device, const nn::ModelTrace& trace,
+                             const RunConfig& config,
+                             std::string_view model_key) {
+  RunResult result;
+  const BackendProfile& profile = backend_profile(config.backend);
+
+  // Deterministic per-(device, model, backend) variation.
+  util::Rng vrng{util::fnv1a64(device.name) * 31 + util::fnv1a64(model_key) +
+                 static_cast<std::uint64_t>(config.backend) * 7919};
+  const double model_noise = std::exp(vrng.normal(0.0, 0.12));
+  const double backend_factor =
+      profile.variation_sigma > 0.0
+          ? profile.speed_factor * std::exp(vrng.normal(0.0, profile.variation_sigma))
+          : profile.speed_factor;
+
+  const SchedResult cpu = schedule(device, config.threads);
+  const double thermal = thermal_factor(device, config.sustained_seconds);
+  const double cpu_gflops = cpu.effective_gflops * thermal;
+  const double bw_gbs = device.soc.mem_bandwidth_gbs * kStreamEfficiency;
+
+  double cpu_time = 0.0;       // time spent on CPU-executed layers
+  double backend_time = 0.0;   // time spent on the accelerated layers
+  double supported_flops = 0.0;
+  int transitions = 0;
+  bool prev_supported = true;
+
+  for (const auto& layer : trace.layers) {
+    if (layer.type == nn::LayerType::Input) continue;
+    const double batch = static_cast<double>(config.batch);
+    const double flops = static_cast<double>(layer.flops) * batch;
+    // Weight bytes are batch-independent; activation traffic scales.
+    const double weight_bytes =
+        static_cast<double>(layer.params) * (4.0);  // dominated by fp32 reads
+    const double act_bytes =
+        (static_cast<double>(layer.bytes_read + layer.bytes_written) -
+         static_cast<double>(layer.params) * 4.0) *
+        batch;
+    const double bytes = weight_bytes + std::max(0.0, act_bytes);
+
+    const double t_compute =
+        flops > 0.0
+            ? flops / (cpu_gflops * 1e9 * compute_utilisation(layer.type))
+            : 0.0;
+    const double t_mem = bytes / (bw_gbs * 1e9);
+    const double t_layer =
+        std::max(t_compute, t_mem) + device.dispatch_overhead_s;
+
+    const bool supported = backend_supports(config.backend, layer.type);
+    if (supported) {
+      backend_time += t_layer / backend_factor;
+      supported_flops += flops;
+    } else {
+      cpu_time += t_layer;
+      result.cpu_fallback = true;
+    }
+    if (supported != prev_supported) ++transitions;
+    prev_supported = supported;
+  }
+
+  const double total_flops =
+      static_cast<double>(trace.total_flops) * config.batch;
+  result.flops = total_flops;
+  result.supported_flop_share =
+      total_flops > 0.0 ? supported_flops / total_flops : 1.0;
+
+  double latency = (cpu_time + backend_time) * model_noise +
+                   transitions * profile.transition_cost_s;
+  latency = std::max(latency, device.dispatch_overhead_s);
+  result.latency_s = latency;
+  result.throughput_ips = static_cast<double>(config.batch) / latency;
+
+  // ---- power ----
+  // CPU-side active power scales with how compute-bound the run is.
+  const double cpu_active = cpu.active_watts;
+  double backend_active = cpu_active * profile.power_factor;
+  if (config.backend == Backend::GpuFp32 || config.backend == Backend::SnpeGpu) {
+    backend_active = std::min(backend_active, device.soc.gpu.watts);
+    backend_active = std::max(backend_active, 0.3 * device.soc.gpu.watts);
+  } else if (config.backend == Backend::SnpeDsp && device.soc.dsp) {
+    backend_active = std::min(backend_active, device.soc.dsp->watts);
+    backend_active = std::max(backend_active, 0.3 * device.soc.dsp->watts);
+  }
+  const double time_total = cpu_time + backend_time;
+  const double active_watts =
+      time_total > 0.0
+          ? (cpu_active * cpu_time + backend_active * backend_time) / time_total
+          : cpu_active;
+
+  // Memory footprint: weights resident once, activations scale with batch.
+  double weight_total = 0.0;
+  for (const auto& layer : trace.layers) {
+    weight_total += static_cast<double>(layer.params) * 4.0;
+  }
+  result.peak_memory_bytes =
+      weight_total + static_cast<double>(trace.peak_activation_bytes) *
+                         static_cast<double>(config.batch);
+
+  // CPU utilisation: cores the scheduler occupies, scaled by the share of
+  // wall time spent on the CPU (backend runs leave the CPU mostly idle).
+  const double total_cores = static_cast<double>(device.soc.total_cores());
+  const double cpu_share = time_total > 0.0 ? cpu_time / time_total : 1.0;
+  const double backend_is_cpu =
+      (config.backend == Backend::CpuFp32 ||
+       config.backend == Backend::CpuXnnpack ||
+       config.backend == Backend::SnpeCpu)
+          ? 1.0
+          : cpu_share;
+  result.cpu_utilisation =
+      std::clamp(static_cast<double>(cpu.cores_used) / total_cores *
+                     backend_is_cpu,
+                 0.0, 1.0);
+
+  const double soc_watts = device.soc.idle_watts + active_watts;
+  const double total_watts = soc_watts + device.screen_watts;
+  result.avg_power_w = total_watts;
+  result.energy_j = total_watts * latency;
+  result.soc_energy_j = soc_watts * latency;
+  result.efficiency_mflops_sw =
+      result.energy_j > 0.0 ? total_flops / result.soc_energy_j / 1e6 : 0.0;
+  return result;
+}
+
+std::vector<LayerTiming> layer_breakdown(const Device& device,
+                                         const nn::ModelTrace& trace,
+                                         const RunConfig& config) {
+  const SchedResult cpu = schedule(device, config.threads);
+  const double thermal = thermal_factor(device, config.sustained_seconds);
+  const double cpu_gflops = cpu.effective_gflops * thermal;
+  const double bw_gbs = device.soc.mem_bandwidth_gbs * kStreamEfficiency;
+
+  std::vector<LayerTiming> out;
+  for (const auto& layer : trace.layers) {
+    if (layer.type == nn::LayerType::Input) continue;
+    LayerTiming timing;
+    timing.name = layer.name;
+    timing.type = layer.type;
+    const double batch = static_cast<double>(config.batch);
+    timing.flops = static_cast<double>(layer.flops) * batch;
+    const double weight_bytes = static_cast<double>(layer.params) * 4.0;
+    const double act_bytes =
+        (static_cast<double>(layer.bytes_read + layer.bytes_written) -
+         weight_bytes) *
+        batch;
+    const double bytes = weight_bytes + std::max(0.0, act_bytes);
+    timing.compute_seconds =
+        timing.flops > 0.0
+            ? timing.flops /
+                  (cpu_gflops * 1e9 * compute_utilisation(layer.type))
+            : 0.0;
+    timing.memory_seconds = bytes / (bw_gbs * 1e9);
+    timing.memory_bound = timing.memory_seconds > timing.compute_seconds;
+    timing.seconds = std::max(timing.compute_seconds, timing.memory_seconds) +
+                     device.dispatch_overhead_s;
+    out.push_back(std::move(timing));
+  }
+  return out;
+}
+
+std::vector<RunResult> simulate_cohabitation(
+    const Device& device, const std::vector<const nn::ModelTrace*>& traces,
+    const RunConfig& config, const std::vector<std::string>& model_keys) {
+  std::vector<RunResult> results;
+  const auto n = traces.size();
+  if (n == 0) return results;
+  // Fair-share slowdown: each model sees 1/n of the machine, plus a
+  // superlinear contention term for cache/scheduler interference.
+  const double contention =
+      1.0 + 0.12 * static_cast<double>(n - 1) +
+      0.03 * static_cast<double>((n - 1) * (n - 1));
+  for (std::size_t i = 0; i < n; ++i) {
+    RunResult r = simulate_inference(device, *traces[i], config,
+                                     model_keys[i]);
+    const double slowdown = static_cast<double>(n) * contention;
+    r.latency_s *= slowdown;
+    r.throughput_ips /= slowdown;
+    // Energy attribution: the model's own work costs the same joules, but
+    // the stretched wall time accrues extra idle/static energy.
+    const double static_watts = device.soc.idle_watts + device.screen_watts;
+    const double extra_j = static_watts * r.latency_s * (1.0 - 1.0 / slowdown);
+    r.energy_j += extra_j / static_cast<double>(n);
+    r.soc_energy_j += device.soc.idle_watts * r.latency_s *
+                      (1.0 - 1.0 / slowdown) / static_cast<double>(n);
+    r.efficiency_mflops_sw =
+        r.soc_energy_j > 0.0 ? r.flops / r.soc_energy_j / 1e6 : 0.0;
+    results.push_back(r);
+  }
+  return results;
+}
+
+}  // namespace gauge::device

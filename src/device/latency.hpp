@@ -1,0 +1,92 @@
+// Roofline latency + energy simulation for one inference on one device.
+//
+// Per layer: time = max(FLOPs / (effective GFLOPS x per-op utilisation),
+//                       bytes / (bandwidth x streaming efficiency))
+//            + kernel dispatch overhead,
+// summed over the model, scaled by the backend factor (with CPU fallback
+// partitioning for unsupported operators), thermal state, and a
+// deterministic per-(device, model, backend) variation term standing in for
+// all the micro-architectural effects a closed-form model cannot carry.
+// This is what makes FLOPs a *bad* latency predictor here, exactly as the
+// paper measures (Fig. 8).
+#pragma once
+
+#include <string_view>
+
+#include "device/backends.hpp"
+#include "device/sched.hpp"
+#include "device/soc.hpp"
+#include "nn/trace.hpp"
+
+namespace gauge::device {
+
+struct RunConfig {
+  ThreadConfig threads{4, 0};
+  Backend backend = Backend::CpuFp32;
+  int batch = 1;
+  // How long the device has already been under continuous inference load
+  // (drives thermal throttling).
+  double sustained_seconds = 0.0;
+};
+
+struct RunResult {
+  double latency_s = 0.0;       // one forward pass (whole batch)
+  double energy_j = 0.0;        // energy consumed by the pass (incl. screen)
+  double soc_energy_j = 0.0;    // energy minus the screen's share
+  double avg_power_w = 0.0;     // mean draw while running
+  double flops = 0.0;           // model FLOPs x batch
+  double throughput_ips = 0.0;  // inferences per second (batch / latency)
+  double efficiency_mflops_sw = 0.0;  // MFLOP per second per Watt (§5.2.1)
+  bool cpu_fallback = false;    // backend partially fell back to CPU
+  double supported_flop_share = 1.0;
+  // The paper's remaining measured dimensions (§3.3): runtime memory
+  // footprint (weights + peak live activations, batch-scaled) and mean CPU
+  // utilisation over the run (0-1 across all cores).
+  double peak_memory_bytes = 0.0;
+  double cpu_utilisation = 0.0;
+};
+
+// `model_key` seeds the deterministic variation term; pass the model's
+// checksum or name so the same model always behaves the same on a device.
+RunResult simulate_inference(const Device& device, const nn::ModelTrace& trace,
+                             const RunConfig& config,
+                             std::string_view model_key);
+
+// Thermal multiplier after `sustained_seconds` of continuous load.
+double thermal_factor(const Device& device, double sustained_seconds);
+
+// Per-layer latency breakdown on the CPU baseline: which layers bound the
+// model, and by what (compute vs memory vs dispatch). Powers bottleneck
+// analysis in the advisor tooling; backend factors and per-model noise are
+// intentionally excluded so the breakdown is the clean cost model.
+struct LayerTiming {
+  std::string name;
+  nn::LayerType type = nn::LayerType::Input;
+  double seconds = 0.0;
+  double compute_seconds = 0.0;
+  double memory_seconds = 0.0;
+  bool memory_bound = false;
+  double flops = 0.0;
+};
+
+std::vector<LayerTiming> layer_breakdown(const Device& device,
+                                         const nn::ModelTrace& trace,
+                                         const RunConfig& config = {});
+
+// DNN co-habitation (paper §8 "DNN co-habitation"): several models running
+// concurrently on one device. Compute and memory bandwidth are shared, and
+// context switching adds a contention overhead that grows with the number
+// of co-resident models. Returns one result per model, in input order; each
+// model's latency is what it experiences while all others run too.
+std::vector<RunResult> simulate_cohabitation(
+    const Device& device,
+    const std::vector<const nn::ModelTrace*>& traces,
+    const RunConfig& config, const std::vector<std::string>& model_keys);
+
+// Battery percentage drained by `energy_j` joules on this device
+// (0 when the device has no battery).
+double battery_drain_fraction(const Device& device, double energy_j);
+// Battery discharge in mAh for `energy_j` joules at nominal voltage.
+double battery_drain_mah(const Device& device, double energy_j);
+
+}  // namespace gauge::device

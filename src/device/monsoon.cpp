@@ -1,0 +1,48 @@
+#include "device/monsoon.hpp"
+
+#include "util/rng.hpp"
+
+namespace gauge::device {
+
+Monsoon::Monsoon(double sample_hz, double volts, std::uint64_t noise_seed)
+    : sample_hz_{sample_hz}, volts_{volts}, noise_seed_{noise_seed} {}
+
+std::vector<PowerSample> Monsoon::record(
+    const std::vector<PowerPhase>& phases) const {
+  util::Rng rng{noise_seed_};
+  std::vector<PowerSample> samples;
+  double t = 0.0;
+  const double dt = 1.0 / sample_hz_;
+  for (const auto& phase : phases) {
+    const double end = t + phase.duration_s;
+    while (t < end) {
+      PowerSample s;
+      s.t_s = t;
+      s.volts = volts_;
+      const double noisy_watts =
+          phase.watts * (1.0 + rng.normal(0.0, 0.01));
+      s.amps = std::max(0.0, noisy_watts / volts_);
+      samples.push_back(s);
+      t += dt;
+    }
+  }
+  return samples;
+}
+
+double Monsoon::integrate_energy_j(const std::vector<PowerSample>& samples) {
+  double energy = 0.0;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    const double dt = samples[i].t_s - samples[i - 1].t_s;
+    energy += 0.5 * (samples[i].watts() + samples[i - 1].watts()) * dt;
+  }
+  return energy;
+}
+
+double Monsoon::mean_power_w(const std::vector<PowerSample>& samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : samples) sum += s.watts();
+  return sum / static_cast<double>(samples.size());
+}
+
+}  // namespace gauge::device

@@ -1,0 +1,52 @@
+// Monsoon AAA10F power-monitor simulator. The benchmark harness attaches it
+// to an open-deck board, runs the workload, and integrates the sampled
+// current to energy — the measurement path of paper §3.3 ("Energy
+// measurements"), including the screen's contribution which is sampled and
+// subtracted exactly as the paper describes ("this is measured and
+// accounted").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/soc.hpp"
+
+namespace gauge::device {
+
+struct PowerSample {
+  double t_s = 0.0;       // sample timestamp
+  double volts = 0.0;     // main channel voltage
+  double amps = 0.0;      // main channel current
+  double watts() const { return volts * amps; }
+};
+
+// A piecewise-constant power phase emitted by the device under test.
+struct PowerPhase {
+  double duration_s = 0.0;
+  double watts = 0.0;
+};
+
+class Monsoon {
+ public:
+  // AAA10F main channel samples at 5 kHz.
+  explicit Monsoon(double sample_hz = 5000.0, double volts = 4.2,
+                   std::uint64_t noise_seed = 1);
+
+  // Records a trace for a sequence of phases. Gaussian shot noise (~1% of
+  // the signal) models the ADC.
+  std::vector<PowerSample> record(const std::vector<PowerPhase>& phases) const;
+
+  // Trapezoidal integration of a trace to joules.
+  static double integrate_energy_j(const std::vector<PowerSample>& samples);
+  // Mean power over the trace.
+  static double mean_power_w(const std::vector<PowerSample>& samples);
+
+  double sample_hz() const { return sample_hz_; }
+
+ private:
+  double sample_hz_;
+  double volts_;
+  std::uint64_t noise_seed_;
+};
+
+}  // namespace gauge::device

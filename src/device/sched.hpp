@@ -1,0 +1,42 @@
+// CPU scheduler model: maps a (thread count, core affinity) configuration
+// onto a heterogeneous multi-processor and returns the effective sustained
+// throughput, reproducing the Fig. 12 behaviours:
+//   - the optimal thread count differs per SoC topology,
+//   - 8 threads collapse (LITTLE-core stragglers + sync overhead),
+//   - oversubscription (4 threads on 2 cores, "4a2") loses to time-sharing,
+//   - pinning to the same number of top cores ("4a4") is not a win.
+//
+// Model: threads are placed big-core-first. Data-parallel kernels are
+// statically partitioned, so wall time is gated by the slowest thread
+// (n x min-core throughput); real runtimes rebalance a little, so we take
+// the geometric mean of the gated and the work-stealing (sum) bounds, then
+// apply a superlinear synchronisation penalty in the thread count and a
+// time-sharing penalty for threads stacked on one core.
+#pragma once
+
+#include "device/soc.hpp"
+
+namespace gauge::device {
+
+struct ThreadConfig {
+  int threads = 4;
+  // 0 = no pinning (scheduler may use all cores); k > 0 = pin to the k
+  // fastest cores ("4a2" in the paper = {4, 2}).
+  int affinity_cores = 0;
+
+  // Fig. 12 setup label ("4", "4a2", ...).
+  std::string label() const;
+};
+
+struct SchedResult {
+  double effective_gflops = 0.0;  // fp32 sustained, before per-layer util
+  double active_watts = 0.0;      // CPU power while running at this config
+  int cores_used = 0;
+};
+
+SchedResult schedule(const Device& device, const ThreadConfig& config);
+
+// The per-core throughput list, big first (helper shared with tests).
+std::vector<double> core_gflops_sorted(const Soc& soc);
+
+}  // namespace gauge::device

@@ -1,0 +1,173 @@
+#include "device/soc.hpp"
+
+#include <cassert>
+
+namespace gauge::device {
+
+const char* tier_name(DeviceTier tier) {
+  switch (tier) {
+    case DeviceTier::Low: return "low";
+    case DeviceTier::Mid: return "mid";
+    case DeviceTier::High: return "high";
+    case DeviceTier::DevBoard: return "devboard";
+  }
+  return "?";
+}
+
+namespace {
+
+Soc exynos7884() {
+  Soc soc;
+  soc.name = "Exynos 7884";
+  soc.clusters = {
+      {"Cortex-A73", 2, 1.56, 8.0, 0.75},
+      {"Cortex-A53", 6, 1.35, 4.0, 0.25},
+  };
+  soc.mem_bandwidth_gbs = 11.0;
+  soc.gpu = {"Mali-G71 MP2", 35.0, 1.2, 1.0};
+  soc.idle_watts = 0.22;
+  return soc;
+}
+
+Soc snapdragon675() {
+  Soc soc;
+  soc.name = "Snapdragon 675";
+  soc.clusters = {
+      {"Kryo-460-Gold (A76)", 2, 2.0, 16.0, 1.0},
+      {"Kryo-460-Silver (A55)", 6, 1.78, 4.0, 0.3},
+  };
+  soc.mem_bandwidth_gbs = 14.9;
+  soc.gpu = {"Adreno 612", 60.0, 1.5, 1.3};
+  soc.idle_watts = 0.2;
+  return soc;
+}
+
+Soc snapdragon845() {
+  Soc soc;
+  soc.name = "Snapdragon 845";
+  soc.clusters = {
+      {"Kryo-385-Gold (A75)", 4, 2.8, 16.0, 1.15},
+      {"Kryo-385-Silver (A55)", 4, 1.77, 4.0, 0.3},
+  };
+  soc.mem_bandwidth_gbs = 29.8;
+  soc.gpu = {"Adreno 630", 110.0, 2.2, 1.4};
+  soc.dsp = Accelerator{"Hexagon 685", 160.0, 1.1, 2.4};
+  soc.idle_watts = 0.25;
+  return soc;
+}
+
+Soc snapdragon855() {
+  Soc soc;
+  soc.name = "Snapdragon 855";
+  soc.clusters = {
+      {"Kryo-485-Prime (A76)", 1, 2.84, 16.0, 1.8},
+      {"Kryo-485-Gold (A76)", 3, 2.42, 16.0, 1.5},
+      {"Kryo-485-Silver (A55)", 4, 1.78, 4.0, 0.32},
+  };
+  soc.mem_bandwidth_gbs = 34.1;
+  soc.gpu = {"Adreno 640", 140.0, 2.6, 1.5};
+  soc.dsp = Accelerator{"Hexagon 690", 220.0, 1.2, 2.8};
+  soc.idle_watts = 0.27;
+  return soc;
+}
+
+Soc snapdragon888() {
+  Soc soc;
+  soc.name = "Snapdragon 888";
+  soc.clusters = {
+      {"Cortex-X1", 1, 2.84, 24.0, 3.3},
+      {"Cortex-A78", 3, 2.42, 16.0, 2.2},
+      {"Cortex-A55", 4, 1.80, 4.0, 0.4},
+  };
+  soc.mem_bandwidth_gbs = 51.2;
+  soc.gpu = {"Adreno 660", 210.0, 3.2, 1.6};
+  soc.dsp = Accelerator{"Hexagon 780", 340.0, 1.4, 3.2};
+  soc.idle_watts = 0.3;
+  return soc;
+}
+
+}  // namespace
+
+Device make_device(const std::string& name) {
+  Device d;
+  d.name = name;
+  if (name == "A20") {
+    d.soc = exynos7884();
+    d.ram_gb = 4;
+    d.battery_mah = 4000;
+    d.tier = DeviceTier::Low;
+    d.dispatch_overhead_s = 44e-6;
+    d.sw_efficiency = 0.85;
+    d.throttle_floor = 0.6;
+    d.throttle_rate = 0.0015;
+  } else if (name == "A70") {
+    d.soc = snapdragon675();
+    d.ram_gb = 6;
+    d.battery_mah = 4500;
+    d.tier = DeviceTier::Mid;
+    d.dispatch_overhead_s = 23e-6;
+    // 2019-era mid-tier shipped with notably mature vendor kernels; > 1
+    // relative to the open-deck reference builds.
+    d.sw_efficiency = 1.18;
+    d.throttle_floor = 0.68;
+    d.throttle_rate = 0.0011;
+  } else if (name == "S21") {
+    d.soc = snapdragon888();
+    d.ram_gb = 8;
+    d.battery_mah = 4000;
+    d.tier = DeviceTier::High;
+    d.dispatch_overhead_s = 25e-6;
+    d.sw_efficiency = 0.95;
+    d.throttle_floor = 0.72;
+    d.throttle_rate = 0.0009;
+  } else if (name == "Q845") {
+    d.soc = snapdragon845();
+    d.ram_gb = 8;
+    d.battery_mah = 2850;
+    d.tier = DeviceTier::DevBoard;
+    d.open_deck = true;
+    d.dispatch_overhead_s = 70e-6;
+    d.sw_efficiency = 1.0;
+    d.throttle_floor = 0.85;
+    d.throttle_rate = 0.0002;
+  } else if (name == "Q855") {
+    d.soc = snapdragon855();
+    d.ram_gb = 8;
+    d.battery_mah = 0;  // N/A in Table 1
+    d.tier = DeviceTier::DevBoard;
+    d.open_deck = true;
+    d.dispatch_overhead_s = 42e-6;
+    d.sw_efficiency = 1.0;
+    d.throttle_floor = 0.87;
+    d.throttle_rate = 0.0002;
+  } else if (name == "Q888") {
+    d.soc = snapdragon888();
+    d.ram_gb = 8;
+    d.battery_mah = 0;  // N/A in Table 1
+    d.tier = DeviceTier::DevBoard;
+    d.open_deck = true;
+    // Same SoC as the S21 but open deck + vanilla OS: incrementally faster.
+    d.dispatch_overhead_s = 23e-6;
+    d.sw_efficiency = 1.0;
+    d.throttle_floor = 0.9;
+    d.throttle_rate = 0.00015;
+  } else {
+    assert(false && "unknown device");
+  }
+  return d;
+}
+
+std::vector<Device> all_devices() {
+  return {make_device("A20"),  make_device("A70"),  make_device("S21"),
+          make_device("Q845"), make_device("Q855"), make_device("Q888")};
+}
+
+std::vector<Device> phones() {
+  return {make_device("A20"), make_device("A70"), make_device("S21")};
+}
+
+std::vector<Device> boards() {
+  return {make_device("Q845"), make_device("Q855"), make_device("Q888")};
+}
+
+}  // namespace gauge::device

@@ -1,0 +1,86 @@
+// SoC and device models for the six targets of Table 1. Per-cluster core
+// capabilities drive the scheduler model (sched.hpp); bandwidth, dispatch
+// overhead and power constants drive the roofline latency/energy model
+// (latency.hpp). Constants are calibrated so the *relative* results of
+// Figs. 8-12 and Table 4 reproduce (tier gaps, generation gains, thread
+// behaviour); absolute milliseconds are simulator units.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gauge::device {
+
+struct CoreCluster {
+  std::string name;       // e.g. "Cortex-A76"
+  int count = 0;
+  double freq_ghz = 1.0;
+  double flops_per_cycle = 8.0;  // fp32 SIMD throughput per core
+  double watts_per_core = 0.5;   // active power at max frequency
+
+  double core_gflops() const { return freq_ghz * flops_per_cycle; }
+};
+
+struct Accelerator {
+  std::string name;
+  double gflops = 0.0;      // effective fp32 throughput
+  double watts = 0.0;       // active power
+  double int8_speedup = 1.0;  // extra factor when running int8
+};
+
+struct Soc {
+  std::string name;
+  std::vector<CoreCluster> clusters;  // ordered big -> LITTLE
+  double mem_bandwidth_gbs = 10.0;
+  Accelerator gpu;
+  std::optional<Accelerator> dsp;   // Hexagon-style, int8-oriented
+  double idle_watts = 0.25;
+
+  int total_cores() const {
+    int n = 0;
+    for (const auto& c : clusters) n += c.count;
+    return n;
+  }
+};
+
+enum class DeviceTier { Low, Mid, High, DevBoard };
+const char* tier_name(DeviceTier tier);
+
+struct Device {
+  std::string name;   // "A20", "Q845", ...
+  Soc soc;
+  int ram_gb = 4;
+  double battery_mah = 0.0;   // 0 = open-deck board without battery
+  double battery_volts = 3.85;
+  DeviceTier tier = DeviceTier::Mid;
+  bool open_deck = false;     // HDK: better heat dissipation, vanilla OS
+  double screen_watts = 0.4;  // black screen kept on during benchmarks
+  // Per-layer kernel dispatch overhead (seconds) - dominated by the OS,
+  // drivers and framework, not by FLOPs; the main tier separator for the
+  // small models that dominate the corpus.
+  double dispatch_overhead_s = 40e-6;
+  // Vendor/software efficiency multiplier (driver quality, OS config).
+  double sw_efficiency = 1.0;
+  // Thermal throttling: sustained-load multiplier floor and how fast the
+  // device approaches it (per second of continuous inference).
+  double throttle_floor = 0.7;
+  double throttle_rate = 0.01;
+};
+
+// The six benchmark targets of Table 1. Valid names:
+//   "A20"  - Samsung A20, Exynos 7884, low tier
+//   "A70"  - Samsung A70, Snapdragon 675, mid tier
+//   "S21"  - Samsung S21, Snapdragon 888, high tier
+//   "Q845" - Qualcomm SD845 HDK (open deck)
+//   "Q855" - Qualcomm SD855 HDK (open deck)
+//   "Q888" - Qualcomm SD888 HDK (open deck)
+Device make_device(const std::string& name);
+
+// All six, in Table 1 order.
+std::vector<Device> all_devices();
+// The three phones (tier study) / three boards (generation+energy study).
+std::vector<Device> phones();
+std::vector<Device> boards();
+
+}  // namespace gauge::device

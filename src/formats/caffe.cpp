@@ -1,0 +1,451 @@
+#include "formats/caffe.hpp"
+
+#include <cstring>
+#include <map>
+#include <optional>
+
+#include "util/strings.hpp"
+
+namespace gauge::formats {
+
+namespace {
+
+// ------------------------------------------------------------ text writer
+
+const char* caffe_type_name(nn::LayerType type) {
+  switch (type) {
+    case nn::LayerType::Input: return "Input";
+    case nn::LayerType::Conv2D: return "Convolution";
+    case nn::LayerType::MaxPool2D:
+    case nn::LayerType::AvgPool2D:
+    case nn::LayerType::GlobalAvgPool: return "Pooling";
+    case nn::LayerType::Dense: return "InnerProduct";
+    case nn::LayerType::Relu:
+    case nn::LayerType::Relu6: return "ReLU";
+    case nn::LayerType::Sigmoid: return "Sigmoid";
+    case nn::LayerType::Tanh: return "TanH";
+    case nn::LayerType::Softmax: return "Softmax";
+    case nn::LayerType::Add:
+    case nn::LayerType::Mul: return "Eltwise";
+    case nn::LayerType::Concat: return "Concat";
+    case nn::LayerType::BatchNorm: return "BatchNorm";
+    case nn::LayerType::Reshape: return "Reshape";
+    default: return nullptr;
+  }
+}
+
+// --------------------------------------------------------- prototxt parser
+
+// Minimal protobuf text format: a message is a sequence of `key: value`
+// scalars and `key { ... }` sub-messages. Values: quoted strings, numbers,
+// bare identifiers.
+struct PbNode {
+  // Repeated fields preserved in order.
+  std::vector<std::pair<std::string, std::string>> scalars;
+  std::vector<std::pair<std::string, PbNode>> children;
+
+  std::optional<std::string> scalar(const std::string& key) const {
+    for (const auto& [k, v] : scalars) {
+      if (k == key) return v;
+    }
+    return std::nullopt;
+  }
+  std::vector<std::string> all_scalars(const std::string& key) const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : scalars) {
+      if (k == key) out.push_back(v);
+    }
+    return out;
+  }
+  const PbNode* child(const std::string& key) const {
+    for (const auto& [k, v] : children) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class PbParser {
+ public:
+  explicit PbParser(std::string_view text) : text_{text} {}
+
+  util::Result<PbNode> parse() {
+    PbNode root;
+    if (!parse_body(root, /*top_level=*/true)) {
+      return util::Result<PbNode>::failure(
+          util::format("prototxt parse error near offset %zu", pos_));
+    }
+    return root;
+  }
+
+ private:
+  void skip_ws() {
+    for (;;) {
+      while (pos_ < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      break;
+    }
+  }
+
+  bool parse_identifier(std::string& out) {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out = std::string{text_.substr(start, pos_ - start)};
+    return true;
+  }
+
+  bool parse_value(std::string& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    if (text_[pos_] == '"') {
+      ++pos_;
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
+      if (pos_ >= text_.size()) return false;
+      out = std::string{text_.substr(start, pos_ - start)};
+      ++pos_;
+      return true;
+    }
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_])) &&
+           text_[pos_] != '}' && text_[pos_] != '{') {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out = std::string{text_.substr(start, pos_ - start)};
+    return true;
+  }
+
+  bool parse_body(PbNode& node, bool top_level) {
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size()) return top_level;
+      if (text_[pos_] == '}') {
+        if (top_level) return false;
+        ++pos_;
+        return true;
+      }
+      std::string key;
+      if (!parse_identifier(key)) return false;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '{') {
+        ++pos_;
+        PbNode child;
+        if (!parse_body(child, /*top_level=*/false)) return false;
+        node.children.emplace_back(std::move(key), std::move(child));
+      } else if (pos_ < text_.size() && text_[pos_] == ':') {
+        ++pos_;
+        std::string value;
+        if (!parse_value(value)) return false;
+        node.scalars.emplace_back(std::move(key), std::move(value));
+      } else {
+        return false;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// -------------------------------------------------------- weight blob I/O
+
+void write_weight_blob(util::ByteWriter& w, const nn::Graph& graph) {
+  w.raw(std::string_view{kCaffeWeightsMagic, 4});
+  std::uint32_t weighted = 0;
+  for (const auto& layer : graph.layers()) {
+    if (layer.has_weights()) ++weighted;
+  }
+  w.u32(weighted);
+  for (const auto& layer : graph.layers()) {
+    if (!layer.has_weights()) continue;
+    w.str(layer.name);
+    w.u32(static_cast<std::uint32_t>(layer.weights.size()));
+    for (const auto& t : layer.weights) {
+      // caffe blobs are float-only.
+      w.u32(static_cast<std::uint32_t>(t.shape().rank()));
+      for (std::int64_t d : t.shape().dims) w.i64(d);
+      for (std::int64_t k = 0; k < t.elements(); ++k) {
+        const float v = t.dtype() == nn::DType::F32
+                            ? t.f32()[static_cast<std::size_t>(k)]
+                            : static_cast<float>(t.i8()[static_cast<std::size_t>(k)]) *
+                                  t.quant_scale;
+        w.f32(v);
+      }
+    }
+  }
+}
+
+util::Result<std::map<std::string, std::vector<nn::Tensor>>> read_weight_blob(
+    std::span<const std::uint8_t> data) {
+  using R = util::Result<std::map<std::string, std::vector<nn::Tensor>>>;
+  if (!looks_like_caffemodel(data)) return R::failure("missing CAFW magic");
+  util::ByteReader r{data};
+  r.raw(4);
+  const std::uint32_t layer_count = r.u32();
+  if (!r.ok() || layer_count > 100000) return R::failure("corrupt blob header");
+  std::map<std::string, std::vector<nn::Tensor>> out;
+  for (std::uint32_t i = 0; i < layer_count; ++i) {
+    const std::string name = r.str();
+    const std::uint32_t n_tensors = r.u32();
+    if (!r.ok() || n_tensors > 8) return R::failure("corrupt blob entry");
+    std::vector<nn::Tensor> tensors;
+    for (std::uint32_t t = 0; t < n_tensors; ++t) {
+      const std::uint32_t rank = r.u32();
+      if (!r.ok() || rank > 8) return R::failure("corrupt tensor rank");
+      nn::Shape shape;
+      for (std::uint32_t d = 0; d < rank; ++d) shape.dims.push_back(r.i64());
+      const std::int64_t elems = shape.elements();
+      if (!r.ok() || elems < 0 || elems > (1 << 28)) {
+        return R::failure("corrupt tensor shape");
+      }
+      nn::Tensor tensor{shape, nn::DType::F32};
+      for (auto& v : tensor.f32()) v = r.f32();
+      if (!r.ok()) return R::failure("truncated weights");
+      tensors.push_back(std::move(tensor));
+    }
+    out[name] = std::move(tensors);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool caffe_supports(const nn::Graph& graph) {
+  for (const auto& layer : graph.layers()) {
+    if (caffe_type_name(layer.type) == nullptr) return false;
+  }
+  return true;
+}
+
+util::Result<CaffeModel> write_caffe(const nn::Graph& graph) {
+  using R = util::Result<CaffeModel>;
+  if (!caffe_supports(graph)) {
+    return R::failure("graph uses layers outside the caffe dialect");
+  }
+
+  std::string proto = util::format("name: \"%s\"\n", graph.name.c_str());
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const nn::Layer& layer = graph.layer(static_cast<int>(i));
+    proto += "layer {\n";
+    proto += util::format("  name: \"%s\"\n",
+                          layer.name.empty()
+                              ? util::format("layer_%zu", i).c_str()
+                              : layer.name.c_str());
+    proto += util::format("  type: \"%s\"\n", caffe_type_name(layer.type));
+    for (int in : layer.inputs) {
+      proto += util::format("  bottom: \"l%d\"\n", in);
+    }
+    proto += util::format("  top: \"l%zu\"\n", i);
+    switch (layer.type) {
+      case nn::LayerType::Input: {
+        proto += "  input_param {\n    shape {\n";
+        for (std::int64_t d : layer.input_shape.dims) {
+          proto += util::format("      dim: %lld\n", static_cast<long long>(d));
+        }
+        proto += "    }\n  }\n";
+        break;
+      }
+      case nn::LayerType::Conv2D: {
+        proto += util::format(
+            "  convolution_param { num_output: %d kernel_size: %d stride: %d "
+            "pad_mode: %s }\n",
+            layer.units, layer.kernel_h, layer.stride_h,
+            layer.padding == nn::Padding::Same ? "same" : "valid");
+        break;
+      }
+      case nn::LayerType::MaxPool2D:
+      case nn::LayerType::AvgPool2D:
+      case nn::LayerType::GlobalAvgPool: {
+        const char* pool = layer.type == nn::LayerType::MaxPool2D ? "MAX" : "AVE";
+        proto += util::format(
+            "  pooling_param { pool: %s kernel_size: %d stride: %d "
+            "global_pooling: %s }\n",
+            pool, layer.kernel_h, layer.stride_h,
+            layer.type == nn::LayerType::GlobalAvgPool ? "true" : "false");
+        break;
+      }
+      case nn::LayerType::Dense: {
+        proto += util::format("  inner_product_param { num_output: %d }\n",
+                              layer.units);
+        break;
+      }
+      case nn::LayerType::Relu6: {
+        proto += "  relu_param { negative_slope: 0 clip: 6 }\n";
+        break;
+      }
+      case nn::LayerType::Add: {
+        proto += "  eltwise_param { operation: SUM }\n";
+        break;
+      }
+      case nn::LayerType::Mul: {
+        proto += "  eltwise_param { operation: PROD }\n";
+        break;
+      }
+      case nn::LayerType::Concat: {
+        proto += util::format("  concat_param { axis: %d }\n", layer.axis);
+        break;
+      }
+      case nn::LayerType::Reshape: {
+        proto += "  reshape_param { shape {\n";
+        for (std::int64_t d : layer.target_shape) {
+          proto += util::format("    dim: %lld\n", static_cast<long long>(d));
+        }
+        proto += "  } }\n";
+        break;
+      }
+      default:
+        break;
+    }
+    proto += "}\n";
+  }
+
+  util::ByteWriter weights;
+  write_weight_blob(weights, graph);
+  return CaffeModel{std::move(proto), std::move(weights).take()};
+}
+
+bool looks_like_prototxt(std::string_view text) {
+  // The paper's validation checks for framework-specific identifiers; for
+  // prototxt we require a layer block plus type declaration.
+  return text.find("layer {") != std::string_view::npos &&
+         text.find("type:") != std::string_view::npos;
+}
+
+bool looks_like_caffemodel(std::span<const std::uint8_t> data) {
+  return data.size() >= 8 &&
+         std::memcmp(data.data(), kCaffeWeightsMagic, 4) == 0;
+}
+
+util::Result<nn::Graph> read_caffe(const std::string& prototxt,
+                                   std::span<const std::uint8_t> caffemodel) {
+  using R = util::Result<nn::Graph>;
+  if (!looks_like_prototxt(prototxt)) return R::failure("not a prototxt");
+  PbParser parser{prototxt};
+  auto root = parser.parse();
+  if (!root.ok()) return R::failure(root.error());
+
+  auto weights = read_weight_blob(caffemodel);
+  if (!weights.ok()) return R::failure(weights.error());
+
+  nn::Graph graph;
+  graph.name = root.value().scalar("name").value_or("caffe_model");
+  std::map<std::string, int> top_to_index;  // blob name -> producing layer
+
+  for (const auto& [key, node] : root.value().children) {
+    if (key != "layer") continue;
+    const std::string type = node.scalar("type").value_or("");
+    const std::string name = node.scalar("name").value_or("");
+    nn::Layer layer;
+    layer.name = name;
+
+    for (const auto& bottom : node.all_scalars("bottom")) {
+      const auto it = top_to_index.find(bottom);
+      if (it == top_to_index.end()) {
+        return R::failure("unknown bottom blob: " + bottom);
+      }
+      layer.inputs.push_back(it->second);
+    }
+
+    auto int_param = [&](const PbNode* p, const char* field, int fallback) {
+      if (p == nullptr) return fallback;
+      const auto v = p->scalar(field);
+      if (!v) return fallback;
+      return static_cast<int>(util::parse_int(*v).value_or(fallback));
+    };
+
+    if (type == "Input") {
+      layer.type = nn::LayerType::Input;
+      const PbNode* param = node.child("input_param");
+      const PbNode* shape = param ? param->child("shape") : nullptr;
+      if (shape == nullptr) return R::failure("Input without shape");
+      for (const auto& d : shape->all_scalars("dim")) {
+        layer.input_shape.dims.push_back(util::parse_int(d).value_or(0));
+      }
+    } else if (type == "Convolution") {
+      layer.type = nn::LayerType::Conv2D;
+      const PbNode* p = node.child("convolution_param");
+      layer.units = int_param(p, "num_output", 0);
+      layer.kernel_h = layer.kernel_w = int_param(p, "kernel_size", 1);
+      layer.stride_h = layer.stride_w = int_param(p, "stride", 1);
+      const std::string pad = p ? p->scalar("pad_mode").value_or("same") : "same";
+      layer.padding = pad == "valid" ? nn::Padding::Valid : nn::Padding::Same;
+    } else if (type == "Pooling") {
+      const PbNode* p = node.child("pooling_param");
+      const std::string pool = p ? p->scalar("pool").value_or("MAX") : "MAX";
+      const std::string global =
+          p ? p->scalar("global_pooling").value_or("false") : "false";
+      if (global == "true") {
+        layer.type = nn::LayerType::GlobalAvgPool;
+      } else {
+        layer.type = pool == "AVE" ? nn::LayerType::AvgPool2D
+                                   : nn::LayerType::MaxPool2D;
+        layer.kernel_h = layer.kernel_w = int_param(p, "kernel_size", 2);
+        layer.stride_h = layer.stride_w = int_param(p, "stride", 2);
+      }
+    } else if (type == "InnerProduct") {
+      layer.type = nn::LayerType::Dense;
+      layer.units = int_param(node.child("inner_product_param"), "num_output", 0);
+    } else if (type == "ReLU") {
+      const PbNode* p = node.child("relu_param");
+      layer.type = (p && p->scalar("clip").value_or("") == "6")
+                       ? nn::LayerType::Relu6
+                       : nn::LayerType::Relu;
+    } else if (type == "Sigmoid") {
+      layer.type = nn::LayerType::Sigmoid;
+    } else if (type == "TanH") {
+      layer.type = nn::LayerType::Tanh;
+    } else if (type == "Softmax") {
+      layer.type = nn::LayerType::Softmax;
+    } else if (type == "Eltwise") {
+      const PbNode* p = node.child("eltwise_param");
+      layer.type = (p && p->scalar("operation").value_or("SUM") == "PROD")
+                       ? nn::LayerType::Mul
+                       : nn::LayerType::Add;
+    } else if (type == "Concat") {
+      layer.type = nn::LayerType::Concat;
+      layer.axis = int_param(node.child("concat_param"), "axis", -1);
+    } else if (type == "BatchNorm") {
+      layer.type = nn::LayerType::BatchNorm;
+    } else if (type == "Reshape") {
+      layer.type = nn::LayerType::Reshape;
+      const PbNode* p = node.child("reshape_param");
+      const PbNode* shape = p ? p->child("shape") : nullptr;
+      if (shape == nullptr) return R::failure("Reshape without shape");
+      for (const auto& d : shape->all_scalars("dim")) {
+        layer.target_shape.push_back(util::parse_int(d).value_or(0));
+      }
+    } else {
+      return R::failure("unsupported caffe layer type: " + type);
+    }
+
+    // Attach weights by layer name.
+    const auto wit = weights.value().find(name);
+    if (wit != weights.value().end()) layer.weights = wit->second;
+
+    const std::string top = node.scalar("top").value_or("");
+    if (top.empty()) return R::failure("layer without top blob");
+    const int idx = graph.add(std::move(layer));
+    top_to_index[top] = idx;
+  }
+
+  if (auto status = graph.validate(); !status.ok()) {
+    return R::failure("invalid caffe graph: " + status.error());
+  }
+  return graph;
+}
+
+}  // namespace gauge::formats

@@ -1,0 +1,47 @@
+// Caffe-like model format: a human-readable prototxt graph definition plus a
+// separate binary weight blob (.caffemodel), the two-file split the paper's
+// checksum analysis calls out ("in separate files (e.g. caffe)").
+//
+// The prototxt dialect is a faithful subset of protobuf text format:
+//   name: "net"
+//   layer {
+//     name: "conv1"
+//     type: "Convolution"
+//     bottom: "data"
+//     top: "conv1"
+//     convolution_param { num_output: 8 kernel_size: 3 stride: 2 }
+//   }
+//
+// Only the layer types caffe-era models actually shipped are supported:
+// Input, Convolution, Pooling, InnerProduct, ReLU, Sigmoid, TanH, Softmax,
+// Eltwise (sum/prod), Concat, BatchNorm(Scale folded).
+#pragma once
+
+#include <string>
+
+#include "nn/graph.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace gauge::formats {
+
+inline constexpr char kCaffeWeightsMagic[4] = {'C', 'A', 'F', 'W'};
+
+struct CaffeModel {
+  std::string prototxt;     // graph definition
+  util::Bytes caffemodel;   // binary weights
+};
+
+// Fails when the graph uses a layer type the caffe dialect cannot express.
+util::Result<CaffeModel> write_caffe(const nn::Graph& graph);
+
+util::Result<nn::Graph> read_caffe(const std::string& prototxt,
+                                   std::span<const std::uint8_t> caffemodel);
+
+bool looks_like_prototxt(std::string_view text);
+bool looks_like_caffemodel(std::span<const std::uint8_t> data);
+
+// True when all layers of `graph` are expressible in the caffe dialect.
+bool caffe_supports(const nn::Graph& graph);
+
+}  // namespace gauge::formats

@@ -1,0 +1,29 @@
+// Cross-framework model conversion — what SNPE's converter does for caffe
+// and TFLite inputs (paper Appendix B) and what the SNPE-using apps in the
+// corpus ran offline to produce their .dlc twins. Conversion goes through
+// the shared graph IR: parse source format -> serialise target format,
+// failing when the target dialect cannot express the graph.
+#pragma once
+
+#include "formats/registry.hpp"
+#include "nn/graph.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace gauge::formats {
+
+struct ConvertedModel {
+  // Primary file plus optional weights sibling (caffe/ncnn targets).
+  util::Bytes primary;
+  util::Bytes weights;
+  bool has_weights_file = false;
+};
+
+// Serialises `graph` in `target`'s on-disk format.
+util::Result<ConvertedModel> convert_to(const nn::Graph& graph,
+                                        Framework target);
+
+// True when the target dialect can express every layer of the graph.
+bool convertible_to(const nn::Graph& graph, Framework target);
+
+}  // namespace gauge::formats

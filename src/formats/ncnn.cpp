@@ -1,0 +1,288 @@
+#include "formats/ncnn.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace gauge::formats {
+
+namespace {
+
+// ncnn layer dialect: the subset real ncnn zoo models use.
+const char* ncnn_type_name(nn::LayerType type) {
+  switch (type) {
+    case nn::LayerType::Input: return "Input";
+    case nn::LayerType::Conv2D: return "Convolution";
+    case nn::LayerType::DepthwiseConv2D: return "ConvolutionDepthWise";
+    case nn::LayerType::Dense: return "InnerProduct";
+    case nn::LayerType::MaxPool2D:
+    case nn::LayerType::AvgPool2D:
+    case nn::LayerType::GlobalAvgPool: return "Pooling";
+    case nn::LayerType::Relu: return "ReLU";
+    case nn::LayerType::Relu6: return "Clip";
+    case nn::LayerType::Sigmoid: return "Sigmoid";
+    case nn::LayerType::Tanh: return "TanH";
+    case nn::LayerType::Softmax: return "Softmax";
+    case nn::LayerType::Add:
+    case nn::LayerType::Mul: return "BinaryOp";
+    case nn::LayerType::Concat: return "Concat";
+    case nn::LayerType::ResizeNearest: return "Interp";
+    case nn::LayerType::Reshape: return "Reshape";
+    default: return nullptr;
+  }
+}
+
+void write_tensor_bin(util::ByteWriter& w, const nn::Tensor& t) {
+  w.u32(0);  // flag: raw float32 (mirrors ncnn's flag-tag convention)
+  w.u32(static_cast<std::uint32_t>(t.shape().rank()));
+  for (std::int64_t d : t.shape().dims) w.i64(d);
+  for (std::int64_t k = 0; k < t.elements(); ++k) {
+    const float v = t.dtype() == nn::DType::F32
+                        ? t.f32()[static_cast<std::size_t>(k)]
+                        : static_cast<float>(t.i8()[static_cast<std::size_t>(k)]) *
+                              t.quant_scale;
+    w.f32(v);
+  }
+}
+
+bool read_tensor_bin(util::ByteReader& r, nn::Tensor& out) {
+  const std::uint32_t flag = r.u32();
+  if (!r.ok() || flag != 0) return false;
+  const std::uint32_t rank = r.u32();
+  if (!r.ok() || rank > 8) return false;
+  nn::Shape shape;
+  for (std::uint32_t d = 0; d < rank; ++d) shape.dims.push_back(r.i64());
+  const std::int64_t elems = shape.elements();
+  if (!r.ok() || elems < 0 || elems > (1 << 28)) return false;
+  nn::Tensor t{shape, nn::DType::F32};
+  for (auto& v : t.f32()) v = r.f32();
+  if (!r.ok()) return false;
+  out = std::move(t);
+  return true;
+}
+
+}  // namespace
+
+bool ncnn_supports(const nn::Graph& graph) {
+  for (const auto& layer : graph.layers()) {
+    if (ncnn_type_name(layer.type) == nullptr) return false;
+  }
+  return true;
+}
+
+util::Result<NcnnModel> write_ncnn(const nn::Graph& graph) {
+  using R = util::Result<NcnnModel>;
+  if (!ncnn_supports(graph)) {
+    return R::failure("graph uses layers outside the ncnn dialect");
+  }
+
+  std::string param{kNcnnMagic};
+  param += "\n";
+  param += util::format("%zu %zu\n", graph.size(), graph.size());
+
+  util::ByteWriter bin;
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const nn::Layer& layer = graph.layer(static_cast<int>(i));
+    std::string line = util::format(
+        "%-24s %-16s %zu 1", ncnn_type_name(layer.type),
+        layer.name.empty() ? util::format("layer_%zu", i).c_str()
+                           : layer.name.c_str(),
+        layer.inputs.size());
+    for (int in : layer.inputs) line += util::format(" blob%d", in);
+    line += util::format(" blob%zu", i);
+
+    switch (layer.type) {
+      case nn::LayerType::Input:
+        for (std::size_t d = 0; d < layer.input_shape.rank(); ++d) {
+          line += util::format(" %zu=%lld", d,
+                               static_cast<long long>(layer.input_shape[d]));
+        }
+        break;
+      case nn::LayerType::Conv2D:
+      case nn::LayerType::DepthwiseConv2D:
+        line += util::format(" 0=%d 1=%d 3=%d 4=%d 5=1", layer.units,
+                             layer.kernel_h, layer.stride_h,
+                             layer.padding == nn::Padding::Same ? 1 : 0);
+        if (layer.type == nn::LayerType::DepthwiseConv2D) {
+          line += util::format(" 7=%lld",
+                               static_cast<long long>(layer.weights[0].shape()[2]));
+        }
+        break;
+      case nn::LayerType::Dense:
+        line += util::format(" 0=%d 1=1", layer.units);
+        break;
+      case nn::LayerType::MaxPool2D:
+      case nn::LayerType::AvgPool2D:
+        line += util::format(" 0=%d 1=%d 2=%d",
+                             layer.type == nn::LayerType::AvgPool2D ? 1 : 0,
+                             layer.kernel_h, layer.stride_h);
+        break;
+      case nn::LayerType::GlobalAvgPool:
+        line += " 0=1 4=1";
+        break;
+      case nn::LayerType::Relu6:
+        line += " 0=0 1=6";
+        break;
+      case nn::LayerType::Add:
+        line += " 0=0";
+        break;
+      case nn::LayerType::Mul:
+        line += " 0=2";
+        break;
+      case nn::LayerType::Concat:
+        line += util::format(" 0=%d", layer.axis);
+        break;
+      case nn::LayerType::ResizeNearest:
+        line += util::format(" 0=1 1=%d 2=%d", layer.resize_scale,
+                             layer.resize_scale);
+        break;
+      case nn::LayerType::Softmax:
+        line += util::format(" 0=%d", layer.axis);
+        break;
+      case nn::LayerType::Reshape:
+        for (std::size_t d = 0; d < layer.target_shape.size(); ++d) {
+          line += util::format(" %zu=%lld", d,
+                               static_cast<long long>(layer.target_shape[d]));
+        }
+        break;
+      default:
+        break;
+    }
+    param += line + "\n";
+
+    for (const auto& t : layer.weights) write_tensor_bin(bin, t);
+  }
+  return NcnnModel{std::move(param), std::move(bin).take()};
+}
+
+bool looks_like_ncnn_param(std::string_view text) {
+  const auto first_break = text.find('\n');
+  const std::string_view first_line =
+      first_break == std::string_view::npos ? text : text.substr(0, first_break);
+  return util::trim(first_line) == kNcnnMagic;
+}
+
+util::Result<nn::Graph> read_ncnn(const std::string& param,
+                                  std::span<const std::uint8_t> bin) {
+  using R = util::Result<nn::Graph>;
+  if (!looks_like_ncnn_param(param)) return R::failure("missing 7767517 magic");
+
+  const auto lines = util::split(param, '\n');
+  if (lines.size() < 2) return R::failure("truncated param");
+  const auto header = util::split_ws(lines[1]);
+  if (header.size() != 2) return R::failure("bad count header");
+  const auto layer_count = util::parse_int(header[0]);
+  if (!layer_count || *layer_count < 0) return R::failure("bad layer count");
+
+  util::ByteReader weights{bin};
+  nn::Graph graph;
+  std::map<std::string, int> blob_to_index;
+
+  std::size_t line_idx = 2;
+  for (std::int64_t li = 0; li < *layer_count; ++li, ++line_idx) {
+    if (line_idx >= lines.size()) return R::failure("param shorter than declared");
+    const auto tokens = util::split_ws(lines[line_idx]);
+    if (tokens.size() < 4) return R::failure("malformed layer line");
+    const std::string& type = tokens[0];
+    nn::Layer layer;
+    layer.name = tokens[1];
+    const auto n_in = util::parse_int(tokens[2]);
+    const auto n_out = util::parse_int(tokens[3]);
+    if (!n_in || !n_out || *n_out != 1) return R::failure("bad blob counts");
+    const std::size_t blob_fields = static_cast<std::size_t>(*n_in) + 1;
+    if (tokens.size() < 4 + blob_fields) return R::failure("missing blob names");
+    for (std::int64_t k = 0; k < *n_in; ++k) {
+      const std::string& blob = tokens[4 + static_cast<std::size_t>(k)];
+      const auto it = blob_to_index.find(blob);
+      if (it == blob_to_index.end()) return R::failure("unknown blob " + blob);
+      layer.inputs.push_back(it->second);
+    }
+    const std::string out_blob = tokens[4 + static_cast<std::size_t>(*n_in)];
+
+    std::map<int, std::int64_t> kv;
+    for (std::size_t t = 4 + blob_fields; t < tokens.size(); ++t) {
+      const auto eq = tokens[t].find('=');
+      if (eq == std::string::npos) return R::failure("bad k=v token");
+      const auto key = util::parse_int(tokens[t].substr(0, eq));
+      const auto value = util::parse_int(tokens[t].substr(eq + 1));
+      if (!key || !value) return R::failure("bad k=v token");
+      kv[static_cast<int>(*key)] = *value;
+    }
+    auto get = [&](int key, std::int64_t fallback) {
+      const auto it = kv.find(key);
+      return it == kv.end() ? fallback : it->second;
+    };
+
+    int weight_tensors = 0;
+    if (type == "Input") {
+      layer.type = nn::LayerType::Input;
+      for (int d = 0; kv.count(d); ++d) layer.input_shape.dims.push_back(kv[d]);
+      if (layer.input_shape.rank() == 0) return R::failure("Input without dims");
+    } else if (type == "Convolution" || type == "ConvolutionDepthWise") {
+      layer.type = type == "Convolution" ? nn::LayerType::Conv2D
+                                         : nn::LayerType::DepthwiseConv2D;
+      layer.units = static_cast<int>(get(0, 0));
+      layer.kernel_h = layer.kernel_w = static_cast<int>(get(1, 1));
+      layer.stride_h = layer.stride_w = static_cast<int>(get(3, 1));
+      layer.padding = get(4, 1) == 1 ? nn::Padding::Same : nn::Padding::Valid;
+      weight_tensors = get(5, 0) == 1 ? 2 : 1;
+    } else if (type == "InnerProduct") {
+      layer.type = nn::LayerType::Dense;
+      layer.units = static_cast<int>(get(0, 0));
+      weight_tensors = get(1, 0) == 1 ? 2 : 1;
+    } else if (type == "Pooling") {
+      if (get(4, 0) == 1) {
+        layer.type = nn::LayerType::GlobalAvgPool;
+      } else {
+        layer.type = get(0, 0) == 1 ? nn::LayerType::AvgPool2D
+                                    : nn::LayerType::MaxPool2D;
+        layer.kernel_h = layer.kernel_w = static_cast<int>(get(1, 2));
+        layer.stride_h = layer.stride_w = static_cast<int>(get(2, 2));
+      }
+    } else if (type == "ReLU") {
+      layer.type = nn::LayerType::Relu;
+    } else if (type == "Clip") {
+      layer.type = nn::LayerType::Relu6;
+    } else if (type == "Sigmoid") {
+      layer.type = nn::LayerType::Sigmoid;
+    } else if (type == "TanH") {
+      layer.type = nn::LayerType::Tanh;
+    } else if (type == "Softmax") {
+      layer.type = nn::LayerType::Softmax;
+      layer.axis = static_cast<int>(get(0, -1));
+    } else if (type == "BinaryOp") {
+      layer.type = get(0, 0) == 2 ? nn::LayerType::Mul : nn::LayerType::Add;
+    } else if (type == "Concat") {
+      layer.type = nn::LayerType::Concat;
+      layer.axis = static_cast<int>(get(0, -1));
+    } else if (type == "Interp") {
+      layer.type = nn::LayerType::ResizeNearest;
+      layer.resize_scale = static_cast<int>(get(1, 2));
+    } else if (type == "Reshape") {
+      layer.type = nn::LayerType::Reshape;
+      for (int d = 0; kv.count(d); ++d) layer.target_shape.push_back(kv[d]);
+      if (layer.target_shape.empty()) return R::failure("Reshape without dims");
+    } else {
+      return R::failure("unsupported ncnn layer type: " + type);
+    }
+
+    for (int t = 0; t < weight_tensors; ++t) {
+      nn::Tensor tensor;
+      if (!read_tensor_bin(weights, tensor)) {
+        return R::failure("truncated/corrupt .bin weights");
+      }
+      layer.weights.push_back(std::move(tensor));
+    }
+
+    const int idx = graph.add(std::move(layer));
+    blob_to_index[out_blob] = idx;
+  }
+
+  if (auto status = graph.validate(); !status.ok()) {
+    return R::failure("invalid ncnn graph: " + status.error());
+  }
+  return graph;
+}
+
+}  // namespace gauge::formats

@@ -1,0 +1,35 @@
+// ncnn-like model format: a text .param graph (magic first line 7767517,
+// exactly like real ncnn — the signature validation checks that number) and
+// a raw .bin weight file with per-tensor float data.
+//
+// .param grammar:
+//   7767517
+//   <layer_count> <blob_count>
+//   <Type> <name> <n_in> <n_out> <in_blobs...> <out_blobs...> <k=v...>
+#pragma once
+
+#include <string>
+
+#include "nn/graph.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace gauge::formats {
+
+inline constexpr std::string_view kNcnnMagic = "7767517";
+
+struct NcnnModel {
+  std::string param;   // text graph
+  util::Bytes bin;     // raw weights
+};
+
+util::Result<NcnnModel> write_ncnn(const nn::Graph& graph);
+util::Result<nn::Graph> read_ncnn(const std::string& param,
+                                  std::span<const std::uint8_t> bin);
+
+bool looks_like_ncnn_param(std::string_view text);
+
+// True when all layers of `graph` are expressible in the ncnn dialect.
+bool ncnn_supports(const nn::Graph& graph);
+
+}  // namespace gauge::formats

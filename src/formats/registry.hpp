@@ -1,0 +1,51 @@
+// Framework/extension registry: the complete Appendix Table 5 of the paper.
+// Candidate matching is the first stage of model extraction — any file whose
+// extension appears here is a *candidate* model and proceeds to signature
+// validation (validate.hpp).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gauge::formats {
+
+enum class Framework {
+  Onnx,
+  MxNet,
+  Keras,
+  Caffe,
+  Caffe2,
+  PyTorch,
+  Torch,
+  Snpe,
+  FeatherCnn,
+  TfLite,
+  TensorFlow,
+  Sklearn,
+  ArmNn,
+  Mnn,
+  Ncnn,
+  Tengine,
+  Flux,
+  Chainer,
+  kCount,
+};
+
+const char* framework_name(Framework fw);
+
+struct FrameworkFormats {
+  Framework framework;
+  std::vector<std::string> extensions;  // lowercased, leading dot
+};
+
+// The full table (18 frameworks, 69 extension entries).
+const std::vector<FrameworkFormats>& format_table();
+
+// Frameworks whose extension table contains the file's extension.
+std::vector<Framework> candidate_frameworks(std::string_view path);
+
+// True when the extension appears in any framework's list.
+bool is_candidate_model_file(std::string_view path);
+
+}  // namespace gauge::formats

@@ -1,0 +1,218 @@
+#include "formats/tfl.hpp"
+
+#include <cstring>
+
+namespace gauge::formats {
+
+namespace {
+
+void write_tensor(util::ByteWriter& w, const nn::Tensor& t) {
+  w.u8(static_cast<std::uint8_t>(t.dtype()));
+  w.u32(static_cast<std::uint32_t>(t.shape().rank()));
+  for (std::int64_t d : t.shape().dims) w.i64(d);
+  w.f32(t.quant_scale);
+  w.i32(t.quant_zero_point);
+  switch (t.dtype()) {
+    case nn::DType::F32:
+      for (float v : t.f32()) w.f32(v);
+      break;
+    case nn::DType::I8:
+      for (std::int8_t v : t.i8()) w.u8(static_cast<std::uint8_t>(v));
+      break;
+    case nn::DType::I32:
+      for (std::int32_t v : t.i32()) w.i32(v);
+      break;
+  }
+}
+
+bool read_tensor(util::ByteReader& r, nn::Tensor& out) {
+  const auto dtype = static_cast<nn::DType>(r.u8());
+  const std::uint32_t rank = r.u32();
+  if (!r.ok() || rank > 8) return false;
+  nn::Shape shape;
+  for (std::uint32_t d = 0; d < rank; ++d) shape.dims.push_back(r.i64());
+  if (!r.ok()) return false;
+  const std::int64_t elems = shape.elements();
+  if (elems < 0 || static_cast<std::uint64_t>(elems) > (1ull << 28)) return false;
+  nn::Tensor t{shape, dtype};
+  t.quant_scale = r.f32();
+  t.quant_zero_point = r.i32();
+  switch (dtype) {
+    case nn::DType::F32:
+      for (auto& v : t.f32()) v = r.f32();
+      break;
+    case nn::DType::I8:
+      for (auto& v : t.i8()) v = static_cast<std::int8_t>(r.u8());
+      break;
+    case nn::DType::I32:
+      for (auto& v : t.i32()) v = r.i32();
+      break;
+  }
+  if (!r.ok()) return false;
+  out = std::move(t);
+  return true;
+}
+
+}  // namespace
+
+namespace {
+util::Bytes write_container(const nn::Graph& graph, const char magic[4]);
+util::Result<nn::Graph> read_container(std::span<const std::uint8_t> data,
+                                       const char magic[4],
+                                       const char* magic_name);
+}  // namespace
+
+util::Bytes write_tfl(const nn::Graph& graph) {
+  return write_container(graph, kTflMagic);
+}
+
+namespace {
+util::Bytes write_container(const nn::Graph& graph, const char magic[4]) {
+  util::ByteWriter w;
+  w.u32(kTflVersion);
+  w.raw(std::string_view{magic, 4});
+  w.str(graph.name);
+  w.u32(static_cast<std::uint32_t>(graph.size()));
+  for (const auto& layer : graph.layers()) {
+    w.u8(static_cast<std::uint8_t>(layer.type));
+    w.str(layer.name);
+    w.u32(static_cast<std::uint32_t>(layer.inputs.size()));
+    for (int in : layer.inputs) w.i32(in);
+    w.i32(layer.kernel_h);
+    w.i32(layer.kernel_w);
+    w.i32(layer.stride_h);
+    w.i32(layer.stride_w);
+    w.u8(static_cast<std::uint8_t>(layer.padding));
+    w.i32(layer.units);
+    w.i32(layer.axis);
+    w.i32(layer.resize_scale);
+    w.u32(static_cast<std::uint32_t>(layer.slice_begin.size()));
+    for (std::int64_t v : layer.slice_begin) w.i64(v);
+    w.u32(static_cast<std::uint32_t>(layer.slice_size.size()));
+    for (std::int64_t v : layer.slice_size) w.i64(v);
+    w.u32(static_cast<std::uint32_t>(layer.target_shape.size()));
+    for (std::int64_t v : layer.target_shape) w.i64(v);
+    w.i32(layer.pad_top);
+    w.i32(layer.pad_bottom);
+    w.i32(layer.pad_left);
+    w.i32(layer.pad_right);
+    w.u32(static_cast<std::uint32_t>(layer.input_shape.rank()));
+    for (std::int64_t v : layer.input_shape.dims) w.i64(v);
+    w.f32(layer.quant_scale);
+    w.i32(layer.quant_zero_point);
+    w.i32(layer.weight_bits);
+    w.i32(layer.act_bits);
+    w.u32(static_cast<std::uint32_t>(layer.weights.size()));
+    for (const auto& t : layer.weights) write_tensor(w, t);
+  }
+  return std::move(w).take();
+}
+}  // namespace
+
+bool looks_like_tfl(std::span<const std::uint8_t> data) {
+  return data.size() >= 8 && std::memcmp(data.data() + 4, kTflMagic, 4) == 0;
+}
+
+util::Result<nn::Graph> read_tfl(std::span<const std::uint8_t> data) {
+  return read_container(data, kTflMagic, "TFL3");
+}
+
+util::Bytes write_dlc(const nn::Graph& graph) {
+  return write_container(graph, kDlcMagic);
+}
+util::Result<nn::Graph> read_dlc(std::span<const std::uint8_t> data) {
+  return read_container(data, kDlcMagic, "DLC1");
+}
+bool looks_like_dlc(std::span<const std::uint8_t> data) {
+  return data.size() >= 8 && std::memcmp(data.data() + 4, kDlcMagic, 4) == 0;
+}
+
+util::Bytes write_tf_pb(const nn::Graph& graph) {
+  return write_container(graph, kTfPbMagic);
+}
+util::Result<nn::Graph> read_tf_pb(std::span<const std::uint8_t> data) {
+  return read_container(data, kTfPbMagic, "TFGF");
+}
+bool looks_like_tf_pb(std::span<const std::uint8_t> data) {
+  return data.size() >= 8 && std::memcmp(data.data() + 4, kTfPbMagic, 4) == 0;
+}
+
+namespace {
+util::Result<nn::Graph> read_container(std::span<const std::uint8_t> data,
+                                       const char magic[4],
+                                       const char* magic_name) {
+  using R = util::Result<nn::Graph>;
+  if (data.size() < 8 || std::memcmp(data.data() + 4, magic, 4) != 0) {
+    return R::failure(std::string{"missing "} + magic_name + " identifier");
+  }
+  util::ByteReader r{data};
+  const std::uint32_t version = r.u32();
+  if (version != kTflVersion) return R::failure("unsupported TFL version");
+  r.raw(4);  // magic
+  nn::Graph graph;
+  graph.name = r.str();
+  const std::uint32_t layer_count = r.u32();
+  if (!r.ok() || layer_count > 100000) return R::failure("corrupt header");
+  for (std::uint32_t i = 0; i < layer_count; ++i) {
+    nn::Layer layer;
+    const std::uint8_t type = r.u8();
+    if (type >= static_cast<std::uint8_t>(nn::LayerType::kCount)) {
+      return R::failure("unknown layer type");
+    }
+    layer.type = static_cast<nn::LayerType>(type);
+    layer.name = r.str();
+    const std::uint32_t n_inputs = r.u32();
+    if (!r.ok() || n_inputs > layer_count) return R::failure("corrupt inputs");
+    for (std::uint32_t k = 0; k < n_inputs; ++k) {
+      const std::int32_t in = r.i32();
+      if (in < 0 || static_cast<std::uint32_t>(in) >= i) {
+        return R::failure("layer input out of range");
+      }
+      layer.inputs.push_back(in);
+    }
+    layer.kernel_h = r.i32();
+    layer.kernel_w = r.i32();
+    layer.stride_h = r.i32();
+    layer.stride_w = r.i32();
+    layer.padding = static_cast<nn::Padding>(r.u8());
+    layer.units = r.i32();
+    layer.axis = r.i32();
+    layer.resize_scale = r.i32();
+    const std::uint32_t nb = r.u32();
+    if (!r.ok() || nb > 16) return R::failure("corrupt slice_begin");
+    for (std::uint32_t k = 0; k < nb; ++k) layer.slice_begin.push_back(r.i64());
+    const std::uint32_t ns = r.u32();
+    if (!r.ok() || ns > 16) return R::failure("corrupt slice_size");
+    for (std::uint32_t k = 0; k < ns; ++k) layer.slice_size.push_back(r.i64());
+    const std::uint32_t nt = r.u32();
+    if (!r.ok() || nt > 16) return R::failure("corrupt target_shape");
+    for (std::uint32_t k = 0; k < nt; ++k) layer.target_shape.push_back(r.i64());
+    layer.pad_top = r.i32();
+    layer.pad_bottom = r.i32();
+    layer.pad_left = r.i32();
+    layer.pad_right = r.i32();
+    const std::uint32_t nr = r.u32();
+    if (!r.ok() || nr > 8) return R::failure("corrupt input shape");
+    for (std::uint32_t k = 0; k < nr; ++k) layer.input_shape.dims.push_back(r.i64());
+    layer.quant_scale = r.f32();
+    layer.quant_zero_point = r.i32();
+    layer.weight_bits = r.i32();
+    layer.act_bits = r.i32();
+    const std::uint32_t n_weights = r.u32();
+    if (!r.ok() || n_weights > 8) return R::failure("corrupt weight count");
+    for (std::uint32_t k = 0; k < n_weights; ++k) {
+      nn::Tensor t;
+      if (!read_tensor(r, t)) return R::failure("corrupt weight tensor");
+      layer.weights.push_back(std::move(t));
+    }
+    graph.add(std::move(layer));
+  }
+  if (!r.ok()) return R::failure("truncated model");
+  if (auto status = graph.validate(); !status.ok()) {
+    return R::failure("invalid graph: " + status.error());
+  }
+  return graph;
+}
+}  // namespace
+
+}  // namespace gauge::formats

@@ -1,0 +1,42 @@
+// TFL-like model container: a binary FlatBuffer-style format whose file
+// identifier "TFL3" sits at byte offset 4, exactly where real TFLite files
+// carry theirs — so the paper's signature-validation rule ("check for the
+// string TFL3 there") applies verbatim.
+//
+// Layout (all little-endian):
+//   u32   root offset/version word (we store the format version)
+//   u8[4] "TFL3"
+//   u32   layer count
+//   per layer: type, name, inputs, attributes, weight tensors
+#pragma once
+
+#include "nn/graph.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace gauge::formats {
+
+inline constexpr char kTflMagic[4] = {'T', 'F', 'L', '3'};
+inline constexpr std::uint32_t kTflVersion = 3;
+
+util::Bytes write_tfl(const nn::Graph& graph);
+util::Result<nn::Graph> read_tfl(std::span<const std::uint8_t> data);
+
+// Signature check only (no full parse): "TFL3" at offset 4.
+bool looks_like_tfl(std::span<const std::uint8_t> data);
+
+// Sibling containers sharing the TFL payload encoding but carrying their own
+// 4-byte identifiers, standing in for formats the paper found in small
+// numbers: SNPE .dlc ("DLC1") and TensorFlow frozen graphs ("TFGF").
+inline constexpr char kDlcMagic[4] = {'D', 'L', 'C', '1'};
+inline constexpr char kTfPbMagic[4] = {'T', 'F', 'G', 'F'};
+
+util::Bytes write_dlc(const nn::Graph& graph);
+util::Result<nn::Graph> read_dlc(std::span<const std::uint8_t> data);
+bool looks_like_dlc(std::span<const std::uint8_t> data);
+
+util::Bytes write_tf_pb(const nn::Graph& graph);
+util::Result<nn::Graph> read_tf_pb(std::span<const std::uint8_t> data);
+bool looks_like_tf_pb(std::span<const std::uint8_t> data);
+
+}  // namespace gauge::formats

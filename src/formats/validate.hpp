@@ -1,0 +1,34 @@
+// Signature-based model validation (paper §3.1 "Model validation"):
+// candidate files matched by extension are checked for framework-specific
+// binary identifiers before being accepted as DNN models. Files that fail
+// (obfuscated, encrypted, or simply not models — e.g. a .json config) are
+// rejected, mirroring the paper's pipeline.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "formats/registry.hpp"
+#include "util/bytes.hpp"
+
+namespace gauge::formats {
+
+// Checks the byte signature of a candidate file against every framework its
+// extension maps to; returns the framework whose signature matches, or
+// nullopt when none does (validation failure).
+//
+// Implemented signatures (the formats this reproduction materialises):
+//   TFLite      — "TFL3" at byte offset 4
+//   ncnn        — first line "7767517" (.param graph file)
+//   caffe       — "layer {" + "type:" in prototxt / "CAFW" magic in
+//                 .caffemodel weights
+// Everything else in the extension table fails validation here, which is
+// exactly how unparseable-but-candidate files behave in the paper's counts.
+std::optional<Framework> validate_signature(std::string_view path,
+                                            std::span<const std::uint8_t> data);
+
+// Convenience: true when validate_signature succeeds.
+bool is_valid_model_file(std::string_view path,
+                         std::span<const std::uint8_t> data);
+
+}  // namespace gauge::formats

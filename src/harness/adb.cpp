@@ -1,0 +1,43 @@
+#include "harness/adb.hpp"
+
+namespace gauge::harness {
+
+util::Status AdbConnection::require_connection() const {
+  if (!connected()) {
+    return util::Status::failure("adb: device offline (USB data channel down)");
+  }
+  return {};
+}
+
+util::Status AdbConnection::push(const std::string& remote_path,
+                                 util::Bytes data) {
+  if (auto status = require_connection(); !status.ok()) return status;
+  agent_->write_file(remote_path, std::move(data));
+  return {};
+}
+
+util::Result<util::Bytes> AdbConnection::pull(const std::string& remote_path) {
+  if (auto status = require_connection(); !status.ok()) {
+    return util::Result<util::Bytes>::failure(status.error());
+  }
+  return agent_->read_file(remote_path);
+}
+
+util::Status AdbConnection::remove_all() {
+  if (auto status = require_connection(); !status.ok()) return status;
+  agent_->remove_all_files();
+  return {};
+}
+
+util::Status AdbConnection::assert_benchmark_state() {
+  if (auto status = require_connection(); !status.ok()) return status;
+  DeviceState& state = agent_->state();
+  state.wifi_on = false;
+  state.sensors_on = false;
+  state.screen_on = true;       // keep Doze away (§3.3)
+  state.screen_black = true;    // black-background app
+  state.screen_timeout_s = 1800;
+  return {};
+}
+
+}  // namespace gauge::harness

@@ -1,0 +1,37 @@
+// adb-like control channel between the master and a DeviceAgent. All calls
+// require the hub's data channel for the agent's port to be up — exactly
+// the constraint that forces the Fig. 3 power-cut workflow to use an
+// unattended on-device daemon plus a TCP completion message.
+#pragma once
+
+#include <string>
+
+#include "harness/agent.hpp"
+#include "harness/usbhub.hpp"
+
+namespace gauge::harness {
+
+class AdbConnection {
+ public:
+  AdbConnection(UsbHub& hub, std::size_t port, DeviceAgent& agent)
+      : hub_{&hub}, port_{port}, agent_{&agent} {}
+
+  bool connected() const { return hub_->data_on(port_); }
+
+  util::Status push(const std::string& remote_path, util::Bytes data);
+  util::Result<util::Bytes> pull(const std::string& remote_path);
+  util::Status remove_all();
+
+  // Device-state assertions performed before each job (§3.3): WiFi and
+  // sensors off, screen on with the black-background app, max timeout.
+  util::Status assert_benchmark_state();
+
+ private:
+  util::Status require_connection() const;
+
+  UsbHub* hub_;
+  std::size_t port_;
+  DeviceAgent* agent_;
+};
+
+}  // namespace gauge::harness

@@ -1,0 +1,108 @@
+#include "harness/agent.hpp"
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace gauge::harness {
+
+DeviceAgent::DeviceAgent(device::Device device, std::uint64_t seed)
+    : device_{std::move(device)}, seed_{seed} {}
+
+void DeviceAgent::write_file(const std::string& path, util::Bytes data) {
+  files_[path] = std::move(data);
+}
+
+util::Result<util::Bytes> DeviceAgent::read_file(const std::string& path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    return util::Result<util::Bytes>::failure("no such file: " + path);
+  }
+  return it->second;
+}
+
+bool DeviceAgent::has_file(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+std::vector<std::string> DeviceAgent::list_files() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, _] : files_) out.push_back(path);
+  return out;
+}
+
+void DeviceAgent::remove_all_files() { files_.clear(); }
+
+JobResult DeviceAgent::run_benchmark_daemon(const BenchmarkJob& job) {
+  JobResult result;
+  result.job_id = job.job_id;
+  power_phases_.clear();
+
+  const double screen_w = state_.screen_on ? device_.screen_watts : 0.0;
+  const double idle_w = device_.soc.idle_watts + screen_w;
+
+  // Short idle lead-in: the daemon polls until USB power is off.
+  power_phases_.push_back({0.2, idle_w});
+  clock_.advance_seconds(0.2);
+
+  double sustained = 0.0;
+  // Warm-up inferences remove cold-cache outliers (not recorded).
+  for (int i = 0; i < job.warmup_iterations; ++i) {
+    device::RunConfig config = job.config;
+    config.sustained_seconds = sustained;
+    const auto r = device::simulate_inference(device_, job.trace, config,
+                                              job.model_key);
+    // Warm-up (cold caches): first iterations run slower.
+    const double cold_factor = 1.0 + 0.5 / (1.0 + i);
+    const double t = r.latency_s * cold_factor;
+    power_phases_.push_back({t, r.avg_power_w});
+    clock_.advance_seconds(t);
+    sustained += t;
+  }
+
+  double elapsed = 0.0;
+  for (const auto& phase : power_phases_) elapsed += phase.duration_s;
+  result.measure_window_start_s = elapsed;
+
+  double energy_sum = 0.0;
+  double power_time = 0.0;
+  double power_weighted = 0.0;
+  for (int i = 0; i < job.iterations; ++i) {
+    device::RunConfig config = job.config;
+    config.sustained_seconds = sustained;
+    auto r = device::simulate_inference(device_, job.trace, config,
+                                        job.model_key);
+    // Small per-iteration jitter (scheduler noise), deterministic.
+    util::Rng jitter{seed_ ^ (static_cast<std::uint64_t>(i) * 0x9e37u) ^
+                     util::fnv1a64(job.job_id)};
+    const double t = r.latency_s * (1.0 + 0.02 * jitter.normal());
+    result.latencies_s.push_back(t);
+    result.flops = r.flops;
+    energy_sum += r.soc_energy_j * (t / r.latency_s);
+    power_weighted += r.avg_power_w * t;
+    power_time += t;
+    power_phases_.push_back({t, r.avg_power_w});
+    clock_.advance_seconds(t);
+    sustained += t;
+    if (job.sleep_between_s > 0.0) {
+      power_phases_.push_back({job.sleep_between_s, idle_w});
+      clock_.advance_seconds(job.sleep_between_s);
+      // Sleeping lets the SoC cool a little.
+      sustained = std::max(0.0, sustained - job.sleep_between_s * 0.5);
+    }
+  }
+
+  // Benchmark done: WiFi back on to reach the master.
+  state_.wifi_on = true;
+
+  result.energy_per_inference_j =
+      job.iterations > 0 ? energy_sum / job.iterations : 0.0;
+  result.avg_power_w = power_time > 0.0 ? power_weighted / power_time : 0.0;
+  double total = 0.0;
+  for (const auto& phase : power_phases_) total += phase.duration_s;
+  result.total_duration_s = total;
+  result.measure_window_end_s = total;
+  return result;
+}
+
+}  // namespace gauge::harness

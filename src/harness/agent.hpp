@@ -1,0 +1,90 @@
+// DeviceAgent: the slave side of the gaugeNN benchmark platform — a
+// simulated phone/board with a pushed file system, togglable radios and a
+// headless benchmark daemon. The master talks to it through AdbConnection
+// (harness/adb.hpp) while the hub's data channel is up; the daemon runs the
+// Fig. 3 loop once USB power drops and reports completion over TCP.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "device/latency.hpp"
+#include "device/monsoon.hpp"
+#include "device/soc.hpp"
+#include "nn/trace.hpp"
+#include "util/bytes.hpp"
+#include "util/clock.hpp"
+#include "util/result.hpp"
+
+namespace gauge::harness {
+
+struct DeviceState {
+  bool wifi_on = true;
+  bool sensors_on = true;
+  bool screen_on = true;
+  bool screen_black = false;   // the black-background app of §3.3
+  int screen_timeout_s = 30;   // maximised before benchmarks
+};
+
+struct BenchmarkJob {
+  std::string job_id;
+  std::string model_key;       // checksum/name for deterministic variation
+  nn::ModelTrace trace;
+  device::RunConfig config;
+  int warmup_iterations = 5;
+  int iterations = 20;
+  double sleep_between_s = 0.05;
+};
+
+struct JobResult {
+  std::string job_id;
+  std::vector<double> latencies_s;      // measured iterations only
+  double energy_per_inference_j = 0.0;  // Monsoon, screen share removed
+  double avg_power_w = 0.0;             // during measured phase
+  double total_duration_s = 0.0;        // warmup + measurement + sleeps
+  // Boundaries of the measured phase within the power trace (after the
+  // idle lead-in and warm-ups) — the window the Monsoon analysis integrates.
+  double measure_window_start_s = 0.0;
+  double measure_window_end_s = 0.0;
+  double flops = 0.0;
+};
+
+class DeviceAgent {
+ public:
+  explicit DeviceAgent(device::Device device, std::uint64_t seed = 1);
+
+  const device::Device& device() const { return device_; }
+  DeviceState& state() { return state_; }
+  const DeviceState& state() const { return state_; }
+
+  // --- file system (adb push/pull target) ---
+  void write_file(const std::string& path, util::Bytes data);
+  util::Result<util::Bytes> read_file(const std::string& path) const;
+  bool has_file(const std::string& path) const;
+  std::vector<std::string> list_files() const;
+  void remove_all_files();
+
+  // --- the headless daemon (runs after USB power is cut) ---
+  // Executes the benchmark loop: warmups, measured iterations with sleeps,
+  // then turns WiFi back on. Advances the agent's clock; also produces the
+  // Monsoon power phases for the whole run (idle lead-in included).
+  JobResult run_benchmark_daemon(const BenchmarkJob& job);
+  const std::vector<device::PowerPhase>& last_power_phases() const {
+    return power_phases_;
+  }
+
+  util::SimClock& clock() { return clock_; }
+
+ private:
+  device::Device device_;
+  DeviceState state_;
+  util::SimClock clock_;
+  std::map<std::string, util::Bytes> files_;
+  std::vector<device::PowerPhase> power_phases_;
+  std::uint64_t seed_;
+};
+
+}  // namespace gauge::harness

@@ -1,0 +1,55 @@
+// Programmable USB hub (YKUSH-style, paper §3.3): per-port data and power
+// channels that the master toggles so charging current does not pollute the
+// Monsoon energy measurements. Channel state is atomic: the fleet
+// orchestrator drives one master thread per port concurrently.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+
+namespace gauge::harness {
+
+class UsbHub {
+ public:
+  explicit UsbHub(std::size_t ports = 3)
+      : ports_{ports},
+        data_on_{std::make_unique<std::atomic<bool>[]>(ports)},
+        power_on_{std::make_unique<std::atomic<bool>[]>(ports)} {
+    for (std::size_t p = 0; p < ports_; ++p) {
+      data_on_[p].store(true);
+      power_on_[p].store(true);
+    }
+  }
+
+  std::size_t ports() const { return ports_; }
+
+  bool data_on(std::size_t port) const { return data_on_[check(port)].load(); }
+  bool power_on(std::size_t port) const { return power_on_[check(port)].load(); }
+
+  void set_data(std::size_t port, bool on) { data_on_[check(port)].store(on); }
+  void set_power(std::size_t port, bool on) { power_on_[check(port)].store(on); }
+
+  // Convenience used by the workflow: cut everything on a port.
+  void disconnect(std::size_t port) {
+    set_data(port, false);
+    set_power(port, false);
+  }
+  void reconnect(std::size_t port) {
+    set_data(port, true);
+    set_power(port, true);
+  }
+
+ private:
+  std::size_t check(std::size_t port) const {
+    assert(port < ports_);
+    return port;
+  }
+
+  std::size_t ports_;
+  std::unique_ptr<std::atomic<bool>[]> data_on_;
+  std::unique_ptr<std::atomic<bool>[]> power_on_;
+};
+
+}  // namespace gauge::harness

@@ -1,0 +1,142 @@
+#include "harness/workflow.hpp"
+
+#include <thread>
+
+#include "net/socket.hpp"
+#include "util/hash.hpp"
+#include "util/strings.hpp"
+
+namespace gauge::harness {
+
+util::Result<WorkflowResult> BenchmarkMaster::run_job(const BenchmarkJob& job) {
+  using R = util::Result<WorkflowResult>;
+
+  // 1. Push dependencies and assert the device state over adb.
+  if (auto status = adb_.push("/data/local/tmp/bench_runner",
+                              util::to_bytes("#!aarch64-daemon"));
+      !status.ok()) {
+    return R::failure(status.error());
+  }
+  if (auto status = adb_.push("/data/local/tmp/" + job.job_id + ".model",
+                              util::to_bytes(job.model_key));
+      !status.ok()) {
+    return R::failure(status.error());
+  }
+  if (auto status = adb_.assert_benchmark_state(); !status.ok()) {
+    return R::failure(status.error());
+  }
+
+  // Master listens for the completion message before cutting the channel.
+  auto listener = net::TcpListener::bind(0);
+  if (!listener.ok()) return R::failure(listener.error());
+  const std::uint16_t done_port = listener.value().port();
+
+  // 2. Cut USB data + power: measurements must not see charging current.
+  hub_->disconnect(port_);
+
+  // 3-5. The device-side daemon runs detached (its own thread here; its own
+  // process on the phone) and reports over TCP when done.
+  JobResult job_result;
+  std::thread daemon{[&] {
+    job_result = agent_->run_benchmark_daemon(job);
+    // WiFi is back on after the run; send the netcat-style done message.
+    auto stream = net::TcpStream::connect("127.0.0.1", done_port);
+    if (stream.ok()) {
+      (void)stream.value().send_line("DONE " + job.job_id);
+    }
+  }};
+
+  auto connection = listener.value().accept();
+  if (!connection.ok()) {
+    daemon.join();
+    return R::failure(connection.error());
+  }
+  auto line = connection.value().recv_line();
+  daemon.join();
+  if (!line.ok()) return R::failure(line.error());
+  if (line.value() != "DONE " + job.job_id) {
+    return R::failure("unexpected completion message: " + line.value());
+  }
+
+  // 6. Restore USB and collect.
+  const bool usb_powered_during_run = hub_->power_on(port_);
+  hub_->reconnect(port_);
+  if (!adb_.connected()) return R::failure("device did not come back");
+
+  WorkflowResult result;
+  result.job = std::move(job_result);
+  result.done_message = line.value();
+
+  // Monsoon measurement over the recorded phases.
+  device::Monsoon monsoon{5000.0, 4.2,
+                          util::fnv1a64(job.job_id) | 1};
+  const auto samples = monsoon.record(agent_->last_power_phases());
+  result.monsoon_energy_j = device::Monsoon::integrate_energy_j(samples);
+  result.monsoon_mean_power_w = device::Monsoon::mean_power_w(samples);
+
+  // USB channel over the same window: the hub had power cut for the whole
+  // run, so the charging rail contributes nothing. (Were the hub left on,
+  // this would record ~2.5 W of charge current and invalidate the
+  // measurement — the reason the Fig. 3 workflow cuts power at all.)
+  const double usb_watts = usb_powered_during_run ? 2.5 : 0.0;
+  const auto usb_samples =
+      monsoon.record({{result.job.total_duration_s, usb_watts}});
+  result.usb_energy_j = device::Monsoon::integrate_energy_j(usb_samples);
+
+  // Integrate only the measured window (warm-ups excluded) and subtract
+  // the idle+screen baseline measured separately, as the paper does.
+  std::vector<device::PowerSample> window;
+  for (const auto& sample : samples) {
+    if (sample.t_s >= result.job.measure_window_start_s &&
+        sample.t_s <= result.job.measure_window_end_s) {
+      window.push_back(sample);
+    }
+  }
+  const double baseline_w =
+      agent_->device().soc.idle_watts + agent_->device().screen_watts;
+  const double window_s =
+      result.job.measure_window_end_s - result.job.measure_window_start_s;
+  const double active_j =
+      device::Monsoon::integrate_energy_j(window) - baseline_w * window_s;
+  result.measured_energy_per_inference_j =
+      job.iterations > 0 ? std::max(0.0, active_j) / job.iterations : 0.0;
+
+  // Cleanup for the next job.
+  if (auto status = adb_.remove_all(); !status.ok()) {
+    return R::failure(status.error());
+  }
+  return result;
+}
+
+util::Result<std::vector<WorkflowResult>> BenchmarkMaster::run_jobs(
+    const std::vector<BenchmarkJob>& jobs) {
+  using R = util::Result<std::vector<WorkflowResult>>;
+  std::vector<WorkflowResult> out;
+  out.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    auto result = run_job(job);
+    if (!result.ok()) {
+      return R::failure("job " + job.job_id + ": " + result.error());
+    }
+    out.push_back(std::move(result).take());
+  }
+  return out;
+}
+
+std::vector<FleetResult> run_fleet(UsbHub& hub,
+                                   std::vector<FleetDevice> fleet) {
+  std::vector<FleetResult> results(fleet.size());
+  std::vector<std::thread> workers;
+  workers.reserve(fleet.size());
+  for (std::size_t port = 0; port < fleet.size(); ++port) {
+    results[port].device = fleet[port].agent->device().name;
+    workers.emplace_back([&, port] {
+      BenchmarkMaster master{hub, port, *fleet[port].agent};
+      results[port].results = master.run_jobs(fleet[port].jobs);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  return results;
+}
+
+}  // namespace gauge::harness

@@ -1,0 +1,74 @@
+// The master-side benchmark workflow of Fig. 3:
+//   1. push dependencies & model over adb, assert device state,
+//   2. cut USB data+power through the hub,
+//   3. the on-device daemon runs warm-ups then measured inferences,
+//   4. the Monsoon records the whole window,
+//   5. the agent raises WiFi and sends "DONE <job>" over TCP (a real
+//      loopback socket here),
+//   6. the master restores USB, pulls results, cleans up, next job.
+#pragma once
+
+#include <vector>
+
+#include "device/monsoon.hpp"
+#include "harness/adb.hpp"
+#include "harness/agent.hpp"
+#include "harness/usbhub.hpp"
+#include "util/result.hpp"
+
+namespace gauge::harness {
+
+struct WorkflowResult {
+  JobResult job;
+  // Monsoon-side measurements over the run window.
+  double monsoon_energy_j = 0.0;
+  double monsoon_mean_power_w = 0.0;
+  // USB-channel current integrated over the same window; the whole point of
+  // the programmable hub is that this is ~zero (no charging current in the
+  // measurement).
+  double usb_energy_j = 0.0;
+  // Energy attributable to one inference after subtracting the idle/screen
+  // baseline, derived purely from the power trace.
+  double measured_energy_per_inference_j = 0.0;
+  std::string done_message;  // the TCP completion line
+};
+
+class BenchmarkMaster {
+ public:
+  BenchmarkMaster(UsbHub& hub, std::size_t port, DeviceAgent& agent)
+      : hub_{&hub}, port_{port}, agent_{&agent}, adb_{hub, port, agent} {}
+
+  // Runs one job end to end. Thread-safe against nothing; one job at a
+  // time per master, as in the paper's per-device serial queue.
+  util::Result<WorkflowResult> run_job(const BenchmarkJob& job);
+
+  // Runs a batch of jobs back to back (cleanup between jobs).
+  util::Result<std::vector<WorkflowResult>> run_jobs(
+      const std::vector<BenchmarkJob>& jobs);
+
+ private:
+  UsbHub* hub_;
+  std::size_t port_;
+  DeviceAgent* agent_;
+  AdbConnection adb_;
+};
+
+// Fleet orchestration (paper Fig. 2: one server, several devices on the
+// hub): runs each device's job queue on its own thread, one master per
+// port. Results are returned per device, in job order. Any failed job
+// aborts that device's queue; other devices keep running.
+struct FleetDevice {
+  DeviceAgent* agent = nullptr;
+  std::vector<BenchmarkJob> jobs;
+};
+
+struct FleetResult {
+  std::string device;
+  util::Result<std::vector<WorkflowResult>> results =
+      util::Result<std::vector<WorkflowResult>>::failure("not run");
+};
+
+std::vector<FleetResult> run_fleet(UsbHub& hub,
+                                   std::vector<FleetDevice> fleet);
+
+}  // namespace gauge::harness

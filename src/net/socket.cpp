@@ -1,0 +1,123 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gauge::net {
+
+Fd::~Fd() { reset(); }
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+namespace {
+std::string errno_message(const char* what) {
+  return std::string{what} + ": " + std::strerror(errno);
+}
+}  // namespace
+
+util::Result<TcpStream> TcpStream::connect(const std::string& host,
+                                           std::uint16_t port) {
+  using R = util::Result<TcpStream>;
+  Fd fd{::socket(AF_INET, SOCK_STREAM, 0)};
+  if (!fd.valid()) return R::failure(errno_message("socket"));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return R::failure("bad address: " + host);
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return R::failure(errno_message("connect"));
+  }
+  return TcpStream{std::move(fd)};
+}
+
+util::Status TcpStream::send_line(const std::string& line) {
+  std::string payload = line + "\n";
+  std::size_t sent = 0;
+  while (sent < payload.size()) {
+    const ssize_t n =
+        ::send(fd_.get(), payload.data() + sent, payload.size() - sent, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::Status::failure(errno_message("send"));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return {};
+}
+
+util::Result<std::string> TcpStream::recv_line() {
+  using R = util::Result<std::string>;
+  for (;;) {
+    const auto newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    char chunk[512];
+    const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return R::failure(errno_message("recv"));
+    }
+    if (n == 0) return R::failure("peer closed connection");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+util::Result<TcpListener> TcpListener::bind(std::uint16_t port) {
+  using R = util::Result<TcpListener>;
+  Fd fd{::socket(AF_INET, SOCK_STREAM, 0)};
+  if (!fd.valid()) return R::failure(errno_message("socket"));
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return R::failure(errno_message("bind"));
+  }
+  if (::listen(fd.get(), 8) != 0) return R::failure(errno_message("listen"));
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    return R::failure(errno_message("getsockname"));
+  }
+  return TcpListener{std::move(fd), ntohs(bound.sin_port)};
+}
+
+util::Result<TcpStream> TcpListener::accept() {
+  using R = util::Result<TcpStream>;
+  for (;;) {
+    const int client = ::accept(fd_.get(), nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      return R::failure(errno_message("accept"));
+    }
+    return TcpStream{Fd{client}};
+  }
+}
+
+}  // namespace gauge::net

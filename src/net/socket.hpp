@@ -1,0 +1,65 @@
+// Minimal blocking TCP socket layer over loopback, used by the benchmark
+// harness for its netcat-style "experiment finished" message (paper §3.3).
+// RAII file descriptors; line-oriented framing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.hpp"
+
+namespace gauge::net {
+
+// Owning file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_{fd} {}
+  ~Fd();
+  Fd(Fd&& other) noexcept : fd_{other.fd_} { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+class TcpStream {
+ public:
+  static util::Result<TcpStream> connect(const std::string& host,
+                                         std::uint16_t port);
+
+  // Sends `line` plus '\n'. Fails on partial writes that cannot complete.
+  util::Status send_line(const std::string& line);
+  // Blocks until a full '\n'-terminated line arrives (newline stripped) or
+  // the peer closes.
+  util::Result<std::string> recv_line();
+
+  explicit TcpStream(Fd fd) : fd_{std::move(fd)} {}
+
+ private:
+  Fd fd_;
+  std::string buffer_;
+};
+
+class TcpListener {
+ public:
+  // Binds 127.0.0.1 on the given port (0 = ephemeral).
+  static util::Result<TcpListener> bind(std::uint16_t port);
+
+  std::uint16_t port() const { return port_; }
+  util::Result<TcpStream> accept();
+
+ private:
+  explicit TcpListener(Fd fd, std::uint16_t port)
+      : fd_{std::move(fd)}, port_{port} {}
+  Fd fd_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace gauge::net

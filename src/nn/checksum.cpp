@@ -1,0 +1,110 @@
+#include "nn/checksum.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/bytes.hpp"
+#include "util/hash.hpp"
+
+namespace gauge::nn {
+
+namespace {
+
+void hash_tensor(util::Md5& md5, const Tensor& tensor) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(tensor.dtype()));
+  w.u32(static_cast<std::uint32_t>(tensor.shape().rank()));
+  for (std::int64_t d : tensor.shape().dims) w.i64(d);
+  switch (tensor.dtype()) {
+    case DType::F32:
+      for (float v : tensor.f32()) w.f32(v);
+      break;
+    case DType::I8:
+      for (std::int8_t v : tensor.i8()) w.u8(static_cast<std::uint8_t>(v));
+      w.f32(tensor.quant_scale);
+      w.i32(tensor.quant_zero_point);
+      break;
+    case DType::I32:
+      for (std::int32_t v : tensor.i32()) w.i32(v);
+      break;
+  }
+  md5.update(w.bytes());
+}
+
+void hash_architecture(util::Md5& md5, const Layer& layer) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(layer.type));
+  w.u32(static_cast<std::uint32_t>(layer.inputs.size()));
+  for (int in : layer.inputs) w.i32(in);
+  w.i32(layer.kernel_h);
+  w.i32(layer.kernel_w);
+  w.i32(layer.stride_h);
+  w.i32(layer.stride_w);
+  w.u8(static_cast<std::uint8_t>(layer.padding));
+  w.i32(layer.units);
+  w.i32(layer.axis);
+  w.i32(layer.resize_scale);
+  for (std::int64_t v : layer.slice_begin) w.i64(v);
+  for (std::int64_t v : layer.slice_size) w.i64(v);
+  for (std::int64_t v : layer.target_shape) w.i64(v);
+  for (std::int64_t v : layer.input_shape.dims) w.i64(v);
+  w.i32(layer.weight_bits);
+  w.i32(layer.act_bits);
+  md5.update(w.bytes());
+}
+
+}  // namespace
+
+std::string model_checksum(const Graph& graph) {
+  util::Md5 md5;
+  for (const auto& layer : graph.layers()) {
+    hash_architecture(md5, layer);
+    for (const auto& w : layer.weights) hash_tensor(md5, w);
+  }
+  return md5.hex_digest();
+}
+
+std::string architecture_checksum(const Graph& graph) {
+  util::Md5 md5;
+  for (const auto& layer : graph.layers()) hash_architecture(md5, layer);
+  return md5.hex_digest();
+}
+
+std::vector<std::string> layer_weight_checksums(const Graph& graph) {
+  std::vector<std::string> out;
+  for (const auto& layer : graph.layers()) {
+    if (!layer.has_weights()) continue;
+    util::Md5 md5;
+    for (const auto& w : layer.weights) hash_tensor(md5, w);
+    out.push_back(md5.hex_digest());
+  }
+  return out;
+}
+
+double shared_layer_fraction(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b) {
+  if (a.empty()) return 0.0;
+  std::map<std::string, int> available;
+  for (const auto& digest : b) available[digest]++;
+  std::size_t shared = 0;
+  for (const auto& digest : a) {
+    auto it = available.find(digest);
+    if (it != available.end() && it->second > 0) {
+      --it->second;
+      ++shared;
+    }
+  }
+  return static_cast<double>(shared) / static_cast<double>(a.size());
+}
+
+int differing_layer_count(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b) {
+  if (a.size() != b.size()) return -1;
+  int diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) ++diff;
+  }
+  return diff;
+}
+
+}  // namespace gauge::nn

@@ -1,0 +1,35 @@
+// Model and per-layer weight checksums, mirroring the paper's §4.5
+// methodology: md5 over graph + weights identifies duplicate (off-the-shelf)
+// models; per-layer weight digests expose fine-tuning (models sharing a
+// prefix of identical layers).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/graph.hpp"
+
+namespace gauge::nn {
+
+// Digest of the full model: architecture (types/attrs/topology) + weights.
+std::string model_checksum(const Graph& graph);
+
+// Digest of the architecture only (no weights): two fine-tuned variants of
+// the same backbone share this.
+std::string architecture_checksum(const Graph& graph);
+
+// One digest per weighted layer (layers without weights are skipped),
+// in topological order.
+std::vector<std::string> layer_weight_checksums(const Graph& graph);
+
+// Fraction of `a`'s weighted layers whose digest also appears in `b`
+// (order-insensitive multiset intersection over a's layers).
+double shared_layer_fraction(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b);
+
+// Number of weighted layers that differ between two equal-architecture
+// models (compared positionally). Returns -1 when layer counts differ.
+int differing_layer_count(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b);
+
+}  // namespace gauge::nn

@@ -1,0 +1,38 @@
+#include "nn/describe.hpp"
+
+#include "nn/trace.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace gauge::nn {
+
+std::string describe(const Graph& graph) {
+  auto trace = trace_model(graph);
+  if (!trace.ok()) return {};
+
+  util::Table table{{"#", "layer", "type", "output", "params", "MFLOPs",
+                     "bits (w/a)"}};
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const Layer& layer = graph.layer(static_cast<int>(i));
+    const LayerCost& cost = trace.value().layers[i];
+    table.add_row({std::to_string(i),
+                   layer.name.empty() ? "-" : layer.name,
+                   layer_type_name(layer.type), cost.output_shape.str(),
+                   std::to_string(cost.params),
+                   util::Table::num(static_cast<double>(cost.flops) / 1e6, 3),
+                   util::format("%d/%d", layer.weight_bits, layer.act_bits)});
+  }
+
+  std::string out = util::format(
+      "model '%s': %zu layers, %s params, %s FLOPs, peak activations %s\n",
+      graph.name.c_str(), graph.size(),
+      util::human_count(static_cast<double>(trace.value().total_params)).c_str(),
+      util::human_count(static_cast<double>(trace.value().total_flops)).c_str(),
+      util::human_bytes(static_cast<std::uint64_t>(
+                            trace.value().peak_activation_bytes))
+          .c_str());
+  out += table.render();
+  return out;
+}
+
+}  // namespace gauge::nn

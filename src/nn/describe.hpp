@@ -1,0 +1,15 @@
+// Netron-style textual model summary: per-layer table with shapes, params
+// and FLOPs — the manual-inspection view the paper's researchers used when
+// labelling models (§4.4).
+#pragma once
+
+#include <string>
+
+#include "nn/graph.hpp"
+
+namespace gauge::nn {
+
+// Multi-line human-readable description; empty string on invalid graphs.
+std::string describe(const Graph& graph);
+
+}  // namespace gauge::nn

@@ -1,0 +1,419 @@
+#include "nn/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <set>
+
+#include "util/strings.hpp"
+
+namespace gauge::nn {
+
+const char* layer_type_name(LayerType type) {
+  switch (type) {
+    case LayerType::Input: return "input";
+    case LayerType::Conv2D: return "conv2d";
+    case LayerType::DepthwiseConv2D: return "depthwise_conv2d";
+    case LayerType::Dense: return "dense";
+    case LayerType::MaxPool2D: return "max_pool2d";
+    case LayerType::AvgPool2D: return "avg_pool2d";
+    case LayerType::GlobalAvgPool: return "global_avg_pool";
+    case LayerType::Relu: return "relu";
+    case LayerType::Relu6: return "relu6";
+    case LayerType::Sigmoid: return "sigmoid";
+    case LayerType::Tanh: return "tanh";
+    case LayerType::Softmax: return "softmax";
+    case LayerType::Add: return "add";
+    case LayerType::Mul: return "mul";
+    case LayerType::Concat: return "concat";
+    case LayerType::ResizeNearest: return "resize_nearest";
+    case LayerType::Slice: return "slice";
+    case LayerType::Reshape: return "reshape";
+    case LayerType::Pad: return "pad";
+    case LayerType::BatchNorm: return "batch_norm";
+    case LayerType::Quantize: return "quantize";
+    case LayerType::Dequantize: return "dequantize";
+    case LayerType::Lstm: return "lstm";
+    case LayerType::Embedding: return "embedding";
+    case LayerType::Transpose2D: return "transpose2d";
+    case LayerType::kCount: break;
+  }
+  return "?";
+}
+
+OpFamily op_family(LayerType type) {
+  switch (type) {
+    case LayerType::Conv2D: return OpFamily::Conv;
+    case LayerType::DepthwiseConv2D: return OpFamily::DepthConv;
+    case LayerType::Dense: return OpFamily::Dense;
+    case LayerType::MaxPool2D:
+    case LayerType::AvgPool2D:
+    case LayerType::GlobalAvgPool: return OpFamily::Pool;
+    case LayerType::Relu:
+    case LayerType::Relu6:
+    case LayerType::Sigmoid:
+    case LayerType::Tanh: return OpFamily::Activation;
+    case LayerType::Softmax:
+    case LayerType::Add:
+    case LayerType::Mul:
+    case LayerType::BatchNorm: return OpFamily::Math;
+    case LayerType::Concat:
+    case LayerType::Reshape:
+    case LayerType::Pad:
+    case LayerType::Transpose2D: return OpFamily::Shape;
+    case LayerType::ResizeNearest: return OpFamily::Resize;
+    case LayerType::Slice: return OpFamily::Slice;
+    case LayerType::Quantize:
+    case LayerType::Dequantize: return OpFamily::Quant;
+    case LayerType::Lstm: return OpFamily::Recurrent;
+    case LayerType::Embedding: return OpFamily::Embedding;
+    case LayerType::Input: return OpFamily::Input;
+    case LayerType::kCount: break;
+  }
+  return OpFamily::Math;
+}
+
+const char* op_family_name(OpFamily family) {
+  switch (family) {
+    case OpFamily::Conv: return "conv";
+    case OpFamily::DepthConv: return "depth_conv";
+    case OpFamily::Dense: return "dense";
+    case OpFamily::Pool: return "pool";
+    case OpFamily::Activation: return "activation";
+    case OpFamily::Recurrent: return "recurrent";
+    case OpFamily::Embedding: return "embedding";
+    case OpFamily::Quant: return "quant";
+    case OpFamily::Resize: return "resize";
+    case OpFamily::Slice: return "slice";
+    case OpFamily::Math: return "math";
+    case OpFamily::Shape: return "shape";
+    case OpFamily::Input: return "input";
+  }
+  return "?";
+}
+
+const char* modality_name(Modality m) {
+  switch (m) {
+    case Modality::Image: return "image";
+    case Modality::Text: return "text";
+    case Modality::Audio: return "audio";
+    case Modality::Sensor: return "sensor";
+    case Modality::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+int expected_arity(LayerType type) {
+  switch (type) {
+    case LayerType::Input: return 0;
+    case LayerType::Add:
+    case LayerType::Mul: return 2;
+    case LayerType::Concat: return -1;
+    default: return 1;
+  }
+}
+
+int Graph::add(Layer layer) {
+  const int idx = static_cast<int>(layers_.size());
+  // Producer-before-consumer is enforced lazily: validate() reports any
+  // violation; debug builds assert here for early detection.
+  assert(std::all_of(layer.inputs.begin(), layer.inputs.end(),
+                     [idx](int in) { return in >= 0 && in < idx; }));
+  layers_.push_back(std::move(layer));
+  return idx;
+}
+
+std::vector<int> Graph::input_indices() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (layers_[i].type == LayerType::Input) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<int> Graph::output_indices() const {
+  std::vector<bool> consumed(layers_.size(), false);
+  for (const auto& layer : layers_) {
+    for (int in : layer.inputs) consumed[static_cast<std::size_t>(in)] = true;
+  }
+  std::vector<int> out;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (!consumed[i]) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+util::Status Graph::validate() const {
+  if (layers_.empty()) return util::Status::failure("empty graph");
+  if (input_indices().empty()) return util::Status::failure("graph has no Input layer");
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const Layer& layer = layers_[i];
+    for (const int in : layer.inputs) {
+      if (in < 0 || static_cast<std::size_t>(in) >= i) {
+        return util::Status::failure(util::format(
+            "layer %zu (%s): input index %d not a predecessor", i,
+            layer_type_name(layer.type), in));
+      }
+    }
+    const int arity = expected_arity(layer.type);
+    if (arity >= 0 && static_cast<int>(layer.inputs.size()) != arity) {
+      return util::Status::failure(util::format(
+          "layer %zu (%s): expected %d inputs, got %zu", i,
+          layer_type_name(layer.type), arity, layer.inputs.size()));
+    }
+    if (arity < 0 && layer.inputs.empty()) {
+      return util::Status::failure(util::format(
+          "layer %zu (%s): variadic layer needs >=1 input", i,
+          layer_type_name(layer.type)));
+    }
+  }
+  return {};
+}
+
+std::vector<int> Graph::topological_order() const {
+  std::vector<int> order(layers_.size());
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+std::int64_t Graph::total_parameters() const {
+  std::int64_t total = 0;
+  for (const auto& layer : layers_) total += layer.parameter_count();
+  return total;
+}
+
+namespace {
+
+std::int64_t conv_out_dim(std::int64_t in, int kernel, int stride, Padding pad) {
+  if (pad == Padding::Same) return (in + stride - 1) / stride;
+  return (in - kernel) / stride + 1;
+}
+
+}  // namespace
+
+util::Result<std::vector<Shape>> infer_shapes(const Graph& graph) {
+  using R = util::Result<std::vector<Shape>>;
+  if (auto status = graph.validate(); !status.ok()) return R::failure(status.error());
+
+  std::vector<Shape> shapes(graph.size());
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const Layer& layer = graph.layer(static_cast<int>(i));
+    auto in_shape = [&](std::size_t slot) -> const Shape& {
+      return shapes[static_cast<std::size_t>(layer.inputs[slot])];
+    };
+    auto fail = [&](const std::string& why) {
+      return R::failure(util::format("layer %zu (%s '%s'): %s", i,
+                                     layer_type_name(layer.type),
+                                     layer.name.c_str(), why.c_str()));
+    };
+
+    switch (layer.type) {
+      case LayerType::Input: {
+        if (layer.input_shape.rank() == 0) return fail("input shape not set");
+        shapes[i] = layer.input_shape;
+        break;
+      }
+      case LayerType::Conv2D: {
+        const Shape& in = in_shape(0);
+        if (in.rank() != 4) return fail("conv2d expects rank-4 NHWC input");
+        if (layer.weights.empty()) return fail("conv2d missing weights");
+        const Shape& w = layer.weights[0].shape();
+        if (w.rank() != 4 || w[2] != in[3]) {
+          return fail(util::format("weight shape %s incompatible with input %s",
+                                   w.str().c_str(), in.str().c_str()));
+        }
+        shapes[i] = Shape{in[0],
+                          conv_out_dim(in[1], layer.kernel_h, layer.stride_h, layer.padding),
+                          conv_out_dim(in[2], layer.kernel_w, layer.stride_w, layer.padding),
+                          w[3]};
+        if (shapes[i][1] <= 0 || shapes[i][2] <= 0) return fail("kernel larger than input");
+        break;
+      }
+      case LayerType::DepthwiseConv2D: {
+        const Shape& in = in_shape(0);
+        if (in.rank() != 4) return fail("dwconv expects rank-4 NHWC input");
+        if (layer.weights.empty()) return fail("dwconv missing weights");
+        const Shape& w = layer.weights[0].shape();
+        if (w.rank() != 4 || w[2] != in[3]) return fail("dwconv weight channel mismatch");
+        shapes[i] = Shape{in[0],
+                          conv_out_dim(in[1], layer.kernel_h, layer.stride_h, layer.padding),
+                          conv_out_dim(in[2], layer.kernel_w, layer.stride_w, layer.padding),
+                          in[3]};
+        if (shapes[i][1] <= 0 || shapes[i][2] <= 0) return fail("kernel larger than input");
+        break;
+      }
+      case LayerType::Dense: {
+        const Shape& in = in_shape(0);
+        if (in.rank() < 2) return fail("dense expects rank >= 2");
+        if (layer.weights.empty()) return fail("dense missing weights");
+        const Shape& w = layer.weights[0].shape();
+        if (w.rank() != 2 || w[0] != in.dims.back()) {
+          return fail(util::format("dense weight %s vs input %s", w.str().c_str(),
+                                   in.str().c_str()));
+        }
+        Shape out = in;
+        out.dims.back() = w[1];
+        shapes[i] = out;
+        break;
+      }
+      case LayerType::MaxPool2D:
+      case LayerType::AvgPool2D: {
+        const Shape& in = in_shape(0);
+        if (in.rank() != 4) return fail("pool expects rank-4 input");
+        shapes[i] = Shape{in[0],
+                          conv_out_dim(in[1], layer.kernel_h, layer.stride_h, layer.padding),
+                          conv_out_dim(in[2], layer.kernel_w, layer.stride_w, layer.padding),
+                          in[3]};
+        if (shapes[i][1] <= 0 || shapes[i][2] <= 0) return fail("pool window too large");
+        break;
+      }
+      case LayerType::GlobalAvgPool: {
+        const Shape& in = in_shape(0);
+        if (in.rank() != 4) return fail("global pool expects rank-4 input");
+        shapes[i] = Shape{in[0], 1, 1, in[3]};
+        break;
+      }
+      case LayerType::Relu:
+      case LayerType::Relu6:
+      case LayerType::Sigmoid:
+      case LayerType::Tanh:
+      case LayerType::Softmax:
+      case LayerType::Quantize:
+      case LayerType::Dequantize: {
+        shapes[i] = in_shape(0);
+        break;
+      }
+      case LayerType::BatchNorm: {
+        const Shape& in = in_shape(0);
+        if (layer.weights.size() < 2) return fail("batch_norm needs scale+shift");
+        if (layer.weights[0].elements() != in.dims.back()) {
+          return fail("batch_norm parameter size mismatch");
+        }
+        shapes[i] = in;
+        break;
+      }
+      case LayerType::Add:
+      case LayerType::Mul: {
+        const Shape& a = in_shape(0);
+        const Shape& b = in_shape(1);
+        if (!(a == b)) {
+          return fail(util::format("elementwise shape mismatch %s vs %s",
+                                   a.str().c_str(), b.str().c_str()));
+        }
+        shapes[i] = a;
+        break;
+      }
+      case LayerType::Concat: {
+        const Shape& first = in_shape(0);
+        const std::size_t rank = first.rank();
+        const std::int64_t signed_axis =
+            layer.axis >= 0 ? layer.axis
+                            : static_cast<std::int64_t>(rank) + layer.axis;
+        if (signed_axis < 0 || signed_axis >= static_cast<std::int64_t>(rank)) {
+          return fail("concat axis out of range");
+        }
+        const auto ax = static_cast<std::size_t>(signed_axis);
+        Shape out = first;
+        for (std::size_t s = 1; s < layer.inputs.size(); ++s) {
+          const Shape& other = in_shape(s);
+          if (other.rank() != rank) return fail("concat rank mismatch");
+          for (std::size_t d = 0; d < rank; ++d) {
+            if (d == ax) continue;
+            if (other[d] != first[d]) return fail("concat non-axis dim mismatch");
+          }
+          out[ax] += other[ax];
+        }
+        shapes[i] = out;
+        break;
+      }
+      case LayerType::ResizeNearest: {
+        const Shape& in = in_shape(0);
+        if (in.rank() != 4) return fail("resize expects rank-4 input");
+        if (layer.resize_scale < 1) return fail("resize scale must be >= 1");
+        shapes[i] = Shape{in[0], in[1] * layer.resize_scale,
+                          in[2] * layer.resize_scale, in[3]};
+        break;
+      }
+      case LayerType::Slice: {
+        const Shape& in = in_shape(0);
+        if (layer.slice_begin.size() != in.rank() ||
+            layer.slice_size.size() != in.rank()) {
+          return fail("slice begin/size rank mismatch");
+        }
+        Shape out = in;
+        for (std::size_t d = 0; d < in.rank(); ++d) {
+          const std::int64_t begin = layer.slice_begin[d];
+          std::int64_t size = layer.slice_size[d];
+          if (size < 0) size = in[d] - begin;
+          if (begin < 0 || begin + size > in[d] || size <= 0) {
+            return fail("slice out of bounds");
+          }
+          out[d] = size;
+        }
+        shapes[i] = out;
+        break;
+      }
+      case LayerType::Reshape: {
+        const Shape& in = in_shape(0);
+        Shape out{layer.target_shape};
+        std::int64_t known = 1;
+        int wildcard = -1;
+        for (std::size_t d = 0; d < out.rank(); ++d) {
+          if (out[d] == -1) {
+            if (wildcard >= 0) return fail("reshape has two wildcards");
+            wildcard = static_cast<int>(d);
+          } else {
+            known *= out[d];
+          }
+        }
+        if (wildcard >= 0) {
+          if (known == 0 || in.elements() % known != 0) return fail("reshape mismatch");
+          out[static_cast<std::size_t>(wildcard)] = in.elements() / known;
+        } else if (out.elements() != in.elements()) {
+          return fail(util::format("reshape %s -> %s changes element count",
+                                   in.str().c_str(), out.str().c_str()));
+        }
+        shapes[i] = out;
+        break;
+      }
+      case LayerType::Pad: {
+        const Shape& in = in_shape(0);
+        if (in.rank() != 4) return fail("pad expects rank-4 input");
+        shapes[i] = Shape{in[0], in[1] + layer.pad_top + layer.pad_bottom,
+                          in[2] + layer.pad_left + layer.pad_right, in[3]};
+        break;
+      }
+      case LayerType::Lstm: {
+        const Shape& in = in_shape(0);
+        if (in.rank() != 3) return fail("lstm expects [N,T,F] input");
+        if (layer.weights.empty()) return fail("lstm missing weights");
+        const std::int64_t hidden = layer.units;
+        if (hidden <= 0) return fail("lstm units not set");
+        if (layer.weights[0].shape()[0] != in[2] + hidden ||
+            layer.weights[0].shape()[1] != 4 * hidden) {
+          return fail("lstm weight shape mismatch");
+        }
+        shapes[i] = Shape{in[0], in[1], hidden};
+        break;
+      }
+      case LayerType::Embedding: {
+        const Shape& in = in_shape(0);
+        if (in.rank() != 2) return fail("embedding expects [N,T] input");
+        if (layer.weights.empty()) return fail("embedding missing table");
+        shapes[i] = Shape{in[0], in[1], layer.weights[0].shape()[1]};
+        break;
+      }
+      case LayerType::Transpose2D: {
+        const Shape& in = in_shape(0);
+        if (in.rank() != 2) return fail("transpose2d expects rank-2 input");
+        shapes[i] = Shape{in[1], in[0]};
+        break;
+      }
+      case LayerType::kCount:
+        return fail("invalid layer type");
+    }
+  }
+  return shapes;
+}
+
+}  // namespace gauge::nn

@@ -1,0 +1,57 @@
+// Model graph: a DAG of layers with exactly one Input node per model input.
+// Provides validation, topological order and shape inference.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "util/result.hpp"
+
+namespace gauge::nn {
+
+// Input modality, used by the analysis layer to bucket models (Fig. 6/7).
+enum class Modality { Image, Text, Audio, Sensor, Unknown };
+const char* modality_name(Modality m);
+
+class Graph {
+ public:
+  // Adds a layer; returns its index. Inputs must already exist.
+  int add(Layer layer);
+
+  const std::vector<Layer>& layers() const { return layers_; }
+  std::vector<Layer>& layers() { return layers_; }
+  const Layer& layer(int idx) const { return layers_[static_cast<std::size_t>(idx)]; }
+  Layer& layer(int idx) { return layers_[static_cast<std::size_t>(idx)]; }
+  std::size_t size() const { return layers_.size(); }
+
+  std::string name;
+
+  // Indices of Input layers, in add order.
+  std::vector<int> input_indices() const;
+  // Indices of layers no other layer consumes (the model outputs).
+  std::vector<int> output_indices() const;
+
+  // Checks DAG-ness (inputs strictly precede consumers), index validity and
+  // per-layer arity.
+  util::Status validate() const;
+
+  // Layers are stored in topological order by construction (add() enforces
+  // producer-before-consumer), so this is the identity permutation; exposed
+  // for readability at call sites.
+  std::vector<int> topological_order() const;
+
+  std::int64_t total_parameters() const;
+
+ private:
+  std::vector<Layer> layers_;
+};
+
+// Shape inference: returns one output shape per layer (index-aligned).
+// Fails on rank/arity mismatches.
+util::Result<std::vector<Shape>> infer_shapes(const Graph& graph);
+
+// Expected number of inputs for a layer type (-1 = variadic >= 1).
+int expected_arity(LayerType type);
+
+}  // namespace gauge::nn

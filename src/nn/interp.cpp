@@ -1,0 +1,826 @@
+#include "nn/interp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace gauge::nn {
+
+namespace {
+
+struct PadOffsets {
+  std::int64_t top = 0;
+  std::int64_t left = 0;
+};
+
+// SAME padding offsets for a conv/pool window (TFLite semantics).
+PadOffsets same_padding(std::int64_t in_h, std::int64_t in_w, std::int64_t out_h,
+                        std::int64_t out_w, int kh, int kw, int sh, int sw,
+                        Padding padding) {
+  if (padding == Padding::Valid) return {};
+  const std::int64_t pad_h =
+      std::max<std::int64_t>(0, (out_h - 1) * sh + kh - in_h);
+  const std::int64_t pad_w =
+      std::max<std::int64_t>(0, (out_w - 1) * sw + kw - in_w);
+  return {pad_h / 2, pad_w / 2};
+}
+
+float weight_at(const Tensor& w, std::size_t idx) {
+  if (w.dtype() == DType::F32) return w.f32()[idx];
+  // Hybrid path: int8 weights dequantised on the fly.
+  return (static_cast<float>(w.i8()[idx]) -
+          static_cast<float>(w.quant_zero_point)) *
+         w.quant_scale;
+}
+
+std::int8_t quantize_value(float v, float scale, std::int32_t zp) {
+  const float q = std::round(v / scale) + static_cast<float>(zp);
+  return static_cast<std::int8_t>(std::clamp(q, -128.0f, 127.0f));
+}
+
+float dequantize_value(std::int8_t q, float scale, std::int32_t zp) {
+  return (static_cast<float>(q) - static_cast<float>(zp)) * scale;
+}
+
+using Fail = util::Result<std::vector<Tensor>>;
+
+}  // namespace
+
+Interpreter::Interpreter(const Graph& graph, unsigned threads)
+    : graph_{graph} {
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+util::Result<std::vector<Tensor>> Interpreter::run(
+    const std::vector<Tensor>& inputs) {
+  // Bind inputs: override declared input shapes with the actual ones so a
+  // caller can batch.
+  Graph shaped = graph_;  // shallow-ish copy: weights share nothing, but the
+                          // graphs are small; only shapes are mutated.
+  const auto input_idx = shaped.input_indices();
+  if (inputs.size() != input_idx.size()) {
+    return Fail::failure(util::format("expected %zu inputs, got %zu",
+                                      input_idx.size(), inputs.size()));
+  }
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const Shape& declared = shaped.layer(input_idx[i]).input_shape;
+    const Shape& actual = inputs[i].shape();
+    if (declared.rank() != actual.rank()) {
+      return Fail::failure("input rank mismatch");
+    }
+    for (std::size_t d = 1; d < declared.rank(); ++d) {
+      if (declared[d] != actual[d]) {
+        return Fail::failure(util::format(
+            "input %zu dim %zu mismatch: declared %s, got %s", i, d,
+            declared.str().c_str(), actual.str().c_str()));
+      }
+    }
+    shaped.layer(input_idx[i]).input_shape = actual;
+  }
+
+  auto shapes = infer_shapes(shaped);
+  if (!shapes.ok()) return Fail::failure(shapes.error());
+
+  std::vector<Tensor> values(shaped.size());
+  std::vector<bool> computed(shaped.size(), false);
+
+  // Liveness for peak-memory accounting.
+  std::vector<int> last_use(shaped.size(), -1);
+  for (std::size_t i = 0; i < shaped.size(); ++i) {
+    for (int in : shaped.layer(static_cast<int>(i)).inputs) {
+      last_use[static_cast<std::size_t>(in)] =
+          std::max(last_use[static_cast<std::size_t>(in)], static_cast<int>(i));
+    }
+  }
+  for (int out : shaped.output_indices()) {
+    last_use[static_cast<std::size_t>(out)] = static_cast<int>(shaped.size());
+  }
+
+  std::int64_t live_bytes = 0;
+  std::int64_t peak = 0;
+  stats_ = RunStats{};
+
+  auto parallel = [&](std::int64_t total,
+                      const std::function<void(std::int64_t, std::int64_t)>& fn) {
+    if (pool_) {
+      pool_->parallel_for(total, fn);
+    } else {
+      fn(0, total);
+    }
+  };
+
+  std::size_t next_input = 0;
+  for (std::size_t i = 0; i < shaped.size(); ++i) {
+    const Layer& layer = shaped.layer(static_cast<int>(i));
+    const Shape& out_shape = shapes.value()[i];
+    auto in = [&](std::size_t slot) -> const Tensor& {
+      return values[static_cast<std::size_t>(layer.inputs[slot])];
+    };
+    auto fail = [&](const std::string& why) {
+      return Fail::failure(util::format("layer %zu (%s '%s'): %s", i,
+                                        layer_type_name(layer.type),
+                                        layer.name.c_str(), why.c_str()));
+    };
+
+    Tensor out;
+    switch (layer.type) {
+      case LayerType::Input: {
+        out = inputs[next_input++];
+        break;
+      }
+      case LayerType::Conv2D: {
+        const Tensor& x = in(0);
+        const Tensor& w = layer.weights[0];
+        const Tensor* bias = layer.weights.size() > 1 ? &layer.weights[1] : nullptr;
+        const Shape& xs = x.shape();
+        const Shape& ws = w.shape();
+        const std::int64_t kh = ws[0], kw = ws[1], cin = ws[2], cout = ws[3];
+        const std::int64_t oh = out_shape[1], ow = out_shape[2];
+        const auto pad = same_padding(xs[1], xs[2], oh, ow, layer.kernel_h,
+                                      layer.kernel_w, layer.stride_h,
+                                      layer.stride_w, layer.padding);
+        if (x.dtype() == DType::F32) {
+          out = Tensor{out_shape, DType::F32};
+          parallel(out_shape[0] * oh, [&](std::int64_t begin, std::int64_t end) {
+            for (std::int64_t noy = begin; noy < end; ++noy) {
+              const std::int64_t n = noy / oh;
+              const std::int64_t oy = noy % oh;
+              for (std::int64_t ox = 0; ox < ow; ++ox) {
+                for (std::int64_t oc = 0; oc < cout; ++oc) {
+                  float acc = bias && bias->dtype() == DType::F32
+                                  ? bias->f32()[static_cast<std::size_t>(oc)]
+                                  : 0.0f;
+                  for (std::int64_t ky = 0; ky < kh; ++ky) {
+                    const std::int64_t iy = oy * layer.stride_h + ky - pad.top;
+                    if (iy < 0 || iy >= xs[1]) continue;
+                    for (std::int64_t kx = 0; kx < kw; ++kx) {
+                      const std::int64_t ix = ox * layer.stride_w + kx - pad.left;
+                      if (ix < 0 || ix >= xs[2]) continue;
+                      const std::size_t x_base = static_cast<std::size_t>(
+                          ((n * xs[1] + iy) * xs[2] + ix) * cin);
+                      const std::size_t w_base = static_cast<std::size_t>(
+                          ((ky * kw + kx) * cin) * cout + oc);
+                      for (std::int64_t ic = 0; ic < cin; ++ic) {
+                        acc += x.f32()[x_base + static_cast<std::size_t>(ic)] *
+                               weight_at(w, w_base + static_cast<std::size_t>(ic) *
+                                                        static_cast<std::size_t>(cout));
+                      }
+                    }
+                  }
+                  out.f32()[static_cast<std::size_t>(
+                      ((n * oh + oy) * ow + ox) * cout + oc)] = acc;
+                }
+              }
+            }
+          });
+        } else if (x.dtype() == DType::I8) {
+          if (w.dtype() != DType::I8) return fail("int8 conv needs int8 weights");
+          out = Tensor{out_shape, DType::I8};
+          out.quant_scale = layer.quant_scale;
+          out.quant_zero_point = layer.quant_zero_point;
+          const float rescale = x.quant_scale * w.quant_scale / out.quant_scale;
+          parallel(out_shape[0] * oh, [&](std::int64_t begin, std::int64_t end) {
+            for (std::int64_t noy = begin; noy < end; ++noy) {
+              const std::int64_t n = noy / oh;
+              const std::int64_t oy = noy % oh;
+              for (std::int64_t ox = 0; ox < ow; ++ox) {
+                for (std::int64_t oc = 0; oc < cout; ++oc) {
+                  std::int32_t acc = 0;
+                  for (std::int64_t ky = 0; ky < kh; ++ky) {
+                    const std::int64_t iy = oy * layer.stride_h + ky - pad.top;
+                    if (iy < 0 || iy >= xs[1]) continue;
+                    for (std::int64_t kx = 0; kx < kw; ++kx) {
+                      const std::int64_t ix = ox * layer.stride_w + kx - pad.left;
+                      if (ix < 0 || ix >= xs[2]) continue;
+                      const std::size_t x_base = static_cast<std::size_t>(
+                          ((n * xs[1] + iy) * xs[2] + ix) * cin);
+                      const std::size_t w_base = static_cast<std::size_t>(
+                          ((ky * kw + kx) * cin) * cout + oc);
+                      for (std::int64_t ic = 0; ic < cin; ++ic) {
+                        const std::int32_t xv =
+                            x.i8()[x_base + static_cast<std::size_t>(ic)] -
+                            x.quant_zero_point;
+                        const std::int32_t wv =
+                            w.i8()[w_base + static_cast<std::size_t>(ic) *
+                                               static_cast<std::size_t>(cout)] -
+                            w.quant_zero_point;
+                        acc += xv * wv;
+                      }
+                    }
+                  }
+                  float result = static_cast<float>(acc) * rescale;
+                  if (bias && bias->dtype() == DType::F32) {
+                    result += bias->f32()[static_cast<std::size_t>(oc)] /
+                              out.quant_scale;
+                  }
+                  const float q =
+                      std::round(result) + static_cast<float>(out.quant_zero_point);
+                  out.i8()[static_cast<std::size_t>(
+                      ((n * oh + oy) * ow + ox) * cout + oc)] =
+                      static_cast<std::int8_t>(std::clamp(q, -128.0f, 127.0f));
+                }
+              }
+            }
+          });
+        } else {
+          return fail("unsupported input dtype");
+        }
+        break;
+      }
+      case LayerType::DepthwiseConv2D: {
+        const Tensor& x = in(0);
+        const Tensor& w = layer.weights[0];
+        const Tensor* bias = layer.weights.size() > 1 ? &layer.weights[1] : nullptr;
+        const Shape& xs = x.shape();
+        const Shape& ws = w.shape();
+        const std::int64_t kh = ws[0], kw = ws[1], c = ws[2];
+        const std::int64_t oh = out_shape[1], ow = out_shape[2];
+        const auto pad = same_padding(xs[1], xs[2], oh, ow, layer.kernel_h,
+                                      layer.kernel_w, layer.stride_h,
+                                      layer.stride_w, layer.padding);
+        if (x.dtype() == DType::F32) {
+          out = Tensor{out_shape, DType::F32};
+          parallel(out_shape[0] * oh, [&](std::int64_t begin, std::int64_t end) {
+            for (std::int64_t noy = begin; noy < end; ++noy) {
+              const std::int64_t n = noy / oh;
+              const std::int64_t oy = noy % oh;
+              for (std::int64_t ox = 0; ox < ow; ++ox) {
+                for (std::int64_t ch = 0; ch < c; ++ch) {
+                  float acc = bias ? bias->f32()[static_cast<std::size_t>(ch)] : 0.0f;
+                  for (std::int64_t ky = 0; ky < kh; ++ky) {
+                    const std::int64_t iy = oy * layer.stride_h + ky - pad.top;
+                    if (iy < 0 || iy >= xs[1]) continue;
+                    for (std::int64_t kx = 0; kx < kw; ++kx) {
+                      const std::int64_t ix = ox * layer.stride_w + kx - pad.left;
+                      if (ix < 0 || ix >= xs[2]) continue;
+                      acc += x.f32()[static_cast<std::size_t>(
+                                 ((n * xs[1] + iy) * xs[2] + ix) * c + ch)] *
+                             weight_at(w, static_cast<std::size_t>(
+                                              (ky * kw + kx) * c + ch));
+                    }
+                  }
+                  out.f32()[static_cast<std::size_t>(
+                      ((n * oh + oy) * ow + ox) * c + ch)] = acc;
+                }
+              }
+            }
+          });
+        } else if (x.dtype() == DType::I8) {
+          if (w.dtype() != DType::I8) return fail("int8 dwconv needs int8 weights");
+          out = Tensor{out_shape, DType::I8};
+          out.quant_scale = layer.quant_scale;
+          out.quant_zero_point = layer.quant_zero_point;
+          const float rescale = x.quant_scale * w.quant_scale / out.quant_scale;
+          parallel(out_shape[0] * oh, [&](std::int64_t begin, std::int64_t end) {
+            for (std::int64_t noy = begin; noy < end; ++noy) {
+              const std::int64_t n = noy / oh;
+              const std::int64_t oy = noy % oh;
+              for (std::int64_t ox = 0; ox < ow; ++ox) {
+                for (std::int64_t ch = 0; ch < c; ++ch) {
+                  std::int32_t acc = 0;
+                  for (std::int64_t ky = 0; ky < kh; ++ky) {
+                    const std::int64_t iy = oy * layer.stride_h + ky - pad.top;
+                    if (iy < 0 || iy >= xs[1]) continue;
+                    for (std::int64_t kx = 0; kx < kw; ++kx) {
+                      const std::int64_t ix = ox * layer.stride_w + kx - pad.left;
+                      if (ix < 0 || ix >= xs[2]) continue;
+                      acc += (x.i8()[static_cast<std::size_t>(
+                                  ((n * xs[1] + iy) * xs[2] + ix) * c + ch)] -
+                              x.quant_zero_point) *
+                             (w.i8()[static_cast<std::size_t>(
+                                  (ky * kw + kx) * c + ch)] -
+                              w.quant_zero_point);
+                    }
+                  }
+                  float result = static_cast<float>(acc) * rescale;
+                  if (bias && bias->dtype() == DType::F32) {
+                    result += bias->f32()[static_cast<std::size_t>(ch)] /
+                              out.quant_scale;
+                  }
+                  const float q = std::round(result) +
+                                  static_cast<float>(out.quant_zero_point);
+                  out.i8()[static_cast<std::size_t>(
+                      ((n * oh + oy) * ow + ox) * c + ch)] =
+                      static_cast<std::int8_t>(std::clamp(q, -128.0f, 127.0f));
+                }
+              }
+            }
+          });
+        } else {
+          return fail("unsupported dwconv dtype");
+        }
+        break;
+      }
+      case LayerType::Dense: {
+        const Tensor& x = in(0);
+        const Tensor& w = layer.weights[0];
+        const Tensor* bias = layer.weights.size() > 1 ? &layer.weights[1] : nullptr;
+        const std::int64_t in_dim = w.shape()[0];
+        const std::int64_t out_dim = w.shape()[1];
+        const std::int64_t rows = x.elements() / in_dim;
+        if (x.dtype() == DType::F32) {
+          out = Tensor{out_shape, DType::F32};
+          parallel(rows, [&](std::int64_t begin, std::int64_t end) {
+            for (std::int64_t r = begin; r < end; ++r) {
+              for (std::int64_t o = 0; o < out_dim; ++o) {
+                float acc = bias ? bias->f32()[static_cast<std::size_t>(o)] : 0.0f;
+                for (std::int64_t k = 0; k < in_dim; ++k) {
+                  acc += x.f32()[static_cast<std::size_t>(r * in_dim + k)] *
+                         weight_at(w, static_cast<std::size_t>(k * out_dim + o));
+                }
+                out.f32()[static_cast<std::size_t>(r * out_dim + o)] = acc;
+              }
+            }
+          });
+        } else if (x.dtype() == DType::I8) {
+          if (w.dtype() != DType::I8) return fail("int8 dense needs int8 weights");
+          out = Tensor{out_shape, DType::I8};
+          out.quant_scale = layer.quant_scale;
+          out.quant_zero_point = layer.quant_zero_point;
+          const float rescale = x.quant_scale * w.quant_scale / out.quant_scale;
+          parallel(rows, [&](std::int64_t begin, std::int64_t end) {
+            for (std::int64_t r = begin; r < end; ++r) {
+              for (std::int64_t o = 0; o < out_dim; ++o) {
+                std::int32_t acc = 0;
+                for (std::int64_t k = 0; k < in_dim; ++k) {
+                  acc += (x.i8()[static_cast<std::size_t>(r * in_dim + k)] -
+                          x.quant_zero_point) *
+                         (w.i8()[static_cast<std::size_t>(k * out_dim + o)] -
+                          w.quant_zero_point);
+                }
+                float result = static_cast<float>(acc) * rescale;
+                if (bias && bias->dtype() == DType::F32) {
+                  result += bias->f32()[static_cast<std::size_t>(o)] / out.quant_scale;
+                }
+                const float q = std::round(result) +
+                                static_cast<float>(out.quant_zero_point);
+                out.i8()[static_cast<std::size_t>(r * out_dim + o)] =
+                    static_cast<std::int8_t>(std::clamp(q, -128.0f, 127.0f));
+              }
+            }
+          });
+        } else {
+          return fail("unsupported input dtype");
+        }
+        break;
+      }
+      case LayerType::MaxPool2D:
+      case LayerType::AvgPool2D: {
+        const Tensor& x = in(0);
+        const Shape& xs = x.shape();
+        const std::int64_t oh = out_shape[1], ow = out_shape[2], c = xs[3];
+        const auto pad = same_padding(xs[1], xs[2], oh, ow, layer.kernel_h,
+                                      layer.kernel_w, layer.stride_h,
+                                      layer.stride_w, layer.padding);
+        const bool is_max = layer.type == LayerType::MaxPool2D;
+        if (x.dtype() == DType::F32) {
+          out = Tensor{out_shape, DType::F32};
+          for (std::int64_t n = 0; n < out_shape[0]; ++n) {
+            for (std::int64_t oy = 0; oy < oh; ++oy) {
+              for (std::int64_t ox = 0; ox < ow; ++ox) {
+                for (std::int64_t ch = 0; ch < c; ++ch) {
+                  float best = -3.4e38f;
+                  float sum = 0.0f;
+                  int count = 0;
+                  for (int ky = 0; ky < layer.kernel_h; ++ky) {
+                    const std::int64_t iy = oy * layer.stride_h + ky - pad.top;
+                    if (iy < 0 || iy >= xs[1]) continue;
+                    for (int kx = 0; kx < layer.kernel_w; ++kx) {
+                      const std::int64_t ix = ox * layer.stride_w + kx - pad.left;
+                      if (ix < 0 || ix >= xs[2]) continue;
+                      const float v = x.f32()[static_cast<std::size_t>(
+                          ((n * xs[1] + iy) * xs[2] + ix) * c + ch)];
+                      best = std::max(best, v);
+                      sum += v;
+                      ++count;
+                    }
+                  }
+                  out.f32()[static_cast<std::size_t>(
+                      ((n * oh + oy) * ow + ox) * c + ch)] =
+                      is_max ? best : (count ? sum / static_cast<float>(count) : 0.0f);
+                }
+              }
+            }
+          }
+        } else if (x.dtype() == DType::I8) {
+          out = Tensor{out_shape, DType::I8};
+          out.quant_scale = x.quant_scale;
+          out.quant_zero_point = x.quant_zero_point;
+          for (std::int64_t n = 0; n < out_shape[0]; ++n) {
+            for (std::int64_t oy = 0; oy < oh; ++oy) {
+              for (std::int64_t ox = 0; ox < ow; ++ox) {
+                for (std::int64_t ch = 0; ch < c; ++ch) {
+                  std::int8_t best = -128;
+                  std::int32_t sum = 0;
+                  int count = 0;
+                  for (int ky = 0; ky < layer.kernel_h; ++ky) {
+                    const std::int64_t iy = oy * layer.stride_h + ky - pad.top;
+                    if (iy < 0 || iy >= xs[1]) continue;
+                    for (int kx = 0; kx < layer.kernel_w; ++kx) {
+                      const std::int64_t ix = ox * layer.stride_w + kx - pad.left;
+                      if (ix < 0 || ix >= xs[2]) continue;
+                      const std::int8_t v = x.i8()[static_cast<std::size_t>(
+                          ((n * xs[1] + iy) * xs[2] + ix) * c + ch)];
+                      best = std::max(best, v);
+                      sum += v;
+                      ++count;
+                    }
+                  }
+                  const std::int8_t avg =
+                      count > 0
+                          ? static_cast<std::int8_t>(std::clamp<std::int32_t>(
+                                (sum + (sum >= 0 ? count / 2 : -count / 2)) /
+                                    count,
+                                -128, 127))
+                          : static_cast<std::int8_t>(0);
+                  out.i8()[static_cast<std::size_t>(
+                      ((n * oh + oy) * ow + ox) * c + ch)] = is_max ? best : avg;
+                }
+              }
+            }
+          }
+        } else {
+          return fail("unsupported pool dtype");
+        }
+        break;
+      }
+      case LayerType::GlobalAvgPool: {
+        const Tensor& x = in(0);
+        if (x.dtype() != DType::F32) return fail("global pool supports f32");
+        const Shape& xs = x.shape();
+        out = Tensor{out_shape, DType::F32};
+        const std::int64_t hw = xs[1] * xs[2];
+        for (std::int64_t n = 0; n < xs[0]; ++n) {
+          for (std::int64_t ch = 0; ch < xs[3]; ++ch) {
+            float sum = 0.0f;
+            for (std::int64_t p = 0; p < hw; ++p) {
+              sum += x.f32()[static_cast<std::size_t>((n * hw + p) * xs[3] + ch)];
+            }
+            out.f32()[static_cast<std::size_t>(n * xs[3] + ch)] =
+                sum / static_cast<float>(hw);
+          }
+        }
+        break;
+      }
+      case LayerType::Relu:
+      case LayerType::Relu6: {
+        const Tensor& x = in(0);
+        const float hi = layer.type == LayerType::Relu6 ? 6.0f : 3.4e38f;
+        if (x.dtype() == DType::F32) {
+          out = Tensor{out_shape, DType::F32};
+          for (std::size_t k = 0; k < x.f32().size(); ++k) {
+            out.f32()[k] = std::clamp(x.f32()[k], 0.0f, hi);
+          }
+        } else if (x.dtype() == DType::I8) {
+          out = Tensor{out_shape, DType::I8};
+          out.quant_scale = x.quant_scale;
+          out.quant_zero_point = x.quant_zero_point;
+          const auto zp = static_cast<std::int8_t>(
+              std::clamp<std::int32_t>(x.quant_zero_point, -128, 127));
+          const float hi_q_f =
+              layer.type == LayerType::Relu6
+                  ? std::round(6.0f / x.quant_scale) +
+                        static_cast<float>(x.quant_zero_point)
+                  : 127.0f;
+          const auto hi_q = static_cast<std::int8_t>(
+              std::clamp(hi_q_f, -128.0f, 127.0f));
+          for (std::size_t k = 0; k < x.i8().size(); ++k) {
+            out.i8()[k] = std::clamp(x.i8()[k], zp, hi_q);
+          }
+        } else {
+          return fail("unsupported relu dtype");
+        }
+        break;
+      }
+      case LayerType::Sigmoid:
+      case LayerType::Tanh: {
+        const Tensor& x = in(0);
+        if (x.dtype() != DType::F32) return fail("activation supports f32");
+        out = Tensor{out_shape, DType::F32};
+        for (std::size_t k = 0; k < x.f32().size(); ++k) {
+          out.f32()[k] = layer.type == LayerType::Sigmoid
+                             ? 1.0f / (1.0f + std::exp(-x.f32()[k]))
+                             : std::tanh(x.f32()[k]);
+        }
+        break;
+      }
+      case LayerType::Softmax: {
+        const Tensor& x = in(0);
+        if (x.dtype() != DType::F32) return fail("softmax supports f32");
+        out = Tensor{out_shape, DType::F32};
+        const std::int64_t last = out_shape.dims.back();
+        const std::int64_t rows = x.elements() / last;
+        for (std::int64_t r = 0; r < rows; ++r) {
+          const std::size_t base = static_cast<std::size_t>(r * last);
+          float max_v = -3.4e38f;
+          for (std::int64_t k = 0; k < last; ++k) {
+            max_v = std::max(max_v, x.f32()[base + static_cast<std::size_t>(k)]);
+          }
+          float sum = 0.0f;
+          for (std::int64_t k = 0; k < last; ++k) {
+            const float e = std::exp(x.f32()[base + static_cast<std::size_t>(k)] - max_v);
+            out.f32()[base + static_cast<std::size_t>(k)] = e;
+            sum += e;
+          }
+          for (std::int64_t k = 0; k < last; ++k) {
+            out.f32()[base + static_cast<std::size_t>(k)] /= sum;
+          }
+        }
+        break;
+      }
+      case LayerType::Add:
+      case LayerType::Mul: {
+        const Tensor& a = in(0);
+        const Tensor& b = in(1);
+        if (a.dtype() != DType::F32 || b.dtype() != DType::F32) {
+          return fail("elementwise supports f32");
+        }
+        out = Tensor{out_shape, DType::F32};
+        for (std::size_t k = 0; k < a.f32().size(); ++k) {
+          out.f32()[k] = layer.type == LayerType::Add ? a.f32()[k] + b.f32()[k]
+                                                      : a.f32()[k] * b.f32()[k];
+        }
+        break;
+      }
+      case LayerType::BatchNorm: {
+        const Tensor& x = in(0);
+        if (x.dtype() != DType::F32) return fail("batch_norm supports f32");
+        const auto& scale = layer.weights[0].f32();
+        const auto& shift = layer.weights[1].f32();
+        out = Tensor{out_shape, DType::F32};
+        const std::size_t c = scale.size();
+        for (std::size_t k = 0; k < x.f32().size(); ++k) {
+          const std::size_t ch = k % c;
+          out.f32()[k] = x.f32()[k] * scale[ch] + shift[ch];
+        }
+        break;
+      }
+      case LayerType::Concat: {
+        const std::size_t rank = out_shape.rank();
+        const auto ax = static_cast<std::size_t>(
+            layer.axis >= 0 ? layer.axis
+                            : static_cast<std::int64_t>(rank) + layer.axis);
+        if (in(0).dtype() != DType::F32) return fail("concat supports f32");
+        out = Tensor{out_shape, DType::F32};
+        // Outer = product of dims before axis; inner = product after.
+        std::int64_t outer = 1;
+        for (std::size_t d = 0; d < ax; ++d) outer *= out_shape[d];
+        std::int64_t inner = 1;
+        for (std::size_t d = ax + 1; d < rank; ++d) inner *= out_shape[d];
+        std::int64_t axis_offset = 0;
+        for (std::size_t s = 0; s < layer.inputs.size(); ++s) {
+          const Tensor& src = in(s);
+          const std::int64_t src_axis = src.shape()[ax];
+          for (std::int64_t o = 0; o < outer; ++o) {
+            const std::size_t dst_base = static_cast<std::size_t>(
+                (o * out_shape[ax] + axis_offset) * inner);
+            const std::size_t src_base =
+                static_cast<std::size_t>(o * src_axis * inner);
+            std::copy_n(src.f32().begin() + static_cast<std::ptrdiff_t>(src_base),
+                        static_cast<std::size_t>(src_axis * inner),
+                        out.f32().begin() + static_cast<std::ptrdiff_t>(dst_base));
+          }
+          axis_offset += src_axis;
+        }
+        break;
+      }
+      case LayerType::ResizeNearest: {
+        const Tensor& x = in(0);
+        if (x.dtype() != DType::F32) return fail("resize supports f32");
+        const Shape& xs = x.shape();
+        out = Tensor{out_shape, DType::F32};
+        const int s = layer.resize_scale;
+        for (std::int64_t n = 0; n < out_shape[0]; ++n) {
+          for (std::int64_t oy = 0; oy < out_shape[1]; ++oy) {
+            for (std::int64_t ox = 0; ox < out_shape[2]; ++ox) {
+              const std::int64_t iy = oy / s;
+              const std::int64_t ix = ox / s;
+              const std::size_t src = static_cast<std::size_t>(
+                  ((n * xs[1] + iy) * xs[2] + ix) * xs[3]);
+              const std::size_t dst = static_cast<std::size_t>(
+                  ((n * out_shape[1] + oy) * out_shape[2] + ox) * xs[3]);
+              std::copy_n(x.f32().begin() + static_cast<std::ptrdiff_t>(src),
+                          static_cast<std::size_t>(xs[3]),
+                          out.f32().begin() + static_cast<std::ptrdiff_t>(dst));
+            }
+          }
+        }
+        break;
+      }
+      case LayerType::Slice: {
+        const Tensor& x = in(0);
+        if (x.dtype() != DType::F32) return fail("slice supports f32");
+        const Shape& xs = x.shape();
+        out = Tensor{out_shape, DType::F32};
+        // Generic strided copy via mixed-radix index walk.
+        const std::size_t rank = xs.rank();
+        std::vector<std::int64_t> idx(rank, 0);
+        const std::int64_t total = out_shape.elements();
+        for (std::int64_t flat = 0; flat < total; ++flat) {
+          std::int64_t src_flat = 0;
+          for (std::size_t d = 0; d < rank; ++d) {
+            src_flat = src_flat * xs[d] + (idx[d] + layer.slice_begin[d]);
+          }
+          out.f32()[static_cast<std::size_t>(flat)] =
+              x.f32()[static_cast<std::size_t>(src_flat)];
+          for (std::size_t d = rank; d-- > 0;) {
+            if (++idx[d] < out_shape[d]) break;
+            idx[d] = 0;
+          }
+        }
+        break;
+      }
+      case LayerType::Reshape: {
+        const Tensor& x = in(0);
+        if (x.dtype() != DType::F32) return fail("reshape supports f32");
+        out = Tensor{out_shape, DType::F32};
+        out.f32() = x.f32();
+        break;
+      }
+      case LayerType::Pad: {
+        const Tensor& x = in(0);
+        if (x.dtype() != DType::F32) return fail("pad supports f32");
+        const Shape& xs = x.shape();
+        out = Tensor{out_shape, DType::F32};  // zero-filled
+        for (std::int64_t n = 0; n < xs[0]; ++n) {
+          for (std::int64_t y = 0; y < xs[1]; ++y) {
+            for (std::int64_t xcol = 0; xcol < xs[2]; ++xcol) {
+              const std::size_t src = static_cast<std::size_t>(
+                  ((n * xs[1] + y) * xs[2] + xcol) * xs[3]);
+              const std::size_t dst = static_cast<std::size_t>(
+                  ((n * out_shape[1] + y + layer.pad_top) * out_shape[2] + xcol +
+                   layer.pad_left) *
+                  xs[3]);
+              std::copy_n(x.f32().begin() + static_cast<std::ptrdiff_t>(src),
+                          static_cast<std::size_t>(xs[3]),
+                          out.f32().begin() + static_cast<std::ptrdiff_t>(dst));
+            }
+          }
+        }
+        break;
+      }
+      case LayerType::Quantize: {
+        const Tensor& x = in(0);
+        if (x.dtype() != DType::F32) return fail("quantize expects f32 input");
+        out = Tensor{out_shape, DType::I8};
+        out.quant_scale = layer.quant_scale;
+        out.quant_zero_point = layer.quant_zero_point;
+        for (std::size_t k = 0; k < x.f32().size(); ++k) {
+          out.i8()[k] = quantize_value(x.f32()[k], out.quant_scale,
+                                       out.quant_zero_point);
+        }
+        break;
+      }
+      case LayerType::Dequantize: {
+        const Tensor& x = in(0);
+        if (x.dtype() != DType::I8) return fail("dequantize expects i8 input");
+        out = Tensor{out_shape, DType::F32};
+        for (std::size_t k = 0; k < x.i8().size(); ++k) {
+          out.f32()[k] =
+              dequantize_value(x.i8()[k], x.quant_scale, x.quant_zero_point);
+        }
+        break;
+      }
+      case LayerType::Lstm: {
+        const Tensor& x = in(0);
+        if (x.dtype() != DType::F32) return fail("lstm supports f32");
+        const Shape& xs = x.shape();
+        const std::int64_t batch = xs[0], steps = xs[1], feat = xs[2];
+        const std::int64_t hidden = layer.units;
+        const Tensor& w = layer.weights[0];
+        const Tensor* bias = layer.weights.size() > 1 ? &layer.weights[1] : nullptr;
+        out = Tensor{out_shape, DType::F32};
+        std::vector<float> h(static_cast<std::size_t>(batch * hidden), 0.0f);
+        std::vector<float> cstate(static_cast<std::size_t>(batch * hidden), 0.0f);
+        std::vector<float> gates(static_cast<std::size_t>(4 * hidden), 0.0f);
+        for (std::int64_t t = 0; t < steps; ++t) {
+          for (std::int64_t b = 0; b < batch; ++b) {
+            for (std::int64_t g = 0; g < 4 * hidden; ++g) {
+              float acc = bias ? bias->f32()[static_cast<std::size_t>(g)] : 0.0f;
+              for (std::int64_t k = 0; k < feat; ++k) {
+                acc += x.f32()[static_cast<std::size_t>((b * steps + t) * feat + k)] *
+                       weight_at(w, static_cast<std::size_t>(k * 4 * hidden + g));
+              }
+              for (std::int64_t k = 0; k < hidden; ++k) {
+                acc += h[static_cast<std::size_t>(b * hidden + k)] *
+                       weight_at(w, static_cast<std::size_t>(
+                                        (feat + k) * 4 * hidden + g));
+              }
+              gates[static_cast<std::size_t>(g)] = acc;
+            }
+            for (std::int64_t k = 0; k < hidden; ++k) {
+              const float ig = 1.0f / (1.0f + std::exp(-gates[static_cast<std::size_t>(k)]));
+              const float fg = 1.0f / (1.0f + std::exp(-gates[static_cast<std::size_t>(hidden + k)]));
+              const float cg = std::tanh(gates[static_cast<std::size_t>(2 * hidden + k)]);
+              const float og = 1.0f / (1.0f + std::exp(-gates[static_cast<std::size_t>(3 * hidden + k)]));
+              const std::size_t hi = static_cast<std::size_t>(b * hidden + k);
+              cstate[hi] = fg * cstate[hi] + ig * cg;
+              h[hi] = og * std::tanh(cstate[hi]);
+              out.f32()[static_cast<std::size_t>((b * steps + t) * hidden + k)] = h[hi];
+            }
+          }
+        }
+        break;
+      }
+      case LayerType::Embedding: {
+        const Tensor& x = in(0);
+        const Tensor& table = layer.weights[0];
+        const std::int64_t vocab = table.shape()[0];
+        const std::int64_t dim = table.shape()[1];
+        out = Tensor{out_shape, DType::F32};
+        const std::int64_t tokens = x.elements();
+        for (std::int64_t tkn = 0; tkn < tokens; ++tkn) {
+          std::int64_t id;
+          if (x.dtype() == DType::I32) {
+            id = x.i32()[static_cast<std::size_t>(tkn)];
+          } else if (x.dtype() == DType::F32) {
+            id = static_cast<std::int64_t>(x.f32()[static_cast<std::size_t>(tkn)]);
+          } else {
+            return fail("embedding expects i32/f32 ids");
+          }
+          id = std::clamp<std::int64_t>(id, 0, vocab - 1);
+          for (std::int64_t d = 0; d < dim; ++d) {
+            out.f32()[static_cast<std::size_t>(tkn * dim + d)] =
+                weight_at(table, static_cast<std::size_t>(id * dim + d));
+          }
+        }
+        break;
+      }
+      case LayerType::Transpose2D: {
+        const Tensor& x = in(0);
+        if (x.dtype() != DType::F32) return fail("transpose supports f32");
+        const Shape& xs = x.shape();
+        out = Tensor{out_shape, DType::F32};
+        for (std::int64_t r = 0; r < xs[0]; ++r) {
+          for (std::int64_t cidx = 0; cidx < xs[1]; ++cidx) {
+            out.f32()[static_cast<std::size_t>(cidx * xs[0] + r)] =
+                x.f32()[static_cast<std::size_t>(r * xs[1] + cidx)];
+          }
+        }
+        break;
+      }
+      case LayerType::kCount:
+        return fail("invalid layer type");
+    }
+
+    live_bytes += static_cast<std::int64_t>(out.byte_size());
+    peak = std::max(peak, live_bytes);
+    values[i] = std::move(out);
+    computed[i] = true;
+    ++stats_.layers_executed;
+    for (int input : layer.inputs) {
+      const auto idx = static_cast<std::size_t>(input);
+      if (last_use[idx] == static_cast<int>(i)) {
+        live_bytes -= static_cast<std::int64_t>(values[idx].byte_size());
+        values[idx] = Tensor{};
+      }
+    }
+  }
+
+  stats_.peak_activation_bytes = peak;
+
+  std::vector<Tensor> outputs;
+  for (int idx : graph_.output_indices()) {
+    outputs.push_back(std::move(values[static_cast<std::size_t>(idx)]));
+  }
+  return outputs;
+}
+
+void fill_random(Tensor& tensor, std::uint64_t seed) {
+  util::Rng rng{seed};
+  switch (tensor.dtype()) {
+    case DType::F32:
+      for (auto& v : tensor.f32()) v = static_cast<float>(rng.normal(0.0, 1.0));
+      break;
+    case DType::I8:
+      for (auto& v : tensor.i8()) {
+        v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+      }
+      break;
+    case DType::I32:
+      for (auto& v : tensor.i32()) {
+        v = static_cast<std::int32_t>(rng.uniform_int(0, 1000));
+      }
+      break;
+  }
+}
+
+util::Result<std::vector<Tensor>> random_inputs(const Graph& graph,
+                                                std::uint64_t seed,
+                                                std::int64_t batch) {
+  using R = util::Result<std::vector<Tensor>>;
+  std::vector<Tensor> inputs;
+  for (int idx : graph.input_indices()) {
+    Shape shape = graph.layer(idx).input_shape;
+    if (shape.rank() == 0) return R::failure("input without shape");
+    if (batch > 0) shape[0] = batch;
+    Tensor t{shape, DType::F32};
+    fill_random(t, seed + static_cast<std::uint64_t>(idx) * 7919);
+    inputs.push_back(std::move(t));
+  }
+  return inputs;
+}
+
+}  // namespace gauge::nn

@@ -1,0 +1,54 @@
+// Reference inference interpreter: actually executes a Graph on host, NHWC
+// layout, float32 activations with an int8 quantised path (Quantize /
+// Dequantize sandwiches run conv/dense/pool kernels in integer arithmetic,
+// like a DSP target would). Multithreading goes through ThreadPool.
+//
+// The interpreter exists to make inference *real* — examples run it,
+// correctness tests pin kernels down, and google-benchmark microbenches
+// measure it. Device latency/energy numbers come from the analytic device
+// model (src/device), not from host wall-clock.
+#pragma once
+
+#include <memory>
+
+#include "nn/graph.hpp"
+#include "nn/threadpool.hpp"
+#include "util/result.hpp"
+
+namespace gauge::nn {
+
+struct RunStats {
+  std::int64_t peak_activation_bytes = 0;
+  std::int64_t layers_executed = 0;
+};
+
+class Interpreter {
+ public:
+  // `graph` must outlive the interpreter. threads = 0 or 1 runs inline.
+  explicit Interpreter(const Graph& graph, unsigned threads = 1);
+
+  // Runs one forward pass. `inputs` are matched positionally with the
+  // graph's Input layers; batch size may differ from the declared shape
+  // (all other dims must match). Returns the output tensors in
+  // output_indices() order.
+  util::Result<std::vector<Tensor>> run(const std::vector<Tensor>& inputs);
+
+  const RunStats& stats() const { return stats_; }
+  unsigned threads() const { return pool_ ? pool_->size() : 1; }
+
+ private:
+  const Graph& graph_;
+  std::unique_ptr<ThreadPool> pool_;
+  RunStats stats_;
+};
+
+// Fills a tensor with deterministic pseudo-random values (for trace-based
+// benchmarking with random inputs, as the paper does in §4.7).
+void fill_random(Tensor& tensor, std::uint64_t seed);
+
+// Builds positional random inputs for a graph (batch override optional).
+util::Result<std::vector<Tensor>> random_inputs(const Graph& graph,
+                                                std::uint64_t seed,
+                                                std::int64_t batch = 0);
+
+}  // namespace gauge::nn

@@ -1,0 +1,115 @@
+// Layer definitions for the graph IR. Each Layer is a node in the model DAG;
+// `inputs` hold indices of producer layers within the owning Graph.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace gauge::nn {
+
+enum class LayerType : std::uint8_t {
+  Input = 0,
+  Conv2D,
+  DepthwiseConv2D,
+  Dense,
+  MaxPool2D,
+  AvgPool2D,
+  GlobalAvgPool,
+  Relu,
+  Relu6,
+  Sigmoid,
+  Tanh,
+  Softmax,
+  Add,
+  Mul,
+  Concat,
+  ResizeNearest,
+  Slice,
+  Reshape,
+  Pad,
+  BatchNorm,
+  Quantize,
+  Dequantize,
+  Lstm,
+  Embedding,
+  Transpose2D,
+  kCount,
+};
+
+const char* layer_type_name(LayerType type);
+
+// Coarse operation family used by the layer-composition analysis (Fig. 6).
+enum class OpFamily {
+  Conv,
+  DepthConv,
+  Dense,
+  Pool,
+  Activation,
+  Recurrent,
+  Embedding,
+  Quant,
+  Resize,
+  Slice,
+  Math,   // add/mul/batchnorm/softmax
+  Shape,  // reshape/pad/transpose/concat
+  Input,
+};
+
+OpFamily op_family(LayerType type);
+const char* op_family_name(OpFamily family);
+
+enum class Padding : std::uint8_t { Same = 0, Valid = 1 };
+
+struct Layer {
+  LayerType type = LayerType::Input;
+  std::string name;
+  std::vector<int> inputs;  // producer layer indices
+
+  // --- attributes (interpreted per type; unused fields stay default) ---
+  int kernel_h = 1, kernel_w = 1;
+  int stride_h = 1, stride_w = 1;
+  Padding padding = Padding::Same;
+  // Conv2D/Dense/Embedding output channels / units / embedding dim.
+  int units = 0;
+  // Concat/Softmax axis (negative = from the back).
+  int axis = -1;
+  // ResizeNearest integer scale factor.
+  int resize_scale = 2;
+  // Slice parameters (per-dim begin/size; size -1 = to end).
+  std::vector<std::int64_t> slice_begin;
+  std::vector<std::int64_t> slice_size;
+  // Reshape target (one dim may be -1).
+  std::vector<std::int64_t> target_shape;
+  // Pad amounts per spatial side (rank-4 H/W only).
+  int pad_top = 0, pad_bottom = 0, pad_left = 0, pad_right = 0;
+  // Input layer shape.
+  Shape input_shape;
+  // Quantize target scale/zero-point.
+  float quant_scale = 1.0f;
+  std::int32_t quant_zero_point = 0;
+
+  // --- weights ---
+  // Conv2D:           weights[0] = [Kh,Kw,Cin,Cout], weights[1] = bias [Cout]
+  // DepthwiseConv2D:  weights[0] = [Kh,Kw,C,1],       weights[1] = bias [C]
+  // Dense:            weights[0] = [In,Out],          weights[1] = bias [Out]
+  // BatchNorm:        weights[0] = scale [C], weights[1] = shift [C]
+  // Lstm:             weights[0] = [In+Hidden, 4*Hidden], weights[1] = bias [4*Hidden]
+  // Embedding:        weights[0] = [Vocab, Dim]
+  std::vector<Tensor> weights;
+
+  // Declared precision of weights/activations (32 = float, 8 = int8).
+  int weight_bits = 32;
+  int act_bits = 32;
+
+  bool has_weights() const { return !weights.empty(); }
+  std::int64_t parameter_count() const {
+    std::int64_t total = 0;
+    for (const auto& w : weights) total += w.elements();
+    return total;
+  }
+};
+
+}  // namespace gauge::nn

@@ -1,0 +1,128 @@
+// Tensors and shapes for the DNN graph IR. Layout convention is NHWC for
+// rank-4 activations (what TFLite uses); weights are stored per-layer in the
+// layouts the kernels expect (documented on each layer type).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace gauge::nn {
+
+enum class DType : std::uint8_t { F32 = 0, I8 = 1, I32 = 2 };
+
+inline std::size_t dtype_size(DType t) {
+  switch (t) {
+    case DType::F32: return 4;
+    case DType::I8: return 1;
+    case DType::I32: return 4;
+  }
+  return 4;
+}
+
+inline const char* dtype_name(DType t) {
+  switch (t) {
+    case DType::F32: return "f32";
+    case DType::I8: return "i8";
+    case DType::I32: return "i32";
+  }
+  return "?";
+}
+
+struct Shape {
+  std::vector<std::int64_t> dims;
+
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> d) : dims{d} {}
+  explicit Shape(std::vector<std::int64_t> d) : dims{std::move(d)} {}
+
+  std::size_t rank() const { return dims.size(); }
+  std::int64_t operator[](std::size_t i) const { return dims[i]; }
+  std::int64_t& operator[](std::size_t i) { return dims[i]; }
+
+  std::int64_t elements() const {
+    return std::accumulate(dims.begin(), dims.end(), std::int64_t{1},
+                           [](std::int64_t a, std::int64_t b) { return a * b; });
+  }
+
+  bool operator==(const Shape& other) const = default;
+
+  std::string str() const {
+    std::string out = "[";
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      if (i) out += "x";
+      out += std::to_string(dims[i]);
+    }
+    return out + "]";
+  }
+};
+
+// Dense tensor. Data lives in the variant-by-dtype vectors; only the vector
+// matching `dtype` is populated.
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(Shape shape, DType dtype) : shape_{std::move(shape)}, dtype_{dtype} {
+    resize_storage();
+  }
+
+  static Tensor zeros(Shape shape, DType dtype = DType::F32) {
+    return Tensor{std::move(shape), dtype};
+  }
+
+  const Shape& shape() const { return shape_; }
+  DType dtype() const { return dtype_; }
+  std::int64_t elements() const { return shape_.elements(); }
+  std::size_t byte_size() const {
+    return static_cast<std::size_t>(elements()) * dtype_size(dtype_);
+  }
+
+  std::vector<float>& f32() {
+    assert(dtype_ == DType::F32);
+    return f32_;
+  }
+  const std::vector<float>& f32() const {
+    assert(dtype_ == DType::F32);
+    return f32_;
+  }
+  std::vector<std::int8_t>& i8() {
+    assert(dtype_ == DType::I8);
+    return i8_;
+  }
+  const std::vector<std::int8_t>& i8() const {
+    assert(dtype_ == DType::I8);
+    return i8_;
+  }
+  std::vector<std::int32_t>& i32() {
+    assert(dtype_ == DType::I32);
+    return i32_;
+  }
+  const std::vector<std::int32_t>& i32() const {
+    assert(dtype_ == DType::I32);
+    return i32_;
+  }
+
+  // Quantisation metadata (meaningful for I8 tensors).
+  float quant_scale = 1.0f;
+  std::int32_t quant_zero_point = 0;
+
+ private:
+  void resize_storage() {
+    const auto n = static_cast<std::size_t>(shape_.elements());
+    switch (dtype_) {
+      case DType::F32: f32_.assign(n, 0.0f); break;
+      case DType::I8: i8_.assign(n, 0); break;
+      case DType::I32: i32_.assign(n, 0); break;
+    }
+  }
+
+  Shape shape_;
+  DType dtype_ = DType::F32;
+  std::vector<float> f32_;
+  std::vector<std::int8_t> i8_;
+  std::vector<std::int32_t> i32_;
+};
+
+}  // namespace gauge::nn

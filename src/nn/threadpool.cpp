@@ -1,0 +1,68 @@
+#include "nn/threadpool.hpp"
+
+#include <algorithm>
+
+namespace gauge::nn {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      --in_flight_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t total,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (total <= 0) return;
+  const auto workers = static_cast<std::int64_t>(workers_.size());
+  if (workers <= 1 || total == 1) {
+    fn(0, total);
+    return;
+  }
+  const std::int64_t chunks = std::min<std::int64_t>(workers, total);
+  const std::int64_t chunk = (total + chunks - 1) / chunks;
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      const std::int64_t begin = c * chunk;
+      const std::int64_t end = std::min(total, begin + chunk);
+      if (begin >= end) break;
+      ++in_flight_;
+      tasks_.push([fn, begin, end] { fn(begin, end); });
+    }
+  }
+  cv_.notify_all();
+  std::unique_lock<std::mutex> lock{mutex_};
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+}  // namespace gauge::nn

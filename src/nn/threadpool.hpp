@@ -1,0 +1,43 @@
+// Fixed-size thread pool with a parallel_for used by the interpreter kernels.
+// Tasks, not threads (CP.4): callers express row-range work items; the pool
+// owns the workers for its lifetime (CP.41: no per-call thread creation).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gauge::nn {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Runs fn(begin, end) over [0, total) split into roughly equal chunks and
+  // blocks until all chunks complete. With 0 workers, runs inline.
+  void parallel_for(std::int64_t total,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::queue<std::function<void()>> tasks_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace gauge::nn

@@ -1,0 +1,167 @@
+#include "nn/trace.hpp"
+
+#include <algorithm>
+
+namespace gauge::nn {
+
+namespace {
+
+std::int64_t activation_bytes(const Shape& shape, int bits) {
+  return shape.elements() * (bits == 8 ? 1 : bits == 16 ? 2 : 4);
+}
+
+}  // namespace
+
+std::map<std::string, std::int64_t> ModelTrace::op_family_counts() const {
+  std::map<std::string, std::int64_t> counts;
+  for (const auto& layer : layers) {
+    if (layer.type == LayerType::Input) continue;
+    counts[op_family_name(op_family(layer.type))]++;
+  }
+  return counts;
+}
+
+util::Result<ModelTrace> trace_model(const Graph& graph) {
+  using R = util::Result<ModelTrace>;
+  auto shapes = infer_shapes(graph);
+  if (!shapes.ok()) return R::failure(shapes.error());
+
+  ModelTrace trace;
+  trace.layers.reserve(graph.size());
+
+  // Liveness: last consumer index per layer for peak-memory accounting.
+  std::vector<int> last_use(graph.size(), -1);
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    for (int in : graph.layer(static_cast<int>(i)).inputs) {
+      last_use[static_cast<std::size_t>(in)] =
+          std::max(last_use[static_cast<std::size_t>(in)], static_cast<int>(i));
+    }
+  }
+  // Model outputs stay live to the end.
+  for (int out : graph.output_indices()) {
+    last_use[static_cast<std::size_t>(out)] = static_cast<int>(graph.size());
+  }
+
+  std::int64_t live_bytes = 0;
+  std::vector<std::int64_t> layer_bytes(graph.size(), 0);
+
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const Layer& layer = graph.layer(static_cast<int>(i));
+    const Shape& out = shapes.value()[i];
+
+    LayerCost cost;
+    cost.type = layer.type;
+    cost.name = layer.name;
+    cost.params = layer.parameter_count();
+    cost.output_shape = out;
+
+    const std::int64_t out_elems = out.elements();
+    std::int64_t in_elems = 0;
+    for (int in : layer.inputs) {
+      in_elems += shapes.value()[static_cast<std::size_t>(in)].elements();
+    }
+
+    switch (layer.type) {
+      case LayerType::Input:
+        break;
+      case LayerType::Conv2D: {
+        const Shape& w = layer.weights[0].shape();
+        // MACs = out_elems * Kh * Kw * Cin
+        cost.macs = out_elems * w[0] * w[1] * w[2];
+        break;
+      }
+      case LayerType::DepthwiseConv2D: {
+        const Shape& w = layer.weights[0].shape();
+        cost.macs = out_elems * w[0] * w[1];
+        break;
+      }
+      case LayerType::Dense: {
+        const Shape& w = layer.weights[0].shape();
+        // Rows of the input times the weight matrix.
+        cost.macs = (out_elems / w[1]) * w[0] * w[1];
+        break;
+      }
+      case LayerType::Lstm: {
+        // Per timestep: (In+H) x 4H matmul + gate math.
+        const Shape& w = layer.weights[0].shape();
+        const Shape& in = shapes.value()[static_cast<std::size_t>(layer.inputs[0])];
+        cost.macs = in[0] * in[1] * w[0] * w[1];
+        break;
+      }
+      case LayerType::Embedding:
+        // Lookup only: no MACs, just reads.
+        break;
+      case LayerType::MaxPool2D:
+      case LayerType::AvgPool2D:
+        cost.flops = out_elems * layer.kernel_h * layer.kernel_w;
+        break;
+      case LayerType::GlobalAvgPool:
+        cost.flops = in_elems;
+        break;
+      case LayerType::Relu:
+      case LayerType::Relu6:
+        cost.flops = out_elems;
+        break;
+      case LayerType::Sigmoid:
+      case LayerType::Tanh:
+        cost.flops = out_elems * 4;  // exp-based, count a few flops per element
+        break;
+      case LayerType::Softmax:
+        cost.flops = out_elems * 5;
+        break;
+      case LayerType::Add:
+      case LayerType::Mul:
+        cost.flops = out_elems;
+        break;
+      case LayerType::BatchNorm:
+        cost.flops = out_elems * 2;
+        break;
+      case LayerType::Quantize:
+      case LayerType::Dequantize:
+        cost.flops = out_elems * 2;
+        break;
+      case LayerType::Concat:
+      case LayerType::ResizeNearest:
+      case LayerType::Slice:
+      case LayerType::Reshape:
+      case LayerType::Pad:
+      case LayerType::Transpose2D:
+        break;  // pure data movement
+      case LayerType::kCount:
+        break;
+    }
+
+    if (cost.macs > 0) cost.flops += 2 * cost.macs;
+
+    const int act_bits = layer.act_bits;
+    const int weight_bits = layer.weight_bits;
+    cost.bytes_read =
+        in_elems * (act_bits == 8 ? 1 : act_bits == 16 ? 2 : 4) +
+        cost.params * (weight_bits == 8 ? 1 : weight_bits == 16 ? 2 : 4);
+    cost.bytes_written = activation_bytes(out, act_bits);
+    if (layer.type == LayerType::Input) {
+      cost.bytes_read = 0;  // input tensor arrives from outside the model
+    }
+
+    trace.total_macs += cost.macs;
+    trace.total_flops += cost.flops;
+    trace.total_params += cost.params;
+    trace.total_bytes += cost.bytes_read + cost.bytes_written;
+
+    // Peak activation accounting.
+    layer_bytes[i] = activation_bytes(out, act_bits);
+    live_bytes += layer_bytes[i];
+    trace.peak_activation_bytes = std::max(trace.peak_activation_bytes, live_bytes);
+    for (int in : layer.inputs) {
+      const auto idx = static_cast<std::size_t>(in);
+      if (last_use[idx] == static_cast<int>(i)) {
+        live_bytes -= layer_bytes[idx];
+      }
+    }
+
+    trace.layers.push_back(std::move(cost));
+  }
+  return trace;
+}
+
+}  // namespace gauge::nn

@@ -1,0 +1,46 @@
+// Trace-based model cost analysis (paper §4.7): walks the graph with inferred
+// shapes and accounts MACs/FLOPs, parameters and memory traffic per layer.
+// FLOPs are estimated as 2x MACs for MAC-dominated layers, matching the
+// paper's "FLOPs as a function of cumulative MAC operations" convention.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nn/graph.hpp"
+#include "util/result.hpp"
+
+namespace gauge::nn {
+
+struct LayerCost {
+  LayerType type = LayerType::Input;
+  std::string name;
+  std::int64_t macs = 0;
+  std::int64_t flops = 0;
+  std::int64_t params = 0;
+  // Memory traffic for the roofline device model: activation reads + weight
+  // reads and activation writes, in bytes (at the layer's declared precision).
+  std::int64_t bytes_read = 0;
+  std::int64_t bytes_written = 0;
+  Shape output_shape;
+};
+
+struct ModelTrace {
+  std::vector<LayerCost> layers;
+  std::int64_t total_macs = 0;
+  std::int64_t total_flops = 0;
+  std::int64_t total_params = 0;
+  std::int64_t total_bytes = 0;  // read + written
+  // Peak concurrent activation footprint in bytes (simple liveness over the
+  // topological schedule).
+  std::int64_t peak_activation_bytes = 0;
+
+  // Layer-type histogram for the Fig. 6 composition analysis.
+  std::map<std::string, std::int64_t> op_family_counts() const;
+};
+
+util::Result<ModelTrace> trace_model(const Graph& graph);
+
+}  // namespace gauge::nn

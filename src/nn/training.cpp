@@ -1,0 +1,49 @@
+#include "nn/training.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace gauge::nn {
+
+TrainingCost training_step_cost(const ModelTrace& trace,
+                                int trainable_layers) {
+  TrainingCost cost;
+  cost.forward_flops = trace.total_flops;
+
+  // Index of the lowest (earliest) trainable weighted layer.
+  int remaining = trainable_layers < 0
+                      ? std::numeric_limits<int>::max()
+                      : trainable_layers;
+  std::size_t lowest_trainable = trace.layers.size();
+  for (std::size_t i = trace.layers.size(); i-- > 0 && remaining > 0;) {
+    if (trace.layers[i].params > 0) {
+      lowest_trainable = i;
+      --remaining;
+    }
+  }
+  if (lowest_trainable == trace.layers.size()) {
+    // Nothing trainable: inference only.
+    return cost;
+  }
+
+  for (std::size_t i = 0; i < trace.layers.size(); ++i) {
+    const LayerCost& layer = trace.layers[i];
+    if (i < lowest_trainable) continue;  // frozen prefix: forward only
+    // Gradient propagation through this layer (~forward cost).
+    cost.backward_flops += layer.flops;
+    // Activations of layers in the backprop region must be stashed.
+    cost.activation_stash_bytes +=
+        layer.output_shape.elements() * 4;  // fp32 stash
+    if (layer.params > 0) {
+      // Every weighted layer at or after lowest_trainable is trainable.
+      // Weight-gradient computation (~forward MACs again).
+      cost.backward_flops += 2 * layer.macs;
+      // SGD-style update: a few flops per parameter.
+      cost.update_flops += 4 * layer.params;
+      cost.trainable_params += layer.params;
+    }
+  }
+  return cost;
+}
+
+}  // namespace gauge::nn

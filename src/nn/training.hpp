@@ -1,0 +1,37 @@
+// On-device training cost estimation (paper §8, "On-device learning and
+// personalisation"): the paper observes developers fine-tune only the last
+// layers offline because full training is prohibitive on device. This
+// module quantifies that: trace-based FLOPs/memory for a training step of a
+// model when only the last `trainable_layers` weighted layers are updated.
+//
+// Cost model (standard backprop accounting):
+//   - forward pass: the inference FLOPs of every layer;
+//   - backward-through: every layer *above* the lowest trainable layer must
+//     propagate gradients to its inputs (~1x its forward MAC cost);
+//   - weight gradients: each trainable layer pays another ~1x forward MACs
+//     plus an optimizer update over its parameters.
+// Full training of an L-layer net thus costs ~3x inference; freezing all
+// but the head drops the multiplier towards ~1x.
+#pragma once
+
+#include "nn/trace.hpp"
+
+namespace gauge::nn {
+
+struct TrainingCost {
+  std::int64_t forward_flops = 0;
+  std::int64_t backward_flops = 0;  // gradient propagation + weight grads
+  std::int64_t update_flops = 0;    // optimizer step over trainable params
+  std::int64_t trainable_params = 0;
+  std::int64_t total_flops() const {
+    return forward_flops + backward_flops + update_flops;
+  }
+  // Memory for stashed activations of layers involved in backprop.
+  std::int64_t activation_stash_bytes = 0;
+};
+
+// `trainable_layers` counts weighted layers from the output backwards;
+// pass a large value (or -1) for full training.
+TrainingCost training_step_cost(const ModelTrace& trace, int trainable_layers);
+
+}  // namespace gauge::nn

@@ -1,0 +1,683 @@
+#include "nn/zoo.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace gauge::nn {
+
+namespace {
+
+// Kaiming-ish initialisation keeps activations in a sane range so the
+// interpreter produces finite outputs on all zoo models.
+Tensor random_tensor(Shape shape, util::Rng& rng, double fan_in) {
+  Tensor t{shape, DType::F32};
+  const double stdev = std::sqrt(2.0 / std::max(fan_in, 1.0));
+  for (auto& v : t.f32()) v = static_cast<float>(rng.normal(0.0, stdev));
+  return t;
+}
+
+int scaled(int channels, double width) {
+  return std::max(2, static_cast<int>(std::lround(channels * width)));
+}
+
+// Builder helper collecting the pattern "conv + bn-ish bias + activation".
+class NetBuilder {
+ public:
+  NetBuilder(Graph& graph, util::Rng& rng) : graph_{graph}, rng_{rng} {}
+
+  int input(Shape shape, const std::string& name = "input") {
+    Layer layer;
+    layer.type = LayerType::Input;
+    layer.name = name;
+    layer.input_shape = std::move(shape);
+    last_ = graph_.add(std::move(layer));
+    channels_ = static_cast<int>(graph_.layer(last_).input_shape.dims.back());
+    return last_;
+  }
+
+  int conv(int out_ch, int kernel, int stride, bool relu6 = true,
+           Padding padding = Padding::Same) {
+    Layer layer;
+    layer.type = LayerType::Conv2D;
+    layer.name = next_name("conv");
+    layer.inputs = {last_};
+    layer.kernel_h = layer.kernel_w = kernel;
+    layer.stride_h = layer.stride_w = stride;
+    layer.padding = padding;
+    layer.units = out_ch;
+    layer.weights.push_back(random_tensor(
+        Shape{kernel, kernel, channels_, out_ch}, rng_,
+        static_cast<double>(kernel) * kernel * channels_));
+    layer.weights.push_back(random_tensor(Shape{out_ch}, rng_, out_ch));
+    last_ = graph_.add(std::move(layer));
+    channels_ = out_ch;
+    if (relu6) activation(LayerType::Relu6);
+    return last_;
+  }
+
+  int dwconv(int kernel, int stride, bool relu6 = true) {
+    Layer layer;
+    layer.type = LayerType::DepthwiseConv2D;
+    layer.name = next_name("dwconv");
+    layer.inputs = {last_};
+    layer.kernel_h = layer.kernel_w = kernel;
+    layer.stride_h = layer.stride_w = stride;
+    layer.weights.push_back(
+        random_tensor(Shape{kernel, kernel, channels_, 1}, rng_,
+                      static_cast<double>(kernel) * kernel));
+    layer.weights.push_back(random_tensor(Shape{channels_}, rng_, channels_));
+    last_ = graph_.add(std::move(layer));
+    if (relu6) activation(LayerType::Relu6);
+    return last_;
+  }
+
+  int dense(int units, bool relu = false) {
+    // Flatten first if the activation is rank > 2.
+    Layer layer;
+    layer.type = LayerType::Dense;
+    layer.name = next_name("dense");
+    layer.inputs = {last_};
+    layer.units = units;
+    const int in_dim = channels_;
+    layer.weights.push_back(
+        random_tensor(Shape{in_dim, units}, rng_, in_dim));
+    layer.weights.push_back(random_tensor(Shape{units}, rng_, units));
+    last_ = graph_.add(std::move(layer));
+    channels_ = units;
+    if (relu) activation(LayerType::Relu);
+    return last_;
+  }
+
+  int activation(LayerType type) {
+    Layer layer;
+    layer.type = type;
+    layer.name = next_name("act");
+    layer.inputs = {last_};
+    last_ = graph_.add(std::move(layer));
+    return last_;
+  }
+
+  int maxpool(int kernel, int stride) {
+    Layer layer;
+    layer.type = LayerType::MaxPool2D;
+    layer.name = next_name("pool");
+    layer.inputs = {last_};
+    layer.kernel_h = layer.kernel_w = kernel;
+    layer.stride_h = layer.stride_w = stride;
+    last_ = graph_.add(std::move(layer));
+    return last_;
+  }
+
+  int global_pool() {
+    Layer layer;
+    layer.type = LayerType::GlobalAvgPool;
+    layer.name = next_name("gap");
+    layer.inputs = {last_};
+    last_ = graph_.add(std::move(layer));
+    return last_;
+  }
+
+  int reshape(std::vector<std::int64_t> target) {
+    Layer layer;
+    layer.type = LayerType::Reshape;
+    layer.name = next_name("reshape");
+    layer.inputs = {last_};
+    layer.target_shape = std::move(target);
+    last_ = graph_.add(std::move(layer));
+    return last_;
+  }
+
+  int softmax() {
+    Layer layer;
+    layer.type = LayerType::Softmax;
+    layer.name = next_name("softmax");
+    layer.inputs = {last_};
+    last_ = graph_.add(std::move(layer));
+    return last_;
+  }
+
+  int resize(int scale) {
+    Layer layer;
+    layer.type = LayerType::ResizeNearest;
+    layer.name = next_name("resize");
+    layer.inputs = {last_};
+    layer.resize_scale = scale;
+    last_ = graph_.add(std::move(layer));
+    return last_;
+  }
+
+  int add_with(int other) {
+    Layer layer;
+    layer.type = LayerType::Add;
+    layer.name = next_name("add");
+    layer.inputs = {last_, other};
+    last_ = graph_.add(std::move(layer));
+    return last_;
+  }
+
+  // `other_channels` must be the size of `other` along the concat axis when
+  // downstream layers consume the result channel-wise.
+  int concat_with(int other, int axis, int other_channels = 0) {
+    Layer layer;
+    layer.type = LayerType::Concat;
+    layer.name = next_name("concat");
+    layer.inputs = {last_, other};
+    layer.axis = axis;
+    last_ = graph_.add(std::move(layer));
+    channels_ += other_channels;
+    return last_;
+  }
+
+  int lstm(int hidden) {
+    Layer layer;
+    layer.type = LayerType::Lstm;
+    layer.name = next_name("lstm");
+    layer.inputs = {last_};
+    layer.units = hidden;
+    const int in_dim = channels_;
+    layer.weights.push_back(random_tensor(
+        Shape{in_dim + hidden, 4 * hidden}, rng_, in_dim + hidden));
+    layer.weights.push_back(random_tensor(Shape{4 * hidden}, rng_, hidden));
+    last_ = graph_.add(std::move(layer));
+    channels_ = hidden;
+    return last_;
+  }
+
+  int embedding(int vocab, int dim) {
+    Layer layer;
+    layer.type = LayerType::Embedding;
+    layer.name = next_name("embed");
+    layer.inputs = {last_};
+    layer.units = dim;
+    layer.weights.push_back(random_tensor(Shape{vocab, dim}, rng_, dim));
+    last_ = graph_.add(std::move(layer));
+    channels_ = dim;
+    return last_;
+  }
+
+  int last() const { return last_; }
+  int channels() const { return channels_; }
+  void set_last(int idx, int channels) {
+    last_ = idx;
+    channels_ = channels;
+  }
+
+ private:
+  std::string next_name(const std::string& prefix) {
+    return prefix + "_" + std::to_string(counter_++);
+  }
+
+  Graph& graph_;
+  util::Rng& rng_;
+  int last_ = -1;
+  int channels_ = 0;
+  int counter_ = 0;
+};
+
+Graph build_mobilenet(const ZooSpec& spec, util::Rng& rng) {
+  Graph g;
+  NetBuilder b{g, rng};
+  b.input(Shape{1, spec.resolution, spec.resolution, 3});
+  b.conv(scaled(8, spec.width), 3, 2);
+  const int blocks[][2] = {{16, 1}, {32, 2}, {32, 1}, {64, 2}, {64, 1}, {128, 2}};
+  for (const auto& blk : blocks) {
+    b.dwconv(3, blk[1]);
+    b.conv(scaled(blk[0], spec.width), 1, 1);
+  }
+  b.global_pool();
+  b.reshape({1, -1});
+  b.dense(std::max(10, scaled(100, spec.width)));
+  b.softmax();
+  return g;
+}
+
+Graph build_fssd(const ZooSpec& spec, util::Rng& rng) {
+  // MobileNet-style backbone with two detection heads concatenated
+  // (class scores + box regressions), like FSSD.
+  Graph g;
+  NetBuilder b{g, rng};
+  b.input(Shape{1, spec.resolution, spec.resolution, 3});
+  b.conv(scaled(8, spec.width), 3, 2);
+  b.dwconv(3, 1);
+  b.conv(scaled(16, spec.width), 1, 1);
+  b.dwconv(3, 2);
+  b.conv(scaled(32, spec.width), 1, 1);
+  const int feat1 = b.last();
+  const int feat1_ch = b.channels();
+  b.dwconv(3, 2);
+  b.conv(scaled(64, spec.width), 1, 1);
+  const int feat2 = b.last();
+  const int feat2_ch = b.channels();
+
+  // Head on feat2 (deep features).
+  b.set_last(feat2, feat2_ch);
+  b.conv(scaled(24, spec.width), 3, 1, /*relu6=*/false);
+  b.reshape({1, -1});
+  const int head2 = b.last();
+  const int head2_ch = b.channels();
+
+  // Head on feat1 (shallow features).
+  b.set_last(feat1, feat1_ch);
+  b.conv(scaled(24, spec.width), 3, 1, /*relu6=*/false);
+  b.reshape({1, -1});
+  (void)head2_ch;
+  b.concat_with(head2, /*axis=*/1);
+  return g;
+}
+
+Graph build_blazeface(const ZooSpec& spec, util::Rng& rng) {
+  // Shallow, stride-heavy detector with residual adds (BlazeFace-like).
+  Graph g;
+  NetBuilder b{g, rng};
+  b.input(Shape{1, spec.resolution, spec.resolution, 3});
+  b.conv(scaled(12, spec.width), 5, 2);
+  const int c = b.channels();
+  const int skip = b.last();
+  b.dwconv(3, 1);
+  b.conv(c, 1, 1, /*relu6=*/false);
+  b.add_with(skip);
+  b.activation(LayerType::Relu);
+  b.dwconv(3, 2);
+  b.conv(scaled(24, spec.width), 1, 1);
+  b.conv(scaled(12, spec.width), 3, 1, /*relu6=*/false);
+  b.reshape({1, -1});
+  return g;
+}
+
+Graph build_unet(const ZooSpec& spec, util::Rng& rng) {
+  // Encoder-decoder with skip concat (segmentation).
+  Graph g;
+  NetBuilder b{g, rng};
+  b.input(Shape{1, spec.resolution, spec.resolution, 3});
+  b.conv(scaled(8, spec.width), 3, 1);
+  const int enc1 = b.last();
+  const int enc1_ch = b.channels();
+  b.maxpool(2, 2);
+  b.conv(scaled(16, spec.width), 3, 1);
+  const int enc2 = b.last();
+  const int enc2_ch = b.channels();
+  b.maxpool(2, 2);
+  b.conv(scaled(32, spec.width), 3, 1);
+  b.resize(2);
+  b.concat_with(enc2, /*axis=*/3, enc2_ch);
+  b.conv(scaled(16, spec.width), 3, 1);
+  b.resize(2);
+  b.concat_with(enc1, /*axis=*/3, enc1_ch);
+  b.conv(scaled(8, spec.width), 3, 1);
+  b.conv(2, 1, 1, /*relu6=*/false);  // background/foreground mask
+  b.activation(LayerType::Sigmoid);
+  return g;
+}
+
+Graph build_contournet(const ZooSpec& spec, util::Rng& rng) {
+  Graph g;
+  NetBuilder b{g, rng};
+  b.input(Shape{1, spec.resolution, spec.resolution, 1});
+  b.conv(scaled(8, spec.width), 3, 2);
+  b.conv(scaled(16, spec.width), 3, 2);
+  b.conv(scaled(16, spec.width), 3, 1);
+  b.conv(4, 1, 1, /*relu6=*/false);  // contour heatmaps
+  b.activation(LayerType::Sigmoid);
+  return g;
+}
+
+Graph build_ocrnet(const ZooSpec& spec, util::Rng& rng) {
+  // Conv feature extractor + LSTM decoder over width (CRNN-style OCR).
+  Graph g;
+  NetBuilder b{g, rng};
+  const int height = 16;
+  b.input(Shape{1, height, spec.resolution, 1});
+  b.conv(scaled(8, spec.width), 3, 1);
+  b.maxpool(2, 2);
+  b.conv(scaled(16, spec.width), 3, 1);
+  b.maxpool(2, 2);
+  // [1, H/4, W/4, C] -> sequence [1, W/4, H/4*C]
+  const int seq_feat = (height / 4) * b.channels();
+  b.reshape({1, spec.resolution / 4, seq_feat});
+  b.set_last(b.last(), seq_feat);
+  b.lstm(scaled(24, spec.width));
+  b.dense(40);  // character classes
+  b.softmax();
+  return g;
+}
+
+Graph build_posenet(const ZooSpec& spec, util::Rng& rng) {
+  Graph g;
+  NetBuilder b{g, rng};
+  b.input(Shape{1, spec.resolution, spec.resolution, 3});
+  b.conv(scaled(8, spec.width), 3, 2);
+  b.dwconv(3, 1);
+  b.conv(scaled(16, spec.width), 1, 1);
+  b.dwconv(3, 2);
+  b.conv(scaled(32, spec.width), 1, 1);
+  b.conv(17, 1, 1, /*relu6=*/false);  // 17 keypoint heatmaps
+  b.activation(LayerType::Sigmoid);
+  return g;
+}
+
+Graph build_stylenet(const ZooSpec& spec, util::Rng& rng) {
+  // Photo beauty / filter network: conv -> residual -> upsample.
+  Graph g;
+  NetBuilder b{g, rng};
+  b.input(Shape{1, spec.resolution, spec.resolution, 3});
+  b.conv(scaled(8, spec.width), 3, 2);
+  const int c = b.channels();
+  const int skip = b.last();
+  b.conv(c, 3, 1, /*relu6=*/false);
+  b.add_with(skip);
+  b.activation(LayerType::Relu);
+  b.resize(2);
+  b.conv(3, 3, 1, /*relu6=*/false);
+  b.activation(LayerType::Sigmoid);
+  return g;
+}
+
+Graph build_vggnet(const ZooSpec& spec, util::Rng& rng) {
+  // Plain conv/pool stack (no depthwise, no resize): the shape of the
+  // caffe-era classifiers still shipping in the wild.
+  Graph g;
+  NetBuilder b{g, rng};
+  b.input(Shape{1, spec.resolution, spec.resolution, 3});
+  b.conv(scaled(8, spec.width), 3, 1, /*relu6=*/false);
+  b.activation(LayerType::Relu);
+  b.maxpool(2, 2);
+  b.conv(scaled(16, spec.width), 3, 1, /*relu6=*/false);
+  b.activation(LayerType::Relu);
+  b.maxpool(2, 2);
+  b.conv(scaled(24, spec.width), 3, 1, /*relu6=*/false);
+  b.activation(LayerType::Relu);
+  b.global_pool();
+  b.reshape({1, -1});
+  b.dense(std::max(10, scaled(50, spec.width)));
+  b.softmax();
+  return g;
+}
+
+Graph build_wordrnn(const ZooSpec& spec, util::Rng& rng) {
+  Graph g;
+  NetBuilder b{g, rng};
+  b.input(Shape{1, spec.resolution});  // token ids
+  b.embedding(scaled(500, spec.width), scaled(16, spec.width));
+  b.lstm(scaled(32, spec.width));
+  // Take the final hidden state: slice last timestep.
+  Layer slice;
+  slice.type = LayerType::Slice;
+  slice.name = "last_step";
+  slice.inputs = {b.last()};
+  slice.slice_begin = {0, spec.resolution - 1, 0};
+  slice.slice_size = {1, 1, -1};
+  const int sliced = g.add(std::move(slice));
+  b.set_last(sliced, b.channels());
+  b.reshape({1, -1});
+  b.dense(scaled(500, spec.width));  // vocabulary logits
+  b.softmax();
+  return g;
+}
+
+Graph build_textcnn(const ZooSpec& spec, util::Rng& rng) {
+  Graph g;
+  NetBuilder b{g, rng};
+  b.input(Shape{1, spec.resolution});
+  b.embedding(scaled(300, spec.width), scaled(16, spec.width));
+  // Treat as [1, T, 1, E] image for 1D conv via reshape.
+  b.reshape({1, spec.resolution, 1, scaled(16, spec.width)});
+  b.set_last(b.last(), scaled(16, spec.width));
+  Layer conv;
+  conv.type = LayerType::Conv2D;
+  conv.name = "conv1d";
+  conv.inputs = {b.last()};
+  conv.kernel_h = 3;
+  conv.kernel_w = 1;
+  conv.stride_h = conv.stride_w = 1;
+  conv.units = scaled(24, spec.width);
+  conv.weights.push_back(random_tensor(
+      Shape{3, 1, scaled(16, spec.width), scaled(24, spec.width)}, rng,
+      3.0 * scaled(16, spec.width)));
+  conv.weights.push_back(
+      random_tensor(Shape{scaled(24, spec.width)}, rng, 24));
+  const int conv_idx = g.add(std::move(conv));
+  b.set_last(conv_idx, scaled(24, spec.width));
+  b.activation(LayerType::Relu);
+  b.global_pool();
+  b.reshape({1, -1});
+  b.dense(2);  // binary sentiment / filter decision
+  b.softmax();
+  return g;
+}
+
+Graph build_audiocnn(const ZooSpec& spec, util::Rng& rng) {
+  // Spectrogram classifier (sound recognition).
+  Graph g;
+  NetBuilder b{g, rng};
+  b.input(Shape{1, spec.resolution, 32, 1});  // time x mel bins
+  b.conv(scaled(8, spec.width), 3, 2);
+  b.conv(scaled(16, spec.width), 3, 2);
+  b.conv(scaled(32, spec.width), 3, 2);
+  b.global_pool();
+  b.reshape({1, -1});
+  b.dense(scaled(32, spec.width), /*relu=*/true);
+  b.dense(20);  // sound classes
+  b.softmax();
+  return g;
+}
+
+Graph build_speechrnn(const ZooSpec& spec, util::Rng& rng) {
+  Graph g;
+  NetBuilder b{g, rng};
+  b.input(Shape{1, spec.resolution, 40});  // frames x MFCC features
+  b.lstm(scaled(48, spec.width));
+  b.dense(29);  // characters
+  b.softmax();
+  return g;
+}
+
+Graph build_sensormlp(const ZooSpec& spec, util::Rng& rng) {
+  Graph g;
+  NetBuilder b{g, rng};
+  b.input(Shape{1, spec.resolution * 6});  // accel+gyro window, flattened
+  b.dense(scaled(32, spec.width), /*relu=*/true);
+  b.dense(scaled(16, spec.width), /*relu=*/true);
+  b.dense(5);  // activity classes
+  b.softmax();
+  return g;
+}
+
+}  // namespace
+
+const std::vector<std::string>& zoo_archetypes() {
+  static const std::vector<std::string> kArchetypes = {
+      "mobilenet", "fssd",      "blazeface", "unet",      "contournet",
+      "ocrnet",    "posenet",   "stylenet",  "vggnet",    "wordrnn",
+      "textcnn",   "audiocnn",  "speechrnn", "sensormlp"};
+  return kArchetypes;
+}
+
+Modality archetype_modality(const std::string& archetype) {
+  if (archetype == "wordrnn" || archetype == "textcnn") return Modality::Text;
+  if (archetype == "audiocnn" || archetype == "speechrnn") return Modality::Audio;
+  if (archetype == "sensormlp") return Modality::Sensor;
+  return Modality::Image;
+}
+
+Graph build_model(const ZooSpec& spec) {
+  util::Rng rng{spec.seed};
+  Graph g;
+  if (spec.archetype == "mobilenet") g = build_mobilenet(spec, rng);
+  else if (spec.archetype == "fssd") g = build_fssd(spec, rng);
+  else if (spec.archetype == "blazeface") g = build_blazeface(spec, rng);
+  else if (spec.archetype == "unet") g = build_unet(spec, rng);
+  else if (spec.archetype == "contournet") g = build_contournet(spec, rng);
+  else if (spec.archetype == "ocrnet") g = build_ocrnet(spec, rng);
+  else if (spec.archetype == "posenet") g = build_posenet(spec, rng);
+  else if (spec.archetype == "stylenet") g = build_stylenet(spec, rng);
+  else if (spec.archetype == "vggnet") g = build_vggnet(spec, rng);
+  else if (spec.archetype == "wordrnn") g = build_wordrnn(spec, rng);
+  else if (spec.archetype == "textcnn") g = build_textcnn(spec, rng);
+  else if (spec.archetype == "audiocnn") g = build_audiocnn(spec, rng);
+  else if (spec.archetype == "speechrnn") g = build_speechrnn(spec, rng);
+  else if (spec.archetype == "sensormlp") g = build_sensormlp(spec, rng);
+  else assert(false && "unknown archetype");
+
+  g.name = spec.name.empty() ? spec.archetype : spec.name;
+
+  // Trained networks carry a small share of exactly-zero weights (dead
+  // units, padded filters); the paper measures 3.15% near-zero overall
+  // (§6.1). Each model gets a deterministic 0-6% zero share.
+  {
+    util::Rng zrng{spec.seed ^ 0x5eed5eedULL};
+    const double zero_frac = zrng.uniform(0.015, 0.05);
+    for (auto& layer : g.layers()) {
+      for (auto& w : layer.weights) {
+        if (w.dtype() != DType::F32 || w.shape().rank() <= 1) continue;
+        for (auto& v : w.f32()) {
+          if (zrng.bernoulli(zero_frac)) v = 0.0f;
+        }
+      }
+    }
+  }
+
+  if (spec.int8_weights) quantize_weights(g);
+  // Note: int8_activations wrapping is applied by the backend layer when
+  // simulating DSP deployment; the flag is recorded on the layers here.
+  if (spec.int8_activations) {
+    for (auto& layer : g.layers()) layer.act_bits = 8;
+  }
+  return g;
+}
+
+Graph make_finetuned(const Graph& base, int retrained_layers,
+                     std::uint64_t seed) {
+  Graph out = base;
+  util::Rng rng{seed};
+  int remaining = retrained_layers;
+  for (std::size_t i = out.size(); i-- > 0 && remaining > 0;) {
+    Layer& layer = out.layer(static_cast<int>(i));
+    if (!layer.has_weights()) continue;
+    for (auto& w : layer.weights) {
+      if (w.dtype() == DType::F32) {
+        const double fan = std::sqrt(static_cast<double>(w.elements()));
+        for (auto& v : w.f32()) {
+          v = static_cast<float>(rng.normal(0.0, 1.0 / std::max(fan, 1.0)));
+        }
+      } else if (w.dtype() == DType::I8) {
+        for (auto& v : w.i8()) {
+          v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+        }
+      }
+    }
+    --remaining;
+  }
+  return out;
+}
+
+void quantize_weights(Graph& graph) {
+  for (auto& layer : graph.layers()) {
+    if (!layer.has_weights()) continue;
+    for (auto& w : layer.weights) {
+      if (w.dtype() != DType::F32) continue;
+      // Keep biases in float (standard practice).
+      if (w.shape().rank() <= 1) continue;
+      float max_abs = 0.0f;
+      for (float v : w.f32()) max_abs = std::max(max_abs, std::abs(v));
+      const float scale = max_abs > 0 ? max_abs / 127.0f : 1.0f;
+      Tensor q{w.shape(), DType::I8};
+      q.quant_scale = scale;
+      q.quant_zero_point = 0;
+      for (std::size_t k = 0; k < w.f32().size(); ++k) {
+        const float v = std::round(w.f32()[k] / scale);
+        q.i8()[k] = static_cast<std::int8_t>(std::clamp(v, -127.0f, 127.0f));
+      }
+      w = std::move(q);
+    }
+    layer.weight_bits = 8;
+  }
+}
+
+Graph with_quantized_stem(const Graph& base) {
+  // Locate the first Conv2D.
+  int conv_idx = -1;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (base.layer(static_cast<int>(i)).type == LayerType::Conv2D) {
+      conv_idx = static_cast<int>(i);
+      break;
+    }
+  }
+  if (conv_idx < 0) return base;
+
+  Graph out;
+  out.name = base.name;
+  // Index map old -> new (two layers get inserted).
+  std::vector<int> remap(base.size(), -1);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const Layer& src = base.layer(static_cast<int>(i));
+    if (static_cast<int>(i) == conv_idx) {
+      // Quantize the conv's input.
+      Layer q;
+      q.type = LayerType::Quantize;
+      q.name = src.name + "_quant_in";
+      q.inputs = {remap[static_cast<std::size_t>(src.inputs[0])]};
+      q.quant_scale = 0.05f;  // inputs are ~N(0,1)
+      q.quant_zero_point = 0;
+      const int qi = out.add(std::move(q));
+
+      Layer conv = src;
+      conv.inputs = {qi};
+      conv.act_bits = 8;
+      conv.quant_scale = 0.2f;  // conv output range under unit inputs
+      conv.quant_zero_point = 0;
+      // Conv in int8 needs int8 weights.
+      for (auto& w : conv.weights) {
+        if (w.dtype() != DType::F32 || w.shape().rank() <= 1) continue;
+        float max_abs = 0.0f;
+        for (float v : w.f32()) max_abs = std::max(max_abs, std::abs(v));
+        const float scale = max_abs > 0 ? max_abs / 127.0f : 1.0f;
+        Tensor q8{w.shape(), DType::I8};
+        q8.quant_scale = scale;
+        for (std::size_t k = 0; k < w.f32().size(); ++k) {
+          q8.i8()[k] = static_cast<std::int8_t>(
+              std::clamp(std::round(w.f32()[k] / scale), -127.0f, 127.0f));
+        }
+        w = std::move(q8);
+      }
+      conv.weight_bits = 8;
+      const int ci = out.add(std::move(conv));
+
+      Layer dq;
+      dq.type = LayerType::Dequantize;
+      dq.name = src.name + "_dequant_out";
+      dq.inputs = {ci};
+      remap[i] = out.add(std::move(dq));
+    } else {
+      Layer copy = src;
+      for (auto& in : copy.inputs) in = remap[static_cast<std::size_t>(in)];
+      remap[i] = out.add(std::move(copy));
+    }
+  }
+  return out;
+}
+
+double near_zero_weight_fraction(const Graph& graph, double threshold) {
+  std::int64_t total = 0;
+  std::int64_t near_zero = 0;
+  for (const auto& layer : graph.layers()) {
+    for (const auto& w : layer.weights) {
+      if (w.dtype() == DType::F32) {
+        for (float v : w.f32()) {
+          ++total;
+          if (std::abs(static_cast<double>(v)) <= threshold) ++near_zero;
+        }
+      } else if (w.dtype() == DType::I8) {
+        for (std::int8_t v : w.i8()) {
+          ++total;
+          if (v == 0) ++near_zero;
+        }
+      }
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(near_zero) / static_cast<double>(total);
+}
+
+}  // namespace gauge::nn

@@ -1,0 +1,68 @@
+// Model zoo: generators for the population of architectures the paper
+// encountered in the wild (Table 3 tasks). Each builder produces a real
+// Graph with deterministic random weights; parameters are scaled-down
+// relatives of the production models so the whole corpus fits in memory
+// while preserving the relative FLOPs/params spread (4 orders of magnitude,
+// Fig. 7).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/graph.hpp"
+
+namespace gauge::nn {
+
+struct ZooSpec {
+  // Architecture family; see kArchetypes below.
+  std::string archetype = "mobilenet";
+  // Width multiplier (channels scale roughly linearly).
+  double width = 1.0;
+  // Input resolution (vision) / sequence length (text, audio frames).
+  int resolution = 64;
+  // Quantise weights to int8 (hybrid quantisation, weight_bits = 8).
+  bool int8_weights = false;
+  // Wrap the body in Quantize/Dequantize so activations run in int8 too.
+  bool int8_activations = false;
+  // Seed controlling all weight values.
+  std::uint64_t seed = 1;
+  // Optional model name (e.g. the filename it ships under).
+  std::string name;
+};
+
+// Archetype identifiers accepted by build_model.
+// vision: mobilenet, fssd, blazeface, unet, contournet, ocrnet, posenet,
+//         stylenet
+// text:   wordrnn, textcnn
+// audio:  audiocnn, speechrnn
+// sensor: sensormlp
+const std::vector<std::string>& zoo_archetypes();
+
+// Modality of an archetype.
+Modality archetype_modality(const std::string& archetype);
+
+// Builds the model; asserts on unknown archetype.
+Graph build_model(const ZooSpec& spec);
+
+// Returns a fine-tuned variant: same architecture, the last
+// `retrained_layers` weighted layers get fresh random weights (transfer
+// learning, §4.5). retrained_layers is clamped to the model's layer count.
+Graph make_finetuned(const Graph& base, int retrained_layers,
+                     std::uint64_t seed);
+
+// In-place hybrid quantisation: converts all layer weights to int8 with
+// per-tensor scales and marks weight_bits = 8.
+void quantize_weights(Graph& graph);
+
+// Partial activation quantisation: quantises all weights, then wraps the
+// first Conv2D in a Quantize -> conv(int8) -> Dequantize sandwich (the
+// partially-quantised deployment pattern behind the paper's "10.3% of
+// models use the dequantize layer" finding). No-op if there is no Conv2D.
+Graph with_quantized_stem(const Graph& base);
+
+// Fraction of weights with |w| <= threshold across the model (the §6.1
+// near-zero sparsity census).
+double near_zero_weight_fraction(const Graph& graph, double threshold = 1e-9);
+
+}  // namespace gauge::nn

@@ -1,0 +1,210 @@
+#include "store/docstore.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace gauge::store {
+
+bool Value::equals(const Value& other) const {
+  if ((is_int() || is_double()) && (other.is_int() || other.is_double())) {
+    return as_double() == other.as_double();
+  }
+  return v_ == other.v_;
+}
+
+bool Value::less(const Value& other) const {
+  if ((is_int() || is_double()) && (other.is_int() || other.is_double())) {
+    return as_double() < other.as_double();
+  }
+  return v_ < other.v_;
+}
+
+std::string Value::str() const {
+  if (is_null()) return "null";
+  if (is_bool()) return as_bool() ? "true" : "false";
+  if (is_int()) return std::to_string(as_int());
+  if (is_double()) return util::format("%g", as_double());
+  return as_string();
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string to_json(const Document& doc) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : doc) {
+    if (!first) out += ", ";
+    first = false;
+    append_json_string(out, key);
+    out += ": ";
+    if (value.is_null()) {
+      out += "null";
+    } else if (value.is_bool()) {
+      out += value.as_bool() ? "true" : "false";
+    } else if (value.is_int()) {
+      out += std::to_string(value.as_int());
+    } else if (value.is_double()) {
+      out += util::format("%g", value.as_double());
+    } else {
+      append_json_string(out, value.as_string());
+    }
+  }
+  out += "}";
+  return out;
+}
+
+std::size_t DocStore::insert(Document doc) {
+  docs_.push_back(std::move(doc));
+  return docs_.size() - 1;
+}
+
+Query DocStore::query() const { return Query{*this}; }
+
+Query& Query::where(std::string field, Value value) {
+  terms_.push_back({std::move(field), std::move(value)});
+  return *this;
+}
+
+Query& Query::where_range(std::string field, std::optional<double> lo,
+                          std::optional<double> hi) {
+  ranges_.push_back({std::move(field), lo, hi});
+  return *this;
+}
+
+Query& Query::where_exists(std::string field) {
+  exists_.push_back(std::move(field));
+  return *this;
+}
+
+bool Query::matches(const Document& doc) const {
+  for (const auto& term : terms_) {
+    const auto it = doc.find(term.field);
+    if (it == doc.end() || !it->second.equals(term.value)) return false;
+  }
+  for (const auto& range : ranges_) {
+    const auto it = doc.find(range.field);
+    if (it == doc.end() || it->second.is_null()) return false;
+    if (!it->second.is_int() && !it->second.is_double()) return false;
+    const double v = it->second.as_double();
+    if (range.lo && v < *range.lo) return false;
+    if (range.hi && v > *range.hi) return false;
+  }
+  for (const auto& field : exists_) {
+    const auto it = doc.find(field);
+    if (it == doc.end() || it->second.is_null()) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> Query::ids() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < store_->docs_.size(); ++i) {
+    if (matches(store_->docs_[i])) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<AggRow> Query::group_by(std::vector<std::string> fields,
+                                    const std::string& metric_field) const {
+  // Key = concatenated printable forms (stable and hashable via map).
+  std::map<std::vector<std::string>, AggRow> groups;
+  for (std::size_t id : ids()) {
+    const Document& doc = store_->docs_[id];
+    std::vector<std::string> key_strs;
+    std::vector<Value> keys;
+    for (const auto& field : fields) {
+      const auto it = doc.find(field);
+      const Value v = it == doc.end() ? Value{} : it->second;
+      key_strs.push_back(v.str());
+      keys.push_back(v);
+    }
+    auto [it, inserted] = groups.try_emplace(key_strs);
+    AggRow& row = it->second;
+    if (inserted) row.keys = std::move(keys);
+    row.count++;
+    if (!metric_field.empty()) {
+      const auto mit = doc.find(metric_field);
+      if (mit != doc.end() && (mit->second.is_int() || mit->second.is_double())) {
+        const double v = mit->second.as_double();
+        if (row.count == 1) {
+          row.min = row.max = v;
+        } else {
+          row.min = std::min(row.min, v);
+          row.max = std::max(row.max, v);
+        }
+        row.sum += v;
+      }
+    }
+  }
+  std::vector<AggRow> out;
+  out.reserve(groups.size());
+  for (auto& [_, row] : groups) out.push_back(std::move(row));
+  std::sort(out.begin(), out.end(), [](const AggRow& a, const AggRow& b) {
+    if (a.count != b.count) return a.count > b.count;
+    // Stable tiebreak on key strings.
+    for (std::size_t i = 0; i < std::min(a.keys.size(), b.keys.size()); ++i) {
+      const std::string as = a.keys[i].str();
+      const std::string bs = b.keys[i].str();
+      if (as != bs) return as < bs;
+    }
+    return false;
+  });
+  return out;
+}
+
+std::vector<double> Query::numbers(const std::string& field) const {
+  std::vector<double> out;
+  for (std::size_t id : ids()) {
+    const auto it = store_->docs_[id].find(field);
+    if (it != store_->docs_[id].end() &&
+        (it->second.is_int() || it->second.is_double())) {
+      out.push_back(it->second.as_double());
+    }
+  }
+  return out;
+}
+
+std::string Query::to_jsonl() const {
+  std::string out;
+  for (std::size_t id : ids()) {
+    out += to_json(store_->docs_[id]);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<std::string> Query::strings(const std::string& field) const {
+  std::vector<std::string> out;
+  for (std::size_t id : ids()) {
+    const auto it = store_->docs_[id].find(field);
+    if (it != store_->docs_[id].end() && it->second.is_string()) {
+      out.push_back(it->second.as_string());
+    }
+  }
+  return out;
+}
+
+}  // namespace gauge::store

@@ -1,0 +1,130 @@
+// In-memory document store standing in for the paper's ElasticSearch
+// instance: JSON-like documents, field indexes, term/range queries and
+// bucketed aggregations — the ETL layer under the offline analyses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace gauge::store {
+
+class Value {
+ public:
+  Value() : v_{std::monostate{}} {}
+  Value(bool b) : v_{b} {}                      // NOLINT
+  Value(std::int64_t i) : v_{i} {}              // NOLINT
+  Value(int i) : v_{static_cast<std::int64_t>(i)} {}  // NOLINT
+  Value(double d) : v_{d} {}                    // NOLINT
+  Value(std::string s) : v_{std::move(s)} {}    // NOLINT
+  Value(const char* s) : v_{std::string{s}} {}  // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+  double as_double() const {
+    if (is_int()) return static_cast<double>(as_int());
+    return std::get<double>(v_);
+  }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+
+  // Numeric comparison when both sides are numeric; exact otherwise.
+  bool equals(const Value& other) const;
+  // Orders numerics numerically, strings lexicographically. Mixed types
+  // compare by type index.
+  bool less(const Value& other) const;
+
+  std::string str() const;
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, double, std::string> v_;
+};
+
+using Document = std::map<std::string, Value>;
+
+// JSON serialisation of a single document ({"k": v, ...} with proper string
+// escaping; ints stay integral, doubles use shortest-ish %g).
+std::string to_json(const Document& doc);
+
+struct AggRow {
+  std::vector<Value> keys;  // group-by key values, in group_by order
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double avg() const { return count ? sum / static_cast<double>(count) : 0.0; }
+};
+
+class Query;
+
+class DocStore {
+ public:
+  // Inserts a document; returns its id.
+  std::size_t insert(Document doc);
+  std::size_t size() const { return docs_.size(); }
+  const Document& doc(std::size_t id) const { return docs_[id]; }
+
+  Query query() const;
+
+ private:
+  friend class Query;
+  std::vector<Document> docs_;
+};
+
+class Query {
+ public:
+  // Field equals value.
+  Query& where(std::string field, Value value);
+  // Numeric range, inclusive bounds; pass nullopt to leave open.
+  Query& where_range(std::string field, std::optional<double> lo,
+                     std::optional<double> hi);
+  // Field exists (non-null).
+  Query& where_exists(std::string field);
+
+  // Matching document ids.
+  std::vector<std::size_t> ids() const;
+  std::size_t count() const { return ids().size(); }
+
+  // Group by one or more fields, aggregating `metric_field` (may be empty
+  // for count-only). Rows are sorted by descending count.
+  std::vector<AggRow> group_by(std::vector<std::string> fields,
+                               const std::string& metric_field = {}) const;
+
+  // All values of `field` across matches (nulls skipped).
+  std::vector<double> numbers(const std::string& field) const;
+  std::vector<std::string> strings(const std::string& field) const;
+
+  // Matching documents serialised as JSON Lines (one object per line) —
+  // the export format the ElasticSearch-style store would bulk-load.
+  std::string to_jsonl() const;
+
+ private:
+  friend class DocStore;
+  explicit Query(const DocStore& store) : store_{&store} {}
+
+  struct Term {
+    std::string field;
+    Value value;
+  };
+  struct Range {
+    std::string field;
+    std::optional<double> lo, hi;
+  };
+
+  bool matches(const Document& doc) const;
+
+  const DocStore* store_;
+  std::vector<Term> terms_;
+  std::vector<Range> ranges_;
+  std::vector<std::string> exists_;
+};
+
+}  // namespace gauge::store

@@ -1,0 +1,159 @@
+// Little-endian byte buffer reader/writer used by every on-disk format
+// (ZIP, TFL-like flatbuffer, dex-like container, weight blobs).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace gauge::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v & 0xffff));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v & 0xffffffffULL));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f32(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u32(bits);
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void raw(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  void raw(std::string_view text) {
+    buf_.insert(buf_.end(), text.begin(), text.end());
+  }
+  // Length-prefixed (u32) string.
+  void str(std::string_view text) {
+    u32(static_cast<std::uint32_t>(text.size()));
+    raw(text);
+  }
+  // Overwrite a previously written u32 at `offset` (for back-patching).
+  void patch_u32(std::size_t offset, std::uint32_t v) {
+    buf_[offset] = static_cast<std::uint8_t>(v & 0xff);
+    buf_[offset + 1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+    buf_[offset + 2] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+    buf_[offset + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+  std::size_t size() const { return buf_.size(); }
+  const Bytes& bytes() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_{data} {}
+
+  bool ok() const { return ok_; }
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
+  void seek(std::size_t pos) {
+    if (pos > data_.size()) {
+      ok_ = false;
+      return;
+    }
+    pos_ = pos;
+  }
+
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    if (!need(2)) return 0;
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    const std::uint32_t lo = u16();
+    const std::uint32_t hi = u16();
+    return lo | (hi << 16);
+  }
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | (hi << 32);
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  float f32() {
+    const std::uint32_t bits = u32();
+    float v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::span<const std::uint8_t> raw(std::size_t n) {
+    if (!need(n)) return {};
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    const auto bytes = raw(n);
+    return std::string{reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+  }
+
+ private:
+  bool need(std::size_t n) {
+    if (!ok_ || pos_ + n > data_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+inline Bytes to_bytes(std::string_view text) {
+  return Bytes{text.begin(), text.end()};
+}
+
+inline std::string_view as_view(std::span<const std::uint8_t> data) {
+  return {reinterpret_cast<const char*>(data.data()), data.size()};
+}
+
+inline std::span<const std::uint8_t> as_span(std::string_view text) {
+  return {reinterpret_cast<const std::uint8_t*>(text.data()), text.size()};
+}
+
+}  // namespace gauge::util

@@ -1,0 +1,26 @@
+// Simulated monotonic clock. All "measured" time in the device simulator and
+// benchmark harness flows through this, keeping every experiment
+// deterministic and independent of the host machine.
+#pragma once
+
+#include <cstdint>
+
+namespace gauge::util {
+
+class SimClock {
+ public:
+  using Nanos = std::uint64_t;
+
+  Nanos now() const { return now_ns_; }
+  double now_seconds() const { return static_cast<double>(now_ns_) * 1e-9; }
+
+  void advance_ns(Nanos ns) { now_ns_ += ns; }
+  void advance_seconds(double s) {
+    now_ns_ += static_cast<Nanos>(s * 1e9);
+  }
+
+ private:
+  Nanos now_ns_ = 0;
+};
+
+}  // namespace gauge::util

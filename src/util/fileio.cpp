@@ -1,0 +1,36 @@
+#include "util/fileio.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace gauge::util {
+
+Status write_file(const std::string& path, std::string_view contents) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out) return Status::failure("cannot open for write: " + path);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  if (!out) return Status::failure("short write: " + path);
+  return {};
+}
+
+Status write_file(const std::string& path, const Bytes& contents) {
+  return write_file(path, as_view(contents));
+}
+
+Result<std::string> read_text_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return Result<std::string>::failure("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status make_directories(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) return Status::failure("mkdir " + path + ": " + ec.message());
+  return {};
+}
+
+}  // namespace gauge::util

@@ -1,0 +1,16 @@
+// Minimal filesystem helpers for report artifacts.
+#pragma once
+
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace gauge::util {
+
+Status write_file(const std::string& path, std::string_view contents);
+Status write_file(const std::string& path, const Bytes& contents);
+Result<std::string> read_text_file(const std::string& path);
+Status make_directories(const std::string& path);
+
+}  // namespace gauge::util

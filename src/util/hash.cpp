@@ -1,0 +1,215 @@
+#include "util/hash.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace gauge::util {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 64> kMd5K = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+constexpr std::array<std::uint32_t, 64> kMd5Shift = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+std::uint32_t rotl32(std::uint32_t x, std::uint32_t n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+Md5::Md5() : a_{0x67452301}, b_{0xefcdab89}, c_{0x98badcfe}, d_{0x10325476} {}
+
+void Md5::process_block(const std::uint8_t* block) {
+  std::uint32_t m[16];
+  for (int i = 0; i < 16; ++i) {
+    m[i] = static_cast<std::uint32_t>(block[i * 4]) |
+           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 8) |
+           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 16) |
+           (static_cast<std::uint32_t>(block[i * 4 + 3]) << 24);
+  }
+  std::uint32_t a = a_, b = b_, c = c_, d = d_;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    std::uint32_t f;
+    std::uint32_t g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    f = f + a + kMd5K[i] + m[g];
+    a = d;
+    d = c;
+    c = b;
+    b = b + rotl32(f, kMd5Shift[i]);
+  }
+  a_ += a;
+  b_ += b;
+  c_ += c;
+  d_ += d;
+}
+
+void Md5::update(std::span<const std::uint8_t> data) {
+  assert(!finalized_);
+  total_len_ += data.size();
+  std::size_t offset = 0;
+  if (buffer_len_ > 0) {
+    const std::size_t take = std::min(data.size(), 64 - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    offset = take;
+    if (buffer_len_ == 64) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    buffer_len_ = data.size() - offset;
+    std::memcpy(buffer_.data(), data.data() + offset, buffer_len_);
+  }
+}
+
+void Md5::update(std::string_view text) {
+  update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+std::array<std::uint8_t, 16> Md5::digest() {
+  assert(!finalized_);
+  finalized_ = true;
+  const std::uint64_t bit_len = total_len_ * 8;
+  // Padding: 0x80 then zeros until length ≡ 56 (mod 64), then 64-bit length.
+  std::uint8_t pad[72] = {0x80};
+  const std::size_t pad_len =
+      (buffer_len_ < 56) ? (56 - buffer_len_) : (120 - buffer_len_);
+  // Feed padding through the block machinery directly.
+  std::memcpy(buffer_.data() + buffer_len_, pad, std::min<std::size_t>(pad_len, 64 - buffer_len_));
+  if (buffer_len_ + pad_len >= 64) {
+    process_block(buffer_.data());
+    std::size_t remaining = buffer_len_ + pad_len - 64;
+    std::memset(buffer_.data(), 0, 64);
+    buffer_len_ = remaining;
+  } else {
+    buffer_len_ += pad_len;
+  }
+  for (int i = 0; i < 8; ++i) {
+    buffer_[buffer_len_ + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((bit_len >> (8 * i)) & 0xff);
+  }
+  process_block(buffer_.data());
+
+  std::array<std::uint8_t, 16> out{};
+  const std::uint32_t regs[4] = {a_, b_, c_, d_};
+  for (int r = 0; r < 4; ++r) {
+    for (int i = 0; i < 4; ++i) {
+      out[static_cast<std::size_t>(r * 4 + i)] =
+          static_cast<std::uint8_t>((regs[r] >> (8 * i)) & 0xff);
+    }
+  }
+  return out;
+}
+
+std::string Md5::hex_digest() {
+  const auto d = digest();
+  return to_hex(d);
+}
+
+std::string Md5::hex(std::span<const std::uint8_t> data) {
+  Md5 md5;
+  md5.update(data);
+  return md5.hex_digest();
+}
+
+std::string Md5::hex(std::string_view text) {
+  Md5 md5;
+  md5.update(text);
+  return md5.hex_digest();
+}
+
+namespace {
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto& table = crc_table();
+  for (std::uint8_t byte : data) {
+    c = table[(c ^ byte) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(std::string_view text) {
+  return crc32(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char ch : text) {
+    h ^= static_cast<std::uint8_t>(ch);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t byte : data) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t byte : data) {
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace gauge::util

@@ -1,0 +1,50 @@
+// From-scratch digests used by the pipeline: MD5 (model/weight uniqueness,
+// mirroring the paper's checksum methodology), CRC32 (ZIP entries) and
+// FNV-1a (cheap in-memory keys).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gauge::util {
+
+// Streaming MD5 (RFC 1321).
+class Md5 {
+ public:
+  Md5();
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view text);
+  // Finalises and returns the 16-byte digest. The object must not be
+  // updated afterwards.
+  std::array<std::uint8_t, 16> digest();
+  // Hex string of digest().
+  std::string hex_digest();
+
+  static std::string hex(std::span<const std::uint8_t> data);
+  static std::string hex(std::string_view text);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t a_, b_, c_, d_;
+  std::uint64_t total_len_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  bool finalized_ = false;
+};
+
+// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) as used by ZIP.
+std::uint32_t crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t seed = 0);
+std::uint32_t crc32(std::string_view text);
+
+std::uint64_t fnv1a64(std::string_view text);
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data);
+
+std::string to_hex(std::span<const std::uint8_t> data);
+
+}  // namespace gauge::util

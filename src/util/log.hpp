@@ -1,0 +1,21 @@
+// Minimal leveled logger. Default level is Warn so library code stays quiet
+// in tests and benches; examples flip it to Info.
+#pragma once
+
+#include <string>
+
+namespace gauge::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log(LogLevel level, const std::string& message);
+
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+
+}  // namespace gauge::util

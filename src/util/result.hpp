@@ -1,0 +1,81 @@
+// Result<T>: lightweight expected-style error channel for data-path failures
+// (malformed files, unsupported ops) where throwing would be noisy. Hard
+// programming errors still throw or assert.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gauge::util {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_{std::move(value)} {}  // NOLINT(google-explicit-constructor)
+
+  static Result failure(std::string message) {
+    Result r{Failure{}};
+    r.error_ = std::move(message);
+    return r;
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& take() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const std::string& error() const {
+    assert(!ok());
+    return error_;
+  }
+
+  // Monadic helper: apply `f` to the value, propagate the error otherwise.
+  template <typename F>
+  auto map(F&& f) const -> Result<decltype(f(std::declval<const T&>()))> {
+    using U = decltype(f(std::declval<const T&>()));
+    if (!ok()) return Result<U>::failure(error_);
+    return Result<U>{f(*value_)};
+  }
+
+ private:
+  struct Failure {};
+  explicit Result(Failure) {}
+
+  std::optional<T> value_;
+  std::string error_;
+};
+
+// Specialisation-free void flavour.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  static Status failure(std::string message) {
+    Status s;
+    s.error_ = std::move(message);
+    return s;
+  }
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  const std::string& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<std::string> error_;
+};
+
+}  // namespace gauge::util

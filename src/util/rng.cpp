@@ -1,0 +1,128 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "util/hash.hpp"
+
+namespace gauge::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  // Mix all four lanes with the stream id through splitmix to decorrelate.
+  std::uint64_t sm = s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^ rotl(s_[3], 47);
+  sm ^= 0xd1b54a32d192ed03ULL * (stream_id + 1);
+  return Rng{splitmix64(sm)};
+}
+
+Rng Rng::fork(const std::string& label) const { return fork(fnv1a64(label)); }
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? next_u64() : uniform_u64(span));
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+double Rng::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_normal_;
+  }
+  double u1 = 0.0;
+  while (u1 == 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_normal_ = mag * std::sin(2.0 * std::numbers::pi * u2);
+  has_spare_ = true;
+  return mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stdev) { return mean + stdev * normal(); }
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::pareto(double xm, double alpha) {
+  double u = 0.0;
+  while (u == 0.0) u = uniform();
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  assert(n > 0);
+  double total = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) total += 1.0 / std::pow(static_cast<double>(k), s);
+  double target = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), s);
+    if (acc >= target) return k;
+  }
+  return n;
+}
+
+std::size_t Rng::weighted_choice(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  double target = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (acc >= target) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace gauge::util

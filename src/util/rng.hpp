@@ -1,0 +1,69 @@
+// Deterministic PRNG used everywhere in the simulator. xoshiro256** seeded
+// via splitmix64; all distributions are implemented locally so results are
+// identical across standard libraries and platforms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gauge::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Derive an independent child stream (for per-app / per-model determinism
+  // that does not depend on generation order).
+  Rng fork(std::uint64_t stream_id) const;
+  Rng fork(const std::string& label) const;
+
+  std::uint64_t next_u64();
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t uniform_u64(std::uint64_t bound);
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  // Uniform in [0, 1).
+  double uniform();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  bool bernoulli(double p);
+  // Standard normal via Box-Muller (cached spare).
+  double normal();
+  double normal(double mean, double stdev);
+  // Log-normal with given log-space parameters.
+  double lognormal(double mu, double sigma);
+  // Pareto (power-law) with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha);
+  // Zipf-distributed rank in [1, n] with exponent s (simple inverse-CDF on a
+  // precomputed table is avoided; uses rejection-free cumulative scan for the
+  // small n we need).
+  std::size_t zipf(std::size_t n, double s);
+
+  // Pick an index according to non-negative weights (sum > 0).
+  std::size_t weighted_choice(const std::vector<double>& weights);
+
+  template <typename T>
+  const T& choice(const std::vector<T>& items) {
+    return items[uniform_u64(items.size())];
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    if (items.empty()) return;
+    for (std::size_t i = items.size() - 1; i > 0; --i) {
+      std::size_t j = uniform_u64(i + 1);
+      std::swap(items[i], items[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_ = false;
+};
+
+// splitmix64 step, exposed for seeding and hashing helpers.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace gauge::util

@@ -1,0 +1,199 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+namespace gauge::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double stdev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double percentile(std::vector<double> xs, double q) {
+  assert(q >= 0.0 && q <= 100.0);
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double pos = (q / 100.0) * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+double median(std::vector<double> xs) { return percentile(std::move(xs), 50.0); }
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.mean = mean(xs);
+  s.stdev = stdev(xs);
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  std::vector<double> copy(xs.begin(), xs.end());
+  s.median = percentile(copy, 50.0);
+  s.p25 = percentile(copy, 25.0);
+  s.p75 = percentile(copy, 75.0);
+  s.p95 = percentile(copy, 95.0);
+  return s;
+}
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) {
+    assert(x > 0.0);
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+Ecdf::Ecdf(std::vector<double> sample) : sorted_{std::move(sample)} {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (sorted_.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_.size() - 1) + 0.5);
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+std::vector<HistogramBin> histogram(std::span<const double> xs,
+                                    std::size_t bins) {
+  assert(bins > 0);
+  std::vector<HistogramBin> out(bins);
+  if (xs.empty()) return out;
+  const double lo = *std::min_element(xs.begin(), xs.end());
+  double hi = *std::max_element(xs.begin(), xs.end());
+  if (hi == lo) hi = lo + 1.0;
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    out[i].lo = lo + width * static_cast<double>(i);
+    out[i].hi = out[i].lo + width;
+  }
+  for (double x : xs) {
+    auto idx = static_cast<std::size_t>((x - lo) / width);
+    if (idx >= bins) idx = bins - 1;
+    out[idx].count++;
+  }
+  return out;
+}
+
+Kde::Kde(std::vector<double> sample, double bandwidth)
+    : sample_{std::move(sample)}, bandwidth_{bandwidth} {
+  if (bandwidth_ <= 0.0) {
+    // Silverman's rule of thumb.
+    const double sd = stdev(sample_);
+    const double n = static_cast<double>(std::max<std::size_t>(sample_.size(), 1));
+    bandwidth_ = 1.06 * (sd > 0 ? sd : 1.0) * std::pow(n, -0.2);
+  }
+}
+
+double Kde::operator()(double x) const {
+  if (sample_.empty()) return 0.0;
+  const double norm =
+      1.0 / (static_cast<double>(sample_.size()) * bandwidth_ *
+             std::sqrt(2.0 * std::numbers::pi));
+  double acc = 0.0;
+  for (double s : sample_) {
+    const double u = (x - s) / bandwidth_;
+    acc += std::exp(-0.5 * u * u);
+  }
+  return acc * norm;
+}
+
+std::vector<std::pair<double, double>> Kde::grid(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (sample_.empty() || points == 0) return out;
+  const double lo =
+      *std::min_element(sample_.begin(), sample_.end()) - 3.0 * bandwidth_;
+  const double hi =
+      *std::max_element(sample_.begin(), sample_.end()) + 3.0 * bandwidth_;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) /
+                 static_cast<double>(std::max<std::size_t>(points - 1, 1));
+    out.emplace_back(x, (*this)(x));
+  }
+  return out;
+}
+
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  LineFit fit;
+  const auto n = static_cast<double>(xs.size());
+  if (xs.size() < 2) return fit;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  (void)n;
+  return fit;
+}
+
+double correlation(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> drop_iqr_outliers(std::vector<double> xs) {
+  if (xs.size() < 4) return xs;
+  std::vector<double> copy = xs;
+  const double q1 = percentile(copy, 25.0);
+  const double q3 = percentile(copy, 75.0);
+  const double iqr = q3 - q1;
+  const double lo = q1 - 1.5 * iqr;
+  const double hi = q3 + 1.5 * iqr;
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) {
+    if (x >= lo && x <= hi) out.push_back(x);
+  }
+  return out;
+}
+
+}  // namespace gauge::util

@@ -1,0 +1,88 @@
+// Statistics toolbox used by the analysis and reporting layers: summary
+// moments, percentiles, ECDF, histograms, Gaussian KDE (for the Fig. 10
+// density lines) and least-squares line fits (Fig. 8).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gauge::util {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stdev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+};
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // population variance
+double stdev(std::span<const double> xs);
+// Linear-interpolated percentile, q in [0, 100].
+double percentile(std::vector<double> xs, double q);
+double median(std::vector<double> xs);
+Summary summarize(std::span<const double> xs);
+
+// Geometric mean of strictly positive values.
+double geomean(std::span<const double> xs);
+
+// Empirical CDF over a sample. Evaluation is O(log n).
+class Ecdf {
+ public:
+  explicit Ecdf(std::vector<double> sample);
+  // P(X <= x)
+  double operator()(double x) const;
+  // Inverse CDF (quantile), q in [0, 1].
+  double quantile(double q) const;
+  const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+struct HistogramBin {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::size_t count = 0;
+};
+
+std::vector<HistogramBin> histogram(std::span<const double> xs,
+                                    std::size_t bins);
+
+// Gaussian kernel density estimate. Bandwidth defaults to Silverman's rule.
+class Kde {
+ public:
+  explicit Kde(std::vector<double> sample, double bandwidth = 0.0);
+  double operator()(double x) const;
+  double bandwidth() const { return bandwidth_; }
+  // Evaluate on a uniform grid spanning [min - 3h, max + 3h].
+  std::vector<std::pair<double, double>> grid(std::size_t points) const;
+
+ private:
+  std::vector<double> sample_;
+  double bandwidth_;
+};
+
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+// Pearson correlation coefficient.
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+// Remove points outside [Q1 - 1.5 IQR, Q3 + 1.5 IQR] (Fig. 10c "after
+// removing outliers").
+std::vector<double> drop_iqr_outliers(std::vector<double> xs);
+
+}  // namespace gauge::util

@@ -1,0 +1,37 @@
+// Small string helpers shared across parsers and report printers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gauge::util {
+
+std::vector<std::string> split(std::string_view text, char sep);
+// Split on any whitespace run, dropping empty tokens.
+std::vector<std::string> split_ws(std::string_view text);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+std::string_view trim(std::string_view text);
+std::string to_lower(std::string_view text);
+bool contains_ci(std::string_view haystack, std::string_view needle);
+
+std::optional<std::int64_t> parse_int(std::string_view text);
+std::optional<double> parse_double(std::string_view text);
+
+// File-path helpers (apks store forward-slash paths).
+std::string_view basename(std::string_view path);
+// Extension including the leading dot, lowercased ("model.TFLITE" -> ".tflite").
+// Recognises selected double extensions used by model formats
+// (".pth.tar", ".cfg.ncnn", ".weights.ncnn").
+std::string extension(std::string_view path);
+
+// printf-style formatting into std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Human-readable quantities for reports.
+std::string human_count(double value);   // 1.2K / 3.4M / 5.6G
+std::string human_bytes(std::uint64_t bytes);
+
+}  // namespace gauge::util

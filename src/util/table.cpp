@@ -1,0 +1,86 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace gauge::util {
+
+Table::Table(std::vector<std::string> header) : header_{std::move(header)} {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  return format("%.*f", precision, value);
+}
+
+std::string Table::pct(double fraction, int precision) {
+  return format("%.*f%%", precision, fraction * 100.0);
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto rule = [&] {
+    std::string out = "+";
+    for (std::size_t w : widths) out += std::string(w + 2, '-') + "+";
+    out += "\n";
+    return out;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string out = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') + " |";
+    }
+    out += "\n";
+    return out;
+  };
+  std::string out = rule() + line(header_) + rule();
+  for (const auto& row : rows_) out += line(row);
+  out += rule();
+  return out;
+}
+
+std::string Table::to_csv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += "\"";
+    return out;
+  };
+  std::string out;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c > 0) out += ",";
+    out += escape(header_[c]);
+  }
+  out += "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ",";
+      out += escape(row[c]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void print_section(const std::string& title, const std::string& body) {
+  std::printf("\n== %s ==\n%s", title.c_str(), body.c_str());
+  if (body.empty() || body.back() != '\n') std::printf("\n");
+}
+
+}  // namespace gauge::util

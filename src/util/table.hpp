@@ -1,0 +1,32 @@
+// ASCII table and CSV renderers used by every bench binary to print the
+// paper's rows/series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gauge::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  // Convenience: format doubles with the given precision.
+  static std::string num(double value, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+  std::string render() const;   // boxed ASCII table
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// A titled section printer used by benches: prints "== title ==" then body.
+void print_section(const std::string& title, const std::string& body);
+
+}  // namespace gauge::util

@@ -1,0 +1,723 @@
+#include "zipfile/deflate.hpp"
+
+#include <array>
+#include <cassert>
+#include <cstring>
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace gauge::zipfile {
+
+namespace {
+
+// ---------------------------------------------------------------- bit I/O
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_{data} {}
+
+  // Read `n` bits LSB-first. Returns false on underrun.
+  bool read(std::uint32_t n, std::uint32_t& out) {
+    while (bit_count_ < n) {
+      if (byte_pos_ >= data_.size()) return false;
+      bit_buf_ |= static_cast<std::uint64_t>(data_[byte_pos_++]) << bit_count_;
+      bit_count_ += 8;
+    }
+    out = static_cast<std::uint32_t>(bit_buf_ & ((1ull << n) - 1));
+    bit_buf_ >>= n;
+    bit_count_ -= n;
+    return true;
+  }
+
+  bool read_bit(std::uint32_t& out) { return read(1, out); }
+
+  // Discard bits up to the next byte boundary (stored blocks).
+  void align() {
+    const std::uint32_t drop = bit_count_ % 8;
+    bit_buf_ >>= drop;
+    bit_count_ -= drop;
+  }
+
+  bool read_bytes(std::size_t n, std::span<const std::uint8_t>& out) {
+    assert(bit_count_ % 8 == 0);
+    // Return buffered whole bytes first — simpler to just rewind.
+    while (bit_count_ >= 8) {
+      bit_count_ -= 8;
+      --byte_pos_;
+    }
+    bit_buf_ = 0;
+    bit_count_ = 0;
+    if (byte_pos_ + n > data_.size()) return false;
+    out = data_.subspan(byte_pos_, n);
+    byte_pos_ += n;
+    return true;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t byte_pos_ = 0;
+  std::uint64_t bit_buf_ = 0;
+  std::uint32_t bit_count_ = 0;
+};
+
+class BitWriter {
+ public:
+  // Write `n` bits of `value` LSB-first.
+  void write(std::uint32_t value, std::uint32_t n) {
+    bit_buf_ |= static_cast<std::uint64_t>(value & ((1ull << n) - 1)) << bit_count_;
+    bit_count_ += n;
+    while (bit_count_ >= 8) {
+      out_.push_back(static_cast<std::uint8_t>(bit_buf_ & 0xff));
+      bit_buf_ >>= 8;
+      bit_count_ -= 8;
+    }
+  }
+
+  // Huffman codes are emitted MSB of the code first.
+  void write_huff(std::uint32_t code, std::uint32_t len) {
+    std::uint32_t reversed = 0;
+    for (std::uint32_t i = 0; i < len; ++i) {
+      reversed = (reversed << 1) | ((code >> i) & 1);
+    }
+    write(reversed, len);
+  }
+
+  util::Bytes finish() {
+    if (bit_count_ > 0) {
+      out_.push_back(static_cast<std::uint8_t>(bit_buf_ & 0xff));
+      bit_buf_ = 0;
+      bit_count_ = 0;
+    }
+    return std::move(out_);
+  }
+
+ private:
+  util::Bytes out_;
+  std::uint64_t bit_buf_ = 0;
+  std::uint32_t bit_count_ = 0;
+};
+
+// ----------------------------------------------------- Huffman decoding
+
+// Canonical Huffman decoder built from code lengths. Decodes bit-by-bit,
+// which is plenty fast for our payload sizes and keeps the code auditable.
+class HuffmanDecoder {
+ public:
+  bool init(std::span<const std::uint8_t> lengths) {
+    constexpr int kMaxBits = 15;
+    std::array<std::uint32_t, kMaxBits + 1> bl_count{};
+    for (std::uint8_t len : lengths) {
+      if (len > kMaxBits) return false;
+      bl_count[len]++;
+    }
+    bl_count[0] = 0;
+    std::array<std::uint32_t, kMaxBits + 1> next_code{};
+    std::uint32_t code = 0;
+    for (int bits = 1; bits <= kMaxBits; ++bits) {
+      code = (code + bl_count[bits - 1]) << 1;
+      next_code[bits] = code;
+    }
+    first_code_.fill(0);
+    first_symbol_.fill(0);
+    symbols_.clear();
+    symbols_.resize(lengths.size(), 0);
+    // Order symbols canonically: by length then by symbol value.
+    std::array<std::uint32_t, kMaxBits + 1> offs{};
+    std::uint32_t total = 0;
+    for (int bits = 1; bits <= kMaxBits; ++bits) {
+      first_code_[bits] = next_code[bits];
+      first_symbol_[bits] = total;
+      offs[bits] = total;
+      total += bl_count[bits];
+    }
+    count_ = bl_count;
+    for (std::uint32_t sym = 0; sym < lengths.size(); ++sym) {
+      if (lengths[sym] != 0) symbols_[offs[lengths[sym]]++] = sym;
+    }
+    symbols_.resize(total);
+    return total > 0;
+  }
+
+  bool decode(BitReader& in, std::uint32_t& symbol) const {
+    std::uint32_t code = 0;
+    for (int bits = 1; bits <= 15; ++bits) {
+      std::uint32_t bit;
+      if (!in.read_bit(bit)) return false;
+      code = (code << 1) | bit;
+      const std::uint32_t count = count_[bits];
+      if (count != 0 && code < first_code_[bits] + count) {
+        symbol = symbols_[first_symbol_[bits] + (code - first_code_[bits])];
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::array<std::uint32_t, 16> first_code_{};
+  std::array<std::uint32_t, 16> first_symbol_{};
+  std::array<std::uint32_t, 16> count_{};
+  std::vector<std::uint32_t> symbols_;
+};
+
+// Length/distance tables (RFC 1951 §3.2.5).
+constexpr std::array<std::uint16_t, 29> kLenBase = {
+    3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19,  23, 27,
+    31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::array<std::uint8_t, 29> kLenExtra = {
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2,
+    2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+constexpr std::array<std::uint16_t, 30> kDistBase = {
+    1,    2,    3,    4,    5,    7,     9,     13,    17,   25,
+    33,   49,   65,   97,   129,  193,   257,   385,   513,  769,
+    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+constexpr std::array<std::uint8_t, 30> kDistExtra = {
+    0, 0, 0, 0, 1, 1, 2, 2,  3,  3,  4,  4,  5,  5,  6,
+    6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+void fixed_literal_lengths(std::array<std::uint8_t, 288>& lengths) {
+  for (int i = 0; i <= 143; ++i) lengths[i] = 8;
+  for (int i = 144; i <= 255; ++i) lengths[i] = 9;
+  for (int i = 256; i <= 279; ++i) lengths[i] = 7;
+  for (int i = 280; i <= 287; ++i) lengths[i] = 8;
+}
+
+bool inflate_block(BitReader& in, const HuffmanDecoder& lit,
+                   const HuffmanDecoder& dist, util::Bytes& out,
+                   std::size_t max_output) {
+  for (;;) {
+    std::uint32_t symbol;
+    if (!lit.decode(in, symbol)) return false;
+    if (symbol == 256) return true;  // end of block
+    if (symbol < 256) {
+      if (out.size() >= max_output) return false;
+      out.push_back(static_cast<std::uint8_t>(symbol));
+      continue;
+    }
+    if (symbol > 285) return false;
+    const std::uint32_t len_idx = symbol - 257;
+    std::uint32_t extra;
+    if (!in.read(kLenExtra[len_idx], extra)) return false;
+    const std::uint32_t length = kLenBase[len_idx] + extra;
+    std::uint32_t dsym;
+    if (!dist.decode(in, dsym)) return false;
+    if (dsym > 29) return false;
+    if (!in.read(kDistExtra[dsym], extra)) return false;
+    const std::uint32_t distance = kDistBase[dsym] + extra;
+    if (distance > out.size()) return false;
+    if (out.size() + length > max_output) return false;
+    const std::size_t start = out.size() - distance;
+    for (std::uint32_t i = 0; i < length; ++i) {
+      out.push_back(out[start + i]);  // may overlap, byte-by-byte is correct
+    }
+  }
+}
+
+}  // namespace
+
+util::Result<util::Bytes> inflate(std::span<const std::uint8_t> compressed,
+                                  std::size_t max_output) {
+  BitReader in{compressed};
+  util::Bytes out;
+  for (;;) {
+    std::uint32_t bfinal, btype;
+    if (!in.read(1, bfinal)) return util::Result<util::Bytes>::failure("truncated header");
+    if (!in.read(2, btype)) return util::Result<util::Bytes>::failure("truncated header");
+    if (btype == 0) {
+      in.align();
+      std::span<const std::uint8_t> hdr;
+      if (!in.read_bytes(4, hdr)) return util::Result<util::Bytes>::failure("truncated stored header");
+      const std::uint16_t len = static_cast<std::uint16_t>(hdr[0] | (hdr[1] << 8));
+      const std::uint16_t nlen = static_cast<std::uint16_t>(hdr[2] | (hdr[3] << 8));
+      if (static_cast<std::uint16_t>(~len) != nlen) {
+        return util::Result<util::Bytes>::failure("stored block LEN/NLEN mismatch");
+      }
+      std::span<const std::uint8_t> body;
+      if (!in.read_bytes(len, body)) return util::Result<util::Bytes>::failure("truncated stored block");
+      if (out.size() + len > max_output) return util::Result<util::Bytes>::failure("output too large");
+      out.insert(out.end(), body.begin(), body.end());
+    } else if (btype == 1) {
+      std::array<std::uint8_t, 288> lit_lengths;
+      fixed_literal_lengths(lit_lengths);
+      std::array<std::uint8_t, 30> dist_lengths;
+      dist_lengths.fill(5);
+      HuffmanDecoder lit, dist;
+      if (!lit.init(lit_lengths) || !dist.init(dist_lengths)) {
+        return util::Result<util::Bytes>::failure("bad fixed tables");
+      }
+      if (!inflate_block(in, lit, dist, out, max_output)) {
+        return util::Result<util::Bytes>::failure("corrupt fixed block");
+      }
+    } else if (btype == 2) {
+      std::uint32_t hlit, hdist, hclen;
+      if (!in.read(5, hlit) || !in.read(5, hdist) || !in.read(4, hclen)) {
+        return util::Result<util::Bytes>::failure("truncated dynamic header");
+      }
+      static constexpr std::array<std::uint8_t, 19> kClOrder = {
+          16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15};
+      std::array<std::uint8_t, 19> cl_lengths{};
+      for (std::uint32_t i = 0; i < hclen + 4; ++i) {
+        std::uint32_t v;
+        if (!in.read(3, v)) return util::Result<util::Bytes>::failure("truncated code lengths");
+        cl_lengths[kClOrder[i]] = static_cast<std::uint8_t>(v);
+      }
+      HuffmanDecoder cl;
+      if (!cl.init(cl_lengths)) return util::Result<util::Bytes>::failure("bad CL table");
+      const std::uint32_t total = (hlit + 257) + (hdist + 1);
+      std::vector<std::uint8_t> lengths;
+      lengths.reserve(total);
+      while (lengths.size() < total) {
+        std::uint32_t sym;
+        if (!cl.decode(in, sym)) return util::Result<util::Bytes>::failure("corrupt CL stream");
+        if (sym < 16) {
+          lengths.push_back(static_cast<std::uint8_t>(sym));
+        } else if (sym == 16) {
+          std::uint32_t rep;
+          if (!in.read(2, rep) || lengths.empty()) {
+            return util::Result<util::Bytes>::failure("bad repeat");
+          }
+          const std::uint8_t prev = lengths.back();
+          for (std::uint32_t i = 0; i < rep + 3; ++i) lengths.push_back(prev);
+        } else if (sym == 17) {
+          std::uint32_t rep;
+          if (!in.read(3, rep)) return util::Result<util::Bytes>::failure("bad zero repeat");
+          for (std::uint32_t i = 0; i < rep + 3; ++i) lengths.push_back(0);
+        } else {
+          std::uint32_t rep;
+          if (!in.read(7, rep)) return util::Result<util::Bytes>::failure("bad zero repeat");
+          for (std::uint32_t i = 0; i < rep + 11; ++i) lengths.push_back(0);
+        }
+      }
+      if (lengths.size() != total) return util::Result<util::Bytes>::failure("length overflow");
+      HuffmanDecoder lit, dist;
+      const std::span<const std::uint8_t> all{lengths};
+      if (!lit.init(all.subspan(0, hlit + 257)) ||
+          !dist.init(all.subspan(hlit + 257))) {
+        return util::Result<util::Bytes>::failure("bad dynamic tables");
+      }
+      if (!inflate_block(in, lit, dist, out, max_output)) {
+        return util::Result<util::Bytes>::failure("corrupt dynamic block");
+      }
+    } else {
+      return util::Result<util::Bytes>::failure("reserved block type");
+    }
+    if (bfinal) break;
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ compressor
+
+namespace {
+
+struct FixedCode {
+  std::uint32_t code;
+  std::uint32_t bits;
+};
+
+FixedCode fixed_literal_code(std::uint32_t symbol) {
+  if (symbol <= 143) return {0x30 + symbol, 8};
+  if (symbol <= 255) return {0x190 + (symbol - 144), 9};
+  if (symbol <= 279) return {symbol - 256, 7};
+  return {0xC0 + (symbol - 280), 8};
+}
+
+// One LZ77 token: a literal byte or a (length, distance) back-reference.
+struct Token {
+  bool is_match = false;
+  std::uint8_t literal = 0;
+  std::uint16_t length = 0;
+  std::uint16_t distance = 0;
+};
+
+std::uint32_t length_symbol(std::uint32_t length, std::uint32_t& extra,
+                            std::uint32_t& extra_bits) {
+  for (std::uint32_t i = kLenBase.size(); i-- > 0;) {
+    if (length >= kLenBase[i]) {
+      extra = length - kLenBase[i];
+      extra_bits = kLenExtra[i];
+      return 257 + i;
+    }
+  }
+  extra = 0;
+  extra_bits = 0;
+  return 257;
+}
+
+std::uint32_t distance_symbol(std::uint32_t distance, std::uint32_t& extra,
+                              std::uint32_t& extra_bits) {
+  for (std::uint32_t i = kDistBase.size(); i-- > 0;) {
+    if (distance >= kDistBase[i]) {
+      extra = distance - kDistBase[i];
+      extra_bits = kDistExtra[i];
+      return i;
+    }
+  }
+  extra = 0;
+  extra_bits = 0;
+  return 0;
+}
+
+constexpr std::size_t kWindow = 32768;
+constexpr std::uint32_t kMinMatch = 3;
+constexpr std::uint32_t kMaxMatch = 258;
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kHashSize = 1 << kHashBits;
+constexpr int kMaxChain = 64;
+
+std::uint32_t hash3(const std::uint8_t* p) {
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+
+// Greedy LZ77 pass producing the token stream both entropy coders share.
+std::vector<Token> lz77_tokenize(std::span<const std::uint8_t> raw) {
+  std::vector<Token> tokens;
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> prev(raw.size(), -1);
+
+  std::size_t pos = 0;
+  while (pos < raw.size()) {
+    std::uint32_t best_len = 0;
+    std::size_t best_dist = 0;
+    if (pos + kMinMatch <= raw.size()) {
+      const std::uint32_t h = hash3(raw.data() + pos);
+      std::int64_t cand = head[h];
+      int chain = kMaxChain;
+      while (cand >= 0 && chain-- > 0 &&
+             pos - static_cast<std::size_t>(cand) <= kWindow) {
+        const auto cpos = static_cast<std::size_t>(cand);
+        const std::uint32_t limit = static_cast<std::uint32_t>(
+            std::min<std::size_t>(kMaxMatch, raw.size() - pos));
+        std::uint32_t len = 0;
+        while (len < limit && raw[cpos + len] == raw[pos + len]) ++len;
+        if (len >= kMinMatch && len > best_len) {
+          best_len = len;
+          best_dist = pos - cpos;
+          if (len == kMaxMatch) break;
+        }
+        cand = prev[cpos];
+      }
+      prev[pos] = head[h];
+      head[h] = static_cast<std::int64_t>(pos);
+    }
+
+    if (best_len >= kMinMatch) {
+      Token token;
+      token.is_match = true;
+      token.length = static_cast<std::uint16_t>(best_len);
+      token.distance = static_cast<std::uint16_t>(best_dist);
+      tokens.push_back(token);
+      for (std::size_t i = 1; i < best_len && pos + i + kMinMatch <= raw.size();
+           ++i) {
+        const std::uint32_t h = hash3(raw.data() + pos + i);
+        prev[pos + i] = head[h];
+        head[h] = static_cast<std::int64_t>(pos + i);
+      }
+      pos += best_len;
+    } else {
+      Token token;
+      token.literal = raw[pos];
+      tokens.push_back(token);
+      ++pos;
+    }
+  }
+  return tokens;
+}
+
+// ------------------------------------------ Huffman code construction
+
+// Length-limited canonical Huffman: plain Huffman depths via pairing, then
+// zlib-style overflow redistribution into `max_bits`, then lengths
+// re-assigned shortest-first to the most frequent symbols (Kraft holds by
+// construction of the per-length counts).
+std::vector<std::uint8_t> build_code_lengths(
+    const std::vector<std::uint64_t>& freq, int max_bits) {
+  const std::size_t n = freq.size();
+  std::vector<std::uint8_t> lengths(n, 0);
+  std::vector<std::size_t> live;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (freq[s] > 0) live.push_back(s);
+  }
+  if (live.empty()) return lengths;
+  if (live.size() == 1) {
+    lengths[live[0]] = 1;  // DEFLATE needs at least a 1-bit code
+    return lengths;
+  }
+
+  struct Node {
+    std::uint64_t weight;
+    int left = -1, right = -1;
+  };
+  std::vector<Node> nodes;
+  using HeapItem = std::pair<std::uint64_t, int>;  // (weight, node index)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (std::size_t s : live) {
+    nodes.push_back({freq[s], -1, -1});
+    heap.emplace(freq[s], static_cast<int>(nodes.size() - 1));
+  }
+  while (heap.size() > 1) {
+    const auto [wa, a] = heap.top();
+    heap.pop();
+    const auto [wb, b] = heap.top();
+    heap.pop();
+    nodes.push_back({wa + wb, a, b});
+    heap.emplace(wa + wb, static_cast<int>(nodes.size() - 1));
+  }
+
+  // Iterative depth walk; leaf depths become preliminary code lengths.
+  std::vector<std::uint32_t> bl_count(64, 0);
+  int max_seen = 0;
+  std::vector<std::pair<int, int>> stack{
+      {static_cast<int>(nodes.size() - 1), 0}};
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& node = nodes[static_cast<std::size_t>(idx)];
+    if (node.left < 0) {
+      const int d = std::min(std::max(depth, 1), 63);
+      bl_count[static_cast<std::size_t>(d)]++;
+      max_seen = std::max(max_seen, d);
+      continue;
+    }
+    stack.emplace_back(node.left, depth + 1);
+    stack.emplace_back(node.right, depth + 1);
+  }
+
+  // Clamp to max_bits (zlib's overflow loop): fold deep leaves into
+  // max_bits, then repair Kraft by demoting shallower leaves.
+  if (max_seen > max_bits) {
+    std::uint32_t overflow = 0;
+    for (int bits = max_bits + 1; bits <= max_seen; ++bits) {
+      overflow += bl_count[static_cast<std::size_t>(bits)];
+      bl_count[static_cast<std::size_t>(max_bits)] +=
+          bl_count[static_cast<std::size_t>(bits)];
+      bl_count[static_cast<std::size_t>(bits)] = 0;
+    }
+    while (overflow > 0) {
+      int bits = max_bits - 1;
+      while (bl_count[static_cast<std::size_t>(bits)] == 0) --bits;
+      bl_count[static_cast<std::size_t>(bits)]--;
+      bl_count[static_cast<std::size_t>(bits + 1)] += 2;
+      bl_count[static_cast<std::size_t>(max_bits)]--;
+      overflow -= 2;
+    }
+  }
+
+  // Most frequent symbols take the shortest codes.
+  std::sort(live.begin(), live.end(), [&](std::size_t a, std::size_t b) {
+    if (freq[a] != freq[b]) return freq[a] > freq[b];
+    return a < b;
+  });
+  std::size_t next = 0;
+  for (int bits = 1; bits <= max_bits; ++bits) {
+    for (std::uint32_t k = 0; k < bl_count[static_cast<std::size_t>(bits)];
+         ++k) {
+      lengths[live[next++]] = static_cast<std::uint8_t>(bits);
+    }
+  }
+  return lengths;
+}
+
+// Canonical codes from lengths (RFC 1951 section 3.2.2).
+std::vector<std::uint32_t> canonical_codes(
+    const std::vector<std::uint8_t>& lengths) {
+  std::array<std::uint32_t, 16> bl_count{};
+  for (std::uint8_t len : lengths) bl_count[len]++;
+  bl_count[0] = 0;
+  std::array<std::uint32_t, 16> next_code{};
+  std::uint32_t code = 0;
+  for (int bits = 1; bits <= 15; ++bits) {
+    code = (code + bl_count[static_cast<std::size_t>(bits - 1)]) << 1;
+    next_code[static_cast<std::size_t>(bits)] = code;
+  }
+  std::vector<std::uint32_t> codes(lengths.size(), 0);
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    if (lengths[s] != 0) codes[s] = next_code[lengths[s]]++;
+  }
+  return codes;
+}
+
+// ------------------------------------------------- token stream encoders
+
+void emit_tokens(BitWriter& out, const std::vector<Token>& tokens,
+                 const std::vector<std::uint8_t>& lit_lengths,
+                 const std::vector<std::uint32_t>& lit_codes,
+                 const std::vector<std::uint8_t>& dist_lengths,
+                 const std::vector<std::uint32_t>& dist_codes) {
+  for (const Token& token : tokens) {
+    if (!token.is_match) {
+      out.write_huff(lit_codes[token.literal], lit_lengths[token.literal]);
+      continue;
+    }
+    std::uint32_t extra, extra_bits;
+    const std::uint32_t lsym = length_symbol(token.length, extra, extra_bits);
+    out.write_huff(lit_codes[lsym], lit_lengths[lsym]);
+    if (extra_bits) out.write(extra, extra_bits);
+    std::uint32_t dextra, dextra_bits;
+    const std::uint32_t dsym =
+        distance_symbol(token.distance, dextra, dextra_bits);
+    out.write_huff(dist_codes[dsym], dist_lengths[dsym]);
+    if (dextra_bits) out.write(dextra, dextra_bits);
+  }
+  out.write_huff(lit_codes[256], lit_lengths[256]);
+}
+
+util::Bytes encode_fixed(const std::vector<Token>& tokens) {
+  std::vector<std::uint8_t> lit_lengths(288);
+  std::vector<std::uint32_t> lit_codes(288);
+  for (std::uint32_t s = 0; s < 288; ++s) {
+    const FixedCode c = fixed_literal_code(s);
+    lit_lengths[s] = static_cast<std::uint8_t>(c.bits);
+    lit_codes[s] = c.code;
+  }
+  std::vector<std::uint8_t> dist_lengths(30, 5);
+  std::vector<std::uint32_t> dist_codes(30);
+  for (std::uint32_t s = 0; s < 30; ++s) dist_codes[s] = s;
+
+  BitWriter out;
+  out.write(1, 1);  // BFINAL
+  out.write(1, 2);  // BTYPE = fixed
+  emit_tokens(out, tokens, lit_lengths, lit_codes, dist_lengths, dist_codes);
+  return out.finish();
+}
+
+// RLE of the concatenated code-length vector using the 16/17/18 alphabet.
+struct ClSymbol {
+  std::uint8_t symbol;
+  std::uint8_t extra;       // repeat payload
+  std::uint8_t extra_bits;  // 0, 2, 3 or 7
+};
+
+std::vector<ClSymbol> rle_code_lengths(
+    const std::vector<std::uint8_t>& lengths) {
+  std::vector<ClSymbol> out;
+  std::size_t i = 0;
+  while (i < lengths.size()) {
+    const std::uint8_t len = lengths[i];
+    std::size_t run = 1;
+    while (i + run < lengths.size() && lengths[i + run] == len) ++run;
+    if (len == 0) {
+      while (run >= 11) {
+        const auto take =
+            static_cast<std::uint8_t>(std::min<std::size_t>(run, 138));
+        out.push_back({18, static_cast<std::uint8_t>(take - 11), 7});
+        run -= take;
+        i += take;
+      }
+      if (run >= 3) {
+        out.push_back({17, static_cast<std::uint8_t>(run - 3), 3});
+        i += run;
+        run = 0;
+      }
+      for (; run > 0; --run, ++i) out.push_back({0, 0, 0});
+    } else {
+      out.push_back({len, 0, 0});
+      ++i;
+      --run;
+      while (run >= 3) {
+        const auto take =
+            static_cast<std::uint8_t>(std::min<std::size_t>(run, 6));
+        out.push_back({16, static_cast<std::uint8_t>(take - 3), 2});
+        run -= take;
+        i += take;
+      }
+      for (; run > 0; --run, ++i) out.push_back({len, 0, 0});
+    }
+  }
+  return out;
+}
+
+util::Bytes encode_dynamic(const std::vector<Token>& tokens) {
+  std::vector<std::uint64_t> lit_freq(288, 0);
+  std::vector<std::uint64_t> dist_freq(30, 0);
+  lit_freq[256] = 1;  // end-of-block
+  for (const Token& token : tokens) {
+    if (!token.is_match) {
+      lit_freq[token.literal]++;
+      continue;
+    }
+    std::uint32_t extra, extra_bits;
+    lit_freq[length_symbol(token.length, extra, extra_bits)]++;
+    dist_freq[distance_symbol(token.distance, extra, extra_bits)]++;
+  }
+  // Keep both trees decodable even for degenerate streams: at least two
+  // distance codes and two literal codes.
+  if (std::count_if(dist_freq.begin(), dist_freq.end(),
+                    [](std::uint64_t f) { return f > 0; }) < 2) {
+    dist_freq[0] = std::max<std::uint64_t>(dist_freq[0], 1);
+    dist_freq[1] = std::max<std::uint64_t>(dist_freq[1], 1);
+  }
+  if (std::count_if(lit_freq.begin(), lit_freq.end(),
+                    [](std::uint64_t f) { return f > 0; }) < 2) {
+    lit_freq[0] = std::max<std::uint64_t>(lit_freq[0], 1);
+  }
+
+  const auto lit_lengths = build_code_lengths(lit_freq, 15);
+  const auto dist_lengths = build_code_lengths(dist_freq, 15);
+  const auto lit_codes = canonical_codes(lit_lengths);
+  const auto dist_codes = canonical_codes(dist_lengths);
+
+  // Trim trailing zero lengths (HLIT >= 257, HDIST >= 1).
+  std::size_t hlit = 288;
+  while (hlit > 257 && lit_lengths[hlit - 1] == 0) --hlit;
+  std::size_t hdist = 30;
+  while (hdist > 1 && dist_lengths[hdist - 1] == 0) --hdist;
+
+  std::vector<std::uint8_t> all_lengths(
+      lit_lengths.begin(),
+      lit_lengths.begin() + static_cast<std::ptrdiff_t>(hlit));
+  all_lengths.insert(
+      all_lengths.end(), dist_lengths.begin(),
+      dist_lengths.begin() + static_cast<std::ptrdiff_t>(hdist));
+  const auto cl_symbols = rle_code_lengths(all_lengths);
+
+  std::vector<std::uint64_t> cl_freq(19, 0);
+  for (const auto& s : cl_symbols) cl_freq[s.symbol]++;
+  const auto cl_lengths = build_code_lengths(cl_freq, 7);
+  const auto cl_codes = canonical_codes(cl_lengths);
+
+  static constexpr std::array<std::uint8_t, 19> kClOrder = {
+      16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15};
+  std::size_t hclen = 19;
+  while (hclen > 4 && cl_lengths[kClOrder[hclen - 1]] == 0) --hclen;
+
+  BitWriter out;
+  out.write(1, 1);  // BFINAL
+  out.write(2, 2);  // BTYPE = dynamic
+  out.write(static_cast<std::uint32_t>(hlit - 257), 5);
+  out.write(static_cast<std::uint32_t>(hdist - 1), 5);
+  out.write(static_cast<std::uint32_t>(hclen - 4), 4);
+  for (std::size_t i = 0; i < hclen; ++i) {
+    out.write(cl_lengths[kClOrder[i]], 3);
+  }
+  for (const auto& s : cl_symbols) {
+    out.write_huff(cl_codes[s.symbol], cl_lengths[s.symbol]);
+    if (s.extra_bits) out.write(s.extra, s.extra_bits);
+  }
+  emit_tokens(out, tokens, lit_lengths, lit_codes, dist_lengths, dist_codes);
+  return out.finish();
+}
+
+}  // namespace
+
+util::Bytes deflate_fixed(std::span<const std::uint8_t> raw) {
+  return encode_fixed(lz77_tokenize(raw));
+}
+
+util::Bytes deflate_dynamic(std::span<const std::uint8_t> raw) {
+  return encode_dynamic(lz77_tokenize(raw));
+}
+
+util::Bytes deflate(std::span<const std::uint8_t> raw) {
+  const auto tokens = lz77_tokenize(raw);
+  auto fixed = encode_fixed(tokens);
+  auto dynamic = encode_dynamic(tokens);
+  return dynamic.size() < fixed.size() ? std::move(dynamic) : std::move(fixed);
+}
+
+}  // namespace gauge::zipfile

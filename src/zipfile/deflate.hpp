@@ -1,0 +1,27 @@
+// Raw DEFLATE (RFC 1951) implemented from scratch.
+//
+// - inflate(): full decompressor (stored, fixed-Huffman and dynamic-Huffman
+//   blocks) — every APK/OBB entry the pipeline extracts goes through this.
+// - deflate(): compressor with greedy LZ77 matching over hash chains; the
+//   token stream is entropy-coded twice — fixed-Huffman and dynamic-Huffman
+//   (frequency-derived, length-limited canonical codes) — and the smaller
+//   encoding wins, as zlib does per block.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace gauge::zipfile {
+
+util::Result<util::Bytes> inflate(std::span<const std::uint8_t> compressed,
+                                  std::size_t max_output = 1ull << 31);
+
+util::Bytes deflate(std::span<const std::uint8_t> raw);
+
+// Single-strategy encoders, exposed for tests and size ablations.
+util::Bytes deflate_fixed(std::span<const std::uint8_t> raw);
+util::Bytes deflate_dynamic(std::span<const std::uint8_t> raw);
+
+}  // namespace gauge::zipfile

@@ -1,0 +1,218 @@
+#include "zipfile/zip.hpp"
+
+#include <algorithm>
+
+#include "util/hash.hpp"
+#include "zipfile/deflate.hpp"
+
+namespace gauge::zipfile {
+
+namespace {
+constexpr std::uint32_t kLocalHeaderSig = 0x04034b50;
+constexpr std::uint32_t kCentralDirSig = 0x02014b50;
+constexpr std::uint32_t kEocdSig = 0x06054b50;
+constexpr std::uint16_t kVersion = 20;
+}  // namespace
+
+void ZipWriter::add(std::string name, std::span<const std::uint8_t> data,
+                    std::optional<Method> force_method) {
+  PendingEntry entry;
+  entry.info.name = std::move(name);
+  entry.info.crc32 = util::crc32(data);
+  entry.info.uncompressed_size = static_cast<std::uint32_t>(data.size());
+
+  const bool try_deflate =
+      !force_method.has_value() || *force_method == Method::Deflate;
+  util::Bytes deflated;
+  if (try_deflate) deflated = deflate(data);
+
+  const bool use_deflate =
+      force_method.has_value()
+          ? *force_method == Method::Deflate
+          : deflated.size() < data.size();
+  if (use_deflate) {
+    entry.info.method = Method::Deflate;
+    entry.compressed = std::move(deflated);
+  } else {
+    entry.info.method = Method::Store;
+    entry.compressed.assign(data.begin(), data.end());
+  }
+  entry.info.compressed_size = static_cast<std::uint32_t>(entry.compressed.size());
+  entries_.push_back(std::move(entry));
+}
+
+void ZipWriter::add(std::string name, std::string_view text,
+                    std::optional<Method> force_method) {
+  add(std::move(name), util::as_span(text), force_method);
+}
+
+util::Bytes ZipWriter::finish() const {
+  util::ByteWriter out;
+  std::vector<std::uint32_t> offsets;
+  offsets.reserve(entries_.size());
+
+  for (const auto& entry : entries_) {
+    offsets.push_back(static_cast<std::uint32_t>(out.size()));
+    out.u32(kLocalHeaderSig);
+    out.u16(kVersion);
+    out.u16(0);  // flags
+    out.u16(static_cast<std::uint16_t>(entry.info.method));
+    out.u16(0);  // mod time
+    out.u16(0);  // mod date
+    out.u32(entry.info.crc32);
+    out.u32(entry.info.compressed_size);
+    out.u32(entry.info.uncompressed_size);
+    out.u16(static_cast<std::uint16_t>(entry.info.name.size()));
+    out.u16(0);  // extra length
+    out.raw(entry.info.name);
+    out.raw(entry.compressed);
+  }
+
+  const auto cd_offset = static_cast<std::uint32_t>(out.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const auto& entry = entries_[i];
+    out.u32(kCentralDirSig);
+    out.u16(kVersion);  // version made by
+    out.u16(kVersion);  // version needed
+    out.u16(0);         // flags
+    out.u16(static_cast<std::uint16_t>(entry.info.method));
+    out.u16(0);  // mod time
+    out.u16(0);  // mod date
+    out.u32(entry.info.crc32);
+    out.u32(entry.info.compressed_size);
+    out.u32(entry.info.uncompressed_size);
+    out.u16(static_cast<std::uint16_t>(entry.info.name.size()));
+    out.u16(0);  // extra length
+    out.u16(0);  // comment length
+    out.u16(0);  // disk number
+    out.u16(0);  // internal attrs
+    out.u32(0);  // external attrs
+    out.u32(offsets[i]);
+    out.raw(entry.info.name);
+  }
+  const auto cd_size = static_cast<std::uint32_t>(out.size()) - cd_offset;
+
+  out.u32(kEocdSig);
+  out.u16(0);  // disk number
+  out.u16(0);  // central dir disk
+  out.u16(static_cast<std::uint16_t>(entries_.size()));
+  out.u16(static_cast<std::uint16_t>(entries_.size()));
+  out.u32(cd_size);
+  out.u32(cd_offset);
+  out.u16(0);  // comment length
+
+  return std::move(out).take();
+}
+
+util::Result<ZipReader> ZipReader::open(util::Bytes archive) {
+  using R = util::Result<ZipReader>;
+  if (archive.size() < 22) return R::failure("archive too small");
+
+  // Scan backwards for EOCD (no comment support needed, but tolerate one).
+  std::size_t eocd_pos = archive.size();
+  const std::size_t scan_limit =
+      archive.size() >= 22 + 65535 ? archive.size() - 22 - 65535 : 0;
+  for (std::size_t pos = archive.size() - 22;; --pos) {
+    if (archive[pos] == 0x50 && archive[pos + 1] == 0x4b &&
+        archive[pos + 2] == 0x05 && archive[pos + 3] == 0x06) {
+      eocd_pos = pos;
+      break;
+    }
+    if (pos == scan_limit) break;
+  }
+  if (eocd_pos == archive.size()) return R::failure("EOCD not found");
+
+  util::ByteReader eocd{std::span<const std::uint8_t>{archive}.subspan(eocd_pos)};
+  eocd.u32();  // signature
+  eocd.u16();  // disk
+  eocd.u16();  // cd disk
+  eocd.u16();  // entries on disk
+  const std::uint16_t total_entries = eocd.u16();
+  eocd.u32();  // cd size
+  const std::uint32_t cd_offset = eocd.u32();
+  if (!eocd.ok() || cd_offset > archive.size()) return R::failure("bad EOCD");
+
+  ZipReader reader;
+  util::ByteReader cd{std::span<const std::uint8_t>{archive}.subspan(cd_offset)};
+  for (std::uint16_t i = 0; i < total_entries; ++i) {
+    if (cd.u32() != kCentralDirSig) return R::failure("bad central directory");
+    cd.u16();  // made by
+    cd.u16();  // needed
+    cd.u16();  // flags
+    const std::uint16_t method = cd.u16();
+    cd.u16();  // time
+    cd.u16();  // date
+    EntryInfo info;
+    info.crc32 = cd.u32();
+    info.compressed_size = cd.u32();
+    info.uncompressed_size = cd.u32();
+    const std::uint16_t name_len = cd.u16();
+    const std::uint16_t extra_len = cd.u16();
+    const std::uint16_t comment_len = cd.u16();
+    cd.u16();  // disk
+    cd.u16();  // internal
+    cd.u32();  // external
+    info.local_header_offset = cd.u32();
+    info.name = std::string{util::as_view(cd.raw(name_len))};
+    cd.raw(extra_len);
+    cd.raw(comment_len);
+    if (!cd.ok()) return R::failure("truncated central directory");
+    if (method != 0 && method != 8) return R::failure("unsupported method");
+    if (info.local_header_offset >= archive.size()) {
+      return R::failure("entry offset beyond archive");
+    }
+    info.method = static_cast<Method>(method);
+    reader.entries_.push_back(std::move(info));
+  }
+  reader.archive_ = std::move(archive);
+  return reader;
+}
+
+bool ZipReader::contains(std::string_view name) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const EntryInfo& e) { return e.name == name; });
+}
+
+util::Result<util::Bytes> ZipReader::read(std::string_view name) const {
+  using R = util::Result<util::Bytes>;
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [&](const EntryInfo& e) { return e.name == name; });
+  if (it == entries_.end()) return R::failure("entry not found: " + std::string{name});
+  if (it->local_header_offset >= archive_.size()) {
+    return R::failure("corrupt entry offset");
+  }
+
+  util::ByteReader hdr{
+      std::span<const std::uint8_t>{archive_}.subspan(it->local_header_offset)};
+  if (hdr.u32() != kLocalHeaderSig) return R::failure("bad local header");
+  hdr.u16();  // version
+  hdr.u16();  // flags
+  hdr.u16();  // method (trust central directory)
+  hdr.u16();  // time
+  hdr.u16();  // date
+  hdr.u32();  // crc
+  hdr.u32();  // csize
+  hdr.u32();  // usize
+  const std::uint16_t name_len = hdr.u16();
+  const std::uint16_t extra_len = hdr.u16();
+  hdr.raw(name_len);
+  hdr.raw(extra_len);
+  const auto payload = hdr.raw(it->compressed_size);
+  if (!hdr.ok()) return R::failure("truncated entry payload");
+
+  util::Bytes data;
+  if (it->method == Method::Store) {
+    data.assign(payload.begin(), payload.end());
+  } else {
+    auto inflated = inflate(payload, it->uncompressed_size);
+    if (!inflated.ok()) return R::failure("inflate: " + inflated.error());
+    data = std::move(inflated).take();
+  }
+  if (data.size() != it->uncompressed_size) {
+    return R::failure("size mismatch after decompression");
+  }
+  if (util::crc32(data) != it->crc32) return R::failure("CRC mismatch");
+  return data;
+}
+
+}  // namespace gauge::zipfile

@@ -1,0 +1,71 @@
+// Minimal but real ZIP (PKWARE APPNOTE) reader/writer. APKs, OBB expansion
+// files and App Bundle asset packs are all ZIP containers; gaugeNN's model
+// extraction walks these byte-for-byte.
+//
+// Supported: store (method 0) and DEFLATE (method 8) entries, CRC-32
+// verification, central directory + EOCD. Not supported (not needed by the
+// pipeline): ZIP64, encryption, data descriptors, multi-disk archives.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace gauge::zipfile {
+
+enum class Method : std::uint16_t { Store = 0, Deflate = 8 };
+
+struct EntryInfo {
+  std::string name;
+  Method method = Method::Store;
+  std::uint32_t crc32 = 0;
+  std::uint32_t compressed_size = 0;
+  std::uint32_t uncompressed_size = 0;
+  std::uint32_t local_header_offset = 0;
+};
+
+class ZipWriter {
+ public:
+  // Adds a file entry. Deflate is used when it actually shrinks the payload
+  // (mirroring what real packagers do); pass `Method::Store` to force store.
+  void add(std::string name, std::span<const std::uint8_t> data,
+           std::optional<Method> force_method = std::nullopt);
+  void add(std::string name, std::string_view text,
+           std::optional<Method> force_method = std::nullopt);
+
+  // Serialises central directory + EOCD and returns the archive bytes.
+  // The writer can keep being used afterwards (finish() is pure).
+  util::Bytes finish() const;
+
+  std::size_t entry_count() const { return entries_.size(); }
+
+ private:
+  struct PendingEntry {
+    EntryInfo info;
+    util::Bytes compressed;
+  };
+  std::vector<PendingEntry> entries_;
+};
+
+class ZipReader {
+ public:
+  // An empty reader (no entries); assign from open() to use.
+  ZipReader() = default;
+
+  static util::Result<ZipReader> open(util::Bytes archive);
+
+  const std::vector<EntryInfo>& entries() const { return entries_; }
+  bool contains(std::string_view name) const;
+  // Extracts and CRC-verifies one entry.
+  util::Result<util::Bytes> read(std::string_view name) const;
+
+ private:
+  util::Bytes archive_;
+  std::vector<EntryInfo> entries_;
+};
+
+}  // namespace gauge::zipfile

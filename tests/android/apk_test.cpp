@@ -1,0 +1,181 @@
+#include "android/apk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "android/bundle.hpp"
+#include "android/detect.hpp"
+
+namespace gauge::android {
+namespace {
+
+ApkSpec minimal_spec() {
+  ApkSpec spec;
+  spec.manifest.package = "com.example.app";
+  spec.dex.classes = {"Lcom/example/app/MainActivity;"};
+  return spec;
+}
+
+TEST(Dex, RoundtripTables) {
+  DexFile dex;
+  dex.classes = {"Lcom/a/B;", "Lcom/a/C;"};
+  dex.method_refs = {"Lcom/a/B;->run()"};
+  dex.strings = {"hello", "https://api.example.com"};
+  const auto bytes = write_dex(dex);
+  EXPECT_TRUE(looks_like_dex(bytes));
+  auto restored = read_dex(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.error();
+  EXPECT_EQ(restored.value().classes, dex.classes);
+  EXPECT_EQ(restored.value().method_refs, dex.method_refs);
+  EXPECT_EQ(restored.value().strings, dex.strings);
+}
+
+TEST(Dex, RejectsBadMagicAndTruncation) {
+  EXPECT_FALSE(read_dex(util::to_bytes("nope")).ok());
+  DexFile dex;
+  dex.strings = {"abc"};
+  auto bytes = write_dex(dex);
+  bytes.resize(bytes.size() - 2);
+  EXPECT_FALSE(read_dex(bytes).ok());
+}
+
+TEST(Dex, SmaliRendersAllTables) {
+  DexFile dex;
+  dex.classes = {"Lcom/x/Y;"};
+  dex.method_refs = {"Lcom/google/firebase/ml/vision/FirebaseVision;->getInstance()"};
+  dex.strings = {"vision.googleapis.com"};
+  const std::string smali = to_smali(dex);
+  EXPECT_NE(smali.find(".class public Lcom/x/Y;"), std::string::npos);
+  EXPECT_NE(smali.find("invoke-virtual"), std::string::npos);
+  EXPECT_NE(smali.find("const-string v1, \"vision.googleapis.com\""),
+            std::string::npos);
+}
+
+TEST(Manifest, SerializeParseRoundtrip) {
+  Manifest m;
+  m.package = "com.foo.bar";
+  m.version_code = 42;
+  m.min_sdk = 26;
+  m.permissions = {"android.permission.CAMERA", "android.permission.INTERNET"};
+  auto parsed = Manifest::parse(m.serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().package, "com.foo.bar");
+  EXPECT_EQ(parsed.value().version_code, 42);
+  EXPECT_EQ(parsed.value().min_sdk, 26);
+  EXPECT_EQ(parsed.value().permissions.size(), 2u);
+}
+
+TEST(Manifest, RejectsMissingPackageAndBadLines) {
+  EXPECT_FALSE(Manifest::parse("versionCode: 3\n").ok());
+  EXPECT_FALSE(Manifest::parse("garbage without colon\n").ok());
+  EXPECT_FALSE(Manifest::parse("unknownKey: x\n").ok());
+}
+
+TEST(Apk, BuildAndOpen) {
+  ApkSpec spec = minimal_spec();
+  spec.files.emplace_back("assets/model.tflite", util::to_bytes("payload"));
+  spec.native_libs = {"libtensorflowlite_jni.so"};
+  auto apk = Apk::open(build_apk(spec));
+  ASSERT_TRUE(apk.ok()) << apk.error();
+  EXPECT_EQ(apk.value().manifest().package, "com.example.app");
+  EXPECT_EQ(apk.value().native_libs(),
+            std::vector<std::string>{"libtensorflowlite_jni.so"});
+  auto names = apk.value().entry_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "assets/model.tflite"),
+            names.end());
+  auto payload = apk.value().read("assets/model.tflite");
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(util::as_view(payload.value()), "payload");
+}
+
+TEST(Apk, RejectsNonZipAndMissingParts) {
+  EXPECT_FALSE(Apk::open(util::to_bytes("not a zip")).ok());
+  zipfile::ZipWriter zip;
+  zip.add("AndroidManifest.xml", std::string_view{"package: com.x\n"});
+  EXPECT_FALSE(Apk::open(zip.finish()).ok());  // no classes.dex
+}
+
+TEST(Bundle, SideContainerRoundtrip) {
+  const auto bytes =
+      build_side_container({{"textures/a.ktx", util::to_bytes("KTX")}});
+  SideContainer obb{"main.1.com.x.obb", bytes};
+  auto entries = side_container_entries(obb);
+  ASSERT_TRUE(entries.ok()) << entries.error();
+  EXPECT_EQ(entries.value(), std::vector<std::string>{"textures/a.ktx"});
+}
+
+TEST(Detect, CloudApis) {
+  ApkSpec spec = minimal_spec();
+  spec.dex.method_refs = {
+      "Lcom/google/firebase/ml/vision/FirebaseVision;->getInstance()",
+      "Lcom/amazonaws/services/rekognition/AmazonRekognitionClient;->detectLabels()"};
+  auto apk = Apk::open(build_apk(spec));
+  ASSERT_TRUE(apk.ok());
+  const auto hits = detect_cloud_apis(apk.value());
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].provider, CloudProvider::GoogleFirebase);
+  EXPECT_EQ(hits[1].provider, CloudProvider::AmazonAws);
+}
+
+TEST(Detect, NoCloudApisInPlainApp) {
+  auto apk = Apk::open(build_apk(minimal_spec()));
+  ASSERT_TRUE(apk.ok());
+  EXPECT_TRUE(detect_cloud_apis(apk.value()).empty());
+  EXPECT_FALSE(uses_ml(apk.value()));
+}
+
+TEST(Detect, MlStacksViaDexAndNativeLibs) {
+  ApkSpec spec = minimal_spec();
+  spec.dex.classes.push_back("Lorg/tensorflow/lite/Interpreter;");
+  spec.native_libs = {"libncnn.so", "libSNPE.so"};
+  auto apk = Apk::open(build_apk(spec));
+  ASSERT_TRUE(apk.ok());
+  const auto hits = detect_ml_stacks(apk.value());
+  std::set<MlStack> stacks;
+  for (const auto& hit : hits) stacks.insert(hit.stack);
+  EXPECT_TRUE(stacks.count(MlStack::TfLite));
+  EXPECT_TRUE(stacks.count(MlStack::Ncnn));
+  EXPECT_TRUE(stacks.count(MlStack::Snpe));
+  EXPECT_TRUE(uses_ml(apk.value()));
+}
+
+TEST(Detect, DelegatesAloneAreNotMl) {
+  ApkSpec spec = minimal_spec();
+  spec.native_libs = {"libnnapi_delegate.so", "libxnnpack.so"};
+  auto apk = Apk::open(build_apk(spec));
+  ASSERT_TRUE(apk.ok());
+  const auto hits = detect_ml_stacks(apk.value());
+  std::set<MlStack> stacks;
+  for (const auto& hit : hits) stacks.insert(hit.stack);
+  EXPECT_EQ(stacks, (std::set<MlStack>{MlStack::NnApi, MlStack::Xnnpack}));
+  EXPECT_FALSE(uses_ml(apk.value()));
+}
+
+TEST(Detect, NnApiDelegateClassImpliesTfLite) {
+  // The TFLite NNAPI delegate class lives under org/tensorflow/lite, so its
+  // presence also flags the TFLite runtime — and thus an ML app.
+  ApkSpec spec = minimal_spec();
+  spec.dex.classes.push_back("Lorg/tensorflow/lite/nnapi/NnApiDelegate;");
+  auto apk = Apk::open(build_apk(spec));
+  ASSERT_TRUE(apk.ok());
+  std::set<MlStack> stacks;
+  for (const auto& hit : detect_ml_stacks(apk.value())) stacks.insert(hit.stack);
+  EXPECT_TRUE(stacks.count(MlStack::NnApi));
+  EXPECT_TRUE(stacks.count(MlStack::TfLite));
+  EXPECT_TRUE(uses_ml(apk.value()));
+}
+
+TEST(Detect, StacksDeduplicated) {
+  ApkSpec spec = minimal_spec();
+  spec.dex.classes.push_back("Lorg/tensorflow/lite/Interpreter;");
+  spec.native_libs = {"libtensorflowlite_jni.so", "libtensorflowlite.so"};
+  auto apk = Apk::open(build_apk(spec));
+  ASSERT_TRUE(apk.ok());
+  int tflite_hits = 0;
+  for (const auto& hit : detect_ml_stacks(apk.value())) {
+    if (hit.stack == MlStack::TfLite) ++tflite_hits;
+  }
+  EXPECT_EQ(tflite_hits, 1);
+}
+
+}  // namespace
+}  // namespace gauge::android

@@ -1,0 +1,288 @@
+#include "android/playstore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "android/detect.hpp"
+#include "formats/validate.hpp"
+#include "nn/checksum.hpp"
+#include "nn/trace.hpp"
+
+namespace gauge::android {
+namespace {
+
+const PlayStore& store() {
+  static const PlayStore kStore{StoreConfig{}};
+  return kStore;
+}
+
+TEST(PlayStore, Table2AppCounts) {
+  EXPECT_EQ(store().app_count(Snapshot::Apr2021), 16653u);
+  EXPECT_EQ(store().ml_app_count(Snapshot::Apr2021), 377u);
+}
+
+TEST(PlayStore, Table2ModelCounts) {
+  EXPECT_EQ(store().model_instance_count(Snapshot::Apr2021), 1666u);
+  EXPECT_EQ(store().unique_models().size(), 318u);
+}
+
+TEST(PlayStore, Snapshot2020IsSmaller) {
+  // Feb'20: ~16.4k apps, 236 ML apps, ~821 models (approx; see DESIGN.md).
+  EXPECT_LT(store().app_count(Snapshot::Feb2020),
+            store().app_count(Snapshot::Apr2021));
+  EXPECT_NEAR(static_cast<double>(store().ml_app_count(Snapshot::Feb2020)),
+              236.0, 10.0);
+  const auto models20 = store().model_instance_count(Snapshot::Feb2020);
+  EXPECT_NEAR(static_cast<double>(models20), 821.0, 40.0);
+  // Models roughly doubled year over year.
+  const double ratio = 1666.0 / static_cast<double>(models20);
+  EXPECT_GT(ratio, 1.8);
+  EXPECT_LT(ratio, 2.3);
+}
+
+TEST(PlayStore, ChartCapAndPaging) {
+  PlayStore::ChartRequest req;
+  req.category = "communication";
+  req.limit = 500;
+  const auto page = store().top_chart(req);
+  EXPECT_EQ(page.size(), 500u);  // the cap
+
+  req.limit = 100;
+  const auto first = store().top_chart(req);
+  req.offset = 100;
+  const auto second = store().top_chart(req);
+  ASSERT_EQ(first.size(), 100u);
+  ASSERT_EQ(second.size(), 100u);
+  EXPECT_NE(first[0]->package, second[0]->package);
+
+  // Sorted by installs, descending.
+  for (std::size_t i = 1; i < first.size(); ++i) {
+    EXPECT_GE(first[i - 1]->installs, first[i]->installs);
+  }
+}
+
+TEST(PlayStore, UnknownCategoryEmpty) {
+  PlayStore::ChartRequest req;
+  req.category = "does-not-exist";
+  EXPECT_TRUE(store().top_chart(req).empty());
+}
+
+TEST(PlayStore, WearCategorySmallerThanCap) {
+  PlayStore::ChartRequest req;
+  req.category = "android wear";
+  req.limit = 500;
+  EXPECT_EQ(store().top_chart(req).size(), 153u);
+}
+
+TEST(PlayStore, DownloadedMlAppContainsValidModels) {
+  // Find an extractable ML app.
+  const AppEntry* target = nullptr;
+  for (const auto& app : store().apps()) {
+    if (app.is_ml_2021 && !app.lazy_models && !app.model_instances.empty()) {
+      target = &app;
+      break;
+    }
+  }
+  ASSERT_NE(target, nullptr);
+  auto pkg = store().download(target->package, Snapshot::Apr2021, "SM-G977B");
+  ASSERT_TRUE(pkg.ok()) << pkg.error();
+  auto apk = Apk::open(pkg.value().apk);
+  ASSERT_TRUE(apk.ok()) << apk.error();
+  EXPECT_TRUE(uses_ml(apk.value()));
+
+  int valid_models = 0;
+  for (const auto& name : apk.value().entry_names()) {
+    if (!formats::is_candidate_model_file(name)) continue;
+    auto data = apk.value().read(name);
+    ASSERT_TRUE(data.ok());
+    if (formats::is_valid_model_file(name, data.value())) ++valid_models;
+  }
+  EXPECT_GT(valid_models, 0);
+}
+
+TEST(PlayStore, DownloadDeterministic) {
+  const AppEntry* app = store().top_chart({.category = "finance"}).front();
+  auto a = store().download(app->package, Snapshot::Apr2021, "SM-G977B");
+  auto b = store().download(app->package, Snapshot::Apr2021, "SM-G977B");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().apk, b.value().apk);
+}
+
+TEST(PlayStore, NoDeviceSpecificModels) {
+  // Same payload regardless of the requesting device profile (§4.2).
+  const AppEntry* app = store().top_chart({.category = "photography"}).front();
+  auto s10 = store().download(app->package, Snapshot::Apr2021, "SM-G977B");
+  auto s7 = store().download(app->package, Snapshot::Apr2021, "SM-G935F");
+  ASSERT_TRUE(s10.ok() && s7.ok());
+  EXPECT_EQ(s10.value().apk, s7.value().apk);
+}
+
+TEST(PlayStore, SideContainersNeverCarryModels) {
+  // §4.2: sweep OBBs and asset packs of many apps; no model candidates.
+  int side_containers = 0;
+  int checked = 0;
+  for (const auto& app : store().apps()) {
+    if (!app.present_2021 || checked >= 300) continue;
+    ++checked;
+    auto pkg = store().download(app.package, Snapshot::Apr2021, "SM-G977B");
+    ASSERT_TRUE(pkg.ok());
+    for (const auto& side : pkg.value().expansions) {
+      ++side_containers;
+      auto entries = side_container_entries(side);
+      ASSERT_TRUE(entries.ok());
+      for (const auto& name : entries.value()) {
+        EXPECT_FALSE(formats::is_candidate_model_file(name)) << name;
+      }
+    }
+    for (const auto& side : pkg.value().asset_packs) {
+      ++side_containers;
+      auto entries = side_container_entries(side);
+      ASSERT_TRUE(entries.ok());
+      for (const auto& name : entries.value()) {
+        EXPECT_FALSE(formats::is_candidate_model_file(name)) << name;
+      }
+    }
+  }
+  EXPECT_GT(side_containers, 0);  // the sweep actually saw OBBs/packs
+}
+
+TEST(PlayStore, UniqueModelChecksumsAreDistinct) {
+  // "Unique" pool models must be md5-distinct (spot check a slice: full
+  // verification happens in the pipeline integration test).
+  std::set<std::string> checksums;
+  for (int id = 0; id < 40; ++id) {
+    checksums.insert(nn::model_checksum(store().build_unique_model(id)));
+  }
+  EXPECT_EQ(checksums.size(), 40u);
+}
+
+TEST(PlayStore, FinetunedModelsShareLayers) {
+  const UniqueModel* tuned = nullptr;
+  for (const auto& m : store().unique_models()) {
+    if (m.finetuned_from >= 0) {
+      tuned = &m;
+      break;
+    }
+  }
+  ASSERT_NE(tuned, nullptr) << "pool should contain fine-tuned variants";
+  const auto base_digests =
+      nn::layer_weight_checksums(store().build_unique_model(tuned->finetuned_from));
+  const auto tuned_digests =
+      nn::layer_weight_checksums(store().build_unique_model(tuned->id));
+  EXPECT_GT(nn::shared_layer_fraction(tuned_digests, base_digests), 0.2);
+  EXPECT_LT(nn::shared_layer_fraction(tuned_digests, base_digests), 1.0);
+}
+
+TEST(PlayStore, FrameworkMixMatchesFig4) {
+  std::map<formats::Framework, int> counts;
+  for (const auto& inst : store().instances()) {
+    if (!inst.present_2021) continue;
+    counts[store().unique_models()[static_cast<std::size_t>(inst.unique_id)]
+               .framework]++;
+  }
+  EXPECT_EQ(counts[formats::Framework::TfLite], 1436);
+  EXPECT_EQ(counts[formats::Framework::Caffe], 176);
+  EXPECT_EQ(counts[formats::Framework::Ncnn], 46);
+  EXPECT_EQ(counts[formats::Framework::TensorFlow], 5);
+  EXPECT_EQ(counts[formats::Framework::Snpe], 3);
+}
+
+TEST(PlayStore, VisionDominatesTasks) {
+  std::map<nn::Modality, int> modality_counts;
+  for (const auto& inst : store().instances()) {
+    if (!inst.present_2021) continue;
+    modality_counts[store()
+                        .unique_models()[static_cast<std::size_t>(inst.unique_id)]
+                        .modality]++;
+  }
+  const double vision_share =
+      static_cast<double>(modality_counts[nn::Modality::Image]) / 1666.0;
+  EXPECT_GT(vision_share, 0.85);
+}
+
+TEST(PlayStore, EveryUniqueModelBuildsAndTraces) {
+  for (const auto& m : store().unique_models()) {
+    const nn::Graph g = store().build_unique_model(m.id);
+    ASSERT_TRUE(g.validate().ok()) << m.id << " " << m.archetype;
+    const auto trace = nn::trace_model(g);
+    ASSERT_TRUE(trace.ok()) << m.id << " " << m.archetype << ": "
+                            << trace.error();
+    EXPECT_GT(trace.value().total_params, 0) << m.archetype;
+  }
+}
+
+TEST(PlayStore, AcceleratorCounts) {
+  int nnapi = 0, xnnpack = 0, snpe = 0;
+  for (const auto& app : store().apps()) {
+    if (app.uses_nnapi) ++nnapi;
+    if (app.uses_xnnpack) ++xnnpack;
+    if (app.uses_snpe) ++snpe;
+  }
+  EXPECT_EQ(nnapi, 71);
+  EXPECT_EQ(xnnpack, 1);
+  EXPECT_GE(snpe, 3);
+}
+
+TEST(PlayStore, CloudAppCounts) {
+  int cloud21 = 0, cloud20 = 0, amazon = 0;
+  for (const auto& app : store().apps()) {
+    if (!app.cloud_apis.empty() && app.present_2021) {
+      ++cloud21;
+      if (app.cloud_apis[0] == CloudProvider::AmazonAws) ++amazon;
+    }
+    if (app.cloud_2020 && app.present_2020) ++cloud20;
+  }
+  EXPECT_EQ(cloud21, 524);
+  EXPECT_EQ(amazon, 72);
+  EXPECT_EQ(cloud20, 225);
+}
+
+TEST(PlayStore, ModelsPerAppIsSkewed) {
+  // Popular apps accumulate models (zipf assignment): the distribution of
+  // models-per-app must be heavy-tailed, not uniform.
+  std::vector<int> per_app;
+  for (const auto& app : store().apps()) {
+    if (!app.is_ml_2021 || app.lazy_models) continue;
+    int count = 0;
+    for (int inst : app.model_instances) {
+      if (store().instances()[static_cast<std::size_t>(inst)].present_2021) {
+        ++count;
+      }
+    }
+    per_app.push_back(count);
+  }
+  ASSERT_FALSE(per_app.empty());
+  std::sort(per_app.begin(), per_app.end());
+  const int max = per_app.back();
+  const int median = per_app[per_app.size() / 2];
+  EXPECT_GE(per_app.front(), 1);      // every extractable app ships >= 1
+  EXPECT_GE(max, 3 * std::max(median, 1));  // heavy tail
+}
+
+TEST(PlayStore, DeterministicAcrossInstances) {
+  const PlayStore other{StoreConfig{}};
+  EXPECT_EQ(other.apps().size(), store().apps().size());
+  EXPECT_EQ(other.apps()[100].package, store().apps()[100].package);
+  EXPECT_EQ(other.instances().size(), store().instances().size());
+}
+
+TEST(PlayStore, DifferentSeedDifferentWorld) {
+  const PlayStore other{StoreConfig{.seed = 999}};
+  // Same calibrated totals...
+  EXPECT_EQ(other.app_count(Snapshot::Apr2021), 16653u);
+  EXPECT_EQ(other.model_instance_count(Snapshot::Apr2021), 1666u);
+  // ...but different micro-structure.
+  bool any_difference = false;
+  for (std::size_t i = 0; i < 50; ++i) {
+    if (other.instances()[i].unique_id != store().instances()[i].unique_id) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace gauge::android

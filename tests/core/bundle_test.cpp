@@ -1,0 +1,86 @@
+#include "core/bundle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/pipeline.hpp"
+#include "util/fileio.hpp"
+
+namespace gauge::core {
+namespace {
+
+std::string temp_dir(const std::string& name) {
+  const auto base = std::filesystem::temp_directory_path() / "gaugenn_test";
+  return (base / name).string();
+}
+
+TEST(FileIo, WriteReadRoundtrip) {
+  const std::string dir = temp_dir("fileio");
+  ASSERT_TRUE(util::make_directories(dir).ok());
+  const std::string path = dir + "/x.txt";
+  ASSERT_TRUE(util::write_file(path, std::string_view{"hello\nworld"}).ok());
+  const auto back = util::read_text_file(path);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(back.value(), "hello\nworld");
+}
+
+TEST(FileIo, ReadMissingFileFails) {
+  EXPECT_FALSE(util::read_text_file(temp_dir("nope") + "/missing").ok());
+}
+
+TEST(FileIo, MakeDirectoriesIsIdempotent) {
+  const std::string dir = temp_dir("a/b/c");
+  EXPECT_TRUE(util::make_directories(dir).ok());
+  EXPECT_TRUE(util::make_directories(dir).ok());
+}
+
+TEST(Bundle, WritesAllArtifacts) {
+  const android::PlayStore play{android::StoreConfig{}};
+  PipelineOptions options;
+  options.categories = {"dating"};
+  const auto data = run_pipeline(play, options);
+
+  const std::string dir = temp_dir("bundle");
+  const auto written = write_report_bundle(data, dir);
+  ASSERT_TRUE(written.ok()) << written.error();
+  EXPECT_EQ(written.value(), 11);
+
+  for (const char* name :
+       {"index.md", "apps.csv", "models.csv", "apps.jsonl", "models.jsonl",
+        "frameworks.csv", "tasks.csv", "layer_families.csv", "uniqueness.csv",
+        "optimisations.csv", "cloud.csv"}) {
+    const auto contents = util::read_text_file(dir + "/" + name);
+    ASSERT_TRUE(contents.ok()) << name;
+    EXPECT_FALSE(contents.value().empty()) << name;
+  }
+
+  // apps.csv has a header plus one row per crawled app.
+  const auto apps = util::read_text_file(dir + "/apps.csv");
+  ASSERT_TRUE(apps.ok());
+  const auto lines = std::count(apps.value().begin(), apps.value().end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(lines), data.apps_crawled() + 1);
+
+  // index.md carries the headline counts.
+  const auto index = util::read_text_file(dir + "/index.md");
+  ASSERT_TRUE(index.ok());
+  EXPECT_NE(index.value().find("apps crawled: 500"), std::string::npos);
+
+  // JSONL export: one JSON object per model document.
+  const auto jsonl = util::read_text_file(dir + "/models.jsonl");
+  ASSERT_TRUE(jsonl.ok());
+  const auto json_lines =
+      std::count(jsonl.value().begin(), jsonl.value().end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(json_lines), data.models.size());
+  EXPECT_EQ(jsonl.value().front(), '{');
+  EXPECT_NE(jsonl.value().find("\"framework\": \"TFLite\""), std::string::npos);
+}
+
+TEST(Bundle, FailsOnUnwritableDirectory) {
+  SnapshotDataset empty;
+  EXPECT_FALSE(write_report_bundle(empty, "/proc/definitely/not/writable").ok());
+}
+
+}  // namespace
+}  // namespace gauge::core

@@ -1,0 +1,143 @@
+// Full-snapshot integration: the entire Apr'21 crawl (16,653 apps) through
+// the pipeline, asserting the paper's Table 2 exactly plus the headline
+// shares of §4.3–§6.1. This is the end-to-end guarantee behind every bench.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/analysis.hpp"
+#include "core/pipeline.hpp"
+#include "core/taskclassify.hpp"
+
+namespace gauge::core {
+namespace {
+
+const SnapshotDataset& full21() {
+  static const SnapshotDataset kDataset = [] {
+    const android::PlayStore play{android::StoreConfig{}};
+    return run_pipeline(play, {});
+  }();
+  return kDataset;
+}
+
+TEST(FullSnapshot, Table2Exact) {
+  const auto& data = full21();
+  EXPECT_EQ(data.apps_crawled(), 16653u);
+  EXPECT_EQ(data.ml_apps(), 377u);
+  EXPECT_EQ(data.apps_with_models(), 342u);
+  EXPECT_EQ(data.total_models(), 1666u);
+  EXPECT_EQ(data.unique_model_count(), 318u);
+}
+
+TEST(FullSnapshot, Fig4FrameworkCountsExact) {
+  std::map<std::string, int> counts;
+  for (const auto& model : full21().models) {
+    counts[formats::framework_name(model.framework)]++;
+  }
+  EXPECT_EQ(counts["TFLite"], 1436);
+  EXPECT_EQ(counts["caffe"], 176);
+  EXPECT_EQ(counts["ncnn"], 46);
+  EXPECT_EQ(counts["TF"], 5);
+  EXPECT_EQ(counts["SNPE"], 3);
+}
+
+TEST(FullSnapshot, TaskCoverageMatchesPaper) {
+  std::size_t identified = 0;
+  for (const auto& model : full21().models) {
+    if (model.task != kUnidentified) ++identified;
+  }
+  const double coverage =
+      static_cast<double>(identified) / static_cast<double>(full21().models.size());
+  EXPECT_NEAR(coverage, 0.919, 0.04);  // paper: 91.9%
+}
+
+TEST(FullSnapshot, VisionDominates) {
+  std::map<std::string, int> tasks;
+  int vision = 0;
+  for (const auto& model : full21().models) {
+    if (model.modality == nn::Modality::Image) ++vision;
+    if (model.task != kUnidentified) tasks[model.task]++;
+  }
+  EXPECT_GT(static_cast<double>(vision) / 1666.0, 0.89);
+  // Object detection is the top task by a wide margin.
+  int best = 0;
+  std::string best_task;
+  for (const auto& [task, count] : tasks) {
+    if (count > best) {
+      best = count;
+      best_task = task;
+    }
+  }
+  EXPECT_EQ(best_task, "object detection");
+  EXPECT_GT(static_cast<double>(best) / static_cast<double>(vision), 0.45);
+}
+
+TEST(FullSnapshot, UniquenessMatchesPaper) {
+  const auto report = analyze_uniqueness(full21());
+  EXPECT_NEAR(report.unique_fraction, 0.191, 0.005);
+  EXPECT_NEAR(report.shared_across_apps_fraction, 0.809, 0.005);
+  EXPECT_NEAR(report.finetuned_fraction, 0.0902, 0.02);
+  EXPECT_NEAR(report.small_delta_fraction, 0.042, 0.015);
+}
+
+TEST(FullSnapshot, OptimisationCensusMatchesPaper) {
+  const auto report = analyze_optimisations(full21());
+  EXPECT_EQ(report.clustering_models, 0u);
+  EXPECT_EQ(report.pruning_models, 0u);
+  EXPECT_NEAR(report.dequantize_fraction, 0.103, 0.02);
+  EXPECT_NEAR(report.int8_weight_fraction, 0.2027, 0.02);
+  EXPECT_NEAR(report.int8_act_fraction, 0.1031, 0.02);
+  EXPECT_NEAR(report.near_zero_weight_share, 0.0315, 0.02);
+}
+
+TEST(FullSnapshot, CloudApiCountsExact) {
+  int cloud = 0, google = 0, amazon = 0;
+  for (const auto& app : full21().apps) {
+    if (app.cloud_providers.empty()) continue;
+    ++cloud;
+    if (app.cloud_providers.front() == "Amazon AWS") ++amazon;
+    else ++google;
+  }
+  EXPECT_EQ(cloud, 524);
+  EXPECT_EQ(google, 452);
+  EXPECT_EQ(amazon, 72);
+}
+
+TEST(FullSnapshot, AcceleratorTraceCounts) {
+  int nnapi = 0, xnnpack = 0, snpe = 0;
+  for (const auto& app : full21().apps) {
+    for (const auto& stack : app.ml_stacks) {
+      if (stack == "NNAPI") ++nnapi;
+      if (stack == "XNNPACK") ++xnnpack;
+      if (stack == "SNPE") ++snpe;
+    }
+  }
+  EXPECT_EQ(nnapi, 71);   // §6.3: 71 apps using NNAPI
+  EXPECT_EQ(xnnpack, 1);  // a single app using XNNPACK
+  EXPECT_GE(snpe, 3);     // three SNPE apps (dlc models)
+}
+
+TEST(FullSnapshot, NoModelsInSideContainers) {
+  std::int64_t side_models = 0, side_files = 0;
+  for (const auto& app : full21().apps) {
+    side_models += app.side_container_models;
+    side_files += app.side_container_files;
+  }
+  EXPECT_GT(side_files, 500);
+  EXPECT_EQ(side_models, 0);
+}
+
+TEST(FullSnapshot, EveryModelRecordIsComplete) {
+  for (const auto& model : full21().models) {
+    EXPECT_FALSE(model.checksum.empty());
+    EXPECT_FALSE(model.architecture_checksum.empty());
+    EXPECT_FALSE(model.layer_digests.empty());
+    EXPECT_GT(model.trace.total_params, 0);
+    EXPECT_GT(model.trace.total_flops, 0);
+    EXPECT_GT(model.file_bytes, 0u);
+    EXPECT_NE(model.modality, nn::Modality::Unknown);
+  }
+}
+
+}  // namespace
+}  // namespace gauge::core

@@ -1,0 +1,266 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/analysis.hpp"
+#include "core/report.hpp"
+#include "core/runtime.hpp"
+#include "core/scenarios.hpp"
+#include "core/taskclassify.hpp"
+
+namespace gauge::core {
+namespace {
+
+const android::PlayStore& play() {
+  static const android::PlayStore kPlay{android::StoreConfig{}};
+  return kPlay;
+}
+
+// A slice of ML-heavy categories keeps per-test runtime low; the full-crawl
+// integration checks live in FullSnapshot below.
+const SnapshotDataset& slice21() {
+  static const SnapshotDataset kDataset = [] {
+    PipelineOptions options;
+    options.categories = {"communication", "finance", "photography"};
+    return run_pipeline(play(), options);
+  }();
+  return kDataset;
+}
+
+const SnapshotDataset& slice20() {
+  static const SnapshotDataset kDataset = [] {
+    PipelineOptions options;
+    options.snapshot = android::Snapshot::Feb2020;
+    options.categories = {"communication", "finance", "photography"};
+    return run_pipeline(play(), options);
+  }();
+  return kDataset;
+}
+
+TEST(Pipeline, CrawlsChartCap) {
+  EXPECT_EQ(slice21().apps_crawled(), 1500u);  // 3 categories x 500
+}
+
+TEST(Pipeline, ExtractsValidatedModels) {
+  const auto& data = slice21();
+  EXPECT_GT(data.total_models(), 100u);
+  EXPECT_GT(data.ml_apps(), data.apps_with_models());
+  for (const auto& model : data.models) {
+    EXPECT_FALSE(model.checksum.empty());
+    EXPECT_GT(model.trace.total_params, 0);
+    EXPECT_FALSE(model.file_path.empty());
+  }
+}
+
+TEST(Pipeline, CandidatesExceedValidated) {
+  // Decoy .json/.bin files and obfuscated models inflate candidates.
+  std::int64_t candidates = 0, validated = 0;
+  for (const auto& app : slice21().apps) {
+    candidates += app.candidate_files;
+    validated += app.validated_models;
+  }
+  EXPECT_GT(candidates, validated);
+  EXPECT_GT(validated, 0);
+}
+
+TEST(Pipeline, ObfuscatedModelsAreNotValidated) {
+  // Apps flagged lazy/obfuscated in the generator yield candidates but no
+  // validated models.
+  const auto& data = slice21();
+  bool found_hidden_ml_app = false;
+  for (const auto& app : data.apps) {
+    if (app.uses_ml && app.model_record_ids.empty()) {
+      found_hidden_ml_app = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_hidden_ml_app);
+}
+
+TEST(Pipeline, ModelDocsQueryable) {
+  const auto& data = slice21();
+  EXPECT_EQ(data.model_docs.size(), data.models.size());
+  const auto tflite =
+      data.model_docs.query().where("framework", "TFLite").count();
+  EXPECT_GT(tflite, data.models.size() / 2);
+  const auto rows = data.model_docs.query().group_by({"category"});
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST(Pipeline, TaskCoverageHigh) {
+  const auto& data = slice21();
+  std::size_t identified = 0;
+  for (const auto& model : data.models) {
+    if (model.task != kUnidentified) ++identified;
+  }
+  const double coverage =
+      static_cast<double>(identified) / static_cast<double>(data.models.size());
+  // Paper: 91.9% of models identified. Heuristic voting should land near.
+  EXPECT_GT(coverage, 0.8);
+}
+
+TEST(Pipeline, SideContainersSweptAndClean) {
+  const auto& data = slice21();
+  std::int64_t swept = 0, models = 0;
+  for (const auto& app : data.apps) {
+    swept += app.side_container_files;
+    models += app.side_container_models;
+  }
+  EXPECT_GT(swept, 0);      // OBBs/asset packs were actually opened
+  EXPECT_EQ(models, 0);     // and carried no models (§4.2)
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  PipelineOptions options;
+  options.categories = {"dating"};
+  const auto a = run_pipeline(play(), options);
+  const auto b = run_pipeline(play(), options);
+  ASSERT_EQ(a.models.size(), b.models.size());
+  for (std::size_t i = 0; i < a.models.size(); ++i) {
+    EXPECT_EQ(a.models[i].checksum, b.models[i].checksum);
+  }
+}
+
+TEST(Pipeline, OldDeviceProfileSeesSameModels) {
+  // §4.2: crawling with a 3-generation-older device profile yields the same
+  // model set (no device-specific distribution).
+  PipelineOptions s10, s7;
+  s10.categories = s7.categories = {"beauty"};
+  s7.device_profile = "SM-G935F";
+  const auto a = run_pipeline(play(), s10);
+  const auto b = run_pipeline(play(), s7);
+  ASSERT_EQ(a.models.size(), b.models.size());
+  std::multiset<std::string> ca, cb;
+  for (const auto& model : a.models) ca.insert(model.checksum);
+  for (const auto& model : b.models) cb.insert(model.checksum);
+  EXPECT_EQ(ca, cb);
+}
+
+// ------------------------------------------------------------- analyses
+
+TEST(Analysis, UniquenessOnSlice) {
+  const auto report = analyze_uniqueness(slice21());
+  EXPECT_GT(report.total_models, report.unique_models);
+  EXPECT_GT(report.unique_fraction, 0.05);
+  EXPECT_LT(report.unique_fraction, 0.7);
+  EXPECT_GT(report.shared_across_apps_fraction, 0.4);
+}
+
+TEST(Analysis, OptimisationCensusOnSlice) {
+  const auto report = analyze_optimisations(slice21());
+  EXPECT_EQ(report.clustering_models, 0u);  // paper found none
+  EXPECT_EQ(report.pruning_models, 0u);
+  EXPECT_GT(report.int8_weight_fraction, 0.05);
+  EXPECT_LT(report.int8_weight_fraction, 0.45);
+  EXPECT_GT(report.dequantize_fraction, 0.0);
+  EXPECT_LE(report.dequantize_fraction, report.int8_weight_fraction);
+  EXPECT_GT(report.near_zero_weight_share, 0.003);
+  EXPECT_LT(report.near_zero_weight_share, 0.12);
+}
+
+TEST(Analysis, TemporalDiffDirections) {
+  const auto rows = temporal_diff(slice20(), slice21());
+  ASSERT_FALSE(rows.empty());
+  // Communication gained the most models between snapshots (Fig. 5).
+  EXPECT_EQ(rows.front().category, "communication");
+  EXPECT_GT(rows.front().delta(), 0);
+  std::int64_t added = 0, removed = 0;
+  for (const auto& row : rows) {
+    added += row.added;
+    removed += row.removed;
+  }
+  EXPECT_GT(added, removed);  // the ecosystem roughly doubled
+}
+
+TEST(Analysis, TemporalSelfDiffIsEmpty) {
+  const auto rows = temporal_diff(slice21(), slice21());
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.added, 0);
+    EXPECT_EQ(row.removed, 0);
+  }
+}
+
+// -------------------------------------------------------------- runtime
+
+TEST(Runtime, SweepProducesRowsPerDeviceAndModel) {
+  const auto devices = device::phones();
+  const auto rows = sweep_devices(slice21(), devices);
+  const auto models = distinct_models(slice21());
+  EXPECT_EQ(rows.size(), models.size() * devices.size());
+  for (const auto& row : rows) {
+    EXPECT_GT(row.latency_ms, 0.0);
+    EXPECT_GT(row.energy_mj, 0.0);
+    EXPECT_GT(row.power_w, 0.0);
+  }
+}
+
+TEST(Runtime, ConfigSweepLabelsRows) {
+  std::vector<device::RunConfig> configs(2);
+  configs[0].threads = {2, 0};
+  configs[1].threads = {4, 2};
+  const auto rows =
+      sweep_configs(slice21(), device::make_device("S21"), configs);
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows.front().thread_label, "2");
+  EXPECT_EQ(rows.back().thread_label, "4a2");
+}
+
+// ------------------------------------------------------------- scenarios
+
+TEST(Scenarios, Table4Shape) {
+  const auto reports = run_scenarios(slice21(), device::boards());
+  ASSERT_EQ(reports.size(), 3u);
+  for (const auto& report : reports) {
+    // Slice has few audio models; segmentation must dominate where present.
+    if (report.segmentation.models > 0 && report.typing.models > 0) {
+      EXPECT_GT(report.segmentation.avg_mah, report.typing.avg_mah * 50);
+    }
+    if (report.typing.models > 0) {
+      EXPECT_LT(report.typing.avg_mah, 1.0);  // typing is nearly free
+    }
+  }
+}
+
+TEST(Scenarios, BatteryShareHelper) {
+  EXPECT_DOUBLE_EQ(battery_share(1000.0, 4000.0), 0.25);
+  EXPECT_DOUBLE_EQ(battery_share(10.0, 0.0), 0.0);
+}
+
+// --------------------------------------------------------------- reports
+
+TEST(Report, Table2Renders) {
+  const auto table = table2_dataset(slice21());
+  const std::string out = table.render();
+  EXPECT_NE(out.find("Apps crawled"), std::string::npos);
+  EXPECT_NE(out.find("1500"), std::string::npos);
+}
+
+TEST(Report, Fig4ExcludesSmallCategories) {
+  const auto table = fig4_frameworks(slice21(), /*min_models=*/1000000);
+  EXPECT_EQ(table.rows(), 0u);
+  const auto all = fig4_frameworks(slice21(), 1);
+  EXPECT_GT(all.rows(), 0u);
+}
+
+TEST(Report, Table3GroupsByModality) {
+  const auto table = table3_tasks(slice21());
+  const std::string out = table.render();
+  EXPECT_NE(out.find("image"), std::string::npos);
+  EXPECT_NE(out.find("object detection"), std::string::npos);
+}
+
+TEST(Report, Fig6SharesSumToOnePerModality) {
+  const auto table = fig6_layer_composition(slice21());
+  EXPECT_GT(table.rows(), 0u);
+}
+
+TEST(Report, Fig15TotalsRow) {
+  const auto table = fig15_cloud(slice21(), 1);
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("(total)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gauge::core

@@ -1,0 +1,153 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/records.hpp"
+
+namespace gauge::core {
+namespace {
+
+// Hand-built miniature dataset: report builders must not depend on the
+// generator, only on records.
+SnapshotDataset tiny_dataset() {
+  SnapshotDataset data;
+
+  auto add_model = [&](const std::string& pkg, const std::string& category,
+                       formats::Framework fw, const std::string& task,
+                       nn::Modality modality, double flops, double params) {
+    ModelRecord m;
+    m.record_id = static_cast<int>(data.models.size());
+    m.app_package = pkg;
+    m.category = category;
+    m.framework = fw;
+    m.task = task;
+    m.modality = modality;
+    m.file_path = "assets/models/m" + std::to_string(m.record_id) + ".tflite";
+    m.file_bytes = 1000;
+    m.checksum = "sum-" + std::to_string(m.record_id);
+    m.architecture_checksum = "arch";
+    m.layer_digests = {"d1", "d2"};
+    m.trace.total_flops = static_cast<std::int64_t>(flops);
+    m.trace.total_params = static_cast<std::int64_t>(params);
+    m.op_family_counts = {{"conv", 4}, {"dense", 1}};
+    data.model_docs.insert(to_document(m));
+    data.models.push_back(std::move(m));
+  };
+
+  AppRecord app;
+  app.package = "com.a";
+  app.category = "photography";
+  app.installs = 1000;
+  app.uses_ml = true;
+  app.cloud_providers = {"Google Firebase ML"};
+  app.side_container_files = 3;
+  add_model("com.a", "photography", formats::Framework::TfLite,
+            "object detection", nn::Modality::Image, 2e6, 1e4);
+  add_model("com.a", "photography", formats::Framework::Caffe,
+            "semantic segmentation", nn::Modality::Image, 8e6, 5e4);
+  app.model_record_ids = {0, 1};
+  app.validated_models = 2;
+  app.candidate_files = 3;
+  data.app_docs.insert(to_document(app));
+  data.apps.push_back(app);
+
+  AppRecord app2;
+  app2.package = "com.b";
+  app2.category = "finance";
+  app2.uses_ml = true;
+  add_model("com.b", "finance", formats::Framework::TfLite, "auto-complete",
+            nn::Modality::Text, 1e5, 2e3);
+  app2.model_record_ids = {2};
+  app2.validated_models = 1;
+  app2.candidate_files = 1;
+  data.app_docs.insert(to_document(app2));
+  data.apps.push_back(app2);
+
+  return data;
+}
+
+TEST(Report, Table2OnTinyDataset) {
+  const auto table = table2_dataset(tiny_dataset());
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("Apps crawled,2"), std::string::npos);
+  EXPECT_NE(csv.find("Models extracted & validated,3"), std::string::npos);
+}
+
+TEST(Report, Fig4RendersBothFrameworks) {
+  const auto table = fig4_frameworks(tiny_dataset(), 1);
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("photography,2"), std::string::npos);
+  const auto totals = fig4_framework_totals(tiny_dataset());
+  const std::string tcsv = totals.to_csv();
+  EXPECT_NE(tcsv.find("TFLite,2"), std::string::npos);
+  EXPECT_NE(tcsv.find("caffe,1"), std::string::npos);
+}
+
+TEST(Report, Table3GroupsAndShares) {
+  const auto table = table3_tasks(tiny_dataset());
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("image,object detection,1,50.0%"), std::string::npos);
+  EXPECT_NE(csv.find("text,auto-complete,1,100.0%"), std::string::npos);
+}
+
+TEST(Report, Fig7OrdersByMedianFlops) {
+  const auto table = fig7_flops_params(tiny_dataset());
+  const std::string csv = table.to_csv();
+  // Segmentation (8 MFLOPs) must come before auto-complete (0.1 MFLOPs).
+  EXPECT_LT(csv.find("semantic segmentation"), csv.find("auto-complete"));
+}
+
+TEST(Report, Fig15CountsProviders) {
+  const auto table = fig15_cloud(tiny_dataset(), 1);
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("photography,1,1,0"), std::string::npos);
+  EXPECT_NE(csv.find("(total),1,1,0"), std::string::npos);
+}
+
+TEST(Report, Sec42CountsSweeps) {
+  const auto table = sec42_distribution(tiny_dataset());
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("Files swept in side containers,3"), std::string::npos);
+  EXPECT_NE(csv.find("Model candidates found there,0"), std::string::npos);
+}
+
+TEST(Report, EmptyDatasetDoesNotCrash) {
+  SnapshotDataset empty;
+  // Table 2 divides by apps_crawled; an empty crawl is a caller error the
+  // other builders must still survive.
+  EXPECT_NO_THROW(fig4_frameworks(empty, 1));
+  EXPECT_NO_THROW(table3_tasks(empty));
+  EXPECT_NO_THROW(fig6_layer_composition(empty));
+  EXPECT_NO_THROW(fig7_flops_params(empty));
+  EXPECT_NO_THROW(fig15_cloud(empty, 1));
+  EXPECT_NO_THROW(sec42_distribution(empty));
+}
+
+TEST(Records, AppDocumentFields) {
+  const auto data = tiny_dataset();
+  const auto& doc = data.app_docs.doc(0);
+  EXPECT_EQ(doc.at("package").as_string(), "com.a");
+  EXPECT_TRUE(doc.at("uses_ml").as_bool());
+  EXPECT_TRUE(doc.at("cloud").as_bool());
+  EXPECT_EQ(doc.at("model_count").as_int(), 2);
+}
+
+TEST(Records, ModelDocumentFields) {
+  const auto data = tiny_dataset();
+  const auto& doc = data.model_docs.doc(1);
+  EXPECT_EQ(doc.at("framework").as_string(), "caffe");
+  EXPECT_EQ(doc.at("task").as_string(), "semantic segmentation");
+  EXPECT_DOUBLE_EQ(doc.at("flops").as_double(), 8e6);
+}
+
+TEST(Records, DocStoreAggregationOverDataset) {
+  const auto data = tiny_dataset();
+  const auto rows = data.model_docs.query().group_by({"framework"}, "flops");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].keys[0].str(), "TFLite");
+  EXPECT_EQ(rows[0].count, 2);
+  EXPECT_DOUBLE_EQ(rows[0].sum, 2e6 + 1e5);
+}
+
+}  // namespace
+}  // namespace gauge::core

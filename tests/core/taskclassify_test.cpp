@@ -1,0 +1,86 @@
+#include "core/taskclassify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/zoo.hpp"
+
+namespace gauge::core {
+namespace {
+
+nn::ModelTrace trace_of(const std::string& arch, int res = 48) {
+  nn::ZooSpec spec;
+  spec.archetype = arch;
+  spec.resolution = res;
+  spec.seed = 5;
+  auto trace = nn::trace_model(nn::build_model(spec));
+  EXPECT_TRUE(trace.ok());
+  return std::move(trace).take();
+}
+
+TEST(TaskClassify, NameKeywords) {
+  EXPECT_EQ(classify_by_name("hair_segmentation_mobilenet.tflite"),
+            "semantic segmentation");
+  EXPECT_EQ(classify_by_name("face_detection_blazeface_12.tflite"),
+            "face detection");
+  EXPECT_EQ(classify_by_name("FSSD_v2.tflite"), "object detection");
+  EXPECT_EQ(classify_by_name("auto_complete_wordrnn_3.tflite"), "auto-complete");
+  EXPECT_EQ(classify_by_name("model_7.tflite"), kUnidentified);
+}
+
+TEST(TaskClassify, ModalityFromInputShape) {
+  EXPECT_EQ(infer_modality(trace_of("mobilenet")), nn::Modality::Image);
+  EXPECT_EQ(infer_modality(trace_of("audiocnn")), nn::Modality::Audio);
+  EXPECT_EQ(infer_modality(trace_of("speechrnn", 16)), nn::Modality::Audio);
+  EXPECT_EQ(infer_modality(trace_of("wordrnn", 16)), nn::Modality::Text);
+  EXPECT_EQ(infer_modality(trace_of("textcnn", 16)), nn::Modality::Text);
+  EXPECT_EQ(infer_modality(trace_of("sensormlp", 8)), nn::Modality::Sensor);
+}
+
+TEST(TaskClassify, StructureHeuristics) {
+  EXPECT_EQ(classify_by_layers(trace_of("wordrnn", 16)), "auto-complete");
+  EXPECT_EQ(classify_by_layers(trace_of("textcnn", 16)), "sentiment prediction");
+  EXPECT_EQ(classify_by_layers(trace_of("ocrnet")), "text recognition");
+  EXPECT_EQ(classify_by_layers(trace_of("speechrnn", 16)), "speech recognition");
+  EXPECT_EQ(classify_by_layers(trace_of("audiocnn")), "sound recognition");
+  EXPECT_EQ(classify_by_layers(trace_of("sensormlp", 8)), "movement tracking");
+  EXPECT_EQ(classify_by_layers(trace_of("unet")), "semantic segmentation");
+  EXPECT_EQ(classify_by_layers(trace_of("fssd")), "object detection");
+}
+
+TEST(TaskClassify, IoHeuristics) {
+  EXPECT_EQ(classify_by_io(trace_of("unet")), "semantic segmentation");
+  EXPECT_EQ(classify_by_io(trace_of("posenet")), "pose estimation");
+  EXPECT_EQ(classify_by_io(trace_of("speechrnn", 16)), "speech recognition");
+}
+
+TEST(TaskClassify, MajorityVoteWins) {
+  // Name says segmentation; structure of a unet agrees -> segmentation even
+  // if one classifier abstains.
+  const auto trace = trace_of("unet");
+  EXPECT_EQ(classify_task("hair_segmentation_v3.tflite", trace),
+            "semantic segmentation");
+}
+
+TEST(TaskClassify, NameBeatsAbstainers) {
+  // A generic CNN with a task-hinting name: structure abstains, name wins.
+  const auto trace = trace_of("vggnet");
+  EXPECT_EQ(classify_task("nudity_detection_v1.tflite", trace),
+            "nudity detection");
+}
+
+TEST(TaskClassify, StructuralFallbackWithoutName) {
+  const auto trace = trace_of("wordrnn", 16);
+  EXPECT_EQ(classify_task("model_42.tflite", trace), "auto-complete");
+}
+
+TEST(TaskClassify, UnidentifiableModelReported) {
+  // Generic CNN, generic name, conflicting weak signals -> unidentified or
+  // a harmless guess; must never crash. vggnet + meaningless name: the io
+  // classifier says image classification, layers abstain -> single opinion.
+  const auto trace = trace_of("vggnet");
+  const std::string task = classify_task("m.tflite", trace);
+  EXPECT_TRUE(task == "image classification" || task == kUnidentified);
+}
+
+}  // namespace
+}  // namespace gauge::core

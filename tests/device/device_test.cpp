@@ -1,0 +1,449 @@
+#include <gtest/gtest.h>
+
+#include "device/backends.hpp"
+#include "device/latency.hpp"
+#include "device/monsoon.hpp"
+#include "device/sched.hpp"
+#include "device/soc.hpp"
+#include "nn/trace.hpp"
+#include "nn/zoo.hpp"
+#include "util/stats.hpp"
+
+namespace gauge::device {
+namespace {
+
+nn::ModelTrace trace_of(const std::string& arch, int resolution = 64,
+                        double width = 1.0, std::uint64_t seed = 1) {
+  nn::ZooSpec spec;
+  spec.archetype = arch;
+  spec.resolution = resolution;
+  spec.width = width;
+  spec.seed = seed;
+  auto trace = nn::trace_model(nn::build_model(spec));
+  EXPECT_TRUE(trace.ok());
+  return std::move(trace).take();
+}
+
+// A small model population shared by the statistics-driven tests.
+std::vector<nn::ModelTrace> population() {
+  std::vector<nn::ModelTrace> out;
+  int seed = 1;
+  for (const char* arch : {"mobilenet", "fssd", "blazeface", "unet",
+                           "contournet", "posenet", "vggnet", "stylenet"}) {
+    for (int res : {48, 64, 96}) {
+      out.push_back(trace_of(arch, res, 0.75 + 0.25 * (seed % 3),
+                             static_cast<std::uint64_t>(seed)));
+      ++seed;
+    }
+  }
+  return out;
+}
+
+double mean_latency_ms(const Device& device, const RunConfig& config) {
+  const auto pop = population();
+  std::vector<double> lat;
+  int key = 0;
+  for (const auto& trace : pop) {
+    lat.push_back(
+        simulate_inference(device, trace, config, "m" + std::to_string(key++))
+            .latency_s *
+        1e3);
+  }
+  return util::mean(lat);
+}
+
+// ------------------------------------------------------------------- SoC
+
+TEST(Soc, Table1Devices) {
+  const auto devices = all_devices();
+  ASSERT_EQ(devices.size(), 6u);
+  EXPECT_EQ(devices[0].name, "A20");
+  EXPECT_EQ(devices[0].soc.name, "Exynos 7884");
+  EXPECT_EQ(devices[0].ram_gb, 4);
+  EXPECT_DOUBLE_EQ(devices[0].battery_mah, 4000);
+  EXPECT_EQ(devices[2].soc.name, "Snapdragon 888");
+  EXPECT_TRUE(devices[3].open_deck);
+  EXPECT_DOUBLE_EQ(devices[4].battery_mah, 0);  // Q855 N/A in Table 1
+}
+
+TEST(Soc, Q888SharesS21Soc) {
+  EXPECT_EQ(make_device("Q888").soc.name, make_device("S21").soc.name);
+}
+
+TEST(Soc, TopologyMatchesPaper) {
+  // "Q888 has 1xX1, 3xA78, 4xA55; Q675 has 2xA76 and [6]xA55" (§6.2).
+  const Device q888 = make_device("Q888");
+  ASSERT_EQ(q888.soc.clusters.size(), 3u);
+  EXPECT_EQ(q888.soc.clusters[0].count, 1);
+  EXPECT_EQ(q888.soc.clusters[1].count, 3);
+  EXPECT_EQ(q888.soc.clusters[2].count, 4);
+  const Device a70 = make_device("A70");
+  EXPECT_EQ(a70.soc.clusters[0].count, 2);
+}
+
+// -------------------------------------------------------------- scheduler
+
+TEST(Sched, MoreIsNotAlwaysBetter) {
+  // Fig. 12: best thread count is 4 / 2 / 4 for A20 / A70 / S21.
+  auto best_threads = [](const std::string& name) {
+    const Device d = make_device(name);
+    int best = 0;
+    double best_gflops = 0.0;
+    for (int t : {2, 4, 8}) {
+      const double g = schedule(d, {t, 0}).effective_gflops;
+      if (g > best_gflops) {
+        best_gflops = g;
+        best = t;
+      }
+    }
+    return best;
+  };
+  EXPECT_EQ(best_threads("A20"), 4);
+  EXPECT_EQ(best_threads("A70"), 2);
+  EXPECT_EQ(best_threads("S21"), 4);
+}
+
+TEST(Sched, EightThreadsCollapse) {
+  for (const auto& device : phones()) {
+    const double g4 = schedule(device, {4, 0}).effective_gflops;
+    const double g8 = schedule(device, {8, 0}).effective_gflops;
+    EXPECT_LT(g8, g4 * 0.6) << device.name;
+  }
+}
+
+TEST(Sched, OversubscriptionDegrades) {
+  // 4a2 and 8a4 must be significantly worse than the unpinned setups.
+  for (const auto& device : phones()) {
+    const double g4 = schedule(device, {4, 0}).effective_gflops;
+    const double g4a2 = schedule(device, {4, 2}).effective_gflops;
+    EXPECT_LT(g4a2, g4 * 0.75) << device.name;
+    const double g8a4 = schedule(device, {8, 4}).effective_gflops;
+    EXPECT_LT(g8a4, g4 * 0.5) << device.name;
+  }
+}
+
+TEST(Sched, PinningSameCoresIsNoWin) {
+  // 4a4 <= 4 and 2a2 <= 2 (Fig. 12's "no significant gain" finding).
+  for (const auto& device : phones()) {
+    EXPECT_LE(schedule(device, {4, 4}).effective_gflops,
+              schedule(device, {4, 0}).effective_gflops)
+        << device.name;
+    EXPECT_LE(schedule(device, {2, 2}).effective_gflops,
+              schedule(device, {2, 0}).effective_gflops)
+        << device.name;
+  }
+}
+
+TEST(Sched, LabelFormat) {
+  EXPECT_EQ((ThreadConfig{4, 2}.label()), "4a2");
+  EXPECT_EQ((ThreadConfig{8, 0}.label()), "8");
+}
+
+TEST(Sched, PowerScalesWithCoresUsed) {
+  const Device d = make_device("S21");
+  EXPECT_LT(schedule(d, {1, 0}).active_watts, schedule(d, {4, 0}).active_watts);
+}
+
+// ---------------------------------------------------------------- latency
+
+TEST(Latency, TierOrdering) {
+  const RunConfig config{};
+  const double a20 = mean_latency_ms(make_device("A20"), config);
+  const double a70 = mean_latency_ms(make_device("A70"), config);
+  const double s21 = mean_latency_ms(make_device("S21"), config);
+  EXPECT_GT(a20, a70);
+  EXPECT_GT(a70, s21);
+  // Fig. 9: A20 ~3.4x and A70 ~1.51x slower than S21 (wide tolerance: this
+  // is a shape target).
+  EXPECT_NEAR(a20 / s21, 3.4, 1.2);
+  EXPECT_NEAR(a70 / s21, 1.51, 0.5);
+}
+
+TEST(Latency, GenerationOrdering) {
+  const RunConfig config{};
+  const double q845 = mean_latency_ms(make_device("Q845"), config);
+  const double q855 = mean_latency_ms(make_device("Q855"), config);
+  const double q888 = mean_latency_ms(make_device("Q888"), config);
+  EXPECT_GT(q845, q855);
+  EXPECT_GT(q855, q888);
+  // Fig. 9 means are 76/58/35 ms -> ratios ~2.17 and ~1.66 vs Q888.
+  EXPECT_NEAR(q845 / q888, 2.17, 0.7);
+  EXPECT_NEAR(q855 / q888, 1.66, 0.5);
+}
+
+TEST(Latency, OpenDeckBeatsPhoneWithSameSoc) {
+  const RunConfig config{};
+  EXPECT_LT(mean_latency_ms(make_device("Q888"), config),
+            mean_latency_ms(make_device("S21"), config));
+}
+
+TEST(Latency, MidTierPhoneCanBeatOldFlagshipSoc) {
+  // "a next-gen mid-tier phone may perform better than the high-end SoC of
+  // a prior generation" (A70 vs Q845).
+  const RunConfig config{};
+  EXPECT_LT(mean_latency_ms(make_device("A70"), config),
+            mean_latency_ms(make_device("Q845"), config));
+}
+
+TEST(Latency, FlopsAreNotLinearInLatency) {
+  // Fig. 8: across a model population, latency correlates with FLOPs but
+  // far from perfectly (depthwise/memory-bound ops, overheads).
+  const Device device = make_device("Q845");
+  const auto pop = population();
+  std::vector<double> flops, lat;
+  int key = 0;
+  for (const auto& trace : pop) {
+    const auto r =
+        simulate_inference(device, trace, {}, "m" + std::to_string(key++));
+    flops.push_back(r.flops);
+    lat.push_back(r.latency_s);
+  }
+  const double corr = util::correlation(flops, lat);
+  EXPECT_GT(corr, 0.4);   // related...
+  EXPECT_LT(corr, 0.99);  // ...but not a clean line
+  const auto fit = util::fit_line(flops, lat);
+  EXPECT_LT(fit.r2, 0.98);
+}
+
+TEST(Latency, DeterministicPerModelKey) {
+  const Device device = make_device("S21");
+  const auto trace = trace_of("mobilenet");
+  const auto a = simulate_inference(device, trace, {}, "model-x");
+  const auto b = simulate_inference(device, trace, {}, "model-x");
+  EXPECT_DOUBLE_EQ(a.latency_s, b.latency_s);
+  const auto c = simulate_inference(device, trace, {}, "model-y");
+  EXPECT_NE(a.latency_s, c.latency_s);
+}
+
+TEST(Latency, BatchThroughputScalesNearLinearly) {
+  // Fig. 11: throughput grows with batch, near-linearly up to 25.
+  const Device device = make_device("S21");
+  const auto trace = trace_of("mobilenet", 64);
+  double prev_throughput = 0.0;
+  for (int batch : {1, 2, 5, 10, 25}) {
+    RunConfig config;
+    config.batch = batch;
+    const auto r = simulate_inference(device, trace, config, "batch-model");
+    EXPECT_GT(r.throughput_ips, prev_throughput);
+    prev_throughput = r.throughput_ips;
+  }
+  // Batch 25 should be clearly above batch 1 (overhead amortised).
+  RunConfig b1, b25;
+  b1.batch = 1;
+  b25.batch = 25;
+  const double t1 =
+      simulate_inference(device, trace, b1, "batch-model").throughput_ips;
+  const double t25 =
+      simulate_inference(device, trace, b25, "batch-model").throughput_ips;
+  EXPECT_GT(t25 / t1, 1.3);
+}
+
+TEST(Latency, ThermalThrottlingKicksIn) {
+  const Device phone = make_device("A20");
+  EXPECT_DOUBLE_EQ(thermal_factor(phone, 0.0), 1.0);
+  EXPECT_LT(thermal_factor(phone, 120.0), 1.0);
+  EXPECT_GE(thermal_factor(phone, 1e6), phone.throttle_floor);
+  // Open-deck boards throttle less.
+  const Device board = make_device("Q888");
+  EXPECT_GT(thermal_factor(board, 300.0), thermal_factor(phone, 300.0));
+
+  const auto trace = trace_of("unet", 96);
+  RunConfig cold, hot;
+  hot.sustained_seconds = 600.0;
+  EXPECT_GT(simulate_inference(phone, trace, hot, "m").latency_s,
+            simulate_inference(phone, trace, cold, "m").latency_s);
+}
+
+// ----------------------------------------------------------------- energy
+
+TEST(Energy, SimilarAcrossGenerationsButPowerGrows) {
+  // Fig. 10a/10b: energy/inference roughly flat across Q845/855/888; power
+  // strictly grows with generation.
+  const auto pop = population();
+  std::vector<double> energy_means, power_means;
+  for (const auto& name : {"Q845", "Q855", "Q888"}) {
+    const Device device = make_device(name);
+    std::vector<double> e, p;
+    int key = 0;
+    for (const auto& trace : pop) {
+      const auto r =
+          simulate_inference(device, trace, {}, "e" + std::to_string(key++));
+      e.push_back(r.soc_energy_j);
+      p.push_back(r.avg_power_w);
+    }
+    energy_means.push_back(util::mean(e));
+    power_means.push_back(util::mean(p));
+  }
+  EXPECT_LT(power_means[0], power_means[1]);
+  EXPECT_LT(power_means[1], power_means[2]);
+  // Energy within ~40% band across generations.
+  const double emax = *std::max_element(energy_means.begin(), energy_means.end());
+  const double emin = *std::min_element(energy_means.begin(), energy_means.end());
+  EXPECT_LT(emax / emin, 1.5);
+}
+
+TEST(Energy, EfficiencyImprovesWithGeneration) {
+  // Fig. 10c: median efficiency 730/765/873 MFLOP/sW across generations.
+  const auto pop = population();
+  std::vector<double> medians;
+  for (const auto& name : {"Q845", "Q855", "Q888"}) {
+    const Device device = make_device(name);
+    std::vector<double> eff;
+    int key = 0;
+    for (const auto& trace : pop) {
+      eff.push_back(
+          simulate_inference(device, trace, {}, "f" + std::to_string(key++))
+              .efficiency_mflops_sw);
+    }
+    medians.push_back(util::median(util::drop_iqr_outliers(eff)));
+  }
+  EXPECT_LT(medians[0], medians[2]);
+  EXPECT_LE(medians[0], medians[1] * 1.05);
+}
+
+TEST(Energy, BatteryDrainArithmetic) {
+  const Device a20 = make_device("A20");
+  // 4000 mAh at 3.85 V = 55,440 J.
+  const double capacity_j = 4000.0 / 1000.0 * 3600.0 * 3.85;
+  EXPECT_NEAR(battery_drain_fraction(a20, capacity_j), 1.0, 1e-9);
+  EXPECT_NEAR(battery_drain_mah(a20, capacity_j), 4000.0, 1e-6);
+  const Device q855 = make_device("Q855");
+  EXPECT_DOUBLE_EQ(battery_drain_fraction(q855, 100.0), 0.0);  // no battery
+}
+
+// --------------------------------------------------------------- backends
+
+TEST(Backends, AvailabilityRules) {
+  const Device a20 = make_device("A20");  // Exynos
+  EXPECT_TRUE(backend_available(Backend::CpuFp32, a20));
+  EXPECT_TRUE(backend_available(Backend::Nnapi, a20));
+  EXPECT_FALSE(backend_available(Backend::SnpeDsp, a20));
+  EXPECT_FALSE(backend_available(Backend::SnpeCpu, a20));
+  const Device q845 = make_device("Q845");
+  EXPECT_TRUE(backend_available(Backend::SnpeDsp, q845));
+}
+
+TEST(Backends, XnnpackSlightlyFasterOnAverage) {
+  const Device q845 = make_device("Q845");
+  const auto pop = population();
+  std::vector<double> ratios, eff_ratios;
+  int key = 0;
+  for (const auto& trace : pop) {
+    const std::string k = "x" + std::to_string(key++);
+    RunConfig cpu, xnn;
+    xnn.backend = Backend::CpuXnnpack;
+    const auto rc = simulate_inference(q845, trace, cpu, k);
+    const auto rx = simulate_inference(q845, trace, xnn, k);
+    ratios.push_back(rc.latency_s / rx.latency_s);
+    eff_ratios.push_back(rx.efficiency_mflops_sw / rc.efficiency_mflops_sw);
+  }
+  EXPECT_NEAR(util::geomean(ratios), 1.03, 0.08);
+  EXPECT_GT(util::geomean(eff_ratios), 1.0);
+}
+
+TEST(Backends, NnapiLagsBehindCpu) {
+  const Device q845 = make_device("Q845");
+  const auto pop = population();
+  std::vector<double> speedups;
+  int key = 0;
+  for (const auto& trace : pop) {
+    const std::string k = "n" + std::to_string(key++);
+    RunConfig cpu, nnapi;
+    nnapi.backend = Backend::Nnapi;
+    speedups.push_back(simulate_inference(q845, trace, cpu, k).latency_s /
+                       simulate_inference(q845, trace, nnapi, k).latency_s);
+  }
+  EXPECT_NEAR(util::geomean(speedups), 0.49, 0.2);
+}
+
+TEST(Backends, SnpeHierarchy) {
+  // Fig. 14: DSP > GPU > CPU, with DSP ~5.7x and GPU ~2.3x over CPU.
+  const Device q845 = make_device("Q845");
+  const auto pop = population();
+  std::vector<double> dsp_speedup, gpu_speedup;
+  int key = 0;
+  for (const auto& trace : pop) {
+    const std::string k = "s" + std::to_string(key++);
+    RunConfig cpu, dsp, gpu;
+    dsp.backend = Backend::SnpeDsp;
+    gpu.backend = Backend::SnpeGpu;
+    const double base = simulate_inference(q845, trace, cpu, k).latency_s;
+    // Factor means are quoted over models that map fully onto the target
+    // (SNPE users convert compatible models); fallback runs are separate.
+    const auto rd = simulate_inference(q845, trace, dsp, k);
+    if (!rd.cpu_fallback) dsp_speedup.push_back(base / rd.latency_s);
+    const auto rg = simulate_inference(q845, trace, gpu, k);
+    if (!rg.cpu_fallback) gpu_speedup.push_back(base / rg.latency_s);
+  }
+  ASSERT_FALSE(dsp_speedup.empty());
+  ASSERT_FALSE(gpu_speedup.empty());
+  EXPECT_GT(util::geomean(dsp_speedup), util::geomean(gpu_speedup));
+  EXPECT_NEAR(util::geomean(dsp_speedup), 5.72, 2.0);
+  EXPECT_NEAR(util::geomean(gpu_speedup), 2.28, 0.8);
+}
+
+TEST(Backends, UnsupportedOpsFallBack) {
+  // wordrnn is full of layers the DSP cannot run.
+  const Device q845 = make_device("Q845");
+  const auto trace = trace_of("wordrnn", 16);
+  RunConfig dsp;
+  dsp.backend = Backend::SnpeDsp;
+  const auto r = simulate_inference(q845, trace, dsp, "rnn");
+  EXPECT_TRUE(r.cpu_fallback);
+  EXPECT_LT(r.supported_flop_share, 0.6);
+  // The fallback + transitions mean the speedup is far below the nominal.
+  RunConfig cpu;
+  const auto rc = simulate_inference(q845, trace, cpu, "rnn");
+  EXPECT_LT(rc.latency_s / r.latency_s, 3.0);
+}
+
+TEST(Backends, EveryBackendHasNameAndProfile) {
+  for (int b = 0; b < static_cast<int>(Backend::kCount); ++b) {
+    const auto backend = static_cast<Backend>(b);
+    EXPECT_STRNE(backend_name(backend), "?");
+    EXPECT_GT(backend_profile(backend).speed_factor, 0.0);
+  }
+}
+
+// ---------------------------------------------------------------- monsoon
+
+TEST(Monsoon, IntegratesKnownEnergy) {
+  Monsoon monsoon{5000.0, 4.2, 7};
+  // 2 seconds at 3 W + 1 second at 1 W = 7 J.
+  const auto trace = monsoon.record({{2.0, 3.0}, {1.0, 1.0}});
+  EXPECT_NEAR(Monsoon::integrate_energy_j(trace), 7.0, 0.15);
+  EXPECT_NEAR(Monsoon::mean_power_w(trace), 7.0 / 3.0, 0.1);
+}
+
+TEST(Monsoon, SampleRateRespected) {
+  Monsoon monsoon{5000.0};
+  const auto trace = monsoon.record({{0.5, 2.0}});
+  EXPECT_NEAR(static_cast<double>(trace.size()), 2500.0, 5.0);
+  for (std::size_t i = 1; i < std::min<std::size_t>(trace.size(), 100); ++i) {
+    EXPECT_NEAR(trace[i].t_s - trace[i - 1].t_s, 1.0 / 5000.0, 1e-9);
+  }
+}
+
+TEST(Monsoon, EmptyAndZeroPhases) {
+  Monsoon monsoon;
+  EXPECT_TRUE(monsoon.record({}).empty());
+  EXPECT_DOUBLE_EQ(Monsoon::integrate_energy_j({}), 0.0);
+  EXPECT_DOUBLE_EQ(Monsoon::mean_power_w({}), 0.0);
+}
+
+TEST(Monsoon, MatchesAnalyticInferenceEnergy) {
+  // Recording the simulated inference phases and integrating must agree
+  // with the analytic energy within noise.
+  const Device q845 = make_device("Q845");
+  const auto trace = trace_of("mobilenet");
+  const auto r = simulate_inference(q845, trace, {}, "monsoon-model");
+  Monsoon monsoon{5000.0, 4.2, 3};
+  // 100 back-to-back inferences for a trace long enough to sample well.
+  const auto samples =
+      monsoon.record({{r.latency_s * 100.0, r.avg_power_w}});
+  const double measured = Monsoon::integrate_energy_j(samples) / 100.0;
+  EXPECT_NEAR(measured, r.energy_j, r.energy_j * 0.1);
+}
+
+}  // namespace
+}  // namespace gauge::device

@@ -1,0 +1,260 @@
+// Tests for the paper's §8 extension features: DNN co-habitation and the
+// A16W8 NPU ablation backend.
+#include <gtest/gtest.h>
+
+#include "device/latency.hpp"
+#include "device/soc.hpp"
+#include "nn/trace.hpp"
+#include "nn/zoo.hpp"
+#include "util/stats.hpp"
+
+namespace gauge::device {
+namespace {
+
+nn::ModelTrace trace_of(const std::string& arch, std::uint64_t seed = 1) {
+  nn::ZooSpec spec;
+  spec.archetype = arch;
+  spec.resolution = 48;
+  spec.seed = seed;
+  auto trace = nn::trace_model(nn::build_model(spec));
+  EXPECT_TRUE(trace.ok());
+  return std::move(trace).take();
+}
+
+TEST(Cohabitation, SingleModelMatchesPlainSimulation) {
+  const Device dev = make_device("S21");
+  const auto trace = trace_of("mobilenet");
+  const auto solo = simulate_inference(dev, trace, {}, "m");
+  const auto co = simulate_cohabitation(dev, {&trace}, {}, {"m"});
+  ASSERT_EQ(co.size(), 1u);
+  EXPECT_DOUBLE_EQ(co[0].latency_s, solo.latency_s);
+}
+
+TEST(Cohabitation, TwoModelsSlowEachOtherSuperlinearly) {
+  const Device dev = make_device("S21");
+  const auto a = trace_of("mobilenet", 1);
+  const auto b = trace_of("blazeface", 2);
+  const auto solo_a = simulate_inference(dev, a, {}, "a");
+  const auto co = simulate_cohabitation(dev, {&a, &b}, {}, {"a", "b"});
+  ASSERT_EQ(co.size(), 2u);
+  // Each model runs slower than 2x its solo latency (fair share +
+  // contention), the paper's anticipated co-habitation problem.
+  EXPECT_GT(co[0].latency_s, 2.0 * solo_a.latency_s);
+  EXPECT_LT(co[0].latency_s, 3.5 * solo_a.latency_s);
+}
+
+TEST(Cohabitation, ContentionGrowsWithResidentCount) {
+  const Device dev = make_device("Q845");
+  const auto t1 = trace_of("mobilenet", 1);
+  const auto t2 = trace_of("contournet", 2);
+  const auto t3 = trace_of("blazeface", 3);
+  const auto t4 = trace_of("vggnet", 4);
+  const auto solo = simulate_inference(dev, t1, {}, "k1").latency_s;
+  double prev_ratio = 1.0;
+  std::vector<const nn::ModelTrace*> traces{&t1};
+  std::vector<std::string> keys{"k1"};
+  const nn::ModelTrace* extra[] = {&t2, &t3, &t4};
+  const char* extra_keys[] = {"k2", "k3", "k4"};
+  for (int n = 0; n < 3; ++n) {
+    traces.push_back(extra[n]);
+    keys.emplace_back(extra_keys[n]);
+    const auto co = simulate_cohabitation(dev, traces, {}, keys);
+    const double per_model_ratio =
+        co[0].latency_s / solo / static_cast<double>(traces.size());
+    // The contention factor (slowdown beyond fair share) keeps growing.
+    EXPECT_GT(per_model_ratio, prev_ratio);
+    prev_ratio = per_model_ratio;
+  }
+}
+
+TEST(Cohabitation, EfficiencyDegrades) {
+  const Device dev = make_device("Q888");
+  const auto a = trace_of("mobilenet", 5);
+  const auto b = trace_of("unet", 6);
+  const auto solo = simulate_inference(dev, a, {}, "a");
+  const auto co = simulate_cohabitation(dev, {&a, &b}, {}, {"a", "b"});
+  EXPECT_LT(co[0].efficiency_mflops_sw, solo.efficiency_mflops_sw);
+}
+
+TEST(Cohabitation, EmptyInputYieldsNothing) {
+  const Device dev = make_device("A20");
+  EXPECT_TRUE(simulate_cohabitation(dev, {}, {}, {}).empty());
+}
+
+TEST(NpuA16W8, AvailabilityIsNewestGenOnly) {
+  EXPECT_TRUE(backend_available(Backend::NpuA16W8, make_device("Q888")));
+  EXPECT_TRUE(backend_available(Backend::NpuA16W8, make_device("S21")));
+  EXPECT_FALSE(backend_available(Backend::NpuA16W8, make_device("Q845")));
+  EXPECT_FALSE(backend_available(Backend::NpuA16W8, make_device("A20")));
+}
+
+TEST(NpuA16W8, SitsBetweenGpuAndDsp) {
+  // Per-model lognormal variation makes single draws noisy; compare
+  // geomean speedups over a small population, as the paper's averages do.
+  const Device dev = make_device("Q888");
+  std::vector<double> npu_vs_cpu, gpu_vs_cpu, dsp_vs_cpu, npu_eff;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const auto trace = trace_of(seed % 2 ? "mobilenet" : "blazeface", seed);
+    const std::string key = "npu-test-" + std::to_string(seed);
+    auto run = [&](Backend b) {
+      RunConfig config;
+      config.backend = b;
+      return simulate_inference(dev, trace, config, key);
+    };
+    const auto cpu = run(Backend::CpuFp32);
+    const auto gpu = run(Backend::SnpeGpu);
+    const auto npu = run(Backend::NpuA16W8);
+    const auto dsp = run(Backend::SnpeDsp);
+    npu_vs_cpu.push_back(cpu.latency_s / npu.latency_s);
+    gpu_vs_cpu.push_back(cpu.latency_s / gpu.latency_s);
+    dsp_vs_cpu.push_back(cpu.latency_s / dsp.latency_s);
+    npu_eff.push_back(npu.efficiency_mflops_sw / cpu.efficiency_mflops_sw);
+  }
+  EXPECT_GT(util::geomean(npu_vs_cpu), util::geomean(gpu_vs_cpu));
+  EXPECT_LT(util::geomean(npu_vs_cpu), util::geomean(dsp_vs_cpu));
+  EXPECT_GT(util::geomean(npu_eff), 5.0);
+}
+
+TEST(NpuA16W8, SupportsSmoothActivationsUnlikeDsp) {
+  // stylenet carries Sigmoid: DSP falls back, the A16W8 NPU does not.
+  const Device dev = make_device("Q888");
+  const auto trace = trace_of("stylenet", 4);
+  RunConfig dsp, npu;
+  dsp.backend = Backend::SnpeDsp;
+  npu.backend = Backend::NpuA16W8;
+  EXPECT_TRUE(simulate_inference(dev, trace, dsp, "s").cpu_fallback);
+  EXPECT_FALSE(simulate_inference(dev, trace, npu, "s").cpu_fallback);
+}
+
+TEST(Breakdown, SharesSumToModelLatencyShape) {
+  const Device dev = make_device("Q845");
+  const auto trace = trace_of("mobilenet", 7);
+  const auto layers = layer_breakdown(dev, trace);
+  ASSERT_FALSE(layers.empty());
+  double total = 0.0;
+  bool any_memory_bound = false, any_compute_bound = false;
+  for (const auto& timing : layers) {
+    EXPECT_GT(timing.seconds, 0.0);
+    EXPECT_GE(timing.seconds,
+              std::max(timing.compute_seconds, timing.memory_seconds));
+    total += timing.seconds;
+    if (timing.memory_bound) any_memory_bound = true;
+    else any_compute_bound = true;
+  }
+  // Mixed boundedness is exactly what breaks the FLOPs-latency line (Fig 8).
+  EXPECT_TRUE(any_memory_bound);
+  EXPECT_TRUE(any_compute_bound);
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Breakdown, DepthwiseLayersAreMemoryBoundish) {
+  const Device dev = make_device("S21");
+  const auto trace = trace_of("mobilenet", 8);
+  double dw_ratio = 0.0, conv_ratio = 0.0;
+  int dw = 0, conv = 0;
+  for (const auto& timing : layer_breakdown(dev, trace)) {
+    if (timing.flops <= 0.0) continue;
+    const double per_flop = timing.seconds / timing.flops;
+    if (timing.type == nn::LayerType::DepthwiseConv2D) {
+      dw_ratio += per_flop;
+      ++dw;
+    } else if (timing.type == nn::LayerType::Conv2D) {
+      conv_ratio += per_flop;
+      ++conv;
+    }
+  }
+  ASSERT_GT(dw, 0);
+  ASSERT_GT(conv, 0);
+  // Per-FLOP, depthwise convolutions are far more expensive than dense
+  // convolutions — the paper's core argument against FLOPs as a proxy.
+  EXPECT_GT(dw_ratio / dw, 2.0 * (conv_ratio / conv));
+}
+
+TEST(RunResult, MemoryAndUtilisationDimensions) {
+  const Device dev = make_device("S21");
+  const auto trace = trace_of("mobilenet", 3);
+  const auto r1 = simulate_inference(dev, trace, {}, "mem");
+  EXPECT_GT(r1.peak_memory_bytes, 0.0);
+  EXPECT_GT(r1.cpu_utilisation, 0.0);
+  EXPECT_LE(r1.cpu_utilisation, 1.0);
+
+  // Batch grows the activation share of the footprint, not the weights.
+  RunConfig batched;
+  batched.batch = 8;
+  const auto r8 = simulate_inference(dev, trace, batched, "mem");
+  EXPECT_GT(r8.peak_memory_bytes, r1.peak_memory_bytes);
+  EXPECT_LT(r8.peak_memory_bytes, 8.0 * r1.peak_memory_bytes);
+
+  // Offloading to the DSP frees the CPU.
+  RunConfig dsp;
+  dsp.backend = Backend::SnpeDsp;
+  const Device q888 = make_device("Q888");
+  const auto rd = simulate_inference(q888, trace, dsp, "mem");
+  const auto rc = simulate_inference(q888, trace, {}, "mem");
+  EXPECT_LT(rd.cpu_utilisation, rc.cpu_utilisation);
+}
+
+// Property sweep: on every device, scaling a model up (resolution or
+// batch) never makes it faster, and energy moves with latency.
+class DeviceMonotonicity
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {};
+
+TEST_P(DeviceMonotonicity, BiggerModelsAreNeverFaster) {
+  const auto [device_name, archetype] = GetParam();
+  const Device dev = make_device(device_name);
+  double prev_latency = 0.0;
+  for (int res : {32, 64, 96}) {
+    nn::ZooSpec spec;
+    spec.archetype = archetype;
+    spec.resolution = res;
+    spec.seed = 7;  // same weights-distribution family
+    const auto trace = nn::trace_model(nn::build_model(spec));
+    ASSERT_TRUE(trace.ok());
+    // Use the same variation key so only the model size changes.
+    const auto r = simulate_inference(dev, trace.value(), {}, "mono-key");
+    EXPECT_GT(r.latency_s, prev_latency)
+        << device_name << "/" << archetype << " res " << res;
+    EXPECT_GT(r.energy_j, 0.0);
+    prev_latency = r.latency_s;
+  }
+}
+
+TEST_P(DeviceMonotonicity, BatchNeverReducesLatency) {
+  const auto [device_name, archetype] = GetParam();
+  const Device dev = make_device(device_name);
+  nn::ZooSpec spec;
+  spec.archetype = archetype;
+  spec.resolution = 48;
+  const auto trace = nn::trace_model(nn::build_model(spec));
+  ASSERT_TRUE(trace.ok());
+  double prev = 0.0;
+  for (int batch : {1, 2, 4, 8, 16}) {
+    RunConfig config;
+    config.batch = batch;
+    const auto r = simulate_inference(dev, trace.value(), config, "batch-key");
+    EXPECT_GT(r.latency_s, prev);
+    prev = r.latency_s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DeviceMonotonicity,
+    ::testing::Combine(::testing::Values("A20", "A70", "S21", "Q845", "Q855",
+                                         "Q888"),
+                       ::testing::Values("mobilenet", "fssd", "unet")));
+
+TEST(Trace, A16ActivationBytesAreTracked) {
+  nn::ZooSpec spec;
+  spec.archetype = "contournet";
+  spec.resolution = 32;
+  nn::Graph g = nn::build_model(spec);
+  auto fp32 = nn::trace_model(g);
+  for (auto& layer : g.layers()) layer.act_bits = 16;
+  auto a16 = nn::trace_model(g);
+  ASSERT_TRUE(fp32.ok() && a16.ok());
+  EXPECT_LT(a16.value().total_bytes, fp32.value().total_bytes);
+  EXPECT_GT(a16.value().total_bytes, fp32.value().total_bytes / 3);
+}
+
+}  // namespace
+}  // namespace gauge::device

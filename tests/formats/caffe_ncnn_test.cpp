@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "formats/caffe.hpp"
+#include "formats/ncnn.hpp"
+#include "formats/tfl.hpp"
+#include "formats/validate.hpp"
+#include "nn/checksum.hpp"
+#include "nn/interp.hpp"
+#include "nn/zoo.hpp"
+
+namespace gauge::formats {
+namespace {
+
+nn::Graph sample(const std::string& arch, std::uint64_t seed = 1) {
+  nn::ZooSpec spec;
+  spec.archetype = arch;
+  spec.resolution = 32;
+  spec.seed = seed;
+  return nn::build_model(spec);
+}
+
+// ----------------------------------------------------------------- caffe
+
+TEST(Caffe, DialectSupport) {
+  // audiocnn is pure conv/pool/dense/act -> expressible.
+  EXPECT_TRUE(caffe_supports(sample("audiocnn")));
+  // mobilenet has depthwise convs -> not in the caffe dialect.
+  EXPECT_FALSE(caffe_supports(sample("mobilenet")));
+  // wordrnn has embedding/lstm -> no.
+  EXPECT_FALSE(caffe_supports(sample("wordrnn")));
+}
+
+TEST(Caffe, WriteRejectsUnsupported) {
+  EXPECT_FALSE(write_caffe(sample("mobilenet")).ok());
+}
+
+TEST(Caffe, PrototxtLooksLikeCaffe) {
+  const auto model = write_caffe(sample("audiocnn"));
+  ASSERT_TRUE(model.ok()) << model.error();
+  EXPECT_TRUE(looks_like_prototxt(model.value().prototxt));
+  EXPECT_NE(model.value().prototxt.find("layer {"), std::string::npos);
+  EXPECT_NE(model.value().prototxt.find("type: \"Convolution\""),
+            std::string::npos);
+  EXPECT_TRUE(looks_like_caffemodel(model.value().caffemodel));
+}
+
+TEST(Caffe, RoundtripPreservesInference) {
+  const nn::Graph original = sample("audiocnn", 5);
+  const auto model = write_caffe(original);
+  ASSERT_TRUE(model.ok()) << model.error();
+  const auto restored = read_caffe(model.value().prototxt, model.value().caffemodel);
+  ASSERT_TRUE(restored.ok()) << restored.error();
+
+  auto inputs = nn::random_inputs(original, 55);
+  ASSERT_TRUE(inputs.ok());
+  nn::Interpreter a{original};
+  nn::Interpreter b{restored.value()};
+  const auto oa = a.run(inputs.value());
+  const auto ob = b.run(inputs.value());
+  ASSERT_TRUE(oa.ok()) << oa.error();
+  ASSERT_TRUE(ob.ok()) << ob.error();
+  for (std::size_t i = 0; i < oa.value()[0].f32().size(); ++i) {
+    EXPECT_NEAR(oa.value()[0].f32()[i], ob.value()[0].f32()[i], 1e-5f);
+  }
+}
+
+TEST(Caffe, SeparateWeightFileChecksumsDiffer) {
+  // Two same-architecture models with different weights must share the
+  // prototxt but differ in the caffemodel (paper's two-file checksum note).
+  const auto m1 = write_caffe(sample("audiocnn", 1));
+  const auto m2 = write_caffe(sample("audiocnn", 2));
+  ASSERT_TRUE(m1.ok() && m2.ok());
+  EXPECT_EQ(m1.value().prototxt, m2.value().prototxt);
+  EXPECT_NE(m1.value().caffemodel, m2.value().caffemodel);
+}
+
+TEST(Caffe, RejectsGarbagePrototxt) {
+  EXPECT_FALSE(read_caffe("definitely not caffe", {}).ok());
+  EXPECT_FALSE(looks_like_prototxt("{\"json\": true}"));
+}
+
+TEST(Caffe, RejectsMismatchedWeights) {
+  const auto model = write_caffe(sample("audiocnn"));
+  ASSERT_TRUE(model.ok());
+  const util::Bytes junk = util::to_bytes("XXXXjunkjunk");
+  EXPECT_FALSE(read_caffe(model.value().prototxt, junk).ok());
+}
+
+TEST(Caffe, RejectsUnknownBottom) {
+  const std::string bad =
+      "name: \"x\"\n"
+      "layer { name: \"r\" type: \"ReLU\" bottom: \"ghost\" top: \"r\" }\n";
+  util::ByteWriter w;
+  w.raw(std::string_view{kCaffeWeightsMagic, 4});
+  w.u32(0);
+  EXPECT_FALSE(read_caffe(bad, w.bytes()).ok());
+}
+
+// ------------------------------------------------------------------ ncnn
+
+TEST(Ncnn, DialectSupport) {
+  EXPECT_TRUE(ncnn_supports(sample("mobilenet")));
+  EXPECT_TRUE(ncnn_supports(sample("unet")));
+  EXPECT_FALSE(ncnn_supports(sample("wordrnn")));   // embedding/lstm/slice
+  EXPECT_FALSE(ncnn_supports(sample("speechrnn"))); // lstm
+}
+
+TEST(Ncnn, ParamMagicFirstLine) {
+  const auto model = write_ncnn(sample("mobilenet"));
+  ASSERT_TRUE(model.ok()) << model.error();
+  EXPECT_EQ(model.value().param.substr(0, 7), "7767517");
+  EXPECT_TRUE(looks_like_ncnn_param(model.value().param));
+}
+
+TEST(Ncnn, RoundtripPreservesInference) {
+  const nn::Graph original = sample("unet", 5);
+  const auto model = write_ncnn(original);
+  ASSERT_TRUE(model.ok()) << model.error();
+  const auto restored = read_ncnn(model.value().param, model.value().bin);
+  ASSERT_TRUE(restored.ok()) << restored.error();
+
+  auto inputs = nn::random_inputs(original, 77);
+  ASSERT_TRUE(inputs.ok());
+  nn::Interpreter a{original};
+  nn::Interpreter b{restored.value()};
+  const auto oa = a.run(inputs.value());
+  const auto ob = b.run(inputs.value());
+  ASSERT_TRUE(oa.ok()) << oa.error();
+  ASSERT_TRUE(ob.ok()) << ob.error();
+  for (std::size_t i = 0; i < oa.value()[0].f32().size(); ++i) {
+    EXPECT_NEAR(oa.value()[0].f32()[i], ob.value()[0].f32()[i], 1e-5f);
+  }
+}
+
+TEST(Ncnn, RejectsBadMagic) {
+  EXPECT_FALSE(looks_like_ncnn_param("1234567\n2 2\n"));
+  EXPECT_FALSE(read_ncnn("1234567\n2 2\n", {}).ok());
+}
+
+TEST(Ncnn, RejectsTruncatedBin) {
+  const auto model = write_ncnn(sample("mobilenet"));
+  ASSERT_TRUE(model.ok());
+  util::Bytes half{model.value().bin.begin(),
+                   model.value().bin.begin() +
+                       static_cast<std::ptrdiff_t>(model.value().bin.size() / 2)};
+  EXPECT_FALSE(read_ncnn(model.value().param, half).ok());
+}
+
+TEST(Ncnn, RejectsUnknownBlob) {
+  const std::string bad = "7767517\n1 1\nReLU r 1 1 ghost out\n";
+  EXPECT_FALSE(read_ncnn(bad, {}).ok());
+}
+
+// ------------------------------------------------------------- validation
+
+TEST(Validate, AcceptsRealModels) {
+  const auto tfl = formats::write_tfl(sample("mobilenet"));
+  EXPECT_EQ(validate_signature("assets/m.tflite", tfl), Framework::TfLite);
+
+  const auto ncnn = write_ncnn(sample("mobilenet"));
+  ASSERT_TRUE(ncnn.ok());
+  EXPECT_EQ(validate_signature("assets/m.param",
+                               util::as_span(ncnn.value().param)),
+            Framework::Ncnn);
+
+  const auto caffe = write_caffe(sample("audiocnn"));
+  ASSERT_TRUE(caffe.ok());
+  EXPECT_EQ(validate_signature("assets/m.prototxt",
+                               util::as_span(caffe.value().prototxt)),
+            Framework::Caffe);
+  EXPECT_EQ(validate_signature("assets/m.caffemodel", caffe.value().caffemodel),
+            Framework::Caffe);
+}
+
+TEST(Validate, RejectsWrongExtensionForContent) {
+  const auto tfl = write_tfl(sample("mobilenet"));
+  // Content is TFL but extension .png is not a candidate at all.
+  EXPECT_FALSE(is_valid_model_file("icon.png", tfl));
+}
+
+TEST(Validate, RejectsCandidateWithWrongSignature) {
+  // .pb is a candidate extension for 6 frameworks, but random bytes carry no
+  // valid signature -> extraction failure (as in the paper).
+  const util::Bytes junk = util::to_bytes("random protobuffer-ish bytes");
+  EXPECT_FALSE(is_valid_model_file("frozen_graph.pb", junk));
+  EXPECT_FALSE(is_valid_model_file("model.onnx", junk));
+  EXPECT_FALSE(is_valid_model_file("model.json", junk));
+}
+
+TEST(Validate, RejectsEncryptedModel) {
+  auto tfl = write_tfl(sample("mobilenet"));
+  for (auto& b : tfl) b ^= 0xA7;
+  EXPECT_FALSE(is_valid_model_file("assets/enc.tflite", tfl));
+}
+
+TEST(Validate, BinExtensionNeedsTflSignature) {
+  // .bin is claimed by TFLite/ncnn/PyTorch; only a TFL3 signature validates
+  // (ncnn .bin weight blobs are validated through their .param sibling).
+  const auto tfl = write_tfl(sample("mobilenet"));
+  EXPECT_EQ(validate_signature("weights.bin", tfl), Framework::TfLite);
+  const auto ncnn = write_ncnn(sample("mobilenet"));
+  ASSERT_TRUE(ncnn.ok());
+  EXPECT_FALSE(is_valid_model_file("weights.bin", ncnn.value().bin));
+}
+
+}  // namespace
+}  // namespace gauge::formats

@@ -1,0 +1,90 @@
+#include "formats/convert.hpp"
+
+#include <gtest/gtest.h>
+
+#include "formats/caffe.hpp"
+#include "formats/ncnn.hpp"
+#include "formats/tfl.hpp"
+#include "nn/checksum.hpp"
+#include "nn/describe.hpp"
+#include "nn/zoo.hpp"
+
+namespace gauge::formats {
+namespace {
+
+nn::Graph sample(const std::string& arch) {
+  nn::ZooSpec spec;
+  spec.archetype = arch;
+  spec.resolution = 32;
+  spec.seed = 6;
+  return nn::build_model(spec);
+}
+
+TEST(Convert, TfliteToDlcPreservesModel) {
+  // The SNPE-app pattern: one model shipped as both .tflite and .dlc.
+  const nn::Graph g = sample("mobilenet");
+  const auto dlc = convert_to(g, Framework::Snpe);
+  ASSERT_TRUE(dlc.ok()) << dlc.error();
+  EXPECT_TRUE(looks_like_dlc(dlc.value().primary));
+  const auto back = read_dlc(dlc.value().primary);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(nn::model_checksum(back.value()), nn::model_checksum(g));
+}
+
+TEST(Convert, CaffeRoundtripThroughConverter) {
+  const nn::Graph g = sample("audiocnn");
+  ASSERT_TRUE(convertible_to(g, Framework::Caffe));
+  const auto model = convert_to(g, Framework::Caffe);
+  ASSERT_TRUE(model.ok()) << model.error();
+  ASSERT_TRUE(model.value().has_weights_file);
+  const auto back =
+      read_caffe(std::string{util::as_view(model.value().primary)},
+                 model.value().weights);
+  ASSERT_TRUE(back.ok()) << back.error();
+  // caffe stores weights as float; architecture identity is preserved.
+  EXPECT_EQ(nn::architecture_checksum(back.value()),
+            nn::architecture_checksum(g));
+}
+
+TEST(Convert, DialectLimitsAreEnforced) {
+  const nn::Graph rnn = sample("wordrnn");
+  EXPECT_FALSE(convertible_to(rnn, Framework::Caffe));
+  EXPECT_FALSE(convertible_to(rnn, Framework::Ncnn));
+  EXPECT_FALSE(convert_to(rnn, Framework::Caffe).ok());
+  EXPECT_TRUE(convertible_to(rnn, Framework::TfLite));
+  EXPECT_TRUE(convert_to(rnn, Framework::TfLite).ok());
+}
+
+TEST(Convert, NcnnTwinMatchesArchitecture) {
+  const nn::Graph g = sample("unet");
+  const auto model = convert_to(g, Framework::Ncnn);
+  ASSERT_TRUE(model.ok()) << model.error();
+  const auto back = read_ncnn(std::string{util::as_view(model.value().primary)},
+                              model.value().weights);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(nn::architecture_checksum(back.value()),
+            nn::architecture_checksum(g));
+}
+
+TEST(Convert, UnsupportedTargetsFail) {
+  EXPECT_FALSE(convertible_to(sample("mobilenet"), Framework::Onnx));
+  EXPECT_FALSE(convert_to(sample("mobilenet"), Framework::PyTorch).ok());
+}
+
+TEST(Describe, SummarisesModel) {
+  const nn::Graph g = sample("blazeface");
+  const std::string text = nn::describe(g);
+  EXPECT_NE(text.find("blazeface"), std::string::npos);
+  EXPECT_NE(text.find("conv2d"), std::string::npos);
+  EXPECT_NE(text.find("MFLOPs"), std::string::npos);
+  // One row per layer plus headers/rules.
+  EXPECT_GT(std::count(text.begin(), text.end(), '\n'), static_cast<long>(g.size()));
+}
+
+TEST(Describe, EmptyOnInvalidGraph) {
+  nn::Graph empty;
+  EXPECT_TRUE(nn::describe(empty).empty());
+}
+
+}  // namespace
+}  // namespace gauge::formats

@@ -1,0 +1,157 @@
+// Corruption-robustness sweeps: the extraction pipeline feeds parsers with
+// whatever bytes ship inside APKs, so every reader must survive arbitrary
+// mutation/truncation — returning an error or a still-valid graph, never
+// crashing or hanging.
+#include <gtest/gtest.h>
+
+#include "android/apk.hpp"
+#include "android/dex.hpp"
+#include "formats/caffe.hpp"
+#include "formats/ncnn.hpp"
+#include "formats/tfl.hpp"
+#include "nn/zoo.hpp"
+#include "util/rng.hpp"
+#include "zipfile/zip.hpp"
+
+namespace gauge {
+namespace {
+
+nn::Graph sample_graph(const std::string& arch) {
+  nn::ZooSpec spec;
+  spec.archetype = arch;
+  spec.resolution = 32;
+  spec.seed = 3;
+  return nn::build_model(spec);
+}
+
+// Applies `mutations` random byte flips and possibly a truncation.
+util::Bytes mutate(util::Bytes bytes, util::Rng& rng, int mutations) {
+  if (bytes.empty()) return bytes;
+  for (int i = 0; i < mutations; ++i) {
+    bytes[rng.uniform_u64(bytes.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.uniform_u64(255));
+  }
+  if (rng.bernoulli(0.3)) {
+    bytes.resize(rng.uniform_u64(bytes.size() + 1));
+  }
+  return bytes;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzz, TflNeverCrashes) {
+  util::Rng rng{static_cast<std::uint64_t>(1000 + GetParam())};
+  const auto original = formats::write_tfl(sample_graph("mobilenet"));
+  for (int round = 0; round < 20; ++round) {
+    const auto bytes = mutate(original, rng, 1 + static_cast<int>(rng.uniform_u64(16)));
+    const auto result = formats::read_tfl(bytes);
+    if (result.ok()) {
+      EXPECT_TRUE(result.value().validate().ok());
+    }
+  }
+}
+
+TEST_P(ParserFuzz, CaffeNeverCrashes) {
+  util::Rng rng{static_cast<std::uint64_t>(2000 + GetParam())};
+  const auto model = formats::write_caffe(sample_graph("audiocnn"));
+  ASSERT_TRUE(model.ok());
+  const auto proto = util::to_bytes(model.value().prototxt);
+  for (int round = 0; round < 20; ++round) {
+    const auto bad_proto = mutate(proto, rng, 1 + static_cast<int>(rng.uniform_u64(8)));
+    const auto bad_weights =
+        mutate(model.value().caffemodel, rng, 1 + static_cast<int>(rng.uniform_u64(8)));
+    const auto result = formats::read_caffe(
+        std::string{util::as_view(bad_proto)}, bad_weights);
+    if (result.ok()) {
+      EXPECT_TRUE(result.value().validate().ok());
+    }
+  }
+}
+
+TEST_P(ParserFuzz, NcnnNeverCrashes) {
+  util::Rng rng{static_cast<std::uint64_t>(3000 + GetParam())};
+  const auto model = formats::write_ncnn(sample_graph("unet"));
+  ASSERT_TRUE(model.ok());
+  const auto param = util::to_bytes(model.value().param);
+  for (int round = 0; round < 20; ++round) {
+    const auto bad_param = mutate(param, rng, 1 + static_cast<int>(rng.uniform_u64(8)));
+    const auto bad_bin =
+        mutate(model.value().bin, rng, 1 + static_cast<int>(rng.uniform_u64(8)));
+    const auto result =
+        formats::read_ncnn(std::string{util::as_view(bad_param)}, bad_bin);
+    if (result.ok()) {
+      EXPECT_TRUE(result.value().validate().ok());
+    }
+  }
+}
+
+TEST_P(ParserFuzz, ZipNeverCrashes) {
+  util::Rng rng{static_cast<std::uint64_t>(4000 + GetParam())};
+  zipfile::ZipWriter writer;
+  writer.add("a/b.txt", std::string_view{"the quick brown fox"});
+  writer.add("c.bin", std::string_view{std::string(500, 'x')});
+  const auto original = writer.finish();
+  for (int round = 0; round < 20; ++round) {
+    auto reader = zipfile::ZipReader::open(
+        mutate(original, rng, 1 + static_cast<int>(rng.uniform_u64(8))));
+    if (reader.ok()) {
+      for (const auto& entry : reader.value().entries()) {
+        (void)reader.value().read(entry.name);  // must not crash
+      }
+    }
+  }
+}
+
+TEST_P(ParserFuzz, DexNeverCrashes) {
+  util::Rng rng{static_cast<std::uint64_t>(5000 + GetParam())};
+  android::DexFile dex;
+  dex.classes = {"Lcom/a/B;", "Lcom/a/C;"};
+  dex.strings = {"https://example.com", "const"};
+  const auto original = android::write_dex(dex);
+  for (int round = 0; round < 20; ++round) {
+    const auto result = android::read_dex(
+        mutate(original, rng, 1 + static_cast<int>(rng.uniform_u64(8))));
+    if (result.ok()) {
+      (void)android::to_smali(result.value());
+    }
+  }
+}
+
+TEST_P(ParserFuzz, ApkNeverCrashes) {
+  util::Rng rng{static_cast<std::uint64_t>(6000 + GetParam())};
+  android::ApkSpec spec;
+  spec.manifest.package = "com.fuzz.app";
+  spec.dex.classes = {"Lcom/fuzz/app/Main;"};
+  spec.files.emplace_back("assets/m.tflite",
+                          formats::write_tfl(sample_graph("sensormlp")));
+  const auto original = android::build_apk(spec);
+  for (int round = 0; round < 10; ++round) {
+    auto apk = android::Apk::open(
+        mutate(original, rng, 1 + static_cast<int>(rng.uniform_u64(8))));
+    if (apk.ok()) {
+      for (const auto& name : apk.value().entry_names()) {
+        (void)apk.value().read(name);
+      }
+      (void)apk.value().native_libs();
+    }
+  }
+}
+
+TEST_P(ParserFuzz, PureGarbageRejectedEverywhere) {
+  util::Rng rng{static_cast<std::uint64_t>(7000 + GetParam())};
+  util::Bytes garbage(256 + rng.uniform_u64(4096));
+  for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  EXPECT_FALSE(formats::read_tfl(garbage).ok());
+  EXPECT_FALSE(formats::read_dlc(garbage).ok());
+  EXPECT_FALSE(formats::read_tf_pb(garbage).ok());
+  EXPECT_FALSE(android::read_dex(garbage).ok());
+  EXPECT_FALSE(
+      formats::read_caffe(std::string{util::as_view(garbage)}, garbage).ok());
+  EXPECT_FALSE(
+      formats::read_ncnn(std::string{util::as_view(garbage)}, garbage).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace gauge

@@ -1,0 +1,74 @@
+#include "formats/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace gauge::formats {
+namespace {
+
+TEST(Registry, TableHas18Frameworks) {
+  EXPECT_EQ(format_table().size(), 18u);
+  std::set<Framework> seen;
+  for (const auto& entry : format_table()) seen.insert(entry.framework);
+  EXPECT_EQ(seen.size(), 18u);
+}
+
+TEST(Registry, TableHas69ExtensionEntries) {
+  // Appendix Table 5 lists 69 framework/extension pairs.
+  std::size_t total = 0;
+  for (const auto& entry : format_table()) total += entry.extensions.size();
+  EXPECT_EQ(total, 69u);
+}
+
+TEST(Registry, TfliteExtensionsResolve) {
+  const auto fws = candidate_frameworks("assets/detector.tflite");
+  ASSERT_EQ(fws.size(), 1u);
+  EXPECT_EQ(fws[0], Framework::TfLite);
+}
+
+TEST(Registry, SharedExtensionsReturnAllCandidates) {
+  // .pb is claimed by ONNX, Keras, Caffe2, PyTorch, TFLite and TF.
+  const auto fws = candidate_frameworks("model.pb");
+  EXPECT_EQ(fws.size(), 6u);
+  EXPECT_NE(std::find(fws.begin(), fws.end(), Framework::TensorFlow), fws.end());
+  EXPECT_NE(std::find(fws.begin(), fws.end(), Framework::TfLite), fws.end());
+}
+
+TEST(Registry, DoubleExtensions) {
+  const auto pth_tar = candidate_frameworks("weights.pth.tar");
+  ASSERT_FALSE(pth_tar.empty());
+  EXPECT_NE(std::find(pth_tar.begin(), pth_tar.end(), Framework::PyTorch),
+            pth_tar.end());
+  const auto cfg = candidate_frameworks("net.cfg.ncnn");
+  ASSERT_EQ(cfg.size(), 1u);
+  EXPECT_EQ(cfg[0], Framework::Ncnn);
+}
+
+TEST(Registry, CaseInsensitive) {
+  EXPECT_TRUE(is_candidate_model_file("Model.TFLITE"));
+  EXPECT_TRUE(is_candidate_model_file("NET.PARAM"));
+}
+
+TEST(Registry, NonModelFilesRejected) {
+  EXPECT_FALSE(is_candidate_model_file("res/drawable/icon.png"));
+  EXPECT_FALSE(is_candidate_model_file("classes.dex"));
+  EXPECT_FALSE(is_candidate_model_file("noextension"));
+  EXPECT_FALSE(is_candidate_model_file("lib/arm64-v8a/libfoo.so"));
+}
+
+TEST(Registry, EveryFrameworkHasAName) {
+  for (const auto& entry : format_table()) {
+    EXPECT_STRNE(framework_name(entry.framework), "?");
+  }
+}
+
+TEST(Registry, SnpeDlc) {
+  const auto fws = candidate_frameworks("model.dlc");
+  ASSERT_EQ(fws.size(), 1u);
+  EXPECT_EQ(fws[0], Framework::Snpe);
+}
+
+}  // namespace
+}  // namespace gauge::formats

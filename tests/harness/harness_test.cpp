@@ -1,0 +1,334 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "harness/adb.hpp"
+#include "harness/agent.hpp"
+#include "harness/usbhub.hpp"
+#include "harness/workflow.hpp"
+#include "net/socket.hpp"
+#include "nn/trace.hpp"
+#include "nn/zoo.hpp"
+#include "util/stats.hpp"
+
+namespace gauge::harness {
+namespace {
+
+nn::ModelTrace sample_trace() {
+  nn::ZooSpec spec;
+  spec.archetype = "mobilenet";
+  spec.resolution = 48;
+  spec.seed = 3;
+  auto trace = nn::trace_model(nn::build_model(spec));
+  EXPECT_TRUE(trace.ok());
+  return std::move(trace).take();
+}
+
+BenchmarkJob sample_job(const std::string& id = "job-1") {
+  BenchmarkJob job;
+  job.job_id = id;
+  job.model_key = "mobilenet-48";
+  job.trace = sample_trace();
+  job.warmup_iterations = 3;
+  job.iterations = 10;
+  job.sleep_between_s = 0.02;
+  return job;
+}
+
+// -------------------------------------------------------------------- net
+
+TEST(Net, LoopbackLineRoundtrip) {
+  auto listener = net::TcpListener::bind(0);
+  ASSERT_TRUE(listener.ok()) << listener.error();
+  const auto port = listener.value().port();
+  ASSERT_GT(port, 0);
+
+  std::thread client{[port] {
+    auto stream = net::TcpStream::connect("127.0.0.1", port);
+    ASSERT_TRUE(stream.ok()) << stream.error();
+    ASSERT_TRUE(stream.value().send_line("hello from device").ok());
+    auto reply = stream.value().recv_line();
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply.value(), "ack");
+  }};
+
+  auto server = listener.value().accept();
+  ASSERT_TRUE(server.ok()) << server.error();
+  auto line = server.value().recv_line();
+  ASSERT_TRUE(line.ok()) << line.error();
+  EXPECT_EQ(line.value(), "hello from device");
+  ASSERT_TRUE(server.value().send_line("ack").ok());
+  client.join();
+}
+
+TEST(Net, MultipleLinesBuffered) {
+  auto listener = net::TcpListener::bind(0);
+  ASSERT_TRUE(listener.ok());
+  const auto port = listener.value().port();
+  std::thread client{[port] {
+    auto stream = net::TcpStream::connect("127.0.0.1", port);
+    ASSERT_TRUE(stream.ok());
+    ASSERT_TRUE(stream.value().send_line("one").ok());
+    ASSERT_TRUE(stream.value().send_line("two").ok());
+  }};
+  auto server = listener.value().accept();
+  ASSERT_TRUE(server.ok());
+  EXPECT_EQ(server.value().recv_line().value(), "one");
+  EXPECT_EQ(server.value().recv_line().value(), "two");
+  client.join();
+}
+
+TEST(Net, LargeLineCrossesRecvChunks) {
+  // Lines larger than the 512-byte recv chunk must reassemble correctly.
+  auto listener = net::TcpListener::bind(0);
+  ASSERT_TRUE(listener.ok());
+  const auto port = listener.value().port();
+  const std::string payload(10'000, 'x');
+  std::thread client{[port, &payload] {
+    auto stream = net::TcpStream::connect("127.0.0.1", port);
+    ASSERT_TRUE(stream.ok());
+    ASSERT_TRUE(stream.value().send_line(payload).ok());
+  }};
+  auto server = listener.value().accept();
+  ASSERT_TRUE(server.ok());
+  auto line = server.value().recv_line();
+  client.join();
+  ASSERT_TRUE(line.ok()) << line.error();
+  EXPECT_EQ(line.value(), payload);
+}
+
+TEST(Net, EmptyLineIsDelivered) {
+  auto listener = net::TcpListener::bind(0);
+  ASSERT_TRUE(listener.ok());
+  const auto port = listener.value().port();
+  std::thread client{[port] {
+    auto stream = net::TcpStream::connect("127.0.0.1", port);
+    ASSERT_TRUE(stream.ok());
+    ASSERT_TRUE(stream.value().send_line("").ok());
+    ASSERT_TRUE(stream.value().send_line("after").ok());
+  }};
+  auto server = listener.value().accept();
+  ASSERT_TRUE(server.ok());
+  EXPECT_EQ(server.value().recv_line().value(), "");
+  EXPECT_EQ(server.value().recv_line().value(), "after");
+  client.join();
+}
+
+TEST(Net, SequentialAcceptsOnOneListener) {
+  auto listener = net::TcpListener::bind(0);
+  ASSERT_TRUE(listener.ok());
+  const auto port = listener.value().port();
+  for (int round = 0; round < 3; ++round) {
+    std::thread client{[port, round] {
+      auto stream = net::TcpStream::connect("127.0.0.1", port);
+      ASSERT_TRUE(stream.ok());
+      ASSERT_TRUE(stream.value().send_line("round " + std::to_string(round)).ok());
+    }};
+    auto server = listener.value().accept();
+    ASSERT_TRUE(server.ok());
+    EXPECT_EQ(server.value().recv_line().value(),
+              "round " + std::to_string(round));
+    client.join();
+  }
+}
+
+TEST(Net, ConnectToClosedPortFails) {
+  // Bind then drop a listener to find a (very likely) free port.
+  std::uint16_t port;
+  {
+    auto listener = net::TcpListener::bind(0);
+    ASSERT_TRUE(listener.ok());
+    port = listener.value().port();
+  }
+  EXPECT_FALSE(net::TcpStream::connect("127.0.0.1", port).ok());
+}
+
+TEST(Net, RecvOnClosedPeerFails) {
+  auto listener = net::TcpListener::bind(0);
+  ASSERT_TRUE(listener.ok());
+  const auto port = listener.value().port();
+  std::thread client{[port] {
+    auto stream = net::TcpStream::connect("127.0.0.1", port);
+    ASSERT_TRUE(stream.ok());
+    // close immediately without sending a full line
+  }};
+  auto server = listener.value().accept();
+  ASSERT_TRUE(server.ok());
+  client.join();
+  EXPECT_FALSE(server.value().recv_line().ok());
+}
+
+// -------------------------------------------------------------------- hub
+
+TEST(UsbHub, ChannelsToggle) {
+  UsbHub hub{2};
+  EXPECT_TRUE(hub.data_on(0));
+  EXPECT_TRUE(hub.power_on(1));
+  hub.disconnect(0);
+  EXPECT_FALSE(hub.data_on(0));
+  EXPECT_FALSE(hub.power_on(0));
+  EXPECT_TRUE(hub.data_on(1));
+  hub.reconnect(0);
+  EXPECT_TRUE(hub.power_on(0));
+}
+
+// -------------------------------------------------------------------- adb
+
+TEST(Adb, PushPullRequiresDataChannel) {
+  UsbHub hub{1};
+  DeviceAgent agent{device::make_device("Q845")};
+  AdbConnection adb{hub, 0, agent};
+
+  ASSERT_TRUE(adb.push("/data/local/tmp/x", util::to_bytes("abc")).ok());
+  auto pulled = adb.pull("/data/local/tmp/x");
+  ASSERT_TRUE(pulled.ok());
+  EXPECT_EQ(util::as_view(pulled.value()), "abc");
+
+  hub.set_data(0, false);
+  EXPECT_FALSE(adb.push("/y", util::to_bytes("z")).ok());
+  EXPECT_FALSE(adb.pull("/data/local/tmp/x").ok());
+  EXPECT_FALSE(adb.assert_benchmark_state().ok());
+
+  hub.set_data(0, true);
+  ASSERT_TRUE(adb.remove_all().ok());
+  EXPECT_FALSE(agent.has_file("/data/local/tmp/x"));
+}
+
+TEST(Adb, AssertBenchmarkStateSetsFlags) {
+  UsbHub hub{1};
+  DeviceAgent agent{device::make_device("Q855")};
+  AdbConnection adb{hub, 0, agent};
+  ASSERT_TRUE(adb.assert_benchmark_state().ok());
+  EXPECT_FALSE(agent.state().wifi_on);
+  EXPECT_FALSE(agent.state().sensors_on);
+  EXPECT_TRUE(agent.state().screen_on);
+  EXPECT_TRUE(agent.state().screen_black);
+  EXPECT_GE(agent.state().screen_timeout_s, 600);
+}
+
+// ------------------------------------------------------------------ agent
+
+TEST(Agent, DaemonProducesLatenciesAndPhases) {
+  DeviceAgent agent{device::make_device("Q845"), 11};
+  agent.state().wifi_on = false;
+  const auto result = agent.run_benchmark_daemon(sample_job());
+  EXPECT_EQ(result.latencies_s.size(), 10u);
+  for (double t : result.latencies_s) EXPECT_GT(t, 0.0);
+  EXPECT_GT(result.energy_per_inference_j, 0.0);
+  EXPECT_GT(result.total_duration_s, 0.0);
+  EXPECT_TRUE(agent.state().wifi_on);  // daemon re-enables WiFi at the end
+  // Phases: idle lead-in + warmups + (run + sleep) per iteration.
+  EXPECT_EQ(agent.last_power_phases().size(), 1u + 3u + 2u * 10u);
+  EXPECT_GT(agent.clock().now_seconds(), 0.0);
+}
+
+TEST(Agent, WarmupsAreSlowerThanSteadyState) {
+  DeviceAgent agent{device::make_device("Q888"), 5};
+  BenchmarkJob job = sample_job("warm");
+  const auto result = agent.run_benchmark_daemon(job);
+  // First warm-up phase duration (index 1, after the idle lead-in) should
+  // exceed the mean measured latency.
+  const double first_warmup = agent.last_power_phases()[1].duration_s;
+  EXPECT_GT(first_warmup, util::mean(result.latencies_s));
+}
+
+// --------------------------------------------------------------- workflow
+
+TEST(Workflow, EndToEndJob) {
+  UsbHub hub{1};
+  DeviceAgent agent{device::make_device("Q845"), 21};
+  BenchmarkMaster master{hub, 0, agent};
+
+  const auto result = master.run_job(sample_job("e2e-1"));
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_EQ(result.value().done_message, "DONE e2e-1");
+  EXPECT_EQ(result.value().job.latencies_s.size(), 10u);
+  EXPECT_GT(result.value().monsoon_energy_j, 0.0);
+  EXPECT_GT(result.value().measured_energy_per_inference_j, 0.0);
+  // The hub cut USB power for the whole run: no charging current polluted
+  // the measurement.
+  EXPECT_DOUBLE_EQ(result.value().usb_energy_j, 0.0);
+  // USB restored, device cleaned up for the next job.
+  EXPECT_TRUE(hub.data_on(0));
+  EXPECT_TRUE(hub.power_on(0));
+  EXPECT_TRUE(agent.list_files().empty());
+}
+
+TEST(Workflow, MonsoonAgreesWithAnalyticEnergy) {
+  UsbHub hub{1};
+  DeviceAgent agent{device::make_device("Q855"), 23};
+  BenchmarkMaster master{hub, 0, agent};
+  const auto result = master.run_job(sample_job("energy-check"));
+  ASSERT_TRUE(result.ok()) << result.error();
+  const double analytic = result.value().job.energy_per_inference_j;
+  const double measured = result.value().measured_energy_per_inference_j;
+  // Within 25%: the Monsoon path includes warmup energy attribution noise.
+  EXPECT_NEAR(measured, analytic, analytic * 0.25);
+}
+
+TEST(Workflow, BatchOfJobsRunsSerially) {
+  UsbHub hub{1};
+  DeviceAgent agent{device::make_device("Q888"), 31};
+  BenchmarkMaster master{hub, 0, agent};
+  std::vector<BenchmarkJob> jobs{sample_job("a"), sample_job("b"),
+                                 sample_job("c")};
+  const auto results = master.run_jobs(jobs);
+  ASSERT_TRUE(results.ok()) << results.error();
+  ASSERT_EQ(results.value().size(), 3u);
+  EXPECT_EQ(results.value()[2].done_message, "DONE c");
+}
+
+TEST(Workflow, FleetRunsDevicesConcurrently) {
+  // One master thread per hub port, as in the paper's Fig. 2 platform.
+  UsbHub hub{3};
+  DeviceAgent q845{device::make_device("Q845"), 41};
+  DeviceAgent q855{device::make_device("Q855"), 42};
+  DeviceAgent q888{device::make_device("Q888"), 43};
+  std::vector<FleetDevice> fleet;
+  fleet.push_back({&q845, {sample_job("f845-a"), sample_job("f845-b")}});
+  fleet.push_back({&q855, {sample_job("f855-a")}});
+  fleet.push_back({&q888, {sample_job("f888-a"), sample_job("f888-b"),
+                           sample_job("f888-c")}});
+
+  const auto results = run_fleet(hub, std::move(fleet));
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].device, "Q845");
+  ASSERT_TRUE(results[0].results.ok()) << results[0].results.error();
+  EXPECT_EQ(results[0].results.value().size(), 2u);
+  ASSERT_TRUE(results[1].results.ok());
+  EXPECT_EQ(results[1].results.value().size(), 1u);
+  ASSERT_TRUE(results[2].results.ok());
+  EXPECT_EQ(results[2].results.value().size(), 3u);
+  EXPECT_EQ(results[2].results.value()[2].done_message, "DONE f888-c");
+  // All ports restored.
+  for (std::size_t p = 0; p < 3; ++p) {
+    EXPECT_TRUE(hub.data_on(p));
+    EXPECT_TRUE(hub.power_on(p));
+  }
+}
+
+TEST(Workflow, FleetIsolatesFailures) {
+  UsbHub hub{2};
+  hub.set_data(1, false);  // second device offline
+  DeviceAgent ok_dev{device::make_device("Q845"), 51};
+  DeviceAgent dead_dev{device::make_device("Q855"), 52};
+  std::vector<FleetDevice> fleet;
+  fleet.push_back({&ok_dev, {sample_job("alive")}});
+  fleet.push_back({&dead_dev, {sample_job("dead")}});
+  const auto results = run_fleet(hub, std::move(fleet));
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].results.ok());
+  EXPECT_FALSE(results[1].results.ok());
+}
+
+TEST(Workflow, FailsWhenDeviceAlreadyOffline) {
+  UsbHub hub{1};
+  hub.set_data(0, false);
+  DeviceAgent agent{device::make_device("Q845")};
+  BenchmarkMaster master{hub, 0, agent};
+  const auto result = master.run_job(sample_job());
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace gauge::harness

@@ -1,0 +1,131 @@
+#include "nn/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/zoo.hpp"
+
+namespace gauge::nn {
+namespace {
+
+ZooSpec spec_of(const std::string& arch, std::uint64_t seed) {
+  ZooSpec spec;
+  spec.archetype = arch;
+  spec.resolution = 32;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(Checksum, IdenticalModelsMatch) {
+  const Graph a = build_model(spec_of("mobilenet", 1));
+  const Graph b = build_model(spec_of("mobilenet", 1));
+  EXPECT_EQ(model_checksum(a), model_checksum(b));
+  EXPECT_EQ(architecture_checksum(a), architecture_checksum(b));
+}
+
+TEST(Checksum, DifferentSeedsDifferInWeightsOnly) {
+  const Graph a = build_model(spec_of("mobilenet", 1));
+  const Graph b = build_model(spec_of("mobilenet", 2));
+  EXPECT_NE(model_checksum(a), model_checksum(b));
+  EXPECT_EQ(architecture_checksum(a), architecture_checksum(b));
+}
+
+TEST(Checksum, DifferentArchitecturesDiffer) {
+  const Graph a = build_model(spec_of("mobilenet", 1));
+  const Graph b = build_model(spec_of("fssd", 1));
+  EXPECT_NE(architecture_checksum(a), architecture_checksum(b));
+}
+
+TEST(Checksum, LayerDigestCountMatchesWeightedLayers) {
+  const Graph g = build_model(spec_of("mobilenet", 1));
+  std::size_t weighted = 0;
+  for (const auto& layer : g.layers()) {
+    if (layer.has_weights()) ++weighted;
+  }
+  EXPECT_EQ(layer_weight_checksums(g).size(), weighted);
+}
+
+TEST(Checksum, FinetunedSharesPrefixLayers) {
+  const Graph base = build_model(spec_of("mobilenet", 7));
+  const Graph tuned = make_finetuned(base, 2, 555);
+
+  // Same architecture, different full checksum.
+  EXPECT_EQ(architecture_checksum(base), architecture_checksum(tuned));
+  EXPECT_NE(model_checksum(base), model_checksum(tuned));
+
+  const auto base_digests = layer_weight_checksums(base);
+  const auto tuned_digests = layer_weight_checksums(tuned);
+  const int differing = differing_layer_count(base_digests, tuned_digests);
+  EXPECT_EQ(differing, 2);
+
+  const double shared = shared_layer_fraction(tuned_digests, base_digests);
+  EXPECT_GT(shared, 0.5);
+  EXPECT_LT(shared, 1.0);
+}
+
+TEST(Checksum, FinetuneAllLayersSharesNothing) {
+  const Graph base = build_model(spec_of("contournet", 3));
+  const Graph tuned = make_finetuned(base, 100, 556);
+  const double shared = shared_layer_fraction(
+      layer_weight_checksums(tuned), layer_weight_checksums(base));
+  EXPECT_DOUBLE_EQ(shared, 0.0);
+}
+
+TEST(Checksum, SharedFractionHandlesDuplicates) {
+  const std::vector<std::string> a{"x", "x", "y"};
+  const std::vector<std::string> b{"x", "z"};
+  // Only one of a's two "x" digests can be matched against b.
+  EXPECT_NEAR(shared_layer_fraction(a, b), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(shared_layer_fraction({}, b), 0.0);
+}
+
+TEST(Checksum, DifferingLayerCountRequiresSameLength) {
+  EXPECT_EQ(differing_layer_count({"a"}, {"a", "b"}), -1);
+  EXPECT_EQ(differing_layer_count({"a", "b"}, {"a", "c"}), 1);
+  EXPECT_EQ(differing_layer_count({}, {}), 0);
+}
+
+TEST(Checksum, QuantisationChangesChecksum) {
+  Graph g = build_model(spec_of("contournet", 5));
+  const std::string before = model_checksum(g);
+  quantize_weights(g);
+  EXPECT_NE(model_checksum(g), before);
+}
+
+TEST(Zoo, NearZeroFractionIsSmallButPresent) {
+  // Models carry a 0-6% exactly-zero weight share (see build_model); the
+  // corpus-wide mean lands near the paper's 3.15%.
+  double total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    total += near_zero_weight_fraction(build_model(spec_of("mobilenet", seed)));
+  }
+  const double mean = total / 20.0;
+  EXPECT_GT(mean, 0.005);
+  EXPECT_LT(mean, 0.08);
+}
+
+TEST(Zoo, QuantizedModelsMarkWeightBits) {
+  Graph g = build_model(spec_of("mobilenet", 11));
+  quantize_weights(g);
+  for (const auto& layer : g.layers()) {
+    if (layer.has_weights()) {
+      EXPECT_EQ(layer.weight_bits, 8);
+    }
+  }
+}
+
+TEST(Zoo, ArchetypeModalitiesCoverAllFour) {
+  bool image = false, text = false, audio = false, sensor = false;
+  for (const auto& arch : zoo_archetypes()) {
+    switch (archetype_modality(arch)) {
+      case Modality::Image: image = true; break;
+      case Modality::Text: text = true; break;
+      case Modality::Audio: audio = true; break;
+      case Modality::Sensor: sensor = true; break;
+      case Modality::Unknown: break;
+    }
+  }
+  EXPECT_TRUE(image && text && audio && sensor);
+}
+
+}  // namespace
+}  // namespace gauge::nn

@@ -1,0 +1,253 @@
+#include "nn/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gauge::nn {
+namespace {
+
+Layer input_layer(Shape shape) {
+  Layer l;
+  l.type = LayerType::Input;
+  l.input_shape = std::move(shape);
+  return l;
+}
+
+Layer conv_layer(int from, int kernel, int stride, int cin, int cout,
+                 Padding pad = Padding::Same) {
+  Layer l;
+  l.type = LayerType::Conv2D;
+  l.inputs = {from};
+  l.kernel_h = l.kernel_w = kernel;
+  l.stride_h = l.stride_w = stride;
+  l.padding = pad;
+  l.weights.push_back(Tensor::zeros(Shape{kernel, kernel, cin, cout}));
+  l.weights.push_back(Tensor::zeros(Shape{cout}));
+  return l;
+}
+
+TEST(Graph, ValidateEmptyFails) {
+  Graph g;
+  EXPECT_FALSE(g.validate().ok());
+}
+
+TEST(Graph, ValidateNoInputFails) {
+  Graph g;
+  Layer l;
+  l.type = LayerType::Relu;
+  l.inputs = {};
+  g.add(std::move(l));
+  EXPECT_FALSE(g.validate().ok());
+}
+
+TEST(Graph, ValidateArity) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 4, 4, 3}));
+  Layer add;
+  add.type = LayerType::Add;
+  add.inputs = {in};  // Add needs two inputs
+  g.add(std::move(add));
+  const auto status = g.validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.error().find("expected 2 inputs"), std::string::npos);
+}
+
+TEST(Graph, InputAndOutputIndices) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 8, 8, 3}));
+  const int conv = g.add(conv_layer(in, 3, 1, 3, 4));
+  Layer relu;
+  relu.type = LayerType::Relu;
+  relu.inputs = {conv};
+  const int out = g.add(std::move(relu));
+  EXPECT_EQ(g.input_indices(), std::vector<int>{in});
+  EXPECT_EQ(g.output_indices(), std::vector<int>{out});
+  EXPECT_TRUE(g.validate().ok());
+}
+
+TEST(Graph, MultipleOutputs) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 8, 8, 3}));
+  g.add(conv_layer(in, 3, 1, 3, 4));
+  g.add(conv_layer(in, 3, 1, 3, 8));
+  EXPECT_EQ(g.output_indices().size(), 2u);
+}
+
+TEST(ShapeInfer, ConvSamePadding) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 32, 32, 3}));
+  g.add(conv_layer(in, 3, 2, 3, 16));
+  const auto shapes = infer_shapes(g);
+  ASSERT_TRUE(shapes.ok()) << shapes.error();
+  EXPECT_EQ(shapes.value()[1], (Shape{1, 16, 16, 16}));
+}
+
+TEST(ShapeInfer, ConvValidPadding) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 32, 32, 3}));
+  g.add(conv_layer(in, 5, 1, 3, 8, Padding::Valid));
+  const auto shapes = infer_shapes(g);
+  ASSERT_TRUE(shapes.ok()) << shapes.error();
+  EXPECT_EQ(shapes.value()[1], (Shape{1, 28, 28, 8}));
+}
+
+TEST(ShapeInfer, ConvChannelMismatchFails) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 32, 32, 4}));
+  g.add(conv_layer(in, 3, 1, 3, 8));  // weights expect 3 channels
+  EXPECT_FALSE(infer_shapes(g).ok());
+}
+
+TEST(ShapeInfer, DenseShape) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 10}));
+  Layer dense;
+  dense.type = LayerType::Dense;
+  dense.inputs = {in};
+  dense.units = 4;
+  dense.weights.push_back(Tensor::zeros(Shape{10, 4}));
+  g.add(std::move(dense));
+  const auto shapes = infer_shapes(g);
+  ASSERT_TRUE(shapes.ok()) << shapes.error();
+  EXPECT_EQ(shapes.value()[1], (Shape{1, 4}));
+}
+
+TEST(ShapeInfer, ConcatAlongChannels) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 8, 8, 3}));
+  const int a = g.add(conv_layer(in, 1, 1, 3, 4));
+  const int b = g.add(conv_layer(in, 1, 1, 3, 6));
+  Layer concat;
+  concat.type = LayerType::Concat;
+  concat.inputs = {a, b};
+  concat.axis = 3;
+  g.add(std::move(concat));
+  const auto shapes = infer_shapes(g);
+  ASSERT_TRUE(shapes.ok()) << shapes.error();
+  EXPECT_EQ(shapes.value()[3], (Shape{1, 8, 8, 10}));
+}
+
+TEST(ShapeInfer, ConcatNegativeAxis) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 8, 8, 3}));
+  const int a = g.add(conv_layer(in, 1, 1, 3, 4));
+  Layer concat;
+  concat.type = LayerType::Concat;
+  concat.inputs = {a, a};
+  concat.axis = -1;
+  g.add(std::move(concat));
+  const auto shapes = infer_shapes(g);
+  ASSERT_TRUE(shapes.ok()) << shapes.error();
+  EXPECT_EQ(shapes.value().back(), (Shape{1, 8, 8, 8}));
+}
+
+TEST(ShapeInfer, ReshapeWildcard) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 4, 4, 2}));
+  Layer reshape;
+  reshape.type = LayerType::Reshape;
+  reshape.inputs = {in};
+  reshape.target_shape = {1, -1};
+  g.add(std::move(reshape));
+  const auto shapes = infer_shapes(g);
+  ASSERT_TRUE(shapes.ok()) << shapes.error();
+  EXPECT_EQ(shapes.value()[1], (Shape{1, 32}));
+}
+
+TEST(ShapeInfer, ReshapeBadElementCountFails) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 4, 4, 2}));
+  Layer reshape;
+  reshape.type = LayerType::Reshape;
+  reshape.inputs = {in};
+  reshape.target_shape = {1, 31};
+  g.add(std::move(reshape));
+  EXPECT_FALSE(infer_shapes(g).ok());
+}
+
+TEST(ShapeInfer, SliceBoundsChecked) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 10, 10, 3}));
+  Layer slice;
+  slice.type = LayerType::Slice;
+  slice.inputs = {in};
+  slice.slice_begin = {0, 2, 2, 0};
+  slice.slice_size = {1, 4, -1, 3};
+  g.add(std::move(slice));
+  const auto shapes = infer_shapes(g);
+  ASSERT_TRUE(shapes.ok()) << shapes.error();
+  EXPECT_EQ(shapes.value()[1], (Shape{1, 4, 8, 3}));
+}
+
+TEST(ShapeInfer, SliceOutOfBoundsFails) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 10, 10, 3}));
+  Layer slice;
+  slice.type = LayerType::Slice;
+  slice.inputs = {in};
+  slice.slice_begin = {0, 8, 0, 0};
+  slice.slice_size = {1, 4, 10, 3};
+  g.add(std::move(slice));
+  EXPECT_FALSE(infer_shapes(g).ok());
+}
+
+TEST(ShapeInfer, LstmAndEmbedding) {
+  Graph g;
+  Layer in;
+  in.type = LayerType::Input;
+  in.input_shape = Shape{1, 12};
+  const int input = g.add(std::move(in));
+  Layer embed;
+  embed.type = LayerType::Embedding;
+  embed.inputs = {input};
+  embed.units = 8;
+  embed.weights.push_back(Tensor::zeros(Shape{100, 8}));
+  const int e = g.add(std::move(embed));
+  Layer lstm;
+  lstm.type = LayerType::Lstm;
+  lstm.inputs = {e};
+  lstm.units = 16;
+  lstm.weights.push_back(Tensor::zeros(Shape{8 + 16, 64}));
+  lstm.weights.push_back(Tensor::zeros(Shape{64}));
+  g.add(std::move(lstm));
+  const auto shapes = infer_shapes(g);
+  ASSERT_TRUE(shapes.ok()) << shapes.error();
+  EXPECT_EQ(shapes.value()[1], (Shape{1, 12, 8}));
+  EXPECT_EQ(shapes.value()[2], (Shape{1, 12, 16}));
+}
+
+TEST(ShapeInfer, PoolAndGlobalPool) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 16, 16, 8}));
+  Layer pool;
+  pool.type = LayerType::MaxPool2D;
+  pool.inputs = {in};
+  pool.kernel_h = pool.kernel_w = 2;
+  pool.stride_h = pool.stride_w = 2;
+  const int p = g.add(std::move(pool));
+  Layer gap;
+  gap.type = LayerType::GlobalAvgPool;
+  gap.inputs = {p};
+  g.add(std::move(gap));
+  const auto shapes = infer_shapes(g);
+  ASSERT_TRUE(shapes.ok()) << shapes.error();
+  EXPECT_EQ(shapes.value()[1], (Shape{1, 8, 8, 8}));
+  EXPECT_EQ(shapes.value()[2], (Shape{1, 1, 1, 8}));
+}
+
+TEST(LayerTypes, NamesAndFamiliesAreTotal) {
+  for (int t = 0; t < static_cast<int>(LayerType::kCount); ++t) {
+    const auto type = static_cast<LayerType>(t);
+    EXPECT_STRNE(layer_type_name(type), "?");
+    EXPECT_STRNE(op_family_name(op_family(type)), "?");
+  }
+}
+
+TEST(LayerTypes, FamilyGrouping) {
+  EXPECT_EQ(op_family(LayerType::Conv2D), OpFamily::Conv);
+  EXPECT_EQ(op_family(LayerType::DepthwiseConv2D), OpFamily::DepthConv);
+  EXPECT_EQ(op_family(LayerType::Quantize), OpFamily::Quant);
+  EXPECT_EQ(op_family(LayerType::Lstm), OpFamily::Recurrent);
+}
+
+}  // namespace
+}  // namespace gauge::nn

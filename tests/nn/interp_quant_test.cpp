@@ -1,0 +1,260 @@
+// Focused tests of the quantised interpreter paths: int8 conv/dense with
+// requantisation, i8 max-pooling and relu, the quantised-stem transform,
+// and rejection of unsupported dtype combinations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/interp.hpp"
+#include "nn/zoo.hpp"
+
+namespace gauge::nn {
+namespace {
+
+Layer input_layer(Shape shape) {
+  Layer l;
+  l.type = LayerType::Input;
+  l.input_shape = std::move(shape);
+  return l;
+}
+
+Tensor f32_tensor(Shape shape, std::vector<float> values) {
+  Tensor t{std::move(shape), DType::F32};
+  EXPECT_EQ(t.f32().size(), values.size());
+  t.f32() = std::move(values);
+  return t;
+}
+
+// A graph quantizing input -> int8 dense -> dequantize.
+Graph int8_dense_graph(float in_scale, float out_scale) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 2}));
+  Layer q;
+  q.type = LayerType::Quantize;
+  q.inputs = {in};
+  q.quant_scale = in_scale;
+  const int qi = g.add(std::move(q));
+
+  Layer dense;
+  dense.type = LayerType::Dense;
+  dense.inputs = {qi};
+  dense.units = 1;
+  Tensor w{Shape{2, 1}, DType::I8};
+  w.quant_scale = 0.5f;  // weights 2 and 4 -> stored as 4 and 8
+  w.i8() = {4, 8};
+  dense.weights.push_back(std::move(w));
+  dense.quant_scale = out_scale;
+  dense.quant_zero_point = 0;
+  const int di = g.add(std::move(dense));
+
+  Layer dq;
+  dq.type = LayerType::Dequantize;
+  dq.inputs = {di};
+  g.add(std::move(dq));
+  return g;
+}
+
+TEST(InterpQuant, Int8DenseComputesCorrectProduct) {
+  // y = 2*x0 + 4*x1 with x = (1, 2) -> 10.
+  const Graph g = int8_dense_graph(/*in_scale=*/0.05f, /*out_scale=*/0.1f);
+  Interpreter interp{g};
+  auto out = interp.run({f32_tensor(Shape{1, 2}, {1.0f, 2.0f})});
+  ASSERT_TRUE(out.ok()) << out.error();
+  EXPECT_NEAR(out.value()[0].f32()[0], 10.0f, 0.2f);
+}
+
+TEST(InterpQuant, OutputScaleControlsSaturation) {
+  // With a tiny output scale, the int8 result saturates at 127*scale.
+  const Graph g = int8_dense_graph(0.05f, 0.01f);
+  Interpreter interp{g};
+  auto out = interp.run({f32_tensor(Shape{1, 2}, {1.0f, 2.0f})});
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(out.value()[0].f32()[0], 1.27f, 0.02f);  // clamped
+}
+
+TEST(InterpQuant, Int8ReluClampsAtZeroPoint) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 4}));
+  Layer q;
+  q.type = LayerType::Quantize;
+  q.inputs = {in};
+  q.quant_scale = 0.1f;
+  q.quant_zero_point = 10;  // asymmetric
+  const int qi = g.add(std::move(q));
+  Layer relu;
+  relu.type = LayerType::Relu;
+  relu.inputs = {qi};
+  const int ri = g.add(std::move(relu));
+  Layer dq;
+  dq.type = LayerType::Dequantize;
+  dq.inputs = {ri};
+  g.add(std::move(dq));
+
+  Interpreter interp{g};
+  auto out = interp.run({f32_tensor(Shape{1, 4}, {-2.0f, -0.1f, 0.0f, 1.0f})});
+  ASSERT_TRUE(out.ok()) << out.error();
+  EXPECT_NEAR(out.value()[0].f32()[0], 0.0f, 0.05f);   // negatives clamp to 0
+  EXPECT_NEAR(out.value()[0].f32()[1], 0.0f, 0.05f);
+  EXPECT_NEAR(out.value()[0].f32()[3], 1.0f, 0.06f);   // positives preserved
+}
+
+TEST(InterpQuant, Int8MaxPoolPreservesScale) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 2, 2, 1}));
+  Layer q;
+  q.type = LayerType::Quantize;
+  q.inputs = {in};
+  q.quant_scale = 0.1f;
+  const int qi = g.add(std::move(q));
+  Layer pool;
+  pool.type = LayerType::MaxPool2D;
+  pool.inputs = {qi};
+  pool.kernel_h = pool.kernel_w = 2;
+  pool.stride_h = pool.stride_w = 2;
+  const int pi = g.add(std::move(pool));
+  Layer dq;
+  dq.type = LayerType::Dequantize;
+  dq.inputs = {pi};
+  g.add(std::move(dq));
+
+  Interpreter interp{g};
+  auto out = interp.run({f32_tensor(Shape{1, 2, 2, 1}, {0.3f, 1.2f, -0.5f, 0.8f})});
+  ASSERT_TRUE(out.ok()) << out.error();
+  EXPECT_NEAR(out.value()[0].f32()[0], 1.2f, 0.06f);
+}
+
+TEST(InterpQuant, Int8ConvRequiresInt8Weights) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 2, 2, 1}));
+  Layer q;
+  q.type = LayerType::Quantize;
+  q.inputs = {in};
+  q.quant_scale = 0.1f;
+  const int qi = g.add(std::move(q));
+  Layer conv;
+  conv.type = LayerType::Conv2D;
+  conv.inputs = {qi};
+  conv.weights.push_back(Tensor::zeros(Shape{1, 1, 1, 1}));  // f32 weights
+  g.add(std::move(conv));
+  Interpreter interp{g};
+  const auto out = interp.run({f32_tensor(Shape{1, 2, 2, 1}, {1, 2, 3, 4})});
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.error().find("int8"), std::string::npos);
+}
+
+TEST(InterpQuant, Int8AvgPoolRoundsToNearest) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 2, 2, 1}));
+  Layer q;
+  q.type = LayerType::Quantize;
+  q.inputs = {in};
+  q.quant_scale = 1.0f;  // ints map to themselves
+  const int qi = g.add(std::move(q));
+  Layer pool;
+  pool.type = LayerType::AvgPool2D;
+  pool.inputs = {qi};
+  pool.kernel_h = pool.kernel_w = 2;
+  pool.stride_h = pool.stride_w = 2;
+  const int pi = g.add(std::move(pool));
+  Layer dq;
+  dq.type = LayerType::Dequantize;
+  dq.inputs = {pi};
+  g.add(std::move(dq));
+  Interpreter interp{g};
+  auto out = interp.run({f32_tensor(Shape{1, 2, 2, 1}, {1, 2, 3, 4})});
+  ASSERT_TRUE(out.ok()) << out.error();
+  // avg(1,2,3,4) = 2.5 -> rounds to 3 in the integer domain.
+  EXPECT_NEAR(out.value()[0].f32()[0], 3.0f, 0.01f);
+}
+
+TEST(InterpQuant, Int8DepthwiseConvMatchesFloat) {
+  // Two channels, identity-ish depthwise kernels: quantised output tracks
+  // the float path.
+  Graph fg;
+  const int fin = fg.add(input_layer(Shape{1, 2, 2, 2}));
+  Layer fdw;
+  fdw.type = LayerType::DepthwiseConv2D;
+  fdw.inputs = {fin};
+  fdw.weights.push_back(f32_tensor(Shape{1, 1, 2, 1}, {0.5f, 2.0f}));
+  fg.add(std::move(fdw));
+
+  Graph qg;
+  const int qin = qg.add(input_layer(Shape{1, 2, 2, 2}));
+  Layer quant;
+  quant.type = LayerType::Quantize;
+  quant.inputs = {qin};
+  quant.quant_scale = 0.05f;
+  const int qi = qg.add(std::move(quant));
+  Layer qdw;
+  qdw.type = LayerType::DepthwiseConv2D;
+  qdw.inputs = {qi};
+  Tensor w8{Shape{1, 1, 2, 1}, DType::I8};
+  w8.quant_scale = 0.5f / 127.0f * 4.0f;  // covers [-2, 2]
+  w8.i8() = {static_cast<std::int8_t>(std::lround(0.5f / w8.quant_scale)),
+             static_cast<std::int8_t>(std::lround(2.0f / w8.quant_scale))};
+  qdw.weights.push_back(std::move(w8));
+  qdw.quant_scale = 0.1f;
+  const int di = qg.add(std::move(qdw));
+  Layer dq;
+  dq.type = LayerType::Dequantize;
+  dq.inputs = {di};
+  qg.add(std::move(dq));
+
+  const std::vector<float> input{1.0f, -1.0f, 0.5f, 2.0f, -0.5f, 1.5f, 0.0f, 3.0f};
+  Interpreter fi{fg}, qiterp{qg};
+  auto fo = fi.run({f32_tensor(Shape{1, 2, 2, 2}, input)});
+  auto qo = qiterp.run({f32_tensor(Shape{1, 2, 2, 2}, input)});
+  ASSERT_TRUE(fo.ok()) << fo.error();
+  ASSERT_TRUE(qo.ok()) << qo.error();
+  for (std::size_t i = 0; i < fo.value()[0].f32().size(); ++i) {
+    EXPECT_NEAR(fo.value()[0].f32()[i], qo.value()[0].f32()[i], 0.15f) << i;
+  }
+}
+
+TEST(InterpQuant, QuantizedStemModelRunsEndToEnd) {
+  ZooSpec spec;
+  spec.archetype = "mobilenet";
+  spec.resolution = 32;
+  spec.seed = 8;
+  const Graph base = build_model(spec);
+  const Graph stem = with_quantized_stem(base);
+  ASSERT_GT(stem.size(), base.size());  // Quantize + Dequantize inserted
+  ASSERT_TRUE(stem.validate().ok());
+
+  bool has_q = false, has_dq = false;
+  for (const auto& layer : stem.layers()) {
+    if (layer.type == LayerType::Quantize) has_q = true;
+    if (layer.type == LayerType::Dequantize) has_dq = true;
+  }
+  EXPECT_TRUE(has_q && has_dq);
+
+  auto inputs = random_inputs(stem, 12);
+  ASSERT_TRUE(inputs.ok());
+  Interpreter interp{stem};
+  auto out = interp.run(inputs.value());
+  ASSERT_TRUE(out.ok()) << out.error();
+  for (float v : out.value()[0].f32()) EXPECT_TRUE(std::isfinite(v));
+
+  // The stem closely tracks the float model.
+  Interpreter base_interp{base};
+  auto base_out = base_interp.run(inputs.value());
+  ASSERT_TRUE(base_out.ok());
+  double err = 0.0;
+  for (std::size_t i = 0; i < base_out.value()[0].f32().size(); ++i) {
+    err += std::abs(base_out.value()[0].f32()[i] - out.value()[0].f32()[i]);
+  }
+  err /= static_cast<double>(base_out.value()[0].f32().size());
+  EXPECT_LT(err, 0.1);
+}
+
+TEST(InterpQuant, StemIsNoopWithoutConv) {
+  ZooSpec spec;
+  spec.archetype = "sensormlp";
+  spec.resolution = 8;
+  const Graph base = build_model(spec);
+  const Graph stem = with_quantized_stem(base);
+  EXPECT_EQ(stem.size(), base.size());
+}
+
+}  // namespace
+}  // namespace gauge::nn

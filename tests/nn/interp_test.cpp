@@ -1,0 +1,443 @@
+#include "nn/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/zoo.hpp"
+
+namespace gauge::nn {
+namespace {
+
+Layer input_layer(Shape shape) {
+  Layer l;
+  l.type = LayerType::Input;
+  l.input_shape = std::move(shape);
+  return l;
+}
+
+Tensor tensor_from(Shape shape, std::vector<float> values) {
+  Tensor t{std::move(shape), DType::F32};
+  EXPECT_EQ(t.f32().size(), values.size());
+  t.f32() = std::move(values);
+  return t;
+}
+
+TEST(Interp, IdentityConv1x1) {
+  // 1x1 conv with identity weights passes values through.
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 2, 2, 2}));
+  Layer conv;
+  conv.type = LayerType::Conv2D;
+  conv.inputs = {in};
+  conv.kernel_h = conv.kernel_w = 1;
+  conv.weights.push_back(Tensor::zeros(Shape{1, 1, 2, 2}));
+  // W[0,0,ci,co] = identity
+  conv.weights[0].f32() = {1, 0, 0, 1};
+  conv.weights.push_back(Tensor::zeros(Shape{2}));
+  g.add(std::move(conv));
+
+  Interpreter interp{g};
+  auto out = interp.run({tensor_from(Shape{1, 2, 2, 2},
+                                     {1, 2, 3, 4, 5, 6, 7, 8})});
+  ASSERT_TRUE(out.ok()) << out.error();
+  EXPECT_EQ(out.value()[0].f32(), (std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(Interp, Conv3x3KnownValues) {
+  // Single-channel 3x3 sum filter (all-ones kernel), VALID padding.
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 3, 3, 1}));
+  Layer conv;
+  conv.type = LayerType::Conv2D;
+  conv.inputs = {in};
+  conv.kernel_h = conv.kernel_w = 3;
+  conv.padding = Padding::Valid;
+  conv.weights.push_back(Tensor::zeros(Shape{3, 3, 1, 1}));
+  for (auto& w : conv.weights[0].f32()) w = 1.0f;
+  g.add(std::move(conv));
+
+  Interpreter interp{g};
+  auto out = interp.run({tensor_from(Shape{1, 3, 3, 1},
+                                     {1, 2, 3, 4, 5, 6, 7, 8, 9})});
+  ASSERT_TRUE(out.ok()) << out.error();
+  ASSERT_EQ(out.value()[0].f32().size(), 1u);
+  EXPECT_FLOAT_EQ(out.value()[0].f32()[0], 45.0f);
+}
+
+TEST(Interp, ConvSamePaddingZeroBorders) {
+  // All-ones 3x3 kernel, SAME padding on 2x2 input: corners see 4 values.
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 2, 2, 1}));
+  Layer conv;
+  conv.type = LayerType::Conv2D;
+  conv.inputs = {in};
+  conv.kernel_h = conv.kernel_w = 3;
+  conv.weights.push_back(Tensor::zeros(Shape{3, 3, 1, 1}));
+  for (auto& w : conv.weights[0].f32()) w = 1.0f;
+  g.add(std::move(conv));
+  Interpreter interp{g};
+  auto out = interp.run({tensor_from(Shape{1, 2, 2, 1}, {1, 2, 3, 4})});
+  ASSERT_TRUE(out.ok()) << out.error();
+  // Every output = sum of all 4 inputs (kernel covers whole input).
+  for (float v : out.value()[0].f32()) EXPECT_FLOAT_EQ(v, 10.0f);
+}
+
+TEST(Interp, BiasApplied) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 1, 1, 1}));
+  Layer conv;
+  conv.type = LayerType::Conv2D;
+  conv.inputs = {in};
+  conv.weights.push_back(tensor_from(Shape{1, 1, 1, 1}, {2.0f}));
+  conv.weights.push_back(tensor_from(Shape{1}, {0.5f}));
+  g.add(std::move(conv));
+  Interpreter interp{g};
+  auto out = interp.run({tensor_from(Shape{1, 1, 1, 1}, {3.0f})});
+  ASSERT_TRUE(out.ok());
+  EXPECT_FLOAT_EQ(out.value()[0].f32()[0], 6.5f);
+}
+
+TEST(Interp, DepthwiseConvPerChannel) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 1, 1, 2}));
+  Layer dw;
+  dw.type = LayerType::DepthwiseConv2D;
+  dw.inputs = {in};
+  dw.weights.push_back(tensor_from(Shape{1, 1, 2, 1}, {10.0f, 100.0f}));
+  g.add(std::move(dw));
+  Interpreter interp{g};
+  auto out = interp.run({tensor_from(Shape{1, 1, 1, 2}, {1.0f, 2.0f})});
+  ASSERT_TRUE(out.ok()) << out.error();
+  EXPECT_EQ(out.value()[0].f32(), (std::vector<float>{10.0f, 200.0f}));
+}
+
+TEST(Interp, DenseMatmul) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 3}));
+  Layer dense;
+  dense.type = LayerType::Dense;
+  dense.inputs = {in};
+  dense.units = 2;
+  dense.weights.push_back(tensor_from(Shape{3, 2}, {1, 4, 2, 5, 3, 6}));
+  dense.weights.push_back(tensor_from(Shape{2}, {0.0f, 1.0f}));
+  g.add(std::move(dense));
+  Interpreter interp{g};
+  auto out = interp.run({tensor_from(Shape{1, 3}, {1, 1, 1})});
+  ASSERT_TRUE(out.ok()) << out.error();
+  EXPECT_EQ(out.value()[0].f32(), (std::vector<float>{6.0f, 16.0f}));
+}
+
+TEST(Interp, ActivationsClampCorrectly) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 4}));
+  Layer relu6;
+  relu6.type = LayerType::Relu6;
+  relu6.inputs = {in};
+  g.add(std::move(relu6));
+  Interpreter interp{g};
+  auto out = interp.run({tensor_from(Shape{1, 4}, {-1.0f, 0.5f, 6.0f, 9.0f})});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value()[0].f32(), (std::vector<float>{0.0f, 0.5f, 6.0f, 6.0f}));
+}
+
+TEST(Interp, SoftmaxSumsToOne) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 5}));
+  Layer sm;
+  sm.type = LayerType::Softmax;
+  sm.inputs = {in};
+  g.add(std::move(sm));
+  Interpreter interp{g};
+  auto out = interp.run({tensor_from(Shape{1, 5}, {1, 2, 3, 4, 100})});
+  ASSERT_TRUE(out.ok());
+  double sum = 0.0;
+  for (float v : out.value()[0].f32()) {
+    EXPECT_GE(v, 0.0f);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+  EXPECT_GT(out.value()[0].f32()[4], 0.99f);  // stable under large logits
+}
+
+TEST(Interp, MaxAndAvgPool) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 2, 2, 1}));
+  Layer mp;
+  mp.type = LayerType::MaxPool2D;
+  mp.inputs = {in};
+  mp.kernel_h = mp.kernel_w = 2;
+  mp.stride_h = mp.stride_w = 2;
+  g.add(std::move(mp));
+  Layer ap;
+  ap.type = LayerType::AvgPool2D;
+  ap.inputs = {in};
+  ap.kernel_h = ap.kernel_w = 2;
+  ap.stride_h = ap.stride_w = 2;
+  g.add(std::move(ap));
+  Interpreter interp{g};
+  auto out = interp.run({tensor_from(Shape{1, 2, 2, 1}, {1, 2, 3, 4})});
+  ASSERT_TRUE(out.ok());
+  EXPECT_FLOAT_EQ(out.value()[0].f32()[0], 4.0f);   // max
+  EXPECT_FLOAT_EQ(out.value()[1].f32()[0], 2.5f);   // avg
+}
+
+TEST(Interp, AddMulConcat) {
+  Graph g;
+  const int a = g.add(input_layer(Shape{1, 2}));
+  const int b = g.add(input_layer(Shape{1, 2}));
+  Layer add;
+  add.type = LayerType::Add;
+  add.inputs = {a, b};
+  const int s = g.add(std::move(add));
+  Layer mul;
+  mul.type = LayerType::Mul;
+  mul.inputs = {a, b};
+  const int m = g.add(std::move(mul));
+  Layer cat;
+  cat.type = LayerType::Concat;
+  cat.inputs = {s, m};
+  cat.axis = 1;
+  g.add(std::move(cat));
+  Interpreter interp{g};
+  auto out = interp.run({tensor_from(Shape{1, 2}, {1, 2}),
+                         tensor_from(Shape{1, 2}, {3, 4})});
+  ASSERT_TRUE(out.ok()) << out.error();
+  EXPECT_EQ(out.value()[0].f32(), (std::vector<float>{4, 6, 3, 8}));
+}
+
+TEST(Interp, ResizeNearestDoubles) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 1, 2, 1}));
+  Layer rs;
+  rs.type = LayerType::ResizeNearest;
+  rs.inputs = {in};
+  rs.resize_scale = 2;
+  g.add(std::move(rs));
+  Interpreter interp{g};
+  auto out = interp.run({tensor_from(Shape{1, 1, 2, 1}, {1, 2})});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value()[0].f32(), (std::vector<float>{1, 1, 2, 2, 1, 1, 2, 2}));
+}
+
+TEST(Interp, SliceExtractsWindow) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 4}));
+  Layer slice;
+  slice.type = LayerType::Slice;
+  slice.inputs = {in};
+  slice.slice_begin = {0, 1};
+  slice.slice_size = {1, 2};
+  g.add(std::move(slice));
+  Interpreter interp{g};
+  auto out = interp.run({tensor_from(Shape{1, 4}, {10, 20, 30, 40})});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value()[0].f32(), (std::vector<float>{20, 30}));
+}
+
+TEST(Interp, PadAddsZeroBorder) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 1, 1, 1}));
+  Layer pad;
+  pad.type = LayerType::Pad;
+  pad.inputs = {in};
+  pad.pad_top = pad.pad_bottom = pad.pad_left = pad.pad_right = 1;
+  g.add(std::move(pad));
+  Interpreter interp{g};
+  auto out = interp.run({tensor_from(Shape{1, 1, 1, 1}, {7})});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value()[0].shape(), (Shape{1, 3, 3, 1}));
+  EXPECT_FLOAT_EQ(out.value()[0].f32()[4], 7.0f);
+  EXPECT_FLOAT_EQ(out.value()[0].f32()[0], 0.0f);
+}
+
+TEST(Interp, BatchNormScalesAndShifts) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 1, 1, 2}));
+  Layer bn;
+  bn.type = LayerType::BatchNorm;
+  bn.inputs = {in};
+  bn.weights.push_back(tensor_from(Shape{2}, {2.0f, 3.0f}));
+  bn.weights.push_back(tensor_from(Shape{2}, {1.0f, -1.0f}));
+  g.add(std::move(bn));
+  Interpreter interp{g};
+  auto out = interp.run({tensor_from(Shape{1, 1, 1, 2}, {10, 10})});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value()[0].f32(), (std::vector<float>{21.0f, 29.0f}));
+}
+
+TEST(Interp, QuantizeDequantizeRoundtrip) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 4}));
+  Layer q;
+  q.type = LayerType::Quantize;
+  q.inputs = {in};
+  q.quant_scale = 0.05f;
+  q.quant_zero_point = 0;
+  const int qi = g.add(std::move(q));
+  Layer dq;
+  dq.type = LayerType::Dequantize;
+  dq.inputs = {qi};
+  g.add(std::move(dq));
+  Interpreter interp{g};
+  auto out = interp.run({tensor_from(Shape{1, 4}, {-1.0f, 0.0f, 0.52f, 3.0f})});
+  ASSERT_TRUE(out.ok()) << out.error();
+  const auto& v = out.value()[0].f32();
+  EXPECT_NEAR(v[0], -1.0f, 0.05f);
+  EXPECT_NEAR(v[1], 0.0f, 0.05f);
+  EXPECT_NEAR(v[2], 0.52f, 0.05f);
+  EXPECT_NEAR(v[3], 3.0f, 0.05f);
+}
+
+TEST(Interp, Int8ConvMatchesFloatApproximately) {
+  // Build a conv and compare float vs quantised execution end to end.
+  ZooSpec spec;
+  spec.archetype = "contournet";
+  spec.resolution = 16;
+  spec.seed = 99;
+  const Graph fg = build_model(spec);
+
+  // Quantised variant: same weights, int8.
+  Graph qg = fg;
+  quantize_weights(qg);
+
+  auto inputs = random_inputs(fg, 4242);
+  ASSERT_TRUE(inputs.ok());
+  Interpreter fi{fg};
+  Interpreter qi{qg};
+  auto fo = fi.run(inputs.value());
+  auto qo = qi.run(inputs.value());
+  ASSERT_TRUE(fo.ok()) << fo.error();
+  ASSERT_TRUE(qo.ok()) << qo.error();
+  const auto& fv = fo.value()[0].f32();
+  const auto& qv = qo.value()[0].f32();
+  ASSERT_EQ(fv.size(), qv.size());
+  double err = 0.0;
+  for (std::size_t i = 0; i < fv.size(); ++i) {
+    err += std::abs(static_cast<double>(fv[i]) - qv[i]);
+  }
+  err /= static_cast<double>(fv.size());
+  EXPECT_LT(err, 0.05);  // hybrid quantisation keeps outputs close
+}
+
+TEST(Interp, BatchedRunProducesBatchedOutput) {
+  ZooSpec spec;
+  spec.archetype = "sensormlp";
+  spec.resolution = 8;
+  const Graph g = build_model(spec);
+  Interpreter interp{g};
+  auto inputs = random_inputs(g, 7, /*batch=*/5);
+  ASSERT_TRUE(inputs.ok());
+  auto out = interp.run(inputs.value());
+  ASSERT_TRUE(out.ok()) << out.error();
+  EXPECT_EQ(out.value()[0].shape()[0], 5);
+}
+
+TEST(Interp, BatchEqualsRepeatedSingles) {
+  // Running a batch must produce the same per-row results as N single runs.
+  ZooSpec spec;
+  spec.archetype = "sensormlp";
+  spec.resolution = 4;
+  spec.seed = 5;
+  const Graph g = build_model(spec);
+  Interpreter interp{g};
+
+  auto batch_in = random_inputs(g, 11, /*batch=*/3);
+  ASSERT_TRUE(batch_in.ok());
+  auto batch_out = interp.run(batch_in.value());
+  ASSERT_TRUE(batch_out.ok()) << batch_out.error();
+
+  const auto& bt = batch_in.value()[0];
+  const std::int64_t row = bt.elements() / 3;
+  for (int r = 0; r < 3; ++r) {
+    Tensor single{Shape{1, row}, DType::F32};
+    for (std::int64_t k = 0; k < row; ++k) {
+      single.f32()[static_cast<std::size_t>(k)] =
+          bt.f32()[static_cast<std::size_t>(r * row + k)];
+    }
+    auto out = interp.run({single});
+    ASSERT_TRUE(out.ok()) << out.error();
+    const std::int64_t out_row = batch_out.value()[0].elements() / 3;
+    for (std::int64_t k = 0; k < out_row; ++k) {
+      EXPECT_NEAR(out.value()[0].f32()[static_cast<std::size_t>(k)],
+                  batch_out.value()[0]
+                      .f32()[static_cast<std::size_t>(r * out_row + k)],
+                  1e-4f)
+          << "row " << r << " elem " << k;
+    }
+  }
+}
+
+TEST(Interp, MultithreadedMatchesSingleThreaded) {
+  ZooSpec spec;
+  spec.archetype = "mobilenet";
+  spec.resolution = 32;
+  spec.seed = 3;
+  const Graph g = build_model(spec);
+  auto inputs = random_inputs(g, 17);
+  ASSERT_TRUE(inputs.ok());
+  Interpreter single{g, 1};
+  Interpreter quad{g, 4};
+  auto a = single.run(inputs.value());
+  auto b = quad.run(inputs.value());
+  ASSERT_TRUE(a.ok()) << a.error();
+  ASSERT_TRUE(b.ok()) << b.error();
+  const auto& av = a.value()[0].f32();
+  const auto& bv = b.value()[0].f32();
+  ASSERT_EQ(av.size(), bv.size());
+  for (std::size_t i = 0; i < av.size(); ++i) {
+    EXPECT_NEAR(av[i], bv[i], 1e-5f);
+  }
+}
+
+TEST(Interp, InputMismatchRejected) {
+  ZooSpec spec;
+  spec.archetype = "sensormlp";
+  spec.resolution = 4;
+  const Graph g = build_model(spec);
+  Interpreter interp{g};
+  EXPECT_FALSE(interp.run({}).ok());
+  Tensor wrong{Shape{1, 999}, DType::F32};
+  EXPECT_FALSE(interp.run({wrong}).ok());
+}
+
+TEST(Interp, StatsTrackPeakMemory) {
+  ZooSpec spec;
+  spec.archetype = "mobilenet";
+  spec.resolution = 32;
+  const Graph g = build_model(spec);
+  Interpreter interp{g};
+  auto inputs = random_inputs(g, 1);
+  ASSERT_TRUE(inputs.ok());
+  ASSERT_TRUE(interp.run(inputs.value()).ok());
+  EXPECT_GT(interp.stats().peak_activation_bytes, 0);
+  EXPECT_EQ(interp.stats().layers_executed,
+            static_cast<std::int64_t>(g.size()));
+}
+
+class ZooExecution : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ZooExecution, EveryArchetypeRunsAndIsFinite) {
+  ZooSpec spec;
+  spec.archetype = GetParam();
+  spec.resolution = archetype_modality(spec.archetype) == Modality::Image ? 32 : 16;
+  spec.seed = 42;
+  const Graph g = build_model(spec);
+  ASSERT_TRUE(g.validate().ok());
+  Interpreter interp{g};
+  auto inputs = random_inputs(g, 9);
+  ASSERT_TRUE(inputs.ok()) << inputs.error();
+  auto out = interp.run(inputs.value());
+  ASSERT_TRUE(out.ok()) << out.error();
+  ASSERT_FALSE(out.value().empty());
+  for (const auto& t : out.value()) {
+    if (t.dtype() != DType::F32) continue;
+    for (float v : t.f32()) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchetypes, ZooExecution,
+                         ::testing::ValuesIn(zoo_archetypes()));
+
+}  // namespace
+}  // namespace gauge::nn

@@ -1,0 +1,70 @@
+#include "nn/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace gauge::nn {
+namespace {
+
+TEST(ThreadPool, CoversFullRangeExactlyOnce) {
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroAndNegativeTotalsAreNoops) {
+  ThreadPool pool{2};
+  int calls = 0;
+  pool.parallel_for(0, [&](std::int64_t, std::int64_t) { ++calls; });
+  pool.parallel_for(-5, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, SingleItemRunsInline) {
+  ThreadPool pool{4};
+  std::atomic<int> calls{0};
+  pool.parallel_for(1, [&](std::int64_t begin, std::int64_t end) {
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 1);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, RepeatedUseIsStable) {
+  ThreadPool pool{3};
+  std::atomic<std::int64_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(100, [&](std::int64_t begin, std::int64_t end) {
+      std::int64_t local = 0;
+      for (std::int64_t i = begin; i < end; ++i) local += i;
+      sum.fetch_add(local);
+    });
+  }
+  EXPECT_EQ(sum.load(), 50 * (99 * 100 / 2));
+}
+
+TEST(ThreadPool, SizeReportsWorkers) {
+  ThreadPool pool{5};
+  EXPECT_EQ(pool.size(), 5u);
+}
+
+TEST(ThreadPool, MoreItemsThanWorkers) {
+  ThreadPool pool{2};
+  std::atomic<std::int64_t> count{0};
+  pool.parallel_for(10'000, [&](std::int64_t begin, std::int64_t end) {
+    count.fetch_add(end - begin);
+  });
+  EXPECT_EQ(count.load(), 10'000);
+}
+
+}  // namespace
+}  // namespace gauge::nn

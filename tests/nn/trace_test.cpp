@@ -1,0 +1,155 @@
+#include "nn/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/zoo.hpp"
+
+namespace gauge::nn {
+namespace {
+
+TEST(Trace, ConvFlopsMatchClosedForm) {
+  Graph g;
+  Layer in;
+  in.type = LayerType::Input;
+  in.input_shape = Shape{1, 8, 8, 3};
+  const int i = g.add(std::move(in));
+  Layer conv;
+  conv.type = LayerType::Conv2D;
+  conv.inputs = {i};
+  conv.kernel_h = conv.kernel_w = 3;
+  conv.weights.push_back(Tensor::zeros(Shape{3, 3, 3, 16}));
+  conv.weights.push_back(Tensor::zeros(Shape{16}));
+  g.add(std::move(conv));
+
+  const auto trace = trace_model(g);
+  ASSERT_TRUE(trace.ok()) << trace.error();
+  // out = 1x8x8x16, MACs = 8*8*16 * 3*3*3 = 27648, FLOPs = 2x.
+  EXPECT_EQ(trace.value().layers[1].macs, 27648);
+  EXPECT_EQ(trace.value().layers[1].flops, 55296);
+  EXPECT_EQ(trace.value().layers[1].params, 3 * 3 * 3 * 16 + 16);
+}
+
+TEST(Trace, DepthwiseIsCheaperThanFullConv) {
+  ZooSpec spec;
+  spec.archetype = "mobilenet";
+  spec.resolution = 32;
+  const Graph g = build_model(spec);
+  const auto trace = trace_model(g);
+  ASSERT_TRUE(trace.ok());
+  std::int64_t dw_macs = 0, conv_macs = 0;
+  for (const auto& layer : trace.value().layers) {
+    if (layer.type == LayerType::DepthwiseConv2D) dw_macs += layer.macs;
+    if (layer.type == LayerType::Conv2D) conv_macs += layer.macs;
+  }
+  EXPECT_GT(dw_macs, 0);
+  EXPECT_GT(conv_macs, dw_macs);
+}
+
+TEST(Trace, TotalsAreSumsOfLayers) {
+  ZooSpec spec;
+  spec.archetype = "fssd";
+  spec.resolution = 32;
+  const Graph g = build_model(spec);
+  const auto trace = trace_model(g);
+  ASSERT_TRUE(trace.ok());
+  std::int64_t flops = 0, params = 0, macs = 0;
+  for (const auto& layer : trace.value().layers) {
+    flops += layer.flops;
+    params += layer.params;
+    macs += layer.macs;
+  }
+  EXPECT_EQ(trace.value().total_flops, flops);
+  EXPECT_EQ(trace.value().total_params, params);
+  EXPECT_EQ(trace.value().total_macs, macs);
+  EXPECT_EQ(params, g.total_parameters());
+}
+
+TEST(Trace, ResolutionScalesFlopsQuadratically) {
+  ZooSpec small, large;
+  small.archetype = large.archetype = "mobilenet";
+  small.resolution = 32;
+  large.resolution = 64;
+  const auto ts = trace_model(build_model(small));
+  const auto tl = trace_model(build_model(large));
+  ASSERT_TRUE(ts.ok() && tl.ok());
+  const double ratio = static_cast<double>(tl.value().total_flops) /
+                       static_cast<double>(ts.value().total_flops);
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 5.0);
+  // Parameters are resolution-independent for a convnet trunk.
+  EXPECT_NEAR(static_cast<double>(tl.value().total_params),
+              static_cast<double>(ts.value().total_params),
+              0.02 * static_cast<double>(ts.value().total_params));
+}
+
+TEST(Trace, WidthScalesParams) {
+  ZooSpec thin, wide;
+  thin.archetype = wide.archetype = "mobilenet";
+  thin.resolution = wide.resolution = 32;
+  thin.width = 1.0;
+  wide.width = 2.0;
+  const auto tt = trace_model(build_model(thin));
+  const auto tw = trace_model(build_model(wide));
+  ASSERT_TRUE(tt.ok() && tw.ok());
+  EXPECT_GT(tw.value().total_params, 2 * tt.value().total_params);
+}
+
+TEST(Trace, Int8HalvesWeightTraffic) {
+  ZooSpec spec;
+  spec.archetype = "contournet";
+  spec.resolution = 32;
+  Graph fp = build_model(spec);
+  Graph q = fp;
+  quantize_weights(q);
+  const auto tf = trace_model(fp);
+  const auto tq = trace_model(q);
+  ASSERT_TRUE(tf.ok() && tq.ok());
+  EXPECT_LT(tq.value().total_bytes, tf.value().total_bytes);
+}
+
+TEST(Trace, PeakMemoryAtLeastLargestActivation) {
+  ZooSpec spec;
+  spec.archetype = "unet";
+  spec.resolution = 32;
+  const Graph g = build_model(spec);
+  const auto trace = trace_model(g);
+  ASSERT_TRUE(trace.ok());
+  std::int64_t largest = 0;
+  for (const auto& layer : trace.value().layers) {
+    largest = std::max(largest, layer.output_shape.elements() * 4);
+  }
+  EXPECT_GE(trace.value().peak_activation_bytes, largest);
+}
+
+TEST(Trace, OpFamilyCountsExcludeInput) {
+  ZooSpec spec;
+  spec.archetype = "mobilenet";
+  spec.resolution = 32;
+  const auto trace = trace_model(build_model(spec));
+  ASSERT_TRUE(trace.ok());
+  const auto counts = trace.value().op_family_counts();
+  EXPECT_EQ(counts.count("input"), 0u);
+  EXPECT_GT(counts.at("conv"), 0);
+  EXPECT_GT(counts.at("depth_conv"), 0);
+  EXPECT_GT(counts.at("activation"), 0);
+}
+
+TEST(Trace, FourOrdersOfMagnitudeAcrossZoo) {
+  // The corpus must span the paper's reported FLOPs spread (Fig. 7).
+  std::int64_t min_flops = std::numeric_limits<std::int64_t>::max();
+  std::int64_t max_flops = 0;
+  for (const auto& arch : zoo_archetypes()) {
+    ZooSpec spec;
+    spec.archetype = arch;
+    spec.resolution = archetype_modality(arch) == Modality::Image ? 96 : 16;
+    if (arch == "sensormlp") spec.resolution = 8;
+    const auto trace = trace_model(build_model(spec));
+    ASSERT_TRUE(trace.ok()) << arch << ": " << trace.error();
+    min_flops = std::min(min_flops, trace.value().total_flops);
+    max_flops = std::max(max_flops, trace.value().total_flops);
+  }
+  EXPECT_GT(max_flops / std::max<std::int64_t>(min_flops, 1), 1000);
+}
+
+}  // namespace
+}  // namespace gauge::nn

@@ -1,0 +1,89 @@
+#include "nn/training.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/zoo.hpp"
+
+namespace gauge::nn {
+namespace {
+
+ModelTrace trace_of(const std::string& arch, int res = 48) {
+  ZooSpec spec;
+  spec.archetype = arch;
+  spec.resolution = res;
+  spec.seed = 13;
+  auto trace = trace_model(build_model(spec));
+  EXPECT_TRUE(trace.ok());
+  return std::move(trace).take();
+}
+
+TEST(Training, FullTrainingCostsRoughly3xInference) {
+  const auto trace = trace_of("mobilenet");
+  const auto cost = training_step_cost(trace, -1);
+  const double multiplier = static_cast<double>(cost.total_flops()) /
+                            static_cast<double>(cost.forward_flops);
+  EXPECT_GT(multiplier, 2.0);
+  EXPECT_LT(multiplier, 4.0);
+  EXPECT_EQ(cost.trainable_params, trace.total_params);
+}
+
+TEST(Training, HeadOnlyFineTuningIsMuchCheaper) {
+  const auto trace = trace_of("mobilenet");
+  const auto full = training_step_cost(trace, -1);
+  const auto head = training_step_cost(trace, 2);
+  EXPECT_LT(head.total_flops(), full.total_flops());
+  EXPECT_LT(head.trainable_params, full.trainable_params);
+  EXPECT_LT(head.activation_stash_bytes, full.activation_stash_bytes);
+  // The paper's observation: fine-tuning a few last layers has a
+  // "significantly smaller training footprint".
+  const double backward_saving =
+      static_cast<double>(head.backward_flops) /
+      static_cast<double>(full.backward_flops);
+  EXPECT_LT(backward_saving, 0.5);
+}
+
+TEST(Training, MonotoneInTrainableLayers) {
+  const auto trace = trace_of("vggnet");
+  std::int64_t prev = 0;
+  for (int k : {1, 2, 3, 4, 100}) {
+    const auto cost = training_step_cost(trace, k);
+    EXPECT_GE(cost.total_flops(), prev);
+    prev = cost.total_flops();
+  }
+}
+
+TEST(Training, ZeroTrainableLayersIsInferenceOnly) {
+  const auto trace = trace_of("audiocnn", 32);
+  const auto cost = training_step_cost(trace, 0);
+  EXPECT_EQ(cost.backward_flops, 0);
+  EXPECT_EQ(cost.update_flops, 0);
+  EXPECT_EQ(cost.trainable_params, 0);
+  EXPECT_EQ(cost.total_flops(), trace.total_flops);
+}
+
+TEST(Training, UpdateCostScalesWithParams) {
+  const auto trace = trace_of("sensormlp", 16);
+  const auto full = training_step_cost(trace, -1);
+  EXPECT_EQ(full.update_flops, 4 * trace.total_params);
+}
+
+class TrainingAllArchetypes : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TrainingAllArchetypes, CostsAreConsistent) {
+  ZooSpec spec;
+  spec.archetype = GetParam();
+  spec.resolution = archetype_modality(spec.archetype) == Modality::Image ? 32 : 16;
+  const auto trace = trace_model(build_model(spec));
+  ASSERT_TRUE(trace.ok());
+  const auto full = training_step_cost(trace.value(), -1);
+  const auto head = training_step_cost(trace.value(), 1);
+  EXPECT_GE(full.total_flops(), head.total_flops());
+  EXPECT_GE(full.total_flops(), trace.value().total_flops);
+  EXPECT_GT(head.trainable_params, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, TrainingAllArchetypes,
+                         ::testing::ValuesIn(zoo_archetypes()));
+
+}  // namespace
+}  // namespace gauge::nn

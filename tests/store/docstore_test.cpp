@@ -1,0 +1,144 @@
+#include "store/docstore.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gauge::store {
+namespace {
+
+DocStore sample_store() {
+  DocStore db;
+  db.insert({{"framework", "TFLite"}, {"category", "photography"}, {"flops", 1000}});
+  db.insert({{"framework", "TFLite"}, {"category", "finance"}, {"flops", 2000}});
+  db.insert({{"framework", "caffe"}, {"category", "photography"}, {"flops", 500}});
+  db.insert({{"framework", "ncnn"}, {"category", "beauty"}, {"flops", 4000.0}});
+  db.insert({{"framework", "TFLite"}, {"category", "photography"}, {"flops", 3000}});
+  return db;
+}
+
+TEST(Value, TypePredicatesAndAccessors) {
+  EXPECT_TRUE(Value{}.is_null());
+  EXPECT_TRUE(Value{true}.is_bool());
+  EXPECT_TRUE(Value{42}.is_int());
+  EXPECT_TRUE(Value{3.5}.is_double());
+  EXPECT_TRUE(Value{"x"}.is_string());
+  EXPECT_DOUBLE_EQ(Value{42}.as_double(), 42.0);
+  EXPECT_EQ(Value{42}.str(), "42");
+  EXPECT_EQ(Value{"abc"}.str(), "abc");
+  EXPECT_EQ(Value{true}.str(), "true");
+  EXPECT_EQ(Value{}.str(), "null");
+}
+
+TEST(Value, NumericCrossTypeEquality) {
+  EXPECT_TRUE(Value{2}.equals(Value{2.0}));
+  EXPECT_FALSE(Value{2}.equals(Value{3}));
+  EXPECT_FALSE(Value{"2"}.equals(Value{2}));
+  EXPECT_TRUE(Value{1}.less(Value{1.5}));
+  EXPECT_TRUE(Value{"a"}.less(Value{"b"}));
+}
+
+TEST(DocStore, InsertAndCount) {
+  const DocStore db = sample_store();
+  EXPECT_EQ(db.size(), 5u);
+  EXPECT_EQ(db.query().count(), 5u);
+}
+
+TEST(DocStore, TermQuery) {
+  const DocStore db = sample_store();
+  EXPECT_EQ(db.query().where("framework", "TFLite").count(), 3u);
+  EXPECT_EQ(db.query()
+                .where("framework", "TFLite")
+                .where("category", "photography")
+                .count(),
+            2u);
+  EXPECT_EQ(db.query().where("framework", "PyTorch").count(), 0u);
+}
+
+TEST(DocStore, RangeQuery) {
+  const DocStore db = sample_store();
+  EXPECT_EQ(db.query().where_range("flops", 1000, 3000).count(), 3u);
+  EXPECT_EQ(db.query().where_range("flops", std::nullopt, 999).count(), 1u);
+  EXPECT_EQ(db.query().where_range("flops", 3500, std::nullopt).count(), 1u);
+  EXPECT_EQ(db.query().where_range("missing", 0, 1).count(), 0u);
+}
+
+TEST(DocStore, ExistsQuery) {
+  DocStore db;
+  db.insert({{"a", 1}});
+  db.insert({{"b", 2}});
+  db.insert({{"a", Value{}}});
+  EXPECT_EQ(db.query().where_exists("a").count(), 1u);
+}
+
+TEST(DocStore, GroupByCounts) {
+  const DocStore db = sample_store();
+  const auto rows = db.query().group_by({"framework"});
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].keys[0].str(), "TFLite");  // sorted by count desc
+  EXPECT_EQ(rows[0].count, 3);
+  EXPECT_EQ(rows[1].count, 1);
+}
+
+TEST(DocStore, GroupByTwoFieldsWithMetric) {
+  const DocStore db = sample_store();
+  const auto rows = db.query().group_by({"framework", "category"}, "flops");
+  // TFLite/photography: 2 docs, sum 4000.
+  bool found = false;
+  for (const auto& row : rows) {
+    if (row.keys[0].str() == "TFLite" && row.keys[1].str() == "photography") {
+      EXPECT_EQ(row.count, 2);
+      EXPECT_DOUBLE_EQ(row.sum, 4000.0);
+      EXPECT_DOUBLE_EQ(row.avg(), 2000.0);
+      EXPECT_DOUBLE_EQ(row.min, 1000.0);
+      EXPECT_DOUBLE_EQ(row.max, 3000.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DocStore, NumbersAndStrings) {
+  const DocStore db = sample_store();
+  const auto flops = db.query().where("framework", "TFLite").numbers("flops");
+  EXPECT_EQ(flops.size(), 3u);
+  const auto cats = db.query().strings("category");
+  EXPECT_EQ(cats.size(), 5u);
+}
+
+TEST(Json, SerialisesAllValueKinds) {
+  Document doc;
+  doc["s"] = "he said \"hi\"\n";
+  doc["i"] = 42;
+  doc["d"] = 2.5;
+  doc["b"] = true;
+  doc["n"] = Value{};
+  const std::string json = to_json(doc);
+  EXPECT_EQ(json,
+            "{\"b\": true, \"d\": 2.5, \"i\": 42, \"n\": null, "
+            "\"s\": \"he said \\\"hi\\\"\\n\"}");
+}
+
+TEST(Json, EscapesControlCharacters) {
+  Document doc;
+  doc["x"] = std::string{"a\x01z"};
+  EXPECT_EQ(to_json(doc), "{\"x\": \"a\\u0001z\"}");
+}
+
+TEST(Json, QueryToJsonlFilters) {
+  const DocStore db = sample_store();
+  const std::string jsonl =
+      db.query().where("framework", "caffe").to_jsonl();
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 1);
+  EXPECT_NE(jsonl.find("\"framework\": \"caffe\""), std::string::npos);
+}
+
+TEST(DocStore, FilteredAggregation) {
+  const DocStore db = sample_store();
+  const auto rows =
+      db.query().where("category", "photography").group_by({"framework"});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].keys[0].str(), "TFLite");
+  EXPECT_EQ(rows[0].count, 2);
+}
+
+}  // namespace
+}  // namespace gauge::store

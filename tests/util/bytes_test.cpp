@@ -1,0 +1,78 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gauge::util {
+namespace {
+
+TEST(Bytes, RoundTripScalars) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i32(-42);
+  w.i64(-1);
+  w.f32(3.5f);
+  w.f64(-2.25);
+  w.str("hello");
+
+  ByteReader r{w.bytes()};
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1);
+  EXPECT_FLOAT_EQ(r.f32(), 3.5f);
+  EXPECT_DOUBLE_EQ(r.f64(), -2.25);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x04);
+  EXPECT_EQ(w.bytes()[3], 0x01);
+}
+
+TEST(Bytes, ReaderUnderrunSetsNotOk) {
+  const Bytes data{0x01, 0x02};
+  ByteReader r{data};
+  r.u32();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, PatchU32) {
+  ByteWriter w;
+  w.u32(0);
+  w.raw(std::string_view{"body"});
+  w.patch_u32(0, 0xCAFEBABE);
+  ByteReader r{w.bytes()};
+  EXPECT_EQ(r.u32(), 0xCAFEBABEu);
+}
+
+TEST(Bytes, SeekAndRaw) {
+  ByteWriter w;
+  w.raw(std::string_view{"0123456789"});
+  ByteReader r{w.bytes()};
+  r.seek(4);
+  EXPECT_EQ(as_view(r.raw(3)), "456");
+  r.seek(100);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, ViewConversions) {
+  const Bytes b = to_bytes("abc");
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(as_view(b), "abc");
+  const auto span = as_span("xy");
+  EXPECT_EQ(span.size(), 2u);
+}
+
+}  // namespace
+}  // namespace gauge::util

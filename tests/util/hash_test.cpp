@@ -1,0 +1,76 @@
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace gauge::util {
+namespace {
+
+// RFC 1321 appendix test vectors.
+TEST(Md5, Rfc1321Vectors) {
+  EXPECT_EQ(Md5::hex(std::string_view{""}), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5::hex(std::string_view{"a"}), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(Md5::hex(std::string_view{"abc"}), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(Md5::hex(std::string_view{"message digest"}),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(Md5::hex(std::string_view{"abcdefghijklmnopqrstuvwxyz"}),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(
+      Md5::hex(std::string_view{"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqr"
+                                "stuvwxyz0123456789"}),
+      "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(Md5::hex(std::string_view{
+                "1234567890123456789012345678901234567890123456789012345678901"
+                "2345678901234567890"}),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, StreamingMatchesOneShot) {
+  const std::string payload(1000, 'x');
+  Md5 streaming;
+  for (std::size_t i = 0; i < payload.size(); i += 7) {
+    streaming.update(std::string_view{payload}.substr(i, 7));
+  }
+  EXPECT_EQ(streaming.hex_digest(), Md5::hex(payload));
+}
+
+TEST(Md5, BoundaryLengths) {
+  // Lengths around the 56-byte padding boundary and 64-byte block boundary.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string payload(len, 'b');
+    Md5 streaming;
+    streaming.update(payload);
+    EXPECT_EQ(streaming.hex_digest(), Md5::hex(payload)) << "len=" << len;
+  }
+}
+
+TEST(Crc32, KnownVectors) {
+  EXPECT_EQ(crc32(std::string_view{""}), 0u);
+  EXPECT_EQ(crc32(std::string_view{"123456789"}), 0xCBF43926u);
+  EXPECT_EQ(crc32(std::string_view{"The quick brown fox jumps over the lazy dog"}),
+            0x414FA339u);
+}
+
+TEST(Crc32, SeedChaining) {
+  const std::string whole = "hello world";
+  const std::uint32_t once = crc32(whole);
+  const std::uint32_t first = crc32(std::string_view{"hello "});
+  const std::uint32_t chained = crc32(as_span(std::string_view{"world"}), first);
+  EXPECT_EQ(chained, once);
+}
+
+TEST(Fnv1a, DistinctInputsDistinctHashes) {
+  EXPECT_NE(fnv1a64("model_a.tflite"), fnv1a64("model_b.tflite"));
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+}
+
+TEST(ToHex, RendersBytes) {
+  const std::uint8_t data[] = {0x00, 0xab, 0xff};
+  EXPECT_EQ(to_hex(data), "00abff");
+}
+
+}  // namespace
+}  // namespace gauge::util

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "util/clock.hpp"
+#include "util/log.hpp"
+#include "util/result.hpp"
+
+namespace gauge::util {
+namespace {
+
+TEST(Result, OkPath) {
+  Result<int> r{42};
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, FailurePath) {
+  auto r = Result<int>::failure("boom");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), "boom");
+}
+
+TEST(Result, TakeMovesValue) {
+  auto r = Result<std::string>{std::string(100, 'x')};
+  const std::string taken = std::move(r).take();
+  EXPECT_EQ(taken.size(), 100u);
+}
+
+TEST(Result, MapTransformsValue) {
+  Result<int> r{21};
+  const auto doubled = r.map([](int v) { return v * 2; });
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(doubled.value(), 42);
+
+  const auto failed = Result<int>::failure("nope").map([](int v) { return v; });
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error(), "nope");
+}
+
+TEST(Status, OkAndFailure) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  const auto bad = Status::failure("denied");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), "denied");
+}
+
+TEST(Log, LevelGateIsRespected) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  // These must not crash regardless of gate state.
+  log_debug("d");
+  log_info("i");
+  log_warn("w");
+  log_error("e");
+  set_log_level(LogLevel::Off);
+  log_error("suppressed");
+  set_log_level(original);
+}
+
+TEST(SimClock, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0u);
+  clock.advance_ns(1'500'000'000ULL);
+  EXPECT_DOUBLE_EQ(clock.now_seconds(), 1.5);
+  clock.advance_seconds(0.5);
+  EXPECT_DOUBLE_EQ(clock.now_seconds(), 2.0);
+}
+
+}  // namespace
+}  // namespace gauge::util

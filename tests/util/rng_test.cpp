@@ -1,0 +1,117 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace gauge::util {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsIndependentOfParentState) {
+  Rng parent{7};
+  Rng child_before = parent.fork(3);
+  // fork() must not depend on how much the parent has generated only via
+  // explicit state; two forks with the same id from the same state match.
+  Rng child_again = parent.fork(3);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(child_before.next_u64(), child_again.next_u64());
+  }
+  // Different stream ids diverge.
+  Rng other = parent.fork(4);
+  EXPECT_NE(parent.fork(3).next_u64(), other.next_u64());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng{11};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const auto w = rng.uniform_u64(17);
+    EXPECT_LT(w, 17u);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng{13};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{17};
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, ParetoIsHeavyTailedAndBounded) {
+  Rng rng{19};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Rng, ZipfFavoursLowRanks) {
+  Rng rng{23};
+  int rank1 = 0, rank_high = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t r = rng.zipf(100, 1.0);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 100u);
+    if (r == 1) ++rank1;
+    if (r > 50) ++rank_high;
+  }
+  EXPECT_GT(rank1, rank_high / 2);
+  EXPECT_GT(rank1, 500);
+}
+
+TEST(Rng, WeightedChoiceRespectsWeights) {
+  Rng rng{29};
+  const std::vector<double> weights{0.0, 9.0, 1.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) counts[rng.weighted_choice(weights)]++;
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[1], counts[2] * 5);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng{31};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+}  // namespace
+}  // namespace gauge::util

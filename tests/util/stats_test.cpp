@@ -1,0 +1,159 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace gauge::util {
+namespace {
+
+TEST(Stats, MeanVarianceStdev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stdev(xs), 2.0);
+}
+
+TEST(Stats, EmptyInputsAreSafe) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stdev({}), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Stats, GeomeanOfPowers) {
+  const std::vector<double> xs{1.0, 10.0, 100.0};
+  EXPECT_NEAR(geomean(xs), 10.0, 1e-9);
+}
+
+TEST(Ecdf, StepFunction) {
+  Ecdf ecdf{{1.0, 2.0, 3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(ecdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf(9.0), 1.0);
+}
+
+TEST(Ecdf, QuantileInvertsRoughly) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  Ecdf ecdf{xs};
+  EXPECT_NEAR(ecdf.quantile(0.5), 50.0, 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(1.0), 100.0);
+}
+
+TEST(Ecdf, IsMonotone) {
+  Rng rng{5};
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.lognormal(0.0, 2.0));
+  Ecdf ecdf{xs};
+  double prev = -1.0;
+  for (double x = 0.0; x < 50.0; x += 0.5) {
+    const double p = ecdf(x);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Histogram, CountsSumToSampleSize) {
+  Rng rng{7};
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.normal());
+  const auto bins = histogram(xs, 16);
+  std::size_t total = 0;
+  for (const auto& bin : bins) total += bin.count;
+  EXPECT_EQ(total, xs.size());
+  EXPECT_EQ(bins.size(), 16u);
+}
+
+TEST(Kde, IntegratesToRoughlyOne) {
+  Rng rng{9};
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal(10.0, 2.0));
+  Kde kde{xs};
+  const auto grid = kde.grid(400);
+  double integral = 0.0;
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    const double dx = grid[i].first - grid[i - 1].first;
+    integral += 0.5 * (grid[i].second + grid[i - 1].second) * dx;
+  }
+  EXPECT_NEAR(integral, 1.0, 0.05);
+}
+
+TEST(Kde, PeaksNearMode) {
+  std::vector<double> xs(200, 5.0);
+  Kde kde{xs, 0.5};
+  EXPECT_GT(kde(5.0), kde(3.0));
+  EXPECT_GT(kde(5.0), kde(7.0));
+}
+
+TEST(LineFit, RecoversExactLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(static_cast<double>(i));
+    ys.push_back(3.0 * i + 7.0);
+  }
+  const LineFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 7.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(LineFit, NoisyDataHasLowerR2) {
+  Rng rng{13};
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    xs.push_back(static_cast<double>(i));
+    ys.push_back(2.0 * i + rng.normal(0.0, 40.0));
+  }
+  const LineFit fit = fit_line(xs, ys);
+  EXPECT_GT(fit.r2, 0.5);
+  EXPECT_LT(fit.r2, 1.0);
+  EXPECT_NEAR(fit.slope, 2.0, 0.3);
+}
+
+TEST(Correlation, SignsAndBounds) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> up{2, 4, 6, 8, 10};
+  const std::vector<double> down{10, 8, 6, 4, 2};
+  EXPECT_NEAR(correlation(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(xs, down), -1.0, 1e-12);
+}
+
+TEST(Outliers, DropsExtremePoints) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(10.0 + (i % 5));
+  xs.push_back(1e6);
+  const auto cleaned = drop_iqr_outliers(xs);
+  EXPECT_EQ(cleaned.size(), 100u);
+  for (double x : cleaned) EXPECT_LT(x, 100.0);
+}
+
+TEST(Summary, OrderedFields) {
+  Rng rng{21};
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.uniform(0.0, 100.0));
+  const Summary s = summarize(xs);
+  EXPECT_LE(s.min, s.p25);
+  EXPECT_LE(s.p25, s.median);
+  EXPECT_LE(s.median, s.p75);
+  EXPECT_LE(s.p75, s.p95);
+  EXPECT_LE(s.p95, s.max);
+  EXPECT_EQ(s.count, 500u);
+}
+
+}  // namespace
+}  // namespace gauge::util

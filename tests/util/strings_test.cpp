@@ -1,0 +1,71 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gauge::util {
+namespace {
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Strings, SplitWs) {
+  EXPECT_EQ(split_ws("  conv  7767517\t1 "),
+            (std::vector<std::string>{"conv", "7767517", "1"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_EQ(join({}, "/"), "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+}
+
+TEST(Strings, CaseHelpers) {
+  EXPECT_EQ(to_lower("MobileNet_V2.TFLITE"), "mobilenet_v2.tflite");
+  EXPECT_TRUE(contains_ci("Hair_Segmentation_MobileNet", "mobilenet"));
+  EXPECT_FALSE(contains_ci("blazeface", "mobilenet"));
+}
+
+TEST(Strings, ParseNumbers) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int(" -7 "), -7);
+  EXPECT_FALSE(parse_int("12abc").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_DOUBLE_EQ(parse_double("3.5").value(), 3.5);
+  EXPECT_FALSE(parse_double("x").has_value());
+}
+
+TEST(Strings, PathHelpers) {
+  EXPECT_EQ(basename("assets/models/face.tflite"), "face.tflite");
+  EXPECT_EQ(basename("face.tflite"), "face.tflite");
+  EXPECT_EQ(extension("assets/face.TFLITE"), ".tflite");
+  EXPECT_EQ(extension("weights.pth.tar"), ".pth.tar");
+  EXPECT_EQ(extension("model.cfg.ncnn"), ".cfg.ncnn");
+  EXPECT_EQ(extension("noext"), "");
+  EXPECT_EQ(extension(".hidden"), "");
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(format("%.2f", 1.005), "1.00");
+}
+
+TEST(Strings, HumanUnits) {
+  EXPECT_EQ(human_count(950.0), "950.00");
+  EXPECT_EQ(human_count(1500.0), "1.50K");
+  EXPECT_EQ(human_count(2.5e6), "2.50M");
+  EXPECT_EQ(human_count(3e9), "3.00G");
+  EXPECT_EQ(human_bytes(512), "512.00 B");
+  EXPECT_EQ(human_bytes(2048), "2.00 KiB");
+}
+
+}  // namespace
+}  // namespace gauge::util

@@ -1,0 +1,32 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gauge::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t{{"name", "count"}};
+  t.add_row({"tflite", "1436"});
+  t.add_row({"caffe", "176"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| tflite | 1436  |"), std::string::npos);
+  EXPECT_NE(out.find("| caffe  | 176   |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t{{"a", "b"}};
+  t.add_row({"x,y", "he said \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, NumericFormatters) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(0.191), "19.1%");
+}
+
+}  // namespace
+}  // namespace gauge::util

@@ -1,0 +1,124 @@
+#include "zipfile/deflate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace gauge::zipfile {
+namespace {
+
+util::Bytes roundtrip(const util::Bytes& raw) {
+  const util::Bytes compressed = deflate(raw);
+  auto restored = inflate(compressed);
+  EXPECT_TRUE(restored.ok()) << (restored.ok() ? "" : restored.error());
+  return restored.ok() ? std::move(restored).take() : util::Bytes{};
+}
+
+TEST(Deflate, EmptyInput) {
+  EXPECT_EQ(roundtrip({}), util::Bytes{});
+}
+
+TEST(Deflate, ShortLiteralRun) {
+  const util::Bytes raw = util::to_bytes("hello");
+  EXPECT_EQ(roundtrip(raw), raw);
+}
+
+TEST(Deflate, RepetitiveDataCompresses) {
+  util::Bytes raw;
+  for (int i = 0; i < 500; ++i) {
+    const auto chunk = util::to_bytes("the quick brown fox ");
+    raw.insert(raw.end(), chunk.begin(), chunk.end());
+  }
+  const util::Bytes compressed = deflate(raw);
+  EXPECT_LT(compressed.size(), raw.size() / 4);
+  EXPECT_EQ(roundtrip(raw), raw);
+}
+
+TEST(Deflate, AllByteValues) {
+  util::Bytes raw;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (int b = 0; b < 256; ++b) raw.push_back(static_cast<std::uint8_t>(b));
+  }
+  EXPECT_EQ(roundtrip(raw), raw);
+}
+
+TEST(Deflate, OverlappingCopyDistanceOne) {
+  // "aaaa..." exercises the classic distance-1 overlapping copy.
+  const util::Bytes raw(1000, 'a');
+  const util::Bytes compressed = deflate(raw);
+  EXPECT_LT(compressed.size(), 32u);
+  EXPECT_EQ(roundtrip(raw), raw);
+}
+
+TEST(Deflate, MaxMatchLengthBoundary) {
+  // 258 is the longest encodable match; make runs around that length.
+  for (std::size_t len : {257u, 258u, 259u, 516u, 1000u}) {
+    util::Bytes raw = util::to_bytes("prefix-");
+    raw.insert(raw.end(), len, 'z');
+    raw.push_back('!');
+    EXPECT_EQ(roundtrip(raw), raw) << "len=" << len;
+  }
+}
+
+TEST(Deflate, InflateRejectsGarbage) {
+  const util::Bytes junk{0x07, 0xFF, 0xFF, 0xFF, 0x12, 0x34};
+  const auto result = inflate(junk);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Deflate, InflateRejectsReservedBlockType) {
+  // BFINAL=1, BTYPE=3 (reserved): bits 1,1,1 -> byte 0b00000111.
+  const util::Bytes bad{0x07};
+  const auto result = inflate(bad);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("reserved"), std::string::npos);
+}
+
+TEST(Deflate, InflateRespectsOutputCap) {
+  const util::Bytes raw(10000, 'q');
+  const util::Bytes compressed = deflate(raw);
+  const auto capped = inflate(compressed, 100);
+  EXPECT_FALSE(capped.ok());
+}
+
+TEST(Deflate, InflateStoredBlock) {
+  // Hand-built stored block: BFINAL=1 BTYPE=00, aligned, LEN=3, NLEN=~3.
+  util::Bytes stream{0x01, 0x03, 0x00, 0xFC, 0xFF, 'a', 'b', 'c'};
+  const auto result = inflate(stream);
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_EQ(util::as_view(result.value()), "abc");
+}
+
+TEST(Deflate, InflateStoredBlockBadNlen) {
+  util::Bytes stream{0x01, 0x03, 0x00, 0x00, 0x00, 'a', 'b', 'c'};
+  EXPECT_FALSE(inflate(stream).ok());
+}
+
+class DeflateRandomRoundtrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeflateRandomRoundtrip, Roundtrips) {
+  util::Rng rng{static_cast<std::uint64_t>(GetParam())};
+  // Mix of random and structured segments of random total size.
+  util::Bytes raw;
+  const auto segments = 1 + rng.uniform_u64(8);
+  for (std::uint64_t s = 0; s < segments; ++s) {
+    const auto len = rng.uniform_u64(4096);
+    if (rng.bernoulli(0.5)) {
+      for (std::uint64_t i = 0; i < len; ++i) {
+        raw.push_back(static_cast<std::uint8_t>(rng.uniform_u64(256)));
+      }
+    } else {
+      const auto byte = static_cast<std::uint8_t>(rng.uniform_u64(256));
+      raw.insert(raw.end(), len, byte);
+    }
+  }
+  EXPECT_EQ(roundtrip(raw), raw);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeflateRandomRoundtrip,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace gauge::zipfile

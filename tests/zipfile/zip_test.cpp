@@ -1,0 +1,153 @@
+#include "zipfile/zip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace gauge::zipfile {
+namespace {
+
+TEST(Zip, EmptyArchiveRoundtrips) {
+  ZipWriter writer;
+  const util::Bytes archive = writer.finish();
+  auto reader = ZipReader::open(archive);
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_TRUE(reader.value().entries().empty());
+}
+
+TEST(Zip, SingleEntryRoundtrip) {
+  ZipWriter writer;
+  writer.add("assets/model.tflite", std::string_view{"TFL3-payload-bytes"});
+  auto reader = ZipReader::open(writer.finish());
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  ASSERT_EQ(reader.value().entries().size(), 1u);
+  EXPECT_TRUE(reader.value().contains("assets/model.tflite"));
+  EXPECT_FALSE(reader.value().contains("assets/other"));
+  auto data = reader.value().read("assets/model.tflite");
+  ASSERT_TRUE(data.ok()) << data.error();
+  EXPECT_EQ(util::as_view(data.value()), "TFL3-payload-bytes");
+}
+
+TEST(Zip, DeflateChosenForCompressibleEntries) {
+  ZipWriter writer;
+  const std::string repetitive(20000, 'x');
+  writer.add("big.txt", repetitive);
+  const util::Bytes archive = writer.finish();
+  EXPECT_LT(archive.size(), repetitive.size() / 2);
+  auto reader = ZipReader::open(archive);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value().entries()[0].method, Method::Deflate);
+  auto data = reader.value().read("big.txt");
+  ASSERT_TRUE(data.ok()) << data.error();
+  EXPECT_EQ(data.value().size(), repetitive.size());
+}
+
+TEST(Zip, StoreChosenForIncompressibleEntries) {
+  util::Rng rng{3};
+  util::Bytes noise;
+  for (int i = 0; i < 5000; ++i) {
+    noise.push_back(static_cast<std::uint8_t>(rng.uniform_u64(256)));
+  }
+  ZipWriter writer;
+  writer.add("noise.bin", noise);
+  auto reader = ZipReader::open(writer.finish());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value().entries()[0].method, Method::Store);
+  auto data = reader.value().read("noise.bin");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), noise);
+}
+
+TEST(Zip, ForcedMethodsRespected) {
+  ZipWriter writer;
+  writer.add("a", std::string_view{"aaaaaaaaaaaaaaaaaaaaaaaa"}, Method::Store);
+  writer.add("b", std::string_view{"x"}, Method::Deflate);
+  auto reader = ZipReader::open(writer.finish());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value().entries()[0].method, Method::Store);
+  EXPECT_EQ(reader.value().entries()[1].method, Method::Deflate);
+  EXPECT_EQ(util::as_view(reader.value().read("b").value()), "x");
+}
+
+TEST(Zip, ManyEntries) {
+  ZipWriter writer;
+  for (int i = 0; i < 200; ++i) {
+    writer.add("f/" + std::to_string(i), "payload-" + std::to_string(i));
+  }
+  auto reader = ZipReader::open(writer.finish());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value().entries().size(), 200u);
+  auto data = reader.value().read("f/123");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(util::as_view(data.value()), "payload-123");
+}
+
+TEST(Zip, MissingEntryFails) {
+  ZipWriter writer;
+  writer.add("present", std::string_view{"x"});
+  auto reader = ZipReader::open(writer.finish());
+  ASSERT_TRUE(reader.ok());
+  const auto missing = reader.value().read("absent");
+  EXPECT_FALSE(missing.ok());
+}
+
+TEST(Zip, RejectsTruncatedArchive) {
+  EXPECT_FALSE(ZipReader::open(util::to_bytes("PK")).ok());
+  EXPECT_FALSE(ZipReader::open({}).ok());
+}
+
+TEST(Zip, RejectsCorruptedPayload) {
+  ZipWriter writer;
+  writer.add("data", std::string_view{"important-bytes-here"}, Method::Store);
+  util::Bytes archive = writer.finish();
+  // Flip a payload byte: name is 4 chars after a 30-byte local header.
+  archive[34] ^= 0xFF;
+  auto reader = ZipReader::open(std::move(archive));
+  ASSERT_TRUE(reader.ok());
+  const auto data = reader.value().read("data");
+  EXPECT_FALSE(data.ok());
+  EXPECT_NE(data.error().find("CRC"), std::string::npos);
+}
+
+TEST(Zip, BinarySafeEntries) {
+  util::Bytes binary;
+  for (int i = 0; i < 256; ++i) binary.push_back(static_cast<std::uint8_t>(i));
+  ZipWriter writer;
+  writer.add("bin", binary);
+  auto reader = ZipReader::open(writer.finish());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value().read("bin").value(), binary);
+}
+
+class ZipRandomRoundtrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZipRandomRoundtrip, ArchivesRandomFileSets) {
+  util::Rng rng{static_cast<std::uint64_t>(100 + GetParam())};
+  ZipWriter writer;
+  std::vector<std::pair<std::string, util::Bytes>> files;
+  const auto n = 1 + rng.uniform_u64(20);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    util::Bytes content;
+    const auto len = rng.uniform_u64(3000);
+    for (std::uint64_t j = 0; j < len; ++j) {
+      content.push_back(rng.bernoulli(0.7)
+                            ? static_cast<std::uint8_t>('a')
+                            : static_cast<std::uint8_t>(rng.uniform_u64(256)));
+    }
+    std::string name = "dir" + std::to_string(i % 3) + "/file" + std::to_string(i);
+    writer.add(name, content);
+    files.emplace_back(std::move(name), std::move(content));
+  }
+  auto reader = ZipReader::open(writer.finish());
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  for (const auto& [name, content] : files) {
+    auto data = reader.value().read(name);
+    ASSERT_TRUE(data.ok()) << name << ": " << data.error();
+    EXPECT_EQ(data.value(), content) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZipRandomRoundtrip, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace gauge::zipfile
