@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_a16w8.dir/bench_ext_a16w8.cpp.o"
+  "CMakeFiles/bench_ext_a16w8.dir/bench_ext_a16w8.cpp.o.d"
+  "bench_ext_a16w8"
+  "bench_ext_a16w8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_a16w8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cohabitation.dir/bench_ext_cohabitation.cpp.o"
+  "CMakeFiles/bench_ext_cohabitation.dir/bench_ext_cohabitation.cpp.o.d"
+  "bench_ext_cohabitation"
+  "bench_ext_cohabitation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cohabitation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_cpu_delegates.dir/bench_fig13_cpu_delegates.cpp.o"
+  "CMakeFiles/bench_fig13_cpu_delegates.dir/bench_fig13_cpu_delegates.cpp.o.d"
+  "bench_fig13_cpu_delegates"
+  "bench_fig13_cpu_delegates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_cpu_delegates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_snpe.dir/bench_fig14_snpe.cpp.o"
+  "CMakeFiles/bench_fig14_snpe.dir/bench_fig14_snpe.cpp.o.d"
+  "bench_fig14_snpe"
+  "bench_fig14_snpe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_snpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_cloud_apis.dir/bench_fig15_cloud_apis.cpp.o"
+  "CMakeFiles/bench_fig15_cloud_apis.dir/bench_fig15_cloud_apis.cpp.o.d"
+  "bench_fig15_cloud_apis"
+  "bench_fig15_cloud_apis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_cloud_apis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_flops_params.dir/bench_fig7_flops_params.cpp.o"
+  "CMakeFiles/bench_fig7_flops_params.dir/bench_fig7_flops_params.cpp.o.d"
+  "bench_fig7_flops_params"
+  "bench_fig7_flops_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_flops_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_latency_vs_flops.dir/bench_fig8_latency_vs_flops.cpp.o"
+  "CMakeFiles/bench_fig8_latency_vs_flops.dir/bench_fig8_latency_vs_flops.cpp.o.d"
+  "bench_fig8_latency_vs_flops"
+  "bench_fig8_latency_vs_flops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_latency_vs_flops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec42_distribution.dir/bench_sec42_distribution.cpp.o"
+  "CMakeFiles/bench_sec42_distribution.dir/bench_sec42_distribution.cpp.o.d"
+  "bench_sec42_distribution"
+  "bench_sec42_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec42_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

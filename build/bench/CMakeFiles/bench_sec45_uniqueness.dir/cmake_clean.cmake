@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec45_uniqueness.dir/bench_sec45_uniqueness.cpp.o"
+  "CMakeFiles/bench_sec45_uniqueness.dir/bench_sec45_uniqueness.cpp.o.d"
+  "bench_sec45_uniqueness"
+  "bench_sec45_uniqueness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec45_uniqueness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

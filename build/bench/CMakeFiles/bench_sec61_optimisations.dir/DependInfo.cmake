@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sec61_optimisations.cpp" "bench/CMakeFiles/bench_sec61_optimisations.dir/bench_sec61_optimisations.cpp.o" "gcc" "bench/CMakeFiles/bench_sec61_optimisations.dir/bench_sec61_optimisations.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gauge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/android/CMakeFiles/gauge_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/gauge_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/gauge_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gauge_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/gauge_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gauge_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/gauge_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/zipfile/CMakeFiles/gauge_zipfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gauge_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

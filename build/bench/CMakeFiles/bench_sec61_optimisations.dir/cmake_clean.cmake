@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec61_optimisations.dir/bench_sec61_optimisations.cpp.o"
+  "CMakeFiles/bench_sec61_optimisations.dir/bench_sec61_optimisations.cpp.o.d"
+  "bench_sec61_optimisations"
+  "bench_sec61_optimisations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec61_optimisations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_tasks.dir/bench_table3_tasks.cpp.o"
+  "CMakeFiles/bench_table3_tasks.dir/bench_table3_tasks.cpp.o.d"
+  "bench_table3_tasks"
+  "bench_table3_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

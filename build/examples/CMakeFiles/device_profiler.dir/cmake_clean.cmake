@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_profiler.dir/device_profiler.cpp.o"
+  "CMakeFiles/device_profiler.dir/device_profiler.cpp.o.d"
+  "device_profiler"
+  "device_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

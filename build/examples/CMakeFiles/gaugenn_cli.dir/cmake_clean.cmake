@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaugenn_cli.dir/gaugenn_cli.cpp.o"
+  "CMakeFiles/gaugenn_cli.dir/gaugenn_cli.cpp.o.d"
+  "gaugenn_cli"
+  "gaugenn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaugenn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

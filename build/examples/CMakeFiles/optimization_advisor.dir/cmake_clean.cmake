@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimization_advisor.dir/optimization_advisor.cpp.o"
+  "CMakeFiles/optimization_advisor.dir/optimization_advisor.cpp.o.d"
+  "optimization_advisor"
+  "optimization_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimization_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_census.dir/store_census.cpp.o"
+  "CMakeFiles/store_census.dir/store_census.cpp.o.d"
+  "store_census"
+  "store_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/android/apk.cpp" "src/android/CMakeFiles/gauge_android.dir/apk.cpp.o" "gcc" "src/android/CMakeFiles/gauge_android.dir/apk.cpp.o.d"
+  "/root/repo/src/android/bundle.cpp" "src/android/CMakeFiles/gauge_android.dir/bundle.cpp.o" "gcc" "src/android/CMakeFiles/gauge_android.dir/bundle.cpp.o.d"
+  "/root/repo/src/android/detect.cpp" "src/android/CMakeFiles/gauge_android.dir/detect.cpp.o" "gcc" "src/android/CMakeFiles/gauge_android.dir/detect.cpp.o.d"
+  "/root/repo/src/android/dex.cpp" "src/android/CMakeFiles/gauge_android.dir/dex.cpp.o" "gcc" "src/android/CMakeFiles/gauge_android.dir/dex.cpp.o.d"
+  "/root/repo/src/android/playstore.cpp" "src/android/CMakeFiles/gauge_android.dir/playstore.cpp.o" "gcc" "src/android/CMakeFiles/gauge_android.dir/playstore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gauge_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/zipfile/CMakeFiles/gauge_zipfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gauge_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/gauge_formats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gauge_android.dir/apk.cpp.o"
+  "CMakeFiles/gauge_android.dir/apk.cpp.o.d"
+  "CMakeFiles/gauge_android.dir/bundle.cpp.o"
+  "CMakeFiles/gauge_android.dir/bundle.cpp.o.d"
+  "CMakeFiles/gauge_android.dir/detect.cpp.o"
+  "CMakeFiles/gauge_android.dir/detect.cpp.o.d"
+  "CMakeFiles/gauge_android.dir/dex.cpp.o"
+  "CMakeFiles/gauge_android.dir/dex.cpp.o.d"
+  "CMakeFiles/gauge_android.dir/playstore.cpp.o"
+  "CMakeFiles/gauge_android.dir/playstore.cpp.o.d"
+  "libgauge_android.a"
+  "libgauge_android.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gauge_android.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

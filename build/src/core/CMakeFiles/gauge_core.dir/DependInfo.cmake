@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/gauge_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/gauge_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/bundle.cpp" "src/core/CMakeFiles/gauge_core.dir/bundle.cpp.o" "gcc" "src/core/CMakeFiles/gauge_core.dir/bundle.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/gauge_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/gauge_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/records.cpp" "src/core/CMakeFiles/gauge_core.dir/records.cpp.o" "gcc" "src/core/CMakeFiles/gauge_core.dir/records.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/gauge_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/gauge_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/gauge_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/gauge_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/scenarios.cpp" "src/core/CMakeFiles/gauge_core.dir/scenarios.cpp.o" "gcc" "src/core/CMakeFiles/gauge_core.dir/scenarios.cpp.o.d"
+  "/root/repo/src/core/taskclassify.cpp" "src/core/CMakeFiles/gauge_core.dir/taskclassify.cpp.o" "gcc" "src/core/CMakeFiles/gauge_core.dir/taskclassify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gauge_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/zipfile/CMakeFiles/gauge_zipfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gauge_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/gauge_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/android/CMakeFiles/gauge_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/gauge_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/gauge_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gauge_core.dir/analysis.cpp.o"
+  "CMakeFiles/gauge_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/gauge_core.dir/bundle.cpp.o"
+  "CMakeFiles/gauge_core.dir/bundle.cpp.o.d"
+  "CMakeFiles/gauge_core.dir/pipeline.cpp.o"
+  "CMakeFiles/gauge_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/gauge_core.dir/records.cpp.o"
+  "CMakeFiles/gauge_core.dir/records.cpp.o.d"
+  "CMakeFiles/gauge_core.dir/report.cpp.o"
+  "CMakeFiles/gauge_core.dir/report.cpp.o.d"
+  "CMakeFiles/gauge_core.dir/runtime.cpp.o"
+  "CMakeFiles/gauge_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/gauge_core.dir/scenarios.cpp.o"
+  "CMakeFiles/gauge_core.dir/scenarios.cpp.o.d"
+  "CMakeFiles/gauge_core.dir/taskclassify.cpp.o"
+  "CMakeFiles/gauge_core.dir/taskclassify.cpp.o.d"
+  "libgauge_core.a"
+  "libgauge_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gauge_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

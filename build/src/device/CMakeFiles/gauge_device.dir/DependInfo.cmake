@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/backends.cpp" "src/device/CMakeFiles/gauge_device.dir/backends.cpp.o" "gcc" "src/device/CMakeFiles/gauge_device.dir/backends.cpp.o.d"
+  "/root/repo/src/device/latency.cpp" "src/device/CMakeFiles/gauge_device.dir/latency.cpp.o" "gcc" "src/device/CMakeFiles/gauge_device.dir/latency.cpp.o.d"
+  "/root/repo/src/device/monsoon.cpp" "src/device/CMakeFiles/gauge_device.dir/monsoon.cpp.o" "gcc" "src/device/CMakeFiles/gauge_device.dir/monsoon.cpp.o.d"
+  "/root/repo/src/device/sched.cpp" "src/device/CMakeFiles/gauge_device.dir/sched.cpp.o" "gcc" "src/device/CMakeFiles/gauge_device.dir/sched.cpp.o.d"
+  "/root/repo/src/device/soc.cpp" "src/device/CMakeFiles/gauge_device.dir/soc.cpp.o" "gcc" "src/device/CMakeFiles/gauge_device.dir/soc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gauge_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gauge_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gauge_device.dir/backends.cpp.o"
+  "CMakeFiles/gauge_device.dir/backends.cpp.o.d"
+  "CMakeFiles/gauge_device.dir/latency.cpp.o"
+  "CMakeFiles/gauge_device.dir/latency.cpp.o.d"
+  "CMakeFiles/gauge_device.dir/monsoon.cpp.o"
+  "CMakeFiles/gauge_device.dir/monsoon.cpp.o.d"
+  "CMakeFiles/gauge_device.dir/sched.cpp.o"
+  "CMakeFiles/gauge_device.dir/sched.cpp.o.d"
+  "CMakeFiles/gauge_device.dir/soc.cpp.o"
+  "CMakeFiles/gauge_device.dir/soc.cpp.o.d"
+  "libgauge_device.a"
+  "libgauge_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gauge_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgauge_device.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/formats/caffe.cpp" "src/formats/CMakeFiles/gauge_formats.dir/caffe.cpp.o" "gcc" "src/formats/CMakeFiles/gauge_formats.dir/caffe.cpp.o.d"
+  "/root/repo/src/formats/convert.cpp" "src/formats/CMakeFiles/gauge_formats.dir/convert.cpp.o" "gcc" "src/formats/CMakeFiles/gauge_formats.dir/convert.cpp.o.d"
+  "/root/repo/src/formats/ncnn.cpp" "src/formats/CMakeFiles/gauge_formats.dir/ncnn.cpp.o" "gcc" "src/formats/CMakeFiles/gauge_formats.dir/ncnn.cpp.o.d"
+  "/root/repo/src/formats/registry.cpp" "src/formats/CMakeFiles/gauge_formats.dir/registry.cpp.o" "gcc" "src/formats/CMakeFiles/gauge_formats.dir/registry.cpp.o.d"
+  "/root/repo/src/formats/tfl.cpp" "src/formats/CMakeFiles/gauge_formats.dir/tfl.cpp.o" "gcc" "src/formats/CMakeFiles/gauge_formats.dir/tfl.cpp.o.d"
+  "/root/repo/src/formats/validate.cpp" "src/formats/CMakeFiles/gauge_formats.dir/validate.cpp.o" "gcc" "src/formats/CMakeFiles/gauge_formats.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gauge_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gauge_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

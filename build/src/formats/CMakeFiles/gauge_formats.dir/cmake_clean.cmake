@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gauge_formats.dir/caffe.cpp.o"
+  "CMakeFiles/gauge_formats.dir/caffe.cpp.o.d"
+  "CMakeFiles/gauge_formats.dir/convert.cpp.o"
+  "CMakeFiles/gauge_formats.dir/convert.cpp.o.d"
+  "CMakeFiles/gauge_formats.dir/ncnn.cpp.o"
+  "CMakeFiles/gauge_formats.dir/ncnn.cpp.o.d"
+  "CMakeFiles/gauge_formats.dir/registry.cpp.o"
+  "CMakeFiles/gauge_formats.dir/registry.cpp.o.d"
+  "CMakeFiles/gauge_formats.dir/tfl.cpp.o"
+  "CMakeFiles/gauge_formats.dir/tfl.cpp.o.d"
+  "CMakeFiles/gauge_formats.dir/validate.cpp.o"
+  "CMakeFiles/gauge_formats.dir/validate.cpp.o.d"
+  "libgauge_formats.a"
+  "libgauge_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gauge_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

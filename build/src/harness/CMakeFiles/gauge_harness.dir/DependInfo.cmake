@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/adb.cpp" "src/harness/CMakeFiles/gauge_harness.dir/adb.cpp.o" "gcc" "src/harness/CMakeFiles/gauge_harness.dir/adb.cpp.o.d"
+  "/root/repo/src/harness/agent.cpp" "src/harness/CMakeFiles/gauge_harness.dir/agent.cpp.o" "gcc" "src/harness/CMakeFiles/gauge_harness.dir/agent.cpp.o.d"
+  "/root/repo/src/harness/workflow.cpp" "src/harness/CMakeFiles/gauge_harness.dir/workflow.cpp.o" "gcc" "src/harness/CMakeFiles/gauge_harness.dir/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gauge_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gauge_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/gauge_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gauge_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

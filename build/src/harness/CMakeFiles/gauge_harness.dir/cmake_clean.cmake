@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gauge_harness.dir/adb.cpp.o"
+  "CMakeFiles/gauge_harness.dir/adb.cpp.o.d"
+  "CMakeFiles/gauge_harness.dir/agent.cpp.o"
+  "CMakeFiles/gauge_harness.dir/agent.cpp.o.d"
+  "CMakeFiles/gauge_harness.dir/workflow.cpp.o"
+  "CMakeFiles/gauge_harness.dir/workflow.cpp.o.d"
+  "libgauge_harness.a"
+  "libgauge_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gauge_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gauge_net.dir/socket.cpp.o"
+  "CMakeFiles/gauge_net.dir/socket.cpp.o.d"
+  "libgauge_net.a"
+  "libgauge_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gauge_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

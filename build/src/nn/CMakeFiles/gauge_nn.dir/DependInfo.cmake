@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/checksum.cpp" "src/nn/CMakeFiles/gauge_nn.dir/checksum.cpp.o" "gcc" "src/nn/CMakeFiles/gauge_nn.dir/checksum.cpp.o.d"
+  "/root/repo/src/nn/describe.cpp" "src/nn/CMakeFiles/gauge_nn.dir/describe.cpp.o" "gcc" "src/nn/CMakeFiles/gauge_nn.dir/describe.cpp.o.d"
+  "/root/repo/src/nn/graph.cpp" "src/nn/CMakeFiles/gauge_nn.dir/graph.cpp.o" "gcc" "src/nn/CMakeFiles/gauge_nn.dir/graph.cpp.o.d"
+  "/root/repo/src/nn/interp.cpp" "src/nn/CMakeFiles/gauge_nn.dir/interp.cpp.o" "gcc" "src/nn/CMakeFiles/gauge_nn.dir/interp.cpp.o.d"
+  "/root/repo/src/nn/threadpool.cpp" "src/nn/CMakeFiles/gauge_nn.dir/threadpool.cpp.o" "gcc" "src/nn/CMakeFiles/gauge_nn.dir/threadpool.cpp.o.d"
+  "/root/repo/src/nn/trace.cpp" "src/nn/CMakeFiles/gauge_nn.dir/trace.cpp.o" "gcc" "src/nn/CMakeFiles/gauge_nn.dir/trace.cpp.o.d"
+  "/root/repo/src/nn/training.cpp" "src/nn/CMakeFiles/gauge_nn.dir/training.cpp.o" "gcc" "src/nn/CMakeFiles/gauge_nn.dir/training.cpp.o.d"
+  "/root/repo/src/nn/zoo.cpp" "src/nn/CMakeFiles/gauge_nn.dir/zoo.cpp.o" "gcc" "src/nn/CMakeFiles/gauge_nn.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gauge_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gauge_nn.dir/checksum.cpp.o"
+  "CMakeFiles/gauge_nn.dir/checksum.cpp.o.d"
+  "CMakeFiles/gauge_nn.dir/describe.cpp.o"
+  "CMakeFiles/gauge_nn.dir/describe.cpp.o.d"
+  "CMakeFiles/gauge_nn.dir/graph.cpp.o"
+  "CMakeFiles/gauge_nn.dir/graph.cpp.o.d"
+  "CMakeFiles/gauge_nn.dir/interp.cpp.o"
+  "CMakeFiles/gauge_nn.dir/interp.cpp.o.d"
+  "CMakeFiles/gauge_nn.dir/threadpool.cpp.o"
+  "CMakeFiles/gauge_nn.dir/threadpool.cpp.o.d"
+  "CMakeFiles/gauge_nn.dir/trace.cpp.o"
+  "CMakeFiles/gauge_nn.dir/trace.cpp.o.d"
+  "CMakeFiles/gauge_nn.dir/training.cpp.o"
+  "CMakeFiles/gauge_nn.dir/training.cpp.o.d"
+  "CMakeFiles/gauge_nn.dir/zoo.cpp.o"
+  "CMakeFiles/gauge_nn.dir/zoo.cpp.o.d"
+  "libgauge_nn.a"
+  "libgauge_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gauge_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

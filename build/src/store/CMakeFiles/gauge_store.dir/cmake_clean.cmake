@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gauge_store.dir/docstore.cpp.o"
+  "CMakeFiles/gauge_store.dir/docstore.cpp.o.d"
+  "libgauge_store.a"
+  "libgauge_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gauge_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gauge_util.dir/fileio.cpp.o"
+  "CMakeFiles/gauge_util.dir/fileio.cpp.o.d"
+  "CMakeFiles/gauge_util.dir/hash.cpp.o"
+  "CMakeFiles/gauge_util.dir/hash.cpp.o.d"
+  "CMakeFiles/gauge_util.dir/log.cpp.o"
+  "CMakeFiles/gauge_util.dir/log.cpp.o.d"
+  "CMakeFiles/gauge_util.dir/rng.cpp.o"
+  "CMakeFiles/gauge_util.dir/rng.cpp.o.d"
+  "CMakeFiles/gauge_util.dir/stats.cpp.o"
+  "CMakeFiles/gauge_util.dir/stats.cpp.o.d"
+  "CMakeFiles/gauge_util.dir/strings.cpp.o"
+  "CMakeFiles/gauge_util.dir/strings.cpp.o.d"
+  "CMakeFiles/gauge_util.dir/table.cpp.o"
+  "CMakeFiles/gauge_util.dir/table.cpp.o.d"
+  "libgauge_util.a"
+  "libgauge_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gauge_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gauge_zipfile.dir/deflate.cpp.o"
+  "CMakeFiles/gauge_zipfile.dir/deflate.cpp.o.d"
+  "CMakeFiles/gauge_zipfile.dir/zip.cpp.o"
+  "CMakeFiles/gauge_zipfile.dir/zip.cpp.o.d"
+  "libgauge_zipfile.a"
+  "libgauge_zipfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gauge_zipfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

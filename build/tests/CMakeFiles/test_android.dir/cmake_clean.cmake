@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_android.dir/android/apk_test.cpp.o"
+  "CMakeFiles/test_android.dir/android/apk_test.cpp.o.d"
+  "CMakeFiles/test_android.dir/android/playstore_test.cpp.o"
+  "CMakeFiles/test_android.dir/android/playstore_test.cpp.o.d"
+  "test_android"
+  "test_android.pdb"
+  "test_android[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_android.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_formats.dir/formats/caffe_ncnn_test.cpp.o"
+  "CMakeFiles/test_formats.dir/formats/caffe_ncnn_test.cpp.o.d"
+  "CMakeFiles/test_formats.dir/formats/convert_test.cpp.o"
+  "CMakeFiles/test_formats.dir/formats/convert_test.cpp.o.d"
+  "CMakeFiles/test_formats.dir/formats/fuzz_test.cpp.o"
+  "CMakeFiles/test_formats.dir/formats/fuzz_test.cpp.o.d"
+  "CMakeFiles/test_formats.dir/formats/registry_test.cpp.o"
+  "CMakeFiles/test_formats.dir/formats/registry_test.cpp.o.d"
+  "CMakeFiles/test_formats.dir/formats/tfl_test.cpp.o"
+  "CMakeFiles/test_formats.dir/formats/tfl_test.cpp.o.d"
+  "test_formats"
+  "test_formats.pdb"
+  "test_formats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zipfile.dir/zipfile/deflate_test.cpp.o"
+  "CMakeFiles/test_zipfile.dir/zipfile/deflate_test.cpp.o.d"
+  "CMakeFiles/test_zipfile.dir/zipfile/dynamic_deflate_test.cpp.o"
+  "CMakeFiles/test_zipfile.dir/zipfile/dynamic_deflate_test.cpp.o.d"
+  "CMakeFiles/test_zipfile.dir/zipfile/zip_test.cpp.o"
+  "CMakeFiles/test_zipfile.dir/zipfile/zip_test.cpp.o.d"
+  "test_zipfile"
+  "test_zipfile.pdb"
+  "test_zipfile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zipfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
