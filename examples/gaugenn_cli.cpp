@@ -7,6 +7,11 @@
 //   gaugenn_cli report <dir> [category ...]  write a CSV report bundle
 //   gaugenn_cli diff                      temporal diff between the snapshots
 //
+// The global option `--telemetry-out <dir>` (before the subcommand) writes
+// the run's telemetry on exit: <dir>/trace.json (Chrome trace_event format,
+// load in chrome://tracing or ui.perfetto.dev), <dir>/metrics.txt and
+// <dir>/metrics.json (counter/gauge/histogram dump).
+//
 // Everything runs against the calibrated synthetic store.
 #include <cstdio>
 #include <cstring>
@@ -23,6 +28,8 @@
 #include "formats/validate.hpp"
 #include "nn/checksum.hpp"
 #include "nn/describe.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -33,7 +40,8 @@ using namespace gauge;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: gaugenn_cli <crawl [category ...] | inspect <pkg> | "
+               "usage: gaugenn_cli [--telemetry-out <dir>] "
+               "<crawl [category ...] | inspect <pkg> | "
                "describe <pkg> | bench <pkg> | report <dir> [category ...] | "
                "diff>\n");
   return 2;
@@ -180,22 +188,46 @@ int cmd_diff() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
+int run_command(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string& cmd = args[0];
   if (cmd == "crawl") {
-    std::vector<std::string> categories;
-    for (int i = 2; i < argc; ++i) categories.emplace_back(argv[i]);
-    return cmd_crawl(categories);
+    return cmd_crawl({args.begin() + 1, args.end()});
   }
-  if (cmd == "inspect" && argc == 3) return cmd_inspect(argv[2]);
-  if (cmd == "describe" && argc == 3) return cmd_describe(argv[2]);
-  if (cmd == "bench" && argc == 3) return cmd_bench(argv[2]);
-  if (cmd == "report" && argc >= 3) {
-    std::vector<std::string> categories;
-    for (int i = 3; i < argc; ++i) categories.emplace_back(argv[i]);
-    return cmd_report(argv[2], categories);
+  if (cmd == "inspect" && args.size() == 2) return cmd_inspect(args[1]);
+  if (cmd == "describe" && args.size() == 2) return cmd_describe(args[1]);
+  if (cmd == "bench" && args.size() == 2) return cmd_bench(args[1]);
+  if (cmd == "report" && args.size() >= 2) {
+    return cmd_report(args[1], {args.begin() + 2, args.end()});
   }
   if (cmd == "diff") return cmd_diff();
   return usage();
+}
+
+int main(int argc, char** argv) {
+  std::string telemetry_dir;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--telemetry-out") == 0) {
+      if (i + 1 >= argc) return usage();
+      telemetry_dir = argv[++i];
+      continue;
+    }
+    args.emplace_back(argv[i]);
+  }
+
+  const int code = run_command(args);
+
+  if (!telemetry_dir.empty()) {
+    const auto& registry = telemetry::current_registry();
+    if (auto written = telemetry::write_telemetry(registry, telemetry_dir);
+        !written.ok()) {
+      std::fprintf(stderr, "telemetry export failed: %s\n",
+                   written.error().c_str());
+      return code != 0 ? code : 1;
+    }
+    std::printf("telemetry written to %s/{trace.json,metrics.txt,metrics.json}\n",
+                telemetry_dir.c_str());
+  }
+  return code;
 }

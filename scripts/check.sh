@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Build + test gate, optionally under a sanitizer.
+#
+#   scripts/check.sh             # plain build, full ctest
+#   scripts/check.sh address     # ASan build, full ctest
+#   scripts/check.sh thread      # TSan build, full ctest
+#   scripts/check.sh thread test_telemetry   # TSan, one test binary's suite
+#
+# Each sanitizer gets its own build tree (build-check-<san>) so switching
+# sanitizers never poisons an incremental build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZER="${1:-}"
+FILTER="${2:-}"
+
+case "$SANITIZER" in
+  ""|address|thread|undefined) ;;
+  *)
+    echo "usage: $0 [address|thread|undefined] [ctest -R filter]" >&2
+    exit 2
+    ;;
+esac
+
+BUILD_DIR="build-check${SANITIZER:+-$SANITIZER}"
+
+cmake -B "$BUILD_DIR" -S . ${SANITIZER:+-DGAUGE_SANITIZE=$SANITIZER}
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+CTEST_ARGS=(--output-on-failure -j "$(nproc)")
+if [[ -n "$FILTER" ]]; then
+  CTEST_ARGS+=(-R "$FILTER")
+fi
+ctest --test-dir "$BUILD_DIR" "${CTEST_ARGS[@]}"

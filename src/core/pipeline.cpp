@@ -1,5 +1,6 @@
 #include "core/pipeline.hpp"
 
+#include <optional>
 #include <set>
 
 #include "android/detect.hpp"
@@ -10,6 +11,8 @@
 #include "formats/validate.hpp"
 #include "nn/checksum.hpp"
 #include "nn/zoo.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 #include "util/hash.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -172,6 +175,12 @@ SnapshotDataset run_pipeline(const android::PlayStore& play,
   SnapshotDataset dataset;
   dataset.snapshot = options.snapshot;
 
+  auto& metrics = telemetry::current_registry();
+  const auto drop = [&metrics](const char* reason) {
+    metrics.counter(std::string{"gauge.pipeline.drop."} + reason).increment();
+  };
+  telemetry::Span run_span{"pipeline.run"};
+
   const auto& categories = options.categories.empty()
                                ? android::PlayStore::categories()
                                : options.categories;
@@ -181,6 +190,11 @@ SnapshotDataset run_pipeline(const android::PlayStore& play,
   // many apps) are analysed once and the record cloned per instance.
   std::map<std::uint64_t, ModelRecord> analysis_cache;
   for (const auto& category : categories) {
+    telemetry::Span category_span{"pipeline.category"};
+    category_span.annotate("category", category);
+    std::size_t apps_ok = 0, apps_failed = 0;
+    std::size_t models_validated = 0, models_rejected = 0;
+
     android::PlayStore::ChartRequest request;
     request.category = category;
     request.snapshot = options.snapshot;
@@ -191,17 +205,31 @@ SnapshotDataset run_pipeline(const android::PlayStore& play,
                                 chart.size()));
 
     for (const android::AppEntry* entry : chart) {
-      if (!crawled.insert(entry->package).second) continue;
-
-      auto pkg = play.download(entry->package, options.snapshot,
-                               options.device_profile);
-      if (!pkg.ok()) {
-        util::log_warn("download failed: " + pkg.error());
+      if (!crawled.insert(entry->package).second) {
+        drop("duplicate_app");
         continue;
       }
-      auto apk = android::Apk::open(std::move(pkg.value().apk));
+      metrics.counter("gauge.pipeline.apps_crawled").increment();
+
+      auto pkg = [&] {
+        telemetry::Span span{"pipeline.download"};
+        return play.download(entry->package, options.snapshot,
+                             options.device_profile);
+      }();
+      if (!pkg.ok()) {
+        util::log_warn("download failed: " + pkg.error());
+        drop("download_failed");
+        ++apps_failed;
+        continue;
+      }
+      auto apk = [&] {
+        telemetry::Span span{"pipeline.apk_open"};
+        return android::Apk::open(std::move(pkg.value().apk));
+      }();
       if (!apk.ok()) {
         util::log_warn("bad apk for " + entry->package + ": " + apk.error());
+        drop("bad_apk");
+        ++apps_failed;
         continue;
       }
 
@@ -211,28 +239,47 @@ SnapshotDataset run_pipeline(const android::PlayStore& play,
       app.category = entry->category;
       app.installs = entry->installs;
 
-      // Static detection: ML stacks, delegates, cloud APIs.
-      for (const auto& hit : android::detect_ml_stacks(apk.value())) {
-        app.ml_stacks.push_back(android::ml_stack_name(hit.stack));
-        if (hit.stack == android::MlStack::NnApi) app.uses_nnapi = true;
-        if (hit.stack == android::MlStack::Xnnpack) app.uses_xnnpack = true;
-        if (hit.stack == android::MlStack::Snpe) app.uses_snpe = true;
-      }
-      app.uses_ml = android::uses_ml(apk.value());
-      for (const auto& hit : android::detect_cloud_apis(apk.value())) {
-        app.cloud_providers.push_back(
-            android::cloud_provider_name(hit.provider));
+      {
+        // Static detection: ML stacks, delegates, cloud APIs.
+        telemetry::Span span{"pipeline.detect"};
+        for (const auto& hit : android::detect_ml_stacks(apk.value())) {
+          app.ml_stacks.push_back(android::ml_stack_name(hit.stack));
+          if (hit.stack == android::MlStack::NnApi) app.uses_nnapi = true;
+          if (hit.stack == android::MlStack::Xnnpack) app.uses_xnnpack = true;
+          if (hit.stack == android::MlStack::Snpe) app.uses_snpe = true;
+        }
+        app.uses_ml = android::uses_ml(apk.value());
+        for (const auto& hit : android::detect_cloud_apis(apk.value())) {
+          app.cloud_providers.push_back(
+              android::cloud_provider_name(hit.provider));
+        }
       }
 
-      // Model extraction from the base APK.
+      // Model extraction from the base APK. (Span closed explicitly before
+      // the side-container sweep, which it should not cover.)
+      std::optional<telemetry::Span> extract_span{std::in_place,
+                                                  "pipeline.extract"};
       for (const auto& name : apk.value().entry_names()) {
         if (!formats::is_candidate_model_file(name)) continue;
         app.candidate_files++;
         auto data = apk.value().read(name);
-        if (!data.ok()) continue;
-        const auto framework = formats::validate_signature(name, data.value());
-        if (!framework) continue;  // obfuscated/encrypted or not a model
-        if (is_weights_companion(name, apk.value())) continue;
+        if (!data.ok()) {
+          drop("entry_read_failed");
+          continue;
+        }
+        const auto framework = [&] {
+          telemetry::Span span{"pipeline.validate"};
+          return formats::validate_signature(name, data.value());
+        }();
+        if (!framework) {  // obfuscated/encrypted or not a model
+          drop("bad_signature");
+          ++models_rejected;
+          continue;
+        }
+        if (is_weights_companion(name, apk.value())) {
+          drop("weights_companion");
+          continue;
+        }
         // Content key covers the graph file; two-file formats append the
         // weights blob so fine-tuned caffe/ncnn variants don't collide.
         std::uint64_t content_key = util::fnv1a64(data.value());
@@ -250,12 +297,21 @@ SnapshotDataset run_pipeline(const android::PlayStore& play,
         ModelRecord record;
         const auto cached = analysis_cache.find(content_key);
         if (cached != analysis_cache.end()) {
+          metrics.counter("gauge.pipeline.cache_hits").increment();
           record = cached->second;
           record.record_id = static_cast<int>(dataset.models.size());
         } else {
-          auto parsed =
-              parse_model(apk.value(), name, data.value(), *framework);
-          if (!parsed) continue;
+          metrics.counter("gauge.pipeline.cache_misses").increment();
+          auto parsed = [&] {
+            telemetry::Span span{"pipeline.parse"};
+            return parse_model(apk.value(), name, data.value(), *framework);
+          }();
+          if (!parsed) {
+            drop("parse_failed");
+            ++models_rejected;
+            continue;
+          }
+          telemetry::Span span{"pipeline.analyse"};
           record = analyse_model(std::move(*parsed), name,
                                  static_cast<int>(dataset.models.size()));
           analysis_cache[content_key] = record;
@@ -266,7 +322,10 @@ SnapshotDataset run_pipeline(const android::PlayStore& play,
         app.model_record_ids.push_back(record.record_id);
         dataset.model_docs.insert(to_document(record));
         dataset.models.push_back(std::move(record));
+        metrics.counter("gauge.pipeline.models_validated").increment();
+        ++models_validated;
       }
+      extract_span.reset();
 
       // §4.2: sweep post-install deliverables for models.
       auto sweep = [&](const android::SideContainer& side) {
@@ -284,7 +343,15 @@ SnapshotDataset run_pipeline(const android::PlayStore& play,
 
       dataset.app_docs.insert(to_document(app));
       dataset.apps.push_back(std::move(app));
+      ++apps_ok;
     }
+
+    metrics.counter("gauge.pipeline.categories").increment();
+    util::log_info(util::format(
+        "category '%s': apps %zu ok / %zu failed, models %zu validated / "
+        "%zu rejected",
+        category.c_str(), apps_ok, apps_failed, models_validated,
+        models_rejected));
   }
   return dataset;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/metrics.hpp"
 #include "util/hash.hpp"
 #include "util/rng.hpp"
 
@@ -172,6 +173,13 @@ RunResult simulate_inference(const Device& device, const nn::ModelTrace& trace,
   result.soc_energy_j = soc_watts * latency;
   result.efficiency_mflops_sw =
       result.energy_j > 0.0 ? total_flops / result.soc_energy_j / 1e6 : 0.0;
+
+  // Histogram + counter rather than a Span: simulated inference sits in
+  // benchmark hot loops, so per-call span records would flood the trace.
+  auto& metrics = telemetry::current_registry();
+  metrics.counter("gauge.device.inferences").increment();
+  metrics.histogram("gauge.device.latency_ms").observe(result.latency_s * 1e3);
+  metrics.histogram("gauge.device.energy_mj").observe(result.energy_j * 1e3);
   return result;
 }
 

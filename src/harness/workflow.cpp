@@ -3,69 +3,118 @@
 #include <thread>
 
 #include "net/socket.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 #include "util/hash.hpp"
 #include "util/strings.hpp"
 
 namespace gauge::harness {
 
+namespace {
+
+// adb pushes over flaky USB are the harness's most common transient
+// failure in the field; retry a few times before declaring the job dead.
+// Each extra attempt is counted so fleet health is visible in telemetry.
+constexpr int kPushAttempts = 3;
+
+util::Status push_with_retry(AdbConnection& adb, const std::string& path,
+                             const util::Bytes& data) {
+  util::Status status;
+  for (int attempt = 0; attempt < kPushAttempts; ++attempt) {
+    if (attempt > 0) {
+      telemetry::current_registry()
+          .counter("gauge.harness.push_retries")
+          .increment();
+    }
+    status = adb.push(path, data);
+    if (status.ok()) return status;
+  }
+  return status;
+}
+
+}  // namespace
+
 util::Result<WorkflowResult> BenchmarkMaster::run_job(const BenchmarkJob& job) {
   using R = util::Result<WorkflowResult>;
 
+  auto& metrics = telemetry::current_registry();
+  telemetry::Span job_span{"harness.job"};
+  job_span.annotate("job", job.job_id);
+  const auto fail = [&metrics](std::string error) {
+    metrics.counter("gauge.harness.jobs_failed").increment();
+    return R::failure(std::move(error));
+  };
+
   // 1. Push dependencies and assert the device state over adb.
-  if (auto status = adb_.push("/data/local/tmp/bench_runner",
-                              util::to_bytes("#!aarch64-daemon"));
-      !status.ok()) {
-    return R::failure(status.error());
+  {
+    telemetry::Span span{"harness.push"};
+    if (auto status = push_with_retry(adb_, "/data/local/tmp/bench_runner",
+                                      util::to_bytes("#!aarch64-daemon"));
+        !status.ok()) {
+      return fail(status.error());
+    }
+    if (auto status =
+            push_with_retry(adb_, "/data/local/tmp/" + job.job_id + ".model",
+                            util::to_bytes(job.model_key));
+        !status.ok()) {
+      return fail(status.error());
+    }
   }
-  if (auto status = adb_.push("/data/local/tmp/" + job.job_id + ".model",
-                              util::to_bytes(job.model_key));
-      !status.ok()) {
-    return R::failure(status.error());
-  }
-  if (auto status = adb_.assert_benchmark_state(); !status.ok()) {
-    return R::failure(status.error());
+  {
+    telemetry::Span span{"harness.assert_state"};
+    if (auto status = adb_.assert_benchmark_state(); !status.ok()) {
+      return fail(status.error());
+    }
   }
 
   // Master listens for the completion message before cutting the channel.
   auto listener = net::TcpListener::bind(0);
-  if (!listener.ok()) return R::failure(listener.error());
+  if (!listener.ok()) return fail(listener.error());
   const std::uint16_t done_port = listener.value().port();
 
-  // 2. Cut USB data + power: measurements must not see charging current.
-  hub_->disconnect(port_);
-
-  // 3-5. The device-side daemon runs detached (its own thread here; its own
-  // process on the phone) and reports over TCP when done.
   JobResult job_result;
-  std::thread daemon{[&] {
-    job_result = agent_->run_benchmark_daemon(job);
-    // WiFi is back on after the run; send the netcat-style done message.
-    auto stream = net::TcpStream::connect("127.0.0.1", done_port);
-    if (stream.ok()) {
-      (void)stream.value().send_line("DONE " + job.job_id);
+  std::string done_line;
+  bool usb_powered_during_run = false;
+  {
+    telemetry::Span span{"harness.run"};
+
+    // 2. Cut USB data + power: measurements must not see charging current.
+    hub_->disconnect(port_);
+
+    // 3-5. The device-side daemon runs detached (its own thread here; its
+    // own process on the phone) and reports over TCP when done.
+    std::thread daemon{[&] {
+      job_result = agent_->run_benchmark_daemon(job);
+      // WiFi is back on after the run; send the netcat-style done message.
+      auto stream = net::TcpStream::connect("127.0.0.1", done_port);
+      if (stream.ok()) {
+        (void)stream.value().send_line("DONE " + job.job_id);
+      }
+    }};
+
+    auto connection = listener.value().accept();
+    if (!connection.ok()) {
+      daemon.join();
+      return fail(connection.error());
     }
-  }};
-
-  auto connection = listener.value().accept();
-  if (!connection.ok()) {
+    auto line = connection.value().recv_line();
     daemon.join();
-    return R::failure(connection.error());
-  }
-  auto line = connection.value().recv_line();
-  daemon.join();
-  if (!line.ok()) return R::failure(line.error());
-  if (line.value() != "DONE " + job.job_id) {
-    return R::failure("unexpected completion message: " + line.value());
+    if (!line.ok()) return fail(line.error());
+    if (line.value() != "DONE " + job.job_id) {
+      return fail("unexpected completion message: " + line.value());
+    }
+    done_line = std::move(line).take();
+
+    // 6. Restore USB.
+    usb_powered_during_run = hub_->power_on(port_);
+    hub_->reconnect(port_);
+    if (!adb_.connected()) return fail("device did not come back");
   }
 
-  // 6. Restore USB and collect.
-  const bool usb_powered_during_run = hub_->power_on(port_);
-  hub_->reconnect(port_);
-  if (!adb_.connected()) return R::failure("device did not come back");
-
+  telemetry::Span collect_span{"harness.collect"};
   WorkflowResult result;
   result.job = std::move(job_result);
-  result.done_message = line.value();
+  result.done_message = std::move(done_line);
 
   // Monsoon measurement over the recorded phases.
   device::Monsoon monsoon{5000.0, 4.2,
@@ -103,8 +152,9 @@ util::Result<WorkflowResult> BenchmarkMaster::run_job(const BenchmarkJob& job) {
 
   // Cleanup for the next job.
   if (auto status = adb_.remove_all(); !status.ok()) {
-    return R::failure(status.error());
+    return fail(status.error());
   }
+  metrics.counter("gauge.harness.jobs_ok").increment();
   return result;
 }
 
@@ -131,6 +181,8 @@ std::vector<FleetResult> run_fleet(UsbHub& hub,
   for (std::size_t port = 0; port < fleet.size(); ++port) {
     results[port].device = fleet[port].agent->device().name;
     workers.emplace_back([&, port] {
+      telemetry::Span span{"harness.fleet_device"};
+      span.annotate("device", results[port].device);
       BenchmarkMaster master{hub, port, *fleet[port].agent};
       results[port].results = master.run_jobs(fleet[port].jobs);
     });

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/span.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
@@ -55,6 +56,9 @@ Interpreter::Interpreter(const Graph& graph, unsigned threads)
 
 util::Result<std::vector<Tensor>> Interpreter::run(
     const std::vector<Tensor>& inputs) {
+  telemetry::Span span{"nn.interp.run"};
+  if (!graph_.name.empty()) span.annotate("graph", graph_.name);
+  telemetry::current_registry().counter("gauge.nn.interp.runs").increment();
   // Bind inputs: override declared input shapes with the actual ones so a
   // caller can batch.
   Graph shaped = graph_;  // shallow-ish copy: weights share nothing, but the

@@ -1,6 +1,10 @@
 #include "nn/threadpool.hpp"
 
 #include <algorithm>
+#include <exception>
+
+#include "telemetry/metrics.hpp"
+#include "util/log.hpp"
 
 namespace gauge::nn {
 
@@ -23,14 +27,33 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
+    std::size_t queued = 0;
     {
       std::unique_lock<std::mutex> lock{mutex_};
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      queued = tasks_.size();
     }
-    task();
+    // Resolved after dequeue, not per worker: a ScopedRegistry installed
+    // while this worker slept still receives the pool's instrumentation.
+    auto& metrics = telemetry::current_registry();
+    metrics.gauge("gauge.nn.threadpool.queue_depth")
+        .set(static_cast<double>(queued));
+    // A throwing task must not take the worker down: the pool keeps
+    // draining, the failure is counted, and parallel_for still completes
+    // its in-flight accounting (the chunk's work is simply lost).
+    try {
+      task();
+    } catch (const std::exception& e) {
+      metrics.counter("gauge.nn.threadpool.task_failures").increment();
+      util::log_warn(std::string{"threadpool task threw: "} + e.what());
+    } catch (...) {
+      metrics.counter("gauge.nn.threadpool.task_failures").increment();
+      util::log_warn("threadpool task threw a non-exception");
+    }
+    metrics.counter("gauge.nn.threadpool.tasks").increment();
     {
       const std::lock_guard<std::mutex> lock{mutex_};
       --in_flight_;

@@ -1,0 +1,193 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/fileio.hpp"
+#include "util/strings.hpp"
+
+namespace gauge::telemetry {
+
+namespace {
+
+std::string escape_json(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  // Integral doubles print without an exponent/decimal tail.
+  if (value == static_cast<double>(static_cast<std::int64_t>(value))) {
+    return util::format("%lld", static_cast<long long>(value));
+  }
+  return util::format("%.6g", value);
+}
+
+}  // namespace
+
+std::string to_trace_json(const MetricsRegistry& registry) {
+  auto spans = registry.spans();
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_ns < b.start_ns;
+            });
+
+  // Renumber thread hashes to small tids in order of first appearance.
+  std::map<std::uint64_t, int> tids;
+  for (const auto& span : spans) {
+    tids.emplace(span.thread_hash, static_cast<int>(tids.size()) + 1);
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& span : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += util::format(
+        "\n{\"name\":\"%s\",\"cat\":\"gauge\",\"ph\":\"X\","
+        "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d",
+        escape_json(span.name).c_str(),
+        static_cast<double>(span.start_ns) / 1e3,
+        static_cast<double>(span.duration_ns) / 1e3,
+        tids.at(span.thread_hash));
+    out += util::format(",\"args\":{\"span_id\":%llu,\"parent_id\":%llu",
+                        static_cast<unsigned long long>(span.id),
+                        static_cast<unsigned long long>(span.parent_id));
+    for (const auto& [key, value] : span.args) {
+      out += util::format(",\"%s\":\"%s\"", escape_json(key).c_str(),
+                          escape_json(value).c_str());
+    }
+    out += "}}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"";
+  if (registry.spans_dropped() > 0) {
+    out += util::format(
+        ",\"metadata\":{\"spans_dropped\":%llu}",
+        static_cast<unsigned long long>(registry.spans_dropped()));
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string metrics_to_text(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& [name, value] : registry.counters()) {
+    out += util::format("counter   %-44s %lld\n", name.c_str(),
+                        static_cast<long long>(value));
+  }
+  for (const auto& [name, value] : registry.gauges()) {
+    out += util::format("gauge     %-44s %s\n", name.c_str(),
+                        json_number(value).c_str());
+  }
+  for (const auto& [name, snap] : registry.histograms()) {
+    out += util::format(
+        "histogram %-44s count=%llu sum=%s min=%s p50=%s p95=%s p99=%s "
+        "max=%s\n",
+        name.c_str(), static_cast<unsigned long long>(snap.count),
+        json_number(snap.sum).c_str(), json_number(snap.min).c_str(),
+        json_number(snap.p50).c_str(), json_number(snap.p95).c_str(),
+        json_number(snap.p99).c_str(), json_number(snap.max).c_str());
+  }
+  if (registry.spans_dropped() > 0) {
+    out += util::format(
+        "counter   %-44s %llu\n", "gauge.telemetry.spans_dropped",
+        static_cast<unsigned long long>(registry.spans_dropped()));
+  }
+  return out;
+}
+
+std::string metrics_to_json(const MetricsRegistry& registry) {
+  std::string out = "{\n\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : registry.counters()) {
+    out += util::format("%s\n\"%s\":%lld", first ? "" : ",",
+                        escape_json(name).c_str(),
+                        static_cast<long long>(value));
+    first = false;
+  }
+  out += "\n},\n\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : registry.gauges()) {
+    out += util::format("%s\n\"%s\":%s", first ? "" : ",",
+                        escape_json(name).c_str(),
+                        json_number(value).c_str());
+    first = false;
+  }
+  out += "\n},\n\"histograms\":{";
+  first = true;
+  for (const auto& [name, snap] : registry.histograms()) {
+    out += util::format(
+        "%s\n\"%s\":{\"count\":%llu,\"sum\":%s,\"min\":%s,\"max\":%s,"
+        "\"p50\":%s,\"p95\":%s,\"p99\":%s}",
+        first ? "" : ",", escape_json(name).c_str(),
+        static_cast<unsigned long long>(snap.count),
+        json_number(snap.sum).c_str(), json_number(snap.min).c_str(),
+        json_number(snap.max).c_str(), json_number(snap.p50).c_str(),
+        json_number(snap.p95).c_str(), json_number(snap.p99).c_str());
+    first = false;
+  }
+  out += "\n}\n}\n";
+  return out;
+}
+
+std::size_t export_to_docstore(const MetricsRegistry& registry,
+                               store::DocStore& store) {
+  std::size_t inserted = 0;
+  for (const auto& [name, value] : registry.counters()) {
+    store.insert({{"metric", name},
+                  {"kind", "counter"},
+                  {"value", static_cast<std::int64_t>(value)}});
+    ++inserted;
+  }
+  for (const auto& [name, value] : registry.gauges()) {
+    store.insert({{"metric", name}, {"kind", "gauge"}, {"value", value}});
+    ++inserted;
+  }
+  for (const auto& [name, snap] : registry.histograms()) {
+    store.insert({{"metric", name},
+                  {"kind", "histogram"},
+                  {"count", static_cast<std::int64_t>(snap.count)},
+                  {"sum", snap.sum},
+                  {"min", snap.min},
+                  {"max", snap.max},
+                  {"p50", snap.p50},
+                  {"p95", snap.p95},
+                  {"p99", snap.p99}});
+    ++inserted;
+  }
+  return inserted;
+}
+
+util::Status write_telemetry(const MetricsRegistry& registry,
+                             const std::string& dir) {
+  if (auto status = util::make_directories(dir); !status.ok()) return status;
+  if (auto status = util::write_file(dir + "/trace.json",
+                                     to_trace_json(registry));
+      !status.ok()) {
+    return status;
+  }
+  if (auto status = util::write_file(dir + "/metrics.txt",
+                                     metrics_to_text(registry));
+      !status.ok()) {
+    return status;
+  }
+  return util::write_file(dir + "/metrics.json", metrics_to_json(registry));
+}
+
+}  // namespace gauge::telemetry

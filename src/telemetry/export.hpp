@@ -1,0 +1,41 @@
+// Exporters for the telemetry registry:
+//  - Chrome trace_event JSON: load in chrome://tracing or https://ui.perfetto.dev
+//    to see the span tree as stacked slices per thread.
+//  - plain-text and JSON metrics dumps for logs and scripts.
+//  - DocStore bridge: one document per metric, so report tooling can query
+//    telemetry with the same store::Query machinery it uses for the dataset.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "store/docstore.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/result.hpp"
+
+namespace gauge::telemetry {
+
+// Spans as Chrome trace_event "X" (complete) events; timestamps in
+// microseconds since the registry epoch. Thread hashes are renumbered to
+// small stable tids so the tracks read well.
+std::string to_trace_json(const MetricsRegistry& registry);
+
+// One instrument per line: `<kind> <name> <value...>`, name-sorted.
+std::string metrics_to_text(const MetricsRegistry& registry);
+
+// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+// min, max, p50, p95, p99}}}
+std::string metrics_to_json(const MetricsRegistry& registry);
+
+// Snapshots every instrument into `store` (one document per metric, fields:
+// metric, kind, value / count, sum, min, max, p50, p95, p99). Returns the
+// number of documents inserted.
+std::size_t export_to_docstore(const MetricsRegistry& registry,
+                               store::DocStore& store);
+
+// Writes <dir>/trace.json, <dir>/metrics.txt and <dir>/metrics.json,
+// creating `dir` if needed.
+util::Status write_telemetry(const MetricsRegistry& registry,
+                             const std::string& dir);
+
+}  // namespace gauge::telemetry

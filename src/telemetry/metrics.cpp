@@ -1,0 +1,236 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace gauge::telemetry {
+
+namespace {
+
+// Spans are bounded so hot loops (benchmarks re-running an instrumented
+// path millions of times) cannot grow the registry without limit; drops are
+// counted and surfaced by the exporters.
+constexpr std::size_t kMaxSpans = 1 << 18;  // 262144
+
+void atomic_add(std::atomic<double>& target, double delta) {
+  double expected = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(expected, expected + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double value) {
+  double expected = target.load(std::memory_order_relaxed);
+  while (value < expected &&
+         !target.compare_exchange_weak(expected, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double value) {
+  double expected = target.load(std::memory_order_relaxed);
+  while (value > expected &&
+         !target.compare_exchange_weak(expected, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Gauge::add(double delta) { atomic_add(value_, delta); }
+
+std::vector<double> Histogram::default_bounds() {
+  std::vector<double> bounds;
+  for (double decade = 1e-3; decade < 1e6; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2.0);
+    bounds.push_back(decade * 5.0);
+  }
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_{bounds.empty() ? default_bounds() : std::move(bounds)},
+      min_{std::numeric_limits<double>::infinity()},
+      max_{-std::numeric_limits<double>::infinity()} {
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.bucket_counts.resize(bounds_.size() + 1);
+  // Concurrent observes may land between these loads; each field is
+  // individually consistent, which is all the exporters need.
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.bucket_counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = 0;
+  for (const auto c : snap.bucket_counts) snap.count += c;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  if (snap.count == 0) return snap;
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+
+  const auto quantile = [&](double q) {
+    const double target = q * static_cast<double>(snap.count);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < snap.bucket_counts.size(); ++i) {
+      const std::uint64_t in_bucket = snap.bucket_counts[i];
+      if (in_bucket == 0) continue;
+      if (static_cast<double>(cumulative + in_bucket) >= target) {
+        const double lo = i == 0 ? snap.min : snap.bounds[i - 1];
+        const double hi = i < snap.bounds.size() ? snap.bounds[i] : snap.max;
+        const double frac =
+            (target - static_cast<double>(cumulative)) /
+            static_cast<double>(in_bucket);
+        const double value = lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+        return std::clamp(value, snap.min, snap.max);
+      }
+      cumulative += in_bucket;
+    }
+    return snap.max;
+  };
+  snap.p50 = quantile(0.50);
+  snap.p95 = quantile(0.95);
+  snap.p99 = quantile(0.99);
+  return snap;
+}
+
+MetricsRegistry::MetricsRegistry()
+    : epoch_{std::chrono::steady_clock::now()} {}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string{name}, std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string{name}, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string{name},
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::uint64_t MetricsRegistry::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void MetricsRegistry::record_span(SpanRecord record) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (spans_.size() >= kMaxSpans) {
+    spans_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_.push_back(std::move(record));
+}
+
+std::vector<std::pair<std::string, std::int64_t>> MetricsRegistry::counters()
+    const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauges() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+MetricsRegistry::histograms() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace_back(name, histogram->snapshot());
+  }
+  return out;
+}
+
+std::vector<SpanRecord> MetricsRegistry::spans() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return spans_;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  spans_.clear();
+  spans_dropped_.store(0, std::memory_order_relaxed);
+  next_span_id_.store(1, std::memory_order_relaxed);
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+namespace {
+
+std::atomic<MetricsRegistry*> g_override{nullptr};
+
+}  // namespace
+
+MetricsRegistry& default_registry() {
+  static MetricsRegistry* const kRegistry = new MetricsRegistry{};
+  return *kRegistry;  // leaked: outlives static-destruction-order games
+}
+
+MetricsRegistry& current_registry() {
+  MetricsRegistry* override_registry =
+      g_override.load(std::memory_order_acquire);
+  return override_registry != nullptr ? *override_registry
+                                      : default_registry();
+}
+
+ScopedRegistry::ScopedRegistry(MetricsRegistry& registry)
+    : previous_{g_override.exchange(&registry, std::memory_order_acq_rel)} {}
+
+ScopedRegistry::~ScopedRegistry() {
+  g_override.store(previous_, std::memory_order_release);
+}
+
+}  // namespace gauge::telemetry

@@ -1,0 +1,170 @@
+// Self-measurement for the measurement system: a thread-safe metrics
+// registry (counters, gauges, fixed-bucket histograms) shared by every
+// layer of the pipeline and harness. Instruments are cheap enough for hot
+// paths — lock-free atomics after a mutex-guarded first lookup — and the
+// registry snapshots cleanly for the exporters in telemetry/export.hpp.
+//
+// Naming scheme: `gauge.<area>.<name>`, e.g. `gauge.pipeline.cache_hits`,
+// `gauge.nn.threadpool.queue_depth`, `gauge.device.latency_ms`.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gauge::telemetry {
+
+// Monotonically increasing integer (events, drops, retries).
+class Counter {
+ public:
+  void increment(std::int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Last-write-wins level (queue depth, pool size). `add` is a CAS loop so
+// concurrent deltas never lose updates.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  std::vector<double> bounds;                // bucket upper bounds
+  std::vector<std::uint64_t> bucket_counts;  // bounds.size() + 1 (overflow)
+  double mean() const {
+    return count ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+// Fixed-bucket histogram: observations land in the first bucket whose upper
+// bound is >= value (last bucket is the +inf overflow). Quantiles are
+// estimated by linear interpolation inside the owning bucket, clamped to
+// the observed min/max so narrow distributions stay tight.
+class Histogram {
+ public:
+  // `bounds` must be sorted ascending; empty selects a 1-2-5 decade ladder
+  // from 1e-3 to 1e5 that suits millisecond latencies and byte-ish counts.
+  explicit Histogram(std::vector<double> bounds = {});
+
+  void observe(double value);
+  HistogramSnapshot snapshot() const;
+
+  static std::vector<double> default_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+// A finished scoped timer, recorded by telemetry::Span on destruction.
+// Timestamps are host-monotonic nanoseconds relative to the registry's
+// construction (the trace epoch) — this measures the reproduction itself,
+// unlike util::SimClock which measures the simulated devices.
+struct SpanRecord {
+  std::string name;
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;  // 0 = root span
+  std::uint32_t depth = 0;      // nesting depth on its thread, root = 0
+  std::uint64_t thread_hash = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+// Thread-safe home for all instruments and finished spans. Instrument
+// accessors return stable references: the registry owns the instruments and
+// never moves them, so callers may cache `Counter&` across calls.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  // `bounds` only applies on first creation of the named histogram.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds = {});
+
+  // Span bookkeeping (used by telemetry::Span).
+  std::uint64_t next_span_id() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t now_ns() const;  // nanoseconds since the registry epoch
+  void record_span(SpanRecord record);
+
+  // Snapshot accessors: name-sorted copies taken under the registry lock.
+  std::vector<std::pair<std::string, std::int64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms() const;
+  std::vector<SpanRecord> spans() const;
+  std::uint64_t spans_dropped() const {
+    return spans_dropped_.load(std::memory_order_relaxed);
+  }
+
+  // Forgets all instruments and spans (test isolation between cases).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::vector<SpanRecord> spans_;
+  std::atomic<std::uint64_t> next_span_id_{1};
+  std::atomic<std::uint64_t> spans_dropped_{0};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+// Process-wide default registry: what instrumented library code records
+// into unless a ScopedRegistry override is active.
+MetricsRegistry& default_registry();
+
+// The registry instrumented code should use right now (override or default).
+MetricsRegistry& current_registry();
+
+// RAII override of current_registry() — test isolation without threading a
+// registry through every call site. The override is process-global (worker
+// threads spawned inside the scope see it too); scopes nest LIFO and are
+// not meant to be opened from concurrent threads.
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(MetricsRegistry& registry);
+  ~ScopedRegistry();
+
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
+};
+
+}  // namespace gauge::telemetry

@@ -1,0 +1,45 @@
+#include "telemetry/span.hpp"
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace gauge::telemetry {
+
+namespace {
+
+// Innermost-first stack of live spans on this thread. Span lifetimes are
+// scope-bound, so strict LIFO holds by construction.
+thread_local std::vector<const Span*> t_span_stack;
+
+std::uint64_t this_thread_hash() {
+  return static_cast<std::uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+}  // namespace
+
+Span::Span(std::string name, MetricsRegistry* registry)
+    : registry_{registry != nullptr ? registry : &current_registry()} {
+  record_.name = std::move(name);
+  record_.id = registry_->next_span_id();
+  if (!t_span_stack.empty()) {
+    record_.parent_id = t_span_stack.back()->id();
+    record_.depth = t_span_stack.back()->depth() + 1;
+  }
+  record_.thread_hash = this_thread_hash();
+  t_span_stack.push_back(this);
+  record_.start_ns = registry_->now_ns();  // last: excludes setup cost
+}
+
+Span::~Span() {
+  record_.duration_ns = registry_->now_ns() - record_.start_ns;
+  t_span_stack.pop_back();
+  registry_->record_span(std::move(record_));
+}
+
+void Span::annotate(std::string key, std::string value) {
+  record_.args.emplace_back(std::move(key), std::move(value));
+}
+
+}  // namespace gauge::telemetry

@@ -1,0 +1,46 @@
+// RAII scoped timers with parent/child nesting. Each thread keeps its own
+// span stack: constructing a Span makes it the child of the innermost live
+// span on the same thread, destruction pops it and records a SpanRecord
+// into the registry. Trace export (telemetry/export.hpp) turns the records
+// into Chrome trace_event JSON where nesting renders as stacked slices.
+//
+//   {
+//     telemetry::Span category{"pipeline.category"};
+//     category.annotate("category", "finance");
+//     {
+//       telemetry::Span download{"pipeline.download"};  // child of category
+//       ...
+//     }
+//   }
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace gauge::telemetry {
+
+class Span {
+ public:
+  // Records into `registry`, defaulting to current_registry() captured at
+  // construction (so a span straddling a ScopedRegistry change still lands
+  // where it started).
+  explicit Span(std::string name, MetricsRegistry* registry = nullptr);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Attaches a key/value pair surfaced in the trace JSON "args" object.
+  void annotate(std::string key, std::string value);
+
+  std::uint64_t id() const { return record_.id; }
+  std::uint64_t parent_id() const { return record_.parent_id; }
+  std::uint32_t depth() const { return record_.depth; }
+
+ private:
+  MetricsRegistry* registry_;
+  SpanRecord record_;
+};
+
+}  // namespace gauge::telemetry

@@ -9,6 +9,8 @@
 #include "core/runtime.hpp"
 #include "core/scenarios.hpp"
 #include "core/taskclassify.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace gauge::core {
 namespace {
@@ -136,6 +138,76 @@ TEST(Pipeline, OldDeviceProfileSeesSameModels) {
   for (const auto& model : a.models) ca.insert(model.checksum);
   for (const auto& model : b.models) cb.insert(model.checksum);
   EXPECT_EQ(ca, cb);
+}
+
+TEST(Pipeline, TelemetryStageMetricsPopulated) {
+  telemetry::MetricsRegistry registry;
+  std::size_t model_count = 0;
+  {
+    telemetry::ScopedRegistry scoped{registry};
+    PipelineOptions options;
+    options.categories = {"dating"};
+    const auto data = run_pipeline(play(), options);
+    model_count = data.models.size();
+
+    // The validated-model counter is the dataset's model count, exactly.
+    EXPECT_EQ(registry.counter("gauge.pipeline.models_validated").value(),
+              static_cast<std::int64_t>(model_count));
+    EXPECT_EQ(registry.counter("gauge.pipeline.apps_crawled").value(), 500);
+    EXPECT_EQ(registry.counter("gauge.pipeline.categories").value(), 1);
+    // Every validated model either hit the analysis cache or was parsed
+    // fresh; parse failures explain the difference.
+    const auto hits = registry.counter("gauge.pipeline.cache_hits").value();
+    const auto misses =
+        registry.counter("gauge.pipeline.cache_misses").value();
+    const auto parse_failed =
+        registry.counter("gauge.pipeline.drop.parse_failed").value();
+    EXPECT_GT(hits, 0);  // off-the-shelf models repeat across apps
+    EXPECT_EQ(hits + misses - parse_failed,
+              static_cast<std::int64_t>(model_count));
+    // Obfuscated decoys are dropped with a recorded reason, not silently.
+    EXPECT_GT(registry.counter("gauge.pipeline.drop.bad_signature").value(),
+              0);
+  }
+
+  // Every pipeline stage produced at least one span, and stage spans nest
+  // under the category span which nests under the run root.
+  const auto spans = registry.spans();
+  for (const char* stage :
+       {"pipeline.run", "pipeline.category", "pipeline.download",
+        "pipeline.apk_open", "pipeline.detect", "pipeline.extract",
+        "pipeline.validate", "pipeline.parse", "pipeline.analyse"}) {
+    bool found = false;
+    for (const auto& span : spans) {
+      if (span.name == stage) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "no span for stage " << stage;
+  }
+  std::uint64_t run_id = 0, category_id = 0;
+  for (const auto& span : spans) {
+    if (span.name == "pipeline.run") run_id = span.id;
+    if (span.name == "pipeline.category") category_id = span.id;
+  }
+  for (const auto& span : spans) {
+    if (span.name == "pipeline.category") {
+      EXPECT_EQ(span.parent_id, run_id);
+    }
+    if (span.name == "pipeline.download") {
+      EXPECT_EQ(span.parent_id, category_id);
+    }
+  }
+
+  // The DocStore bridge makes the run queryable like any other dataset.
+  store::DocStore docs;
+  telemetry::export_to_docstore(registry, docs);
+  const auto ids =
+      docs.query().where("metric", "gauge.pipeline.models_validated").ids();
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(docs.doc(ids[0]).at("value").as_int(),
+            static_cast<std::int64_t>(model_count));
 }
 
 // ------------------------------------------------------------- analyses

@@ -4,7 +4,10 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
+
+#include "telemetry/metrics.hpp"
 
 namespace gauge::nn {
 namespace {
@@ -64,6 +67,42 @@ TEST(ThreadPool, MoreItemsThanWorkers) {
     count.fetch_add(end - begin);
   });
   EXPECT_EQ(count.load(), 10'000);
+}
+
+TEST(ThreadPool, SurvivesThrowingTasks) {
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scoped{registry};
+  ThreadPool pool{4};
+
+  // Every chunk throws; the workers must catch, count, and keep going —
+  // and parallel_for must still return (in-flight accounting intact).
+  std::atomic<int> attempts{0};
+  pool.parallel_for(8, [&](std::int64_t, std::int64_t) {
+    attempts.fetch_add(1);
+    throw std::runtime_error("boom");
+  });
+  EXPECT_GT(attempts.load(), 0);
+  EXPECT_GT(registry.counter("gauge.nn.threadpool.task_failures").value(), 0);
+
+  // The same workers are alive and still execute follow-up work.
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_for(1000, [&](std::int64_t begin, std::int64_t end) {
+    sum.fetch_add(end - begin);
+  });
+  EXPECT_EQ(sum.load(), 1000);
+  EXPECT_GE(registry.counter("gauge.nn.threadpool.tasks").value(),
+            attempts.load());
+}
+
+TEST(ThreadPool, NonExceptionThrowIsAlsoCaught) {
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scoped{registry};
+  ThreadPool pool{2};
+  pool.parallel_for(4, [&](std::int64_t, std::int64_t) { throw 42; });
+  EXPECT_GT(registry.counter("gauge.nn.threadpool.task_failures").value(), 0);
+  std::atomic<int> ran{0};
+  pool.parallel_for(4, [&](std::int64_t, std::int64_t) { ran.fetch_add(1); });
+  EXPECT_GT(ran.load(), 0);
 }
 
 }  // namespace

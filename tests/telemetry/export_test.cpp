@@ -1,0 +1,95 @@
+#include "telemetry/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/span.hpp"
+#include "util/fileio.hpp"
+
+namespace gauge::telemetry {
+namespace {
+
+MetricsRegistry& populated(MetricsRegistry& registry) {
+  registry.counter("gauge.pipeline.models_validated").increment(42);
+  registry.counter("gauge.pipeline.cache_hits").increment(7);
+  registry.gauge("gauge.nn.threadpool.queue_depth").set(3.0);
+  auto& histogram = registry.histogram("gauge.device.latency_ms");
+  for (int i = 1; i <= 100; ++i) histogram.observe(static_cast<double>(i));
+  return registry;
+}
+
+TEST(MetricsText, OneLinePerInstrument) {
+  MetricsRegistry registry;
+  const std::string text = metrics_to_text(populated(registry));
+  EXPECT_NE(text.find("counter"), std::string::npos);
+  EXPECT_NE(text.find("gauge.pipeline.models_validated"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("gauge.nn.threadpool.queue_depth"), std::string::npos);
+  EXPECT_NE(text.find("count=100"), std::string::npos);
+  EXPECT_NE(text.find("p95="), std::string::npos);
+}
+
+TEST(DocStoreBridge, MetricsBecomeQueryableDocuments) {
+  MetricsRegistry registry;
+  store::DocStore docs;
+  const std::size_t inserted = export_to_docstore(populated(registry), docs);
+  EXPECT_EQ(inserted, 4u);
+  EXPECT_EQ(docs.size(), 4u);
+
+  // Counters keep exact integer values.
+  const auto validated =
+      docs.query().where("metric", "gauge.pipeline.models_validated").ids();
+  ASSERT_EQ(validated.size(), 1u);
+  EXPECT_EQ(docs.doc(validated[0]).at("kind").as_string(), "counter");
+  EXPECT_EQ(docs.doc(validated[0]).at("value").as_int(), 42);
+
+  // Kind is a queryable dimension.
+  EXPECT_EQ(docs.query().where("kind", "counter").count(), 2u);
+  EXPECT_EQ(docs.query().where("kind", "gauge").count(), 1u);
+  EXPECT_EQ(docs.query().where("kind", "histogram").count(), 1u);
+
+  // Histogram documents expose the summary fields.
+  const auto latency =
+      docs.query().where("metric", "gauge.device.latency_ms").ids();
+  ASSERT_EQ(latency.size(), 1u);
+  const auto& doc = docs.doc(latency[0]);
+  EXPECT_EQ(doc.at("count").as_int(), 100);
+  EXPECT_DOUBLE_EQ(doc.at("sum").as_double(), 5050.0);
+  EXPECT_GT(doc.at("p95").as_double(), doc.at("p50").as_double());
+  EXPECT_LE(doc.at("p99").as_double(), doc.at("max").as_double());
+
+  // Range queries work over the bridged values.
+  EXPECT_EQ(docs.query()
+                .where("kind", "counter")
+                .where_range("value", 10.0, std::nullopt)
+                .count(),
+            1u);
+}
+
+TEST(WriteTelemetry, WritesAllThreeArtifacts) {
+  MetricsRegistry registry;
+  populated(registry);
+  {
+    ScopedRegistry scope{registry};
+    Span span{"export.test"};
+  }
+  const std::string dir =
+      ::testing::TempDir() + "/gauge_telemetry_export_test";
+  const auto status = write_telemetry(registry, dir);
+  ASSERT_TRUE(status.ok()) << status.error();
+
+  const auto trace = util::read_text_file(dir + "/trace.json");
+  ASSERT_TRUE(trace.ok());
+  EXPECT_NE(trace.value().find("export.test"), std::string::npos);
+
+  const auto text = util::read_text_file(dir + "/metrics.txt");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text.value().find("gauge.pipeline.cache_hits"),
+            std::string::npos);
+
+  const auto json = util::read_text_file(dir + "/metrics.json");
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json.value().find("\"histograms\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gauge::telemetry

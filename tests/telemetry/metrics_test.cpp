@@ -1,0 +1,187 @@
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace gauge::telemetry {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kIterations = 10000;
+
+// Hammers `work(thread_index)` from kThreads threads simultaneously.
+void hammer(const std::function<void(int)>& work) {
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&work, t] { work(t); });
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+TEST(Counter, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  hammer([&](int) {
+    auto& counter = registry.counter("gauge.test.hits");
+    for (int i = 0; i < kIterations; ++i) counter.increment();
+  });
+  EXPECT_EQ(registry.counter("gauge.test.hits").value(),
+            static_cast<std::int64_t>(kThreads) * kIterations);
+}
+
+TEST(Counter, ConcurrentRegistryLookupsReturnSameInstance) {
+  MetricsRegistry registry;
+  // Lookup-per-increment from all threads: creation races must converge on
+  // one instrument, or the total comes up short.
+  hammer([&](int) {
+    for (int i = 0; i < kIterations; ++i) {
+      registry.counter("gauge.test.lookup").increment();
+    }
+  });
+  EXPECT_EQ(registry.counter("gauge.test.lookup").value(),
+            static_cast<std::int64_t>(kThreads) * kIterations);
+}
+
+TEST(Gauge, SetAndAdd) {
+  MetricsRegistry registry;
+  auto& gauge = registry.gauge("gauge.test.depth");
+  gauge.set(4.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 4.0);
+  gauge.add(-1.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+}
+
+TEST(Gauge, ConcurrentAddsAreExact) {
+  MetricsRegistry registry;
+  auto& gauge = registry.gauge("gauge.test.adds");
+  hammer([&](int) {
+    for (int i = 0; i < kIterations; ++i) gauge.add(1.0);
+  });
+  // Sums of 1.0 stay exactly representable far past kThreads*kIterations.
+  EXPECT_DOUBLE_EQ(gauge.value(),
+                   static_cast<double>(kThreads) * kIterations);
+}
+
+TEST(Histogram, ConcurrentObservesAreExact) {
+  MetricsRegistry registry;
+  auto& histogram = registry.histogram("gauge.test.latency");
+  hammer([&](int t) {
+    for (int i = 0; i < kIterations; ++i) {
+      histogram.observe(static_cast<double>(t + 1));
+    }
+  });
+  const auto snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kIterations);
+  // sum = iterations * (1 + 2 + ... + kThreads)
+  const double expected_sum =
+      static_cast<double>(kIterations) * kThreads * (kThreads + 1) / 2.0;
+  EXPECT_DOUBLE_EQ(snap.sum, expected_sum);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, static_cast<double>(kThreads));
+  std::uint64_t bucketed = 0;
+  for (const auto c : snap.bucket_counts) bucketed += c;
+  EXPECT_EQ(bucketed, snap.count);
+}
+
+TEST(Histogram, QuantilesTrackDistribution) {
+  MetricsRegistry registry;
+  auto& histogram = registry.histogram("gauge.test.uniform");
+  for (int i = 1; i <= 1000; ++i) histogram.observe(static_cast<double>(i));
+  const auto snap = histogram.snapshot();
+  // Uniform 1..1000: the fixed 1-2-5 buckets are coarse, so allow wide but
+  // meaningful windows around the true quantiles.
+  EXPECT_GT(snap.p50, 300.0);
+  EXPECT_LT(snap.p50, 700.0);
+  EXPECT_GT(snap.p95, 800.0);
+  EXPECT_LE(snap.p95, 1000.0);
+  EXPECT_GE(snap.p99, snap.p95);
+  EXPECT_LE(snap.p99, snap.max);
+  EXPECT_GE(snap.p95, snap.p50);
+}
+
+TEST(Histogram, CustomBoundsAndClamping) {
+  MetricsRegistry registry;
+  auto& histogram =
+      registry.histogram("gauge.test.custom", {{1.0, 2.0, 3.0}});
+  histogram.observe(0.5);
+  histogram.observe(2.5);
+  histogram.observe(99.0);  // overflow bucket
+  const auto snap = histogram.snapshot();
+  ASSERT_EQ(snap.bucket_counts.size(), 4u);
+  EXPECT_EQ(snap.bucket_counts[0], 1u);
+  EXPECT_EQ(snap.bucket_counts[2], 1u);
+  EXPECT_EQ(snap.bucket_counts[3], 1u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 99.0);
+  // Quantiles never escape the observed range, even from the +inf bucket.
+  EXPECT_LE(snap.p99, 99.0);
+}
+
+TEST(Histogram, EmptySnapshotIsZeroed) {
+  MetricsRegistry registry;
+  const auto snap = registry.histogram("gauge.test.empty").snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p50, 0.0);
+}
+
+TEST(Registry, SnapshotsAreNameSorted) {
+  MetricsRegistry registry;
+  registry.counter("gauge.b").increment();
+  registry.counter("gauge.a").increment(2);
+  const auto counters = registry.counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "gauge.a");
+  EXPECT_EQ(counters[0].second, 2);
+  EXPECT_EQ(counters[1].first, "gauge.b");
+}
+
+TEST(Registry, ResetForgetsEverything) {
+  MetricsRegistry registry;
+  registry.counter("gauge.x").increment();
+  registry.gauge("gauge.y").set(1.0);
+  registry.histogram("gauge.z").observe(1.0);
+  registry.record_span({});
+  registry.reset();
+  EXPECT_TRUE(registry.counters().empty());
+  EXPECT_TRUE(registry.gauges().empty());
+  EXPECT_TRUE(registry.histograms().empty());
+  EXPECT_TRUE(registry.spans().empty());
+}
+
+TEST(ScopedRegistry, OverridesAndRestores) {
+  auto& before = current_registry();
+  MetricsRegistry outer, inner;
+  {
+    ScopedRegistry outer_scope{outer};
+    EXPECT_EQ(&current_registry(), &outer);
+    {
+      ScopedRegistry inner_scope{inner};
+      EXPECT_EQ(&current_registry(), &inner);
+      current_registry().counter("gauge.test.scoped").increment();
+    }
+    EXPECT_EQ(&current_registry(), &outer);
+  }
+  EXPECT_EQ(&current_registry(), &before);
+  EXPECT_EQ(inner.counter("gauge.test.scoped").value(), 1);
+  EXPECT_EQ(outer.counter("gauge.test.scoped").value(), 0);
+}
+
+TEST(ScopedRegistry, WorkerThreadsSeeTheOverride) {
+  MetricsRegistry registry;
+  ScopedRegistry scope{registry};
+  hammer([&](int) {
+    for (int i = 0; i < kIterations; ++i) {
+      current_registry().counter("gauge.test.workers").increment();
+    }
+  });
+  EXPECT_EQ(registry.counter("gauge.test.workers").value(),
+            static_cast<std::int64_t>(kThreads) * kIterations);
+}
+
+}  // namespace
+}  // namespace gauge::telemetry

@@ -1,0 +1,191 @@
+#include "telemetry/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+
+#include "telemetry/export.hpp"
+
+namespace gauge::telemetry {
+namespace {
+
+const SpanRecord* find_span(const std::vector<SpanRecord>& spans,
+                            const std::string& name) {
+  for (const auto& span : spans) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+TEST(Span, RecordsNestingOnOneThread) {
+  MetricsRegistry registry;
+  {
+    ScopedRegistry scope{registry};
+    Span root{"root"};
+    {
+      Span child{"child"};
+      Span grandchild{"grandchild"};  // sibling scopes nest LIFO
+      EXPECT_EQ(grandchild.parent_id(), child.id());
+      EXPECT_EQ(grandchild.depth(), 2u);
+    }
+    Span second_child{"second_child"};
+    EXPECT_EQ(second_child.parent_id(), root.id());
+  }
+  const auto spans = registry.spans();
+  ASSERT_EQ(spans.size(), 4u);
+
+  const auto* root = find_span(spans, "root");
+  const auto* child = find_span(spans, "child");
+  const auto* grandchild = find_span(spans, "grandchild");
+  const auto* second_child = find_span(spans, "second_child");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(child, nullptr);
+  ASSERT_NE(grandchild, nullptr);
+  ASSERT_NE(second_child, nullptr);
+
+  EXPECT_EQ(root->parent_id, 0u);
+  EXPECT_EQ(root->depth, 0u);
+  EXPECT_EQ(child->parent_id, root->id);
+  EXPECT_EQ(child->depth, 1u);
+  EXPECT_EQ(grandchild->parent_id, child->id);
+  EXPECT_EQ(second_child->parent_id, root->id);
+  EXPECT_EQ(second_child->depth, 1u);
+
+  // Children are contained in the parent's time window.
+  EXPECT_GE(child->start_ns, root->start_ns);
+  EXPECT_LE(child->start_ns + child->duration_ns,
+            root->start_ns + root->duration_ns);
+}
+
+TEST(Span, ThreadsKeepIndependentStacks) {
+  MetricsRegistry registry;
+  {
+    ScopedRegistry scope{registry};
+    Span root{"root"};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([] {
+        Span outer{"thread_outer"};
+        Span inner{"thread_inner"};
+        EXPECT_EQ(inner.parent_id(), outer.id());
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  const auto spans = registry.spans();
+  EXPECT_EQ(spans.size(), 9u);  // root + 4 x (outer + inner)
+  // Spans on fresh threads are roots of their own stacks, not children of
+  // the main thread's span.
+  for (const auto& span : spans) {
+    if (span.name == "thread_outer") {
+      EXPECT_EQ(span.parent_id, 0u);
+      EXPECT_EQ(span.depth, 0u);
+    }
+    if (span.name == "thread_inner") {
+      EXPECT_EQ(span.depth, 1u);
+    }
+  }
+}
+
+TEST(Span, ExplicitRegistryWinsOverCurrent) {
+  MetricsRegistry scoped_registry, explicit_registry;
+  {
+    ScopedRegistry scope{scoped_registry};
+    Span span{"explicit", &explicit_registry};
+  }
+  EXPECT_TRUE(scoped_registry.spans().empty());
+  ASSERT_EQ(explicit_registry.spans().size(), 1u);
+}
+
+TEST(Span, RegistryCapDropsExcessSpans) {
+  MetricsRegistry registry;
+  for (int i = 0; i < 300000; ++i) {
+    registry.record_span({});
+  }
+  EXPECT_LE(registry.spans().size(), 262144u);
+  EXPECT_GT(registry.spans_dropped(), 0u);
+}
+
+// ------------------------------------------------------ trace JSON shape
+
+// Minimal structural JSON check: braces/brackets balance outside string
+// literals and strings terminate. Not a parser, but catches unescaped
+// quotes and truncation — the failure modes of hand-rolled emitters.
+void expect_well_formed_json(const std::string& text) {
+  int braces = 0, brackets = 0;
+  bool in_string = false, escaped = false;
+  for (const char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(TraceJson, WellFormedWithNestedAnnotatedSpans) {
+  MetricsRegistry registry;
+  {
+    ScopedRegistry scope{registry};
+    Span root{"pipeline.run"};
+    Span category{"pipeline.category"};
+    category.annotate("category", "finance");
+    // Escaping stress: quotes, backslashes, newline, control char.
+    category.annotate("path\"key", "va\\lue\nwith\tctl\x01");
+  }
+  const std::string json = to_trace_json(registry);
+  expect_well_formed_json(json);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("pipeline.run"), std::string::npos);
+  EXPECT_NE(json.find("pipeline.category"), std::string::npos);
+  EXPECT_NE(json.find("\"category\":\"finance\""), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(TraceJson, ParentIdsSurviveExport) {
+  MetricsRegistry registry;
+  std::uint64_t root_id = 0;
+  {
+    ScopedRegistry scope{registry};
+    Span root{"outer"};
+    root_id = root.id();
+    Span child{"inner"};
+    EXPECT_EQ(child.parent_id(), root_id);
+  }
+  const std::string json = to_trace_json(registry);
+  const std::string needle =
+      "\"parent_id\":" + std::to_string(root_id);
+  EXPECT_NE(json.find(needle), std::string::npos);
+}
+
+TEST(TraceJson, MetricsJsonWellFormed) {
+  MetricsRegistry registry;
+  registry.counter("gauge.a\"b").increment(7);
+  registry.gauge("gauge.g").set(1.25);
+  registry.histogram("gauge.h").observe(3.0);
+  expect_well_formed_json(metrics_to_json(registry));
+}
+
+}  // namespace
+}  // namespace gauge::telemetry
