@@ -36,12 +36,12 @@ int main() {
                        "slowdown vs solo", "slowdown vs fair share",
                        "model-0 MFLOP/sW"}};
     const auto solo = device::simulate_inference(
-        dev, residents[0]->trace, {}, residents[0]->checksum);
+        dev, residents[0]->trace(), {}, residents[0]->checksum);
     for (std::size_t n = 1; n <= residents.size(); ++n) {
       std::vector<const nn::ModelTrace*> traces;
       std::vector<std::string> keys;
       for (std::size_t i = 0; i < n; ++i) {
-        traces.push_back(&residents[i]->trace);
+        traces.push_back(&residents[i]->trace());
         keys.push_back(residents[i]->checksum);
       }
       const auto co = device::simulate_cohabitation(dev, traces, {}, keys);

@@ -22,7 +22,7 @@ int main() {
   const core::ModelRecord* heavy = nullptr;
   for (const auto* m : models) {
     if (m->task != "semantic segmentation") continue;
-    if (heavy == nullptr || m->trace.total_flops > heavy->trace.total_flops) {
+    if (heavy == nullptr || m->trace().total_flops > heavy->trace().total_flops) {
       heavy = m;
     }
   }
@@ -35,9 +35,9 @@ int main() {
   for (double minutes : {0.0, 1.0, 5.0, 15.0, 30.0, 60.0}) {
     device::RunConfig config;
     config.sustained_seconds = minutes * 60.0;
-    const auto rs = device::simulate_inference(s21, heavy->trace, config,
+    const auto rs = device::simulate_inference(s21, heavy->trace(), config,
                                                heavy->checksum);
-    const auto rq = device::simulate_inference(q888, heavy->trace, config,
+    const auto rq = device::simulate_inference(q888, heavy->trace(), config,
                                                heavy->checksum);
     table.add_row({util::Table::num(minutes, 0),
                    util::Table::num(rs.latency_s * 1e3, 3),
@@ -53,11 +53,11 @@ int main() {
   device::RunConfig cold, hot;
   hot.sustained_seconds = 3600.0;
   const double gap_cold =
-      device::simulate_inference(s21, heavy->trace, cold, heavy->checksum).latency_s /
-      device::simulate_inference(q888, heavy->trace, cold, heavy->checksum).latency_s;
+      device::simulate_inference(s21, heavy->trace(), cold, heavy->checksum).latency_s /
+      device::simulate_inference(q888, heavy->trace(), cold, heavy->checksum).latency_s;
   const double gap_hot =
-      device::simulate_inference(s21, heavy->trace, hot, heavy->checksum).latency_s /
-      device::simulate_inference(q888, heavy->trace, hot, heavy->checksum).latency_s;
+      device::simulate_inference(s21, heavy->trace(), hot, heavy->checksum).latency_s /
+      device::simulate_inference(q888, heavy->trace(), hot, heavy->checksum).latency_s;
   std::printf("\nS21/Q888 latency gap: %.2fx cold -> %.2fx after an hour "
               "(heat dissipation of the open deck)\n",
               gap_cold, gap_hot);

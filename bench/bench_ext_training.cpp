@@ -36,14 +36,14 @@ int main() {
   util::Table table{{"regime", "trainable params", "step GFLOPs",
                      "vs inference", "activation stash"}};
   const double inference_gflops =
-      static_cast<double>(subject->trace.total_flops) / 1e9;
+      static_cast<double>(subject->trace().total_flops) / 1e9;
   for (const auto& [label, layers] :
        std::vector<std::pair<std::string, int>>{
            {"inference only", 0},
            {"head fine-tune (1 layer)", 1},
            {"transfer learning (3 layers)", 3},
            {"full training", -1}}) {
-    const auto cost = nn::training_step_cost(subject->trace, layers);
+    const auto cost = nn::training_step_cost(subject->trace(), layers);
     table.add_row(
         {label, std::to_string(cost.trainable_params),
          util::Table::num(static_cast<double>(cost.total_flops()) / 1e9, 4),
@@ -59,13 +59,13 @@ int main() {
   // Wall-clock framing: a 1000-step personalisation run per device, using
   // the device model with training FLOPs folded into the trace totals.
   util::Table wall{{"device", "1000 full steps (s)", "1000 head steps (s)"}};
-  const auto full = nn::training_step_cost(subject->trace, -1);
-  const auto head = nn::training_step_cost(subject->trace, 3);
+  const auto full = nn::training_step_cost(subject->trace(), -1);
+  const auto head = nn::training_step_cost(subject->trace(), 3);
   for (const auto& dev : device::phones()) {
     const auto inf =
-        device::simulate_inference(dev, subject->trace, {}, subject->checksum);
+        device::simulate_inference(dev, subject->trace(), {}, subject->checksum);
     const double per_flop_s = inf.latency_s /
-                              static_cast<double>(subject->trace.total_flops);
+                              static_cast<double>(subject->trace().total_flops);
     wall.add_row(
         {dev.name,
          util::Table::num(per_flop_s * static_cast<double>(full.total_flops()) *

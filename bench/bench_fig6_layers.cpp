@@ -19,7 +19,7 @@ int main() {
   std::map<std::string, std::int64_t> totals;
   for (const auto& model : data.models) {
     const std::string modality = nn::modality_name(model.modality);
-    for (const auto& [family, count] : model.op_family_counts) {
+    for (const auto& [family, count] : model.op_family_counts()) {
       counts[modality][family] += count;
       totals[modality] += count;
     }

@@ -17,7 +17,7 @@ int main() {
 
   double min_flops = 1e300, max_flops = 0.0;
   for (const auto& model : data.models) {
-    const auto flops = static_cast<double>(model.trace.total_flops);
+    const auto flops = static_cast<double>(model.trace().total_flops);
     min_flops = std::min(min_flops, flops);
     max_flops = std::max(max_flops, flops);
   }

@@ -12,9 +12,15 @@
 // load in chrome://tracing or ui.perfetto.dev), <dir>/metrics.txt and
 // <dir>/metrics.json (counter/gauge/histogram dump).
 //
+// The global option `--threads <n>` sets the pipeline's worker-thread count
+// (0 = serial). The dataset is identical for any value; the default is the
+// hardware concurrency.
+//
 // Everything runs against the calibrated synthetic store.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -40,11 +46,20 @@ using namespace gauge;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: gaugenn_cli [--telemetry-out <dir>] "
+               "usage: gaugenn_cli [--telemetry-out <dir>] [--threads <n>] "
                "<crawl [category ...] | inspect <pkg> | "
                "describe <pkg> | bench <pkg> | report <dir> [category ...] | "
                "diff>\n");
   return 2;
+}
+
+// --threads override (nullopt = PipelineOptions default).
+std::optional<unsigned> g_threads;
+
+core::PipelineOptions pipeline_options() {
+  core::PipelineOptions options;
+  if (g_threads) options.threads = *g_threads;
+  return options;
 }
 
 const android::PlayStore& play() {
@@ -53,7 +68,7 @@ const android::PlayStore& play() {
 }
 
 int cmd_crawl(const std::vector<std::string>& categories) {
-  core::PipelineOptions options;
+  auto options = pipeline_options();
   options.categories = categories;
   const auto data = core::run_pipeline(play(), options);
   util::print_section("Dataset", core::table2_dataset(data).render());
@@ -104,7 +119,7 @@ int cmd_inspect(const std::string& package) {
 }
 
 int cmd_bench(const std::string& package) {
-  core::PipelineOptions options;
+  auto options = pipeline_options();
   const auto* entry = play().find(package);
   if (entry == nullptr) {
     std::fprintf(stderr, "unknown package: %s\n", package.c_str());
@@ -118,7 +133,7 @@ int cmd_bench(const std::string& package) {
     if (model.app_package != package) continue;
     for (const auto& dev : device::all_devices()) {
       const auto r =
-          device::simulate_inference(dev, model.trace, {}, model.checksum);
+          device::simulate_inference(dev, model.trace(), {}, model.checksum);
       table.add_row({std::string{util::basename(model.file_path)},
                      model.task, dev.name,
                      util::Table::num(r.latency_s * 1e3, 3),
@@ -141,7 +156,7 @@ int cmd_describe(const std::string& package) {
     std::fprintf(stderr, "unknown package: %s\n", package.c_str());
     return 1;
   }
-  core::PipelineOptions options;
+  auto options = pipeline_options();
   options.categories = {entry->category};
   const auto data = core::run_pipeline(play(), options);
   bool any = false;
@@ -164,7 +179,7 @@ int cmd_describe(const std::string& package) {
 
 int cmd_report(const std::string& directory,
                const std::vector<std::string>& categories) {
-  core::PipelineOptions options;
+  auto options = pipeline_options();
   options.categories = categories;
   const auto data = core::run_pipeline(play(), options);
   const auto written = core::write_report_bundle(data, directory);
@@ -177,7 +192,8 @@ int cmd_report(const std::string& directory,
 }
 
 int cmd_diff() {
-  core::PipelineOptions o20, o21;
+  auto o20 = pipeline_options();
+  auto o21 = pipeline_options();
   o20.snapshot = android::Snapshot::Feb2020;
   const auto d20 = core::run_pipeline(play(), o20);
   const auto d21 = core::run_pipeline(play(), o21);
@@ -211,6 +227,14 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--telemetry-out") == 0) {
       if (i + 1 >= argc) return usage();
       telemetry_dir = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) return usage();
+      char* end = nullptr;
+      const unsigned long value = std::strtoul(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0') return usage();
+      g_threads = static_cast<unsigned>(value);
       continue;
     }
     args.emplace_back(argv[i]);

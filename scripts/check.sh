@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Build + test gate, optionally under a sanitizer.
 #
-#   scripts/check.sh             # plain build, full ctest
+#   scripts/check.sh             # plain build, full ctest + TSan concurrency pass
 #   scripts/check.sh address     # ASan build, full ctest
 #   scripts/check.sh thread      # TSan build, full ctest
 #   scripts/check.sh thread test_telemetry   # TSan, one test binary's suite
+#
+# The plain run finishes with a targeted ThreadSanitizer pass over the
+# concurrency-sensitive suites: the telemetry hammers, the thread pool and
+# the parallel-pipeline determinism/stampede tests.
 #
 # Each sanitizer gets its own build tree (build-check-<san>) so switching
 # sanitizers never poisons an incremental build.
@@ -32,3 +36,12 @@ if [[ -n "$FILTER" ]]; then
   CTEST_ARGS+=(-R "$FILTER")
 fi
 ctest --test-dir "$BUILD_DIR" "${CTEST_ARGS[@]}"
+
+if [[ -z "$SANITIZER" ]]; then
+  echo "== targeted ThreadSanitizer pass (telemetry + threadpool + pipeline concurrency) =="
+  TSAN_DIR="build-check-thread"
+  cmake -B "$TSAN_DIR" -S . -DGAUGE_SANITIZE=thread
+  cmake --build "$TSAN_DIR" -j "$(nproc)"
+  ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$(nproc)" \
+    -R 'Metrics|Span|ThreadPool|PipelineConcurrency|AnalysisCache'
+fi

@@ -45,6 +45,8 @@ class Apk {
   const DexFile& dex() const { return dex_; }
   // All entry names in the archive.
   std::vector<std::string> entry_names() const;
+  // Whether an entry exists — a central-directory lookup, no decompression.
+  bool contains(std::string_view name) const { return zip_.contains(name); }
   // Entry payload.
   util::Result<util::Bytes> read(std::string_view name) const;
   // Names of bundled native libraries (basenames of lib/<abi>/ entries).

@@ -732,8 +732,11 @@ nn::Graph PlayStore::build_unique_model(int unique_id) const {
 
 std::vector<std::pair<std::string, util::Bytes>> PlayStore::serialize_model(
     int unique_id) const {
-  const auto cached = model_file_cache_.find(unique_id);
-  if (cached != model_file_cache_.end()) return cached->second;
+  {
+    const std::lock_guard<std::mutex> lock{model_file_cache_mutex_};
+    const auto cached = model_file_cache_.find(unique_id);
+    if (cached != model_file_cache_.end()) return cached->second;
+  }
   const UniqueModel& m = unique_[static_cast<std::size_t>(unique_id)];
   const nn::Graph graph = build_unique_model(unique_id);
   const std::string base = "assets/models/" + m.filename;
@@ -771,8 +774,9 @@ std::vector<std::pair<std::string, util::Bytes>> PlayStore::serialize_model(
     default:
       break;
   }
-  model_file_cache_[unique_id] = files;
-  return files;
+  const std::lock_guard<std::mutex> lock{model_file_cache_mutex_};
+  // emplace: a concurrent first serialisation wins; ours is byte-identical.
+  return model_file_cache_.emplace(unique_id, std::move(files)).first->second;
 }
 
 util::Result<AppPackage> PlayStore::download(

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -121,7 +122,9 @@ class PlayStore {
   nn::Graph build_unique_model(int unique_id) const;
   // Serialises a unique model into its on-disk file set (filename -> bytes);
   // caffe/ncnn produce two files, the rest one. Results are memoised per
-  // unique id (PlayStore is not thread-safe).
+  // unique id under a mutex, so concurrent downloads (the parallel pipeline
+  // fans out at app granularity) are safe; the first serialisation of an id
+  // wins and duplicates are discarded (they are byte-identical anyway).
   std::vector<std::pair<std::string, util::Bytes>> serialize_model(
       int unique_id) const;
 
@@ -139,6 +142,7 @@ class PlayStore {
   std::map<std::string, std::size_t> package_index_;
   // Per-category app lists sorted by installs (both snapshots share order).
   std::map<std::string, std::vector<std::size_t>> by_category_;
+  mutable std::mutex model_file_cache_mutex_;
   mutable std::map<int, std::vector<std::pair<std::string, util::Bytes>>>
       model_file_cache_;
 };

@@ -49,13 +49,13 @@ UniquenessReport analyze_uniqueness(const SnapshotDataset& dataset) {
     for (std::size_t j = 0; j < uniques.size() && !(shares && small_delta);
          ++j) {
       if (i == j) continue;
-      const double frac = nn::shared_layer_fraction(uniques[i]->layer_digests,
-                                                    uniques[j]->layer_digests);
+      const double frac = nn::shared_layer_fraction(uniques[i]->layer_digests(),
+                                                    uniques[j]->layer_digests());
       if (frac >= 0.2 && frac < 1.0) shares = true;
       if (uniques[i]->architecture_checksum ==
           uniques[j]->architecture_checksum) {
-        const int diff = nn::differing_layer_count(uniques[i]->layer_digests,
-                                                   uniques[j]->layer_digests);
+        const int diff = nn::differing_layer_count(uniques[i]->layer_digests(),
+                                                   uniques[j]->layer_digests());
         if (diff > 0 && diff <= 3) small_delta = true;
       }
     }
@@ -84,7 +84,7 @@ OptimisationReport analyze_optimisations(const SnapshotDataset& dataset) {
     if (model.has_dequantize_layer) ++dequant;
     if (model.int8_weights) ++w8;
     if (model.int8_activations) ++a8;
-    const auto params = static_cast<double>(model.trace.total_params);
+    const auto params = static_cast<double>(model.trace().total_params);
     zero_weighted += model.near_zero_weight_fraction * params;
     param_total += params;
   }

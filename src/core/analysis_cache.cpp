@@ -1,0 +1,71 @@
+#include "core/analysis_cache.hpp"
+
+#include "telemetry/metrics.hpp"
+
+namespace gauge::core {
+
+AnalysisCache::Proto AnalysisCache::find_or_compute(
+    std::uint64_t key, const std::function<Proto()>& compute) {
+  auto& metrics = telemetry::current_registry();
+  Shard& shard = shard_for(key);
+
+  std::promise<Proto> promise;
+  std::shared_future<Proto> future;
+  bool owner = false;
+  {
+    const std::lock_guard<std::mutex> lock{shard.mutex};
+    const auto it = shard.entries.find(key);
+    if (it == shard.entries.end()) {
+      owner = true;
+      future = promise.get_future().share();
+      shard.entries.emplace(key, future);
+    } else {
+      future = it->second;
+    }
+  }
+
+  if (owner) {
+    metrics.counter("gauge.pipeline.cache_misses").increment();
+    Proto result;
+    try {
+      result = compute();
+    } catch (...) {
+      // Release the key and wake waiters before propagating, or concurrent
+      // callers would block forever on a promise that is never fulfilled.
+      {
+        const std::lock_guard<std::mutex> lock{shard.mutex};
+        shard.entries.erase(key);
+      }
+      promise.set_value(nullptr);
+      throw;
+    }
+    if (!result) {
+      const std::lock_guard<std::mutex> lock{shard.mutex};
+      shard.entries.erase(key);
+    }
+    promise.set_value(result);
+    return result;
+  }
+
+  Proto result = future.get();
+  if (result) {
+    metrics.counter("gauge.pipeline.cache_hits").increment();
+    return result;
+  }
+  // The owner's computation failed and the key was released. Re-attempt
+  // locally — a serial run would also parse (and fail) once per duplicate,
+  // so this keeps miss/drop counters mode-independent.
+  metrics.counter("gauge.pipeline.cache_misses").increment();
+  return compute();
+}
+
+std::size_t AnalysisCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock{shard.mutex};
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+}  // namespace gauge::core

@@ -1,0 +1,56 @@
+// Sharded, mutex-striped, once-only memoisation of model analysis results
+// keyed by content hash. Off-the-shelf models ship in many apps; when the
+// pipeline fans out across workers, two apps holding the same model bytes
+// must not both pay for parse + analyse. The first caller for a key becomes
+// the owner and computes; concurrent callers for the same key block on the
+// owner's future and adopt its result. Failed computations are not cached
+// (every duplicate re-attempts and fails on its own), which keeps the drop
+// accounting identical to a serial run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/records.hpp"
+
+namespace gauge::core {
+
+class AnalysisCache {
+ public:
+  // Analysis prototype: an instance-agnostic ModelRecord (record_id,
+  // app_package, category and file_path are assigned per instance by the
+  // pipeline's merge stage). Null = the analysis failed.
+  using Proto = std::shared_ptr<const ModelRecord>;
+
+  // Returns the cached prototype for `key`, computing it via `compute` with
+  // once-per-key semantics. Increments `gauge.pipeline.cache_misses` for
+  // the computing caller and `gauge.pipeline.cache_hits` for adopters.
+  // `compute` may return null (analysis failed); the failure is returned to
+  // every concurrent waiter but not cached, and each such caller counts its
+  // own miss — exactly what a serial pipeline would record.
+  Proto find_or_compute(std::uint64_t key,
+                        const std::function<Proto()>& compute);
+
+  // Completed + in-flight entries across all shards (test introspection).
+  std::size_t size() const;
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::shared_future<Proto>> entries;
+  };
+
+  Shard& shard_for(std::uint64_t key) {
+    return shards_[(key ^ (key >> 17)) % kShards];
+  }
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace gauge::core

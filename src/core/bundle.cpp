@@ -43,8 +43,8 @@ util::Result<int> write_report_bundle(const SnapshotDataset& dataset,
                       model.category, formats::framework_name(model.framework),
                       model.file_path, model.task,
                       nn::modality_name(model.modality),
-                      std::to_string(model.trace.total_flops),
-                      std::to_string(model.trace.total_params),
+                      std::to_string(model.trace().total_flops),
+                      std::to_string(model.trace().total_params),
                       model.checksum});
     }
     if (auto s = emit("models.csv", models.to_csv()); !s.ok()) return R::failure(s.error());

@@ -1,15 +1,20 @@
 #include "core/pipeline.hpp"
 
+#include <deque>
+#include <map>
 #include <optional>
 #include <set>
+#include <utility>
 
 #include "android/detect.hpp"
+#include "core/analysis_cache.hpp"
 #include "core/taskclassify.hpp"
 #include "formats/caffe.hpp"
 #include "formats/ncnn.hpp"
 #include "formats/tfl.hpp"
 #include "formats/validate.hpp"
 #include "nn/checksum.hpp"
+#include "nn/threadpool.hpp"
 #include "nn/zoo.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
@@ -31,17 +36,16 @@ std::string sibling_path(const std::string& path, const std::string& from,
   return out;
 }
 
-// Parses one anchored model file (plus its weights sibling for the two-file
-// formats). Returns nullopt when parsing fails.
+// Parses one anchored model file (plus its pre-read weights sibling for the
+// two-file formats). Returns nullopt when parsing fails.
 struct ParsedModel {
   nn::Graph graph;
   formats::Framework framework;
   std::size_t file_bytes = 0;
 };
 
-std::optional<ParsedModel> parse_model(const android::Apk& apk,
-                                       const std::string& path,
-                                       const util::Bytes& data,
+std::optional<ParsedModel> parse_model(const util::Bytes& data,
+                                       const util::Bytes* weights,
                                        formats::Framework framework) {
   ParsedModel out;
   out.framework = framework;
@@ -66,26 +70,21 @@ std::optional<ParsedModel> parse_model(const android::Apk& apk,
       return out;
     }
     case formats::Framework::Caffe: {
-      const std::string weights_path =
-          sibling_path(path, ".prototxt", ".caffemodel");
-      auto weights = apk.read(weights_path);
-      if (!weights.ok()) return std::nullopt;
-      auto graph = formats::read_caffe(std::string{util::as_view(data)},
-                                       weights.value());
+      if (weights == nullptr) return std::nullopt;
+      auto graph =
+          formats::read_caffe(std::string{util::as_view(data)}, *weights);
       if (!graph.ok()) return std::nullopt;
       out.graph = std::move(graph).take();
-      out.file_bytes += weights.value().size();
+      out.file_bytes += weights->size();
       return out;
     }
     case formats::Framework::Ncnn: {
-      const std::string weights_path = sibling_path(path, ".param", ".bin");
-      auto weights = apk.read(weights_path);
-      if (!weights.ok()) return std::nullopt;
-      auto graph = formats::read_ncnn(std::string{util::as_view(data)},
-                                      weights.value());
+      if (weights == nullptr) return std::nullopt;
+      auto graph =
+          formats::read_ncnn(std::string{util::as_view(data)}, *weights);
       if (!graph.ok()) return std::nullopt;
       out.graph = std::move(graph).take();
-      out.file_bytes += weights.value().size();
+      out.file_bytes += weights->size();
       return out;
     }
     default:
@@ -94,22 +93,24 @@ std::optional<ParsedModel> parse_model(const android::Apk& apk,
 }
 
 // Weights-only companions of two-file formats: counted as candidates but
-// never anchor a model record.
+// never anchor a model record. A central-directory lookup suffices — the
+// graph sibling's bytes are not needed to establish companionship.
 bool is_weights_companion(const std::string& path, const android::Apk& apk) {
   const std::string ext = util::extension(path);
   if (ext == ".caffemodel") {
-    return apk.read(sibling_path(path, ".caffemodel", ".prototxt")).ok();
+    return apk.contains(sibling_path(path, ".caffemodel", ".prototxt"));
   }
   if (ext == ".bin") {
-    return apk.read(sibling_path(path, ".bin", ".param")).ok();
+    return apk.contains(sibling_path(path, ".bin", ".param"));
   }
   return false;
 }
 
-ModelRecord analyse_model(ParsedModel parsed, const std::string& path,
-                          int record_id) {
+// Builds the instance-agnostic analysis prototype for one parsed model.
+// record_id, app_package, category and file_path are per-instance and get
+// assigned by the merge stage; the heavy trace/digest payload is shared.
+ModelRecord analyse_model(ParsedModel parsed, const std::string& path) {
   ModelRecord record;
-  record.record_id = record_id;
   record.framework = parsed.framework;
   record.file_path = path;
   record.file_bytes = parsed.file_bytes;
@@ -117,16 +118,18 @@ ModelRecord analyse_model(ParsedModel parsed, const std::string& path,
   const nn::Graph& graph = parsed.graph;
   record.checksum = nn::model_checksum(graph);
   record.architecture_checksum = nn::architecture_checksum(graph);
-  record.layer_digests = nn::layer_weight_checksums(graph);
+
+  auto analysis = std::make_shared<ModelAnalysis>();
+  analysis->layer_digests = nn::layer_weight_checksums(graph);
 
   auto trace = nn::trace_model(graph);
   if (trace.ok()) {
-    record.trace = std::move(trace).take();
-    record.op_family_counts = record.trace.op_family_counts();
-    record.modality = infer_modality(record.trace);
+    analysis->trace = std::move(trace).take();
+    analysis->op_family_counts = analysis->trace.op_family_counts();
+    record.modality = infer_modality(analysis->trace);
     record.task = classify_task(
         std::string{util::basename(graph.name.empty() ? path : graph.name)},
-        record.trace);
+        analysis->trace);
   } else {
     record.task = kUnidentified;
   }
@@ -143,7 +146,194 @@ ModelRecord analyse_model(ParsedModel parsed, const std::string& path,
     if (layer.act_bits == 8) record.int8_activations = true;
   }
   record.near_zero_weight_fraction = nn::near_zero_weight_fraction(graph);
+  record.analysis = std::move(analysis);
   return record;
+}
+
+// Everything one worker produces for one chart entry. Deliberately carries
+// no record ids or dataset references: the merge stage on the pipeline
+// thread owns all dataset ordering.
+struct AppOutcome {
+  enum class Status { Ok, DownloadFailed, BadApk };
+  Status status = Status::Ok;
+  std::string package;  // for failure logs in merge order
+  std::string error;
+  AppRecord app;
+  struct Extracted {
+    std::string path;            // per-instance path inside this APK
+    AnalysisCache::Proto proto;  // shared analysis prototype
+  };
+  std::vector<Extracted> extracted;
+  std::size_t models_rejected = 0;
+};
+
+// The complete per-app stage chain: download → apk-open → detect → extract
+// (validate → parse → analyse per candidate). Runs on the calling thread in
+// serial mode and on pool workers in parallel mode; everything it touches
+// besides the once-only cache and the telemetry registry is app-local.
+AppOutcome process_app(const android::PlayStore& play,
+                       const PipelineOptions& options, AnalysisCache& cache,
+                       const android::AppEntry& entry) {
+  auto& metrics = telemetry::current_registry();
+  const auto drop = [&metrics](const char* reason) {
+    metrics.counter(std::string{"gauge.pipeline.drop."} + reason).increment();
+  };
+
+  AppOutcome out;
+  out.package = entry.package;
+
+  // Root of the per-app stage spans. On a pool worker this is a root span
+  // on its own thread (span parents never cross threads); the annotations
+  // tie it back to the crawl position.
+  telemetry::Span app_span{"pipeline.app"};
+  app_span.annotate("package", entry.package);
+  app_span.annotate("category", entry.category);
+
+  metrics.counter("gauge.pipeline.apps_crawled").increment();
+
+  auto pkg = [&] {
+    telemetry::Span span{"pipeline.download"};
+    return play.download(entry.package, options.snapshot,
+                         options.device_profile);
+  }();
+  if (!pkg.ok()) {
+    drop("download_failed");
+    out.status = AppOutcome::Status::DownloadFailed;
+    out.error = pkg.error();
+    return out;
+  }
+  auto apk = [&] {
+    telemetry::Span span{"pipeline.apk_open"};
+    return android::Apk::open(std::move(pkg.value().apk));
+  }();
+  if (!apk.ok()) {
+    drop("bad_apk");
+    out.status = AppOutcome::Status::BadApk;
+    out.error = apk.error();
+    return out;
+  }
+
+  AppRecord& app = out.app;
+  app.package = entry.package;
+  app.title = entry.title;
+  app.category = entry.category;
+  app.installs = entry.installs;
+
+  {
+    // Static detection: ML stacks, delegates, cloud APIs.
+    telemetry::Span span{"pipeline.detect"};
+    for (const auto& hit : android::detect_ml_stacks(apk.value())) {
+      app.ml_stacks.push_back(android::ml_stack_name(hit.stack));
+      if (hit.stack == android::MlStack::NnApi) app.uses_nnapi = true;
+      if (hit.stack == android::MlStack::Xnnpack) app.uses_xnnpack = true;
+      if (hit.stack == android::MlStack::Snpe) app.uses_snpe = true;
+    }
+    app.uses_ml = android::uses_ml(apk.value());
+    for (const auto& hit : android::detect_cloud_apis(apk.value())) {
+      app.cloud_providers.push_back(
+          android::cloud_provider_name(hit.provider));
+    }
+  }
+
+  // Read-once memo for this APK's entries: the weights sibling of a
+  // two-file model is needed by the content key, the parser and (as a
+  // candidate in its own right) the validation loop — inflate it once.
+  std::map<std::string, util::Result<util::Bytes>, std::less<>> reads;
+  const auto read_entry =
+      [&](const std::string& name) -> const util::Result<util::Bytes>& {
+    auto it = reads.find(name);
+    if (it == reads.end()) {
+      it = reads.emplace(name, apk.value().read(name)).first;
+    }
+    return it->second;
+  };
+
+  // Model extraction from the base APK. (Span closed explicitly before the
+  // side-container sweep, which it should not cover.)
+  std::optional<telemetry::Span> extract_span{std::in_place,
+                                              "pipeline.extract"};
+  for (const auto& name : apk.value().entry_names()) {
+    if (!formats::is_candidate_model_file(name)) continue;
+    app.candidate_files++;
+    const auto& data = read_entry(name);
+    if (!data.ok()) {
+      drop("entry_read_failed");
+      continue;
+    }
+    const auto framework = [&] {
+      telemetry::Span span{"pipeline.validate"};
+      return formats::validate_signature(name, data.value());
+    }();
+    if (!framework) {  // obfuscated/encrypted or not a model
+      drop("bad_signature");
+      ++out.models_rejected;
+      continue;
+    }
+    if (is_weights_companion(name, apk.value())) {
+      drop("weights_companion");
+      continue;
+    }
+    // Two-file formats: read the weights sibling exactly once and thread it
+    // through both the content key and the parser.
+    const util::Bytes* weights = nullptr;
+    if (*framework == formats::Framework::Caffe ||
+        *framework == formats::Framework::Ncnn) {
+      const std::string weights_path =
+          *framework == formats::Framework::Caffe
+              ? sibling_path(name, ".prototxt", ".caffemodel")
+              : sibling_path(name, ".param", ".bin");
+      if (!weights_path.empty()) {
+        if (const auto& sibling = read_entry(weights_path); sibling.ok()) {
+          weights = &sibling.value();
+        }
+      }
+    }
+    // Content key covers the graph file; two-file formats append the
+    // weights blob so fine-tuned caffe/ncnn variants don't collide.
+    std::uint64_t content_key = util::fnv1a64(data.value());
+    if (weights != nullptr) {
+      content_key = content_key * 1099511628211ULL + util::fnv1a64(*weights);
+    }
+    // Once-only analysis: duplicates (the common case — off-the-shelf
+    // models shipped by many apps) adopt the owner's prototype, even when
+    // owner and duplicate race on different workers.
+    auto proto =
+        cache.find_or_compute(content_key, [&]() -> AnalysisCache::Proto {
+          auto parsed = [&] {
+            telemetry::Span span{"pipeline.parse"};
+            return parse_model(data.value(), weights, *framework);
+          }();
+          if (!parsed) {
+            drop("parse_failed");
+            ++out.models_rejected;
+            return nullptr;
+          }
+          telemetry::Span span{"pipeline.analyse"};
+          return std::make_shared<const ModelRecord>(
+              analyse_model(std::move(*parsed), name));
+        });
+    if (!proto) continue;
+    app.validated_models++;
+    out.extracted.push_back({name, std::move(proto)});
+    metrics.counter("gauge.pipeline.models_validated").increment();
+  }
+  extract_span.reset();
+
+  // §4.2: sweep post-install deliverables for models.
+  const auto sweep = [&](const android::SideContainer& side) {
+    auto entries = android::side_container_entries(side);
+    if (!entries.ok()) return;
+    for (const auto& name : entries.value()) {
+      app.side_container_files++;
+      if (formats::is_candidate_model_file(name)) {
+        app.side_container_models++;
+      }
+    }
+  };
+  for (const auto& side : pkg.value().expansions) sweep(side);
+  for (const auto& side : pkg.value().asset_packs) sweep(side);
+
+  return out;
 }
 
 }  // namespace
@@ -186,9 +376,16 @@ SnapshotDataset run_pipeline(const android::PlayStore& play,
                                : options.categories;
 
   std::set<std::string> crawled;  // apps can chart in several categories
-  // Duplicate model files (the common case: off-the-shelf models shipped by
-  // many apps) are analysed once and the record cloned per instance.
-  std::map<std::uint64_t, ModelRecord> analysis_cache;
+  AnalysisCache cache;            // once-only across categories and workers
+
+  std::optional<nn::ThreadPool> pool;
+  if (options.threads > 0) pool.emplace(options.threads);
+  // Bounded in-flight window: enough tasks to keep every worker busy while
+  // the merge stage drains in submission order, without downloading a whole
+  // category ahead of the merge.
+  const std::size_t window =
+      pool ? std::max<std::size_t>(2 * pool->size(), 4) : 0;
+
   for (const auto& category : categories) {
     telemetry::Span category_span{"pipeline.category"};
     category_span.annotate("category", category);
@@ -204,146 +401,59 @@ SnapshotDataset run_pipeline(const android::PlayStore& play,
     util::log_info(util::format("crawling '%s': %zu apps", category.c_str(),
                                 chart.size()));
 
+    // Deterministic merge: outcomes are folded into the dataset strictly in
+    // chart order, so record ids, dataset order and DocStore ids match the
+    // serial run no matter which worker finishes first.
+    const auto merge = [&](AppOutcome out) {
+      if (out.status == AppOutcome::Status::DownloadFailed) {
+        util::log_warn("download failed: " + out.error);
+        ++apps_failed;
+        return;
+      }
+      if (out.status == AppOutcome::Status::BadApk) {
+        util::log_warn("bad apk for " + out.package + ": " + out.error);
+        ++apps_failed;
+        return;
+      }
+      AppRecord app = std::move(out.app);
+      for (auto& extracted : out.extracted) {
+        ModelRecord record = *extracted.proto;  // payload stays shared
+        record.record_id = static_cast<int>(dataset.models.size());
+        record.file_path = std::move(extracted.path);
+        record.app_package = app.package;
+        record.category = app.category;
+        app.model_record_ids.push_back(record.record_id);
+        dataset.model_docs.insert(to_document(record));
+        dataset.models.push_back(std::move(record));
+      }
+      models_validated += out.extracted.size();
+      models_rejected += out.models_rejected;
+      dataset.app_docs.insert(to_document(app));
+      dataset.apps.push_back(std::move(app));
+      ++apps_ok;
+    };
+
+    std::deque<std::future<AppOutcome>> in_flight;
     for (const android::AppEntry* entry : chart) {
       if (!crawled.insert(entry->package).second) {
         drop("duplicate_app");
         continue;
       }
-      metrics.counter("gauge.pipeline.apps_crawled").increment();
-
-      auto pkg = [&] {
-        telemetry::Span span{"pipeline.download"};
-        return play.download(entry->package, options.snapshot,
-                             options.device_profile);
-      }();
-      if (!pkg.ok()) {
-        util::log_warn("download failed: " + pkg.error());
-        drop("download_failed");
-        ++apps_failed;
+      if (!pool) {  // serial fallback: same code path, same thread
+        merge(process_app(play, options, cache, *entry));
         continue;
       }
-      auto apk = [&] {
-        telemetry::Span span{"pipeline.apk_open"};
-        return android::Apk::open(std::move(pkg.value().apk));
-      }();
-      if (!apk.ok()) {
-        util::log_warn("bad apk for " + entry->package + ": " + apk.error());
-        drop("bad_apk");
-        ++apps_failed;
-        continue;
+      while (in_flight.size() >= window) {
+        merge(in_flight.front().get());
+        in_flight.pop_front();
       }
-
-      AppRecord app;
-      app.package = entry->package;
-      app.title = entry->title;
-      app.category = entry->category;
-      app.installs = entry->installs;
-
-      {
-        // Static detection: ML stacks, delegates, cloud APIs.
-        telemetry::Span span{"pipeline.detect"};
-        for (const auto& hit : android::detect_ml_stacks(apk.value())) {
-          app.ml_stacks.push_back(android::ml_stack_name(hit.stack));
-          if (hit.stack == android::MlStack::NnApi) app.uses_nnapi = true;
-          if (hit.stack == android::MlStack::Xnnpack) app.uses_xnnpack = true;
-          if (hit.stack == android::MlStack::Snpe) app.uses_snpe = true;
-        }
-        app.uses_ml = android::uses_ml(apk.value());
-        for (const auto& hit : android::detect_cloud_apis(apk.value())) {
-          app.cloud_providers.push_back(
-              android::cloud_provider_name(hit.provider));
-        }
-      }
-
-      // Model extraction from the base APK. (Span closed explicitly before
-      // the side-container sweep, which it should not cover.)
-      std::optional<telemetry::Span> extract_span{std::in_place,
-                                                  "pipeline.extract"};
-      for (const auto& name : apk.value().entry_names()) {
-        if (!formats::is_candidate_model_file(name)) continue;
-        app.candidate_files++;
-        auto data = apk.value().read(name);
-        if (!data.ok()) {
-          drop("entry_read_failed");
-          continue;
-        }
-        const auto framework = [&] {
-          telemetry::Span span{"pipeline.validate"};
-          return formats::validate_signature(name, data.value());
-        }();
-        if (!framework) {  // obfuscated/encrypted or not a model
-          drop("bad_signature");
-          ++models_rejected;
-          continue;
-        }
-        if (is_weights_companion(name, apk.value())) {
-          drop("weights_companion");
-          continue;
-        }
-        // Content key covers the graph file; two-file formats append the
-        // weights blob so fine-tuned caffe/ncnn variants don't collide.
-        std::uint64_t content_key = util::fnv1a64(data.value());
-        if (*framework == formats::Framework::Caffe ||
-            *framework == formats::Framework::Ncnn) {
-          const std::string weights_path =
-              *framework == formats::Framework::Caffe
-                  ? sibling_path(name, ".prototxt", ".caffemodel")
-                  : sibling_path(name, ".param", ".bin");
-          if (auto weights = apk.value().read(weights_path); weights.ok()) {
-            content_key =
-                content_key * 1099511628211ULL + util::fnv1a64(weights.value());
-          }
-        }
-        ModelRecord record;
-        const auto cached = analysis_cache.find(content_key);
-        if (cached != analysis_cache.end()) {
-          metrics.counter("gauge.pipeline.cache_hits").increment();
-          record = cached->second;
-          record.record_id = static_cast<int>(dataset.models.size());
-        } else {
-          metrics.counter("gauge.pipeline.cache_misses").increment();
-          auto parsed = [&] {
-            telemetry::Span span{"pipeline.parse"};
-            return parse_model(apk.value(), name, data.value(), *framework);
-          }();
-          if (!parsed) {
-            drop("parse_failed");
-            ++models_rejected;
-            continue;
-          }
-          telemetry::Span span{"pipeline.analyse"};
-          record = analyse_model(std::move(*parsed), name,
-                                 static_cast<int>(dataset.models.size()));
-          analysis_cache[content_key] = record;
-        }
-        record.app_package = app.package;
-        record.category = app.category;
-        app.validated_models++;
-        app.model_record_ids.push_back(record.record_id);
-        dataset.model_docs.insert(to_document(record));
-        dataset.models.push_back(std::move(record));
-        metrics.counter("gauge.pipeline.models_validated").increment();
-        ++models_validated;
-      }
-      extract_span.reset();
-
-      // §4.2: sweep post-install deliverables for models.
-      auto sweep = [&](const android::SideContainer& side) {
-        auto entries = android::side_container_entries(side);
-        if (!entries.ok()) return;
-        for (const auto& name : entries.value()) {
-          app.side_container_files++;
-          if (formats::is_candidate_model_file(name)) {
-            app.side_container_models++;
-          }
-        }
-      };
-      for (const auto& side : pkg.value().expansions) sweep(side);
-      for (const auto& side : pkg.value().asset_packs) sweep(side);
-
-      dataset.app_docs.insert(to_document(app));
-      dataset.apps.push_back(std::move(app));
-      ++apps_ok;
+      in_flight.push_back(pool->submit([&play, &options, &cache, entry] {
+        return process_app(play, options, cache, *entry);
+      }));
+    }
+    while (!in_flight.empty()) {
+      merge(in_flight.front().get());
+      in_flight.pop_front();
     }
 
     metrics.counter("gauge.pipeline.categories").increment();

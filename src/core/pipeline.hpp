@@ -3,7 +3,17 @@
 // packs, validate signatures, parse the survivors into graphs and build the
 // offline-analysis records (architecture, FLOPs/params, task, checksums,
 // optimisation census, cloud-API and ML-stack detection).
+//
+// Concurrency model: categories are walked in order on the calling thread;
+// within a category the per-app work (download → apk-open → detect →
+// extract → validate → parse → analyse) fans out to a thread pool with a
+// bounded in-flight window. Duplicate model files are analysed exactly once
+// via a sharded once-only cache, and a deterministic merge stage assigns
+// record ids and dataset/DocStore order so the output is identical to a
+// serial run regardless of thread count or completion order.
 #pragma once
+
+#include <thread>
 
 #include "android/playstore.hpp"
 #include "core/records.hpp"
@@ -17,6 +27,10 @@ struct PipelineOptions {
   std::vector<std::string> categories;
   // Per-category crawl cap (the store itself caps charts at 500).
   std::size_t max_apps_per_category = 500;
+  // Worker threads for the per-app fan-out. 0 = serial fallback (everything
+  // on the calling thread); the default is whatever the hardware offers.
+  // Any value yields a byte-identical SnapshotDataset.
+  unsigned threads = std::thread::hardware_concurrency();
 };
 
 struct SnapshotDataset {

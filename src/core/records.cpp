@@ -2,6 +2,32 @@
 
 namespace gauge::core {
 
+namespace {
+const ModelAnalysis kEmptyAnalysis{};
+}  // namespace
+
+const nn::ModelTrace& ModelRecord::trace() const {
+  return (analysis ? *analysis : kEmptyAnalysis).trace;
+}
+
+const std::vector<std::string>& ModelRecord::layer_digests() const {
+  return (analysis ? *analysis : kEmptyAnalysis).layer_digests;
+}
+
+const std::map<std::string, std::int64_t>& ModelRecord::op_family_counts()
+    const {
+  return (analysis ? *analysis : kEmptyAnalysis).op_family_counts;
+}
+
+ModelAnalysis& ModelRecord::mutable_analysis() {
+  if (!analysis || analysis.use_count() > 1) {
+    analysis = std::make_shared<ModelAnalysis>(analysis ? *analysis
+                                                        : ModelAnalysis{});
+  }
+  // Safe: the payload was allocated non-const and is uniquely owned here.
+  return const_cast<ModelAnalysis&>(*analysis);
+}
+
 store::Document to_document(const AppRecord& app) {
   store::Document doc;
   doc["package"] = app.package;
@@ -33,9 +59,9 @@ store::Document to_document(const ModelRecord& model) {
   doc["arch_checksum"] = model.architecture_checksum;
   doc["modality"] = nn::modality_name(model.modality);
   doc["task"] = model.task;
-  doc["flops"] = static_cast<double>(model.trace.total_flops);
-  doc["params"] = static_cast<double>(model.trace.total_params);
-  doc["layers"] = static_cast<std::int64_t>(model.trace.layers.size());
+  doc["flops"] = static_cast<double>(model.trace().total_flops);
+  doc["params"] = static_cast<double>(model.trace().total_params);
+  doc["layers"] = static_cast<std::int64_t>(model.trace().layers.size());
   doc["has_dequantize"] = model.has_dequantize_layer;
   doc["int8_weights"] = model.int8_weights;
   doc["int8_activations"] = model.int8_activations;

@@ -4,7 +4,9 @@
 // memory; graphs can always be re-materialised from the store by id.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,6 +16,16 @@
 #include "store/docstore.hpp"
 
 namespace gauge::core {
+
+// The heavy part of a model's offline analysis (the full layer trace and
+// per-layer digests dominate a record's footprint). Off-the-shelf models
+// recur across many apps, so instances of the same content hash share one
+// immutable payload via shared_ptr instead of deep-copying it per record.
+struct ModelAnalysis {
+  nn::ModelTrace trace;
+  std::vector<std::string> layer_digests;
+  std::map<std::string, std::int64_t> op_family_counts;
+};
 
 struct ModelRecord {
   int record_id = 0;
@@ -26,13 +38,10 @@ struct ModelRecord {
   // Identity.
   std::string checksum;               // md5 over graph + weights
   std::string architecture_checksum;  // md5 over graph only
-  std::vector<std::string> layer_digests;
 
   // Offline analysis.
   nn::Modality modality = nn::Modality::Unknown;
   std::string task;  // classifier output; "unidentified" when voting fails
-  nn::ModelTrace trace;
-  std::map<std::string, std::int64_t> op_family_counts;
 
   // Optimisation census (§6.1).
   bool has_cluster_prefix = false;
@@ -41,6 +50,18 @@ struct ModelRecord {
   bool int8_weights = false;
   bool int8_activations = false;
   double near_zero_weight_fraction = 0.0;
+
+  // Heavy analysis payload, shared across all instance records of the same
+  // content hash (may be null for hand-built records; accessors then yield
+  // an empty analysis).
+  std::shared_ptr<const ModelAnalysis> analysis;
+
+  const nn::ModelTrace& trace() const;
+  const std::vector<std::string>& layer_digests() const;
+  const std::map<std::string, std::int64_t>& op_family_counts() const;
+  // Copy-on-write access for builders and tests: detaches from any shared
+  // payload before mutating.
+  ModelAnalysis& mutable_analysis();
 };
 
 struct AppRecord {

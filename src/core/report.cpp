@@ -147,7 +147,7 @@ util::Table fig6_layer_composition(const SnapshotDataset& dataset) {
   std::map<std::string, std::int64_t> totals;
   for (const auto& model : dataset.models) {
     const std::string modality = nn::modality_name(model.modality);
-    for (const auto& [family, count] : model.op_family_counts) {
+    for (const auto& [family, count] : model.op_family_counts()) {
       counts[modality][family] += count;
       totals[modality] += count;
     }
@@ -186,9 +186,9 @@ util::Table fig7_flops_params(const SnapshotDataset& dataset) {
   for (const auto& model : dataset.models) {
     if (model.task == kUnidentified) continue;
     by_task[model.task].flops.push_back(
-        static_cast<double>(model.trace.total_flops));
+        static_cast<double>(model.trace().total_flops));
     by_task[model.task].params.push_back(
-        static_cast<double>(model.trace.total_params));
+        static_cast<double>(model.trace().total_params));
   }
   util::Table table{{"task", "models", "median MFLOPs", "min", "max",
                      "median Kparams", "min", "max"}};

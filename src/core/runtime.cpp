@@ -9,7 +9,7 @@ namespace {
 RunRow make_row(const ModelRecord& model, const device::Device& dev,
                 const device::RunConfig& config) {
   const auto result =
-      device::simulate_inference(dev, model.trace, config, model.checksum);
+      device::simulate_inference(dev, model.trace(), config, model.checksum);
   RunRow row;
   row.checksum = model.checksum;
   row.task = model.task;

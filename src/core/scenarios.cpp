@@ -45,7 +45,7 @@ double scenario_mah(const device::Device& dev, const ModelRecord& model,
   device::RunConfig config;
   config.sustained_seconds = total_span_s > 60.0 ? 300.0 : 0.0;
   const auto r =
-      device::simulate_inference(dev, model.trace, config, model.checksum);
+      device::simulate_inference(dev, model.trace(), config, model.checksum);
   const double energy_j = r.soc_energy_j * inferences;
   return device::battery_drain_mah(dev, energy_j);
 }
@@ -69,7 +69,7 @@ std::vector<ScenarioReport> run_scenarios(
     for (const ModelRecord* model : models) {
       if (model->task == "sound recognition") {
         sound.push_back(scenario_mah(
-            dev, *model, sound_inferences(model->trace, assumptions), 3600.0));
+            dev, *model, sound_inferences(model->trace(), assumptions), 3600.0));
       } else if (model->task == "auto-complete") {
         typing.push_back(scenario_mah(
             dev, *model, static_cast<double>(assumptions.words_typed), 60.0));

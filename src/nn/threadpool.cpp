@@ -24,9 +24,44 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+void ThreadPool::run_chunks(ChunkJob& job) {
+  // Resolved per job, not per worker: a ScopedRegistry installed while this
+  // worker slept still receives the pool's instrumentation.
+  auto& metrics = telemetry::current_registry();
+  auto& tasks = metrics.counter("gauge.nn.threadpool.tasks");
+  auto& failures = metrics.counter("gauge.nn.threadpool.task_failures");
+  for (;;) {
+    const std::int64_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.chunk_count) return;
+    const std::int64_t begin = c * job.chunk;
+    const std::int64_t end = std::min(job.total, begin + job.chunk);
+    // A throwing chunk must not take the worker down: the pool keeps
+    // draining, the failure is counted, and parallel_for still completes
+    // its chunk accounting (the chunk's work is simply lost).
+    try {
+      (*job.fn)(begin, end);
+    } catch (const std::exception& e) {
+      failures.increment();
+      util::log_warn(std::string{"threadpool task threw: "} + e.what());
+    } catch (...) {
+      failures.increment();
+      util::log_warn("threadpool task threw a non-exception");
+    }
+    tasks.increment();
+    const std::int64_t finished =
+        job.done.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (finished == job.chunk_count) {
+      // Lock pairs with the caller's predicate check so the final wakeup
+      // cannot be lost between its check and its wait.
+      const std::lock_guard<std::mutex> lock{job.mutex};
+      job.cv.notify_all();
+    }
+  }
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     std::size_t queued = 0;
     {
       std::unique_lock<std::mutex> lock{mutex_};
@@ -36,16 +71,18 @@ void ThreadPool::worker_loop() {
       tasks_.pop();
       queued = tasks_.size();
     }
-    // Resolved after dequeue, not per worker: a ScopedRegistry installed
-    // while this worker slept still receives the pool's instrumentation.
     auto& metrics = telemetry::current_registry();
     metrics.gauge("gauge.nn.threadpool.queue_depth")
         .set(static_cast<double>(queued));
-    // A throwing task must not take the worker down: the pool keeps
-    // draining, the failure is counted, and parallel_for still completes
-    // its in-flight accounting (the chunk's work is simply lost).
+    if (task.job) {
+      run_chunks(*task.job);
+      continue;
+    }
+    // Submitted closures wrap packaged_tasks, which capture exceptions into
+    // their futures; the belt-and-braces catch keeps a raw closure from
+    // killing the worker all the same.
     try {
-      task();
+      task.fn();
     } catch (const std::exception& e) {
       metrics.counter("gauge.nn.threadpool.task_failures").increment();
       util::log_warn(std::string{"threadpool task threw: "} + e.what());
@@ -54,11 +91,6 @@ void ThreadPool::worker_loop() {
       util::log_warn("threadpool task threw a non-exception");
     }
     metrics.counter("gauge.nn.threadpool.tasks").increment();
-    {
-      const std::lock_guard<std::mutex> lock{mutex_};
-      --in_flight_;
-    }
-    done_cv_.notify_all();
   }
 }
 
@@ -71,21 +103,29 @@ void ThreadPool::parallel_for(
     fn(0, total);
     return;
   }
-  const std::int64_t chunks = std::min<std::int64_t>(workers, total);
+  // The caller claims chunks too, so split across workers + 1 participants.
+  const std::int64_t chunks = std::min<std::int64_t>(workers + 1, total);
   const std::int64_t chunk = (total + chunks - 1) / chunks;
+  auto job = std::make_shared<ChunkJob>();
+  job->fn = &fn;
+  job->total = total;
+  job->chunk = chunk;
+  job->chunk_count = (total + chunk - 1) / chunk;
   {
+    // Batch-enqueue under one lock: one queue entry per worker that could
+    // usefully participate, all aliasing the same descriptor.
     const std::lock_guard<std::mutex> lock{mutex_};
-    for (std::int64_t c = 0; c < chunks; ++c) {
-      const std::int64_t begin = c * chunk;
-      const std::int64_t end = std::min(total, begin + chunk);
-      if (begin >= end) break;
-      ++in_flight_;
-      tasks_.push([fn, begin, end] { fn(begin, end); });
+    const std::int64_t entries = std::min(workers, job->chunk_count);
+    for (std::int64_t i = 0; i < entries; ++i) {
+      tasks_.push(Task{{}, job});
     }
   }
   cv_.notify_all();
-  std::unique_lock<std::mutex> lock{mutex_};
-  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  run_chunks(*job);
+  std::unique_lock<std::mutex> lock{job->mutex};
+  job->cv.wait(lock, [&job] {
+    return job->done.load(std::memory_order_acquire) == job->chunk_count;
+  });
 }
 
 }  // namespace gauge::nn

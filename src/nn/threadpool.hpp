@@ -1,14 +1,21 @@
-// Fixed-size thread pool with a parallel_for used by the interpreter kernels.
-// Tasks, not threads (CP.4): callers express row-range work items; the pool
-// owns the workers for its lifetime (CP.41: no per-call thread creation).
+// Fixed-size thread pool used as the general executor for the interpreter
+// kernels and the snapshot pipeline. Tasks, not threads (CP.4): callers
+// express work as submitted closures (with futures) or row-range chunks;
+// the pool owns the workers for its lifetime (CP.41: no per-call thread
+// creation).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace gauge::nn {
@@ -23,20 +30,61 @@ class ThreadPool {
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
+  // Submits a single task and returns a future for its result. Exceptions
+  // propagate through the future. With 0 workers, runs inline.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = packaged->get_future();
+    if (workers_.empty()) {
+      (*packaged)();
+      return future;
+    }
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      tasks_.push(Task{[packaged] { (*packaged)(); }, nullptr});
+    }
+    cv_.notify_one();
+    return future;
+  }
+
   // Runs fn(begin, end) over [0, total) split into roughly equal chunks and
-  // blocks until all chunks complete. With 0 workers, runs inline.
+  // blocks until all chunks complete. The calling thread participates in
+  // chunk execution. With 0 or 1 workers, runs inline.
   void parallel_for(std::int64_t total,
                     const std::function<void(std::int64_t, std::int64_t)>& fn);
 
  private:
+  // One parallel_for call: a single shared descriptor instead of a
+  // std::function allocation per chunk. Workers (and the caller) claim
+  // chunk indices with an atomic increment; the last finished chunk wakes
+  // the caller.
+  struct ChunkJob {
+    const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+    std::int64_t total = 0;
+    std::int64_t chunk = 1;
+    std::int64_t chunk_count = 0;
+    std::atomic<std::int64_t> next{0};
+    std::atomic<std::int64_t> done{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+  };
+
+  // Queue element: either a plain closure or a shared chunk descriptor.
+  struct Task {
+    std::function<void()> fn;      // set for submitted tasks
+    std::shared_ptr<ChunkJob> job; // set for parallel_for entries
+  };
+
   void worker_loop();
+  static void run_chunks(ChunkJob& job);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::condition_variable done_cv_;
-  std::queue<std::function<void()>> tasks_;
-  std::size_t in_flight_ = 0;
+  std::queue<Task> tasks_;
   bool stop_ = false;
 };
 

@@ -131,9 +131,9 @@ TEST(FullSnapshot, EveryModelRecordIsComplete) {
   for (const auto& model : full21().models) {
     EXPECT_FALSE(model.checksum.empty());
     EXPECT_FALSE(model.architecture_checksum.empty());
-    EXPECT_FALSE(model.layer_digests.empty());
-    EXPECT_GT(model.trace.total_params, 0);
-    EXPECT_GT(model.trace.total_flops, 0);
+    EXPECT_FALSE(model.layer_digests().empty());
+    EXPECT_GT(model.trace().total_params, 0);
+    EXPECT_GT(model.trace().total_flops, 0);
     EXPECT_GT(model.file_bytes, 0u);
     EXPECT_NE(model.modality, nn::Modality::Unknown);
   }

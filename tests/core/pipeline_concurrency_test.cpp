@@ -1,0 +1,194 @@
+// Concurrency guarantees of the parallel pipeline: a thread count of 0, 1 or
+// N must produce byte-identical datasets, and the once-only analysis cache
+// must collapse duplicate work even under a deliberate stampede. These tests
+// are the ones scripts/check.sh re-runs under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <latch>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/analysis_cache.hpp"
+#include "core/pipeline.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace gauge::core {
+namespace {
+
+const android::PlayStore& play() {
+  static const android::PlayStore kPlay{android::StoreConfig{}};
+  return kPlay;
+}
+
+SnapshotDataset crawl(unsigned threads) {
+  PipelineOptions options;
+  options.categories = {"communication", "finance", "photography"};
+  options.threads = threads;
+  return run_pipeline(play(), options);
+}
+
+void expect_identical(const SnapshotDataset& a, const SnapshotDataset& b) {
+  ASSERT_EQ(a.apps.size(), b.apps.size());
+  ASSERT_EQ(a.models.size(), b.models.size());
+  for (std::size_t i = 0; i < a.apps.size(); ++i) {
+    EXPECT_EQ(a.apps[i].package, b.apps[i].package);
+    EXPECT_EQ(a.apps[i].model_record_ids, b.apps[i].model_record_ids);
+  }
+  for (std::size_t i = 0; i < a.models.size(); ++i) {
+    EXPECT_EQ(a.models[i].record_id, b.models[i].record_id);
+    EXPECT_EQ(a.models[i].checksum, b.models[i].checksum);
+    EXPECT_EQ(a.models[i].file_path, b.models[i].file_path);
+    EXPECT_EQ(a.models[i].app_package, b.models[i].app_package);
+    EXPECT_EQ(a.models[i].file_bytes, b.models[i].file_bytes);
+  }
+  // The DocStore mirrors must match document-for-document, which pins ids,
+  // insertion order and every serialised field.
+  EXPECT_EQ(a.app_docs.size(), b.app_docs.size());
+  EXPECT_EQ(a.model_docs.size(), b.model_docs.size());
+  EXPECT_EQ(a.app_docs.query().to_jsonl(), b.app_docs.query().to_jsonl());
+  EXPECT_EQ(a.model_docs.query().to_jsonl(), b.model_docs.query().to_jsonl());
+}
+
+TEST(PipelineConcurrency, DatasetIdenticalAcrossThreadCounts) {
+  const auto serial = crawl(0);
+  const auto one = crawl(1);
+  const auto eight = crawl(8);
+  expect_identical(serial, one);
+  expect_identical(serial, eight);
+}
+
+TEST(PipelineConcurrency, ThreadsBeyondChartSize) {
+  // More workers than apps: the in-flight window must drain cleanly.
+  PipelineOptions narrow, wide;
+  narrow.categories = wide.categories = {"dating"};
+  narrow.max_apps_per_category = wide.max_apps_per_category = 6;
+  narrow.threads = 0;
+  wide.threads = 16;
+  expect_identical(run_pipeline(play(), narrow), run_pipeline(play(), wide));
+}
+
+TEST(PipelineConcurrency, CounterParityAcrossThreadCounts) {
+  // The cache/drop accounting must be schedule-independent: parallel runs
+  // record exactly the serial counts.
+  const char* names[] = {
+      "gauge.pipeline.apps_crawled",         "gauge.pipeline.models_validated",
+      "gauge.pipeline.cache_hits",           "gauge.pipeline.cache_misses",
+      "gauge.pipeline.drop.bad_signature",   "gauge.pipeline.drop.parse_failed",
+      "gauge.pipeline.drop.weights_companion"};
+  std::map<std::string, std::int64_t> serial, parallel;
+  std::size_t serial_models = 0, parallel_models = 0;
+  {
+    telemetry::MetricsRegistry registry;
+    telemetry::ScopedRegistry scoped{registry};
+    serial_models = crawl(0).models.size();
+    for (const char* name : names) serial[name] = registry.counter(name).value();
+  }
+  {
+    telemetry::MetricsRegistry registry;
+    telemetry::ScopedRegistry scoped{registry};
+    parallel_models = crawl(8).models.size();
+    for (const char* name : names) {
+      parallel[name] = registry.counter(name).value();
+    }
+  }
+  EXPECT_EQ(serial_models, parallel_models);
+  EXPECT_EQ(serial, parallel);
+  // Every validated model either adopted a cached analysis or was analysed
+  // fresh; parse failures explain the difference (identity invariant).
+  EXPECT_EQ(parallel["gauge.pipeline.cache_hits"] +
+                parallel["gauge.pipeline.cache_misses"] -
+                parallel["gauge.pipeline.drop.parse_failed"],
+            static_cast<std::int64_t>(parallel_models));
+  EXPECT_GT(parallel["gauge.pipeline.cache_hits"], 0);
+}
+
+TEST(AnalysisCache, StampedeComputesOnce) {
+  // N workers race on one key (a model shipped by N apps crawled at once):
+  // exactly one computes, the rest block and adopt the owner's prototype.
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scoped{registry};
+  AnalysisCache cache;
+  constexpr int kThreads = 8;
+  std::atomic<int> computed{0};
+  std::latch start{kThreads};
+  std::vector<AnalysisCache::Proto> results(kThreads);
+  {
+    std::vector<std::jthread> workers;
+    for (int i = 0; i < kThreads; ++i) {
+      workers.emplace_back([&, i] {
+        start.arrive_and_wait();  // maximise contention on the key
+        results[i] = cache.find_or_compute(0xfeedbeef, [&] {
+          computed.fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          auto record = std::make_shared<ModelRecord>();
+          record->checksum = "stampede";
+          return record;
+        });
+      });
+    }
+  }
+  EXPECT_EQ(computed.load(), 1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(registry.counter("gauge.pipeline.cache_misses").value(), 1);
+  EXPECT_EQ(registry.counter("gauge.pipeline.cache_hits").value(),
+            kThreads - 1);
+  for (const auto& result : results) {
+    ASSERT_NE(result, nullptr);
+    EXPECT_EQ(result->checksum, "stampede");
+    EXPECT_EQ(result.get(), results[0].get());  // shared, not cloned
+  }
+}
+
+TEST(AnalysisCache, FailuresAreNotCached) {
+  // A failed analysis must not poison the key: every caller re-attempts and
+  // records its own miss, exactly like a serial pipeline would.
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scoped{registry};
+  AnalysisCache cache;
+  int attempts = 0;
+  for (int i = 0; i < 3; ++i) {
+    const auto result = cache.find_or_compute(42, [&]() -> AnalysisCache::Proto {
+      ++attempts;
+      return nullptr;
+    });
+    EXPECT_EQ(result, nullptr);
+  }
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(registry.counter("gauge.pipeline.cache_misses").value(), 3);
+  EXPECT_EQ(registry.counter("gauge.pipeline.cache_hits").value(), 0);
+
+  // ... and a later success for the same key caches normally.
+  const auto result = cache.find_or_compute(42, [] {
+    auto record = std::make_shared<ModelRecord>();
+    record->checksum = "recovered";
+    return record;
+  });
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(AnalysisCache, DistinctKeysComputeIndependently) {
+  AnalysisCache cache;
+  std::atomic<int> computed{0};
+  std::vector<std::jthread> workers;
+  for (int i = 0; i < 16; ++i) {
+    workers.emplace_back([&, i] {
+      cache.find_or_compute(static_cast<std::uint64_t>(i), [&] {
+        computed.fetch_add(1);
+        return std::make_shared<ModelRecord>();
+      });
+    });
+  }
+  workers.clear();  // join
+  EXPECT_EQ(computed.load(), 16);
+  EXPECT_EQ(cache.size(), 16u);
+}
+
+}  // namespace
+}  // namespace gauge::core

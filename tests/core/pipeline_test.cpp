@@ -51,7 +51,7 @@ TEST(Pipeline, ExtractsValidatedModels) {
   EXPECT_GT(data.ml_apps(), data.apps_with_models());
   for (const auto& model : data.models) {
     EXPECT_FALSE(model.checksum.empty());
-    EXPECT_GT(model.trace.total_params, 0);
+    EXPECT_GT(model.trace().total_params, 0);
     EXPECT_FALSE(model.file_path.empty());
   }
 }
@@ -147,6 +147,7 @@ TEST(Pipeline, TelemetryStageMetricsPopulated) {
     telemetry::ScopedRegistry scoped{registry};
     PipelineOptions options;
     options.categories = {"dating"};
+    options.threads = 0;  // serial: span parentage is checked below
     const auto data = run_pipeline(play(), options);
     model_count = data.models.size();
 
@@ -174,9 +175,10 @@ TEST(Pipeline, TelemetryStageMetricsPopulated) {
   // under the category span which nests under the run root.
   const auto spans = registry.spans();
   for (const char* stage :
-       {"pipeline.run", "pipeline.category", "pipeline.download",
-        "pipeline.apk_open", "pipeline.detect", "pipeline.extract",
-        "pipeline.validate", "pipeline.parse", "pipeline.analyse"}) {
+       {"pipeline.run", "pipeline.category", "pipeline.app",
+        "pipeline.download", "pipeline.apk_open", "pipeline.detect",
+        "pipeline.extract", "pipeline.validate", "pipeline.parse",
+        "pipeline.analyse"}) {
     bool found = false;
     for (const auto& span : spans) {
       if (span.name == stage) {
@@ -187,16 +189,21 @@ TEST(Pipeline, TelemetryStageMetricsPopulated) {
     EXPECT_TRUE(found) << "no span for stage " << stage;
   }
   std::uint64_t run_id = 0, category_id = 0;
+  std::set<std::uint64_t> app_ids;
   for (const auto& span : spans) {
     if (span.name == "pipeline.run") run_id = span.id;
     if (span.name == "pipeline.category") category_id = span.id;
+    if (span.name == "pipeline.app") app_ids.insert(span.id);
   }
   for (const auto& span : spans) {
     if (span.name == "pipeline.category") {
       EXPECT_EQ(span.parent_id, run_id);
     }
-    if (span.name == "pipeline.download") {
+    if (span.name == "pipeline.app") {
       EXPECT_EQ(span.parent_id, category_id);
+    }
+    if (span.name == "pipeline.download") {
+      EXPECT_EQ(app_ids.count(span.parent_id), 1u);
     }
   }
 

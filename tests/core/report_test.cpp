@@ -26,10 +26,10 @@ SnapshotDataset tiny_dataset() {
     m.file_bytes = 1000;
     m.checksum = "sum-" + std::to_string(m.record_id);
     m.architecture_checksum = "arch";
-    m.layer_digests = {"d1", "d2"};
-    m.trace.total_flops = static_cast<std::int64_t>(flops);
-    m.trace.total_params = static_cast<std::int64_t>(params);
-    m.op_family_counts = {{"conv", 4}, {"dense", 1}};
+    m.mutable_analysis().layer_digests = {"d1", "d2"};
+    m.mutable_analysis().trace.total_flops = static_cast<std::int64_t>(flops);
+    m.mutable_analysis().trace.total_params = static_cast<std::int64_t>(params);
+    m.mutable_analysis().op_family_counts = {{"conv", 4}, {"dense", 1}};
     data.model_docs.insert(to_document(m));
     data.models.push_back(std::move(m));
   };
