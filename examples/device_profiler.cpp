@@ -4,9 +4,19 @@
 // TCP completion message (a real loopback socket).
 //
 // Usage:  ./build/examples/device_profiler [archetype] [resolution]
+//             [--job-deadline-s <s>] [--push-retries <n>]
+//             [--fault-plan "<spec>"]
 //         e.g. ./build/examples/device_profiler unet 96
+//         e.g. ./build/examples/device_profiler mobilenet 64 \
+//                --job-deadline-s 0.5 --fault-plan "drop-push=1;kill-daemon"
+//
+// The fault-plan grammar (see harness/fault.hpp) injects the field failures
+// the recovery layer handles: dropped pushes, dead daemons, delayed
+// completion messages, reconnect-refusing hubs, uncut power rails.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "harness/workflow.hpp"
 #include "nn/checksum.hpp"
@@ -18,9 +28,29 @@
 int main(int argc, char** argv) {
   using namespace gauge;
 
+  harness::HarnessOptions options;
+  harness::FaultPlan faults;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--job-deadline-s") == 0 && i + 1 < argc) {
+      options.job_deadline_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--push-retries") == 0 && i + 1 < argc) {
+      options.push_retry.max_attempts = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--fault-plan") == 0 && i + 1 < argc) {
+      auto plan = harness::parse_fault_plan(argv[++i]);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "%s\n", plan.error().c_str());
+        return 2;
+      }
+      faults = std::move(plan).take();
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+
   nn::ZooSpec spec;
-  spec.archetype = argc > 1 ? argv[1] : "mobilenet";
-  spec.resolution = argc > 2 ? std::atoi(argv[2]) : 64;
+  spec.archetype = !positional.empty() ? positional[0] : "mobilenet";
+  spec.resolution = positional.size() > 1 ? std::atoi(positional[1]) : 64;
   spec.seed = 99;
   const nn::Graph model = nn::build_model(spec);
   auto trace = nn::trace_model(model);
@@ -37,8 +67,10 @@ int main(int argc, char** argv) {
                      "mean W", "done msg"}};
   for (const auto& dev : device::all_devices()) {
     harness::UsbHub hub{1};
+    hub.inject_faults(faults);
     harness::DeviceAgent agent{dev, /*seed=*/1234};
-    harness::BenchmarkMaster master{hub, 0, agent};
+    agent.inject_faults(faults);
+    harness::BenchmarkMaster master{hub, 0, agent, options};
 
     harness::BenchmarkJob job;
     job.job_id = "profile-" + dev.name;
@@ -48,22 +80,25 @@ int main(int argc, char** argv) {
     job.iterations = 30;
     job.sleep_between_s = 0.02;
 
-    auto result = master.run_job(job);
-    if (!result.ok()) {
-      std::fprintf(stderr, "%s failed: %s\n", dev.name.c_str(),
-                   result.error().c_str());
+    const auto outcomes = master.run_jobs_detailed({job});
+    const auto& outcome = outcomes.front();
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "%s failed at %s: %s (%s)\n", dev.name.c_str(),
+                   outcome.failure_stage.c_str(),
+                   outcome.result.error().c_str(),
+                   outcome.recovery_action.c_str());
       continue;
     }
+    const auto& result = outcome.result.value();
     std::vector<double> ms;
-    for (double s : result.value().job.latencies_s) ms.push_back(s * 1e3);
+    for (double s : result.job.latencies_s) ms.push_back(s * 1e3);
     table.add_row(
         {dev.name, util::Table::num(util::mean(ms), 3),
          util::Table::num(util::percentile(ms, 95.0), 3),
-         util::Table::num(result.value().measured_energy_per_inference_j * 1e3,
-                          3) +
+         util::Table::num(result.measured_energy_per_inference_j * 1e3, 3) +
              " mJ",
-         util::Table::num(result.value().monsoon_mean_power_w),
-         result.value().done_message});
+         util::Table::num(result.monsoon_mean_power_w),
+         result.done_message});
   }
   std::printf("%s", table.render().c_str());
   return 0;

@@ -7,8 +7,9 @@
 #   scripts/check.sh thread test_telemetry   # TSan, one test binary's suite
 #
 # The plain run finishes with a targeted ThreadSanitizer pass over the
-# concurrency-sensitive suites: the telemetry hammers, the thread pool and
-# the parallel-pipeline determinism/stampede tests.
+# concurrency-sensitive suites: the telemetry hammers, the thread pool, the
+# parallel-pipeline determinism/stampede tests, and the harness
+# fault-injection suite (run_fleet drives one master thread per port).
 #
 # Each sanitizer gets its own build tree (build-check-<san>) so switching
 # sanitizers never poisons an incremental build.
@@ -38,10 +39,10 @@ fi
 ctest --test-dir "$BUILD_DIR" "${CTEST_ARGS[@]}"
 
 if [[ -z "$SANITIZER" ]]; then
-  echo "== targeted ThreadSanitizer pass (telemetry + threadpool + pipeline concurrency) =="
+  echo "== targeted ThreadSanitizer pass (telemetry + threadpool + pipeline concurrency + harness faults) =="
   TSAN_DIR="build-check-thread"
   cmake -B "$TSAN_DIR" -S . -DGAUGE_SANITIZE=thread
   cmake --build "$TSAN_DIR" -j "$(nproc)"
   ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$(nproc)" \
-    -R 'Metrics|Span|ThreadPool|PipelineConcurrency|AnalysisCache'
+    -R 'Metrics|Span|ThreadPool|PipelineConcurrency|AnalysisCache|HarnessFault'
 fi

@@ -12,6 +12,10 @@ util::Status AdbConnection::require_connection() const {
 util::Status AdbConnection::push(const std::string& remote_path,
                                  util::Bytes data) {
   if (auto status = require_connection(); !status.ok()) return status;
+  if (agent_->consume_push_fault()) {
+    return util::Status::failure("adb: push i/o error (injected fault): " +
+                                 remote_path);
+  }
   agent_->write_file(remote_path, std::move(data));
   return {};
 }

@@ -1,5 +1,7 @@
 #include "harness/agent.hpp"
 
+#include <algorithm>
+
 #include "util/hash.hpp"
 #include "util/rng.hpp"
 
@@ -32,6 +34,17 @@ std::vector<std::string> DeviceAgent::list_files() const {
 }
 
 void DeviceAgent::remove_all_files() { files_.clear(); }
+
+void DeviceAgent::inject_faults(FaultPlan plan) {
+  fault_plan_ = std::move(plan);
+  push_calls_ = 0;
+}
+
+bool DeviceAgent::consume_push_fault() {
+  const int call = ++push_calls_;
+  const auto& drops = fault_plan_.drop_pushes;
+  return std::find(drops.begin(), drops.end(), call) != drops.end();
+}
 
 JobResult DeviceAgent::run_benchmark_daemon(const BenchmarkJob& job) {
   JobResult result;

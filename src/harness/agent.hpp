@@ -14,6 +14,7 @@
 #include "device/latency.hpp"
 #include "device/monsoon.hpp"
 #include "device/soc.hpp"
+#include "harness/fault.hpp"
 #include "nn/trace.hpp"
 #include "util/bytes.hpp"
 #include "util/clock.hpp"
@@ -78,6 +79,14 @@ class DeviceAgent {
 
   util::SimClock& clock() { return clock_; }
 
+  // --- fault injection (deterministic flaky-field simulation) ---
+  // Installs the device-side slice of `plan` (push drops, daemon faults) and
+  // resets the push-call counter; the hub-side slice belongs to UsbHub.
+  void inject_faults(FaultPlan plan);
+  const FaultPlan& fault_plan() const { return fault_plan_; }
+  // Called by AdbConnection once per push call; true = this call must fail.
+  bool consume_push_fault();
+
  private:
   device::Device device_;
   DeviceState state_;
@@ -85,6 +94,8 @@ class DeviceAgent {
   std::map<std::string, util::Bytes> files_;
   std::vector<device::PowerPhase> power_phases_;
   std::uint64_t seed_;
+  FaultPlan fault_plan_;
+  int push_calls_ = 0;
 };
 
 }  // namespace gauge::harness

@@ -1,0 +1,52 @@
+#include "harness/fault.hpp"
+
+#include "util/strings.hpp"
+
+namespace gauge::harness {
+
+util::Result<FaultPlan> parse_fault_plan(const std::string& spec) {
+  using R = util::Result<FaultPlan>;
+  FaultPlan plan;
+  for (const auto& raw : util::split(spec, ';')) {
+    const std::string directive{util::trim(raw)};
+    if (directive.empty()) continue;
+    const auto eq = directive.find('=');
+    const std::string key = directive.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : directive.substr(eq + 1);
+    if (key == "drop-push") {
+      for (const auto& token : util::split(value, ',')) {
+        const auto index = util::parse_int(token);
+        if (!index || *index < 1) {
+          return R::failure("fault-plan: bad push index '" + token + "'");
+        }
+        plan.drop_pushes.push_back(static_cast<int>(*index));
+      }
+    } else if (key == "kill-daemon") {
+      if (value.empty()) {
+        plan.kill_daemon_before_connect = true;
+      } else {
+        plan.kill_daemon_for_jobs.insert(value);
+      }
+    } else if (key == "delay-done") {
+      const auto seconds = util::parse_double(value);
+      if (!seconds || *seconds < 0.0) {
+        return R::failure("fault-plan: bad delay-done '" + value + "'");
+      }
+      plan.delay_done_message_s = *seconds;
+    } else if (key == "refuse-reconnect") {
+      const auto count = util::parse_int(value);
+      if (!count || *count < 0) {
+        return R::failure("fault-plan: bad refuse-reconnect '" + value + "'");
+      }
+      plan.refuse_reconnects = static_cast<int>(*count);
+    } else if (key == "keep-power") {
+      plan.keep_power_on = true;
+    } else {
+      return R::failure("fault-plan: unknown directive '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+}  // namespace gauge::harness

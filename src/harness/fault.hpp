@@ -1,0 +1,52 @@
+// Deterministic fault injection for the benchmark harness (paper §3.3 runs
+// in flaky field conditions: adb over USB, power-cut hubs, netcat completion
+// messages). A FaultPlan describes which of those field failures to
+// reproduce; the relevant slices are injected into UsbHub (reconnect/power
+// faults) and DeviceAgent (push and daemon faults), which the workflow and
+// AdbConnection consult. Everything is counter-based and seedless so a given
+// plan always fails the same calls — the recovery paths are testable without
+// flaky hardware.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace gauge::harness {
+
+struct FaultPlan {
+  // AdbConnection: 1-based indices of adb push *calls* (each retry is its
+  // own call) that fail with a transient i/o error.
+  std::vector<int> drop_pushes;
+  // DeviceAgent: the daemon runs the benchmark but dies before opening the
+  // completion TCP connection — the master only notices via its deadline.
+  bool kill_daemon_before_connect = false;
+  // Same, but only for specific job ids (per-job flakiness on one device).
+  std::set<std::string> kill_daemon_for_jobs;
+  // DeviceAgent: delay the completion message by this many wall-clock
+  // seconds (used to push it past the master's deadline).
+  double delay_done_message_s = 0.0;
+  // UsbHub: refuse the next K reconnect attempts (channels stay down).
+  int refuse_reconnects = 0;
+  // UsbHub: leave the power rail up when the workflow cuts the port, so
+  // charging current pollutes the measurement window.
+  bool keep_power_on = false;
+
+  bool daemon_dies_for(const std::string& job_id) const {
+    return kill_daemon_before_connect ||
+           kill_daemon_for_jobs.count(job_id) > 0;
+  }
+};
+
+// Parses the CLI `--fault-plan` grammar: semicolon-separated directives
+//   drop-push=2,3        fail the 2nd and 3rd adb push calls
+//   kill-daemon          daemon dies before the TCP connect (all jobs)
+//   kill-daemon=JOB      same, only for job id JOB (repeatable)
+//   delay-done=0.2       delay the completion message by 0.2 s
+//   refuse-reconnect=2   hub refuses the next 2 reconnects
+//   keep-power           hub leaves the power rail up during the run
+util::Result<FaultPlan> parse_fault_plan(const std::string& spec);
+
+}  // namespace gauge::harness

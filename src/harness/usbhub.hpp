@@ -1,13 +1,17 @@
 // Programmable USB hub (YKUSH-style, paper §3.3): per-port data and power
 // channels that the master toggles so charging current does not pollute the
 // Monsoon energy measurements. Channel state is atomic: the fleet
-// orchestrator drives one master thread per port concurrently.
+// orchestrator drives one master thread per port concurrently. A FaultPlan
+// slice lets tests make the hub refuse reconnects or leave the power rail
+// up, reproducing the field failures the recovery layer exists for.
 #pragma once
 
 #include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <memory>
+
+#include "harness/fault.hpp"
 
 namespace gauge::harness {
 
@@ -31,14 +35,34 @@ class UsbHub {
   void set_data(std::size_t port, bool on) { data_on_[check(port)].store(on); }
   void set_power(std::size_t port, bool on) { power_on_[check(port)].store(on); }
 
-  // Convenience used by the workflow: cut everything on a port.
+  // Convenience used by the workflow: cut everything on a port. A
+  // keep_power_on fault leaves the rail up (the failure mode the Fig. 3
+  // power-cut exists to avoid).
   void disconnect(std::size_t port) {
     set_data(port, false);
-    set_power(port, false);
+    if (!keep_power_on_.load(std::memory_order_relaxed)) {
+      set_power(port, false);
+    }
   }
-  void reconnect(std::size_t port) {
+  // Restores both channels. Returns false (channels untouched) while a
+  // refuse_reconnects fault has refusals left.
+  bool reconnect(std::size_t port) {
+    int left = refuse_reconnects_.load(std::memory_order_relaxed);
+    while (left > 0) {
+      if (refuse_reconnects_.compare_exchange_weak(left, left - 1)) {
+        return false;
+      }
+    }
     set_data(port, true);
     set_power(port, true);
+    return true;
+  }
+
+  // Installs the hub-relevant slice of `plan` (refuse_reconnects,
+  // keep_power_on); the rest of the plan belongs to DeviceAgent.
+  void inject_faults(const FaultPlan& plan) {
+    refuse_reconnects_.store(plan.refuse_reconnects);
+    keep_power_on_.store(plan.keep_power_on);
   }
 
  private:
@@ -50,6 +74,8 @@ class UsbHub {
   std::size_t ports_;
   std::unique_ptr<std::atomic<bool>[]> data_on_;
   std::unique_ptr<std::atomic<bool>[]> power_on_;
+  std::atomic<int> refuse_reconnects_{0};
+  std::atomic<bool> keep_power_on_{false};
 };
 
 }  // namespace gauge::harness

@@ -1,5 +1,8 @@
 #include "harness/workflow.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <deque>
 #include <thread>
 
 #include "net/socket.hpp"
@@ -12,64 +15,117 @@ namespace gauge::harness {
 
 namespace {
 
-// adb pushes over flaky USB are the harness's most common transient
-// failure in the field; retry a few times before declaring the job dead.
-// Each extra attempt is counted so fleet health is visible in telemetry.
-constexpr int kPushAttempts = 3;
+// Retry backoffs advance the device's simulated clock instead of sleeping:
+// deterministic, instant, and invisible to the measurement window (the
+// daemon clears its power trace per run).
+util::RetryPolicy::SleepFn sim_sleep(DeviceAgent& agent) {
+  return [&agent](double seconds) { agent.clock().advance_seconds(seconds); };
+}
 
-util::Status push_with_retry(AdbConnection& adb, const std::string& path,
-                             const util::Bytes& data) {
-  util::Status status;
-  for (int attempt = 0; attempt < kPushAttempts; ++attempt) {
-    if (attempt > 0) {
-      telemetry::current_registry()
-          .counter("gauge.harness.push_retries")
-          .increment();
-    }
-    status = adb.push(path, data);
-    if (status.ok()) return status;
-  }
-  return status;
+// Per-job fork of a policy so two jobs never share a jitter stream.
+util::RetryPolicy for_job(util::RetryPolicy policy, const std::string& id) {
+  policy.seed ^= util::fnv1a64(id);
+  return policy;
 }
 
 }  // namespace
 
+HubGuard::HubGuard(UsbHub& hub, std::size_t port,
+                   const util::RetryPolicy& retry,
+                   util::RetryPolicy::SleepFn sleep)
+    : hub_{&hub}, port_{port}, retry_{retry}, sleep_{std::move(sleep)} {
+  hub_->disconnect(port_);
+  // Sample right after the cut: with a healthy hub the rail is now down; a
+  // keep_power_on fault (or wiring mistake) shows up here, not after the
+  // restore accidentally overwrote the evidence.
+  powered_during_run_ = hub_->power_on(port_);
+}
+
+HubGuard::~HubGuard() {
+  if (!restored_) (void)restore();
+}
+
+util::Status HubGuard::restore() {
+  if (restored_) return {};
+  // Last look at the run-window power state before we put the rail back up.
+  powered_during_run_ = powered_during_run_ || hub_->power_on(port_);
+  auto& metrics = telemetry::current_registry();
+  auto status = retry_.run(
+      [&] {
+        return hub_->reconnect(port_)
+                   ? util::Status{}
+                   : util::Status::failure("hub refused reconnect on port " +
+                                           std::to_string(port_));
+      },
+      sleep_,
+      [&](const util::RetryPolicy::Attempt&) {
+        metrics.counter("gauge.harness.hub_reconnect_retries").increment();
+      });
+  if (status.ok()) restored_ = true;
+  return status;
+}
+
 util::Result<WorkflowResult> BenchmarkMaster::run_job(const BenchmarkJob& job) {
+  AttemptTrace trace;
+  return run_job_attempt(job, trace);
+}
+
+util::Result<WorkflowResult> BenchmarkMaster::run_job_attempt(
+    const BenchmarkJob& job, AttemptTrace& trace) {
   using R = util::Result<WorkflowResult>;
 
   auto& metrics = telemetry::current_registry();
   telemetry::Span job_span{"harness.job"};
   job_span.annotate("job", job.job_id);
-  const auto fail = [&metrics](std::string error) {
+  const auto fail = [&](const char* stage, bool transient, std::string error) {
     metrics.counter("gauge.harness.jobs_failed").increment();
+    trace.stage = stage;
+    trace.transient = transient;
+    job_span.annotate("stage", stage);
+    job_span.annotate("error", error);
     return R::failure(std::move(error));
+  };
+
+  const auto retry_sleep = sim_sleep(*agent_);
+  const auto push_policy = for_job(options_.push_retry, job.job_id);
+  const auto on_push_retry = [&](const util::RetryPolicy::Attempt& attempt) {
+    metrics.counter("gauge.harness.push_retries").increment();
+    metrics.histogram("gauge.harness.push_backoff_s").observe(attempt.backoff_s);
   };
 
   // 1. Push dependencies and assert the device state over adb.
   {
     telemetry::Span span{"harness.push"};
-    if (auto status = push_with_retry(adb_, "/data/local/tmp/bench_runner",
-                                      util::to_bytes("#!aarch64-daemon"));
+    const auto push = [&](const std::string& path, util::Bytes data) {
+      return push_policy.run([&] { return adb_.push(path, data); }, retry_sleep,
+                             on_push_retry);
+    };
+    if (auto status = push("/data/local/tmp/bench_runner",
+                           util::to_bytes("#!aarch64-daemon"));
         !status.ok()) {
-      return fail(status.error());
+      metrics.counter("gauge.harness.push_failed").increment();
+      return fail("push", true, status.error());
     }
-    if (auto status =
-            push_with_retry(adb_, "/data/local/tmp/" + job.job_id + ".model",
-                            util::to_bytes(job.model_key));
+    if (auto status = push("/data/local/tmp/" + job.job_id + ".model",
+                           util::to_bytes(job.model_key));
         !status.ok()) {
-      return fail(status.error());
+      metrics.counter("gauge.harness.push_failed").increment();
+      return fail("push", true, status.error());
     }
   }
   {
     telemetry::Span span{"harness.assert_state"};
-    if (auto status = adb_.assert_benchmark_state(); !status.ok()) {
-      return fail(status.error());
-    }
+    auto status = push_policy.run(
+        [&] { return adb_.assert_benchmark_state(); }, retry_sleep,
+        [&](const util::RetryPolicy::Attempt&) {
+          metrics.counter("gauge.harness.assert_retries").increment();
+        });
+    if (!status.ok()) return fail("assert", true, status.error());
   }
 
   // Master listens for the completion message before cutting the channel.
   auto listener = net::TcpListener::bind(0);
-  if (!listener.ok()) return fail(listener.error());
+  if (!listener.ok()) return fail("listen", true, listener.error());
   const std::uint16_t done_port = listener.value().port();
 
   JobResult job_result;
@@ -79,12 +135,22 @@ util::Result<WorkflowResult> BenchmarkMaster::run_job(const BenchmarkJob& job) {
     telemetry::Span span{"harness.run"};
 
     // 2. Cut USB data + power: measurements must not see charging current.
-    hub_->disconnect(port_);
+    // The guard owns both channels until restore() — every exit path below
+    // (deadline hit, bad completion line, early return) puts the port back.
+    HubGuard guard{*hub_, port_, for_job(options_.hub_retry, job.job_id),
+                   retry_sleep};
 
     // 3-5. The device-side daemon runs detached (its own thread here; its
-    // own process on the phone) and reports over TCP when done.
+    // own process on the phone) and reports over TCP when done — unless the
+    // fault plan kills it first or delays its message past the deadline.
     std::thread daemon{[&] {
       job_result = agent_->run_benchmark_daemon(job);
+      const FaultPlan& faults = agent_->fault_plan();
+      if (faults.daemon_dies_for(job.job_id)) return;
+      if (faults.delay_done_message_s > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(faults.delay_done_message_s));
+      }
       // WiFi is back on after the run; send the netcat-style done message.
       auto stream = net::TcpStream::connect("127.0.0.1", done_port);
       if (stream.ok()) {
@@ -92,23 +158,50 @@ util::Result<WorkflowResult> BenchmarkMaster::run_job(const BenchmarkJob& job) {
       }
     }};
 
-    auto connection = listener.value().accept();
+    const bool bounded = options_.job_deadline_s > 0.0;
+    const auto deadline = std::chrono::milliseconds{
+        static_cast<long long>(options_.job_deadline_s * 1000.0)};
+    const auto wait_start = std::chrono::steady_clock::now();
+
+    auto connection = bounded ? listener.value().accept_for(deadline)
+                              : listener.value().accept();
     if (!connection.ok()) {
       daemon.join();
-      return fail(connection.error());
+      const bool timed_out = net::is_timeout(connection.error());
+      if (timed_out) metrics.counter("gauge.harness.deadline_hits").increment();
+      return fail(timed_out ? "deadline" : "accept", true, connection.error());
     }
-    auto line = connection.value().recv_line();
+    // The deadline spans accept + recv: give recv whatever budget is left.
+    auto line = [&] {
+      if (!bounded) return connection.value().recv_line();
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - wait_start);
+      const auto remaining =
+          std::max(std::chrono::milliseconds{1}, deadline - elapsed);
+      return connection.value().recv_line_for(remaining);
+    }();
     daemon.join();
-    if (!line.ok()) return fail(line.error());
+    if (!line.ok()) {
+      const bool timed_out = net::is_timeout(line.error());
+      if (timed_out) metrics.counter("gauge.harness.deadline_hits").increment();
+      return fail(timed_out ? "deadline" : "completion", true, line.error());
+    }
     if (line.value() != "DONE " + job.job_id) {
-      return fail("unexpected completion message: " + line.value());
+      return fail("completion", false,
+                  "unexpected completion message: " + line.value());
     }
     done_line = std::move(line).take();
 
-    // 6. Restore USB.
-    usb_powered_during_run = hub_->power_on(port_);
-    hub_->reconnect(port_);
-    if (!adb_.connected()) return fail("device did not come back");
+    // 6. Restore USB explicitly (the guard also covers the failure returns
+    // above) and capture whether the rail was up during the run.
+    if (auto status = guard.restore(); !status.ok()) {
+      return fail("reconnect", true, status.error());
+    }
+    usb_powered_during_run = guard.usb_powered_during_run();
+    if (!adb_.connected()) {
+      return fail("reconnect", true, "device did not come back");
+    }
   }
 
   telemetry::Span collect_span{"harness.collect"};
@@ -152,29 +245,100 @@ util::Result<WorkflowResult> BenchmarkMaster::run_job(const BenchmarkJob& job) {
 
   // Cleanup for the next job.
   if (auto status = adb_.remove_all(); !status.ok()) {
-    return fail(status.error());
+    return fail("cleanup", true, status.error());
   }
   metrics.counter("gauge.harness.jobs_ok").increment();
   return result;
 }
 
+bool BenchmarkMaster::recover_port() {
+  if (adb_.connected()) return true;
+  auto& metrics = telemetry::current_registry();
+  auto status = options_.hub_retry.run(
+      [&] {
+        return hub_->reconnect(port_)
+                   ? util::Status{}
+                   : util::Status::failure("hub refused reconnect");
+      },
+      sim_sleep(*agent_),
+      [&](const util::RetryPolicy::Attempt&) {
+        metrics.counter("gauge.harness.hub_reconnect_retries").increment();
+      });
+  if (status.ok()) {
+    metrics.counter("gauge.harness.hub_recoveries").increment();
+  }
+  return status.ok() && adb_.connected();
+}
+
+std::vector<JobOutcome> BenchmarkMaster::run_jobs_detailed(
+    const std::vector<BenchmarkJob>& jobs) {
+  auto& metrics = telemetry::current_registry();
+  std::vector<JobOutcome> outcomes(jobs.size());
+  std::deque<std::size_t> queue;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    outcomes[i].job_id = jobs[i].job_id;
+    queue.push_back(i);
+  }
+
+  while (!queue.empty()) {
+    const std::size_t i = queue.front();
+    queue.pop_front();
+    JobOutcome& outcome = outcomes[i];
+    // Hub-state recovery: a previous job's failure (or a flaky hub) may have
+    // left the port down; repair it before burning this job's attempt.
+    if (!adb_.connected() && recover_port()) {
+      outcome.recovery_action += "hub recovered; ";
+    }
+    AttemptTrace trace;
+    outcome.attempts += 1;
+    outcome.result = run_job_attempt(jobs[i], trace);
+    if (outcome.result.ok()) {
+      if (outcome.attempts > 1) {
+        outcome.recovery_action += "requeue succeeded";
+        metrics.counter("gauge.harness.recoveries").increment();
+      }
+      outcome.failure_stage.clear();
+      continue;
+    }
+    outcome.failure_stage = trace.stage;
+    if (trace.transient && outcome.attempts <= options_.max_requeues) {
+      outcome.recovery_action +=
+          "requeued after " + trace.stage + " failure; ";
+      metrics.counter("gauge.harness.requeues").increment();
+      queue.push_back(i);
+    } else {
+      outcome.recovery_action += trace.transient
+                                     ? "quarantined: requeue budget exhausted"
+                                     : "quarantined: permanent failure";
+      metrics.counter("gauge.harness.quarantined_jobs").increment();
+    }
+  }
+
+  for (const JobOutcome& outcome : outcomes) {
+    metrics.histogram("gauge.harness.job_attempts")
+        .observe(static_cast<double>(outcome.attempts));
+  }
+  return outcomes;
+}
+
 util::Result<std::vector<WorkflowResult>> BenchmarkMaster::run_jobs(
     const std::vector<BenchmarkJob>& jobs) {
   using R = util::Result<std::vector<WorkflowResult>>;
+  auto outcomes = run_jobs_detailed(jobs);
   std::vector<WorkflowResult> out;
-  out.reserve(jobs.size());
-  for (const auto& job : jobs) {
-    auto result = run_job(job);
-    if (!result.ok()) {
-      return R::failure("job " + job.job_id + ": " + result.error());
+  out.reserve(outcomes.size());
+  for (auto& outcome : outcomes) {
+    if (!outcome.result.ok()) {
+      return R::failure("job " + outcome.job_id + ": " +
+                        outcome.result.error());
     }
-    out.push_back(std::move(result).take());
+    out.push_back(std::move(outcome.result).take());
   }
   return out;
 }
 
-std::vector<FleetResult> run_fleet(UsbHub& hub,
-                                   std::vector<FleetDevice> fleet) {
+std::vector<FleetResult> run_fleet(UsbHub& hub, std::vector<FleetDevice> fleet,
+                                   HarnessOptions options) {
   std::vector<FleetResult> results(fleet.size());
   std::vector<std::thread> workers;
   workers.reserve(fleet.size());
@@ -183,8 +347,22 @@ std::vector<FleetResult> run_fleet(UsbHub& hub,
     workers.emplace_back([&, port] {
       telemetry::Span span{"harness.fleet_device"};
       span.annotate("device", results[port].device);
-      BenchmarkMaster master{hub, port, *fleet[port].agent};
-      results[port].results = master.run_jobs(fleet[port].jobs);
+      BenchmarkMaster master{hub, port, *fleet[port].agent, options};
+      results[port].outcomes = master.run_jobs_detailed(fleet[port].jobs);
+      // Legacy all-or-first-failure view over the outcomes.
+      using R = util::Result<std::vector<WorkflowResult>>;
+      std::vector<WorkflowResult> ok_results;
+      ok_results.reserve(results[port].outcomes.size());
+      R legacy = std::move(ok_results);
+      for (const JobOutcome& outcome : results[port].outcomes) {
+        if (!outcome.result.ok()) {
+          legacy = R::failure("job " + outcome.job_id + ": " +
+                              outcome.result.error());
+          break;
+        }
+        legacy.value().push_back(outcome.result.value());
+      }
+      results[port].results = std::move(legacy);
     });
   }
   for (auto& worker : workers) worker.join();

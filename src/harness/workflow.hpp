@@ -6,8 +6,16 @@
 //   5. the agent raises WiFi and sends "DONE <job>" over TCP (a real
 //      loopback socket here),
 //   6. the master restores USB, pulls results, cleans up, next job.
+//
+// Built for flaky field conditions (§3.3): pushes and state asserts run
+// under util::RetryPolicy, the completion wait is bounded by a deadline so a
+// dead daemon can never hang the master, HubGuard restores the hub's
+// data+power channels on every exit path, and batch runners quarantine
+// failed jobs (with a bounded requeue for transient faults) instead of
+// aborting the device's whole queue. See DESIGN.md "Harness fault model".
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "device/monsoon.hpp"
@@ -15,6 +23,7 @@
 #include "harness/agent.hpp"
 #include "harness/usbhub.hpp"
 #include "util/result.hpp"
+#include "util/retry.hpp"
 
 namespace gauge::harness {
 
@@ -33,30 +42,118 @@ struct WorkflowResult {
   std::string done_message;  // the TCP completion line
 };
 
-class BenchmarkMaster {
+// Fault-tolerance knobs for one master. Retry backoffs advance the agent's
+// SimClock (never the wall clock), so fault-free runs stay byte-identical
+// and retry-heavy runs stay fast and deterministic.
+struct HarnessOptions {
+  // Wall-clock budget for the daemon to connect and deliver its completion
+  // line once USB is cut; <= 0 disables the deadline (pre-recovery
+  // behaviour: block forever).
+  double job_deadline_s = 10.0;
+  // adb pushes and device-state asserts over flaky USB.
+  util::RetryPolicy push_retry{};
+  // Hub reconnects (power-cycled hubs come back after a beat in the field).
+  util::RetryPolicy hub_retry{};
+  // Extra attempts a transiently-failed job may get before quarantine.
+  int max_requeues = 1;
+};
+
+// Per-job record from the fault-tolerant batch runners: either a
+// WorkflowResult or the failure reason, plus what the harness did about it.
+struct JobOutcome {
+  std::string job_id;
+  int attempts = 0;  // completed attempts (1 = succeeded/quarantined first try)
+  util::Result<WorkflowResult> result =
+      util::Result<WorkflowResult>::failure("not run");
+  std::string failure_stage;    // push | assert | listen | deadline |
+                                // completion | reconnect | cleanup; "" if ok
+  std::string recovery_action;  // e.g. "requeued after push failure; requeue
+                                // succeeded"; "" if clean first try
+  bool ok() const { return result.ok(); }
+};
+
+// RAII guard for the hub cut of workflow step 2: construction cuts the
+// port's data+power, destruction (or an explicit restore()) brings both back
+// via the retry policy — guaranteed on every exit path of the run block,
+// so a mid-job failure can never leave the port disconnected and poison
+// later jobs. Also captures whether the power rail was actually up during
+// the run (it must not be; see WorkflowResult::usb_energy_j).
+class HubGuard {
  public:
-  BenchmarkMaster(UsbHub& hub, std::size_t port, DeviceAgent& agent)
-      : hub_{&hub}, port_{port}, agent_{&agent}, adb_{hub, port, agent} {}
+  HubGuard(UsbHub& hub, std::size_t port, const util::RetryPolicy& retry,
+           util::RetryPolicy::SleepFn sleep = nullptr);
+  ~HubGuard();
+  HubGuard(const HubGuard&) = delete;
+  HubGuard& operator=(const HubGuard&) = delete;
 
-  // Runs one job end to end. Thread-safe against nothing; one job at a
-  // time per master, as in the paper's per-device serial queue.
-  util::Result<WorkflowResult> run_job(const BenchmarkJob& job);
-
-  // Runs a batch of jobs back to back (cleanup between jobs).
-  util::Result<std::vector<WorkflowResult>> run_jobs(
-      const std::vector<BenchmarkJob>& jobs);
+  // Restores data+power (idempotent). Fails only if the hub refuses every
+  // reconnect attempt; the destructor will then try once more.
+  util::Status restore();
+  // True if the power rail was observed up at any point between the cut and
+  // the restore — i.e. charging current polluted the measurement window.
+  bool usb_powered_during_run() const { return powered_during_run_; }
 
  private:
   UsbHub* hub_;
   std::size_t port_;
+  util::RetryPolicy retry_;
+  util::RetryPolicy::SleepFn sleep_;
+  bool restored_ = false;
+  bool powered_during_run_ = false;
+};
+
+class BenchmarkMaster {
+ public:
+  BenchmarkMaster(UsbHub& hub, std::size_t port, DeviceAgent& agent,
+                  HarnessOptions options = {})
+      : hub_{&hub},
+        port_{port},
+        agent_{&agent},
+        adb_{hub, port, agent},
+        options_{options} {}
+
+  // Runs one job end to end (single attempt, no requeue). Thread-safe
+  // against nothing; one job at a time per master, as in the paper's
+  // per-device serial queue. Never blocks past the configured deadline.
+  util::Result<WorkflowResult> run_job(const BenchmarkJob& job);
+
+  // Fault-tolerant batch: every job gets a JobOutcome (in input order);
+  // transient failures are requeued to the back of the queue up to
+  // options.max_requeues extra attempts, with hub-state recovery attempted
+  // between attempts; nothing aborts the batch.
+  std::vector<JobOutcome> run_jobs_detailed(
+      const std::vector<BenchmarkJob>& jobs);
+
+  // Legacy batch view over run_jobs_detailed: all results, or the first
+  // failed job's reason.
+  util::Result<std::vector<WorkflowResult>> run_jobs(
+      const std::vector<BenchmarkJob>& jobs);
+
+ private:
+  // What a failed attempt tells the quarantine logic.
+  struct AttemptTrace {
+    std::string stage;
+    bool transient = false;
+  };
+
+  util::Result<WorkflowResult> run_job_attempt(const BenchmarkJob& job,
+                                               AttemptTrace& trace);
+  // Hub-state recovery between attempts: reconnects the port (with retries)
+  // when adb is down. True if the port is usable afterwards.
+  bool recover_port();
+
+  UsbHub* hub_;
+  std::size_t port_;
   DeviceAgent* agent_;
   AdbConnection adb_;
+  HarnessOptions options_;
 };
 
 // Fleet orchestration (paper Fig. 2: one server, several devices on the
 // hub): runs each device's job queue on its own thread, one master per
-// port. Results are returned per device, in job order. Any failed job
-// aborts that device's queue; other devices keep running.
+// port. Results are returned per device, in job order: `outcomes` always
+// covers every job (failed ones carry reason + recovery action); `results`
+// is the legacy all-or-first-failure view.
 struct FleetDevice {
   DeviceAgent* agent = nullptr;
   std::vector<BenchmarkJob> jobs;
@@ -64,11 +161,12 @@ struct FleetDevice {
 
 struct FleetResult {
   std::string device;
+  std::vector<JobOutcome> outcomes;
   util::Result<std::vector<WorkflowResult>> results =
       util::Result<std::vector<WorkflowResult>>::failure("not run");
 };
 
-std::vector<FleetResult> run_fleet(UsbHub& hub,
-                                   std::vector<FleetDevice> fleet);
+std::vector<FleetResult> run_fleet(UsbHub& hub, std::vector<FleetDevice> fleet,
+                                   HarnessOptions options = {});
 
 }  // namespace gauge::harness

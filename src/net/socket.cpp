@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -28,10 +29,54 @@ void Fd::reset() {
   }
 }
 
+bool is_timeout(const std::string& error) {
+  return error.rfind(kTimeoutPrefix, 0) == 0;
+}
+
 namespace {
+
 std::string errno_message(const char* what) {
   return std::string{what} + ": " + std::strerror(errno);
 }
+
+std::string timeout_message(const char* what,
+                            std::chrono::steady_clock::time_point start,
+                            std::chrono::steady_clock::time_point deadline) {
+  const auto budget =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - start);
+  return std::string{kTimeoutPrefix} + " after " +
+         std::to_string(budget.count()) + " ms waiting for " + what;
+}
+
+// Waits until `fd` is readable or `deadline` passes. Returns ok on readable,
+// a timeout error otherwise. EINTR restarts with the remaining budget.
+util::Status wait_readable(int fd, const char* what,
+                           std::chrono::steady_clock::time_point start,
+                           std::chrono::steady_clock::time_point deadline) {
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return util::Status::failure(timeout_message(what, start, deadline));
+    }
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ready =
+        ::poll(&pfd, 1, static_cast<int>(std::max<long long>(
+                            1, remaining.count())));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return util::Status::failure(errno_message("poll"));
+    }
+    if (ready == 0) {
+      return util::Status::failure(timeout_message(what, start, deadline));
+    }
+    return {};
+  }
+}
+
 }  // namespace
 
 util::Result<TcpStream> TcpStream::connect(const std::string& host,
@@ -52,11 +97,14 @@ util::Result<TcpStream> TcpStream::connect(const std::string& host,
 }
 
 util::Status TcpStream::send_line(const std::string& line) {
-  std::string payload = line + "\n";
+  return send_raw(line + "\n");
+}
+
+util::Status TcpStream::send_raw(const std::string& data) {
   std::size_t sent = 0;
-  while (sent < payload.size()) {
+  while (sent < data.size()) {
     const ssize_t n =
-        ::send(fd_.get(), payload.data() + sent, payload.size() - sent, 0);
+        ::send(fd_.get(), data.data() + sent, data.size() - sent, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       return util::Status::failure(errno_message("send"));
@@ -67,7 +115,19 @@ util::Status TcpStream::send_line(const std::string& line) {
 }
 
 util::Result<std::string> TcpStream::recv_line() {
+  return recv_line_impl(nullptr);
+}
+
+util::Result<std::string> TcpStream::recv_line_for(
+    std::chrono::milliseconds deadline) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  return recv_line_impl(&until);
+}
+
+util::Result<std::string> TcpStream::recv_line_impl(
+    const std::chrono::steady_clock::time_point* deadline) {
   using R = util::Result<std::string>;
+  const auto start = std::chrono::steady_clock::now();
   for (;;) {
     const auto newline = buffer_.find('\n');
     if (newline != std::string::npos) {
@@ -75,13 +135,28 @@ util::Result<std::string> TcpStream::recv_line() {
       buffer_.erase(0, newline + 1);
       return line;
     }
+    if (deadline != nullptr) {
+      if (auto status = wait_readable(fd_.get(), "line", start, *deadline);
+          !status.ok()) {
+        return R::failure(status.error());
+      }
+    }
     char chunk[512];
     const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       return R::failure(errno_message("recv"));
     }
-    if (n == 0) return R::failure("peer closed connection");
+    if (n == 0) {
+      if (!buffer_.empty()) {
+        // The peer closed mid-line; surface what arrived instead of
+        // silently discarding it.
+        std::string partial = std::move(buffer_);
+        buffer_.clear();
+        return R::failure("truncated line (peer closed): \"" + partial + "\"");
+      }
+      return R::failure("peer closed connection");
+    }
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
 }
@@ -118,6 +193,18 @@ util::Result<TcpStream> TcpListener::accept() {
     }
     return TcpStream{Fd{client}};
   }
+}
+
+util::Result<TcpStream> TcpListener::accept_for(
+    std::chrono::milliseconds deadline) {
+  using R = util::Result<TcpStream>;
+  const auto start = std::chrono::steady_clock::now();
+  const auto until = start + deadline;
+  if (auto status = wait_readable(fd_.get(), "connection", start, until);
+      !status.ok()) {
+    return R::failure(status.error());
+  }
+  return accept();
 }
 
 }  // namespace gauge::net

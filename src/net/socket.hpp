@@ -1,8 +1,12 @@
 // Minimal blocking TCP socket layer over loopback, used by the benchmark
 // harness for its netcat-style "experiment finished" message (paper §3.3).
-// RAII file descriptors; line-oriented framing.
+// RAII file descriptors; line-oriented framing. The `_for` variants take a
+// wall-clock deadline (poll()-based, covering the whole operation rather
+// than a single recv the way SO_RCVTIMEO would) so the master can never
+// block forever on a device-side daemon that died before connecting.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -29,6 +33,11 @@ class Fd {
   int fd_ = -1;
 };
 
+// Deadline errors start with this prefix so callers can tell a timeout from
+// a hard socket failure without a separate error channel.
+inline constexpr const char* kTimeoutPrefix = "timed out";
+bool is_timeout(const std::string& error);
+
 class TcpStream {
  public:
   static util::Result<TcpStream> connect(const std::string& host,
@@ -36,13 +45,22 @@ class TcpStream {
 
   // Sends `line` plus '\n'. Fails on partial writes that cannot complete.
   util::Status send_line(const std::string& line);
+  // Sends `data` as-is (no newline appended).
+  util::Status send_raw(const std::string& data);
   // Blocks until a full '\n'-terminated line arrives (newline stripped) or
-  // the peer closes.
+  // the peer closes. A close with a buffered partial line fails with a
+  // distinct "truncated line" error carrying the partial payload.
   util::Result<std::string> recv_line();
+  // Same, but gives up once `deadline` of wall-clock time has elapsed
+  // without a complete line; the timeout error satisfies is_timeout().
+  util::Result<std::string> recv_line_for(std::chrono::milliseconds deadline);
 
   explicit TcpStream(Fd fd) : fd_{std::move(fd)} {}
 
  private:
+  util::Result<std::string> recv_line_impl(
+      const std::chrono::steady_clock::time_point* deadline);
+
   Fd fd_;
   std::string buffer_;
 };
@@ -54,6 +72,9 @@ class TcpListener {
 
   std::uint16_t port() const { return port_; }
   util::Result<TcpStream> accept();
+  // Fails with an is_timeout() error if no client connects within
+  // `deadline`.
+  util::Result<TcpStream> accept_for(std::chrono::milliseconds deadline);
 
  private:
   explicit TcpListener(Fd fd, std::uint16_t port)

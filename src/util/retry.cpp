@@ -1,0 +1,23 @@
+#include "util/retry.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace gauge::util {
+
+double RetryPolicy::backoff_s(int attempt) const {
+  if (attempt <= 1) return 0.0;
+  const double base =
+      initial_backoff_s *
+      std::pow(std::max(1.0, backoff_multiplier), attempt - 2);
+  const double capped = std::min(base, max_backoff_s);
+  if (jitter <= 0.0) return capped;
+  // Fork per attempt so the delay depends only on (seed, attempt), not on
+  // how many draws earlier attempts consumed.
+  Rng rng = Rng{seed}.fork(static_cast<std::uint64_t>(attempt));
+  const double factor = 1.0 + jitter * (2.0 * rng.uniform() - 1.0);
+  return std::max(0.0, capped * factor);
+}
+
+}  // namespace gauge::util

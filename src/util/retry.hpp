@@ -1,0 +1,60 @@
+// Reusable bounded-retry schedule: exponential backoff with deterministic
+// jitter drawn from util::Rng, so a given (seed, attempt) pair always yields
+// the same delay. Time is injected through a sleep callback — callers in
+// simulated contexts (the benchmark harness advances a SimClock) stay
+// deterministic and fast, while wall-clock callers can pass a real sleeper.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <string>
+
+#include "util/result.hpp"
+
+namespace gauge::util {
+
+struct RetryPolicy {
+  // Total attempts including the first; <= 1 means no retries.
+  int max_attempts = 3;
+  double initial_backoff_s = 0.01;
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 2.0;
+  // Backoff is scaled by a factor uniform in [1 - jitter, 1 + jitter].
+  double jitter = 0.25;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+
+  // Observed by `on_retry` before each re-attempt.
+  struct Attempt {
+    int number = 0;          // the attempt about to run (2-based)
+    double backoff_s = 0.0;  // delay slept before it
+    std::string last_error;  // what the previous attempt failed with
+  };
+
+  using SleepFn = std::function<void(double seconds)>;
+  using OnRetryFn = std::function<void(const Attempt&)>;
+
+  // Deterministic backoff before attempt `attempt` (2-based: there is no
+  // delay before the first attempt).
+  double backoff_s(int attempt) const;
+
+  // Runs `op` (returning util::Status) until it succeeds or max_attempts is
+  // exhausted; returns the final status. `sleep` and `on_retry` may be null.
+  template <typename Op>
+  Status run(Op&& op, const SleepFn& sleep = nullptr,
+             const OnRetryFn& on_retry = nullptr) const {
+    Status status;
+    const int attempts = std::max(1, max_attempts);
+    for (int attempt = 1; attempt <= attempts; ++attempt) {
+      if (attempt > 1) {
+        const double delay = backoff_s(attempt);
+        if (on_retry) on_retry({attempt, delay, status.error()});
+        if (sleep) sleep(delay);
+      }
+      status = op();
+      if (status.ok()) return status;
+    }
+    return status;
+  }
+};
+
+}  // namespace gauge::util

@@ -1,0 +1,389 @@
+// Fault-injection suite for the harness recovery layer: deadlines on the
+// completion channel, HubGuard restoration on every exit path, RetryPolicy
+// on pushes, and per-job quarantine/requeue in the batch runners. All
+// faults come from the deterministic FaultPlan seam, so every scenario
+// replays identically. Suite names carry "HarnessFault" so scripts/check.sh
+// can run them under ThreadSanitizer (run_fleet drives one master thread
+// per port).
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "harness/adb.hpp"
+#include "harness/agent.hpp"
+#include "harness/fault.hpp"
+#include "harness/usbhub.hpp"
+#include "harness/workflow.hpp"
+#include "nn/trace.hpp"
+#include "nn/zoo.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace gauge::harness {
+namespace {
+
+nn::ModelTrace sample_trace() {
+  nn::ZooSpec spec;
+  spec.archetype = "mobilenet";
+  spec.resolution = 48;
+  spec.seed = 3;
+  auto trace = nn::trace_model(nn::build_model(spec));
+  EXPECT_TRUE(trace.ok());
+  return std::move(trace).take();
+}
+
+BenchmarkJob sample_job(const std::string& id) {
+  BenchmarkJob job;
+  job.job_id = id;
+  job.model_key = "mobilenet-48";
+  job.trace = sample_trace();
+  job.warmup_iterations = 2;
+  job.iterations = 5;
+  job.sleep_between_s = 0.01;
+  return job;
+}
+
+HarnessOptions fast_options() {
+  HarnessOptions options;
+  options.job_deadline_s = 0.25;  // keep injected-timeout scenarios fast
+  return options;
+}
+
+std::int64_t counter_value(telemetry::MetricsRegistry& registry,
+                           const std::string& name) {
+  for (const auto& [key, value] : registry.counters()) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+void expect_port_restored(const UsbHub& hub, std::size_t port) {
+  EXPECT_TRUE(hub.data_on(port));
+  EXPECT_TRUE(hub.power_on(port));
+}
+
+// ------------------------------------------------------------- fault plan
+
+TEST(HarnessFault, ParseFaultPlanGrammar) {
+  auto plan = parse_fault_plan(
+      "drop-push=2,3; kill-daemon=flaky; delay-done=0.25;"
+      "refuse-reconnect=2; keep-power");
+  ASSERT_TRUE(plan.ok()) << plan.error();
+  EXPECT_EQ(plan.value().drop_pushes, (std::vector<int>{2, 3}));
+  EXPECT_FALSE(plan.value().kill_daemon_before_connect);
+  EXPECT_TRUE(plan.value().daemon_dies_for("flaky"));
+  EXPECT_FALSE(plan.value().daemon_dies_for("other"));
+  EXPECT_DOUBLE_EQ(plan.value().delay_done_message_s, 0.25);
+  EXPECT_EQ(plan.value().refuse_reconnects, 2);
+  EXPECT_TRUE(plan.value().keep_power_on);
+
+  EXPECT_TRUE(parse_fault_plan("kill-daemon").value().kill_daemon_before_connect);
+  EXPECT_FALSE(parse_fault_plan("drop-push=zero").ok());
+  EXPECT_FALSE(parse_fault_plan("explode").ok());
+}
+
+// -------------------------------------------------------------- deadlines
+
+TEST(HarnessFault, DeadlineExpiryWhenDaemonNeverConnects) {
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scope{registry};
+  UsbHub hub{1};
+  DeviceAgent agent{device::make_device("Q845"), 61};
+  FaultPlan faults;
+  faults.kill_daemon_before_connect = true;
+  agent.inject_faults(faults);
+  BenchmarkMaster master{hub, 0, agent, fast_options()};
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = master.run_job(sample_job("dead-daemon"));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("timed out"), std::string::npos)
+      << result.error();
+  // No hang: well within a multiple of the 0.25 s deadline.
+  EXPECT_LT(elapsed, std::chrono::seconds{10});
+  EXPECT_GE(counter_value(registry, "gauge.harness.deadline_hits"), 1);
+  // The guard restored the port despite the failure.
+  expect_port_restored(hub, 0);
+}
+
+TEST(HarnessFault, DelayedCompletionMessagePastDeadline) {
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scope{registry};
+  UsbHub hub{1};
+  DeviceAgent agent{device::make_device("Q855"), 62};
+  FaultPlan faults;
+  faults.delay_done_message_s = 0.6;  // past the 0.25 s deadline
+  agent.inject_faults(faults);
+  BenchmarkMaster master{hub, 0, agent, fast_options()};
+
+  const auto result = master.run_job(sample_job("late-done"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("timed out"), std::string::npos);
+  EXPECT_GE(counter_value(registry, "gauge.harness.deadline_hits"), 1);
+  expect_port_restored(hub, 0);
+}
+
+// ------------------------------------------------------------ hub guard
+
+TEST(HarnessFault, KeepPowerFaultShowsUpInUsbChannel) {
+  // Regression for the old `usb_powered_during_run = hub_->power_on(port_)`
+  // line that sampled the post-cut state where a restore was intended: with
+  // a fault that keeps the rail up during the run, the workflow must report
+  // the ~2.5 W charging pollution in usb_energy_j.
+  UsbHub hub{1};
+  FaultPlan faults;
+  faults.keep_power_on = true;
+  hub.inject_faults(faults);
+  DeviceAgent agent{device::make_device("Q888"), 63};
+  BenchmarkMaster master{hub, 0, agent};
+
+  const auto result = master.run_job(sample_job("powered-run"));
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_GT(result.value().usb_energy_j, 0.0);
+  expect_port_restored(hub, 0);
+
+  // Control: a clean hub on the same device shows a clean channel.
+  UsbHub clean_hub{1};
+  DeviceAgent clean_agent{device::make_device("Q888"), 63};
+  BenchmarkMaster clean_master{clean_hub, 0, clean_agent};
+  const auto clean = clean_master.run_job(sample_job("powered-run"));
+  ASSERT_TRUE(clean.ok());
+  EXPECT_DOUBLE_EQ(clean.value().usb_energy_j, 0.0);
+}
+
+TEST(HarnessFault, HubRefusingFirstReconnectIsRetriedInPlace) {
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scope{registry};
+  UsbHub hub{1};
+  FaultPlan faults;
+  faults.refuse_reconnects = 1;
+  hub.inject_faults(faults);
+  DeviceAgent agent{device::make_device("Q845"), 64};
+  BenchmarkMaster master{hub, 0, agent};
+
+  const auto result = master.run_job(sample_job("flaky-hub"));
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_GE(counter_value(registry, "gauge.harness.hub_reconnect_retries"), 1);
+  expect_port_restored(hub, 0);
+}
+
+// --------------------------------------------------------- push retries
+
+TEST(HarnessFault, FlakyPushRecoversViaRetryPolicy) {
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scope{registry};
+  UsbHub hub{1};
+  DeviceAgent agent{device::make_device("Q845"), 65};
+  FaultPlan faults;
+  faults.drop_pushes = {1};  // first push call fails, retry succeeds
+  agent.inject_faults(faults);
+  BenchmarkMaster master{hub, 0, agent};
+
+  const auto result = master.run_job(sample_job("flaky-push"));
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_EQ(counter_value(registry, "gauge.harness.push_retries"), 1);
+  EXPECT_EQ(counter_value(registry, "gauge.harness.push_failed"), 0);
+  // The retry slept its backoff on the simulated clock, not the wall clock.
+  bool found_backoff = false;
+  for (const auto& [name, snapshot] : registry.histograms()) {
+    if (name == "gauge.harness.push_backoff_s") {
+      found_backoff = snapshot.count == 1 && snapshot.sum > 0.0;
+    }
+  }
+  EXPECT_TRUE(found_backoff);
+}
+
+TEST(HarnessFault, TerminalPushFailureIsCountedAndAnnotated) {
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scope{registry};
+  UsbHub hub{1};
+  DeviceAgent agent{device::make_device("Q855"), 66};
+  FaultPlan faults;
+  faults.drop_pushes = {1, 2, 3};  // exhausts the default 3 attempts
+  agent.inject_faults(faults);
+  BenchmarkMaster master{hub, 0, agent};
+
+  const auto result = master.run_job(sample_job("dead-push"));
+  ASSERT_FALSE(result.ok());
+  // Two retries and, unlike the old push_with_retry, the terminal failure
+  // itself is counted.
+  EXPECT_EQ(counter_value(registry, "gauge.harness.push_retries"), 2);
+  EXPECT_EQ(counter_value(registry, "gauge.harness.push_failed"), 1);
+  // The failing harness.job span carries the error string and stage.
+  bool annotated = false;
+  for (const auto& span : registry.spans()) {
+    if (span.name != "harness.job") continue;
+    bool has_error = false;
+    bool has_stage = false;
+    for (const auto& [key, value] : span.args) {
+      if (key == "error" && value.find("push i/o error") != std::string::npos) {
+        has_error = true;
+      }
+      if (key == "stage" && value == "push") has_stage = true;
+    }
+    annotated = has_error && has_stage;
+  }
+  EXPECT_TRUE(annotated);
+}
+
+// ----------------------------------------------------- quarantine/requeue
+
+TEST(HarnessFault, TransientPushFailureIsRequeuedAndSucceeds) {
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scope{registry};
+  UsbHub hub{1};
+  DeviceAgent agent{device::make_device("Q845"), 67};
+  FaultPlan faults;
+  // Job order a, b, c: job b's first attempt burns push calls 3-5 (three
+  // tries on the runner push); its requeued attempt starts at call 8.
+  faults.drop_pushes = {3, 4, 5};
+  agent.inject_faults(faults);
+  BenchmarkMaster master{hub, 0, agent};
+
+  const auto outcomes = master.run_jobs_detailed(
+      {sample_job("a"), sample_job("b"), sample_job("c")});
+  ASSERT_EQ(outcomes.size(), 3u);
+  // Outcomes stay in input order even though b ran last.
+  EXPECT_EQ(outcomes[1].job_id, "b");
+  for (const auto& outcome : outcomes) {
+    EXPECT_TRUE(outcome.ok()) << outcome.job_id;
+  }
+  EXPECT_EQ(outcomes[0].attempts, 1);
+  EXPECT_EQ(outcomes[1].attempts, 2);
+  EXPECT_EQ(outcomes[2].attempts, 1);
+  EXPECT_NE(outcomes[1].recovery_action.find("requeued after push failure"),
+            std::string::npos);
+  EXPECT_NE(outcomes[1].recovery_action.find("requeue succeeded"),
+            std::string::npos);
+  EXPECT_EQ(counter_value(registry, "gauge.harness.requeues"), 1);
+  EXPECT_EQ(counter_value(registry, "gauge.harness.recoveries"), 1);
+  EXPECT_EQ(counter_value(registry, "gauge.harness.quarantined_jobs"), 0);
+}
+
+TEST(HarnessFault, ExhaustedRequeueBudgetQuarantinesOnlyThatJob) {
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scope{registry};
+  UsbHub hub{1};
+  DeviceAgent agent{device::make_device("Q888"), 68};
+  FaultPlan faults;
+  // Job b fails all pushes on both attempts (calls 3-5 first, 8-10 after
+  // the requeue); a and c are untouched.
+  faults.drop_pushes = {3, 4, 5, 8, 9, 10};
+  agent.inject_faults(faults);
+  BenchmarkMaster master{hub, 0, agent};
+
+  const auto outcomes = master.run_jobs_detailed(
+      {sample_job("a"), sample_job("b"), sample_job("c")});
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_TRUE(outcomes[0].ok());
+  EXPECT_TRUE(outcomes[2].ok());
+  ASSERT_FALSE(outcomes[1].ok());
+  EXPECT_EQ(outcomes[1].attempts, 2);
+  EXPECT_EQ(outcomes[1].failure_stage, "push");
+  EXPECT_NE(outcomes[1].result.error().find("push i/o error"),
+            std::string::npos);
+  EXPECT_NE(outcomes[1].recovery_action.find("quarantined"),
+            std::string::npos);
+  EXPECT_EQ(counter_value(registry, "gauge.harness.quarantined_jobs"), 1);
+  expect_port_restored(hub, 0);
+}
+
+TEST(HarnessFault, QuarantineThenRequeueSucceedsOnFlakyPort) {
+  // The hub refuses 3 reconnects: the in-job restore (2 tries) fails the
+  // first attempt, the guard's destructor gets the port back on its second
+  // try, and the requeued attempt runs clean.
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scope{registry};
+  UsbHub hub{1};
+  FaultPlan faults;
+  faults.refuse_reconnects = 3;
+  hub.inject_faults(faults);
+  DeviceAgent agent{device::make_device("Q855"), 69};
+  HarnessOptions options;
+  options.hub_retry.max_attempts = 2;
+  BenchmarkMaster master{hub, 0, agent, options};
+
+  const auto outcomes = master.run_jobs_detailed({sample_job("flaky-port")});
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].ok()) << outcomes[0].result.error();
+  EXPECT_EQ(outcomes[0].attempts, 2);
+  EXPECT_NE(outcomes[0].recovery_action.find("requeued after reconnect"),
+            std::string::npos);
+  EXPECT_GE(counter_value(registry, "gauge.harness.hub_reconnect_retries"), 2);
+  expect_port_restored(hub, 0);
+}
+
+// ------------------------------------------------------------- fleet
+
+TEST(HarnessFault, FleetReturnsPartialPerDeviceResults) {
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scope{registry};
+  UsbHub hub{3};
+  DeviceAgent clean{device::make_device("Q845"), 71};
+  DeviceAgent flaky{device::make_device("Q855"), 72};
+  DeviceAgent mixed{device::make_device("Q888"), 73};
+  FaultPlan flaky_faults;
+  flaky_faults.drop_pushes = {1};  // one transient drop, retried in place
+  flaky.inject_faults(flaky_faults);
+  FaultPlan mixed_faults;
+  mixed_faults.kill_daemon_for_jobs = {"m-bad"};  // one dead job on the device
+  mixed.inject_faults(mixed_faults);
+
+  std::vector<FleetDevice> fleet;
+  fleet.push_back({&clean, {sample_job("c-1"), sample_job("c-2")}});
+  fleet.push_back({&flaky, {sample_job("f-1")}});
+  fleet.push_back(
+      {&mixed, {sample_job("m-ok"), sample_job("m-bad"), sample_job("m-ok2")}});
+
+  const auto results = run_fleet(hub, std::move(fleet), fast_options());
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].results.ok());
+  EXPECT_TRUE(results[1].results.ok());
+  // The mixed device: the dead job is quarantined with a reason while the
+  // healthy jobs on the same device still return results.
+  EXPECT_FALSE(results[2].results.ok());
+  ASSERT_EQ(results[2].outcomes.size(), 3u);
+  EXPECT_TRUE(results[2].outcomes[0].ok());
+  ASSERT_FALSE(results[2].outcomes[1].ok());
+  EXPECT_EQ(results[2].outcomes[1].failure_stage, "deadline");
+  EXPECT_NE(results[2].outcomes[1].recovery_action.find("quarantined"),
+            std::string::npos);
+  EXPECT_TRUE(results[2].outcomes[2].ok());
+  EXPECT_EQ(results[2].outcomes[2].result.value().done_message, "DONE m-ok2");
+  // Every port's data+power restored no matter what failed on it.
+  for (std::size_t port = 0; port < 3; ++port) expect_port_restored(hub, port);
+}
+
+// --------------------------------------------------- fault-free identity
+
+TEST(HarnessFault, FaultFreeDetailedRunMatchesLegacyBatch) {
+  UsbHub hub_a{1};
+  UsbHub hub_b{1};
+  DeviceAgent agent_a{device::make_device("Q845"), 74};
+  DeviceAgent agent_b{device::make_device("Q845"), 74};
+  BenchmarkMaster legacy{hub_a, 0, agent_a};
+  BenchmarkMaster detailed{hub_b, 0, agent_b};
+  const std::vector<BenchmarkJob> jobs{sample_job("same-1"),
+                                       sample_job("same-2")};
+
+  const auto batch = legacy.run_jobs(jobs);
+  const auto outcomes = detailed.run_jobs_detailed(jobs);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok());
+    const auto& a = batch.value()[i];
+    const auto& b = outcomes[i].result.value();
+    EXPECT_EQ(a.done_message, b.done_message);
+    EXPECT_EQ(a.job.latencies_s, b.job.latencies_s);
+    EXPECT_DOUBLE_EQ(a.monsoon_energy_j, b.monsoon_energy_j);
+    EXPECT_DOUBLE_EQ(a.measured_energy_per_inference_j,
+                     b.measured_energy_per_inference_j);
+    EXPECT_DOUBLE_EQ(a.usb_energy_j, 0.0);
+    EXPECT_DOUBLE_EQ(b.usb_energy_j, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace gauge::harness

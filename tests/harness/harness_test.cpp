@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "harness/adb.hpp"
@@ -141,6 +146,98 @@ TEST(Net, ConnectToClosedPortFails) {
     port = listener.value().port();
   }
   EXPECT_FALSE(net::TcpStream::connect("127.0.0.1", port).ok());
+}
+
+TEST(Net, FdMoveTransfersOwnership) {
+  const int raw = ::open("/dev/null", O_RDONLY);
+  ASSERT_GE(raw, 0);
+  net::Fd a{raw};
+  net::Fd b{std::move(a)};
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): moved-from state is specified
+  EXPECT_EQ(a.get(), -1);
+  ASSERT_TRUE(b.valid());
+  EXPECT_EQ(b.get(), raw);
+
+  // Move assignment closes the destination's old fd and transfers the new.
+  const int raw2 = ::open("/dev/null", O_RDONLY);
+  ASSERT_GE(raw2, 0);
+  net::Fd c{raw2};
+  c = std::move(b);
+  EXPECT_EQ(c.get(), raw);
+  EXPECT_FALSE(b.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(::fcntl(raw2, F_GETFD), -1);  // raw2 really was closed
+  EXPECT_EQ(::fcntl(raw, F_GETFD), 0);    // raw still owned by c
+}
+
+TEST(Net, TruncatedLineOnPeerCloseIsReported) {
+  // A peer that dies mid-line (no trailing '\n') must not have its partial
+  // payload silently discarded: the error carries what arrived.
+  auto listener = net::TcpListener::bind(0);
+  ASSERT_TRUE(listener.ok());
+  const auto port = listener.value().port();
+  std::thread client{[port] {
+    auto stream = net::TcpStream::connect("127.0.0.1", port);
+    ASSERT_TRUE(stream.ok());
+    ASSERT_TRUE(stream.value().send_raw("DONE job-x").ok());
+    // close without the newline
+  }};
+  auto server = listener.value().accept();
+  ASSERT_TRUE(server.ok());
+  client.join();
+  auto line = server.value().recv_line();
+  ASSERT_FALSE(line.ok());
+  EXPECT_NE(line.error().find("truncated line"), std::string::npos);
+  EXPECT_NE(line.error().find("DONE job-x"), std::string::npos);
+  EXPECT_FALSE(net::is_timeout(line.error()));
+}
+
+TEST(Net, AcceptForTimesOutWithoutClient) {
+  auto listener = net::TcpListener::bind(0);
+  ASSERT_TRUE(listener.ok());
+  const auto start = std::chrono::steady_clock::now();
+  auto connection = listener.value().accept_for(std::chrono::milliseconds{50});
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(connection.ok());
+  EXPECT_TRUE(net::is_timeout(connection.error())) << connection.error();
+  EXPECT_LT(elapsed, std::chrono::seconds{5});
+}
+
+TEST(Net, RecvLineForTimesOutOnSilentPeer) {
+  auto listener = net::TcpListener::bind(0);
+  ASSERT_TRUE(listener.ok());
+  const auto port = listener.value().port();
+  std::atomic<bool> done{false};
+  std::thread client{[port, &done] {
+    auto stream = net::TcpStream::connect("127.0.0.1", port);
+    ASSERT_TRUE(stream.ok());
+    while (!done.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds{5});
+    }
+  }};
+  auto server = listener.value().accept();
+  ASSERT_TRUE(server.ok());
+  auto line = server.value().recv_line_for(std::chrono::milliseconds{50});
+  done.store(true);
+  client.join();
+  ASSERT_FALSE(line.ok());
+  EXPECT_TRUE(net::is_timeout(line.error())) << line.error();
+}
+
+TEST(Net, RecvLineForDeliversPromptLine) {
+  auto listener = net::TcpListener::bind(0);
+  ASSERT_TRUE(listener.ok());
+  const auto port = listener.value().port();
+  std::thread client{[port] {
+    auto stream = net::TcpStream::connect("127.0.0.1", port);
+    ASSERT_TRUE(stream.ok());
+    ASSERT_TRUE(stream.value().send_line("on time").ok());
+  }};
+  auto server = listener.value().accept_for(std::chrono::seconds{5});
+  ASSERT_TRUE(server.ok());
+  auto line = server.value().recv_line_for(std::chrono::seconds{5});
+  client.join();
+  ASSERT_TRUE(line.ok()) << line.error();
+  EXPECT_EQ(line.value(), "on time");
 }
 
 TEST(Net, RecvOnClosedPeerFails) {
@@ -309,16 +406,29 @@ TEST(Workflow, FleetRunsDevicesConcurrently) {
 
 TEST(Workflow, FleetIsolatesFailures) {
   UsbHub hub{2};
-  hub.set_data(1, false);  // second device offline
+  hub.set_data(1, false);  // second device starts offline...
   DeviceAgent ok_dev{device::make_device("Q845"), 51};
   DeviceAgent dead_dev{device::make_device("Q855"), 52};
+  // ...and even once hub recovery brings the port back, its daemon is dead,
+  // so every attempt times out and the device's queue is quarantined.
+  FaultPlan dead_faults;
+  dead_faults.kill_daemon_before_connect = true;
+  dead_dev.inject_faults(dead_faults);
   std::vector<FleetDevice> fleet;
   fleet.push_back({&ok_dev, {sample_job("alive")}});
   fleet.push_back({&dead_dev, {sample_job("dead")}});
-  const auto results = run_fleet(hub, std::move(fleet));
+  HarnessOptions options;
+  options.job_deadline_s = 0.2;  // keep the dead device's timeouts short
+  const auto results = run_fleet(hub, std::move(fleet), options);
   ASSERT_EQ(results.size(), 2u);
   EXPECT_TRUE(results[0].results.ok());
   EXPECT_FALSE(results[1].results.ok());
+  ASSERT_EQ(results[1].outcomes.size(), 1u);
+  EXPECT_FALSE(results[1].outcomes[0].ok());
+  EXPECT_FALSE(results[1].outcomes[0].result.error().empty());
+  // The healthy device's outcomes carry its results.
+  ASSERT_EQ(results[0].outcomes.size(), 1u);
+  EXPECT_TRUE(results[0].outcomes[0].ok());
 }
 
 TEST(Workflow, FailsWhenDeviceAlreadyOffline) {

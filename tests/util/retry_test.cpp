@@ -1,0 +1,112 @@
+#include "util/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gauge::util {
+namespace {
+
+TEST(Retry, BackoffGrowsExponentiallyAndClamps) {
+  RetryPolicy policy;
+  policy.initial_backoff_s = 0.01;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_s = 0.05;
+  policy.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(policy.backoff_s(1), 0.0);  // no delay before first try
+  EXPECT_DOUBLE_EQ(policy.backoff_s(2), 0.01);
+  EXPECT_DOUBLE_EQ(policy.backoff_s(3), 0.02);
+  EXPECT_DOUBLE_EQ(policy.backoff_s(4), 0.04);
+  EXPECT_DOUBLE_EQ(policy.backoff_s(5), 0.05);  // clamped
+  EXPECT_DOUBLE_EQ(policy.backoff_s(9), 0.05);
+}
+
+TEST(Retry, JitterIsDeterministicAndBounded) {
+  RetryPolicy policy;
+  policy.initial_backoff_s = 0.1;
+  policy.jitter = 0.25;
+  policy.seed = 42;
+  RetryPolicy same = policy;
+  for (int attempt = 2; attempt <= 6; ++attempt) {
+    const double delay = policy.backoff_s(attempt);
+    EXPECT_DOUBLE_EQ(delay, same.backoff_s(attempt));
+    RetryPolicy no_jitter = policy;
+    no_jitter.jitter = 0.0;
+    const double base = no_jitter.backoff_s(attempt);
+    EXPECT_GE(delay, base * 0.75);
+    EXPECT_LE(delay, base * 1.25);
+  }
+  RetryPolicy other = policy;
+  other.seed = 43;
+  EXPECT_NE(policy.backoff_s(2), other.backoff_s(2));
+}
+
+TEST(Retry, RunStopsOnFirstSuccess) {
+  RetryPolicy policy;
+  int calls = 0;
+  int sleeps = 0;
+  const auto status = policy.run(
+      [&] {
+        ++calls;
+        return Status{};
+      },
+      [&](double) { ++sleeps; });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(sleeps, 0);
+}
+
+TEST(Retry, RunRetriesSleepsAndReportsAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.jitter = 0.0;
+  int calls = 0;
+  std::vector<double> slept;
+  std::vector<RetryPolicy::Attempt> attempts;
+  const auto status = policy.run(
+      [&] {
+        ++calls;
+        return calls < 3 ? Status::failure("boom " + std::to_string(calls))
+                         : Status{};
+      },
+      [&](double seconds) { slept.push_back(seconds); },
+      [&](const RetryPolicy::Attempt& attempt) { attempts.push_back(attempt); });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  ASSERT_EQ(slept.size(), 2u);
+  EXPECT_DOUBLE_EQ(slept[0], policy.backoff_s(2));
+  EXPECT_DOUBLE_EQ(slept[1], policy.backoff_s(3));
+  ASSERT_EQ(attempts.size(), 2u);
+  EXPECT_EQ(attempts[0].number, 2);
+  EXPECT_EQ(attempts[0].last_error, "boom 1");
+  EXPECT_EQ(attempts[1].number, 3);
+  EXPECT_EQ(attempts[1].last_error, "boom 2");
+}
+
+TEST(Retry, RunReturnsTerminalFailure) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  int calls = 0;
+  const auto status = policy.run([&] {
+    ++calls;
+    return Status::failure("always");
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.error(), "always");
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Retry, AtLeastOneAttempt) {
+  RetryPolicy policy;
+  policy.max_attempts = 0;
+  int calls = 0;
+  const auto status = policy.run([&] {
+    ++calls;
+    return Status::failure("nope");
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace gauge::util
