@@ -31,6 +31,7 @@
 #include "core/report.hpp"
 #include "core/runtime.hpp"
 #include "device/soc.hpp"
+#include "formats/plugin.hpp"
 #include "formats/validate.hpp"
 #include "nn/checksum.hpp"
 #include "nn/describe.hpp"
@@ -49,7 +50,7 @@ int usage() {
                "usage: gaugenn_cli [--telemetry-out <dir>] [--threads <n>] "
                "<crawl [category ...] | inspect <pkg> | "
                "describe <pkg> | bench <pkg> | report <dir> [category ...] | "
-               "diff>\n");
+               "diff | formats>\n");
   return 2;
 }
 
@@ -65,6 +66,29 @@ core::PipelineOptions pipeline_options() {
 const android::PlayStore& play() {
   static const android::PlayStore kPlay{android::StoreConfig{}};
   return kPlay;
+}
+
+// Appendix-Table-5 view straight from the plugin registry: which frameworks
+// gaugeNN can parse/serialise vs. candidate-match only, and the runtime
+// markers the store plants for each.
+int cmd_formats() {
+  const auto& registry = formats::PluginRegistry::instance();
+  util::Table table{{"framework", "support", "extensions", "runtime markers"}};
+  for (const auto& entry : registry.format_table()) {
+    const auto* plugin = registry.find(entry.framework);
+    std::vector<std::string> markers;
+    if (plugin != nullptr) {
+      markers = plugin->native_libs();
+      markers.insert(markers.end(), plugin->dex_markers().begin(),
+                     plugin->dex_markers().end());
+    }
+    table.add_row({registry.framework_name(entry.framework),
+                   plugin != nullptr ? "parse + serialise" : "candidate only",
+                   util::join(entry.extensions, " "),
+                   util::join(markers, " ")});
+  }
+  util::print_section("Format plugin registry", table.render());
+  return 0;
 }
 
 int cmd_crawl(const std::vector<std::string>& categories) {
@@ -217,6 +241,7 @@ int run_command(const std::vector<std::string>& args) {
     return cmd_report(args[1], {args.begin() + 2, args.end()});
   }
   if (cmd == "diff") return cmd_diff();
+  if (cmd == "formats") return cmd_formats();
   return usage();
 }
 

@@ -19,6 +19,31 @@ cd "$(dirname "$0")/.."
 SANITIZER="${1:-}"
 FILTER="${2:-}"
 
+# ---- format-plugin layering gates ------------------------------------------
+# 1. No per-framework dispatch outside the plugin layer: every
+#    `switch (Framework)` / `case Framework::` belongs in
+#    src/formats/plugins/ (or plugin.cpp's unsupported table).
+echo "== format-plugin layering gate =="
+if grep -rnE 'switch \(.*[Ff]ramework|case (formats::)?Framework::' src \
+    --include='*.cpp' --include='*.hpp' \
+    | grep -v '^src/formats/plugins/' \
+    | grep -v '^src/formats/plugin.cpp'; then
+  echo "error: per-framework switch found outside src/formats/plugins/" >&2
+  exit 1
+fi
+# 2. Registry coverage: every Framework enum entry is either implemented as
+#    a plugin (Framework::X appears under src/formats/plugins/) or listed in
+#    plugin.cpp's unsupported table.
+while read -r fw; do
+  if ! grep -rq "Framework::$fw" src/formats/plugins/ src/formats/plugin.cpp
+  then
+    echo "error: Framework::$fw has neither a plugin nor an unsupported-table entry" >&2
+    exit 1
+  fi
+done < <(sed -n '/^enum class Framework/,/^};/p' src/formats/registry.hpp \
+         | grep -oE '^  [A-Z][A-Za-z0-9]+' | tr -d ' ' | grep -v '^kCount$')
+echo "ok: no framework switches outside the plugin layer; enum fully covered"
+
 case "$SANITIZER" in
   ""|address|thread|undefined) ;;
   *)

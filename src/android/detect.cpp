@@ -20,6 +20,8 @@ const char* ml_stack_name(MlStack stack) {
     case MlStack::Caffe: return "caffe";
     case MlStack::Ncnn: return "ncnn";
     case MlStack::Snpe: return "SNPE";
+    case MlStack::Onnx: return "ONNX Runtime";
+    case MlStack::Mnn: return "MNN";
     case MlStack::NnApi: return "NNAPI";
     case MlStack::Xnnpack: return "XNNPACK";
     case MlStack::PyTorchMobile: return "PyTorch Mobile";
@@ -66,6 +68,10 @@ constexpr std::array kStackSignatures = {
     StackSignature{MlStack::Ncnn, "libncnn.so", true},
     StackSignature{MlStack::Snpe, "libSNPE.so", true},
     StackSignature{MlStack::Snpe, "Lcom/qualcomm/qti/snpe/", false},
+    StackSignature{MlStack::Onnx, "libonnxruntime.so", true},
+    StackSignature{MlStack::Onnx, "Lai/onnxruntime/", false},
+    StackSignature{MlStack::Mnn, "libMNN.so", true},
+    StackSignature{MlStack::Mnn, "Lcom/alibaba/android/mnn/", false},
     StackSignature{MlStack::NnApi, "Lorg/tensorflow/lite/nnapi/NnApiDelegate", false},
     StackSignature{MlStack::NnApi, "libnnapi_delegate.so", true},
     StackSignature{MlStack::Xnnpack, "libxnnpack.so", true},

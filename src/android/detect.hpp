@@ -31,6 +31,8 @@ enum class MlStack {
   Caffe,
   Ncnn,
   Snpe,
+  Onnx,
+  Mnn,
   NnApi,
   Xnnpack,
   PyTorchMobile,

@@ -6,9 +6,7 @@
 #include <cmath>
 #include <set>
 
-#include "formats/caffe.hpp"
-#include "formats/ncnn.hpp"
-#include "formats/tfl.hpp"
+#include "formats/plugin.hpp"
 #include "nn/zoo.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -155,43 +153,74 @@ constexpr TaskCal kTasks[] = {
 constexpr std::size_t kTaskCount = std::size(kTasks);
 
 // Framework shares at the instance level (Fig. 4): TFLite 1436, caffe 176,
-// ncnn 46, TF 5, SNPE 3 of 1666.
+// ncnn 46, TF 5, SNPE 3 of 1666. Archetype dialect limits ride along as
+// nullptr-terminated lists: `allowed` is a whitelist (everything else falls
+// back), `blocked` a blacklist; both nullptr = the container carries any
+// archetype.
 struct FrameworkCal {
   formats::Framework framework;
   int instances21;
   int uniques;
+  const char* const* allowed = nullptr;
+  const char* const* blocked = nullptr;
 };
+
+constexpr const char* kCaffeArchetypes[] = {"vggnet", "contournet", "audiocnn",
+                                            nullptr};
+constexpr const char* kNcnnBlocked[] = {"wordrnn", "textcnn", "speechrnn",
+                                        "ocrnet", "sensormlp", nullptr};
+
 constexpr FrameworkCal kFrameworks[] = {
     {formats::Framework::TfLite, 1436, 272},
-    {formats::Framework::Caffe, 176, 36},
-    {formats::Framework::Ncnn, 46, 7},
+    {formats::Framework::Caffe, 176, 36, kCaffeArchetypes},
+    {formats::Framework::Ncnn, 46, 7, nullptr, kNcnnBlocked},
     {formats::Framework::TensorFlow, 5, 2},
     {formats::Framework::Snpe, 3, 1},
 };
 
-bool framework_allows(formats::Framework fw, const std::string& archetype) {
-  if (fw == formats::Framework::Caffe) {
-    return archetype == "vggnet" || archetype == "contournet" ||
-           archetype == "audiocnn";
+// Extended-mode extras, appended *after* the base five so every base-mode
+// Rng stream and the base deck stay byte-identical.
+constexpr FrameworkCal kExtendedFrameworks[] = {
+    {formats::Framework::Onnx, 30, 8},
+    {formats::Framework::Mnn, 24, 6},
+};
+
+std::vector<FrameworkCal> active_frameworks(const StoreConfig& config) {
+  std::vector<FrameworkCal> cal{std::begin(kFrameworks),
+                                std::end(kFrameworks)};
+  if (config.extended_frameworks) {
+    cal.insert(cal.end(), std::begin(kExtendedFrameworks),
+               std::end(kExtendedFrameworks));
   }
-  if (fw == formats::Framework::Ncnn) {
-    return archetype != "wordrnn" && archetype != "textcnn" &&
-           archetype != "speechrnn" && archetype != "ocrnet" &&
-           archetype != "sensormlp";
-  }
-  return true;  // TFLite / TF / SNPE containers carry any archetype
+  return cal;
 }
 
-std::string fallback_archetype(formats::Framework fw, nn::Modality modality) {
-  if (fw == formats::Framework::Caffe) {
-    return modality == nn::Modality::Audio ? "audiocnn" : "vggnet";
+bool list_contains(const char* const* list, const std::string& value) {
+  if (list == nullptr) return false;
+  for (; *list != nullptr; ++list) {
+    if (value == *list) return true;
   }
+  return false;
+}
+
+bool framework_allows(const FrameworkCal& cal, const std::string& archetype) {
+  if (cal.allowed != nullptr) return list_contains(cal.allowed, archetype);
+  return !list_contains(cal.blocked, archetype);
+}
+
+std::string fallback_archetype(const FrameworkCal& cal,
+                               nn::Modality modality) {
+  std::string archetype;
   switch (modality) {
-    case nn::Modality::Text: return "textcnn";
-    case nn::Modality::Audio: return "audiocnn";
-    case nn::Modality::Sensor: return "sensormlp";
-    default: return "mobilenet";
+    case nn::Modality::Text: archetype = "textcnn"; break;
+    case nn::Modality::Audio: archetype = "audiocnn"; break;
+    case nn::Modality::Sensor: archetype = "sensormlp"; break;
+    default: archetype = "mobilenet"; break;
   }
+  if (cal.allowed != nullptr && !list_contains(cal.allowed, archetype)) {
+    archetype = cal.allowed[0];
+  }
+  return archetype;
 }
 
 std::string task_slug(const std::string& task) {
@@ -205,17 +234,6 @@ std::string task_slug(const std::string& task) {
   }
   while (!out.empty() && out.back() == '_') out.pop_back();
   return out;
-}
-
-std::string model_extension(formats::Framework fw) {
-  switch (fw) {
-    case formats::Framework::TfLite: return ".tflite";
-    case formats::Framework::Caffe: return ".prototxt";
-    case formats::Framework::Ncnn: return ".param";
-    case formats::Framework::TensorFlow: return ".pb";
-    case formats::Framework::Snpe: return ".dlc";
-    default: return ".bin";
-  }
 }
 
 const char* kTitleWords[] = {"Super", "Magic", "Smart", "Pro",   "Go",
@@ -238,6 +256,20 @@ PlayStore::PlayStore(const StoreConfig& config) : config_{config} { generate(); 
 
 void PlayStore::generate() {
   util::Rng rng{config_.seed};
+  const auto& registry = formats::PluginRegistry::instance();
+
+  // Active framework calibration; totals are computed from it so extended
+  // mode scales every instance-level target with the extra entries (base
+  // mode sums to exactly kModels21 / kUniqueModels).
+  const std::vector<FrameworkCal> frameworks = active_frameworks(config_);
+  int total_instances21 = 0;
+  int total_uniques = 0;
+  for (const auto& fw : frameworks) {
+    total_instances21 += fw.instances21;
+    total_uniques += fw.uniques;
+  }
+  assert(config_.extended_frameworks ||
+         (total_instances21 == kModels21 && total_uniques == kUniqueModels));
 
   // ---- 1. Apportion exact totals across categories -------------------
   std::vector<double> w21, w20, wcloud;
@@ -246,7 +278,7 @@ void PlayStore::generate() {
     w20.push_back(cat.models20);
     wcloud.push_back(cat.cloud21);
   }
-  const std::vector<int> models21 = apportion(w21, kModels21);
+  const std::vector<int> models21 = apportion(w21, total_instances21);
   const std::vector<int> models20 = apportion(w20, kModels20);
   const std::vector<int> ml_apps21 = apportion(w21, kMlApps21);
   const std::vector<int> cloud21 = apportion(wcloud, kCloudApps21);
@@ -263,7 +295,7 @@ void PlayStore::generate() {
   // a plausible mix.
   {
     int next_id = 0;
-    for (const auto& fw : kFrameworks) {
+    for (const auto& fw : frameworks) {
       std::vector<double> task_weights;
       for (const auto& task : kTasks) task_weights.push_back(task.weight);
       const std::vector<int> per_task = apportion(task_weights, fw.uniques);
@@ -274,8 +306,8 @@ void PlayStore::generate() {
           m.task = kTasks[t].task;
           m.modality = kTasks[t].modality;
           m.archetype = kTasks[t].archetype;
-          if (!framework_allows(fw.framework, m.archetype)) {
-            m.archetype = fallback_archetype(fw.framework, m.modality);
+          if (!framework_allows(fw, m.archetype)) {
+            m.archetype = fallback_archetype(fw, m.modality);
           }
           m.framework = fw.framework;
           m.seed = rng.fork(util::format("model-%d", m.id)).next_u64();
@@ -297,7 +329,7 @@ void PlayStore::generate() {
         }
       }
     }
-    assert(static_cast<int>(unique_.size()) == kUniqueModels);
+    assert(static_cast<int>(unique_.size()) == total_uniques);
   }
 
   // Fine-tuning lineage (§4.5): ~4.5% of uniques derive from another pool
@@ -339,7 +371,8 @@ void PlayStore::generate() {
   {
     util::Rng nrng = rng.fork("names");
     for (auto& m : unique_) {
-      const std::string ext = model_extension(m.framework);
+      const std::string ext =
+          registry.find(m.framework)->primary_extension();
       if (nrng.bernoulli(0.67)) {
         m.filename = task_slug(m.task) + "_" + m.archetype + "_" +
                      std::to_string(m.id) + ext;
@@ -433,8 +466,8 @@ void PlayStore::generate() {
 
   util::Rng irng = rng.fork("instances");
   std::vector<int> unique_deck;
-  unique_deck.reserve(static_cast<std::size_t>(kModels21));
-  for (const auto& fw : kFrameworks) {
+  unique_deck.reserve(static_cast<std::size_t>(total_instances21));
+  for (const auto& fw : frameworks) {
     const auto& pool = uniques_by_fw[fw.framework];
     for (int id : pool) unique_deck.push_back(id);
     // Extra copies are drawn task-first (Table 3 proportions), then
@@ -459,7 +492,7 @@ void PlayStore::generate() {
     }
   }
   irng.shuffle(unique_deck);
-  assert(unique_deck.size() == static_cast<std::size_t>(kModels21));
+  assert(unique_deck.size() == static_cast<std::size_t>(total_instances21));
 
   // Deal 2021 instances into categories/apps.
   std::size_t deck_pos = 0;
@@ -538,19 +571,18 @@ void PlayStore::generate() {
       }
       groups[root].push_back(m.id);
     }
-    auto quantizable = [this](int id) {
-      const formats::Framework fw = unique_[static_cast<std::size_t>(id)].framework;
-      return fw == formats::Framework::TfLite ||
-             fw == formats::Framework::TensorFlow ||
-             fw == formats::Framework::Snpe;
+    auto quantizable = [&](int id) {
+      const auto* plugin =
+          registry.find(unique_[static_cast<std::size_t>(id)].framework);
+      return plugin != nullptr && plugin->quantizable();
     };
     std::vector<int> roots;
     for (const auto& [root, _] : groups) roots.push_back(root);
     util::Rng qrng = rng.fork("quant");
     qrng.shuffle(roots);
 
-    const int w8_target = static_cast<int>(kModels21 * 0.2027 + 0.5);
-    const int a8_target = static_cast<int>(kModels21 * 0.1031 + 0.5);
+    const int w8_target = static_cast<int>(total_instances21 * 0.2027 + 0.5);
+    const int a8_target = static_cast<int>(total_instances21 * 0.1031 + 0.5);
     int w8 = 0, a8 = 0;
     for (int root : roots) {
       if (w8 >= w8_target) break;
@@ -741,38 +773,16 @@ std::vector<std::pair<std::string, util::Bytes>> PlayStore::serialize_model(
   const nn::Graph graph = build_unique_model(unique_id);
   const std::string base = "assets/models/" + m.filename;
   std::vector<std::pair<std::string, util::Bytes>> files;
-  switch (m.framework) {
-    case formats::Framework::TfLite:
-      files.emplace_back(base, formats::write_tfl(graph));
-      break;
-    case formats::Framework::TensorFlow:
-      files.emplace_back(base, formats::write_tf_pb(graph));
-      break;
-    case formats::Framework::Snpe:
-      files.emplace_back(base, formats::write_dlc(graph));
-      break;
-    case formats::Framework::Caffe: {
-      auto model = formats::write_caffe(graph);
-      if (!model.ok()) return files;  // generator guarantees dialect fit
-      files.emplace_back(base, util::to_bytes(model.value().prototxt));
-      std::string weights = base;
-      const auto dot = weights.rfind(".prototxt");
-      weights.replace(dot, std::string::npos, ".caffemodel");
-      files.emplace_back(std::move(weights), model.value().caffemodel);
-      break;
+  const auto* plugin = formats::PluginRegistry::instance().find(m.framework);
+  if (plugin != nullptr) {
+    auto model = plugin->serialize(graph);
+    if (model.ok()) {  // generator guarantees dialect fit
+      files.emplace_back(base, std::move(model.value().primary));
+      if (model.value().has_weights_file) {
+        files.emplace_back(plugin->companion(base),
+                           std::move(model.value().weights));
+      }
     }
-    case formats::Framework::Ncnn: {
-      auto model = formats::write_ncnn(graph);
-      if (!model.ok()) return files;  // generator guarantees dialect fit
-      files.emplace_back(base, util::to_bytes(model.value().param));
-      std::string weights = base;
-      const auto dot = weights.rfind(".param");
-      weights.replace(dot, std::string::npos, ".bin");
-      files.emplace_back(std::move(weights), model.value().bin);
-      break;
-    }
-    default:
-      break;
   }
   const std::lock_guard<std::mutex> lock{model_file_cache_mutex_};
   // emplace: a concurrent first serialisation wins; ours is byte-identical.
@@ -807,35 +817,50 @@ util::Result<AppPackage> PlayStore::download(
                           util::to_bytes("{\"flags\":{\"new_ui\":true}}"));
   spec.files.emplace_back("res/drawable/icon.png",
                           util::to_bytes("\x89PNG-stub"));
+  if (config_.extended_frameworks && app->is_ml(snapshot)) {
+    // A classical-ML artefact: candidate extension (.joblib -> sklearn) that
+    // no registered plugin can parse, exercising the pipeline's no-parser
+    // drop accounting end-to-end.
+    spec.files.emplace_back("assets/vocab.joblib",
+                            util::to_bytes("joblib-pickle-stub"));
+  }
 
-  // ML stacks: dex markers + native libs per shipped framework.
+  // ML stacks: dex markers + native libs per shipped framework, emitted in
+  // plugin chart order (stable marker bytes however the registry grows).
   if (app->is_ml(snapshot)) {
-    bool has_tflite = false, has_caffe = false, has_ncnn = false,
-         has_tf = false;
+    const auto& registry = formats::PluginRegistry::instance();
+    std::set<formats::Framework> shipped;
     for (int inst_id : app->model_instances) {
       const ModelInstance& inst = instances_[static_cast<std::size_t>(inst_id)];
       const bool present = snapshot == Snapshot::Feb2020 ? inst.present_2020
                                                          : inst.present_2021;
       if (!present) continue;
-      switch (unique_[static_cast<std::size_t>(inst.unique_id)].framework) {
-        case formats::Framework::TfLite: has_tflite = true; break;
-        case formats::Framework::Caffe: has_caffe = true; break;
-        case formats::Framework::Ncnn: has_ncnn = true; break;
-        case formats::Framework::TensorFlow: has_tf = true; break;
-        default: break;
+      shipped.insert(
+          unique_[static_cast<std::size_t>(inst.unique_id)].framework);
+    }
+    if (app->lazy_models) {
+      shipped.insert(formats::Framework::TfLite);  // library, no local model
+    }
+    // SNPE runtime presence is modelled by the uses_snpe SDK flag (step 5
+    // marks every app holding current SNPE instances, plus spread extras),
+    // not by the shipped-model set.
+    shipped.erase(formats::Framework::Snpe);
+    if (app->uses_snpe) shipped.insert(formats::Framework::Snpe);
+    const auto push_unique = [](std::vector<std::string>& list,
+                                const std::string& value) {
+      if (std::find(list.begin(), list.end(), value) == list.end()) {
+        list.push_back(value);
+      }
+    };
+    for (const auto* plugin : registry.plugins_by_chart_rank()) {
+      if (shipped.count(plugin->framework()) == 0) continue;
+      for (const auto& marker : plugin->dex_markers()) {
+        push_unique(spec.dex.classes, marker);
+      }
+      for (const auto& lib : plugin->native_libs()) {
+        push_unique(spec.native_libs, lib);
       }
     }
-    if (app->lazy_models) has_tflite = true;  // library without local model
-    if (has_tflite) {
-      spec.dex.classes.push_back("Lorg/tensorflow/lite/Interpreter;");
-      spec.native_libs.push_back("libtensorflowlite_jni.so");
-    }
-    if (has_caffe) spec.native_libs.push_back("libcaffe.so");
-    if (has_ncnn) spec.native_libs.push_back("libncnn.so");
-    if (has_tf) {
-      spec.dex.classes.push_back("Lorg/tensorflow/contrib/android/TensorFlowInferenceInterface;");
-    }
-    if (app->uses_snpe) spec.native_libs.push_back("libSNPE.so");
     if (app->uses_nnapi) {
       spec.dex.classes.push_back("Lorg/tensorflow/lite/nnapi/NnApiDelegate;");
     }

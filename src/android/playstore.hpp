@@ -83,6 +83,10 @@ struct AppEntry {
 
 struct StoreConfig {
   std::uint64_t seed = 20210404;
+  // Opt-in: also seed the world with ONNX and MNN models (plus a decoy
+  // sklearn pickle per ML app so the pipeline's no-parser path is hit).
+  // Off by default so the calibrated paper-mode world stays byte-identical.
+  bool extended_frameworks = false;
 };
 
 class PlayStore {

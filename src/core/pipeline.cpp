@@ -9,10 +9,7 @@
 #include "android/detect.hpp"
 #include "core/analysis_cache.hpp"
 #include "core/taskclassify.hpp"
-#include "formats/caffe.hpp"
-#include "formats/ncnn.hpp"
-#include "formats/tfl.hpp"
-#include "formats/validate.hpp"
+#include "formats/plugin.hpp"
 #include "nn/checksum.hpp"
 #include "nn/threadpool.hpp"
 #include "nn/zoo.hpp"
@@ -26,18 +23,9 @@ namespace gauge::core {
 
 namespace {
 
-// Replaces the (recognised) extension of `path` with `replacement`.
-std::string sibling_path(const std::string& path, const std::string& from,
-                         const std::string& replacement) {
-  const auto pos = util::to_lower(path).rfind(from);
-  if (pos == std::string::npos) return {};
-  std::string out = path;
-  out.replace(pos, from.size(), replacement);
-  return out;
-}
-
-// Parses one anchored model file (plus its pre-read weights sibling for the
-// two-file formats). Returns nullopt when parsing fails.
+// One anchored model file parsed through its framework's plugin (plus its
+// pre-read weights sibling for the two-file formats). Returns nullopt when
+// parsing fails.
 struct ParsedModel {
   nn::Graph graph;
   formats::Framework framework;
@@ -47,61 +35,29 @@ struct ParsedModel {
 std::optional<ParsedModel> parse_model(const util::Bytes& data,
                                        const util::Bytes* weights,
                                        formats::Framework framework) {
+  const formats::FormatPlugin* plugin =
+      formats::PluginRegistry::instance().find(framework);
+  if (plugin == nullptr) return std::nullopt;
+  auto graph = plugin->parse(data, weights);
+  if (!graph.ok()) return std::nullopt;
   ParsedModel out;
   out.framework = framework;
-  out.file_bytes = data.size();
-  switch (framework) {
-    case formats::Framework::TfLite: {
-      auto graph = formats::read_tfl(data);
-      if (!graph.ok()) return std::nullopt;
-      out.graph = std::move(graph).take();
-      return out;
-    }
-    case formats::Framework::TensorFlow: {
-      auto graph = formats::read_tf_pb(data);
-      if (!graph.ok()) return std::nullopt;
-      out.graph = std::move(graph).take();
-      return out;
-    }
-    case formats::Framework::Snpe: {
-      auto graph = formats::read_dlc(data);
-      if (!graph.ok()) return std::nullopt;
-      out.graph = std::move(graph).take();
-      return out;
-    }
-    case formats::Framework::Caffe: {
-      if (weights == nullptr) return std::nullopt;
-      auto graph =
-          formats::read_caffe(std::string{util::as_view(data)}, *weights);
-      if (!graph.ok()) return std::nullopt;
-      out.graph = std::move(graph).take();
-      out.file_bytes += weights->size();
-      return out;
-    }
-    case formats::Framework::Ncnn: {
-      if (weights == nullptr) return std::nullopt;
-      auto graph =
-          formats::read_ncnn(std::string{util::as_view(data)}, *weights);
-      if (!graph.ok()) return std::nullopt;
-      out.graph = std::move(graph).take();
-      out.file_bytes += weights->size();
-      return out;
-    }
-    default:
-      return std::nullopt;
-  }
+  out.file_bytes = data.size() + (weights != nullptr ? weights->size() : 0);
+  out.graph = std::move(graph).take();
+  return out;
 }
 
 // Weights-only companions of two-file formats: counted as candidates but
 // never anchor a model record. A central-directory lookup suffices — the
-// graph sibling's bytes are not needed to establish companionship.
+// graph sibling's bytes are not needed to establish companionship. The
+// check is path-based (any plugin recognising `path` as its weights side
+// with the graph sibling present), matching signature validation which may
+// attribute e.g. a TFLite-signed .bin to TfLite while a .param sibling
+// still marks it as ncnn weights.
 bool is_weights_companion(const std::string& path, const android::Apk& apk) {
-  const std::string ext = util::extension(path);
-  if (ext == ".caffemodel") {
-    return apk.contains(sibling_path(path, ".caffemodel", ".prototxt"));
-  }
-  if (ext == ".bin") {
-    return apk.contains(sibling_path(path, ".bin", ".param"));
+  for (const auto* plugin : formats::PluginRegistry::instance().plugins()) {
+    const std::string primary = plugin->companion_primary(path);
+    if (!primary.empty() && apk.contains(primary)) return true;
   }
   return false;
 }
@@ -165,6 +121,10 @@ struct AppOutcome {
   };
   std::vector<Extracted> extracted;
   std::size_t models_rejected = 0;
+  // Candidate files whose every candidate framework lacks a parser, keyed
+  // by the framework the drop is attributed to (first candidate, enum
+  // order). Merged into SnapshotDataset::no_parser_drops.
+  std::map<std::string, std::size_t> no_parser;
 };
 
 // The complete per-app stage chain: download → apk-open → detect → extract
@@ -252,17 +212,32 @@ AppOutcome process_app(const android::PlayStore& play,
   // side-container sweep, which it should not cover.)
   std::optional<telemetry::Span> extract_span{std::in_place,
                                               "pipeline.extract"};
+  const auto& registry = formats::PluginRegistry::instance();
   for (const auto& name : apk.value().entry_names()) {
-    if (!formats::is_candidate_model_file(name)) continue;
+    if (!registry.is_candidate(name)) continue;
     app.candidate_files++;
     const auto& data = read_entry(name);
     if (!data.ok()) {
       drop("entry_read_failed");
       continue;
     }
+    if (!registry.any_candidate_has_plugin(name)) {
+      // Every framework claiming this extension lacks a parser (e.g. a
+      // .joblib Sklearn pickle): surfaced per framework instead of being
+      // folded into bad_signature.
+      const auto candidates = registry.candidate_frameworks(name);
+      const char* fw_name = registry.framework_name(candidates.front());
+      drop("no_parser");
+      metrics
+          .counter(std::string{"gauge.pipeline.drop.no_parser."} + fw_name)
+          .increment();
+      ++out.no_parser[fw_name];
+      ++out.models_rejected;
+      continue;
+    }
     const auto framework = [&] {
       telemetry::Span span{"pipeline.validate"};
-      return formats::validate_signature(name, data.value());
+      return registry.validate_signature(name, data.value());
     }();
     if (!framework) {  // obfuscated/encrypted or not a model
       drop("bad_signature");
@@ -276,16 +251,11 @@ AppOutcome process_app(const android::PlayStore& play,
     // Two-file formats: read the weights sibling exactly once and thread it
     // through both the content key and the parser.
     const util::Bytes* weights = nullptr;
-    if (*framework == formats::Framework::Caffe ||
-        *framework == formats::Framework::Ncnn) {
-      const std::string weights_path =
-          *framework == formats::Framework::Caffe
-              ? sibling_path(name, ".prototxt", ".caffemodel")
-              : sibling_path(name, ".param", ".bin");
-      if (!weights_path.empty()) {
-        if (const auto& sibling = read_entry(weights_path); sibling.ok()) {
-          weights = &sibling.value();
-        }
+    if (const std::string weights_path =
+            registry.find(*framework)->companion(name);
+        !weights_path.empty()) {
+      if (const auto& sibling = read_entry(weights_path); sibling.ok()) {
+        weights = &sibling.value();
       }
     }
     // Content key covers the graph file; two-file formats append the
@@ -391,6 +361,7 @@ SnapshotDataset run_pipeline(const android::PlayStore& play,
     category_span.annotate("category", category);
     std::size_t apps_ok = 0, apps_failed = 0;
     std::size_t models_validated = 0, models_rejected = 0;
+    std::map<std::string, std::size_t> category_no_parser;
 
     android::PlayStore::ChartRequest request;
     request.category = category;
@@ -428,6 +399,10 @@ SnapshotDataset run_pipeline(const android::PlayStore& play,
       }
       models_validated += out.extracted.size();
       models_rejected += out.models_rejected;
+      for (const auto& [fw_name, count] : out.no_parser) {
+        category_no_parser[fw_name] += count;
+        dataset.no_parser_drops[fw_name] += count;
+      }
       dataset.app_docs.insert(to_document(app));
       dataset.apps.push_back(std::move(app));
       ++apps_ok;
@@ -457,11 +432,19 @@ SnapshotDataset run_pipeline(const android::PlayStore& play,
     }
 
     metrics.counter("gauge.pipeline.categories").increment();
-    util::log_info(util::format(
+    std::string summary = util::format(
         "category '%s': apps %zu ok / %zu failed, models %zu validated / "
         "%zu rejected",
         category.c_str(), apps_ok, apps_failed, models_validated,
-        models_rejected));
+        models_rejected);
+    if (!category_no_parser.empty()) {
+      summary += " (no parser:";
+      for (const auto& [fw_name, count] : category_no_parser) {
+        summary += util::format(" %s %zu", fw_name.c_str(), count);
+      }
+      summary += ")";
+    }
+    util::log_info(summary);
   }
   return dataset;
 }

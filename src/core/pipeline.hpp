@@ -13,6 +13,7 @@
 // serial run regardless of thread count or completion order.
 #pragma once
 
+#include <map>
 #include <thread>
 
 #include "android/playstore.hpp"
@@ -39,6 +40,10 @@ struct SnapshotDataset {
   std::vector<ModelRecord> models;
   store::DocStore app_docs;
   store::DocStore model_docs;
+  // Candidate files every candidate framework of which lacks a parser,
+  // keyed by framework name (first candidate, enum order). These count as
+  // rejected models; the breakdown feeds the §3.1 report table.
+  std::map<std::string, std::size_t> no_parser_drops;
 
   std::size_t apps_crawled() const { return apps.size(); }
   std::size_t ml_apps() const;

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "core/taskclassify.hpp"
+#include "formats/plugin.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 
@@ -12,9 +13,17 @@ namespace gauge::core {
 
 namespace {
 
+// Fig. 4 column order = plugin chart ranks (the paper's instance-count
+// order for its five frameworks, newer plugins appended after them).
 const std::vector<std::string>& framework_order() {
-  static const std::vector<std::string> kOrder = {"TFLite", "caffe", "ncnn",
-                                                  "TF", "SNPE"};
+  static const std::vector<std::string> kOrder = [] {
+    std::vector<std::string> order;
+    const auto& registry = formats::PluginRegistry::instance();
+    for (const auto* plugin : registry.plugins_by_chart_rank()) {
+      order.push_back(plugin->name());
+    }
+    return order;
+  }();
   return kOrder;
 }
 
@@ -240,6 +249,17 @@ util::Table fig15_cloud(const SnapshotDataset& dataset, int min_apps) {
   table.add_row({"(total)", std::to_string(total),
                  std::to_string(google_total),
                  std::to_string(per_provider["Amazon AWS"])});
+  return table;
+}
+
+util::Table sec31_no_parser(const SnapshotDataset& dataset) {
+  util::Table table{{"framework", "candidate files dropped"}};
+  std::size_t total = 0;
+  for (const auto& [fw_name, count] : dataset.no_parser_drops) {
+    table.add_row({fw_name, std::to_string(count)});
+    total += count;
+  }
+  table.add_row({"(total)", std::to_string(total)});
   return table;
 }
 

@@ -36,6 +36,10 @@ util::Table fig7_flops_params(const SnapshotDataset& dataset);
 // than `min_apps` are excluded, as in the paper's plot).
 util::Table fig15_cloud(const SnapshotDataset& dataset, int min_apps = 10);
 
+// §3.1: candidate files dropped because no candidate framework has a
+// parser, broken down per framework (SnapshotDataset::no_parser_drops).
+util::Table sec31_no_parser(const SnapshotDataset& dataset);
+
 // §4.2: model distribution sweep over post-install deliverables.
 util::Table sec42_distribution(const SnapshotDataset& dataset);
 

@@ -1,60 +1,25 @@
 #include "formats/convert.hpp"
 
-#include "formats/caffe.hpp"
-#include "formats/ncnn.hpp"
-#include "formats/tfl.hpp"
-
 namespace gauge::formats {
 
 bool convertible_to(const nn::Graph& graph, Framework target) {
-  switch (target) {
-    case Framework::TfLite:
-    case Framework::TensorFlow:
-    case Framework::Snpe:
-      return true;  // the container formats carry the full IR
-    case Framework::Caffe:
-      return caffe_supports(graph);
-    case Framework::Ncnn:
-      return ncnn_supports(graph);
-    default:
-      return false;
-  }
+  const FormatPlugin* plugin = PluginRegistry::instance().find(target);
+  return plugin != nullptr && plugin->supports(graph);
 }
 
 util::Result<ConvertedModel> convert_to(const nn::Graph& graph,
                                         Framework target) {
   using R = util::Result<ConvertedModel>;
-  ConvertedModel out;
-  switch (target) {
-    case Framework::TfLite:
-      out.primary = write_tfl(graph);
-      return out;
-    case Framework::TensorFlow:
-      out.primary = write_tf_pb(graph);
-      return out;
-    case Framework::Snpe:
-      out.primary = write_dlc(graph);
-      return out;
-    case Framework::Caffe: {
-      auto model = write_caffe(graph);
-      if (!model.ok()) return R::failure(model.error());
-      out.primary = util::to_bytes(model.value().prototxt);
-      out.weights = model.value().caffemodel;
-      out.has_weights_file = true;
-      return out;
-    }
-    case Framework::Ncnn: {
-      auto model = write_ncnn(graph);
-      if (!model.ok()) return R::failure(model.error());
-      out.primary = util::to_bytes(model.value().param);
-      out.weights = model.value().bin;
-      out.has_weights_file = true;
-      return out;
-    }
-    default:
-      return R::failure(std::string{"no serialiser for "} +
-                        framework_name(target));
+  const FormatPlugin* plugin = PluginRegistry::instance().find(target);
+  if (plugin == nullptr) {
+    return R::failure(std::string{"no serialiser for "} +
+                      PluginRegistry::instance().framework_name(target));
   }
+  if (!plugin->supports(graph)) {
+    return R::failure(std::string{plugin->name()} +
+                      " dialect cannot express this graph");
+  }
+  return plugin->serialize(graph);
 }
 
 }  // namespace gauge::formats

@@ -2,22 +2,16 @@
 // and TFLite inputs (paper Appendix B) and what the SNPE-using apps in the
 // corpus ran offline to produce their .dlc twins. Conversion goes through
 // the shared graph IR: parse source format -> serialise target format,
-// failing when the target dialect cannot express the graph.
+// failing when the target dialect cannot express the graph. The per-target
+// serialisers are the registered FormatPlugins, so the conversion matrix is
+// exactly the set of plugin-backed frameworks.
 #pragma once
 
-#include "formats/registry.hpp"
+#include "formats/plugin.hpp"
 #include "nn/graph.hpp"
-#include "util/bytes.hpp"
 #include "util/result.hpp"
 
 namespace gauge::formats {
-
-struct ConvertedModel {
-  // Primary file plus optional weights sibling (caffe/ncnn targets).
-  util::Bytes primary;
-  util::Bytes weights;
-  bool has_weights_file = false;
-};
 
 // Serialises `graph` in `target`'s on-disk format.
 util::Result<ConvertedModel> convert_to(const nn::Graph& graph,

@@ -1,0 +1,178 @@
+// The per-framework plugin layer. One FormatPlugin implementation carries
+// *everything* gaugeNN knows about a model format — its Appendix-Table-5
+// extension entries, the §3.1 signature check, weights-sibling resolution
+// for two-file formats, the parser and serialiser used by the pipeline and
+// the conversion matrix, and the runtime markers the synthetic store plants
+// inside APKs. Adding a framework is one self-registering file under
+// src/formats/plugins/ (see DESIGN.md §9); no other layer switches on
+// formats::Framework.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "formats/registry.hpp"
+#include "nn/graph.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace gauge::formats {
+
+// A serialised model: primary (graph) file plus the optional weights sibling
+// of two-file formats (caffe .prototxt+.caffemodel, ncnn .param+.bin).
+struct ConvertedModel {
+  util::Bytes primary;
+  util::Bytes weights;
+  bool has_weights_file = false;
+};
+
+class FormatPlugin {
+ public:
+  virtual ~FormatPlugin() = default;
+
+  // ---- identity --------------------------------------------------------
+  virtual Framework framework() const = 0;
+  // Human name as printed in reports and document projections ("TFLite").
+  virtual const char* name() const = 0;
+  // Fig. 4 column position: the paper's instance-count order for the five
+  // original frameworks, new plugins appended after them.
+  virtual int chart_rank() const = 0;
+
+  // ---- extension table -------------------------------------------------
+  // This framework's Appendix-Table-5 rows: lowercased, leading dot. These
+  // feed candidate matching and the published format_table().
+  virtual const std::vector<std::string>& extensions() const = 0;
+  // Extra spellings matched as candidates but not part of the published
+  // 69-entry table (e.g. TensorFlow's ".pb.txt" alias of ".pbtxt").
+  virtual const std::vector<std::string>& extension_aliases() const;
+  // Extension the store generator uses when it ships a model of this
+  // framework; defaults to the first table entry.
+  virtual std::string primary_extension() const { return extensions().front(); }
+
+  // ---- signature validation (§3.1) -------------------------------------
+  virtual bool validate(std::string_view path,
+                        std::span<const std::uint8_t> data) const = 0;
+
+  // ---- two-file formats ------------------------------------------------
+  // Path of the weights sibling for a primary file of this format, or ""
+  // for single-file formats / non-primary paths. Matching is a
+  // case-insensitive longest-suffix replacement, so multi-dot extensions
+  // (".cfg.ncnn" -> ".weights.ncnn") resolve correctly.
+  virtual std::string companion(std::string_view path) const;
+  // Inverse: the primary path a weights companion belongs to, or "" when
+  // `path` is not a weights file of this format. Used to keep weights
+  // siblings from anchoring their own model records.
+  virtual std::string companion_primary(std::string_view path) const;
+
+  // ---- parse / serialise -----------------------------------------------
+  // `weights` is the pre-read sibling for two-file formats (nullptr when
+  // absent — two-file parsers must fail cleanly then).
+  virtual util::Result<nn::Graph> parse(std::span<const std::uint8_t> primary,
+                                        const util::Bytes* weights) const = 0;
+  // True when the format's dialect can express every layer of the graph.
+  virtual bool supports(const nn::Graph& graph) const = 0;
+  virtual util::Result<ConvertedModel> serialize(
+      const nn::Graph& graph) const = 0;
+
+  // ---- ecosystem metadata ----------------------------------------------
+  // Whether the on-disk encoding preserves int8 tensors + quantisation
+  // metadata (drives the store's §6.1 quantisation census).
+  virtual bool quantizable() const { return false; }
+  // Dex class markers / native library names the framework's mobile runtime
+  // ships with; the store generator plants these in APKs of apps holding
+  // models of this framework.
+  virtual const std::vector<std::string>& dex_markers() const;
+  virtual const std::vector<std::string>& native_libs() const;
+};
+
+// Case-insensitive suffix replacement for sibling-path resolution: returns
+// `path` with trailing `from` replaced by `to`, or "" when `path` does not
+// end in `from`. Handles multi-dot suffixes (".cfg.ncnn") by construction.
+std::string replace_path_suffix(std::string_view path, std::string_view from,
+                                std::string_view to);
+
+// True when `path` ends in `ext` (case-insensitive, non-empty stem).
+bool path_has_suffix(std::string_view path, std::string_view ext);
+
+// Enum entries from Appendix Table 5 with no parser in this reproduction.
+// Their extensions still make files *candidates* (and their validation
+// failures are visible per framework via gauge.pipeline.drop.no_parser.*).
+struct UnsupportedFramework {
+  Framework framework;
+  const char* name;
+  std::vector<std::string> extensions;
+};
+
+class PluginRegistry {
+ public:
+  static PluginRegistry& instance();
+
+  // Called by PluginRegistrar during static initialisation; at most one
+  // plugin per Framework value.
+  void register_plugin(std::unique_ptr<FormatPlugin> plugin);
+
+  const FormatPlugin* find(Framework fw) const;
+  // Registered plugins in Framework-enum order (deterministic regardless of
+  // static-initialisation order across translation units).
+  std::vector<const FormatPlugin*> plugins() const;
+  // Registered plugins in Fig. 4 column order (chart_rank ascending).
+  std::vector<const FormatPlugin*> plugins_by_chart_rank() const;
+  static const std::vector<UnsupportedFramework>& unsupported();
+
+  // Name of any enum entry, plugin-backed or not.
+  const char* framework_name(Framework fw) const;
+
+  // The full Appendix-Table-5 view (plugins + unsupported), enum order.
+  std::vector<FrameworkFormats> format_table() const;
+
+  // Longest matching registered suffix of `path`'s basename ("" when none):
+  // "net.cfg.ncnn" matches ".cfg.ncnn", never the bare ".ncnn".
+  std::string match_extension(std::string_view path) const;
+  // Frameworks claiming the matched extension, enum order.
+  std::vector<Framework> candidate_frameworks(std::string_view path) const;
+  bool is_candidate(std::string_view path) const;
+  // True when at least one candidate framework of `path` has a plugin —
+  // false means the file can only ever be a no-parser drop.
+  bool any_candidate_has_plugin(std::string_view path) const;
+
+  // First candidate plugin whose signature check accepts the bytes.
+  std::optional<Framework> validate_signature(
+      std::string_view path, std::span<const std::uint8_t> data) const;
+
+ private:
+  PluginRegistry() = default;
+  struct ExtensionIndex;
+  const ExtensionIndex& index() const;
+
+  std::array<std::unique_ptr<FormatPlugin>, static_cast<std::size_t>(
+                                                Framework::kCount)>
+      by_framework_{};
+  mutable std::unique_ptr<ExtensionIndex> index_;
+};
+
+template <typename Plugin>
+struct PluginRegistrar {
+  PluginRegistrar() {
+    PluginRegistry::instance().register_plugin(std::make_unique<Plugin>());
+  }
+};
+
+// Registers `PluginClass` (defined in the enclosing gauge::formats scope or
+// an anonymous namespace within it) and exports a link anchor so the
+// plugin's object file survives static-library archive pruning. plugin.cpp
+// references every anchor; adding a framework means one new plugin file plus
+// one GAUGE_FORMAT_PLUGIN_ANCHOR line there.
+#define GAUGE_REGISTER_FORMAT_PLUGIN(anchor_name, PluginClass)       \
+  int gauge_format_plugin_anchor_##anchor_name = 0;                  \
+  namespace {                                                        \
+  const ::gauge::formats::PluginRegistrar<PluginClass>               \
+      gauge_format_plugin_registrar_##anchor_name{};                 \
+  }                                                                  \
+  static_assert(true, "")
+
+}  // namespace gauge::formats

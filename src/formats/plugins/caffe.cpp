@@ -1,0 +1,85 @@
+// Caffe plugin: the two-file prototxt + .caffemodel split. The graph file
+// anchors the model record; the weights sibling is resolved via companion()
+// and never anchors a record of its own. Weights are stored as float, so
+// round-trips preserve architecture_checksum (not bit-exact int8 weights) —
+// hence quantizable() stays false.
+#include "formats/caffe.hpp"
+
+#include "formats/plugin.hpp"
+
+namespace gauge::formats {
+namespace {
+
+class CaffePlugin final : public FormatPlugin {
+ public:
+  Framework framework() const override { return Framework::Caffe; }
+  const char* name() const override { return "caffe"; }
+  int chart_rank() const override { return 1; }
+
+  const std::vector<std::string>& extensions() const override {
+    static const std::vector<std::string> kExtensions = {
+        ".caffemodel", ".pbtxt", ".prototxt", ".pt"};
+    return kExtensions;
+  }
+  std::string primary_extension() const override { return ".prototxt"; }
+
+  bool validate(std::string_view path,
+                std::span<const std::uint8_t> data) const override {
+    if (path_has_suffix(path, ".prototxt") || path_has_suffix(path, ".pbtxt")) {
+      return looks_like_prototxt(util::as_view(data));
+    }
+    if (path_has_suffix(path, ".caffemodel")) {
+      return looks_like_caffemodel(data);
+    }
+    return false;
+  }
+
+  std::string companion(std::string_view path) const override {
+    for (const char* graph_ext : {".prototxt", ".pbtxt"}) {
+      if (auto sibling = replace_path_suffix(path, graph_ext, ".caffemodel");
+          !sibling.empty()) {
+        return sibling;
+      }
+    }
+    return {};
+  }
+  std::string companion_primary(std::string_view path) const override {
+    return replace_path_suffix(path, ".caffemodel", ".prototxt");
+  }
+
+  util::Result<nn::Graph> parse(std::span<const std::uint8_t> primary,
+                                const util::Bytes* weights) const override {
+    if (weights == nullptr) {
+      return util::Result<nn::Graph>::failure("missing .caffemodel sibling");
+    }
+    return read_caffe(std::string{util::as_view(primary)}, *weights);
+  }
+
+  bool supports(const nn::Graph& graph) const override {
+    return caffe_supports(graph);
+  }
+
+  util::Result<ConvertedModel> serialize(
+      const nn::Graph& graph) const override {
+    auto model = write_caffe(graph);
+    if (!model.ok()) {
+      return util::Result<ConvertedModel>::failure(model.error());
+    }
+    ConvertedModel out;
+    out.primary = util::to_bytes(model.value().prototxt);
+    out.weights = std::move(model.value().caffemodel);
+    out.has_weights_file = true;
+    return out;
+  }
+
+  const std::vector<std::string>& native_libs() const override {
+    static const std::vector<std::string> kLibs = {"libcaffe.so"};
+    return kLibs;
+  }
+};
+
+}  // namespace
+
+GAUGE_REGISTER_FORMAT_PLUGIN(caffe, CaffePlugin);
+
+}  // namespace gauge::formats

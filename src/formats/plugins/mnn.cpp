@@ -1,0 +1,235 @@
+// MNN plugin: a sectioned single-file container with the magic "MNN0" at
+// byte offset 0. The body is a sequence of tagged sections — "META" (graph
+// name), "OPLS" (the op list with a fixed scalar block per op) and "WGHT"
+// (per-op weight tensors via the shared tensor codec). Unknown tags are
+// skipped by length, so the format can grow without breaking old readers.
+//
+// Layout (little-endian):
+//   u8[4] "MNN0"
+//   u32   version (2)
+//   u32   section count
+//   per section: u8[4] tag, u32 payload length, payload
+#include <cstring>
+
+#include "formats/plugin.hpp"
+#include "formats/tensorio.hpp"
+
+namespace gauge::formats {
+namespace {
+
+constexpr char kMnnMagic[4] = {'M', 'N', 'N', '0'};
+constexpr std::uint32_t kMnnVersion = 2;
+
+bool looks_like_mnn(std::span<const std::uint8_t> data) {
+  return data.size() >= 8 &&
+         std::memcmp(data.data(), kMnnMagic, sizeof(kMnnMagic)) == 0;
+}
+
+void write_i64_list(util::ByteWriter& w, const std::vector<std::int64_t>& v) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (const auto d : v) w.i64(d);
+}
+
+bool read_i64_list(util::ByteReader& r, std::vector<std::int64_t>& out,
+                   std::uint32_t max_len) {
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > max_len) return false;
+  out.clear();
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(r.i64());
+  return r.ok();
+}
+
+util::Bytes write_mnn(const nn::Graph& graph) {
+  util::ByteWriter meta;
+  meta.str(graph.name);
+
+  util::ByteWriter opls;
+  opls.u32(static_cast<std::uint32_t>(graph.size()));
+  for (const auto& layer : graph.layers()) {
+    opls.u8(static_cast<std::uint8_t>(layer.type));
+    opls.str(layer.name);
+    opls.u32(static_cast<std::uint32_t>(layer.inputs.size()));
+    for (const int in : layer.inputs) opls.i32(in);
+    opls.i32(layer.kernel_h);
+    opls.i32(layer.kernel_w);
+    opls.i32(layer.stride_h);
+    opls.i32(layer.stride_w);
+    opls.u8(static_cast<std::uint8_t>(layer.padding));
+    opls.i32(layer.units);
+    opls.i32(layer.axis);
+    opls.i32(layer.resize_scale);
+    opls.i32(layer.pad_top);
+    opls.i32(layer.pad_bottom);
+    opls.i32(layer.pad_left);
+    opls.i32(layer.pad_right);
+    opls.f32(layer.quant_scale);
+    opls.i32(layer.quant_zero_point);
+    opls.u8(static_cast<std::uint8_t>(layer.weight_bits));
+    opls.u8(static_cast<std::uint8_t>(layer.act_bits));
+    write_i64_list(opls, layer.slice_begin);
+    write_i64_list(opls, layer.slice_size);
+    write_i64_list(opls, layer.target_shape);
+    write_i64_list(opls, layer.input_shape.dims);
+  }
+
+  util::ByteWriter wght;
+  for (const auto& layer : graph.layers()) {
+    wght.u32(static_cast<std::uint32_t>(layer.weights.size()));
+    for (const auto& t : layer.weights) write_tensor(wght, t);
+  }
+
+  util::ByteWriter w;
+  w.raw(std::string_view{kMnnMagic, sizeof(kMnnMagic)});
+  w.u32(kMnnVersion);
+  w.u32(3);  // section count
+  const auto section = [&](const char tag[4], util::ByteWriter&& payload) {
+    w.raw(std::string_view{tag, 4});
+    const util::Bytes bytes = std::move(payload).take();
+    w.u32(static_cast<std::uint32_t>(bytes.size()));
+    w.raw(bytes);
+  };
+  section("META", std::move(meta));
+  section("OPLS", std::move(opls));
+  section("WGHT", std::move(wght));
+  return std::move(w).take();
+}
+
+util::Result<nn::Graph> read_mnn(std::span<const std::uint8_t> data) {
+  using R = util::Result<nn::Graph>;
+  if (!looks_like_mnn(data)) return R::failure("bad MNN magic");
+  util::ByteReader r{data};
+  r.seek(sizeof(kMnnMagic));
+  if (r.u32() != kMnnVersion) return R::failure("unsupported MNN version");
+  const std::uint32_t section_count = r.u32();
+  if (!r.ok() || section_count > 64) return R::failure("bad section count");
+
+  nn::Graph graph;
+  bool have_ops = false;
+  for (std::uint32_t s = 0; s < section_count; ++s) {
+    const auto tag = r.raw(4);
+    const std::uint32_t len = r.u32();
+    const auto payload = r.raw(len);
+    if (!r.ok()) return R::failure("truncated section");
+    util::ByteReader p{payload};
+
+    if (util::as_view(tag) == "META") {
+      graph.name = p.str();
+      if (!p.ok()) return R::failure("bad META section");
+    } else if (util::as_view(tag) == "OPLS") {
+      const std::uint32_t op_count = p.u32();
+      if (!p.ok() || op_count > 100000) return R::failure("bad op count");
+      for (std::uint32_t i = 0; i < op_count; ++i) {
+        const std::uint8_t code = p.u8();
+        if (code >= static_cast<std::uint8_t>(nn::LayerType::kCount)) {
+          return R::failure("bad layer type");
+        }
+        nn::Layer layer;
+        layer.type = static_cast<nn::LayerType>(code);
+        layer.name = p.str();
+        const std::uint32_t n_inputs = p.u32();
+        if (!p.ok() || n_inputs > op_count) {
+          return R::failure("bad input count");
+        }
+        for (std::uint32_t k = 0; k < n_inputs; ++k) {
+          const std::int32_t in = p.i32();
+          if (in < 0 || static_cast<std::uint32_t>(in) >= i) {
+            return R::failure("bad input index");
+          }
+          layer.inputs.push_back(in);
+        }
+        layer.kernel_h = p.i32();
+        layer.kernel_w = p.i32();
+        layer.stride_h = p.i32();
+        layer.stride_w = p.i32();
+        layer.padding = static_cast<nn::Padding>(p.u8());
+        layer.units = p.i32();
+        layer.axis = p.i32();
+        layer.resize_scale = p.i32();
+        layer.pad_top = p.i32();
+        layer.pad_bottom = p.i32();
+        layer.pad_left = p.i32();
+        layer.pad_right = p.i32();
+        layer.quant_scale = p.f32();
+        layer.quant_zero_point = p.i32();
+        layer.weight_bits = p.u8();
+        layer.act_bits = p.u8();
+        if (!read_i64_list(p, layer.slice_begin, 16) ||
+            !read_i64_list(p, layer.slice_size, 16) ||
+            !read_i64_list(p, layer.target_shape, 16) ||
+            !read_i64_list(p, layer.input_shape.dims, 8)) {
+          return R::failure("bad op attribute list");
+        }
+        graph.add(std::move(layer));
+      }
+      have_ops = true;
+    } else if (util::as_view(tag) == "WGHT") {
+      if (!have_ops) return R::failure("WGHT before OPLS");
+      for (std::size_t i = 0; i < graph.size(); ++i) {
+        const std::uint32_t n_weights = p.u32();
+        if (!p.ok() || n_weights > 8) return R::failure("bad weight count");
+        for (std::uint32_t k = 0; k < n_weights; ++k) {
+          nn::Tensor t;
+          if (!read_tensor(p, t)) return R::failure("bad weight tensor");
+          graph.layer(static_cast<int>(i)).weights.push_back(std::move(t));
+        }
+      }
+    }
+    // Unknown tags: skipped by length.
+  }
+  if (!have_ops) return R::failure("missing OPLS section");
+  if (auto status = graph.validate(); !status.ok()) {
+    return R::failure("invalid graph: " + status.error());
+  }
+  return graph;
+}
+
+class MnnPlugin final : public FormatPlugin {
+ public:
+  Framework framework() const override { return Framework::Mnn; }
+  const char* name() const override { return "MNN"; }
+  int chart_rank() const override { return 6; }
+
+  const std::vector<std::string>& extensions() const override {
+    static const std::vector<std::string> kExtensions = {".mnn"};
+    return kExtensions;
+  }
+
+  bool validate(std::string_view,
+                std::span<const std::uint8_t> data) const override {
+    return looks_like_mnn(data);
+  }
+
+  util::Result<nn::Graph> parse(std::span<const std::uint8_t> primary,
+                                const util::Bytes*) const override {
+    return read_mnn(primary);
+  }
+
+  bool supports(const nn::Graph&) const override {
+    return true;  // the op list covers the full IR
+  }
+
+  util::Result<ConvertedModel> serialize(
+      const nn::Graph& graph) const override {
+    ConvertedModel out;
+    out.primary = write_mnn(graph);
+    return out;
+  }
+
+  bool quantizable() const override { return true; }
+
+  const std::vector<std::string>& dex_markers() const override {
+    static const std::vector<std::string> kMarkers = {
+        "Lcom/alibaba/android/mnn/MNNNetInstance;"};
+    return kMarkers;
+  }
+  const std::vector<std::string>& native_libs() const override {
+    static const std::vector<std::string> kLibs = {"libMNN.so"};
+    return kLibs;
+  }
+};
+
+}  // namespace
+
+GAUGE_REGISTER_FORMAT_PLUGIN(mnn, MnnPlugin);
+
+}  // namespace gauge::formats

@@ -1,0 +1,87 @@
+// ncnn plugin: the second two-file format — a text .param graph (first line
+// 7767517) plus a raw .bin weight blob. Also owns the multi-dot spellings
+// ".cfg.ncnn" / ".weights.ncnn" from Table 5, which exercise the registry's
+// longest-suffix-first matching.
+#include "formats/ncnn.hpp"
+
+#include "formats/plugin.hpp"
+
+namespace gauge::formats {
+namespace {
+
+class NcnnPlugin final : public FormatPlugin {
+ public:
+  Framework framework() const override { return Framework::Ncnn; }
+  const char* name() const override { return "ncnn"; }
+  int chart_rank() const override { return 2; }
+
+  const std::vector<std::string>& extensions() const override {
+    static const std::vector<std::string> kExtensions = {
+        ".param", ".bin", ".cfg.ncnn", ".weights.ncnn", ".ncnn"};
+    return kExtensions;
+  }
+  std::string primary_extension() const override { return ".param"; }
+
+  bool validate(std::string_view path,
+                std::span<const std::uint8_t> data) const override {
+    // Weights blobs (.bin / .weights.ncnn) carry no magic of their own and
+    // never validate; only graph files are checked for the 7767517 line.
+    if (path_has_suffix(path, ".param") ||
+        path_has_suffix(path, ".cfg.ncnn") ||
+        (path_has_suffix(path, ".ncnn") &&
+         !path_has_suffix(path, ".weights.ncnn"))) {
+      return looks_like_ncnn_param(util::as_view(data));
+    }
+    return false;
+  }
+
+  std::string companion(std::string_view path) const override {
+    if (auto sibling = replace_path_suffix(path, ".param", ".bin");
+        !sibling.empty()) {
+      return sibling;
+    }
+    return replace_path_suffix(path, ".cfg.ncnn", ".weights.ncnn");
+  }
+  std::string companion_primary(std::string_view path) const override {
+    if (path_has_suffix(path, ".weights.ncnn")) {
+      return replace_path_suffix(path, ".weights.ncnn", ".cfg.ncnn");
+    }
+    return replace_path_suffix(path, ".bin", ".param");
+  }
+
+  util::Result<nn::Graph> parse(std::span<const std::uint8_t> primary,
+                                const util::Bytes* weights) const override {
+    if (weights == nullptr) {
+      return util::Result<nn::Graph>::failure("missing .bin sibling");
+    }
+    return read_ncnn(std::string{util::as_view(primary)}, *weights);
+  }
+
+  bool supports(const nn::Graph& graph) const override {
+    return ncnn_supports(graph);
+  }
+
+  util::Result<ConvertedModel> serialize(
+      const nn::Graph& graph) const override {
+    auto model = write_ncnn(graph);
+    if (!model.ok()) {
+      return util::Result<ConvertedModel>::failure(model.error());
+    }
+    ConvertedModel out;
+    out.primary = util::to_bytes(model.value().param);
+    out.weights = std::move(model.value().bin);
+    out.has_weights_file = true;
+    return out;
+  }
+
+  const std::vector<std::string>& native_libs() const override {
+    static const std::vector<std::string> kLibs = {"libncnn.so"};
+    return kLibs;
+  }
+};
+
+}  // namespace
+
+GAUGE_REGISTER_FORMAT_PLUGIN(ncnn, NcnnPlugin);
+
+}  // namespace gauge::formats

@@ -1,0 +1,295 @@
+// ONNX plugin: a protobuf-flavoured single-file container with the magic
+// "ONNX" at byte offset 0. Nodes carry a descriptive ONNX-style op_type
+// string next to the authoritative LayerType code, and attributes travel as
+// a named TLV block — only non-default values are written, like protobuf
+// field presence. Built on the shared tensor codec, so round-trips preserve
+// nn::model_checksum (including int8 weights + quantisation metadata).
+//
+// Layout (little-endian):
+//   u8[4] "ONNX"
+//   u32   ir_version (7)
+//   str   graph name
+//   u32   node count
+//   per node:
+//     str  op_type ("Conv", "Gemm", ...; must agree with the code below)
+//     u8   LayerType code
+//     str  node name
+//     u32  input count, i32 producer indices
+//     u32  attribute count; per attribute: str key, u8 kind
+//          (0 = i64 scalar, 1 = f32 scalar, 2 = i64 list), payload
+//     u32  weight count, tensorio tensors
+#include <cstring>
+
+#include "formats/plugin.hpp"
+#include "formats/tensorio.hpp"
+
+namespace gauge::formats {
+namespace {
+
+constexpr char kOnnxMagic[4] = {'O', 'N', 'N', 'X'};
+constexpr std::uint32_t kOnnxIrVersion = 7;
+
+const char* onnx_op_type(nn::LayerType type) {
+  using nn::LayerType;
+  switch (type) {
+    case LayerType::Input: return "Input";
+    case LayerType::Conv2D: return "Conv";
+    case LayerType::DepthwiseConv2D: return "DepthwiseConv";
+    case LayerType::Dense: return "Gemm";
+    case LayerType::MaxPool2D: return "MaxPool";
+    case LayerType::AvgPool2D: return "AveragePool";
+    case LayerType::GlobalAvgPool: return "GlobalAveragePool";
+    case LayerType::Relu: return "Relu";
+    case LayerType::Relu6: return "Clip";
+    case LayerType::Sigmoid: return "Sigmoid";
+    case LayerType::Tanh: return "Tanh";
+    case LayerType::Softmax: return "Softmax";
+    case LayerType::Add: return "Add";
+    case LayerType::Mul: return "Mul";
+    case LayerType::Concat: return "Concat";
+    case LayerType::ResizeNearest: return "Resize";
+    case LayerType::Slice: return "Slice";
+    case LayerType::Reshape: return "Reshape";
+    case LayerType::Pad: return "Pad";
+    case LayerType::BatchNorm: return "BatchNormalization";
+    case LayerType::Quantize: return "QuantizeLinear";
+    case LayerType::Dequantize: return "DequantizeLinear";
+    case LayerType::Lstm: return "LSTM";
+    case LayerType::Embedding: return "Gather";
+    case LayerType::Transpose2D: return "Transpose";
+    case LayerType::kCount: break;
+  }
+  return "?";
+}
+
+bool looks_like_onnx(std::span<const std::uint8_t> data) {
+  return data.size() >= 8 &&
+         std::memcmp(data.data(), kOnnxMagic, sizeof(kOnnxMagic)) == 0;
+}
+
+// Attribute block writer: collects key/value pairs into a side buffer so the
+// count can be written first; only non-default values are emitted.
+class AttrWriter {
+ public:
+  void i64(std::string_view key, std::int64_t v, std::int64_t dflt) {
+    if (v == dflt) return;
+    begin(key, 0);
+    buf_.i64(v);
+  }
+  void f32(std::string_view key, float v, float dflt) {
+    if (v == dflt) return;
+    begin(key, 1);
+    buf_.f32(v);
+  }
+  void list(std::string_view key, const std::vector<std::int64_t>& v) {
+    if (v.empty()) return;
+    begin(key, 2);
+    buf_.u32(static_cast<std::uint32_t>(v.size()));
+    for (const auto d : v) buf_.i64(d);
+  }
+  void flush(util::ByteWriter& w) && {
+    w.u32(count_);
+    w.raw(std::move(buf_).take());
+  }
+
+ private:
+  void begin(std::string_view key, std::uint8_t kind) {
+    ++count_;
+    buf_.str(key);
+    buf_.u8(kind);
+  }
+  util::ByteWriter buf_;
+  std::uint32_t count_ = 0;
+};
+
+util::Bytes write_onnx(const nn::Graph& graph) {
+  util::ByteWriter w;
+  w.raw(std::string_view{kOnnxMagic, sizeof(kOnnxMagic)});
+  w.u32(kOnnxIrVersion);
+  w.str(graph.name);
+  w.u32(static_cast<std::uint32_t>(graph.size()));
+  const nn::Layer defaults;
+  for (const auto& layer : graph.layers()) {
+    w.str(onnx_op_type(layer.type));
+    w.u8(static_cast<std::uint8_t>(layer.type));
+    w.str(layer.name);
+    w.u32(static_cast<std::uint32_t>(layer.inputs.size()));
+    for (const int in : layer.inputs) w.i32(in);
+
+    AttrWriter attrs;
+    attrs.i64("kernel_h", layer.kernel_h, defaults.kernel_h);
+    attrs.i64("kernel_w", layer.kernel_w, defaults.kernel_w);
+    attrs.i64("stride_h", layer.stride_h, defaults.stride_h);
+    attrs.i64("stride_w", layer.stride_w, defaults.stride_w);
+    attrs.i64("auto_pad", static_cast<std::int64_t>(layer.padding),
+              static_cast<std::int64_t>(defaults.padding));
+    attrs.i64("units", layer.units, defaults.units);
+    attrs.i64("axis", layer.axis, defaults.axis);
+    attrs.i64("resize_scale", layer.resize_scale, defaults.resize_scale);
+    attrs.list("slice_begin", layer.slice_begin);
+    attrs.list("slice_size", layer.slice_size);
+    attrs.list("target_shape", layer.target_shape);
+    attrs.i64("pad_top", layer.pad_top, defaults.pad_top);
+    attrs.i64("pad_bottom", layer.pad_bottom, defaults.pad_bottom);
+    attrs.i64("pad_left", layer.pad_left, defaults.pad_left);
+    attrs.i64("pad_right", layer.pad_right, defaults.pad_right);
+    attrs.list("input_shape", layer.input_shape.dims);
+    attrs.f32("quant_scale", layer.quant_scale, defaults.quant_scale);
+    attrs.i64("quant_zero_point", layer.quant_zero_point,
+              defaults.quant_zero_point);
+    attrs.i64("weight_bits", layer.weight_bits, defaults.weight_bits);
+    attrs.i64("act_bits", layer.act_bits, defaults.act_bits);
+    std::move(attrs).flush(w);
+
+    w.u32(static_cast<std::uint32_t>(layer.weights.size()));
+    for (const auto& t : layer.weights) write_tensor(w, t);
+  }
+  return std::move(w).take();
+}
+
+util::Result<nn::Graph> read_onnx(std::span<const std::uint8_t> data) {
+  using R = util::Result<nn::Graph>;
+  if (!looks_like_onnx(data)) return R::failure("bad ONNX magic");
+  util::ByteReader r{data};
+  r.seek(sizeof(kOnnxMagic));
+  if (r.u32() != kOnnxIrVersion) return R::failure("unsupported ir_version");
+
+  nn::Graph graph;
+  graph.name = r.str();
+  const std::uint32_t node_count = r.u32();
+  if (!r.ok() || node_count > 100000) return R::failure("bad node count");
+
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    const std::string op_type = r.str();
+    const std::uint8_t code = r.u8();
+    if (code >= static_cast<std::uint8_t>(nn::LayerType::kCount)) {
+      return R::failure("bad layer type");
+    }
+    nn::Layer layer;
+    layer.type = static_cast<nn::LayerType>(code);
+    if (op_type != onnx_op_type(layer.type)) {
+      return R::failure("op_type does not match layer code");
+    }
+    layer.name = r.str();
+    const std::uint32_t n_inputs = r.u32();
+    if (!r.ok() || n_inputs > node_count) return R::failure("bad input count");
+    for (std::uint32_t k = 0; k < n_inputs; ++k) {
+      const std::int32_t in = r.i32();
+      if (in < 0 || static_cast<std::uint32_t>(in) >= i) {
+        return R::failure("bad input index");
+      }
+      layer.inputs.push_back(in);
+    }
+
+    const std::uint32_t attr_count = r.u32();
+    if (!r.ok() || attr_count > 32) return R::failure("bad attribute count");
+    for (std::uint32_t k = 0; k < attr_count; ++k) {
+      const std::string key = r.str();
+      const std::uint8_t kind = r.u8();
+      std::int64_t iv = 0;
+      float fv = 0.0f;
+      std::vector<std::int64_t> lv;
+      if (kind == 0) {
+        iv = r.i64();
+      } else if (kind == 1) {
+        fv = r.f32();
+      } else if (kind == 2) {
+        const std::uint32_t n = r.u32();
+        if (!r.ok() || n > 16) return R::failure("bad attribute list");
+        for (std::uint32_t d = 0; d < n; ++d) lv.push_back(r.i64());
+      } else {
+        return R::failure("bad attribute kind");
+      }
+      if (!r.ok()) return R::failure("truncated attribute");
+      const auto as_int = [&](int& field) { field = static_cast<int>(iv); };
+      if (key == "kernel_h") as_int(layer.kernel_h);
+      else if (key == "kernel_w") as_int(layer.kernel_w);
+      else if (key == "stride_h") as_int(layer.stride_h);
+      else if (key == "stride_w") as_int(layer.stride_w);
+      else if (key == "auto_pad") layer.padding = static_cast<nn::Padding>(iv);
+      else if (key == "units") as_int(layer.units);
+      else if (key == "axis") as_int(layer.axis);
+      else if (key == "resize_scale") as_int(layer.resize_scale);
+      else if (key == "slice_begin") layer.slice_begin = std::move(lv);
+      else if (key == "slice_size") layer.slice_size = std::move(lv);
+      else if (key == "target_shape") layer.target_shape = std::move(lv);
+      else if (key == "pad_top") as_int(layer.pad_top);
+      else if (key == "pad_bottom") as_int(layer.pad_bottom);
+      else if (key == "pad_left") as_int(layer.pad_left);
+      else if (key == "pad_right") as_int(layer.pad_right);
+      else if (key == "input_shape") layer.input_shape.dims = std::move(lv);
+      else if (key == "quant_scale") layer.quant_scale = fv;
+      else if (key == "quant_zero_point") layer.quant_zero_point = static_cast<std::int32_t>(iv);
+      else if (key == "weight_bits") as_int(layer.weight_bits);
+      else if (key == "act_bits") as_int(layer.act_bits);
+      // Unknown keys are skipped (the TLV encoding is self-describing).
+    }
+
+    const std::uint32_t n_weights = r.u32();
+    if (!r.ok() || n_weights > 8) return R::failure("bad weight count");
+    for (std::uint32_t k = 0; k < n_weights; ++k) {
+      nn::Tensor t;
+      if (!read_tensor(r, t)) return R::failure("bad weight tensor");
+      layer.weights.push_back(std::move(t));
+    }
+    graph.add(std::move(layer));
+  }
+  if (!r.ok()) return R::failure("truncated ONNX file");
+  if (auto status = graph.validate(); !status.ok()) {
+    return R::failure("invalid graph: " + status.error());
+  }
+  return graph;
+}
+
+class OnnxPlugin final : public FormatPlugin {
+ public:
+  Framework framework() const override { return Framework::Onnx; }
+  const char* name() const override { return "ONNX"; }
+  int chart_rank() const override { return 5; }
+
+  const std::vector<std::string>& extensions() const override {
+    static const std::vector<std::string> kExtensions = {
+        ".onnx", ".pb", ".pbtxt", ".prototxt"};
+    return kExtensions;
+  }
+  std::string primary_extension() const override { return ".onnx"; }
+
+  bool validate(std::string_view,
+                std::span<const std::uint8_t> data) const override {
+    return looks_like_onnx(data);
+  }
+
+  util::Result<nn::Graph> parse(std::span<const std::uint8_t> primary,
+                                const util::Bytes*) const override {
+    return read_onnx(primary);
+  }
+
+  bool supports(const nn::Graph&) const override {
+    return true;  // every IR layer has an op_type mapping
+  }
+
+  util::Result<ConvertedModel> serialize(
+      const nn::Graph& graph) const override {
+    ConvertedModel out;
+    out.primary = write_onnx(graph);
+    return out;
+  }
+
+  bool quantizable() const override { return true; }
+
+  const std::vector<std::string>& dex_markers() const override {
+    static const std::vector<std::string> kMarkers = {
+        "Lai/onnxruntime/OrtSession;"};
+    return kMarkers;
+  }
+  const std::vector<std::string>& native_libs() const override {
+    static const std::vector<std::string> kLibs = {"libonnxruntime.so"};
+    return kLibs;
+  }
+};
+
+}  // namespace
+
+GAUGE_REGISTER_FORMAT_PLUGIN(onnx, OnnxPlugin);
+
+}  // namespace gauge::formats

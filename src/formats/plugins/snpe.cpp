@@ -1,0 +1,53 @@
+// SNPE plugin: Qualcomm .dlc containers ("DLC1" at byte offset 4), the
+// format the paper's three SNPE apps shipped next to their TFLite twins.
+#include "formats/plugin.hpp"
+#include "formats/tfl.hpp"
+
+namespace gauge::formats {
+namespace {
+
+class SnpePlugin final : public FormatPlugin {
+ public:
+  Framework framework() const override { return Framework::Snpe; }
+  const char* name() const override { return "SNPE"; }
+  int chart_rank() const override { return 4; }
+
+  const std::vector<std::string>& extensions() const override {
+    static const std::vector<std::string> kExtensions = {".dlc"};
+    return kExtensions;
+  }
+
+  bool validate(std::string_view,
+                std::span<const std::uint8_t> data) const override {
+    return looks_like_dlc(data);
+  }
+
+  util::Result<nn::Graph> parse(std::span<const std::uint8_t> primary,
+                                const util::Bytes*) const override {
+    return read_dlc(primary);
+  }
+
+  bool supports(const nn::Graph&) const override {
+    return true;  // the container carries the full IR
+  }
+
+  util::Result<ConvertedModel> serialize(
+      const nn::Graph& graph) const override {
+    ConvertedModel out;
+    out.primary = write_dlc(graph);
+    return out;
+  }
+
+  bool quantizable() const override { return true; }
+
+  const std::vector<std::string>& native_libs() const override {
+    static const std::vector<std::string> kLibs = {"libSNPE.so"};
+    return kLibs;
+  }
+};
+
+}  // namespace
+
+GAUGE_REGISTER_FORMAT_PLUGIN(snpe, SnpePlugin);
+
+}  // namespace gauge::formats

@@ -1,0 +1,60 @@
+// TensorFlow plugin: frozen-graph .pb variants ("TFGF" at byte offset 4).
+// Carries the ".pb.txt" alias — seen in the wild as a spelling of ".pbtxt"
+// — as a candidate-matching alias outside the published Table-5 entries.
+#include "formats/plugin.hpp"
+#include "formats/tfl.hpp"
+
+namespace gauge::formats {
+namespace {
+
+class TensorFlowPlugin final : public FormatPlugin {
+ public:
+  Framework framework() const override { return Framework::TensorFlow; }
+  const char* name() const override { return "TF"; }
+  int chart_rank() const override { return 3; }
+
+  const std::vector<std::string>& extensions() const override {
+    static const std::vector<std::string> kExtensions = {
+        ".pb", ".meta", ".pbtxt", ".prototxt", ".json", ".index", ".ckpt"};
+    return kExtensions;
+  }
+  const std::vector<std::string>& extension_aliases() const override {
+    static const std::vector<std::string> kAliases = {".pb.txt"};
+    return kAliases;
+  }
+
+  bool validate(std::string_view,
+                std::span<const std::uint8_t> data) const override {
+    return looks_like_tf_pb(data);
+  }
+
+  util::Result<nn::Graph> parse(std::span<const std::uint8_t> primary,
+                                const util::Bytes*) const override {
+    return read_tf_pb(primary);
+  }
+
+  bool supports(const nn::Graph&) const override {
+    return true;  // the container carries the full IR
+  }
+
+  util::Result<ConvertedModel> serialize(
+      const nn::Graph& graph) const override {
+    ConvertedModel out;
+    out.primary = write_tf_pb(graph);
+    return out;
+  }
+
+  bool quantizable() const override { return true; }
+
+  const std::vector<std::string>& dex_markers() const override {
+    static const std::vector<std::string> kMarkers = {
+        "Lorg/tensorflow/contrib/android/TensorFlowInferenceInterface;"};
+    return kMarkers;
+  }
+};
+
+}  // namespace
+
+GAUGE_REGISTER_FORMAT_PLUGIN(tensorflow, TensorFlowPlugin);
+
+}  // namespace gauge::formats

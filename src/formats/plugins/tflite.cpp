@@ -1,0 +1,60 @@
+// TFLite plugin: the dominant framework of the corpus (Fig. 4: 1436 of 1666
+// instances). Single-file binary container, "TFL3" at byte offset 4.
+#include "formats/plugin.hpp"
+#include "formats/tfl.hpp"
+
+namespace gauge::formats {
+namespace {
+
+class TflitePlugin final : public FormatPlugin {
+ public:
+  Framework framework() const override { return Framework::TfLite; }
+  const char* name() const override { return "TFLite"; }
+  int chart_rank() const override { return 0; }
+
+  const std::vector<std::string>& extensions() const override {
+    static const std::vector<std::string> kExtensions = {
+        ".tflite", ".lite", ".tfl", ".bin", ".pb"};
+    return kExtensions;
+  }
+
+  bool validate(std::string_view,
+                std::span<const std::uint8_t> data) const override {
+    return looks_like_tfl(data);
+  }
+
+  util::Result<nn::Graph> parse(std::span<const std::uint8_t> primary,
+                                const util::Bytes*) const override {
+    return read_tfl(primary);
+  }
+
+  bool supports(const nn::Graph&) const override {
+    return true;  // the container carries the full IR
+  }
+
+  util::Result<ConvertedModel> serialize(
+      const nn::Graph& graph) const override {
+    ConvertedModel out;
+    out.primary = write_tfl(graph);
+    return out;
+  }
+
+  bool quantizable() const override { return true; }
+
+  const std::vector<std::string>& dex_markers() const override {
+    static const std::vector<std::string> kMarkers = {
+        "Lorg/tensorflow/lite/Interpreter;"};
+    return kMarkers;
+  }
+  const std::vector<std::string>& native_libs() const override {
+    static const std::vector<std::string> kLibs = {
+        "libtensorflowlite_jni.so"};
+    return kLibs;
+  }
+};
+
+}  // namespace
+
+GAUGE_REGISTER_FORMAT_PLUGIN(tflite, TflitePlugin);
+
+}  // namespace gauge::formats

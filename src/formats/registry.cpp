@@ -1,80 +1,28 @@
+// Thin free-function facade over the plugin registry (plugin.hpp). Kept so
+// call sites and examples can speak in terms of the paper's vocabulary
+// (candidate files, Appendix Table 5) without naming the registry singleton.
 #include "formats/registry.hpp"
 
-#include <algorithm>
-
-#include "util/strings.hpp"
+#include "formats/plugin.hpp"
 
 namespace gauge::formats {
 
 const char* framework_name(Framework fw) {
-  switch (fw) {
-    case Framework::Onnx: return "ONNX";
-    case Framework::MxNet: return "MXNet";
-    case Framework::Keras: return "Keras";
-    case Framework::Caffe: return "caffe";
-    case Framework::Caffe2: return "Caffe2";
-    case Framework::PyTorch: return "PyTorch";
-    case Framework::Torch: return "Torch";
-    case Framework::Snpe: return "SNPE";
-    case Framework::FeatherCnn: return "FeatherCNN";
-    case Framework::TfLite: return "TFLite";
-    case Framework::TensorFlow: return "TF";
-    case Framework::Sklearn: return "Sklearn";
-    case Framework::ArmNn: return "armNN";
-    case Framework::Mnn: return "Mnn";
-    case Framework::Ncnn: return "ncnn";
-    case Framework::Tengine: return "Tengine";
-    case Framework::Flux: return "Flux";
-    case Framework::Chainer: return "Chainer";
-    case Framework::kCount: break;
-  }
-  return "?";
+  return PluginRegistry::instance().framework_name(fw);
 }
 
 const std::vector<FrameworkFormats>& format_table() {
-  // Appendix Table 5, verbatim.
-  static const std::vector<FrameworkFormats> kTable = {
-      {Framework::Onnx, {".onnx", ".pb", ".pbtxt", ".prototxt"}},
-      {Framework::MxNet, {".mar", ".model", ".json", ".params"}},
-      {Framework::Keras,
-       {".h5", ".hd5", ".hdf5", ".keras", ".json", ".model", ".pb", ".pth"}},
-      {Framework::Caffe, {".caffemodel", ".pbtxt", ".prototxt", ".pt"}},
-      {Framework::Caffe2, {".pb", ".pbtxt", ".prototxt"}},
-      {Framework::PyTorch,
-       {".pt", ".pth", ".pt1", ".pkl", ".h5", ".t7", ".model", ".dms",
-        ".pth.tar", ".ckpt", ".bin", ".pb", ".tar"}},
-      {Framework::Torch, {".t7", ".dat"}},
-      {Framework::Snpe, {".dlc"}},
-      {Framework::FeatherCnn, {".feathermodel"}},
-      {Framework::TfLite, {".tflite", ".lite", ".tfl", ".bin", ".pb"}},
-      {Framework::TensorFlow,
-       {".pb", ".meta", ".pbtxt", ".prototxt", ".json", ".index", ".ckpt"}},
-      {Framework::Sklearn, {".pkl", ".joblib", ".model"}},
-      {Framework::ArmNn, {".armnn"}},
-      {Framework::Mnn, {".mnn"}},
-      {Framework::Ncnn, {".param", ".bin", ".cfg.ncnn", ".weights.ncnn", ".ncnn"}},
-      {Framework::Tengine, {".tmfile"}},
-      {Framework::Flux, {".bson"}},
-      {Framework::Chainer, {".npz", ".h5", ".hd5", ".hdf5", ".chainermodel"}},
-  };
+  static const std::vector<FrameworkFormats> kTable =
+      PluginRegistry::instance().format_table();
   return kTable;
 }
 
 std::vector<Framework> candidate_frameworks(std::string_view path) {
-  const std::string ext = util::extension(path);
-  std::vector<Framework> out;
-  if (ext.empty()) return out;
-  for (const auto& entry : format_table()) {
-    if (std::find(entry.extensions.begin(), entry.extensions.end(), ext) !=
-        entry.extensions.end()) {
-      out.push_back(entry.framework);
-    }
-  }
-  return out;
+  return PluginRegistry::instance().candidate_frameworks(path);
 }
 
 bool is_candidate_model_file(std::string_view path) {
-  return !candidate_frameworks(path).empty();
+  return PluginRegistry::instance().is_candidate(path);
 }
 
 }  // namespace gauge::formats

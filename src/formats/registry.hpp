@@ -1,7 +1,12 @@
-// Framework/extension registry: the complete Appendix Table 5 of the paper.
+// Framework enum + free-function facade over the plugin registry. The table
+// itself lives with the plugins (plugin.hpp / src/formats/plugins/): each
+// FormatPlugin contributes its Appendix-Table-5 extension rows, and the
+// frameworks without a parser are listed in PluginRegistry::unsupported().
 // Candidate matching is the first stage of model extraction — any file whose
-// extension appears here is a *candidate* model and proceeds to signature
-// validation (validate.hpp).
+// extension appears in the combined table is a *candidate* model and
+// proceeds to signature validation (validate.hpp). Matching is
+// longest-suffix-first, so multi-dot extensions (".cfg.ncnn", ".pth.tar")
+// beat their shorter tails.
 #pragma once
 
 #include <string>

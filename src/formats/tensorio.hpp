@@ -1,0 +1,21 @@
+// Shared tensor wire codec used by every binary container in this directory
+// (the TFL-family containers plus the ONNX- and MNN-like formats): dtype,
+// shape, quantisation metadata and raw element data, little-endian.
+//
+// Exact-byte round-trip is guaranteed for all dtypes — f32 elements are
+// written bit-for-bit — so containers built on this codec preserve
+// nn::model_checksum across serialise/parse.
+#pragma once
+
+#include "nn/tensor.hpp"
+#include "util/bytes.hpp"
+
+namespace gauge::formats {
+
+void write_tensor(util::ByteWriter& w, const nn::Tensor& t);
+
+// Returns false (leaving `out` untouched) on truncation, oversized shapes or
+// an unknown dtype; the reader's error flag is also left set in that case.
+bool read_tensor(util::ByteReader& r, nn::Tensor& out);
+
+}  // namespace gauge::formats

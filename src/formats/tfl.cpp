@@ -2,58 +2,9 @@
 
 #include <cstring>
 
+#include "formats/tensorio.hpp"
+
 namespace gauge::formats {
-
-namespace {
-
-void write_tensor(util::ByteWriter& w, const nn::Tensor& t) {
-  w.u8(static_cast<std::uint8_t>(t.dtype()));
-  w.u32(static_cast<std::uint32_t>(t.shape().rank()));
-  for (std::int64_t d : t.shape().dims) w.i64(d);
-  w.f32(t.quant_scale);
-  w.i32(t.quant_zero_point);
-  switch (t.dtype()) {
-    case nn::DType::F32:
-      for (float v : t.f32()) w.f32(v);
-      break;
-    case nn::DType::I8:
-      for (std::int8_t v : t.i8()) w.u8(static_cast<std::uint8_t>(v));
-      break;
-    case nn::DType::I32:
-      for (std::int32_t v : t.i32()) w.i32(v);
-      break;
-  }
-}
-
-bool read_tensor(util::ByteReader& r, nn::Tensor& out) {
-  const auto dtype = static_cast<nn::DType>(r.u8());
-  const std::uint32_t rank = r.u32();
-  if (!r.ok() || rank > 8) return false;
-  nn::Shape shape;
-  for (std::uint32_t d = 0; d < rank; ++d) shape.dims.push_back(r.i64());
-  if (!r.ok()) return false;
-  const std::int64_t elems = shape.elements();
-  if (elems < 0 || static_cast<std::uint64_t>(elems) > (1ull << 28)) return false;
-  nn::Tensor t{shape, dtype};
-  t.quant_scale = r.f32();
-  t.quant_zero_point = r.i32();
-  switch (dtype) {
-    case nn::DType::F32:
-      for (auto& v : t.f32()) v = r.f32();
-      break;
-    case nn::DType::I8:
-      for (auto& v : t.i8()) v = static_cast<std::int8_t>(r.u8());
-      break;
-    case nn::DType::I32:
-      for (auto& v : t.i32()) v = r.i32();
-      break;
-  }
-  if (!r.ok()) return false;
-  out = std::move(t);
-  return true;
-}
-
-}  // namespace
 
 namespace {
 util::Bytes write_container(const nn::Graph& graph, const char magic[4]);

@@ -1,51 +1,12 @@
 #include "formats/validate.hpp"
 
-#include "formats/caffe.hpp"
-#include "formats/ncnn.hpp"
-#include "formats/tfl.hpp"
-#include "util/strings.hpp"
+#include "formats/plugin.hpp"
 
 namespace gauge::formats {
 
 std::optional<Framework> validate_signature(
     std::string_view path, std::span<const std::uint8_t> data) {
-  const auto candidates = candidate_frameworks(path);
-  if (candidates.empty()) return std::nullopt;
-
-  for (Framework fw : candidates) {
-    switch (fw) {
-      case Framework::TfLite:
-        if (looks_like_tfl(data)) return Framework::TfLite;
-        break;
-      case Framework::Snpe:
-        if (looks_like_dlc(data)) return Framework::Snpe;
-        break;
-      case Framework::TensorFlow:
-        if (looks_like_tf_pb(data)) return Framework::TensorFlow;
-        break;
-      case Framework::Ncnn: {
-        const std::string ext = util::extension(path);
-        if (ext == ".param" || ext == ".cfg.ncnn" || ext == ".ncnn") {
-          if (looks_like_ncnn_param(util::as_view(data))) return Framework::Ncnn;
-        }
-        break;
-      }
-      case Framework::Caffe: {
-        const std::string ext = util::extension(path);
-        if (ext == ".prototxt" || ext == ".pbtxt") {
-          if (looks_like_prototxt(util::as_view(data))) return Framework::Caffe;
-        } else if (ext == ".caffemodel") {
-          if (looks_like_caffemodel(data)) return Framework::Caffe;
-        }
-        break;
-      }
-      default:
-        // Frameworks without an implemented parser never validate — their
-        // candidate files count as extraction failures, as in the paper.
-        break;
-    }
-  }
-  return std::nullopt;
+  return PluginRegistry::instance().validate_signature(path, data);
 }
 
 bool is_valid_model_file(std::string_view path,

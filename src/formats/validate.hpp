@@ -14,16 +14,14 @@
 namespace gauge::formats {
 
 // Checks the byte signature of a candidate file against every framework its
-// extension maps to; returns the framework whose signature matches, or
-// nullopt when none does (validation failure).
-//
-// Implemented signatures (the formats this reproduction materialises):
-//   TFLite      — "TFL3" at byte offset 4
-//   ncnn        — first line "7767517" (.param graph file)
-//   caffe       — "layer {" + "type:" in prototxt / "CAFW" magic in
-//                 .caffemodel weights
-// Everything else in the extension table fails validation here, which is
-// exactly how unparseable-but-candidate files behave in the paper's counts.
+// extension maps to (first matching plugin wins, enum order); returns the
+// framework whose signature matches, or nullopt when none does (validation
+// failure). The per-framework checks live in the FormatPlugin
+// implementations under src/formats/plugins/ — e.g. "TFL3" at byte offset 4
+// for TFLite, the 7767517 first line for ncnn .param graphs, "ONNX"/"MNN0"
+// leading magics for the ONNX-/MNN-like containers. Candidate extensions of
+// frameworks without a plugin fail validation here, which is exactly how
+// unparseable-but-candidate files behave in the paper's counts.
 std::optional<Framework> validate_signature(std::string_view path,
                                             std::span<const std::uint8_t> data);
 

@@ -1,0 +1,125 @@
+// Two guarantees of the plugin refactor. First, the registry-driven
+// pipeline is *byte-identical* to the pre-refactor switch-based one: the
+// digest below was pinned on the old code over the same store slice, and
+// covers both DocStore JSONL mirrors (ids, insertion order, every field) at
+// serial and parallel thread counts. Second, the extended store actually
+// exercises the new surface end-to-end: ONNX and MNN models flow through
+// crawl -> extract -> validate -> parse -> report, their runtimes are
+// detected from APK markers, and the sklearn decoy lands in the no-parser
+// drop accounting instead of vanishing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/hash.hpp"
+
+namespace gauge::core {
+namespace {
+
+std::uint64_t dataset_digest(const SnapshotDataset& d) {
+  constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+  std::uint64_t h = util::fnv1a64(d.app_docs.query().to_jsonl());
+  h = h * kFnvPrime + util::fnv1a64(d.model_docs.query().to_jsonl());
+  h = h * kFnvPrime + d.apps.size();
+  h = h * kFnvPrime + d.models.size();
+  return h;
+}
+
+TEST(PipelineParity, ByteIdenticalToPreRefactorPipeline) {
+  constexpr std::uint64_t kPinnedDigest = 0x0d98560a33403517ULL;
+  const android::PlayStore play{android::StoreConfig{}};
+  for (unsigned threads : {0u, 1u, 8u}) {
+    SCOPED_TRACE(threads);
+    PipelineOptions options;
+    options.categories = {"communication", "photography"};
+    options.threads = threads;
+    const auto data = run_pipeline(play, options);
+    EXPECT_EQ(data.apps.size(), 1000u);
+    EXPECT_EQ(data.models.size(), 417u);
+    EXPECT_EQ(dataset_digest(data), kPinnedDigest);
+    // Every seed-corpus candidate extension has a plugin-backed candidate,
+    // so the no-parser path never fires in paper mode.
+    EXPECT_TRUE(data.no_parser_drops.empty());
+  }
+}
+
+TEST(PipelineParity, ExtendedStoreShipsOnnxAndMnnEndToEnd) {
+  android::StoreConfig config;
+  config.extended_frameworks = true;
+  const android::PlayStore play{config};
+
+  // Ground truth: the extended calibration appends exactly 30 ONNX and 24
+  // MNN instances to the Apr'21 deck.
+  std::size_t onnx_instances = 0;
+  std::size_t mnn_instances = 0;
+  std::set<std::string> categories;  // categories holding the new models
+  for (const auto& app : play.apps()) {
+    for (int inst_id : app.model_instances) {
+      const auto& inst = play.instances()[static_cast<std::size_t>(inst_id)];
+      if (!inst.present_2021) continue;
+      const auto fw =
+          play.unique_models()[static_cast<std::size_t>(inst.unique_id)]
+              .framework;
+      if (fw != formats::Framework::Onnx && fw != formats::Framework::Mnn) {
+        continue;
+      }
+      (fw == formats::Framework::Onnx ? onnx_instances : mnn_instances)++;
+      categories.insert(app.category);
+    }
+  }
+  EXPECT_EQ(onnx_instances, 30u);
+  EXPECT_EQ(mnn_instances, 24u);
+  ASSERT_FALSE(categories.empty());
+
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scoped{registry};
+  PipelineOptions options;
+  options.categories = {categories.begin(), categories.end()};
+  options.threads = 4;
+  const auto data = run_pipeline(play, options);
+
+  std::size_t onnx_models = 0;
+  std::size_t mnn_models = 0;
+  for (const auto& model : data.models) {
+    if (model.framework == formats::Framework::Onnx) ++onnx_models;
+    if (model.framework == formats::Framework::Mnn) ++mnn_models;
+  }
+  EXPECT_GT(onnx_models, 0u);
+  EXPECT_GT(mnn_models, 0u);
+
+  // The new runtimes are detected from the planted APK markers.
+  bool onnx_stack = false;
+  bool mnn_stack = false;
+  for (const auto& app : data.apps) {
+    for (const auto& stack : app.ml_stacks) {
+      if (stack == "ONNX Runtime") onnx_stack = true;
+      if (stack == "MNN") mnn_stack = true;
+    }
+  }
+  EXPECT_TRUE(onnx_stack);
+  EXPECT_TRUE(mnn_stack);
+
+  // The .joblib decoy is a candidate no plugin can parse: it must surface
+  // in the per-framework drop accounting, not disappear silently.
+  ASSERT_EQ(data.no_parser_drops.count("Sklearn"), 1u);
+  EXPECT_GT(data.no_parser_drops.at("Sklearn"), 0u);
+  EXPECT_GT(registry.counter("gauge.pipeline.drop.no_parser").value(), 0);
+  EXPECT_EQ(
+      registry.counter("gauge.pipeline.drop.no_parser.Sklearn").value(),
+      static_cast<std::int64_t>(data.no_parser_drops.at("Sklearn")));
+
+  // The Fig. 4 report grows the new columns from the registry.
+  const std::string totals = fig4_framework_totals(data).render();
+  EXPECT_NE(totals.find("ONNX"), std::string::npos);
+  EXPECT_NE(totals.find("MNN"), std::string::npos);
+  EXPECT_NE(sec31_no_parser(data).render().find("Sklearn"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace gauge::core

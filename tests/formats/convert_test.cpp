@@ -67,7 +67,11 @@ TEST(Convert, NcnnTwinMatchesArchitecture) {
 }
 
 TEST(Convert, UnsupportedTargetsFail) {
-  EXPECT_FALSE(convertible_to(sample("mobilenet"), Framework::Onnx));
+  // ONNX gained a plugin (and with it a serialiser); PyTorch has none, so
+  // the conversion matrix still rejects it.
+  EXPECT_TRUE(convertible_to(sample("mobilenet"), Framework::Onnx));
+  EXPECT_TRUE(convert_to(sample("mobilenet"), Framework::Onnx).ok());
+  EXPECT_FALSE(convertible_to(sample("mobilenet"), Framework::PyTorch));
   EXPECT_FALSE(convert_to(sample("mobilenet"), Framework::PyTorch).ok());
 }
 

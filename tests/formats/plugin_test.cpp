@@ -1,0 +1,216 @@
+// The FormatPlugin layer contract: complete enum coverage, longest-suffix
+// extension matching, companion-path inverses, and a parameterised
+// serialize -> validate -> parse round trip (plus negative bytes) that every
+// registered plugin must survive.
+#include "formats/plugin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "nn/checksum.hpp"
+#include "nn/zoo.hpp"
+#include "util/bytes.hpp"
+
+namespace gauge::formats {
+namespace {
+
+const PluginRegistry& registry() { return PluginRegistry::instance(); }
+
+TEST(PluginRegistry, EveryEnumEntryIsPluginOrUnsupported) {
+  std::set<Framework> covered;
+  for (const auto* plugin : registry().plugins()) {
+    EXPECT_TRUE(covered.insert(plugin->framework()).second)
+        << "duplicate plugin for " << plugin->name();
+  }
+  for (const auto& entry : PluginRegistry::unsupported()) {
+    EXPECT_TRUE(covered.insert(entry.framework).second)
+        << entry.name << " is both a plugin and listed unsupported";
+  }
+  EXPECT_EQ(covered.size(), static_cast<std::size_t>(Framework::kCount));
+}
+
+TEST(PluginRegistry, SevenPluginsInChartOrder) {
+  const auto ranked = registry().plugins_by_chart_rank();
+  ASSERT_EQ(ranked.size(), 7u);
+  std::vector<std::string> names;
+  for (const auto* plugin : ranked) names.emplace_back(plugin->name());
+  const std::vector<std::string> expected{"TFLite", "caffe", "ncnn", "TF",
+                                          "SNPE",   "ONNX",  "MNN"};
+  EXPECT_EQ(names, expected);
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    EXPECT_EQ(ranked[i]->chart_rank(), static_cast<int>(i));
+  }
+}
+
+TEST(PluginRegistry, LongestSuffixWinsOverShorterExtension) {
+  // ".cfg.ncnn" must beat the bare ".ncnn" (and anything matching ".cfg").
+  EXPECT_EQ(registry().match_extension("net.cfg.ncnn"), ".cfg.ncnn");
+  const auto cfg = registry().candidate_frameworks("net.cfg.ncnn");
+  ASSERT_EQ(cfg.size(), 1u);
+  EXPECT_EQ(cfg[0], Framework::Ncnn);
+
+  EXPECT_EQ(registry().match_extension("net.weights.ncnn"), ".weights.ncnn");
+  const auto weights = registry().candidate_frameworks("net.weights.ncnn");
+  ASSERT_EQ(weights.size(), 1u);
+  EXPECT_EQ(weights[0], Framework::Ncnn);
+}
+
+TEST(PluginRegistry, PbTxtAliasMatchesTensorFlowOnly) {
+  // ".pb.txt" is an alias spelling of ".pbtxt": a candidate, but not one of
+  // the published 69 table entries, and it must not fall back to the ".txt"
+  // or ".pb" interpretations.
+  EXPECT_EQ(registry().match_extension("graph.pb.txt"), ".pb.txt");
+  const auto fws = registry().candidate_frameworks("graph.pb.txt");
+  ASSERT_EQ(fws.size(), 1u);
+  EXPECT_EQ(fws[0], Framework::TensorFlow);
+  for (const auto& entry : registry().format_table()) {
+    EXPECT_EQ(std::find(entry.extensions.begin(), entry.extensions.end(),
+                        ".pb.txt"),
+              entry.extensions.end());
+  }
+}
+
+TEST(PluginRegistry, MatchingIsCaseInsensitiveAndBasenameScoped) {
+  EXPECT_EQ(registry().match_extension("ASSETS/NET.CFG.NCNN"), ".cfg.ncnn");
+  EXPECT_EQ(registry().match_extension("Model.TFLITE"), ".tflite");
+  // A bare extension with no stem is not a candidate file.
+  EXPECT_EQ(registry().match_extension(".tflite"), "");
+  EXPECT_EQ(registry().match_extension("dir.param/readme"), "");
+}
+
+TEST(PluginRegistry, CompanionAndInverseAgree) {
+  for (const auto* plugin : registry().plugins()) {
+    const std::string primary =
+        "assets/models/net" + plugin->primary_extension();
+    const std::string weights = plugin->companion(primary);
+    if (weights.empty()) continue;  // single-file format
+    EXPECT_EQ(plugin->companion_primary(weights), primary)
+        << plugin->name() << ": " << weights;
+    // A weights sibling never resolves to its own weights sibling.
+    EXPECT_EQ(plugin->companion(weights), "") << plugin->name();
+  }
+  // Multi-dot pair resolves as a unit.
+  const auto* ncnn = registry().find(Framework::Ncnn);
+  ASSERT_NE(ncnn, nullptr);
+  EXPECT_EQ(ncnn->companion("m.cfg.ncnn"), "m.weights.ncnn");
+  EXPECT_EQ(ncnn->companion_primary("m.weights.ncnn"), "m.cfg.ncnn");
+}
+
+// Pick an archetype the plugin's dialect can express.
+nn::Graph sample_for(const FormatPlugin& plugin) {
+  for (const char* arch : {"audiocnn", "vggnet", "mobilenet"}) {
+    nn::ZooSpec spec;
+    spec.archetype = arch;
+    spec.resolution = 32;
+    spec.seed = 11;
+    nn::Graph g = nn::build_model(spec);
+    if (plugin.supports(g)) return g;
+  }
+  ADD_FAILURE() << plugin.name() << " supports none of the sample archetypes";
+  return {};
+}
+
+TEST(PluginRoundTrip, SerializeValidateParsePreservesModel) {
+  for (const auto* plugin : registry().plugins()) {
+    SCOPED_TRACE(plugin->name());
+    const nn::Graph g = sample_for(*plugin);
+    const auto model = plugin->serialize(g);
+    ASSERT_TRUE(model.ok()) << model.error();
+    const std::string path = "m" + plugin->primary_extension();
+    EXPECT_TRUE(plugin->validate(path, model.value().primary));
+    const auto back = plugin->parse(
+        model.value().primary,
+        model.value().has_weights_file ? &model.value().weights : nullptr);
+    ASSERT_TRUE(back.ok()) << back.error();
+    EXPECT_EQ(nn::architecture_checksum(back.value()),
+              nn::architecture_checksum(g));
+    if (!model.value().has_weights_file) {
+      // Single-file containers round-trip weights bit-exactly.
+      EXPECT_EQ(nn::model_checksum(back.value()), nn::model_checksum(g));
+    }
+  }
+}
+
+TEST(PluginRoundTrip, TwoFileParsersFailWithoutWeights) {
+  for (const auto* plugin : registry().plugins()) {
+    const nn::Graph g = sample_for(*plugin);
+    const auto model = plugin->serialize(g);
+    ASSERT_TRUE(model.ok()) << plugin->name();
+    if (!model.value().has_weights_file) continue;
+    SCOPED_TRACE(plugin->name());
+    EXPECT_FALSE(plugin->parse(model.value().primary, nullptr).ok());
+  }
+}
+
+TEST(PluginRoundTrip, Int8WeightsSurviveOnnxAndMnn) {
+  for (Framework fw : {Framework::Onnx, Framework::Mnn}) {
+    const auto* plugin = registry().find(fw);
+    ASSERT_NE(plugin, nullptr);
+    SCOPED_TRACE(plugin->name());
+    EXPECT_TRUE(plugin->quantizable());
+    nn::ZooSpec spec;
+    spec.archetype = "mobilenet";
+    spec.resolution = 32;
+    spec.seed = 17;
+    nn::Graph g = nn::build_model(spec);
+    nn::quantize_weights(g);
+    const auto model = plugin->serialize(g);
+    ASSERT_TRUE(model.ok()) << model.error();
+    const auto back = plugin->parse(model.value().primary, nullptr);
+    ASSERT_TRUE(back.ok()) << back.error();
+    EXPECT_EQ(nn::model_checksum(back.value()), nn::model_checksum(g));
+  }
+}
+
+TEST(PluginNegative, TruncatedAndGarbageBytesAreRejected) {
+  const util::Bytes garbage(64, 0xA5);
+  for (const auto* plugin : registry().plugins()) {
+    SCOPED_TRACE(plugin->name());
+    const std::string path = "m" + plugin->primary_extension();
+    const nn::Graph g = sample_for(*plugin);
+    const auto model = plugin->serialize(g);
+    ASSERT_TRUE(model.ok());
+    const util::Bytes truncated(model.value().primary.begin(),
+                                model.value().primary.begin() + 3);
+    EXPECT_FALSE(plugin->validate(path, truncated));
+    EXPECT_FALSE(plugin->validate(path, garbage));
+    EXPECT_FALSE(plugin->parse(garbage, nullptr).ok());
+    // A half container must fail cleanly, never crash or hang.
+    const util::Bytes half(
+        model.value().primary.begin(),
+        model.value().primary.begin() +
+            static_cast<std::ptrdiff_t>(model.value().primary.size() / 2));
+    const auto* weights =
+        model.value().has_weights_file ? &model.value().weights : nullptr;
+    EXPECT_FALSE(plugin->parse(half, weights).ok());
+  }
+}
+
+TEST(PluginNegative, ValidateSignatureResolvesSharedExtensions) {
+  // Seed-corpus shapes: a TF container named .pb must still win over the
+  // other .pb claimants (ONNX is enum-first but its magic differs).
+  const auto* tf = registry().find(Framework::TensorFlow);
+  ASSERT_NE(tf, nullptr);
+  const auto model = tf->serialize(sample_for(*tf));
+  ASSERT_TRUE(model.ok());
+  const auto fw = registry().validate_signature("graph.pb",
+                                                model.value().primary);
+  ASSERT_TRUE(fw.has_value());
+  EXPECT_EQ(*fw, Framework::TensorFlow);
+
+  const auto* onnx = registry().find(Framework::Onnx);
+  ASSERT_NE(onnx, nullptr);
+  const auto omodel = onnx->serialize(sample_for(*onnx));
+  ASSERT_TRUE(omodel.ok());
+  const auto ofw = registry().validate_signature("graph.pb",
+                                                 omodel.value().primary);
+  ASSERT_TRUE(ofw.has_value());
+  EXPECT_EQ(*ofw, Framework::Onnx);
+}
+
+}  // namespace
+}  // namespace gauge::formats
