@@ -16,7 +16,17 @@
 // (0 = serial). The dataset is identical for any value; the default is the
 // hardware concurrency.
 //
+// Crash-safe runs (DESIGN.md §10): `--journal <file>` makes every completed
+// app durable as the crawl progresses; after a crash or Ctrl-C, rerunning
+// with `--journal <file> --resume` replays the journal and continues from
+// the first unprocessed app. `--digest` prints the dataset digest after a
+// crawl (resume verification), and `--crash-plan <spec>` injects
+// deterministic crashes into the journal path (testing; see
+// core::parse_crash_plan for the grammar).
+//
 // Everything runs against the calibrated synthetic store.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,6 +58,8 @@ using namespace gauge;
 int usage() {
   std::fprintf(stderr,
                "usage: gaugenn_cli [--telemetry-out <dir>] [--threads <n>] "
+               "[--journal <file>] [--resume] [--digest] "
+               "[--crash-plan <spec>] "
                "<crawl [category ...] | inspect <pkg> | "
                "describe <pkg> | bench <pkg> | report <dir> [category ...] | "
                "diff | formats>\n");
@@ -56,10 +68,28 @@ int usage() {
 
 // --threads override (nullopt = PipelineOptions default).
 std::optional<unsigned> g_threads;
+// Crash-safety globals: --journal/--resume/--digest/--crash-plan, plus the
+// SIGINT flag the pipeline polls for graceful cancellation.
+std::string g_journal;
+bool g_resume = false;
+bool g_digest = false;
+core::CrashPlan g_crash_plan;
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void handle_sigint(int) {
+  g_interrupted.store(true);
+  // Restore the default disposition so a second Ctrl-C kills immediately —
+  // exactly the crash the journal is designed to survive.
+  std::signal(SIGINT, SIG_DFL);
+}
 
 core::PipelineOptions pipeline_options() {
   core::PipelineOptions options;
   if (g_threads) options.threads = *g_threads;
+  options.journal_path = g_journal;
+  options.resume = g_resume;
+  options.crash_plan = g_crash_plan;
+  options.cancel = &g_interrupted;
   return options;
 }
 
@@ -95,11 +125,24 @@ int cmd_crawl(const std::vector<std::string>& categories) {
   auto options = pipeline_options();
   options.categories = categories;
   const auto data = core::run_pipeline(play(), options);
+  if (data.interrupted) {
+    std::fprintf(stderr,
+                 "interrupted: %zu apps in dataset so far; resume with\n"
+                 "  gaugenn_cli --journal %s --resume crawl%s%s\n",
+                 data.apps_crawled(), g_journal.c_str(),
+                 categories.empty() ? "" : " ",
+                 util::join(categories, " ").c_str());
+    return 130;  // 128 + SIGINT, the conventional interrupted-exit code
+  }
   util::print_section("Dataset", core::table2_dataset(data).render());
   util::print_section("Frameworks", core::fig4_framework_totals(data).render());
   util::print_section(
       "Uniqueness",
       core::sec45_uniqueness(core::analyze_uniqueness(data)).render());
+  if (g_digest) {
+    std::printf("dataset digest: 0x%016llx\n",
+                static_cast<unsigned long long>(core::dataset_digest(data)));
+  }
   return 0;
 }
 
@@ -262,10 +305,54 @@ int main(int argc, char** argv) {
       g_threads = static_cast<unsigned>(value);
       continue;
     }
+    if (std::strcmp(argv[i], "--journal") == 0) {
+      if (i + 1 >= argc) return usage();
+      g_journal = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--resume") == 0) {
+      g_resume = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--digest") == 0) {
+      g_digest = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--crash-plan") == 0) {
+      if (i + 1 >= argc) return usage();
+      auto plan = core::parse_crash_plan(argv[++i]);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "bad --crash-plan: %s\n", plan.error().c_str());
+        return 2;
+      }
+      g_crash_plan = plan.value();
+      continue;
+    }
     args.emplace_back(argv[i]);
   }
+  if (g_resume && g_journal.empty()) {
+    std::fprintf(stderr, "--resume requires --journal <file>\n");
+    return 2;
+  }
 
-  const int code = run_command(args);
+  // Graceful Ctrl-C: the pipeline polls the flag, drains in-flight apps,
+  // flushes the journal and returns the partial dataset. A second SIGINT
+  // falls back to the default handler (immediate death — which the journal
+  // is designed to survive anyway).
+  std::signal(SIGINT, handle_sigint);
+
+  int code = 0;
+  try {
+    code = run_command(args);
+  } catch (const core::CrashInjected& crash) {
+    // Stands in for SIGKILL in tests and the check.sh smoke: skip all
+    // orderly teardown output, leave the journal exactly as a crash would.
+    std::fprintf(stderr, "%s\n", crash.what());
+    return 70;  // EX_SOFTWARE
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "fatal: %s\n", error.what());
+    return 1;
+  }
 
   if (!telemetry_dir.empty()) {
     const auto& registry = telemetry::current_registry();

@@ -6,10 +6,13 @@
 #   scripts/check.sh thread      # TSan build, full ctest
 #   scripts/check.sh thread test_telemetry   # TSan, one test binary's suite
 #
-# The plain run finishes with a targeted ThreadSanitizer pass over the
-# concurrency-sensitive suites: the telemetry hammers, the thread pool, the
-# parallel-pipeline determinism/stampede tests, and the harness
-# fault-injection suite (run_fleet drives one master thread per port).
+# The plain run finishes with a crash/resume smoke (kill a crawl with the
+# deterministic crash seam, resume from the journal, require a byte-identical
+# digest) and a targeted ThreadSanitizer pass over the concurrency-sensitive
+# suites: the telemetry hammers, the thread pool, the parallel-pipeline
+# determinism/stampede tests, the harness fault-injection suite (run_fleet
+# drives one master thread per port), and the journal/resume/hostile-zip
+# robustness suites.
 #
 # Each sanitizer gets its own build tree (build-check-<san>) so switching
 # sanitizers never poisons an incremental build.
@@ -63,11 +66,41 @@ if [[ -n "$FILTER" ]]; then
 fi
 ctest --test-dir "$BUILD_DIR" "${CTEST_ARGS[@]}"
 
+if [[ -z "$SANITIZER" && -z "$FILTER" ]]; then
+  # ---- crash/resume smoke ----------------------------------------------------
+  # Kill a crawl mid-run with the deterministic crash seam, resume it from the
+  # journal, and require the resumed dataset digest to match an uninterrupted
+  # run. Exercises the CLI wiring end to end (journal, --resume, --digest).
+  echo "== crash/resume smoke =="
+  SMOKE_DIR="$(mktemp -d)"
+  trap 'rm -rf "$SMOKE_DIR"' EXIT
+  CLI="$BUILD_DIR/examples/gaugenn_cli"
+  BASELINE="$("$CLI" --digest crawl communication | grep 'dataset digest:')"
+  set +e
+  "$CLI" --journal "$SMOKE_DIR/run.jnl" --crash-plan die-after-app=200 \
+    crawl communication >/dev/null 2>&1
+  CRASH_RC=$?
+  set -e
+  if [[ "$CRASH_RC" -ne 70 ]]; then
+    echo "error: crash run exited $CRASH_RC, expected 70 (CrashInjected)" >&2
+    exit 1
+  fi
+  RESUMED="$("$CLI" --journal "$SMOKE_DIR/run.jnl" --resume --digest \
+    crawl communication | grep 'dataset digest:')"
+  if [[ "$BASELINE" != "$RESUMED" ]]; then
+    echo "error: resumed digest differs from uninterrupted run" >&2
+    echo "  baseline: $BASELINE" >&2
+    echo "  resumed:  $RESUMED" >&2
+    exit 1
+  fi
+  echo "ok: resumed run is byte-identical ($RESUMED)"
+fi
+
 if [[ -z "$SANITIZER" ]]; then
   echo "== targeted ThreadSanitizer pass (telemetry + threadpool + pipeline concurrency + harness faults) =="
   TSAN_DIR="build-check-thread"
   cmake -B "$TSAN_DIR" -S . -DGAUGE_SANITIZE=thread
   cmake --build "$TSAN_DIR" -j "$(nproc)"
   ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$(nproc)" \
-    -R 'Metrics|Span|ThreadPool|PipelineConcurrency|AnalysisCache|HarnessFault'
+    -R 'Metrics|Span|ThreadPool|PipelineConcurrency|AnalysisCache|HarnessFault|PipelineResume|Journal|HostileZip'
 fi

@@ -67,10 +67,10 @@ util::Bytes build_apk(const ApkSpec& spec) {
   return zip.finish();
 }
 
-util::Result<Apk> Apk::open(util::Bytes bytes) {
+util::Result<Apk> Apk::open(util::Bytes bytes, zipfile::ReadLimits limits) {
   using R = util::Result<Apk>;
   const std::size_t size = bytes.size();
-  auto zip = zipfile::ZipReader::open(std::move(bytes));
+  auto zip = zipfile::ZipReader::open(std::move(bytes), limits);
   if (!zip.ok()) return R::failure("not a zip: " + zip.error());
 
   Apk apk;

@@ -39,7 +39,10 @@ util::Bytes build_apk(const ApkSpec& spec);
 
 class Apk {
  public:
-  static util::Result<Apk> open(util::Bytes bytes);
+  // `limits` bounds entry extraction (zip-bomb guard); the defaults suit
+  // production crawls, tests tighten them to exercise the drop path.
+  static util::Result<Apk> open(util::Bytes bytes,
+                                zipfile::ReadLimits limits = {});
 
   const Manifest& manifest() const { return manifest_; }
   const DexFile& dex() const { return dex_; }
@@ -53,6 +56,11 @@ class Apk {
   std::vector<std::string> native_libs() const;
   // Total archive size in bytes (the 100MB Play limit applies to this).
   std::size_t archive_size() const { return archive_size_; }
+  // Archive entries hidden because their names escape the archive root
+  // (path traversal / absolute paths); see zipfile::safe_entry_name.
+  std::size_t rejected_entry_names() const {
+    return zip_.rejected_entry_names();
+  }
 
  private:
   Apk() = default;

@@ -59,6 +59,15 @@ AnalysisCache::Proto AnalysisCache::find_or_compute(
   return compute();
 }
 
+void AnalysisCache::seed(std::uint64_t key, Proto proto) {
+  if (!proto) return;
+  Shard& shard = shard_for(key);
+  std::promise<Proto> promise;
+  promise.set_value(std::move(proto));
+  const std::lock_guard<std::mutex> lock{shard.mutex};
+  shard.entries.emplace(key, promise.get_future().share());
+}
+
 std::size_t AnalysisCache::size() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {

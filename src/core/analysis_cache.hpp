@@ -36,6 +36,12 @@ class AnalysisCache {
   Proto find_or_compute(std::uint64_t key,
                         const std::function<Proto()>& compute);
 
+  // Pre-populates `key` with an already-computed prototype (journal resume:
+  // the original run paid for the analysis; replaying must not). No-op when
+  // the key is already present; increments no counters — the journal
+  // replays the original run's hit/miss deltas instead.
+  void seed(std::uint64_t key, Proto proto);
+
   // Completed + in-flight entries across all shards (test introspection).
   std::size_t size() const;
 

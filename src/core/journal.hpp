@@ -1,0 +1,157 @@
+// Crash-safe run journal for the snapshot pipeline (DESIGN.md §10). The
+// paper's crawl is a multi-hour run over ~16k untrusted APKs; a crash at
+// hour three must not restart from zero. The pipeline's merge stage — the
+// single point where per-app outcomes are folded into the dataset in
+// deterministic chart order — append-logs each completed outcome here.
+// A resumed run replays the journal, re-applies the journaled telemetry
+// deltas, seeds the analysis cache with the journaled prototypes and skips
+// straight to the first unprocessed app, producing a SnapshotDataset
+// byte-identical to an uninterrupted run at any thread count.
+//
+// Durability contract: a record is either fully on disk (length + CRC frame,
+// fsync'd before the next app is dispatched) or it is not part of the run.
+// Torn tails — a crash mid-append — are detected by frame CRC on replay and
+// truncated away through util::AtomicFile, so the journal is always a valid
+// prefix of the merge order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "android/playstore.hpp"
+#include "core/records.hpp"
+
+namespace gauge::core {
+
+// Everything one crawl position produced, as journaled and as handed to the
+// merge stage. Deliberately carries no record ids or dataset references:
+// the merge stage owns all dataset ordering, so a replayed outcome is
+// indistinguishable from a freshly computed one.
+struct AppOutcome {
+  enum class Status : std::uint8_t { Ok = 0, DownloadFailed = 1, BadApk = 2 };
+  Status status = Status::Ok;
+  std::string package;  // for failure logs in merge order
+  std::string error;
+  AppRecord app;
+  struct Extracted {
+    std::string path;             // per-instance path inside this APK
+    std::uint64_t content_key = 0;  // analysis-cache key (content hash)
+    std::shared_ptr<const ModelRecord> proto;  // shared analysis prototype
+  };
+  std::vector<Extracted> extracted;
+  std::size_t models_rejected = 0;
+  // Candidate files whose every candidate framework lacks a parser, keyed
+  // by the framework the drop is attributed to (first candidate, enum
+  // order). Merged into SnapshotDataset::no_parser_drops.
+  std::map<std::string, std::size_t> no_parser;
+  // Telemetry counter deltas this app contributed (drops, crawl/validate
+  // tallies, cache hit/miss attribution). Re-applied verbatim on replay so
+  // a resumed run's counters match an uninterrupted run's.
+  std::map<std::string, std::int64_t> counters;
+};
+
+// Identity of the run a journal belongs to. Resuming against different
+// options would silently produce a different dataset, so open() refuses a
+// meta mismatch. Thread count is deliberately absent: any thread count
+// yields the same merge order.
+struct JournalMeta {
+  android::Snapshot snapshot = android::Snapshot::Apr2021;
+  std::string device_profile;
+  std::size_t max_apps_per_category = 0;
+  std::vector<std::string> categories;  // resolved crawl order
+
+  bool operator==(const JournalMeta&) const = default;
+};
+
+// Deterministic crash-injection seam, mirroring harness/fault.cpp: tests
+// (and the check.sh smoke) kill the pipeline at exact journal positions and
+// assert that resume reproduces the uninterrupted dataset. All counters are
+// 1-based indices of *fresh* appends in this process.
+struct CrashPlan {
+  // Throw CrashInjected after record N is durably appended.
+  int die_after_app = 0;
+  // Append only the first half of record N's frame (a torn header), fsync,
+  // then throw — replay must discard the fragment.
+  int die_mid_journal_write = 0;
+  // Append record N minus its trailing CRC byte, fsync, then throw — the
+  // payload is intact but the frame must still be rejected.
+  int torn_tail = 0;
+
+  bool armed() const {
+    return die_after_app > 0 || die_mid_journal_write > 0 || torn_tail > 0;
+  }
+};
+
+// Parses the CLI `--crash-plan` grammar: semicolon-separated directives
+//   die-after-app=N           die after app N's record is durable
+//   die-mid-journal-write=N   die halfway through writing app N's record
+//   torn-tail=N               die one byte short of completing app N's record
+util::Result<CrashPlan> parse_crash_plan(const std::string& spec);
+
+// Thrown at a CrashPlan injection point. Stands in for SIGKILL: everything
+// not yet journaled is lost, the journal file is exactly what a real crash
+// would leave behind.
+class CrashInjected : public std::runtime_error {
+ public:
+  explicit CrashInjected(const std::string& what)
+      : std::runtime_error{"crash injected: " + what} {}
+};
+
+class Journal {
+ public:
+  // The readable state of a journal file: its meta frame and the valid
+  // prefix of app records. Prototype payloads are stored once per content
+  // key (first occurrence); replay re-links later records to the same
+  // shared instance, mirroring the analysis cache.
+  struct Recovered {
+    JournalMeta meta;
+    std::vector<AppOutcome> outcomes;  // valid prefix, in merge order
+    std::size_t valid_bytes = 0;       // end of the last intact frame
+    bool torn_tail = false;  // trailing bytes discarded as torn/corrupt
+  };
+  static util::Result<Recovered> replay(const std::string& path);
+
+  struct Opened;  // defined below: needs the complete Journal type
+  // resume=false: creates (or truncates) the journal with a fresh meta
+  // frame. resume=true: replays the existing file, verifies `meta` matches,
+  // atomically truncates any torn tail, and reopens for appending.
+  static util::Result<Opened> open(const std::string& path,
+                                   const JournalMeta& meta, bool resume,
+                                   CrashPlan plan = {});
+
+  Journal(Journal&& other) noexcept;
+  Journal& operator=(Journal&& other) noexcept;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+  ~Journal();
+
+  // Appends one outcome frame and fsyncs it. Honours the CrashPlan: may
+  // throw CrashInjected (possibly after deliberately tearing the tail).
+  util::Status append(const AppOutcome& outcome);
+
+  // Fresh appends in this process (excludes replayed records).
+  std::size_t appended() const { return appended_; }
+
+ private:
+  Journal() = default;
+  void close();
+
+  int fd_ = -1;
+  CrashPlan plan_;
+  std::size_t appended_ = 0;
+  // Content keys whose prototype is already stored in the file (dedup).
+  std::set<std::uint64_t> written_keys_;
+};
+
+struct Journal::Opened {
+  Journal journal;
+  std::vector<AppOutcome> outcomes;  // empty for a fresh journal
+  bool torn_tail = false;            // a torn tail was repaired
+};
+
+}  // namespace gauge::core

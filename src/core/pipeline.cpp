@@ -4,6 +4,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <stdexcept>
 #include <utility>
 
 #include "android/detect.hpp"
@@ -106,41 +107,31 @@ ModelRecord analyse_model(ParsedModel parsed, const std::string& path) {
   return record;
 }
 
-// Everything one worker produces for one chart entry. Deliberately carries
-// no record ids or dataset references: the merge stage on the pipeline
-// thread owns all dataset ordering.
-struct AppOutcome {
-  enum class Status { Ok, DownloadFailed, BadApk };
-  Status status = Status::Ok;
-  std::string package;  // for failure logs in merge order
-  std::string error;
-  AppRecord app;
-  struct Extracted {
-    std::string path;            // per-instance path inside this APK
-    AnalysisCache::Proto proto;  // shared analysis prototype
-  };
-  std::vector<Extracted> extracted;
-  std::size_t models_rejected = 0;
-  // Candidate files whose every candidate framework lacks a parser, keyed
-  // by the framework the drop is attributed to (first candidate, enum
-  // order). Merged into SnapshotDataset::no_parser_drops.
-  std::map<std::string, std::size_t> no_parser;
-};
-
 // The complete per-app stage chain: download → apk-open → detect → extract
 // (validate → parse → analyse per candidate). Runs on the calling thread in
 // serial mode and on pool workers in parallel mode; everything it touches
 // besides the once-only cache and the telemetry registry is app-local.
+// The AppOutcome it fills (core/journal.hpp) is exactly what the journal
+// persists, including the counter deltas this app contributed.
 AppOutcome process_app(const android::PlayStore& play,
                        const PipelineOptions& options, AnalysisCache& cache,
                        const android::AppEntry& entry) {
   auto& metrics = telemetry::current_registry();
-  const auto drop = [&metrics](const char* reason) {
-    metrics.counter(std::string{"gauge.pipeline.drop."} + reason).increment();
-  };
 
   AppOutcome out;
   out.package = entry.package;
+
+  // Every registry increment this app makes funnels through `bump` so the
+  // delta lands in out.counters too — a resumed run re-applies the deltas
+  // verbatim instead of re-running the app.
+  const auto bump = [&metrics, &out](const std::string& name,
+                                     std::int64_t n = 1) {
+    metrics.counter(name).increment(n);
+    out.counters[name] += n;
+  };
+  const auto drop = [&bump](const char* reason) {
+    bump(std::string{"gauge.pipeline.drop."} + reason);
+  };
 
   // Root of the per-app stage spans. On a pool worker this is a root span
   // on its own thread (span parents never cross threads); the annotations
@@ -149,7 +140,7 @@ AppOutcome process_app(const android::PlayStore& play,
   app_span.annotate("package", entry.package);
   app_span.annotate("category", entry.category);
 
-  metrics.counter("gauge.pipeline.apps_crawled").increment();
+  bump("gauge.pipeline.apps_crawled");
 
   auto pkg = [&] {
     telemetry::Span span{"pipeline.download"};
@@ -164,13 +155,20 @@ AppOutcome process_app(const android::PlayStore& play,
   }
   auto apk = [&] {
     telemetry::Span span{"pipeline.apk_open"};
-    return android::Apk::open(std::move(pkg.value().apk));
+    return android::Apk::open(std::move(pkg.value().apk), options.zip_limits);
   }();
   if (!apk.ok()) {
     drop("bad_apk");
     out.status = AppOutcome::Status::BadApk;
     out.error = apk.error();
     return out;
+  }
+  // Hostile entry names (path traversal, absolute paths) were hidden by the
+  // zip reader; surface the count without failing the whole APK.
+  if (const std::size_t rejected = apk.value().rejected_entry_names();
+      rejected > 0) {
+    bump("gauge.pipeline.drop.bad_entry_name",
+         static_cast<std::int64_t>(rejected));
   }
 
   AppRecord& app = out.app;
@@ -218,7 +216,10 @@ AppOutcome process_app(const android::PlayStore& play,
     app.candidate_files++;
     const auto& data = read_entry(name);
     if (!data.ok()) {
-      drop("entry_read_failed");
+      // Entries tripping the inflation caps are an attack signature, not an
+      // I/O hiccup — give them their own drop bucket.
+      drop(zipfile::is_zip_bomb_error(data.error()) ? "zip_bomb"
+                                                    : "entry_read_failed");
       continue;
     }
     if (!registry.any_candidate_has_plugin(name)) {
@@ -228,9 +229,7 @@ AppOutcome process_app(const android::PlayStore& play,
       const auto candidates = registry.candidate_frameworks(name);
       const char* fw_name = registry.framework_name(candidates.front());
       drop("no_parser");
-      metrics
-          .counter(std::string{"gauge.pipeline.drop.no_parser."} + fw_name)
-          .increment();
+      bump(std::string{"gauge.pipeline.drop.no_parser."} + fw_name);
       ++out.no_parser[fw_name];
       ++out.models_rejected;
       continue;
@@ -266,9 +265,13 @@ AppOutcome process_app(const android::PlayStore& play,
     }
     // Once-only analysis: duplicates (the common case — off-the-shelf
     // models shipped by many apps) adopt the owner's prototype, even when
-    // owner and duplicate race on different workers.
+    // owner and duplicate race on different workers. The cache increments
+    // hit/miss registry counters itself; `computed` attributes the same
+    // delta to this outcome for journal replay.
+    bool computed = false;
     auto proto =
         cache.find_or_compute(content_key, [&]() -> AnalysisCache::Proto {
+          computed = true;
           auto parsed = [&] {
             telemetry::Span span{"pipeline.parse"};
             return parse_model(data.value(), weights, *framework);
@@ -282,10 +285,12 @@ AppOutcome process_app(const android::PlayStore& play,
           return std::make_shared<const ModelRecord>(
               analyse_model(std::move(*parsed), name));
         });
+    ++out.counters[computed ? "gauge.pipeline.cache_misses"
+                            : "gauge.pipeline.cache_hits"];
     if (!proto) continue;
     app.validated_models++;
-    out.extracted.push_back({name, std::move(proto)});
-    metrics.counter("gauge.pipeline.models_validated").increment();
+    out.extracted.push_back({name, content_key, std::move(proto)});
+    bump("gauge.pipeline.models_validated");
   }
   extract_span.reset();
 
@@ -348,6 +353,56 @@ SnapshotDataset run_pipeline(const android::PlayStore& play,
   std::set<std::string> crawled;  // apps can chart in several categories
   AnalysisCache cache;            // once-only across categories and workers
 
+  // Crash-safe journal (DESIGN.md §10): opened — and on resume, replayed —
+  // before any work is dispatched, so journaled prototypes are seeded ahead
+  // of the first fresh app. A journal that cannot be opened or that was
+  // written under different options is an operator error, not a per-app
+  // drop, hence the throw.
+  std::optional<Journal> journal;
+  std::vector<AppOutcome> replayed;
+  if (!options.journal_path.empty()) {
+    JournalMeta meta;
+    meta.snapshot = options.snapshot;
+    meta.device_profile = options.device_profile;
+    meta.max_apps_per_category = options.max_apps_per_category;
+    meta.categories = categories;
+    auto opened = Journal::open(options.journal_path, meta, options.resume,
+                                options.crash_plan);
+    if (!opened.ok()) throw std::runtime_error{opened.error()};
+    journal.emplace(std::move(opened.value().journal));
+    replayed = std::move(opened.value().outcomes);
+    if (opened.value().torn_tail) {
+      metrics.counter("gauge.pipeline.resume.torn_tail").increment();
+    }
+    if (!replayed.empty()) {
+      metrics.counter("gauge.pipeline.resume.skipped")
+          .increment(static_cast<std::int64_t>(replayed.size()));
+      std::int64_t replayed_models = 0;
+      for (const auto& out : replayed) {
+        replayed_models += static_cast<std::int64_t>(out.extracted.size());
+        // Re-apply the original run's telemetry deltas verbatim, and seed
+        // the analysis cache so post-resume duplicates adopt the journaled
+        // prototype instead of re-analysing.
+        for (const auto& [name, delta] : out.counters) {
+          metrics.counter(name).increment(delta);
+        }
+        for (const auto& extracted : out.extracted) {
+          cache.seed(extracted.content_key, extracted.proto);
+        }
+      }
+      metrics.counter("gauge.pipeline.resume.replayed_models")
+          .increment(replayed_models);
+      util::log_info(util::format("resuming: %zu apps replayed from journal",
+                                  replayed.size()));
+    }
+  }
+  std::size_t replay_index = 0;
+
+  const auto cancelled = [&options] {
+    return options.cancel != nullptr &&
+           options.cancel->load(std::memory_order_relaxed);
+  };
+
   std::optional<nn::ThreadPool> pool;
   if (options.threads > 0) pool.emplace(options.threads);
   // Bounded in-flight window: enough tasks to keep every worker busy while
@@ -357,6 +412,7 @@ SnapshotDataset run_pipeline(const android::PlayStore& play,
       pool ? std::max<std::size_t>(2 * pool->size(), 4) : 0;
 
   for (const auto& category : categories) {
+    if (dataset.interrupted) break;
     telemetry::Span category_span{"pipeline.category"};
     category_span.annotate("category", category);
     std::size_t apps_ok = 0, apps_failed = 0;
@@ -408,28 +464,53 @@ SnapshotDataset run_pipeline(const android::PlayStore& play,
       ++apps_ok;
     };
 
+    // Journal + merge: fresh outcomes are made durable before they are
+    // folded into the dataset, so the journal is always a strict prefix of
+    // the merge order and a crash between the two loses nothing that the
+    // dataset already contains. Append failure (disk full, injected crash)
+    // aborts the run — continuing would silently break resumability.
+    const auto complete = [&](AppOutcome out) {
+      if (journal) {
+        const auto appended = journal->append(out);
+        if (!appended.ok()) throw std::runtime_error{appended.error()};
+      }
+      merge(std::move(out));
+    };
+
     std::deque<std::future<AppOutcome>> in_flight;
     for (const android::AppEntry* entry : chart) {
+      if (cancelled()) break;
       if (!crawled.insert(entry->package).second) {
         drop("duplicate_app");
         continue;
       }
+      // Resume fast path: this crawl position completed in a previous run.
+      // Merge order is strictly chart order, so the journal is a prefix of
+      // the positions this loop visits — fold the journaled outcome back in
+      // without downloading, re-analysing or re-appending.
+      if (replay_index < replayed.size()) {
+        merge(std::move(replayed[replay_index++]));
+        continue;
+      }
       if (!pool) {  // serial fallback: same code path, same thread
-        merge(process_app(play, options, cache, *entry));
+        complete(process_app(play, options, cache, *entry));
         continue;
       }
       while (in_flight.size() >= window) {
-        merge(in_flight.front().get());
+        complete(in_flight.front().get());
         in_flight.pop_front();
       }
       in_flight.push_back(pool->submit([&play, &options, &cache, entry] {
         return process_app(play, options, cache, *entry);
       }));
     }
+    // Drain: also the cancellation path — in-flight apps are finished and
+    // journaled so the resume point is as far along as possible.
     while (!in_flight.empty()) {
-      merge(in_flight.front().get());
+      complete(in_flight.front().get());
       in_flight.pop_front();
     }
+    if (cancelled()) dataset.interrupted = true;
 
     metrics.counter("gauge.pipeline.categories").increment();
     std::string summary = util::format(
@@ -446,7 +527,21 @@ SnapshotDataset run_pipeline(const android::PlayStore& play,
     }
     util::log_info(summary);
   }
+  if (dataset.interrupted) {
+    util::log_warn(
+        "pipeline interrupted: dataset holds the journaled prefix only");
+  }
   return dataset;
+}
+
+std::uint64_t dataset_digest(const SnapshotDataset& dataset) {
+  constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+  std::uint64_t digest = util::fnv1a64(dataset.app_docs.query().to_jsonl());
+  digest =
+      digest * kFnvPrime + util::fnv1a64(dataset.model_docs.query().to_jsonl());
+  digest = digest * kFnvPrime + dataset.apps.size();
+  digest = digest * kFnvPrime + dataset.models.size();
+  return digest;
 }
 
 }  // namespace gauge::core

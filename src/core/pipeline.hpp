@@ -13,11 +13,15 @@
 // serial run regardless of thread count or completion order.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <thread>
 
 #include "android/playstore.hpp"
+#include "core/journal.hpp"
 #include "core/records.hpp"
+#include "zipfile/zip.hpp"
 
 namespace gauge::core {
 
@@ -32,6 +36,26 @@ struct PipelineOptions {
   // on the calling thread); the default is whatever the hardware offers.
   // Any value yields a byte-identical SnapshotDataset.
   unsigned threads = std::thread::hardware_concurrency();
+  // Crash-safe run journal (DESIGN.md §10). When set, every completed
+  // per-app outcome is append-logged (and fsync'd) to this file as it is
+  // merged. With `resume` the journal is replayed first: already-completed
+  // apps are skipped (their records and telemetry deltas re-applied, their
+  // analysis prototypes seeded into the cache) and the crawl continues from
+  // the first unprocessed app — the resulting SnapshotDataset is
+  // byte-identical to an uninterrupted run at any thread count. Journal
+  // misconfiguration (unreadable file, meta mismatch) throws.
+  std::string journal_path;
+  bool resume = false;
+  // Deterministic crash injection into the journal path (tests and the
+  // check.sh crash-resume smoke); see core::CrashPlan.
+  CrashPlan crash_plan;
+  // Cooperative cancellation (SIGINT): when the pointee becomes true the
+  // pipeline stops dispatching new apps, drains the in-flight window
+  // through the merge stage (journaling every drained outcome) and returns
+  // the partial dataset with `interrupted` set.
+  const std::atomic<bool>* cancel = nullptr;
+  // Zip extraction bounds for untrusted APK entries (zip-bomb guard).
+  zipfile::ReadLimits zip_limits;
 };
 
 struct SnapshotDataset {
@@ -44,6 +68,9 @@ struct SnapshotDataset {
   // keyed by framework name (first candidate, enum order). These count as
   // rejected models; the breakdown feeds the §3.1 report table.
   std::map<std::string, std::size_t> no_parser_drops;
+  // True when the run stopped early on PipelineOptions::cancel; the dataset
+  // is the journaled prefix and the run can be resumed.
+  bool interrupted = false;
 
   std::size_t apps_crawled() const { return apps.size(); }
   std::size_t ml_apps() const;
@@ -54,5 +81,11 @@ struct SnapshotDataset {
 
 SnapshotDataset run_pipeline(const android::PlayStore& play,
                              const PipelineOptions& options = {});
+
+// Order-sensitive digest over both DocStore mirrors plus the record counts:
+// two datasets agree on this iff they agree document-for-document (ids,
+// insertion order, every serialised field). Used by the parity and resume
+// tests and by `gaugenn_cli --digest`.
+std::uint64_t dataset_digest(const SnapshotDataset& dataset);
 
 }  // namespace gauge::core

@@ -1,17 +1,82 @@
 #include "util/fileio.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 namespace gauge::util {
 
-Status write_file(const std::string& path, std::string_view contents) {
-  std::ofstream out{path, std::ios::binary | std::ios::trunc};
-  if (!out) return Status::failure("cannot open for write: " + path);
-  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
-  if (!out) return Status::failure("short write: " + path);
+namespace {
+
+Status errno_failure(const std::string& what, const std::string& path) {
+  return Status::failure(what + " " + path + ": " + std::strerror(errno));
+}
+
+// Full-buffer write with EINTR handling.
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Best-effort fsync of the directory holding `path`, so a completed rename
+// survives power loss. Failure is ignored: some filesystems refuse directory
+// fsync and the rename itself is still ordered on the ones that matter.
+void sync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+std::string AtomicFile::temp_path() const { return path_ + ".tmp"; }
+
+Status AtomicFile::write(std::string_view contents) const {
+  const std::string tmp = temp_path();
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return errno_failure("cannot open for write:", tmp);
+  if (!write_all(fd, contents.data(), contents.size())) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return errno_failure("short write:", tmp);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return errno_failure("fsync:", tmp);
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return errno_failure("rename:", path_);
+  }
+  sync_parent_dir(path_);
   return {};
+}
+
+Status AtomicFile::write(const Bytes& contents) const {
+  return write(as_view(contents));
+}
+
+Status write_file(const std::string& path, std::string_view contents) {
+  return AtomicFile{path}.write(contents);
 }
 
 Status write_file(const std::string& path, const Bytes& contents) {
@@ -24,6 +89,12 @@ Result<std::string> read_text_file(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
+}
+
+Result<Bytes> read_file_bytes(const std::string& path) {
+  auto text = read_text_file(path);
+  if (!text.ok()) return Result<Bytes>::failure(text.error());
+  return to_bytes(text.value());
 }
 
 Status make_directories(const std::string& path) {

@@ -1,4 +1,6 @@
-// Minimal filesystem helpers for report artifacts.
+// Filesystem helpers for report artifacts and pipeline state. All writes go
+// through AtomicFile so a crash mid-write never leaves a half-written file
+// behind: readers see either the previous contents or the new ones.
 #pragma once
 
 #include <string>
@@ -8,9 +10,32 @@
 
 namespace gauge::util {
 
+// Crash-safe whole-file replacement. Contents land in a same-directory
+// temporary file, are fsync'd, then rename()d over the target, and finally
+// the parent directory is fsync'd so the rename itself is durable. A crash
+// at any point leaves either the old file or the new one — never a torn
+// mixture, never a visible temp file after recovery (stale temps are
+// clobbered by the next write).
+class AtomicFile {
+ public:
+  explicit AtomicFile(std::string path) : path_{std::move(path)} {}
+
+  Status write(std::string_view contents) const;
+  Status write(const Bytes& contents) const;
+
+  const std::string& path() const { return path_; }
+  // The temporary name used during a write (exposed for tests).
+  std::string temp_path() const;
+
+ private:
+  std::string path_;
+};
+
+// Atomic by construction (see AtomicFile).
 Status write_file(const std::string& path, std::string_view contents);
 Status write_file(const std::string& path, const Bytes& contents);
 Result<std::string> read_text_file(const std::string& path);
+Result<Bytes> read_file_bytes(const std::string& path);
 Status make_directories(const std::string& path);
 
 }  // namespace gauge::util

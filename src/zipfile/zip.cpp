@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/hash.hpp"
+#include "util/strings.hpp"
 #include "zipfile/deflate.hpp"
 
 namespace gauge::zipfile {
@@ -12,7 +13,33 @@ constexpr std::uint32_t kLocalHeaderSig = 0x04034b50;
 constexpr std::uint32_t kCentralDirSig = 0x02014b50;
 constexpr std::uint32_t kEocdSig = 0x06054b50;
 constexpr std::uint16_t kVersion = 20;
+constexpr std::uint32_t kLocalHeaderBytes = 30;  // fixed part, before name
+constexpr std::string_view kZipBombPrefix = "zip bomb";
 }  // namespace
+
+bool is_zip_bomb_error(std::string_view error) {
+  return error.substr(0, kZipBombPrefix.size()) == kZipBombPrefix;
+}
+
+bool safe_entry_name(std::string_view name) {
+  if (name.empty()) return false;
+  if (name.front() == '/') return false;
+  if (name.find('\\') != std::string_view::npos) return false;
+  if (name.find('\0') != std::string_view::npos) return false;
+  if (name.size() >= 2 && name[1] == ':') return false;  // drive letter
+  // Reject any "." or ".." path component.
+  std::size_t start = 0;
+  while (start <= name.size()) {
+    const std::size_t slash = name.find('/', start);
+    const std::string_view part =
+        name.substr(start, slash == std::string_view::npos ? name.size() - start
+                                                           : slash - start);
+    if (part == "." || part == "..") return false;
+    if (slash == std::string_view::npos) break;
+    start = slash + 1;
+  }
+  return true;
+}
 
 void ZipWriter::add(std::string name, std::span<const std::uint8_t> data,
                     std::optional<Method> force_method) {
@@ -104,7 +131,8 @@ util::Bytes ZipWriter::finish() const {
   return std::move(out).take();
 }
 
-util::Result<ZipReader> ZipReader::open(util::Bytes archive) {
+util::Result<ZipReader> ZipReader::open(util::Bytes archive,
+                                        ReadLimits limits) {
   using R = util::Result<ZipReader>;
   if (archive.size() < 22) return R::failure("archive too small");
 
@@ -133,6 +161,7 @@ util::Result<ZipReader> ZipReader::open(util::Bytes archive) {
   if (!eocd.ok() || cd_offset > archive.size()) return R::failure("bad EOCD");
 
   ZipReader reader;
+  reader.limits_ = limits;
   util::ByteReader cd{std::span<const std::uint8_t>{archive}.subspan(cd_offset)};
   for (std::uint16_t i = 0; i < total_entries; ++i) {
     if (cd.u32() != kCentralDirSig) return R::failure("bad central directory");
@@ -162,8 +191,35 @@ util::Result<ZipReader> ZipReader::open(util::Bytes archive) {
       return R::failure("entry offset beyond archive");
     }
     info.method = static_cast<Method>(method);
+    if (!safe_entry_name(info.name)) {
+      // Hidden, not fatal: one hostile name must not discard an otherwise
+      // valid APK. The count feeds `gauge.pipeline.drop.bad_entry_name`.
+      ++reader.rejected_entry_names_;
+      continue;
+    }
     reader.entries_.push_back(std::move(info));
   }
+
+  // Overlapping local-entry ranges are a tampering signature (two central
+  // directory rows aliasing the same bytes, e.g. to confuse verifiers).
+  // Each entry occupies at least header + name + compressed payload; sorted
+  // by offset, consecutive spans must not intersect.
+  std::vector<const EntryInfo*> by_offset;
+  by_offset.reserve(reader.entries_.size());
+  for (const auto& e : reader.entries_) by_offset.push_back(&e);
+  std::sort(by_offset.begin(), by_offset.end(),
+            [](const EntryInfo* a, const EntryInfo* b) {
+              return a->local_header_offset < b->local_header_offset;
+            });
+  std::uint64_t prev_end = 0;
+  for (const EntryInfo* e : by_offset) {
+    if (e->local_header_offset < prev_end) {
+      return R::failure("overlapping entries in central directory");
+    }
+    prev_end = static_cast<std::uint64_t>(e->local_header_offset) +
+               kLocalHeaderBytes + e->name.size() + e->compressed_size;
+  }
+
   reader.archive_ = std::move(archive);
   return reader;
 }
@@ -180,6 +236,27 @@ util::Result<util::Bytes> ZipReader::read(std::string_view name) const {
   if (it == entries_.end()) return R::failure("entry not found: " + std::string{name});
   if (it->local_header_offset >= archive_.size()) {
     return R::failure("corrupt entry offset");
+  }
+  // Zip-bomb guard: bound the inflated size before allocating anything. The
+  // declared sizes come from the (attacker-controlled) central directory,
+  // but inflate() itself is capped at the declared uncompressed size, so an
+  // entry cannot exceed what is checked here.
+  if (it->uncompressed_size > limits_.max_entry_bytes) {
+    return R::failure(util::format(
+        "zip bomb: entry '%s' declares %u inflated bytes (cap %llu)",
+        it->name.c_str(), it->uncompressed_size,
+        static_cast<unsigned long long>(limits_.max_entry_bytes)));
+  }
+  if (it->method == Method::Deflate &&
+      static_cast<std::uint64_t>(it->uncompressed_size) >
+          limits_.ratio_floor_bytes &&
+      static_cast<std::uint64_t>(it->uncompressed_size) >
+          static_cast<std::uint64_t>(it->compressed_size) *
+              limits_.max_compression_ratio) {
+    return R::failure(util::format(
+        "zip bomb: entry '%s' compression ratio %u:%u exceeds %u:1",
+        it->name.c_str(), it->uncompressed_size, it->compressed_size,
+        limits_.max_compression_ratio));
   }
 
   util::ByteReader hdr{

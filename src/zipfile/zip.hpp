@@ -5,6 +5,12 @@
 // Supported: store (method 0) and DEFLATE (method 8) entries, CRC-32
 // verification, central directory + EOCD. Not supported (not needed by the
 // pipeline): ZIP64, encryption, data descriptors, multi-disk archives.
+//
+// Hostile-input model (DESIGN.md §10): archives come from untrusted apps, so
+// open() rejects overlapping entry ranges and hides entries whose names
+// escape the archive root (path traversal, absolute paths), and read()
+// enforces inflation caps (absolute size and compression ratio) so a zip
+// bomb surfaces as an error instead of an OOM.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +24,30 @@
 namespace gauge::zipfile {
 
 enum class Method : std::uint16_t { Store = 0, Deflate = 8 };
+
+// Resource limits enforced by ZipReader::read on untrusted archives. The
+// defaults bound any single entry to 256 MiB inflated and a 100:1
+// compression ratio — far above anything a legitimate APK ships (the Play
+// base-apk cap is 100 MB) and far below what exhausts a crawler worker.
+// The ratio cap only applies past `ratio_floor_bytes` declared inflated
+// bytes: tiny repetitive payloads (string tables, manifests) legitimately
+// deflate past 100:1, and a bomb that can't clear the floor isn't a bomb.
+struct ReadLimits {
+  std::uint64_t max_entry_bytes = 256ull << 20;
+  std::uint32_t max_compression_ratio = 100;
+  std::uint64_t ratio_floor_bytes = 1ull << 20;
+};
+
+// True when an error string returned by ZipReader::read denotes a zip-bomb
+// rejection (the pipeline surfaces these as `gauge.pipeline.drop.zip_bomb`
+// rather than a generic read failure).
+bool is_zip_bomb_error(std::string_view error);
+
+// Entry-name hygiene: false for empty names, absolute paths (leading '/'),
+// Windows drive letters, backslashes, and any "." or ".." path component —
+// names that could escape the archive root if ever used to resolve
+// companion files or extraction targets.
+bool safe_entry_name(std::string_view name);
 
 struct EntryInfo {
   std::string name;
@@ -56,16 +86,22 @@ class ZipReader {
   // An empty reader (no entries); assign from open() to use.
   ZipReader() = default;
 
-  static util::Result<ZipReader> open(util::Bytes archive);
+  static util::Result<ZipReader> open(util::Bytes archive,
+                                      ReadLimits limits = {});
 
   const std::vector<EntryInfo>& entries() const { return entries_; }
   bool contains(std::string_view name) const;
-  // Extracts and CRC-verifies one entry.
+  // Extracts and CRC-verifies one entry, enforcing the open()-time limits.
   util::Result<util::Bytes> read(std::string_view name) const;
+  // Central-directory entries hidden by open() because their names failed
+  // safe_entry_name (path traversal / absolute paths).
+  std::size_t rejected_entry_names() const { return rejected_entry_names_; }
 
  private:
   util::Bytes archive_;
   std::vector<EntryInfo> entries_;
+  ReadLimits limits_;
+  std::size_t rejected_entry_names_ = 0;
 };
 
 }  // namespace gauge::zipfile

@@ -87,6 +87,32 @@ TEST(Apk, BuildAndOpen) {
   EXPECT_EQ(util::as_view(payload.value()), "payload");
 }
 
+TEST(Apk, HostileEntryNamesHiddenAndCounted) {
+  ApkSpec spec = minimal_spec();
+  spec.files.emplace_back("../evil.tflite", util::to_bytes("payload"));
+  spec.files.emplace_back("assets/legit.tflite", util::to_bytes("payload"));
+  auto apk = Apk::open(build_apk(spec));
+  ASSERT_TRUE(apk.ok()) << apk.error();
+  // One hostile name must not discard the APK — the entry is hidden and the
+  // count feeds `gauge.pipeline.drop.bad_entry_name`.
+  EXPECT_EQ(apk.value().rejected_entry_names(), 1u);
+  auto names = apk.value().entry_names();
+  EXPECT_EQ(std::find(names.begin(), names.end(), "../evil.tflite"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "assets/legit.tflite"),
+            names.end());
+  EXPECT_FALSE(apk.value().read("../evil.tflite").ok());
+}
+
+TEST(Apk, ReadLimitsPlumbedThroughToEntries) {
+  ApkSpec spec = minimal_spec();
+  zipfile::ReadLimits limits;
+  limits.max_entry_bytes = 8;  // below even the manifest's size
+  // The manifest itself is read through the limited reader, so an absurd
+  // cap surfaces as a failed open rather than a later surprise.
+  EXPECT_FALSE(Apk::open(build_apk(spec), limits).ok());
+}
+
 TEST(Apk, RejectsNonZipAndMissingParts) {
   EXPECT_FALSE(Apk::open(util::to_bytes("not a zip")).ok());
   zipfile::ZipWriter zip;

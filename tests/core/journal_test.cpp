@@ -1,0 +1,333 @@
+// Unit tests for the crash-safe run journal: frame round-trips, prototype
+// dedup/sharing, torn-tail recovery, meta verification and the crash-plan
+// grammar. The pipeline-level crash+resume identity lives in
+// pipeline_resume_test.cpp.
+#include "core/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/fileio.hpp"
+
+namespace gauge::core {
+namespace {
+
+std::string journal_path(const std::string& name) {
+  const auto base =
+      std::filesystem::temp_directory_path() / "gaugenn_test" / "journal";
+  std::filesystem::create_directories(base);
+  const auto path = base / name;
+  std::filesystem::remove(path);
+  return path.string();
+}
+
+JournalMeta sample_meta() {
+  JournalMeta meta;
+  meta.snapshot = android::Snapshot::Apr2021;
+  meta.device_profile = "SM-G977B";
+  meta.max_apps_per_category = 500;
+  meta.categories = {"communication", "photography"};
+  return meta;
+}
+
+std::shared_ptr<const ModelRecord> sample_proto(const std::string& checksum) {
+  ModelRecord proto;
+  proto.framework = formats::Framework::TfLite;
+  proto.file_path = "assets/model.tflite";
+  proto.file_bytes = 4096;
+  proto.checksum = checksum;
+  proto.architecture_checksum = "arch-" + checksum;
+  proto.modality = nn::Modality::Image;
+  proto.task = "image classification";
+  proto.int8_weights = true;
+  proto.near_zero_weight_fraction = 0.25;
+  auto analysis = std::make_shared<ModelAnalysis>();
+  nn::LayerCost layer;
+  layer.type = nn::LayerType::Conv2D;
+  layer.name = "conv_0";
+  layer.macs = 1000;
+  layer.flops = 2000;
+  layer.params = 64;
+  layer.bytes_read = 512;
+  layer.bytes_written = 256;
+  layer.output_shape.dims = {1, 16, 16, 8};
+  analysis->trace.layers.push_back(layer);
+  analysis->trace.total_macs = 1000;
+  analysis->trace.total_flops = 2000;
+  analysis->trace.total_params = 64;
+  analysis->layer_digests = {"d41d8cd9"};
+  analysis->op_family_counts["conv"] = 1;
+  proto.analysis = std::move(analysis);
+  return std::make_shared<const ModelRecord>(std::move(proto));
+}
+
+AppOutcome sample_outcome(const std::string& package, std::uint64_t key,
+                          std::shared_ptr<const ModelRecord> proto) {
+  AppOutcome out;
+  out.package = package;
+  out.app.package = package;
+  out.app.title = "Title of " + package;
+  out.app.category = "communication";
+  out.app.installs = 1000000;
+  out.app.uses_ml = true;
+  out.app.ml_stacks = {"tflite"};
+  out.app.cloud_providers = {"google-firebase"};
+  out.app.candidate_files = 2;
+  out.app.validated_models = 1;
+  out.extracted.push_back({"assets/model.tflite", key, std::move(proto)});
+  out.models_rejected = 1;
+  out.no_parser["sklearn"] = 1;
+  out.counters["gauge.pipeline.apps_crawled"] = 1;
+  out.counters["gauge.pipeline.drop.bad_signature"] = 1;
+  return out;
+}
+
+TEST(CrashPlan, GrammarParsesAllDirectives) {
+  const auto plan =
+      parse_crash_plan("die-after-app=3; die-mid-journal-write=7;torn-tail=9");
+  ASSERT_TRUE(plan.ok()) << plan.error();
+  EXPECT_EQ(plan.value().die_after_app, 3);
+  EXPECT_EQ(plan.value().die_mid_journal_write, 7);
+  EXPECT_EQ(plan.value().torn_tail, 9);
+  EXPECT_TRUE(plan.value().armed());
+}
+
+TEST(CrashPlan, EmptySpecIsUnarmed) {
+  const auto plan = parse_crash_plan("");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan.value().armed());
+}
+
+TEST(CrashPlan, RejectsBadIndexAndUnknownDirective) {
+  EXPECT_FALSE(parse_crash_plan("die-after-app=0").ok());
+  EXPECT_FALSE(parse_crash_plan("die-after-app=-2").ok());
+  EXPECT_FALSE(parse_crash_plan("die-after-app=x").ok());
+  EXPECT_FALSE(parse_crash_plan("die-after-app").ok());
+  EXPECT_FALSE(parse_crash_plan("sleep=5").ok());
+}
+
+TEST(Journal, AppendReplayRoundtrip) {
+  const std::string path = journal_path("roundtrip.jnl");
+  const auto meta = sample_meta();
+  auto opened = Journal::open(path, meta, /*resume=*/false);
+  ASSERT_TRUE(opened.ok()) << opened.error();
+
+  auto ok = sample_outcome("com.a", 11, sample_proto("c1"));
+  AppOutcome failed;
+  failed.status = AppOutcome::Status::DownloadFailed;
+  failed.package = "com.b";
+  failed.error = "device profile rejected";
+  failed.counters["gauge.pipeline.drop.download_failed"] = 1;
+  ASSERT_TRUE(opened.value().journal.append(ok).ok());
+  ASSERT_TRUE(opened.value().journal.append(failed).ok());
+  EXPECT_EQ(opened.value().journal.appended(), 2u);
+
+  auto recovered = Journal::replay(path);
+  ASSERT_TRUE(recovered.ok()) << recovered.error();
+  EXPECT_TRUE(recovered.value().meta == meta);
+  EXPECT_FALSE(recovered.value().torn_tail);
+  ASSERT_EQ(recovered.value().outcomes.size(), 2u);
+
+  const AppOutcome& r0 = recovered.value().outcomes[0];
+  EXPECT_EQ(r0.status, AppOutcome::Status::Ok);
+  EXPECT_EQ(r0.package, "com.a");
+  EXPECT_EQ(r0.app.title, "Title of com.a");
+  EXPECT_EQ(r0.app.installs, 1000000);
+  EXPECT_TRUE(r0.app.uses_ml);
+  EXPECT_EQ(r0.app.ml_stacks, std::vector<std::string>{"tflite"});
+  ASSERT_EQ(r0.extracted.size(), 1u);
+  EXPECT_EQ(r0.extracted[0].path, "assets/model.tflite");
+  EXPECT_EQ(r0.extracted[0].content_key, 11u);
+  ASSERT_NE(r0.extracted[0].proto, nullptr);
+  EXPECT_EQ(r0.extracted[0].proto->checksum, "c1");
+  EXPECT_EQ(r0.extracted[0].proto->task, "image classification");
+  EXPECT_TRUE(r0.extracted[0].proto->int8_weights);
+  EXPECT_DOUBLE_EQ(r0.extracted[0].proto->near_zero_weight_fraction, 0.25);
+  ASSERT_NE(r0.extracted[0].proto->analysis, nullptr);
+  const auto& trace = r0.extracted[0].proto->analysis->trace;
+  ASSERT_EQ(trace.layers.size(), 1u);
+  EXPECT_EQ(trace.layers[0].name, "conv_0");
+  EXPECT_EQ(trace.layers[0].macs, 1000);
+  EXPECT_EQ(trace.layers[0].output_shape.dims,
+            (std::vector<std::int64_t>{1, 16, 16, 8}));
+  EXPECT_EQ(r0.extracted[0].proto->analysis->op_family_counts.at("conv"), 1);
+  EXPECT_EQ(r0.models_rejected, 1u);
+  EXPECT_EQ(r0.no_parser.at("sklearn"), 1u);
+  EXPECT_EQ(r0.counters.at("gauge.pipeline.apps_crawled"), 1);
+
+  const AppOutcome& r1 = recovered.value().outcomes[1];
+  EXPECT_EQ(r1.status, AppOutcome::Status::DownloadFailed);
+  EXPECT_EQ(r1.error, "device profile rejected");
+  EXPECT_TRUE(r1.extracted.empty());
+}
+
+TEST(Journal, PrototypeStoredOnceAndSharedOnReplay) {
+  const std::string path = journal_path("dedup.jnl");
+  auto opened = Journal::open(path, sample_meta(), false);
+  ASSERT_TRUE(opened.ok());
+
+  const auto proto = sample_proto("shared");
+  ASSERT_TRUE(
+      opened.value().journal.append(sample_outcome("com.a", 42, proto)).ok());
+  const auto size_after_first = std::filesystem::file_size(path);
+  ASSERT_TRUE(
+      opened.value().journal.append(sample_outcome("com.b", 42, proto)).ok());
+  const auto size_after_second = std::filesystem::file_size(path);
+  // The second record references the content key instead of re-serialising
+  // the prototype, so it is much smaller than the first (which carries the
+  // meta frame too, making the bound generous).
+  EXPECT_LT(size_after_second - size_after_first, size_after_first / 2);
+
+  auto recovered = Journal::replay(path);
+  ASSERT_TRUE(recovered.ok()) << recovered.error();
+  ASSERT_EQ(recovered.value().outcomes.size(), 2u);
+  const auto& a = recovered.value().outcomes[0].extracted[0];
+  const auto& b = recovered.value().outcomes[1].extracted[0];
+  ASSERT_NE(a.proto, nullptr);
+  // Replay re-links duplicates to the SAME instance, mirroring the sharing
+  // the analysis cache established during the original run.
+  EXPECT_EQ(a.proto, b.proto);
+  EXPECT_EQ(b.proto->checksum, "shared");
+}
+
+TEST(Journal, ReplayDiscardsTornTailAndResumeRepairsIt) {
+  const std::string path = journal_path("torn.jnl");
+  {
+    auto opened = Journal::open(path, sample_meta(), false);
+    ASSERT_TRUE(opened.ok());
+    ASSERT_TRUE(opened.value()
+                    .journal.append(sample_outcome("com.a", 1, sample_proto("c")))
+                    .ok());
+  }
+  const auto intact_size = std::filesystem::file_size(path);
+  // Simulate a crash mid-append: half of a fresh frame lands after the
+  // intact records.
+  auto bytes = util::read_file_bytes(path);
+  ASSERT_TRUE(bytes.ok());
+  util::Bytes torn = bytes.value();
+  torn.insert(torn.end(), {0x47, 0x4a, 0x4c, 0x31, 0xff, 0xff});
+  ASSERT_TRUE(util::AtomicFile{path}.write(torn).ok());
+
+  auto recovered = Journal::replay(path);
+  ASSERT_TRUE(recovered.ok()) << recovered.error();
+  EXPECT_TRUE(recovered.value().torn_tail);
+  EXPECT_EQ(recovered.value().valid_bytes, intact_size);
+  ASSERT_EQ(recovered.value().outcomes.size(), 1u);
+
+  // Resume repairs the file down to its valid prefix and keeps appending.
+  auto resumed = Journal::open(path, sample_meta(), /*resume=*/true);
+  ASSERT_TRUE(resumed.ok()) << resumed.error();
+  EXPECT_TRUE(resumed.value().torn_tail);
+  EXPECT_EQ(std::filesystem::file_size(path), intact_size);
+  ASSERT_TRUE(resumed.value()
+                  .journal.append(sample_outcome("com.b", 2, sample_proto("d")))
+                  .ok());
+  auto after = Journal::replay(path);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after.value().torn_tail);
+  ASSERT_EQ(after.value().outcomes.size(), 2u);
+  EXPECT_EQ(after.value().outcomes[1].package, "com.b");
+}
+
+TEST(Journal, CorruptedPayloadEndsValidPrefix) {
+  const std::string path = journal_path("corrupt.jnl");
+  {
+    auto opened = Journal::open(path, sample_meta(), false);
+    ASSERT_TRUE(opened.ok());
+    ASSERT_TRUE(opened.value()
+                    .journal.append(sample_outcome("com.a", 1, sample_proto("c")))
+                    .ok());
+    ASSERT_TRUE(opened.value()
+                    .journal.append(sample_outcome("com.b", 2, sample_proto("e")))
+                    .ok());
+  }
+  auto bytes = util::read_file_bytes(path);
+  ASSERT_TRUE(bytes.ok());
+  util::Bytes flipped = bytes.value();
+  flipped[flipped.size() - 10] ^= 0x40;  // inside the last frame
+  ASSERT_TRUE(util::AtomicFile{path}.write(flipped).ok());
+
+  auto recovered = Journal::replay(path);
+  ASSERT_TRUE(recovered.ok()) << recovered.error();
+  EXPECT_TRUE(recovered.value().torn_tail);
+  ASSERT_EQ(recovered.value().outcomes.size(), 1u);
+  EXPECT_EQ(recovered.value().outcomes[0].package, "com.a");
+}
+
+TEST(Journal, ResumeRefusesMetaMismatch) {
+  const std::string path = journal_path("mismatch.jnl");
+  ASSERT_TRUE(Journal::open(path, sample_meta(), false).ok());
+  auto other = sample_meta();
+  other.categories = {"dating"};
+  const auto resumed = Journal::open(path, other, /*resume=*/true);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_NE(resumed.error().find("different options"), std::string::npos);
+}
+
+TEST(Journal, ReplayRejectsNonJournalFile) {
+  const std::string path = journal_path("not_a_journal.bin");
+  ASSERT_TRUE(
+      util::write_file(path, std::string_view{"plain text, no frames"}).ok());
+  EXPECT_FALSE(Journal::replay(path).ok());
+  EXPECT_FALSE(Journal::open(path, sample_meta(), true).ok());
+}
+
+TEST(Journal, ResumeOnMissingFileFails) {
+  EXPECT_FALSE(
+      Journal::open(journal_path("missing.jnl"), sample_meta(), true).ok());
+}
+
+TEST(Journal, DieAfterAppLeavesDurableRecord) {
+  const std::string path = journal_path("die_after.jnl");
+  CrashPlan plan;
+  plan.die_after_app = 2;
+  auto opened = Journal::open(path, sample_meta(), false, plan);
+  ASSERT_TRUE(opened.ok());
+  ASSERT_TRUE(opened.value()
+                  .journal.append(sample_outcome("com.a", 1, sample_proto("c")))
+                  .ok());
+  EXPECT_THROW(opened.value().journal.append(
+                   sample_outcome("com.b", 2, sample_proto("d"))),
+               CrashInjected);
+  // The record that triggered the crash is already durable — die-after-app
+  // crashes AFTER the fsync.
+  auto recovered = Journal::replay(path);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_FALSE(recovered.value().torn_tail);
+  EXPECT_EQ(recovered.value().outcomes.size(), 2u);
+}
+
+TEST(Journal, DieMidWriteLeavesRecoverableTorn) {
+  for (const bool torn_tail_mode : {false, true}) {
+    SCOPED_TRACE(torn_tail_mode);
+    const std::string path = journal_path(
+        torn_tail_mode ? "mid_torn.jnl" : "mid_half.jnl");
+    CrashPlan plan;
+    if (torn_tail_mode) {
+      plan.torn_tail = 2;
+    } else {
+      plan.die_mid_journal_write = 2;
+    }
+    auto opened = Journal::open(path, sample_meta(), false, plan);
+    ASSERT_TRUE(opened.ok());
+    ASSERT_TRUE(
+        opened.value()
+            .journal.append(sample_outcome("com.a", 1, sample_proto("c")))
+            .ok());
+    EXPECT_THROW(opened.value().journal.append(
+                     sample_outcome("com.b", 2, sample_proto("d"))),
+                 CrashInjected);
+    // Only the fragment of record 2 hit the disk; replay keeps record 1 and
+    // flags the tail — even in torn-tail mode where just one byte (the last
+    // CRC byte) is missing.
+    auto recovered = Journal::replay(path);
+    ASSERT_TRUE(recovered.ok());
+    EXPECT_TRUE(recovered.value().torn_tail);
+    ASSERT_EQ(recovered.value().outcomes.size(), 1u);
+    EXPECT_EQ(recovered.value().outcomes[0].package, "com.a");
+  }
+}
+
+}  // namespace
+}  // namespace gauge::core

@@ -16,19 +16,13 @@
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "telemetry/metrics.hpp"
-#include "util/hash.hpp"
 
 namespace gauge::core {
 namespace {
 
-std::uint64_t dataset_digest(const SnapshotDataset& d) {
-  constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
-  std::uint64_t h = util::fnv1a64(d.app_docs.query().to_jsonl());
-  h = h * kFnvPrime + util::fnv1a64(d.model_docs.query().to_jsonl());
-  h = h * kFnvPrime + d.apps.size();
-  h = h * kFnvPrime + d.models.size();
-  return h;
-}
+// Digest comes from core::dataset_digest — the same function the resume
+// tests and `gaugenn_cli --digest` use, pinned here against the
+// pre-refactor pipeline's output.
 
 TEST(PipelineParity, ByteIdenticalToPreRefactorPipeline) {
   constexpr std::uint64_t kPinnedDigest = 0x0d98560a33403517ULL;

@@ -1,0 +1,298 @@
+// Crash + resume identity for the journaled pipeline: a run killed at any
+// injection point — after a durable append, halfway through a frame, or one
+// byte short of a complete frame — must, after resume at any thread count,
+// produce a SnapshotDataset byte-identical to an uninterrupted run, with
+// telemetry counters to match and without re-analysing replayed apps.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "core/journal.hpp"
+#include "core/pipeline.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace gauge::core {
+namespace {
+
+constexpr std::size_t kAppsPerCategory = 120;
+
+std::string journal_path(const std::string& name) {
+  const auto base =
+      std::filesystem::temp_directory_path() / "gaugenn_test" / "resume";
+  std::filesystem::create_directories(base);
+  const auto path = base / name;
+  std::filesystem::remove(path);
+  return path.string();
+}
+
+PipelineOptions base_options(unsigned threads) {
+  PipelineOptions options;
+  options.categories = {"communication"};
+  options.max_apps_per_category = kAppsPerCategory;
+  options.threads = threads;
+  return options;
+}
+
+const android::PlayStore& play() {
+  static const android::PlayStore kPlay{android::StoreConfig{}};
+  return kPlay;
+}
+
+// Pipeline counters that must match an uninterrupted run exactly. The
+// resume.* counters are the resume mechanism's own bookkeeping and are
+// asserted separately.
+std::map<std::string, std::int64_t> pipeline_counters(
+    const telemetry::MetricsRegistry& registry) {
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, value] : registry.counters()) {
+    if (name.starts_with("gauge.pipeline.") &&
+        !name.starts_with("gauge.pipeline.resume.")) {
+      out[name] = value;
+    }
+  }
+  return out;
+}
+
+std::int64_t counter_value(const telemetry::MetricsRegistry& registry,
+                           const std::string& name) {
+  for (const auto& [counter, value] : registry.counters()) {
+    if (counter == name) return value;
+  }
+  return 0;
+}
+
+std::size_t span_count(const telemetry::MetricsRegistry& registry,
+                       const std::string& name) {
+  std::size_t count = 0;
+  for (const auto& span : registry.spans()) {
+    if (span.name == name) ++count;
+  }
+  return count;
+}
+
+struct Baseline {
+  std::uint64_t digest = 0;
+  std::map<std::string, std::int64_t> counters;
+};
+
+const Baseline& baseline() {
+  static const Baseline kBaseline = [] {
+    telemetry::MetricsRegistry registry;
+    telemetry::ScopedRegistry scope{registry};
+    const auto data = run_pipeline(play(), base_options(/*threads=*/8));
+    Baseline b;
+    b.digest = dataset_digest(data);
+    b.counters = pipeline_counters(registry);
+    return b;
+  }();
+  return kBaseline;
+}
+
+// Runs the pipeline with `plan` armed at threads=0 (merge order == compute
+// order, so journaled counter attribution is exact) and expects the injected
+// crash. Returns the journal path.
+std::string crashed_run(const std::string& name, const CrashPlan& plan) {
+  const std::string path = journal_path(name);
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scope{registry};
+  auto options = base_options(/*threads=*/0);
+  options.journal_path = path;
+  options.crash_plan = plan;
+  EXPECT_THROW(run_pipeline(play(), options), CrashInjected);
+  return path;
+}
+
+class PipelineResume
+    : public ::testing::TestWithParam<std::tuple<std::string, int, unsigned>> {
+};
+
+TEST_P(PipelineResume, CrashThenResumeIsByteIdentical) {
+  const auto& [mode, record, resume_threads] = GetParam();
+  CrashPlan plan;
+  std::size_t expect_skipped = 0;
+  bool expect_torn = false;
+  if (mode == "die-after-app") {
+    plan.die_after_app = record;
+    expect_skipped = static_cast<std::size_t>(record);
+  } else if (mode == "die-mid-journal-write") {
+    plan.die_mid_journal_write = record;
+    expect_skipped = static_cast<std::size_t>(record) - 1;
+    expect_torn = true;
+  } else {
+    plan.torn_tail = record;
+    expect_skipped = static_cast<std::size_t>(record) - 1;
+    expect_torn = true;
+  }
+  const std::string path = crashed_run(
+      mode + "_" + std::to_string(record) + "_t" +
+          std::to_string(resume_threads) + ".jnl",
+      plan);
+
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scope{registry};
+  auto options = base_options(resume_threads);
+  options.journal_path = path;
+  options.resume = true;
+  const auto data = run_pipeline(play(), options);
+
+  EXPECT_FALSE(data.interrupted);
+  EXPECT_EQ(dataset_digest(data), baseline().digest);
+  EXPECT_EQ(pipeline_counters(registry), baseline().counters);
+  EXPECT_EQ(counter_value(registry, "gauge.pipeline.resume.skipped"),
+            static_cast<std::int64_t>(expect_skipped));
+  EXPECT_EQ(counter_value(registry, "gauge.pipeline.resume.torn_tail"),
+            expect_torn ? 1 : 0);
+  // Replayed apps are not re-processed: only the fresh tail gets app spans
+  // (and with counter parity above, no replayed model was re-analysed).
+  EXPECT_EQ(span_count(registry, "pipeline.app"),
+            kAppsPerCategory - expect_skipped);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Injections, PipelineResume,
+    ::testing::Combine(::testing::Values("die-after-app",
+                                         "die-mid-journal-write", "torn-tail"),
+                       ::testing::Values(1, 60, 119),
+                       ::testing::Values(0u, 1u, 8u)),
+    [](const auto& info) {
+      auto name = std::get<0>(info.param) + "_" +
+                  std::to_string(std::get<1>(info.param)) + "_threads" +
+                  std::to_string(std::get<2>(info.param));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(PipelineResumeExtra, ParallelCrashStillResumesByteIdentical) {
+  // Crashing a parallel run journals whatever prefix was merged before the
+  // injected crash; resume must still converge to the identical dataset.
+  const std::string path = journal_path("parallel_crash.jnl");
+  {
+    telemetry::MetricsRegistry registry;
+    telemetry::ScopedRegistry scope{registry};
+    auto options = base_options(/*threads=*/8);
+    options.journal_path = path;
+    options.crash_plan.die_after_app = 60;
+    EXPECT_THROW(run_pipeline(play(), options), CrashInjected);
+  }
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scope{registry};
+  auto options = base_options(/*threads=*/8);
+  options.journal_path = path;
+  options.resume = true;
+  const auto data = run_pipeline(play(), options);
+  EXPECT_EQ(dataset_digest(data), baseline().digest);
+  EXPECT_EQ(counter_value(registry, "gauge.pipeline.resume.skipped"), 60);
+}
+
+TEST(PipelineResumeExtra, CrashInSecondCategoryResumesAcrossBoundary) {
+  PipelineOptions uninterrupted;
+  uninterrupted.categories = {"communication", "photography"};
+  uninterrupted.max_apps_per_category = 40;
+  uninterrupted.threads = 4;
+  const auto expected = dataset_digest(run_pipeline(play(), uninterrupted));
+
+  const std::string path = journal_path("cross_category.jnl");
+  {
+    auto options = uninterrupted;
+    options.threads = 0;
+    options.journal_path = path;
+    options.crash_plan.die_after_app = 55;  // 15 apps into photography
+    EXPECT_THROW(run_pipeline(play(), options), CrashInjected);
+  }
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scope{registry};
+  auto options = uninterrupted;
+  options.journal_path = path;
+  options.resume = true;
+  const auto data = run_pipeline(play(), options);
+  EXPECT_EQ(dataset_digest(data), expected);
+  EXPECT_EQ(counter_value(registry, "gauge.pipeline.resume.skipped"), 55);
+}
+
+TEST(PipelineResumeExtra, ResumeAfterCompletionReplaysEverything) {
+  const std::string path = journal_path("complete.jnl");
+  {
+    auto options = base_options(/*threads=*/4);
+    options.journal_path = path;
+    EXPECT_EQ(dataset_digest(run_pipeline(play(), options)),
+              baseline().digest);
+  }
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scope{registry};
+  auto options = base_options(/*threads=*/4);
+  options.journal_path = path;
+  options.resume = true;
+  const auto data = run_pipeline(play(), options);
+  EXPECT_EQ(dataset_digest(data), baseline().digest);
+  EXPECT_EQ(pipeline_counters(registry), baseline().counters);
+  // Nothing left to do: every app replays, none re-runs.
+  EXPECT_EQ(span_count(registry, "pipeline.app"), 0u);
+}
+
+TEST(PipelineResumeExtra, JournalWithoutResumeStartsOver) {
+  const std::string path = journal_path("start_over.jnl");
+  {
+    CrashPlan plan;
+    plan.die_after_app = 30;
+    auto options = base_options(/*threads=*/0);
+    options.journal_path = path;
+    options.crash_plan = plan;
+    EXPECT_THROW(run_pipeline(play(), options), CrashInjected);
+  }
+  // resume=false truncates: the run recomputes everything and the journal
+  // ends up holding the complete run.
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scope{registry};
+  auto options = base_options(/*threads=*/4);
+  options.journal_path = path;
+  const auto data = run_pipeline(play(), options);
+  EXPECT_EQ(dataset_digest(data), baseline().digest);
+  EXPECT_EQ(counter_value(registry, "gauge.pipeline.resume.skipped"), 0);
+  auto recovered = Journal::replay(path);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value().outcomes.size(), kAppsPerCategory);
+}
+
+TEST(PipelineResumeExtra, ResumeWithDifferentOptionsThrows) {
+  const std::string path = journal_path("meta_mismatch.jnl");
+  {
+    auto options = base_options(/*threads=*/0);
+    options.journal_path = path;
+    options.crash_plan.die_after_app = 5;
+    EXPECT_THROW(run_pipeline(play(), options), CrashInjected);
+  }
+  auto options = base_options(/*threads=*/0);
+  options.categories = {"photography"};  // not what the journal was built for
+  options.journal_path = path;
+  options.resume = true;
+  EXPECT_THROW(run_pipeline(play(), options), std::runtime_error);
+}
+
+TEST(PipelineResumeExtra, CancelProducesResumableInterruptedDataset) {
+  const std::string path = journal_path("cancel.jnl");
+  {
+    std::atomic<bool> cancel{true};  // cancel before the first app
+    auto options = base_options(/*threads=*/4);
+    options.journal_path = path;
+    options.cancel = &cancel;
+    const auto data = run_pipeline(play(), options);
+    EXPECT_TRUE(data.interrupted);
+    EXPECT_EQ(data.apps.size(), 0u);
+  }
+  std::atomic<bool> cancel{false};
+  auto options = base_options(/*threads=*/4);
+  options.journal_path = path;
+  options.resume = true;
+  options.cancel = &cancel;
+  const auto data = run_pipeline(play(), options);
+  EXPECT_FALSE(data.interrupted);
+  EXPECT_EQ(dataset_digest(data), baseline().digest);
+}
+
+}  // namespace
+}  // namespace gauge::core

@@ -140,6 +140,30 @@ TEST(Pipeline, OldDeviceProfileSeesSameModels) {
   EXPECT_EQ(ca, cb);
 }
 
+TEST(Pipeline, ZipLimitsClassifyBombDropsWithoutKillingApps) {
+  // An aggressive inflation cap (4 KiB sits above every manifest/dex in the
+  // store but below most model payloads) must drop the oversized entries as
+  // `zip_bomb` — per-entry, not per-APK: the apps themselves still crawl.
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scoped{registry};
+  PipelineOptions options;
+  options.categories = {"dating"};
+  options.max_apps_per_category = 30;
+  options.threads = 0;
+  options.zip_limits.max_entry_bytes = 4096;
+  const auto capped = run_pipeline(play(), options);
+
+  options.zip_limits = {};
+  const auto uncapped = run_pipeline(play(), options);
+
+  EXPECT_GT(registry.counter("gauge.pipeline.drop.zip_bomb").value(), 0);
+  EXPECT_LT(capped.models.size(), uncapped.models.size());
+  EXPECT_EQ(capped.apps.size(), uncapped.apps.size());
+  // Generic read failures are a different bucket and stay untouched here.
+  EXPECT_EQ(registry.counter("gauge.pipeline.drop.entry_read_failed").value(),
+            0);
+}
+
 TEST(Pipeline, TelemetryStageMetricsPopulated) {
   telemetry::MetricsRegistry registry;
   std::size_t model_count = 0;

@@ -153,5 +153,177 @@ TEST_P(ParserFuzz, PureGarbageRejectedEverywhere) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(0, 8));
 
+// Crafted (not random) hostile archives: each corpus models a known attack
+// on zip readers. All must surface as clean errors or hidden entries with
+// the matching classification — never a crash, hang or OOM.
+
+// Returns the offset of the `index`-th central-directory record.
+std::size_t cd_record_offset(const util::Bytes& zip, int index) {
+  int seen = 0;
+  for (std::size_t pos = 0; pos + 4 <= zip.size(); ++pos) {
+    if (zip[pos] == 0x50 && zip[pos + 1] == 0x4b && zip[pos + 2] == 0x01 &&
+        zip[pos + 3] == 0x02) {
+      if (seen++ == index) return pos;
+    }
+  }
+  ADD_FAILURE() << "central directory record " << index << " not found";
+  return 0;
+}
+
+void patch_u32(util::Bytes& zip, std::size_t pos, std::uint32_t value) {
+  ASSERT_LE(pos + 4, zip.size());
+  zip[pos] = static_cast<std::uint8_t>(value);
+  zip[pos + 1] = static_cast<std::uint8_t>(value >> 8);
+  zip[pos + 2] = static_cast<std::uint8_t>(value >> 16);
+  zip[pos + 3] = static_cast<std::uint8_t>(value >> 24);
+}
+
+util::Bytes compressible_zip(const std::string& name) {
+  zipfile::ZipWriter writer;
+  writer.add(name, std::string_view{std::string(4096, 'a')},
+             zipfile::Method::Deflate);
+  return writer.finish();
+}
+
+TEST(HostileZip, DeclaredSizeBombRejectedBeforeAllocation) {
+  // A classic bomb declares a huge inflated size in the (attacker
+  // controlled) central directory. usize sits at +24 in the CD record.
+  auto zip = compressible_zip("assets/huge.bin");
+  patch_u32(zip, cd_record_offset(zip, 0) + 24, 0xf0000000u);  // ~3.75 GiB
+  auto reader = zipfile::ZipReader::open(std::move(zip));
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  const auto data = reader.value().read("assets/huge.bin");
+  ASSERT_FALSE(data.ok());
+  EXPECT_TRUE(zipfile::is_zip_bomb_error(data.error())) << data.error();
+}
+
+TEST(HostileZip, CompressionRatioCapTrips) {
+  // 4096 'a' bytes deflate to a handful — with a tight ratio cap (and the
+  // small-entry floor lowered so it applies) the entry classifies as a
+  // bomb even though its absolute size is harmless.
+  zipfile::ReadLimits limits;
+  limits.max_compression_ratio = 2;
+  limits.ratio_floor_bytes = 0;
+  auto reader = zipfile::ZipReader::open(compressible_zip("a.bin"), limits);
+  ASSERT_TRUE(reader.ok());
+  const auto data = reader.value().read("a.bin");
+  ASSERT_FALSE(data.ok());
+  EXPECT_TRUE(zipfile::is_zip_bomb_error(data.error())) << data.error();
+}
+
+TEST(HostileZip, RatioFloorSparesSmallRepetitiveEntries) {
+  // Legitimate tiny payloads (manifests, string tables) routinely deflate
+  // past 100:1; below the floor the ratio cap must not fire.
+  auto reader = zipfile::ZipReader::open(compressible_zip("a.bin"));
+  ASSERT_TRUE(reader.ok());
+  const auto data = reader.value().read("a.bin");
+  ASSERT_TRUE(data.ok()) << data.error();
+  EXPECT_EQ(data.value().size(), 4096u);
+}
+
+TEST(HostileZip, EntrySizeCapTrips) {
+  zipfile::ReadLimits limits;
+  limits.max_entry_bytes = 100;
+  auto reader = zipfile::ZipReader::open(compressible_zip("a.bin"), limits);
+  ASSERT_TRUE(reader.ok());
+  const auto data = reader.value().read("a.bin");
+  ASSERT_FALSE(data.ok());
+  EXPECT_TRUE(zipfile::is_zip_bomb_error(data.error())) << data.error();
+}
+
+TEST(HostileZip, OrdinaryReadFailureIsNotClassifiedAsBomb) {
+  auto reader = zipfile::ZipReader::open(compressible_zip("a.bin"));
+  ASSERT_TRUE(reader.ok());
+  const auto missing = reader.value().read("nope.bin");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_FALSE(zipfile::is_zip_bomb_error(missing.error()));
+}
+
+TEST(HostileZip, TraversalAndAbsoluteNamesHiddenNotFatal) {
+  zipfile::ZipWriter writer;
+  writer.add("assets/good.tflite", std::string_view{"fine"});
+  writer.add("../../etc/passwd", std::string_view{"evil"});
+  writer.add("/abs/path.so", std::string_view{"evil"});
+  writer.add("a\\b.dll", std::string_view{"evil"});
+  writer.add("c:/windows/evil", std::string_view{"evil"});
+  writer.add("nested/./sneaky", std::string_view{"evil"});
+  auto reader = zipfile::ZipReader::open(writer.finish());
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(reader.value().rejected_entry_names(), 5u);
+  ASSERT_EQ(reader.value().entries().size(), 1u);
+  EXPECT_EQ(reader.value().entries()[0].name, "assets/good.tflite");
+  const auto good = reader.value().read("assets/good.tflite");
+  ASSERT_TRUE(good.ok());
+  EXPECT_FALSE(reader.value().contains("../../etc/passwd"));
+}
+
+TEST(HostileZip, SafeEntryNamePredicate) {
+  EXPECT_TRUE(zipfile::safe_entry_name("assets/models/m.tflite"));
+  EXPECT_TRUE(zipfile::safe_entry_name("a..b/file..txt"));  // dots in names ok
+  EXPECT_FALSE(zipfile::safe_entry_name(""));
+  EXPECT_FALSE(zipfile::safe_entry_name("/etc/passwd"));
+  EXPECT_FALSE(zipfile::safe_entry_name("../up"));
+  EXPECT_FALSE(zipfile::safe_entry_name("a/../b"));
+  EXPECT_FALSE(zipfile::safe_entry_name("a/."));
+  EXPECT_FALSE(zipfile::safe_entry_name("a\\b"));
+  EXPECT_FALSE(zipfile::safe_entry_name("C:/evil"));
+  EXPECT_FALSE(zipfile::safe_entry_name(std::string_view{"a\0b", 3}));
+}
+
+TEST(HostileZip, TruncatedEocdRejected) {
+  auto zip = compressible_zip("a.bin");
+  for (const std::size_t cut : {std::size_t{1}, std::size_t{8},
+                                std::size_t{21}}) {
+    util::Bytes truncated{zip.begin(),
+                          zip.end() - static_cast<std::ptrdiff_t>(cut)};
+    EXPECT_FALSE(zipfile::ZipReader::open(std::move(truncated)).ok()) << cut;
+  }
+  EXPECT_FALSE(zipfile::ZipReader::open(util::Bytes{}).ok());
+}
+
+TEST(HostileZip, OverlappingCentralDirectoryRejected) {
+  zipfile::ZipWriter writer;
+  writer.add("first.bin", std::string_view{std::string(64, 'x')});
+  writer.add("second.bin", std::string_view{std::string(64, 'y')});
+  auto zip = writer.finish();
+  // Point the second CD record's local-header offset (at +42) at the first
+  // entry's bytes: two rows aliasing the same region.
+  patch_u32(zip, cd_record_offset(zip, 1) + 42, 0);
+  const auto reader = zipfile::ZipReader::open(std::move(zip));
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("overlapping"), std::string::npos);
+}
+
+TEST(HostileZip, BadCrcRejectedOnRead) {
+  // Stored entry: no inflation caps in the way, the CRC check must fire.
+  zipfile::ZipWriter writer;
+  writer.add("a.bin", std::string_view{std::string(256, 'q')},
+             zipfile::Method::Store);
+  auto zip = writer.finish();
+  patch_u32(zip, cd_record_offset(zip, 0) + 16, 0xdeadbeefu);  // crc at +16
+  auto reader = zipfile::ZipReader::open(std::move(zip));
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  const auto data = reader.value().read("a.bin");
+  ASSERT_FALSE(data.ok());
+  EXPECT_NE(data.error().find("CRC"), std::string::npos);
+  EXPECT_FALSE(zipfile::is_zip_bomb_error(data.error()));
+}
+
+TEST(HostileZip, ZeroSizeWithNonzeroCompressedRejected) {
+  // usize=0 with a non-empty payload: the inflate/store result can never
+  // match the declared size, and must fail cleanly rather than crash.
+  for (const auto method : {zipfile::Method::Store, zipfile::Method::Deflate}) {
+    zipfile::ZipWriter writer;
+    writer.add("z.bin", std::string_view{std::string(256, 'q')}, method);
+    auto zip = writer.finish();
+    const std::size_t cd = cd_record_offset(zip, 0);
+    patch_u32(zip, cd + 24, 0);  // declared uncompressed size -> 0
+    auto reader = zipfile::ZipReader::open(std::move(zip));
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    const auto data = reader.value().read("z.bin");
+    EXPECT_FALSE(data.ok());
+  }
+}
+
 }  // namespace
 }  // namespace gauge

@@ -1,0 +1,74 @@
+// AtomicFile: the durability primitive under the run journal and every
+// report artifact. Write-tmp-fsync-rename means a reader (or a recovering
+// process) only ever sees the previous contents or the new ones.
+#include "util/fileio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace gauge::util {
+namespace {
+
+std::string temp_dir(const std::string& name) {
+  const auto base = std::filesystem::temp_directory_path() / "gaugenn_test";
+  const auto dir = base / name;
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+TEST(AtomicFile, WritesContentsAndCleansUpTemp) {
+  const std::string path = temp_dir("atomic") + "/fresh.txt";
+  const AtomicFile file{path};
+  ASSERT_TRUE(file.write(std::string_view{"payload"}).ok());
+  const auto back = read_text_file(path);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(back.value(), "payload");
+  EXPECT_FALSE(std::filesystem::exists(file.temp_path()));
+}
+
+TEST(AtomicFile, ReplacesExistingFileWhole) {
+  const std::string path = temp_dir("atomic") + "/replace.txt";
+  const AtomicFile file{path};
+  ASSERT_TRUE(file.write(std::string_view{"the old, longer contents"}).ok());
+  ASSERT_TRUE(file.write(std::string_view{"new"}).ok());
+  const auto back = read_text_file(path);
+  ASSERT_TRUE(back.ok());
+  // Whole-file replacement: no tail of the longer previous version survives.
+  EXPECT_EQ(back.value(), "new");
+}
+
+TEST(AtomicFile, StaleTempIsClobberedNotAppended) {
+  const std::string path = temp_dir("atomic") + "/stale.txt";
+  const AtomicFile file{path};
+  // A crash between tmp-write and rename leaves a temp file behind; the next
+  // write must overwrite it, not trip over it.
+  ASSERT_TRUE(write_file(file.temp_path(), std::string_view{"leftover junk"})
+                  .ok());
+  ASSERT_TRUE(file.write(std::string_view{"clean"}).ok());
+  const auto back = read_text_file(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), "clean");
+  EXPECT_FALSE(std::filesystem::exists(file.temp_path()));
+}
+
+TEST(AtomicFile, MissingDirectoryFailsWithoutArtifacts) {
+  const std::string path =
+      temp_dir("atomic") + "/no_such_subdir/out.txt";
+  const AtomicFile file{path};
+  EXPECT_FALSE(file.write(std::string_view{"x"}).ok());
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(file.temp_path()));
+}
+
+TEST(AtomicFile, BytesOverloadRoundtripsBinary) {
+  const std::string path = temp_dir("atomic") + "/bin.dat";
+  Bytes payload = {0x00, 0xff, 0x47, 0x4a, 0x4c, 0x31, 0x00, 0x7f};
+  ASSERT_TRUE(AtomicFile{path}.write(payload).ok());
+  const auto back = read_file_bytes(path);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(back.value(), payload);
+}
+
+}  // namespace
+}  // namespace gauge::util
