@@ -1,11 +1,20 @@
 // Fig. 11 — inference throughput vs batch size (2/5/10/25 samples, 4
 // threads) across the three phones, over the models that run everywhere.
+//
+// Also emits each zoo archetype's batch-latency curve as machine-readable
+// JSON via serve::measure_batch_curve — the *same* numbers the serving
+// batcher's frontier tuning uses (src/serve/batch.hpp), so notebooks and
+// the Serve tests consume one source of truth.
 #include <algorithm>
 #include <array>
 #include <cmath>
 
 #include "bench/common.hpp"
 #include "device/soc.hpp"
+#include "nn/checksum.hpp"
+#include "nn/trace.hpp"
+#include "nn/zoo.hpp"
+#include "serve/batch.hpp"
 
 int main() {
   using namespace gauge;
@@ -58,5 +67,24 @@ int main() {
                                    geomean_tput["A20"][25]),
                   "5.42x"});
   util::print_section("Cross-device ratios", ratios.render());
+
+  // Machine-readable curves, one JSON line per (device, archetype): the
+  // serving batcher derives its frontier from exactly these measurements.
+  std::printf("Batch-latency curves (serve frontier input)\n");
+  for (const auto& dev : phones) {
+    for (const auto& archetype : nn::zoo_archetypes()) {
+      nn::ZooSpec spec;
+      spec.archetype = archetype;
+      spec.name = archetype;
+      const auto graph = nn::build_model(spec);
+      auto trace = nn::trace_model(graph);
+      if (!trace.ok()) continue;
+      const auto curve = serve::measure_batch_curve(
+          dev, trace.value(), device::RunConfig{}, nn::model_checksum(graph),
+          serve::candidate_batches(25));
+      std::printf("JSON %s\n",
+                  serve::batch_curve_json(dev.name, archetype, curve).c_str());
+    }
+  }
   return 0;
 }

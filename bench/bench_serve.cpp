@@ -1,0 +1,324 @@
+// Open-loop load generator for gaugenn_serve (DESIGN.md §11).
+//
+// Replays store-calibrated traffic against a running server: each arrival
+// picks an ML app by zipf rank over the install-sorted top charts (app
+// popularity is power-law, §4), then one of that app's shipped models, so
+// the request mix is category-skewed exactly the way the crawl snapshot is.
+// Arrivals follow a Poisson process at the offered rate and are timestamped
+// *when scheduled*, not when sent — latency includes any client-side
+// convoying, so a saturated server cannot hide behind coordinated omission.
+//
+//   bench_serve --port N [--host 127.0.0.1] [--rates 50,200,800]
+//               [--duration-s 5] [--conns 16] [--deadline-ms 250]
+//               [--models a,b,c] [--seed 21]
+//
+// Emits one human table plus one machine-readable JSON row per offered
+// rate: offered load vs achieved throughput vs tail latency and the
+// shed/error split. check.sh greps the JSON rows.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "net/socket.hpp"
+#include "serve/protocol.hpp"
+#include "util/result.hpp"
+#include "util/retry.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace gauge;
+
+struct Arrival {
+  double at_s = 0.0;    // offset from run start
+  std::string model;    // zoo archetype to request
+};
+
+struct Outcome {
+  enum class Kind { Ok, Shed, Err, Timeout } kind = Kind::Err;
+  double latency_ms = 0.0;  // scheduled arrival → response parsed
+};
+
+// The store-calibrated request mix: every archetype shipped by an ML app in
+// the Apr'21 snapshot, weighted by zipf-ranked app popularity. Returns the
+// per-app archetype lists, install-sorted (rank 0 = most installed).
+std::vector<std::vector<std::string>> app_model_mix(
+    const std::vector<std::string>& allowed) {
+  const auto& store = bench::play_store();
+  const auto& instances = store.instances();
+  const auto& unique = store.unique_models();
+  const std::set<std::string> filter{allowed.begin(), allowed.end()};
+
+  std::vector<const android::AppEntry*> ml_apps;
+  for (const auto& app : store.apps()) {
+    if (!app.present_2021 || app.model_instances.empty()) continue;
+    ml_apps.push_back(&app);
+  }
+  std::sort(ml_apps.begin(), ml_apps.end(),
+            [](const android::AppEntry* a, const android::AppEntry* b) {
+              return a->installs > b->installs;
+            });
+
+  std::vector<std::vector<std::string>> mix;
+  for (const auto* app : ml_apps) {
+    std::vector<std::string> archetypes;
+    for (int idx : app->model_instances) {
+      const auto& archetype = unique[instances[idx].unique_id].archetype;
+      if (!filter.empty() && !filter.count(archetype)) continue;
+      archetypes.push_back(archetype);
+    }
+    if (!archetypes.empty()) mix.push_back(std::move(archetypes));
+  }
+  return mix;
+}
+
+// Poisson arrivals over `duration_s` at `rate_ips`, each tagged with the
+// model of a zipf-popular app's randomly chosen shipped instance.
+std::vector<Arrival> schedule(const std::vector<std::vector<std::string>>& mix,
+                              double rate_ips, double duration_s,
+                              util::Rng& rng) {
+  std::vector<Arrival> arrivals;
+  double t = 0.0;
+  while (true) {
+    t += -std::log(1.0 - rng.uniform()) / rate_ips;
+    if (t >= duration_s) break;
+    // zipf ranks are 1-based; rank 1 = the most-installed ML app.
+    const auto& app = mix[rng.zipf(mix.size(), 1.1) - 1];
+    arrivals.push_back({t, app[rng.uniform_u64(app.size())]});
+  }
+  return arrivals;
+}
+
+struct RunTotals {
+  std::uint64_t ok = 0, shed = 0, err = 0, timeout = 0;
+  std::vector<double> ok_latency_ms;
+};
+
+// One closed connection per worker, all workers pulling from the shared
+// open-loop schedule. Client-side resilience mirrors the harness: connects
+// go through util::RetryPolicy, every send/recv carries a socket deadline.
+RunTotals replay(const std::string& host, std::uint16_t port,
+                 const std::vector<Arrival>& arrivals, double deadline_ms,
+                 unsigned conns) {
+  std::atomic<std::size_t> cursor{0};
+  std::mutex mutex;
+  RunTotals totals;
+  const auto start = std::chrono::steady_clock::now();
+  const auto io_deadline =
+      std::chrono::milliseconds{static_cast<long>(deadline_ms) + 2000};
+
+  std::vector<std::thread> workers;
+  for (unsigned w = 0; w < conns; ++w) {
+    workers.emplace_back([&] {
+      net::TcpStream* stream = nullptr;
+      std::optional<net::TcpStream> conn;
+      util::RetryPolicy retry;
+      const auto status = retry.run([&] {
+        auto attempt = net::TcpStream::connect(host, port);
+        if (!attempt.ok()) return util::Status::failure(attempt.error());
+        conn.emplace(std::move(attempt).take());
+        return util::Status{};
+      });
+      if (!status.ok()) return;  // arrivals left unclaimed count as timeouts
+      stream = &*conn;
+
+      std::vector<Outcome> local;
+      while (true) {
+        const std::size_t i = cursor.fetch_add(1);
+        if (i >= arrivals.size()) break;
+        const auto& arrival = arrivals[i];
+        const auto due = start + std::chrono::duration_cast<
+                                     std::chrono::steady_clock::duration>(
+                                     std::chrono::duration<double>{arrival.at_s});
+        std::this_thread::sleep_until(due);
+
+        const auto line = util::format(
+            "INFER %s id=%zu deadline_ms=%.0f", arrival.model.c_str(), i,
+            deadline_ms);
+        Outcome outcome;
+        outcome.kind = Outcome::Kind::Timeout;
+        if (stream->send_line_for(line, io_deadline).ok()) {
+          if (auto reply = stream->recv_line_for(io_deadline); reply.ok()) {
+            if (auto parsed = serve::parse_response(reply.value());
+                parsed.ok()) {
+              using K = serve::Response::Kind;
+              switch (parsed.value().kind) {
+                case K::Ok: outcome.kind = Outcome::Kind::Ok; break;
+                case K::Shed: outcome.kind = Outcome::Kind::Shed; break;
+                default: outcome.kind = Outcome::Kind::Err; break;
+              }
+            } else {
+              outcome.kind = Outcome::Kind::Err;
+            }
+          }
+        }
+        // Open-loop latency: from the scheduled arrival, not the send.
+        outcome.latency_ms =
+            std::chrono::duration<double, std::milli>{
+                std::chrono::steady_clock::now() - due}
+                .count();
+        local.push_back(outcome);
+      }
+
+      std::lock_guard<std::mutex> lock{mutex};
+      for (const auto& outcome : local) {
+        switch (outcome.kind) {
+          case Outcome::Kind::Ok:
+            ++totals.ok;
+            totals.ok_latency_ms.push_back(outcome.latency_ms);
+            break;
+          case Outcome::Kind::Shed: ++totals.shed; break;
+          case Outcome::Kind::Err: ++totals.err; break;
+          case Outcome::Kind::Timeout: ++totals.timeout; break;
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  // Arrivals no worker claimed (all connects failed) are timeouts.
+  const std::size_t claimed = std::min(cursor.load(), arrivals.size());
+  totals.timeout += arrivals.size() - claimed;
+  return totals;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_serve --port N [--host H] [--rates r1,r2,...] "
+               "[--duration-s X] [--conns N] [--deadline-ms X] "
+               "[--models a,b,c] [--seed N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::vector<double> rates{50, 200, 800};
+  double duration_s = 5.0;
+  unsigned conns = 16;
+  double deadline_ms = 250.0;
+  std::vector<std::string> models;
+  std::uint64_t seed = 21;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--host") == 0) {
+      const char* v = next();
+      if (!v) return usage();
+      host = v;
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      const char* v = next();
+      const auto parsed = v ? util::parse_int(v) : std::nullopt;
+      if (!parsed) return usage();
+      port = static_cast<std::uint16_t>(*parsed);
+    } else if (std::strcmp(argv[i], "--rates") == 0) {
+      const char* v = next();
+      if (!v) return usage();
+      rates.clear();
+      for (const auto& token : util::split(v, ',')) {
+        const auto parsed = util::parse_double(token);
+        if (!parsed) return usage();
+        rates.push_back(*parsed);
+      }
+    } else if (std::strcmp(argv[i], "--duration-s") == 0) {
+      const char* v = next();
+      const auto parsed = v ? util::parse_double(v) : std::nullopt;
+      if (!parsed) return usage();
+      duration_s = *parsed;
+    } else if (std::strcmp(argv[i], "--conns") == 0) {
+      const char* v = next();
+      const auto parsed = v ? util::parse_int(v) : std::nullopt;
+      if (!parsed) return usage();
+      conns = static_cast<unsigned>(*parsed);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      const char* v = next();
+      const auto parsed = v ? util::parse_double(v) : std::nullopt;
+      if (!parsed) return usage();
+      deadline_ms = *parsed;
+    } else if (std::strcmp(argv[i], "--models") == 0) {
+      const char* v = next();
+      if (!v) return usage();
+      models = util::split(v, ',');
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      const char* v = next();
+      const auto parsed = v ? util::parse_int(v) : std::nullopt;
+      if (!parsed) return usage();
+      seed = static_cast<std::uint64_t>(*parsed);
+    } else {
+      return usage();
+    }
+  }
+  if (port == 0) return usage();
+
+  bench::print_header(
+      "gaugenn_serve load test: offered load vs throughput vs tail latency",
+      "batching amortises per-layer dispatch overhead (Fig. 11), so the "
+      "batched server sustains higher offered load before shedding");
+
+  const auto mix = app_model_mix(models);
+  if (mix.empty()) {
+    std::fprintf(stderr, "bench_serve: no ML apps match the model filter\n");
+    return 1;
+  }
+  std::printf("mix: %zu ML apps (zipf-ranked by installs), deadline %.0f ms, "
+              "%u connections\n\n", mix.size(), deadline_ms, conns);
+
+  util::Table table{{"offered ips", "sent", "ok", "shed", "err", "timeout",
+                     "achieved ips", "p50 ms", "p95 ms", "p99 ms"}};
+  for (double rate : rates) {
+    util::Rng rng{seed};
+    const auto arrivals = schedule(mix, rate, duration_s, rng);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto totals = replay(host, port, arrivals, deadline_ms, conns);
+    const double elapsed_s =
+        std::chrono::duration<double>{std::chrono::steady_clock::now() - t0}
+            .count();
+
+    double p50 = 0, p95 = 0, p99 = 0;
+    if (!totals.ok_latency_ms.empty()) {
+      util::Ecdf ecdf{totals.ok_latency_ms};
+      p50 = ecdf.quantile(0.50);
+      p95 = ecdf.quantile(0.95);
+      p99 = ecdf.quantile(0.99);
+    }
+    const double achieved =
+        elapsed_s > 0 ? static_cast<double>(totals.ok) / elapsed_s : 0.0;
+
+    table.add_row({util::Table::num(rate, 0),
+                   std::to_string(arrivals.size()),
+                   std::to_string(totals.ok), std::to_string(totals.shed),
+                   std::to_string(totals.err), std::to_string(totals.timeout),
+                   util::Table::num(achieved, 1), util::Table::num(p50, 1),
+                   util::Table::num(p95, 1), util::Table::num(p99, 1)});
+    // Machine-readable row (check.sh and notebooks consume these).
+    std::printf(
+        "JSON {\"offered_ips\":%.1f,\"sent\":%zu,\"ok\":%llu,\"shed\":%llu,"
+        "\"err\":%llu,\"timeout\":%llu,\"achieved_ips\":%.1f,"
+        "\"p50_ms\":%.2f,\"p95_ms\":%.2f,\"p99_ms\":%.2f}\n",
+        rate, arrivals.size(),
+        static_cast<unsigned long long>(totals.ok),
+        static_cast<unsigned long long>(totals.shed),
+        static_cast<unsigned long long>(totals.err),
+        static_cast<unsigned long long>(totals.timeout), achieved, p50, p95,
+        p99);
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  util::print_section("Open-loop replay (latency from scheduled arrival)",
+                      table.render());
+  return 0;
+}

@@ -1,0 +1,140 @@
+// gaugenn_serve: the inference service binary (DESIGN.md §11). Loads the
+// nn::zoo population, binds a loopback TCP port and serves the line-framed
+// inference protocol with dynamic batching, per-request backend selection,
+// admission control and SLO accounting.
+//
+//   gaugenn_serve [--port N] [--device S21] [--models a,b,c] [--batch N]
+//                 [--queue-cap N] [--slo-ms X] [--exec-threads N]
+//                 [--conn-workers N] [--time-scale X] [--real]
+//                 [--duration-s N] [--telemetry-out <dir>]
+//
+// --port 0 (default) binds an ephemeral port; the bound port is printed as
+//   "listening on 127.0.0.1:<port>" so scripts can connect.
+// --batch 1 disables coalescing (the bench_serve A/B baseline).
+// --time-scale maps the device model's simulated seconds onto wall-clock
+//   sleeps (execution realism without real hardware); --real runs the
+//   interpreter instead.
+// --duration-s 0 (default) serves until SIGINT/SIGTERM. On shutdown the
+//   per-model SLO report (serve/slo.hpp) is printed to stdout and, with
+//   --telemetry-out, the full registry is exported.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "serve/slo.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) { g_stop.store(true); }
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gaugenn_serve [--port N] [--device NAME] "
+               "[--models a,b,c] [--batch N] [--queue-cap N] [--slo-ms X] "
+               "[--exec-threads N] [--conn-workers N] [--time-scale X] "
+               "[--real] [--duration-s N] [--telemetry-out <dir>]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gauge;
+
+  serve::ServeOptions options;
+  double duration_s = 0.0;
+  std::string telemetry_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto next_value = [&](double* out) {
+      if (i + 1 >= argc) return false;
+      const auto parsed = util::parse_double(argv[++i]);
+      if (!parsed) return false;
+      *out = *parsed;
+      return true;
+    };
+    double value = 0.0;
+    if (std::strcmp(argv[i], "--port") == 0 && next_value(&value)) {
+      options.port = static_cast<std::uint16_t>(value);
+    } else if (std::strcmp(argv[i], "--device") == 0 && i + 1 < argc) {
+      options.device = argv[++i];
+    } else if (std::strcmp(argv[i], "--models") == 0 && i + 1 < argc) {
+      options.models = util::split(argv[++i], ',');
+    } else if (std::strcmp(argv[i], "--batch") == 0 && next_value(&value)) {
+      options.max_batch = static_cast<int>(value);
+    } else if (std::strcmp(argv[i], "--queue-cap") == 0 && next_value(&value)) {
+      options.queue_capacity = static_cast<std::size_t>(value);
+    } else if (std::strcmp(argv[i], "--slo-ms") == 0 && next_value(&value)) {
+      options.default_slo_ms = value;
+    } else if (std::strcmp(argv[i], "--exec-threads") == 0 &&
+               next_value(&value)) {
+      options.exec_threads = static_cast<unsigned>(value);
+    } else if (std::strcmp(argv[i], "--conn-workers") == 0 &&
+               next_value(&value)) {
+      options.conn_workers = static_cast<unsigned>(value);
+    } else if (std::strcmp(argv[i], "--time-scale") == 0 &&
+               next_value(&value)) {
+      options.time_scale = value;
+    } else if (std::strcmp(argv[i], "--real") == 0) {
+      options.real_exec = true;
+    } else if (std::strcmp(argv[i], "--duration-s") == 0 &&
+               next_value(&value)) {
+      duration_s = value;
+    } else if (std::strcmp(argv[i], "--telemetry-out") == 0 && i + 1 < argc) {
+      telemetry_dir = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+
+  auto server = serve::InferenceServer::start(options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "gaugenn_serve: start failed: %s\n",
+                 server.error().c_str());
+    return 1;
+  }
+  std::printf("gaugenn_serve: listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.value()->port()));
+  std::printf("gaugenn_serve: device=%s batch=%d models=%s exec=%s\n",
+              options.device.c_str(), options.max_batch,
+              util::join(server.value()->model_names(), ",").c_str(),
+              options.real_exec ? "interpreter" : "device-model");
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
+  const auto start = std::chrono::steady_clock::now();
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{100});
+    if (duration_s > 0 &&
+        std::chrono::duration<double>{std::chrono::steady_clock::now() - start}
+                .count() >= duration_s) {
+      break;
+    }
+  }
+
+  server.value()->shutdown();
+  const auto& registry = telemetry::current_registry();
+  std::printf("%s", serve::slo_report(registry).c_str());
+  if (!telemetry_dir.empty()) {
+    if (auto written = telemetry::write_telemetry(registry, telemetry_dir);
+        !written.ok()) {
+      std::fprintf(stderr, "telemetry export failed: %s\n",
+                   written.error().c_str());
+      return 1;
+    }
+    std::printf("telemetry written to %s/\n", telemetry_dir.c_str());
+  }
+  return 0;
+}

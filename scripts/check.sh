@@ -8,11 +8,14 @@
 #
 # The plain run finishes with a crash/resume smoke (kill a crawl with the
 # deterministic crash seam, resume from the journal, require a byte-identical
-# digest) and a targeted ThreadSanitizer pass over the concurrency-sensitive
-# suites: the telemetry hammers, the thread pool, the parallel-pipeline
+# digest), a serve smoke (gaugenn_serve on an ephemeral port under a short
+# bench_serve burst, asserting per-model p99 SLO lines and zero errors), and
+# a targeted ThreadSanitizer pass over the concurrency-sensitive suites: the
+# telemetry hammers, the thread pool, the parallel-pipeline
 # determinism/stampede tests, the harness fault-injection suite (run_fleet
-# drives one master thread per port), and the journal/resume/hostile-zip
-# robustness suites.
+# drives one master thread per port), the journal/resume/hostile-zip
+# robustness suites, and the serving layer (batcher, protocol, loopback
+# server under concurrent clients).
 #
 # Each sanitizer gets its own build tree (build-check-<san>) so switching
 # sanitizers never poisons an incremental build.
@@ -94,6 +97,46 @@ if [[ -z "$SANITIZER" && -z "$FILTER" ]]; then
     exit 1
   fi
   echo "ok: resumed run is byte-identical ($RESUMED)"
+
+  # ---- serve smoke -----------------------------------------------------------
+  # Boot gaugenn_serve on an ephemeral port, replay a short store-calibrated
+  # open-loop burst with bench_serve, and require a healthy SLO report:
+  # per-model p99 lines present and a zero-error total line.
+  echo "== serve smoke =="
+  SERVE_LOG="$SMOKE_DIR/serve.log"
+  "$BUILD_DIR/examples/gaugenn_serve" --batch 8 --time-scale 0.05 \
+    --duration-s 45 >"$SERVE_LOG" 2>&1 &
+  SERVE_PID=$!
+  for _ in $(seq 50); do
+    grep -q 'listening on' "$SERVE_LOG" && break
+    sleep 0.2
+  done
+  SERVE_PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$SERVE_LOG")"
+  if [[ -z "$SERVE_PORT" ]]; then
+    echo "error: gaugenn_serve did not come up" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+  fi
+  "$BUILD_DIR/bench/bench_serve" --port "$SERVE_PORT" --rates 200 \
+    --duration-s 3 --conns 16 >"$SMOKE_DIR/bench_serve.out"
+  grep -q '^JSON .*"achieved_ips"' "$SMOKE_DIR/bench_serve.out" || {
+    echo "error: bench_serve emitted no JSON row" >&2
+    cat "$SMOKE_DIR/bench_serve.out" >&2
+    exit 1
+  }
+  kill -INT "$SERVE_PID"
+  wait "$SERVE_PID"
+  grep -q 'SLO model=.*p99_ms=' "$SERVE_LOG" || {
+    echo "error: serve SLO report missing per-model p99 lines" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+  }
+  grep -q 'SLO total .*errors=0' "$SERVE_LOG" || {
+    echo "error: serve run recorded request errors" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+  }
+  echo "ok: serve smoke healthy ($(grep 'SLO total' "$SERVE_LOG"))"
 fi
 
 if [[ -z "$SANITIZER" ]]; then
@@ -102,5 +145,5 @@ if [[ -z "$SANITIZER" ]]; then
   cmake -B "$TSAN_DIR" -S . -DGAUGE_SANITIZE=thread
   cmake --build "$TSAN_DIR" -j "$(nproc)"
   ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$(nproc)" \
-    -R 'Metrics|Span|ThreadPool|PipelineConcurrency|AnalysisCache|HarnessFault|PipelineResume|Journal|HostileZip'
+    -R 'Metrics|Span|ThreadPool|PipelineConcurrency|AnalysisCache|HarnessFault|PipelineResume|Journal|HostileZip|Serve'
 fi

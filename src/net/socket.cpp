@@ -48,11 +48,12 @@ std::string timeout_message(const char* what,
          std::to_string(budget.count()) + " ms waiting for " + what;
 }
 
-// Waits until `fd` is readable or `deadline` passes. Returns ok on readable,
-// a timeout error otherwise. EINTR restarts with the remaining budget.
-util::Status wait_readable(int fd, const char* what,
-                           std::chrono::steady_clock::time_point start,
-                           std::chrono::steady_clock::time_point deadline) {
+// Waits until `fd` is ready for `events` (POLLIN / POLLOUT) or `deadline`
+// passes. Returns ok on ready, a timeout error otherwise. EINTR restarts
+// with the remaining budget.
+util::Status wait_ready(int fd, short events, const char* what,
+                        std::chrono::steady_clock::time_point start,
+                        std::chrono::steady_clock::time_point deadline) {
   for (;;) {
     const auto now = std::chrono::steady_clock::now();
     if (now >= deadline) {
@@ -62,7 +63,7 @@ util::Status wait_readable(int fd, const char* what,
         std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
     pollfd pfd{};
     pfd.fd = fd;
-    pfd.events = POLLIN;
+    pfd.events = events;
     const int ready =
         ::poll(&pfd, 1, static_cast<int>(std::max<long long>(
                             1, remaining.count())));
@@ -75,6 +76,12 @@ util::Status wait_readable(int fd, const char* what,
     }
     return {};
   }
+}
+
+util::Status wait_readable(int fd, const char* what,
+                           std::chrono::steady_clock::time_point start,
+                           std::chrono::steady_clock::time_point deadline) {
+  return wait_ready(fd, POLLIN, what, start, deadline);
 }
 
 }  // namespace
@@ -112,6 +119,70 @@ util::Status TcpStream::send_raw(const std::string& data) {
     sent += static_cast<std::size_t>(n);
   }
   return {};
+}
+
+util::Status TcpStream::send_line_for(const std::string& line,
+                                      std::chrono::milliseconds deadline) {
+  return send_raw_for(line + "\n", deadline);
+}
+
+util::Status TcpStream::send_raw_for(const std::string& data,
+                                     std::chrono::milliseconds deadline) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto until = start + deadline;
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    if (auto status = wait_ready(fd_.get(), POLLOUT, "send buffer space",
+                                 start, until);
+        !status.ok()) {
+      return status;
+    }
+    // MSG_DONTWAIT: poll() reported writability, but the buffer may only
+    // hold part of the remainder — never fall back into a blocking send.
+    const ssize_t n = ::send(fd_.get(), data.data() + sent, data.size() - sent,
+                             MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return util::Status::failure(errno_message("send"));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return {};
+}
+
+util::Result<std::string> TcpStream::recv_exact_for(
+    std::size_t size, std::chrono::milliseconds deadline) {
+  using R = util::Result<std::string>;
+  const auto start = std::chrono::steady_clock::now();
+  const auto until = start + deadline;
+  std::string out;
+  out.reserve(size);
+  // Drain bytes a previous recv_line over-read into the buffer first.
+  if (!buffer_.empty()) {
+    const std::size_t take = std::min(size, buffer_.size());
+    out.append(buffer_, 0, take);
+    buffer_.erase(0, take);
+  }
+  while (out.size() < size) {
+    if (auto status = wait_readable(fd_.get(), "payload", start, until);
+        !status.ok()) {
+      return R::failure(status.error());
+    }
+    char chunk[4096];
+    const std::size_t want = std::min(sizeof(chunk), size - out.size());
+    const ssize_t n = ::recv(fd_.get(), chunk, want, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return R::failure(errno_message("recv"));
+    }
+    if (n == 0) {
+      return R::failure("truncated payload (peer closed): got " +
+                        std::to_string(out.size()) + " of " +
+                        std::to_string(size) + " bytes");
+    }
+    out.append(chunk, static_cast<std::size_t>(n));
+  }
+  return out;
 }
 
 util::Result<std::string> TcpStream::recv_line() {
@@ -161,7 +232,7 @@ util::Result<std::string> TcpStream::recv_line_impl(
   }
 }
 
-util::Result<TcpListener> TcpListener::bind(std::uint16_t port) {
+util::Result<TcpListener> TcpListener::bind(std::uint16_t port, int backlog) {
   using R = util::Result<TcpListener>;
   Fd fd{::socket(AF_INET, SOCK_STREAM, 0)};
   if (!fd.valid()) return R::failure(errno_message("socket"));
@@ -174,7 +245,9 @@ util::Result<TcpListener> TcpListener::bind(std::uint16_t port) {
   if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     return R::failure(errno_message("bind"));
   }
-  if (::listen(fd.get(), 8) != 0) return R::failure(errno_message("listen"));
+  if (::listen(fd.get(), std::max(1, backlog)) != 0) {
+    return R::failure(errno_message("listen"));
+  }
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
   if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) != 0) {

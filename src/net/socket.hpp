@@ -47,6 +47,16 @@ class TcpStream {
   util::Status send_line(const std::string& line);
   // Sends `data` as-is (no newline appended).
   util::Status send_raw(const std::string& data);
+  // Deadline-bounded sends: the layer historically only bounded receives, so
+  // a stalled peer that stopped draining its socket could wedge a server
+  // writer forever. These give up (is_timeout() error) once `deadline` of
+  // wall-clock time elapses without the kernel accepting the remaining
+  // bytes. On timeout a prefix may already have been sent — the connection
+  // should be treated as poisoned and closed.
+  util::Status send_line_for(const std::string& line,
+                             std::chrono::milliseconds deadline);
+  util::Status send_raw_for(const std::string& data,
+                            std::chrono::milliseconds deadline);
   // Blocks until a full '\n'-terminated line arrives (newline stripped) or
   // the peer closes. A close with a buffered partial line fails with a
   // distinct "truncated line" error carrying the partial payload.
@@ -54,6 +64,12 @@ class TcpStream {
   // Same, but gives up once `deadline` of wall-clock time has elapsed
   // without a complete line; the timeout error satisfies is_timeout().
   util::Result<std::string> recv_line_for(std::chrono::milliseconds deadline);
+  // Reads exactly `size` raw bytes (length-framed payloads, e.g. an inference
+  // request tensor following its header line). Bytes already buffered by a
+  // previous recv_line are consumed first. Fails with is_timeout() on
+  // deadline expiry and a "truncated payload" error if the peer closes early.
+  util::Result<std::string> recv_exact_for(std::size_t size,
+                                           std::chrono::milliseconds deadline);
 
   explicit TcpStream(Fd fd) : fd_{std::move(fd)} {}
 
@@ -67,8 +83,11 @@ class TcpStream {
 
 class TcpListener {
  public:
-  // Binds 127.0.0.1 on the given port (0 = ephemeral).
-  static util::Result<TcpListener> bind(std::uint16_t port);
+  // Binds 127.0.0.1 on the given port (0 = ephemeral). `backlog` bounds the
+  // kernel accept queue — an inference server under overload wants excess
+  // connections queued shallowly (and shed by the client's connect deadline)
+  // rather than piling up behind a long SYN backlog. Values < 1 clamp to 1.
+  static util::Result<TcpListener> bind(std::uint16_t port, int backlog = 8);
 
   std::uint16_t port() const { return port_; }
   util::Result<TcpStream> accept();

@@ -1,0 +1,182 @@
+#include "serve/batch.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace gauge::serve {
+
+namespace {
+
+// Shared piecewise-linear interpolation over (batches, values).
+double interpolate(const std::vector<int>& batches,
+                   const std::vector<double>& values, int n) {
+  assert(!batches.empty() && batches.size() == values.size());
+  if (n <= batches.front()) return values.front();
+  for (std::size_t i = 1; i < batches.size(); ++i) {
+    if (n <= batches[i]) {
+      const double span = static_cast<double>(batches[i] - batches[i - 1]);
+      const double t = static_cast<double>(n - batches[i - 1]) / span;
+      return values[i - 1] + t * (values[i] - values[i - 1]);
+    }
+  }
+  // Beyond the last point: extrapolate with the final segment's slope (the
+  // curve is near-linear there, Fig. 11).
+  const std::size_t last = batches.size() - 1;
+  if (last == 0) return values[0] * static_cast<double>(n) / batches[0];
+  const double slope = (values[last] - values[last - 1]) /
+                       static_cast<double>(batches[last] - batches[last - 1]);
+  return values[last] + slope * static_cast<double>(n - batches[last]);
+}
+
+}  // namespace
+
+double BatchCurve::latency_s_at(int batch) const {
+  return interpolate(batches, latency_s, batch);
+}
+
+std::vector<int> candidate_batches(int max_batch) {
+  std::vector<int> out;
+  for (int b : {1, 2, 4, 5, 8, 10, 16, 25, 32, 64}) {
+    if (b <= max_batch) out.push_back(b);
+  }
+  if (out.empty() || out.back() != max_batch) out.push_back(max_batch);
+  return out;
+}
+
+BatchCurve measure_batch_curve(const device::Device& device,
+                               const nn::ModelTrace& trace,
+                               const device::RunConfig& base,
+                               std::string_view model_key,
+                               const std::vector<int>& batches) {
+  BatchCurve curve;
+  curve.batches = batches;
+  for (int b : batches) {
+    device::RunConfig config = base;
+    config.batch = b;
+    const auto result =
+        device::simulate_inference(device, trace, config, model_key);
+    curve.latency_s.push_back(result.latency_s);
+    curve.throughput_ips.push_back(result.throughput_ips);
+  }
+  return curve;
+}
+
+std::string batch_curve_json(const std::string& device,
+                             const std::string& label,
+                             const BatchCurve& curve) {
+  std::string out = "{\"device\":\"" + device + "\",\"label\":\"" + label +
+                    "\",\"points\":[";
+  for (std::size_t i = 0; i < curve.batches.size(); ++i) {
+    char point[128];
+    std::snprintf(point, sizeof(point),
+                  "%s{\"batch\":%d,\"latency_ms\":%.6f,\"throughput_ips\":%.4f}",
+                  i == 0 ? "" : ",", curve.batches[i],
+                  curve.latency_s[i] * 1e3, curve.throughput_ips[i]);
+    out += point;
+  }
+  out += "]}";
+  return out;
+}
+
+std::uint64_t Frontier::latency_ns_at(int n) const {
+  if (batches.empty()) return 0;
+  std::vector<double> values(latency_ns.begin(), latency_ns.end());
+  const double estimate = interpolate(batches, values, n);
+  return static_cast<std::uint64_t>(std::max(0.0, estimate));
+}
+
+Frontier choose_frontier(const BatchCurve& curve, double slo_ms,
+                         double time_scale, int max_batch,
+                         double latency_budget_frac, double wait_frac) {
+  Frontier frontier;
+  frontier.batches = curve.batches;
+  for (double s : curve.latency_s) {
+    frontier.latency_ns.push_back(
+        static_cast<std::uint64_t>(std::max(0.0, s * time_scale * 1e9)));
+  }
+  const double budget_ms = slo_ms * latency_budget_frac;
+  frontier.batch = 1;
+  for (std::size_t i = 0; i < curve.batches.size(); ++i) {
+    if (curve.batches[i] > max_batch) break;
+    const double wall_ms = curve.latency_s[i] * time_scale * 1e3;
+    if (curve.batches[i] == 1 || wall_ms <= budget_ms) {
+      frontier.batch = curve.batches[i];
+    }
+  }
+  frontier.batch = std::min(frontier.batch, std::max(1, max_batch));
+  frontier.max_wait_ns =
+      frontier.batch > 1
+          ? static_cast<std::uint64_t>(std::max(0.0, slo_ms * wait_frac * 1e6))
+          : 0;
+  return frontier;
+}
+
+BatchQueue::BatchQueue(Frontier frontier, std::size_t capacity)
+    : frontier_{std::move(frontier)}, capacity_{std::max<std::size_t>(1, capacity)} {}
+
+std::uint64_t BatchQueue::estimate_wait_ns(
+    std::size_t depth_including_self) const {
+  const auto batch = static_cast<std::size_t>(frontier_.batch);
+  const std::size_t queued_batches =
+      (depth_including_self + batch - 1) / batch;
+  const std::size_t batches_ahead =
+      queued_batches + static_cast<std::size_t>(inflight_);
+  return batches_ahead * frontier_.latency_ns_at(frontier_.batch);
+}
+
+BatchQueue::Admission BatchQueue::offer(std::uint64_t now_ns,
+                                        const Ticket& ticket) {
+  Admission admission;
+  admission.est_wait_ns = estimate_wait_ns(queue_.size() + 1);
+  if (queue_.size() >= capacity_) {
+    admission.reason = "queue_full";
+    return admission;
+  }
+  if (ticket.deadline_ns != 0 &&
+      now_ns + admission.est_wait_ns > ticket.deadline_ns) {
+    admission.reason = "deadline";
+    return admission;
+  }
+  admission.accepted = true;
+  queue_.push_back(ticket);
+  return admission;
+}
+
+std::uint64_t BatchQueue::next_flush_ns() const {
+  if (queue_.empty()) return std::numeric_limits<std::uint64_t>::max();
+  if (queue_.size() >= static_cast<std::size_t>(frontier_.batch)) return 0;
+  return queue_.front().enqueue_ns + frontier_.max_wait_ns;
+}
+
+std::vector<Ticket> BatchQueue::pop_due(std::uint64_t now_ns) {
+  std::vector<Ticket> batch;
+  if (queue_.empty()) return batch;
+  const auto full = static_cast<std::size_t>(frontier_.batch);
+  const bool full_batch = queue_.size() >= full;
+  const bool waited_out =
+      now_ns >= queue_.front().enqueue_ns + frontier_.max_wait_ns;
+  if (!full_batch && !waited_out) return batch;
+  const std::size_t take = std::min(queue_.size(), full);
+  batch.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    batch.push_back(queue_.front());
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+std::vector<Ticket> BatchQueue::drain() {
+  std::vector<Ticket> all{queue_.begin(), queue_.end()};
+  queue_.clear();
+  return all;
+}
+
+void BatchQueue::note_batch_done() {
+  assert(inflight_ > 0);
+  --inflight_;
+}
+
+}  // namespace gauge::serve

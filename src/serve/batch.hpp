@@ -1,0 +1,133 @@
+// Dynamic batching for the inference service (DESIGN.md §11).
+//
+// The paper's Fig. 11 shows throughput scaling almost linearly with batch
+// size because per-layer dispatch overhead amortises across the batch. A
+// serving batcher exploits exactly that curve: measure latency(b) with the
+// device latency model, pick the largest batch whose latency still fits the
+// SLO budget (the *frontier*), and coalesce queued requests up to that
+// frontier or until the oldest request has waited its deadline-flush budget.
+//
+// Everything here is a deterministic state machine driven by explicit
+// nanosecond timestamps — the server wraps it in threads, tests drive it
+// with util::SimClock.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "device/latency.hpp"
+#include "device/soc.hpp"
+#include "nn/trace.hpp"
+
+namespace gauge::serve {
+
+// latency(b) / throughput(b) for one (model, device, backend) combination,
+// in simulator seconds — the same numbers bench_fig11_batch reports.
+struct BatchCurve {
+  std::vector<int> batches;           // ascending, batches.front() == 1
+  std::vector<double> latency_s;      // whole-batch forward-pass latency
+  std::vector<double> throughput_ips; // batch / latency
+
+  // Piecewise-linear latency for batch sizes between (or beyond) the
+  // measured points; exact at the points themselves.
+  double latency_s_at(int batch) const;
+};
+
+// Canonical candidate batch sizes (the paper's 1/2/5/10/25 plus powers of
+// two the batcher favours), truncated to max_batch.
+std::vector<int> candidate_batches(int max_batch);
+
+// Measures the curve with the analytic device model: one simulate_inference
+// per batch size, same RunConfig otherwise. `model_key` seeds the per-model
+// variation term (pass the checksum, as the runtime sweeps do).
+BatchCurve measure_batch_curve(const device::Device& device,
+                               const nn::ModelTrace& trace,
+                               const device::RunConfig& base,
+                               std::string_view model_key,
+                               const std::vector<int>& batches);
+
+// One line of machine-readable JSON for a curve point (consumed by the
+// frontier-tuning tests and emitted by bench_fig11_batch).
+std::string batch_curve_json(const std::string& device,
+                             const std::string& label,
+                             const BatchCurve& curve);
+
+// The batcher's operating point, in *wall* nanoseconds (simulator latencies
+// scaled by the server's time scale).
+struct Frontier {
+  int batch = 1;                  // coalesce up to this many requests
+  std::uint64_t max_wait_ns = 0;  // deadline-flush budget for a partial batch
+  std::vector<int> batches;               // curve support points
+  std::vector<std::uint64_t> latency_ns;  // wall latency per support point
+
+  // Piecewise-linear wall latency estimate for an n-request batch.
+  std::uint64_t latency_ns_at(int n) const;
+};
+
+// Picks the largest candidate batch whose wall latency fits
+// `latency_budget_frac` of the SLO, and a deadline-flush budget of
+// `wait_frac` of the SLO. batch == 1 disables coalescing (max_wait 0).
+Frontier choose_frontier(const BatchCurve& curve, double slo_ms,
+                         double time_scale, int max_batch,
+                         double latency_budget_frac = 0.5,
+                         double wait_frac = 0.25);
+
+// One queued request. `id` is the server's ticket for routing the result
+// back; the queue itself never interprets it.
+struct Ticket {
+  std::uint64_t id = 0;
+  std::uint64_t enqueue_ns = 0;
+  std::uint64_t deadline_ns = 0;  // absolute; 0 = no deadline
+};
+
+// Bounded FIFO with admission control for one (model, backend) lane.
+// Deterministic: all decisions depend only on the call sequence and the
+// timestamps passed in.
+class BatchQueue {
+ public:
+  BatchQueue(Frontier frontier, std::size_t capacity);
+
+  struct Admission {
+    bool accepted = false;
+    std::uint64_t est_wait_ns = 0;  // estimated enqueue-to-completion delay
+    std::string_view reason;        // "" | "queue_full" | "deadline"
+  };
+
+  // Admission control: sheds when the queue is full or when the estimated
+  // completion time (queued batches ahead + in-flight batches, each costing
+  // one frontier-batch execution) already overruns the request's deadline.
+  Admission offer(std::uint64_t now_ns, const Ticket& ticket);
+
+  // Earliest time a flush becomes due: now (returns 0) once a full frontier
+  // batch is queued, the oldest request's enqueue + max_wait otherwise,
+  // UINT64_MAX when empty.
+  std::uint64_t next_flush_ns() const;
+
+  // Pops the next due batch (up to frontier.batch tickets, FIFO) or returns
+  // empty when nothing is due yet. Call repeatedly until empty.
+  std::vector<Ticket> pop_due(std::uint64_t now_ns);
+
+  // Unconditionally empties the queue (shutdown drain).
+  std::vector<Ticket> drain();
+
+  // In-flight batch accounting, feeding the admission estimate.
+  void note_batch_start() { ++inflight_; }
+  void note_batch_done();
+
+  std::size_t depth() const { return queue_.size(); }
+  int inflight() const { return inflight_; }
+  const Frontier& frontier() const { return frontier_; }
+
+ private:
+  std::uint64_t estimate_wait_ns(std::size_t depth_including_self) const;
+
+  Frontier frontier_;
+  std::size_t capacity_;
+  std::deque<Ticket> queue_;
+  int inflight_ = 0;
+};
+
+}  // namespace gauge::serve

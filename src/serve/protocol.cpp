@@ -1,0 +1,166 @@
+#include "serve/protocol.hpp"
+
+#include <cinttypes>
+
+#include "util/strings.hpp"
+
+namespace gauge::serve {
+
+namespace {
+
+using R = util::Result<Request>;
+
+bool split_kv(const std::string& token, std::string* key, std::string* value) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  *key = token.substr(0, eq);
+  *value = token.substr(eq + 1);
+  return true;
+}
+
+}  // namespace
+
+util::Result<Request> parse_request(const std::string& line) {
+  const auto tokens = util::split_ws(line);
+  if (tokens.empty()) return R::failure("empty_request");
+  Request request;
+  const std::string& verb = tokens[0];
+  if (verb == "PING") {
+    request.verb = Request::Verb::Ping;
+  } else if (verb == "STATS") {
+    request.verb = Request::Verb::Stats;
+  } else if (verb == "QUIT") {
+    request.verb = Request::Verb::Quit;
+  } else if (verb == "INFER") {
+    request.verb = Request::Verb::Infer;
+  } else {
+    return R::failure("unknown_verb");
+  }
+  if (request.verb != Request::Verb::Infer) {
+    if (tokens.size() != 1) return R::failure("bad_key");
+    return request;
+  }
+  if (tokens.size() < 2 || tokens[1].find('=') != std::string::npos) {
+    return R::failure("missing_model");
+  }
+  request.model = tokens[1];
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    std::string key, value;
+    if (!split_kv(tokens[i], &key, &value) || value.empty()) {
+      return R::failure("bad_key");
+    }
+    if (key == "id") {
+      request.id = value;
+    } else if (key == "backend") {
+      if (!parse_backend(value)) return R::failure("bad_value");
+      request.backend = value;
+    } else if (key == "deadline_ms") {
+      const auto parsed = util::parse_double(value);
+      if (!parsed || *parsed < 0) return R::failure("bad_value");
+      request.deadline_ms = *parsed;
+    } else if (key == "payload") {
+      const auto parsed = util::parse_int(value);
+      if (!parsed || *parsed < 0) return R::failure("bad_value");
+      if (static_cast<std::uint64_t>(*parsed) > kMaxPayloadBytes) {
+        return R::failure("payload_too_large");
+      }
+      request.payload_bytes = static_cast<std::uint64_t>(*parsed);
+    } else {
+      return R::failure("bad_key");
+    }
+  }
+  return request;
+}
+
+std::optional<device::Backend> parse_backend(const std::string& token) {
+  const std::string lowered = util::to_lower(token);
+  for (int i = 0; i < static_cast<int>(device::Backend::kCount); ++i) {
+    const auto backend = static_cast<device::Backend>(i);
+    if (lowered == util::to_lower(device::backend_name(backend))) {
+      return backend;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string format_response(const Response& response) {
+  switch (response.kind) {
+    case Response::Kind::Ok:
+      return util::format(
+          "OK id=%s model=%s backend=%s fallback=%d batch=%d queue_us=%" PRIu64
+          " infer_us=%" PRIu64 " total_us=%" PRIu64,
+          response.id.c_str(), response.model.c_str(),
+          response.backend.c_str(), response.fallback ? 1 : 0, response.batch,
+          response.queue_us, response.infer_us, response.total_us);
+    case Response::Kind::Shed:
+      return util::format("SHED id=%s code=%d est_wait_us=%" PRIu64
+                          " depth=%" PRIu64,
+                          response.id.c_str(), response.code,
+                          response.est_wait_us, response.depth);
+    case Response::Kind::Err:
+      return util::format("ERR id=%s code=%d reason=%s", response.id.c_str(),
+                          response.code, response.reason.c_str());
+    case Response::Kind::Pong:
+      return "PONG";
+    case Response::Kind::Stats:
+      return util::format("STATS requests=%" PRIu64 " served=%" PRIu64
+                          " shed=%" PRIu64 " errors=%" PRIu64,
+                          response.requests, response.served, response.shed,
+                          response.errors);
+  }
+  return "ERR id=0 code=500 reason=bad_kind";
+}
+
+util::Result<Response> parse_response(const std::string& line) {
+  using RR = util::Result<Response>;
+  const auto tokens = util::split_ws(line);
+  if (tokens.empty()) return RR::failure("empty response");
+  Response response;
+  const std::string& verb = tokens[0];
+  if (verb == "PONG") {
+    response.kind = Response::Kind::Pong;
+    return response;
+  }
+  if (verb == "OK") {
+    response.kind = Response::Kind::Ok;
+  } else if (verb == "SHED") {
+    response.kind = Response::Kind::Shed;
+    response.code = 429;
+  } else if (verb == "ERR") {
+    response.kind = Response::Kind::Err;
+  } else if (verb == "STATS") {
+    response.kind = Response::Kind::Stats;
+  } else {
+    return RR::failure("unknown response verb: " + verb);
+  }
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    std::string key, value;
+    if (!split_kv(tokens[i], &key, &value)) {
+      return RR::failure("bad response token: " + tokens[i]);
+    }
+    const auto as_u64 = [&]() -> std::uint64_t {
+      const auto parsed = util::parse_int(value);
+      return parsed && *parsed >= 0 ? static_cast<std::uint64_t>(*parsed) : 0;
+    };
+    if (key == "id") response.id = value;
+    else if (key == "model") response.model = value;
+    else if (key == "backend") response.backend = value;
+    else if (key == "fallback") response.fallback = value == "1";
+    else if (key == "batch") response.batch = static_cast<int>(as_u64());
+    else if (key == "queue_us") response.queue_us = as_u64();
+    else if (key == "infer_us") response.infer_us = as_u64();
+    else if (key == "total_us") response.total_us = as_u64();
+    else if (key == "code") response.code = static_cast<int>(as_u64());
+    else if (key == "est_wait_us") response.est_wait_us = as_u64();
+    else if (key == "depth") response.depth = as_u64();
+    else if (key == "reason") response.reason = value;
+    else if (key == "requests") response.requests = as_u64();
+    else if (key == "served") response.served = as_u64();
+    else if (key == "shed") response.shed = as_u64();
+    else if (key == "errors") response.errors = as_u64();
+    else return RR::failure("bad response key: " + key);
+  }
+  return response;
+}
+
+}  // namespace gauge::serve

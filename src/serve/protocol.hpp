@@ -1,0 +1,84 @@
+// Wire grammar of the inference service (DESIGN.md §11). Requests and
+// responses are single '\n'-terminated ASCII lines — the same framing the
+// harness's done-messages use — with an optional length-framed binary
+// payload following an INFER line:
+//
+//   INFER <model> [id=<tok>] [backend=<tok>] [deadline_ms=<num>] [payload=<n>]
+//   <n raw bytes>                     (only when payload= is present)
+//   PING | STATS | QUIT
+//
+//   OK id=<tok> model=<m> backend=<b> fallback=<0|1> batch=<n>
+//      queue_us=<n> infer_us=<n> total_us=<n>
+//   SHED id=<tok> code=429 est_wait_us=<n> depth=<n>
+//   ERR id=<tok> code=<http-ish> reason=<snake_token>
+//   PONG
+//   STATS requests=<n> served=<n> shed=<n> errors=<n>
+//
+// Parsing is strict: unknown verbs, unknown keys, malformed values and
+// out-of-range payload sizes are protocol errors the server answers with
+// ERR 400 (or 413 for oversized payloads) and counts in
+// gauge.serve.errors.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "device/backends.hpp"
+#include "util/result.hpp"
+
+namespace gauge::serve {
+
+// Largest accepted length-framed request payload. Inference inputs for the
+// zoo population are well under this; anything bigger is a hostile frame.
+inline constexpr std::uint64_t kMaxPayloadBytes = 16u << 20;
+
+struct Request {
+  enum class Verb { Infer, Ping, Stats, Quit };
+  Verb verb = Verb::Infer;
+  std::string model;
+  std::string id = "0";
+  std::string backend;       // empty = server default (CPU reference)
+  double deadline_ms = 0.0;  // 0 = no deadline
+  std::uint64_t payload_bytes = 0;
+};
+
+// Parses one request line. Errors are protocol errors; the message is a
+// snake_case reason token suitable for an ERR response ("empty_request",
+// "unknown_verb", "missing_model", "bad_key", "bad_value",
+// "payload_too_large").
+util::Result<Request> parse_request(const std::string& line);
+
+// Maps a wire backend token ("CPU", "SNPE-DSP", ... — the device layer's
+// backend_name() strings, case-insensitive) to the enum.
+std::optional<device::Backend> parse_backend(const std::string& token);
+
+struct Response {
+  enum class Kind { Ok, Shed, Err, Pong, Stats };
+  Kind kind = Kind::Err;
+  std::string id = "0";
+  // Ok fields.
+  std::string model;
+  std::string backend;
+  bool fallback = false;
+  int batch = 0;
+  std::uint64_t queue_us = 0;
+  std::uint64_t infer_us = 0;
+  std::uint64_t total_us = 0;
+  // Shed / Err fields.
+  int code = 0;  // 429 shed, 400/404/413/503 errors
+  std::uint64_t est_wait_us = 0;
+  std::uint64_t depth = 0;
+  std::string reason;
+  // Stats fields.
+  std::uint64_t requests = 0;
+  std::uint64_t served = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t errors = 0;
+};
+
+std::string format_response(const Response& response);
+// Client-side parse of a response line (load generator, tests).
+util::Result<Response> parse_response(const std::string& line);
+
+}  // namespace gauge::serve

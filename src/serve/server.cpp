@@ -1,0 +1,492 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "device/backends.hpp"
+#include "device/latency.hpp"
+#include "nn/checksum.hpp"
+#include "nn/zoo.hpp"
+#include "util/log.hpp"
+
+namespace gauge::serve {
+
+namespace {
+
+// Poll cadence for loops that must notice shutdown while blocked on I/O.
+constexpr std::chrono::milliseconds kIoTick{200};
+// Budget for reading a request's length-framed payload and for writing a
+// response to a slow client before the connection is declared poisoned.
+constexpr std::chrono::milliseconds kPayloadDeadline{5000};
+constexpr std::chrono::milliseconds kSendDeadline{2000};
+
+Response err_response(const std::string& id, int code, std::string reason) {
+  Response response;
+  response.kind = Response::Kind::Err;
+  response.id = id;
+  response.code = code;
+  response.reason = std::move(reason);
+  return response;
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(const ServeOptions& options)
+    : options_{options},
+      device_{device::make_device(options.device)},
+      registry_{telemetry::current_registry()},
+      epoch_{std::chrono::steady_clock::now()} {}
+
+util::Result<std::unique_ptr<InferenceServer>> InferenceServer::start(
+    const ServeOptions& options) {
+  using R = util::Result<std::unique_ptr<InferenceServer>>;
+  std::unique_ptr<InferenceServer> server{new InferenceServer{options}};
+  if (auto status = server->init(); !status.ok()) {
+    return R::failure(status.error());
+  }
+  return server;
+}
+
+util::Status InferenceServer::init() {
+  auto names = options_.models.empty() ? nn::zoo_archetypes() : options_.models;
+  for (const auto& name : names) {
+    const auto& archetypes = nn::zoo_archetypes();
+    if (std::find(archetypes.begin(), archetypes.end(), name) ==
+        archetypes.end()) {
+      return util::Status::failure("unknown zoo archetype: " + name);
+    }
+    nn::ZooSpec spec;
+    spec.archetype = name;
+    spec.name = name;
+    auto entry = std::make_unique<ModelEntry>();
+    entry->name = name;
+    entry->graph = nn::build_model(spec);
+    auto trace = nn::trace_model(entry->graph);
+    if (!trace.ok()) {
+      return util::Status::failure("trace failed for " + name + ": " +
+                                   trace.error());
+    }
+    entry->trace = std::move(trace).take();
+    entry->checksum = nn::model_checksum(entry->graph);
+    entry->lanes.resize(static_cast<std::size_t>(device::Backend::kCount));
+    if (options_.real_exec) {
+      entry->interpreter = std::make_unique<nn::Interpreter>(entry->graph, 1);
+    }
+    entry->latency_ms =
+        &registry_.histogram("gauge.serve.request_latency_ms." + name);
+    entry->queue_ms = &registry_.histogram("gauge.serve.queue_ms." + name);
+    entry->batch_size = &registry_.histogram("gauge.serve.batch_size." + name);
+    entry->served = &registry_.counter("gauge.serve.served." + name);
+    entry->queue_depth = &registry_.gauge("gauge.serve.queue_depth." + name);
+    model_index_[name] = entry.get();
+    model_names_.push_back(name);
+    models_.push_back(std::move(entry));
+  }
+  if (models_.empty()) return util::Status::failure("no models to serve");
+
+  requests_ = &registry_.counter("gauge.serve.requests");
+  served_total_ = &registry_.counter("gauge.serve.served");
+  shed_ = &registry_.counter("gauge.serve.shed");
+  errors_ = &registry_.counter("gauge.serve.errors");
+  deadline_miss_ = &registry_.counter("gauge.serve.deadline_miss");
+  fallback_ = &registry_.counter("gauge.serve.fallback");
+  batches_ = &registry_.counter("gauge.serve.batches");
+  conn_rejected_ = &registry_.counter("gauge.serve.conn_rejected");
+  connections_ = &registry_.gauge("gauge.serve.connections");
+
+  auto listener = net::TcpListener::bind(options_.port, options_.accept_backlog);
+  if (!listener.ok()) return util::Status::failure(listener.error());
+  port_ = listener.value().port();
+  listener_.emplace(std::move(listener).take());
+
+  pool_ = std::make_unique<nn::ThreadPool>(std::max(1u, options_.exec_threads));
+  dispatch_thread_ = std::thread{[this] { dispatch_loop(); }};
+  const unsigned workers = std::max(1u, options_.conn_workers);
+  conn_threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    conn_threads_.emplace_back([this] { connection_loop(); });
+  }
+  accept_thread_ = std::thread{[this] { accept_loop(); }};
+  return {};
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+std::uint64_t InferenceServer::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void InferenceServer::accept_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    auto connection = listener_->accept_for(kIoTick);
+    if (!connection.ok()) {
+      if (!net::is_timeout(connection.error()) &&
+          !stop_.load(std::memory_order_relaxed)) {
+        util::log_warn("serve: accept failed: " + connection.error());
+      }
+      continue;
+    }
+    {
+      const std::lock_guard<std::mutex> lock{conn_mutex_};
+      // A shallow pending queue: with every worker busy and a queue already
+      // two deep per worker, new connections are better refused (closed)
+      // than parked — the client's connect+deadline sees the failure fast.
+      if (pending_conns_.size() >= conn_threads_.size() * 2) {
+        conn_rejected_->increment();
+        continue;  // connection drops as the stream goes out of scope
+      }
+      pending_conns_.push_back(std::move(connection).take());
+    }
+    conn_cv_.notify_one();
+  }
+}
+
+void InferenceServer::connection_loop() {
+  for (;;) {
+    std::optional<net::TcpStream> stream;
+    {
+      std::unique_lock<std::mutex> lock{conn_mutex_};
+      conn_cv_.wait(lock, [this] {
+        return stop_.load(std::memory_order_relaxed) || !pending_conns_.empty();
+      });
+      if (pending_conns_.empty()) return;  // stop_ set and nothing pending
+      stream.emplace(std::move(pending_conns_.front()));
+      pending_conns_.pop_front();
+    }
+    connections_->add(1.0);
+    serve_connection(*stream);
+    connections_->add(-1.0);
+  }
+}
+
+void InferenceServer::serve_connection(net::TcpStream& stream) {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    auto line = stream.recv_line_for(kIoTick);
+    if (!line.ok()) {
+      if (net::is_timeout(line.error())) continue;  // idle; poll stop_
+      // Peer gone. A clean close is normal; a mid-line close is a truncated
+      // request frame and counts as a protocol error.
+      if (line.error().rfind("truncated line", 0) == 0) errors_->increment();
+      return;
+    }
+    auto request = parse_request(line.value());
+    if (!request.ok()) {
+      errors_->increment();
+      const int code = request.error() == "payload_too_large" ? 413 : 400;
+      (void)stream.send_line_for(
+          format_response(err_response("0", code, request.error())),
+          kSendDeadline);
+      if (code == 413) return;  // cannot resync past an unread payload
+      continue;
+    }
+    if (request.value().payload_bytes > 0) {
+      // Length-framed input tensor. The device-model executor does not
+      // interpret it, but it must be consumed (and be complete) for the
+      // connection to stay framed.
+      auto payload = stream.recv_exact_for(request.value().payload_bytes,
+                                           kPayloadDeadline);
+      if (!payload.ok()) {
+        errors_->increment();
+        return;
+      }
+    }
+    switch (request.value().verb) {
+      case Request::Verb::Ping: {
+        Response pong;
+        pong.kind = Response::Kind::Pong;
+        if (!stream.send_line_for(format_response(pong), kSendDeadline).ok())
+          return;
+        break;
+      }
+      case Request::Verb::Stats: {
+        Response stats;
+        stats.kind = Response::Kind::Stats;
+        stats.requests = static_cast<std::uint64_t>(requests_->value());
+        stats.served = static_cast<std::uint64_t>(served_total_->value());
+        stats.shed = static_cast<std::uint64_t>(shed_->value());
+        stats.errors = static_cast<std::uint64_t>(errors_->value());
+        if (!stream.send_line_for(format_response(stats), kSendDeadline).ok())
+          return;
+        break;
+      }
+      case Request::Verb::Quit:
+        return;
+      case Request::Verb::Infer: {
+        const Response response = handle_infer(request.value());
+        if (!stream.send_line_for(format_response(response), kSendDeadline)
+                 .ok()) {
+          return;
+        }
+        break;
+      }
+    }
+  }
+}
+
+InferenceServer::Lane& InferenceServer::lane_locked(ModelEntry& entry,
+                                                    device::Backend backend) {
+  auto& slot = entry.lanes[static_cast<std::size_t>(backend)];
+  if (!slot) {
+    device::RunConfig base;
+    base.threads = device::ThreadConfig{options_.device_threads, 0};
+    base.backend = backend;
+    const auto curve =
+        measure_batch_curve(device_, entry.trace, base, entry.checksum,
+                            candidate_batches(std::max(1, options_.max_batch)));
+    auto frontier =
+        choose_frontier(curve, options_.default_slo_ms, options_.time_scale,
+                        options_.max_batch);
+    slot = std::make_unique<Lane>(backend, std::move(frontier),
+                                  options_.queue_capacity);
+  }
+  return *slot;
+}
+
+Response InferenceServer::handle_infer(const Request& request) {
+  requests_->increment();
+  const auto it = model_index_.find(request.model);
+  if (it == model_index_.end()) {
+    errors_->increment();
+    return err_response(request.id, 404, "unknown_model");
+  }
+  ModelEntry& entry = *it->second;
+
+  device::Backend requested = device::Backend::CpuFp32;
+  if (!request.backend.empty()) {
+    const auto parsed = parse_backend(request.backend);
+    if (!parsed) {
+      errors_->increment();
+      return err_response(request.id, 400, "unknown_backend");
+    }
+    requested = *parsed;
+  }
+  const bool availability_fallback =
+      !device::backend_available(requested, device_);
+  const device::Backend resolved =
+      availability_fallback ? device::Backend::CpuFp32 : requested;
+  if (availability_fallback) fallback_->increment();
+
+  const std::uint64_t enqueue_ns = now_ns();
+  const double deadline_ms = request.deadline_ms > 0 ? request.deadline_ms
+                                                     : options_.default_slo_ms;
+  const std::uint64_t deadline_ns =
+      enqueue_ns + static_cast<std::uint64_t>(deadline_ms * 1e6);
+
+  const std::uint64_t ticket_id =
+      next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  auto waiter = std::make_shared<Waiter>();
+  std::future<BatchResult> future = waiter->promise.get_future();
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    if (stopping_) return err_response(request.id, 503, "shutting_down");
+    Lane& lane = lane_locked(entry, resolved);
+    const auto admission =
+        lane.queue.offer(enqueue_ns, {ticket_id, enqueue_ns, deadline_ns});
+    if (!admission.accepted) {
+      shed_->increment();
+      Response response;
+      response.kind = Response::Kind::Shed;
+      response.id = request.id;
+      response.code = 429;
+      response.est_wait_us = admission.est_wait_ns / 1000;
+      response.depth = lane.queue.depth();
+      return response;
+    }
+    waiters_[ticket_id] = waiter;
+    entry.queue_depth->set(static_cast<double>(lane.queue.depth()));
+  }
+  cv_.notify_all();
+
+  // The executor always fulfils accepted tickets (shutdown drains the
+  // queues through it); the long stop is pure defence against a wedged
+  // pool, after which the waiter is withdrawn so nothing dangles.
+  const auto wait_budget =
+      std::chrono::milliseconds{static_cast<std::int64_t>(deadline_ms)} +
+      std::chrono::seconds{30};
+  if (future.wait_for(wait_budget) != std::future_status::ready) {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    if (future.wait_for(std::chrono::seconds{0}) != std::future_status::ready) {
+      waiters_.erase(ticket_id);
+      errors_->increment();
+      return err_response(request.id, 503, "exec_timeout");
+    }
+  }
+  const BatchResult result = future.get();
+  if (!result.status.ok()) {
+    errors_->increment();
+    return err_response(request.id, 500, "exec_failed");
+  }
+
+  const std::uint64_t done_ns = now_ns();
+  const std::uint64_t total_ns = done_ns - enqueue_ns;
+  const std::uint64_t queue_ns =
+      total_ns > result.infer_ns ? total_ns - result.infer_ns : 0;
+  entry.latency_ms->observe(static_cast<double>(total_ns) * 1e-6);
+  entry.queue_ms->observe(static_cast<double>(queue_ns) * 1e-6);
+  entry.served->increment();
+  served_total_->increment();
+  if (done_ns > deadline_ns) deadline_miss_->increment();
+
+  Response response;
+  response.kind = Response::Kind::Ok;
+  response.id = request.id;
+  response.model = entry.name;
+  response.backend = device::backend_name(result.backend);
+  response.fallback = availability_fallback || result.cpu_fallback;
+  response.batch = result.batch;
+  response.queue_us = queue_ns / 1000;
+  response.infer_us = result.infer_ns / 1000;
+  response.total_us = total_ns / 1000;
+  return response;
+}
+
+std::uint64_t InferenceServer::collect_due_locked(
+    std::uint64_t now, std::vector<Launch>* launches) {
+  std::uint64_t next = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& entry : models_) {
+    for (const auto& lane : entry->lanes) {
+      if (!lane) continue;
+      for (;;) {
+        auto tickets = lane->queue.pop_due(now);
+        if (tickets.empty()) break;
+        lane->queue.note_batch_start();
+        launches->push_back(Launch{entry.get(), lane.get(), std::move(tickets)});
+      }
+      next = std::min(next, lane->queue.next_flush_ns());
+      entry->queue_depth->set(static_cast<double>(lane->queue.depth()));
+    }
+  }
+  return next;
+}
+
+void InferenceServer::dispatch_loop() {
+  std::unique_lock<std::mutex> lock{mutex_};
+  for (;;) {
+    std::vector<Launch> launches;
+    const std::uint64_t next = collect_due_locked(now_ns(), &launches);
+    if (!launches.empty()) {
+      lock.unlock();
+      for (auto& launch : launches) {
+        // With 0 pool workers submit() runs inline, which is why the lock
+        // must not be held here.
+        pool_->submit(
+            [this, launch = std::move(launch)] { execute(launch); });
+      }
+      lock.lock();
+      continue;
+    }
+    if (stopping_) {
+      // Tickets queued but not yet due stay behind; shutdown() drains them
+      // through the executor after this thread is joined.
+      return;
+    }
+    if (next == std::numeric_limits<std::uint64_t>::max()) {
+      cv_.wait(lock);
+    } else {
+      cv_.wait_until(lock, epoch_ + std::chrono::nanoseconds{next});
+    }
+  }
+}
+
+void InferenceServer::execute(const Launch& launch) {
+  ModelEntry& entry = *launch.entry;
+  const int batch = static_cast<int>(launch.tickets.size());
+  BatchResult result;
+  result.backend = launch.lane->backend;
+  result.batch = batch;
+
+  const std::uint64_t start_ns = now_ns();
+  if (options_.real_exec) {
+    const std::lock_guard<std::mutex> exec_lock{entry.exec_mutex};
+    auto inputs = nn::random_inputs(entry.graph, /*seed=*/start_ns, batch);
+    if (!inputs.ok()) {
+      result.status = util::Status::failure(inputs.error());
+    } else if (auto outputs = entry.interpreter->run(inputs.value());
+               !outputs.ok()) {
+      result.status = util::Status::failure(outputs.error());
+    }
+  } else {
+    device::RunConfig config;
+    config.threads = device::ThreadConfig{options_.device_threads, 0};
+    config.backend = launch.lane->backend;
+    config.batch = batch;
+    const auto run =
+        device::simulate_inference(device_, entry.trace, config, entry.checksum);
+    result.cpu_fallback = run.cpu_fallback;
+    if (options_.time_scale > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>{
+          run.latency_s * options_.time_scale});
+    }
+  }
+  result.infer_ns = now_ns() - start_ns;
+
+  std::vector<std::shared_ptr<Waiter>> to_fulfill;
+  to_fulfill.reserve(launch.tickets.size());
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    launch.lane->queue.note_batch_done();
+    for (const Ticket& ticket : launch.tickets) {
+      auto it = waiters_.find(ticket.id);
+      if (it == waiters_.end()) continue;  // requester gave up
+      to_fulfill.push_back(std::move(it->second));
+      waiters_.erase(it);
+    }
+  }
+  batches_->increment();
+  entry.batch_size->observe(static_cast<double>(batch));
+  for (auto& waiter : to_fulfill) waiter->promise.set_value(result);
+  cv_.notify_all();
+}
+
+void InferenceServer::shutdown() {
+  if (joined_) return;
+  joined_ = true;
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    stopping_ = true;
+  }
+  stop_.store(true, std::memory_order_relaxed);
+  cv_.notify_all();
+  conn_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  // Drain: anything still queued after the dispatcher exited is flushed
+  // through the executor so accepted requests get answers, then the pool's
+  // destructor runs every submitted batch to completion.
+  {
+    std::vector<Launch> launches;
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      for (const auto& entry : models_) {
+        for (const auto& lane : entry->lanes) {
+          if (!lane) continue;
+          auto tickets = lane->queue.drain();
+          const auto full = static_cast<std::size_t>(
+              std::max(1, lane->queue.frontier().batch));
+          for (std::size_t i = 0; i < tickets.size(); i += full) {
+            const auto end = std::min(tickets.size(), i + full);
+            lane->queue.note_batch_start();
+            launches.push_back(
+                Launch{entry.get(), lane.get(),
+                       {tickets.begin() + static_cast<std::ptrdiff_t>(i),
+                        tickets.begin() + static_cast<std::ptrdiff_t>(end)}});
+          }
+        }
+      }
+    }
+    for (auto& launch : launches) {
+      pool_->submit([this, launch = std::move(launch)] { execute(launch); });
+    }
+  }
+  pool_.reset();
+  conn_cv_.notify_all();
+  for (auto& thread : conn_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  listener_.reset();
+}
+
+}  // namespace gauge::serve

@@ -1,0 +1,187 @@
+// gaugenn_serve's engine (DESIGN.md §11): a TCP inference service over the
+// net::socket layer that loads a nn::zoo population at startup and answers
+// the line/length-framed protocol of serve/protocol.hpp.
+//
+// Request path: connection worker parses the line → per-request backend
+// resolution (requested device::Backend, falling back to the CPU reference
+// profile when backend_available says no) → admission control against the
+// (model, backend) lane's BatchQueue (bounded queue, 429-style SHED once
+// the estimated queue delay overruns the request deadline) → the dispatcher
+// thread coalesces tickets up to the Fig. 11-derived frontier and executes
+// whole batches on the nn::ThreadPool → the worker answers with queue/infer
+// timings. Every request lands in the telemetry registry (serve/slo.hpp
+// names the metrics), and slo_report() renders the shutdown SLO lines.
+//
+// Execution is the analytic device latency model by default (batch latency
+// scaled into wall time by `time_scale`, slept on the pool — deterministic
+// and device-faithful); `real_exec` runs the interpreter instead.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "device/soc.hpp"
+#include "net/socket.hpp"
+#include "nn/graph.hpp"
+#include "nn/interp.hpp"
+#include "nn/threadpool.hpp"
+#include "nn/trace.hpp"
+#include "serve/batch.hpp"
+#include "serve/protocol.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/result.hpp"
+
+namespace gauge::serve {
+
+struct ServeOptions {
+  std::uint16_t port = 0;          // 0 = ephemeral
+  std::string device = "S21";      // Table 1 device the service emulates
+  std::vector<std::string> models; // zoo archetypes to load; empty = all
+  int max_batch = 8;               // 1 disables coalescing
+  std::size_t queue_capacity = 256;  // per-lane admission bound
+  double default_slo_ms = 250.0;   // deadline for requests that send none
+  int device_threads = 4;          // RunConfig thread count for the model
+  unsigned exec_threads = 4;       // nn::ThreadPool executing batches
+  unsigned conn_workers = 32;      // concurrent connections served
+  int accept_backlog = 64;         // kernel accept-queue bound
+  // Simulated seconds → wall seconds for the default (device-model)
+  // executor. 0 makes execution instantaneous (unit tests).
+  double time_scale = 0.05;
+  bool real_exec = false;          // run the interpreter instead
+};
+
+class InferenceServer {
+ public:
+  // Binds, loads the model population and starts all threads. The returned
+  // server records into the telemetry registry that was current at start().
+  static util::Result<std::unique_ptr<InferenceServer>> start(
+      const ServeOptions& options);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  const std::vector<std::string>& model_names() const { return model_names_; }
+
+  // Stops accepting, drains queued requests through the executor, joins all
+  // threads. Idempotent; the destructor calls it.
+  void shutdown();
+
+ private:
+  struct BatchResult {
+    util::Status status;
+    device::Backend backend = device::Backend::CpuFp32;
+    bool cpu_fallback = false;
+    int batch = 1;
+    std::uint64_t infer_ns = 0;
+  };
+
+  struct Waiter {
+    std::promise<BatchResult> promise;
+  };
+
+  struct Lane {
+    device::Backend backend = device::Backend::CpuFp32;
+    BatchQueue queue;
+    Lane(device::Backend backend, Frontier frontier, std::size_t capacity)
+        : backend{backend}, queue{std::move(frontier), capacity} {}
+  };
+
+  struct ModelEntry {
+    std::string name;
+    nn::Graph graph;
+    nn::ModelTrace trace;
+    std::string checksum;
+    // Lanes indexed by backend enum value, created on first use (mutex_).
+    std::vector<std::unique_ptr<Lane>> lanes;
+    std::unique_ptr<nn::Interpreter> interpreter;  // real_exec only
+    std::mutex exec_mutex;                         // serialises interpreter
+    // Cached instruments (registry lookups are mutex-guarded maps).
+    telemetry::Histogram* latency_ms = nullptr;
+    telemetry::Histogram* queue_ms = nullptr;
+    telemetry::Histogram* batch_size = nullptr;
+    telemetry::Counter* served = nullptr;
+    telemetry::Gauge* queue_depth = nullptr;
+  };
+
+  struct Launch {
+    ModelEntry* entry = nullptr;
+    Lane* lane = nullptr;
+    std::vector<Ticket> tickets;
+  };
+
+  explicit InferenceServer(const ServeOptions& options);
+
+  util::Status init();
+  std::uint64_t now_ns() const;
+
+  void accept_loop();
+  void connection_loop();
+  void serve_connection(net::TcpStream& stream);
+  Response handle_infer(const Request& request);
+  void dispatch_loop();
+  // Pops every due batch (marking them in-flight) and reports the earliest
+  // future flush time. Caller holds mutex_.
+  std::uint64_t collect_due_locked(std::uint64_t now,
+                                   std::vector<Launch>* launches);
+  void execute(const Launch& launch);
+  Lane& lane_locked(ModelEntry& entry, device::Backend backend);
+
+  ServeOptions options_;
+  device::Device device_;
+  telemetry::MetricsRegistry& registry_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  std::optional<net::TcpListener> listener_;
+  std::uint16_t port_ = 0;
+
+  std::vector<std::unique_ptr<ModelEntry>> models_;
+  std::map<std::string, ModelEntry*> model_index_;
+  std::vector<std::string> model_names_;
+
+  std::unique_ptr<nn::ThreadPool> pool_;
+
+  // Dispatch state: lanes, waiters and the stopping flag share one mutex so
+  // admission, flush and drain decisions are serialised.
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::map<std::uint64_t, std::shared_ptr<Waiter>> waiters_;
+  std::atomic<std::uint64_t> next_ticket_{1};
+
+  // Accepted connections waiting for a worker.
+  std::mutex conn_mutex_;
+  std::condition_variable conn_cv_;
+  std::deque<net::TcpStream> pending_conns_;
+
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;
+  std::vector<std::thread> conn_threads_;
+  bool joined_ = false;
+
+  // Cached global instruments.
+  telemetry::Counter* requests_ = nullptr;
+  telemetry::Counter* served_total_ = nullptr;
+  telemetry::Counter* shed_ = nullptr;
+  telemetry::Counter* errors_ = nullptr;
+  telemetry::Counter* deadline_miss_ = nullptr;
+  telemetry::Counter* fallback_ = nullptr;
+  telemetry::Counter* batches_ = nullptr;
+  telemetry::Counter* conn_rejected_ = nullptr;
+  telemetry::Gauge* connections_ = nullptr;
+};
+
+}  // namespace gauge::serve

@@ -1,0 +1,77 @@
+#include "serve/slo.hpp"
+
+#include <cinttypes>
+
+#include "util/strings.hpp"
+
+namespace gauge::serve {
+
+namespace {
+
+std::int64_t counter_value(
+    const std::vector<std::pair<std::string, std::int64_t>>& counters,
+    const std::string& name) {
+  for (const auto& [counter_name, value] : counters) {
+    if (counter_name == name) return value;
+  }
+  return 0;
+}
+
+}  // namespace
+
+SloSummary summarize_slo(const telemetry::MetricsRegistry& registry) {
+  SloSummary summary;
+  const auto counters = registry.counters();
+  summary.requests = counter_value(counters, "gauge.serve.requests");
+  summary.served = counter_value(counters, "gauge.serve.served");
+  summary.shed = counter_value(counters, "gauge.serve.shed");
+  summary.errors = counter_value(counters, "gauge.serve.errors");
+  summary.deadline_miss = counter_value(counters, "gauge.serve.deadline_miss");
+  summary.fallbacks = counter_value(counters, "gauge.serve.fallback");
+  summary.batches = counter_value(counters, "gauge.serve.batches");
+
+  const std::string prefix = kLatencyHistogramPrefix;
+  const auto histograms = registry.histograms();
+  for (const auto& [name, snapshot] : histograms) {
+    if (name.rfind(prefix, 0) != 0 || snapshot.count == 0) continue;
+    ModelSlo model;
+    model.model = name.substr(prefix.size());
+    model.served = snapshot.count;
+    model.p50_ms = snapshot.p50;
+    model.p95_ms = snapshot.p95;
+    model.p99_ms = snapshot.p99;
+    model.mean_ms = snapshot.mean();
+    for (const auto& [batch_name, batch_snapshot] : histograms) {
+      if (batch_name == "gauge.serve.batch_size." + model.model) {
+        model.mean_batch = batch_snapshot.mean();
+      }
+    }
+    summary.models.push_back(std::move(model));
+  }
+  return summary;
+}
+
+std::string slo_report(const telemetry::MetricsRegistry& registry) {
+  const SloSummary summary = summarize_slo(registry);
+  std::string out;
+  for (const auto& model : summary.models) {
+    out += util::format(
+        "SLO model=%s served=%" PRIu64
+        " p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f mean_ms=%.3f mean_batch=%.2f\n",
+        model.model.c_str(), model.served, model.p50_ms, model.p95_ms,
+        model.p99_ms, model.mean_ms, model.mean_batch);
+  }
+  out += util::format(
+      "SLO total requests=%lld served=%lld shed=%lld errors=%lld "
+      "deadline_miss=%lld fallbacks=%lld batches=%lld\n",
+      static_cast<long long>(summary.requests),
+      static_cast<long long>(summary.served),
+      static_cast<long long>(summary.shed),
+      static_cast<long long>(summary.errors),
+      static_cast<long long>(summary.deadline_miss),
+      static_cast<long long>(summary.fallbacks),
+      static_cast<long long>(summary.batches));
+  return out;
+}
+
+}  // namespace gauge::serve

@@ -1,0 +1,55 @@
+// SLO accounting for the inference service: the server records every
+// request into the telemetry registry (metric names below), and this module
+// renders the registry back into the service-level report printed at
+// shutdown and asserted by scripts/check.sh.
+//
+// Metric names (DESIGN.md §11):
+//   gauge.serve.requests / served / shed / errors / deadline_miss /
+//     fallback / batches / conn_rejected            (counters)
+//   gauge.serve.served.<model>                      (counter per model)
+//   gauge.serve.queue_depth.<model>                 (gauge)
+//   gauge.serve.connections                         (gauge)
+//   gauge.serve.request_latency_ms.<model>          (histogram, wall)
+//   gauge.serve.queue_ms.<model>                    (histogram, wall)
+//   gauge.serve.batch_size.<model>                  (histogram)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace gauge::serve {
+
+inline constexpr const char* kLatencyHistogramPrefix =
+    "gauge.serve.request_latency_ms.";
+
+struct ModelSlo {
+  std::string model;
+  std::uint64_t served = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double mean_batch = 0.0;
+};
+
+struct SloSummary {
+  std::vector<ModelSlo> models;  // name-sorted
+  std::int64_t requests = 0;
+  std::int64_t served = 0;
+  std::int64_t shed = 0;
+  std::int64_t errors = 0;
+  std::int64_t deadline_miss = 0;
+  std::int64_t fallbacks = 0;
+  std::int64_t batches = 0;
+};
+
+SloSummary summarize_slo(const telemetry::MetricsRegistry& registry);
+
+// One "SLO model=..." line per served model plus a closing "SLO total ..."
+// line; stable key=value tokens so scripts can grep and parse them.
+std::string slo_report(const telemetry::MetricsRegistry& registry);
+
+}  // namespace gauge::serve

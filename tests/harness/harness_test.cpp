@@ -255,6 +255,103 @@ TEST(Net, RecvOnClosedPeerFails) {
   EXPECT_FALSE(server.value().recv_line().ok());
 }
 
+TEST(Net, SendRawForTimesOutWhenPeerStopsDraining) {
+  // A peer that never reads eventually fills both socket buffers; the
+  // deadline variant must give up instead of wedging the writer forever.
+  auto listener = net::TcpListener::bind(0);
+  ASSERT_TRUE(listener.ok());
+  auto client = net::TcpStream::connect("127.0.0.1", listener.value().port());
+  ASSERT_TRUE(client.ok());
+  auto server = listener.value().accept();
+  ASSERT_TRUE(server.ok());
+  // 64 MiB safely exceeds the default loopback send+receive buffers.
+  const std::string payload(64u << 20, 'x');
+  const auto start = std::chrono::steady_clock::now();
+  auto sent = client.value().send_raw_for(payload, std::chrono::milliseconds{100});
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(sent.ok());
+  EXPECT_TRUE(net::is_timeout(sent.error())) << sent.error();
+  EXPECT_LT(elapsed, std::chrono::seconds{10});
+}
+
+TEST(Net, SendLineForCompletesWhenPeerReads) {
+  auto listener = net::TcpListener::bind(0);
+  ASSERT_TRUE(listener.ok());
+  const auto port = listener.value().port();
+  std::thread client{[port] {
+    auto stream = net::TcpStream::connect("127.0.0.1", port);
+    ASSERT_TRUE(stream.ok());
+    ASSERT_TRUE(
+        stream.value().send_line_for("hello", std::chrono::seconds{5}).ok());
+  }};
+  auto server = listener.value().accept_for(std::chrono::seconds{5});
+  ASSERT_TRUE(server.ok());
+  auto line = server.value().recv_line_for(std::chrono::seconds{5});
+  client.join();
+  ASSERT_TRUE(line.ok()) << line.error();
+  EXPECT_EQ(line.value(), "hello");
+}
+
+TEST(Net, RecvExactForReadsLengthFramedPayloadAfterLine) {
+  // recv_line over-reads into its buffer; recv_exact_for must consume those
+  // buffered bytes before touching the socket again.
+  auto listener = net::TcpListener::bind(0);
+  ASSERT_TRUE(listener.ok());
+  const auto port = listener.value().port();
+  std::thread client{[port] {
+    auto stream = net::TcpStream::connect("127.0.0.1", port);
+    ASSERT_TRUE(stream.ok());
+    ASSERT_TRUE(stream.value().send_raw("HEADER payload=8\nabcdefgh").ok());
+  }};
+  auto server = listener.value().accept();
+  ASSERT_TRUE(server.ok());
+  client.join();
+  auto line = server.value().recv_line_for(std::chrono::seconds{5});
+  ASSERT_TRUE(line.ok()) << line.error();
+  EXPECT_EQ(line.value(), "HEADER payload=8");
+  auto payload = server.value().recv_exact_for(8, std::chrono::seconds{5});
+  ASSERT_TRUE(payload.ok()) << payload.error();
+  EXPECT_EQ(payload.value(), "abcdefgh");
+}
+
+TEST(Net, RecvExactForReportsTruncatedPayload) {
+  auto listener = net::TcpListener::bind(0);
+  ASSERT_TRUE(listener.ok());
+  const auto port = listener.value().port();
+  std::thread client{[port] {
+    auto stream = net::TcpStream::connect("127.0.0.1", port);
+    ASSERT_TRUE(stream.ok());
+    ASSERT_TRUE(stream.value().send_raw("abc").ok());
+    // close with 5 bytes still owed
+  }};
+  auto server = listener.value().accept();
+  ASSERT_TRUE(server.ok());
+  client.join();
+  auto payload = server.value().recv_exact_for(8, std::chrono::seconds{5});
+  ASSERT_FALSE(payload.ok());
+  EXPECT_NE(payload.error().find("truncated payload"), std::string::npos);
+  EXPECT_FALSE(net::is_timeout(payload.error()));
+}
+
+TEST(Net, BoundedBacklogListenerStillServes) {
+  // The backlog caps the kernel accept queue; connections accepted promptly
+  // behave exactly as with the default backlog.
+  auto listener = net::TcpListener::bind(0, /*backlog=*/1);
+  ASSERT_TRUE(listener.ok());
+  const auto port = listener.value().port();
+  std::thread client{[port] {
+    auto stream = net::TcpStream::connect("127.0.0.1", port);
+    ASSERT_TRUE(stream.ok());
+    ASSERT_TRUE(stream.value().send_line("bounded").ok());
+  }};
+  auto server = listener.value().accept_for(std::chrono::seconds{5});
+  ASSERT_TRUE(server.ok());
+  auto line = server.value().recv_line_for(std::chrono::seconds{5});
+  client.join();
+  ASSERT_TRUE(line.ok()) << line.error();
+  EXPECT_EQ(line.value(), "bounded");
+}
+
 // -------------------------------------------------------------------- hub
 
 TEST(UsbHub, ChannelsToggle) {

@@ -1,0 +1,264 @@
+// The serving batcher is a deterministic state machine over explicit
+// timestamps — these tests drive it with util::SimClock and never sleep.
+#include "serve/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/soc.hpp"
+#include "nn/checksum.hpp"
+#include "nn/trace.hpp"
+#include "nn/zoo.hpp"
+#include "util/clock.hpp"
+
+namespace gauge::serve {
+namespace {
+
+nn::ModelTrace mobilenet_trace() {
+  nn::ZooSpec spec;
+  spec.archetype = "mobilenet";
+  auto trace = nn::trace_model(nn::build_model(spec));
+  EXPECT_TRUE(trace.ok());
+  return std::move(trace).take();
+}
+
+Frontier test_frontier(int batch, std::uint64_t max_wait_ns,
+                       std::uint64_t latency1_ns) {
+  // Linear-ish curve: latency(b) = latency1 * (1 + (b-1)/4) — sublinear in
+  // throughput, like the measured ones.
+  Frontier frontier;
+  frontier.batch = batch;
+  frontier.max_wait_ns = max_wait_ns;
+  for (int b : {1, batch}) {
+    frontier.batches.push_back(b);
+    frontier.latency_ns.push_back(latency1_ns + latency1_ns * (b - 1) / 4);
+  }
+  if (frontier.batches.size() == 2 && frontier.batches[0] == frontier.batches[1]) {
+    frontier.batches.pop_back();
+    frontier.latency_ns.pop_back();
+  }
+  return frontier;
+}
+
+TEST(ServeBatch, CandidateBatchesTruncateToMax) {
+  EXPECT_EQ(candidate_batches(1), (std::vector<int>{1}));
+  EXPECT_EQ(candidate_batches(8), (std::vector<int>{1, 2, 4, 5, 8}));
+  // A max that is not a canonical point becomes the last support point.
+  EXPECT_EQ(candidate_batches(6), (std::vector<int>{1, 2, 4, 5, 6}));
+  EXPECT_EQ(candidate_batches(25), (std::vector<int>{1, 2, 4, 5, 8, 10, 16, 25}));
+}
+
+TEST(ServeBatch, CurveInterpolatesBetweenMeasuredPoints) {
+  BatchCurve curve;
+  curve.batches = {1, 4, 8};
+  curve.latency_s = {0.010, 0.016, 0.024};
+  curve.throughput_ips = {100.0, 250.0, 333.3};
+  EXPECT_DOUBLE_EQ(curve.latency_s_at(1), 0.010);
+  EXPECT_DOUBLE_EQ(curve.latency_s_at(4), 0.016);
+  EXPECT_DOUBLE_EQ(curve.latency_s_at(8), 0.024);
+  // Halfway between 4 and 8.
+  EXPECT_DOUBLE_EQ(curve.latency_s_at(6), 0.020);
+  // Beyond the last point: extrapolate the final segment's slope.
+  EXPECT_DOUBLE_EQ(curve.latency_s_at(12), 0.032);
+}
+
+TEST(ServeBatch, MeasuredCurveAmortisesDispatchOverhead) {
+  const auto device = device::make_device("S21");
+  const auto trace = mobilenet_trace();
+  const auto curve = measure_batch_curve(device, trace, device::RunConfig{},
+                                         "test-key", candidate_batches(8));
+  ASSERT_EQ(curve.batches.size(), 5u);
+  for (std::size_t i = 1; i < curve.batches.size(); ++i) {
+    // Latency grows with batch, but far slower than linearly (Fig. 11).
+    EXPECT_GT(curve.latency_s[i], curve.latency_s[i - 1]);
+    EXPECT_LT(curve.latency_s[i],
+              curve.latency_s[0] * curve.batches[i]);
+    EXPECT_GT(curve.throughput_ips[i], curve.throughput_ips[i - 1]);
+  }
+}
+
+TEST(ServeBatch, MeasuredCurveIsDeterministic) {
+  const auto device = device::make_device("S21");
+  const auto trace = mobilenet_trace();
+  const auto a = measure_batch_curve(device, trace, device::RunConfig{},
+                                     "k", candidate_batches(8));
+  const auto b = measure_batch_curve(device, trace, device::RunConfig{},
+                                     "k", candidate_batches(8));
+  EXPECT_EQ(a.latency_s, b.latency_s);
+  EXPECT_EQ(batch_curve_json("S21", "mobilenet", a),
+            batch_curve_json("S21", "mobilenet", b));
+}
+
+TEST(ServeBatch, FrontierPicksLargestBatchFittingTheSloBudget) {
+  BatchCurve curve;
+  curve.batches = {1, 2, 4, 8};
+  curve.latency_s = {0.010, 0.012, 0.020, 0.060};
+  curve.throughput_ips = {100, 166, 200, 133};
+  // time_scale 1.0, SLO 100 ms, budget fraction 0.5 → wall budget 50 ms:
+  // batch 4 (20 ms) fits, batch 8 (60 ms) does not.
+  const auto frontier = choose_frontier(curve, 100.0, 1.0, 8);
+  EXPECT_EQ(frontier.batch, 4);
+  // Deadline-flush budget is a quarter of the SLO.
+  EXPECT_EQ(frontier.max_wait_ns, 25u * 1000 * 1000);
+  EXPECT_EQ(frontier.latency_ns_at(4), 20u * 1000 * 1000);
+}
+
+TEST(ServeBatch, FrontierDegeneratesToNoBatchingUnderTightSlo) {
+  BatchCurve curve;
+  curve.batches = {1, 2};
+  curve.latency_s = {0.010, 0.030};
+  curve.throughput_ips = {100, 66};
+  // Budget 5 ms < latency(2): only batch 1 fits, and batch 1 never waits.
+  const auto frontier = choose_frontier(curve, 10.0, 1.0, 2);
+  EXPECT_EQ(frontier.batch, 1);
+  EXPECT_EQ(frontier.max_wait_ns, 0u);
+}
+
+TEST(ServeBatch, MaxBatchOneDisablesCoalescing) {
+  BatchCurve curve;
+  curve.batches = {1};
+  curve.latency_s = {0.001};
+  curve.throughput_ips = {1000};
+  const auto frontier = choose_frontier(curve, 250.0, 1.0, 1);
+  EXPECT_EQ(frontier.batch, 1);
+  EXPECT_EQ(frontier.max_wait_ns, 0u);
+}
+
+TEST(ServeBatch, QueueCoalescesUpToTheFrontier) {
+  util::SimClock clock;
+  BatchQueue queue{test_frontier(4, 10'000'000, 1'000'000), 64};
+  // Empty queue: nothing due, flush at infinity.
+  EXPECT_EQ(queue.next_flush_ns(), UINT64_MAX);
+  EXPECT_TRUE(queue.pop_due(clock.now()).empty());
+
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    clock.advance_ns(100'000);
+    EXPECT_TRUE(queue.offer(clock.now(), {id, clock.now(), 0}).accepted);
+  }
+  // A full frontier batch is due immediately.
+  EXPECT_EQ(queue.next_flush_ns(), 0u);
+  const auto batch = queue.pop_due(clock.now());
+  ASSERT_EQ(batch.size(), 4u);
+  // Strict FIFO.
+  EXPECT_EQ(batch[0].id, 1u);
+  EXPECT_EQ(batch[3].id, 4u);
+  EXPECT_EQ(queue.depth(), 0u);
+}
+
+TEST(ServeBatch, PartialBatchFlushesOnlyAfterMaxWait) {
+  util::SimClock clock;
+  clock.advance_ns(5'000'000);
+  BatchQueue queue{test_frontier(4, 10'000'000, 1'000'000), 64};
+  const std::uint64_t enqueue = clock.now();
+  EXPECT_TRUE(queue.offer(clock.now(), {7, clock.now(), 0}).accepted);
+  EXPECT_TRUE(queue.offer(clock.now(), {8, clock.now(), 0}).accepted);
+
+  // Before the deadline-flush budget elapses nothing is due.
+  EXPECT_EQ(queue.next_flush_ns(), enqueue + 10'000'000);
+  clock.advance_ns(9'999'999);
+  EXPECT_TRUE(queue.pop_due(clock.now()).empty());
+  EXPECT_EQ(queue.depth(), 2u);
+
+  // One more nanosecond: the oldest request has waited out its budget and
+  // the partial batch flushes.
+  clock.advance_ns(1);
+  const auto batch = queue.pop_due(clock.now());
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].id, 7u);
+  EXPECT_TRUE(queue.pop_due(clock.now()).empty());
+}
+
+TEST(ServeBatch, DeterministicReplayProducesIdenticalFlushes) {
+  // The same offer/pop timestamp sequence must produce identical batches —
+  // the server's dispatcher relies on this for reproducible runs.
+  const auto run = [] {
+    util::SimClock clock;
+    BatchQueue queue{test_frontier(3, 5'000'000, 1'000'000), 64};
+    std::vector<std::vector<std::uint64_t>> flushes;
+    for (std::uint64_t id = 1; id <= 10; ++id) {
+      clock.advance_ns(1'700'000);
+      queue.offer(clock.now(), {id, clock.now(), 0});
+      for (auto batch = queue.pop_due(clock.now()); !batch.empty();
+           batch = queue.pop_due(clock.now())) {
+        std::vector<std::uint64_t> ids;
+        for (const auto& ticket : batch) ids.push_back(ticket.id);
+        flushes.push_back(std::move(ids));
+      }
+    }
+    clock.advance_ns(5'000'000);
+    for (auto batch = queue.pop_due(clock.now()); !batch.empty();
+         batch = queue.pop_due(clock.now())) {
+      std::vector<std::uint64_t> ids;
+      for (const auto& ticket : batch) ids.push_back(ticket.id);
+      flushes.push_back(std::move(ids));
+    }
+    return flushes;
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+  // Every ticket flushed exactly once, in order.
+  std::vector<std::uint64_t> all;
+  for (const auto& flush : a) all.insert(all.end(), flush.begin(), flush.end());
+  EXPECT_EQ(all, (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+}
+
+TEST(ServeBatch, AdmissionShedsWhenTheQueueIsFull) {
+  util::SimClock clock;
+  BatchQueue queue{test_frontier(1, 0, 1'000'000), 2};
+  EXPECT_TRUE(queue.offer(clock.now(), {1, clock.now(), 0}).accepted);
+  EXPECT_TRUE(queue.offer(clock.now(), {2, clock.now(), 0}).accepted);
+  const auto admission = queue.offer(clock.now(), {3, clock.now(), 0});
+  EXPECT_FALSE(admission.accepted);
+  EXPECT_EQ(admission.reason, "queue_full");
+  EXPECT_EQ(queue.depth(), 2u);
+}
+
+TEST(ServeBatch, AdmissionShedsWhenEstimatedWaitOverrunsTheDeadline) {
+  util::SimClock clock;
+  clock.advance_ns(1'000'000);
+  // latency(1) = 1 ms; three in-flight batches ahead → est wait ≥ 4 ms.
+  BatchQueue queue{test_frontier(1, 0, 1'000'000), 64};
+  queue.note_batch_start();
+  queue.note_batch_start();
+  queue.note_batch_start();
+
+  // Deadline 10 ms out: fits (4 ms estimate), accepted.
+  const auto fits = queue.offer(
+      clock.now(), {1, clock.now(), clock.now() + 10'000'000});
+  EXPECT_TRUE(fits.accepted);
+  EXPECT_GE(fits.est_wait_ns, 4'000'000u);
+
+  // Deadline 3 ms out: the estimate alone overruns it → shed.
+  const auto sheds = queue.offer(
+      clock.now(), {2, clock.now(), clock.now() + 3'000'000});
+  EXPECT_FALSE(sheds.accepted);
+  EXPECT_EQ(sheds.reason, "deadline");
+  EXPECT_GE(sheds.est_wait_ns, 4'000'000u);
+
+  // No deadline (0) never deadline-sheds.
+  const auto lenient = queue.offer(clock.now(), {3, clock.now(), 0});
+  EXPECT_TRUE(lenient.accepted);
+
+  // Finished batches lower the estimate again.
+  queue.note_batch_done();
+  queue.note_batch_done();
+  queue.note_batch_done();
+  EXPECT_EQ(queue.inflight(), 0);
+}
+
+TEST(ServeBatch, DrainEmptiesTheQueueUnconditionally) {
+  util::SimClock clock;
+  BatchQueue queue{test_frontier(8, 50'000'000, 1'000'000), 64};
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    queue.offer(clock.now(), {id, clock.now(), 0});
+  }
+  // Not due (partial batch, no wait elapsed) — but drain takes everything.
+  EXPECT_TRUE(queue.pop_due(clock.now()).empty());
+  const auto drained = queue.drain();
+  EXPECT_EQ(drained.size(), 5u);
+  EXPECT_EQ(queue.depth(), 0u);
+  EXPECT_EQ(queue.next_flush_ns(), UINT64_MAX);
+}
+
+}  // namespace
+}  // namespace gauge::serve
