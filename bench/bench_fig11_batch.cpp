@@ -9,9 +9,12 @@
 #include <array>
 #include <cmath>
 
+#include <chrono>
+
 #include "bench/common.hpp"
 #include "device/soc.hpp"
 #include "nn/checksum.hpp"
+#include "nn/interp.hpp"
 #include "nn/trace.hpp"
 #include "nn/zoo.hpp"
 #include "serve/batch.hpp"
@@ -85,6 +88,38 @@ int main() {
       std::printf("JSON %s\n",
                   serve::batch_curve_json(dev.name, archetype, curve).c_str());
     }
+  }
+
+  // Measured counterpart: the same curve shape, but timed through the real
+  // interpreter on the optimised kernel backend (what `gaugenn_serve --real`
+  // feeds its frontier from). Small archetypes only — these are wall-clock
+  // measurements, not model evaluations.
+  std::printf("Measured interpreter batch-latency curves (optimised backend)\n");
+  for (const std::string archetype : {"sensormlp", "mobilenet"}) {
+    nn::ZooSpec spec;
+    spec.archetype = archetype;
+    spec.name = archetype;
+    const auto graph = nn::build_model(spec);
+    nn::Interpreter interp{graph, 4, nn::kernels::ExecBackend::Optimised};
+    serve::BatchCurve curve;
+    for (int b : serve::candidate_batches(25)) {
+      auto inputs = nn::random_inputs(graph, 17, b);
+      if (!inputs.ok()) continue;
+      if (!interp.run(inputs.value()).ok()) continue;  // warm-up
+      const auto start = std::chrono::steady_clock::now();
+      const auto out = interp.run(inputs.value());
+      const auto seconds =
+          std::chrono::duration<double>{std::chrono::steady_clock::now() -
+                                        start}
+              .count();
+      if (!out.ok() || seconds <= 0.0) continue;
+      curve.batches.push_back(b);
+      curve.latency_s.push_back(seconds);
+      curve.throughput_ips.push_back(static_cast<double>(b) / seconds);
+    }
+    std::printf("JSON %s\n",
+                serve::batch_curve_json("interp-optimised", archetype, curve)
+                    .c_str());
   }
   return 0;
 }

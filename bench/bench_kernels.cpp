@@ -1,104 +1,206 @@
-// google-benchmark microbenchmarks of the inference interpreter kernels —
-// the substrate every example actually executes. Not a paper figure; kept
-// for regression tracking of the executing path.
-#include <benchmark/benchmark.h>
+// Microbenchmark of the kernel engine (DESIGN.md §13): times every zoo
+// archetype through the interpreter under each selectable execution backend
+// (reference / optimised / quantised) and prints one machine-readable JSON
+// row per configuration — arch, dtype, backend, threads, ms, MFLOP/s and
+// the speedup over the scalar reference backend. A closing
+// "measured_vs_model" row compares the measured optimised latency against
+// the S21 roofline device model so the two latency sources stay visibly
+// anchored to each other.
+//
+//   bench_kernels [--res N] [--arch NAME] [--threads a,b] [--iters N]
+//
+// --res 224 runs the vision archetypes at the paper's 224-px input (the
+// acceptance shape for the >=3x conv/GEMM speedup claim); default is 64 so
+// the full matrix stays fast enough for CI.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "device/latency.hpp"
+#include "device/soc.hpp"
+#include "nn/checksum.hpp"
 #include "nn/interp.hpp"
+#include "nn/kernels/kernels.hpp"
 #include "nn/trace.hpp"
 #include "nn/zoo.hpp"
+#include "util/strings.hpp"
 
 namespace {
 
 using namespace gauge;
 
-nn::Graph model_for(const std::string& arch, int res, bool quantized = false) {
-  nn::ZooSpec spec;
-  spec.archetype = arch;
-  spec.resolution = res;
-  spec.seed = 7;
-  nn::Graph g = nn::build_model(spec);
-  if (quantized) nn::quantize_weights(g);
-  return g;
-}
+struct Timing {
+  double ms = 0.0;
+  bool ok = false;
+};
 
-void run_model(benchmark::State& state, const nn::Graph& graph,
-               unsigned threads) {
-  nn::Interpreter interp{graph, threads};
-  auto inputs = nn::random_inputs(graph, 42);
-  if (!inputs.ok()) {
-    state.SkipWithError("input build failed");
-    return;
+// Times `interp.run` on `graph`: one warm-up pass (also triggers lazy page
+// faults on the packed panels), then up to `max_iters` timed passes or
+// ~0.5 s of wall clock, whichever comes first. The reference backend at
+// 224 px takes seconds per pass, so callers cap its iterations low.
+Timing time_interpreter(const nn::Graph& graph, unsigned threads,
+                        nn::kernels::ExecBackend backend, int max_iters) {
+  Timing timing;
+  nn::Interpreter interp{graph, threads, backend};
+  const auto inputs = nn::random_inputs(graph, 42);
+  if (!inputs.ok()) return timing;
+  if (!interp.run(inputs.value()).ok()) return timing;  // warm-up
+  double total_s = 0.0;
+  int iters = 0;
+  while (iters < max_iters && (iters == 0 || total_s < 0.5)) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto out = interp.run(inputs.value());
+    const auto end = std::chrono::steady_clock::now();
+    if (!out.ok()) return timing;
+    total_s += std::chrono::duration<double>{end - start}.count();
+    ++iters;
   }
-  for (auto _ : state) {
-    auto out = interp.run(inputs.value());
-    benchmark::DoNotOptimize(out);
+  timing.ms = total_s / static_cast<double>(iters) * 1e3;
+  timing.ok = timing.ms > 0.0;
+  return timing;
+}
+
+void print_row(const std::string& arch, int res, const char* dtype,
+               nn::kernels::ExecBackend backend, unsigned threads,
+               const Timing& timing, double flops, double reference_ms) {
+  if (!timing.ok) return;
+  const double mflops_s = flops / 1e6 / (timing.ms / 1e3);
+  std::string row = util::format(
+      "{\"bench\":\"kernels\",\"arch\":\"%s\",\"res\":%d,\"dtype\":\"%s\","
+      "\"backend\":\"%s\",\"threads\":%u,\"ms\":%.4f,\"mflops_s\":%.1f",
+      arch.c_str(), res, dtype, nn::kernels::exec_backend_name(backend),
+      threads, timing.ms, mflops_s);
+  if (reference_ms > 0.0) {
+    row += util::format(",\"speedup_vs_reference\":%.2f",
+                        reference_ms / timing.ms);
   }
-  const auto trace = nn::trace_model(graph);
-  if (trace.ok()) {
-    state.counters["MFLOP"] = static_cast<double>(trace.value().total_flops) / 1e6;
-  }
+  row += "}";
+  std::printf("JSON %s\n", row.c_str());
 }
 
-void BM_MobileNetF32(benchmark::State& state) {
-  const auto g = model_for("mobilenet", 64);
-  run_model(state, g, static_cast<unsigned>(state.range(0)));
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_kernels [--res N] [--arch NAME] "
+               "[--threads a,b] [--iters N]\n");
+  return 2;
 }
-BENCHMARK(BM_MobileNetF32)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
-
-void BM_MobileNetHybridInt8(benchmark::State& state) {
-  const auto g = model_for("mobilenet", 64, /*quantized=*/true);
-  run_model(state, g, 1);
-}
-BENCHMARK(BM_MobileNetHybridInt8)->Unit(benchmark::kMillisecond);
-
-void BM_UnetSegmentation(benchmark::State& state) {
-  const auto g = model_for("unet", 64);
-  run_model(state, g, static_cast<unsigned>(state.range(0)));
-}
-BENCHMARK(BM_UnetSegmentation)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
-
-void BM_FssdDetector(benchmark::State& state) {
-  const auto g = model_for("fssd", 64);
-  run_model(state, g, 1);
-}
-BENCHMARK(BM_FssdDetector)->Unit(benchmark::kMillisecond);
-
-void BM_WordRnn(benchmark::State& state) {
-  const auto g = model_for("wordrnn", 16);
-  run_model(state, g, 1);
-}
-BENCHMARK(BM_WordRnn)->Unit(benchmark::kMillisecond);
-
-void BM_AudioCnn(benchmark::State& state) {
-  const auto g = model_for("audiocnn", 32);
-  run_model(state, g, 1);
-}
-BENCHMARK(BM_AudioCnn)->Unit(benchmark::kMillisecond);
-
-void BM_SensorMlp(benchmark::State& state) {
-  const auto g = model_for("sensormlp", 16);
-  run_model(state, g, 1);
-}
-BENCHMARK(BM_SensorMlp)->Unit(benchmark::kMicrosecond);
-
-void BM_BatchedMobileNet(benchmark::State& state) {
-  const auto g = model_for("mobilenet", 48);
-  nn::Interpreter interp{g, 4};
-  auto inputs = nn::random_inputs(g, 42, state.range(0));
-  if (!inputs.ok()) {
-    state.SkipWithError("input build failed");
-    return;
-  }
-  for (auto _ : state) {
-    auto out = interp.run(inputs.value());
-    benchmark::DoNotOptimize(out);
-  }
-  state.counters["ips"] = benchmark::Counter(
-      static_cast<double>(state.range(0)) * static_cast<double>(state.iterations()),
-      benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_BatchedMobileNet)->Arg(1)->Arg(5)->Arg(25)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace gauge;
+  namespace kernels = nn::kernels;
+
+  int res = 64;
+  int max_iters = 8;
+  std::string only_arch;
+  std::vector<unsigned> thread_counts{1, 4};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--res") == 0 && i + 1 < argc) {
+      const auto parsed = util::parse_double(argv[++i]);
+      if (!parsed || *parsed < 1) return usage();
+      res = static_cast<int>(*parsed);
+    } else if (std::strcmp(argv[i], "--arch") == 0 && i + 1 < argc) {
+      only_arch = argv[++i];
+    } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      const auto parsed = util::parse_double(argv[++i]);
+      if (!parsed || *parsed < 1) return usage();
+      max_iters = static_cast<int>(*parsed);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      thread_counts.clear();
+      for (const auto& token : util::split(argv[++i], ',')) {
+        const auto parsed = util::parse_double(token);
+        if (!parsed || *parsed < 1) return usage();
+        thread_counts.push_back(static_cast<unsigned>(*parsed));
+      }
+    } else {
+      return usage();
+    }
+  }
+
+  std::printf("Kernel engine microbenchmarks (res=%d)\n", res);
+
+  // (archetype, resolution): vision archetypes follow --res, the text /
+  // audio / sensor ones keep their natural input sizes.
+  const std::vector<std::pair<std::string, int>> models{
+      {"mobilenet", res}, {"unet", res},     {"fssd", res},
+      {"audiocnn", 32},   {"sensormlp", 16}, {"wordrnn", 16}};
+
+  double mobilenet_optimised_ms = 0.0;
+  for (const auto& [arch, model_res] : models) {
+    if (!only_arch.empty() && arch != only_arch) continue;
+    nn::ZooSpec spec;
+    spec.archetype = arch;
+    spec.resolution = model_res;
+    spec.seed = 7;
+    const nn::Graph graph = nn::build_model(spec);
+    const auto trace = nn::trace_model(graph);
+    const double flops =
+        trace.ok() ? static_cast<double>(trace.value().total_flops) : 0.0;
+
+    for (const unsigned threads : thread_counts) {
+      // The scalar reference pass is the denominator of every speedup
+      // column; cap it at two timed iterations so 224-px runs stay sane.
+      const auto reference =
+          time_interpreter(graph, threads, kernels::ExecBackend::Reference,
+                           std::min(max_iters, 2));
+      print_row(arch, model_res, "f32", kernels::ExecBackend::Reference,
+                threads, reference, flops, 0.0);
+      for (const auto backend : {kernels::ExecBackend::Optimised,
+                                 kernels::ExecBackend::Quantised}) {
+        const auto timing =
+            time_interpreter(graph, threads, backend, max_iters);
+        print_row(arch, model_res, "f32", backend, threads, timing, flops,
+                  reference.ms);
+        if (arch == "mobilenet" && threads == 1 &&
+            backend == kernels::ExecBackend::Optimised && timing.ok) {
+          mobilenet_optimised_ms = timing.ms;
+        }
+      }
+    }
+
+    // True int8 activation path: the quantised-stem variant runs its first
+    // conv on int8 tensors (i8 x i8 -> i32 accumulate + requantise).
+    const nn::Graph stem = nn::with_quantized_stem(graph);
+    for (const auto backend : {kernels::ExecBackend::Reference,
+                               kernels::ExecBackend::Quantised}) {
+      const int iters = backend == kernels::ExecBackend::Reference
+                            ? std::min(max_iters, 2)
+                            : max_iters;
+      const auto timing = time_interpreter(stem, 1, backend, iters);
+      print_row(arch, model_res, "int8", backend, 1, timing, flops, 0.0);
+    }
+  }
+
+  // Anchor the measured optimised path to the roofline device model: the
+  // simulated S21 CpuFp32 latency for mobilenet vs what we just measured.
+  if (mobilenet_optimised_ms > 0.0) {
+    nn::ZooSpec spec;
+    spec.archetype = "mobilenet";
+    spec.resolution = res;
+    spec.seed = 7;
+    const nn::Graph graph = nn::build_model(spec);
+    const auto trace = nn::trace_model(graph);
+    if (trace.ok()) {
+      for (const auto& dev : device::phones()) {
+        if (dev.name != "S21") continue;
+        device::RunConfig config;
+        config.threads = {1, 0};
+        config.backend = device::Backend::CpuFp32;
+        const auto sim = device::simulate_inference(
+            dev, trace.value(), config, nn::model_checksum(graph));
+        std::printf(
+            "JSON {\"bench\":\"measured_vs_model\",\"arch\":\"mobilenet\","
+            "\"res\":%d,\"device\":\"S21\",\"measured_ms\":%.4f,"
+            "\"model_ms\":%.4f,\"ratio\":%.2f}\n",
+            res, mobilenet_optimised_ms, sim.latency_s * 1e3,
+            mobilenet_optimised_ms / (sim.latency_s * 1e3));
+      }
+    }
+  }
+  return 0;
+}

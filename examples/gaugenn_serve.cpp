@@ -6,6 +6,7 @@
 //   gaugenn_serve [--port N] [--device S21] [--models a,b,c] [--batch N]
 //                 [--queue-cap N] [--slo-ms X] [--exec-threads N]
 //                 [--conn-workers N] [--time-scale X] [--real]
+//                 [--real-backend auto|reference|optimised|quantised]
 //                 [--duration-s N] [--telemetry-out <dir>]
 //
 // --port 0 (default) binds an ephemeral port; the bound port is printed as
@@ -14,6 +15,9 @@
 // --time-scale maps the device model's simulated seconds onto wall-clock
 //   sleeps (execution realism without real hardware); --real runs the
 //   interpreter instead.
+// --real-backend picks the interpreter's kernel backend under --real:
+//   "auto" (default) mirrors each lane's device backend, a fixed name forces
+//   one nn::kernels backend for every lane.
 // --duration-s 0 (default) serves until SIGINT/SIGTERM. On shutdown the
 //   per-model SLO report (serve/slo.hpp) is printed to stdout and, with
 //   --telemetry-out, the full registry is exported.
@@ -42,7 +46,8 @@ int usage() {
                "usage: gaugenn_serve [--port N] [--device NAME] "
                "[--models a,b,c] [--batch N] [--queue-cap N] [--slo-ms X] "
                "[--exec-threads N] [--conn-workers N] [--time-scale X] "
-               "[--real] [--duration-s N] [--telemetry-out <dir>]\n");
+               "[--real] [--real-backend auto|reference|optimised|quantised] "
+               "[--duration-s N] [--telemetry-out <dir>]\n");
   return 2;
 }
 
@@ -87,6 +92,8 @@ int main(int argc, char** argv) {
       options.time_scale = value;
     } else if (std::strcmp(argv[i], "--real") == 0) {
       options.real_exec = true;
+    } else if (std::strcmp(argv[i], "--real-backend") == 0 && i + 1 < argc) {
+      options.real_backend = argv[++i];
     } else if (std::strcmp(argv[i], "--duration-s") == 0 &&
                next_value(&value)) {
       duration_s = value;
@@ -105,10 +112,13 @@ int main(int argc, char** argv) {
   }
   std::printf("gaugenn_serve: listening on 127.0.0.1:%u\n",
               static_cast<unsigned>(server.value()->port()));
+  const std::string exec_desc =
+      options.real_exec ? "interpreter/" + options.real_backend
+                        : "device-model";
   std::printf("gaugenn_serve: device=%s batch=%d models=%s exec=%s\n",
               options.device.c_str(), options.max_batch,
               util::join(server.value()->model_names(), ",").c_str(),
-              options.real_exec ? "interpreter" : "device-model");
+              exec_desc.c_str());
   std::fflush(stdout);
 
   std::signal(SIGINT, handle_stop_signal);

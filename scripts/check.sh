@@ -14,8 +14,9 @@
 # telemetry hammers, the thread pool, the parallel-pipeline
 # determinism/stampede tests, the harness fault-injection suite (run_fleet
 # drives one master thread per port), the journal/resume/hostile-zip
-# robustness suites, and the serving layer (batcher, protocol, loopback
-# server under concurrent clients).
+# robustness suites, the serving layer (batcher, protocol, loopback
+# server under concurrent clients), and the kernel engine's multi-threaded
+# dispatch (the Kernel parity suites).
 #
 # Each sanitizer gets its own build tree (build-check-<san>) so switching
 # sanitizers never poisons an incremental build.
@@ -50,6 +51,20 @@ done < <(sed -n '/^enum class Framework/,/^};/p' src/formats/registry.hpp \
          | grep -oE '^  [A-Z][A-Za-z0-9]+' | tr -d ' ' | grep -v '^kCount$')
 echo "ok: no framework switches outside the plugin layer; enum fully covered"
 
+# ---- kernel-engine layering gate -------------------------------------------
+# Scalar MAC loops over Tensor storage (`acc += ...f32()[...]`) belong in the
+# reference backend only (src/nn/kernels/reference*): everything else must go
+# through the packed-panel micro-kernels so the optimised/quantised paths
+# never silently regress to per-element Tensor indexing.
+echo "== kernel-engine layering gate =="
+if grep -rnE 'acc \+=.*(f32|i8)\(\)\[' src \
+    --include='*.cpp' --include='*.hpp' \
+    | grep -v '^src/nn/kernels/reference'; then
+  echo "error: scalar conv/GEMM accumulation outside src/nn/kernels/reference*" >&2
+  exit 1
+fi
+echo "ok: scalar MAC loops confined to the reference backend"
+
 case "$SANITIZER" in
   ""|address|thread|undefined) ;;
   *)
@@ -68,6 +83,15 @@ if [[ -n "$FILTER" ]]; then
   CTEST_ARGS+=(-R "$FILTER")
 fi
 ctest --test-dir "$BUILD_DIR" "${CTEST_ARGS[@]}"
+
+if [[ -z "$FILTER" ]]; then
+  # ---- kernel parity gate ----------------------------------------------------
+  # The optimised/quantised kernels must agree with the scalar reference
+  # backend (tests/nn/kernels_test.cpp); run the suite standalone so a parity
+  # break fails loudly under every build flavour, sanitized ones included.
+  echo "== kernel parity gate${SANITIZER:+ ($SANITIZER)} =="
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" -R 'Kernel'
+fi
 
 if [[ -z "$SANITIZER" && -z "$FILTER" ]]; then
   # ---- crash/resume smoke ----------------------------------------------------
@@ -145,5 +169,5 @@ if [[ -z "$SANITIZER" ]]; then
   cmake -B "$TSAN_DIR" -S . -DGAUGE_SANITIZE=thread
   cmake --build "$TSAN_DIR" -j "$(nproc)"
   ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$(nproc)" \
-    -R 'Metrics|Span|ThreadPool|PipelineConcurrency|AnalysisCache|HarnessFault|PipelineResume|Journal|HostileZip|Serve'
+    -R 'Metrics|Span|ThreadPool|PipelineConcurrency|AnalysisCache|HarnessFault|PipelineResume|Journal|HostileZip|Serve|Kernel'
 fi

@@ -17,6 +17,24 @@ const char* backend_name(Backend backend) {
   return "?";
 }
 
+nn::kernels::ExecBackend exec_backend_for(Backend backend) {
+  switch (backend) {
+    case Backend::CpuFp32:
+      return nn::kernels::ExecBackend::Reference;
+    case Backend::SnpeDsp:
+    case Backend::NpuA16W8:
+      return nn::kernels::ExecBackend::Quantised;
+    case Backend::CpuXnnpack:
+    case Backend::Nnapi:
+    case Backend::GpuFp32:
+    case Backend::SnpeCpu:
+    case Backend::SnpeGpu:
+    case Backend::kCount:
+      break;
+  }
+  return nn::kernels::ExecBackend::Optimised;
+}
+
 const BackendProfile& backend_profile(Backend backend) {
   static const BackendProfile kCpu{1.0, 1.0, 0.0, 0.0, false, false};
   // Supported-layer factor is above the paper's 1.03x average because the

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "device/soc.hpp"
+#include "nn/kernels/kernels.hpp"
 #include "nn/layer.hpp"
 
 namespace gauge::device {
@@ -60,5 +61,12 @@ bool backend_supports(Backend backend, nn::LayerType type);
 // A backend is available on a device when its hardware exists (e.g. SNPE
 // DSP needs a Hexagon; SNPE itself needs a Qualcomm SoC).
 bool backend_available(Backend backend, const Device& device);
+
+// Which interpreter execution backend (nn/kernels) mirrors this device
+// backend when the server runs real inference: the CPU baseline maps to the
+// scalar reference kernels, the int8 targets (SNPE DSP, the A16W8 NPU) to
+// the quantised kernels, and every accelerated fp32 path to the optimised
+// tiled kernels.
+nn::kernels::ExecBackend exec_backend_for(Backend backend);
 
 }  // namespace gauge::device

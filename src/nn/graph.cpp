@@ -192,10 +192,16 @@ std::int64_t conv_out_dim(std::int64_t in, int kernel, int stride, Padding pad) 
 }  // namespace
 
 util::Result<std::vector<Shape>> infer_shapes(const Graph& graph) {
+  return infer_shapes(graph, {});
+}
+
+util::Result<std::vector<Shape>> infer_shapes(
+    const Graph& graph, const std::vector<Shape>& input_shapes) {
   using R = util::Result<std::vector<Shape>>;
   if (auto status = graph.validate(); !status.ok()) return R::failure(status.error());
 
   std::vector<Shape> shapes(graph.size());
+  std::size_t next_input = 0;
   for (std::size_t i = 0; i < graph.size(); ++i) {
     const Layer& layer = graph.layer(static_cast<int>(i));
     auto in_shape = [&](std::size_t slot) -> const Shape& {
@@ -209,8 +215,11 @@ util::Result<std::vector<Shape>> infer_shapes(const Graph& graph) {
 
     switch (layer.type) {
       case LayerType::Input: {
-        if (layer.input_shape.rank() == 0) return fail("input shape not set");
-        shapes[i] = layer.input_shape;
+        Shape shape = layer.input_shape;
+        if (next_input < input_shapes.size()) shape = input_shapes[next_input];
+        ++next_input;
+        if (shape.rank() == 0) return fail("input shape not set");
+        shapes[i] = shape;
         break;
       }
       case LayerType::Conv2D: {
@@ -356,6 +365,10 @@ util::Result<std::vector<Shape>> infer_shapes(const Graph& graph) {
       case LayerType::Reshape: {
         const Shape& in = in_shape(0);
         Shape out{layer.target_shape};
+        // Dim 0 is the batch: a static 1 there follows the runtime batch so
+        // batched runs reshape per sample instead of folding the batch into
+        // the feature dimension.
+        if (out.rank() > 0 && out[0] == 1 && in.rank() > 0) out[0] = in[0];
         std::int64_t known = 1;
         int wildcard = -1;
         for (std::size_t d = 0; d < out.rank(); ++d) {

@@ -51,6 +51,12 @@ class Graph {
 // Fails on rank/arity mismatches.
 util::Result<std::vector<Shape>> infer_shapes(const Graph& graph);
 
+// Same, with the Input layers' declared shapes overridden positionally
+// (input_indices() order). Lets a caller infer batched shapes without
+// copying and mutating the graph.
+util::Result<std::vector<Shape>> infer_shapes(
+    const Graph& graph, const std::vector<Shape>& input_shapes);
+
 // Expected number of inputs for a layer type (-1 = variadic >= 1).
 int expected_arity(LayerType type);
 

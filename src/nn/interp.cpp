@@ -11,47 +11,76 @@ namespace gauge::nn {
 
 namespace {
 
-struct PadOffsets {
-  std::int64_t top = 0;
-  std::int64_t left = 0;
-};
-
-// SAME padding offsets for a conv/pool window (TFLite semantics).
-PadOffsets same_padding(std::int64_t in_h, std::int64_t in_w, std::int64_t out_h,
-                        std::int64_t out_w, int kh, int kw, int sh, int sw,
-                        Padding padding) {
-  if (padding == Padding::Valid) return {};
-  const std::int64_t pad_h =
-      std::max<std::int64_t>(0, (out_h - 1) * sh + kh - in_h);
-  const std::int64_t pad_w =
-      std::max<std::int64_t>(0, (out_w - 1) * sw + kw - in_w);
-  return {pad_h / 2, pad_w / 2};
-}
-
-float weight_at(const Tensor& w, std::size_t idx) {
-  if (w.dtype() == DType::F32) return w.f32()[idx];
-  // Hybrid path: int8 weights dequantised on the fly.
-  return (static_cast<float>(w.i8()[idx]) -
-          static_cast<float>(w.quant_zero_point)) *
-         w.quant_scale;
-}
-
-std::int8_t quantize_value(float v, float scale, std::int32_t zp) {
-  const float q = std::round(v / scale) + static_cast<float>(zp);
-  return static_cast<std::int8_t>(std::clamp(q, -128.0f, 127.0f));
-}
-
-float dequantize_value(std::int8_t q, float scale, std::int32_t zp) {
-  return (static_cast<float>(q) - static_cast<float>(zp)) * scale;
+bool fusable_producer(LayerType type) {
+  return type == LayerType::Conv2D || type == LayerType::DepthwiseConv2D ||
+         type == LayerType::Dense;
 }
 
 using Fail = util::Result<std::vector<Tensor>>;
 
 }  // namespace
 
-Interpreter::Interpreter(const Graph& graph, unsigned threads)
-    : graph_{graph} {
+Interpreter::Interpreter(const Graph& graph, unsigned threads,
+                         kernels::ExecBackend backend)
+    : graph_{graph}, backend_{backend} {
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  fused_act_.assign(graph.size(), kernels::Activation{});
+  fused_move_.assign(graph.size(), 0);
+  if (backend_ == kernels::ExecBackend::Reference) return;
+
+  // Pack conv/dense/lstm weights once; the quantised backend keeps int8
+  // weights in integer panels, everything else is dequantised to f32 panels.
+  const bool want_int = backend_ == kernels::ExecBackend::Quantised;
+  packed_.resize(graph.size());
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const Layer& layer = graph.layer(static_cast<int>(i));
+    if (layer.weights.empty()) continue;
+    const Tensor& w = layer.weights[0];
+    const bool quantised = want_int && w.dtype() == DType::I8;
+    switch (layer.type) {
+      case LayerType::Conv2D: {
+        const Shape& ws = w.shape();
+        packed_[i] = kernels::pack_weights(w, ws[0] * ws[1] * ws[2], ws[3],
+                                           quantised);
+        break;
+      }
+      case LayerType::DepthwiseConv2D:
+        packed_[i] = kernels::pack_depthwise(w, quantised);
+        break;
+      case LayerType::Dense:
+      case LayerType::Lstm: {
+        const Shape& ws = w.shape();
+        packed_[i] = kernels::pack_weights(w, ws[0], ws[1], quantised);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Fuse each Relu/Relu6 whose sole producer is a conv/dense layer with no
+  // other consumer: the clamp folds into that kernel's store and the
+  // activation layer itself degenerates to a tensor move at run time.
+  std::vector<int> consumers(graph.size(), 0);
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    for (int input : graph.layer(static_cast<int>(i)).inputs) {
+      ++consumers[static_cast<std::size_t>(input)];
+    }
+  }
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const Layer& layer = graph.layer(static_cast<int>(i));
+    if (layer.type != LayerType::Relu && layer.type != LayerType::Relu6) {
+      continue;
+    }
+    const auto p = static_cast<std::size_t>(layer.inputs[0]);
+    if (!fusable_producer(graph.layer(static_cast<int>(p)).type)) continue;
+    if (consumers[p] != 1) continue;
+    fused_act_[p] = kernels::Activation{
+        0.0f, layer.type == LayerType::Relu6
+                  ? 6.0f
+                  : std::numeric_limits<float>::infinity()};
+    fused_move_[i] = 1;
+  }
 }
 
 util::Result<std::vector<Tensor>> Interpreter::run(
@@ -59,17 +88,17 @@ util::Result<std::vector<Tensor>> Interpreter::run(
   telemetry::Span span{"nn.interp.run"};
   if (!graph_.name.empty()) span.annotate("graph", graph_.name);
   telemetry::current_registry().counter("gauge.nn.interp.runs").increment();
-  // Bind inputs: override declared input shapes with the actual ones so a
-  // caller can batch.
-  Graph shaped = graph_;  // shallow-ish copy: weights share nothing, but the
-                          // graphs are small; only shapes are mutated.
-  const auto input_idx = shaped.input_indices();
+  // Bind inputs: the actual shapes override the declared input shapes (so a
+  // caller can batch) without copying the graph.
+  const auto input_idx = graph_.input_indices();
   if (inputs.size() != input_idx.size()) {
     return Fail::failure(util::format("expected %zu inputs, got %zu",
                                       input_idx.size(), inputs.size()));
   }
+  std::vector<Shape> input_shapes;
+  input_shapes.reserve(inputs.size());
   for (std::size_t i = 0; i < inputs.size(); ++i) {
-    const Shape& declared = shaped.layer(input_idx[i]).input_shape;
+    const Shape& declared = graph_.layer(input_idx[i]).input_shape;
     const Shape& actual = inputs[i].shape();
     if (declared.rank() != actual.rank()) {
       return Fail::failure("input rank mismatch");
@@ -81,43 +110,47 @@ util::Result<std::vector<Tensor>> Interpreter::run(
             declared.str().c_str(), actual.str().c_str()));
       }
     }
-    shaped.layer(input_idx[i]).input_shape = actual;
+    input_shapes.push_back(actual);
   }
 
-  auto shapes = infer_shapes(shaped);
+  auto shapes = infer_shapes(graph_, input_shapes);
   if (!shapes.ok()) return Fail::failure(shapes.error());
 
-  std::vector<Tensor> values(shaped.size());
-  std::vector<bool> computed(shaped.size(), false);
+  std::vector<Tensor> values(graph_.size());
 
   // Liveness for peak-memory accounting.
-  std::vector<int> last_use(shaped.size(), -1);
-  for (std::size_t i = 0; i < shaped.size(); ++i) {
-    for (int in : shaped.layer(static_cast<int>(i)).inputs) {
+  std::vector<int> last_use(graph_.size(), -1);
+  for (std::size_t i = 0; i < graph_.size(); ++i) {
+    for (int in : graph_.layer(static_cast<int>(i)).inputs) {
       last_use[static_cast<std::size_t>(in)] =
           std::max(last_use[static_cast<std::size_t>(in)], static_cast<int>(i));
     }
   }
-  for (int out : shaped.output_indices()) {
-    last_use[static_cast<std::size_t>(out)] = static_cast<int>(shaped.size());
+  for (int out : graph_.output_indices()) {
+    last_use[static_cast<std::size_t>(out)] = static_cast<int>(graph_.size());
   }
 
   std::int64_t live_bytes = 0;
   std::int64_t peak = 0;
   stats_ = RunStats{};
 
-  auto parallel = [&](std::int64_t total,
-                      const std::function<void(std::int64_t, std::int64_t)>& fn) {
-    if (pool_) {
-      pool_->parallel_for(total, fn);
-    } else {
-      fn(0, total);
-    }
+  kernels::ParallelFor parallel =
+      [&](std::int64_t total, const kernels::ChunkFn& fn) {
+        if (pool_) {
+          pool_->parallel_for(total, fn);
+        } else {
+          fn(0, total);
+        }
+      };
+
+  auto packed_for = [&](std::size_t i) -> const kernels::PackedWeights* {
+    if (i < packed_.size() && !packed_[i].empty()) return &packed_[i];
+    return nullptr;
   };
 
   std::size_t next_input = 0;
-  for (std::size_t i = 0; i < shaped.size(); ++i) {
-    const Layer& layer = shaped.layer(static_cast<int>(i));
+  for (std::size_t i = 0; i < graph_.size(); ++i) {
+    const Layer& layer = graph_.layer(static_cast<int>(i));
     const Shape& out_shape = shapes.value()[i];
     auto in = [&](std::size_t slot) -> const Tensor& {
       return values[static_cast<std::size_t>(layer.inputs[slot])];
@@ -135,239 +168,24 @@ util::Result<std::vector<Tensor>> Interpreter::run(
         break;
       }
       case LayerType::Conv2D: {
-        const Tensor& x = in(0);
-        const Tensor& w = layer.weights[0];
-        const Tensor* bias = layer.weights.size() > 1 ? &layer.weights[1] : nullptr;
-        const Shape& xs = x.shape();
-        const Shape& ws = w.shape();
-        const std::int64_t kh = ws[0], kw = ws[1], cin = ws[2], cout = ws[3];
-        const std::int64_t oh = out_shape[1], ow = out_shape[2];
-        const auto pad = same_padding(xs[1], xs[2], oh, ow, layer.kernel_h,
-                                      layer.kernel_w, layer.stride_h,
-                                      layer.stride_w, layer.padding);
-        if (x.dtype() == DType::F32) {
-          out = Tensor{out_shape, DType::F32};
-          parallel(out_shape[0] * oh, [&](std::int64_t begin, std::int64_t end) {
-            for (std::int64_t noy = begin; noy < end; ++noy) {
-              const std::int64_t n = noy / oh;
-              const std::int64_t oy = noy % oh;
-              for (std::int64_t ox = 0; ox < ow; ++ox) {
-                for (std::int64_t oc = 0; oc < cout; ++oc) {
-                  float acc = bias && bias->dtype() == DType::F32
-                                  ? bias->f32()[static_cast<std::size_t>(oc)]
-                                  : 0.0f;
-                  for (std::int64_t ky = 0; ky < kh; ++ky) {
-                    const std::int64_t iy = oy * layer.stride_h + ky - pad.top;
-                    if (iy < 0 || iy >= xs[1]) continue;
-                    for (std::int64_t kx = 0; kx < kw; ++kx) {
-                      const std::int64_t ix = ox * layer.stride_w + kx - pad.left;
-                      if (ix < 0 || ix >= xs[2]) continue;
-                      const std::size_t x_base = static_cast<std::size_t>(
-                          ((n * xs[1] + iy) * xs[2] + ix) * cin);
-                      const std::size_t w_base = static_cast<std::size_t>(
-                          ((ky * kw + kx) * cin) * cout + oc);
-                      for (std::int64_t ic = 0; ic < cin; ++ic) {
-                        acc += x.f32()[x_base + static_cast<std::size_t>(ic)] *
-                               weight_at(w, w_base + static_cast<std::size_t>(ic) *
-                                                        static_cast<std::size_t>(cout));
-                      }
-                    }
-                  }
-                  out.f32()[static_cast<std::size_t>(
-                      ((n * oh + oy) * ow + ox) * cout + oc)] = acc;
-                }
-              }
-            }
-          });
-        } else if (x.dtype() == DType::I8) {
-          if (w.dtype() != DType::I8) return fail("int8 conv needs int8 weights");
-          out = Tensor{out_shape, DType::I8};
-          out.quant_scale = layer.quant_scale;
-          out.quant_zero_point = layer.quant_zero_point;
-          const float rescale = x.quant_scale * w.quant_scale / out.quant_scale;
-          parallel(out_shape[0] * oh, [&](std::int64_t begin, std::int64_t end) {
-            for (std::int64_t noy = begin; noy < end; ++noy) {
-              const std::int64_t n = noy / oh;
-              const std::int64_t oy = noy % oh;
-              for (std::int64_t ox = 0; ox < ow; ++ox) {
-                for (std::int64_t oc = 0; oc < cout; ++oc) {
-                  std::int32_t acc = 0;
-                  for (std::int64_t ky = 0; ky < kh; ++ky) {
-                    const std::int64_t iy = oy * layer.stride_h + ky - pad.top;
-                    if (iy < 0 || iy >= xs[1]) continue;
-                    for (std::int64_t kx = 0; kx < kw; ++kx) {
-                      const std::int64_t ix = ox * layer.stride_w + kx - pad.left;
-                      if (ix < 0 || ix >= xs[2]) continue;
-                      const std::size_t x_base = static_cast<std::size_t>(
-                          ((n * xs[1] + iy) * xs[2] + ix) * cin);
-                      const std::size_t w_base = static_cast<std::size_t>(
-                          ((ky * kw + kx) * cin) * cout + oc);
-                      for (std::int64_t ic = 0; ic < cin; ++ic) {
-                        const std::int32_t xv =
-                            x.i8()[x_base + static_cast<std::size_t>(ic)] -
-                            x.quant_zero_point;
-                        const std::int32_t wv =
-                            w.i8()[w_base + static_cast<std::size_t>(ic) *
-                                               static_cast<std::size_t>(cout)] -
-                            w.quant_zero_point;
-                        acc += xv * wv;
-                      }
-                    }
-                  }
-                  float result = static_cast<float>(acc) * rescale;
-                  if (bias && bias->dtype() == DType::F32) {
-                    result += bias->f32()[static_cast<std::size_t>(oc)] /
-                              out.quant_scale;
-                  }
-                  const float q =
-                      std::round(result) + static_cast<float>(out.quant_zero_point);
-                  out.i8()[static_cast<std::size_t>(
-                      ((n * oh + oy) * ow + ox) * cout + oc)] =
-                      static_cast<std::int8_t>(std::clamp(q, -128.0f, 127.0f));
-                }
-              }
-            }
-          });
-        } else {
-          return fail("unsupported input dtype");
-        }
+        auto status = kernels::run_conv2d(backend_, layer, in(0), out_shape,
+                                          packed_for(i), fused_act_[i], &out,
+                                          parallel);
+        if (!status.ok()) return fail(status.error());
         break;
       }
       case LayerType::DepthwiseConv2D: {
-        const Tensor& x = in(0);
-        const Tensor& w = layer.weights[0];
-        const Tensor* bias = layer.weights.size() > 1 ? &layer.weights[1] : nullptr;
-        const Shape& xs = x.shape();
-        const Shape& ws = w.shape();
-        const std::int64_t kh = ws[0], kw = ws[1], c = ws[2];
-        const std::int64_t oh = out_shape[1], ow = out_shape[2];
-        const auto pad = same_padding(xs[1], xs[2], oh, ow, layer.kernel_h,
-                                      layer.kernel_w, layer.stride_h,
-                                      layer.stride_w, layer.padding);
-        if (x.dtype() == DType::F32) {
-          out = Tensor{out_shape, DType::F32};
-          parallel(out_shape[0] * oh, [&](std::int64_t begin, std::int64_t end) {
-            for (std::int64_t noy = begin; noy < end; ++noy) {
-              const std::int64_t n = noy / oh;
-              const std::int64_t oy = noy % oh;
-              for (std::int64_t ox = 0; ox < ow; ++ox) {
-                for (std::int64_t ch = 0; ch < c; ++ch) {
-                  float acc = bias ? bias->f32()[static_cast<std::size_t>(ch)] : 0.0f;
-                  for (std::int64_t ky = 0; ky < kh; ++ky) {
-                    const std::int64_t iy = oy * layer.stride_h + ky - pad.top;
-                    if (iy < 0 || iy >= xs[1]) continue;
-                    for (std::int64_t kx = 0; kx < kw; ++kx) {
-                      const std::int64_t ix = ox * layer.stride_w + kx - pad.left;
-                      if (ix < 0 || ix >= xs[2]) continue;
-                      acc += x.f32()[static_cast<std::size_t>(
-                                 ((n * xs[1] + iy) * xs[2] + ix) * c + ch)] *
-                             weight_at(w, static_cast<std::size_t>(
-                                              (ky * kw + kx) * c + ch));
-                    }
-                  }
-                  out.f32()[static_cast<std::size_t>(
-                      ((n * oh + oy) * ow + ox) * c + ch)] = acc;
-                }
-              }
-            }
-          });
-        } else if (x.dtype() == DType::I8) {
-          if (w.dtype() != DType::I8) return fail("int8 dwconv needs int8 weights");
-          out = Tensor{out_shape, DType::I8};
-          out.quant_scale = layer.quant_scale;
-          out.quant_zero_point = layer.quant_zero_point;
-          const float rescale = x.quant_scale * w.quant_scale / out.quant_scale;
-          parallel(out_shape[0] * oh, [&](std::int64_t begin, std::int64_t end) {
-            for (std::int64_t noy = begin; noy < end; ++noy) {
-              const std::int64_t n = noy / oh;
-              const std::int64_t oy = noy % oh;
-              for (std::int64_t ox = 0; ox < ow; ++ox) {
-                for (std::int64_t ch = 0; ch < c; ++ch) {
-                  std::int32_t acc = 0;
-                  for (std::int64_t ky = 0; ky < kh; ++ky) {
-                    const std::int64_t iy = oy * layer.stride_h + ky - pad.top;
-                    if (iy < 0 || iy >= xs[1]) continue;
-                    for (std::int64_t kx = 0; kx < kw; ++kx) {
-                      const std::int64_t ix = ox * layer.stride_w + kx - pad.left;
-                      if (ix < 0 || ix >= xs[2]) continue;
-                      acc += (x.i8()[static_cast<std::size_t>(
-                                  ((n * xs[1] + iy) * xs[2] + ix) * c + ch)] -
-                              x.quant_zero_point) *
-                             (w.i8()[static_cast<std::size_t>(
-                                  (ky * kw + kx) * c + ch)] -
-                              w.quant_zero_point);
-                    }
-                  }
-                  float result = static_cast<float>(acc) * rescale;
-                  if (bias && bias->dtype() == DType::F32) {
-                    result += bias->f32()[static_cast<std::size_t>(ch)] /
-                              out.quant_scale;
-                  }
-                  const float q = std::round(result) +
-                                  static_cast<float>(out.quant_zero_point);
-                  out.i8()[static_cast<std::size_t>(
-                      ((n * oh + oy) * ow + ox) * c + ch)] =
-                      static_cast<std::int8_t>(std::clamp(q, -128.0f, 127.0f));
-                }
-              }
-            }
-          });
-        } else {
-          return fail("unsupported dwconv dtype");
-        }
+        auto status = kernels::run_depthwise(backend_, layer, in(0), out_shape,
+                                             packed_for(i), fused_act_[i],
+                                             &out, parallel);
+        if (!status.ok()) return fail(status.error());
         break;
       }
       case LayerType::Dense: {
-        const Tensor& x = in(0);
-        const Tensor& w = layer.weights[0];
-        const Tensor* bias = layer.weights.size() > 1 ? &layer.weights[1] : nullptr;
-        const std::int64_t in_dim = w.shape()[0];
-        const std::int64_t out_dim = w.shape()[1];
-        const std::int64_t rows = x.elements() / in_dim;
-        if (x.dtype() == DType::F32) {
-          out = Tensor{out_shape, DType::F32};
-          parallel(rows, [&](std::int64_t begin, std::int64_t end) {
-            for (std::int64_t r = begin; r < end; ++r) {
-              for (std::int64_t o = 0; o < out_dim; ++o) {
-                float acc = bias ? bias->f32()[static_cast<std::size_t>(o)] : 0.0f;
-                for (std::int64_t k = 0; k < in_dim; ++k) {
-                  acc += x.f32()[static_cast<std::size_t>(r * in_dim + k)] *
-                         weight_at(w, static_cast<std::size_t>(k * out_dim + o));
-                }
-                out.f32()[static_cast<std::size_t>(r * out_dim + o)] = acc;
-              }
-            }
-          });
-        } else if (x.dtype() == DType::I8) {
-          if (w.dtype() != DType::I8) return fail("int8 dense needs int8 weights");
-          out = Tensor{out_shape, DType::I8};
-          out.quant_scale = layer.quant_scale;
-          out.quant_zero_point = layer.quant_zero_point;
-          const float rescale = x.quant_scale * w.quant_scale / out.quant_scale;
-          parallel(rows, [&](std::int64_t begin, std::int64_t end) {
-            for (std::int64_t r = begin; r < end; ++r) {
-              for (std::int64_t o = 0; o < out_dim; ++o) {
-                std::int32_t acc = 0;
-                for (std::int64_t k = 0; k < in_dim; ++k) {
-                  acc += (x.i8()[static_cast<std::size_t>(r * in_dim + k)] -
-                          x.quant_zero_point) *
-                         (w.i8()[static_cast<std::size_t>(k * out_dim + o)] -
-                          w.quant_zero_point);
-                }
-                float result = static_cast<float>(acc) * rescale;
-                if (bias && bias->dtype() == DType::F32) {
-                  result += bias->f32()[static_cast<std::size_t>(o)] / out.quant_scale;
-                }
-                const float q = std::round(result) +
-                                static_cast<float>(out.quant_zero_point);
-                out.i8()[static_cast<std::size_t>(r * out_dim + o)] =
-                    static_cast<std::int8_t>(std::clamp(q, -128.0f, 127.0f));
-              }
-            }
-          });
-        } else {
-          return fail("unsupported input dtype");
-        }
+        auto status = kernels::run_dense(backend_, layer, in(0), out_shape,
+                                         packed_for(i), fused_act_[i], &out,
+                                         parallel);
+        if (!status.ok()) return fail(status.error());
         break;
       }
       case LayerType::MaxPool2D:
@@ -375,9 +193,9 @@ util::Result<std::vector<Tensor>> Interpreter::run(
         const Tensor& x = in(0);
         const Shape& xs = x.shape();
         const std::int64_t oh = out_shape[1], ow = out_shape[2], c = xs[3];
-        const auto pad = same_padding(xs[1], xs[2], oh, ow, layer.kernel_h,
-                                      layer.kernel_w, layer.stride_h,
-                                      layer.stride_w, layer.padding);
+        const auto pad = kernels::same_padding(
+            xs[1], xs[2], oh, ow, layer.kernel_h, layer.kernel_w,
+            layer.stride_h, layer.stride_w, layer.padding);
         const bool is_max = layer.type == LayerType::MaxPool2D;
         if (x.dtype() == DType::F32) {
           out = Tensor{out_shape, DType::F32};
@@ -470,13 +288,23 @@ util::Result<std::vector<Tensor>> Interpreter::run(
       }
       case LayerType::Relu:
       case LayerType::Relu6: {
+        const auto p = static_cast<std::size_t>(layer.inputs[0]);
+        if (fused_move_[i] && values[p].dtype() == DType::F32) {
+          // The producing kernel already applied the clamp; this layer is a
+          // tensor move. live_bytes compensation: ownership transfers, the
+          // post-switch accounting re-adds the same bytes.
+          const auto moved = static_cast<std::int64_t>(values[p].byte_size());
+          out = std::move(values[p]);
+          live_bytes -= moved;
+          ++stats_.fused_activations;
+          break;
+        }
         const Tensor& x = in(0);
         const float hi = layer.type == LayerType::Relu6 ? 6.0f : 3.4e38f;
         if (x.dtype() == DType::F32) {
           out = Tensor{out_shape, DType::F32};
-          for (std::size_t k = 0; k < x.f32().size(); ++k) {
-            out.f32()[k] = std::clamp(x.f32()[k], 0.0f, hi);
-          }
+          kernels::clamp_f32(x.f32().data(), 0.0f, hi, out.f32().data(),
+                             static_cast<std::int64_t>(x.f32().size()));
         } else if (x.dtype() == DType::I8) {
           out = Tensor{out_shape, DType::I8};
           out.quant_scale = x.quant_scale;
@@ -542,9 +370,12 @@ util::Result<std::vector<Tensor>> Interpreter::run(
           return fail("elementwise supports f32");
         }
         out = Tensor{out_shape, DType::F32};
-        for (std::size_t k = 0; k < a.f32().size(); ++k) {
-          out.f32()[k] = layer.type == LayerType::Add ? a.f32()[k] + b.f32()[k]
-                                                      : a.f32()[k] * b.f32()[k];
+        if (layer.type == LayerType::Add) {
+          kernels::add_f32(a.f32().data(), b.f32().data(), out.f32().data(),
+                           static_cast<std::int64_t>(a.f32().size()));
+        } else {
+          kernels::mul_f32(a.f32().data(), b.f32().data(), out.f32().data(),
+                           static_cast<std::int64_t>(a.f32().size()));
         }
         break;
       }
@@ -554,11 +385,10 @@ util::Result<std::vector<Tensor>> Interpreter::run(
         const auto& scale = layer.weights[0].f32();
         const auto& shift = layer.weights[1].f32();
         out = Tensor{out_shape, DType::F32};
-        const std::size_t c = scale.size();
-        for (std::size_t k = 0; k < x.f32().size(); ++k) {
-          const std::size_t ch = k % c;
-          out.f32()[k] = x.f32()[k] * scale[ch] + shift[ch];
-        }
+        kernels::scale_shift_f32(x.f32().data(), scale.data(), shift.data(),
+                                 static_cast<std::int64_t>(scale.size()),
+                                 out.f32().data(),
+                                 static_cast<std::int64_t>(x.f32().size()));
         break;
       }
       case LayerType::Concat: {
@@ -671,61 +501,24 @@ util::Result<std::vector<Tensor>> Interpreter::run(
         out = Tensor{out_shape, DType::I8};
         out.quant_scale = layer.quant_scale;
         out.quant_zero_point = layer.quant_zero_point;
-        for (std::size_t k = 0; k < x.f32().size(); ++k) {
-          out.i8()[k] = quantize_value(x.f32()[k], out.quant_scale,
-                                       out.quant_zero_point);
-        }
+        kernels::quantize_f32(x.f32().data(), out.quant_scale,
+                              out.quant_zero_point, out.i8().data(),
+                              static_cast<std::int64_t>(x.f32().size()));
         break;
       }
       case LayerType::Dequantize: {
         const Tensor& x = in(0);
         if (x.dtype() != DType::I8) return fail("dequantize expects i8 input");
         out = Tensor{out_shape, DType::F32};
-        for (std::size_t k = 0; k < x.i8().size(); ++k) {
-          out.f32()[k] =
-              dequantize_value(x.i8()[k], x.quant_scale, x.quant_zero_point);
-        }
+        kernels::dequantize_i8(x.i8().data(), x.quant_scale,
+                               x.quant_zero_point, out.f32().data(),
+                               static_cast<std::int64_t>(x.i8().size()));
         break;
       }
       case LayerType::Lstm: {
-        const Tensor& x = in(0);
-        if (x.dtype() != DType::F32) return fail("lstm supports f32");
-        const Shape& xs = x.shape();
-        const std::int64_t batch = xs[0], steps = xs[1], feat = xs[2];
-        const std::int64_t hidden = layer.units;
-        const Tensor& w = layer.weights[0];
-        const Tensor* bias = layer.weights.size() > 1 ? &layer.weights[1] : nullptr;
-        out = Tensor{out_shape, DType::F32};
-        std::vector<float> h(static_cast<std::size_t>(batch * hidden), 0.0f);
-        std::vector<float> cstate(static_cast<std::size_t>(batch * hidden), 0.0f);
-        std::vector<float> gates(static_cast<std::size_t>(4 * hidden), 0.0f);
-        for (std::int64_t t = 0; t < steps; ++t) {
-          for (std::int64_t b = 0; b < batch; ++b) {
-            for (std::int64_t g = 0; g < 4 * hidden; ++g) {
-              float acc = bias ? bias->f32()[static_cast<std::size_t>(g)] : 0.0f;
-              for (std::int64_t k = 0; k < feat; ++k) {
-                acc += x.f32()[static_cast<std::size_t>((b * steps + t) * feat + k)] *
-                       weight_at(w, static_cast<std::size_t>(k * 4 * hidden + g));
-              }
-              for (std::int64_t k = 0; k < hidden; ++k) {
-                acc += h[static_cast<std::size_t>(b * hidden + k)] *
-                       weight_at(w, static_cast<std::size_t>(
-                                        (feat + k) * 4 * hidden + g));
-              }
-              gates[static_cast<std::size_t>(g)] = acc;
-            }
-            for (std::int64_t k = 0; k < hidden; ++k) {
-              const float ig = 1.0f / (1.0f + std::exp(-gates[static_cast<std::size_t>(k)]));
-              const float fg = 1.0f / (1.0f + std::exp(-gates[static_cast<std::size_t>(hidden + k)]));
-              const float cg = std::tanh(gates[static_cast<std::size_t>(2 * hidden + k)]);
-              const float og = 1.0f / (1.0f + std::exp(-gates[static_cast<std::size_t>(3 * hidden + k)]));
-              const std::size_t hi = static_cast<std::size_t>(b * hidden + k);
-              cstate[hi] = fg * cstate[hi] + ig * cg;
-              h[hi] = og * std::tanh(cstate[hi]);
-              out.f32()[static_cast<std::size_t>((b * steps + t) * hidden + k)] = h[hi];
-            }
-          }
-        }
+        auto status = kernels::run_lstm(backend_, layer, in(0), out_shape,
+                                        packed_for(i), &out, parallel);
+        if (!status.ok()) return fail(status.error());
         break;
       }
       case LayerType::Embedding: {
@@ -747,7 +540,8 @@ util::Result<std::vector<Tensor>> Interpreter::run(
           id = std::clamp<std::int64_t>(id, 0, vocab - 1);
           for (std::int64_t d = 0; d < dim; ++d) {
             out.f32()[static_cast<std::size_t>(tkn * dim + d)] =
-                weight_at(table, static_cast<std::size_t>(id * dim + d));
+                kernels::weight_value(table,
+                                      static_cast<std::size_t>(id * dim + d));
           }
         }
         break;
@@ -772,7 +566,6 @@ util::Result<std::vector<Tensor>> Interpreter::run(
     live_bytes += static_cast<std::int64_t>(out.byte_size());
     peak = std::max(peak, live_bytes);
     values[i] = std::move(out);
-    computed[i] = true;
     ++stats_.layers_executed;
     for (int input : layer.inputs) {
       const auto idx = static_cast<std::size_t>(input);

@@ -1,17 +1,28 @@
-// Reference inference interpreter: actually executes a Graph on host, NHWC
-// layout, float32 activations with an int8 quantised path (Quantize /
-// Dequantize sandwiches run conv/dense/pool kernels in integer arithmetic,
-// like a DSP target would). Multithreading goes through ThreadPool.
+// Inference interpreter: actually executes a Graph on host, NHWC layout,
+// float32 activations with an int8 quantised path (Quantize / Dequantize
+// sandwiches run conv/dense/pool kernels in integer arithmetic, like a DSP
+// target would). Multithreading goes through ThreadPool.
+//
+// Compute-heavy layers dispatch into the kernel engine (nn/kernels,
+// DESIGN.md §13) through a per-interpreter ExecBackend:
+//
+//   reference — the original scalar loops (parity oracle, the default)
+//   optimised — register-tiled GEMM/conv over weight panels packed once at
+//               construction, with sole-consumer Relu/Relu6 layers fused
+//               into the producing kernel's store
+//   quantised — optimised plus real integer arithmetic for int8 and
+//               hybrid (int8-weight) layers
 //
 // The interpreter exists to make inference *real* — examples run it,
-// correctness tests pin kernels down, and google-benchmark microbenches
-// measure it. Device latency/energy numbers come from the analytic device
-// model (src/device), not from host wall-clock.
+// correctness tests pin kernels down, and benches measure it. Device
+// latency/energy numbers come from the analytic device model (src/device),
+// not from host wall-clock.
 #pragma once
 
 #include <memory>
 
 #include "nn/graph.hpp"
+#include "nn/kernels/kernels.hpp"
 #include "nn/threadpool.hpp"
 #include "util/result.hpp"
 
@@ -20,12 +31,18 @@ namespace gauge::nn {
 struct RunStats {
   std::int64_t peak_activation_bytes = 0;
   std::int64_t layers_executed = 0;
+  // Relu/Relu6 layers folded into the producing conv/dense kernel's store
+  // this run (non-reference backends only).
+  std::int64_t fused_activations = 0;
 };
 
 class Interpreter {
  public:
   // `graph` must outlive the interpreter. threads = 0 or 1 runs inline.
-  explicit Interpreter(const Graph& graph, unsigned threads = 1);
+  // Weight panels for non-reference backends are packed here, once.
+  explicit Interpreter(
+      const Graph& graph, unsigned threads = 1,
+      kernels::ExecBackend backend = kernels::ExecBackend::Reference);
 
   // Runs one forward pass. `inputs` are matched positionally with the
   // graph's Input layers; batch size may differ from the declared shape
@@ -35,11 +52,19 @@ class Interpreter {
 
   const RunStats& stats() const { return stats_; }
   unsigned threads() const { return pool_ ? pool_->size() : 1; }
+  kernels::ExecBackend backend() const { return backend_; }
 
  private:
   const Graph& graph_;
   std::unique_ptr<ThreadPool> pool_;
+  kernels::ExecBackend backend_;
   RunStats stats_;
+  // Index-aligned with graph_ layers (non-reference backends only):
+  // pre-packed weight panels, the activation clamp fused into each
+  // producing kernel, and which Relu layers collapsed into a tensor move.
+  std::vector<kernels::PackedWeights> packed_;
+  std::vector<kernels::Activation> fused_act_;
+  std::vector<char> fused_move_;
 };
 
 // Fills a tensor with deterministic pseudo-random values (for trace-based

@@ -1,0 +1,151 @@
+// Im2col-free fused fp32 convolution kernels (the `optimised` backend).
+//
+// Conv2D register tile: 4 output pixels × one 8-lane output-channel panel.
+// For each (ky, kx) tap the kernel accumulates straight from the NHWC input
+// row — no im2col scratch tensor, no separate bias/activation passes (both
+// are fused into the store). The interior fast path (all four pixels in
+// bounds) loads each packed weight row once and feeds four FMAs; edges fall
+// back to a per-pixel loop with the same arithmetic.
+//
+// DepthwiseConv2D vectorises over the channel dimension instead (channels
+// are contiguous in NHWC), 8 channels per step.
+#include <algorithm>
+
+#include "nn/kernels/impl.hpp"
+#include "nn/kernels/simd.hpp"
+
+namespace gauge::nn::kernels::detail {
+
+namespace {
+
+constexpr std::int64_t kPixelTile = 4;
+
+VecF conv_bias_panel(const float* bias, std::int64_t col0, std::int64_t cols) {
+  if (!bias) return vec_splat(0.0f);
+  const auto lanes =
+      static_cast<int>(std::min<std::int64_t>(kPanelWidth, cols - col0));
+  if (lanes == kPanelWidth) return vec_load(bias + col0);
+  return vec_load_partial(bias + col0, lanes);
+}
+
+void store_clamped(float* out, VecF v, VecF lo, VecF hi, int lanes) {
+  v = vec_max(vec_min(v, hi), lo);
+  if (lanes == kPanelWidth) {
+    vec_store(out, v);
+  } else {
+    for (int i = 0; i < lanes; ++i) out[i] = vec_lane(v, i);
+  }
+}
+
+}  // namespace
+
+void conv2d_f32(const ConvShape& s, const float* x, const PackedWeights& w,
+                const float* bias, Activation act, float* out,
+                const ParallelFor& parallel) {
+  const VecF lo = vec_splat(act.lo), hi = vec_splat(act.hi);
+  parallel(s.batch * s.out_h, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t row = begin; row < end; ++row) {
+      const std::int64_t n = row / s.out_h;
+      const std::int64_t oy = row % s.out_h;
+      for (std::int64_t p = 0; p < w.panels; ++p) {
+        const float* panel =
+            w.f32.data() + static_cast<std::size_t>(p * w.rows * kPanelWidth);
+        const std::int64_t col0 = p * kPanelWidth;
+        const auto lanes =
+            static_cast<int>(std::min<std::int64_t>(kPanelWidth, s.cout - col0));
+        const VecF vb = conv_bias_panel(bias, col0, s.cout);
+        for (std::int64_t ox0 = 0; ox0 < s.out_w; ox0 += kPixelTile) {
+          const auto pixels =
+              static_cast<int>(std::min(kPixelTile, s.out_w - ox0));
+          VecF acc[kPixelTile] = {vb, vb, vb, vb};
+          for (int ky = 0; ky < s.kh; ++ky) {
+            const std::int64_t iy = oy * s.sh + ky - s.pad_top;
+            if (iy < 0 || iy >= s.in_h) continue;
+            const float* xrow = x + ((n * s.in_h + iy) * s.in_w) * s.cin;
+            for (int kx = 0; kx < s.kw; ++kx) {
+              const float* wk =
+                  panel + ((static_cast<std::int64_t>(ky) * s.kw + kx) * s.cin) *
+                              kPanelWidth;
+              const std::int64_t ix0 = ox0 * s.sw + kx - s.pad_left;
+              const std::int64_t step = static_cast<std::int64_t>(s.sw) * s.cin;
+              if (pixels == kPixelTile && ix0 >= 0 &&
+                  ix0 + 3 * s.sw < s.in_w) {
+                // Interior fast path: one weight load feeds four pixels.
+                const float* x0 = xrow + ix0 * s.cin;
+                for (std::int64_t ic = 0; ic < s.cin; ++ic) {
+                  const VecF wv = vec_load(wk + ic * kPanelWidth);
+                  acc[0] += vec_splat(x0[ic]) * wv;
+                  acc[1] += vec_splat(x0[step + ic]) * wv;
+                  acc[2] += vec_splat(x0[2 * step + ic]) * wv;
+                  acc[3] += vec_splat(x0[3 * step + ic]) * wv;
+                }
+              } else {
+                for (int px = 0; px < pixels; ++px) {
+                  const std::int64_t ix = ix0 + px * s.sw;
+                  if (ix < 0 || ix >= s.in_w) continue;
+                  const float* xp = xrow + ix * s.cin;
+                  for (std::int64_t ic = 0; ic < s.cin; ++ic) {
+                    acc[px] += vec_splat(xp[ic]) * vec_load(wk + ic * kPanelWidth);
+                  }
+                }
+              }
+            }
+          }
+          for (int px = 0; px < pixels; ++px) {
+            float* op = out + ((row * s.out_w) + ox0 + px) * s.cout + col0;
+            store_clamped(op, acc[px], lo, hi, lanes);
+          }
+        }
+      }
+    }
+  });
+}
+
+void depthwise_f32(const ConvShape& s, const float* x, const float* w,
+                   const float* bias, Activation act, float* out,
+                   const ParallelFor& parallel) {
+  const std::int64_t c = s.cin;
+  const VecF lo = vec_splat(act.lo), hi = vec_splat(act.hi);
+  const std::int64_t full = c - c % kPanelWidth;
+  parallel(s.batch * s.out_h, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t row = begin; row < end; ++row) {
+      const std::int64_t n = row / s.out_h;
+      const std::int64_t oy = row % s.out_h;
+      for (std::int64_t ox = 0; ox < s.out_w; ++ox) {
+        float* op = out + (row * s.out_w + ox) * c;
+        for (std::int64_t ch = 0; ch < full; ch += kPanelWidth) {
+          VecF acc = bias ? vec_load(bias + ch) : vec_splat(0.0f);
+          for (int ky = 0; ky < s.kh; ++ky) {
+            const std::int64_t iy = oy * s.sh + ky - s.pad_top;
+            if (iy < 0 || iy >= s.in_h) continue;
+            for (int kx = 0; kx < s.kw; ++kx) {
+              const std::int64_t ix = ox * s.sw + kx - s.pad_left;
+              if (ix < 0 || ix >= s.in_w) continue;
+              const float* xp =
+                  x + ((n * s.in_h + iy) * s.in_w + ix) * c + ch;
+              const float* wp = w + (static_cast<std::int64_t>(ky) * s.kw + kx) * c + ch;
+              acc += vec_load(xp) * vec_load(wp);
+            }
+          }
+          store_clamped(op + ch, acc, lo, hi, kPanelWidth);
+        }
+        for (std::int64_t ch = full; ch < c; ++ch) {
+          float a = bias ? bias[ch] : 0.0f;
+          for (int ky = 0; ky < s.kh; ++ky) {
+            const std::int64_t iy = oy * s.sh + ky - s.pad_top;
+            if (iy < 0 || iy >= s.in_h) continue;
+            for (int kx = 0; kx < s.kw; ++kx) {
+              const std::int64_t ix = ox * s.sw + kx - s.pad_left;
+              if (ix < 0 || ix >= s.in_w) continue;
+              a += x[((n * s.in_h + iy) * s.in_w + ix) * c + ch] *
+                   w[(static_cast<std::int64_t>(ky) * s.kw + kx) * c + ch];
+            }
+          }
+          op[ch] = std::min(std::max(a, act.lo), act.hi);
+        }
+      }
+    }
+  });
+}
+
+}  // namespace gauge::nn::kernels::detail

@@ -1,0 +1,78 @@
+// Portable-SIMD elementwise / activation kernels: 8-lane main loop with a
+// scalar tail. These back Relu/Relu6, Add, Mul, folded BatchNorm, and the
+// Quantize/Dequantize layers for every non-reference backend.
+#include <algorithm>
+#include <cmath>
+
+#include "nn/kernels/kernels.hpp"
+#include "nn/kernels/simd.hpp"
+
+namespace gauge::nn::kernels {
+
+void clamp_f32(const float* x, float lo, float hi, float* out, std::int64_t n) {
+  const VecF vlo = vec_splat(lo), vhi = vec_splat(hi);
+  std::int64_t i = 0;
+  for (; i + kVecLanes <= n; i += kVecLanes) {
+    vec_store(out + i, vec_max(vec_min(vec_load(x + i), vhi), vlo));
+  }
+  for (; i < n; ++i) out[i] = std::min(std::max(x[i], lo), hi);
+}
+
+void add_f32(const float* a, const float* b, float* out, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + kVecLanes <= n; i += kVecLanes) {
+    vec_store(out + i, vec_load(a + i) + vec_load(b + i));
+  }
+  for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void mul_f32(const float* a, const float* b, float* out, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + kVecLanes <= n; i += kVecLanes) {
+    vec_store(out + i, vec_load(a + i) * vec_load(b + i));
+  }
+  for (; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void scale_shift_f32(const float* x, const float* scale, const float* shift,
+                     std::int64_t channels, float* out, std::int64_t n) {
+  // Vectorise along the channel axis when it is wide enough and n is a
+  // whole number of channel rows (always true for NHWC activations).
+  if (channels >= kVecLanes && n % channels == 0) {
+    const std::int64_t cfull = channels - channels % kVecLanes;
+    for (std::int64_t base = 0; base < n; base += channels) {
+      std::int64_t c = 0;
+      for (; c < cfull; c += kVecLanes) {
+        vec_store(out + base + c, vec_load(x + base + c) * vec_load(scale + c) +
+                                      vec_load(shift + c));
+      }
+      for (; c < channels; ++c) {
+        out[base + c] = x[base + c] * scale[c] + shift[c];
+      }
+    }
+    return;
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t c = i % channels;
+    out[i] = x[i] * scale[c] + shift[c];
+  }
+}
+
+void quantize_f32(const float* x, float scale, std::int32_t zero_point,
+                  std::int8_t* out, std::int64_t n) {
+  const float inv = scale != 0.0f ? 1.0f / scale : 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float q = std::round(x[i] * inv) + static_cast<float>(zero_point);
+    out[i] = static_cast<std::int8_t>(std::clamp(q, -128.0f, 127.0f));
+  }
+}
+
+void dequantize_i8(const std::int8_t* x, float scale, std::int32_t zero_point,
+                   float* out, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    out[i] = (static_cast<float>(x[i]) - static_cast<float>(zero_point)) *
+             scale;
+  }
+}
+
+}  // namespace gauge::nn::kernels

@@ -1,0 +1,82 @@
+// Tiled fp32 GEMM over packed weight panels (the `optimised` backend's
+// dense / LSTM-gate workhorse).
+//
+// Register tile: 4 rows of A × one 8-lane output-channel panel. The inner
+// loop streams one contiguous panel row per K step — a single weight load
+// feeds four FMAs — so the K-major traversal that is cache-hostile in the
+// reference kernel (W strided by out_dim) becomes unit-stride.
+#include <algorithm>
+
+#include "nn/kernels/impl.hpp"
+#include "nn/kernels/simd.hpp"
+
+namespace gauge::nn::kernels::detail {
+
+namespace {
+
+constexpr std::int64_t kRowTile = 4;
+
+// Loads a bias panel (zero-padded tail) or zeros when bias == nullptr.
+VecF bias_panel(const float* bias, std::int64_t col0, std::int64_t cols) {
+  if (!bias) return vec_splat(0.0f);
+  const auto lanes = static_cast<int>(
+      std::min<std::int64_t>(kPanelWidth, cols - col0));
+  if (lanes == kPanelWidth) return vec_load(bias + col0);
+  return vec_load_partial(bias + col0, lanes);
+}
+
+void store_panel(float* out, VecF v, int lanes) {
+  if (lanes == kPanelWidth) {
+    vec_store(out, v);
+  } else {
+    for (int i = 0; i < lanes; ++i) out[i] = vec_lane(v, i);
+  }
+}
+
+}  // namespace
+
+void gemm_f32(std::int64_t m, std::int64_t k, const float* a, std::int64_t lda,
+              const PackedWeights& w, const float* bias, Activation act,
+              float* out, const ParallelFor& parallel) {
+  const std::int64_t blocks = (m + kRowTile - 1) / kRowTile;
+  const VecF lo = vec_splat(act.lo), hi = vec_splat(act.hi);
+  parallel(blocks, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t block = begin; block < end; ++block) {
+      const std::int64_t r0 = block * kRowTile;
+      const auto rows = static_cast<int>(std::min(kRowTile, m - r0));
+      for (std::int64_t p = 0; p < w.panels; ++p) {
+        const float* panel = w.f32.data() +
+                             static_cast<std::size_t>(p * w.rows * kPanelWidth);
+        const std::int64_t col0 = p * kPanelWidth;
+        const auto lanes = static_cast<int>(
+            std::min<std::int64_t>(kPanelWidth, w.cols - col0));
+        const VecF vb = bias_panel(bias, col0, w.cols);
+        VecF acc0 = vb, acc1 = vb, acc2 = vb, acc3 = vb;
+        const float* a0 = a + r0 * lda;
+        if (rows == kRowTile) {
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            const VecF wv = vec_load(panel + kk * kPanelWidth);
+            acc0 += vec_splat(a0[kk]) * wv;
+            acc1 += vec_splat(a0[lda + kk]) * wv;
+            acc2 += vec_splat(a0[2 * lda + kk]) * wv;
+            acc3 += vec_splat(a0[3 * lda + kk]) * wv;
+          }
+        } else {
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            const VecF wv = vec_load(panel + kk * kPanelWidth);
+            acc0 += vec_splat(a0[kk]) * wv;
+            if (rows > 1) acc1 += vec_splat(a0[lda + kk]) * wv;
+            if (rows > 2) acc2 += vec_splat(a0[2 * lda + kk]) * wv;
+          }
+        }
+        VecF accs[kRowTile] = {acc0, acc1, acc2, acc3};
+        for (int r = 0; r < rows; ++r) {
+          const VecF v = vec_max(vec_min(accs[r], hi), lo);
+          store_panel(out + (r0 + r) * w.cols + col0, v, lanes);
+        }
+      }
+    }
+  });
+}
+
+}  // namespace gauge::nn::kernels::detail

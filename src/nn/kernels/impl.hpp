@@ -1,0 +1,81 @@
+// Internal kernel declarations shared between the dispatch layer
+// (kernels.cpp) and the per-backend implementation files. Not part of the
+// public API — include kernels.hpp instead.
+#pragma once
+
+#include "nn/kernels/kernels.hpp"
+
+namespace gauge::nn::kernels::detail {
+
+// Resolved conv geometry (shapes + padding already computed by dispatch).
+struct ConvShape {
+  std::int64_t batch = 1;
+  std::int64_t in_h = 1, in_w = 1, cin = 1;
+  std::int64_t out_h = 1, out_w = 1, cout = 1;
+  int kh = 1, kw = 1, sh = 1, sw = 1;
+  std::int64_t pad_top = 0, pad_left = 0;
+};
+
+// Quantisation parameters of an i8-in/i8-out kernel; the weight scale rides
+// on PackedWeights.
+struct QuantIo {
+  float x_scale = 1.0f;
+  std::int32_t x_zp = 0;
+  float out_scale = 1.0f;
+  std::int32_t out_zp = 0;
+};
+
+// ---- reference.cpp: the original scalar loops (parity oracle) -------------
+util::Status conv2d_reference(const ConvShape& s, const Layer& layer,
+                              const Tensor& x, Tensor* out,
+                              const ParallelFor& parallel);
+util::Status depthwise_reference(const ConvShape& s, const Layer& layer,
+                                 const Tensor& x, Tensor* out,
+                                 const ParallelFor& parallel);
+util::Status dense_reference(const Layer& layer, const Tensor& x,
+                             std::int64_t rows, Tensor* out,
+                             const ParallelFor& parallel);
+util::Status lstm_reference(const Layer& layer, const Tensor& x, Tensor* out);
+
+// ---- gemm.cpp: tiled fp32 GEMM over packed panels -------------------------
+// out[M x w.cols] = a[M x K] (row stride lda) times panels, + bias, clamped.
+void gemm_f32(std::int64_t m, std::int64_t k, const float* a, std::int64_t lda,
+              const PackedWeights& w, const float* bias, Activation act,
+              float* out, const ParallelFor& parallel);
+
+// ---- conv.cpp: im2col-free fused fp32 conv / depthwise --------------------
+void conv2d_f32(const ConvShape& s, const float* x, const PackedWeights& w,
+                const float* bias, Activation act, float* out,
+                const ParallelFor& parallel);
+void depthwise_f32(const ConvShape& s, const float* x, const float* w,
+                   const float* bias, Activation act, float* out,
+                   const ParallelFor& parallel);
+
+// ---- quantised.cpp: real int8 arithmetic ----------------------------------
+void gemm_i8(std::int64_t m, std::int64_t k, const std::int8_t* a,
+             std::int64_t lda, const QuantIo& q, const PackedWeights& w,
+             const float* bias, Activation act, std::int8_t* out,
+             const ParallelFor& parallel);
+void conv2d_i8(const ConvShape& s, const std::int8_t* x, const QuantIo& q,
+               const PackedWeights& w, const float* bias, Activation act,
+               std::int8_t* out, const ParallelFor& parallel);
+void depthwise_i8(const ConvShape& s, const std::int8_t* x, const QuantIo& q,
+                  const PackedWeights& w, const float* bias, Activation act,
+                  std::int8_t* out, const ParallelFor& parallel);
+// Hybrid dynamic-range paths: f32 activations quantised per call (symmetric,
+// per-tensor), integer accumulate against the i16 panels, f32 result.
+void gemm_hybrid(std::int64_t m, std::int64_t k, const float* a,
+                 std::int64_t lda, const PackedWeights& w, const float* bias,
+                 Activation act, float* out, const ParallelFor& parallel);
+void conv2d_hybrid(const ConvShape& s, const float* x, const PackedWeights& w,
+                   const float* bias, Activation act, float* out,
+                   const ParallelFor& parallel);
+void depthwise_hybrid(const ConvShape& s, const float* x,
+                      const PackedWeights& w, const float* bias,
+                      Activation act, float* out, const ParallelFor& parallel);
+
+// Symmetric per-tensor dynamic quantisation used by the hybrid paths:
+// scale = max|x| / 127, zero point 0. Returns the scale.
+float dynamic_quantize(const float* x, std::int64_t n, std::int8_t* out);
+
+}  // namespace gauge::nn::kernels::detail

@@ -1,0 +1,359 @@
+// Dispatch layer of the kernel engine: backend names, weight packing, and
+// the per-layer entry points that pick an implementation from (backend,
+// input dtype, packed layout) and construct the output tensor exactly the
+// way the original interpreter did (dtype + quant metadata), so every
+// backend is a drop-in replacement.
+#include "nn/kernels/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "nn/kernels/impl.hpp"
+
+namespace gauge::nn::kernels {
+
+using detail::ConvShape;
+using detail::QuantIo;
+
+const char* exec_backend_name(ExecBackend backend) {
+  switch (backend) {
+    case ExecBackend::Reference:
+      return "reference";
+    case ExecBackend::Optimised:
+      return "optimised";
+    case ExecBackend::Quantised:
+      return "quantised";
+    case ExecBackend::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+std::optional<ExecBackend> parse_exec_backend(std::string_view name) {
+  if (name == "reference" || name == "ref") return ExecBackend::Reference;
+  if (name == "optimised" || name == "optimized") return ExecBackend::Optimised;
+  if (name == "quantised" || name == "quantized") return ExecBackend::Quantised;
+  return std::nullopt;
+}
+
+const std::vector<ExecBackend>& exec_backends() {
+  static const std::vector<ExecBackend> all = {
+      ExecBackend::Reference, ExecBackend::Optimised, ExecBackend::Quantised};
+  return all;
+}
+
+void serial_for(std::int64_t total, const ChunkFn& fn) {
+  if (total > 0) fn(0, total);
+}
+
+PadOffsets same_padding(std::int64_t in_h, std::int64_t in_w,
+                        std::int64_t out_h, std::int64_t out_w, int kh, int kw,
+                        int sh, int sw, Padding padding) {
+  if (padding == Padding::Valid) return {};
+  const std::int64_t pad_h =
+      std::max<std::int64_t>(0, (out_h - 1) * sh + kh - in_h);
+  const std::int64_t pad_w =
+      std::max<std::int64_t>(0, (out_w - 1) * sw + kw - in_w);
+  return {pad_h / 2, pad_w / 2};
+}
+
+PackedWeights pack_weights(const Tensor& w, std::int64_t rows,
+                           std::int64_t cols, bool quantised) {
+  PackedWeights packed;
+  packed.rows = rows;
+  packed.cols = cols;
+  packed.panels = (cols + kPanelWidth - 1) / kPanelWidth;
+  const auto size =
+      static_cast<std::size_t>(packed.panels * rows * kPanelWidth);
+  if (quantised && w.dtype() == DType::I8) {
+    packed.i16.assign(size, 0);
+    packed.scale = w.quant_scale;
+    for (std::int64_t k = 0; k < rows; ++k) {
+      for (std::int64_t n = 0; n < cols; ++n) {
+        const std::int64_t p = n / kPanelWidth;
+        const std::int64_t lane = n % kPanelWidth;
+        packed.i16[static_cast<std::size_t>(
+            (p * rows + k) * kPanelWidth + lane)] =
+            static_cast<std::int16_t>(
+                static_cast<std::int32_t>(
+                    w.i8()[static_cast<std::size_t>(k * cols + n)]) -
+                w.quant_zero_point);
+      }
+    }
+    return packed;
+  }
+  packed.f32.assign(size, 0.0f);
+  for (std::int64_t k = 0; k < rows; ++k) {
+    for (std::int64_t n = 0; n < cols; ++n) {
+      const std::int64_t p = n / kPanelWidth;
+      const std::int64_t lane = n % kPanelWidth;
+      packed.f32[static_cast<std::size_t>((p * rows + k) * kPanelWidth +
+                                          lane)] =
+          weight_value(w, static_cast<std::size_t>(k * cols + n));
+    }
+  }
+  return packed;
+}
+
+PackedWeights pack_depthwise(const Tensor& w, bool quantised) {
+  PackedWeights packed;
+  const auto n = static_cast<std::int64_t>(
+      w.dtype() == DType::I8 ? w.i8().size() : w.f32().size());
+  packed.rows = n;
+  packed.cols = 1;
+  packed.panels = 0;  // flat layout
+  if (quantised && w.dtype() == DType::I8) {
+    packed.i16.resize(static_cast<std::size_t>(n));
+    packed.scale = w.quant_scale;
+    for (std::int64_t i = 0; i < n; ++i) {
+      packed.i16[static_cast<std::size_t>(i)] = static_cast<std::int16_t>(
+          static_cast<std::int32_t>(w.i8()[static_cast<std::size_t>(i)]) -
+          w.quant_zero_point);
+    }
+    return packed;
+  }
+  packed.f32.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    packed.f32[static_cast<std::size_t>(i)] =
+        weight_value(w, static_cast<std::size_t>(i));
+  }
+  return packed;
+}
+
+namespace {
+
+ConvShape conv_shape(const Layer& layer, const Shape& xs,
+                     const Shape& out_shape, std::int64_t cout) {
+  ConvShape s;
+  s.batch = xs[0];
+  s.in_h = xs[1];
+  s.in_w = xs[2];
+  s.cin = xs[3];
+  s.out_h = out_shape[1];
+  s.out_w = out_shape[2];
+  s.cout = cout;
+  s.kh = layer.kernel_h;
+  s.kw = layer.kernel_w;
+  s.sh = layer.stride_h;
+  s.sw = layer.stride_w;
+  const PadOffsets pad =
+      same_padding(s.in_h, s.in_w, s.out_h, s.out_w, s.kh, s.kw, s.sh, s.sw,
+                   layer.padding);
+  s.pad_top = pad.top;
+  s.pad_left = pad.left;
+  return s;
+}
+
+// Constructs the layer output tensor the way the original interpreter did:
+// f32 stays f32; i8 takes the layer's output quantisation parameters.
+Tensor make_output(const Layer& layer, const Shape& out_shape, DType dtype) {
+  Tensor out{out_shape, dtype};
+  if (dtype == DType::I8) {
+    out.quant_scale = layer.quant_scale;
+    out.quant_zero_point = layer.quant_zero_point;
+  }
+  return out;
+}
+
+const float* bias_ptr(const Layer& layer) {
+  if (layer.weights.size() > 1 && layer.weights[1].dtype() == DType::F32) {
+    return layer.weights[1].f32().data();
+  }
+  return nullptr;
+}
+
+QuantIo quant_io(const Tensor& x, const Tensor& out) {
+  return QuantIo{x.quant_scale, x.quant_zero_point, out.quant_scale,
+                 out.quant_zero_point};
+}
+
+// Reference fallback keeps non-reference backends total: any (dtype, layout)
+// combination an optimised kernel doesn't cover still executes, with the
+// fused activation applied as a separate clamp pass.
+util::Status finish_reference(util::Status status, Activation act,
+                              Tensor* out) {
+  if (!status.ok() || act.identity() || out->dtype() != DType::F32) {
+    return status;
+  }
+  clamp_f32(out->f32().data(), act.lo, act.hi, out->f32().data(),
+            static_cast<std::int64_t>(out->f32().size()));
+  return status;
+}
+
+bool has_panels(const PackedWeights* packed) {
+  return packed && !packed->empty() && packed->panels > 0;
+}
+
+bool has_flat(const PackedWeights* packed) {
+  return packed && !packed->empty();
+}
+
+}  // namespace
+
+util::Status run_conv2d(ExecBackend backend, const Layer& layer,
+                        const Tensor& x, const Shape& out_shape,
+                        const PackedWeights* packed, Activation act,
+                        Tensor* out, const ParallelFor& parallel) {
+  const Shape& ws = layer.weights[0].shape();
+  const ConvShape s = conv_shape(layer, x.shape(), out_shape, ws[3]);
+  if (x.dtype() == DType::F32) {
+    *out = make_output(layer, out_shape, DType::F32);
+    if (backend == ExecBackend::Reference || !has_panels(packed)) {
+      return finish_reference(
+          detail::conv2d_reference(s, layer, x, out, parallel), act, out);
+    }
+    if (packed->quantised()) {
+      detail::conv2d_hybrid(s, x.f32().data(), *packed, bias_ptr(layer), act,
+                            out->f32().data(), parallel);
+    } else {
+      detail::conv2d_f32(s, x.f32().data(), *packed, bias_ptr(layer), act,
+                         out->f32().data(), parallel);
+    }
+    return {};
+  }
+  if (x.dtype() == DType::I8) {
+    if (layer.weights[0].dtype() != DType::I8) {
+      return util::Status::failure("int8 conv needs int8 weights");
+    }
+    *out = make_output(layer, out_shape, DType::I8);
+    if (backend != ExecBackend::Reference && has_panels(packed) &&
+        packed->quantised()) {
+      detail::conv2d_i8(s, x.i8().data(), quant_io(x, *out), *packed,
+                        bias_ptr(layer), act, out->i8().data(), parallel);
+      return {};
+    }
+    return detail::conv2d_reference(s, layer, x, out, parallel);
+  }
+  return util::Status::failure("unsupported input dtype");
+}
+
+util::Status run_depthwise(ExecBackend backend, const Layer& layer,
+                           const Tensor& x, const Shape& out_shape,
+                           const PackedWeights* packed, Activation act,
+                           Tensor* out, const ParallelFor& parallel) {
+  const Shape& ws = layer.weights[0].shape();
+  const ConvShape s = conv_shape(layer, x.shape(), out_shape, ws[2]);
+  if (x.dtype() == DType::F32) {
+    *out = make_output(layer, out_shape, DType::F32);
+    if (backend == ExecBackend::Reference || !has_flat(packed)) {
+      return finish_reference(
+          detail::depthwise_reference(s, layer, x, out, parallel), act, out);
+    }
+    if (packed->quantised()) {
+      detail::depthwise_hybrid(s, x.f32().data(), *packed, bias_ptr(layer),
+                               act, out->f32().data(), parallel);
+    } else {
+      detail::depthwise_f32(s, x.f32().data(), packed->f32.data(),
+                            bias_ptr(layer), act, out->f32().data(), parallel);
+    }
+    return {};
+  }
+  if (x.dtype() == DType::I8) {
+    if (layer.weights[0].dtype() != DType::I8) {
+      return util::Status::failure("int8 dwconv needs int8 weights");
+    }
+    *out = make_output(layer, out_shape, DType::I8);
+    if (backend != ExecBackend::Reference && has_flat(packed) &&
+        packed->quantised()) {
+      detail::depthwise_i8(s, x.i8().data(), quant_io(x, *out), *packed,
+                           bias_ptr(layer), act, out->i8().data(), parallel);
+      return {};
+    }
+    return detail::depthwise_reference(s, layer, x, out, parallel);
+  }
+  return util::Status::failure("unsupported dwconv dtype");
+}
+
+util::Status run_dense(ExecBackend backend, const Layer& layer,
+                       const Tensor& x, const Shape& out_shape,
+                       const PackedWeights* packed, Activation act,
+                       Tensor* out, const ParallelFor& parallel) {
+  const std::int64_t in_dim = layer.weights[0].shape()[0];
+  const std::int64_t rows = x.elements() / in_dim;
+  if (x.dtype() == DType::F32) {
+    *out = make_output(layer, out_shape, DType::F32);
+    if (backend == ExecBackend::Reference || !has_panels(packed)) {
+      return finish_reference(
+          detail::dense_reference(layer, x, rows, out, parallel), act, out);
+    }
+    if (packed->quantised()) {
+      detail::gemm_hybrid(rows, in_dim, x.f32().data(), in_dim, *packed,
+                          bias_ptr(layer), act, out->f32().data(), parallel);
+    } else {
+      detail::gemm_f32(rows, in_dim, x.f32().data(), in_dim, *packed,
+                       bias_ptr(layer), act, out->f32().data(), parallel);
+    }
+    return {};
+  }
+  if (x.dtype() == DType::I8) {
+    if (layer.weights[0].dtype() != DType::I8) {
+      return util::Status::failure("int8 dense needs int8 weights");
+    }
+    *out = make_output(layer, out_shape, DType::I8);
+    if (backend != ExecBackend::Reference && has_panels(packed) &&
+        packed->quantised()) {
+      detail::gemm_i8(rows, in_dim, x.i8().data(), in_dim, quant_io(x, *out),
+                      *packed, bias_ptr(layer), act, out->i8().data(),
+                      parallel);
+      return {};
+    }
+    return detail::dense_reference(layer, x, rows, out, parallel);
+  }
+  return util::Status::failure("unsupported input dtype");
+}
+
+util::Status run_lstm(ExecBackend backend, const Layer& layer, const Tensor& x,
+                      const Shape& out_shape, const PackedWeights* packed,
+                      Tensor* out, const ParallelFor& parallel) {
+  if (x.dtype() != DType::F32) return util::Status::failure("lstm supports f32");
+  *out = Tensor{out_shape, DType::F32};
+  if (backend == ExecBackend::Reference || !has_panels(packed)) {
+    return detail::lstm_reference(layer, x, out);
+  }
+  // Optimised recurrence: gather [x_t | h] into a contiguous [batch, feat +
+  // hidden] block each step and run one packed GEMM for all four gates.
+  const Shape& xs = x.shape();
+  const std::int64_t batch = xs[0], steps = xs[1], feat = xs[2];
+  const std::int64_t hidden = layer.units;
+  const float* bias = bias_ptr(layer);
+  const std::int64_t in_dim = feat + hidden;
+  std::vector<float> h(static_cast<std::size_t>(batch * hidden), 0.0f);
+  std::vector<float> cstate(static_cast<std::size_t>(batch * hidden), 0.0f);
+  std::vector<float> xin(static_cast<std::size_t>(batch * in_dim), 0.0f);
+  std::vector<float> gates(static_cast<std::size_t>(batch * 4 * hidden), 0.0f);
+  const Activation act{};  // gate nonlinearity handled below, no clamp
+  for (std::int64_t t = 0; t < steps; ++t) {
+    for (std::int64_t b = 0; b < batch; ++b) {
+      float* row = xin.data() + b * in_dim;
+      std::copy_n(x.f32().data() + (b * steps + t) * feat,
+                  static_cast<std::size_t>(feat), row);
+      std::copy_n(h.data() + b * hidden, static_cast<std::size_t>(hidden),
+                  row + feat);
+    }
+    if (packed->quantised()) {
+      detail::gemm_hybrid(batch, in_dim, xin.data(), in_dim, *packed, bias,
+                          act, gates.data(), parallel);
+    } else {
+      detail::gemm_f32(batch, in_dim, xin.data(), in_dim, *packed, bias, act,
+                       gates.data(), parallel);
+    }
+    for (std::int64_t b = 0; b < batch; ++b) {
+      const float* g = gates.data() + b * 4 * hidden;
+      for (std::int64_t k = 0; k < hidden; ++k) {
+        const float ig = 1.0f / (1.0f + std::exp(-g[k]));
+        const float fg = 1.0f / (1.0f + std::exp(-g[hidden + k]));
+        const float cg = std::tanh(g[2 * hidden + k]);
+        const float og = 1.0f / (1.0f + std::exp(-g[3 * hidden + k]));
+        const auto hi = static_cast<std::size_t>(b * hidden + k);
+        cstate[hi] = fg * cstate[hi] + ig * cg;
+        h[hi] = og * std::tanh(cstate[hi]);
+        out->f32()[static_cast<std::size_t>((b * steps + t) * hidden + k)] =
+            h[hi];
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace gauge::nn::kernels

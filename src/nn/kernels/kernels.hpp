@@ -1,0 +1,155 @@
+// Execution-backend kernel layer for the inference interpreter
+// (DESIGN.md §13). Three selectable backends mirror the device::Backend
+// families the paper benchmarks:
+//
+//   reference — the original scalar loops (reference.cpp), kept verbatim as
+//               the parity oracle every optimised kernel is checked against
+//   optimised — register-tiled fp32 GEMM/conv over packed weight panels,
+//               fused bias + activation stores, portable-SIMD eltwise
+//               (simd.hpp); hybrid int8 weights are dequantised once at
+//               pack time instead of per-MAC
+//   quantised — optimised fp32 plus real integer arithmetic: int8
+//               activations run i8×i8→i32 panel kernels with requantise,
+//               and hybrid (int8-weight, f32-activation) layers run
+//               dynamic-range quantisation (quantise the activation
+//               tensor, integer-accumulate, dequantise the result)
+//
+// The interpreter owns backend selection and weight packing; kernels are
+// stateless functions over raw buffers plus a ParallelFor hook so the same
+// code runs inline or on the nn::ThreadPool.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "nn/tensor.hpp"
+#include "util/result.hpp"
+
+namespace gauge::nn::kernels {
+
+enum class ExecBackend : std::uint8_t {
+  Reference = 0,
+  Optimised,
+  Quantised,
+  kCount,
+};
+
+const char* exec_backend_name(ExecBackend backend);
+std::optional<ExecBackend> parse_exec_backend(std::string_view name);
+const std::vector<ExecBackend>& exec_backends();
+
+// fn(begin, end) over [0, total): the interpreter passes ThreadPool's
+// parallel_for (or an inline runner when single-threaded).
+using ChunkFn = std::function<void(std::int64_t, std::int64_t)>;
+using ParallelFor = std::function<void(std::int64_t, const ChunkFn&)>;
+
+// Inline ParallelFor for callers without a pool (tests, benches).
+void serial_for(std::int64_t total, const ChunkFn& fn);
+
+// Dequantising weight accessor: hybrid int8 weights read back as float.
+// The reference kernels (and the interpreter's embedding gather) use it
+// per element; the optimised backends only at pack time.
+inline float weight_value(const Tensor& w, std::size_t idx) {
+  if (w.dtype() == DType::F32) return w.f32()[idx];
+  return (static_cast<float>(w.i8()[idx]) -
+          static_cast<float>(w.quant_zero_point)) *
+         w.quant_scale;
+}
+
+// Output-channel panel width of the packed weight layout (== kVecLanes).
+inline constexpr std::int64_t kPanelWidth = 8;
+
+// Weights repacked for the register-tiled kernels: the N (output channel)
+// dimension is split into panels of kPanelWidth lanes, zero-padded, and laid
+// out panel-major so the micro-kernel streams one contiguous panel row per
+// K step:  f32[panel][k][lane] with lane = n % kPanelWidth.
+//
+// The quantised layout stores (w - zero_point) widened to int16 in the same
+// panel order (the i8×i8 product needs the zero-point-corrected value; doing
+// the subtraction at pack time keeps it out of the inner loop), plus the
+// per-tensor scale for requantisation. Depthwise weights are packed flat
+// (channel-contiguous already matches the NHWC kernel).
+struct PackedWeights {
+  std::int64_t rows = 0;    // K: kh*kw*cin (conv), in_dim (dense/lstm)
+  std::int64_t cols = 0;    // N: cout / out_dim
+  std::int64_t panels = 0;  // ceil(cols / kPanelWidth); 0 = flat layout
+  std::vector<float> f32;
+  std::vector<std::int16_t> i16;
+  float scale = 1.0f;                // i16 dequant scale (weight quant_scale)
+  bool quantised() const { return !i16.empty(); }
+  bool empty() const { return f32.empty() && i16.empty(); }
+};
+
+// Packs a [rows x cols] row-major weight tensor (f32 or hybrid i8) into
+// panels. `quantised` selects the int16 integer-arithmetic layout (requires
+// i8 weights); otherwise i8 weights are dequantised into the f32 panels.
+PackedWeights pack_weights(const Tensor& w, std::int64_t rows,
+                           std::int64_t cols, bool quantised);
+
+// Flat (unpaneled) packing for depthwise weights: dequantised f32 or
+// zero-point-corrected i16.
+PackedWeights pack_depthwise(const Tensor& w, bool quantised);
+
+// Activation clamp fused into the kernel's store (identity by default).
+struct Activation {
+  float lo = -std::numeric_limits<float>::infinity();
+  float hi = std::numeric_limits<float>::infinity();
+  bool identity() const {
+    return lo == -std::numeric_limits<float>::infinity() &&
+           hi == std::numeric_limits<float>::infinity();
+  }
+};
+
+// ---- per-layer entry points -----------------------------------------------
+// `x` is the layer input, `out` the destination (constructed by the call
+// with dtype and quant metadata); `packed` may be null for Reference.
+// Failures carry the reason only — the interpreter wraps layer context.
+
+util::Status run_conv2d(ExecBackend backend, const Layer& layer,
+                        const Tensor& x, const Shape& out_shape,
+                        const PackedWeights* packed, Activation act,
+                        Tensor* out, const ParallelFor& parallel);
+
+util::Status run_depthwise(ExecBackend backend, const Layer& layer,
+                           const Tensor& x, const Shape& out_shape,
+                           const PackedWeights* packed, Activation act,
+                           Tensor* out, const ParallelFor& parallel);
+
+util::Status run_dense(ExecBackend backend, const Layer& layer,
+                       const Tensor& x, const Shape& out_shape,
+                       const PackedWeights* packed, Activation act,
+                       Tensor* out, const ParallelFor& parallel);
+
+util::Status run_lstm(ExecBackend backend, const Layer& layer, const Tensor& x,
+                      const Shape& out_shape, const PackedWeights* packed,
+                      Tensor* out, const ParallelFor& parallel);
+
+// ---- eltwise / activation kernels (portable SIMD, scalar tail) ------------
+
+void clamp_f32(const float* x, float lo, float hi, float* out, std::int64_t n);
+void add_f32(const float* a, const float* b, float* out, std::int64_t n);
+void mul_f32(const float* a, const float* b, float* out, std::int64_t n);
+// Per-channel affine (batch-norm folded form): out[k] = x[k]*scale[c]+shift[c]
+// with c = k % channels.
+void scale_shift_f32(const float* x, const float* scale, const float* shift,
+                     std::int64_t channels, float* out, std::int64_t n);
+void quantize_f32(const float* x, float scale, std::int32_t zero_point,
+                  std::int8_t* out, std::int64_t n);
+void dequantize_i8(const std::int8_t* x, float scale, std::int32_t zero_point,
+                   float* out, std::int64_t n);
+
+// SAME-padding offsets shared by conv/pool kernels (TFLite semantics).
+struct PadOffsets {
+  std::int64_t top = 0;
+  std::int64_t left = 0;
+};
+PadOffsets same_padding(std::int64_t in_h, std::int64_t in_w,
+                        std::int64_t out_h, std::int64_t out_w, int kh, int kw,
+                        int sh, int sw, Padding padding);
+
+}  // namespace gauge::nn::kernels

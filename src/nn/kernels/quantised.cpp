@@ -1,0 +1,301 @@
+// The `quantised` backend's integer kernels.
+//
+// Two families share the same i16-panel weight layout (zero-point already
+// subtracted at pack time, per-tensor scale on PackedWeights):
+//
+//   *_i8      — int8 activations in, int8 out. i8×i16→i32 accumulation is
+//               exact, so the only rounding happens in the final requantise,
+//               which uses the identical formula as the reference kernels:
+//                 result = acc * (x_scale*w_scale/out_scale) + bias/out_scale
+//                 q      = clamp(round(result) + out_zp, -128, 127)
+//   *_hybrid  — f32 activations in, f32 out (dynamic-range quantisation):
+//               quantise the activation tensor per call (symmetric,
+//               scale = max|x|/127), integer-accumulate, dequantise by
+//               x_scale*w_scale on the way out with the fused clamp.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "nn/kernels/impl.hpp"
+#include "nn/kernels/simd.hpp"
+
+namespace gauge::nn::kernels::detail {
+
+namespace {
+
+constexpr std::int64_t kRowTile = 4;
+
+std::int8_t requantize_lane(float value, std::int32_t zp) {
+  const float q = std::round(value) + static_cast<float>(zp);
+  return static_cast<std::int8_t>(std::clamp(q, -128.0f, 127.0f));
+}
+
+float bias_lane(const float* bias, std::int64_t col0, int lane,
+                std::int64_t cols) {
+  if (!bias) return 0.0f;
+  const std::int64_t c = col0 + lane;
+  return c < cols ? bias[c] : 0.0f;
+}
+
+}  // namespace
+
+float dynamic_quantize(const float* x, std::int64_t n, std::int8_t* out) {
+  float max_abs = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) {
+    max_abs = std::max(max_abs, std::fabs(x[i]));
+  }
+  const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+  const float inv = 1.0f / scale;
+  for (std::int64_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::int8_t>(
+        std::clamp(std::round(x[i] * inv), -127.0f, 127.0f));
+  }
+  return scale;
+}
+
+void gemm_i8(std::int64_t m, std::int64_t k, const std::int8_t* a,
+             std::int64_t lda, const QuantIo& q, const PackedWeights& w,
+             const float* bias, Activation act, std::int8_t* out,
+             const ParallelFor& parallel) {
+  (void)act;  // int8 outputs carry activation in their quant range
+  const float rescale = q.x_scale * w.scale / q.out_scale;
+  const float inv_out = 1.0f / q.out_scale;
+  parallel(m, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t r = begin; r < end; ++r) {
+      const std::int8_t* ar = a + r * lda;
+      for (std::int64_t p = 0; p < w.panels; ++p) {
+        const std::int16_t* panel =
+            w.i16.data() + static_cast<std::size_t>(p * w.rows * kPanelWidth);
+        const std::int64_t col0 = p * kPanelWidth;
+        const auto lanes =
+            static_cast<int>(std::min<std::int64_t>(kPanelWidth, w.cols - col0));
+        VecI acc = vec_splat_i(0);
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const std::int32_t xv = static_cast<std::int32_t>(ar[kk]) - q.x_zp;
+          acc += vec_splat_i(xv) * vec_load_i16(panel + kk * kPanelWidth);
+        }
+        std::int8_t* op = out + r * w.cols + col0;
+        for (int i = 0; i < lanes; ++i) {
+          float result = static_cast<float>(vec_lane_i(acc, i)) * rescale +
+                         bias_lane(bias, col0, i, w.cols) * inv_out;
+          op[i] = requantize_lane(result, q.out_zp);
+        }
+      }
+    }
+  });
+}
+
+void conv2d_i8(const ConvShape& s, const std::int8_t* x, const QuantIo& q,
+               const PackedWeights& w, const float* bias, Activation act,
+               std::int8_t* out, const ParallelFor& parallel) {
+  (void)act;
+  const float rescale = q.x_scale * w.scale / q.out_scale;
+  const float inv_out = 1.0f / q.out_scale;
+  parallel(s.batch * s.out_h, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t row = begin; row < end; ++row) {
+      const std::int64_t n = row / s.out_h;
+      const std::int64_t oy = row % s.out_h;
+      for (std::int64_t p = 0; p < w.panels; ++p) {
+        const std::int16_t* panel =
+            w.i16.data() + static_cast<std::size_t>(p * w.rows * kPanelWidth);
+        const std::int64_t col0 = p * kPanelWidth;
+        const auto lanes =
+            static_cast<int>(std::min<std::int64_t>(kPanelWidth, s.cout - col0));
+        for (std::int64_t ox = 0; ox < s.out_w; ++ox) {
+          VecI acc = vec_splat_i(0);
+          for (int ky = 0; ky < s.kh; ++ky) {
+            const std::int64_t iy = oy * s.sh + ky - s.pad_top;
+            if (iy < 0 || iy >= s.in_h) continue;
+            for (int kx = 0; kx < s.kw; ++kx) {
+              const std::int64_t ix = ox * s.sw + kx - s.pad_left;
+              if (ix < 0 || ix >= s.in_w) continue;
+              const std::int8_t* xp =
+                  x + ((n * s.in_h + iy) * s.in_w + ix) * s.cin;
+              const std::int16_t* wk =
+                  panel +
+                  ((static_cast<std::int64_t>(ky) * s.kw + kx) * s.cin) *
+                      kPanelWidth;
+              for (std::int64_t ic = 0; ic < s.cin; ++ic) {
+                const std::int32_t xv =
+                    static_cast<std::int32_t>(xp[ic]) - q.x_zp;
+                acc += vec_splat_i(xv) * vec_load_i16(wk + ic * kPanelWidth);
+              }
+            }
+          }
+          std::int8_t* op = out + (row * s.out_w + ox) * s.cout + col0;
+          for (int i = 0; i < lanes; ++i) {
+            float result = static_cast<float>(vec_lane_i(acc, i)) * rescale +
+                           bias_lane(bias, col0, i, s.cout) * inv_out;
+            op[i] = requantize_lane(result, q.out_zp);
+          }
+        }
+      }
+    }
+  });
+}
+
+void depthwise_i8(const ConvShape& s, const std::int8_t* x, const QuantIo& q,
+                  const PackedWeights& w, const float* bias, Activation act,
+                  std::int8_t* out, const ParallelFor& parallel) {
+  (void)act;
+  const std::int64_t c = s.cin;
+  const float rescale = q.x_scale * w.scale / q.out_scale;
+  const float inv_out = 1.0f / q.out_scale;
+  parallel(s.batch * s.out_h, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t row = begin; row < end; ++row) {
+      const std::int64_t n = row / s.out_h;
+      const std::int64_t oy = row % s.out_h;
+      for (std::int64_t ox = 0; ox < s.out_w; ++ox) {
+        std::int8_t* op = out + (row * s.out_w + ox) * c;
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+          std::int32_t acc = 0;
+          for (int ky = 0; ky < s.kh; ++ky) {
+            const std::int64_t iy = oy * s.sh + ky - s.pad_top;
+            if (iy < 0 || iy >= s.in_h) continue;
+            for (int kx = 0; kx < s.kw; ++kx) {
+              const std::int64_t ix = ox * s.sw + kx - s.pad_left;
+              if (ix < 0 || ix >= s.in_w) continue;
+              const std::int32_t xv =
+                  static_cast<std::int32_t>(
+                      x[((n * s.in_h + iy) * s.in_w + ix) * c + ch]) -
+                  q.x_zp;
+              acc += xv * w.i16[static_cast<std::size_t>(
+                         (static_cast<std::int64_t>(ky) * s.kw + kx) * c + ch)];
+            }
+          }
+          float result = static_cast<float>(acc) * rescale +
+                         (bias ? bias[ch] * inv_out : 0.0f);
+          op[ch] = requantize_lane(result, q.out_zp);
+        }
+      }
+    }
+  });
+}
+
+void gemm_hybrid(std::int64_t m, std::int64_t k, const float* a,
+                 std::int64_t lda, const PackedWeights& w, const float* bias,
+                 Activation act, float* out, const ParallelFor& parallel) {
+  // Per-row dynamic quantisation: each activation row gets its own scale,
+  // which keeps the hybrid error well under the reference tolerance even
+  // when row magnitudes differ wildly (e.g. LSTM gate inputs).
+  std::vector<std::int8_t> xq(static_cast<std::size_t>(m * k));
+  std::vector<float> row_scale(static_cast<std::size_t>(m));
+  parallel(m, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t r = begin; r < end; ++r) {
+      row_scale[static_cast<std::size_t>(r)] =
+          dynamic_quantize(a + r * lda, k, xq.data() + r * k);
+    }
+  });
+  parallel(m, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t r = begin; r < end; ++r) {
+      const std::int8_t* ar = xq.data() + r * k;
+      const float dequant = row_scale[static_cast<std::size_t>(r)] * w.scale;
+      for (std::int64_t p = 0; p < w.panels; ++p) {
+        const std::int16_t* panel =
+            w.i16.data() + static_cast<std::size_t>(p * w.rows * kPanelWidth);
+        const std::int64_t col0 = p * kPanelWidth;
+        const auto lanes =
+            static_cast<int>(std::min<std::int64_t>(kPanelWidth, w.cols - col0));
+        VecI acc = vec_splat_i(0);
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          acc += vec_splat_i(ar[kk]) * vec_load_i16(panel + kk * kPanelWidth);
+        }
+        float* op = out + r * w.cols + col0;
+        for (int i = 0; i < lanes; ++i) {
+          float v = static_cast<float>(vec_lane_i(acc, i)) * dequant +
+                    bias_lane(bias, col0, i, w.cols);
+          op[i] = std::min(std::max(v, act.lo), act.hi);
+        }
+      }
+    }
+  });
+}
+
+void conv2d_hybrid(const ConvShape& s, const float* x, const PackedWeights& w,
+                   const float* bias, Activation act, float* out,
+                   const ParallelFor& parallel) {
+  const std::int64_t total = s.batch * s.in_h * s.in_w * s.cin;
+  std::vector<std::int8_t> xq(static_cast<std::size_t>(total));
+  const float x_scale = dynamic_quantize(x, total, xq.data());
+  const float dequant = x_scale * w.scale;
+  const std::int8_t* xd = xq.data();
+  parallel(s.batch * s.out_h, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t row = begin; row < end; ++row) {
+      const std::int64_t n = row / s.out_h;
+      const std::int64_t oy = row % s.out_h;
+      for (std::int64_t p = 0; p < w.panels; ++p) {
+        const std::int16_t* panel =
+            w.i16.data() + static_cast<std::size_t>(p * w.rows * kPanelWidth);
+        const std::int64_t col0 = p * kPanelWidth;
+        const auto lanes =
+            static_cast<int>(std::min<std::int64_t>(kPanelWidth, s.cout - col0));
+        for (std::int64_t ox = 0; ox < s.out_w; ++ox) {
+          VecI acc = vec_splat_i(0);
+          for (int ky = 0; ky < s.kh; ++ky) {
+            const std::int64_t iy = oy * s.sh + ky - s.pad_top;
+            if (iy < 0 || iy >= s.in_h) continue;
+            for (int kx = 0; kx < s.kw; ++kx) {
+              const std::int64_t ix = ox * s.sw + kx - s.pad_left;
+              if (ix < 0 || ix >= s.in_w) continue;
+              const std::int8_t* xp =
+                  xd + ((n * s.in_h + iy) * s.in_w + ix) * s.cin;
+              const std::int16_t* wk =
+                  panel +
+                  ((static_cast<std::int64_t>(ky) * s.kw + kx) * s.cin) *
+                      kPanelWidth;
+              for (std::int64_t ic = 0; ic < s.cin; ++ic) {
+                acc += vec_splat_i(xp[ic]) * vec_load_i16(wk + ic * kPanelWidth);
+              }
+            }
+          }
+          float* op = out + (row * s.out_w + ox) * s.cout + col0;
+          for (int i = 0; i < lanes; ++i) {
+            float v = static_cast<float>(vec_lane_i(acc, i)) * dequant +
+                      bias_lane(bias, col0, i, s.cout);
+            op[i] = std::min(std::max(v, act.lo), act.hi);
+          }
+        }
+      }
+    }
+  });
+}
+
+void depthwise_hybrid(const ConvShape& s, const float* x,
+                      const PackedWeights& w, const float* bias, Activation act,
+                      float* out, const ParallelFor& parallel) {
+  const std::int64_t c = s.cin;
+  const std::int64_t total = s.batch * s.in_h * s.in_w * c;
+  std::vector<std::int8_t> xq(static_cast<std::size_t>(total));
+  const float x_scale = dynamic_quantize(x, total, xq.data());
+  const float dequant = x_scale * w.scale;
+  const std::int8_t* xd = xq.data();
+  parallel(s.batch * s.out_h, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t row = begin; row < end; ++row) {
+      const std::int64_t n = row / s.out_h;
+      const std::int64_t oy = row % s.out_h;
+      for (std::int64_t ox = 0; ox < s.out_w; ++ox) {
+        float* op = out + (row * s.out_w + ox) * c;
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+          std::int32_t acc = 0;
+          for (int ky = 0; ky < s.kh; ++ky) {
+            const std::int64_t iy = oy * s.sh + ky - s.pad_top;
+            if (iy < 0 || iy >= s.in_h) continue;
+            for (int kx = 0; kx < s.kw; ++kx) {
+              const std::int64_t ix = ox * s.sw + kx - s.pad_left;
+              if (ix < 0 || ix >= s.in_w) continue;
+              acc += static_cast<std::int32_t>(
+                         xd[((n * s.in_h + iy) * s.in_w + ix) * c + ch]) *
+                     w.i16[static_cast<std::size_t>(
+                         (static_cast<std::int64_t>(ky) * s.kw + kx) * c + ch)];
+            }
+          }
+          const float v = static_cast<float>(acc) * dequant +
+                          (bias ? bias[ch] : 0.0f);
+          op[ch] = std::min(std::max(v, act.lo), act.hi);
+        }
+      }
+    }
+  });
+}
+
+}  // namespace gauge::nn::kernels::detail

@@ -1,0 +1,288 @@
+// The `reference` execution backend: the interpreter's original scalar
+// loops, moved here verbatim. These stay deliberately naive — they are the
+// oracle the optimised and quantised kernels are parity-checked against,
+// and the baseline bench_kernels measures speedups from.
+#include <algorithm>
+#include <cmath>
+
+#include "nn/kernels/impl.hpp"
+
+namespace gauge::nn::kernels::detail {
+
+namespace {
+
+std::int8_t requantize(float value, std::int32_t zp) {
+  const float q = std::round(value) + static_cast<float>(zp);
+  return static_cast<std::int8_t>(std::clamp(q, -128.0f, 127.0f));
+}
+
+}  // namespace
+
+util::Status conv2d_reference(const ConvShape& s, const Layer& layer,
+                              const Tensor& x, Tensor* out,
+                              const ParallelFor& parallel) {
+  const Tensor& w = layer.weights[0];
+  const Tensor* bias = layer.weights.size() > 1 ? &layer.weights[1] : nullptr;
+  const std::int64_t kh = s.kh, kw = s.kw, cin = s.cin, cout = s.cout;
+  const std::int64_t oh = s.out_h, ow = s.out_w;
+  if (x.dtype() == DType::F32) {
+    parallel(s.batch * oh, [&](std::int64_t begin, std::int64_t end) {
+      for (std::int64_t noy = begin; noy < end; ++noy) {
+        const std::int64_t n = noy / oh;
+        const std::int64_t oy = noy % oh;
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          for (std::int64_t oc = 0; oc < cout; ++oc) {
+            float acc = bias && bias->dtype() == DType::F32
+                            ? bias->f32()[static_cast<std::size_t>(oc)]
+                            : 0.0f;
+            for (std::int64_t ky = 0; ky < kh; ++ky) {
+              const std::int64_t iy = oy * s.sh + ky - s.pad_top;
+              if (iy < 0 || iy >= s.in_h) continue;
+              for (std::int64_t kx = 0; kx < kw; ++kx) {
+                const std::int64_t ix = ox * s.sw + kx - s.pad_left;
+                if (ix < 0 || ix >= s.in_w) continue;
+                const std::size_t x_base = static_cast<std::size_t>(
+                    ((n * s.in_h + iy) * s.in_w + ix) * cin);
+                const std::size_t w_base =
+                    static_cast<std::size_t>(((ky * kw + kx) * cin) * cout + oc);
+                for (std::int64_t ic = 0; ic < cin; ++ic) {
+                  acc += x.f32()[x_base + static_cast<std::size_t>(ic)] *
+                         weight_value(w, w_base + static_cast<std::size_t>(ic) *
+                                             static_cast<std::size_t>(cout));
+                }
+              }
+            }
+            out->f32()[static_cast<std::size_t>(
+                ((n * oh + oy) * ow + ox) * cout + oc)] = acc;
+          }
+        }
+      }
+    });
+    return {};
+  }
+  if (x.dtype() == DType::I8) {
+    if (w.dtype() != DType::I8) {
+      return util::Status::failure("int8 conv needs int8 weights");
+    }
+    const float rescale = x.quant_scale * w.quant_scale / out->quant_scale;
+    parallel(s.batch * oh, [&](std::int64_t begin, std::int64_t end) {
+      for (std::int64_t noy = begin; noy < end; ++noy) {
+        const std::int64_t n = noy / oh;
+        const std::int64_t oy = noy % oh;
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          for (std::int64_t oc = 0; oc < cout; ++oc) {
+            std::int32_t acc = 0;
+            for (std::int64_t ky = 0; ky < kh; ++ky) {
+              const std::int64_t iy = oy * s.sh + ky - s.pad_top;
+              if (iy < 0 || iy >= s.in_h) continue;
+              for (std::int64_t kx = 0; kx < kw; ++kx) {
+                const std::int64_t ix = ox * s.sw + kx - s.pad_left;
+                if (ix < 0 || ix >= s.in_w) continue;
+                const std::size_t x_base = static_cast<std::size_t>(
+                    ((n * s.in_h + iy) * s.in_w + ix) * cin);
+                const std::size_t w_base =
+                    static_cast<std::size_t>(((ky * kw + kx) * cin) * cout + oc);
+                for (std::int64_t ic = 0; ic < cin; ++ic) {
+                  const std::int32_t xv =
+                      x.i8()[x_base + static_cast<std::size_t>(ic)] -
+                      x.quant_zero_point;
+                  const std::int32_t wv =
+                      w.i8()[w_base + static_cast<std::size_t>(ic) *
+                                          static_cast<std::size_t>(cout)] -
+                      w.quant_zero_point;
+                  acc += xv * wv;
+                }
+              }
+            }
+            float result = static_cast<float>(acc) * rescale;
+            if (bias && bias->dtype() == DType::F32) {
+              result +=
+                  bias->f32()[static_cast<std::size_t>(oc)] / out->quant_scale;
+            }
+            out->i8()[static_cast<std::size_t>(
+                ((n * oh + oy) * ow + ox) * cout + oc)] =
+                requantize(result, out->quant_zero_point);
+          }
+        }
+      }
+    });
+    return {};
+  }
+  return util::Status::failure("unsupported input dtype");
+}
+
+util::Status depthwise_reference(const ConvShape& s, const Layer& layer,
+                                 const Tensor& x, Tensor* out,
+                                 const ParallelFor& parallel) {
+  const Tensor& w = layer.weights[0];
+  const Tensor* bias = layer.weights.size() > 1 ? &layer.weights[1] : nullptr;
+  const std::int64_t kh = s.kh, kw = s.kw, c = s.cin;
+  const std::int64_t oh = s.out_h, ow = s.out_w;
+  if (x.dtype() == DType::F32) {
+    parallel(s.batch * oh, [&](std::int64_t begin, std::int64_t end) {
+      for (std::int64_t noy = begin; noy < end; ++noy) {
+        const std::int64_t n = noy / oh;
+        const std::int64_t oy = noy % oh;
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          for (std::int64_t ch = 0; ch < c; ++ch) {
+            float acc = bias ? bias->f32()[static_cast<std::size_t>(ch)] : 0.0f;
+            for (std::int64_t ky = 0; ky < kh; ++ky) {
+              const std::int64_t iy = oy * s.sh + ky - s.pad_top;
+              if (iy < 0 || iy >= s.in_h) continue;
+              for (std::int64_t kx = 0; kx < kw; ++kx) {
+                const std::int64_t ix = ox * s.sw + kx - s.pad_left;
+                if (ix < 0 || ix >= s.in_w) continue;
+                acc += x.f32()[static_cast<std::size_t>(
+                           ((n * s.in_h + iy) * s.in_w + ix) * c + ch)] *
+                       weight_value(
+                           w, static_cast<std::size_t>((ky * kw + kx) * c + ch));
+              }
+            }
+            out->f32()[static_cast<std::size_t>(
+                ((n * oh + oy) * ow + ox) * c + ch)] = acc;
+          }
+        }
+      }
+    });
+    return {};
+  }
+  if (x.dtype() == DType::I8) {
+    if (w.dtype() != DType::I8) {
+      return util::Status::failure("int8 dwconv needs int8 weights");
+    }
+    const float rescale = x.quant_scale * w.quant_scale / out->quant_scale;
+    parallel(s.batch * oh, [&](std::int64_t begin, std::int64_t end) {
+      for (std::int64_t noy = begin; noy < end; ++noy) {
+        const std::int64_t n = noy / oh;
+        const std::int64_t oy = noy % oh;
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          for (std::int64_t ch = 0; ch < c; ++ch) {
+            std::int32_t acc = 0;
+            for (std::int64_t ky = 0; ky < kh; ++ky) {
+              const std::int64_t iy = oy * s.sh + ky - s.pad_top;
+              if (iy < 0 || iy >= s.in_h) continue;
+              for (std::int64_t kx = 0; kx < kw; ++kx) {
+                const std::int64_t ix = ox * s.sw + kx - s.pad_left;
+                if (ix < 0 || ix >= s.in_w) continue;
+                acc += (x.i8()[static_cast<std::size_t>(
+                            ((n * s.in_h + iy) * s.in_w + ix) * c + ch)] -
+                        x.quant_zero_point) *
+                       (w.i8()[static_cast<std::size_t>((ky * kw + kx) * c +
+                                                        ch)] -
+                        w.quant_zero_point);
+              }
+            }
+            float result = static_cast<float>(acc) * rescale;
+            if (bias && bias->dtype() == DType::F32) {
+              result +=
+                  bias->f32()[static_cast<std::size_t>(ch)] / out->quant_scale;
+            }
+            out->i8()[static_cast<std::size_t>(
+                ((n * oh + oy) * ow + ox) * c + ch)] =
+                requantize(result, out->quant_zero_point);
+          }
+        }
+      }
+    });
+    return {};
+  }
+  return util::Status::failure("unsupported dwconv dtype");
+}
+
+util::Status dense_reference(const Layer& layer, const Tensor& x,
+                             std::int64_t rows, Tensor* out,
+                             const ParallelFor& parallel) {
+  const Tensor& w = layer.weights[0];
+  const Tensor* bias = layer.weights.size() > 1 ? &layer.weights[1] : nullptr;
+  const std::int64_t in_dim = w.shape()[0];
+  const std::int64_t out_dim = w.shape()[1];
+  if (x.dtype() == DType::F32) {
+    parallel(rows, [&](std::int64_t begin, std::int64_t end) {
+      for (std::int64_t r = begin; r < end; ++r) {
+        for (std::int64_t o = 0; o < out_dim; ++o) {
+          float acc = bias ? bias->f32()[static_cast<std::size_t>(o)] : 0.0f;
+          for (std::int64_t k = 0; k < in_dim; ++k) {
+            acc += x.f32()[static_cast<std::size_t>(r * in_dim + k)] *
+                   weight_value(w, static_cast<std::size_t>(k * out_dim + o));
+          }
+          out->f32()[static_cast<std::size_t>(r * out_dim + o)] = acc;
+        }
+      }
+    });
+    return {};
+  }
+  if (x.dtype() == DType::I8) {
+    if (w.dtype() != DType::I8) {
+      return util::Status::failure("int8 dense needs int8 weights");
+    }
+    const float rescale = x.quant_scale * w.quant_scale / out->quant_scale;
+    parallel(rows, [&](std::int64_t begin, std::int64_t end) {
+      for (std::int64_t r = begin; r < end; ++r) {
+        for (std::int64_t o = 0; o < out_dim; ++o) {
+          std::int32_t acc = 0;
+          for (std::int64_t k = 0; k < in_dim; ++k) {
+            acc += (x.i8()[static_cast<std::size_t>(r * in_dim + k)] -
+                    x.quant_zero_point) *
+                   (w.i8()[static_cast<std::size_t>(k * out_dim + o)] -
+                    w.quant_zero_point);
+          }
+          float result = static_cast<float>(acc) * rescale;
+          if (bias && bias->dtype() == DType::F32) {
+            result +=
+                bias->f32()[static_cast<std::size_t>(o)] / out->quant_scale;
+          }
+          out->i8()[static_cast<std::size_t>(r * out_dim + o)] =
+              requantize(result, out->quant_zero_point);
+        }
+      }
+    });
+    return {};
+  }
+  return util::Status::failure("unsupported input dtype");
+}
+
+util::Status lstm_reference(const Layer& layer, const Tensor& x, Tensor* out) {
+  if (x.dtype() != DType::F32) return util::Status::failure("lstm supports f32");
+  const Shape& xs = x.shape();
+  const std::int64_t batch = xs[0], steps = xs[1], feat = xs[2];
+  const std::int64_t hidden = layer.units;
+  const Tensor& w = layer.weights[0];
+  const Tensor* bias = layer.weights.size() > 1 ? &layer.weights[1] : nullptr;
+  std::vector<float> h(static_cast<std::size_t>(batch * hidden), 0.0f);
+  std::vector<float> cstate(static_cast<std::size_t>(batch * hidden), 0.0f);
+  std::vector<float> gates(static_cast<std::size_t>(4 * hidden), 0.0f);
+  for (std::int64_t t = 0; t < steps; ++t) {
+    for (std::int64_t b = 0; b < batch; ++b) {
+      for (std::int64_t g = 0; g < 4 * hidden; ++g) {
+        float acc = bias ? bias->f32()[static_cast<std::size_t>(g)] : 0.0f;
+        for (std::int64_t k = 0; k < feat; ++k) {
+          acc += x.f32()[static_cast<std::size_t>((b * steps + t) * feat + k)] *
+                 weight_value(w, static_cast<std::size_t>(k * 4 * hidden + g));
+        }
+        for (std::int64_t k = 0; k < hidden; ++k) {
+          acc += h[static_cast<std::size_t>(b * hidden + k)] *
+                 weight_value(
+                     w, static_cast<std::size_t>((feat + k) * 4 * hidden + g));
+        }
+        gates[static_cast<std::size_t>(g)] = acc;
+      }
+      for (std::int64_t k = 0; k < hidden; ++k) {
+        const float ig =
+            1.0f / (1.0f + std::exp(-gates[static_cast<std::size_t>(k)]));
+        const float fg = 1.0f / (1.0f + std::exp(-gates[static_cast<std::size_t>(
+                                            hidden + k)]));
+        const float cg = std::tanh(gates[static_cast<std::size_t>(2 * hidden + k)]);
+        const float og = 1.0f / (1.0f + std::exp(-gates[static_cast<std::size_t>(
+                                            3 * hidden + k)]));
+        const std::size_t hi = static_cast<std::size_t>(b * hidden + k);
+        cstate[hi] = fg * cstate[hi] + ig * cg;
+        h[hi] = og * std::tanh(cstate[hi]);
+        out->f32()[static_cast<std::size_t>((b * steps + t) * hidden + k)] =
+            h[hi];
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace gauge::nn::kernels::detail

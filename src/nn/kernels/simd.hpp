@@ -1,0 +1,135 @@
+// Portable SIMD for the kernel layer (DESIGN.md §13). Uses GCC/Clang vector
+// extensions when available; otherwise (or when GAUGE_KERNELS_FORCE_SCALAR is
+// defined) a same-shape scalar struct keeps every kernel compiling unchanged,
+// so the optimised code paths have a guarded fallback rather than an #ifdef
+// forest at each call site.
+//
+// Lane count is fixed at 8: 8 x f32 / 8 x i32 = one 256-bit register on AVX2
+// class hardware, two 128-bit registers on NEON/SSE — both layouts the
+// compiler handles well from a generic 32-byte vector type.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#if (defined(__GNUC__) || defined(__clang__)) && !defined(GAUGE_KERNELS_FORCE_SCALAR)
+#define GAUGE_KERNELS_VECTOR_EXT 1
+#endif
+
+namespace gauge::nn::kernels {
+
+inline constexpr int kVecLanes = 8;
+
+#ifdef GAUGE_KERNELS_VECTOR_EXT
+
+// Without AVX the compiler lowers 32-byte vectors to two 16-byte registers
+// and warns that returning them by value is ABI-affecting. Every helper here
+// is inline (no cross-TU calls take vector types), so the warning is noise.
+#pragma GCC diagnostic ignored "-Wpsabi"
+
+using VecF = float __attribute__((vector_size(32)));
+using VecI = std::int32_t __attribute__((vector_size(32)));
+using VecI16 = std::int16_t __attribute__((vector_size(16)));
+
+inline VecF vec_splat(float v) { return VecF{v, v, v, v, v, v, v, v}; }
+inline VecI vec_splat_i(std::int32_t v) { return VecI{v, v, v, v, v, v, v, v}; }
+
+inline VecF vec_load(const float* p) {
+  VecF v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+inline void vec_store(float* p, VecF v) { std::memcpy(p, &v, sizeof v); }
+
+inline VecI vec_load_i16(const std::int16_t* p) {
+  VecI16 s;
+  std::memcpy(&s, p, sizeof s);
+  return __builtin_convertvector(s, VecI);
+}
+
+inline VecF vec_min(VecF a, VecF b) { return a < b ? a : b; }
+inline VecF vec_max(VecF a, VecF b) { return a > b ? a : b; }
+
+inline float vec_lane(VecF v, int i) { return v[i]; }
+inline std::int32_t vec_lane_i(VecI v, int i) { return v[i]; }
+inline void vec_set_lane(VecF& v, int i, float x) { v[i] = x; }
+
+#else  // scalar fallback
+
+struct VecF {
+  float l[kVecLanes];
+  friend VecF operator+(VecF a, VecF b) {
+    for (int i = 0; i < kVecLanes; ++i) a.l[i] += b.l[i];
+    return a;
+  }
+  friend VecF operator-(VecF a, VecF b) {
+    for (int i = 0; i < kVecLanes; ++i) a.l[i] -= b.l[i];
+    return a;
+  }
+  friend VecF operator*(VecF a, VecF b) {
+    for (int i = 0; i < kVecLanes; ++i) a.l[i] *= b.l[i];
+    return a;
+  }
+  VecF& operator+=(VecF b) { return *this = *this + b; }
+};
+
+struct VecI {
+  std::int32_t l[kVecLanes];
+  friend VecI operator+(VecI a, VecI b) {
+    for (int i = 0; i < kVecLanes; ++i) a.l[i] += b.l[i];
+    return a;
+  }
+  friend VecI operator*(VecI a, VecI b) {
+    for (int i = 0; i < kVecLanes; ++i) a.l[i] *= b.l[i];
+    return a;
+  }
+  VecI& operator+=(VecI b) { return *this = *this + b; }
+};
+
+inline VecF vec_splat(float v) {
+  VecF out;
+  for (int i = 0; i < kVecLanes; ++i) out.l[i] = v;
+  return out;
+}
+inline VecI vec_splat_i(std::int32_t v) {
+  VecI out;
+  for (int i = 0; i < kVecLanes; ++i) out.l[i] = v;
+  return out;
+}
+
+inline VecF vec_load(const float* p) {
+  VecF v;
+  std::memcpy(v.l, p, sizeof v.l);
+  return v;
+}
+inline void vec_store(float* p, VecF v) { std::memcpy(p, v.l, sizeof v.l); }
+
+inline VecI vec_load_i16(const std::int16_t* p) {
+  VecI v;
+  for (int i = 0; i < kVecLanes; ++i) v.l[i] = p[i];
+  return v;
+}
+
+inline VecF vec_min(VecF a, VecF b) {
+  for (int i = 0; i < kVecLanes; ++i) a.l[i] = a.l[i] < b.l[i] ? a.l[i] : b.l[i];
+  return a;
+}
+inline VecF vec_max(VecF a, VecF b) {
+  for (int i = 0; i < kVecLanes; ++i) a.l[i] = a.l[i] > b.l[i] ? a.l[i] : b.l[i];
+  return a;
+}
+
+inline float vec_lane(VecF v, int i) { return v.l[i]; }
+inline std::int32_t vec_lane_i(VecI v, int i) { return v.l[i]; }
+inline void vec_set_lane(VecF& v, int i, float x) { v.l[i] = x; }
+
+#endif
+
+// Loads n (< kVecLanes) floats, zero-filling the tail lanes.
+inline VecF vec_load_partial(const float* p, int n) {
+  VecF v = vec_splat(0.0f);
+  for (int i = 0; i < n; ++i) vec_set_lane(v, i, p[i]);
+  return v;
+}
+
+}  // namespace gauge::nn::kernels

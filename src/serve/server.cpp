@@ -29,6 +29,35 @@ Response err_response(const std::string& id, int code, std::string reason) {
   return response;
 }
 
+// Measures latency(b) by actually running the interpreter, giving real-exec
+// lanes a frontier driven by measured batch latencies instead of the
+// analytic device model. One warm-up at batch 1, then one timed run per
+// candidate batch.
+BatchCurve measure_interpreter_curve(nn::Interpreter& interpreter,
+                                     const nn::Graph& graph,
+                                     const std::vector<int>& batches) {
+  BatchCurve curve;
+  bool warmed = false;
+  for (int batch : batches) {
+    auto inputs = nn::random_inputs(graph, /*seed=*/17, batch);
+    if (!inputs.ok()) continue;
+    if (!warmed) {
+      (void)interpreter.run(inputs.value());
+      warmed = true;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    auto outputs = interpreter.run(inputs.value());
+    const double secs =
+        std::chrono::duration<double>{std::chrono::steady_clock::now() - start}
+            .count();
+    if (!outputs.ok() || secs <= 0.0) continue;
+    curve.batches.push_back(batch);
+    curve.latency_s.push_back(secs);
+    curve.throughput_ips.push_back(static_cast<double>(batch) / secs);
+  }
+  return curve;
+}
+
 }  // namespace
 
 InferenceServer::InferenceServer(const ServeOptions& options)
@@ -48,6 +77,14 @@ util::Result<std::unique_ptr<InferenceServer>> InferenceServer::start(
 }
 
 util::Status InferenceServer::init() {
+  if (options_.real_exec && options_.real_backend != "auto") {
+    const auto parsed = nn::kernels::parse_exec_backend(options_.real_backend);
+    if (!parsed) {
+      return util::Status::failure("unknown exec backend: " +
+                                   options_.real_backend);
+    }
+    fixed_exec_ = *parsed;
+  }
   auto names = options_.models.empty() ? nn::zoo_archetypes() : options_.models;
   for (const auto& name : names) {
     const auto& archetypes = nn::zoo_archetypes();
@@ -70,7 +107,15 @@ util::Status InferenceServer::init() {
     entry->checksum = nn::model_checksum(entry->graph);
     entry->lanes.resize(static_cast<std::size_t>(device::Backend::kCount));
     if (options_.real_exec) {
-      entry->interpreter = std::make_unique<nn::Interpreter>(entry->graph, 1);
+      // One interpreter per exec backend the server can route to; a fixed
+      // --real-backend needs only that one, "auto" needs all of them.
+      entry->interpreters.resize(
+          static_cast<std::size_t>(nn::kernels::ExecBackend::kCount));
+      for (const auto exec : nn::kernels::exec_backends()) {
+        if (fixed_exec_ && exec != *fixed_exec_) continue;
+        entry->interpreters[static_cast<std::size_t>(exec)] =
+            std::make_unique<nn::Interpreter>(entry->graph, 1, exec);
+      }
     }
     entry->latency_ms =
         &registry_.histogram("gauge.serve.request_latency_ms." + name);
@@ -226,19 +271,46 @@ void InferenceServer::serve_connection(net::TcpStream& stream) {
   }
 }
 
+nn::kernels::ExecBackend InferenceServer::exec_backend_of(
+    device::Backend backend) const {
+  return fixed_exec_ ? *fixed_exec_ : device::exec_backend_for(backend);
+}
+
+nn::Interpreter* InferenceServer::interpreter_for(
+    ModelEntry& entry, device::Backend backend) const {
+  const auto idx = static_cast<std::size_t>(exec_backend_of(backend));
+  if (idx >= entry.interpreters.size()) return nullptr;
+  return entry.interpreters[idx].get();
+}
+
 InferenceServer::Lane& InferenceServer::lane_locked(ModelEntry& entry,
                                                     device::Backend backend) {
   auto& slot = entry.lanes[static_cast<std::size_t>(backend)];
   if (!slot) {
-    device::RunConfig base;
-    base.threads = device::ThreadConfig{options_.device_threads, 0};
-    base.backend = backend;
-    const auto curve =
-        measure_batch_curve(device_, entry.trace, base, entry.checksum,
-                            candidate_batches(std::max(1, options_.max_batch)));
-    auto frontier =
-        choose_frontier(curve, options_.default_slo_ms, options_.time_scale,
-                        options_.max_batch);
+    const auto candidates = candidate_batches(std::max(1, options_.max_batch));
+    BatchCurve curve;
+    double time_scale = options_.time_scale;
+    nn::Interpreter* interpreter =
+        options_.real_exec ? interpreter_for(entry, backend) : nullptr;
+    if (interpreter) {
+      // Real execution: drive the frontier with measured interpreter batch
+      // latencies (one-time cost on lane creation). exec_mutex keeps the
+      // measurement from racing a concurrent batch; execute() never holds it
+      // while taking mutex_, so the mutex_ -> exec_mutex order is safe.
+      const std::lock_guard<std::mutex> exec_lock{entry.exec_mutex};
+      curve = measure_interpreter_curve(*interpreter, entry.graph, candidates);
+      time_scale = 1.0;  // measured seconds already are wall seconds
+    }
+    if (curve.batches.empty()) {
+      device::RunConfig base;
+      base.threads = device::ThreadConfig{options_.device_threads, 0};
+      base.backend = backend;
+      curve = measure_batch_curve(device_, entry.trace, base, entry.checksum,
+                                  candidates);
+      time_scale = options_.time_scale;
+    }
+    auto frontier = choose_frontier(curve, options_.default_slo_ms, time_scale,
+                                    options_.max_batch);
     slot = std::make_unique<Lane>(backend, std::move(frontier),
                                   options_.queue_capacity);
   }
@@ -399,12 +471,19 @@ void InferenceServer::execute(const Launch& launch) {
   result.batch = batch;
 
   const std::uint64_t start_ns = now_ns();
+  std::string exec_label = "device-model";
   if (options_.real_exec) {
+    exec_label =
+        nn::kernels::exec_backend_name(exec_backend_of(launch.lane->backend));
     const std::lock_guard<std::mutex> exec_lock{entry.exec_mutex};
+    nn::Interpreter* interpreter =
+        interpreter_for(entry, launch.lane->backend);
     auto inputs = nn::random_inputs(entry.graph, /*seed=*/start_ns, batch);
-    if (!inputs.ok()) {
+    if (!interpreter) {
+      result.status = util::Status::failure("no interpreter for backend");
+    } else if (!inputs.ok()) {
       result.status = util::Status::failure(inputs.error());
-    } else if (auto outputs = entry.interpreter->run(inputs.value());
+    } else if (auto outputs = interpreter->run(inputs.value());
                !outputs.ok()) {
       result.status = util::Status::failure(outputs.error());
     }
@@ -436,6 +515,7 @@ void InferenceServer::execute(const Launch& launch) {
     }
   }
   batches_->increment();
+  registry_.counter("gauge.serve.exec." + exec_label).increment();
   entry.batch_size->observe(static_cast<double>(batch));
   for (auto& waiter : to_fulfill) waiter->promise.set_value(result);
   cv_.notify_all();

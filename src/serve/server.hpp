@@ -59,6 +59,10 @@ struct ServeOptions {
   // executor. 0 makes execution instantaneous (unit tests).
   double time_scale = 0.05;
   bool real_exec = false;          // run the interpreter instead
+  // Interpreter execution backend for real_exec: "auto" mirrors each lane's
+  // device backend via device::exec_backend_for; otherwise a fixed
+  // nn::kernels backend name (reference | optimised | quantised).
+  std::string real_backend = "auto";
 };
 
 class InferenceServer {
@@ -106,8 +110,10 @@ class InferenceServer {
     std::string checksum;
     // Lanes indexed by backend enum value, created on first use (mutex_).
     std::vector<std::unique_ptr<Lane>> lanes;
-    std::unique_ptr<nn::Interpreter> interpreter;  // real_exec only
-    std::mutex exec_mutex;                         // serialises interpreter
+    // real_exec only: one interpreter per nn::kernels::ExecBackend (index =
+    // enum value), created at init for every backend the server can route to.
+    std::vector<std::unique_ptr<nn::Interpreter>> interpreters;
+    std::mutex exec_mutex;  // serialises interpreter use
     // Cached instruments (registry lookups are mutex-guarded maps).
     telemetry::Histogram* latency_ms = nullptr;
     telemetry::Histogram* queue_ms = nullptr;
@@ -138,8 +144,13 @@ class InferenceServer {
                                    std::vector<Launch>* launches);
   void execute(const Launch& launch);
   Lane& lane_locked(ModelEntry& entry, device::Backend backend);
+  // Interpreter exec backend serving a lane (fixed override or auto map).
+  nn::kernels::ExecBackend exec_backend_of(device::Backend backend) const;
+  nn::Interpreter* interpreter_for(ModelEntry& entry,
+                                   device::Backend backend) const;
 
   ServeOptions options_;
+  std::optional<nn::kernels::ExecBackend> fixed_exec_;
   device::Device device_;
   telemetry::MetricsRegistry& registry_;
   std::chrono::steady_clock::time_point epoch_;

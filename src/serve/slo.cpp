@@ -30,6 +30,12 @@ SloSummary summarize_slo(const telemetry::MetricsRegistry& registry) {
   summary.fallbacks = counter_value(counters, "gauge.serve.fallback");
   summary.batches = counter_value(counters, "gauge.serve.batches");
 
+  const std::string exec_prefix = "gauge.serve.exec.";
+  for (const auto& [name, value] : counters) {
+    if (name.rfind(exec_prefix, 0) != 0 || value == 0) continue;
+    summary.exec.push_back(ExecSlo{name.substr(exec_prefix.size()), value});
+  }
+
   const std::string prefix = kLatencyHistogramPrefix;
   const auto histograms = registry.histograms();
   for (const auto& [name, snapshot] : histograms) {
@@ -60,6 +66,11 @@ std::string slo_report(const telemetry::MetricsRegistry& registry) {
         " p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f mean_ms=%.3f mean_batch=%.2f\n",
         model.model.c_str(), model.served, model.p50_ms, model.p95_ms,
         model.p99_ms, model.mean_ms, model.mean_batch);
+  }
+  for (const auto& exec : summary.exec) {
+    out += util::format("SLO exec backend=%s batches=%lld\n",
+                        exec.backend.c_str(),
+                        static_cast<long long>(exec.batches));
   }
   out += util::format(
       "SLO total requests=%lld served=%lld shed=%lld errors=%lld "

@@ -6,6 +6,8 @@
 // Metric names (DESIGN.md §11):
 //   gauge.serve.requests / served / shed / errors / deadline_miss /
 //     fallback / batches / conn_rejected            (counters)
+//   gauge.serve.exec.<backend>                      (counter per batch, the
+//     executor that ran it: device-model | reference | optimised | quantised)
 //   gauge.serve.served.<model>                      (counter per model)
 //   gauge.serve.queue_depth.<model>                 (gauge)
 //   gauge.serve.connections                         (gauge)
@@ -35,8 +37,14 @@ struct ModelSlo {
   double mean_batch = 0.0;
 };
 
+struct ExecSlo {
+  std::string backend;  // device-model | reference | optimised | quantised
+  std::int64_t batches = 0;
+};
+
 struct SloSummary {
   std::vector<ModelSlo> models;  // name-sorted
+  std::vector<ExecSlo> exec;     // execution backends that ran batches
   std::int64_t requests = 0;
   std::int64_t served = 0;
   std::int64_t shed = 0;

@@ -1,0 +1,473 @@
+// Parity suite for the kernel engine (src/nn/kernels, DESIGN.md §13): every
+// optimised / quantised kernel is cross-checked against the scalar reference
+// backend over deliberately awkward shapes — 1x1 kernels, stride 2, SAME
+// padding edges, channel counts that are not multiples of the 8-lane panel —
+// plus the true int8 path, relu fusion, multi-threaded dispatch and a full
+// zoo sweep. scripts/check.sh runs this suite standalone (plain and under
+// sanitizers) via `ctest -R Kernel`.
+#include "nn/kernels/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/interp.hpp"
+#include "nn/zoo.hpp"
+
+namespace gauge::nn {
+namespace {
+
+namespace kernels = nn::kernels;
+
+Layer input_layer(Shape shape) {
+  Layer l;
+  l.type = LayerType::Input;
+  l.input_shape = std::move(shape);
+  return l;
+}
+
+// Deterministic pseudo-random values in [-1, 1) — no <random> so the suite
+// is bit-stable across standard libraries.
+std::vector<float> jitter(std::size_t n, std::uint32_t seed) {
+  std::vector<float> v(n);
+  std::uint32_t state = seed * 2654435761u + 12345u;
+  for (auto& x : v) {
+    state = state * 1664525u + 1013904223u;
+    x = static_cast<float>(state >> 8) * (1.0f / 8388608.0f) - 1.0f;
+  }
+  return v;
+}
+
+Tensor f32_tensor(Shape shape, std::vector<float> values) {
+  Tensor t{std::move(shape), DType::F32};
+  EXPECT_EQ(t.f32().size(), values.size());
+  t.f32() = std::move(values);
+  return t;
+}
+
+Tensor random_f32(Shape shape, std::uint32_t seed) {
+  Tensor t{std::move(shape), DType::F32};
+  t.f32() = jitter(t.f32().size(), seed);
+  return t;
+}
+
+// Runs `g` under `backend` and the reference backend with the same inputs
+// and expects elementwise agreement within `tol` (absolute + relative).
+void expect_parity(const Graph& g, const std::vector<Tensor>& inputs,
+                   kernels::ExecBackend backend, double tol) {
+  Interpreter ref{g, 1, kernels::ExecBackend::Reference};
+  Interpreter alt{g, 1, backend};
+  auto a = ref.run(inputs);
+  auto b = alt.run(inputs);
+  ASSERT_TRUE(a.ok()) << a.error();
+  ASSERT_TRUE(b.ok()) << b.error();
+  ASSERT_EQ(a.value().size(), b.value().size());
+  for (std::size_t t = 0; t < a.value().size(); ++t) {
+    if (a.value()[t].dtype() != DType::F32) continue;
+    const auto& av = a.value()[t].f32();
+    const auto& bv = b.value()[t].f32();
+    ASSERT_EQ(av.size(), bv.size());
+    for (std::size_t i = 0; i < av.size(); ++i) {
+      EXPECT_NEAR(av[i], bv[i], tol * (1.0 + std::abs(av[i])))
+          << "output " << t << " elem " << i << " backend "
+          << kernels::exec_backend_name(backend);
+    }
+  }
+}
+
+// ---- conv shapes -----------------------------------------------------------
+
+struct ConvCase {
+  const char* name;
+  int in_h, in_w, cin, cout, kh, kw, sh, sw;
+  Padding padding;
+};
+
+Graph conv_graph(const ConvCase& c, bool relu6 = false) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, c.in_h, c.in_w, c.cin}));
+  Layer conv;
+  conv.type = LayerType::Conv2D;
+  conv.inputs = {in};
+  conv.kernel_h = c.kh;
+  conv.kernel_w = c.kw;
+  conv.stride_h = c.sh;
+  conv.stride_w = c.sw;
+  conv.padding = c.padding;
+  conv.weights.push_back(random_f32(Shape{c.kh, c.kw, c.cin, c.cout}, 7));
+  conv.weights.push_back(random_f32(Shape{c.cout}, 9));
+  const int ci = g.add(std::move(conv));
+  if (relu6) {
+    Layer r;
+    r.type = LayerType::Relu6;
+    r.inputs = {ci};
+    g.add(std::move(r));
+  }
+  return g;
+}
+
+class KernelConvParity : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(KernelConvParity, OptimisedMatchesReference) {
+  const auto& c = GetParam();
+  const Graph g = conv_graph(c);
+  const auto x = random_f32(Shape{1, c.in_h, c.in_w, c.cin}, 21);
+  expect_parity(g, {x}, kernels::ExecBackend::Optimised, 1e-4);
+}
+
+TEST_P(KernelConvParity, HybridQuantisedTracksReference) {
+  // The quantised backend runs f32 convs through dynamic-range int8:
+  // agreement is approximate, bounded by the two quantisation steps.
+  const auto& c = GetParam();
+  const Graph g = conv_graph(c);
+  const auto x = random_f32(Shape{1, c.in_h, c.in_w, c.cin}, 21);
+  expect_parity(g, {x}, kernels::ExecBackend::Quantised, 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OddShapes, KernelConvParity,
+    ::testing::Values(
+        ConvCase{"conv1x1", 8, 8, 3, 10, 1, 1, 1, 1, Padding::Valid},
+        ConvCase{"stride2_same_odd", 9, 9, 4, 6, 3, 3, 2, 2, Padding::Same},
+        ConvCase{"same_edges", 5, 5, 3, 8, 3, 3, 1, 1, Padding::Same},
+        ConvCase{"offpanel_cout13", 7, 6, 5, 13, 3, 3, 1, 1, Padding::Valid},
+        ConvCase{"panel_aligned", 6, 6, 8, 16, 3, 3, 1, 1, Padding::Same},
+        ConvCase{"tall_kernel", 8, 5, 2, 9, 5, 1, 1, 1, Padding::Valid},
+        ConvCase{"stride2_valid", 8, 8, 3, 12, 2, 2, 2, 2, Padding::Valid},
+        ConvCase{"single_pixel_out", 3, 3, 6, 7, 3, 3, 1, 1, Padding::Valid}),
+    [](const auto& info) { return std::string{info.param.name}; });
+
+// ---- depthwise -------------------------------------------------------------
+
+struct DwCase {
+  const char* name;
+  int in_h, in_w, channels, kh, kw, sh, sw;
+  Padding padding;
+};
+
+Graph dw_graph(const DwCase& c) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, c.in_h, c.in_w, c.channels}));
+  Layer dw;
+  dw.type = LayerType::DepthwiseConv2D;
+  dw.inputs = {in};
+  dw.kernel_h = c.kh;
+  dw.kernel_w = c.kw;
+  dw.stride_h = c.sh;
+  dw.stride_w = c.sw;
+  dw.padding = c.padding;
+  dw.weights.push_back(random_f32(Shape{c.kh, c.kw, c.channels, 1}, 13));
+  dw.weights.push_back(random_f32(Shape{c.channels}, 15));
+  g.add(std::move(dw));
+  return g;
+}
+
+class KernelDepthwiseParity : public ::testing::TestWithParam<DwCase> {};
+
+TEST_P(KernelDepthwiseParity, OptimisedMatchesReference) {
+  const auto& c = GetParam();
+  const Graph g = dw_graph(c);
+  const auto x = random_f32(Shape{1, c.in_h, c.in_w, c.channels}, 31);
+  expect_parity(g, {x}, kernels::ExecBackend::Optimised, 1e-4);
+}
+
+TEST_P(KernelDepthwiseParity, HybridQuantisedTracksReference) {
+  const auto& c = GetParam();
+  const Graph g = dw_graph(c);
+  const auto x = random_f32(Shape{1, c.in_h, c.in_w, c.channels}, 31);
+  expect_parity(g, {x}, kernels::ExecBackend::Quantised, 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OddShapes, KernelDepthwiseParity,
+    ::testing::Values(
+        DwCase{"offlane_c10", 6, 6, 10, 3, 3, 1, 1, Padding::Same},
+        DwCase{"stride2_c8", 9, 9, 8, 3, 3, 2, 2, Padding::Same},
+        DwCase{"narrow_c3_1x1", 4, 4, 3, 1, 1, 1, 1, Padding::Valid},
+        DwCase{"valid_c17", 7, 7, 17, 3, 3, 1, 1, Padding::Valid}),
+    [](const auto& info) { return std::string{info.param.name}; });
+
+// ---- dense -----------------------------------------------------------------
+
+Graph dense_graph(int in_dim, int out_dim) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, in_dim}));
+  Layer dense;
+  dense.type = LayerType::Dense;
+  dense.inputs = {in};
+  dense.units = out_dim;
+  dense.weights.push_back(random_f32(Shape{in_dim, out_dim}, 41));
+  dense.weights.push_back(random_f32(Shape{out_dim}, 43));
+  g.add(std::move(dense));
+  return g;
+}
+
+TEST(KernelDenseParity, OddDimsAndBatches) {
+  for (const auto& [in_dim, out_dim] : std::vector<std::pair<int, int>>{
+           {7, 13}, {32, 8}, {5, 1}, {64, 100}}) {
+    const Graph g = dense_graph(in_dim, out_dim);
+    for (int batch : {1, 3}) {
+      Tensor x{Shape{batch, in_dim}, DType::F32};
+      x.f32() = jitter(x.f32().size(), 51);
+      expect_parity(g, {x}, kernels::ExecBackend::Optimised, 1e-4);
+      expect_parity(g, {x}, kernels::ExecBackend::Quantised, 0.2);
+    }
+  }
+}
+
+// ---- true int8 (integer accumulate + requantise) ---------------------------
+
+Graph int8_conv_graph() {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 5, 5, 3}));
+  Layer q;
+  q.type = LayerType::Quantize;
+  q.inputs = {in};
+  q.quant_scale = 0.05f;
+  q.quant_zero_point = 3;
+  const int qi = g.add(std::move(q));
+  Layer conv;
+  conv.type = LayerType::Conv2D;
+  conv.inputs = {qi};
+  conv.kernel_h = conv.kernel_w = 3;
+  conv.padding = Padding::Same;
+  Tensor w{Shape{3, 3, 3, 10}, DType::I8};
+  w.quant_scale = 0.02f;
+  const auto raw = jitter(w.i8().size(), 61);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    w.i8()[i] = static_cast<std::int8_t>(std::lround(raw[i] * 100.0f));
+  }
+  conv.weights.push_back(std::move(w));
+  conv.weights.push_back(random_f32(Shape{10}, 63));
+  conv.quant_scale = 0.1f;
+  conv.quant_zero_point = 5;
+  const int ci = g.add(std::move(conv));
+  Layer dq;
+  dq.type = LayerType::Dequantize;
+  dq.inputs = {ci};
+  g.add(std::move(dq));
+  return g;
+}
+
+TEST(KernelInt8, ConvIntegerPathMatchesReferenceWithinOneStep) {
+  const Graph g = int8_conv_graph();
+  const auto x = random_f32(Shape{1, 5, 5, 3}, 71);
+  Interpreter ref{g, 1, kernels::ExecBackend::Reference};
+  Interpreter quant{g, 1, kernels::ExecBackend::Quantised};
+  auto a = ref.run({x});
+  auto b = quant.run({x});
+  ASSERT_TRUE(a.ok()) << a.error();
+  ASSERT_TRUE(b.ok()) << b.error();
+  const auto& av = a.value()[0].f32();
+  const auto& bv = b.value()[0].f32();
+  ASSERT_EQ(av.size(), bv.size());
+  bool nonzero = false;
+  for (std::size_t i = 0; i < av.size(); ++i) {
+    // Both sides run i8 x i8 -> i32 integer accumulation; only the final
+    // float requantise rounding may differ, i.e. at most one output step.
+    EXPECT_NEAR(av[i], bv[i], 0.1f + 1e-4f) << i;
+    nonzero = nonzero || av[i] != 0.0f;
+  }
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(KernelInt8, DenseIntegerPathMatchesReference) {
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 6}));
+  Layer q;
+  q.type = LayerType::Quantize;
+  q.inputs = {in};
+  q.quant_scale = 0.05f;
+  const int qi = g.add(std::move(q));
+  Layer dense;
+  dense.type = LayerType::Dense;
+  dense.inputs = {qi};
+  dense.units = 9;
+  Tensor w{Shape{6, 9}, DType::I8};
+  w.quant_scale = 0.03f;
+  const auto raw = jitter(w.i8().size(), 81);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    w.i8()[i] = static_cast<std::int8_t>(std::lround(raw[i] * 90.0f));
+  }
+  dense.weights.push_back(std::move(w));
+  dense.quant_scale = 0.05f;
+  const int di = g.add(std::move(dense));
+  Layer dq;
+  dq.type = LayerType::Dequantize;
+  dq.inputs = {di};
+  g.add(std::move(dq));
+
+  const auto x = random_f32(Shape{1, 6}, 83);
+  Interpreter ref{g, 1, kernels::ExecBackend::Reference};
+  Interpreter quant{g, 1, kernels::ExecBackend::Quantised};
+  auto a = ref.run({x});
+  auto b = quant.run({x});
+  ASSERT_TRUE(a.ok()) << a.error();
+  ASSERT_TRUE(b.ok()) << b.error();
+  for (std::size_t i = 0; i < a.value()[0].f32().size(); ++i) {
+    EXPECT_NEAR(a.value()[0].f32()[i], b.value()[0].f32()[i], 0.05f + 1e-4f);
+  }
+}
+
+TEST(KernelInt8, QuantizedStemModelParity) {
+  ZooSpec spec;
+  spec.archetype = "mobilenet";
+  spec.resolution = 32;
+  spec.seed = 8;
+  const Graph stem = with_quantized_stem(build_model(spec));
+  auto inputs = random_inputs(stem, 12);
+  ASSERT_TRUE(inputs.ok());
+  expect_parity(stem, inputs.value(), kernels::ExecBackend::Quantised, 0.25);
+}
+
+// ---- relu fusion -----------------------------------------------------------
+
+TEST(KernelFusion, FusedReluMatchesReferenceAndCounts) {
+  const ConvCase c{"fused", 6, 6, 4, 10, 3, 3, 1, 1, Padding::Same};
+  const Graph g = conv_graph(c, /*relu6=*/true);
+  const auto x = random_f32(Shape{1, 6, 6, 4}, 91);
+
+  Interpreter ref{g, 1, kernels::ExecBackend::Reference};
+  Interpreter opt{g, 1, kernels::ExecBackend::Optimised};
+  auto a = ref.run({x});
+  auto b = opt.run({x});
+  ASSERT_TRUE(a.ok()) << a.error();
+  ASSERT_TRUE(b.ok()) << b.error();
+  const auto& av = a.value()[0].f32();
+  const auto& bv = b.value()[0].f32();
+  ASSERT_EQ(av.size(), bv.size());
+  for (std::size_t i = 0; i < av.size(); ++i) {
+    EXPECT_NEAR(av[i], bv[i], 1e-4f) << i;
+    EXPECT_GE(bv[i], 0.0f);
+    EXPECT_LE(bv[i], 6.0f);
+  }
+  // The optimised backend folded the relu6 into the conv's store; the relu
+  // layer itself became a tensor move.
+  EXPECT_EQ(opt.stats().fused_activations, 1);
+  EXPECT_EQ(ref.stats().fused_activations, 0);
+}
+
+TEST(KernelFusion, ReluWithTwoConsumersIsNotFused) {
+  // conv feeds relu AND add: fusing the clamp into conv would corrupt the
+  // second consumer, so the planner must leave it alone.
+  Graph g;
+  const int in = g.add(input_layer(Shape{1, 4, 4, 3}));
+  Layer conv;
+  conv.type = LayerType::Conv2D;
+  conv.inputs = {in};
+  conv.kernel_h = conv.kernel_w = 1;
+  conv.weights.push_back(random_f32(Shape{1, 1, 3, 3}, 95));
+  const int ci = g.add(std::move(conv));
+  Layer relu;
+  relu.type = LayerType::Relu;
+  relu.inputs = {ci};
+  const int ri = g.add(std::move(relu));
+  Layer add;
+  add.type = LayerType::Add;
+  add.inputs = {ci, ri};
+  g.add(std::move(add));
+
+  const auto x = random_f32(Shape{1, 4, 4, 3}, 97);
+  Interpreter opt{g, 1, kernels::ExecBackend::Optimised};
+  auto out = opt.run({x});
+  ASSERT_TRUE(out.ok()) << out.error();
+  EXPECT_EQ(opt.stats().fused_activations, 0);
+  expect_parity(g, {x}, kernels::ExecBackend::Optimised, 1e-4);
+}
+
+// ---- lstm ------------------------------------------------------------------
+
+TEST(KernelLstmParity, WordRnnOptimisedMatchesReference) {
+  ZooSpec spec;
+  spec.archetype = "wordrnn";
+  spec.resolution = 12;
+  spec.seed = 23;
+  const Graph g = build_model(spec);
+  auto inputs = random_inputs(g, 29);
+  ASSERT_TRUE(inputs.ok());
+  expect_parity(g, inputs.value(), kernels::ExecBackend::Optimised, 1e-3);
+  expect_parity(g, inputs.value(), kernels::ExecBackend::Quantised, 0.2);
+}
+
+// ---- threading -------------------------------------------------------------
+
+TEST(KernelThreading, MultithreadedMatchesSingleThreaded) {
+  ZooSpec spec;
+  spec.archetype = "mobilenet";
+  spec.resolution = 32;
+  spec.seed = 3;
+  const Graph g = build_model(spec);
+  auto inputs = random_inputs(g, 17);
+  ASSERT_TRUE(inputs.ok());
+  for (const auto backend :
+       {kernels::ExecBackend::Optimised, kernels::ExecBackend::Quantised}) {
+    Interpreter single{g, 1, backend};
+    Interpreter quad{g, 4, backend};
+    auto a = single.run(inputs.value());
+    auto b = quad.run(inputs.value());
+    ASSERT_TRUE(a.ok()) << a.error();
+    ASSERT_TRUE(b.ok()) << b.error();
+    const auto& av = a.value()[0].f32();
+    const auto& bv = b.value()[0].f32();
+    ASSERT_EQ(av.size(), bv.size());
+    for (std::size_t i = 0; i < av.size(); ++i) {
+      // Thread count must not change results at all: chunking never splits
+      // a reduction, so both runs do identical arithmetic.
+      EXPECT_EQ(av[i], bv[i]) << i;
+    }
+  }
+}
+
+// ---- backend plumbing ------------------------------------------------------
+
+TEST(KernelBackend, NameParseRoundtrip) {
+  EXPECT_EQ(kernels::exec_backends().size(), 3u);
+  for (const auto backend : kernels::exec_backends()) {
+    const auto parsed =
+        kernels::parse_exec_backend(kernels::exec_backend_name(backend));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, backend);
+  }
+  EXPECT_EQ(kernels::parse_exec_backend("ref"),
+            kernels::ExecBackend::Reference);
+  EXPECT_EQ(kernels::parse_exec_backend("optimized"),
+            kernels::ExecBackend::Optimised);
+  EXPECT_EQ(kernels::parse_exec_backend("quantized"),
+            kernels::ExecBackend::Quantised);
+  EXPECT_FALSE(kernels::parse_exec_backend("warp-drive").has_value());
+  EXPECT_FALSE(kernels::parse_exec_backend("").has_value());
+}
+
+TEST(KernelBackend, InterpreterReportsItsBackend) {
+  const Graph g = dense_graph(4, 4);
+  for (const auto backend : kernels::exec_backends()) {
+    Interpreter interp{g, 1, backend};
+    EXPECT_EQ(interp.backend(), backend);
+  }
+}
+
+// ---- zoo sweep -------------------------------------------------------------
+
+class KernelZooSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(KernelZooSweep, EveryArchetypeRunsOnEveryBackend) {
+  ZooSpec spec;
+  spec.archetype = GetParam();
+  spec.resolution =
+      archetype_modality(spec.archetype) == Modality::Image ? 32 : 16;
+  spec.seed = 42;
+  const Graph g = build_model(spec);
+  auto inputs = random_inputs(g, 9);
+  ASSERT_TRUE(inputs.ok()) << inputs.error();
+  expect_parity(g, inputs.value(), kernels::ExecBackend::Optimised, 1e-3);
+  expect_parity(g, inputs.value(), kernels::ExecBackend::Quantised, 0.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchetypes, KernelZooSweep,
+                         ::testing::ValuesIn(zoo_archetypes()));
+
+}  // namespace
+}  // namespace gauge::nn

@@ -169,6 +169,34 @@ TEST(ServeServer, ServesInferRoundTrip) {
   EXPECT_EQ(stats.served, 1u);
 }
 
+TEST(ServeServer, RealExecBackendRunsAndIsReported) {
+  telemetry::MetricsRegistry registry;
+  const telemetry::ScopedRegistry scoped{registry};
+  ServeOptions options = fast_options();
+  options.models = {"sensormlp"};
+  options.real_exec = true;
+  options.real_backend = "optimised";
+  auto server = InferenceServer::start(options);
+  ASSERT_TRUE(server.ok()) << server.error();
+  auto stream = connect_to(*server.value());
+
+  const auto ok = request_response(stream, "INFER sensormlp id=r1");
+  EXPECT_EQ(ok.kind, Response::Kind::Ok);
+  EXPECT_GT(ok.infer_us, 0u);  // real execution takes nonzero wall time
+
+  server.value()->shutdown();
+  const auto report = slo_report(registry);
+  EXPECT_NE(report.find("SLO exec backend=optimised"), std::string::npos);
+  EXPECT_EQ(report.find("SLO exec backend=device-model"), std::string::npos);
+}
+
+TEST(ServeServer, RejectsUnknownRealBackend) {
+  ServeOptions options = fast_options();
+  options.real_exec = true;
+  options.real_backend = "warp-drive";
+  EXPECT_FALSE(InferenceServer::start(options).ok());
+}
+
 TEST(ServeServer, ConsumesLengthFramedPayload) {
   auto server = InferenceServer::start(fast_options());
   ASSERT_TRUE(server.ok()) << server.error();
