@@ -1,0 +1,237 @@
+// DocStore engine benchmark: ingest a synthetic corpus of app documents
+// (1M by default, --docs N to change), then time the query layer with the
+// inverted index against the full-scan reference path. Reports ingest rate
+// and per-query p50/p99 latency plus the indexed-over-scan speedup, one
+// machine-readable JSON row per metric. --smoke instead runs a fast
+// end-to-end check over a real pipeline slice: report tables byte-identical
+// between the query-backed builders and the record-scan oracle, and across
+// a compaction and a save/load round trip.
+#include "bench/common.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "store/docstore.hpp"
+#include "util/fileio.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace gauge;
+
+const std::vector<std::string>& categories() {
+  static const std::vector<std::string> kCategories = [] {
+    std::vector<std::string> out;
+    for (int i = 0; i < 30; ++i) out.push_back(util::format("category%02d", i));
+    return out;
+  }();
+  return kCategories;
+}
+
+store::Document synth_doc(util::Rng& rng) {
+  static const std::vector<std::string> kFrameworks{
+      "TFLite", "ncnn", "caffe", "MNN", "ONNX", "SNPE"};
+  static const std::vector<std::string> kTasks{
+      "image classification", "object detection", "ocr", "face detection",
+      "auto-complete", "speech recognition", "unidentified"};
+  store::Document doc;
+  doc["category"] = categories()[rng.zipf(categories().size(), 1.1) - 1];
+  doc["framework"] = rng.choice(kFrameworks);
+  doc["task"] = rng.choice(kTasks);
+  doc["installs"] = rng.uniform_int(1000, 500000000);
+  doc["uses_ml"] = rng.bernoulli(0.4);
+  if (rng.bernoulli(0.9)) doc["flops"] = rng.lognormal(16.0, 2.5);
+  doc["model_count"] = rng.uniform_int(0, 6);
+  return doc;
+}
+
+double time_ms(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct LatencyRow {
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+LatencyRow measure(int reps, const std::function<void()>& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) samples.push_back(time_ms(fn));
+  util::Ecdf ecdf{std::move(samples)};
+  return {ecdf.quantile(0.50), ecdf.quantile(0.99)};
+}
+
+int run_smoke() {
+  std::printf("docstore smoke: pipeline slice -> parity -> compaction -> "
+              "save/load\n");
+  core::PipelineOptions options;
+  options.categories = {"communication"};
+  auto data = core::run_pipeline(bench::play_store(), options);
+  if (data.apps.empty() || data.models.empty()) {
+    std::printf("FAIL: pipeline slice produced an empty dataset\n");
+    return 1;
+  }
+
+  // Query-backed report tables must match the record-scan oracle byte for
+  // byte (the pre-port implementations kept in core/report.cpp).
+  const auto parity = core::report_parity_diff(data);
+  if (!parity.empty()) {
+    std::printf("FAIL: report parity diff:\n%s", parity.c_str());
+    return 1;
+  }
+
+  const auto render_tables = [&data] {
+    return core::table2_dataset(data).to_csv() +
+           core::fig4_frameworks(data).to_csv() +
+           core::table3_tasks(data).to_csv() +
+           core::fig7_flops_params(data).to_csv() +
+           core::fig15_cloud(data).to_csv() +
+           core::sec42_distribution(data).to_csv();
+  };
+  const auto jsonl_before =
+      data.app_docs.query().to_jsonl() + data.model_docs.query().to_jsonl();
+  const auto tables_before = render_tables();
+
+  data.app_docs.compact();
+  data.model_docs.compact();
+  if (data.app_docs.query().to_jsonl() + data.model_docs.query().to_jsonl() !=
+      jsonl_before) {
+    std::printf("FAIL: compaction changed the document export\n");
+    return 1;
+  }
+  if (render_tables() != tables_before) {
+    std::printf("FAIL: compaction changed a report table\n");
+    return 1;
+  }
+
+  const std::string dir = "/tmp/gaugenn_bench_docstore_smoke";
+  if (auto status = data.model_docs.save(dir); !status.ok()) {
+    std::printf("FAIL: save: %s\n", status.error().c_str());
+    return 1;
+  }
+  auto loaded = store::DocStore::load(dir);
+  if (!loaded.ok()) {
+    std::printf("FAIL: load: %s\n", loaded.error().c_str());
+    return 1;
+  }
+  if (loaded.value().query().to_jsonl() != data.model_docs.query().to_jsonl()) {
+    std::printf("FAIL: save/load round trip is not byte-identical\n");
+    return 1;
+  }
+
+  std::printf("OK: parity clean over %zu apps / %zu models, compaction and "
+              "save/load byte-identical\n",
+              data.apps.size(), data.models.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t docs = 1000000;
+  int reps = 9;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+    if (std::strcmp(argv[i], "--docs") == 0 && i + 1 < argc) {
+      docs = static_cast<std::size_t>(std::atoll(argv[++i]));
+    }
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    }
+  }
+
+  bench::print_header(
+      "DocStore engine: sharded ingest + indexed vs full-scan queries",
+      "aggregations over the app/model corpus run from an inverted index "
+      "with snapshot isolation instead of rescanning every record");
+
+  store::DocStore db;
+  util::Rng rng{42};
+  const double ingest_s =
+      time_ms([&] {
+        for (std::size_t i = 0; i < docs; ++i) db.insert(synth_doc(rng));
+      }) /
+      1e3;
+  const double compact_s = time_ms([&] { db.compact(); }) / 1e3;
+  std::printf("ingested %zu docs in %.2fs (%.0f docs/sec), compacted to %zu "
+              "segments in %.2fs\n\n",
+              docs, ingest_s, static_cast<double>(docs) / ingest_s,
+              db.segment_count(), compact_s);
+
+  // A mid-tail category: selective enough that the index pays off, common
+  // enough that the aggregation does real work.
+  const std::string cat = categories()[7];
+  struct Case {
+    const char* name;
+    std::function<void(store::ExecMode)> run;
+  };
+  volatile std::size_t sink = 0;
+  std::vector<Case> cases;
+  cases.push_back({"term_count", [&](store::ExecMode mode) {
+                     sink += db.query()
+                                 .where("category", cat)
+                                 .where("uses_ml", store::Value{true})
+                                 .mode(mode)
+                                 .count();
+                   }});
+  cases.push_back({"term_group_by", [&](store::ExecMode mode) {
+                     sink += db.query()
+                                 .where("category", cat)
+                                 .mode(mode)
+                                 .group_by({"framework"}, "flops")
+                                 .size();
+                   }});
+  cases.push_back({"range_count", [&](store::ExecMode mode) {
+                     sink += db.query()
+                                 .where("category", cat)
+                                 .where_range("flops", 1e8, std::nullopt)
+                                 .mode(mode)
+                                 .count();
+                   }});
+
+  util::Table table{{"query", "indexed p50 ms", "indexed p99 ms",
+                     "scan p50 ms", "scan p99 ms", "speedup"}};
+  std::vector<std::string> json_rows;
+  json_rows.push_back(util::format(
+      "{\"bench\": \"docstore\", \"metric\": \"ingest\", \"docs\": %zu, "
+      "\"seconds\": %.3f, \"docs_per_sec\": %.0f}",
+      docs, ingest_s, static_cast<double>(docs) / ingest_s));
+  bool fast_enough = true;
+  for (const auto& c : cases) {
+    const auto indexed =
+        measure(reps, [&] { c.run(store::ExecMode::Indexed); });
+    const auto scanned =
+        measure(reps, [&] { c.run(store::ExecMode::FullScan); });
+    const double speedup = scanned.p50 / std::max(indexed.p50, 1e-6);
+    fast_enough = fast_enough && speedup >= 10.0;
+    table.add_row({c.name, util::Table::num(indexed.p50, 3),
+                   util::Table::num(indexed.p99, 3),
+                   util::Table::num(scanned.p50, 3),
+                   util::Table::num(scanned.p99, 3),
+                   util::Table::num(speedup, 1) + "x"});
+    json_rows.push_back(util::format(
+        "{\"bench\": \"docstore\", \"metric\": \"%s\", \"docs\": %zu, "
+        "\"indexed_p50_ms\": %.3f, \"indexed_p99_ms\": %.3f, "
+        "\"scan_p50_ms\": %.3f, \"scan_p99_ms\": %.3f, "
+        "\"speedup_vs_scan\": %.1f}",
+        c.name, docs, indexed.p50, indexed.p99, scanned.p50, scanned.p99,
+        speedup));
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("segments: %zu, compaction debt: %zu, sink: %zu\n\n",
+              db.segment_count(), db.compaction_debt(), sink);
+  for (const auto& row : json_rows) std::printf("%s\n", row.c_str());
+  if (!fast_enough) {
+    std::printf("WARNING: indexed speedup below 10x on at least one query\n");
+  }
+  return 0;
+}

@@ -9,14 +9,18 @@
 # The plain run finishes with a crash/resume smoke (kill a crawl with the
 # deterministic crash seam, resume from the journal, require a byte-identical
 # digest), a serve smoke (gaugenn_serve on an ephemeral port under a short
-# bench_serve burst, asserting per-model p99 SLO lines and zero errors), and
+# bench_serve burst, asserting per-model p99 SLO lines and zero errors), a
+# docstore smoke (pipeline slice through the sharded store: query-backed
+# report tables byte-identical to the record-scan oracle, across compaction
+# and a save/load round trip), and
 # a targeted ThreadSanitizer pass over the concurrency-sensitive suites: the
 # telemetry hammers, the thread pool, the parallel-pipeline
 # determinism/stampede tests, the harness fault-injection suite (run_fleet
 # drives one master thread per port), the journal/resume/hostile-zip
 # robustness suites, the serving layer (batcher, protocol, loopback
-# server under concurrent clients), and the kernel engine's multi-threaded
-# dispatch (the Kernel parity suites).
+# server under concurrent clients), the kernel engine's multi-threaded
+# dispatch (the Kernel parity suites), and the DocStore suites (writers,
+# snapshot readers and a compactor interleaving on a sharded store).
 #
 # Each sanitizer gets its own build tree (build-check-<san>) so switching
 # sanitizers never poisons an incremental build.
@@ -161,6 +165,14 @@ if [[ -z "$SANITIZER" && -z "$FILTER" ]]; then
     exit 1
   }
   echo "ok: serve smoke healthy ($(grep 'SLO total' "$SERVE_LOG"))"
+
+  # ---- docstore smoke --------------------------------------------------------
+  # Ingest a real pipeline slice into the sharded DocStore, then require the
+  # query-backed report tables to match the record-scan oracle byte for byte
+  # and to survive a compaction plus a save/load round trip unchanged
+  # (bench_docstore --smoke exits non-zero on any divergence).
+  echo "== docstore smoke =="
+  "$BUILD_DIR/bench/bench_docstore" --smoke
 fi
 
 if [[ -z "$SANITIZER" ]]; then
@@ -169,5 +181,5 @@ if [[ -z "$SANITIZER" ]]; then
   cmake -B "$TSAN_DIR" -S . -DGAUGE_SANITIZE=thread
   cmake --build "$TSAN_DIR" -j "$(nproc)"
   ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$(nproc)" \
-    -R 'Metrics|Span|ThreadPool|PipelineConcurrency|AnalysisCache|HarnessFault|PipelineResume|Journal|HostileZip|Serve|Kernel'
+    -R 'Metrics|Span|ThreadPool|PipelineConcurrency|AnalysisCache|HarnessFault|PipelineResume|Journal|HostileZip|Serve|Kernel|DocStore'
 fi

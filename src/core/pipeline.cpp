@@ -314,25 +314,18 @@ AppOutcome process_app(const android::PlayStore& play,
 }  // namespace
 
 std::size_t SnapshotDataset::ml_apps() const {
-  std::size_t count = 0;
-  for (const auto& app : apps) {
-    if (app.uses_ml) ++count;
-  }
-  return count;
+  return app_docs.query().where("uses_ml", store::Value{true}).count();
 }
 
 std::size_t SnapshotDataset::apps_with_models() const {
-  std::size_t count = 0;
-  for (const auto& app : apps) {
-    if (!app.model_record_ids.empty()) ++count;
-  }
-  return count;
+  return app_docs.query()
+      .where_range("model_count", 1.0, std::nullopt)
+      .count();
 }
 
 std::size_t SnapshotDataset::unique_model_count() const {
-  std::set<std::string> checksums;
-  for (const auto& model : models) checksums.insert(model.checksum);
-  return checksums.size();
+  const auto rows = model_docs.query().group_by({"checksum"});
+  return rows.size();
 }
 
 SnapshotDataset run_pipeline(const android::PlayStore& play,

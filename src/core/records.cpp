@@ -43,6 +43,8 @@ store::Document to_document(const AppRecord& app) {
   doc["uses_snpe"] = app.uses_snpe;
   doc["candidate_files"] = app.candidate_files;
   doc["validated_models"] = app.validated_models;
+  doc["side_files"] = app.side_container_files;
+  doc["side_models"] = app.side_container_models;
   doc["model_count"] = static_cast<std::int64_t>(app.model_record_ids.size());
   return doc;
 }

@@ -1,6 +1,7 @@
 #include "core/report.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
 
@@ -27,14 +28,19 @@ const std::vector<std::string>& framework_order() {
   return kOrder;
 }
 
-}  // namespace
+std::int64_t lookup(const std::map<std::string, std::int64_t>& m,
+                    const std::string& key) {
+  const auto it = m.find(key);
+  return it == m.end() ? 0 : it->second;
+}
 
-util::Table table2_dataset(const SnapshotDataset& dataset) {
+// Shared table assembly so the query-backed builders and the record-scan
+// oracles in legacy:: differ only in how the numbers were aggregated.
+
+util::Table make_table2(const SnapshotDataset& dataset, std::size_t ml,
+                        std::size_t with_models, std::size_t unique) {
   util::Table table{{"metric", "value"}};
-  const auto ml = dataset.ml_apps();
-  const auto with_models = dataset.apps_with_models();
   const auto total = dataset.total_models();
-  const auto unique = dataset.unique_model_count();
   table.add_row({"Apps crawled", std::to_string(dataset.apps_crawled())});
   table.add_row(
       {"Apps w/ ML libraries",
@@ -58,17 +64,10 @@ util::Table table2_dataset(const SnapshotDataset& dataset) {
   return table;
 }
 
-util::Table fig4_frameworks(const SnapshotDataset& dataset, int min_models) {
-  // category -> framework -> count
-  std::map<std::string, std::map<std::string, int>> grid;
-  std::map<std::string, int> per_category;
-  for (const auto& model : dataset.models) {
-    const std::string fw = formats::framework_name(model.framework);
-    grid[model.category][fw]++;
-    per_category[model.category]++;
-  }
-
-  std::vector<std::pair<int, std::string>> ordered;
+util::Table make_fig4(
+    const std::map<std::string, std::map<std::string, std::int64_t>>& grid,
+    const std::map<std::string, std::int64_t>& per_category, int min_models) {
+  std::vector<std::pair<std::int64_t, std::string>> ordered;
   for (const auto& [category, count] : per_category) {
     if (count >= min_models) ordered.emplace_back(count, category);
   }
@@ -79,64 +78,166 @@ util::Table fig4_frameworks(const SnapshotDataset& dataset, int min_models) {
   util::Table table{header};
   for (const auto& [count, category] : ordered) {
     std::vector<std::string> row{category, std::to_string(count)};
+    const auto git = grid.find(category);
     for (const auto& fw : framework_order()) {
-      const auto it = grid[category].find(fw);
-      row.push_back(std::to_string(it == grid[category].end() ? 0 : it->second));
+      row.push_back(std::to_string(
+          git == grid.end() ? 0 : lookup(git->second, fw)));
     }
     table.add_row(std::move(row));
   }
   return table;
 }
 
-util::Table fig4_framework_totals(const SnapshotDataset& dataset) {
-  std::map<std::string, int> totals;
-  for (const auto& model : dataset.models) {
-    totals[formats::framework_name(model.framework)]++;
-  }
+util::Table make_fig4_totals(const std::map<std::string, std::int64_t>& totals,
+                             std::size_t total_models) {
   util::Table table{{"framework", "models", "share"}};
   for (const auto& fw : framework_order()) {
-    const int count = totals.count(fw) ? totals[fw] : 0;
+    const std::int64_t count = lookup(totals, fw);
     table.add_row({fw, std::to_string(count),
                    util::Table::pct(static_cast<double>(count) /
                                     std::max<double>(
-                                        1.0, static_cast<double>(
-                                                 dataset.models.size())))});
+                                        1.0, static_cast<double>(total_models)))});
   }
   return table;
 }
 
-util::Table table3_tasks(const SnapshotDataset& dataset) {
-  // modality -> task -> count; identified models only, as in the paper.
-  std::map<std::string, std::map<std::string, int>> groups;
-  std::map<std::string, int> modality_totals;
-  std::size_t identified = 0;
-  for (const auto& model : dataset.models) {
-    if (model.task == kUnidentified) continue;
-    ++identified;
-    const std::string modality = nn::modality_name(model.modality);
-    groups[modality][model.task]++;
-    modality_totals[modality]++;
-  }
-
+util::Table make_table3(
+    const std::map<std::string, std::map<std::string, std::int64_t>>& groups,
+    const std::map<std::string, std::int64_t>& modality_totals,
+    std::int64_t identified, std::size_t total_models) {
   util::Table table{{"modality", "task", "models", "share of modality"}};
   for (const char* modality : {"image", "text", "audio", "sensor"}) {
     auto it = groups.find(modality);
     if (it == groups.end()) continue;
-    std::vector<std::pair<int, std::string>> ordered;
+    std::vector<std::pair<std::int64_t, std::string>> ordered;
     for (const auto& [task, count] : it->second) ordered.emplace_back(count, task);
     std::sort(ordered.begin(), ordered.end(), std::greater<>());
     for (const auto& [count, task] : ordered) {
       table.add_row({modality, task, std::to_string(count),
                      util::Table::pct(static_cast<double>(count) /
-                                      modality_totals[modality])});
+                                      static_cast<double>(
+                                          lookup(modality_totals, modality)))});
     }
   }
-  table.add_row({"(identified)", "",
-                 std::to_string(identified),
+  table.add_row({"(identified)", "", std::to_string(identified),
                  util::Table::pct(static_cast<double>(identified) /
                                   std::max<double>(1.0, static_cast<double>(
-                                                            dataset.models.size())))});
+                                                            total_models)))});
   return table;
+}
+
+util::Table make_fig7(
+    const std::map<std::string, std::pair<std::vector<double>,
+                                          std::vector<double>>>& by_task) {
+  util::Table table{{"task", "models", "median MFLOPs", "min", "max",
+                     "median Kparams", "min", "max"}};
+  std::vector<std::pair<double, std::string>> ordered;
+  for (const auto& [task, acc] : by_task) {
+    ordered.emplace_back(util::median(acc.first), task);
+  }
+  std::sort(ordered.begin(), ordered.end(), std::greater<>());
+  for (const auto& [_, task] : ordered) {
+    const auto& acc = by_task.at(task);
+    const auto fl = util::summarize(acc.first);
+    const auto pr = util::summarize(acc.second);
+    table.add_row({task, std::to_string(acc.first.size()),
+                   util::Table::num(fl.median / 1e6), util::Table::num(fl.min / 1e6),
+                   util::Table::num(fl.max / 1e6), util::Table::num(pr.median / 1e3),
+                   util::Table::num(pr.min / 1e3), util::Table::num(pr.max / 1e3)});
+  }
+  return table;
+}
+
+util::Table make_fig15(
+    const std::map<std::string, std::map<std::string, std::int64_t>>& grid,
+    const std::map<std::string, std::int64_t>& per_category,
+    const std::map<std::string, std::int64_t>& per_provider,
+    std::int64_t total, int min_apps) {
+  std::vector<std::pair<std::int64_t, std::string>> ordered;
+  for (const auto& [category, count] : per_category) {
+    if (count >= min_apps) ordered.emplace_back(count, category);
+  }
+  std::sort(ordered.begin(), ordered.end(), std::greater<>());
+
+  util::Table table{{"category", "apps", "Google", "Amazon"}};
+  for (const auto& [count, category] : ordered) {
+    const auto git = grid.find(category);
+    const auto row_count = [&](const char* provider) {
+      return git == grid.end() ? 0 : lookup(git->second, provider);
+    };
+    const std::int64_t google =
+        row_count("Google Firebase ML") + row_count("Google Cloud");
+    table.add_row({category, std::to_string(count), std::to_string(google),
+                   std::to_string(row_count("Amazon AWS"))});
+  }
+  const std::int64_t google_total = lookup(per_provider, "Google Firebase ML") +
+                                    lookup(per_provider, "Google Cloud");
+  table.add_row({"(total)", std::to_string(total),
+                 std::to_string(google_total),
+                 std::to_string(lookup(per_provider, "Amazon AWS"))});
+  return table;
+}
+
+util::Table make_sec42(std::int64_t apps_with_side, std::int64_t side_files,
+                       std::int64_t side_models) {
+  util::Table table{{"metric", "value"}};
+  table.add_row({"Apps with OBBs / asset packs", std::to_string(apps_with_side)});
+  table.add_row({"Files swept in side containers", std::to_string(side_files)});
+  table.add_row({"Model candidates found there", std::to_string(side_models)});
+  return table;
+}
+
+}  // namespace
+
+// --------------------------------------------------------- query-backed path
+//
+// Tables aggregate through the DocStore's indexed query layer; the original
+// record-scanning implementations live in legacy:: below as the parity
+// oracle (report_parity_diff).
+
+util::Table table2_dataset(const SnapshotDataset& dataset) {
+  return make_table2(dataset, dataset.ml_apps(), dataset.apps_with_models(),
+                     dataset.unique_model_count());
+}
+
+util::Table fig4_frameworks(const SnapshotDataset& dataset, int min_models) {
+  std::map<std::string, std::map<std::string, std::int64_t>> grid;
+  for (const auto& row :
+       dataset.model_docs.query().group_by({"category", "framework"})) {
+    grid[row.keys[0].as_string()][row.keys[1].as_string()] = row.count;
+  }
+  std::map<std::string, std::int64_t> per_category;
+  for (const auto& row : dataset.model_docs.query().group_by({"category"})) {
+    per_category[row.keys[0].as_string()] = row.count;
+  }
+  return make_fig4(grid, per_category, min_models);
+}
+
+util::Table fig4_framework_totals(const SnapshotDataset& dataset) {
+  std::map<std::string, std::int64_t> totals;
+  for (const auto& row : dataset.model_docs.query().group_by({"framework"})) {
+    totals[row.keys[0].as_string()] = row.count;
+  }
+  return make_fig4_totals(totals, dataset.model_docs.query().count());
+}
+
+util::Table table3_tasks(const SnapshotDataset& dataset) {
+  // Identified models only, as in the paper: the unidentified bucket is
+  // dropped after grouping (the query layer has no !=).
+  std::map<std::string, std::map<std::string, std::int64_t>> groups;
+  std::map<std::string, std::int64_t> modality_totals;
+  std::int64_t identified = 0;
+  for (const auto& row :
+       dataset.model_docs.query().group_by({"modality", "task"})) {
+    const std::string& task = row.keys[1].as_string();
+    if (task == kUnidentified) continue;
+    const std::string& modality = row.keys[0].as_string();
+    groups[modality][task] = row.count;
+    modality_totals[modality] += row.count;
+    identified += row.count;
+  }
+  return make_table3(groups, modality_totals, identified,
+                     dataset.model_docs.query().count());
 }
 
 util::Table fig5_temporal(const SnapshotDataset& earlier,
@@ -151,7 +252,9 @@ util::Table fig5_temporal(const SnapshotDataset& earlier,
 }
 
 util::Table fig6_layer_composition(const SnapshotDataset& dataset) {
-  // modality -> op family -> layer count
+  // modality -> op family -> layer count. Layer compositions live in the
+  // analysis sidecar, not the document mirror, so this one stays a record
+  // scan.
   std::map<std::string, std::map<std::string, std::int64_t>> counts;
   std::map<std::string, std::int64_t> totals;
   for (const auto& model : dataset.models) {
@@ -187,69 +290,37 @@ util::Table fig6_layer_composition(const SnapshotDataset& dataset) {
 }
 
 util::Table fig7_flops_params(const SnapshotDataset& dataset) {
-  struct Acc {
-    std::vector<double> flops;
-    std::vector<double> params;
-  };
-  std::map<std::string, Acc> by_task;
-  for (const auto& model : dataset.models) {
-    if (model.task == kUnidentified) continue;
-    by_task[model.task].flops.push_back(
-        static_cast<double>(model.trace().total_flops));
-    by_task[model.task].params.push_back(
-        static_cast<double>(model.trace().total_params));
+  std::map<std::string, std::pair<std::vector<double>, std::vector<double>>>
+      by_task;
+  for (const auto& row : dataset.model_docs.query().group_by({"task"})) {
+    const std::string& task = row.keys[0].as_string();
+    if (task == kUnidentified) continue;
+    auto per_task =
+        dataset.model_docs.query().where("task", store::Value{task});
+    by_task[task] = {per_task.numbers("flops"), per_task.numbers("params")};
   }
-  util::Table table{{"task", "models", "median MFLOPs", "min", "max",
-                     "median Kparams", "min", "max"}};
-  std::vector<std::pair<double, std::string>> ordered;
-  for (auto& [task, acc] : by_task) {
-    ordered.emplace_back(util::median(acc.flops), task);
-  }
-  std::sort(ordered.begin(), ordered.end(), std::greater<>());
-  for (const auto& [_, task] : ordered) {
-    auto& acc = by_task[task];
-    const auto fl = util::summarize(acc.flops);
-    const auto pr = util::summarize(acc.params);
-    table.add_row({task, std::to_string(acc.flops.size()),
-                   util::Table::num(fl.median / 1e6), util::Table::num(fl.min / 1e6),
-                   util::Table::num(fl.max / 1e6), util::Table::num(pr.median / 1e3),
-                   util::Table::num(pr.min / 1e3), util::Table::num(pr.max / 1e3)});
-  }
-  return table;
+  return make_fig7(by_task);
 }
 
 util::Table fig15_cloud(const SnapshotDataset& dataset, int min_apps) {
-  std::map<std::string, std::map<std::string, int>> grid;  // cat -> provider
-  std::map<std::string, int> per_category;
-  std::map<std::string, int> per_provider;
-  int total = 0;
-  for (const auto& app : dataset.apps) {
-    if (app.cloud_providers.empty()) continue;
-    ++total;
-    per_category[app.category]++;
-    grid[app.category][app.cloud_providers.front()]++;
-    per_provider[app.cloud_providers.front()]++;
+  const auto cloud_apps = [&] {
+    return dataset.app_docs.query().where("cloud", store::Value{true});
+  };
+  std::map<std::string, std::map<std::string, std::int64_t>> grid;
+  for (const auto& row :
+       cloud_apps().group_by({"category", "cloud_provider"})) {
+    grid[row.keys[0].as_string()][row.keys[1].as_string()] = row.count;
   }
-  std::vector<std::pair<int, std::string>> ordered;
-  for (const auto& [category, count] : per_category) {
-    if (count >= min_apps) ordered.emplace_back(count, category);
+  std::map<std::string, std::int64_t> per_category;
+  for (const auto& row : cloud_apps().group_by({"category"})) {
+    per_category[row.keys[0].as_string()] = row.count;
   }
-  std::sort(ordered.begin(), ordered.end(), std::greater<>());
-
-  util::Table table{{"category", "apps", "Google", "Amazon"}};
-  for (const auto& [count, category] : ordered) {
-    const int google = grid[category]["Google Firebase ML"] +
-                       grid[category]["Google Cloud"];
-    const int amazon = grid[category]["Amazon AWS"];
-    table.add_row({category, std::to_string(count), std::to_string(google),
-                   std::to_string(amazon)});
+  std::map<std::string, std::int64_t> per_provider;
+  for (const auto& row : cloud_apps().group_by({"cloud_provider"})) {
+    per_provider[row.keys[0].as_string()] = row.count;
   }
-  const int google_total = per_provider["Google Firebase ML"] +
-                           per_provider["Google Cloud"];
-  table.add_row({"(total)", std::to_string(total),
-                 std::to_string(google_total),
-                 std::to_string(per_provider["Amazon AWS"])});
-  return table;
+  return make_fig15(grid, per_category, per_provider,
+                    static_cast<std::int64_t>(cloud_apps().count()), min_apps);
 }
 
 util::Table sec31_no_parser(const SnapshotDataset& dataset) {
@@ -264,17 +335,15 @@ util::Table sec31_no_parser(const SnapshotDataset& dataset) {
 }
 
 util::Table sec42_distribution(const SnapshotDataset& dataset) {
-  std::int64_t side_files = 0, side_models = 0, apps_with_side = 0;
-  for (const auto& app : dataset.apps) {
-    side_files += app.side_container_files;
-    side_models += app.side_container_models;
-    if (app.side_container_files > 0) ++apps_with_side;
-  }
-  util::Table table{{"metric", "value"}};
-  table.add_row({"Apps with OBBs / asset packs", std::to_string(apps_with_side)});
-  table.add_row({"Files swept in side containers", std::to_string(side_files)});
-  table.add_row({"Model candidates found there", std::to_string(side_models)});
-  return table;
+  const auto sum_of = [&](const std::string& field) -> std::int64_t {
+    const auto rows = dataset.app_docs.query().group_by({}, field);
+    return rows.empty() ? 0 : std::llround(rows.front().sum);
+  };
+  const std::int64_t apps_with_side =
+      static_cast<std::int64_t>(dataset.app_docs.query()
+                                    .where_range("side_files", 1.0, std::nullopt)
+                                    .count());
+  return make_sec42(apps_with_side, sum_of("side_files"), sum_of("side_models"));
 }
 
 util::Table sec45_uniqueness(const UniquenessReport& report) {
@@ -309,6 +378,125 @@ util::Table sec61_optimisations(const OptimisationReport& report) {
   table.add_row({"Near-zero weight share",
                  util::Table::pct(report.near_zero_weight_share)});
   return table;
+}
+
+// ------------------------------------------------------ record-scan oracle
+//
+// The pre-port implementations, kept verbatim in aggregation logic: they
+// walk SnapshotDataset::apps/models directly. report_parity_diff holds the
+// query-backed tables to these byte for byte.
+
+namespace legacy {
+namespace {
+
+util::Table table2_dataset(const SnapshotDataset& dataset) {
+  std::size_t ml = 0, with_models = 0;
+  for (const auto& app : dataset.apps) {
+    if (app.uses_ml) ++ml;
+    if (!app.model_record_ids.empty()) ++with_models;
+  }
+  std::set<std::string> checksums;
+  for (const auto& model : dataset.models) checksums.insert(model.checksum);
+  return make_table2(dataset, ml, with_models, checksums.size());
+}
+
+util::Table fig4_frameworks(const SnapshotDataset& dataset, int min_models) {
+  std::map<std::string, std::map<std::string, std::int64_t>> grid;
+  std::map<std::string, std::int64_t> per_category;
+  for (const auto& model : dataset.models) {
+    const std::string fw = formats::framework_name(model.framework);
+    grid[model.category][fw]++;
+    per_category[model.category]++;
+  }
+  return make_fig4(grid, per_category, min_models);
+}
+
+util::Table fig4_framework_totals(const SnapshotDataset& dataset) {
+  std::map<std::string, std::int64_t> totals;
+  for (const auto& model : dataset.models) {
+    totals[formats::framework_name(model.framework)]++;
+  }
+  return make_fig4_totals(totals, dataset.models.size());
+}
+
+util::Table table3_tasks(const SnapshotDataset& dataset) {
+  std::map<std::string, std::map<std::string, std::int64_t>> groups;
+  std::map<std::string, std::int64_t> modality_totals;
+  std::int64_t identified = 0;
+  for (const auto& model : dataset.models) {
+    if (model.task == kUnidentified) continue;
+    ++identified;
+    const std::string modality = nn::modality_name(model.modality);
+    groups[modality][model.task]++;
+    modality_totals[modality]++;
+  }
+  return make_table3(groups, modality_totals, identified,
+                     dataset.models.size());
+}
+
+util::Table fig7_flops_params(const SnapshotDataset& dataset) {
+  std::map<std::string, std::pair<std::vector<double>, std::vector<double>>>
+      by_task;
+  for (const auto& model : dataset.models) {
+    if (model.task == kUnidentified) continue;
+    by_task[model.task].first.push_back(
+        static_cast<double>(model.trace().total_flops));
+    by_task[model.task].second.push_back(
+        static_cast<double>(model.trace().total_params));
+  }
+  return make_fig7(by_task);
+}
+
+util::Table fig15_cloud(const SnapshotDataset& dataset, int min_apps) {
+  std::map<std::string, std::map<std::string, std::int64_t>> grid;
+  std::map<std::string, std::int64_t> per_category;
+  std::map<std::string, std::int64_t> per_provider;
+  std::int64_t total = 0;
+  for (const auto& app : dataset.apps) {
+    if (app.cloud_providers.empty()) continue;
+    ++total;
+    per_category[app.category]++;
+    grid[app.category][app.cloud_providers.front()]++;
+    per_provider[app.cloud_providers.front()]++;
+  }
+  return make_fig15(grid, per_category, per_provider, total, min_apps);
+}
+
+util::Table sec42_distribution(const SnapshotDataset& dataset) {
+  std::int64_t side_files = 0, side_models = 0, apps_with_side = 0;
+  for (const auto& app : dataset.apps) {
+    side_files += app.side_container_files;
+    side_models += app.side_container_models;
+    if (app.side_container_files > 0) ++apps_with_side;
+  }
+  return make_sec42(apps_with_side, side_files, side_models);
+}
+
+}  // namespace
+}  // namespace legacy
+
+std::string report_parity_diff(const SnapshotDataset& dataset) {
+  std::string diff;
+  const auto check = [&diff](const char* name, const util::Table& ported,
+                             const util::Table& oracle) {
+    if (ported.to_csv() != oracle.to_csv()) {
+      diff += name;
+      diff += ": query-backed table differs from record scan\n";
+    }
+  };
+  check("table2_dataset", table2_dataset(dataset),
+        legacy::table2_dataset(dataset));
+  check("fig4_frameworks", fig4_frameworks(dataset),
+        legacy::fig4_frameworks(dataset, 20));
+  check("fig4_framework_totals", fig4_framework_totals(dataset),
+        legacy::fig4_framework_totals(dataset));
+  check("table3_tasks", table3_tasks(dataset), legacy::table3_tasks(dataset));
+  check("fig7_flops_params", fig7_flops_params(dataset),
+        legacy::fig7_flops_params(dataset));
+  check("fig15_cloud", fig15_cloud(dataset), legacy::fig15_cloud(dataset, 10));
+  check("sec42_distribution", sec42_distribution(dataset),
+        legacy::sec42_distribution(dataset));
+  return diff;
 }
 
 }  // namespace gauge::core

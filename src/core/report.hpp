@@ -47,4 +47,10 @@ util::Table sec42_distribution(const SnapshotDataset& dataset);
 util::Table sec45_uniqueness(const UniquenessReport& report);
 util::Table sec61_optimisations(const OptimisationReport& report);
 
+// Parity oracle for the DocStore port: renders every query-backed table
+// alongside its pre-port record-scanning implementation and reports any
+// byte-level CSV difference (empty string = all tables identical). Run by
+// the store smoke in scripts/check.sh and the report tests.
+std::string report_parity_diff(const SnapshotDataset& dataset);
+
 }  // namespace gauge::core

@@ -1,87 +1,311 @@
 #include "store/docstore.hpp"
 
-#include <algorithm>
+#include <dirent.h>
+#include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+#include "telemetry/metrics.hpp"
+#include "util/fileio.hpp"
 #include "util/strings.hpp"
 
 namespace gauge::store {
 
-bool Value::equals(const Value& other) const {
-  if ((is_int() || is_double()) && (other.is_int() || other.is_double())) {
-    return as_double() == other.as_double();
-  }
-  return v_ == other.v_;
-}
-
-bool Value::less(const Value& other) const {
-  if ((is_int() || is_double()) && (other.is_int() || other.is_double())) {
-    return as_double() < other.as_double();
-  }
-  return v_ < other.v_;
-}
-
-std::string Value::str() const {
-  if (is_null()) return "null";
-  if (is_bool()) return as_bool() ? "true" : "false";
-  if (is_int()) return std::to_string(as_int());
-  if (is_double()) return util::format("%g", as_double());
-  return as_string();
-}
-
 namespace {
 
-void append_json_string(std::string& out, const std::string& s) {
-  out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += util::format("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
+// splitmix64 finaliser: sequential ids spread evenly across shards without
+// striping every segment with every id range.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+bool file_exists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
 }
 
 }  // namespace
 
-std::string to_json(const Document& doc) {
-  std::string out = "{";
-  bool first = true;
-  for (const auto& [key, value] : doc) {
-    if (!first) out += ", ";
-    first = false;
-    append_json_string(out, key);
-    out += ": ";
-    if (value.is_null()) {
-      out += "null";
-    } else if (value.is_bool()) {
-      out += value.as_bool() ? "true" : "false";
-    } else if (value.is_int()) {
-      out += std::to_string(value.as_int());
-    } else if (value.is_double()) {
-      out += util::format("%g", value.as_double());
-    } else {
-      append_json_string(out, value.as_string());
-    }
+// ---------------------------------------------------------------- Snapshot
+
+std::size_t Snapshot::size() const {
+  std::size_t total = 0;
+  for (const auto& segment : segments_) total += segment->size();
+  return total;
+}
+
+Query Snapshot::query() const { return Query{*this}; }
+
+// ---------------------------------------------------------------- DocStore
+
+DocStore::DocStore(StoreOptions options) : options_{options} {
+  if (options_.shards == 0) options_.shards = 1;
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
   }
-  out += "}";
-  return out;
+}
+
+DocStore::DocStore(const DocStore& other) : DocStore{other.options_} {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::lock_guard lock{other.shards_[i]->mu};
+    shards_[i]->mem = other.shards_[i]->mem;
+    shards_[i]->sealed = other.shards_[i]->sealed;  // segments are immutable
+  }
+  next_id_.store(other.next_id_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+}
+
+DocStore& DocStore::operator=(const DocStore& other) {
+  if (this != &other) {
+    DocStore copy{other};
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+DocStore::DocStore(DocStore&& other) noexcept
+    : options_{other.options_}, shards_{std::move(other.shards_)} {
+  next_id_.store(other.next_id_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+}
+
+DocStore& DocStore::operator=(DocStore&& other) noexcept {
+  if (this != &other) {
+    options_ = other.options_;
+    shards_ = std::move(other.shards_);
+    next_id_.store(other.next_id_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+std::size_t DocStore::shard_of(std::uint64_t id) const {
+  return static_cast<std::size_t>(mix64(id) % shards_.size());
+}
+
+void DocStore::seal_locked(Shard& shard) const {
+  shard.sealed.push_back(shard.mem.seal());
+  telemetry::current_registry()
+      .counter("gauge.store.segments.sealed")
+      .increment();
+}
+
+void DocStore::compact_locked(Shard& shard) const {
+  if (shard.sealed.size() <= 1) return;
+  auto merged = Segment::merge(shard.sealed);
+  shard.sealed.clear();
+  shard.sealed.push_back(std::move(merged));
+  telemetry::current_registry().counter("gauge.store.compactions").increment();
+}
+
+void DocStore::publish_segment_stats() const {
+  auto& registry = telemetry::current_registry();
+  registry.gauge("gauge.store.segments")
+      .set(static_cast<double>(segment_count()));
+  registry.gauge("gauge.store.compaction_debt")
+      .set(static_cast<double>(compaction_debt()));
 }
 
 std::size_t DocStore::insert(Document doc) {
-  docs_.push_back(std::move(doc));
-  return docs_.size() - 1;
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = *shards_[shard_of(id)];
+  bool sealed = false;
+  {
+    std::lock_guard lock{shard.mu};
+    shard.mem.add(id, std::move(doc));
+    if (options_.segment_target_docs != 0 &&
+        shard.mem.size() >= options_.segment_target_docs) {
+      seal_locked(shard);
+      sealed = true;
+      if (options_.compact_trigger != 0 &&
+          shard.sealed.size() >= options_.compact_trigger) {
+        compact_locked(shard);
+      }
+    }
+  }
+  telemetry::current_registry().counter("gauge.store.ingested").increment();
+  if (sealed) publish_segment_stats();
+  return static_cast<std::size_t>(id);
+}
+
+const Document& DocStore::doc(std::size_t id) const {
+  Shard& shard = *shards_[shard_of(id)];
+  std::lock_guard lock{shard.mu};
+  if (!shard.mem.empty()) seal_locked(shard);
+  for (auto it = shard.sealed.rbegin(); it != shard.sealed.rend(); ++it) {
+    const Segment& segment = **it;
+    if (segment.size() == 0 || id < segment.min_id() || id > segment.max_id()) {
+      continue;
+    }
+    const auto& docs = segment.docs();
+    const auto pos = std::lower_bound(
+        docs.begin(), docs.end(), id,
+        [](const auto& entry, std::uint64_t want) { return entry.first < want; });
+    if (pos != docs.end() && pos->first == id) return pos->second;
+  }
+  throw std::out_of_range{util::format("docstore: no document %zu", id)};
+}
+
+Snapshot DocStore::snapshot() const {
+  Snapshot snap;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock{shard->mu};
+    if (!shard->mem.empty()) seal_locked(*shard);
+    for (const auto& segment : shard->sealed) snap.segments_.push_back(segment);
+  }
+  return snap;
 }
 
 Query DocStore::query() const { return Query{*this}; }
+
+void DocStore::compact() {
+  for (const auto& shard : shards_) {
+    std::lock_guard lock{shard->mu};
+    if (!shard->mem.empty()) seal_locked(*shard);
+    compact_locked(*shard);
+  }
+  publish_segment_stats();
+}
+
+std::size_t DocStore::segment_count() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock{shard->mu};
+    total += shard->sealed.size() + (shard->mem.empty() ? 0 : 1);
+  }
+  return total;
+}
+
+std::size_t DocStore::compaction_debt() const {
+  std::size_t debt = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock{shard->mu};
+    const std::size_t segments =
+        shard->sealed.size() + (shard->mem.empty() ? 0 : 1);
+    if (segments > 1) debt += segments - 1;
+  }
+  return debt;
+}
+
+// ------------------------------------------------------------- persistence
+
+util::Status DocStore::save(const std::string& dir) const {
+  if (auto status = util::make_directories(dir); !status.ok()) return status;
+  const Snapshot snap = snapshot();
+
+  std::string manifest = "gauge-docstore 1\n";
+  manifest += util::format("shards %zu\n", shards_.size());
+  manifest += util::format("next_id %llu\n",
+                           static_cast<unsigned long long>(
+                               next_id_.load(std::memory_order_relaxed)));
+  std::set<std::string> live;
+  for (const auto& segment : snap.segments_) {
+    if (segment->size() == 0) continue;
+    // (shard, id range, count) is unique per segment content: ids are
+    // global and a shard's compactions only ever merge, never drop.
+    const std::string name = util::format(
+        "seg-%zu-%llu-%llu-%zu.seg", shard_of(segment->min_id()),
+        static_cast<unsigned long long>(segment->min_id()),
+        static_cast<unsigned long long>(segment->max_id()), segment->size());
+    if (!file_exists(dir + "/" + name)) {
+      if (auto status = util::AtomicFile{dir + "/" + name}.write(
+              segment->encode());
+          !status.ok()) {
+        return status;
+      }
+    }
+    live.insert(name);
+    manifest += util::format("segment %zu %s %zu\n",
+                             shard_of(segment->min_id()), name.c_str(),
+                             segment->size());
+  }
+  // The manifest is the commit point: a crash before this write leaves the
+  // old manifest naming only the old files.
+  if (auto status = util::AtomicFile{dir + "/MANIFEST"}.write(manifest);
+      !status.ok()) {
+    return status;
+  }
+  // Drop segment files orphaned by compaction (best-effort; stale files are
+  // invisible anyway because the manifest no longer names them).
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (const dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name.size() > 4 && name.substr(name.size() - 4) == ".seg" &&
+          live.count(name) == 0) {
+        ::unlink((dir + "/" + name).c_str());
+      }
+    }
+    ::closedir(d);
+  }
+  return util::Status{};
+}
+
+util::Result<DocStore> DocStore::load(const std::string& dir) {
+  using R = util::Result<DocStore>;
+  auto manifest = util::read_text_file(dir + "/MANIFEST");
+  if (!manifest.ok()) return R::failure("docstore: " + manifest.error());
+  const auto lines = util::split(manifest.value(), '\n');
+  if (lines.empty() || util::trim(lines[0]) != "gauge-docstore 1") {
+    return R::failure("docstore: bad manifest header");
+  }
+  StoreOptions options;
+  std::uint64_t next_id = 0;
+  struct Entry {
+    std::size_t shard;
+    std::string file;
+    std::size_t docs;
+  };
+  std::vector<Entry> entries;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto fields = util::split_ws(lines[i]);
+    if (fields.empty()) continue;
+    if (fields[0] == "shards" && fields.size() == 2) {
+      const auto n = util::parse_int(fields[1]);
+      if (!n || *n <= 0) return R::failure("docstore: bad shard count");
+      options.shards = static_cast<std::size_t>(*n);
+    } else if (fields[0] == "next_id" && fields.size() == 2) {
+      const auto n = util::parse_int(fields[1]);
+      if (!n || *n < 0) return R::failure("docstore: bad next_id");
+      next_id = static_cast<std::uint64_t>(*n);
+    } else if (fields[0] == "segment" && fields.size() == 4) {
+      const auto shard = util::parse_int(fields[1]);
+      const auto docs = util::parse_int(fields[3]);
+      if (!shard || !docs) return R::failure("docstore: bad segment line");
+      entries.push_back({static_cast<std::size_t>(*shard), fields[2],
+                         static_cast<std::size_t>(*docs)});
+    } else {
+      return R::failure("docstore: unrecognised manifest line: " + lines[i]);
+    }
+  }
+  DocStore db{options};
+  for (const auto& entry : entries) {
+    if (entry.shard >= db.shards_.size()) {
+      return R::failure("docstore: segment shard out of range");
+    }
+    auto bytes = util::read_text_file(dir + "/" + entry.file);
+    if (!bytes.ok()) return R::failure("docstore: " + bytes.error());
+    auto segment = Segment::decode(bytes.value());
+    if (!segment.ok()) {
+      return R::failure(entry.file + ": " + segment.error());
+    }
+    if (segment.value()->size() != entry.docs) {
+      return R::failure(entry.file + ": doc count mismatch");
+    }
+    db.shards_[entry.shard]->sealed.push_back(segment.value());
+  }
+  db.next_id_.store(next_id, std::memory_order_relaxed);
+  return R{std::move(db)};
+}
+
+// ------------------------------------------------------------------- Query
 
 Query& Query::where(std::string field, Value value) {
   terms_.push_back({std::move(field), std::move(value)});
@@ -99,6 +323,15 @@ Query& Query::where_exists(std::string field) {
   return *this;
 }
 
+Query& Query::mode(ExecMode mode) {
+  mode_ = mode;
+  return *this;
+}
+
+Snapshot Query::resolve() const {
+  return store_ != nullptr ? store_->snapshot() : snapshot_;
+}
+
 bool Query::matches(const Document& doc) const {
   for (const auto& term : terms_) {
     const auto it = doc.find(term.field);
@@ -106,8 +339,7 @@ bool Query::matches(const Document& doc) const {
   }
   for (const auto& range : ranges_) {
     const auto it = doc.find(range.field);
-    if (it == doc.end() || it->second.is_null()) return false;
-    if (!it->second.is_int() && !it->second.is_double()) return false;
+    if (it == doc.end() || !it->second.is_numeric()) return false;
     const double v = it->second.as_double();
     if (range.lo && v < *range.lo) return false;
     if (range.hi && v > *range.hi) return false;
@@ -119,37 +351,152 @@ bool Query::matches(const Document& doc) const {
   return true;
 }
 
+std::vector<std::uint32_t> Query::match_segment(const Segment& segment) const {
+  auto& registry = telemetry::current_registry();
+  std::vector<std::uint32_t> current;
+  bool constrained = false;
+  const auto intersect = [&](const std::vector<std::uint32_t>& sorted) {
+    if (!constrained) {
+      current = sorted;
+      constrained = true;
+      return;
+    }
+    std::vector<std::uint32_t> next;
+    next.reserve(std::min(current.size(), sorted.size()));
+    std::set_intersection(current.begin(), current.end(), sorted.begin(),
+                          sorted.end(), std::back_inserter(next));
+    current = std::move(next);
+  };
+
+  for (const auto& term : terms_) {
+    const auto* postings = segment.term_postings(term.field, term.value);
+    if (postings == nullptr) {
+      // The index proves zero matches in this segment without a scan.
+      registry.counter("gauge.store.index.term_misses").increment();
+      return {};
+    }
+    registry.counter("gauge.store.index.term_hits").increment();
+    intersect(*postings);
+    if (current.empty()) return {};
+  }
+  for (const auto& field : exists_) {
+    const auto* fi = segment.field_index(field);
+    if (fi == nullptr || fi->exists.empty()) return {};
+    intersect(fi->exists);
+    if (current.empty()) return {};
+  }
+  for (const auto& range : ranges_) {
+    const auto* fi = segment.field_index(range.field);
+    if (fi == nullptr || fi->numeric.empty()) return {};
+    if ((range.lo && fi->num_max < *range.lo) ||
+        (range.hi && fi->num_min > *range.hi)) {
+      registry.counter("gauge.store.index.segment_skips").increment();
+      return {};
+    }
+    const auto& numeric = fi->numeric;
+    auto first = numeric.begin();
+    auto last = numeric.end();
+    if (range.lo) {
+      first = std::lower_bound(numeric.begin(), numeric.end(), *range.lo,
+                               [](const Segment::NumericEntry& e, double v) {
+                                 return e.value < v;
+                               });
+    }
+    if (range.hi) {
+      last = std::upper_bound(first, numeric.end(), *range.hi,
+                              [](double v, const Segment::NumericEntry& e) {
+                                return v < e.value;
+                              });
+    }
+    std::vector<std::uint32_t> in_range;
+    in_range.reserve(static_cast<std::size_t>(last - first));
+    for (auto it = first; it != last; ++it) in_range.push_back(it->idx);
+    std::sort(in_range.begin(), in_range.end());
+    intersect(in_range);
+    if (current.empty()) return {};
+  }
+
+  if (!constrained) {
+    current.resize(segment.size());
+    std::iota(current.begin(), current.end(), 0);
+  }
+  return current;
+}
+
+std::vector<Query::Match> Query::collect(const Snapshot& snap) const {
+  auto& registry = telemetry::current_registry();
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<Match> out;
+  if (mode_ == ExecMode::FullScan) {
+    registry.counter("gauge.store.query.full_scan").increment();
+    for (const auto& segment : snap.segments_) {
+      for (const auto& [id, doc] : segment->docs()) {
+        if (matches(doc)) out.push_back({id, &doc});
+      }
+    }
+  } else {
+    registry.counter("gauge.store.query.indexed").increment();
+    for (const auto& segment : snap.segments_) {
+      const auto& docs = segment->docs();
+      for (std::uint32_t idx : match_segment(*segment)) {
+        out.push_back({docs[idx].first, &docs[idx].second});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Match& a, const Match& b) { return a.id < b.id; });
+  registry.histogram("gauge.store.query_ms")
+      .observe(std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start)
+                   .count());
+  return out;
+}
+
 std::vector<std::size_t> Query::ids() const {
+  const Snapshot snap = resolve();
   std::vector<std::size_t> out;
-  for (std::size_t i = 0; i < store_->docs_.size(); ++i) {
-    if (matches(store_->docs_[i])) out.push_back(i);
+  for (const auto& match : collect(snap)) {
+    out.push_back(static_cast<std::size_t>(match.id));
   }
   return out;
 }
 
+std::size_t Query::count() const {
+  const Snapshot snap = resolve();
+  return collect(snap).size();
+}
+
 std::vector<AggRow> Query::group_by(std::vector<std::string> fields,
                                     const std::string& metric_field) const {
-  // Key = concatenated printable forms (stable and hashable via map).
+  const Snapshot snap = resolve();
+  // Keyed on type-tagged exact forms (Value::group_key) so int/double and
+  // near-equal large doubles never merge.
   std::map<std::vector<std::string>, AggRow> groups;
-  for (std::size_t id : ids()) {
-    const Document& doc = store_->docs_[id];
-    std::vector<std::string> key_strs;
+  for (const auto& match : collect(snap)) {
+    const Document& doc = *match.doc;
+    std::vector<std::string> key;
     std::vector<Value> keys;
+    key.reserve(fields.size());
+    keys.reserve(fields.size());
     for (const auto& field : fields) {
       const auto it = doc.find(field);
       const Value v = it == doc.end() ? Value{} : it->second;
-      key_strs.push_back(v.str());
+      key.push_back(v.group_key());
       keys.push_back(v);
     }
-    auto [it, inserted] = groups.try_emplace(key_strs);
+    auto [it, inserted] = groups.try_emplace(std::move(key));
     AggRow& row = it->second;
     if (inserted) row.keys = std::move(keys);
     row.count++;
     if (!metric_field.empty()) {
       const auto mit = doc.find(metric_field);
-      if (mit != doc.end() && (mit->second.is_int() || mit->second.is_double())) {
+      if (mit != doc.end() && mit->second.is_numeric()) {
         const double v = mit->second.as_double();
-        if (row.count == 1) {
+        // Seed min/max on the first *sample*, not the first doc: a group
+        // whose first document lacks the metric must not contribute a
+        // default-initialised 0.0 to min/max.
+        row.samples++;
+        if (row.samples == 1) {
           row.min = row.max = v;
         } else {
           row.min = std::min(row.min, v);
@@ -162,47 +509,44 @@ std::vector<AggRow> Query::group_by(std::vector<std::string> fields,
   std::vector<AggRow> out;
   out.reserve(groups.size());
   for (auto& [_, row] : groups) out.push_back(std::move(row));
-  std::sort(out.begin(), out.end(), [](const AggRow& a, const AggRow& b) {
-    if (a.count != b.count) return a.count > b.count;
-    // Stable tiebreak on key strings.
-    for (std::size_t i = 0; i < std::min(a.keys.size(), b.keys.size()); ++i) {
-      const std::string as = a.keys[i].str();
-      const std::string bs = b.keys[i].str();
-      if (as != bs) return as < bs;
-    }
-    return false;
+  // Map order is ascending group key; stable sort preserves it within equal
+  // counts.
+  std::stable_sort(out.begin(), out.end(), [](const AggRow& a, const AggRow& b) {
+    return a.count > b.count;
   });
   return out;
 }
 
 std::vector<double> Query::numbers(const std::string& field) const {
+  const Snapshot snap = resolve();
   std::vector<double> out;
-  for (std::size_t id : ids()) {
-    const auto it = store_->docs_[id].find(field);
-    if (it != store_->docs_[id].end() &&
-        (it->second.is_int() || it->second.is_double())) {
+  for (const auto& match : collect(snap)) {
+    const auto it = match.doc->find(field);
+    if (it != match.doc->end() && it->second.is_numeric()) {
       out.push_back(it->second.as_double());
     }
   }
   return out;
 }
 
-std::string Query::to_jsonl() const {
-  std::string out;
-  for (std::size_t id : ids()) {
-    out += to_json(store_->docs_[id]);
-    out += '\n';
+std::vector<std::string> Query::strings(const std::string& field) const {
+  const Snapshot snap = resolve();
+  std::vector<std::string> out;
+  for (const auto& match : collect(snap)) {
+    const auto it = match.doc->find(field);
+    if (it != match.doc->end() && it->second.is_string()) {
+      out.push_back(it->second.as_string());
+    }
   }
   return out;
 }
 
-std::vector<std::string> Query::strings(const std::string& field) const {
-  std::vector<std::string> out;
-  for (std::size_t id : ids()) {
-    const auto it = store_->docs_[id].find(field);
-    if (it != store_->docs_[id].end() && it->second.is_string()) {
-      out.push_back(it->second.as_string());
-    }
+std::string Query::to_jsonl() const {
+  const Snapshot snap = resolve();
+  std::string out;
+  for (const auto& match : collect(snap)) {
+    out += to_json(*match.doc);
+    out += '\n';
   }
   return out;
 }

@@ -1,114 +1,169 @@
-// In-memory document store standing in for the paper's ElasticSearch
-// instance: JSON-like documents, field indexes, term/range queries and
-// bucketed aggregations — the ETL layer under the offline analyses.
+// Sharded, indexed, snapshot-isolated document store standing in for the
+// paper's ElasticSearch instance (DESIGN.md §14). Documents are hash-
+// sharded by id; each shard accumulates a memtable that seals into
+// immutable indexed segments (store/segment.hpp). Readers take a Snapshot —
+// shared_ptr copies of every shard's sealed-segment list — so ingest and
+// compaction never block or mutate a running report query. Queries execute
+// over the inverted index / numeric skip metadata by default, with a
+// full-scan mode kept as the parity oracle, and aggregate with correct
+// min/max/avg seeding (metric-less documents no longer poison a group).
+// Segments persist as CRC32-framed files written through util::AtomicFile;
+// compaction merges a shard's segments and the next save() drops the stale
+// files, log-structured-style. Telemetry lands under `gauge.store.*`.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
-#include <variant>
 #include <vector>
+
+#include "store/segment.hpp"
+#include "store/value.hpp"
+#include "util/result.hpp"
 
 namespace gauge::store {
 
-class Value {
- public:
-  Value() : v_{std::monostate{}} {}
-  Value(bool b) : v_{b} {}                      // NOLINT
-  Value(std::int64_t i) : v_{i} {}              // NOLINT
-  Value(int i) : v_{static_cast<std::int64_t>(i)} {}  // NOLINT
-  Value(double d) : v_{d} {}                    // NOLINT
-  Value(std::string s) : v_{std::move(s)} {}    // NOLINT
-  Value(const char* s) : v_{std::string{s}} {}  // NOLINT
-
-  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
-  bool is_bool() const { return std::holds_alternative<bool>(v_); }
-  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
-  bool is_double() const { return std::holds_alternative<double>(v_); }
-  bool is_string() const { return std::holds_alternative<std::string>(v_); }
-
-  bool as_bool() const { return std::get<bool>(v_); }
-  std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
-  double as_double() const {
-    if (is_int()) return static_cast<double>(as_int());
-    return std::get<double>(v_);
-  }
-  const std::string& as_string() const { return std::get<std::string>(v_); }
-
-  // Numeric comparison when both sides are numeric; exact otherwise.
-  bool equals(const Value& other) const;
-  // Orders numerics numerically, strings lexicographically. Mixed types
-  // compare by type index.
-  bool less(const Value& other) const;
-
-  std::string str() const;
-
- private:
-  std::variant<std::monostate, bool, std::int64_t, double, std::string> v_;
+struct StoreOptions {
+  // Number of hash shards. More shards spread ingest lock contention;
+  // queries always see all of them.
+  std::size_t shards = 8;
+  // Memtable size at which a shard seals it into an immutable segment.
+  std::size_t segment_target_docs = 8192;
+  // Sealed-segment count at which a shard compacts (merges all its sealed
+  // segments into one). 0 disables automatic compaction.
+  std::size_t compact_trigger = 8;
 };
 
-using Document = std::map<std::string, Value>;
-
-// JSON serialisation of a single document ({"k": v, ...} with proper string
-// escaping; ints stay integral, doubles use shortest-ish %g).
-std::string to_json(const Document& doc);
+// How a Query executes. Indexed is the default; FullScan is the reference
+// path the tests hold the index to (and the bench baseline).
+enum class ExecMode { Indexed, FullScan };
 
 struct AggRow {
   std::vector<Value> keys;  // group-by key values, in group_by order
-  std::int64_t count = 0;
+  std::int64_t count = 0;    // documents in the group
+  std::int64_t samples = 0;  // documents that carried the metric field
   double sum = 0.0;
-  double min = 0.0;
+  double min = 0.0;  // over samples only; 0 when samples == 0
   double max = 0.0;
-  double avg() const { return count ? sum / static_cast<double>(count) : 0.0; }
+  // Mean over the documents that actually carried the metric.
+  double avg() const {
+    return samples ? sum / static_cast<double>(samples) : 0.0;
+  }
 };
 
 class Query;
+class DocStore;
 
-class DocStore {
+// A stable view of the store: shared ownership of every segment sealed at
+// snapshot time. Later inserts and compactions are invisible to it.
+class Snapshot {
  public:
-  // Inserts a document; returns its id.
-  std::size_t insert(Document doc);
-  std::size_t size() const { return docs_.size(); }
-  const Document& doc(std::size_t id) const { return docs_[id]; }
-
+  std::size_t size() const;
+  std::size_t segment_count() const { return segments_.size(); }
   Query query() const;
 
  private:
+  friend class DocStore;
   friend class Query;
-  std::vector<Document> docs_;
+  std::vector<std::shared_ptr<const Segment>> segments_;
+};
+
+class DocStore {
+ public:
+  explicit DocStore(StoreOptions options = {});
+  DocStore(const DocStore& other);
+  DocStore& operator=(const DocStore& other);
+  DocStore(DocStore&& other) noexcept;
+  DocStore& operator=(DocStore&& other) noexcept;
+
+  // Inserts a document; returns its id (dense, insertion-ordered).
+  // Thread-safe against concurrent insert() and snapshot()/query().
+  std::size_t insert(Document doc);
+  std::size_t size() const {
+    return next_id_.load(std::memory_order_relaxed);
+  }
+  // Seals the owning shard's memtable and returns a reference into the
+  // sealed segment. The reference stays valid until that shard compacts;
+  // not safe against concurrent compaction.
+  const Document& doc(std::size_t id) const;
+
+  // Stable view for isolated readers (seals pending memtables first).
+  Snapshot snapshot() const;
+  // A query that snapshots the store when it executes.
+  Query query() const;
+
+  // Merge every shard's sealed segments down to one (idempotent). Readers
+  // holding snapshots keep the pre-compaction segments alive.
+  void compact();
+  std::size_t segment_count() const;
+  // Segments the next full compaction would eliminate.
+  std::size_t compaction_debt() const;
+
+  // Persistence: one CRC-framed file per segment plus an atomically-written
+  // MANIFEST naming them. Already-persisted segments are skipped; segment
+  // files orphaned by compaction are removed after the manifest commits.
+  util::Status save(const std::string& dir) const;
+  static util::Result<DocStore> load(const std::string& dir);
+
+  const StoreOptions& options() const { return options_; }
+
+ private:
+  friend class Query;
+  struct Shard {
+    mutable std::mutex mu;
+    SegmentBuilder mem;
+    std::vector<std::shared_ptr<const Segment>> sealed;
+  };
+
+  std::size_t shard_of(std::uint64_t id) const;
+  // Both require the shard lock.
+  void seal_locked(Shard& shard) const;
+  void compact_locked(Shard& shard) const;
+  void publish_segment_stats() const;
+
+  StoreOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> next_id_{0};
 };
 
 class Query {
  public:
-  // Field equals value.
+  // Field equals value (numeric int/double equality, exact otherwise).
   Query& where(std::string field, Value value);
   // Numeric range, inclusive bounds; pass nullopt to leave open.
   Query& where_range(std::string field, std::optional<double> lo,
                      std::optional<double> hi);
   // Field exists (non-null).
   Query& where_exists(std::string field);
+  // Execution mode override (Indexed by default).
+  Query& mode(ExecMode mode);
 
-  // Matching document ids.
+  // Matching document ids, ascending.
   std::vector<std::size_t> ids() const;
-  std::size_t count() const { return ids().size(); }
+  std::size_t count() const;
 
-  // Group by one or more fields, aggregating `metric_field` (may be empty
-  // for count-only). Rows are sorted by descending count.
+  // Group by one or more fields (empty = one global group), aggregating
+  // `metric_field` (may be empty for count-only). Rows are sorted by
+  // descending count, then ascending group key.
   std::vector<AggRow> group_by(std::vector<std::string> fields,
                                const std::string& metric_field = {}) const;
 
-  // All values of `field` across matches (nulls skipped).
+  // All values of `field` across matches, in id order (nulls skipped).
   std::vector<double> numbers(const std::string& field) const;
   std::vector<std::string> strings(const std::string& field) const;
 
-  // Matching documents serialised as JSON Lines (one object per line) —
-  // the export format the ElasticSearch-style store would bulk-load.
+  // Matching documents serialised as JSON Lines (one object per line) in id
+  // order — the export format the ElasticSearch-style store would bulk-load.
   std::string to_jsonl() const;
 
  private:
   friend class DocStore;
+  friend class Snapshot;
   explicit Query(const DocStore& store) : store_{&store} {}
+  explicit Query(Snapshot snapshot) : snapshot_{std::move(snapshot)} {}
 
   struct Term {
     std::string field;
@@ -118,13 +173,25 @@ class Query {
     std::string field;
     std::optional<double> lo, hi;
   };
+  struct Match {
+    std::uint64_t id;
+    const Document* doc;
+  };
 
+  Snapshot resolve() const;
   bool matches(const Document& doc) const;
+  // In-segment match positions, ascending (indexed path).
+  std::vector<std::uint32_t> match_segment(const Segment& segment) const;
+  // All matches across the snapshot, ascending by id. Keeps the backing
+  // segments alive through `snap`.
+  std::vector<Match> collect(const Snapshot& snap) const;
 
-  const DocStore* store_;
+  const DocStore* store_ = nullptr;
+  Snapshot snapshot_;
   std::vector<Term> terms_;
   std::vector<Range> ranges_;
   std::vector<std::string> exists_;
+  ExecMode mode_ = ExecMode::Indexed;
 };
 
 }  // namespace gauge::store

@@ -1,0 +1,171 @@
+#include "store/segment.hpp"
+
+#include <algorithm>
+
+#include "util/bytes.hpp"
+#include "util/hash.hpp"
+#include "util/strings.hpp"
+
+namespace gauge::store {
+
+namespace {
+
+constexpr char kKeySep = '\x1f';
+constexpr std::uint32_t kSegmentMagic = 0x31475347;  // "GSG1"
+
+enum class Tag : std::uint8_t {
+  Null = 0,
+  Bool = 1,
+  Int = 2,
+  Double = 3,
+  String = 4,
+};
+
+void encode_doc(util::ByteWriter& w, std::uint64_t id, const Document& doc) {
+  w.u64(id);
+  w.u32(static_cast<std::uint32_t>(doc.size()));
+  for (const auto& [key, value] : doc) {
+    w.str(key);
+    if (value.is_null()) {
+      w.u8(static_cast<std::uint8_t>(Tag::Null));
+    } else if (value.is_bool()) {
+      w.u8(static_cast<std::uint8_t>(Tag::Bool));
+      w.u8(value.as_bool() ? 1 : 0);
+    } else if (value.is_int()) {
+      w.u8(static_cast<std::uint8_t>(Tag::Int));
+      w.i64(value.as_int());
+    } else if (value.is_double()) {
+      w.u8(static_cast<std::uint8_t>(Tag::Double));
+      w.f64(value.as_double());
+    } else {
+      w.u8(static_cast<std::uint8_t>(Tag::String));
+      w.str(value.as_string());
+    }
+  }
+}
+
+bool decode_doc(util::ByteReader& r, std::uint64_t& id, Document& doc) {
+  id = r.u64();
+  const std::uint32_t fields = r.u32();
+  for (std::uint32_t i = 0; i < fields && r.ok(); ++i) {
+    std::string key = r.str();
+    switch (static_cast<Tag>(r.u8())) {
+      case Tag::Null: doc[std::move(key)] = Value{}; break;
+      case Tag::Bool: doc[std::move(key)] = Value{r.u8() != 0}; break;
+      case Tag::Int: doc[std::move(key)] = Value{r.i64()}; break;
+      case Tag::Double: doc[std::move(key)] = Value{r.f64()}; break;
+      case Tag::String: doc[std::move(key)] = Value{r.str()}; break;
+      default: return false;
+    }
+  }
+  return r.ok();
+}
+
+}  // namespace
+
+const std::vector<std::uint32_t>* Segment::term_postings(
+    const std::string& field, const Value& value) const {
+  const auto it = terms_.find(field + kKeySep + value.index_key());
+  return it == terms_.end() ? nullptr : &it->second;
+}
+
+const Segment::FieldIndex* Segment::field_index(const std::string& field) const {
+  const auto it = fields_.find(field);
+  return it == fields_.end() ? nullptr : &it->second;
+}
+
+void Segment::build_index() {
+  for (std::uint32_t idx = 0; idx < docs_.size(); ++idx) {
+    for (const auto& [field, value] : docs_[idx].second) {
+      terms_[field + kKeySep + value.index_key()].push_back(idx);
+      if (value.is_null()) continue;
+      FieldIndex& fi = fields_[field];
+      fi.exists.push_back(idx);
+      if (value.is_numeric()) {
+        fi.numeric.push_back({value.as_double(), idx});
+      }
+    }
+  }
+  for (auto& [_, fi] : fields_) {
+    std::sort(fi.numeric.begin(), fi.numeric.end(),
+              [](const NumericEntry& a, const NumericEntry& b) {
+                if (a.value != b.value) return a.value < b.value;
+                return a.idx < b.idx;
+              });
+    if (!fi.numeric.empty()) {
+      fi.num_min = fi.numeric.front().value;
+      fi.num_max = fi.numeric.back().value;
+    }
+  }
+}
+
+std::string Segment::encode() const {
+  util::ByteWriter w;
+  w.u32(kSegmentMagic);
+  w.u32(1);  // version
+  w.u32(static_cast<std::uint32_t>(docs_.size()));
+  for (const auto& [id, doc] : docs_) {
+    util::ByteWriter payload;
+    encode_doc(payload, id, doc);
+    w.u32(static_cast<std::uint32_t>(payload.size()));
+    w.raw(std::span<const std::uint8_t>{payload.bytes()});
+    w.u32(util::crc32(std::span<const std::uint8_t>{payload.bytes()}));
+  }
+  const auto& bytes = w.bytes();
+  return std::string{reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+}
+
+util::Result<std::shared_ptr<const Segment>> Segment::decode(
+    std::string_view bytes) {
+  using R = util::Result<std::shared_ptr<const Segment>>;
+  util::ByteReader r{util::as_span(bytes)};
+  if (r.u32() != kSegmentMagic) return R::failure("segment: bad magic");
+  if (r.u32() != 1) return R::failure("segment: unsupported version");
+  const std::uint32_t count = r.u32();
+  SegmentBuilder builder;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t len = r.u32();
+    const auto payload = r.raw(len);
+    const std::uint32_t crc = r.u32();
+    if (!r.ok()) return R::failure("segment: truncated frame");
+    if (util::crc32(payload) != crc) {
+      return R::failure(util::format("segment: frame %u CRC mismatch", i));
+    }
+    util::ByteReader doc_reader{payload};
+    std::uint64_t id = 0;
+    Document doc;
+    if (!decode_doc(doc_reader, id, doc) || doc_reader.remaining() != 0) {
+      return R::failure(util::format("segment: frame %u malformed", i));
+    }
+    builder.add(id, std::move(doc));
+  }
+  if (r.remaining() != 0) return R::failure("segment: trailing bytes");
+  return R{builder.seal()};
+}
+
+std::shared_ptr<const Segment> Segment::merge(
+    const std::vector<std::shared_ptr<const Segment>>& parts) {
+  SegmentBuilder builder;
+  for (const auto& part : parts) {
+    for (const auto& [id, doc] : part->docs()) builder.add(id, doc);
+  }
+  return builder.seal();
+}
+
+void SegmentBuilder::add(std::uint64_t id, Document doc) {
+  docs_.emplace_back(id, std::move(doc));
+}
+
+std::shared_ptr<const Segment> SegmentBuilder::seal() {
+  auto segment = std::shared_ptr<Segment>{new Segment{}};
+  segment->docs_ = std::move(docs_);
+  docs_.clear();
+  // Concurrent inserts may race shard-local append order; id order is the
+  // store's only public ordering, so restore it here.
+  std::sort(segment->docs_.begin(), segment->docs_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  segment->build_index();
+  return segment;
+}
+
+}  // namespace gauge::store

@@ -1,0 +1,96 @@
+// Immutable indexed segments — the unit of storage, snapshotting and
+// compaction in the DocStore (DESIGN.md §14). A segment owns a sorted-by-id
+// run of documents plus the structures queries probe instead of scanning:
+//   - an inverted index: (field, canonical value key) -> ascending posting
+//     list of in-segment doc positions;
+//   - per-field numeric entries sorted by value, with min/max skip metadata
+//     so range queries can reject whole segments without touching them;
+//   - per-field exists postings (docs whose field is present and non-null).
+// Segments serialise to CRC32-framed records (the core/journal framing
+// idiom) and are written atomically via util::AtomicFile by DocStore::save.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "store/value.hpp"
+#include "util/result.hpp"
+
+namespace gauge::store {
+
+class SegmentBuilder;
+
+class Segment {
+ public:
+  struct NumericEntry {
+    double value = 0.0;
+    std::uint32_t idx = 0;  // position within docs()
+  };
+  struct FieldIndex {
+    std::vector<std::uint32_t> exists;   // ascending doc positions, non-null
+    std::vector<NumericEntry> numeric;   // sorted by (value, idx)
+    double num_min = 0.0;                // skip metadata; valid when
+    double num_max = 0.0;                // !numeric.empty()
+  };
+
+  std::size_t size() const { return docs_.size(); }
+  std::uint64_t min_id() const { return docs_.empty() ? 0 : docs_.front().first; }
+  std::uint64_t max_id() const { return docs_.empty() ? 0 : docs_.back().first; }
+  const std::vector<std::pair<std::uint64_t, Document>>& docs() const {
+    return docs_;
+  }
+
+  // Posting list for `field == value` (nullptr when the term is absent —
+  // an index hit that proves zero matches without a scan).
+  const std::vector<std::uint32_t>* term_postings(const std::string& field,
+                                                  const Value& value) const;
+  const FieldIndex* field_index(const std::string& field) const;
+
+  // CRC32-framed byte image: header, then one length+payload+crc frame per
+  // document. decode() rejects any frame whose CRC does not match.
+  std::string encode() const;
+  static util::Result<std::shared_ptr<const Segment>> decode(
+      std::string_view bytes);
+
+  // Compaction: merge several segments into one (docs re-sorted by id, the
+  // index rebuilt over the union).
+  static std::shared_ptr<const Segment> merge(
+      const std::vector<std::shared_ptr<const Segment>>& parts);
+
+  // File this segment is already durably stored as (set by DocStore::save
+  // under the owning shard's lock; empty while memory-only). Metadata only —
+  // never part of the segment's logical content.
+  mutable std::string persisted_as;
+
+ private:
+  friend class SegmentBuilder;
+  Segment() = default;
+  void build_index();
+
+  std::vector<std::pair<std::uint64_t, Document>> docs_;
+  // Key: field + '\x1f' + Value::index_key().
+  std::unordered_map<std::string, std::vector<std::uint32_t>> terms_;
+  std::unordered_map<std::string, FieldIndex> fields_;
+};
+
+// Accumulates the mutable memtable of a shard; seal() sorts by id, builds
+// the index and hands back an immutable segment.
+class SegmentBuilder {
+ public:
+  void add(std::uint64_t id, Document doc);
+  std::size_t size() const { return docs_.size(); }
+  bool empty() const { return docs_.empty(); }
+
+  // Returns the sealed segment and leaves the builder empty.
+  std::shared_ptr<const Segment> seal();
+
+ private:
+  std::vector<std::pair<std::uint64_t, Document>> docs_;
+};
+
+}  // namespace gauge::store

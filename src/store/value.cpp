@@ -1,0 +1,113 @@
+#include "store/value.hpp"
+
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace gauge::store {
+
+std::string format_double(double value) {
+  for (int precision : {15, 16, 17}) {
+    std::string s = util::format("%.*g", precision, value);
+    if (std::strtod(s.c_str(), nullptr) == value) return s;
+  }
+  return util::format("%.17g", value);
+}
+
+bool Value::equals(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    return as_double() == other.as_double();
+  }
+  return v_ == other.v_;
+}
+
+bool Value::less(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    return as_double() < other.as_double();
+  }
+  return v_ < other.v_;
+}
+
+std::string Value::str() const {
+  if (is_null()) return "null";
+  if (is_bool()) return as_bool() ? "true" : "false";
+  if (is_int()) return std::to_string(as_int());
+  if (is_double()) return format_double(as_double());
+  return as_string();
+}
+
+namespace {
+
+std::string tagged(char tag, std::string body) {
+  body.insert(body.begin(), tag);
+  return body;
+}
+
+}  // namespace
+
+std::string Value::index_key() const {
+  if (is_null()) return "z";
+  if (is_bool()) return as_bool() ? "b1" : "b0";
+  // One key per numeric *value*: equals() compares through as_double(), so
+  // the index must too or indexed terms would diverge from a full scan.
+  if (is_numeric()) return tagged('n', format_double(as_double()));
+  return tagged('s', as_string());
+}
+
+std::string Value::group_key() const {
+  if (is_null()) return "z";
+  if (is_bool()) return as_bool() ? "b1" : "b0";
+  if (is_int()) return tagged('i', std::to_string(as_int()));
+  if (is_double()) return tagged('d', format_double(as_double()));
+  return tagged('s', as_string());
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string to_json(const Document& doc) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : doc) {
+    if (!first) out += ", ";
+    first = false;
+    append_json_string(out, key);
+    out += ": ";
+    if (value.is_null()) {
+      out += "null";
+    } else if (value.is_bool()) {
+      out += value.as_bool() ? "true" : "false";
+    } else if (value.is_int()) {
+      out += std::to_string(value.as_int());
+    } else if (value.is_double()) {
+      out += format_double(value.as_double());
+    } else {
+      append_json_string(out, value.as_string());
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace gauge::store

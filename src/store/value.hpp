@@ -1,0 +1,72 @@
+// Scalar document values for the DocStore: a JSON-ish tagged union plus the
+// canonical key forms the index and aggregation layers key on. Two key
+// spaces exist deliberately:
+//   - index_key(): numerically-equal int/double values collapse, mirroring
+//     Value::equals() so indexed term lookups agree with a full scan;
+//   - group_key(): type-tagged and value-exact, so group_by never merges
+//     Value{1} with Value{1.0} and never collapses distinct large doubles.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+
+namespace gauge::store {
+
+// Shortest decimal form that round-trips to the same double (tries %.15g,
+// %.16g then %.17g). The old `%g` (6 significant digits) collapsed distinct
+// values — install counts 1000001 and 1000002 both printed "1e+06".
+std::string format_double(double value);
+
+class Value {
+ public:
+  Value() : v_{std::monostate{}} {}
+  Value(bool b) : v_{b} {}                      // NOLINT
+  Value(std::int64_t i) : v_{i} {}              // NOLINT
+  Value(int i) : v_{static_cast<std::int64_t>(i)} {}  // NOLINT
+  Value(double d) : v_{d} {}                    // NOLINT
+  Value(std::string s) : v_{std::move(s)} {}    // NOLINT
+  Value(const char* s) : v_{std::string{s}} {}  // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+  double as_double() const {
+    if (is_int()) return static_cast<double>(as_int());
+    return std::get<double>(v_);
+  }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+
+  // Numeric comparison when both sides are numeric; exact otherwise.
+  bool equals(const Value& other) const;
+  // Orders numerics numerically, strings lexicographically. Mixed types
+  // compare by type index.
+  bool less(const Value& other) const;
+
+  // Printable form; doubles use round-trip formatting (see format_double).
+  std::string str() const;
+
+  // Canonical term key for the inverted index: follows equals() semantics,
+  // so int 1000 and double 1000.0 share one posting list.
+  std::string index_key() const;
+  // Group-by key: type-tagged and exact, so int/double never merge.
+  std::string group_key() const;
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, double, std::string> v_;
+};
+
+using Document = std::map<std::string, Value>;
+
+// JSON serialisation of a single document ({"k": v, ...} with proper string
+// escaping; ints stay integral, doubles round-trip).
+std::string to_json(const Document& doc);
+
+}  // namespace gauge::store

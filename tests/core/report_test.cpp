@@ -149,5 +149,13 @@ TEST(Records, DocStoreAggregationOverDataset) {
   EXPECT_DOUBLE_EQ(rows[0].sum, 2e6 + 1e5);
 }
 
+// The DocStore port guarantee: every query-backed table renders byte-for-
+// byte identically to its pre-port record-scanning implementation.
+TEST(Report, QueryBackedTablesMatchRecordScanOracle) {
+  EXPECT_EQ(report_parity_diff(tiny_dataset()), "");
+  SnapshotDataset empty;
+  EXPECT_EQ(report_parity_diff(empty), "");
+}
+
 }  // namespace
 }  // namespace gauge::core

@@ -140,5 +140,69 @@ TEST(DocStore, FilteredAggregation) {
   EXPECT_EQ(rows[0].count, 2);
 }
 
+// Regression: group_by used to seed min/max when `row.count == 1`, i.e. on
+// the group's first *document*. A group whose first document lacked the
+// metric kept the default-initialised 0.0 and folded it into min/max. All
+// metric samples here are positive so the phantom 0.0 is detectable.
+TEST(DocStoreBugfix, MinMaxSeedOnFirstSampleNotFirstDoc) {
+  DocStore db;
+  db.insert({{"category", "beauty"}});  // first in group, no metric
+  db.insert({{"category", "beauty"}, {"flops", 5.0}});
+  db.insert({{"category", "beauty"}, {"flops", 3.0}});
+  const auto rows = db.query().group_by({"category"}, "flops");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].count, 3);
+  EXPECT_EQ(rows[0].samples, 2);
+  EXPECT_DOUBLE_EQ(rows[0].min, 3.0);  // old code reported 0.0
+  EXPECT_DOUBLE_EQ(rows[0].max, 5.0);
+  EXPECT_DOUBLE_EQ(rows[0].sum, 8.0);
+  EXPECT_DOUBLE_EQ(rows[0].avg(), 4.0);  // mean over samples, not docs
+}
+
+// Mirror case for max: all-negative samples after a metric-less first doc.
+TEST(DocStoreBugfix, MaxSeedWithNegativeSamples) {
+  DocStore db;
+  db.insert({{"g", 1}});
+  db.insert({{"g", 1}, {"m", -5.0}});
+  db.insert({{"g", 1}, {"m", -3.0}});
+  const auto rows = db.query().group_by({"g"}, "m");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].max, -3.0);  // old code reported 0.0
+  EXPECT_DOUBLE_EQ(rows[0].min, -5.0);
+}
+
+// Regression: doubles used to render through %g (6 significant digits), so
+// install counts 1000001 and 1000002 both printed "1e+06" — and collapsed
+// into one aggregation group.
+TEST(DocStoreBugfix, RoundTripDoubleFormatting) {
+  EXPECT_EQ(Value{1000001.0}.str(), "1000001");
+  EXPECT_EQ(Value{1000002.0}.str(), "1000002");
+  EXPECT_EQ(Value{2.5}.str(), "2.5");
+  EXPECT_EQ(Value{0.1}.str(), "0.1");
+  EXPECT_EQ(format_double(1.0 / 3.0), "0.3333333333333333");
+  Document doc;
+  doc["installs"] = 1000001.0;
+  EXPECT_EQ(to_json(doc), "{\"installs\": 1000001}");
+}
+
+TEST(DocStoreBugfix, DistinctLargeDoublesDoNotMergeInGroupBy) {
+  DocStore db;
+  db.insert({{"installs", 1000001.0}});
+  db.insert({{"installs", 1000002.0}});
+  const auto rows = db.query().group_by({"installs"});
+  ASSERT_EQ(rows.size(), 2u);  // old formatting merged both under "1e+06"
+}
+
+TEST(DocStoreBugfix, IntAndDoubleGroupKeysStayDistinct) {
+  DocStore db;
+  db.insert({{"v", 1}});
+  db.insert({{"v", 1.0}});
+  // Group keys are type-tagged: Value{1} and Value{1.0} are separate groups…
+  EXPECT_EQ(db.query().group_by({"v"}).size(), 2u);
+  // …while term matching keeps numeric equality (both docs match v == 1).
+  EXPECT_EQ(db.query().where("v", Value{1}).count(), 2u);
+  EXPECT_EQ(db.query().where("v", Value{1.0}).count(), 2u);
+}
+
 }  // namespace
 }  // namespace gauge::store

@@ -1,0 +1,151 @@
+// Persistence coverage: CRC-framed segment files plus an atomically-written
+// MANIFEST, save/load round trips across compaction, stale-file cleanup,
+// and corruption rejection.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "store/docstore.hpp"
+#include "util/fileio.hpp"
+#include "util/rng.hpp"
+
+namespace gauge::store {
+namespace {
+
+std::string temp_dir(const std::string& name) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "gaugenn_test" / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+std::size_t segment_files(const std::string& dir) {
+  std::size_t count = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".seg") ++count;
+  }
+  return count;
+}
+
+DocStore fragmented_store(int docs) {
+  StoreOptions options;
+  options.shards = 4;
+  options.segment_target_docs = 32;
+  options.compact_trigger = 0;
+  DocStore db{options};
+  util::Rng rng{7};
+  for (int i = 0; i < docs; ++i) {
+    db.insert({{"i", i},
+               {"tag", rng.bernoulli(0.5) ? "even" : "odd"},
+               {"weight", rng.uniform(0.0, 1.0)}});
+  }
+  return db;
+}
+
+TEST(DocStorePersist, SaveLoadRoundTripsEveryDocument) {
+  const auto dir = temp_dir("roundtrip");
+  DocStore db = fragmented_store(500);
+  ASSERT_TRUE(db.save(dir).ok());
+  EXPECT_TRUE(std::filesystem::exists(dir + "/MANIFEST"));
+  EXPECT_GT(segment_files(dir), 0u);
+
+  auto loaded = DocStore::load(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  EXPECT_EQ(loaded.value().size(), db.size());
+  // Byte-identical JSONL export means every id, field and value survived.
+  EXPECT_EQ(loaded.value().query().to_jsonl(), db.query().to_jsonl());
+  // Aggregations agree too.
+  const auto before = db.query().group_by({"tag"}, "weight");
+  const auto after = loaded.value().query().group_by({"tag"}, "weight");
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].count, after[i].count);
+    EXPECT_EQ(before[i].sum, after[i].sum);
+  }
+}
+
+TEST(DocStorePersist, LoadedStoreKeepsAcceptingInserts) {
+  const auto dir = temp_dir("resume");
+  DocStore db = fragmented_store(100);
+  ASSERT_TRUE(db.save(dir).ok());
+  auto loaded = DocStore::load(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  const auto id = loaded.value().insert({{"i", 100}});
+  EXPECT_EQ(id, 100u);  // ids continue where the saved store stopped
+  EXPECT_EQ(loaded.value().query().count(), 101u);
+}
+
+TEST(DocStorePersist, CompactionThenSaveDropsStaleSegmentFiles) {
+  const auto dir = temp_dir("compaction");
+  DocStore db = fragmented_store(600);
+  ASSERT_TRUE(db.save(dir).ok());
+  const auto fragmented = segment_files(dir);
+  EXPECT_GT(db.compaction_debt(), 0u);
+
+  db.compact();
+  EXPECT_EQ(db.compaction_debt(), 0u);
+  ASSERT_TRUE(db.save(dir).ok());
+  // One merged segment per non-empty shard; the orphaned files are gone.
+  EXPECT_LT(segment_files(dir), fragmented);
+  EXPECT_EQ(segment_files(dir), db.segment_count());
+
+  auto loaded = DocStore::load(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  EXPECT_EQ(loaded.value().query().to_jsonl(), db.query().to_jsonl());
+}
+
+TEST(DocStorePersist, CompactionPreservesQueryResults) {
+  DocStore db = fragmented_store(600);
+  const auto before = db.query().to_jsonl();
+  const auto rows_before = db.query().group_by({"tag"}, "weight");
+  db.compact();
+  EXPECT_EQ(db.query().to_jsonl(), before);
+  const auto rows_after = db.query().group_by({"tag"}, "weight");
+  ASSERT_EQ(rows_after.size(), rows_before.size());
+  for (std::size_t i = 0; i < rows_before.size(); ++i) {
+    EXPECT_EQ(rows_after[i].count, rows_before[i].count);
+    EXPECT_EQ(rows_after[i].sum, rows_before[i].sum);
+    EXPECT_EQ(rows_after[i].min, rows_before[i].min);
+    EXPECT_EQ(rows_after[i].max, rows_before[i].max);
+  }
+}
+
+TEST(DocStorePersist, RejectsCorruptedSegment) {
+  const auto dir = temp_dir("corrupt");
+  DocStore db = fragmented_store(200);
+  ASSERT_TRUE(db.save(dir).ok());
+
+  // Flip one payload byte in some segment file; CRC framing must catch it.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".seg") continue;
+    auto bytes = util::read_text_file(entry.path().string());
+    ASSERT_TRUE(bytes.ok());
+    std::string mutated = bytes.value();
+    mutated[mutated.size() / 2] ^= 0x40;
+    std::ofstream out{entry.path(), std::ios::binary | std::ios::trunc};
+    out << mutated;
+    break;
+  }
+  const auto loaded = DocStore::load(dir);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error().find("CRC"), std::string::npos) << loaded.error();
+}
+
+TEST(DocStorePersist, RejectsMissingOrMalformedManifest) {
+  const auto dir = temp_dir("manifest");
+  EXPECT_FALSE(DocStore::load(dir).ok());
+  ASSERT_TRUE(util::write_file(dir + "/MANIFEST", "not-a-docstore\n").ok());
+  EXPECT_FALSE(DocStore::load(dir).ok());
+  ASSERT_TRUE(
+      util::write_file(dir + "/MANIFEST",
+                       "gauge-docstore 1\nshards 2\nnext_id 5\n"
+                       "segment 9 missing.seg 1\n")
+          .ok());
+  EXPECT_FALSE(DocStore::load(dir).ok());  // shard out of range
+}
+
+}  // namespace
+}  // namespace gauge::store

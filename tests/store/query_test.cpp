@@ -1,0 +1,196 @@
+// Query-layer coverage for the sharded DocStore: negative matches, mixed
+// int/double semantics, snapshot isolation, and — the load-bearing one —
+// randomised parity between the indexed execution path and the full-scan
+// reference over every query shape the store supports.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/docstore.hpp"
+#include "util/rng.hpp"
+
+namespace gauge::store {
+namespace {
+
+// Options that force multi-segment stores even for small corpora so the
+// indexed path exercises segment skips and per-segment postings.
+StoreOptions tiny_segments() {
+  StoreOptions options;
+  options.shards = 4;
+  options.segment_target_docs = 16;
+  options.compact_trigger = 0;  // keep segments fragmented
+  return options;
+}
+
+TEST(DocStoreQuery, TermNegatives) {
+  DocStore db;
+  db.insert({{"framework", "TFLite"}, {"flops", 1000}});
+  EXPECT_EQ(db.query().where("framework", "tflite").count(), 0u);  // case
+  EXPECT_EQ(db.query().where("absent", "TFLite").count(), 0u);
+  EXPECT_EQ(db.query().where("flops", "1000").count(), 0u);  // string != int
+  EXPECT_EQ(db.query().where("framework", Value{}).count(), 0u);
+  EXPECT_EQ(db.query().where("flops", Value{1000}).count(), 1u);
+}
+
+TEST(DocStoreQuery, RangeNegatives) {
+  DocStore db;
+  db.insert({{"name", "a"}, {"flops", 100}});
+  db.insert({{"name", "b"}});
+  // Range over a string field never matches.
+  EXPECT_EQ(db.query().where_range("name", 0, 1000).count(), 0u);
+  // Docs lacking the field never match an open range.
+  EXPECT_EQ(db.query().where_range("flops", std::nullopt, std::nullopt).count(),
+            1u);
+  // Empty interval.
+  EXPECT_EQ(db.query().where_range("flops", 200, 50).count(), 0u);
+  // Bounds are inclusive.
+  EXPECT_EQ(db.query().where_range("flops", 100, 100).count(), 1u);
+}
+
+TEST(DocStoreQuery, ExistsNegatives) {
+  DocStore db;
+  db.insert({{"a", 1}});
+  db.insert({{"a", Value{}}});
+  db.insert({{"b", "x"}});
+  EXPECT_EQ(db.query().where_exists("a").count(), 1u);  // null is not present
+  EXPECT_EQ(db.query().where_exists("c").count(), 0u);
+  // Explicit null is still findable as a term.
+  EXPECT_EQ(db.query().where("a", Value{}).count(), 1u);
+}
+
+TEST(DocStoreQuery, MixedIntDoubleEqualityAndOrdering) {
+  DocStore db{tiny_segments()};
+  db.insert({{"v", 2}});
+  db.insert({{"v", 2.0}});
+  db.insert({{"v", 2.5}});
+  db.insert({{"v", 3}});
+  EXPECT_EQ(db.query().where("v", Value{2}).count(), 2u);
+  EXPECT_EQ(db.query().where("v", Value{2.0}).count(), 2u);
+  EXPECT_EQ(db.query().where_range("v", 2, 2.5).count(), 3u);
+  EXPECT_EQ(db.query().where_range("v", 2.1, std::nullopt).count(), 2u);
+}
+
+TEST(DocStoreQuery, IdsAreAscendingAcrossShards) {
+  DocStore db{tiny_segments()};
+  for (int i = 0; i < 200; ++i) db.insert({{"i", i}});
+  const auto ids = db.query().ids();
+  ASSERT_EQ(ids.size(), 200u);
+  for (std::size_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], i);
+}
+
+TEST(DocStoreSnapshot, IsolatedFromLaterInsertsAndCompaction) {
+  DocStore db{tiny_segments()};
+  for (int i = 0; i < 50; ++i) db.insert({{"i", i}});
+  const Snapshot snap = db.snapshot();
+  EXPECT_EQ(snap.size(), 50u);
+
+  for (int i = 50; i < 100; ++i) db.insert({{"i", i}});
+  db.compact();
+  // The snapshot still sees exactly the first 50 documents through its own
+  // (pre-compaction) segment list; the store sees all 100.
+  EXPECT_EQ(snap.size(), 50u);
+  EXPECT_EQ(snap.query().count(), 50u);
+  EXPECT_EQ(snap.query().where_range("i", 50, std::nullopt).count(), 0u);
+  EXPECT_EQ(db.query().count(), 100u);
+}
+
+TEST(DocStoreSnapshot, QueryOverStoreSnapshotsAtExecution) {
+  DocStore db{tiny_segments()};
+  db.insert({{"i", 1}});
+  const auto query = db.query();  // bound to the store, not a snapshot
+  db.insert({{"i", 2}});
+  EXPECT_EQ(query.count(), 2u);
+}
+
+// ------------------------------------------------------- randomised parity
+
+Document random_doc(util::Rng& rng) {
+  static const std::vector<std::string> kCategories{
+      "photography", "communication", "finance", "beauty", "tools"};
+  static const std::vector<std::string> kFrameworks{"TFLite", "ncnn", "caffe",
+                                                    "MNN", "ONNX"};
+  Document doc;
+  doc["category"] = rng.choice(kCategories);
+  doc["framework"] = rng.choice(kFrameworks);
+  // Mix of int and double values for the same field, including collisions
+  // (int 5 vs double 5.0) and near-collisions at 6 significant digits.
+  if (rng.bernoulli(0.5)) {
+    doc["installs"] = rng.uniform_int(1000000, 1000015);
+  } else {
+    doc["installs"] = static_cast<double>(rng.uniform_int(1000000, 1000015));
+  }
+  if (rng.bernoulli(0.8)) {  // sometimes absent — exercises samples/min/max
+    doc["flops"] = rng.uniform(0.0, 5e9);
+  }
+  if (rng.bernoulli(0.1)) doc["flops_null"] = Value{};
+  doc["uses_ml"] = rng.bernoulli(0.3);
+  return doc;
+}
+
+std::vector<Query> query_shapes(const DocStore& db) {
+  std::vector<Query> shapes;
+  shapes.push_back(db.query());
+  shapes.push_back(db.query().where("framework", "TFLite"));
+  shapes.push_back(db.query().where("uses_ml", Value{true}));
+  shapes.push_back(db.query().where("installs", Value{1000003}));
+  shapes.push_back(db.query().where("installs", Value{1000003.0}));
+  shapes.push_back(db.query().where_range("flops", 1e9, 4e9));
+  shapes.push_back(db.query().where_range("flops", std::nullopt, 2.5e9));
+  shapes.push_back(db.query().where_exists("flops"));
+  shapes.push_back(db.query()
+                       .where("category", "photography")
+                       .where_range("flops", 5e8, std::nullopt)
+                       .where_exists("installs"));
+  shapes.push_back(db.query()
+                       .where("framework", "ncnn")
+                       .where("uses_ml", Value{false}));
+  return shapes;
+}
+
+void expect_rows_identical(const std::vector<AggRow>& indexed,
+                           const std::vector<AggRow>& scanned) {
+  ASSERT_EQ(indexed.size(), scanned.size());
+  for (std::size_t i = 0; i < indexed.size(); ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_EQ(indexed[i].keys.size(), scanned[i].keys.size());
+    for (std::size_t k = 0; k < indexed[i].keys.size(); ++k) {
+      EXPECT_EQ(indexed[i].keys[k].group_key(), scanned[i].keys[k].group_key());
+    }
+    EXPECT_EQ(indexed[i].count, scanned[i].count);
+    EXPECT_EQ(indexed[i].samples, scanned[i].samples);
+    // Matches aggregate in id order on both paths, so double accumulation
+    // is bitwise-identical, not just close.
+    EXPECT_EQ(indexed[i].sum, scanned[i].sum);
+    EXPECT_EQ(indexed[i].min, scanned[i].min);
+    EXPECT_EQ(indexed[i].max, scanned[i].max);
+  }
+}
+
+TEST(DocStoreQuery, IndexedMatchesFullScanOnRandomisedCorpus) {
+  util::Rng rng{20260809};
+  DocStore db{tiny_segments()};
+  for (int i = 0; i < 3000; ++i) db.insert(random_doc(rng));
+  db.compact();                                   // some big segments…
+  for (int i = 0; i < 500; ++i) db.insert(random_doc(rng));  // …some small
+
+  for (auto& query : query_shapes(db)) {
+    auto indexed = query;
+    auto scanned = query;
+    indexed.mode(ExecMode::Indexed);
+    scanned.mode(ExecMode::FullScan);
+    EXPECT_EQ(indexed.ids(), scanned.ids());
+    EXPECT_EQ(indexed.to_jsonl(), scanned.to_jsonl());
+    expect_rows_identical(indexed.group_by({"category"}, "flops"),
+                          scanned.group_by({"category"}, "flops"));
+    expect_rows_identical(
+        indexed.group_by({"category", "framework"}, "installs"),
+        scanned.group_by({"category", "framework"}, "installs"));
+    expect_rows_identical(indexed.group_by({"installs"}),
+                          scanned.group_by({"installs"}));
+  }
+}
+
+}  // namespace
+}  // namespace gauge::store
