@@ -1,9 +1,11 @@
 // End-to-end pipeline throughput: the same ML-heavy category slice crawled
-// serially and with 1/2/4/8 worker threads. Reports apps/sec and models/sec
-// per configuration plus the speedup over the serial baseline, and emits one
-// machine-readable JSON row per configuration. Scaling is bounded by the
-// host's core count (a single-core container shows ~1.0x by construction);
-// the dataset is verified identical across all configurations either way.
+// serially, with 1/2/4/8 worker threads, and sharded over 2/4 forked worker
+// processes (the coordinator/worker cluster, DESIGN.md §15). Reports
+// apps/sec and models/sec per configuration plus the speedup over the serial
+// baseline, and emits one machine-readable JSON row per configuration.
+// Scaling is bounded by the host's core count (a single-core container shows
+// ~1.0x by construction); the dataset is verified identical across all
+// configurations either way.
 #include "bench/common.hpp"
 
 #include <chrono>
@@ -17,14 +19,16 @@ int main() {
   bench::print_header(
       "Pipeline throughput: parallel crawl -> extract -> analyse",
       "app-granular fan-out with a once-only analysis cache; identical "
-      "dataset at any thread count");
+      "dataset at any thread or worker count");
 
   core::PipelineOptions base;
   base.categories = {"communication", "finance", "photography", "social"};
 
-  const auto run_once = [&](unsigned threads) {
+  const auto run_once = [&](unsigned threads, unsigned workers) {
     auto options = base;
     options.threads = threads;
+    options.workers = workers;
+    if (workers > 0) options.worker_launcher = core::process_worker_launcher();
     const auto start = std::chrono::steady_clock::now();
     auto data = core::run_pipeline(bench::play_store(), options);
     const auto stop = std::chrono::steady_clock::now();
@@ -34,17 +38,18 @@ int main() {
   };
 
   // Warm the store's model-file cache so serialisation cost does not favour
-  // whichever configuration runs first.
-  (void)run_once(0);
+  // whichever configuration runs first. Worker processes are forked after
+  // this, so they inherit the warm cache too.
+  (void)run_once(0, 0);
 
-  const auto [serial, serial_s] = run_once(0);
+  const auto [serial, serial_s] = run_once(0, 0);
   const double serial_apps_ps = static_cast<double>(serial.apps.size()) / serial_s;
 
-  util::Table table{
-      {"threads", "seconds", "apps/sec", "models/sec", "speedup", "identical"}};
+  util::Table table{{"threads", "workers", "seconds", "apps/sec", "models/sec",
+                     "speedup", "identical"}};
   std::vector<std::string> json_rows;
-  const auto report = [&](const char* label, const core::SnapshotDataset& data,
-                          double seconds) {
+  const auto report = [&](const char* label, unsigned workers,
+                          const core::SnapshotDataset& data, double seconds) {
     const bool identical =
         data.apps.size() == serial.apps.size() &&
         data.models.size() == serial.models.size() &&
@@ -54,24 +59,29 @@ int main() {
     const double apps_ps = static_cast<double>(data.apps.size()) / seconds;
     const double models_ps = static_cast<double>(data.models.size()) / seconds;
     const double speedup = apps_ps / serial_apps_ps;
-    table.add_row({label, util::Table::num(seconds, 3),
+    table.add_row({label, std::to_string(workers), util::Table::num(seconds, 3),
                    util::Table::num(apps_ps, 1), util::Table::num(models_ps, 1),
                    util::Table::num(speedup, 2), identical ? "yes" : "NO"});
     json_rows.push_back(util::format(
-        "{\"bench\":\"pipeline\",\"threads\":\"%s\",\"seconds\":%.4f,"
-        "\"apps_per_sec\":%.2f,\"models_per_sec\":%.2f,\"speedup\":%.3f,"
-        "\"identical\":%s}",
-        label, seconds, apps_ps, models_ps, speedup,
+        "{\"bench\":\"pipeline\",\"threads\":\"%s\",\"workers\":%u,"
+        "\"seconds\":%.4f,\"apps_per_sec\":%.2f,\"models_per_sec\":%.2f,"
+        "\"speedup\":%.3f,\"identical\":%s}",
+        label, workers, seconds, apps_ps, models_ps, speedup,
         identical ? "true" : "false"));
   };
 
-  report("serial", serial, serial_s);
+  report("serial", 0, serial, serial_s);
   for (unsigned threads : {1u, 2u, 4u, 8u}) {
-    const auto [data, seconds] = run_once(threads);
-    report(std::to_string(threads).c_str(), data, seconds);
+    const auto [data, seconds] = run_once(threads, 0);
+    report(std::to_string(threads).c_str(), 0, data, seconds);
+  }
+  // The cluster axis: forked worker processes, two analysis threads each.
+  for (unsigned workers : {2u, 4u}) {
+    const auto [data, seconds] = run_once(2, workers);
+    report("2", workers, data, seconds);
   }
 
-  util::print_section("Throughput by thread count", table.render());
+  util::print_section("Throughput by thread and worker count", table.render());
   for (const auto& row : json_rows) std::printf("%s\n", row.c_str());
   return 0;
 }

@@ -16,6 +16,14 @@
 // (0 = serial). The dataset is identical for any value; the default is the
 // hardware concurrency.
 //
+// The global option `--workers <n>` scales the crawl past one process: the
+// CLI becomes a coordinator that forks n local worker processes and shards
+// the app chart over them (DESIGN.md §15). The dataset digest is identical
+// to a serial run for any worker count, and `--journal/--resume` compose —
+// the coordinator owns the journal. `--worker-fault-plan <spec>` injects
+// deterministic worker faults (kill-after=W:N; drop-result=W:N;
+// stall=W:N:SECONDS) for testing the requeue/steal machinery.
+//
 // Crash-safe runs (DESIGN.md §10): `--journal <file>` makes every completed
 // app durable as the crawl progresses; after a crash or Ctrl-C, rerunning
 // with `--journal <file> --resume` replays the journal and continues from
@@ -58,6 +66,7 @@ using namespace gauge;
 int usage() {
   std::fprintf(stderr,
                "usage: gaugenn_cli [--telemetry-out <dir>] [--threads <n>] "
+               "[--workers <n>] [--worker-fault-plan <spec>] "
                "[--journal <file>] [--resume] [--digest] "
                "[--crash-plan <spec>] "
                "<crawl [category ...] | inspect <pkg> | "
@@ -68,6 +77,9 @@ int usage() {
 
 // --threads override (nullopt = PipelineOptions default).
 std::optional<unsigned> g_threads;
+// --workers: 0 = in-process executor; >0 forks that many worker processes.
+unsigned g_workers = 0;
+core::WorkerFaultPlan g_worker_faults;
 // Crash-safety globals: --journal/--resume/--digest/--crash-plan, plus the
 // SIGINT flag the pipeline polls for graceful cancellation.
 std::string g_journal;
@@ -86,6 +98,9 @@ extern "C" void handle_sigint(int) {
 core::PipelineOptions pipeline_options() {
   core::PipelineOptions options;
   if (g_threads) options.threads = *g_threads;
+  options.workers = g_workers;
+  options.worker_faults = g_worker_faults;
+  if (g_workers > 0) options.worker_launcher = core::process_worker_launcher();
   options.journal_path = g_journal;
   options.resume = g_resume;
   options.crash_plan = g_crash_plan;
@@ -126,10 +141,12 @@ int cmd_crawl(const std::vector<std::string>& categories) {
   options.categories = categories;
   const auto data = core::run_pipeline(play(), options);
   if (data.interrupted) {
+    const std::string workers_flag =
+        g_workers > 0 ? util::format(" --workers %u", g_workers) : "";
     std::fprintf(stderr,
                  "interrupted: %zu apps in dataset so far; resume with\n"
-                 "  gaugenn_cli --journal %s --resume crawl%s%s\n",
-                 data.apps_crawled(), g_journal.c_str(),
+                 "  gaugenn_cli --journal %s%s --resume crawl%s%s\n",
+                 data.apps_crawled(), g_journal.c_str(), workers_flag.c_str(),
                  categories.empty() ? "" : " ",
                  util::join(categories, " ").c_str());
     return 130;  // 128 + SIGINT, the conventional interrupted-exit code
@@ -303,6 +320,25 @@ int main(int argc, char** argv) {
       const unsigned long value = std::strtoul(argv[++i], &end, 10);
       if (end == nullptr || *end != '\0') return usage();
       g_threads = static_cast<unsigned>(value);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--workers") == 0) {
+      if (i + 1 >= argc) return usage();
+      char* end = nullptr;
+      const unsigned long value = std::strtoul(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0') return usage();
+      g_workers = static_cast<unsigned>(value);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--worker-fault-plan") == 0) {
+      if (i + 1 >= argc) return usage();
+      auto plan = core::parse_worker_fault_plan(argv[++i]);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "bad --worker-fault-plan: %s\n",
+                     plan.error().c_str());
+        return 2;
+      }
+      g_worker_faults = plan.value();
       continue;
     }
     if (std::strcmp(argv[i], "--journal") == 0) {

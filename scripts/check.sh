@@ -12,15 +12,18 @@
 # bench_serve burst, asserting per-model p99 SLO lines and zero errors), a
 # docstore smoke (pipeline slice through the sharded store: query-backed
 # report tables byte-identical to the record-scan oracle, across compaction
-# and a save/load round trip), and
+# and a save/load round trip), a distributed crawl smoke (--workers 4 digest
+# byte-identical to serial, clean and under a kill-worker fault plan), and
 # a targeted ThreadSanitizer pass over the concurrency-sensitive suites: the
 # telemetry hammers, the thread pool, the parallel-pipeline
 # determinism/stampede tests, the harness fault-injection suite (run_fleet
 # drives one master thread per port), the journal/resume/hostile-zip
 # robustness suites, the serving layer (batcher, protocol, loopback
 # server under concurrent clients), the kernel engine's multi-threaded
-# dispatch (the Kernel parity suites), and the DocStore suites (writers,
-# snapshot readers and a compactor interleaving on a sharded store).
+# dispatch (the Kernel parity suites), the DocStore suites (writers,
+# snapshot readers and a compactor interleaving on a sharded store), and
+# the crawl cluster (Dist* suites via thread-launched workers, plus the
+# shared NetFraming codec).
 #
 # Each sanitizer gets its own build tree (build-check-<san>) so switching
 # sanitizers never poisons an incremental build.
@@ -173,6 +176,31 @@ if [[ -z "$SANITIZER" && -z "$FILTER" ]]; then
   # (bench_docstore --smoke exits non-zero on any divergence).
   echo "== docstore smoke =="
   "$BUILD_DIR/bench/bench_docstore" --smoke
+
+  # ---- distributed crawl smoke ----------------------------------------------
+  # Shard the same crawl over 4 forked worker processes and require the
+  # dataset digest to match the serial baseline — clean, and again with a
+  # worker killed mid-crawl by the deterministic fault seam (requeue +
+  # quarantine must still converge to the identical dataset).
+  echo "== distributed crawl smoke =="
+  DIST="$("$CLI" --workers 4 --threads 2 --digest crawl communication \
+    | grep 'dataset digest:')"
+  if [[ "$BASELINE" != "$DIST" ]]; then
+    echo "error: --workers 4 digest differs from serial run" >&2
+    echo "  serial:      $BASELINE" >&2
+    echo "  distributed: $DIST" >&2
+    exit 1
+  fi
+  FAULTED="$("$CLI" --workers 4 --threads 2 --digest \
+    --worker-fault-plan 'kill-after=1:3' crawl communication 2>/dev/null \
+    | grep 'dataset digest:')"
+  if [[ "$BASELINE" != "$FAULTED" ]]; then
+    echo "error: kill-worker fault run digest differs from serial run" >&2
+    echo "  serial:  $BASELINE" >&2
+    echo "  faulted: $FAULTED" >&2
+    exit 1
+  fi
+  echo "ok: distributed crawl is byte-identical ($DIST), kill-worker fault recovered"
 fi
 
 if [[ -z "$SANITIZER" ]]; then
@@ -181,5 +209,5 @@ if [[ -z "$SANITIZER" ]]; then
   cmake -B "$TSAN_DIR" -S . -DGAUGE_SANITIZE=thread
   cmake --build "$TSAN_DIR" -j "$(nproc)"
   ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$(nproc)" \
-    -R 'Metrics|Span|ThreadPool|PipelineConcurrency|AnalysisCache|HarnessFault|PipelineResume|Journal|HostileZip|Serve|Kernel|DocStore'
+    -R 'Metrics|Span|ThreadPool|PipelineConcurrency|AnalysisCache|HarnessFault|PipelineResume|Journal|HostileZip|Serve|Kernel|DocStore|Dist|NetFraming'
 fi

@@ -1,0 +1,624 @@
+#include "core/dist.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <utility>
+
+#include "core/outcome_codec.hpp"
+#include "core/pipeline.hpp"
+#include "net/framing.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace gauge::core {
+
+namespace {
+
+// An outcome record carrying every analysis a worker produced for one app;
+// generous cap against a hostile/corrupt length prefix.
+constexpr std::size_t kMaxWireRecordBytes = 64u << 20;
+constexpr auto kHandshakeDeadline = std::chrono::milliseconds{10'000};
+constexpr auto kSendDeadline = std::chrono::milliseconds{5'000};
+// Budget for reading one frame once bytes are pending. Generous: the fault
+// plan's stall happens *before* the frame is sent, so a frame that started
+// arriving finishes promptly on loopback.
+constexpr auto kRecvDeadline = std::chrono::milliseconds{30'000};
+// Receiver/worker loops tick at this rate to observe stop flags.
+constexpr auto kIoTick = std::chrono::milliseconds{200};
+
+telemetry::Counter& dist_counter(const char* name) {
+  return telemetry::current_registry().counter(std::string{"gauge.dist."} +
+                                               name);
+}
+
+util::Status send_message(net::TcpStream& stream, const util::Bytes& payload) {
+  return net::send_frame(stream, payload, kSendDeadline);
+}
+
+}  // namespace
+
+util::Result<WorkerFaultPlan> parse_worker_fault_plan(const std::string& spec) {
+  using R = util::Result<WorkerFaultPlan>;
+  WorkerFaultPlan plan;
+  for (const auto& raw : util::split(spec, ';')) {
+    const std::string directive{util::trim(raw)};
+    if (directive.empty()) continue;
+    const auto eq = directive.find('=');
+    const std::string key = directive.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : directive.substr(eq + 1);
+    const auto fields = util::split(value, ':');
+    const auto field_int =
+        [&fields](std::size_t i) -> std::optional<std::int64_t> {
+      if (i >= fields.size()) return std::nullopt;
+      return util::parse_int(fields[i]);
+    };
+    const auto worker = field_int(0);
+    const auto outcome = field_int(1);
+    if (!worker || *worker < 0 || !outcome || *outcome < 1) {
+      return R::failure("worker-fault-plan: bad '" + directive +
+                        "' (want WORKER:OUTCOME with OUTCOME >= 1)");
+    }
+    const auto index = static_cast<unsigned>(*worker);
+    if (key == "kill-after" && fields.size() == 2) {
+      plan.kill_after[index] = static_cast<int>(*outcome);
+    } else if (key == "drop-result" && fields.size() == 2) {
+      plan.drop_result[index] = static_cast<int>(*outcome);
+    } else if (key == "stall" && fields.size() == 3) {
+      const auto seconds = field_int(2);
+      if (!seconds || *seconds < 1) {
+        return R::failure("worker-fault-plan: bad stall seconds in '" +
+                          directive + "'");
+      }
+      plan.stall[index] = {static_cast<int>(*outcome),
+                           static_cast<int>(*seconds)};
+    } else {
+      return R::failure("worker-fault-plan: unknown directive '" + directive +
+                        "'");
+    }
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+void run_worker(const android::PlayStore& play, const PipelineOptions& options,
+                const WorkerConfig& config) {
+  auto connected = net::TcpStream::connect("127.0.0.1", config.port);
+  if (!connected.ok()) {
+    util::log_warn(util::format("worker %u: connect failed: %s", config.index,
+                                connected.error().c_str()));
+    return;
+  }
+  net::TcpStream stream = std::move(connected.value());
+
+  {
+    util::ByteWriter hello;
+    hello.u8(static_cast<std::uint8_t>(DistMsg::Hello));
+    hello.u16(kDistProtocolVersion);
+    hello.u64(config.token);
+    hello.u32(config.index);
+    if (!send_message(stream, std::move(hello).take()).ok()) return;
+  }
+  auto welcome =
+      net::recv_frame_for(stream, kMaxWireRecordBytes, kHandshakeDeadline);
+  if (!welcome.ok()) {
+    // Includes frame-codec version skew: a coordinator binary with a
+    // different framing refuses us before the Hello is even parsed.
+    util::log_warn(util::format("worker %u: handshake failed: %s",
+                                config.index, welcome.error().c_str()));
+    return;
+  }
+  {
+    util::ByteReader reader{std::span<const std::uint8_t>{welcome.value()}};
+    const auto kind = static_cast<DistMsg>(reader.u8());
+    if (kind == DistMsg::Reject) {
+      util::log_warn(util::format("worker %u: rejected: %s", config.index,
+                                  reader.str().c_str()));
+      return;
+    }
+    if (kind != DistMsg::Welcome) return;
+  }
+
+  // Worker-local analysis cache: analysis is a deterministic function of
+  // model content, so independent caches cannot change the dataset — only
+  // the cache hit/miss attribution (not part of the digest).
+  AnalysisCache cache;
+  std::mutex send_mutex;
+  int outcomes_sent = 0;  // guarded by send_mutex; fault indices are 1-based
+  std::atomic<bool> killed{false};
+
+  const auto kill_it = options.worker_faults.kill_after.find(config.index);
+  const auto drop_it = options.worker_faults.drop_result.find(config.index);
+  const auto stall_it = options.worker_faults.stall.find(config.index);
+  const auto& faults = options.worker_faults;
+
+  // Declared after `stream`/`cache` so its destructor (which finishes any
+  // queued assignments) runs while they are still alive.
+  nn::ThreadPool pool{options.threads};
+
+  for (;;) {
+    if (killed.load(std::memory_order_relaxed)) break;
+    if (auto ready = stream.wait_readable_for(kIoTick); !ready.ok()) {
+      if (net::is_timeout(ready.error())) continue;
+      break;
+    }
+    auto frame = net::recv_frame_for(stream, kMaxWireRecordBytes,
+                                     kRecvDeadline);
+    if (!frame.ok()) break;  // coordinator shut down or died
+    util::ByteReader reader{std::span<const std::uint8_t>{frame.value()}};
+    const auto kind = static_cast<DistMsg>(reader.u8());
+    if (kind == DistMsg::Shutdown) break;
+    if (kind != DistMsg::Assign) continue;
+    const std::uint64_t seq = reader.u64();
+    const std::string package = reader.str();
+    if (!reader.ok()) break;
+
+    pool.submit([&, seq, package] {
+      AppOutcome out;
+      // The store is deterministic and shared (workers on one machine), so
+      // the package name alone identifies the exact chart entry.
+      if (const android::AppEntry* entry = play.find(package);
+          entry != nullptr) {
+        out = process_app(play, options, cache, *entry);
+      } else {
+        out.status = AppOutcome::Status::DownloadFailed;
+        out.package = package;
+        out.error = "unknown package: " + package;
+      }
+      util::ByteWriter msg;
+      msg.u8(static_cast<std::uint8_t>(DistMsg::Outcome));
+      msg.u64(seq);
+      msg.raw(encode_outcome_standalone(out));
+
+      const std::lock_guard<std::mutex> guard{send_mutex};
+      ++outcomes_sent;
+      if (kill_it != faults.kill_after.end() &&
+          kill_it->second == outcomes_sent) {
+        // Crash mid-result: the coordinator sees the connection drop and
+        // must requeue everything this worker still holds.
+        killed.store(true, std::memory_order_relaxed);
+        stream.shutdown();
+        return;
+      }
+      if (drop_it != faults.drop_result.end() &&
+          drop_it->second == outcomes_sent) {
+        return;  // lost result: recovered by the coordinator's deadline
+      }
+      if (stall_it != faults.stall.end() &&
+          stall_it->second.outcome == outcomes_sent) {
+        std::this_thread::sleep_for(
+            std::chrono::seconds{stall_it->second.seconds});
+      }
+      // Send failure means the coordinator is gone or gave up on us; it
+      // requeues, so there is nothing useful to do here.
+      (void)send_message(stream, std::move(msg).take());
+    });
+  }
+}
+
+WorkerLauncher process_worker_launcher() {
+  return [](const android::PlayStore& play, const PipelineOptions& options,
+            const WorkerConfig& config) -> WorkerHandle {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      // Terminal Ctrl-C signals the whole process group; the coordinator
+      // owns the drain, so workers ignore SIGINT and exit when their
+      // connection closes.
+      std::signal(SIGINT, SIG_IGN);
+      run_worker(play, options, config);
+      std::_Exit(0);
+    }
+    WorkerHandle handle;
+    if (pid < 0) {
+      util::log_warn("fork failed for worker " + std::to_string(config.index));
+      handle.join = [] {};
+      return handle;
+    }
+    handle.join = [pid] {
+      int status = 0;
+      while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+      }
+    };
+    return handle;
+  };
+}
+
+WorkerLauncher thread_worker_launcher() {
+  return [](const android::PlayStore& play, const PipelineOptions& options,
+            const WorkerConfig& config) -> WorkerHandle {
+    auto thread = std::make_shared<std::thread>(
+        [&play, &options, config] { run_worker(play, options, config); });
+    WorkerHandle handle;
+    handle.join = [thread] {
+      if (thread->joinable()) thread->join();
+    };
+    return handle;
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator side
+// ---------------------------------------------------------------------------
+
+DistributedExecutor::DistributedExecutor(const android::PlayStore& play,
+                                         const PipelineOptions& options,
+                                         AnalysisCache& cache)
+    : play_{play}, options_{options}, cache_{cache} {
+  max_attempts_ = std::max(1, options.worker_retry.max_attempts);
+  capacity_per_worker_ = std::max(1u, options.threads);
+
+  auto listener =
+      net::TcpListener::bind(0, static_cast<int>(options.workers));
+  if (!listener.ok()) {
+    throw std::runtime_error{"coordinator listen: " + listener.error()};
+  }
+  listener_.emplace(std::move(listener.value()));
+
+  // Per-run token: a stale worker from a previous coordinator on a reused
+  // port cannot join this run.
+  const std::uint64_t token =
+      (static_cast<std::uint64_t>(::getpid()) << 32) ^
+      static_cast<std::uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count()) ^
+      listener_->port();
+
+  // Launch every worker before any coordinator thread exists: the default
+  // launcher forks, and forking a multi-threaded process is where the
+  // trouble lives.
+  const WorkerLauncher launcher = options.worker_launcher
+                                      ? options.worker_launcher
+                                      : process_worker_launcher();
+  std::vector<WorkerHandle> handles;
+  handles.reserve(options.workers);
+  for (unsigned i = 0; i < options.workers; ++i) {
+    WorkerConfig config;
+    config.port = listener_->port();
+    config.token = token;
+    config.index = i;
+    handles.push_back(launcher(play, options, config));
+  }
+
+  for (unsigned i = 0; i < options.workers; ++i) {
+    auto accepted = listener_->accept_for(kHandshakeDeadline);
+    if (!accepted.ok()) {
+      util::log_warn("coordinator: worker connection missing: " +
+                     accepted.error());
+      break;
+    }
+    net::TcpStream stream = std::move(accepted.value());
+    auto hello =
+        net::recv_frame_for(stream, kMaxWireRecordBytes, kHandshakeDeadline);
+    if (!hello.ok()) {
+      util::log_warn("coordinator: bad handshake: " + hello.error());
+      dist_counter("handshake_rejects").increment();
+      continue;
+    }
+    util::ByteReader reader{std::span<const std::uint8_t>{hello.value()}};
+    const auto kind = static_cast<DistMsg>(reader.u8());
+    const std::uint16_t protocol = reader.u16();
+    const std::uint64_t worker_token = reader.u64();
+    const unsigned index = reader.u32();
+    std::string reject;
+    if (kind != DistMsg::Hello || !reader.ok()) {
+      reject = "malformed hello";
+    } else if (protocol != kDistProtocolVersion) {
+      reject = util::format(
+          "protocol version skew: worker speaks v%u, coordinator speaks v%u",
+          protocol, kDistProtocolVersion);
+    } else if (worker_token != token) {
+      reject = "bad token (stale worker from another run?)";
+    }
+    if (!reject.empty()) {
+      util::log_warn("coordinator: rejecting worker: " + reject);
+      dist_counter("handshake_rejects").increment();
+      util::ByteWriter msg;
+      msg.u8(static_cast<std::uint8_t>(DistMsg::Reject));
+      msg.str(reject);
+      (void)send_message(stream, std::move(msg).take());
+      continue;
+    }
+    util::ByteWriter msg;
+    msg.u8(static_cast<std::uint8_t>(DistMsg::Welcome));
+    if (!send_message(stream, std::move(msg).take()).ok()) continue;
+
+    auto worker = std::make_unique<Worker>();
+    worker->index = index;
+    worker->stream.emplace(std::move(stream));
+    worker->alive = true;
+    if (index < handles.size()) worker->handle = std::move(handles[index]);
+    workers_.push_back(std::move(worker));
+    dist_counter("workers").increment();
+  }
+  // Handles for workers that never completed a handshake still need to be
+  // reaped at destruction.
+  for (auto& handle : handles) {
+    if (handle.join) {
+      workers_.push_back(std::make_unique<Worker>());
+      workers_.back()->handle = std::move(handle);
+    }
+  }
+
+  const std::size_t live = live_workers_locked();  // no threads yet: safe
+  window_ = std::max<std::size_t>(4, 2 * live * capacity_per_worker_);
+  if (live == 0) {
+    util::log_warn(
+        "coordinator: no live workers — every app will run inline");
+  }
+
+  for (auto& worker : workers_) {
+    if (!worker->alive) continue;
+    Worker* target = worker.get();
+    target->receiver = std::thread{[this, target] { receiver_loop(*target); }};
+  }
+}
+
+DistributedExecutor::~DistributedExecutor() {
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    stopping_ = true;
+    for (auto& worker : workers_) {
+      if (worker->alive && worker->stream) {
+        util::ByteWriter msg;
+        msg.u8(static_cast<std::uint8_t>(DistMsg::Shutdown));
+        (void)send_message(*worker->stream, std::move(msg).take());
+      }
+    }
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker->receiver.joinable()) worker->receiver.join();
+    if (worker->stream) worker->stream->shutdown();
+    if (worker->handle.join) worker->handle.join();
+  }
+}
+
+std::size_t DistributedExecutor::live_workers_locked() const {
+  std::size_t live = 0;
+  for (const auto& worker : workers_) {
+    if (worker->alive) ++live;
+  }
+  return live;
+}
+
+void DistributedExecutor::submit(const android::AppEntry& entry) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  const std::uint64_t seq = next_seq_++;
+  entries_[seq] = &entry;
+  attempts_[seq] = 0;
+  pending_.push_back(seq);
+  dispatch_locked();
+}
+
+std::size_t DistributedExecutor::in_flight() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return static_cast<std::size_t>(next_seq_ - next_return_);
+}
+
+bool DistributedExecutor::assign_locked(Worker& worker, std::uint64_t seq) {
+  util::ByteWriter msg;
+  msg.u8(static_cast<std::uint8_t>(DistMsg::Assign));
+  msg.u64(seq);
+  msg.str(entries_.at(seq)->package);
+  if (!send_message(*worker.stream, std::move(msg).take()).ok()) {
+    fail_worker_locked(worker, "assign send failed");
+    return false;
+  }
+  worker.outstanding[seq] = std::chrono::steady_clock::now();
+  ++attempts_[seq];
+  dist_counter("assignments").increment();
+  return true;
+}
+
+void DistributedExecutor::dispatch_locked() {
+  if (pending_.empty()) return;
+  for (auto& worker : workers_) {
+    if (!worker->alive) continue;
+    while (worker->outstanding.size() < capacity_per_worker_) {
+      // Oldest pending app whose attempt budget is not exhausted; budget
+      // runouts stay queued for next()'s quarantine.
+      auto it = pending_.begin();
+      while (it != pending_.end() && attempts_[*it] >= max_attempts_) ++it;
+      if (it == pending_.end()) return;
+      const std::uint64_t seq = *it;
+      pending_.erase(it);
+      if (!assign_locked(*worker, seq)) {
+        pending_.push_front(seq);
+        break;  // worker just died; try the next one
+      }
+    }
+  }
+}
+
+void DistributedExecutor::fail_worker_locked(Worker& worker,
+                                             const std::string& why) {
+  if (!worker.alive) return;
+  worker.alive = false;
+  if (worker.stream) worker.stream->shutdown();
+  util::log_warn(util::format("coordinator: worker %u lost (%s), %zu "
+                              "assignments requeued",
+                              worker.index, why.c_str(),
+                              worker.outstanding.size()));
+  dist_counter("worker_deaths").increment();
+  // Requeue at the front: these are the oldest submissions and next() is
+  // probably waiting on one of them.
+  for (auto it = worker.outstanding.rbegin(); it != worker.outstanding.rend();
+       ++it) {
+    if (done_.contains(it->first)) continue;
+    pending_.push_front(it->first);
+    dist_counter("requeues").increment();
+  }
+  worker.outstanding.clear();
+}
+
+void DistributedExecutor::handle_outcome_locked(std::uint64_t seq,
+                                                AppOutcome outcome) {
+  dist_counter("outcomes").increment();
+  for (auto& worker : workers_) {
+    worker->outstanding.erase(seq);  // also clears stolen duplicates
+  }
+  if (!done_.insert(seq).second) {
+    // A stolen or requeued duplicate already delivered this app.
+    dist_counter("duplicate_outcomes").increment();
+    return;
+  }
+  // Worker processes bump their own (invisible) registry; re-apply the
+  // journaled deltas here exactly once so coordinator telemetry matches a
+  // local run. (Thread-launcher workers share this registry, so tests
+  // using them see double counts — documented caveat, digest unaffected.)
+  auto& metrics = telemetry::current_registry();
+  for (const auto& [name, delta] : outcome.counters) {
+    metrics.counter(name).increment(delta);
+  }
+  completed_[seq] = std::move(outcome);
+}
+
+void DistributedExecutor::receiver_loop(Worker& worker) {
+  for (;;) {
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      if (stopping_ || !worker.alive) return;
+    }
+    if (auto ready = worker.stream->wait_readable_for(kIoTick); !ready.ok()) {
+      if (net::is_timeout(ready.error())) continue;
+      const std::lock_guard<std::mutex> lock{mutex_};
+      // A close that races the Shutdown frame is an orderly exit, not a
+      // death — don't count it or requeue against a finished run.
+      if (!stopping_) fail_worker_locked(worker, ready.error());
+      cv_.notify_all();
+      return;
+    }
+    auto frame = net::recv_frame_for(*worker.stream, kMaxWireRecordBytes,
+                                     kRecvDeadline);
+    if (!frame.ok()) {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      if (!stopping_) {
+        fail_worker_locked(worker, frame.error());
+        dispatch_locked();
+      }
+      cv_.notify_all();
+      return;
+    }
+    const std::span<const std::uint8_t> payload{frame.value()};
+    util::ByteReader reader{payload};
+    if (static_cast<DistMsg>(reader.u8()) != DistMsg::Outcome) continue;
+    const std::uint64_t seq = reader.u64();
+    if (!reader.ok()) continue;
+    auto outcome = decode_outcome_standalone(payload.subspan(1 + 8));
+    if (!outcome.ok()) {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      fail_worker_locked(worker, "corrupt outcome: " + outcome.error());
+      dispatch_locked();
+      cv_.notify_all();
+      return;
+    }
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      handle_outcome_locked(seq, std::move(outcome.value()));
+      dispatch_locked();
+    }
+    cv_.notify_all();
+  }
+}
+
+void DistributedExecutor::check_deadlines_locked() {
+  const auto now = std::chrono::steady_clock::now();
+  for (auto& worker : workers_) {
+    if (!worker->alive) continue;
+    for (auto it = worker->outstanding.begin();
+         it != worker->outstanding.end();) {
+      if (now - it->second < options_.worker_deadline ||
+          done_.contains(it->first)) {
+        ++it;
+        continue;
+      }
+      // Past deadline: requeue. The worker may still deliver later (a
+      // stall, not a death) — done_ dedup keeps the first result.
+      pending_.push_front(it->first);
+      dist_counter("requeues").increment();
+      it = worker->outstanding.erase(it);
+    }
+  }
+}
+
+void DistributedExecutor::maybe_steal_locked() {
+  if (!pending_.empty()) return;
+  const auto now = std::chrono::steady_clock::now();
+  // The oldest outstanding assignment old enough to look like a straggler.
+  Worker* victim = nullptr;
+  std::uint64_t oldest_seq = 0;
+  std::chrono::steady_clock::time_point oldest_at;
+  for (auto& worker : workers_) {
+    if (!worker->alive) continue;
+    for (const auto& [seq, at] : worker->outstanding) {
+      if (now - at < options_.steal_after) continue;
+      if (stolen_.contains(seq) || done_.contains(seq)) continue;
+      if (victim == nullptr || seq < oldest_seq) {
+        victim = worker.get();
+        oldest_seq = seq;
+        oldest_at = at;
+      }
+    }
+  }
+  if (victim == nullptr) return;
+  for (auto& thief : workers_) {
+    if (!thief->alive || thief.get() == victim) continue;
+    if (thief->outstanding.size() >= capacity_per_worker_) continue;
+    if (thief->outstanding.contains(oldest_seq)) continue;
+    stolen_.insert(oldest_seq);
+    dist_counter("steals").increment();
+    // assign_locked bumps attempts_, which is fine: a steal is an attempt.
+    assign_locked(*thief, oldest_seq);
+    return;
+  }
+}
+
+AppOutcome DistributedExecutor::next() {
+  std::unique_lock<std::mutex> lock{mutex_};
+  const std::uint64_t seq = next_return_;
+  for (;;) {
+    if (auto it = completed_.find(seq); it != completed_.end()) {
+      AppOutcome out = std::move(it->second);
+      completed_.erase(it);
+      entries_.erase(seq);
+      attempts_.erase(seq);
+      stolen_.erase(seq);
+      ++next_return_;
+      return out;
+    }
+    check_deadlines_locked();
+    maybe_steal_locked();
+
+    // Quarantine: the app we are waiting for is unassignable — either its
+    // attempt budget is gone or there is no live worker to run it. The
+    // coordinator runs it inline; completion is guaranteed.
+    const auto pending_it =
+        std::find(pending_.begin(), pending_.end(), seq);
+    if (pending_it != pending_.end() &&
+        (attempts_[seq] >= max_attempts_ || live_workers_locked() == 0)) {
+      pending_.erase(pending_it);
+      done_.insert(seq);  // claim before unlocking: late deliveries dedup
+      dist_counter("quarantined").increment();
+      const android::AppEntry* entry = entries_.at(seq);
+      lock.unlock();
+      // process_app bumps the live registry itself — no re-apply here.
+      AppOutcome out = process_app(play_, options_, cache_, *entry);
+      lock.lock();
+      completed_[seq] = std::move(out);
+      continue;
+    }
+
+    dispatch_locked();
+    cv_.wait_for(lock, std::chrono::milliseconds{50});
+  }
+}
+
+}  // namespace gauge::core

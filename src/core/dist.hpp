@@ -1,0 +1,180 @@
+// Coordinator/worker cluster execution for the crawl (DESIGN.md §15). The
+// coordinator (DistributedExecutor) shards the app chart over N worker
+// processes on loopback TCP; the wire unit is the same CRC-framed
+// AppOutcome record the journal persists (core/outcome_codec.hpp inside a
+// net::framing frame), so a worker's result is durably journalable the
+// moment it arrives. The PipelineDriver stays the single owner of merge
+// order and the journal — workers never see either — which is what keeps
+// the final SnapshotDataset digest byte-identical to a serial run and lets
+// `--resume` compose with `--workers`.
+//
+// Failure model: assignments carry a deadline; a late or dead worker's
+// assignments are requeued (bounded by RetryPolicy::max_attempts), idle
+// workers steal the oldest straggling assignment, and an app that exhausts
+// its attempts — or has no live worker left to run on — is quarantined to
+// the coordinator, which runs it inline. Completion is therefore
+// guaranteed under every WorkerFaultPlan.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "net/socket.hpp"
+#include "util/retry.hpp"
+
+namespace gauge::core {
+
+struct PipelineOptions;
+
+// Application-level protocol version carried in the Hello frame, on top of
+// the frame codec's own version byte. The handshake refuses a mismatch
+// with an error naming both versions (the frame codec already catches
+// binaries that disagree on the framing itself).
+inline constexpr std::uint16_t kDistProtocolVersion = 1;
+
+// First payload byte of every cluster frame.
+enum class DistMsg : std::uint8_t {
+  Hello = 0,     // worker → coordinator: u16 protocol | u64 token | u32 index
+  Welcome = 1,   // coordinator → worker: handshake accepted
+  Reject = 2,    // coordinator → worker: str reason, then close
+  Assign = 3,    // coordinator → worker: u64 seq | str package
+  Outcome = 4,   // worker → coordinator: u64 seq | standalone outcome record
+  Shutdown = 5,  // coordinator → worker: finish and exit
+};
+
+// Deterministic worker fault injection, mirroring harness::FaultPlan and
+// core::CrashPlan: counters, not randomness, so tests and the check.sh
+// smoke hit exact protocol positions. All outcome indices are 1-based
+// counts of *send attempts* within one worker process.
+struct WorkerFaultPlan {
+  // worker index → Nth outcome: close the connection without sending it
+  // and terminate the worker (a crash mid-result).
+  std::map<unsigned, int> kill_after;
+  // worker index → Nth outcome: silently discard it but keep serving (a
+  // lost result; the coordinator's deadline must recover it).
+  std::map<unsigned, int> drop_result;
+  // worker index → stall the Nth outcome for `seconds` before sending (a
+  // straggler; work-stealing or requeue must cover it).
+  struct Stall {
+    int outcome = 0;
+    int seconds = 0;
+  };
+  std::map<unsigned, Stall> stall;
+
+  bool armed() const {
+    return !kill_after.empty() || !drop_result.empty() || !stall.empty();
+  }
+};
+
+// Parses the CLI `--worker-fault-plan` grammar: semicolon-separated
+//   kill-after=W:N     worker W dies instead of sending its Nth outcome
+//   drop-result=W:N    worker W silently drops its Nth outcome
+//   stall=W:N:SECONDS  worker W stalls its Nth outcome for SECONDS
+util::Result<WorkerFaultPlan> parse_worker_fault_plan(const std::string& spec);
+
+// What a worker needs to join the cluster.
+struct WorkerConfig {
+  std::uint16_t port = 0;   // coordinator's loopback listener
+  std::uint64_t token = 0;  // per-run handshake token
+  unsigned index = 0;       // worker identity (fault-plan addressing)
+};
+
+struct WorkerHandle {
+  std::function<void()> join;  // blocks until the worker has fully exited
+};
+
+// How worker processes come into being. The default forks real processes
+// (each with its own address space, analysis cache and telemetry
+// registry — the production shape). The thread launcher runs workers as
+// in-process threads speaking the same real TCP protocol; tests use it so
+// the TSan suite can exercise the cluster (TSan cannot follow a
+// multi-threaded fork). Caveat: thread workers share the process registry,
+// so telemetry counters double-count there — the dataset digest does not.
+using WorkerLauncher = std::function<WorkerHandle(
+    const android::PlayStore&, const PipelineOptions&, const WorkerConfig&)>;
+
+WorkerLauncher process_worker_launcher();
+WorkerLauncher thread_worker_launcher();
+
+// Worker main loop: connect, handshake, then serve Assign frames — resolve
+// the package against the (deterministic) store, run process_app with a
+// worker-local analysis cache and a threads-sized pool, and send each
+// outcome back as a standalone record. Applies this worker's slice of the
+// fault plan. Returns when the coordinator shuts the connection or the
+// fault plan kills the worker.
+void run_worker(const android::PlayStore& play, const PipelineOptions& options,
+                const WorkerConfig& config);
+
+// The cluster coordinator as an AppExecutor. Owns the listener, the worker
+// handshakes, one receiver thread per worker and the assignment state
+// machine (pending queue, per-worker outstanding sets with deadlines, the
+// reorder buffer that restores strict submission order for next()).
+class DistributedExecutor final : public AppExecutor {
+ public:
+  DistributedExecutor(const android::PlayStore& play,
+                      const PipelineOptions& options, AnalysisCache& cache);
+  ~DistributedExecutor() override;
+
+  std::size_t window() const override { return window_; }
+  void submit(const android::AppEntry& entry) override;
+  std::size_t in_flight() const override;
+  AppOutcome next() override;
+
+ private:
+  struct Worker {
+    unsigned index = 0;
+    std::optional<net::TcpStream> stream;
+    std::thread receiver;
+    bool alive = false;
+    // seq → assigned-at, for deadline requeue and steal age.
+    std::map<std::uint64_t, std::chrono::steady_clock::time_point> outstanding;
+    WorkerHandle handle;
+  };
+
+  void receiver_loop(Worker& worker);
+  void handle_outcome_locked(std::uint64_t seq, AppOutcome outcome);
+  void fail_worker_locked(Worker& worker, const std::string& why);
+  // Assigns pending work to live workers with spare capacity, skipping
+  // apps that exhausted their attempts (those wait for quarantine).
+  void dispatch_locked();
+  bool assign_locked(Worker& worker, std::uint64_t seq);
+  void check_deadlines_locked();
+  void maybe_steal_locked();
+  std::size_t live_workers_locked() const;
+
+  const android::PlayStore& play_;
+  const PipelineOptions& options_;
+  AnalysisCache& cache_;
+  int max_attempts_ = 1;
+  std::size_t capacity_per_worker_ = 1;
+  std::size_t window_ = 4;
+
+  std::optional<net::TcpListener> listener_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::uint64_t next_seq_ = 0;     // submission order
+  std::uint64_t next_return_ = 0;  // next() order
+  std::map<std::uint64_t, const android::AppEntry*> entries_;  // unreturned
+  std::map<std::uint64_t, int> attempts_;  // assignment attempts per seq
+  std::deque<std::uint64_t> pending_;      // awaiting (re)assignment
+  std::set<std::uint64_t> stolen_;         // duplicated to a second worker
+  std::set<std::uint64_t> done_;           // first outcome already accepted
+  std::map<std::uint64_t, AppOutcome> completed_;  // reorder buffer
+};
+
+}  // namespace gauge::core

@@ -1,0 +1,192 @@
+#include "core/driver.hpp"
+
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace gauge::core {
+
+PipelineDriver::PipelineDriver(const android::PlayStore& play,
+                               const PipelineOptions& options)
+    : play_{play},
+      options_{options},
+      categories_{options.categories.empty()
+                      ? android::PlayStore::categories()
+                      : options.categories} {
+  if (options_.journal_path.empty()) return;
+
+  auto& metrics = telemetry::current_registry();
+  JournalMeta meta;
+  meta.snapshot = options_.snapshot;
+  meta.device_profile = options_.device_profile;
+  meta.max_apps_per_category = options_.max_apps_per_category;
+  meta.categories = categories_;
+  auto opened = Journal::open(options_.journal_path, meta, options_.resume,
+                              options_.crash_plan);
+  if (!opened.ok()) throw std::runtime_error{opened.error()};
+  journal_.emplace(std::move(opened.value().journal));
+  replayed_ = std::move(opened.value().outcomes);
+  if (opened.value().torn_tail) {
+    metrics.counter("gauge.pipeline.resume.torn_tail").increment();
+  }
+  if (!replayed_.empty()) {
+    metrics.counter("gauge.pipeline.resume.skipped")
+        .increment(static_cast<std::int64_t>(replayed_.size()));
+    std::int64_t replayed_models = 0;
+    for (const auto& out : replayed_) {
+      replayed_models += static_cast<std::int64_t>(out.extracted.size());
+      // Re-apply the original run's telemetry deltas verbatim, and seed
+      // the analysis cache so post-resume duplicates adopt the journaled
+      // prototype instead of re-analysing.
+      for (const auto& [name, delta] : out.counters) {
+        metrics.counter(name).increment(delta);
+      }
+      for (const auto& extracted : out.extracted) {
+        cache_.seed(extracted.content_key, extracted.proto);
+      }
+    }
+    metrics.counter("gauge.pipeline.resume.replayed_models")
+        .increment(replayed_models);
+    util::log_info(util::format("resuming: %zu apps replayed from journal",
+                                replayed_.size()));
+  }
+}
+
+SnapshotDataset PipelineDriver::run(AppExecutor& executor) {
+  SnapshotDataset dataset;
+  dataset.snapshot = options_.snapshot;
+
+  auto& metrics = telemetry::current_registry();
+  const auto drop = [&metrics](const char* reason) {
+    metrics.counter(std::string{"gauge.pipeline.drop."} + reason).increment();
+  };
+  telemetry::Span run_span{"pipeline.run"};
+
+  std::set<std::string> crawled;  // apps can chart in several categories
+  std::size_t replay_index = 0;
+
+  const auto cancelled = [this] {
+    return options_.cancel != nullptr &&
+           options_.cancel->load(std::memory_order_relaxed);
+  };
+
+  for (const auto& category : categories_) {
+    if (dataset.interrupted) break;
+    telemetry::Span category_span{"pipeline.category"};
+    category_span.annotate("category", category);
+    std::size_t apps_ok = 0, apps_failed = 0;
+    std::size_t models_validated = 0, models_rejected = 0;
+    std::map<std::string, std::size_t> category_no_parser;
+
+    android::PlayStore::ChartRequest request;
+    request.category = category;
+    request.snapshot = options_.snapshot;
+    request.device_profile = options_.device_profile;
+    request.limit = options_.max_apps_per_category;
+    const auto chart = play_.top_chart(request);
+    util::log_info(util::format("crawling '%s': %zu apps", category.c_str(),
+                                chart.size()));
+
+    // Deterministic merge: outcomes are folded into the dataset strictly in
+    // chart order, so record ids, dataset order and DocStore ids match the
+    // serial run no matter which worker finishes first.
+    const auto merge = [&](AppOutcome out) {
+      if (out.status == AppOutcome::Status::DownloadFailed) {
+        util::log_warn("download failed: " + out.error);
+        ++apps_failed;
+        return;
+      }
+      if (out.status == AppOutcome::Status::BadApk) {
+        util::log_warn("bad apk for " + out.package + ": " + out.error);
+        ++apps_failed;
+        return;
+      }
+      AppRecord app = std::move(out.app);
+      for (auto& extracted : out.extracted) {
+        ModelRecord record = *extracted.proto;  // payload stays shared
+        record.record_id = static_cast<int>(dataset.models.size());
+        record.file_path = std::move(extracted.path);
+        record.app_package = app.package;
+        record.category = app.category;
+        app.model_record_ids.push_back(record.record_id);
+        dataset.model_docs.insert(to_document(record));
+        dataset.models.push_back(std::move(record));
+      }
+      models_validated += out.extracted.size();
+      models_rejected += out.models_rejected;
+      for (const auto& [fw_name, count] : out.no_parser) {
+        category_no_parser[fw_name] += count;
+        dataset.no_parser_drops[fw_name] += count;
+      }
+      dataset.app_docs.insert(to_document(app));
+      dataset.apps.push_back(std::move(app));
+      ++apps_ok;
+    };
+
+    // Journal + merge: fresh outcomes are made durable before they are
+    // folded into the dataset, so the journal is always a strict prefix of
+    // the merge order and a crash between the two loses nothing that the
+    // dataset already contains. Append failure (disk full, injected crash)
+    // aborts the run — continuing would silently break resumability.
+    const auto complete = [&](AppOutcome out) {
+      if (journal_) {
+        const auto appended = journal_->append(out);
+        if (!appended.ok()) throw std::runtime_error{appended.error()};
+      }
+      merge(std::move(out));
+    };
+
+    for (const android::AppEntry* entry : chart) {
+      if (cancelled()) break;
+      if (!crawled.insert(entry->package).second) {
+        drop("duplicate_app");
+        continue;
+      }
+      // Resume fast path: this crawl position completed in a previous run.
+      // Merge order is strictly chart order, so the journal is a prefix of
+      // the positions this loop visits — fold the journaled outcome back in
+      // without downloading, re-analysing or re-appending.
+      if (replay_index < replayed_.size()) {
+        merge(std::move(replayed_[replay_index++]));
+        continue;
+      }
+      while (executor.in_flight() >= executor.window()) {
+        complete(executor.next());
+      }
+      executor.submit(*entry);
+    }
+    // Drain: also the cancellation path — in-flight apps are finished and
+    // journaled so the resume point is as far along as possible.
+    while (executor.in_flight() > 0) {
+      complete(executor.next());
+    }
+    if (cancelled()) dataset.interrupted = true;
+
+    metrics.counter("gauge.pipeline.categories").increment();
+    std::string summary = util::format(
+        "category '%s': apps %zu ok / %zu failed, models %zu validated / "
+        "%zu rejected",
+        category.c_str(), apps_ok, apps_failed, models_validated,
+        models_rejected);
+    if (!category_no_parser.empty()) {
+      summary += " (no parser:";
+      for (const auto& [fw_name, count] : category_no_parser) {
+        summary += util::format(" %s %zu", fw_name.c_str(), count);
+      }
+      summary += ")";
+    }
+    util::log_info(summary);
+  }
+  if (dataset.interrupted) {
+    util::log_warn(
+        "pipeline interrupted: dataset holds the journaled prefix only");
+  }
+  return dataset;
+}
+
+}  // namespace gauge::core

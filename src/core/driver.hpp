@@ -1,0 +1,50 @@
+// PipelineDriver (DESIGN.md §15): the deterministic half of the crawl. The
+// driver walks category charts in order, deduplicates apps that chart in
+// several categories, replays the crash-safe journal's prefix, appends
+// every fresh outcome to the journal before folding it into the dataset in
+// strict chart order, and honours cooperative cancellation. It never runs
+// an app itself — that is the AppExecutor's job (core/executor.hpp) — so
+// the exact same driver produces byte-identical datasets over the serial
+// path, the in-process thread pool and the worker cluster.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/pipeline.hpp"
+
+namespace gauge::core {
+
+class PipelineDriver {
+ public:
+  // Opens (and on resume, replays) the journal, re-applies journaled
+  // telemetry deltas and seeds the analysis cache with journaled
+  // prototypes — all before any executor exists, so every execution
+  // backend starts from the same replayed state. Journal misconfiguration
+  // (unreadable file, meta mismatch, version skew) throws: it is an
+  // operator error, not a per-app drop.
+  PipelineDriver(const android::PlayStore& play,
+                 const PipelineOptions& options);
+
+  // The resolved crawl order (options.categories or the full store list).
+  const std::vector<std::string>& categories() const { return categories_; }
+
+  // The coordinator-side once-only analysis cache, shared across
+  // categories. Executors that run apps in this process (LocalExecutor,
+  // the distributed quarantine fallback) borrow it.
+  AnalysisCache& cache() { return cache_; }
+
+  // Runs the crawl over `executor`. Call at most once.
+  SnapshotDataset run(AppExecutor& executor);
+
+ private:
+  const android::PlayStore& play_;
+  const PipelineOptions& options_;
+  std::vector<std::string> categories_;
+  AnalysisCache cache_;
+  std::optional<Journal> journal_;
+  std::vector<AppOutcome> replayed_;
+};
+
+}  // namespace gauge::core

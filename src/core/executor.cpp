@@ -1,0 +1,332 @@
+#include "core/executor.hpp"
+
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "android/detect.hpp"
+#include "core/pipeline.hpp"
+#include "core/taskclassify.hpp"
+#include "formats/plugin.hpp"
+#include "nn/checksum.hpp"
+#include "nn/zoo.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+#include "util/hash.hpp"
+#include "util/strings.hpp"
+
+namespace gauge::core {
+
+namespace {
+
+// One anchored model file parsed through its framework's plugin (plus its
+// pre-read weights sibling for the two-file formats). Returns nullopt when
+// parsing fails.
+struct ParsedModel {
+  nn::Graph graph;
+  formats::Framework framework;
+  std::size_t file_bytes = 0;
+};
+
+std::optional<ParsedModel> parse_model(const util::Bytes& data,
+                                       const util::Bytes* weights,
+                                       formats::Framework framework) {
+  const formats::FormatPlugin* plugin =
+      formats::PluginRegistry::instance().find(framework);
+  if (plugin == nullptr) return std::nullopt;
+  auto graph = plugin->parse(data, weights);
+  if (!graph.ok()) return std::nullopt;
+  ParsedModel out;
+  out.framework = framework;
+  out.file_bytes = data.size() + (weights != nullptr ? weights->size() : 0);
+  out.graph = std::move(graph).take();
+  return out;
+}
+
+// Weights-only companions of two-file formats: counted as candidates but
+// never anchor a model record. A central-directory lookup suffices — the
+// graph sibling's bytes are not needed to establish companionship. The
+// check is path-based (any plugin recognising `path` as its weights side
+// with the graph sibling present), matching signature validation which may
+// attribute e.g. a TFLite-signed .bin to TfLite while a .param sibling
+// still marks it as ncnn weights.
+bool is_weights_companion(const std::string& path, const android::Apk& apk) {
+  for (const auto* plugin : formats::PluginRegistry::instance().plugins()) {
+    const std::string primary = plugin->companion_primary(path);
+    if (!primary.empty() && apk.contains(primary)) return true;
+  }
+  return false;
+}
+
+// Builds the instance-agnostic analysis prototype for one parsed model.
+// record_id, app_package, category and file_path are per-instance and get
+// assigned by the merge stage; the heavy trace/digest payload is shared.
+ModelRecord analyse_model(ParsedModel parsed, const std::string& path) {
+  ModelRecord record;
+  record.framework = parsed.framework;
+  record.file_path = path;
+  record.file_bytes = parsed.file_bytes;
+
+  const nn::Graph& graph = parsed.graph;
+  record.checksum = nn::model_checksum(graph);
+  record.architecture_checksum = nn::architecture_checksum(graph);
+
+  auto analysis = std::make_shared<ModelAnalysis>();
+  analysis->layer_digests = nn::layer_weight_checksums(graph);
+
+  auto trace = nn::trace_model(graph);
+  if (trace.ok()) {
+    analysis->trace = std::move(trace).take();
+    analysis->op_family_counts = analysis->trace.op_family_counts();
+    record.modality = infer_modality(analysis->trace);
+    record.task = classify_task(
+        std::string{util::basename(graph.name.empty() ? path : graph.name)},
+        analysis->trace);
+  } else {
+    record.task = kUnidentified;
+  }
+
+  for (const auto& layer : graph.layers()) {
+    if (layer.name.starts_with("cluster_")) record.has_cluster_prefix = true;
+    if (layer.name.starts_with("prune_")) record.has_prune_prefix = true;
+    if (layer.type == nn::LayerType::Dequantize) {
+      record.has_dequantize_layer = true;
+    }
+    if (layer.has_weights() && layer.weight_bits == 8) {
+      record.int8_weights = true;
+    }
+    if (layer.act_bits == 8) record.int8_activations = true;
+  }
+  record.near_zero_weight_fraction = nn::near_zero_weight_fraction(graph);
+  record.analysis = std::move(analysis);
+  return record;
+}
+
+}  // namespace
+
+AppOutcome process_app(const android::PlayStore& play,
+                       const PipelineOptions& options, AnalysisCache& cache,
+                       const android::AppEntry& entry) {
+  auto& metrics = telemetry::current_registry();
+
+  AppOutcome out;
+  out.package = entry.package;
+
+  // Every registry increment this app makes funnels through `bump` so the
+  // delta lands in out.counters too — a resumed run re-applies the deltas
+  // verbatim instead of re-running the app, and a cluster coordinator
+  // applies them for outcomes computed in a worker process.
+  const auto bump = [&metrics, &out](const std::string& name,
+                                     std::int64_t n = 1) {
+    metrics.counter(name).increment(n);
+    out.counters[name] += n;
+  };
+  const auto drop = [&bump](const char* reason) {
+    bump(std::string{"gauge.pipeline.drop."} + reason);
+  };
+
+  // Root of the per-app stage spans. On a pool worker this is a root span
+  // on its own thread (span parents never cross threads); the annotations
+  // tie it back to the crawl position.
+  telemetry::Span app_span{"pipeline.app"};
+  app_span.annotate("package", entry.package);
+  app_span.annotate("category", entry.category);
+
+  bump("gauge.pipeline.apps_crawled");
+
+  auto pkg = [&] {
+    telemetry::Span span{"pipeline.download"};
+    return play.download(entry.package, options.snapshot,
+                         options.device_profile);
+  }();
+  if (!pkg.ok()) {
+    drop("download_failed");
+    out.status = AppOutcome::Status::DownloadFailed;
+    out.error = pkg.error();
+    return out;
+  }
+  auto apk = [&] {
+    telemetry::Span span{"pipeline.apk_open"};
+    return android::Apk::open(std::move(pkg.value().apk), options.zip_limits);
+  }();
+  if (!apk.ok()) {
+    drop("bad_apk");
+    out.status = AppOutcome::Status::BadApk;
+    out.error = apk.error();
+    return out;
+  }
+  // Hostile entry names (path traversal, absolute paths) were hidden by the
+  // zip reader; surface the count without failing the whole APK.
+  if (const std::size_t rejected = apk.value().rejected_entry_names();
+      rejected > 0) {
+    bump("gauge.pipeline.drop.bad_entry_name",
+         static_cast<std::int64_t>(rejected));
+  }
+
+  AppRecord& app = out.app;
+  app.package = entry.package;
+  app.title = entry.title;
+  app.category = entry.category;
+  app.installs = entry.installs;
+
+  {
+    // Static detection: ML stacks, delegates, cloud APIs.
+    telemetry::Span span{"pipeline.detect"};
+    for (const auto& hit : android::detect_ml_stacks(apk.value())) {
+      app.ml_stacks.push_back(android::ml_stack_name(hit.stack));
+      if (hit.stack == android::MlStack::NnApi) app.uses_nnapi = true;
+      if (hit.stack == android::MlStack::Xnnpack) app.uses_xnnpack = true;
+      if (hit.stack == android::MlStack::Snpe) app.uses_snpe = true;
+    }
+    app.uses_ml = android::uses_ml(apk.value());
+    for (const auto& hit : android::detect_cloud_apis(apk.value())) {
+      app.cloud_providers.push_back(
+          android::cloud_provider_name(hit.provider));
+    }
+  }
+
+  // Read-once memo for this APK's entries: the weights sibling of a
+  // two-file model is needed by the content key, the parser and (as a
+  // candidate in its own right) the validation loop — inflate it once.
+  std::map<std::string, util::Result<util::Bytes>, std::less<>> reads;
+  const auto read_entry =
+      [&](const std::string& name) -> const util::Result<util::Bytes>& {
+    auto it = reads.find(name);
+    if (it == reads.end()) {
+      it = reads.emplace(name, apk.value().read(name)).first;
+    }
+    return it->second;
+  };
+
+  // Model extraction from the base APK. (Span closed explicitly before the
+  // side-container sweep, which it should not cover.)
+  std::optional<telemetry::Span> extract_span{std::in_place,
+                                              "pipeline.extract"};
+  const auto& registry = formats::PluginRegistry::instance();
+  for (const auto& name : apk.value().entry_names()) {
+    if (!registry.is_candidate(name)) continue;
+    app.candidate_files++;
+    const auto& data = read_entry(name);
+    if (!data.ok()) {
+      // Entries tripping the inflation caps are an attack signature, not an
+      // I/O hiccup — give them their own drop bucket.
+      drop(zipfile::is_zip_bomb_error(data.error()) ? "zip_bomb"
+                                                    : "entry_read_failed");
+      continue;
+    }
+    if (!registry.any_candidate_has_plugin(name)) {
+      // Every framework claiming this extension lacks a parser (e.g. a
+      // .joblib Sklearn pickle): surfaced per framework instead of being
+      // folded into bad_signature.
+      const auto candidates = registry.candidate_frameworks(name);
+      const char* fw_name = registry.framework_name(candidates.front());
+      drop("no_parser");
+      bump(std::string{"gauge.pipeline.drop.no_parser."} + fw_name);
+      ++out.no_parser[fw_name];
+      ++out.models_rejected;
+      continue;
+    }
+    const auto framework = [&] {
+      telemetry::Span span{"pipeline.validate"};
+      return registry.validate_signature(name, data.value());
+    }();
+    if (!framework) {  // obfuscated/encrypted or not a model
+      drop("bad_signature");
+      ++out.models_rejected;
+      continue;
+    }
+    if (is_weights_companion(name, apk.value())) {
+      drop("weights_companion");
+      continue;
+    }
+    // Two-file formats: read the weights sibling exactly once and thread it
+    // through both the content key and the parser.
+    const util::Bytes* weights = nullptr;
+    if (const std::string weights_path =
+            registry.find(*framework)->companion(name);
+        !weights_path.empty()) {
+      if (const auto& sibling = read_entry(weights_path); sibling.ok()) {
+        weights = &sibling.value();
+      }
+    }
+    // Content key covers the graph file; two-file formats append the
+    // weights blob so fine-tuned caffe/ncnn variants don't collide.
+    std::uint64_t content_key = util::fnv1a64(data.value());
+    if (weights != nullptr) {
+      content_key = content_key * 1099511628211ULL + util::fnv1a64(*weights);
+    }
+    // Once-only analysis: duplicates (the common case — off-the-shelf
+    // models shipped by many apps) adopt the owner's prototype, even when
+    // owner and duplicate race on different workers. The cache increments
+    // hit/miss registry counters itself; `computed` attributes the same
+    // delta to this outcome for journal replay.
+    bool computed = false;
+    auto proto =
+        cache.find_or_compute(content_key, [&]() -> AnalysisCache::Proto {
+          computed = true;
+          auto parsed = [&] {
+            telemetry::Span span{"pipeline.parse"};
+            return parse_model(data.value(), weights, *framework);
+          }();
+          if (!parsed) {
+            drop("parse_failed");
+            ++out.models_rejected;
+            return nullptr;
+          }
+          telemetry::Span span{"pipeline.analyse"};
+          return std::make_shared<const ModelRecord>(
+              analyse_model(std::move(*parsed), name));
+        });
+    ++out.counters[computed ? "gauge.pipeline.cache_misses"
+                            : "gauge.pipeline.cache_hits"];
+    if (!proto) continue;
+    app.validated_models++;
+    out.extracted.push_back({name, content_key, std::move(proto)});
+    bump("gauge.pipeline.models_validated");
+  }
+  extract_span.reset();
+
+  // §4.2: sweep post-install deliverables for models.
+  const auto sweep = [&](const android::SideContainer& side) {
+    auto entries = android::side_container_entries(side);
+    if (!entries.ok()) return;
+    for (const auto& name : entries.value()) {
+      app.side_container_files++;
+      if (formats::is_candidate_model_file(name)) {
+        app.side_container_models++;
+      }
+    }
+  };
+  for (const auto& side : pkg.value().expansions) sweep(side);
+  for (const auto& side : pkg.value().asset_packs) sweep(side);
+
+  return out;
+}
+
+LocalExecutor::LocalExecutor(const android::PlayStore& play,
+                             const PipelineOptions& options,
+                             AnalysisCache& cache)
+    : play_{play}, options_{options}, cache_{cache}, pool_{options.threads} {
+  // Bounded in-flight window: enough tasks to keep every worker busy while
+  // the merge stage drains in submission order, without downloading a whole
+  // category ahead of the merge. Serial (0 threads): a window of 1 makes
+  // the driver drain each outcome before submitting the next.
+  window_ = pool_.size() == 0
+                ? 1
+                : std::max<std::size_t>(2 * pool_.size(), 4);
+}
+
+void LocalExecutor::submit(const android::AppEntry& entry) {
+  const android::AppEntry* target = &entry;
+  in_flight_.push_back(pool_.submit([this, target] {
+    return process_app(play_, options_, cache_, *target);
+  }));
+}
+
+AppOutcome LocalExecutor::next() {
+  AppOutcome out = in_flight_.front().get();
+  in_flight_.pop_front();
+  return out;
+}
+
+}  // namespace gauge::core

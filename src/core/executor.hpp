@@ -1,0 +1,76 @@
+// The pipeline's execution seam (DESIGN.md §15). The PipelineDriver owns
+// everything that must stay deterministic — chart iteration, the strict
+// submission-order merge, journal appends, cancellation — and delegates the
+// question of *where* an app's stage chain actually runs to an AppExecutor.
+// LocalExecutor is the in-process answer (the thread-pool fan-out the
+// pipeline always had); DistributedExecutor (core/dist.hpp) shards the same
+// work across worker processes.
+#pragma once
+
+#include <deque>
+#include <future>
+#include <optional>
+
+#include "android/playstore.hpp"
+#include "core/analysis_cache.hpp"
+#include "core/journal.hpp"
+#include "nn/threadpool.hpp"
+
+namespace gauge::core {
+
+struct PipelineOptions;
+
+// The complete per-app stage chain: download → apk-open → detect → extract
+// (validate → parse → analyse per candidate). Everything it touches besides
+// the once-only cache and the telemetry registry is app-local, so it runs
+// unchanged on the caller's thread, on pool workers, in cluster worker
+// processes and as the coordinator's quarantine fallback. The AppOutcome it
+// fills (core/journal.hpp) is exactly what the journal persists and what
+// the cluster protocol ships, including the counter deltas this app
+// contributed.
+AppOutcome process_app(const android::PlayStore& play,
+                       const PipelineOptions& options, AnalysisCache& cache,
+                       const android::AppEntry& entry);
+
+// Where apps execute. The driver's contract with every implementation:
+//   - submit() hands over one chart entry; the executor may run it on any
+//     thread or process at any time.
+//   - next() blocks until the *oldest still-unreturned* submission has an
+//     outcome and returns it — strict submission order, which is what makes
+//     the driver's merge (and therefore record ids, DocStore order and the
+//     dataset digest) independent of completion order.
+//   - The driver keeps at most window() submissions unreturned, draining
+//     via next() before submitting more (bounded memory, bounded
+//     downloads-ahead-of-merge).
+class AppExecutor {
+ public:
+  virtual ~AppExecutor() = default;
+  virtual std::size_t window() const = 0;
+  virtual void submit(const android::AppEntry& entry) = 0;
+  virtual std::size_t in_flight() const = 0;
+  virtual AppOutcome next() = 0;
+};
+
+// In-process execution on a thread pool, sharing the driver's analysis
+// cache. threads == 0 degenerates to the serial fallback: the pool runs
+// submissions inline on the calling thread and the window is 1.
+class LocalExecutor final : public AppExecutor {
+ public:
+  LocalExecutor(const android::PlayStore& play, const PipelineOptions& options,
+                AnalysisCache& cache);
+
+  std::size_t window() const override { return window_; }
+  void submit(const android::AppEntry& entry) override;
+  std::size_t in_flight() const override { return in_flight_.size(); }
+  AppOutcome next() override;
+
+ private:
+  const android::PlayStore& play_;
+  const PipelineOptions& options_;
+  AnalysisCache& cache_;
+  nn::ThreadPool pool_;
+  std::size_t window_ = 1;
+  std::deque<std::future<AppOutcome>> in_flight_;
+};
+
+}  // namespace gauge::core

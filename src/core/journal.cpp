@@ -7,282 +7,31 @@
 #include <cstring>
 #include <utility>
 
+#include "core/outcome_codec.hpp"
+#include "net/framing.hpp"
 #include "util/fileio.hpp"
-#include "util/hash.hpp"
 #include "util/strings.hpp"
 
 namespace gauge::core {
 
 namespace {
 
-// On-disk framing. Every frame is
-//   u32 magic | u32 payload_len | payload | u32 crc32(payload)
-// so replay can detect a torn or corrupt tail without trusting anything
-// beyond the bytes it has already validated. The first frame is the meta
-// frame; every later frame is one AppOutcome.
-constexpr std::uint32_t kFrameMagic = 0x314C4A47;  // "GJL1"
-constexpr std::uint16_t kVersion = 1;
-constexpr std::uint8_t kKindMeta = 0;
-constexpr std::uint8_t kKindApp = 1;
-
-void put_string_vector(util::ByteWriter& w, const std::vector<std::string>& v) {
-  w.u32(static_cast<std::uint32_t>(v.size()));
-  for (const auto& s : v) w.str(s);
-}
-
-bool get_string_vector(util::ByteReader& r, std::vector<std::string>& v) {
-  const std::uint32_t n = r.u32();
-  if (n > r.remaining()) return false;  // each element needs >= 4 bytes
-  v.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) v.push_back(r.str());
-  return r.ok();
-}
-
-void put_analysis(util::ByteWriter& w, const ModelAnalysis& analysis) {
-  const auto& trace = analysis.trace;
-  w.u32(static_cast<std::uint32_t>(trace.layers.size()));
-  for (const auto& layer : trace.layers) {
-    w.u8(static_cast<std::uint8_t>(layer.type));
-    w.str(layer.name);
-    w.i64(layer.macs);
-    w.i64(layer.flops);
-    w.i64(layer.params);
-    w.i64(layer.bytes_read);
-    w.i64(layer.bytes_written);
-    w.u32(static_cast<std::uint32_t>(layer.output_shape.dims.size()));
-    for (const std::int64_t d : layer.output_shape.dims) w.i64(d);
-  }
-  w.i64(trace.total_macs);
-  w.i64(trace.total_flops);
-  w.i64(trace.total_params);
-  w.i64(trace.total_bytes);
-  w.i64(trace.peak_activation_bytes);
-  put_string_vector(w, analysis.layer_digests);
-  w.u32(static_cast<std::uint32_t>(analysis.op_family_counts.size()));
-  for (const auto& [family, count] : analysis.op_family_counts) {
-    w.str(family);
-    w.i64(count);
-  }
-}
-
-bool get_analysis(util::ByteReader& r, ModelAnalysis& analysis) {
-  auto& trace = analysis.trace;
-  const std::uint32_t layers = r.u32();
-  if (layers > r.remaining()) return false;
-  trace.layers.reserve(layers);
-  for (std::uint32_t i = 0; i < layers; ++i) {
-    nn::LayerCost layer;
-    layer.type = static_cast<nn::LayerType>(r.u8());
-    layer.name = r.str();
-    layer.macs = r.i64();
-    layer.flops = r.i64();
-    layer.params = r.i64();
-    layer.bytes_read = r.i64();
-    layer.bytes_written = r.i64();
-    const std::uint32_t rank = r.u32();
-    if (rank > r.remaining()) return false;
-    layer.output_shape.dims.reserve(rank);
-    for (std::uint32_t d = 0; d < rank; ++d) {
-      layer.output_shape.dims.push_back(r.i64());
-    }
-    trace.layers.push_back(std::move(layer));
-  }
-  trace.total_macs = r.i64();
-  trace.total_flops = r.i64();
-  trace.total_params = r.i64();
-  trace.total_bytes = r.i64();
-  trace.peak_activation_bytes = r.i64();
-  if (!get_string_vector(r, analysis.layer_digests)) return false;
-  const std::uint32_t families = r.u32();
-  if (families > r.remaining()) return false;
-  for (std::uint32_t i = 0; i < families; ++i) {
-    std::string family = r.str();
-    analysis.op_family_counts[std::move(family)] = r.i64();
-  }
-  return r.ok();
-}
-
-void put_proto(util::ByteWriter& w, const ModelRecord& proto) {
-  w.u16(static_cast<std::uint16_t>(proto.framework));
-  w.str(proto.file_path);
-  w.u64(proto.file_bytes);
-  w.str(proto.checksum);
-  w.str(proto.architecture_checksum);
-  w.u8(static_cast<std::uint8_t>(proto.modality));
-  w.str(proto.task);
-  std::uint8_t flags = 0;
-  if (proto.has_cluster_prefix) flags |= 1u << 0;
-  if (proto.has_prune_prefix) flags |= 1u << 1;
-  if (proto.has_dequantize_layer) flags |= 1u << 2;
-  if (proto.int8_weights) flags |= 1u << 3;
-  if (proto.int8_activations) flags |= 1u << 4;
-  w.u8(flags);
-  w.f64(proto.near_zero_weight_fraction);
-  w.u8(proto.analysis ? 1 : 0);
-  if (proto.analysis) put_analysis(w, *proto.analysis);
-}
-
-bool get_proto(util::ByteReader& r, ModelRecord& proto) {
-  proto.framework = static_cast<formats::Framework>(r.u16());
-  proto.file_path = r.str();
-  proto.file_bytes = r.u64();
-  proto.checksum = r.str();
-  proto.architecture_checksum = r.str();
-  proto.modality = static_cast<nn::Modality>(r.u8());
-  proto.task = r.str();
-  const std::uint8_t flags = r.u8();
-  proto.has_cluster_prefix = (flags & (1u << 0)) != 0;
-  proto.has_prune_prefix = (flags & (1u << 1)) != 0;
-  proto.has_dequantize_layer = (flags & (1u << 2)) != 0;
-  proto.int8_weights = (flags & (1u << 3)) != 0;
-  proto.int8_activations = (flags & (1u << 4)) != 0;
-  proto.near_zero_weight_fraction = r.f64();
-  if (r.u8() != 0) {
-    auto analysis = std::make_shared<ModelAnalysis>();
-    if (!get_analysis(r, *analysis)) return false;
-    proto.analysis = std::move(analysis);
-  }
-  return r.ok();
-}
-
-void put_app_record(util::ByteWriter& w, const AppRecord& app) {
-  w.str(app.package);
-  w.str(app.title);
-  w.str(app.category);
-  w.i64(app.installs);
-  w.u8(app.uses_ml ? 1 : 0);
-  put_string_vector(w, app.ml_stacks);
-  put_string_vector(w, app.cloud_providers);
-  w.u8(app.uses_nnapi ? 1 : 0);
-  w.u8(app.uses_xnnpack ? 1 : 0);
-  w.u8(app.uses_snpe ? 1 : 0);
-  w.i32(app.candidate_files);
-  w.i32(app.validated_models);
-  w.i32(app.side_container_files);
-  w.i32(app.side_container_models);
-}
-
-bool get_app_record(util::ByteReader& r, AppRecord& app) {
-  app.package = r.str();
-  app.title = r.str();
-  app.category = r.str();
-  app.installs = r.i64();
-  app.uses_ml = r.u8() != 0;
-  if (!get_string_vector(r, app.ml_stacks)) return false;
-  if (!get_string_vector(r, app.cloud_providers)) return false;
-  app.uses_nnapi = r.u8() != 0;
-  app.uses_xnnpack = r.u8() != 0;
-  app.uses_snpe = r.u8() != 0;
-  app.candidate_files = r.i32();
-  app.validated_models = r.i32();
-  app.side_container_files = r.i32();
-  app.side_container_models = r.i32();
-  return r.ok();
-}
-
-// Serialises one outcome. Prototypes are written inline only on their first
-// appearance across the journal (tracked by `written_keys`); later records
-// reference the content key alone, and replay re-links them — exactly the
-// sharing the analysis cache established during the original run.
-util::Bytes serialize_outcome(const AppOutcome& outcome,
-                              std::set<std::uint64_t>& written_keys) {
-  util::ByteWriter w;
-  w.u8(kKindApp);
-  w.u8(static_cast<std::uint8_t>(outcome.status));
-  w.str(outcome.package);
-  w.str(outcome.error);
-  put_app_record(w, outcome.app);
-  w.u32(static_cast<std::uint32_t>(outcome.extracted.size()));
-  for (const auto& extracted : outcome.extracted) {
-    w.str(extracted.path);
-    w.u64(extracted.content_key);
-    const bool inline_proto =
-        extracted.proto != nullptr &&
-        written_keys.insert(extracted.content_key).second;
-    w.u8(inline_proto ? 1 : 0);
-    if (inline_proto) put_proto(w, *extracted.proto);
-  }
-  w.u64(outcome.models_rejected);
-  w.u32(static_cast<std::uint32_t>(outcome.no_parser.size()));
-  for (const auto& [framework, count] : outcome.no_parser) {
-    w.str(framework);
-    w.u64(count);
-  }
-  w.u32(static_cast<std::uint32_t>(outcome.counters.size()));
-  for (const auto& [name, delta] : outcome.counters) {
-    w.str(name);
-    w.i64(delta);
-  }
-  return std::move(w).take();
-}
-
-bool deserialize_outcome(
-    util::ByteReader& r, AppOutcome& outcome,
-    std::map<std::uint64_t, std::shared_ptr<const ModelRecord>>& protos) {
-  outcome.status = static_cast<AppOutcome::Status>(r.u8());
-  outcome.package = r.str();
-  outcome.error = r.str();
-  if (!get_app_record(r, outcome.app)) return false;
-  const std::uint32_t extracted = r.u32();
-  if (extracted > r.remaining()) return false;
-  outcome.extracted.reserve(extracted);
-  for (std::uint32_t i = 0; i < extracted; ++i) {
-    AppOutcome::Extracted entry;
-    entry.path = r.str();
-    entry.content_key = r.u64();
-    if (r.u8() != 0) {
-      auto proto = std::make_shared<ModelRecord>();
-      if (!get_proto(r, *proto)) return false;
-      protos[entry.content_key] = std::move(proto);
-    }
-    const auto it = protos.find(entry.content_key);
-    if (it == protos.end()) return false;  // dangling reference: corrupt
-    entry.proto = it->second;
-    outcome.extracted.push_back(std::move(entry));
-  }
-  outcome.models_rejected = r.u64();
-  const std::uint32_t no_parser = r.u32();
-  if (no_parser > r.remaining()) return false;
-  for (std::uint32_t i = 0; i < no_parser; ++i) {
-    std::string framework = r.str();
-    outcome.no_parser[std::move(framework)] = r.u64();
-  }
-  const std::uint32_t counters = r.u32();
-  if (counters > r.remaining()) return false;
-  for (std::uint32_t i = 0; i < counters; ++i) {
-    std::string name = r.str();
-    outcome.counters[std::move(name)] = r.i64();
-  }
-  return r.ok();
-}
-
-util::Bytes serialize_meta(const JournalMeta& meta) {
-  util::ByteWriter w;
-  w.u8(kKindMeta);
-  w.u16(kVersion);
-  w.u8(static_cast<std::uint8_t>(meta.snapshot));
-  w.str(meta.device_profile);
-  w.u64(meta.max_apps_per_category);
-  put_string_vector(w, meta.categories);
-  return std::move(w).take();
-}
-
-bool deserialize_meta(util::ByteReader& r, JournalMeta& meta) {
-  if (r.u16() != kVersion) return false;
-  meta.snapshot = static_cast<android::Snapshot>(r.u8());
-  meta.device_profile = r.str();
-  meta.max_apps_per_category = r.u64();
-  if (!get_string_vector(r, meta.categories)) return false;
-  return r.ok();
-}
+// Journals written before the shared frame codec (net/framing.hpp) framed
+// records as `u32 "GJL1" | u32 len | payload | crc32` with no version byte.
+// Recognised here only so the skew error can name the actual problem
+// instead of reporting "not a pipeline journal".
+constexpr std::uint32_t kLegacyMagic = 0x314C4A47;  // "GJL1"
 
 util::Bytes make_frame(const util::Bytes& payload) {
-  util::ByteWriter w;
-  w.u32(kFrameMagic);
-  w.u32(static_cast<std::uint32_t>(payload.size()));
-  w.raw(payload);
-  w.u32(util::crc32(payload));
-  return std::move(w).take();
+  return net::encode_frame(payload);
+}
+
+std::string version_skew_error(const std::string& path,
+                               std::uint8_t found_version) {
+  return "journal '" + path + "' uses frame codec v" +
+         std::to_string(found_version) + "; this binary reads v" +
+         std::to_string(net::kFrameVersion) +
+         " — re-run the crawl without --resume to regenerate it";
 }
 
 bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
@@ -332,42 +81,48 @@ util::Result<Journal::Recovered> Journal::replay(const std::string& path) {
   auto bytes = util::read_file_bytes(path);
   if (!bytes.ok()) return R::failure(bytes.error());
   const util::Bytes& data = bytes.value();
+  const std::span<const std::uint8_t> all{data};
 
   Recovered recovered;
-  std::map<std::uint64_t, std::shared_ptr<const ModelRecord>> protos;
+  ProtoMap protos;
   std::size_t pos = 0;
   bool meta_seen = false;
   while (pos < data.size()) {
-    // Frame header: magic + length, then payload + CRC. Anything that does
-    // not check out marks the end of the valid prefix.
-    util::ByteReader header{
-        std::span<const std::uint8_t>{data}.subspan(pos)};
-    const std::uint32_t magic = header.u32();
-    const std::uint32_t length = header.u32();
-    if (!header.ok() || magic != kFrameMagic ||
-        length > header.remaining() ||
-        header.remaining() - length < 4) {
-      break;
+    net::FrameView view;
+    const net::FrameDecode decode = net::decode_frame(all.subspan(pos), &view);
+    if (decode == net::FrameDecode::VersionSkew) {
+      // A well-formed frame from a different codec generation is a skew,
+      // never a torn tail — refuse the whole file with a clear error.
+      return R::failure(version_skew_error(path, view.version));
     }
-    const auto payload = header.raw(length);
-    const std::uint32_t crc = header.u32();
-    if (!header.ok() || util::crc32(payload) != crc) break;
+    if (decode != net::FrameDecode::Ok) {
+      // A legacy journal can be shorter than the new 9-byte header, so the
+      // magic check must cover Incomplete as well as BadMagic.
+      if (pos == 0 && data.size() >= 4) {
+        util::ByteReader head{all};
+        if (head.u32() == kLegacyMagic) {
+          return R::failure(version_skew_error(path, 1));
+        }
+      }
+      break;  // torn or corrupt tail: end of the valid prefix
+    }
 
-    util::ByteReader body{payload};
+    util::ByteReader body{view.payload};
     const std::uint8_t kind = body.u8();
     if (!meta_seen) {
-      if (kind != kKindMeta || !deserialize_meta(body, recovered.meta)) {
+      if (kind != kRecordMeta || !decode_meta_record(body, recovered.meta) ||
+          body.remaining() != 0) {
         return R::failure("not a pipeline journal: " + path);
       }
       meta_seen = true;
     } else {
-      if (kind != kKindApp) break;
+      if (kind != kRecordApp) break;
       AppOutcome outcome;
-      if (!deserialize_outcome(body, outcome, protos)) break;
+      if (!decode_outcome_record(body, outcome, protos)) break;
       if (body.remaining() != 0) break;  // trailing garbage inside frame
       recovered.outcomes.push_back(std::move(outcome));
     }
-    pos += 8 + length + 4;
+    pos += view.frame_bytes;
   }
   if (!meta_seen) return R::failure("not a pipeline journal: " + path);
   recovered.valid_bytes = pos;
@@ -417,8 +172,8 @@ util::Result<Journal::Opened> Journal::open(const std::string& path,
   } else {
     // Fresh journal: the meta frame goes through AtomicFile so a crash
     // during creation leaves either no journal or a valid one-frame file.
-    if (auto created =
-            util::AtomicFile{path}.write(make_frame(serialize_meta(meta)));
+    if (auto created = util::AtomicFile{path}.write(
+            make_frame(encode_meta_record(meta)));
         !created.ok()) {
       return R::failure(created.error());
     }
@@ -462,7 +217,7 @@ void Journal::close() {
 util::Status Journal::append(const AppOutcome& outcome) {
   if (fd_ < 0) return util::Status::failure("journal is not open");
   const util::Bytes frame =
-      make_frame(serialize_outcome(outcome, written_keys_));
+      make_frame(encode_outcome_record(outcome, written_keys_));
 
   const int record = static_cast<int>(appended_) + 1;
   if (plan_.die_mid_journal_write == record || plan_.torn_tail == record) {

@@ -1,0 +1,276 @@
+#include "core/outcome_codec.hpp"
+
+#include <utility>
+
+namespace gauge::core {
+
+namespace {
+
+void put_string_vector(util::ByteWriter& w, const std::vector<std::string>& v) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (const auto& s : v) w.str(s);
+}
+
+bool get_string_vector(util::ByteReader& r, std::vector<std::string>& v) {
+  const std::uint32_t n = r.u32();
+  if (n > r.remaining()) return false;  // each element needs >= 4 bytes
+  v.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) v.push_back(r.str());
+  return r.ok();
+}
+
+void put_analysis(util::ByteWriter& w, const ModelAnalysis& analysis) {
+  const auto& trace = analysis.trace;
+  w.u32(static_cast<std::uint32_t>(trace.layers.size()));
+  for (const auto& layer : trace.layers) {
+    w.u8(static_cast<std::uint8_t>(layer.type));
+    w.str(layer.name);
+    w.i64(layer.macs);
+    w.i64(layer.flops);
+    w.i64(layer.params);
+    w.i64(layer.bytes_read);
+    w.i64(layer.bytes_written);
+    w.u32(static_cast<std::uint32_t>(layer.output_shape.dims.size()));
+    for (const std::int64_t d : layer.output_shape.dims) w.i64(d);
+  }
+  w.i64(trace.total_macs);
+  w.i64(trace.total_flops);
+  w.i64(trace.total_params);
+  w.i64(trace.total_bytes);
+  w.i64(trace.peak_activation_bytes);
+  put_string_vector(w, analysis.layer_digests);
+  w.u32(static_cast<std::uint32_t>(analysis.op_family_counts.size()));
+  for (const auto& [family, count] : analysis.op_family_counts) {
+    w.str(family);
+    w.i64(count);
+  }
+}
+
+bool get_analysis(util::ByteReader& r, ModelAnalysis& analysis) {
+  auto& trace = analysis.trace;
+  const std::uint32_t layers = r.u32();
+  if (layers > r.remaining()) return false;
+  trace.layers.reserve(layers);
+  for (std::uint32_t i = 0; i < layers; ++i) {
+    nn::LayerCost layer;
+    layer.type = static_cast<nn::LayerType>(r.u8());
+    layer.name = r.str();
+    layer.macs = r.i64();
+    layer.flops = r.i64();
+    layer.params = r.i64();
+    layer.bytes_read = r.i64();
+    layer.bytes_written = r.i64();
+    const std::uint32_t rank = r.u32();
+    if (rank > r.remaining()) return false;
+    layer.output_shape.dims.reserve(rank);
+    for (std::uint32_t d = 0; d < rank; ++d) {
+      layer.output_shape.dims.push_back(r.i64());
+    }
+    trace.layers.push_back(std::move(layer));
+  }
+  trace.total_macs = r.i64();
+  trace.total_flops = r.i64();
+  trace.total_params = r.i64();
+  trace.total_bytes = r.i64();
+  trace.peak_activation_bytes = r.i64();
+  if (!get_string_vector(r, analysis.layer_digests)) return false;
+  const std::uint32_t families = r.u32();
+  if (families > r.remaining()) return false;
+  for (std::uint32_t i = 0; i < families; ++i) {
+    std::string family = r.str();
+    analysis.op_family_counts[std::move(family)] = r.i64();
+  }
+  return r.ok();
+}
+
+void put_proto(util::ByteWriter& w, const ModelRecord& proto) {
+  w.u16(static_cast<std::uint16_t>(proto.framework));
+  w.str(proto.file_path);
+  w.u64(proto.file_bytes);
+  w.str(proto.checksum);
+  w.str(proto.architecture_checksum);
+  w.u8(static_cast<std::uint8_t>(proto.modality));
+  w.str(proto.task);
+  std::uint8_t flags = 0;
+  if (proto.has_cluster_prefix) flags |= 1u << 0;
+  if (proto.has_prune_prefix) flags |= 1u << 1;
+  if (proto.has_dequantize_layer) flags |= 1u << 2;
+  if (proto.int8_weights) flags |= 1u << 3;
+  if (proto.int8_activations) flags |= 1u << 4;
+  w.u8(flags);
+  w.f64(proto.near_zero_weight_fraction);
+  w.u8(proto.analysis ? 1 : 0);
+  if (proto.analysis) put_analysis(w, *proto.analysis);
+}
+
+bool get_proto(util::ByteReader& r, ModelRecord& proto) {
+  proto.framework = static_cast<formats::Framework>(r.u16());
+  proto.file_path = r.str();
+  proto.file_bytes = r.u64();
+  proto.checksum = r.str();
+  proto.architecture_checksum = r.str();
+  proto.modality = static_cast<nn::Modality>(r.u8());
+  proto.task = r.str();
+  const std::uint8_t flags = r.u8();
+  proto.has_cluster_prefix = (flags & (1u << 0)) != 0;
+  proto.has_prune_prefix = (flags & (1u << 1)) != 0;
+  proto.has_dequantize_layer = (flags & (1u << 2)) != 0;
+  proto.int8_weights = (flags & (1u << 3)) != 0;
+  proto.int8_activations = (flags & (1u << 4)) != 0;
+  proto.near_zero_weight_fraction = r.f64();
+  if (r.u8() != 0) {
+    auto analysis = std::make_shared<ModelAnalysis>();
+    if (!get_analysis(r, *analysis)) return false;
+    proto.analysis = std::move(analysis);
+  }
+  return r.ok();
+}
+
+void put_app_record(util::ByteWriter& w, const AppRecord& app) {
+  w.str(app.package);
+  w.str(app.title);
+  w.str(app.category);
+  w.i64(app.installs);
+  w.u8(app.uses_ml ? 1 : 0);
+  put_string_vector(w, app.ml_stacks);
+  put_string_vector(w, app.cloud_providers);
+  w.u8(app.uses_nnapi ? 1 : 0);
+  w.u8(app.uses_xnnpack ? 1 : 0);
+  w.u8(app.uses_snpe ? 1 : 0);
+  w.i32(app.candidate_files);
+  w.i32(app.validated_models);
+  w.i32(app.side_container_files);
+  w.i32(app.side_container_models);
+}
+
+bool get_app_record(util::ByteReader& r, AppRecord& app) {
+  app.package = r.str();
+  app.title = r.str();
+  app.category = r.str();
+  app.installs = r.i64();
+  app.uses_ml = r.u8() != 0;
+  if (!get_string_vector(r, app.ml_stacks)) return false;
+  if (!get_string_vector(r, app.cloud_providers)) return false;
+  app.uses_nnapi = r.u8() != 0;
+  app.uses_xnnpack = r.u8() != 0;
+  app.uses_snpe = r.u8() != 0;
+  app.candidate_files = r.i32();
+  app.validated_models = r.i32();
+  app.side_container_files = r.i32();
+  app.side_container_models = r.i32();
+  return r.ok();
+}
+
+}  // namespace
+
+util::Bytes encode_meta_record(const JournalMeta& meta) {
+  util::ByteWriter w;
+  w.u8(kRecordMeta);
+  w.u8(static_cast<std::uint8_t>(meta.snapshot));
+  w.str(meta.device_profile);
+  w.u64(meta.max_apps_per_category);
+  put_string_vector(w, meta.categories);
+  return std::move(w).take();
+}
+
+bool decode_meta_record(util::ByteReader& r, JournalMeta& meta) {
+  meta.snapshot = static_cast<android::Snapshot>(r.u8());
+  meta.device_profile = r.str();
+  meta.max_apps_per_category = r.u64();
+  if (!get_string_vector(r, meta.categories)) return false;
+  return r.ok();
+}
+
+util::Bytes encode_outcome_record(const AppOutcome& outcome,
+                                  ProtoKeySet& written_keys) {
+  util::ByteWriter w;
+  w.u8(kRecordApp);
+  w.u8(static_cast<std::uint8_t>(outcome.status));
+  w.str(outcome.package);
+  w.str(outcome.error);
+  put_app_record(w, outcome.app);
+  w.u32(static_cast<std::uint32_t>(outcome.extracted.size()));
+  for (const auto& extracted : outcome.extracted) {
+    w.str(extracted.path);
+    w.u64(extracted.content_key);
+    const bool inline_proto =
+        extracted.proto != nullptr &&
+        written_keys.insert(extracted.content_key).second;
+    w.u8(inline_proto ? 1 : 0);
+    if (inline_proto) put_proto(w, *extracted.proto);
+  }
+  w.u64(outcome.models_rejected);
+  w.u32(static_cast<std::uint32_t>(outcome.no_parser.size()));
+  for (const auto& [framework, count] : outcome.no_parser) {
+    w.str(framework);
+    w.u64(count);
+  }
+  w.u32(static_cast<std::uint32_t>(outcome.counters.size()));
+  for (const auto& [name, delta] : outcome.counters) {
+    w.str(name);
+    w.i64(delta);
+  }
+  return std::move(w).take();
+}
+
+bool decode_outcome_record(util::ByteReader& r, AppOutcome& outcome,
+                           ProtoMap& protos) {
+  outcome.status = static_cast<AppOutcome::Status>(r.u8());
+  outcome.package = r.str();
+  outcome.error = r.str();
+  if (!get_app_record(r, outcome.app)) return false;
+  const std::uint32_t extracted = r.u32();
+  if (extracted > r.remaining()) return false;
+  outcome.extracted.reserve(extracted);
+  for (std::uint32_t i = 0; i < extracted; ++i) {
+    AppOutcome::Extracted entry;
+    entry.path = r.str();
+    entry.content_key = r.u64();
+    if (r.u8() != 0) {
+      auto proto = std::make_shared<ModelRecord>();
+      if (!get_proto(r, *proto)) return false;
+      protos[entry.content_key] = std::move(proto);
+    }
+    const auto it = protos.find(entry.content_key);
+    if (it == protos.end()) return false;  // dangling reference: corrupt
+    entry.proto = it->second;
+    outcome.extracted.push_back(std::move(entry));
+  }
+  outcome.models_rejected = r.u64();
+  const std::uint32_t no_parser = r.u32();
+  if (no_parser > r.remaining()) return false;
+  for (std::uint32_t i = 0; i < no_parser; ++i) {
+    std::string framework = r.str();
+    outcome.no_parser[std::move(framework)] = r.u64();
+  }
+  const std::uint32_t counters = r.u32();
+  if (counters > r.remaining()) return false;
+  for (std::uint32_t i = 0; i < counters; ++i) {
+    std::string name = r.str();
+    outcome.counters[std::move(name)] = r.i64();
+  }
+  return r.ok();
+}
+
+util::Bytes encode_outcome_standalone(const AppOutcome& outcome) {
+  ProtoKeySet fresh;
+  return encode_outcome_record(outcome, fresh);
+}
+
+util::Result<AppOutcome> decode_outcome_standalone(
+    std::span<const std::uint8_t> payload) {
+  using R = util::Result<AppOutcome>;
+  util::ByteReader reader{payload};
+  if (reader.u8() != kRecordApp) {
+    return R::failure("not an app outcome record");
+  }
+  AppOutcome outcome;
+  ProtoMap protos;
+  if (!decode_outcome_record(reader, outcome, protos) ||
+      reader.remaining() != 0) {
+    return R::failure("malformed app outcome record");
+  }
+  return outcome;
+}
+
+}  // namespace gauge::core

@@ -1,0 +1,53 @@
+// Binary record codec for crawl outcomes (DESIGN.md §10/§15). One
+// serialisation of AppOutcome and JournalMeta shared by the two places a
+// completed crawl position travels: the crash-safe journal on disk and the
+// coordinator/worker wire protocol. Frames around these records come from
+// net::framing (magic + version byte + length + CRC); this layer is the
+// payload schema only.
+//
+// Prototype sharing: off-the-shelf models ship in many apps, so a stream of
+// outcome records stores each analysis prototype once (first occurrence of
+// its content key) and later records reference the key alone. The journal
+// uses that stream mode. The wire uses the standalone wrappers, which reset
+// the dedup state per record so every frame is self-contained — a worker's
+// outcomes must decode regardless of which other worker sent the duplicate
+// first.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/journal.hpp"
+#include "util/bytes.hpp"
+
+namespace gauge::core {
+
+// First payload byte of every record, journal file and wire alike.
+inline constexpr std::uint8_t kRecordMeta = 0;
+inline constexpr std::uint8_t kRecordApp = 1;
+
+// Prototypes already emitted earlier in a record stream (encode side) and
+// their decoded instances (decode side). A fresh pair of these gives
+// standalone-record semantics.
+using ProtoKeySet = std::set<std::uint64_t>;
+using ProtoMap = std::map<std::uint64_t, std::shared_ptr<const ModelRecord>>;
+
+// Record payloads (kind byte included). Decoders consume from the reader and
+// return false on malformed input; the reader's own bounds-checking makes
+// them safe on hostile bytes.
+util::Bytes encode_meta_record(const JournalMeta& meta);
+bool decode_meta_record(util::ByteReader& reader, JournalMeta& meta);
+
+util::Bytes encode_outcome_record(const AppOutcome& outcome,
+                                  ProtoKeySet& written_keys);
+bool decode_outcome_record(util::ByteReader& reader, AppOutcome& outcome,
+                           ProtoMap& protos);
+
+// Self-contained record (wire unit): every prototype the outcome references
+// is inlined, independent of any stream state.
+util::Bytes encode_outcome_standalone(const AppOutcome& outcome);
+util::Result<AppOutcome> decode_outcome_standalone(
+    std::span<const std::uint8_t> payload);
+
+}  // namespace gauge::core

@@ -1,317 +1,9 @@
 #include "core/pipeline.hpp"
 
-#include <deque>
-#include <map>
-#include <optional>
-#include <set>
-#include <stdexcept>
-#include <utility>
-
-#include "android/detect.hpp"
-#include "core/analysis_cache.hpp"
-#include "core/taskclassify.hpp"
-#include "formats/plugin.hpp"
-#include "nn/checksum.hpp"
-#include "nn/threadpool.hpp"
-#include "nn/zoo.hpp"
-#include "telemetry/metrics.hpp"
-#include "telemetry/span.hpp"
+#include "core/driver.hpp"
 #include "util/hash.hpp"
-#include "util/log.hpp"
-#include "util/strings.hpp"
 
 namespace gauge::core {
-
-namespace {
-
-// One anchored model file parsed through its framework's plugin (plus its
-// pre-read weights sibling for the two-file formats). Returns nullopt when
-// parsing fails.
-struct ParsedModel {
-  nn::Graph graph;
-  formats::Framework framework;
-  std::size_t file_bytes = 0;
-};
-
-std::optional<ParsedModel> parse_model(const util::Bytes& data,
-                                       const util::Bytes* weights,
-                                       formats::Framework framework) {
-  const formats::FormatPlugin* plugin =
-      formats::PluginRegistry::instance().find(framework);
-  if (plugin == nullptr) return std::nullopt;
-  auto graph = plugin->parse(data, weights);
-  if (!graph.ok()) return std::nullopt;
-  ParsedModel out;
-  out.framework = framework;
-  out.file_bytes = data.size() + (weights != nullptr ? weights->size() : 0);
-  out.graph = std::move(graph).take();
-  return out;
-}
-
-// Weights-only companions of two-file formats: counted as candidates but
-// never anchor a model record. A central-directory lookup suffices — the
-// graph sibling's bytes are not needed to establish companionship. The
-// check is path-based (any plugin recognising `path` as its weights side
-// with the graph sibling present), matching signature validation which may
-// attribute e.g. a TFLite-signed .bin to TfLite while a .param sibling
-// still marks it as ncnn weights.
-bool is_weights_companion(const std::string& path, const android::Apk& apk) {
-  for (const auto* plugin : formats::PluginRegistry::instance().plugins()) {
-    const std::string primary = plugin->companion_primary(path);
-    if (!primary.empty() && apk.contains(primary)) return true;
-  }
-  return false;
-}
-
-// Builds the instance-agnostic analysis prototype for one parsed model.
-// record_id, app_package, category and file_path are per-instance and get
-// assigned by the merge stage; the heavy trace/digest payload is shared.
-ModelRecord analyse_model(ParsedModel parsed, const std::string& path) {
-  ModelRecord record;
-  record.framework = parsed.framework;
-  record.file_path = path;
-  record.file_bytes = parsed.file_bytes;
-
-  const nn::Graph& graph = parsed.graph;
-  record.checksum = nn::model_checksum(graph);
-  record.architecture_checksum = nn::architecture_checksum(graph);
-
-  auto analysis = std::make_shared<ModelAnalysis>();
-  analysis->layer_digests = nn::layer_weight_checksums(graph);
-
-  auto trace = nn::trace_model(graph);
-  if (trace.ok()) {
-    analysis->trace = std::move(trace).take();
-    analysis->op_family_counts = analysis->trace.op_family_counts();
-    record.modality = infer_modality(analysis->trace);
-    record.task = classify_task(
-        std::string{util::basename(graph.name.empty() ? path : graph.name)},
-        analysis->trace);
-  } else {
-    record.task = kUnidentified;
-  }
-
-  for (const auto& layer : graph.layers()) {
-    if (layer.name.starts_with("cluster_")) record.has_cluster_prefix = true;
-    if (layer.name.starts_with("prune_")) record.has_prune_prefix = true;
-    if (layer.type == nn::LayerType::Dequantize) {
-      record.has_dequantize_layer = true;
-    }
-    if (layer.has_weights() && layer.weight_bits == 8) {
-      record.int8_weights = true;
-    }
-    if (layer.act_bits == 8) record.int8_activations = true;
-  }
-  record.near_zero_weight_fraction = nn::near_zero_weight_fraction(graph);
-  record.analysis = std::move(analysis);
-  return record;
-}
-
-// The complete per-app stage chain: download → apk-open → detect → extract
-// (validate → parse → analyse per candidate). Runs on the calling thread in
-// serial mode and on pool workers in parallel mode; everything it touches
-// besides the once-only cache and the telemetry registry is app-local.
-// The AppOutcome it fills (core/journal.hpp) is exactly what the journal
-// persists, including the counter deltas this app contributed.
-AppOutcome process_app(const android::PlayStore& play,
-                       const PipelineOptions& options, AnalysisCache& cache,
-                       const android::AppEntry& entry) {
-  auto& metrics = telemetry::current_registry();
-
-  AppOutcome out;
-  out.package = entry.package;
-
-  // Every registry increment this app makes funnels through `bump` so the
-  // delta lands in out.counters too — a resumed run re-applies the deltas
-  // verbatim instead of re-running the app.
-  const auto bump = [&metrics, &out](const std::string& name,
-                                     std::int64_t n = 1) {
-    metrics.counter(name).increment(n);
-    out.counters[name] += n;
-  };
-  const auto drop = [&bump](const char* reason) {
-    bump(std::string{"gauge.pipeline.drop."} + reason);
-  };
-
-  // Root of the per-app stage spans. On a pool worker this is a root span
-  // on its own thread (span parents never cross threads); the annotations
-  // tie it back to the crawl position.
-  telemetry::Span app_span{"pipeline.app"};
-  app_span.annotate("package", entry.package);
-  app_span.annotate("category", entry.category);
-
-  bump("gauge.pipeline.apps_crawled");
-
-  auto pkg = [&] {
-    telemetry::Span span{"pipeline.download"};
-    return play.download(entry.package, options.snapshot,
-                         options.device_profile);
-  }();
-  if (!pkg.ok()) {
-    drop("download_failed");
-    out.status = AppOutcome::Status::DownloadFailed;
-    out.error = pkg.error();
-    return out;
-  }
-  auto apk = [&] {
-    telemetry::Span span{"pipeline.apk_open"};
-    return android::Apk::open(std::move(pkg.value().apk), options.zip_limits);
-  }();
-  if (!apk.ok()) {
-    drop("bad_apk");
-    out.status = AppOutcome::Status::BadApk;
-    out.error = apk.error();
-    return out;
-  }
-  // Hostile entry names (path traversal, absolute paths) were hidden by the
-  // zip reader; surface the count without failing the whole APK.
-  if (const std::size_t rejected = apk.value().rejected_entry_names();
-      rejected > 0) {
-    bump("gauge.pipeline.drop.bad_entry_name",
-         static_cast<std::int64_t>(rejected));
-  }
-
-  AppRecord& app = out.app;
-  app.package = entry.package;
-  app.title = entry.title;
-  app.category = entry.category;
-  app.installs = entry.installs;
-
-  {
-    // Static detection: ML stacks, delegates, cloud APIs.
-    telemetry::Span span{"pipeline.detect"};
-    for (const auto& hit : android::detect_ml_stacks(apk.value())) {
-      app.ml_stacks.push_back(android::ml_stack_name(hit.stack));
-      if (hit.stack == android::MlStack::NnApi) app.uses_nnapi = true;
-      if (hit.stack == android::MlStack::Xnnpack) app.uses_xnnpack = true;
-      if (hit.stack == android::MlStack::Snpe) app.uses_snpe = true;
-    }
-    app.uses_ml = android::uses_ml(apk.value());
-    for (const auto& hit : android::detect_cloud_apis(apk.value())) {
-      app.cloud_providers.push_back(
-          android::cloud_provider_name(hit.provider));
-    }
-  }
-
-  // Read-once memo for this APK's entries: the weights sibling of a
-  // two-file model is needed by the content key, the parser and (as a
-  // candidate in its own right) the validation loop — inflate it once.
-  std::map<std::string, util::Result<util::Bytes>, std::less<>> reads;
-  const auto read_entry =
-      [&](const std::string& name) -> const util::Result<util::Bytes>& {
-    auto it = reads.find(name);
-    if (it == reads.end()) {
-      it = reads.emplace(name, apk.value().read(name)).first;
-    }
-    return it->second;
-  };
-
-  // Model extraction from the base APK. (Span closed explicitly before the
-  // side-container sweep, which it should not cover.)
-  std::optional<telemetry::Span> extract_span{std::in_place,
-                                              "pipeline.extract"};
-  const auto& registry = formats::PluginRegistry::instance();
-  for (const auto& name : apk.value().entry_names()) {
-    if (!registry.is_candidate(name)) continue;
-    app.candidate_files++;
-    const auto& data = read_entry(name);
-    if (!data.ok()) {
-      // Entries tripping the inflation caps are an attack signature, not an
-      // I/O hiccup — give them their own drop bucket.
-      drop(zipfile::is_zip_bomb_error(data.error()) ? "zip_bomb"
-                                                    : "entry_read_failed");
-      continue;
-    }
-    if (!registry.any_candidate_has_plugin(name)) {
-      // Every framework claiming this extension lacks a parser (e.g. a
-      // .joblib Sklearn pickle): surfaced per framework instead of being
-      // folded into bad_signature.
-      const auto candidates = registry.candidate_frameworks(name);
-      const char* fw_name = registry.framework_name(candidates.front());
-      drop("no_parser");
-      bump(std::string{"gauge.pipeline.drop.no_parser."} + fw_name);
-      ++out.no_parser[fw_name];
-      ++out.models_rejected;
-      continue;
-    }
-    const auto framework = [&] {
-      telemetry::Span span{"pipeline.validate"};
-      return registry.validate_signature(name, data.value());
-    }();
-    if (!framework) {  // obfuscated/encrypted or not a model
-      drop("bad_signature");
-      ++out.models_rejected;
-      continue;
-    }
-    if (is_weights_companion(name, apk.value())) {
-      drop("weights_companion");
-      continue;
-    }
-    // Two-file formats: read the weights sibling exactly once and thread it
-    // through both the content key and the parser.
-    const util::Bytes* weights = nullptr;
-    if (const std::string weights_path =
-            registry.find(*framework)->companion(name);
-        !weights_path.empty()) {
-      if (const auto& sibling = read_entry(weights_path); sibling.ok()) {
-        weights = &sibling.value();
-      }
-    }
-    // Content key covers the graph file; two-file formats append the
-    // weights blob so fine-tuned caffe/ncnn variants don't collide.
-    std::uint64_t content_key = util::fnv1a64(data.value());
-    if (weights != nullptr) {
-      content_key = content_key * 1099511628211ULL + util::fnv1a64(*weights);
-    }
-    // Once-only analysis: duplicates (the common case — off-the-shelf
-    // models shipped by many apps) adopt the owner's prototype, even when
-    // owner and duplicate race on different workers. The cache increments
-    // hit/miss registry counters itself; `computed` attributes the same
-    // delta to this outcome for journal replay.
-    bool computed = false;
-    auto proto =
-        cache.find_or_compute(content_key, [&]() -> AnalysisCache::Proto {
-          computed = true;
-          auto parsed = [&] {
-            telemetry::Span span{"pipeline.parse"};
-            return parse_model(data.value(), weights, *framework);
-          }();
-          if (!parsed) {
-            drop("parse_failed");
-            ++out.models_rejected;
-            return nullptr;
-          }
-          telemetry::Span span{"pipeline.analyse"};
-          return std::make_shared<const ModelRecord>(
-              analyse_model(std::move(*parsed), name));
-        });
-    ++out.counters[computed ? "gauge.pipeline.cache_misses"
-                            : "gauge.pipeline.cache_hits"];
-    if (!proto) continue;
-    app.validated_models++;
-    out.extracted.push_back({name, content_key, std::move(proto)});
-    bump("gauge.pipeline.models_validated");
-  }
-  extract_span.reset();
-
-  // §4.2: sweep post-install deliverables for models.
-  const auto sweep = [&](const android::SideContainer& side) {
-    auto entries = android::side_container_entries(side);
-    if (!entries.ok()) return;
-    for (const auto& name : entries.value()) {
-      app.side_container_files++;
-      if (formats::is_candidate_model_file(name)) {
-        app.side_container_models++;
-      }
-    }
-  };
-  for (const auto& side : pkg.value().expansions) sweep(side);
-  for (const auto& side : pkg.value().asset_packs) sweep(side);
-
-  return out;
-}
-
-}  // namespace
 
 std::size_t SnapshotDataset::ml_apps() const {
   return app_docs.query().where("uses_ml", store::Value{true}).count();
@@ -330,201 +22,15 @@ std::size_t SnapshotDataset::unique_model_count() const {
 
 SnapshotDataset run_pipeline(const android::PlayStore& play,
                              const PipelineOptions& options) {
-  SnapshotDataset dataset;
-  dataset.snapshot = options.snapshot;
-
-  auto& metrics = telemetry::current_registry();
-  const auto drop = [&metrics](const char* reason) {
-    metrics.counter(std::string{"gauge.pipeline.drop."} + reason).increment();
-  };
-  telemetry::Span run_span{"pipeline.run"};
-
-  const auto& categories = options.categories.empty()
-                               ? android::PlayStore::categories()
-                               : options.categories;
-
-  std::set<std::string> crawled;  // apps can chart in several categories
-  AnalysisCache cache;            // once-only across categories and workers
-
-  // Crash-safe journal (DESIGN.md §10): opened — and on resume, replayed —
-  // before any work is dispatched, so journaled prototypes are seeded ahead
-  // of the first fresh app. A journal that cannot be opened or that was
-  // written under different options is an operator error, not a per-app
-  // drop, hence the throw.
-  std::optional<Journal> journal;
-  std::vector<AppOutcome> replayed;
-  if (!options.journal_path.empty()) {
-    JournalMeta meta;
-    meta.snapshot = options.snapshot;
-    meta.device_profile = options.device_profile;
-    meta.max_apps_per_category = options.max_apps_per_category;
-    meta.categories = categories;
-    auto opened = Journal::open(options.journal_path, meta, options.resume,
-                                options.crash_plan);
-    if (!opened.ok()) throw std::runtime_error{opened.error()};
-    journal.emplace(std::move(opened.value().journal));
-    replayed = std::move(opened.value().outcomes);
-    if (opened.value().torn_tail) {
-      metrics.counter("gauge.pipeline.resume.torn_tail").increment();
-    }
-    if (!replayed.empty()) {
-      metrics.counter("gauge.pipeline.resume.skipped")
-          .increment(static_cast<std::int64_t>(replayed.size()));
-      std::int64_t replayed_models = 0;
-      for (const auto& out : replayed) {
-        replayed_models += static_cast<std::int64_t>(out.extracted.size());
-        // Re-apply the original run's telemetry deltas verbatim, and seed
-        // the analysis cache so post-resume duplicates adopt the journaled
-        // prototype instead of re-analysing.
-        for (const auto& [name, delta] : out.counters) {
-          metrics.counter(name).increment(delta);
-        }
-        for (const auto& extracted : out.extracted) {
-          cache.seed(extracted.content_key, extracted.proto);
-        }
-      }
-      metrics.counter("gauge.pipeline.resume.replayed_models")
-          .increment(replayed_models);
-      util::log_info(util::format("resuming: %zu apps replayed from journal",
-                                  replayed.size()));
-    }
+  // The driver opens (and replays) the journal before any executor exists;
+  // both executors borrow its analysis cache for in-process work.
+  PipelineDriver driver{play, options};
+  if (options.workers > 0) {
+    DistributedExecutor executor{play, options, driver.cache()};
+    return driver.run(executor);
   }
-  std::size_t replay_index = 0;
-
-  const auto cancelled = [&options] {
-    return options.cancel != nullptr &&
-           options.cancel->load(std::memory_order_relaxed);
-  };
-
-  std::optional<nn::ThreadPool> pool;
-  if (options.threads > 0) pool.emplace(options.threads);
-  // Bounded in-flight window: enough tasks to keep every worker busy while
-  // the merge stage drains in submission order, without downloading a whole
-  // category ahead of the merge.
-  const std::size_t window =
-      pool ? std::max<std::size_t>(2 * pool->size(), 4) : 0;
-
-  for (const auto& category : categories) {
-    if (dataset.interrupted) break;
-    telemetry::Span category_span{"pipeline.category"};
-    category_span.annotate("category", category);
-    std::size_t apps_ok = 0, apps_failed = 0;
-    std::size_t models_validated = 0, models_rejected = 0;
-    std::map<std::string, std::size_t> category_no_parser;
-
-    android::PlayStore::ChartRequest request;
-    request.category = category;
-    request.snapshot = options.snapshot;
-    request.device_profile = options.device_profile;
-    request.limit = options.max_apps_per_category;
-    const auto chart = play.top_chart(request);
-    util::log_info(util::format("crawling '%s': %zu apps", category.c_str(),
-                                chart.size()));
-
-    // Deterministic merge: outcomes are folded into the dataset strictly in
-    // chart order, so record ids, dataset order and DocStore ids match the
-    // serial run no matter which worker finishes first.
-    const auto merge = [&](AppOutcome out) {
-      if (out.status == AppOutcome::Status::DownloadFailed) {
-        util::log_warn("download failed: " + out.error);
-        ++apps_failed;
-        return;
-      }
-      if (out.status == AppOutcome::Status::BadApk) {
-        util::log_warn("bad apk for " + out.package + ": " + out.error);
-        ++apps_failed;
-        return;
-      }
-      AppRecord app = std::move(out.app);
-      for (auto& extracted : out.extracted) {
-        ModelRecord record = *extracted.proto;  // payload stays shared
-        record.record_id = static_cast<int>(dataset.models.size());
-        record.file_path = std::move(extracted.path);
-        record.app_package = app.package;
-        record.category = app.category;
-        app.model_record_ids.push_back(record.record_id);
-        dataset.model_docs.insert(to_document(record));
-        dataset.models.push_back(std::move(record));
-      }
-      models_validated += out.extracted.size();
-      models_rejected += out.models_rejected;
-      for (const auto& [fw_name, count] : out.no_parser) {
-        category_no_parser[fw_name] += count;
-        dataset.no_parser_drops[fw_name] += count;
-      }
-      dataset.app_docs.insert(to_document(app));
-      dataset.apps.push_back(std::move(app));
-      ++apps_ok;
-    };
-
-    // Journal + merge: fresh outcomes are made durable before they are
-    // folded into the dataset, so the journal is always a strict prefix of
-    // the merge order and a crash between the two loses nothing that the
-    // dataset already contains. Append failure (disk full, injected crash)
-    // aborts the run — continuing would silently break resumability.
-    const auto complete = [&](AppOutcome out) {
-      if (journal) {
-        const auto appended = journal->append(out);
-        if (!appended.ok()) throw std::runtime_error{appended.error()};
-      }
-      merge(std::move(out));
-    };
-
-    std::deque<std::future<AppOutcome>> in_flight;
-    for (const android::AppEntry* entry : chart) {
-      if (cancelled()) break;
-      if (!crawled.insert(entry->package).second) {
-        drop("duplicate_app");
-        continue;
-      }
-      // Resume fast path: this crawl position completed in a previous run.
-      // Merge order is strictly chart order, so the journal is a prefix of
-      // the positions this loop visits — fold the journaled outcome back in
-      // without downloading, re-analysing or re-appending.
-      if (replay_index < replayed.size()) {
-        merge(std::move(replayed[replay_index++]));
-        continue;
-      }
-      if (!pool) {  // serial fallback: same code path, same thread
-        complete(process_app(play, options, cache, *entry));
-        continue;
-      }
-      while (in_flight.size() >= window) {
-        complete(in_flight.front().get());
-        in_flight.pop_front();
-      }
-      in_flight.push_back(pool->submit([&play, &options, &cache, entry] {
-        return process_app(play, options, cache, *entry);
-      }));
-    }
-    // Drain: also the cancellation path — in-flight apps are finished and
-    // journaled so the resume point is as far along as possible.
-    while (!in_flight.empty()) {
-      complete(in_flight.front().get());
-      in_flight.pop_front();
-    }
-    if (cancelled()) dataset.interrupted = true;
-
-    metrics.counter("gauge.pipeline.categories").increment();
-    std::string summary = util::format(
-        "category '%s': apps %zu ok / %zu failed, models %zu validated / "
-        "%zu rejected",
-        category.c_str(), apps_ok, apps_failed, models_validated,
-        models_rejected);
-    if (!category_no_parser.empty()) {
-      summary += " (no parser:";
-      for (const auto& [fw_name, count] : category_no_parser) {
-        summary += util::format(" %s %zu", fw_name.c_str(), count);
-      }
-      summary += ")";
-    }
-    util::log_info(summary);
-  }
-  if (dataset.interrupted) {
-    util::log_warn(
-        "pipeline interrupted: dataset holds the journaled prefix only");
-  }
-  return dataset;
+  LocalExecutor executor{play, options, driver.cache()};
+  return driver.run(executor);
 }
 
 std::uint64_t dataset_digest(const SnapshotDataset& dataset) {

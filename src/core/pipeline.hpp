@@ -11,16 +11,24 @@
 // via a sharded once-only cache, and a deterministic merge stage assigns
 // record ids and dataset/DocStore order so the output is identical to a
 // serial run regardless of thread count or completion order.
+//
+// Execution is split driver/executor (DESIGN.md §15): core/driver.hpp owns
+// the deterministic parts, core/executor.hpp runs apps in-process and
+// core/dist.hpp runs them on a coordinator/worker cluster. run_pipeline is
+// the facade that wires the right executor to the driver from the options.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <thread>
 
 #include "android/playstore.hpp"
+#include "core/dist.hpp"
 #include "core/journal.hpp"
 #include "core/records.hpp"
+#include "util/retry.hpp"
 #include "zipfile/zip.hpp"
 
 namespace gauge::core {
@@ -36,6 +44,27 @@ struct PipelineOptions {
   // on the calling thread); the default is whatever the hardware offers.
   // Any value yields a byte-identical SnapshotDataset.
   unsigned threads = std::thread::hardware_concurrency();
+  // Cluster fan-out (DESIGN.md §15): worker processes the chart is sharded
+  // over. 0 = in-process execution. With workers > 0 the crawl runs as a
+  // coordinator/worker cluster over loopback TCP; `threads` then sizes each
+  // worker's internal pool (and its assignment capacity). Any (workers,
+  // threads) pair yields a byte-identical SnapshotDataset.
+  unsigned workers = 0;
+  // An assignment not answered within this budget is requeued to another
+  // worker (the original result, if it ever lands, is deduplicated).
+  std::chrono::milliseconds worker_deadline{10'000};
+  // With no pending work, an idle worker steals (duplicates) the oldest
+  // assignment outstanding longer than this.
+  std::chrono::milliseconds steal_after{2'000};
+  // max_attempts bounds how often one app is (re)assigned before the
+  // coordinator quarantines it and runs it inline. Backoff fields unused.
+  util::RetryPolicy worker_retry;
+  // Deterministic worker fault injection (tests, check.sh smoke); see
+  // core::WorkerFaultPlan.
+  WorkerFaultPlan worker_faults;
+  // How workers are spawned; empty = fork-based process_worker_launcher().
+  // Tests substitute thread_worker_launcher() so TSan can follow.
+  WorkerLauncher worker_launcher;
   // Crash-safe run journal (DESIGN.md §10). When set, every completed
   // per-app outcome is append-logged (and fsync'd) to this file as it is
   // merged. With `resume` the journal is replayed first: already-completed

@@ -1,0 +1,97 @@
+#include "net/framing.hpp"
+
+#include <string>
+
+#include "util/hash.hpp"
+
+namespace gauge::net {
+
+bool is_version_skew(const std::string& error) {
+  return error.rfind(kVersionSkewPrefix, 0) == 0;
+}
+
+util::Bytes encode_frame(std::span<const std::uint8_t> payload) {
+  return encode_frame_with_version(kFrameVersion, payload);
+}
+
+util::Bytes encode_frame_with_version(std::uint8_t version,
+                                      std::span<const std::uint8_t> payload) {
+  util::ByteWriter w;
+  w.u32(kFrameMagic);
+  w.u8(version);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload);
+  w.u32(util::crc32(payload));
+  return std::move(w).take();
+}
+
+FrameDecode decode_frame(std::span<const std::uint8_t> data, FrameView* out) {
+  if (data.size() < kFrameHeaderBytes) return FrameDecode::Incomplete;
+  util::ByteReader header{data};
+  const std::uint32_t magic = header.u32();
+  const std::uint8_t version = header.u8();
+  const std::uint32_t length = header.u32();
+  if (magic != kFrameMagic) return FrameDecode::BadMagic;
+  if (version != kFrameVersion) {
+    out->version = version;
+    return FrameDecode::VersionSkew;
+  }
+  if (data.size() - kFrameHeaderBytes < length ||
+      data.size() - kFrameHeaderBytes - length < kFrameTrailerBytes) {
+    return FrameDecode::Incomplete;
+  }
+  const auto payload = data.subspan(kFrameHeaderBytes, length);
+  util::ByteReader trailer{data.subspan(kFrameHeaderBytes + length)};
+  if (util::crc32(payload) != trailer.u32()) return FrameDecode::Corrupt;
+  out->version = version;
+  out->payload = payload;
+  out->frame_bytes = kFrameOverheadBytes + length;
+  return FrameDecode::Ok;
+}
+
+util::Status send_frame(TcpStream& stream,
+                        std::span<const std::uint8_t> payload,
+                        std::chrono::milliseconds deadline) {
+  const util::Bytes frame = encode_frame(payload);
+  return stream.send_raw_for(std::string{util::as_view(frame)}, deadline);
+}
+
+util::Result<util::Bytes> recv_frame_for(TcpStream& stream,
+                                         std::size_t max_payload,
+                                         std::chrono::milliseconds deadline) {
+  using R = util::Result<util::Bytes>;
+  const auto start = std::chrono::steady_clock::now();
+  auto header = stream.recv_exact_for(kFrameHeaderBytes, deadline);
+  if (!header.ok()) return R::failure(header.error());
+  util::ByteReader reader{util::as_span(header.value())};
+  const std::uint32_t magic = reader.u32();
+  const std::uint8_t version = reader.u8();
+  const std::uint32_t length = reader.u32();
+  if (magic != kFrameMagic) return R::failure("bad frame magic");
+  if (version != kFrameVersion) {
+    return R::failure(std::string{kVersionSkewPrefix} + ": peer writes v" +
+                      std::to_string(version) + ", this binary reads v" +
+                      std::to_string(kFrameVersion));
+  }
+  if (length > max_payload) {
+    return R::failure("oversize frame: " + std::to_string(length) + " > " +
+                      std::to_string(max_payload) + " byte cap");
+  }
+  // Body gets whatever is left of the original budget, never a fresh one.
+  const auto spent = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  const auto remaining =
+      std::max(std::chrono::milliseconds{1}, deadline - spent);
+  auto body =
+      stream.recv_exact_for(length + kFrameTrailerBytes, remaining);
+  if (!body.ok()) return R::failure(body.error());
+  const auto body_span = util::as_span(body.value());
+  const auto payload = body_span.subspan(0, length);
+  util::ByteReader trailer{body_span.subspan(length)};
+  if (util::crc32(payload) != trailer.u32()) {
+    return R::failure("corrupt frame (crc mismatch)");
+  }
+  return util::Bytes{payload.begin(), payload.end()};
+}
+
+}  // namespace gauge::net

@@ -1,0 +1,83 @@
+// Shared length-prefixed binary frame codec (DESIGN.md §15). One framing for
+// every CRC-checked binary payload in the system: the pipeline journal's
+// on-disk records, the coordinator/worker crawl protocol, and the inference
+// service's request payload blobs all use the same
+//
+//   u32 magic | u8 version | u32 payload_len | payload | u32 crc32(payload)
+//
+// frame, instead of per-subsystem hand-rolled framings. The explicit version
+// byte lets both journal replay and the worker handshake refuse a format
+// mismatch with a clear error instead of failing via CRC heuristics.
+//
+// Two API layers: pure byte-level encode/decode (usable on spans — the
+// journal decodes a whole file this way), and deadline-bounded socket
+// helpers (`send_frame` / `recv_frame_for`) built on TcpStream's poll()-based
+// `_for` primitives.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+
+#include "net/socket.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace gauge::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x4D524647;  // "GFRM"
+// v1 was PR 5's unversioned journal framing ("GJL1" magic, no version byte);
+// v2 added the version byte and unified journal/wire/serve framing.
+inline constexpr std::uint8_t kFrameVersion = 2;
+inline constexpr std::size_t kFrameHeaderBytes = 9;   // magic + version + len
+inline constexpr std::size_t kFrameTrailerBytes = 4;  // crc32
+inline constexpr std::size_t kFrameOverheadBytes =
+    kFrameHeaderBytes + kFrameTrailerBytes;
+
+// Version-skew errors start with this prefix so callers (journal open, the
+// worker handshake) can turn them into actionable messages.
+inline constexpr const char* kVersionSkewPrefix = "frame version skew";
+bool is_version_skew(const std::string& error);
+
+util::Bytes encode_frame(std::span<const std::uint8_t> payload);
+// Same, with an explicit version byte — the seam tests and tooling use to
+// craft frames from a different (older/newer) codec.
+util::Bytes encode_frame_with_version(std::uint8_t version,
+                                      std::span<const std::uint8_t> payload);
+
+enum class FrameDecode {
+  Ok,
+  Incomplete,    // not enough bytes for header, payload or trailer
+  BadMagic,      // leading bytes are not a frame
+  VersionSkew,   // valid magic, but a codec version this binary cannot read
+  Corrupt,       // CRC mismatch
+};
+
+struct FrameView {
+  std::uint8_t version = 0;
+  std::span<const std::uint8_t> payload;
+  std::size_t frame_bytes = 0;  // total size including header + trailer
+};
+
+// Decodes the frame at the front of `data` without copying. On anything but
+// Ok, `out` is left untouched except `version`, which is filled for
+// VersionSkew so the caller can name the offending version.
+FrameDecode decode_frame(std::span<const std::uint8_t> data, FrameView* out);
+
+// Sends one frame; fails with an is_timeout() error once `deadline` of
+// wall-clock time elapses (the stream is then poisoned, as with any partial
+// send).
+util::Status send_frame(TcpStream& stream,
+                        std::span<const std::uint8_t> payload,
+                        std::chrono::milliseconds deadline);
+
+// Receives one complete frame, rejecting payloads larger than `max_payload`
+// before reading them (a hostile length prefix must not allocate). Errors:
+// is_timeout() on deadline expiry, is_version_skew() on codec mismatch,
+// "bad frame magic", "corrupt frame", and recv_exact_for's truncation
+// errors when the peer closes mid-frame.
+util::Result<util::Bytes> recv_frame_for(TcpStream& stream,
+                                         std::size_t max_payload,
+                                         std::chrono::milliseconds deadline);
+
+}  // namespace gauge::net

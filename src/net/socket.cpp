@@ -185,6 +185,16 @@ util::Result<std::string> TcpStream::recv_exact_for(
   return out;
 }
 
+util::Status TcpStream::wait_readable_for(std::chrono::milliseconds deadline) {
+  if (!buffer_.empty()) return {};
+  const auto start = std::chrono::steady_clock::now();
+  return wait_readable(fd_.get(), "data", start, start + deadline);
+}
+
+void TcpStream::shutdown() {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
 util::Result<std::string> TcpStream::recv_line() {
   return recv_line_impl(nullptr);
 }

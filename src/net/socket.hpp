@@ -70,6 +70,16 @@ class TcpStream {
   // deadline expiry and a "truncated payload" error if the peer closes early.
   util::Result<std::string> recv_exact_for(std::size_t size,
                                            std::chrono::milliseconds deadline);
+  // Waits until at least one byte is readable (or already buffered) within
+  // `deadline`; is_timeout() error otherwise. Lets a receiver loop tick on a
+  // stop flag without consuming bytes — recv_exact_for discards a partial
+  // read on timeout, so a reader must not start on a frame until bytes are
+  // actually pending.
+  util::Status wait_readable_for(std::chrono::milliseconds deadline);
+  // shutdown(2) on both directions: any recv/send blocked on this stream
+  // (from any thread) returns immediately with a peer-closed/socket error.
+  // The fd stays owned; destruction still closes it.
+  void shutdown();
 
   explicit TcpStream(Fd fd) : fd_{std::move(fd)} {}
 

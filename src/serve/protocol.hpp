@@ -1,10 +1,12 @@
 // Wire grammar of the inference service (DESIGN.md §11). Requests and
 // responses are single '\n'-terminated ASCII lines — the same framing the
-// harness's done-messages use — with an optional length-framed binary
-// payload following an INFER line:
+// harness's done-messages use — with an optional binary payload following
+// an INFER line as one CRC-checked net::framing frame (the codec shared
+// with the pipeline journal and the crawl cluster protocol):
 //
 //   INFER <model> [id=<tok>] [backend=<tok>] [deadline_ms=<num>] [payload=<n>]
-//   <n raw bytes>                     (only when payload= is present)
+//   <frame: magic|version|len|bytes|crc> (only when payload= is present;
+//                                         the frame payload must be n bytes)
 //   PING | STATS | QUIT
 //
 //   OK id=<tok> model=<m> backend=<b> fallback=<0|1> batch=<n>

@@ -5,6 +5,7 @@
 
 #include "device/backends.hpp"
 #include "device/latency.hpp"
+#include "net/framing.hpp"
 #include "nn/checksum.hpp"
 #include "nn/zoo.hpp"
 #include "util/log.hpp"
@@ -228,14 +229,26 @@ void InferenceServer::serve_connection(net::TcpStream& stream) {
       continue;
     }
     if (request.value().payload_bytes > 0) {
-      // Length-framed input tensor. The device-model executor does not
-      // interpret it, but it must be consumed (and be complete) for the
-      // connection to stay framed.
-      auto payload = stream.recv_exact_for(request.value().payload_bytes,
-                                           kPayloadDeadline);
+      // Input tensor as one shared-codec frame (net/framing.hpp). The
+      // device-model executor does not interpret it, but it must decode —
+      // magic, version, CRC — and match the announced size for the
+      // connection to stay framed. Any framing failure (truncation,
+      // corruption, version skew) poisons the connection: close it.
+      auto payload =
+          net::recv_frame_for(stream, kMaxPayloadBytes, kPayloadDeadline);
       if (!payload.ok()) {
         errors_->increment();
         return;
+      }
+      if (payload.value().size() != request.value().payload_bytes) {
+        // A well-framed payload of the wrong size is a protocol error, but
+        // the stream is still in sync — answer and keep serving.
+        errors_->increment();
+        (void)stream.send_line_for(
+            format_response(
+                err_response(request.value().id, 400, "payload_mismatch")),
+            kSendDeadline);
+        continue;
       }
     }
     switch (request.value().verb) {

@@ -1,0 +1,288 @@
+// Coordinator/worker cluster tests (DESIGN.md §15). Workers run via the
+// thread launcher — the same real TCP protocol as forked processes, but
+// visible to TSan (which cannot follow a multi-threaded fork) and to gtest
+// assertions. The invariant under test throughout: the SnapshotDataset
+// digest is byte-identical to a serial run, under every worker/thread
+// combination and every injected fault. (Thread workers share the process
+// metrics registry, so pipeline.* counters double-count here; the digest
+// does not include them.)
+#include "core/dist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+
+#include "core/journal.hpp"
+#include "core/pipeline.hpp"
+#include "net/framing.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/bytes.hpp"
+
+namespace gauge::core {
+namespace {
+
+constexpr std::size_t kAppsPerCategory = 60;
+
+const android::PlayStore& play() {
+  static const android::PlayStore kPlay{android::StoreConfig{}};
+  return kPlay;
+}
+
+PipelineOptions dist_options(unsigned workers, unsigned threads) {
+  PipelineOptions options;
+  options.categories = {"communication"};
+  options.max_apps_per_category = kAppsPerCategory;
+  options.threads = threads;
+  options.workers = workers;
+  options.worker_launcher = thread_worker_launcher();
+  return options;
+}
+
+std::uint64_t serial_digest() {
+  static const std::uint64_t kDigest = [] {
+    PipelineOptions options;
+    options.categories = {"communication"};
+    options.max_apps_per_category = kAppsPerCategory;
+    options.threads = 0;
+    return dataset_digest(run_pipeline(play(), options));
+  }();
+  return kDigest;
+}
+
+std::int64_t counter_value(const telemetry::MetricsRegistry& registry,
+                           const std::string& name) {
+  for (const auto& [counter, value] : registry.counters()) {
+    if (counter == name) return value;
+  }
+  return 0;
+}
+
+std::string journal_path(const std::string& name) {
+  const auto base =
+      std::filesystem::temp_directory_path() / "gaugenn_test" / "dist";
+  std::filesystem::create_directories(base);
+  const auto path = base / name;
+  std::filesystem::remove(path);
+  return path.string();
+}
+
+// --- fault-plan grammar --------------------------------------------------
+
+TEST(DistFaultPlan, GrammarParsesAllDirectives) {
+  const auto plan = parse_worker_fault_plan(
+      "kill-after=0:3; drop-result=1:2;stall=2:1:4");
+  ASSERT_TRUE(plan.ok()) << plan.error();
+  EXPECT_EQ(plan.value().kill_after.at(0), 3);
+  EXPECT_EQ(plan.value().drop_result.at(1), 2);
+  EXPECT_EQ(plan.value().stall.at(2).outcome, 1);
+  EXPECT_EQ(plan.value().stall.at(2).seconds, 4);
+  EXPECT_TRUE(plan.value().armed());
+}
+
+TEST(DistFaultPlan, EmptySpecIsUnarmed) {
+  const auto plan = parse_worker_fault_plan("");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan.value().armed());
+}
+
+TEST(DistFaultPlan, RejectsMalformedDirectives) {
+  EXPECT_FALSE(parse_worker_fault_plan("kill-after=0").ok());
+  EXPECT_FALSE(parse_worker_fault_plan("kill-after=0:0").ok());
+  EXPECT_FALSE(parse_worker_fault_plan("kill-after=x:1").ok());
+  EXPECT_FALSE(parse_worker_fault_plan("stall=0:1").ok());
+  EXPECT_FALSE(parse_worker_fault_plan("stall=0:1:0").ok());
+  EXPECT_FALSE(parse_worker_fault_plan("reboot=0:1").ok());
+}
+
+// --- determinism ---------------------------------------------------------
+
+class DistDeterminism
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(DistDeterminism, DigestMatchesSerialRun) {
+  const auto& [workers, threads] = GetParam();
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scope{registry};
+  const auto data = run_pipeline(play(), dist_options(workers, threads));
+  EXPECT_FALSE(data.interrupted);
+  EXPECT_EQ(data.apps.size(), kAppsPerCategory);
+  EXPECT_EQ(dataset_digest(data), serial_digest());
+  EXPECT_EQ(counter_value(registry, "gauge.dist.workers"),
+            static_cast<std::int64_t>(workers));
+  EXPECT_EQ(counter_value(registry, "gauge.dist.worker_deaths"), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DistDeterminism,
+                         ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                                            ::testing::Values(1u, 4u)),
+                         [](const auto& info) {
+                           return "workers" +
+                                  std::to_string(std::get<0>(info.param)) +
+                                  "_threads" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+// --- fault recovery ------------------------------------------------------
+
+TEST(DistFaults, WorkerKilledMidCrawlIsRequeuedAndDigestHolds) {
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scope{registry};
+  auto options = dist_options(/*workers=*/2, /*threads=*/2);
+  options.worker_faults.kill_after[0] = 3;  // worker 0 dies at its 3rd result
+  const auto data = run_pipeline(play(), options);
+  EXPECT_EQ(data.apps.size(), kAppsPerCategory);
+  EXPECT_EQ(dataset_digest(data), serial_digest());
+  EXPECT_EQ(counter_value(registry, "gauge.dist.worker_deaths"), 1);
+  EXPECT_GE(counter_value(registry, "gauge.dist.requeues"), 1);
+}
+
+TEST(DistFaults, AllWorkersKilledStillCompletesInline) {
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scope{registry};
+  auto options = dist_options(/*workers=*/2, /*threads=*/1);
+  options.worker_faults.kill_after[0] = 1;
+  options.worker_faults.kill_after[1] = 2;
+  const auto data = run_pipeline(play(), options);
+  EXPECT_EQ(data.apps.size(), kAppsPerCategory);
+  EXPECT_EQ(dataset_digest(data), serial_digest());
+  EXPECT_EQ(counter_value(registry, "gauge.dist.worker_deaths"), 2);
+  // With no workers left, the remaining chart runs inline on the
+  // coordinator (quarantine path).
+  EXPECT_GE(counter_value(registry, "gauge.dist.quarantined"), 1);
+}
+
+TEST(DistFaults, DroppedResultIsRecoveredByTheDeadline) {
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scope{registry};
+  auto options = dist_options(/*workers=*/1, /*threads=*/1);
+  options.worker_faults.drop_result[0] = 2;  // 2nd result silently vanishes
+  options.worker_deadline = std::chrono::milliseconds{300};
+  options.worker_retry.max_attempts = 3;
+  const auto data = run_pipeline(play(), options);
+  EXPECT_EQ(data.apps.size(), kAppsPerCategory);
+  EXPECT_EQ(dataset_digest(data), serial_digest());
+  EXPECT_GE(counter_value(registry, "gauge.dist.requeues"), 1);
+  EXPECT_EQ(counter_value(registry, "gauge.dist.worker_deaths"), 0);
+}
+
+TEST(DistFaults, StragglerIsStolenByAnIdleWorker) {
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scope{registry};
+  auto options = dist_options(/*workers=*/2, /*threads=*/1);
+  options.worker_faults.stall[0] = {/*outcome=*/2, /*seconds=*/2};
+  options.steal_after = std::chrono::milliseconds{150};
+  options.worker_deadline = std::chrono::milliseconds{20'000};  // steal, not requeue
+  const auto data = run_pipeline(play(), options);
+  EXPECT_EQ(data.apps.size(), kAppsPerCategory);
+  EXPECT_EQ(dataset_digest(data), serial_digest());
+  EXPECT_GE(counter_value(registry, "gauge.dist.steals"), 1);
+  // The stalled worker eventually delivers too; the duplicate is dropped.
+  EXPECT_EQ(counter_value(registry, "gauge.dist.worker_deaths"), 0);
+}
+
+// --- handshake -----------------------------------------------------------
+
+TEST(DistHandshake, ProtocolVersionSkewIsRejectedByName) {
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scope{registry};
+  std::atomic<bool> saw_reject{false};
+  std::string reject_reason;
+  std::mutex reason_mutex;
+
+  auto options = dist_options(/*workers=*/1, /*threads=*/1);
+  options.max_apps_per_category = 10;
+  // A "worker" from a binary speaking a newer cluster protocol: the
+  // coordinator must refuse it, naming both versions, and fall back to
+  // running the chart inline.
+  options.worker_launcher = [&](const android::PlayStore&,
+                                const PipelineOptions&,
+                                const WorkerConfig& config) -> WorkerHandle {
+    auto thread = std::make_shared<std::thread>([&, config] {
+      auto stream = net::TcpStream::connect("127.0.0.1", config.port);
+      ASSERT_TRUE(stream.ok()) << stream.error();
+      util::ByteWriter hello;
+      hello.u8(static_cast<std::uint8_t>(DistMsg::Hello));
+      hello.u16(kDistProtocolVersion + 1);
+      hello.u64(config.token);
+      hello.u32(config.index);
+      ASSERT_TRUE(net::send_frame(stream.value(), std::move(hello).take(),
+                                  std::chrono::milliseconds{2000})
+                      .ok());
+      auto reply = net::recv_frame_for(stream.value(), 1 << 20,
+                                       std::chrono::milliseconds{5000});
+      ASSERT_TRUE(reply.ok()) << reply.error();
+      util::ByteReader reader{std::span<const std::uint8_t>{reply.value()}};
+      if (static_cast<DistMsg>(reader.u8()) == DistMsg::Reject) {
+        saw_reject.store(true);
+        const std::lock_guard<std::mutex> guard{reason_mutex};
+        reject_reason = reader.str();
+      }
+    });
+    WorkerHandle handle;
+    handle.join = [thread] {
+      if (thread->joinable()) thread->join();
+    };
+    return handle;
+  };
+
+  const auto data = run_pipeline(play(), options);
+  EXPECT_EQ(data.apps.size(), 10u);
+  EXPECT_TRUE(saw_reject.load());
+  {
+    const std::lock_guard<std::mutex> guard{reason_mutex};
+    EXPECT_NE(reject_reason.find("protocol version skew"), std::string::npos)
+        << reject_reason;
+    EXPECT_NE(reject_reason.find(
+                  "v" + std::to_string(kDistProtocolVersion + 1)),
+              std::string::npos);
+  }
+  EXPECT_EQ(counter_value(registry, "gauge.dist.handshake_rejects"), 1);
+  EXPECT_EQ(counter_value(registry, "gauge.dist.workers"), 0);
+}
+
+// --- journal composition -------------------------------------------------
+
+TEST(DistResume, CoordinatorCrashThenDistributedResumeIsByteIdentical) {
+  const std::string path = journal_path("coordinator_crash.jnl");
+  {
+    // The coordinator owns the journal; an injected crash after the 20th
+    // durable append kills the whole cluster mid-crawl.
+    auto options = dist_options(/*workers=*/2, /*threads=*/2);
+    options.journal_path = path;
+    options.crash_plan.die_after_app = 20;
+    EXPECT_THROW(run_pipeline(play(), options), CrashInjected);
+  }
+  telemetry::MetricsRegistry registry;
+  telemetry::ScopedRegistry scope{registry};
+  auto options = dist_options(/*workers=*/2, /*threads=*/2);
+  options.journal_path = path;
+  options.resume = true;
+  const auto data = run_pipeline(play(), options);
+  EXPECT_FALSE(data.interrupted);
+  EXPECT_EQ(dataset_digest(data), serial_digest());
+  EXPECT_EQ(counter_value(registry, "gauge.pipeline.resume.skipped"), 20);
+}
+
+TEST(DistResume, CancelledDistributedCrawlResumesToSerialDigest) {
+  const std::string path = journal_path("cancel_dist.jnl");
+  {
+    std::atomic<bool> cancel{true};  // drain immediately: nothing crawled
+    auto options = dist_options(/*workers=*/2, /*threads=*/1);
+    options.journal_path = path;
+    options.cancel = &cancel;
+    const auto data = run_pipeline(play(), options);
+    EXPECT_TRUE(data.interrupted);
+  }
+  auto options = dist_options(/*workers=*/2, /*threads=*/1);
+  options.journal_path = path;
+  options.resume = true;
+  const auto data = run_pipeline(play(), options);
+  EXPECT_FALSE(data.interrupted);
+  EXPECT_EQ(dataset_digest(data), serial_digest());
+}
+
+}  // namespace
+}  // namespace gauge::core

@@ -8,6 +8,8 @@
 
 #include <filesystem>
 
+#include "core/outcome_codec.hpp"
+#include "net/framing.hpp"
 #include "util/fileio.hpp"
 
 namespace gauge::core {
@@ -271,6 +273,77 @@ TEST(Journal, ReplayRejectsNonJournalFile) {
       util::write_file(path, std::string_view{"plain text, no frames"}).ok());
   EXPECT_FALSE(Journal::replay(path).ok());
   EXPECT_FALSE(Journal::open(path, sample_meta(), true).ok());
+}
+
+TEST(Journal, ReplayRefusesFutureCodecVersionWithClearError) {
+  // A well-formed journal from a newer codec generation must be refused
+  // outright (never treated as a torn tail), naming both versions.
+  const std::string path = journal_path("future_codec.jnl");
+  const auto frame = net::encode_frame_with_version(
+      net::kFrameVersion + 1, encode_meta_record(sample_meta()));
+  ASSERT_TRUE(util::AtomicFile{path}.write(frame).ok());
+
+  const auto recovered = Journal::replay(path);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_NE(recovered.error().find(
+                "v" + std::to_string(net::kFrameVersion + 1)),
+            std::string::npos)
+      << recovered.error();
+  EXPECT_NE(recovered.error().find(
+                "v" + std::to_string(net::kFrameVersion)),
+            std::string::npos);
+  const auto resumed = Journal::open(path, sample_meta(), /*resume=*/true);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_NE(resumed.error().find("re-run the crawl"), std::string::npos);
+}
+
+TEST(Journal, ReplayNamesLegacyV1Journals) {
+  // PR 5's journals framed records with a bare "GJL1" magic and no version
+  // byte. The replay recognises the magic and reports a v1 skew instead of
+  // the generic "not a pipeline journal".
+  // (The path deliberately avoids the substring "v1" so the assertions can
+  // only match the error's version text.)
+  const std::string path = journal_path("legacy_journal.jnl");
+  // "GJL1" magic | u32 len | payload — and a bare-magic truncation, which is
+  // shorter than the new codec's 9-byte header.
+  for (const auto& legacy :
+       {util::Bytes{0x47, 0x4a, 0x4c, 0x31, 0x04, 0x00, 0x00, 0x00, 0xde,
+                    0xad, 0xbe, 0xef, 0x00, 0x00, 0x00, 0x00},
+        util::Bytes{0x47, 0x4a, 0x4c, 0x31}}) {
+    ASSERT_TRUE(util::AtomicFile{path}.write(legacy).ok());
+    const auto recovered = Journal::replay(path);
+    ASSERT_FALSE(recovered.ok());
+    EXPECT_NE(recovered.error().find("codec v1"), std::string::npos)
+        << recovered.error();
+    EXPECT_NE(recovered.error().find("re-run the crawl"), std::string::npos);
+  }
+}
+
+TEST(Journal, SkewedFrameAfterValidPrefixIsAHardError) {
+  // A version-skewed frame mid-file means the file was appended to by a
+  // different binary — refuse rather than silently truncating to the prefix.
+  const std::string path = journal_path("mid_file_skew.jnl");
+  {
+    auto opened = Journal::open(path, sample_meta(), false);
+    ASSERT_TRUE(opened.ok());
+    ASSERT_TRUE(opened.value()
+                    .journal.append(sample_outcome("com.a", 1, sample_proto("c")))
+                    .ok());
+  }
+  auto bytes = util::read_file_bytes(path);
+  ASSERT_TRUE(bytes.ok());
+  util::Bytes tampered = bytes.value();
+  const auto skewed = net::encode_frame_with_version(
+      net::kFrameVersion + 2, encode_outcome_standalone(
+                                  sample_outcome("com.b", 2, sample_proto("d"))));
+  tampered.insert(tampered.end(), skewed.begin(), skewed.end());
+  ASSERT_TRUE(util::AtomicFile{path}.write(tampered).ok());
+
+  const auto recovered = Journal::replay(path);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_NE(recovered.error().find(
+                "v" + std::to_string(net::kFrameVersion + 2)),
+            std::string::npos);
 }
 
 TEST(Journal, ResumeOnMissingFileFails) {

@@ -1,0 +1,191 @@
+// The shared frame codec: byte-level encode/decode invariants and the
+// socket helpers' behaviour against slow, hostile and dying peers. This is
+// the one framing under the journal, the crawl cluster protocol and the
+// inference payload path, so the edge cases live here once.
+#include "net/framing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "net/socket.hpp"
+
+namespace gauge::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr auto kDeadline = 2000ms;
+
+util::Bytes bytes_of(const std::string& text) {
+  return util::Bytes{text.begin(), text.end()};
+}
+
+// A connected loopback socket pair via the real listener/connector.
+struct Loopback {
+  TcpListener listener;
+  TcpStream client;
+  TcpStream server;
+
+  static Loopback make() {
+    auto listener = TcpListener::bind(0);
+    EXPECT_TRUE(listener.ok()) << listener.error();
+    auto client = TcpStream::connect("127.0.0.1", listener.value().port());
+    EXPECT_TRUE(client.ok()) << client.error();
+    auto server = listener.value().accept_for(kDeadline);
+    EXPECT_TRUE(server.ok()) << server.error();
+    return Loopback{std::move(listener.value()), std::move(client.value()),
+                    std::move(server.value())};
+  }
+};
+
+TEST(NetFraming, EncodeDecodeRoundtrip) {
+  const auto payload = bytes_of("the wire unit of the whole system");
+  const auto frame = encode_frame(payload);
+  EXPECT_EQ(frame.size(), payload.size() + kFrameOverheadBytes);
+
+  FrameView view;
+  ASSERT_EQ(decode_frame(frame, &view), FrameDecode::Ok);
+  EXPECT_EQ(view.version, kFrameVersion);
+  EXPECT_EQ(view.frame_bytes, frame.size());
+  EXPECT_EQ(util::Bytes(view.payload.begin(), view.payload.end()), payload);
+}
+
+TEST(NetFraming, EmptyPayloadIsAValidFrame) {
+  const auto frame = encode_frame(util::Bytes{});
+  FrameView view;
+  ASSERT_EQ(decode_frame(frame, &view), FrameDecode::Ok);
+  EXPECT_TRUE(view.payload.empty());
+}
+
+TEST(NetFraming, DecodeReportsIncompleteForEveryTruncation) {
+  const auto frame = encode_frame(bytes_of("truncate me"));
+  for (std::size_t keep = 0; keep < frame.size(); ++keep) {
+    const std::span<const std::uint8_t> prefix{frame.data(), keep};
+    FrameView view;
+    EXPECT_EQ(decode_frame(prefix, &view), FrameDecode::Incomplete)
+        << "prefix of " << keep << " bytes";
+  }
+}
+
+TEST(NetFraming, DecodeRejectsBadMagicAndCorruptCrc) {
+  auto frame = encode_frame(bytes_of("payload"));
+  FrameView view;
+
+  auto bad_magic = frame;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_EQ(decode_frame(bad_magic, &view), FrameDecode::BadMagic);
+
+  auto corrupt = frame;
+  corrupt[kFrameHeaderBytes] ^= 0x01;  // first payload byte
+  EXPECT_EQ(decode_frame(corrupt, &view), FrameDecode::Corrupt);
+
+  auto bad_crc = frame;
+  bad_crc[bad_crc.size() - 1] ^= 0x01;
+  EXPECT_EQ(decode_frame(bad_crc, &view), FrameDecode::Corrupt);
+}
+
+TEST(NetFraming, DecodeFlagsVersionSkewAndNamesTheVersion) {
+  const auto frame =
+      encode_frame_with_version(kFrameVersion + 1, bytes_of("future"));
+  FrameView view;
+  EXPECT_EQ(decode_frame(frame, &view), FrameDecode::VersionSkew);
+  EXPECT_EQ(view.version, kFrameVersion + 1);
+}
+
+TEST(NetFraming, SendRecvRoundtripOverLoopback) {
+  auto pair = Loopback::make();
+  const auto payload = bytes_of("hello over tcp");
+  ASSERT_TRUE(send_frame(pair.client, payload, kDeadline).ok());
+  const auto got = recv_frame_for(pair.server, 1 << 20, kDeadline);
+  ASSERT_TRUE(got.ok()) << got.error();
+  EXPECT_EQ(got.value(), payload);
+}
+
+TEST(NetFraming, RecvReassemblesAPartiallyDeliveredFrame) {
+  // The sender dribbles the frame in three chunks with pauses; the
+  // deadline-bounded receiver must reassemble it (poll loop, not one recv).
+  auto pair = Loopback::make();
+  const auto payload = bytes_of(std::string(1024, 'x') + "tail");
+  const auto frame = encode_frame(payload);
+  std::thread dribble{[&] {
+    const std::string raw{reinterpret_cast<const char*>(frame.data()),
+                          frame.size()};
+    ASSERT_TRUE(pair.client.send_raw_for(raw.substr(0, 5), kDeadline).ok());
+    std::this_thread::sleep_for(20ms);
+    ASSERT_TRUE(pair.client.send_raw_for(raw.substr(5, 600), kDeadline).ok());
+    std::this_thread::sleep_for(20ms);
+    ASSERT_TRUE(pair.client.send_raw_for(raw.substr(605), kDeadline).ok());
+  }};
+  const auto got = recv_frame_for(pair.server, 1 << 20, kDeadline);
+  dribble.join();
+  ASSERT_TRUE(got.ok()) << got.error();
+  EXPECT_EQ(got.value(), payload);
+}
+
+TEST(NetFraming, RecvRejectsOversizeFrameBeforeReadingTheBody) {
+  // A hostile length prefix larger than the cap is refused from the header
+  // alone — no allocation, no draining of a body that may never come.
+  auto pair = Loopback::make();
+  const auto payload = bytes_of(std::string(2048, 'z'));
+  ASSERT_TRUE(send_frame(pair.client, payload, kDeadline).ok());
+  const auto got = recv_frame_for(pair.server, /*max_payload=*/1024, kDeadline);
+  ASSERT_FALSE(got.ok());
+  EXPECT_NE(got.error().find("oversize frame"), std::string::npos)
+      << got.error();
+}
+
+TEST(NetFraming, RecvFailsCleanlyWhenPeerClosesMidFrame) {
+  auto pair = Loopback::make();
+  const auto frame = encode_frame(bytes_of("doomed"));
+  {
+    // Send the header plus two payload bytes, then close the connection.
+    TcpStream dying = std::move(pair.client);
+    const std::string raw{reinterpret_cast<const char*>(frame.data()),
+                          kFrameHeaderBytes + 2};
+    ASSERT_TRUE(dying.send_raw_for(raw, kDeadline).ok());
+  }
+  const auto got = recv_frame_for(pair.server, 1 << 20, kDeadline);
+  ASSERT_FALSE(got.ok());
+  EXPECT_FALSE(is_timeout(got.error())) << got.error();
+}
+
+TEST(NetFraming, RecvSurfacesVersionSkewAsTypedError) {
+  auto pair = Loopback::make();
+  const auto frame =
+      encode_frame_with_version(kFrameVersion + 3, bytes_of("from the future"));
+  const std::string raw{reinterpret_cast<const char*>(frame.data()),
+                        frame.size()};
+  ASSERT_TRUE(pair.client.send_raw_for(raw, kDeadline).ok());
+  const auto got = recv_frame_for(pair.server, 1 << 20, kDeadline);
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(is_version_skew(got.error())) << got.error();
+  EXPECT_NE(got.error().find("v" + std::to_string(kFrameVersion + 3)),
+            std::string::npos);
+}
+
+TEST(NetFraming, RecvTimesOutOnASilentPeer) {
+  auto pair = Loopback::make();
+  const auto got = recv_frame_for(pair.server, 1 << 20, 50ms);
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(is_timeout(got.error())) << got.error();
+}
+
+TEST(NetFraming, BackToBackFramesStayInSync) {
+  auto pair = Loopback::make();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        send_frame(pair.client, bytes_of("frame " + std::to_string(i)),
+                   kDeadline)
+            .ok());
+  }
+  for (int i = 0; i < 8; ++i) {
+    const auto got = recv_frame_for(pair.server, 1 << 20, kDeadline);
+    ASSERT_TRUE(got.ok()) << got.error();
+    EXPECT_EQ(got.value(), bytes_of("frame " + std::to_string(i)));
+  }
+}
+
+}  // namespace
+}  // namespace gauge::net

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/framing.hpp"
 #include "net/socket.hpp"
 #include "serve/protocol.hpp"
 #include "serve/slo.hpp"
@@ -205,7 +206,8 @@ TEST(ServeServer, ConsumesLengthFramedPayload) {
   ASSERT_TRUE(
       stream.send_line_for("INFER sensormlp id=p1 payload=8", kClientDeadline)
           .ok());
-  ASSERT_TRUE(stream.send_raw_for("abcdefgh", kClientDeadline).ok());
+  const util::Bytes body{'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h'};
+  ASSERT_TRUE(net::send_frame(stream, body, kClientDeadline).ok());
   auto reply = stream.recv_line_for(kClientDeadline);
   ASSERT_TRUE(reply.ok()) << reply.error();
   const auto parsed = parse_response(reply.value());
@@ -266,13 +268,54 @@ TEST(ServeServer, TruncatedPayloadFrameClosesButServerSurvives) {
                     .send_line_for("INFER mobilenet id=t1 payload=100",
                                    kClientDeadline)
                     .ok());
-    ASSERT_TRUE(stream.send_raw_for("abc", kClientDeadline).ok());
-    // Close mid-payload: a truncated frame.
+    // Send only a prefix of an otherwise valid frame, then close mid-frame.
+    const auto frame = net::encode_frame(util::Bytes(100, 0x5A));
+    const std::string prefix{reinterpret_cast<const char*>(frame.data()), 20};
+    ASSERT_TRUE(stream.send_raw_for(prefix, kClientDeadline).ok());
   }
   // A fresh connection is served normally.
   auto stream = connect_to(*server.value());
   const auto ok = request_response(stream, "INFER mobilenet id=t2");
   EXPECT_EQ(ok.kind, Response::Kind::Ok);
+}
+
+TEST(ServeServer, PayloadSizeMismatchGets400AndKeepsTheConnection) {
+  auto server = InferenceServer::start(fast_options());
+  ASSERT_TRUE(server.ok()) << server.error();
+  auto stream = connect_to(*server.value());
+
+  // A well-formed frame whose payload is shorter than the announced size:
+  // the stream stays in sync, so the server answers and keeps serving.
+  ASSERT_TRUE(
+      stream.send_line_for("INFER mobilenet id=m1 payload=16", kClientDeadline)
+          .ok());
+  ASSERT_TRUE(
+      net::send_frame(stream, util::Bytes(4, 0x11), kClientDeadline).ok());
+  auto reply = stream.recv_line_for(kClientDeadline);
+  ASSERT_TRUE(reply.ok()) << reply.error();
+  const auto parsed = parse_response(reply.value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().kind, Response::Kind::Err);
+  EXPECT_EQ(parsed.value().code, 400);
+  EXPECT_EQ(parsed.value().reason, "payload_mismatch");
+
+  const auto ok = request_response(stream, "INFER mobilenet id=m2");
+  EXPECT_EQ(ok.kind, Response::Kind::Ok);
+}
+
+TEST(ServeServer, GarbagePayloadFramingClosesTheConnection) {
+  auto server = InferenceServer::start(fast_options());
+  ASSERT_TRUE(server.ok()) << server.error();
+  auto stream = connect_to(*server.value());
+
+  // Bytes that are not a frame at all: the server cannot resync and closes.
+  ASSERT_TRUE(
+      stream.send_line_for("INFER mobilenet id=g1 payload=8", kClientDeadline)
+          .ok());
+  ASSERT_TRUE(
+      stream.send_raw_for("this is not a frame!", kClientDeadline).ok());
+  auto reply = stream.recv_line_for(kClientDeadline);
+  EXPECT_FALSE(reply.ok());
 }
 
 TEST(ServeServer, FallsBackWhenTheRequestedBackendIsMissing) {
