@@ -10,11 +10,19 @@
 //
 //   bench_serve --port N [--host 127.0.0.1] [--rates 50,200,800]
 //               [--duration-s 5] [--conns 16] [--deadline-ms 250]
-//               [--models a,b,c] [--seed 21]
+//               [--models a,b,c] [--backend B] [--seed 21]
+//
+// Client-side resilience mirrors a well-behaved mobile client: a SHED
+// response's retry_after_ms hint is honoured (sleep, then one retry), and
+// a connection that dies mid-run (reset / refused — e.g. the server's
+// chaos plan dropped it) is reconnected through util::RetryPolicy before
+// the request is retried once. --backend adds backend=<B> to every INFER
+// so chaos runs can steer load onto the lane the fault plan targets.
 //
 // Emits one human table plus one machine-readable JSON row per offered
-// rate: offered load vs achieved throughput vs tail latency and the
-// shed/error split. check.sh greps the JSON rows.
+// rate: offered load vs achieved throughput vs tail latency, the
+// shed/error split and the retried/gave_up recovery counts. check.sh greps
+// the JSON rows.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -102,15 +110,19 @@ std::vector<Arrival> schedule(const std::vector<std::vector<std::string>>& mix,
 
 struct RunTotals {
   std::uint64_t ok = 0, shed = 0, err = 0, timeout = 0;
+  std::uint64_t retried = 0;  // second attempts (after SHED or a dead conn)
+  std::uint64_t gave_up = 0;  // second attempts that still did not get OK
   std::vector<double> ok_latency_ms;
 };
 
 // One closed connection per worker, all workers pulling from the shared
 // open-loop schedule. Client-side resilience mirrors the harness: connects
-// go through util::RetryPolicy, every send/recv carries a socket deadline.
+// (including mid-run reconnects after a reset) go through
+// util::RetryPolicy, every send/recv carries a socket deadline, and a
+// SHED's retry_after_ms hint is slept before the one retry.
 RunTotals replay(const std::string& host, std::uint16_t port,
                  const std::vector<Arrival>& arrivals, double deadline_ms,
-                 unsigned conns) {
+                 unsigned conns, const std::string& backend) {
   std::atomic<std::size_t> cursor{0};
   std::mutex mutex;
   RunTotals totals;
@@ -121,20 +133,25 @@ RunTotals replay(const std::string& host, std::uint16_t port,
   std::vector<std::thread> workers;
   for (unsigned w = 0; w < conns; ++w) {
     workers.emplace_back([&] {
-      net::TcpStream* stream = nullptr;
       std::optional<net::TcpStream> conn;
-      util::RetryPolicy retry;
-      const auto status = retry.run([&] {
-        auto attempt = net::TcpStream::connect(host, port);
-        if (!attempt.ok()) return util::Status::failure(attempt.error());
-        conn.emplace(std::move(attempt).take());
-        return util::Status{};
-      });
-      if (!status.ok()) return;  // arrivals left unclaimed count as timeouts
-      stream = &*conn;
+      const auto reconnect = [&]() -> bool {
+        conn.reset();
+        util::RetryPolicy retry;
+        return retry
+            .run([&] {
+              auto attempt = net::TcpStream::connect(host, port);
+              if (!attempt.ok()) return util::Status::failure(attempt.error());
+              conn.emplace(std::move(attempt).take());
+              return util::Status{};
+            })
+            .ok();
+      };
+      if (!reconnect()) return;  // unclaimed arrivals count as timeouts
 
       std::vector<Outcome> local;
-      while (true) {
+      std::uint64_t local_retried = 0, local_gave_up = 0;
+      bool conn_dead = false;
+      while (!conn_dead) {
         const std::size_t i = cursor.fetch_add(1);
         if (i >= arrivals.size()) break;
         const auto& arrival = arrivals[i];
@@ -143,25 +160,56 @@ RunTotals replay(const std::string& host, std::uint16_t port,
                                      std::chrono::duration<double>{arrival.at_s});
         std::this_thread::sleep_until(due);
 
-        const auto line = util::format(
-            "INFER %s id=%zu deadline_ms=%.0f", arrival.model.c_str(), i,
-            deadline_ms);
+        auto line = util::format("INFER %s id=%zu deadline_ms=%.0f",
+                                 arrival.model.c_str(), i, deadline_ms);
+        if (!backend.empty()) line += " backend=" + backend;
         Outcome outcome;
         outcome.kind = Outcome::Kind::Timeout;
-        if (stream->send_line_for(line, io_deadline).ok()) {
-          if (auto reply = stream->recv_line_for(io_deadline); reply.ok()) {
-            if (auto parsed = serve::parse_response(reply.value());
-                parsed.ok()) {
-              using K = serve::Response::Kind;
-              switch (parsed.value().kind) {
-                case K::Ok: outcome.kind = Outcome::Kind::Ok; break;
-                case K::Shed: outcome.kind = Outcome::Kind::Shed; break;
-                default: outcome.kind = Outcome::Kind::Err; break;
+        const std::uint64_t retried_before = local_retried;
+        for (int attempt = 0; attempt < 2; ++attempt) {
+          if (attempt == 1) ++local_retried;
+          bool replied = false;
+          if (conn && conn->send_line_for(line, io_deadline).ok()) {
+            if (auto reply = conn->recv_line_for(io_deadline); reply.ok()) {
+              replied = true;
+              if (auto parsed = serve::parse_response(reply.value());
+                  parsed.ok()) {
+                using K = serve::Response::Kind;
+                switch (parsed.value().kind) {
+                  case K::Ok: outcome.kind = Outcome::Kind::Ok; break;
+                  case K::Shed: outcome.kind = Outcome::Kind::Shed; break;
+                  default: outcome.kind = Outcome::Kind::Err; break;
+                }
+                if (outcome.kind == Outcome::Kind::Shed && attempt == 0) {
+                  // Honour the brownout hint, capped at the deadline — a
+                  // longer wait than that cannot save this request anyway.
+                  const double wait_ms = std::min(
+                      static_cast<double>(parsed.value().retry_after_ms),
+                      deadline_ms);
+                  std::this_thread::sleep_for(
+                      std::chrono::duration<double, std::milli>{wait_ms});
+                  continue;
+                }
+              } else {
+                outcome.kind = Outcome::Kind::Err;
               }
-            } else {
-              outcome.kind = Outcome::Kind::Err;
             }
           }
+          if (!replied) {
+            // Dead or desynced connection (reset, refused, stuck): the only
+            // safe recovery is a fresh connection. Retry the request once.
+            outcome.kind = Outcome::Kind::Timeout;
+            if (reconnect()) {
+              if (attempt == 0) continue;
+            } else {
+              conn_dead = true;  // server gone; stop claiming arrivals
+            }
+          }
+          break;
+        }
+        if (local_retried > retried_before &&
+            outcome.kind != Outcome::Kind::Ok) {
+          ++local_gave_up;
         }
         // Open-loop latency: from the scheduled arrival, not the send.
         outcome.latency_ms =
@@ -172,6 +220,8 @@ RunTotals replay(const std::string& host, std::uint16_t port,
       }
 
       std::lock_guard<std::mutex> lock{mutex};
+      totals.retried += local_retried;
+      totals.gave_up += local_gave_up;
       for (const auto& outcome : local) {
         switch (outcome.kind) {
           case Outcome::Kind::Ok:
@@ -196,7 +246,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: bench_serve --port N [--host H] [--rates r1,r2,...] "
                "[--duration-s X] [--conns N] [--deadline-ms X] "
-               "[--models a,b,c] [--seed N]\n");
+               "[--models a,b,c] [--backend B] [--seed N]\n");
   return 2;
 }
 
@@ -210,6 +260,7 @@ int main(int argc, char** argv) {
   unsigned conns = 16;
   double deadline_ms = 250.0;
   std::vector<std::string> models;
+  std::string backend;
   std::uint64_t seed = 21;
 
   for (int i = 1; i < argc; ++i) {
@@ -253,6 +304,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage();
       models = util::split(v, ',');
+    } else if (std::strcmp(argv[i], "--backend") == 0) {
+      const char* v = next();
+      if (!v || !serve::parse_backend(v)) return usage();
+      backend = v;
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       const char* v = next();
       const auto parsed = v ? util::parse_int(v) : std::nullopt;
@@ -278,12 +333,12 @@ int main(int argc, char** argv) {
               "%u connections\n\n", mix.size(), deadline_ms, conns);
 
   util::Table table{{"offered ips", "sent", "ok", "shed", "err", "timeout",
-                     "achieved ips", "p50 ms", "p95 ms", "p99 ms"}};
+                     "retried", "achieved ips", "p50 ms", "p95 ms", "p99 ms"}};
   for (double rate : rates) {
     util::Rng rng{seed};
     const auto arrivals = schedule(mix, rate, duration_s, rng);
     const auto t0 = std::chrono::steady_clock::now();
-    auto totals = replay(host, port, arrivals, deadline_ms, conns);
+    auto totals = replay(host, port, arrivals, deadline_ms, conns, backend);
     const double elapsed_s =
         std::chrono::duration<double>{std::chrono::steady_clock::now() - t0}
             .count();
@@ -302,18 +357,22 @@ int main(int argc, char** argv) {
                    std::to_string(arrivals.size()),
                    std::to_string(totals.ok), std::to_string(totals.shed),
                    std::to_string(totals.err), std::to_string(totals.timeout),
+                   std::to_string(totals.retried),
                    util::Table::num(achieved, 1), util::Table::num(p50, 1),
                    util::Table::num(p95, 1), util::Table::num(p99, 1)});
     // Machine-readable row (check.sh and notebooks consume these).
     std::printf(
         "JSON {\"offered_ips\":%.1f,\"sent\":%zu,\"ok\":%llu,\"shed\":%llu,"
-        "\"err\":%llu,\"timeout\":%llu,\"achieved_ips\":%.1f,"
+        "\"err\":%llu,\"timeout\":%llu,\"retried\":%llu,\"gave_up\":%llu,"
+        "\"achieved_ips\":%.1f,"
         "\"p50_ms\":%.2f,\"p95_ms\":%.2f,\"p99_ms\":%.2f}\n",
         rate, arrivals.size(),
         static_cast<unsigned long long>(totals.ok),
         static_cast<unsigned long long>(totals.shed),
         static_cast<unsigned long long>(totals.err),
-        static_cast<unsigned long long>(totals.timeout), achieved, p50, p95,
+        static_cast<unsigned long long>(totals.timeout),
+        static_cast<unsigned long long>(totals.retried),
+        static_cast<unsigned long long>(totals.gave_up), achieved, p50, p95,
         p99);
     std::fflush(stdout);
   }

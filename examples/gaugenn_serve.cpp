@@ -7,6 +7,8 @@
 //                 [--queue-cap N] [--slo-ms X] [--exec-threads N]
 //                 [--conn-workers N] [--time-scale X] [--real]
 //                 [--real-backend auto|reference|optimised|quantised]
+//                 [--fault-plan SPEC] [--breaker-threshold N]
+//                 [--breaker-cooldown-ms X] [--watchdog-budget-ms X]
 //                 [--duration-s N] [--telemetry-out <dir>]
 //
 // --port 0 (default) binds an ephemeral port; the bound port is printed as
@@ -18,6 +20,12 @@
 // --real-backend picks the interpreter's kernel backend under --real:
 //   "auto" (default) mirrors each lane's device backend, a fixed name forces
 //   one nn::kernels backend for every lane.
+// --fault-plan injects deterministic runtime failures (serve/fault.hpp
+//   grammar), e.g. "kill-backend=GPU:50" kills the GPU after its 50th
+//   batch — the breaker opens, traffic redispatches to the CPU lane, and
+//   the shutdown report's availability lines show the recovery.
+// --breaker-threshold / --breaker-cooldown-ms / --watchdog-budget-ms tune
+//   the recovery machinery (DESIGN.md §16).
 // --duration-s 0 (default) serves until SIGINT/SIGTERM. On shutdown the
 //   per-model SLO report (serve/slo.hpp) is printed to stdout and, with
 //   --telemetry-out, the full registry is exported.
@@ -47,6 +55,8 @@ int usage() {
                "[--models a,b,c] [--batch N] [--queue-cap N] [--slo-ms X] "
                "[--exec-threads N] [--conn-workers N] [--time-scale X] "
                "[--real] [--real-backend auto|reference|optimised|quantised] "
+               "[--fault-plan SPEC] [--breaker-threshold N] "
+               "[--breaker-cooldown-ms X] [--watchdog-budget-ms X] "
                "[--duration-s N] [--telemetry-out <dir>]\n");
   return 2;
 }
@@ -94,6 +104,17 @@ int main(int argc, char** argv) {
       options.real_exec = true;
     } else if (std::strcmp(argv[i], "--real-backend") == 0 && i + 1 < argc) {
       options.real_backend = argv[++i];
+    } else if (std::strcmp(argv[i], "--fault-plan") == 0 && i + 1 < argc) {
+      options.fault_plan = argv[++i];
+    } else if (std::strcmp(argv[i], "--breaker-threshold") == 0 &&
+               next_value(&value)) {
+      options.breaker_threshold = static_cast<int>(value);
+    } else if (std::strcmp(argv[i], "--breaker-cooldown-ms") == 0 &&
+               next_value(&value)) {
+      options.breaker_cooldown_ms = value;
+    } else if (std::strcmp(argv[i], "--watchdog-budget-ms") == 0 &&
+               next_value(&value)) {
+      options.watchdog_budget_ms = value;
     } else if (std::strcmp(argv[i], "--duration-s") == 0 &&
                next_value(&value)) {
       duration_s = value;

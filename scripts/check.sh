@@ -10,7 +10,9 @@
 # deterministic crash seam, resume from the journal, require a byte-identical
 # digest), a serve smoke (gaugenn_serve on an ephemeral port under a short
 # bench_serve burst, asserting per-model p99 SLO lines and zero errors), a
-# docstore smoke (pipeline slice through the sharded store: query-backed
+# serve chaos smoke (the same server with a kill-backend fault plan while
+# bench_serve steers at the doomed lane: zero client-visible errors, tickets
+# redispatched, breaker opened), a docstore smoke (pipeline slice through the sharded store: query-backed
 # report tables byte-identical to the record-scan oracle, across compaction
 # and a save/load round trip), a distributed crawl smoke (--workers 4 digest
 # byte-identical to serial, clean and under a kill-worker fault plan), and
@@ -19,7 +21,8 @@
 # determinism/stampede tests, the harness fault-injection suite (run_fleet
 # drives one master thread per port), the journal/resume/hostile-zip
 # robustness suites, the serving layer (batcher, protocol, loopback
-# server under concurrent clients), the kernel engine's multi-threaded
+# server under concurrent clients, and the ServeFault chaos/recovery
+# suites), the kernel engine's multi-threaded
 # dispatch (the Kernel parity suites), the DocStore suites (writers,
 # snapshot readers and a compactor interleaving on a sharded store), and
 # the crawl cluster (Dist* suites via thread-launched workers, plus the
@@ -169,6 +172,53 @@ if [[ -z "$SANITIZER" && -z "$FILTER" ]]; then
   }
   echo "ok: serve smoke healthy ($(grep 'SLO total' "$SERVE_LOG"))"
 
+  # ---- serve chaos smoke -----------------------------------------------------
+  # Same server, hostile conditions: a fault plan kills the XNNPACK backend
+  # after its 5th batch while bench_serve steers every request at that lane.
+  # Recovery must be invisible to clients — zero errors, failed batches
+  # redispatched onto the CPU lane, and the availability report showing the
+  # breaker opened.
+  echo "== serve chaos smoke =="
+  CHAOS_LOG="$SMOKE_DIR/serve_chaos.log"
+  "$BUILD_DIR/examples/gaugenn_serve" --batch 8 --time-scale 0.05 \
+    --fault-plan 'kill-backend=XNNPACK:5' --duration-s 45 >"$CHAOS_LOG" 2>&1 &
+  CHAOS_PID=$!
+  for _ in $(seq 50); do
+    grep -q 'listening on' "$CHAOS_LOG" && break
+    sleep 0.2
+  done
+  CHAOS_PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$CHAOS_LOG")"
+  if [[ -z "$CHAOS_PORT" ]]; then
+    echo "error: gaugenn_serve (chaos) did not come up" >&2
+    cat "$CHAOS_LOG" >&2
+    exit 1
+  fi
+  "$BUILD_DIR/bench/bench_serve" --port "$CHAOS_PORT" --rates 150 \
+    --duration-s 3 --conns 16 --backend XNNPACK >"$SMOKE_DIR/bench_chaos.out"
+  grep -q '^JSON .*"retried"' "$SMOKE_DIR/bench_chaos.out" || {
+    echo "error: bench_serve chaos run emitted no retried field" >&2
+    cat "$SMOKE_DIR/bench_chaos.out" >&2
+    exit 1
+  }
+  kill -INT "$CHAOS_PID"
+  wait "$CHAOS_PID"
+  grep -q 'SLO total .*errors=0' "$CHAOS_LOG" || {
+    echo "error: chaos run surfaced request errors to clients" >&2
+    cat "$CHAOS_LOG" >&2
+    exit 1
+  }
+  grep -Eq 'SLO availability .*redispatched=[1-9]' "$CHAOS_LOG" || {
+    echo "error: chaos run redispatched nothing (fault plan did not bite?)" >&2
+    cat "$CHAOS_LOG" >&2
+    exit 1
+  }
+  grep -Eq 'SLO availability breaker_opens=[1-9]' "$CHAOS_LOG" || {
+    echo "error: chaos run never opened the XNNPACK breaker" >&2
+    cat "$CHAOS_LOG" >&2
+    exit 1
+  }
+  echo "ok: serve chaos recovered ($(grep 'SLO availability' "$CHAOS_LOG"))"
+
   # ---- docstore smoke --------------------------------------------------------
   # Ingest a real pipeline slice into the sharded DocStore, then require the
   # query-backed report tables to match the record-scan oracle byte for byte
@@ -209,5 +259,5 @@ if [[ -z "$SANITIZER" ]]; then
   cmake -B "$TSAN_DIR" -S . -DGAUGE_SANITIZE=thread
   cmake --build "$TSAN_DIR" -j "$(nproc)"
   ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$(nproc)" \
-    -R 'Metrics|Span|ThreadPool|PipelineConcurrency|AnalysisCache|HarnessFault|PipelineResume|Journal|HostileZip|Serve|Kernel|DocStore|Dist|NetFraming'
+    -R 'Metrics|Span|ThreadPool|PipelineConcurrency|AnalysisCache|HarnessFault|PipelineResume|Journal|HostileZip|Serve|ServeFault|Kernel|DocStore|Dist|NetFraming'
 fi

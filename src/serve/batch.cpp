@@ -128,9 +128,12 @@ std::uint64_t BatchQueue::estimate_wait_ns(
 }
 
 BatchQueue::Admission BatchQueue::offer(std::uint64_t now_ns,
-                                        const Ticket& ticket) {
+                                        const Ticket& ticket,
+                                        double pressure) {
   Admission admission;
-  admission.est_wait_ns = estimate_wait_ns(queue_.size() + 1);
+  const std::uint64_t base_estimate = estimate_wait_ns(queue_.size() + 1);
+  admission.est_wait_ns = static_cast<std::uint64_t>(
+      static_cast<double>(base_estimate) * std::max(1.0, pressure));
   if (queue_.size() >= capacity_) {
     admission.reason = "queue_full";
     return admission;
@@ -143,6 +146,12 @@ BatchQueue::Admission BatchQueue::offer(std::uint64_t now_ns,
   admission.accepted = true;
   queue_.push_back(ticket);
   return admission;
+}
+
+void BatchQueue::requeue(const std::vector<Ticket>& tickets) {
+  for (auto it = tickets.rbegin(); it != tickets.rend(); ++it) {
+    queue_.push_front(*it);
+  }
 }
 
 std::uint64_t BatchQueue::next_flush_ns() const {

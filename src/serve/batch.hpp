@@ -81,6 +81,11 @@ struct Ticket {
   std::uint64_t id = 0;
   std::uint64_t enqueue_ns = 0;
   std::uint64_t deadline_ns = 0;  // absolute; 0 = no deadline
+  // Recovery provenance (DESIGN.md §16): set when a failed/stalled batch
+  // redispatched this ticket, and when that redispatch moved it onto a
+  // different backend's lane. Reported as `retried=1` / `fallback=1`.
+  bool retried = false;
+  bool fallback = false;
 };
 
 // Bounded FIFO with admission control for one (model, backend) lane.
@@ -99,7 +104,16 @@ class BatchQueue {
   // Admission control: sheds when the queue is full or when the estimated
   // completion time (queued batches ahead + in-flight batches, each costing
   // one frontier-batch execution) already overruns the request's deadline.
-  Admission offer(std::uint64_t now_ns, const Ticket& ticket);
+  // `pressure` scales the estimate (>= 1): during a brownout — a breaker
+  // open or a watchdog restart window — the server inflates the estimate so
+  // shedding starts before the degraded capacity is actually overrun.
+  Admission offer(std::uint64_t now_ns, const Ticket& ticket,
+                  double pressure = 1.0);
+
+  // Re-admits tickets from a failed or abandoned batch at the *front* of
+  // the queue (they were admitted once already and carry the oldest
+  // enqueue timestamps; admission control does not apply again).
+  void requeue(const std::vector<Ticket>& tickets);
 
   // Earliest time a flush becomes due: now (returns 0) once a full frontier
   // batch is queued, the oldest request's enqueue + max_wait otherwise,

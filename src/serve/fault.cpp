@@ -1,0 +1,141 @@
+#include "serve/fault.hpp"
+
+#include <algorithm>
+
+#include "serve/protocol.hpp"
+#include "util/strings.hpp"
+
+namespace gauge::serve {
+
+util::Result<ServeFaultPlan> parse_serve_fault_plan(const std::string& spec) {
+  using R = util::Result<ServeFaultPlan>;
+  ServeFaultPlan plan;
+  for (const auto& raw : util::split(spec, ';')) {
+    const std::string directive{util::trim(raw)};
+    if (directive.empty()) continue;
+    const auto eq = directive.find('=');
+    const std::string key = directive.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : directive.substr(eq + 1);
+    const auto fields = util::split(value, ':');
+    if (key == "kill-backend") {
+      if (fields.size() != 2) {
+        return R::failure("fault-plan: kill-backend wants <backend>:<after_n>");
+      }
+      const auto backend = parse_backend(fields[0]);
+      if (!backend) {
+        return R::failure("fault-plan: unknown backend '" + fields[0] + "'");
+      }
+      const auto after = util::parse_int(fields[1]);
+      if (!after || *after < 0) {
+        return R::failure("fault-plan: bad kill-backend count '" + fields[1] +
+                          "'");
+      }
+      plan.kill_backends.push_back(
+          {*backend, static_cast<int>(*after)});
+    } else if (key == "stall-lane") {
+      if (fields.size() != 3) {
+        return R::failure("fault-plan: stall-lane wants <model>:<n>:<ms>");
+      }
+      const auto nth = util::parse_int(fields[1]);
+      const auto ms = util::parse_double(fields[2]);
+      if (!nth || *nth < 1 || !ms || *ms < 0.0) {
+        return R::failure("fault-plan: bad stall-lane '" + value + "'");
+      }
+      plan.stalls.push_back({fields[0], static_cast<int>(*nth), *ms});
+    } else if (key == "fail-infer") {
+      if (fields.size() != 2 && fields.size() != 3) {
+        return R::failure(
+            "fault-plan: fail-infer wants <model>:<nth>[:<count>]");
+      }
+      const auto nth = util::parse_int(fields[1]);
+      if (!nth || *nth < 1) {
+        return R::failure("fault-plan: bad fail-infer index '" + fields[1] +
+                          "'");
+      }
+      int count = 1;
+      if (fields.size() == 3) {
+        const auto parsed = util::parse_int(fields[2]);
+        if (!parsed || *parsed < 1) {
+          return R::failure("fault-plan: bad fail-infer count '" + fields[2] +
+                            "'");
+        }
+        count = static_cast<int>(*parsed);
+      }
+      plan.fail_infers.push_back({fields[0], static_cast<int>(*nth), count});
+    } else if (key == "drop-conn") {
+      const auto nth = util::parse_int(value);
+      if (!nth || *nth < 1) {
+        return R::failure("fault-plan: bad drop-conn index '" + value + "'");
+      }
+      plan.drop_conns.push_back(static_cast<int>(*nth));
+    } else if (key == "corrupt-frame") {
+      const auto nth = util::parse_int(value);
+      if (!nth || *nth < 1) {
+        return R::failure("fault-plan: bad corrupt-frame index '" + value +
+                          "'");
+      }
+      plan.corrupt_frames.push_back(static_cast<int>(*nth));
+    } else {
+      return R::failure("fault-plan: unknown directive '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+ServeFaultInjector::ServeFaultInjector(ServeFaultPlan plan)
+    : plan_{std::move(plan)},
+      backend_batches_(static_cast<std::size_t>(device::Backend::kCount), 0) {}
+
+ServeFaultInjector::ExecFault ServeFaultInjector::on_batch(
+    const std::string& model, device::Backend backend) {
+  ExecFault fault;
+  const std::lock_guard<std::mutex> lock{mutex_};
+  const int backend_count = ++backend_batches_[static_cast<std::size_t>(backend)];
+  auto model_it =
+      std::find_if(model_batches_.begin(), model_batches_.end(),
+                   [&](const auto& entry) { return entry.first == model; });
+  if (model_it == model_batches_.end()) {
+    model_batches_.emplace_back(model, 0);
+    model_it = model_batches_.end() - 1;
+  }
+  const int model_count = ++model_it->second;
+
+  for (const auto& stall : plan_.stalls) {
+    if (stall.model == model && stall.nth == model_count) {
+      fault.stall_ms = std::max(fault.stall_ms, stall.ms);
+    }
+  }
+  for (const auto& kill : plan_.kill_backends) {
+    if (kill.backend == backend && backend_count > kill.after_batches) {
+      fault.fail = true;
+      fault.reason = "backend_dead";
+      return fault;
+    }
+  }
+  for (const auto& window : plan_.fail_infers) {
+    if (window.model == model && model_count >= window.nth &&
+        model_count < window.nth + window.count) {
+      fault.fail = true;
+      fault.reason = "infer_fault";
+      return fault;
+    }
+  }
+  return fault;
+}
+
+bool ServeFaultInjector::drop_connection() {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  const int nth = ++connections_;
+  return std::find(plan_.drop_conns.begin(), plan_.drop_conns.end(), nth) !=
+         plan_.drop_conns.end();
+}
+
+bool ServeFaultInjector::corrupt_frame() {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  const int nth = ++frames_;
+  return std::find(plan_.corrupt_frames.begin(), plan_.corrupt_frames.end(),
+                   nth) != plan_.corrupt_frames.end();
+}
+
+}  // namespace gauge::serve

@@ -1,0 +1,108 @@
+// Deterministic fault injection for the serving path (DESIGN.md §16), in
+// the harness/fault.cpp style: a ServeFaultPlan is a string grammar naming
+// which runtime failures to reproduce, and a ServeFaultInjector turns the
+// plan into counter-based decisions consulted at the lane-execution and
+// connection layers of serve/server.cpp. Everything is counter-based and
+// seedless, so a given plan always fails the same batch / connection /
+// frame — the recovery machinery (circuit breakers, mid-batch redispatch,
+// the lane watchdog) is testable without real accelerator outages.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "device/backends.hpp"
+#include "util/result.hpp"
+
+namespace gauge::serve {
+
+struct ServeFaultPlan {
+  // kill-backend=<backend>:<after_n> — the backend executes its first N
+  // batches normally, then dies: every later batch on any of its lanes
+  // fails mid-execution (the tickets are redispatched to the CPU lane).
+  struct KillBackend {
+    device::Backend backend = device::Backend::CpuFp32;
+    int after_batches = 0;
+  };
+  std::vector<KillBackend> kill_backends;
+
+  // stall-lane=<model>:<n>:<ms> — the nth batch executed for <model> (any
+  // backend) stalls for <ms> wall milliseconds before completing, long
+  // enough for the lane watchdog to declare the executor wedged.
+  struct StallLane {
+    std::string model;
+    int nth = 0;
+    double ms = 0.0;
+  };
+  std::vector<StallLane> stalls;
+
+  // fail-infer=<model>:<nth>[:<count>] — <count> consecutive batch
+  // executions for <model>, starting at the nth, fail (count defaults to
+  // 1). A transient fault window: the breaker opens after K consecutive
+  // failures and the half-open probe after it succeeds again.
+  struct FailInfer {
+    std::string model;
+    int nth = 0;
+    int count = 1;
+  };
+  std::vector<FailInfer> fail_infers;
+
+  // drop-conn=<nth> — the nth accepted connection is closed before it is
+  // handed to a worker (the client sees a reset; repeatable).
+  std::vector<int> drop_conns;
+
+  // corrupt-frame=<nth> — the nth payload frame received (across all
+  // connections) is treated as corrupt: the connection is poisoned and
+  // closed, exactly as a CRC failure would (repeatable).
+  std::vector<int> corrupt_frames;
+
+  bool empty() const {
+    return kill_backends.empty() && stalls.empty() && fail_infers.empty() &&
+           drop_conns.empty() && corrupt_frames.empty();
+  }
+};
+
+// Parses the `--fault-plan` grammar: semicolon-separated directives
+//   kill-backend=GPU:50        GPU dies after its 50th batch
+//   stall-lane=mobilenet:3:500 3rd mobilenet batch stalls 500 ms
+//   fail-infer=mobilenet:2     2nd mobilenet batch fails (transient)
+//   fail-infer=mobilenet:2:3   batches 2,3,4 fail (a K-failure window)
+//   drop-conn=4                4th accepted connection is dropped
+//   corrupt-frame=2            2nd received payload frame reads corrupt
+// Backend tokens are the device layer's backend_name() strings,
+// case-insensitive. All indices are 1-based.
+util::Result<ServeFaultPlan> parse_serve_fault_plan(const std::string& spec);
+
+// Thread-safe counter state over a plan. Each probe is called exactly once
+// per event (batch execution / accepted connection / received frame), so
+// the injected faults land on deterministic event indices.
+class ServeFaultInjector {
+ public:
+  explicit ServeFaultInjector(ServeFaultPlan plan);
+
+  struct ExecFault {
+    bool fail = false;        // the batch fails mid-execution
+    std::string reason;       // "backend_dead" | "infer_fault"
+    double stall_ms = 0.0;    // sleep this long before completing
+  };
+
+  // Consulted once per batch execution, before the batch runs.
+  ExecFault on_batch(const std::string& model, device::Backend backend);
+  // Consulted once per accepted connection; true = close it immediately.
+  bool drop_connection();
+  // Consulted once per received payload frame; true = treat as corrupt.
+  bool corrupt_frame();
+
+ private:
+  ServeFaultPlan plan_;
+  std::mutex mutex_;
+  std::vector<int> backend_batches_;  // indexed by Backend enum value
+  // Per-model batch counters, keyed by model name (the zoo population is
+  // small; linear scan).
+  std::vector<std::pair<std::string, int>> model_batches_;
+  int connections_ = 0;
+  int frames_ = 0;
+};
+
+}  // namespace gauge::serve

@@ -1,0 +1,129 @@
+#include "serve/health.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace gauge::serve {
+
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::Closed: return "closed";
+    case BreakerState::Open: return "open";
+    case BreakerState::HalfOpen: return "half_open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config) : config_{config} {
+  config_.failure_threshold = std::max(1, config_.failure_threshold);
+  config_.probe_successes = std::max(1, config_.probe_successes);
+}
+
+BreakerState CircuitBreaker::state(std::uint64_t now_ns) {
+  if (state_ == BreakerState::Open &&
+      now_ns >= opened_at_ns_ + config_.cooldown_ns) {
+    state_ = BreakerState::HalfOpen;
+    probe_inflight_ = false;
+    probe_successes_ = 0;
+  }
+  return state_;
+}
+
+bool CircuitBreaker::allow(std::uint64_t now_ns, bool* probe) {
+  if (probe) *probe = false;
+  switch (state(now_ns)) {
+    case BreakerState::Closed:
+      return true;
+    case BreakerState::Open:
+      return false;
+    case BreakerState::HalfOpen:
+      if (probe_inflight_) return false;
+      probe_inflight_ = true;
+      if (probe) *probe = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::cancel_probe() { probe_inflight_ = false; }
+
+void CircuitBreaker::open_now(std::uint64_t now_ns) {
+  state_ = BreakerState::Open;
+  opened_at_ns_ = now_ns;
+  consecutive_failures_ = 0;
+  probe_inflight_ = false;
+  probe_successes_ = 0;
+  ++opens_;
+}
+
+void CircuitBreaker::record_success(std::uint64_t now_ns) {
+  switch (state(now_ns)) {
+    case BreakerState::Closed:
+      consecutive_failures_ = 0;
+      return;
+    case BreakerState::HalfOpen:
+      probe_inflight_ = false;
+      if (++probe_successes_ >= config_.probe_successes) {
+        state_ = BreakerState::Closed;
+        consecutive_failures_ = 0;
+        ++closes_;
+      }
+      return;
+    case BreakerState::Open:
+      // A straggler from before the breaker opened; the cooldown stands.
+      return;
+  }
+}
+
+void CircuitBreaker::record_failure(std::uint64_t now_ns) {
+  switch (state(now_ns)) {
+    case BreakerState::Closed:
+      if (++consecutive_failures_ >= config_.failure_threshold) {
+        open_now(now_ns);
+      }
+      return;
+    case BreakerState::HalfOpen:
+      open_now(now_ns);
+      return;
+    case BreakerState::Open:
+      return;
+  }
+}
+
+std::uint64_t CircuitBreaker::open_until_ns() const {
+  if (state_ == BreakerState::Closed) return 0;
+  return opened_at_ns_ + config_.cooldown_ns;
+}
+
+void LaneWatchdog::note_start(std::uint64_t id, std::uint64_t now_ns,
+                              std::uint64_t budget_ns) {
+  deadlines_[id] = now_ns + budget_ns;
+}
+
+bool LaneWatchdog::note_done(std::uint64_t id) {
+  return deadlines_.erase(id) > 0;
+}
+
+std::vector<std::uint64_t> LaneWatchdog::expired(std::uint64_t now_ns) {
+  std::vector<std::uint64_t> out;
+  for (auto it = deadlines_.begin(); it != deadlines_.end();) {
+    if (now_ns >= it->second) {
+      out.push_back(it->first);
+      it = deadlines_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  restarts_ += out.size();
+  return out;
+}
+
+std::uint64_t LaneWatchdog::next_deadline_ns() const {
+  std::uint64_t next = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& [id, deadline] : deadlines_) {
+    next = std::min(next, deadline);
+  }
+  return next;
+}
+
+}  // namespace gauge::serve

@@ -1,0 +1,103 @@
+// Lane health machinery for the inference service (DESIGN.md §16): a
+// per-(model, backend) circuit breaker and a watchdog over in-flight batch
+// executions. Both are deterministic state machines driven by explicit
+// nanosecond timestamps, in the serve/batch.hpp mould — the server wraps
+// them in threads under its dispatch mutex, tests drive them with
+// util::SimClock, and the outputs are bit-identical for a given call
+// sequence at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace gauge::serve {
+
+// closed: traffic flows, consecutive exec failures are counted.
+// open:    the lane's backend is considered dead; admission routes around
+//          it (CPU fallback) until the cooldown elapses.
+// half_open: cooldown elapsed; exactly one probe batch may execute. Probe
+//          success closes the breaker, probe failure re-opens it.
+enum class BreakerState { Closed, Open, HalfOpen };
+
+const char* breaker_state_name(BreakerState state);
+
+struct BreakerConfig {
+  int failure_threshold = 3;  // consecutive exec failures that open it
+  std::uint64_t cooldown_ns = 500'000'000;  // open -> half-open probe delay
+  int probe_successes = 1;    // half-open successes that close it
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerConfig config = {});
+
+  // Observes the state at `now`, applying the lazy open -> half-open
+  // transition once the cooldown has elapsed.
+  BreakerState state(std::uint64_t now_ns);
+
+  // Whether a request may execute on this lane at `now`. Closed: always.
+  // Open: never (callers fall back). Half-open: grants exactly one
+  // outstanding probe; a granted probe that is then *not* dispatched (e.g.
+  // the queue sheds it) must be returned with cancel_probe(). `probe` (may
+  // be null) reports whether this grant claimed the probe slot.
+  bool allow(std::uint64_t now_ns, bool* probe = nullptr);
+  void cancel_probe();
+
+  // Outcome of a batch execution on the lane. Failures include watchdog
+  // abandonments — a stalled executor counts against lane health exactly
+  // like a failed one.
+  void record_success(std::uint64_t now_ns);
+  void record_failure(std::uint64_t now_ns);
+
+  // When open/half-open: the instant the cooldown elapses (retry_after
+  // hints); 0 when closed.
+  std::uint64_t open_until_ns() const;
+
+  // Cumulative transition counts (the SLO availability report).
+  std::uint64_t opens() const { return opens_; }
+  std::uint64_t closes() const { return closes_; }
+
+ private:
+  void open_now(std::uint64_t now_ns);
+
+  BreakerConfig config_;
+  BreakerState state_ = BreakerState::Closed;
+  int consecutive_failures_ = 0;
+  int probe_successes_ = 0;
+  bool probe_inflight_ = false;
+  std::uint64_t opened_at_ns_ = 0;
+  std::uint64_t opens_ = 0;
+  std::uint64_t closes_ = 0;
+};
+
+// Tracks in-flight batch executions by launch id and flags the ones whose
+// completion deadline has passed — a stalled lane executor. The first
+// party to resolve a launch wins: note_done() by the executor returns
+// false when the watchdog already expired (abandoned) it, and an expired
+// launch never reports done. The caller owns recovery (requeue, breaker
+// accounting); this class only decides *which* launches are wedged, purely
+// from the timestamps it was fed.
+class LaneWatchdog {
+ public:
+  void note_start(std::uint64_t id, std::uint64_t now_ns,
+                  std::uint64_t budget_ns);
+  // True when the launch was still tracked (normal completion); false when
+  // it had been abandoned by expired() — the late result must be discarded.
+  bool note_done(std::uint64_t id);
+  // Launches whose budget elapsed at `now`, ascending id order; they are
+  // removed from tracking and counted as restarts.
+  std::vector<std::uint64_t> expired(std::uint64_t now_ns);
+  // Earliest future deadline, UINT64_MAX when nothing is in flight — the
+  // watchdog thread's next wake-up.
+  std::uint64_t next_deadline_ns() const;
+
+  std::size_t inflight() const { return deadlines_.size(); }
+  std::uint64_t restarts() const { return restarts_; }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> deadlines_;  // id -> absolute ns
+  std::uint64_t restarts_ = 0;
+};
+
+}  // namespace gauge::serve

@@ -85,28 +85,40 @@ std::optional<device::Backend> parse_backend(const std::string& token) {
 
 std::string format_response(const Response& response) {
   switch (response.kind) {
-    case Response::Kind::Ok:
-      return util::format(
+    case Response::Kind::Ok: {
+      std::string line = util::format(
           "OK id=%s model=%s backend=%s fallback=%d batch=%d queue_us=%" PRIu64
           " infer_us=%" PRIu64 " total_us=%" PRIu64,
           response.id.c_str(), response.model.c_str(),
           response.backend.c_str(), response.fallback ? 1 : 0, response.batch,
           response.queue_us, response.infer_us, response.total_us);
+      if (response.retried) line += " retried=1";
+      return line;
+    }
     case Response::Kind::Shed:
       return util::format("SHED id=%s code=%d est_wait_us=%" PRIu64
-                          " depth=%" PRIu64,
+                          " depth=%" PRIu64 " retry_after_ms=%" PRIu64,
                           response.id.c_str(), response.code,
-                          response.est_wait_us, response.depth);
+                          response.est_wait_us, response.depth,
+                          response.retry_after_ms);
     case Response::Kind::Err:
       return util::format("ERR id=%s code=%d reason=%s", response.id.c_str(),
                           response.code, response.reason.c_str());
     case Response::Kind::Pong:
       return "PONG";
-    case Response::Kind::Stats:
-      return util::format("STATS requests=%" PRIu64 " served=%" PRIu64
-                          " shed=%" PRIu64 " errors=%" PRIu64,
-                          response.requests, response.served, response.shed,
-                          response.errors);
+    case Response::Kind::Stats: {
+      std::string line =
+          util::format("STATS requests=%" PRIu64 " served=%" PRIu64
+                       " shed=%" PRIu64 " errors=%" PRIu64,
+                       response.requests, response.served, response.shed,
+                       response.errors);
+      for (const auto& lane : response.lanes) {
+        line += util::format(" lane=%s/%s state=%s inflight=%" PRIu64,
+                             lane.model.c_str(), lane.backend.c_str(),
+                             lane.state.c_str(), lane.inflight);
+      }
+      return line;
+    }
   }
   return "ERR id=0 code=500 reason=bad_kind";
 }
@@ -146,6 +158,7 @@ util::Result<Response> parse_response(const std::string& line) {
     else if (key == "model") response.model = value;
     else if (key == "backend") response.backend = value;
     else if (key == "fallback") response.fallback = value == "1";
+    else if (key == "retried") response.retried = value == "1";
     else if (key == "batch") response.batch = static_cast<int>(as_u64());
     else if (key == "queue_us") response.queue_us = as_u64();
     else if (key == "infer_us") response.infer_us = as_u64();
@@ -153,12 +166,38 @@ util::Result<Response> parse_response(const std::string& line) {
     else if (key == "code") response.code = static_cast<int>(as_u64());
     else if (key == "est_wait_us") response.est_wait_us = as_u64();
     else if (key == "depth") response.depth = as_u64();
+    else if (key == "retry_after_ms") response.retry_after_ms = as_u64();
     else if (key == "reason") response.reason = value;
     else if (key == "requests") response.requests = as_u64();
     else if (key == "served") response.served = as_u64();
     else if (key == "shed") response.shed = as_u64();
     else if (key == "errors") response.errors = as_u64();
-    else return RR::failure("bad response key: " + key);
+    else if (key == "lane") {
+      // `lane=<model>/<backend>` opens a health triple; the following
+      // `state=` / `inflight=` tokens attach to it.
+      const auto slash = value.find('/');
+      if (slash == std::string::npos || slash == 0 ||
+          slash + 1 >= value.size()) {
+        return RR::failure("bad lane token: " + value);
+      }
+      LaneHealth lane;
+      lane.model = value.substr(0, slash);
+      lane.backend = value.substr(slash + 1);
+      response.lanes.push_back(std::move(lane));
+    } else if (key == "state") {
+      if (response.lanes.empty()) {
+        return RR::failure("state token outside a lane triple");
+      }
+      if (value != "closed" && value != "open" && value != "half_open") {
+        return RR::failure("bad lane state: " + value);
+      }
+      response.lanes.back().state = value;
+    } else if (key == "inflight") {
+      if (response.lanes.empty()) {
+        return RR::failure("inflight token outside a lane triple");
+      }
+      response.lanes.back().inflight = as_u64();
+    } else return RR::failure("bad response key: " + key);
   }
   return response;
 }

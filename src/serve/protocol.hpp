@@ -10,11 +10,18 @@
 //   PING | STATS | QUIT
 //
 //   OK id=<tok> model=<m> backend=<b> fallback=<0|1> batch=<n>
-//      queue_us=<n> infer_us=<n> total_us=<n>
-//   SHED id=<tok> code=429 est_wait_us=<n> depth=<n>
+//      queue_us=<n> infer_us=<n> total_us=<n> [retried=1]
+//   SHED id=<tok> code=429 est_wait_us=<n> depth=<n> retry_after_ms=<n>
 //   ERR id=<tok> code=<http-ish> reason=<snake_token>
 //   PONG
 //   STATS requests=<n> served=<n> shed=<n> errors=<n>
+//         [lane=<model>/<backend> state=closed|open|half_open inflight=<n>]...
+//
+// `retried=1` marks a request whose batch failed or stalled mid-execution
+// and was redispatched (once) onto the CPU-fallback lane; `retry_after_ms`
+// is the server's brownout hint — when to try again after a 429. STATS
+// reports one lane health triple per live (model, backend) lane so
+// operators and smoke tests can poll breaker state instead of sleeping.
 //
 // Parsing is strict: unknown verbs, unknown keys, malformed values and
 // out-of-range payload sizes are protocol errors the server answers with
@@ -25,6 +32,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "device/backends.hpp"
 #include "util/result.hpp"
@@ -55,6 +63,15 @@ util::Result<Request> parse_request(const std::string& line);
 // backend_name() strings, case-insensitive) to the enum.
 std::optional<device::Backend> parse_backend(const std::string& token);
 
+// One (model, backend) lane's health in a STATS response: the circuit
+// breaker state plus in-flight batch count (DESIGN.md §16).
+struct LaneHealth {
+  std::string model;
+  std::string backend;
+  std::string state;  // closed | open | half_open
+  std::uint64_t inflight = 0;
+};
+
 struct Response {
   enum class Kind { Ok, Shed, Err, Pong, Stats };
   Kind kind = Kind::Err;
@@ -63,6 +80,7 @@ struct Response {
   std::string model;
   std::string backend;
   bool fallback = false;
+  bool retried = false;  // redispatched after a mid-batch failure
   int batch = 0;
   std::uint64_t queue_us = 0;
   std::uint64_t infer_us = 0;
@@ -71,12 +89,14 @@ struct Response {
   int code = 0;  // 429 shed, 400/404/413/503 errors
   std::uint64_t est_wait_us = 0;
   std::uint64_t depth = 0;
+  std::uint64_t retry_after_ms = 0;  // brownout hint on SHED
   std::string reason;
   // Stats fields.
   std::uint64_t requests = 0;
   std::uint64_t served = 0;
   std::uint64_t shed = 0;
   std::uint64_t errors = 0;
+  std::vector<LaneHealth> lanes;  // per-lane health (may be empty)
 };
 
 std::string format_response(const Response& response);

@@ -86,6 +86,15 @@ util::Status InferenceServer::init() {
     }
     fixed_exec_ = *parsed;
   }
+  breaker_cooldown_ns_ = static_cast<std::uint64_t>(
+      std::max(0.0, options_.breaker_cooldown_ms) * 1e6);
+  if (!options_.fault_plan.empty()) {
+    auto plan = parse_serve_fault_plan(options_.fault_plan);
+    if (!plan.ok()) return util::Status::failure(plan.error());
+    if (!plan.value().empty()) {
+      faults_ = std::make_unique<ServeFaultInjector>(std::move(plan).take());
+    }
+  }
   auto names = options_.models.empty() ? nn::zoo_archetypes() : options_.models;
   for (const auto& name : names) {
     const auto& archetypes = nn::zoo_archetypes();
@@ -139,6 +148,13 @@ util::Status InferenceServer::init() {
   batches_ = &registry_.counter("gauge.serve.batches");
   conn_rejected_ = &registry_.counter("gauge.serve.conn_rejected");
   connections_ = &registry_.gauge("gauge.serve.connections");
+  breaker_opens_ = &registry_.counter("gauge.serve.breaker.opens");
+  breaker_closes_ = &registry_.counter("gauge.serve.breaker.closes");
+  breaker_fallback_ = &registry_.counter("gauge.serve.breaker.fallback");
+  redispatched_ = &registry_.counter("gauge.serve.redispatched");
+  watchdog_restarts_ = &registry_.counter("gauge.serve.watchdog.restarts");
+  dropped_conns_ = &registry_.counter("gauge.serve.fault.dropped_conns");
+  corrupt_frames_ = &registry_.counter("gauge.serve.fault.corrupt_frames");
 
   auto listener = net::TcpListener::bind(options_.port, options_.accept_backlog);
   if (!listener.ok()) return util::Status::failure(listener.error());
@@ -147,6 +163,7 @@ util::Status InferenceServer::init() {
 
   pool_ = std::make_unique<nn::ThreadPool>(std::max(1u, options_.exec_threads));
   dispatch_thread_ = std::thread{[this] { dispatch_loop(); }};
+  watchdog_thread_ = std::thread{[this] { watchdog_loop(); }};
   const unsigned workers = std::max(1u, options_.conn_workers);
   conn_threads_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i) {
@@ -173,6 +190,12 @@ void InferenceServer::accept_loop() {
           !stop_.load(std::memory_order_relaxed)) {
         util::log_warn("serve: accept failed: " + connection.error());
       }
+      continue;
+    }
+    if (faults_ && faults_->drop_connection()) {
+      // Injected connection drop: closed before a worker ever sees it; the
+      // client observes a reset and reconnects through its retry policy.
+      dropped_conns_->increment();
       continue;
     }
     {
@@ -240,6 +263,13 @@ void InferenceServer::serve_connection(net::TcpStream& stream) {
         errors_->increment();
         return;
       }
+      if (faults_ && faults_->corrupt_frame()) {
+        // Injected frame corruption: poisoned exactly as a CRC failure —
+        // the connection closes, the request is never admitted.
+        corrupt_frames_->increment();
+        errors_->increment();
+        return;
+      }
       if (payload.value().size() != request.value().payload_bytes) {
         // A well-framed payload of the wrong size is a protocol error, but
         // the stream is still in sync — answer and keep serving.
@@ -266,6 +296,24 @@ void InferenceServer::serve_connection(net::TcpStream& stream) {
         stats.served = static_cast<std::uint64_t>(served_total_->value());
         stats.shed = static_cast<std::uint64_t>(shed_->value());
         stats.errors = static_cast<std::uint64_t>(errors_->value());
+        {
+          // Lane health triples: breaker state + in-flight batches for
+          // every lane that has seen traffic.
+          const std::lock_guard<std::mutex> lock{mutex_};
+          const std::uint64_t now = now_ns();
+          for (const auto& entry : models_) {
+            for (const auto& lane : entry->lanes) {
+              if (!lane) continue;
+              LaneHealth health;
+              health.model = entry->name;
+              health.backend = device::backend_name(lane->backend);
+              health.state = breaker_state_name(lane->breaker.state(now));
+              health.inflight =
+                  static_cast<std::uint64_t>(lane->queue.inflight());
+              stats.lanes.push_back(std::move(health));
+            }
+          }
+        }
         if (!stream.send_line_for(format_response(stats), kSendDeadline).ok())
           return;
         break;
@@ -324,10 +372,89 @@ InferenceServer::Lane& InferenceServer::lane_locked(ModelEntry& entry,
     }
     auto frontier = choose_frontier(curve, options_.default_slo_ms, time_scale,
                                     options_.max_batch);
+    BreakerConfig breaker_config;
+    breaker_config.failure_threshold = std::max(1, options_.breaker_threshold);
+    breaker_config.cooldown_ns = breaker_cooldown_ns_;
+    breaker_config.probe_successes = std::max(1, options_.breaker_probes);
     slot = std::make_unique<Lane>(backend, std::move(frontier),
-                                  options_.queue_capacity);
+                                  options_.queue_capacity, breaker_config);
+    const std::string backend_label = device::backend_name(backend);
+    slot->breaker_state = &registry_.gauge("gauge.serve.breaker.state." +
+                                           entry.name + "." + backend_label);
+    slot->batches =
+        &registry_.counter("gauge.serve.lane.batches." + backend_label);
+    slot->failures =
+        &registry_.counter("gauge.serve.lane.failures." + backend_label);
   }
   return *slot;
+}
+
+std::uint64_t InferenceServer::watchdog_budget_ns(const Lane& lane,
+                                                  int batch) const {
+  if (options_.watchdog_budget_ms > 0) {
+    return static_cast<std::uint64_t>(options_.watchdog_budget_ms * 1e6);
+  }
+  // Auto: well past the frontier's expected wall latency plus scheduling
+  // slack, so only a genuinely wedged executor trips it.
+  return 4 * lane.queue.frontier().latency_ns_at(batch) + 100'000'000ull;
+}
+
+void InferenceServer::record_lane_failure_locked(Lane& lane,
+                                                 std::uint64_t now) {
+  const std::uint64_t opens_before = lane.breaker.opens();
+  lane.breaker.record_failure(now);
+  if (lane.breaker.opens() != opens_before) {
+    breaker_opens_->increment();
+    // Fresh open: brownout — inflate admission estimates until the
+    // half-open probe can re-establish the lane's capacity.
+    brownout_until_ns_ =
+        std::max(brownout_until_ns_, now + breaker_cooldown_ns_);
+  }
+  sync_breaker_gauge_locked(lane, now);
+}
+
+void InferenceServer::record_lane_success_locked(Lane& lane,
+                                                 std::uint64_t now) {
+  const std::uint64_t closes_before = lane.breaker.closes();
+  lane.breaker.record_success(now);
+  if (lane.breaker.closes() != closes_before) breaker_closes_->increment();
+  sync_breaker_gauge_locked(lane, now);
+}
+
+void InferenceServer::sync_breaker_gauge_locked(Lane& lane,
+                                                std::uint64_t now) {
+  if (lane.breaker_state) {
+    lane.breaker_state->set(
+        static_cast<double>(static_cast<int>(lane.breaker.state(now))));
+  }
+}
+
+void InferenceServer::redispatch_locked(ModelEntry& entry, Lane& failed_lane,
+                                        const std::vector<Ticket>& tickets,
+                                        std::vector<PendingVerdict>* verdicts) {
+  std::vector<Ticket> fresh;
+  fresh.reserve(tickets.size());
+  for (const Ticket& ticket : tickets) {
+    if (ticket.retried) {
+      // Second failure: the error is this request's one verdict.
+      auto it = waiters_.find(ticket.id);
+      if (it != waiters_.end()) {
+        verdicts->emplace_back(std::move(it->second), ticket);
+        waiters_.erase(it);
+      }
+      continue;
+    }
+    Ticket moved = ticket;
+    moved.retried = true;
+    moved.fallback =
+        moved.fallback || failed_lane.backend != device::Backend::CpuFp32;
+    fresh.push_back(moved);
+  }
+  if (fresh.empty()) return;
+  Lane& cpu = lane_locked(entry, device::Backend::CpuFp32);
+  cpu.queue.requeue(fresh);
+  redispatched_->increment(static_cast<std::int64_t>(fresh.size()));
+  entry.queue_depth->set(static_cast<double>(cpu.queue.depth()));
 }
 
 Response InferenceServer::handle_infer(const Request& request) {
@@ -364,24 +491,67 @@ Response InferenceServer::handle_infer(const Request& request) {
       next_ticket_.fetch_add(1, std::memory_order_relaxed);
   auto waiter = std::make_shared<Waiter>();
   std::future<BatchResult> future = waiter->promise.get_future();
+  bool breaker_fallback = false;
   {
     const std::lock_guard<std::mutex> lock{mutex_};
     if (stopping_) return err_response(request.id, 503, "shutting_down");
-    Lane& lane = lane_locked(entry, resolved);
-    const auto admission =
-        lane.queue.offer(enqueue_ns, {ticket_id, enqueue_ns, deadline_ns});
+    Lane* lane = &lane_locked(entry, resolved);
+    bool probe = false;
+    if (!lane->breaker.allow(enqueue_ns, &probe)) {
+      // Lane breaker open: route around the dead backend onto the CPU
+      // reference lane; with no healthy alternative, brownout-shed with a
+      // hint for when the cooldown elapses.
+      sync_breaker_gauge_locked(*lane, enqueue_ns);
+      Lane* cpu = resolved != device::Backend::CpuFp32
+                      ? &lane_locked(entry, device::Backend::CpuFp32)
+                      : nullptr;
+      if (cpu != nullptr && cpu->breaker.allow(enqueue_ns, &probe)) {
+        breaker_fallback = true;
+        breaker_fallback_->increment();
+        fallback_->increment();
+        lane = cpu;
+      } else {
+        shed_->increment();
+        Response response;
+        response.kind = Response::Kind::Shed;
+        response.id = request.id;
+        response.code = 429;
+        response.depth = lane->queue.depth();
+        std::uint64_t until = lane->breaker.open_until_ns();
+        if (cpu != nullptr) until = std::max(until, cpu->breaker.open_until_ns());
+        response.retry_after_ms = until > enqueue_ns
+                                      ? (until - enqueue_ns + 999'999) / 1'000'000
+                                      : 1;
+        response.est_wait_us = response.retry_after_ms * 1000;
+        return response;
+      }
+    }
+    const double pressure = enqueue_ns < brownout_until_ns_
+                                ? std::max(1.0, options_.brownout_factor)
+                                : 1.0;
+    const auto admission = lane->queue.offer(
+        enqueue_ns, {ticket_id, enqueue_ns, deadline_ns}, pressure);
     if (!admission.accepted) {
+      // A granted half-open probe that is shed never executed: release the
+      // probe slot so the next request can claim it.
+      if (probe) lane->breaker.cancel_probe();
       shed_->increment();
       Response response;
       response.kind = Response::Kind::Shed;
       response.id = request.id;
       response.code = 429;
       response.est_wait_us = admission.est_wait_ns / 1000;
-      response.depth = lane.queue.depth();
+      response.depth = lane->queue.depth();
+      std::uint64_t retry_ms = admission.est_wait_ns / 1'000'000;
+      if (brownout_until_ns_ > enqueue_ns) {
+        retry_ms = std::max(retry_ms,
+                            (brownout_until_ns_ - enqueue_ns) / 1'000'000);
+      }
+      response.retry_after_ms = std::max<std::uint64_t>(1, retry_ms);
       return response;
     }
     waiters_[ticket_id] = waiter;
-    entry.queue_depth->set(static_cast<double>(lane.queue.depth()));
+    entry.queue_depth->set(static_cast<double>(lane->queue.depth()));
   }
   cv_.notify_all();
 
@@ -420,7 +590,9 @@ Response InferenceServer::handle_infer(const Request& request) {
   response.id = request.id;
   response.model = entry.name;
   response.backend = device::backend_name(result.backend);
-  response.fallback = availability_fallback || result.cpu_fallback;
+  response.fallback = availability_fallback || breaker_fallback ||
+                      result.cpu_fallback || result.fallback;
+  response.retried = result.retried;
   response.batch = result.batch;
   response.queue_us = queue_ns / 1000;
   response.infer_us = result.infer_ns / 1000;
@@ -438,7 +610,14 @@ std::uint64_t InferenceServer::collect_due_locked(
         auto tickets = lane->queue.pop_due(now);
         if (tickets.empty()) break;
         lane->queue.note_batch_start();
-        launches->push_back(Launch{entry.get(), lane.get(), std::move(tickets)});
+        Launch launch{next_launch_.fetch_add(1, std::memory_order_relaxed),
+                      entry.get(), lane.get(), std::move(tickets)};
+        watchdog_.note_start(
+            launch.id, now,
+            watchdog_budget_ns(*lane,
+                               static_cast<int>(launch.tickets.size())));
+        inflight_[launch.id] = launch;  // the watchdog may need the tickets
+        launches->push_back(std::move(launch));
       }
       next = std::min(next, lane->queue.next_flush_ns());
       entry->queue_depth->set(static_cast<double>(lane->queue.depth()));
@@ -461,6 +640,7 @@ void InferenceServer::dispatch_loop() {
             [this, launch = std::move(launch)] { execute(launch); });
       }
       lock.lock();
+      cv_.notify_all();  // wake the watchdog: new deadlines registered
       continue;
     }
     if (stopping_) {
@@ -483,9 +663,22 @@ void InferenceServer::execute(const Launch& launch) {
   result.backend = launch.lane->backend;
   result.batch = batch;
 
+  // Chaos seam (DESIGN.md §16): consulted exactly once per batch, before it
+  // runs, so a given plan always fails the same batches.
+  ServeFaultInjector::ExecFault fault;
+  if (faults_) fault = faults_->on_batch(entry.name, launch.lane->backend);
+  if (fault.stall_ms > 0) {
+    // A wedged executor: sleep past the watchdog budget, then carry on —
+    // the late result is discarded by the first-finisher claim below.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>{fault.stall_ms * 1e-3});
+  }
+
   const std::uint64_t start_ns = now_ns();
   std::string exec_label = "device-model";
-  if (options_.real_exec) {
+  if (fault.fail) {
+    result.status = util::Status::failure(fault.reason);
+  } else if (options_.real_exec) {
     exec_label =
         nn::kernels::exec_backend_name(exec_backend_of(launch.lane->backend));
     const std::lock_guard<std::mutex> exec_lock{entry.exec_mutex};
@@ -515,28 +708,100 @@ void InferenceServer::execute(const Launch& launch) {
   }
   result.infer_ns = now_ns() - start_ns;
 
-  std::vector<std::shared_ptr<Waiter>> to_fulfill;
-  to_fulfill.reserve(launch.tickets.size());
+  std::vector<PendingVerdict> verdicts;
+  verdicts.reserve(launch.tickets.size());
   {
     const std::lock_guard<std::mutex> lock{mutex_};
+    if (!watchdog_.note_done(launch.id)) {
+      // The watchdog expired this launch and already recovered its tickets;
+      // the late result is discarded (exactly one verdict per request).
+      return;
+    }
+    inflight_.erase(launch.id);
     launch.lane->queue.note_batch_done();
-    for (const Ticket& ticket : launch.tickets) {
-      auto it = waiters_.find(ticket.id);
-      if (it == waiters_.end()) continue;  // requester gave up
-      to_fulfill.push_back(std::move(it->second));
-      waiters_.erase(it);
+    if (launch.lane->batches) launch.lane->batches->increment();
+    const std::uint64_t now = now_ns();
+    if (result.status.ok()) {
+      record_lane_success_locked(*launch.lane, now);
+      for (const Ticket& ticket : launch.tickets) {
+        auto it = waiters_.find(ticket.id);
+        if (it == waiters_.end()) continue;  // requester gave up
+        verdicts.emplace_back(std::move(it->second), ticket);
+        waiters_.erase(it);
+      }
+    } else {
+      if (launch.lane->failures) launch.lane->failures->increment();
+      record_lane_failure_locked(*launch.lane, now);
+      redispatch_locked(entry, *launch.lane, launch.tickets, &verdicts);
     }
   }
-  batches_->increment();
-  registry_.counter("gauge.serve.exec." + exec_label).increment();
-  entry.batch_size->observe(static_cast<double>(batch));
-  for (auto& waiter : to_fulfill) waiter->promise.set_value(result);
+  if (result.status.ok()) {
+    batches_->increment();
+    registry_.counter("gauge.serve.exec." + exec_label).increment();
+    entry.batch_size->observe(static_cast<double>(batch));
+  }
+  for (auto& [waiter, ticket] : verdicts) {
+    BatchResult verdict = result;
+    verdict.retried = ticket.retried;
+    verdict.fallback = ticket.fallback;
+    waiter->promise.set_value(verdict);
+  }
   cv_.notify_all();
 }
 
+void InferenceServer::watchdog_loop() {
+  std::unique_lock<std::mutex> lock{mutex_};
+  while (!stopping_) {
+    const std::uint64_t now = now_ns();
+    const auto expired = watchdog_.expired(now);
+    if (!expired.empty()) {
+      std::vector<PendingVerdict> verdicts;
+      for (const std::uint64_t id : expired) {
+        auto it = inflight_.find(id);
+        if (it == inflight_.end()) continue;
+        Launch launch = std::move(it->second);
+        inflight_.erase(it);
+        // Restart the lane executor: the wedged pool task keeps running,
+        // but note_done() will tell it the launch was abandoned and its
+        // late result is discarded. Accounting and the tickets move on now.
+        launch.lane->queue.note_batch_done();
+        if (launch.lane->batches) launch.lane->batches->increment();
+        if (launch.lane->failures) launch.lane->failures->increment();
+        watchdog_restarts_->increment();
+        record_lane_failure_locked(*launch.lane, now);
+        brownout_until_ns_ =
+            std::max(brownout_until_ns_, now + breaker_cooldown_ns_);
+        redispatch_locked(*launch.entry, *launch.lane, launch.tickets,
+                          &verdicts);
+      }
+      cv_.notify_all();  // redispatched tickets sit at a queue front
+      if (!verdicts.empty()) {
+        lock.unlock();
+        BatchResult failed;
+        failed.status = util::Status::failure("watchdog_restart");
+        for (auto& [waiter, ticket] : verdicts) {
+          BatchResult verdict = failed;
+          verdict.retried = ticket.retried;
+          verdict.fallback = ticket.fallback;
+          waiter->promise.set_value(verdict);
+        }
+        lock.lock();
+      }
+      continue;
+    }
+    const std::uint64_t next = watchdog_.next_deadline_ns();
+    if (next == std::numeric_limits<std::uint64_t>::max()) {
+      cv_.wait_for(lock, std::chrono::milliseconds{200});
+    } else {
+      cv_.wait_until(lock, epoch_ + std::chrono::nanoseconds{next});
+    }
+  }
+}
+
 void InferenceServer::shutdown() {
-  if (joined_) return;
-  joined_ = true;
+  // exchange() makes the stop idempotent even when a destructor races an
+  // explicit shutdown() — only one caller tears down.
+  if (joined_.exchange(true)) return;
   {
     const std::lock_guard<std::mutex> lock{mutex_};
     stopping_ = true;
@@ -546,13 +811,24 @@ void InferenceServer::shutdown() {
   conn_cv_.notify_all();
   if (accept_thread_.joinable()) accept_thread_.join();
   if (dispatch_thread_.joinable()) dispatch_thread_.join();
-  // Drain: anything still queued after the dispatcher exited is flushed
-  // through the executor so accepted requests get answers, then the pool's
-  // destructor runs every submitted batch to completion.
-  {
+  // The watchdog joins before the drain: from here on the executor always
+  // wins the finisher claim, so a restart can never race the drain's
+  // accounting.
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
+  // Run every batch the dispatcher already handed to the pool to
+  // completion. A batch failing in here redispatches its fresh tickets
+  // back onto the CPU queue — never lost, never double-answered — which is
+  // why the drain below loops until the queues stay empty.
+  pool_.reset();
+  // Drain: anything still queued — leftovers the dispatcher never flushed
+  // plus tickets redispatched by failing batches — executes inline until
+  // every accepted request has its verdict. Terminates because a
+  // redispatched ticket never redispatches again.
+  for (;;) {
     std::vector<Launch> launches;
     {
       const std::lock_guard<std::mutex> lock{mutex_};
+      const std::uint64_t now = now_ns();
       for (const auto& entry : models_) {
         for (const auto& lane : entry->lanes) {
           if (!lane) continue;
@@ -562,19 +838,25 @@ void InferenceServer::shutdown() {
           for (std::size_t i = 0; i < tickets.size(); i += full) {
             const auto end = std::min(tickets.size(), i + full);
             lane->queue.note_batch_start();
-            launches.push_back(
-                Launch{entry.get(), lane.get(),
-                       {tickets.begin() + static_cast<std::ptrdiff_t>(i),
-                        tickets.begin() + static_cast<std::ptrdiff_t>(end)}});
+            Launch launch{
+                next_launch_.fetch_add(1, std::memory_order_relaxed),
+                entry.get(), lane.get(),
+                {tickets.begin() + static_cast<std::ptrdiff_t>(i),
+                 tickets.begin() + static_cast<std::ptrdiff_t>(end)}};
+            // No watchdog thread any more: register with an effectively
+            // infinite budget so execute()'s claim always succeeds.
+            watchdog_.note_start(
+                launch.id, now,
+                std::numeric_limits<std::uint64_t>::max() - now);
+            inflight_[launch.id] = launch;
+            launches.push_back(std::move(launch));
           }
         }
       }
     }
-    for (auto& launch : launches) {
-      pool_->submit([this, launch = std::move(launch)] { execute(launch); });
-    }
+    if (launches.empty()) break;
+    for (const auto& launch : launches) execute(launch);
   }
-  pool_.reset();
   conn_cv_.notify_all();
   for (auto& thread : conn_threads_) {
     if (thread.joinable()) thread.join();

@@ -15,6 +15,17 @@
 // Execution is the analytic device latency model by default (batch latency
 // scaled into wall time by `time_scale`, slept on the pool — deterministic
 // and device-faithful); `real_exec` runs the interpreter instead.
+//
+// Chaos hardening (DESIGN.md §16): a deterministic ServeFaultPlan can kill
+// a backend mid-batch, stall a lane, fail an inference, drop a connection
+// or corrupt a payload frame. The recovery machinery it validates: a
+// per-(model, backend) circuit breaker (serve/health.hpp) gating admission,
+// mid-batch redispatch of a failed batch's tickets onto the CPU-fallback
+// lane (once, marked `retried=1`), a lane watchdog that abandons stalled
+// batch executions and re-queues their tickets, and brownout admission
+// (inflated wait estimates + `retry_after_ms` hints) while a breaker is
+// open or a watchdog restart is fresh. Every accepted request receives
+// exactly one verdict under any plan.
 #pragma once
 
 #include <atomic>
@@ -38,6 +49,8 @@
 #include "nn/threadpool.hpp"
 #include "nn/trace.hpp"
 #include "serve/batch.hpp"
+#include "serve/fault.hpp"
+#include "serve/health.hpp"
 #include "serve/protocol.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/result.hpp"
@@ -63,6 +76,14 @@ struct ServeOptions {
   // device backend via device::exec_backend_for; otherwise a fixed
   // nn::kernels backend name (reference | optimised | quantised).
   std::string real_backend = "auto";
+  // Lane health & chaos recovery (DESIGN.md §16).
+  int breaker_threshold = 3;         // consecutive failures that open a lane
+  double breaker_cooldown_ms = 500;  // open → half-open probe delay (wall)
+  int breaker_probes = 1;            // half-open successes that re-close
+  double watchdog_budget_ms = 0;     // batch completion budget; 0 = auto
+  double brownout_factor = 2.0;      // admission estimate inflation under
+                                     // breaker-open / watchdog pressure
+  std::string fault_plan;            // serve/fault.hpp grammar; "" = none
 };
 
 class InferenceServer {
@@ -88,6 +109,8 @@ class InferenceServer {
     util::Status status;
     device::Backend backend = device::Backend::CpuFp32;
     bool cpu_fallback = false;
+    bool retried = false;   // ticket was redispatched after a batch failure
+    bool fallback = false;  // redispatch moved it to a different backend
     int batch = 1;
     std::uint64_t infer_ns = 0;
   };
@@ -99,8 +122,16 @@ class InferenceServer {
   struct Lane {
     device::Backend backend = device::Backend::CpuFp32;
     BatchQueue queue;
-    Lane(device::Backend backend, Frontier frontier, std::size_t capacity)
-        : backend{backend}, queue{std::move(frontier), capacity} {}
+    CircuitBreaker breaker;
+    // Cached instruments (registry lookups are mutex-guarded maps).
+    telemetry::Gauge* breaker_state = nullptr;
+    telemetry::Counter* batches = nullptr;
+    telemetry::Counter* failures = nullptr;
+    Lane(device::Backend backend, Frontier frontier, std::size_t capacity,
+         const BreakerConfig& breaker_config)
+        : backend{backend},
+          queue{std::move(frontier), capacity},
+          breaker{breaker_config} {}
   };
 
   struct ModelEntry {
@@ -123,10 +154,14 @@ class InferenceServer {
   };
 
   struct Launch {
+    std::uint64_t id = 0;  // watchdog / in-flight registry key
     ModelEntry* entry = nullptr;
     Lane* lane = nullptr;
     std::vector<Ticket> tickets;
   };
+
+  // A waiter pulled out of waiters_ under mutex_, fulfilled after unlock.
+  using PendingVerdict = std::pair<std::shared_ptr<Waiter>, Ticket>;
 
   explicit InferenceServer(const ServeOptions& options);
 
@@ -138,12 +173,28 @@ class InferenceServer {
   void serve_connection(net::TcpStream& stream);
   Response handle_infer(const Request& request);
   void dispatch_loop();
-  // Pops every due batch (marking them in-flight) and reports the earliest
-  // future flush time. Caller holds mutex_.
+  void watchdog_loop();
+  // Pops every due batch (marking them in-flight, registering it with the
+  // watchdog) and reports the earliest future flush time. Caller holds
+  // mutex_.
   std::uint64_t collect_due_locked(std::uint64_t now,
                                    std::vector<Launch>* launches);
   void execute(const Launch& launch);
   Lane& lane_locked(ModelEntry& entry, device::Backend backend);
+  // Watchdog completion budget for a batch on this lane.
+  std::uint64_t watchdog_budget_ns(const Lane& lane, int batch) const;
+  // Breaker bookkeeping: records the outcome, mirrors the state gauge, and
+  // (on a fresh open) starts a brownout window. Caller holds mutex_.
+  void record_lane_failure_locked(Lane& lane, std::uint64_t now);
+  void record_lane_success_locked(Lane& lane, std::uint64_t now);
+  void sync_breaker_gauge_locked(Lane& lane, std::uint64_t now);
+  // Mid-batch recovery: fresh tickets of a failed batch are re-queued once
+  // onto the CPU-fallback lane (marked retried/fallback); already-retried
+  // tickets get their error verdict appended to *verdicts. Caller holds
+  // mutex_; the caller fulfils *verdicts after unlocking.
+  void redispatch_locked(ModelEntry& entry, Lane& failed_lane,
+                         const std::vector<Ticket>& tickets,
+                         std::vector<PendingVerdict>* verdicts);
   // Interpreter exec backend serving a lane (fixed override or auto map).
   nn::kernels::ExecBackend exec_backend_of(device::Backend backend) const;
   nn::Interpreter* interpreter_for(ModelEntry& entry,
@@ -164,13 +215,25 @@ class InferenceServer {
 
   std::unique_ptr<nn::ThreadPool> pool_;
 
-  // Dispatch state: lanes, waiters and the stopping flag share one mutex so
-  // admission, flush and drain decisions are serialised.
+  // Deterministic chaos seam; null when no --fault-plan was given.
+  std::unique_ptr<ServeFaultInjector> faults_;
+
+  // Dispatch state: lanes, waiters, the watchdog and the stopping flag share
+  // one mutex so admission, flush, recovery and drain decisions are
+  // serialised.
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
   std::map<std::uint64_t, std::shared_ptr<Waiter>> waiters_;
   std::atomic<std::uint64_t> next_ticket_{1};
+  std::atomic<std::uint64_t> next_launch_{1};
+  // Launches handed to the pool but not yet claimed by a finisher. The
+  // watchdog and the executor race to claim (LaneWatchdog::note_done /
+  // expired); whoever wins owns the tickets' verdicts.
+  std::map<std::uint64_t, Launch> inflight_;
+  LaneWatchdog watchdog_;
+  std::uint64_t brownout_until_ns_ = 0;
+  std::uint64_t breaker_cooldown_ns_ = 0;
 
   // Accepted connections waiting for a worker.
   std::mutex conn_mutex_;
@@ -180,8 +243,9 @@ class InferenceServer {
   std::atomic<bool> stop_{false};
   std::thread accept_thread_;
   std::thread dispatch_thread_;
+  std::thread watchdog_thread_;
   std::vector<std::thread> conn_threads_;
-  bool joined_ = false;
+  std::atomic<bool> joined_{false};
 
   // Cached global instruments.
   telemetry::Counter* requests_ = nullptr;
@@ -193,6 +257,14 @@ class InferenceServer {
   telemetry::Counter* batches_ = nullptr;
   telemetry::Counter* conn_rejected_ = nullptr;
   telemetry::Gauge* connections_ = nullptr;
+  // Availability instruments (DESIGN.md §16).
+  telemetry::Counter* breaker_opens_ = nullptr;
+  telemetry::Counter* breaker_closes_ = nullptr;
+  telemetry::Counter* breaker_fallback_ = nullptr;
+  telemetry::Counter* redispatched_ = nullptr;
+  telemetry::Counter* watchdog_restarts_ = nullptr;
+  telemetry::Counter* dropped_conns_ = nullptr;
+  telemetry::Counter* corrupt_frames_ = nullptr;
 };
 
 }  // namespace gauge::serve

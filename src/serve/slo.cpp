@@ -30,10 +30,32 @@ SloSummary summarize_slo(const telemetry::MetricsRegistry& registry) {
   summary.fallbacks = counter_value(counters, "gauge.serve.fallback");
   summary.batches = counter_value(counters, "gauge.serve.batches");
 
+  summary.breaker_opens = counter_value(counters, "gauge.serve.breaker.opens");
+  summary.breaker_closes =
+      counter_value(counters, "gauge.serve.breaker.closes");
+  summary.breaker_fallbacks =
+      counter_value(counters, "gauge.serve.breaker.fallback");
+  summary.redispatched = counter_value(counters, "gauge.serve.redispatched");
+  summary.watchdog_restarts =
+      counter_value(counters, "gauge.serve.watchdog.restarts");
+
   const std::string exec_prefix = "gauge.serve.exec.";
   for (const auto& [name, value] : counters) {
     if (name.rfind(exec_prefix, 0) != 0 || value == 0) continue;
     summary.exec.push_back(ExecSlo{name.substr(exec_prefix.size()), value});
+  }
+
+  // Per-backend lane outcomes: every backend that ran (or failed) a batch.
+  const std::string lane_batches_prefix = "gauge.serve.lane.batches.";
+  const std::string lane_failures_prefix = "gauge.serve.lane.failures.";
+  for (const auto& [name, value] : counters) {
+    if (name.rfind(lane_batches_prefix, 0) != 0 || value == 0) continue;
+    BackendSlo lane;
+    lane.backend = name.substr(lane_batches_prefix.size());
+    lane.batches = value;
+    lane.failures =
+        counter_value(counters, lane_failures_prefix + lane.backend);
+    summary.lanes.push_back(std::move(lane));
   }
 
   const std::string prefix = kLatencyHistogramPrefix;
@@ -72,6 +94,25 @@ std::string slo_report(const telemetry::MetricsRegistry& registry) {
                         exec.backend.c_str(),
                         static_cast<long long>(exec.batches));
   }
+  for (const auto& lane : summary.lanes) {
+    const double rate =
+        lane.batches > 0
+            ? static_cast<double>(lane.failures) /
+                  static_cast<double>(lane.batches)
+            : 0.0;
+    out += util::format(
+        "SLO backend name=%s batches=%lld failures=%lld error_rate=%.4f\n",
+        lane.backend.c_str(), static_cast<long long>(lane.batches),
+        static_cast<long long>(lane.failures), rate);
+  }
+  out += util::format(
+      "SLO availability breaker_opens=%lld breaker_closes=%lld "
+      "breaker_fallbacks=%lld redispatched=%lld watchdog_restarts=%lld\n",
+      static_cast<long long>(summary.breaker_opens),
+      static_cast<long long>(summary.breaker_closes),
+      static_cast<long long>(summary.breaker_fallbacks),
+      static_cast<long long>(summary.redispatched),
+      static_cast<long long>(summary.watchdog_restarts));
   out += util::format(
       "SLO total requests=%lld served=%lld shed=%lld errors=%lld "
       "deadline_miss=%lld fallbacks=%lld batches=%lld\n",

@@ -3,7 +3,7 @@
 // renders the registry back into the service-level report printed at
 // shutdown and asserted by scripts/check.sh.
 //
-// Metric names (DESIGN.md §11):
+// Metric names (DESIGN.md §11, availability additions §16):
 //   gauge.serve.requests / served / shed / errors / deadline_miss /
 //     fallback / batches / conn_rejected            (counters)
 //   gauge.serve.exec.<backend>                      (counter per batch, the
@@ -14,6 +14,17 @@
 //   gauge.serve.request_latency_ms.<model>          (histogram, wall)
 //   gauge.serve.queue_ms.<model>                    (histogram, wall)
 //   gauge.serve.batch_size.<model>                  (histogram)
+// Availability (chaos recovery, DESIGN.md §16):
+//   gauge.serve.breaker.opens / closes / fallback   (counters)
+//   gauge.serve.breaker.state.<model>.<backend>     (gauge: 0 closed,
+//     1 open, 2 half_open)
+//   gauge.serve.redispatched                        (tickets re-queued onto
+//     the CPU lane after a mid-batch failure)
+//   gauge.serve.watchdog.restarts                   (stalled lane executors
+//     abandoned and restarted)
+//   gauge.serve.fault.dropped_conns / corrupt_frames (injected faults)
+//   gauge.serve.lane.batches.<backend> /
+//   gauge.serve.lane.failures.<backend>             (per-backend error rates)
 #pragma once
 
 #include <cstdint>
@@ -42,9 +53,19 @@ struct ExecSlo {
   std::int64_t batches = 0;
 };
 
+// Per device-backend lane outcomes (CPU, GPU, SNPE-DSP, ...): how many
+// batches each backend ran and how many failed or stalled — the per-backend
+// error rates of the availability report.
+struct BackendSlo {
+  std::string backend;
+  std::int64_t batches = 0;
+  std::int64_t failures = 0;
+};
+
 struct SloSummary {
   std::vector<ModelSlo> models;  // name-sorted
   std::vector<ExecSlo> exec;     // execution backends that ran batches
+  std::vector<BackendSlo> lanes; // device backends that saw traffic
   std::int64_t requests = 0;
   std::int64_t served = 0;
   std::int64_t shed = 0;
@@ -52,6 +73,12 @@ struct SloSummary {
   std::int64_t deadline_miss = 0;
   std::int64_t fallbacks = 0;
   std::int64_t batches = 0;
+  // Availability counters (chaos recovery, DESIGN.md §16).
+  std::int64_t breaker_opens = 0;
+  std::int64_t breaker_closes = 0;
+  std::int64_t breaker_fallbacks = 0;
+  std::int64_t redispatched = 0;
+  std::int64_t watchdog_restarts = 0;
 };
 
 SloSummary summarize_slo(const telemetry::MetricsRegistry& registry);

@@ -1,0 +1,689 @@
+// Chaos coverage for the serving path (DESIGN.md §16): the ServeFaultPlan
+// grammar, the SimClock-driven breaker and watchdog state machines, and
+// end-to-end recovery — every accepted request gets exactly one verdict
+// under any plan, failed batches redispatch onto the CPU lane, stalled
+// executors are restarted, and a framing fuzz sweep never wedges a
+// connection worker.
+#include "serve/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+#include "serve/batch.hpp"
+#include "serve/health.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/slo.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace gauge::serve {
+namespace {
+
+// --- fault plan grammar --------------------------------------------------
+
+TEST(ServeFaultPlan, ParsesEveryDirective) {
+  const auto plan = parse_serve_fault_plan(
+      "kill-backend=gpu:50; stall-lane=mobilenet:3:500;"
+      "fail-infer=mobilenet:2; fail-infer=fssd:4:3; drop-conn=4;"
+      "corrupt-frame=2");
+  ASSERT_TRUE(plan.ok()) << plan.error();
+  ASSERT_EQ(plan.value().kill_backends.size(), 1u);
+  EXPECT_EQ(plan.value().kill_backends[0].backend, device::Backend::GpuFp32);
+  EXPECT_EQ(plan.value().kill_backends[0].after_batches, 50);
+  ASSERT_EQ(plan.value().stalls.size(), 1u);
+  EXPECT_EQ(plan.value().stalls[0].model, "mobilenet");
+  EXPECT_EQ(plan.value().stalls[0].nth, 3);
+  EXPECT_DOUBLE_EQ(plan.value().stalls[0].ms, 500.0);
+  ASSERT_EQ(plan.value().fail_infers.size(), 2u);
+  EXPECT_EQ(plan.value().fail_infers[0].count, 1);
+  EXPECT_EQ(plan.value().fail_infers[1].nth, 4);
+  EXPECT_EQ(plan.value().fail_infers[1].count, 3);
+  EXPECT_EQ(plan.value().drop_conns, std::vector<int>{4});
+  EXPECT_EQ(plan.value().corrupt_frames, std::vector<int>{2});
+  EXPECT_FALSE(plan.value().empty());
+}
+
+TEST(ServeFaultPlan, EmptySpecIsEmptyPlan) {
+  const auto plan = parse_serve_fault_plan("");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan.value().empty());
+}
+
+TEST(ServeFaultPlan, RejectsMalformedDirectives) {
+  EXPECT_FALSE(parse_serve_fault_plan("explode=now").ok());
+  EXPECT_FALSE(parse_serve_fault_plan("kill-backend=warp-drive:3").ok());
+  EXPECT_FALSE(parse_serve_fault_plan("kill-backend=gpu").ok());
+  EXPECT_FALSE(parse_serve_fault_plan("stall-lane=mobilenet:500").ok());
+  EXPECT_FALSE(parse_serve_fault_plan("stall-lane=mobilenet:0:500").ok());
+  EXPECT_FALSE(parse_serve_fault_plan("fail-infer=mobilenet").ok());
+  EXPECT_FALSE(parse_serve_fault_plan("fail-infer=mobilenet:2:0").ok());
+  EXPECT_FALSE(parse_serve_fault_plan("drop-conn=0").ok());
+  EXPECT_FALSE(parse_serve_fault_plan("corrupt-frame=banana").ok());
+}
+
+TEST(ServeFaultPlan, InjectorFiresOnDeterministicIndices) {
+  auto plan = parse_serve_fault_plan(
+      "kill-backend=gpu:2;fail-infer=mobilenet:2:2;drop-conn=2;"
+      "corrupt-frame=3");
+  ASSERT_TRUE(plan.ok());
+  ServeFaultInjector injector{plan.value()};
+
+  // GPU survives its first two batches, then every later one fails.
+  EXPECT_FALSE(injector.on_batch("fssd", device::Backend::GpuFp32).fail);
+  EXPECT_FALSE(injector.on_batch("fssd", device::Backend::GpuFp32).fail);
+  const auto dead = injector.on_batch("fssd", device::Backend::GpuFp32);
+  EXPECT_TRUE(dead.fail);
+  EXPECT_EQ(dead.reason, "backend_dead");
+  EXPECT_TRUE(injector.on_batch("fssd", device::Backend::GpuFp32).fail);
+
+  // mobilenet batches 2 and 3 (on any backend) fail; 1 and 4 succeed.
+  EXPECT_FALSE(injector.on_batch("mobilenet", device::Backend::CpuFp32).fail);
+  const auto window = injector.on_batch("mobilenet", device::Backend::CpuFp32);
+  EXPECT_TRUE(window.fail);
+  EXPECT_EQ(window.reason, "infer_fault");
+  EXPECT_TRUE(injector.on_batch("mobilenet", device::Backend::CpuFp32).fail);
+  EXPECT_FALSE(injector.on_batch("mobilenet", device::Backend::CpuFp32).fail);
+
+  EXPECT_FALSE(injector.drop_connection());
+  EXPECT_TRUE(injector.drop_connection());
+  EXPECT_FALSE(injector.drop_connection());
+
+  EXPECT_FALSE(injector.corrupt_frame());
+  EXPECT_FALSE(injector.corrupt_frame());
+  EXPECT_TRUE(injector.corrupt_frame());
+  EXPECT_FALSE(injector.corrupt_frame());
+}
+
+TEST(ServeFaultPlan, StallDirectiveReportsMilliseconds) {
+  auto plan = parse_serve_fault_plan("stall-lane=fssd:2:750");
+  ASSERT_TRUE(plan.ok());
+  ServeFaultInjector injector{plan.value()};
+  EXPECT_DOUBLE_EQ(injector.on_batch("fssd", device::Backend::CpuFp32).stall_ms,
+                   0.0);
+  EXPECT_DOUBLE_EQ(injector.on_batch("fssd", device::Backend::CpuFp32).stall_ms,
+                   750.0);
+  EXPECT_DOUBLE_EQ(injector.on_batch("fssd", device::Backend::CpuFp32).stall_ms,
+                   0.0);
+}
+
+// --- circuit breaker (SimClock-driven) -----------------------------------
+
+BreakerConfig test_breaker() {
+  BreakerConfig config;
+  config.failure_threshold = 3;
+  config.cooldown_ns = 1'000'000;  // 1 ms of simulated time
+  config.probe_successes = 1;
+  return config;
+}
+
+TEST(ServeFaultBreaker, OpensAfterConsecutiveFailuresOnly) {
+  util::SimClock clock;
+  CircuitBreaker breaker{test_breaker()};
+  EXPECT_EQ(breaker.state(clock.now()), BreakerState::Closed);
+
+  breaker.record_failure(clock.now());
+  breaker.record_failure(clock.now());
+  breaker.record_success(clock.now());  // resets the consecutive count
+  breaker.record_failure(clock.now());
+  breaker.record_failure(clock.now());
+  EXPECT_EQ(breaker.state(clock.now()), BreakerState::Closed);
+  breaker.record_failure(clock.now());
+  EXPECT_EQ(breaker.state(clock.now()), BreakerState::Open);
+  EXPECT_EQ(breaker.opens(), 1u);
+  EXPECT_FALSE(breaker.allow(clock.now()));
+  EXPECT_EQ(breaker.open_until_ns(), clock.now() + 1'000'000);
+}
+
+TEST(ServeFaultBreaker, FullCycleOpenHalfOpenClosed) {
+  util::SimClock clock;
+  CircuitBreaker breaker{test_breaker()};
+  for (int i = 0; i < 3; ++i) breaker.record_failure(clock.now());
+  EXPECT_EQ(breaker.state(clock.now()), BreakerState::Open);
+
+  // Cooldown not elapsed: still open, no traffic.
+  clock.advance_ns(999'999);
+  EXPECT_FALSE(breaker.allow(clock.now()));
+
+  // Cooldown elapsed: half-open grants exactly one probe.
+  clock.advance_ns(1);
+  EXPECT_EQ(breaker.state(clock.now()), BreakerState::HalfOpen);
+  bool probe = false;
+  EXPECT_TRUE(breaker.allow(clock.now(), &probe));
+  EXPECT_TRUE(probe);
+  EXPECT_FALSE(breaker.allow(clock.now()));  // probe slot taken
+
+  breaker.record_success(clock.now());
+  EXPECT_EQ(breaker.state(clock.now()), BreakerState::Closed);
+  EXPECT_EQ(breaker.opens(), 1u);
+  EXPECT_EQ(breaker.closes(), 1u);
+  EXPECT_TRUE(breaker.allow(clock.now()));
+}
+
+TEST(ServeFaultBreaker, ProbeFailureReopens) {
+  util::SimClock clock;
+  CircuitBreaker breaker{test_breaker()};
+  for (int i = 0; i < 3; ++i) breaker.record_failure(clock.now());
+  clock.advance_ns(1'000'000);
+  EXPECT_TRUE(breaker.allow(clock.now()));
+  breaker.record_failure(clock.now());
+  EXPECT_EQ(breaker.state(clock.now()), BreakerState::Open);
+  EXPECT_EQ(breaker.opens(), 2u);
+  // The new cooldown restarts from the re-open.
+  EXPECT_EQ(breaker.open_until_ns(), clock.now() + 1'000'000);
+}
+
+TEST(ServeFaultBreaker, CancelledProbeFreesTheSlot) {
+  util::SimClock clock;
+  CircuitBreaker breaker{test_breaker()};
+  for (int i = 0; i < 3; ++i) breaker.record_failure(clock.now());
+  clock.advance_ns(1'000'000);
+  bool probe = false;
+  EXPECT_TRUE(breaker.allow(clock.now(), &probe));
+  EXPECT_TRUE(probe);
+  EXPECT_FALSE(breaker.allow(clock.now()));
+  breaker.cancel_probe();  // the probe was shed before it could execute
+  EXPECT_TRUE(breaker.allow(clock.now(), &probe));
+  EXPECT_TRUE(probe);
+}
+
+TEST(ServeFaultBreaker, DeterministicAcrossReplays) {
+  // Bit-determinism: the same call sequence at the same timestamps produces
+  // identical transition counts.
+  const auto run = [] {
+    util::SimClock clock;
+    CircuitBreaker breaker{test_breaker()};
+    for (int round = 0; round < 5; ++round) {
+      for (int i = 0; i < 3; ++i) {
+        breaker.record_failure(clock.now());
+        clock.advance_ns(100);
+      }
+      clock.advance_ns(1'000'000);
+      (void)breaker.allow(clock.now());
+      breaker.record_success(clock.now());
+    }
+    return std::pair{breaker.opens(), breaker.closes()};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// --- lane watchdog (SimClock-driven) -------------------------------------
+
+TEST(ServeFaultWatchdog, ExpiresOnlyPastDeadlineLaunches) {
+  util::SimClock clock;
+  LaneWatchdog watchdog;
+  watchdog.note_start(1, clock.now(), 1'000);
+  watchdog.note_start(2, clock.now(), 5'000);
+  EXPECT_EQ(watchdog.inflight(), 2u);
+  EXPECT_EQ(watchdog.next_deadline_ns(), 1'000u);
+
+  clock.advance_ns(500);
+  EXPECT_TRUE(watchdog.expired(clock.now()).empty());
+
+  clock.advance_ns(500);
+  const auto expired = watchdog.expired(clock.now());
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], 1u);
+  EXPECT_EQ(watchdog.restarts(), 1u);
+  EXPECT_EQ(watchdog.inflight(), 1u);
+}
+
+TEST(ServeFaultWatchdog, FirstFinisherWinsTheClaim) {
+  // The exactly-one-verdict invariant hinges on this: whoever removes the
+  // launch from tracking owns its tickets. A late executor completion after
+  // a watchdog expiry must see note_done() == false and discard its result.
+  util::SimClock clock;
+  LaneWatchdog watchdog;
+  watchdog.note_start(7, clock.now(), 1'000);
+  clock.advance_ns(2'000);
+  ASSERT_EQ(watchdog.expired(clock.now()).size(), 1u);
+  EXPECT_FALSE(watchdog.note_done(7));  // abandoned: result must be dropped
+
+  // And the mirror image: a completion first means no expiry later.
+  watchdog.note_start(8, clock.now(), 1'000);
+  EXPECT_TRUE(watchdog.note_done(8));
+  clock.advance_ns(2'000);
+  EXPECT_TRUE(watchdog.expired(clock.now()).empty());
+  EXPECT_EQ(watchdog.restarts(), 1u);
+}
+
+TEST(ServeFaultWatchdog, RequeueRestoresFifoFront) {
+  // Redispatched tickets re-enter at the queue front: they carry the oldest
+  // enqueue timestamps and must not wait behind younger traffic.
+  Frontier frontier;
+  frontier.batch = 4;
+  frontier.max_wait_ns = 0;
+  BatchQueue queue{frontier, 16};
+  ASSERT_TRUE(queue.offer(0, {10, 0, 0}).accepted);
+  queue.requeue({{1, 0, 0, true, false}, {2, 0, 0, true, false}});
+  const auto batch = queue.pop_due(0);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].id, 1u);
+  EXPECT_TRUE(batch[0].retried);
+  EXPECT_EQ(batch[1].id, 2u);
+  EXPECT_EQ(batch[2].id, 10u);
+  EXPECT_FALSE(batch[2].retried);
+}
+
+// --- STATS lane-health grammar -------------------------------------------
+
+TEST(ServeFaultProtocol, StatsLaneTriplesRoundTrip) {
+  Response stats;
+  stats.kind = Response::Kind::Stats;
+  stats.requests = 10;
+  stats.served = 8;
+  stats.shed = 1;
+  stats.errors = 1;
+  stats.lanes.push_back({"mobilenet", "CPU", "closed", 2});
+  stats.lanes.push_back({"mobilenet", "GPU", "open", 0});
+  stats.lanes.push_back({"fssd", "SNPE-DSP", "half_open", 1});
+  const auto parsed = parse_response(format_response(stats));
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  ASSERT_EQ(parsed.value().lanes.size(), 3u);
+  EXPECT_EQ(parsed.value().lanes[0].model, "mobilenet");
+  EXPECT_EQ(parsed.value().lanes[0].backend, "CPU");
+  EXPECT_EQ(parsed.value().lanes[0].state, "closed");
+  EXPECT_EQ(parsed.value().lanes[0].inflight, 2u);
+  EXPECT_EQ(parsed.value().lanes[1].state, "open");
+  EXPECT_EQ(parsed.value().lanes[2].backend, "SNPE-DSP");
+  EXPECT_EQ(parsed.value().lanes[2].state, "half_open");
+}
+
+TEST(ServeFaultProtocol, StatsLaneGrammarIsStrict) {
+  EXPECT_FALSE(parse_response("STATS requests=1 state=open").ok());
+  EXPECT_FALSE(parse_response("STATS requests=1 inflight=2").ok());
+  EXPECT_FALSE(
+      parse_response("STATS lane=mobilenet/CPU state=melted").ok());
+  EXPECT_FALSE(parse_response("STATS lane=mobilenetCPU state=open").ok());
+  EXPECT_TRUE(
+      parse_response("STATS requests=1 served=1 shed=0 errors=0 "
+                     "lane=mobilenet/CPU state=closed inflight=0")
+          .ok());
+}
+
+TEST(ServeFaultProtocol, OkRetriedAndShedRetryAfterRoundTrip) {
+  Response ok;
+  ok.kind = Response::Kind::Ok;
+  ok.model = "mobilenet";
+  ok.backend = "CPU";
+  ok.retried = true;
+  ok.fallback = true;
+  const auto line = format_response(ok);
+  EXPECT_NE(line.find("retried=1"), std::string::npos);
+  const auto parsed = parse_response(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().retried);
+
+  Response shed;
+  shed.kind = Response::Kind::Shed;
+  shed.code = 429;
+  shed.retry_after_ms = 125;
+  const auto reparsed = parse_response(format_response(shed));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value().retry_after_ms, 125u);
+}
+
+// --- end-to-end chaos ----------------------------------------------------
+
+constexpr auto kClientDeadline = std::chrono::milliseconds{5000};
+
+ServeOptions chaos_options() {
+  ServeOptions options;
+  options.models = {"mobilenet", "sensormlp"};
+  options.time_scale = 0.0;  // instant execution
+  options.exec_threads = 2;
+  options.conn_workers = 8;
+  options.breaker_threshold = 2;
+  options.breaker_cooldown_ms = 100.0;
+  return options;
+}
+
+net::TcpStream connect_to(const InferenceServer& server) {
+  auto stream = net::TcpStream::connect("127.0.0.1", server.port());
+  EXPECT_TRUE(stream.ok()) << stream.error();
+  return std::move(stream).take();
+}
+
+Response request_response(net::TcpStream& stream, const std::string& line) {
+  EXPECT_TRUE(stream.send_line_for(line, kClientDeadline).ok());
+  auto reply = stream.recv_line_for(kClientDeadline);
+  EXPECT_TRUE(reply.ok()) << reply.error();
+  auto parsed = parse_response(reply.ok() ? reply.value() : "");
+  EXPECT_TRUE(parsed.ok()) << (parsed.ok() ? "" : parsed.error());
+  return parsed.ok() ? parsed.value() : Response{};
+}
+
+TEST(ServeFaultChaos, KilledBackendRedispatchesToCpu) {
+  telemetry::MetricsRegistry registry;
+  const telemetry::ScopedRegistry scoped{registry};
+  auto options = chaos_options();
+  options.fault_plan = "kill-backend=xnnpack:0";  // dead from the first batch
+  auto server = InferenceServer::start(options);
+  ASSERT_TRUE(server.ok()) << server.error();
+  auto stream = connect_to(*server.value());
+
+  // The first XNNPACK batch dies mid-execution; its ticket is redispatched
+  // onto the CPU lane and the request still gets its OK — marked as a
+  // retried fallback, not an error.
+  const auto ok =
+      request_response(stream, "INFER mobilenet id=k1 backend=XNNPACK");
+  EXPECT_EQ(ok.kind, Response::Kind::Ok);
+  EXPECT_TRUE(ok.retried);
+  EXPECT_TRUE(ok.fallback);
+  EXPECT_EQ(ok.backend, "CPU");
+
+  server.value()->shutdown();
+  const auto summary = summarize_slo(registry);
+  EXPECT_EQ(summary.errors, 0);
+  EXPECT_EQ(summary.served, 1);
+  EXPECT_GT(summary.redispatched, 0);
+  const auto report = slo_report(registry);
+  EXPECT_NE(report.find("SLO availability breaker_opens="), std::string::npos);
+  EXPECT_NE(report.find("SLO backend name=XNNPACK"), std::string::npos);
+}
+
+TEST(ServeFaultChaos, BreakerFullCycleUnderTransientFaults) {
+  telemetry::MetricsRegistry registry;
+  const telemetry::ScopedRegistry scoped{registry};
+  auto options = chaos_options();
+  options.models = {"mobilenet"};
+  options.max_batch = 1;  // one request per batch: failure counts are exact
+  // mobilenet batches 1 and 3 fail. The model's batch sequence is XNNPACK
+  // (#1, fails) -> CPU redispatch (#2, serves) -> XNNPACK (#3, fails) ->
+  // CPU redispatch (#4, serves): two consecutive XNNPACK failures open the
+  // breaker, and once the cooldown elapses the probe succeeds and closes it.
+  options.fault_plan = "fail-infer=mobilenet:1;fail-infer=mobilenet:3";
+  auto server = InferenceServer::start(options);
+  ASSERT_TRUE(server.ok()) << server.error();
+  auto stream = connect_to(*server.value());
+
+  // Two failing batches. Each request is redispatched onto the CPU lane and
+  // still served; the XNNPACK breaker opens on the second failure.
+  for (int i = 0; i < 2; ++i) {
+    const auto ok = request_response(
+        stream, "INFER mobilenet id=w" + std::to_string(i) +
+                    " backend=XNNPACK");
+    EXPECT_EQ(ok.kind, Response::Kind::Ok);
+    EXPECT_TRUE(ok.retried);
+  }
+  auto stats = request_response(stream, "STATS");
+  std::string xnn_state;
+  for (const auto& lane : stats.lanes) {
+    if (lane.backend == "XNNPACK") xnn_state = lane.state;
+  }
+  EXPECT_EQ(xnn_state, "open");
+
+  // While open, XNNPACK traffic routes around the dead lane onto CPU
+  // without executing there (fallback, not retried).
+  const auto around =
+      request_response(stream, "INFER mobilenet id=a1 backend=XNNPACK");
+  EXPECT_EQ(around.kind, Response::Kind::Ok);
+  EXPECT_TRUE(around.fallback);
+  EXPECT_FALSE(around.retried);
+
+  // After the cooldown the half-open probe executes on XNNPACK (the fault
+  // window is spent), succeeds, and the breaker closes.
+  std::this_thread::sleep_for(std::chrono::milliseconds{150});
+  const auto probe =
+      request_response(stream, "INFER mobilenet id=p1 backend=XNNPACK");
+  EXPECT_EQ(probe.kind, Response::Kind::Ok);
+  EXPECT_FALSE(probe.fallback);
+  stats = request_response(stream, "STATS");
+  for (const auto& lane : stats.lanes) {
+    if (lane.backend == "XNNPACK") xnn_state = lane.state;
+  }
+  EXPECT_EQ(xnn_state, "closed");
+
+  server.value()->shutdown();
+  const auto summary = summarize_slo(registry);
+  EXPECT_EQ(summary.errors, 0);
+  EXPECT_GE(summary.breaker_opens, 1);
+  EXPECT_GE(summary.breaker_closes, 1);
+  EXPECT_GT(summary.redispatched, 0);
+}
+
+TEST(ServeFaultChaos, StalledLaneIsRestartedByTheWatchdog) {
+  telemetry::MetricsRegistry registry;
+  const telemetry::ScopedRegistry scoped{registry};
+  auto options = chaos_options();
+  options.models = {"mobilenet"};
+  options.watchdog_budget_ms = 50.0;
+  // The first mobilenet batch wedges for 2 s — well past the 50 ms budget.
+  // The watchdog abandons it and redispatches; the retry (the model's
+  // second batch) runs clean.
+  options.fault_plan = "stall-lane=mobilenet:1:2000";
+  auto server = InferenceServer::start(options);
+  ASSERT_TRUE(server.ok()) << server.error();
+  auto stream = connect_to(*server.value());
+
+  const auto ok = request_response(stream, "INFER mobilenet id=s1");
+  EXPECT_EQ(ok.kind, Response::Kind::Ok);
+  EXPECT_TRUE(ok.retried);
+
+  server.value()->shutdown();
+  const auto summary = summarize_slo(registry);
+  EXPECT_EQ(summary.errors, 0);
+  EXPECT_GE(summary.watchdog_restarts, 1);
+  EXPECT_GT(summary.redispatched, 0);
+  const auto report = slo_report(registry);
+  EXPECT_NE(report.find("watchdog_restarts="), std::string::npos);
+}
+
+TEST(ServeFaultChaos, DroppedConnectionIsInvisibleToTheNextClient) {
+  telemetry::MetricsRegistry registry;
+  const telemetry::ScopedRegistry scoped{registry};
+  auto options = chaos_options();
+  options.fault_plan = "drop-conn=1";
+  auto server = InferenceServer::start(options);
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  {
+    // The first accepted connection is dropped before a worker sees it: the
+    // client's first round trip fails (send may succeed into the kernel
+    // buffer; the reply never comes).
+    auto doomed = connect_to(*server.value());
+    (void)doomed.send_line_for("PING", std::chrono::milliseconds{500});
+    auto reply = doomed.recv_line_for(std::chrono::milliseconds{1000});
+    EXPECT_FALSE(reply.ok());
+  }
+  // The next connection serves normally — a reconnecting client recovers.
+  auto stream = connect_to(*server.value());
+  EXPECT_EQ(request_response(stream, "PING").kind, Response::Kind::Pong);
+  EXPECT_EQ(request_response(stream, "INFER mobilenet id=d1").kind,
+            Response::Kind::Ok);
+  server.value()->shutdown();
+  bool found = false;
+  for (const auto& [name, value] : registry.counters()) {
+    if (name == "gauge.serve.fault.dropped_conns") {
+      found = true;
+      EXPECT_EQ(value, 1);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ServeFaultChaos, CorruptFrameClosesOnlyThatConnection) {
+  auto options = chaos_options();
+  options.fault_plan = "corrupt-frame=1";
+  auto server = InferenceServer::start(options);
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  {
+    auto poisoned = connect_to(*server.value());
+    ASSERT_TRUE(poisoned
+                    .send_line_for("INFER mobilenet id=c1 payload=8",
+                                   kClientDeadline)
+                    .ok());
+    ASSERT_TRUE(
+        net::send_frame(poisoned, util::Bytes(8, 0x2A), kClientDeadline).ok());
+    // The injector declares the (well-formed) frame corrupt: the connection
+    // is poisoned and closed exactly like a CRC failure.
+    auto reply = poisoned.recv_line_for(kClientDeadline);
+    EXPECT_FALSE(reply.ok());
+  }
+  auto stream = connect_to(*server.value());
+  ASSERT_TRUE(
+      stream.send_line_for("INFER mobilenet id=c2 payload=8", kClientDeadline)
+          .ok());
+  ASSERT_TRUE(
+      net::send_frame(stream, util::Bytes(8, 0x2A), kClientDeadline).ok());
+  auto reply = stream.recv_line_for(kClientDeadline);
+  ASSERT_TRUE(reply.ok()) << reply.error();
+  EXPECT_EQ(parse_response(reply.value()).value().kind, Response::Kind::Ok);
+}
+
+TEST(ServeFaultChaos, EveryAcceptedRequestGetsExactlyOneVerdict) {
+  // The chaos invariant, end to end: under a combined kill + transient-fault
+  // plan, concurrent clients hammering both lanes each receive exactly one
+  // reply per request — served, shed or erred, but never silence and never
+  // a duplicate.
+  telemetry::MetricsRegistry registry;
+  const telemetry::ScopedRegistry scoped{registry};
+  auto options = chaos_options();
+  options.fault_plan = "kill-backend=xnnpack:3;fail-infer=sensormlp:2:2";
+  auto server = InferenceServer::start(options);
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 25;
+  std::vector<std::thread> clients;
+  std::atomic<int> verdicts{0};
+  std::atomic<int> silent{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto stream =
+          net::TcpStream::connect("127.0.0.1", server.value()->port());
+      if (!stream.ok()) return;
+      const char* model = c % 2 == 0 ? "mobilenet" : "sensormlp";
+      const char* backend = c % 3 == 0 ? " backend=XNNPACK" : "";
+      for (int i = 0; i < kPerClient; ++i) {
+        const auto line = "INFER " + std::string{model} + " id=c" +
+                          std::to_string(c) + "n" + std::to_string(i) +
+                          backend;
+        if (!stream.value().send_line_for(line, kClientDeadline).ok()) {
+          silent.fetch_add(kPerClient - i);
+          return;
+        }
+        auto reply = stream.value().recv_line_for(kClientDeadline);
+        if (!reply.ok()) {
+          silent.fetch_add(kPerClient - i);
+          return;
+        }
+        verdicts.fetch_add(1);
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(verdicts.load(), kClients * kPerClient);
+  EXPECT_EQ(silent.load(), 0);
+
+  server.value()->shutdown();
+  const auto summary = summarize_slo(registry);
+  // Accounting closes: every INFER is served, shed or an error.
+  EXPECT_EQ(summary.requests, summary.served + summary.shed + summary.errors);
+  EXPECT_GT(summary.redispatched, 0);
+}
+
+TEST(ServeFaultChaos, ShutdownDuringStallNeitherHangsNorLeaksTickets) {
+  // The watchdog-vs-shutdown interleaving (the bugfix sweep's race): a
+  // batch is wedged when shutdown lands. The watchdog thread must join
+  // cleanly (no double-join, no deadlock), the drain must answer the
+  // redispatched ticket, and the client still gets exactly one verdict.
+  telemetry::MetricsRegistry registry;
+  const telemetry::ScopedRegistry scoped{registry};
+  auto options = chaos_options();
+  options.models = {"mobilenet"};
+  options.watchdog_budget_ms = 40.0;
+  options.fault_plan = "stall-lane=mobilenet:1:700";
+  auto server = InferenceServer::start(options);
+  ASSERT_TRUE(server.ok()) << server.error();
+  auto stream = connect_to(*server.value());
+  ASSERT_EQ(request_response(stream, "PING").kind, Response::Kind::Pong);
+
+  ASSERT_TRUE(
+      stream.send_line_for("INFER mobilenet id=z1", kClientDeadline).ok());
+  // Let the batch launch and wedge, then shut down mid-stall. Concurrently
+  // calling shutdown twice also exercises the idempotence guard.
+  std::this_thread::sleep_for(std::chrono::milliseconds{20});
+  std::thread raced{[&] { server.value()->shutdown(); }};
+  server.value()->shutdown();
+  raced.join();
+
+  auto reply = stream.recv_line_for(kClientDeadline);
+  ASSERT_TRUE(reply.ok()) << reply.error();
+  const auto parsed = parse_response(reply.value());
+  ASSERT_TRUE(parsed.ok());
+  // One verdict, whatever the interleaving produced: served (possibly after
+  // a redispatch) or a clean error — never silence.
+  EXPECT_TRUE(parsed.value().kind == Response::Kind::Ok ||
+              parsed.value().kind == Response::Kind::Err);
+  const auto summary = summarize_slo(registry);
+  EXPECT_EQ(summary.requests, summary.served + summary.shed + summary.errors);
+}
+
+// --- framing fuzz regression ---------------------------------------------
+
+TEST(ServeFaultFuzz, MutatedFramesNeverWedgeAConnWorker) {
+  auto options = chaos_options();
+  options.models = {"sensormlp"};
+  auto server = InferenceServer::start(options);
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  util::Rng rng{0xF4A11};
+  constexpr int kCases = 256;
+  for (int i = 0; i < kCases; ++i) {
+    const std::size_t payload_len = 1 + rng.uniform_u64(64);
+    util::Bytes payload(payload_len, 0);
+    for (auto& byte : payload) {
+      byte = static_cast<std::uint8_t>(rng.uniform_u64(256));
+    }
+    auto frame = net::encode_frame(payload);
+    auto stream = connect_to(*server.value());
+    const auto line =
+        "INFER sensormlp id=fz" + std::to_string(i) +
+        " payload=" + std::to_string(payload_len);
+    ASSERT_TRUE(stream.send_line_for(line, kClientDeadline).ok());
+
+    if (i % 2 == 0) {
+      // Truncation: a prefix of a valid frame, then close mid-frame. The
+      // server sees EOF, counts a protocol error and moves on.
+      const std::size_t cut = 1 + rng.uniform_u64(frame.size() - 1);
+      const std::string prefix{reinterpret_cast<const char*>(frame.data()),
+                               cut};
+      ASSERT_TRUE(stream.send_raw_for(prefix, kClientDeadline).ok());
+      // stream closes at scope exit
+    } else {
+      // Bit flip anywhere except the length field (bytes 5..8): the codec
+      // gets the full frame promptly and must reject it — CRC mismatch,
+      // bad magic or version skew — within the deadline, never a hang.
+      std::size_t at = rng.uniform_u64(frame.size());
+      while (at >= 5 && at < 9) at = rng.uniform_u64(frame.size());
+      frame[at] ^= static_cast<std::uint8_t>(1u << rng.uniform_u64(8));
+      const std::string bytes{reinterpret_cast<const char*>(frame.data()),
+                              frame.size()};
+      ASSERT_TRUE(stream.send_raw_for(bytes, kClientDeadline).ok());
+      auto reply = stream.recv_line_for(std::chrono::milliseconds{3000});
+      if (reply.ok()) {
+        // The only acceptable reply is a clean protocol error.
+        const auto parsed = parse_response(reply.value());
+        ASSERT_TRUE(parsed.ok()) << reply.value();
+        EXPECT_EQ(parsed.value().kind, Response::Kind::Err) << reply.value();
+      }
+      // Otherwise the connection was closed — equally clean.
+    }
+  }
+
+  // The server survived all 256 hostile connections and still serves.
+  auto stream = connect_to(*server.value());
+  EXPECT_EQ(request_response(stream, "INFER sensormlp id=alive").kind,
+            Response::Kind::Ok);
+}
+
+}  // namespace
+}  // namespace gauge::serve
